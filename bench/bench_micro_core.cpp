@@ -1,0 +1,136 @@
+// bench_micro_core.cpp — core simulator micro-benchmarks: simulation clock
+// rate, AMO execution, CMC dispatch, backing-store access.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <memory>
+
+#include "mutex_sweep.hpp"
+#include "src/amo/amo_unit.hpp"
+#include "src/mem/backing_store.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+/// Idle clock rate: how many device cycles per wall second the simulator
+/// sustains with empty queues (the cost floor of hmcsim_clock()).
+void BM_ClockIdle(benchmark::State& state) {
+  std::unique_ptr<sim::Simulator> sim;
+  if (!sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  for (auto _ : state) {
+    sim->clock();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+/// Loaded clock rate: a stream of reads saturating one vault.
+void BM_ClockLoaded(benchmark::State& state) {
+  std::unique_ptr<sim::Simulator> sim;
+  if (!sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD64;
+  std::uint16_t tag = 0;
+  for (auto _ : state) {
+    rd.tag = tag++ & spec::kMaxTag;
+    rd.addr = (static_cast<std::uint64_t>(tag) * 64) % (1 << 20);
+    (void)sim->send(rd, tag % 4);
+    sim->clock();
+    sim::Response rsp;
+    for (std::uint32_t link = 0; link < 4; ++link) {
+      while (sim->recv(link, rsp).ok()) {
+        benchmark::DoNotOptimize(rsp);
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_AmoExecute(benchmark::State& state, spec::Rqst op) {
+  mem::BackingStore store(1 << 20);
+  const std::array<std::uint64_t, 2> payload{3, 5};
+  amo::AmoResult result;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        amo::execute(op, store, 0x100, payload, result));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_CmcExecuteDispatch(benchmark::State& state) {
+  std::unique_ptr<sim::Simulator> sim;
+  if (!sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  bench::register_mutex_ops(*sim);
+  // Drive lock/unlock pairs through the full pipeline.
+  const std::array<std::uint64_t, 2> tid{1, 0};
+  spec::RqstParams lock;
+  lock.rqst = spec::Rqst::CMC125;
+  lock.addr = 0x4000;
+  lock.payload = tid;
+  spec::RqstParams unlock = lock;
+  unlock.rqst = spec::Rqst::CMC127;
+  sim::Response rsp;
+  for (auto _ : state) {
+    (void)sim->send(lock, 0);
+    while (!sim->rsp_ready(0)) {
+      sim->clock();
+    }
+    (void)sim->recv(0, rsp);
+    (void)sim->send(unlock, 0);
+    while (!sim->rsp_ready(0)) {
+      sim->clock();
+    }
+    (void)sim->recv(0, rsp);
+  }
+  state.SetItemsProcessed(2 * static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_BackingStoreWrite(benchmark::State& state) {
+  mem::BackingStore store(1ULL << 30);
+  std::array<std::uint8_t, 256> buf{};
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.write(addr, buf));
+    addr = (addr + 4096) % (1ULL << 24);  // Touch many pages.
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          256);
+}
+
+void BM_BackingStoreRead(benchmark::State& state) {
+  mem::BackingStore store(1ULL << 30);
+  std::array<std::uint8_t, 256> buf{};
+  for (std::uint64_t a = 0; a < (1ULL << 24); a += 4096) {
+    (void)store.write(a, buf);
+  }
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.read(addr, buf));
+    addr = (addr + 4096) % (1ULL << 24);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          256);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ClockIdle);
+BENCHMARK(BM_ClockLoaded);
+BENCHMARK_CAPTURE(BM_AmoExecute, INC8, spec::Rqst::INC8);
+BENCHMARK_CAPTURE(BM_AmoExecute, ADD16, spec::Rqst::ADD16);
+BENCHMARK_CAPTURE(BM_AmoExecute, CASGT16, spec::Rqst::CASGT16);
+BENCHMARK_CAPTURE(BM_AmoExecute, SWAP16, spec::Rqst::SWAP16);
+BENCHMARK(BM_CmcExecuteDispatch);
+BENCHMARK(BM_BackingStoreWrite);
+BENCHMARK(BM_BackingStoreRead);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// bench_mutex_vs_spinlock.cpp — the abstract's promise, measured:
+// "a model to replace traditional thread mutexes with custom HMC mutex
+// commands".
+//
+// Runs the same acquire-once/release-once contention experiment two ways:
+//   * traditional: CAS spinlock through private coherent caches — the
+//     lock line ping-pongs between cores via memory-reflected ownership
+//     transfers (12 FLITs per bounce, Table II's cache-based accounting);
+//   * CMC: the hmc_lock/hmc_trylock/hmc_unlock operations executing
+//     in-memory (2-FLIT requests, 2-FLIT responses).
+// Reports completion cycles and total link FLIT traffic for both.
+#include <cstdio>
+
+#include "mutex_sweep.hpp"
+#include "src/host/cache/spinlock_driver.hpp"
+
+using namespace hmcsim;
+
+int main() {
+  std::puts("# Traditional cache spinlock vs CMC mutex (4Link-4GB)");
+  std::printf("%-8s %-12s %12s %12s %12s %14s %12s\n", "threads", "method",
+              "max cycles", "avg cycles", "HMC flits", "flits/handoff",
+              "bounces");
+
+  bool cmc_always_wins = true;
+  for (const std::uint32_t n : {2U, 4U, 8U, 16U, 32U, 64U}) {
+    // Traditional spinlock through the cache hierarchy.
+    host::SpinlockResult spin;
+    {
+      std::unique_ptr<sim::Simulator> sim;
+      if (!sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok()) {
+        return 1;
+      }
+      host::SpinlockOptions opts;
+      if (!host::run_spinlock_contention(*sim, n, opts, spin).ok()) {
+        std::fprintf(stderr, "spinlock run failed (n=%u)\n", n);
+        return 1;
+      }
+      const std::uint64_t flits = spin.hmc_rqst_flits + spin.hmc_rsp_flits;
+      std::printf("%-8u %-12s %12llu %12.2f %12llu %14.1f %12llu\n", n,
+                  "spinlock",
+                  static_cast<unsigned long long>(spin.max_cycles),
+                  spin.avg_cycles, static_cast<unsigned long long>(flits),
+                  static_cast<double>(flits) / n,
+                  static_cast<unsigned long long>(spin.line_bounces));
+    }
+
+    // CMC mutex.
+    {
+      const host::MutexResult cmc =
+          bench::run_one(sim::Config::hmc_4link_4gb(), n);
+      // Each op is 2 rqst + 2 rsp FLITs; count from the attempts.
+      const std::uint64_t ops = static_cast<std::uint64_t>(n) * 2 /*lock+
+          unlock*/ + cmc.trylock_attempts + cmc.lock_failures;
+      const std::uint64_t flits = 4 * ops;
+      std::printf("%-8u %-12s %12llu %12.2f %12llu %14.1f %12s\n", n,
+                  "cmc-mutex",
+                  static_cast<unsigned long long>(cmc.max_cycles),
+                  cmc.avg_cycles, static_cast<unsigned long long>(flits),
+                  static_cast<double>(flits) / n, "-");
+      cmc_always_wins = cmc_always_wins && cmc.max_cycles < spin.max_cycles;
+    }
+  }
+  std::printf("# CMC mutex faster at every contention level: %s\n",
+              cmc_always_wins ? "yes" : "NO");
+  std::puts("# note: at high contention the CMC side's *latency* advantage "
+            "(~5x) comes with busy trylock polling, so its FLIT count "
+            "grows with spin rounds; the spinlock instead serialises on "
+            "coherence NACKs and pays ~12 FLITs per lock-line bounce "
+            "through memory.");
+  return cmc_always_wins ? 0 : 1;
+}

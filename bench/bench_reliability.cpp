@@ -1,0 +1,82 @@
+// bench_reliability.cpp — link-error-rate sweep.
+//
+// Sweeps the per-FLIT corruption probability and reports the retry count,
+// achieved latency and effective bandwidth of a fixed workload, showing
+// how the CRC/retry protocol degrades gracefully instead of corrupting
+// data (every run is verified).
+#include <cstdio>
+#include <memory>
+
+#include "src/host/kernels/random_access.hpp"
+#include "src/sim/simulator.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+/// Mean uncontended RD64 latency at a given error rate.
+double probe_latency(std::uint32_t ppm) {
+  sim::Config cfg = sim::Config::hmc_4link_4gb();
+  cfg.link_flit_error_ppm = ppm;
+  std::unique_ptr<sim::Simulator> sim;
+  if (!sim::Simulator::create(cfg, sim).ok()) {
+    std::exit(1);
+  }
+  std::uint64_t total = 0;
+  constexpr int kProbes = 500;
+  for (int i = 0; i < kProbes; ++i) {
+    spec::RqstParams rd;
+    rd.rqst = spec::Rqst::RD64;
+    rd.addr = static_cast<std::uint64_t>(i % 128) * 64;
+    if (!sim->send(rd, 0).ok()) {
+      std::exit(1);
+    }
+    while (!sim->rsp_ready(0)) {
+      sim->clock();
+    }
+    sim::Response rsp;
+    (void)sim->recv(0, rsp);
+    total += rsp.latency;
+  }
+  return static_cast<double>(total) / kProbes;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("# Link reliability sweep (CRC retry protocol)");
+  std::printf("%-12s %12s %12s %12s %12s %10s\n", "FLIT err", "GUPS cycles",
+              "retries", "rqst FLITs", "B/cycle", "RD64 lat");
+
+  for (const std::uint32_t ppm :
+       {0U, 1'000U, 10'000U, 50'000U, 100'000U, 250'000U}) {
+    sim::Config cfg = sim::Config::hmc_4link_4gb();
+    cfg.link_flit_error_ppm = ppm;
+    std::unique_ptr<sim::Simulator> sim;
+    if (!sim::Simulator::create(cfg, sim).ok()) {
+      return 1;
+    }
+    host::RandomAccessOptions opts;
+    opts.table_words = 1 << 14;
+    opts.updates = 4096;
+    opts.concurrency = 64;
+    opts.mode = host::GupsMode::Atomic;
+    host::KernelResult result;
+    if (!host::run_random_access(*sim, opts, result).ok()) {
+      std::fprintf(stderr, "verification failed at %u ppm!\n", ppm);
+      return 1;
+    }
+    char rate[16];
+    std::snprintf(rate, sizeof(rate), "%.1f%%",
+                  static_cast<double>(ppm) / 10'000.0);
+    std::printf("%-12s %12llu %12llu %12llu %12.2f %10.2f\n", rate,
+                static_cast<unsigned long long>(result.cycles),
+                static_cast<unsigned long long>(
+                    sim->stats().devices.link_retries),
+                static_cast<unsigned long long>(result.rqst_flits),
+                result.bytes_per_cycle(), probe_latency(ppm));
+  }
+  std::puts("# every row's GUPS result verified against a host-side "
+            "replay: retries cost cycles, never data.");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// bench_table1_commands.cpp — regenerates Table I: "HMC-Sim 2.0 Gen2
+// Additional Command Support", straight from the live command database,
+// then benchmarks the packet codec across command classes with
+// google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdio>
+
+#include "src/common/rng.hpp"
+#include "src/spec/commands.hpp"
+#include "src/spec/crc32.hpp"
+#include "src/spec/packet.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+void print_table1() {
+  std::puts("# Table I: HMC-Sim 2.0 Gen2 Additional Command Support");
+  std::printf("%-12s %-14s %-14s %-15s\n", "Command Enum", "Command Code",
+              "Request Flits", "Response Flits");
+  const spec::Rqst rows[] = {
+      // Gen2 additions, in the paper's table order.
+      spec::Rqst::RD256,     spec::Rqst::WR256,    spec::Rqst::P_WR256,
+      spec::Rqst::TWOADD8,   spec::Rqst::ADD16,    spec::Rqst::P_2ADD8,
+      spec::Rqst::P_ADD16,   spec::Rqst::TWOADDS8R, spec::Rqst::ADDS16R,
+      spec::Rqst::INC8,      spec::Rqst::P_INC8,   spec::Rqst::XOR16,
+      spec::Rqst::OR16,      spec::Rqst::NOR16,    spec::Rqst::AND16,
+      spec::Rqst::NAND16,    spec::Rqst::CASGT8,   spec::Rqst::CASGT16,
+      spec::Rqst::CASLT8,    spec::Rqst::CASLT16,  spec::Rqst::CASEQ8,
+      spec::Rqst::CASZERO16, spec::Rqst::EQ8,      spec::Rqst::EQ16,
+      spec::Rqst::BWR,       spec::Rqst::P_BWR,    spec::Rqst::BWR8R,
+      spec::Rqst::SWAP16,
+  };
+  for (const spec::Rqst rqst : rows) {
+    const spec::CommandInfo& info = spec::command_info(rqst);
+    std::printf("%-12s %-14u %-14u %-15u\n", std::string(info.name).c_str(),
+                unsigned(info.cmd), unsigned(info.rqst_flits),
+                unsigned(info.rsp_flits));
+  }
+  std::printf("# plus %zu CMC command codes available for custom "
+              "operations (paper: 70)\n",
+              spec::all_cmc_commands().size());
+}
+
+// ---- codec micro-benchmarks --------------------------------------------------
+
+void BM_BuildRequest(benchmark::State& state, spec::Rqst rqst) {
+  const spec::CommandInfo& info = spec::command_info(rqst);
+  std::array<std::uint64_t, 32> payload{};
+  Xoshiro256 rng(1);
+  for (auto& w : payload) {
+    w = rng();
+  }
+  spec::RqstParams params;
+  params.rqst = rqst;
+  params.addr = 0x12340;
+  params.tag = 17;
+  params.payload = {payload.data(), 2ULL * (info.rqst_flits - 1)};
+  spec::RqstPacket pkt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec::build_request(params, pkt));
+    benchmark::DoNotOptimize(pkt);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          info.rqst_flits * 16);
+}
+
+void BM_ParseRequest(benchmark::State& state, spec::Rqst rqst) {
+  const spec::CommandInfo& info = spec::command_info(rqst);
+  std::array<std::uint64_t, 32> payload{};
+  spec::RqstParams params;
+  params.rqst = rqst;
+  params.payload = {payload.data(), 2ULL * (info.rqst_flits - 1)};
+  spec::RqstPacket pkt;
+  if (!spec::build_request(params, pkt).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  std::array<std::uint64_t, spec::kMaxPacketWords> wire{};
+  const std::size_t n = spec::serialize(pkt, wire);
+  spec::RqstPacket parsed;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec::parse_request({wire.data(), n}, parsed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          info.rqst_flits * 16);
+}
+
+void BM_Crc32MaxPacket(benchmark::State& state) {
+  std::array<std::uint64_t, spec::kMaxPacketWords> words{};
+  Xoshiro256 rng(2);
+  for (auto& w : words) {
+    w = rng();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec::crc32k_words(words));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(words.size() * 8));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_BuildRequest, RD16, spec::Rqst::RD16);
+BENCHMARK_CAPTURE(BM_BuildRequest, WR64, spec::Rqst::WR64);
+BENCHMARK_CAPTURE(BM_BuildRequest, WR256, spec::Rqst::WR256);
+BENCHMARK_CAPTURE(BM_BuildRequest, INC8, spec::Rqst::INC8);
+BENCHMARK_CAPTURE(BM_BuildRequest, CASGT16, spec::Rqst::CASGT16);
+BENCHMARK_CAPTURE(BM_ParseRequest, RD16, spec::Rqst::RD16);
+BENCHMARK_CAPTURE(BM_ParseRequest, WR256, spec::Rqst::WR256);
+BENCHMARK(BM_Crc32MaxPacket);
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// bench_table5_mutex_ops.cpp — regenerates Table V: "CMC Mutex Operations".
+//
+// Prints the registration data of the three mutex CMC operations straight
+// from the live registry (proving the plugin registrations carry exactly
+// the paper's parameters), then benchmarks each operation's full
+// send->execute->recv round trip with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdio>
+#include <memory>
+
+#include "mutex_sweep.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+void print_table5(const cmc::CmcRegistry& registry) {
+  std::puts("# Table V: CMC Mutex Operations (live registry state)");
+  std::printf("%-12s %-14s %-10s %-10s %-10s %-10s\n", "Operation",
+              "Command Enum", "Rqst Cmd", "Rqst Len", "Rsp Cmd", "Rsp Len");
+  for (const spec::Rqst rqst :
+       {spec::Rqst::CMC125, spec::Rqst::CMC126, spec::Rqst::CMC127}) {
+    const cmc::CmcOp* op = registry.lookup(rqst);
+    if (op == nullptr) {
+      std::puts("  <missing registration>");
+      continue;
+    }
+    std::printf("%-12s %-14s %-10u %-10s %-10s %-10s\n", op->name.c_str(),
+                std::string(spec::to_string(rqst)).c_str(), op->cmd,
+                (std::to_string(op->rqst_len) + " FLITS").c_str(),
+                std::string(spec::to_string(op->rsp_cmd)).c_str(),
+                std::to_string(op->rsp_len).c_str());
+  }
+  std::puts("# paper: hmc_lock CMC125/WR_RS, hmc_trylock CMC126/RD_RS, "
+            "hmc_unlock CMC127/WR_RS; all 2-FLIT rqst, 2-FLIT rsp\n");
+}
+
+/// One uncontended CMC round trip per iteration.
+void BM_MutexOpRoundTrip(benchmark::State& state, spec::Rqst rqst) {
+  std::unique_ptr<sim::Simulator> sim;
+  if (!sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  bench::register_mutex_ops(*sim);
+  const std::array<std::uint64_t, 2> tid{1, 0};
+  spec::RqstParams p;
+  p.rqst = rqst;
+  p.addr = 0x4000;
+  p.payload = tid;
+
+  for (auto _ : state) {
+    if (!sim->send(p, 0).ok()) {
+      state.SkipWithError("send failed");
+      return;
+    }
+    while (!sim->rsp_ready(0)) {
+      sim->clock();
+    }
+    sim::Response rsp;
+    benchmark::DoNotOptimize(sim->recv(0, rsp));
+    // Unlock between lock iterations so the lock is always acquirable.
+    if (rqst != spec::Rqst::CMC127) {
+      spec::RqstParams unlock = p;
+      unlock.rqst = spec::Rqst::CMC127;
+      if (sim->send(unlock, 0).ok()) {
+        while (!sim->rsp_ready(0)) {
+          sim->clock();
+        }
+        (void)sim->recv(0, rsp);
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+/// A full Algorithm 1 run per iteration, at a fixed contention level.
+void BM_MutexContention(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t total_cycles = 0;
+  for (auto _ : state) {
+    const host::MutexResult r =
+        bench::run_one(sim::Config::hmc_4link_4gb(), threads);
+    benchmark::DoNotOptimize(r.max_cycles);
+    total_cycles += r.total_cycles;
+  }
+  state.counters["sim_cycles"] = benchmark::Counter(
+      static_cast<double>(total_cycles), benchmark::Counter::kAvgIterations);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_MutexOpRoundTrip, hmc_lock, spec::Rqst::CMC125);
+BENCHMARK_CAPTURE(BM_MutexOpRoundTrip, hmc_trylock, spec::Rqst::CMC126);
+BENCHMARK_CAPTURE(BM_MutexOpRoundTrip, hmc_unlock, spec::Rqst::CMC127);
+BENCHMARK(BM_MutexContention)->Arg(8)->Arg(32)->Arg(100);
+
+int main(int argc, char** argv) {
+  {
+    std::unique_ptr<sim::Simulator> sim;
+    if (!sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok()) {
+      return 1;
+    }
+    bench::register_mutex_ops(*sim);
+    print_table5(sim->cmc_registry());
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

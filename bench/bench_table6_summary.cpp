@@ -1,0 +1,76 @@
+// bench_table6_summary.cpp — regenerates Table VI: "CMC Mutex Operations"
+// summary (min / max / avg cycle counts over the 2..100-thread sweep).
+//
+// Paper values:   Device      Min   Max   Avg
+//                 4Link-4GB     6   392   226.48
+//                 8Link-8GB     6   387   221.48
+//
+// Our substrate reproduces the *shape* (min exactly 6; max/avg linear in
+// thread count; 8-link no worse than 4-link, with a small edge past ~50
+// threads); absolute max/avg differ because vault service time is not
+// published and our handoff costs ~3 cycles vs the paper's ~4.
+#include <algorithm>
+#include <cstdio>
+
+#include "mutex_sweep.hpp"
+
+int main() {
+  const auto sweep = hmcsim::bench::run_sweep();
+
+  struct Summary {
+    std::uint64_t min = ~0ULL;
+    std::uint64_t max = 0;
+    double max_avg = 0;
+  };
+  Summary s4;
+  Summary s8;
+  for (const auto& p : sweep) {
+    s4.min = std::min(s4.min, p.r4.min_cycles);
+    s4.max = std::max(s4.max, p.r4.max_cycles);
+    s4.max_avg = std::max(s4.max_avg, p.r4.avg_cycles);
+    s8.min = std::min(s8.min, p.r8.min_cycles);
+    s8.max = std::max(s8.max, p.r8.max_cycles);
+    s8.max_avg = std::max(s8.max_avg, p.r8.avg_cycles);
+  }
+
+  std::puts("# Table VI: CMC Mutex Operations (sweep summary, 2..100 "
+            "threads)");
+  std::printf("%-12s %-16s %-16s %-16s\n", "Device", "Min Cycle Count",
+              "Max Cycle Count", "Avg Cycle Count");
+  std::printf("%-12s %-16llu %-16llu %-16.2f\n", "4Link-4GB",
+              static_cast<unsigned long long>(s4.min),
+              static_cast<unsigned long long>(s4.max), s4.max_avg);
+  std::printf("%-12s %-16llu %-16llu %-16.2f\n", "8Link-8GB",
+              static_cast<unsigned long long>(s8.min),
+              static_cast<unsigned long long>(s8.max), s8.max_avg);
+  std::puts("#");
+  std::puts("# paper:     4Link-4GB    6    392    226.48");
+  std::puts("# paper:     8Link-8GB    6    387    221.48");
+
+  // Shape checks (reported, and enforced via exit code so regressions in
+  // the queueing model are caught when the bench suite runs).
+  bool ok = true;
+  auto check = [&](bool cond, const char* what) {
+    std::printf("# shape %-52s %s\n", what, cond ? "OK" : "VIOLATED");
+    ok = ok && cond;
+  };
+  check(s4.min == 6 && s8.min == 6, "min cycle count is exactly 6");
+  check(s8.max <= s4.max, "8-link worst max <= 4-link worst max");
+  check(s8.max_avg <= s4.max_avg, "8-link worst avg <= 4-link worst avg");
+  bool identical_low = true;
+  for (const auto& p : sweep) {
+    if (p.threads <= 50 && (p.r4.max_cycles != p.r8.max_cycles ||
+                            p.r4.avg_cycles != p.r8.avg_cycles)) {
+      identical_low = false;
+    }
+  }
+  check(identical_low, "4-link and 8-link identical through 50 threads");
+  bool diverged_high = false;
+  for (const auto& p : sweep) {
+    if (p.threads > 50 && (p.r4.avg_cycles != p.r8.avg_cycles)) {
+      diverged_high = true;
+    }
+  }
+  check(diverged_high, "perturbations appear beyond 50 threads");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// mutex_sweep.hpp — shared driver for the paper's evaluation sweep.
+//
+// Figures 5, 6 and 7 and Table VI all come from the same experiment: run
+// Algorithm 1 with 2..100 threads on the 4Link-4GB and 8Link-8GB devices
+// and record MIN/MAX/AVG lock cycles per run. Each bench binary re-runs the
+// sweep (it is fast) and prints its own series.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "plugins/builtin.h"
+#include "src/host/mutex_driver.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace hmcsim::bench {
+
+struct SweepPoint {
+  std::uint32_t threads = 0;
+  host::MutexResult r4;  ///< 4Link-4GB result.
+  host::MutexResult r8;  ///< 8Link-8GB result.
+};
+
+inline void register_mutex_ops(sim::Simulator& sim) {
+  struct Op {
+    hmcsim_cmc_register_fn reg;
+    hmcsim_cmc_execute_fn exec;
+    hmcsim_cmc_str_fn str;
+  };
+  const Op ops[] = {
+      {hmcsim_builtin_lock_register, hmcsim_builtin_lock_execute,
+       hmcsim_builtin_lock_str},
+      {hmcsim_builtin_trylock_register, hmcsim_builtin_trylock_execute,
+       hmcsim_builtin_trylock_str},
+      {hmcsim_builtin_unlock_register, hmcsim_builtin_unlock_execute,
+       hmcsim_builtin_unlock_str},
+  };
+  for (const Op& op : ops) {
+    if (!sim.register_cmc(op.reg, op.exec, op.str).ok()) {
+      std::fprintf(stderr, "mutex CMC registration failed\n");
+      std::exit(1);
+    }
+  }
+}
+
+inline host::MutexResult run_one(const sim::Config& cfg,
+                                 std::uint32_t threads) {
+  std::unique_ptr<sim::Simulator> sim;
+  if (!sim::Simulator::create(cfg, sim).ok()) {
+    std::fprintf(stderr, "simulator creation failed\n");
+    std::exit(1);
+  }
+  register_mutex_ops(*sim);
+  host::MutexOptions opts;
+  opts.lock_addr = 0x4000;
+  host::MutexResult result;
+  if (const Status s = host::run_mutex_contention(*sim, threads, opts, result);
+      !s.ok()) {
+    std::fprintf(stderr, "mutex run failed: %s\n", s.to_string().c_str());
+    std::exit(1);
+  }
+  return result;
+}
+
+/// The paper's sweep: "We varied the number of threads from two to one
+/// hundred threads for each of the respective configurations."
+inline std::vector<SweepPoint> run_sweep(std::uint32_t from = 2,
+                                         std::uint32_t to = 100) {
+  std::vector<SweepPoint> points;
+  points.reserve(to - from + 1);
+  for (std::uint32_t t = from; t <= to; ++t) {
+    SweepPoint p;
+    p.threads = t;
+    p.r4 = run_one(sim::Config::hmc_4link_4gb(), t);
+    p.r8 = run_one(sim::Config::hmc_8link_8gb(), t);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+}  // namespace hmcsim::bench

@@ -1,0 +1,66 @@
+// bfs_pim.cpp — CAS-accelerated graph traversal (the related-work case
+// study the paper cites: instruction offloading for BFS with HMC 2.0
+// atomics).
+//
+// Runs breadth-first search over a synthetic random graph twice: the
+// visited-array check-and-update done host-side (RD16 + WR16 per claim)
+// and in-memory (one CASEQ8 per claim), and compares cycles and link
+// traffic. Both runs are verified against a host-side reference BFS.
+//
+//   ./build/examples/bfs_pim [vertices] [avg_degree]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/host/kernels/bfs.hpp"
+
+using namespace hmcsim;
+
+int main(int argc, char** argv) {
+  host::BfsOptions opts;
+  opts.vertices =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4096;
+  opts.avg_degree =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 8;
+  opts.concurrency = 64;
+
+  std::printf("BFS over a random graph: %u vertices, avg degree %u\n",
+              opts.vertices, opts.avg_degree);
+  std::printf("%-22s %10s %12s %12s %10s %10s\n", "mode", "cycles",
+              "rqst FLITs", "rsp FLITs", "reached", "levels");
+
+  host::BfsResult cas;
+  host::BfsResult rmw;
+  for (const auto& [mode, name, result] :
+       {std::tuple{host::BfsMode::ReadModifyWrite, "host check-and-update",
+                   &rmw},
+        std::tuple{host::BfsMode::CasAtomic, "CASEQ8 in-memory", &cas}}) {
+    std::unique_ptr<sim::Simulator> sim;
+    if (!sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok()) {
+      return 1;
+    }
+    opts.mode = mode;
+    if (Status s = host::run_bfs(*sim, opts, *result); !s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name, s.to_string().c_str());
+      return 1;
+    }
+    std::printf("%-22s %10llu %12llu %12llu %10u %10u\n", name,
+                static_cast<unsigned long long>(result->kernel.cycles),
+                static_cast<unsigned long long>(result->kernel.rqst_flits),
+                static_cast<unsigned long long>(result->kernel.rsp_flits),
+                result->reached, result->max_level);
+  }
+
+  const double traffic_saving =
+      100.0 *
+      (1.0 - static_cast<double>(cas.kernel.rqst_flits +
+                                 cas.kernel.rsp_flits) /
+                 static_cast<double>(rmw.kernel.rqst_flits +
+                                     rmw.kernel.rsp_flits));
+  const double speedup = static_cast<double>(rmw.kernel.cycles) /
+                         static_cast<double>(cas.kernel.cycles);
+  std::printf("\nCAS offload: %.1f%% less link traffic, %.2fx faster; "
+              "both runs verified against a reference BFS.\n",
+              traffic_saving, speedup);
+  return 0;
+}

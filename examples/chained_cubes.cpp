@@ -1,0 +1,114 @@
+// chained_cubes.cpp — multi-device topologies (HMC-Sim chaining).
+//
+// Builds a chain of four cubes behind one host-attached device, probes the
+// per-hop latency with dependent reads, interrogates every cube's register
+// file through MD_RD packets, and distributes a working set across the
+// chain to show capacity scaling.
+//
+//   ./build/examples/chained_cubes [num_cubes] [chain|star]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/sim/simulator.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+sim::Response roundtrip(sim::Simulator& sim, const spec::RqstParams& params) {
+  Status s = sim.send(params, 0);
+  while (s.stalled()) {
+    sim.clock();
+    s = sim.send(params, 0);
+  }
+  if (!s.ok()) {
+    std::fprintf(stderr, "send: %s\n", s.to_string().c_str());
+    std::exit(1);
+  }
+  while (!sim.rsp_ready(0)) {
+    sim.clock();
+  }
+  sim::Response rsp;
+  if (!sim.recv(0, rsp).ok()) {
+    std::exit(1);
+  }
+  return rsp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cubes =
+      static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 4);
+  sim::Config cfg = sim::Config::hmc_4link_4gb();
+  cfg.num_devs = cubes;
+  if (argc > 2 && std::string_view(argv[2]) == "star") {
+    cfg.topology = sim::Topology::Star;
+  }
+  std::unique_ptr<sim::Simulator> sim;
+  if (Status s = sim::Simulator::create(cfg, sim); !s.ok()) {
+    std::fprintf(stderr, "create: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("%s of %u cubes (%s), total capacity %llu GB\n",
+              std::string(sim::to_string(cfg.topology)).c_str(), cubes,
+              cfg.describe().c_str(),
+              static_cast<unsigned long long>(
+                  cubes * (cfg.capacity_bytes >> 30)));
+
+  // 1. Identify every cube through mode-read packets.
+  std::puts("\nregister probe (MD_RD DeviceId / Capacity):");
+  for (std::uint8_t cub = 0; cub < cubes; ++cub) {
+    spec::RqstParams rd;
+    rd.rqst = spec::Rqst::MD_RD;
+    rd.addr = static_cast<std::uint64_t>(dev::Reg::DeviceId);
+    rd.cub = cub;
+    const auto id = roundtrip(*sim, rd).pkt.payload()[0];
+    rd.addr = static_cast<std::uint64_t>(dev::Reg::Capacity);
+    const auto cap = roundtrip(*sim, rd).pkt.payload()[0];
+    std::printf("  cube %u: DeviceId=%llu Capacity=%lluGB\n", cub,
+                static_cast<unsigned long long>(id),
+                static_cast<unsigned long long>(cap >> 30));
+  }
+
+  // 2. Latency ladder.
+  std::puts("\nlatency ladder (RD16 per cube):");
+  for (std::uint8_t cub = 0; cub < cubes; ++cub) {
+    spec::RqstParams rd;
+    rd.rqst = spec::Rqst::RD16;
+    rd.addr = 0x40;
+    rd.cub = cub;
+    std::printf("  cube %u: %llu cycles\n", cub,
+                static_cast<unsigned long long>(roundtrip(*sim, rd).latency));
+  }
+
+  // 3. Distribute a working set: one counter per cube, incremented
+  //    round-robin; verify each landed on its own cube.
+  constexpr int kRounds = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    for (std::uint8_t cub = 0; cub < cubes; ++cub) {
+      spec::RqstParams inc;
+      inc.rqst = spec::Rqst::INC8;
+      inc.addr = 0x1000;
+      inc.cub = cub;
+      (void)roundtrip(*sim, inc);
+    }
+  }
+  std::puts("\ndistributed counters after 8 increment rounds:");
+  bool ok = true;
+  for (std::uint32_t cub = 0; cub < cubes; ++cub) {
+    std::uint64_t v = 0;
+    (void)sim->device(cub).store().read_u64(0x1000, v);
+    std::printf("  cube %u: %llu\n", cub,
+                static_cast<unsigned long long>(v));
+    ok = ok && v == kRounds;
+  }
+  std::printf("\nforwarded requests per cube:");
+  for (std::uint32_t cub = 0; cub < cubes; ++cub) {
+    std::printf(" %llu", static_cast<unsigned long long>(
+                             sim->device(cub).stats().forwarded_rqsts));
+  }
+  std::puts(ok ? "\nall counters correct" : "\nCOUNTER MISMATCH");
+  return ok ? 0 : 1;
+}

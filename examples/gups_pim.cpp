@@ -1,0 +1,58 @@
+// gups_pim.cpp — RandomAccess (GUPS) with and without in-memory atomics.
+//
+// Runs the HPCC RandomAccess update kernel twice over the same update
+// stream: once as a host-side read-modify-write (the cache-based path) and
+// once with the XOR16 Gen2 atomic (the PIM path), then reports cycles and
+// link FLIT traffic for both — the motivation behind Table II, measured on
+// a live workload.
+//
+//   ./build/examples/gups_pim [updates] [table_kwords]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "host/kernels/random_access.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hmcsim;
+
+int main(int argc, char** argv) {
+  const std::uint64_t updates =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4096;
+  const std::uint64_t table_kwords =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+
+  host::RandomAccessOptions opts;
+  opts.updates = updates;
+  opts.table_words = table_kwords * 1024;
+  opts.concurrency = 64;
+
+  std::printf("%-20s %12s %12s %12s %10s %12s\n", "mode", "cycles",
+              "rqst FLITs", "rsp FLITs", "GB/cyc*", "updates/cyc");
+
+  for (const auto& [mode, name] :
+       {std::pair{host::GupsMode::ReadModifyWrite, "host-RMW (cache)"},
+        std::pair{host::GupsMode::Atomic, "XOR16 atomic (PIM)"}}) {
+    std::unique_ptr<sim::Simulator> sim;
+    if (Status s =
+            sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim);
+        !s.ok()) {
+      std::fprintf(stderr, "create: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    opts.mode = mode;
+    host::KernelResult result;
+    if (Status s = host::run_random_access(*sim, opts, result); !s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name, s.to_string().c_str());
+      return 1;
+    }
+    std::printf("%-20s %12llu %12llu %12llu %10.3f %12.4f\n", name,
+                static_cast<unsigned long long>(result.cycles),
+                static_cast<unsigned long long>(result.rqst_flits),
+                static_cast<unsigned long long>(result.rsp_flits),
+                result.bytes_per_cycle(), result.ops_per_cycle());
+  }
+  std::printf("(*) payload bytes moved per simulated cycle; both runs were "
+              "verified against a host-side replay of the update stream.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// stream_bandwidth.cpp — STREAM Triad bandwidth across access granularity.
+//
+// Runs a[i] = b[i] + s*c[i] with block sizes from 16 B to 256 B (the Gen2
+// read/write command family) and reports sustained payload bandwidth —
+// the stride-1 half of HMC-Sim 1.0's original evaluation, on both the
+// 4-link and 8-link devices.
+//
+//   ./build/examples/stream_bandwidth [elements]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "host/kernels/stream_triad.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hmcsim;
+
+int main(int argc, char** argv) {
+  const std::uint64_t elements =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8192;
+
+  std::printf("%-12s %-8s %12s %12s %12s %10s\n", "device", "block",
+              "cycles", "rqst FLITs", "rsp FLITs", "B/cycle");
+
+  for (const auto& [cfg, name] :
+       {std::pair{sim::Config::hmc_4link_4gb(), "4Link-4GB"},
+        std::pair{sim::Config::hmc_8link_8gb(), "8Link-8GB"}}) {
+    for (const std::uint32_t block : {16U, 32U, 64U, 128U, 256U}) {
+      std::unique_ptr<sim::Simulator> sim;
+      if (Status s = sim::Simulator::create(cfg, sim); !s.ok()) {
+        std::fprintf(stderr, "create: %s\n", s.to_string().c_str());
+        return 1;
+      }
+      host::StreamTriadOptions opts;
+      opts.elements = elements;
+      opts.block_bytes = block;
+      opts.concurrency = 64;
+      host::KernelResult result;
+      if (Status s = host::run_stream_triad(*sim, opts, result); !s.ok()) {
+        std::fprintf(stderr, "triad(%u): %s\n", block,
+                     s.to_string().c_str());
+        return 1;
+      }
+      std::printf("%-12s %-8u %12llu %12llu %12llu %10.3f\n", name, block,
+                  static_cast<unsigned long long>(result.cycles),
+                  static_cast<unsigned long long>(result.rqst_flits),
+                  static_cast<unsigned long long>(result.rsp_flits),
+                  result.bytes_per_cycle());
+    }
+  }
+  std::printf("all runs verified: a[] matched the expected triad result.\n");
+  return 0;
+}

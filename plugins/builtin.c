@@ -1,0 +1,226 @@
+/* builtin.c — static-registration wrappers over the shared op logic. */
+#include "builtin.h"
+
+#include "extras_common.h"
+#include "mutex_common.h"
+
+/* ---- mutex trio ---------------------------------------------------------- */
+
+int hmcsim_builtin_lock_register(hmc_rqst_t *r, uint32_t *c, uint32_t *rq,
+                                 uint32_t *rs, hmc_response_t *rc,
+                                 uint8_t *code) {
+  return hmc_lock_register_impl(r, c, rq, rs, rc, code);
+}
+int hmcsim_builtin_lock_execute(void *hmc, uint32_t dev, uint32_t quad,
+                                uint32_t vault, uint32_t bank, uint64_t addr,
+                                uint32_t length, uint64_t head, uint64_t tail,
+                                uint64_t *rqst_payload,
+                                uint64_t *rsp_payload) {
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)length;
+  (void)head;
+  (void)tail;
+  return hmc_lock_execute_impl(hmc, dev, addr, rqst_payload, rsp_payload);
+}
+void hmcsim_builtin_lock_str(char *out) { hmc_lock_str_impl(out); }
+
+int hmcsim_builtin_trylock_register(hmc_rqst_t *r, uint32_t *c, uint32_t *rq,
+                                    uint32_t *rs, hmc_response_t *rc,
+                                    uint8_t *code) {
+  return hmc_trylock_register_impl(r, c, rq, rs, rc, code);
+}
+int hmcsim_builtin_trylock_execute(void *hmc, uint32_t dev, uint32_t quad,
+                                   uint32_t vault, uint32_t bank,
+                                   uint64_t addr, uint32_t length,
+                                   uint64_t head, uint64_t tail,
+                                   uint64_t *rqst_payload,
+                                   uint64_t *rsp_payload) {
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)length;
+  (void)head;
+  (void)tail;
+  return hmc_trylock_execute_impl(hmc, dev, addr, rqst_payload, rsp_payload);
+}
+void hmcsim_builtin_trylock_str(char *out) { hmc_trylock_str_impl(out); }
+
+int hmcsim_builtin_unlock_register(hmc_rqst_t *r, uint32_t *c, uint32_t *rq,
+                                   uint32_t *rs, hmc_response_t *rc,
+                                   uint8_t *code) {
+  return hmc_unlock_register_impl(r, c, rq, rs, rc, code);
+}
+int hmcsim_builtin_unlock_execute(void *hmc, uint32_t dev, uint32_t quad,
+                                  uint32_t vault, uint32_t bank,
+                                  uint64_t addr, uint32_t length,
+                                  uint64_t head, uint64_t tail,
+                                  uint64_t *rqst_payload,
+                                  uint64_t *rsp_payload) {
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)length;
+  (void)head;
+  (void)tail;
+  return hmc_unlock_execute_impl(hmc, dev, addr, rqst_payload, rsp_payload);
+}
+void hmcsim_builtin_unlock_str(char *out) { hmc_unlock_str_impl(out); }
+
+/* ---- extras ----------------------------------------------------------------- */
+
+int hmcsim_builtin_popcnt_register(hmc_rqst_t *r, uint32_t *c, uint32_t *rq,
+                                   uint32_t *rs, hmc_response_t *rc,
+                                   uint8_t *code) {
+  return hmc_popcnt_register_impl(r, c, rq, rs, rc, code);
+}
+int hmcsim_builtin_popcnt_execute(void *hmc, uint32_t dev, uint32_t quad,
+                                  uint32_t vault, uint32_t bank,
+                                  uint64_t addr, uint32_t length,
+                                  uint64_t head, uint64_t tail,
+                                  uint64_t *rqst_payload,
+                                  uint64_t *rsp_payload) {
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)length;
+  (void)head;
+  (void)tail;
+  (void)rqst_payload;
+  return hmc_popcnt_execute_impl(hmc, dev, addr, rsp_payload);
+}
+void hmcsim_builtin_popcnt_str(char *out) { hmc_popcnt_str_impl(out); }
+
+int hmcsim_builtin_fadd_f64_register(hmc_rqst_t *r, uint32_t *c, uint32_t *rq,
+                                     uint32_t *rs, hmc_response_t *rc,
+                                     uint8_t *code) {
+  return hmc_fadd_f64_register_impl(r, c, rq, rs, rc, code);
+}
+int hmcsim_builtin_fadd_f64_execute(void *hmc, uint32_t dev, uint32_t quad,
+                                    uint32_t vault, uint32_t bank,
+                                    uint64_t addr, uint32_t length,
+                                    uint64_t head, uint64_t tail,
+                                    uint64_t *rqst_payload,
+                                    uint64_t *rsp_payload) {
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)length;
+  (void)head;
+  (void)tail;
+  return hmc_fadd_f64_execute_impl(hmc, dev, addr, rqst_payload,
+                                   rsp_payload);
+}
+void hmcsim_builtin_fadd_f64_str(char *out) { hmc_fadd_f64_str_impl(out); }
+
+int hmcsim_builtin_fetchmax_register(hmc_rqst_t *r, uint32_t *c, uint32_t *rq,
+                                     uint32_t *rs, hmc_response_t *rc,
+                                     uint8_t *code) {
+  return hmc_fetchmax_register_impl(r, c, rq, rs, rc, code);
+}
+int hmcsim_builtin_fetchmax_execute(void *hmc, uint32_t dev, uint32_t quad,
+                                    uint32_t vault, uint32_t bank,
+                                    uint64_t addr, uint32_t length,
+                                    uint64_t head, uint64_t tail,
+                                    uint64_t *rqst_payload,
+                                    uint64_t *rsp_payload) {
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)length;
+  (void)head;
+  (void)tail;
+  return hmc_fetchmax_execute_impl(hmc, dev, addr, rqst_payload,
+                                   rsp_payload);
+}
+void hmcsim_builtin_fetchmax_str(char *out) { hmc_fetchmax_str_impl(out); }
+
+int hmcsim_builtin_bloomset_register(hmc_rqst_t *r, uint32_t *c, uint32_t *rq,
+                                     uint32_t *rs, hmc_response_t *rc,
+                                     uint8_t *code) {
+  return hmc_bloomset_register_impl(r, c, rq, rs, rc, code);
+}
+int hmcsim_builtin_bloomset_execute(void *hmc, uint32_t dev, uint32_t quad,
+                                    uint32_t vault, uint32_t bank,
+                                    uint64_t addr, uint32_t length,
+                                    uint64_t head, uint64_t tail,
+                                    uint64_t *rqst_payload,
+                                    uint64_t *rsp_payload) {
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)length;
+  (void)head;
+  (void)tail;
+  return hmc_bloomset_execute_impl(hmc, dev, addr, rqst_payload,
+                                   rsp_payload);
+}
+void hmcsim_builtin_bloomset_str(char *out) { hmc_bloomset_str_impl(out); }
+
+int hmcsim_builtin_satinc_register(hmc_rqst_t *r, uint32_t *c, uint32_t *rq,
+                                   uint32_t *rs, hmc_response_t *rc,
+                                   uint8_t *code) {
+  return hmc_satinc_register_impl(r, c, rq, rs, rc, code);
+}
+int hmcsim_builtin_satinc_execute(void *hmc, uint32_t dev, uint32_t quad,
+                                  uint32_t vault, uint32_t bank,
+                                  uint64_t addr, uint32_t length,
+                                  uint64_t head, uint64_t tail,
+                                  uint64_t *rqst_payload,
+                                  uint64_t *rsp_payload) {
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)length;
+  (void)head;
+  (void)tail;
+  (void)rqst_payload;
+  return hmc_satinc_execute_impl(hmc, dev, addr, rsp_payload);
+}
+void hmcsim_builtin_satinc_str(char *out) { hmc_satinc_str_impl(out); }
+
+int hmcsim_builtin_memfill_register(hmc_rqst_t *r, uint32_t *c, uint32_t *rq,
+                                    uint32_t *rs, hmc_response_t *rc,
+                                    uint8_t *code) {
+  return hmc_memfill_register_impl(r, c, rq, rs, rc, code);
+}
+int hmcsim_builtin_memfill_execute(void *hmc, uint32_t dev, uint32_t quad,
+                                   uint32_t vault, uint32_t bank,
+                                   uint64_t addr, uint32_t length,
+                                   uint64_t head, uint64_t tail,
+                                   uint64_t *rqst_payload,
+                                   uint64_t *rsp_payload) {
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)length;
+  (void)head;
+  (void)tail;
+  (void)rsp_payload;
+  return hmc_memfill_execute_impl(hmc, dev, addr, rqst_payload);
+}
+void hmcsim_builtin_memfill_str(char *out) { hmc_memfill_str_impl(out); }
+
+int hmcsim_builtin_zero16_register(hmc_rqst_t *r, uint32_t *c, uint32_t *rq,
+                                   uint32_t *rs, hmc_response_t *rc,
+                                   uint8_t *code) {
+  return hmc_zero16_register_impl(r, c, rq, rs, rc, code);
+}
+int hmcsim_builtin_zero16_execute(void *hmc, uint32_t dev, uint32_t quad,
+                                  uint32_t vault, uint32_t bank,
+                                  uint64_t addr, uint32_t length,
+                                  uint64_t head, uint64_t tail,
+                                  uint64_t *rqst_payload,
+                                  uint64_t *rsp_payload) {
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)length;
+  (void)head;
+  (void)tail;
+  (void)rqst_payload;
+  (void)rsp_payload;
+  return hmc_zero16_execute_impl(hmc, dev, addr);
+}
+void hmcsim_builtin_zero16_str(char *out) { hmc_zero16_str_impl(out); }

@@ -1,0 +1,49 @@
+/* builtin.h — statically registerable CMC operations.
+ *
+ * The same operation implementations that back the shared-library plugins,
+ * exported under prefixed names so several of them can be linked into one
+ * binary and registered through Simulator::register_cmc() without touching
+ * the dynamic loader. Benches and tests use this path; dedicated tests
+ * exercise the dlopen path against the real .so files.
+ */
+#ifndef HMCSIM_PLUGINS_BUILTIN_H
+#define HMCSIM_PLUGINS_BUILTIN_H
+
+#include "core/cmc_api.h"
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#define HMCSIM_BUILTIN_DECL(op)                                           \
+  int hmcsim_builtin_##op##_register(hmc_rqst_t *rqst, uint32_t *cmd,     \
+                                     uint32_t *rqst_len,                  \
+                                     uint32_t *rsp_len,                   \
+                                     hmc_response_t *rsp_cmd,             \
+                                     uint8_t *rsp_cmd_code);              \
+  int hmcsim_builtin_##op##_execute(void *hmc, uint32_t dev,              \
+                                    uint32_t quad, uint32_t vault,        \
+                                    uint32_t bank, uint64_t addr,         \
+                                    uint32_t length, uint64_t head,       \
+                                    uint64_t tail, uint64_t *rqst_payload,\
+                                    uint64_t *rsp_payload);               \
+  void hmcsim_builtin_##op##_str(char *out)
+
+HMCSIM_BUILTIN_DECL(lock);     /* CMC125 */
+HMCSIM_BUILTIN_DECL(trylock);  /* CMC126 */
+HMCSIM_BUILTIN_DECL(unlock);   /* CMC127 */
+HMCSIM_BUILTIN_DECL(popcnt);   /* CMC32  */
+HMCSIM_BUILTIN_DECL(fadd_f64); /* CMC56  */
+HMCSIM_BUILTIN_DECL(fetchmax); /* CMC60  */
+HMCSIM_BUILTIN_DECL(bloomset); /* CMC90  */
+HMCSIM_BUILTIN_DECL(zero16);   /* CMC120 (posted) */
+HMCSIM_BUILTIN_DECL(satinc);   /* CMC21  */
+HMCSIM_BUILTIN_DECL(memfill);  /* CMC110 (posted) */
+
+#undef HMCSIM_BUILTIN_DECL
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* HMCSIM_PLUGINS_BUILTIN_H */

@@ -1,0 +1,326 @@
+/* extras_common.h — shared implementations of the example (non-mutex) CMC
+ * operations. Like mutex_common.h, these back both the standalone shared
+ * libraries and the statically registered builtin table.
+ *
+ * Operations:
+ *   hmc_popcnt   (CMC32)  population count of the 16-byte block; 1-FLIT
+ *                         request (no operand), 2-FLIT RD_RS response.
+ *   hmc_fadd_f64 (CMC56)  IEEE-754 double atomic add; returns the original
+ *                         value via a *custom* RSP_CMC response code, the
+ *                         paper's "non-traditional response command".
+ *   hmc_fetchmax (CMC60)  signed 64-bit fetch-and-max.
+ *   hmc_bloomset (CMC90)  treats the 16-byte block as a 128-bit Bloom
+ *                         filter: sets three hash-derived bits and reports
+ *                         prior membership through the AF flag.
+ *   hmc_zero16   (CMC120) posted block clear: no response packet at all.
+ */
+#ifndef HMCSIM_PLUGINS_EXTRAS_COMMON_H
+#define HMCSIM_PLUGINS_EXTRAS_COMMON_H
+
+#include <string.h>
+
+#include "core/cmc_api.h"
+
+/* Custom wire code hmc_fadd_f64 uses for its RSP_CMC response. */
+#define HMC_FADD_F64_RSP_CODE 0x70
+
+/* ---- hmc_popcnt (CMC32) ------------------------------------------------ */
+
+static inline uint64_t hmcsim_extras_popcnt64(uint64_t v) {
+  uint64_t count = 0;
+  while (v != 0) {
+    v &= v - 1;
+    ++count;
+  }
+  return count;
+}
+
+static inline int hmc_popcnt_execute_impl(void *hmc, uint32_t dev,
+                                          uint64_t addr,
+                                          uint64_t *rsp_payload) {
+  uint64_t block[2];
+  if (hmcsim_cmc_mem_read(hmc, dev, addr, block, 2) != 0) {
+    return -1;
+  }
+  rsp_payload[0] =
+      hmcsim_extras_popcnt64(block[0]) + hmcsim_extras_popcnt64(block[1]);
+  rsp_payload[1] = 0;
+  return 0;
+}
+
+static inline int hmc_popcnt_register_impl(hmc_rqst_t *rqst, uint32_t *cmd,
+                                           uint32_t *rqst_len,
+                                           uint32_t *rsp_len,
+                                           hmc_response_t *rsp_cmd,
+                                           uint8_t *rsp_cmd_code) {
+  *rqst = HMC_CMC32;
+  *cmd = 32;
+  *rqst_len = 1;
+  *rsp_len = 2;
+  *rsp_cmd = HMC_RD_RS;
+  *rsp_cmd_code = 0;
+  return 0;
+}
+
+static inline void hmc_popcnt_str_impl(char *out) {
+  strncpy(out, "hmc_popcnt", HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}
+
+/* ---- hmc_fadd_f64 (CMC56) ---------------------------------------------- */
+
+static inline int hmc_fadd_f64_execute_impl(void *hmc, uint32_t dev,
+                                            uint64_t addr,
+                                            const uint64_t *rqst_payload,
+                                            uint64_t *rsp_payload) {
+  uint64_t raw;
+  if (hmcsim_cmc_mem_read(hmc, dev, addr, &raw, 1) != 0) {
+    return -1;
+  }
+  double mem;
+  double operand;
+  memcpy(&mem, &raw, sizeof(mem));
+  memcpy(&operand, &rqst_payload[0], sizeof(operand));
+  const double sum = mem + operand;
+  uint64_t out_raw;
+  memcpy(&out_raw, &sum, sizeof(out_raw));
+  if (hmcsim_cmc_mem_write(hmc, dev, addr, &out_raw, 1) != 0) {
+    return -1;
+  }
+  rsp_payload[0] = raw; /* original value */
+  rsp_payload[1] = 0;
+  return 0;
+}
+
+static inline int hmc_fadd_f64_register_impl(hmc_rqst_t *rqst, uint32_t *cmd,
+                                             uint32_t *rqst_len,
+                                             uint32_t *rsp_len,
+                                             hmc_response_t *rsp_cmd,
+                                             uint8_t *rsp_cmd_code) {
+  *rqst = HMC_CMC56;
+  *cmd = 56;
+  *rqst_len = 2;
+  *rsp_len = 2;
+  *rsp_cmd = HMC_RSP_CMC;
+  *rsp_cmd_code = HMC_FADD_F64_RSP_CODE;
+  return 0;
+}
+
+static inline void hmc_fadd_f64_str_impl(char *out) {
+  strncpy(out, "hmc_fadd_f64", HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}
+
+/* ---- hmc_fetchmax (CMC60) ----------------------------------------------- */
+
+static inline int hmc_fetchmax_execute_impl(void *hmc, uint32_t dev,
+                                            uint64_t addr,
+                                            const uint64_t *rqst_payload,
+                                            uint64_t *rsp_payload) {
+  uint64_t raw;
+  if (hmcsim_cmc_mem_read(hmc, dev, addr, &raw, 1) != 0) {
+    return -1;
+  }
+  const int64_t mem = (int64_t)raw;
+  const int64_t operand = (int64_t)rqst_payload[0];
+  if (operand > mem) {
+    const uint64_t store = (uint64_t)operand;
+    if (hmcsim_cmc_mem_write(hmc, dev, addr, &store, 1) != 0) {
+      return -1;
+    }
+    (void)hmcsim_cmc_set_af(hmc, 1);
+  } else {
+    (void)hmcsim_cmc_set_af(hmc, 0);
+  }
+  rsp_payload[0] = raw; /* original value */
+  rsp_payload[1] = 0;
+  return 0;
+}
+
+static inline int hmc_fetchmax_register_impl(hmc_rqst_t *rqst, uint32_t *cmd,
+                                             uint32_t *rqst_len,
+                                             uint32_t *rsp_len,
+                                             hmc_response_t *rsp_cmd,
+                                             uint8_t *rsp_cmd_code) {
+  *rqst = HMC_CMC60;
+  *cmd = 60;
+  *rqst_len = 2;
+  *rsp_len = 2;
+  *rsp_cmd = HMC_RD_RS;
+  *rsp_cmd_code = 0;
+  return 0;
+}
+
+static inline void hmc_fetchmax_str_impl(char *out) {
+  strncpy(out, "hmc_fetchmax", HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}
+
+/* ---- hmc_bloomset (CMC90) ----------------------------------------------- */
+
+static inline int hmc_bloomset_execute_impl(void *hmc, uint32_t dev,
+                                            uint64_t addr,
+                                            const uint64_t *rqst_payload,
+                                            uint64_t *rsp_payload) {
+  uint64_t block[2];
+  if (hmcsim_cmc_mem_read(hmc, dev, addr, block, 2) != 0) {
+    return -1;
+  }
+  /* Three cheap, independent hash bits over the 128-bit filter. */
+  const uint64_t key = rqst_payload[0];
+  uint64_t h = key * 0x9E3779B97F4A7C15ULL;
+  int present = 1;
+  for (int i = 0; i < 3; ++i) {
+    const unsigned bit = (unsigned)(h & 127U);
+    uint64_t *word = &block[bit >> 6];
+    const uint64_t mask = 1ULL << (bit & 63U);
+    if ((*word & mask) == 0) {
+      present = 0;
+      *word |= mask;
+    }
+    h = (h >> 21) | (h << 43);
+  }
+  if (hmcsim_cmc_mem_write(hmc, dev, addr, block, 2) != 0) {
+    return -1;
+  }
+  (void)hmcsim_cmc_set_af(hmc, present);
+  rsp_payload[0] = (uint64_t)present;
+  rsp_payload[1] = 0;
+  return 0;
+}
+
+static inline int hmc_bloomset_register_impl(hmc_rqst_t *rqst, uint32_t *cmd,
+                                             uint32_t *rqst_len,
+                                             uint32_t *rsp_len,
+                                             hmc_response_t *rsp_cmd,
+                                             uint8_t *rsp_cmd_code) {
+  *rqst = HMC_CMC90;
+  *cmd = 90;
+  *rqst_len = 2;
+  *rsp_len = 2;
+  *rsp_cmd = HMC_WR_RS;
+  *rsp_cmd_code = 0;
+  return 0;
+}
+
+static inline void hmc_bloomset_str_impl(char *out) {
+  strncpy(out, "hmc_bloomset", HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}
+
+/* ---- hmc_zero16 (CMC120, posted) ----------------------------------------- */
+
+static inline int hmc_zero16_execute_impl(void *hmc, uint32_t dev,
+                                          uint64_t addr) {
+  const uint64_t zeros[2] = {0, 0};
+  return hmcsim_cmc_mem_write(hmc, dev, addr, zeros, 2) != 0 ? -1 : 0;
+}
+
+static inline int hmc_zero16_register_impl(hmc_rqst_t *rqst, uint32_t *cmd,
+                                           uint32_t *rqst_len,
+                                           uint32_t *rsp_len,
+                                           hmc_response_t *rsp_cmd,
+                                           uint8_t *rsp_cmd_code) {
+  *rqst = HMC_CMC120;
+  *cmd = 120;
+  *rqst_len = 1;
+  *rsp_len = 0; /* posted */
+  *rsp_cmd = HMC_RSP_NONE;
+  *rsp_cmd_code = 0;
+  return 0;
+}
+
+static inline void hmc_zero16_str_impl(char *out) {
+  strncpy(out, "hmc_zero16", HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}
+
+/* ---- hmc_satinc (CMC21) --------------------------------------------------
+ * Saturating 64-bit increment: the counter sticks at UINT64_MAX instead of
+ * wrapping. Returns the original value; AF reports saturation. */
+
+static inline int hmc_satinc_execute_impl(void *hmc, uint32_t dev,
+                                          uint64_t addr,
+                                          uint64_t *rsp_payload) {
+  uint64_t value;
+  if (hmcsim_cmc_mem_read(hmc, dev, addr, &value, 1) != 0) {
+    return -1;
+  }
+  rsp_payload[0] = value;
+  rsp_payload[1] = 0;
+  if (value == UINT64_MAX) {
+    (void)hmcsim_cmc_set_af(hmc, 1);
+    return 0; /* Already saturated: no write. */
+  }
+  const uint64_t next = value + 1;
+  (void)hmcsim_cmc_set_af(hmc, next == UINT64_MAX);
+  return hmcsim_cmc_mem_write(hmc, dev, addr, &next, 1) != 0 ? -1 : 0;
+}
+
+static inline int hmc_satinc_register_impl(hmc_rqst_t *rqst, uint32_t *cmd,
+                                           uint32_t *rqst_len,
+                                           uint32_t *rsp_len,
+                                           hmc_response_t *rsp_cmd,
+                                           uint8_t *rsp_cmd_code) {
+  *rqst = HMC_CMC21;
+  *cmd = 21;
+  *rqst_len = 1;
+  *rsp_len = 2;
+  *rsp_cmd = HMC_RD_RS;
+  *rsp_cmd_code = 0;
+  return 0;
+}
+
+static inline void hmc_satinc_str_impl(char *out) {
+  strncpy(out, "hmc_satinc", HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}
+
+/* ---- hmc_memfill (CMC110, posted) ----------------------------------------
+ * Arbitrarily complex example: fills payload[1] consecutive 16-byte blocks
+ * starting at addr with the 64-bit pattern payload[0] — a whole memset
+ * executed in-memory from one 2-FLIT posted request. The block count is
+ * clamped to 256 (4 KiB) to bound the single-cycle work a packet can do. */
+
+#define HMC_MEMFILL_MAX_BLOCKS 256u
+
+static inline int hmc_memfill_execute_impl(void *hmc, uint32_t dev,
+                                           uint64_t addr,
+                                           const uint64_t *rqst_payload) {
+  const uint64_t pattern = rqst_payload[0];
+  uint64_t blocks = rqst_payload[1];
+  if (blocks > HMC_MEMFILL_MAX_BLOCKS) {
+    blocks = HMC_MEMFILL_MAX_BLOCKS;
+    /* Expressive tracing: report the clamp so the trace explains the
+     * partial effect. */
+    (void)hmcsim_cmc_trace(hmc, "memfill block count clamped to 256");
+  }
+  const uint64_t words[2] = {pattern, pattern};
+  for (uint64_t b = 0; b < blocks; ++b) {
+    if (hmcsim_cmc_mem_write(hmc, dev, addr + 16 * b, words, 2) != 0) {
+      return -1;
+    }
+  }
+  return 0;
+}
+
+static inline int hmc_memfill_register_impl(hmc_rqst_t *rqst, uint32_t *cmd,
+                                            uint32_t *rqst_len,
+                                            uint32_t *rsp_len,
+                                            hmc_response_t *rsp_cmd,
+                                            uint8_t *rsp_cmd_code) {
+  *rqst = HMC_CMC110;
+  *cmd = 110;
+  *rqst_len = 2;
+  *rsp_len = 0; /* posted */
+  *rsp_cmd = HMC_RSP_NONE;
+  *rsp_cmd_code = 0;
+  return 0;
+}
+
+static inline void hmc_memfill_str_impl(char *out) {
+  strncpy(out, "hmc_memfill", HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}
+
+#endif /* HMCSIM_PLUGINS_EXTRAS_COMMON_H */

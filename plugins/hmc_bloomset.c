@@ -1,0 +1,24 @@
+/* hmc_bloomset.c — CMC90: 128-bit in-memory Bloom-filter insert.
+ * Reports prior membership through the response AF flag and payload. */
+#include "extras_common.h"
+
+int hmcsim_register_cmc(hmc_rqst_t *r, uint32_t *c, uint32_t *rq_len,
+                        uint32_t *rs_len, hmc_response_t *rs_cmd,
+                        uint8_t *rs_code) {
+  return hmc_bloomset_register_impl(r, c, rq_len, rs_len, rs_cmd, rs_code);
+}
+
+int hmcsim_execute_cmc(void *hmc, uint32_t dev, uint32_t quad, uint32_t vault,
+                       uint32_t bank, uint64_t addr, uint32_t length,
+                       uint64_t head, uint64_t tail, uint64_t *rqst_payload,
+                       uint64_t *rsp_payload) {
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)length;
+  (void)head;
+  (void)tail;
+  return hmc_bloomset_execute_impl(hmc, dev, addr, rqst_payload, rsp_payload);
+}
+
+void hmcsim_cmc_str(char *out) { hmc_bloomset_str_impl(out); }

@@ -1,0 +1,42 @@
+/* hmc_unlock.c — CMC127: atomic mutex unlock (paper Table V, row 3).
+ * Unlocks only when the requester's thread ID matches the resident owner.
+ */
+#include "mutex_common.h"
+
+static const char *op_name = "hmc_unlock";
+static const hmc_rqst_t rqst = HMC_CMC127;
+static const uint32_t cmd = 127;
+static const uint32_t rqst_len = 2;
+static const uint32_t rsp_len = 2;
+static const hmc_response_t rsp_cmd = HMC_WR_RS;
+static const uint8_t rsp_cmd_code = 0;
+
+int hmcsim_register_cmc(hmc_rqst_t *r, uint32_t *c, uint32_t *rq_len,
+                        uint32_t *rs_len, hmc_response_t *rs_cmd,
+                        uint8_t *rs_code) {
+  *r = rqst;
+  *c = cmd;
+  *rq_len = rqst_len;
+  *rs_len = rsp_len;
+  *rs_cmd = rsp_cmd;
+  *rs_code = rsp_cmd_code;
+  return 0;
+}
+
+int hmcsim_execute_cmc(void *hmc, uint32_t dev, uint32_t quad, uint32_t vault,
+                       uint32_t bank, uint64_t addr, uint32_t length,
+                       uint64_t head, uint64_t tail, uint64_t *rqst_payload,
+                       uint64_t *rsp_payload) {
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)length;
+  (void)head;
+  (void)tail;
+  return hmc_unlock_execute_impl(hmc, dev, addr, rqst_payload, rsp_payload);
+}
+
+void hmcsim_cmc_str(char *out) {
+  (void)op_name;
+  hmc_unlock_str_impl(out);
+}

@@ -1,0 +1,164 @@
+/* mutex_common.h — shared implementation of the three CMC mutex operations
+ * (paper Table V / Figure 4).
+ *
+ * The lock structure is one 16-byte FLIT of cube memory:
+ *   bits  63:0   lock word  (0 = free, nonzero = held)
+ *   bits 127:64  owner thread/task ID (undefined while free)
+ *
+ * The implementations are static inline so the same logic backs both the
+ * standalone shared-library plugins (hmc_lock.c, hmc_trylock.c,
+ * hmc_unlock.c) and the statically registered builtin table (builtin.c).
+ * All state lives in *simulated* memory, so the operations are re-entrant
+ * by construction.
+ */
+#ifndef HMCSIM_PLUGINS_MUTEX_COMMON_H
+#define HMCSIM_PLUGINS_MUTEX_COMMON_H
+
+#include <string.h>
+
+#include "core/cmc_api.h"
+
+/* ---- hmc_lock (CMC125) -------------------------------------------------
+ * IF (ADDR[63:0] == 0) { ADDR[127:64] = TID; ADDR[63:0] = 1; RET 1 }
+ * ELSE { RET 0 }
+ */
+static inline int hmc_lock_execute_impl(void *hmc, uint32_t dev,
+                                        uint64_t addr,
+                                        const uint64_t *rqst_payload,
+                                        uint64_t *rsp_payload) {
+  uint64_t lock[2];
+  const uint64_t tid = rqst_payload[0];
+  if (hmcsim_cmc_mem_read(hmc, dev, addr, lock, 2) != 0) {
+    return -1;
+  }
+  if (lock[0] == 0) {
+    lock[0] = 1;
+    lock[1] = tid;
+    if (hmcsim_cmc_mem_write(hmc, dev, addr, lock, 2) != 0) {
+      return -1;
+    }
+    rsp_payload[0] = 1;
+    (void)hmcsim_cmc_set_af(hmc, 1);
+  } else {
+    rsp_payload[0] = 0;
+    (void)hmcsim_cmc_set_af(hmc, 0);
+  }
+  rsp_payload[1] = 0;
+  return 0;
+}
+
+static inline int hmc_lock_register_impl(hmc_rqst_t *rqst, uint32_t *cmd,
+                                         uint32_t *rqst_len,
+                                         uint32_t *rsp_len,
+                                         hmc_response_t *rsp_cmd,
+                                         uint8_t *rsp_cmd_code) {
+  *rqst = HMC_CMC125;
+  *cmd = 125;
+  *rqst_len = 2;
+  *rsp_len = 2;
+  *rsp_cmd = HMC_WR_RS;
+  *rsp_cmd_code = 0;
+  return 0;
+}
+
+static inline void hmc_lock_str_impl(char *out) {
+  strncpy(out, "hmc_lock", HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}
+
+/* ---- hmc_trylock (CMC126) ----------------------------------------------
+ * Attempts the same acquisition as hmc_lock, but the response payload
+ * carries the thread ID that holds the lock after the operation: the
+ * encountering thread owns the lock iff the returned ID is its own.
+ */
+static inline int hmc_trylock_execute_impl(void *hmc, uint32_t dev,
+                                           uint64_t addr,
+                                           const uint64_t *rqst_payload,
+                                           uint64_t *rsp_payload) {
+  uint64_t lock[2];
+  const uint64_t tid = rqst_payload[0];
+  if (hmcsim_cmc_mem_read(hmc, dev, addr, lock, 2) != 0) {
+    return -1;
+  }
+  if (lock[0] == 0) {
+    lock[0] = 1;
+    lock[1] = tid;
+    if (hmcsim_cmc_mem_write(hmc, dev, addr, lock, 2) != 0) {
+      return -1;
+    }
+    (void)hmcsim_cmc_set_af(hmc, 1);
+  } else {
+    (void)hmcsim_cmc_set_af(hmc, 0);
+  }
+  rsp_payload[0] = lock[1]; /* current owner after the attempt */
+  rsp_payload[1] = lock[0]; /* lock word, for diagnostics */
+  return 0;
+}
+
+static inline int hmc_trylock_register_impl(hmc_rqst_t *rqst, uint32_t *cmd,
+                                            uint32_t *rqst_len,
+                                            uint32_t *rsp_len,
+                                            hmc_response_t *rsp_cmd,
+                                            uint8_t *rsp_cmd_code) {
+  *rqst = HMC_CMC126;
+  *cmd = 126;
+  *rqst_len = 2;
+  *rsp_len = 2;
+  *rsp_cmd = HMC_RD_RS;
+  *rsp_cmd_code = 0;
+  return 0;
+}
+
+static inline void hmc_trylock_str_impl(char *out) {
+  strncpy(out, "hmc_trylock", HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}
+
+/* ---- hmc_unlock (CMC127) -----------------------------------------------
+ * IF (ADDR[127:64] == TID && ADDR[63:0] == 1) { ADDR[63:0] = 0; RET 1 }
+ * ELSE { RET 0 }
+ */
+static inline int hmc_unlock_execute_impl(void *hmc, uint32_t dev,
+                                          uint64_t addr,
+                                          const uint64_t *rqst_payload,
+                                          uint64_t *rsp_payload) {
+  uint64_t lock[2];
+  const uint64_t tid = rqst_payload[0];
+  if (hmcsim_cmc_mem_read(hmc, dev, addr, lock, 2) != 0) {
+    return -1;
+  }
+  if (lock[1] == tid && lock[0] == 1) {
+    lock[0] = 0;
+    if (hmcsim_cmc_mem_write(hmc, dev, addr, lock, 2) != 0) {
+      return -1;
+    }
+    rsp_payload[0] = 1;
+    (void)hmcsim_cmc_set_af(hmc, 1);
+  } else {
+    rsp_payload[0] = 0;
+    (void)hmcsim_cmc_set_af(hmc, 0);
+  }
+  rsp_payload[1] = 0;
+  return 0;
+}
+
+static inline int hmc_unlock_register_impl(hmc_rqst_t *rqst, uint32_t *cmd,
+                                           uint32_t *rqst_len,
+                                           uint32_t *rsp_len,
+                                           hmc_response_t *rsp_cmd,
+                                           uint8_t *rsp_cmd_code) {
+  *rqst = HMC_CMC127;
+  *cmd = 127;
+  *rqst_len = 2;
+  *rsp_len = 2;
+  *rsp_cmd = HMC_WR_RS;
+  *rsp_cmd_code = 0;
+  return 0;
+}
+
+static inline void hmc_unlock_str_impl(char *out) {
+  strncpy(out, "hmc_unlock", HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}
+
+#endif /* HMCSIM_PLUGINS_MUTEX_COMMON_H */

@@ -1,0 +1,188 @@
+#include "amo/amo_unit.hpp"
+
+namespace hmcsim::amo {
+namespace {
+
+using spec::Rqst;
+
+/// Signed 128-bit comparison of little-endian word pairs.
+/// Returns -1, 0, +1 for a < b, a == b, a > b.
+int cmp_s128(const std::array<std::uint64_t, 2>& a,
+             const std::array<std::uint64_t, 2>& b) noexcept {
+  const auto ah = static_cast<std::int64_t>(a[1]);
+  const auto bh = static_cast<std::int64_t>(b[1]);
+  if (ah != bh) {
+    return ah < bh ? -1 : 1;
+  }
+  if (a[0] != b[0]) {
+    return a[0] < b[0] ? -1 : 1;
+  }
+  return 0;
+}
+
+/// 128-bit add with carry between the little-endian words.
+std::array<std::uint64_t, 2> add_u128(
+    const std::array<std::uint64_t, 2>& a,
+    const std::array<std::uint64_t, 2>& b) noexcept {
+  std::array<std::uint64_t, 2> r{};
+  r[0] = a[0] + b[0];
+  const std::uint64_t carry = r[0] < a[0] ? 1 : 0;
+  r[1] = a[1] + b[1] + carry;
+  return r;
+}
+
+std::uint64_t word(std::span<const std::uint64_t> payload,
+                   std::size_t i) noexcept {
+  return i < payload.size() ? payload[i] : 0;
+}
+
+}  // namespace
+
+bool is_amo(spec::Rqst rqst) noexcept {
+  const auto kind = spec::command_info(rqst).kind;
+  return kind == spec::CommandKind::Atomic ||
+         kind == spec::CommandKind::PostedAtomic;
+}
+
+Status execute(spec::Rqst rqst, mem::BackingStore& store, std::uint64_t addr,
+               std::span<const std::uint64_t> payload, AmoResult& out) {
+  out = AmoResult{};
+  if (!is_amo(rqst)) {
+    return Status::InvalidArg("not an atomic command: " +
+                              std::string(spec::to_string(rqst)));
+  }
+
+  // All AMOs operate within one 16-byte DRAM access; read it up front so a
+  // range error aborts before any modification.
+  std::array<std::uint64_t, 2> mem{};
+  if (Status s = store.read_u128(addr, mem); !s.ok()) {
+    return s;
+  }
+  const std::array<std::uint64_t, 2> original = mem;
+  const std::array<std::uint64_t, 2> imm{word(payload, 0), word(payload, 1)};
+
+  bool write_back = true;
+  switch (rqst) {
+    case Rqst::TWOADD8:
+    case Rqst::P_2ADD8:
+    case Rqst::TWOADDS8R:
+      mem[0] += imm[0];
+      mem[1] += imm[1];
+      break;
+
+    case Rqst::ADD16:
+    case Rqst::P_ADD16:
+    case Rqst::ADDS16R:
+      mem = add_u128(mem, imm);
+      break;
+
+    case Rqst::INC8:
+    case Rqst::P_INC8:
+      mem[0] += 1;
+      break;
+
+    case Rqst::XOR16:
+      mem[0] ^= imm[0];
+      mem[1] ^= imm[1];
+      break;
+    case Rqst::OR16:
+      mem[0] |= imm[0];
+      mem[1] |= imm[1];
+      break;
+    case Rqst::NOR16:
+      mem[0] = ~(mem[0] | imm[0]);
+      mem[1] = ~(mem[1] | imm[1]);
+      break;
+    case Rqst::AND16:
+      mem[0] &= imm[0];
+      mem[1] &= imm[1];
+      break;
+    case Rqst::NAND16:
+      mem[0] = ~(mem[0] & imm[0]);
+      mem[1] = ~(mem[1] & imm[1]);
+      break;
+
+    case Rqst::CASGT8:
+      out.atomic_flag = static_cast<std::int64_t>(mem[0]) >
+                        static_cast<std::int64_t>(imm[1]);
+      write_back = out.atomic_flag;
+      if (out.atomic_flag) {
+        mem[0] = imm[0];
+      }
+      break;
+    case Rqst::CASLT8:
+      out.atomic_flag = static_cast<std::int64_t>(mem[0]) <
+                        static_cast<std::int64_t>(imm[1]);
+      write_back = out.atomic_flag;
+      if (out.atomic_flag) {
+        mem[0] = imm[0];
+      }
+      break;
+    case Rqst::CASEQ8:
+      out.atomic_flag = mem[0] == imm[1];
+      write_back = out.atomic_flag;
+      if (out.atomic_flag) {
+        mem[0] = imm[0];
+      }
+      break;
+    case Rqst::CASGT16:
+      out.atomic_flag = cmp_s128(mem, imm) > 0;
+      write_back = out.atomic_flag;
+      if (out.atomic_flag) {
+        mem = imm;
+      }
+      break;
+    case Rqst::CASLT16:
+      out.atomic_flag = cmp_s128(mem, imm) < 0;
+      write_back = out.atomic_flag;
+      if (out.atomic_flag) {
+        mem = imm;
+      }
+      break;
+    case Rqst::CASZERO16:
+      out.atomic_flag = mem[0] == 0 && mem[1] == 0;
+      write_back = out.atomic_flag;
+      if (out.atomic_flag) {
+        mem = imm;
+      }
+      break;
+
+    case Rqst::EQ8:
+      out.atomic_flag = mem[0] == imm[0];
+      write_back = false;
+      break;
+    case Rqst::EQ16:
+      out.atomic_flag = mem[0] == imm[0] && mem[1] == imm[1];
+      write_back = false;
+      break;
+
+    case Rqst::BWR:
+    case Rqst::P_BWR:
+    case Rqst::BWR8R:
+      mem[0] = (mem[0] & ~imm[1]) | (imm[0] & imm[1]);
+      break;
+
+    case Rqst::SWAP16:
+      mem = imm;
+      break;
+
+    default:
+      return Status::Internal("is_amo/execute disagree on " +
+                              std::string(spec::to_string(rqst)));
+  }
+
+  if (write_back && mem != original) {
+    if (Status s = store.write_u128(addr, mem); !s.ok()) {
+      return s;
+    }
+  }
+
+  // Ops with 2-FLIT responses return the original 16-byte memory operand.
+  if (spec::command_info(rqst).rsp_flits == 2) {
+    out.rsp_data = original;
+    out.rsp_words = 2;
+  }
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::amo

@@ -1,0 +1,60 @@
+// amo_unit.hpp — execution of the Gen2 atomic memory operations.
+//
+// Each AMO is a logic-layer read-modify-write against the vault's backing
+// store. The unit is purely functional state-wise: it owns no storage and
+// performs exactly one atomic transformation per call — atomicity is
+// guaranteed by construction because a vault executes its queue serially
+// within a simulator clock.
+//
+// Operand conventions (documented here because the public HMC spec leaves
+// some payload layouts implicit):
+//   * 2ADD8 family   payload[0], payload[1] are two independent 8-byte
+//                    signed immediates added to mem[addr], mem[addr+8].
+//   * ADD16 family   payload is one 128-bit immediate (little-endian word
+//                    pair) added to the 128-bit memory operand with carry.
+//   * Boolean 16B    mem = mem OP payload; original value returned.
+//   * CAS*8          payload[0] = swap value, payload[1] = comparand;
+//                    signed comparison for GT/LT. Original 8B returned in
+//                    word 0; AF set when the swap occurred.
+//   * CAS*16         the 128-bit payload serves as both comparand and swap
+//                    value (the 2-FLIT request cannot carry 32 B); signed
+//                    128-bit comparison. CASZERO16 compares memory to zero.
+//   * EQ8/EQ16       no memory modification; AF = (memory == payload).
+//   * BWR family     payload[0] = data, payload[1] = bit mask:
+//                    mem = (mem & ~mask) | (data & mask).
+//   * SWAP16         exchange memory and payload; original returned.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/status.hpp"
+#include "mem/backing_store.hpp"
+#include "spec/commands.hpp"
+
+namespace hmcsim::amo {
+
+/// Outcome of one atomic operation.
+struct AmoResult {
+  /// Original memory contents for ops "with return" (2-FLIT responses).
+  std::array<std::uint64_t, 2> rsp_data{};
+  /// Number of valid response data words (0 or 2).
+  std::uint8_t rsp_words = 0;
+  /// Response header AF bit: CAS swap performed / EQ comparison true.
+  bool atomic_flag = false;
+};
+
+/// True if the AMO unit can execute this command.
+[[nodiscard]] bool is_amo(spec::Rqst rqst) noexcept;
+
+/// Execute one atomic. `payload` is the request data section (little-endian
+/// 64-bit words); AMOs use at most two words. `addr` is the target base
+/// address inside the cube. Fails on non-AMO commands or out-of-range
+/// addresses; memory is unmodified on failure.
+[[nodiscard]] Status execute(spec::Rqst rqst, mem::BackingStore& store,
+                             std::uint64_t addr,
+                             std::span<const std::uint64_t> payload,
+                             AmoResult& out);
+
+}  // namespace hmcsim::amo

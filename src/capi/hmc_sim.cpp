@@ -1,0 +1,197 @@
+#include "capi/hmc_sim.h"
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "sim/simulator.hpp"
+
+/* The opaque C handle wraps the C++ Simulator plus the trace plumbing the
+ * C API owns (sink objects need a stable home). */
+struct hmc_sim_t {
+  std::unique_ptr<hmcsim::sim::Simulator> sim;
+  std::unique_ptr<hmcsim::trace::TextSink> sink;
+  std::unique_ptr<std::ofstream> trace_file;
+};
+
+namespace {
+
+int status_to_rc(const hmcsim::Status& s) {
+  switch (s.code()) {
+    case hmcsim::StatusCode::Ok:
+      return HMC_OK;
+    case hmcsim::StatusCode::Stall:
+      return HMC_STALL;
+    case hmcsim::StatusCode::NoData:
+      return HMC_NO_DATA;
+    default:
+      return HMC_ERROR;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+hmc_sim_t *hmcsim_init(uint32_t num_devs, uint32_t num_links,
+                       uint32_t capacity_gb, uint32_t block_size,
+                       uint32_t queue_depth, uint32_t xbar_depth) {
+  hmcsim::sim::Config cfg;
+  cfg.num_devs = num_devs;
+  cfg.num_links = num_links;
+  cfg.capacity_bytes =
+      static_cast<uint64_t>(capacity_gb) * hmcsim::sim::kGiB;
+  cfg.block_size = block_size;
+  cfg.vault_rqst_depth = queue_depth;
+  cfg.vault_rsp_depth = queue_depth;
+  cfg.xbar_depth = xbar_depth;
+  // Bank count tracks capacity as on real Gen2 parts.
+  cfg.banks_per_vault = capacity_gb >= 8 ? 32 : (capacity_gb >= 4 ? 16 : 8);
+
+  std::unique_ptr<hmcsim::sim::Simulator> sim;
+  if (!hmcsim::sim::Simulator::create(cfg, sim).ok()) {
+    return nullptr;
+  }
+  auto *handle = new hmc_sim_t{};
+  handle->sim = std::move(sim);
+  return handle;
+}
+
+void hmcsim_free(hmc_sim_t *sim) { delete sim; }
+
+int hmcsim_load_cmc(hmc_sim_t *sim, const char *path) {
+  if (sim == nullptr || path == nullptr) {
+    return HMC_ERROR;
+  }
+  return status_to_rc(sim->sim->load_cmc(path));
+}
+
+int hmcsim_send(hmc_sim_t *sim, uint32_t link, hmc_rqst_t rqst, uint8_t cub,
+                uint64_t addr, uint16_t tag, const uint64_t *payload,
+                uint32_t payload_words) {
+  if (sim == nullptr) {
+    return HMC_ERROR;
+  }
+  hmcsim::spec::RqstParams params;
+  params.rqst = static_cast<hmcsim::spec::Rqst>(rqst);
+  params.addr = addr;
+  params.tag = tag;
+  params.cub = cub;
+  if (payload != nullptr && payload_words > 0) {
+    params.payload = {payload, payload_words};
+  }
+  return status_to_rc(sim->sim->send(params, link));
+}
+
+int hmcsim_recv(hmc_sim_t *sim, uint32_t link, uint8_t *rsp_cmd,
+                uint16_t *tag, uint64_t *payload, uint32_t *payload_words,
+                uint64_t *latency) {
+  if (sim == nullptr) {
+    return HMC_ERROR;
+  }
+  hmcsim::sim::Response rsp;
+  const hmcsim::Status s = sim->sim->recv(link, rsp);
+  if (!s.ok()) {
+    return status_to_rc(s);
+  }
+  if (rsp_cmd != nullptr) {
+    *rsp_cmd = rsp.pkt.cmd();
+  }
+  if (tag != nullptr) {
+    *tag = rsp.pkt.tag();
+  }
+  const auto data = rsp.pkt.payload();
+  if (payload != nullptr) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      payload[i] = data[i];
+    }
+  }
+  if (payload_words != nullptr) {
+    *payload_words = static_cast<uint32_t>(data.size());
+  }
+  if (latency != nullptr) {
+    *latency = rsp.latency;
+  }
+  return HMC_OK;
+}
+
+int hmcsim_clock(hmc_sim_t *sim) {
+  if (sim == nullptr) {
+    return HMC_ERROR;
+  }
+  sim->sim->clock();
+  return HMC_OK;
+}
+
+uint64_t hmcsim_cycle(const hmc_sim_t *sim) {
+  return sim == nullptr ? 0 : sim->sim->cycle();
+}
+
+int hmcsim_jtag_reg_read(hmc_sim_t *sim, uint32_t dev, uint64_t reg,
+                         uint64_t *result) {
+  if (sim == nullptr || result == nullptr) {
+    return HMC_ERROR;
+  }
+  return status_to_rc(
+      sim->sim->jtag_read(dev, static_cast<uint32_t>(reg), *result));
+}
+
+int hmcsim_jtag_reg_write(hmc_sim_t *sim, uint32_t dev, uint64_t reg,
+                          uint64_t value) {
+  if (sim == nullptr) {
+    return HMC_ERROR;
+  }
+  return status_to_rc(
+      sim->sim->jtag_write(dev, static_cast<uint32_t>(reg), value));
+}
+
+int hmcsim_util_mem_read(hmc_sim_t *sim, uint32_t dev, uint64_t addr,
+                         uint64_t *value) {
+  if (sim == nullptr || value == nullptr ||
+      dev >= sim->sim->num_devices()) {
+    return HMC_ERROR;
+  }
+  return status_to_rc(sim->sim->device(dev).store().read_u64(addr, *value));
+}
+
+int hmcsim_util_mem_write(hmc_sim_t *sim, uint32_t dev, uint64_t addr,
+                          uint64_t value) {
+  if (sim == nullptr || dev >= sim->sim->num_devices()) {
+    return HMC_ERROR;
+  }
+  return status_to_rc(sim->sim->device(dev).store().write_u64(addr, value));
+}
+
+int hmcsim_trace_level(hmc_sim_t *sim, uint32_t level) {
+  if (sim == nullptr) {
+    return HMC_ERROR;
+  }
+  sim->sim->tracer().set_level(static_cast<hmcsim::trace::Level>(level));
+  return HMC_OK;
+}
+
+int hmcsim_trace_file(hmc_sim_t *sim, const char *path) {
+  if (sim == nullptr || path == nullptr) {
+    return HMC_ERROR;
+  }
+  if (sim->sink) {
+    sim->sim->tracer().detach(sim->sink.get());
+    sim->sink.reset();
+    sim->trace_file.reset();
+  }
+  if (std::string_view(path) == "-") {
+    sim->sink = std::make_unique<hmcsim::trace::TextSink>(std::cout);
+  } else {
+    sim->trace_file = std::make_unique<std::ofstream>(path);
+    if (!sim->trace_file->is_open()) {
+      sim->trace_file.reset();
+      return HMC_ERROR;
+    }
+    sim->sink =
+        std::make_unique<hmcsim::trace::TextSink>(*sim->trace_file);
+  }
+  sim->sim->tracer().attach(sim->sink.get());
+  return HMC_OK;
+}
+
+} /* extern "C" */

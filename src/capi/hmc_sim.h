@@ -1,0 +1,83 @@
+/* hmc_sim.h — C-compatible API shim.
+ *
+ * HMC-Sim's historical user base consumes a C API (hmcsim_init,
+ * hmcsim_load_cmc, hmcsim_send, hmcsim_recv, hmcsim_clock, ...); several
+ * higher-level simulators embed it through these entry points. This header
+ * exposes the C++ Simulator through the same shape so those integrations
+ * port directly. All functions return 0 on success, HMC_STALL on
+ * back-pressure, and negative values on errors.
+ */
+#ifndef HMCSIM_HMC_SIM_H
+#define HMCSIM_HMC_SIM_H
+
+#include <stdint.h>
+
+#include "core/cmc_api.h"
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Result codes. */
+#define HMC_OK 0
+#define HMC_STALL 1    /* retry next cycle */
+#define HMC_NO_DATA 2  /* no response ready */
+#define HMC_ERROR (-1)
+
+/* Opaque simulation context (the paper's hmc_sim_t). */
+typedef struct hmc_sim_t hmc_sim_t;
+
+/* Initialise a simulation: num_devs chained cubes, num_links host links
+ * (4 or 8), capacity in GB per cube (2, 4 or 8), block_size bytes
+ * (32..256), vault request queue depth and crossbar queue depth. Returns
+ * NULL on invalid configuration. */
+hmc_sim_t *hmcsim_init(uint32_t num_devs, uint32_t num_links,
+                       uint32_t capacity_gb, uint32_t block_size,
+                       uint32_t queue_depth, uint32_t xbar_depth);
+
+/* Tear down a simulation context. NULL is a no-op. */
+void hmcsim_free(hmc_sim_t *sim);
+
+/* Load a CMC shared library (the paper's hmc_load_cmc). */
+int hmcsim_load_cmc(hmc_sim_t *sim, const char *path);
+
+/* Build and inject a request. `payload` supplies the data section
+ * (2 x (rqst_flits - 1) 64-bit words, may be NULL when empty). */
+int hmcsim_send(hmc_sim_t *sim, uint32_t link, hmc_rqst_t rqst, uint8_t cub,
+                uint64_t addr, uint16_t tag, const uint64_t *payload,
+                uint32_t payload_words);
+
+/* Eject the next ready response on `link`. Outputs are optional (NULL to
+ * skip). *payload must hold at least 32 words when provided. */
+int hmcsim_recv(hmc_sim_t *sim, uint32_t link, uint8_t *rsp_cmd,
+                uint16_t *tag, uint64_t *payload, uint32_t *payload_words,
+                uint64_t *latency);
+
+/* Advance the simulation one cycle. */
+int hmcsim_clock(hmc_sim_t *sim);
+
+/* Current cycle count. */
+uint64_t hmcsim_cycle(const hmc_sim_t *sim);
+
+/* Side-band register access (the simulated JTAG interface). */
+int hmcsim_jtag_reg_read(hmc_sim_t *sim, uint32_t dev, uint64_t reg,
+                         uint64_t *result);
+int hmcsim_jtag_reg_write(hmc_sim_t *sim, uint32_t dev, uint64_t reg,
+                          uint64_t value);
+
+/* Back-door memory access for workload setup / verification. */
+int hmcsim_util_mem_read(hmc_sim_t *sim, uint32_t dev, uint64_t addr,
+                         uint64_t *value);
+int hmcsim_util_mem_write(hmc_sim_t *sim, uint32_t dev, uint64_t addr,
+                          uint64_t value);
+
+/* Trace control: bitmask of hmcsim trace levels (see trace/trace.hpp) and
+ * an output file ("-" for stdout). Passing level 0 disables tracing. */
+int hmcsim_trace_level(hmc_sim_t *sim, uint32_t level);
+int hmcsim_trace_file(hmc_sim_t *sim, const char *path);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* HMCSIM_HMC_SIM_H */

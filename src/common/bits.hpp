@@ -1,0 +1,87 @@
+// bits.hpp — bit-field extraction/insertion helpers for packet codecs.
+//
+// HMC 2.1 packet headers and tails are 64-bit words with named sub-fields.
+// These helpers keep the codec readable and make the field layout testable
+// in isolation.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace hmcsim::bits {
+
+/// A mask with the low `width` bits set. width must be in [0, 64].
+[[nodiscard]] constexpr std::uint64_t mask(unsigned width) noexcept {
+  return width >= 64 ? ~0ULL : ((1ULL << width) - 1ULL);
+}
+
+/// Extract `width` bits of `word` starting at bit `lsb`.
+[[nodiscard]] constexpr std::uint64_t extract(std::uint64_t word, unsigned lsb,
+                                              unsigned width) noexcept {
+  return (word >> lsb) & mask(width);
+}
+
+/// Return `word` with `width` bits at `lsb` replaced by the low bits of
+/// `value`. Bits of `value` above `width` are discarded.
+[[nodiscard]] constexpr std::uint64_t deposit(std::uint64_t word, unsigned lsb,
+                                              unsigned width,
+                                              std::uint64_t value) noexcept {
+  const std::uint64_t m = mask(width) << lsb;
+  return (word & ~m) | ((value << lsb) & m);
+}
+
+/// Sign-extend the low `width` bits of `value` to a signed 64-bit integer.
+[[nodiscard]] constexpr std::int64_t sign_extend(std::uint64_t value,
+                                                 unsigned width) noexcept {
+  if (width == 0 || width >= 64) {
+    return static_cast<std::int64_t>(value);
+  }
+  const std::uint64_t sign_bit = 1ULL << (width - 1);
+  const std::uint64_t v = value & mask(width);
+  return static_cast<std::int64_t>((v ^ sign_bit) - sign_bit);
+}
+
+/// True if `value` fits in `width` unsigned bits.
+[[nodiscard]] constexpr bool fits(std::uint64_t value,
+                                  unsigned width) noexcept {
+  return (value & ~mask(width)) == 0;
+}
+
+/// Integer log2 for powers of two (used by address maps).
+[[nodiscard]] constexpr unsigned log2_exact(std::uint64_t v) noexcept {
+  unsigned n = 0;
+  while (v > 1) {
+    v >>= 1U;
+    ++n;
+  }
+  return n;
+}
+
+/// True if v is a nonzero power of two.
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Compile-time-friendly named bit-field descriptor: FIELD<lsb, width>.
+/// Usage:  using Cmd = Field<0, 7>;  Cmd::get(word);  Cmd::set(word, v);
+template <unsigned Lsb, unsigned Width>
+struct Field {
+  static_assert(Lsb + Width <= 64, "field exceeds 64-bit word");
+  static constexpr unsigned kLsb = Lsb;
+  static constexpr unsigned kWidth = Width;
+
+  [[nodiscard]] static constexpr std::uint64_t get(
+      std::uint64_t word) noexcept {
+    return extract(word, Lsb, Width);
+  }
+  [[nodiscard]] static constexpr std::uint64_t set(
+      std::uint64_t word, std::uint64_t value) noexcept {
+    return deposit(word, Lsb, Width, value);
+  }
+  [[nodiscard]] static constexpr bool holds(std::uint64_t value) noexcept {
+    return fits(value, Width);
+  }
+};
+
+}  // namespace hmcsim::bits

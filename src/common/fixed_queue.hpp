@@ -1,0 +1,91 @@
+// fixed_queue.hpp — bounded FIFO used for every hardware queue in the model.
+//
+// Link, crossbar and vault request/response queues are all fixed-capacity
+// FIFOs whose fullness is the *only* source of back-pressure in HMC-Sim's
+// deliberately timing-agnostic model. The queue is a contiguous ring buffer:
+// no allocation after construction, stable iteration order (front -> back),
+// and O(1) push/pop.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hmcsim {
+
+template <typename T>
+class FixedQueue {
+ public:
+  FixedQueue() = default;
+  explicit FixedQueue(std::size_t capacity) : buf_(capacity) {}
+
+  /// Reset capacity; drops all contents.
+  void reset(std::size_t capacity) {
+    buf_.assign(capacity, T{});
+    head_ = 0;
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == buf_.size(); }
+  [[nodiscard]] std::size_t free_slots() const noexcept {
+    return buf_.size() - size_;
+  }
+
+  /// Push to the back. Returns false (and leaves the queue unchanged) when
+  /// full — the caller translates this into a stall.
+  [[nodiscard]] bool push(T value) {
+    if (full()) {
+      return false;
+    }
+    buf_[index(size_)] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] T& front() {
+    assert(!empty());
+    return buf_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    assert(!empty());
+    return buf_[head_];
+  }
+
+  /// Indexed peek: element `i` positions behind the front (0 == front).
+  [[nodiscard]] T& at(std::size_t i) {
+    assert(i < size_);
+    return buf_[index(i)];
+  }
+  [[nodiscard]] const T& at(std::size_t i) const {
+    assert(i < size_);
+    return buf_[index(i)];
+  }
+
+  T pop() {
+    assert(!empty());
+    T out = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    return out;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t offset) const noexcept {
+    return (head_ + offset) % buf_.size();
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hmcsim

@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace hmcsim {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::global() noexcept {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  std::ostream& os = os_ != nullptr ? *os_ : std::cerr;
+  os << "[hmcsim:" << to_string(level) << "] " << component << ": " << message
+     << '\n';
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,64 @@
+// log.hpp — minimal leveled logger for simulator diagnostics.
+//
+// Distinct from the *trace* subsystem: traces are experiment data (packet
+// movement, stalls, CMC resolution); the log is for humans debugging the
+// simulator or a plugin. Off by default above Warn so benches stay quiet.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hmcsim {
+
+enum class LogLevel : std::uint8_t { Debug = 0, Info, Warn, Error, Off };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+class Logger {
+ public:
+  /// Process-wide logger used by the library. Not thread-safe by design:
+  /// a Simulator instance is single-owner (see DESIGN.md).
+  static Logger& global() noexcept;
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= level_ && level_ != LogLevel::Off;
+  }
+
+  /// Redirect output (default: stderr). Pass nullptr to restore stderr.
+  void set_stream(std::ostream* os) noexcept { os_ = os; }
+
+  void write(LogLevel level, std::string_view component,
+             std::string_view message);
+
+ private:
+  LogLevel level_ = LogLevel::Warn;
+  std::ostream* os_ = nullptr;
+};
+
+namespace detail {
+template <typename... Args>
+void log(LogLevel level, std::string_view component, Args&&... args) {
+  Logger& lg = Logger::global();
+  if (!lg.enabled(level)) {
+    return;
+  }
+  std::ostringstream oss;
+  (oss << ... << args);
+  lg.write(level, component, oss.str());
+}
+}  // namespace detail
+
+#define HMCSIM_LOG_DEBUG(component, ...) \
+  ::hmcsim::detail::log(::hmcsim::LogLevel::Debug, component, __VA_ARGS__)
+#define HMCSIM_LOG_INFO(component, ...) \
+  ::hmcsim::detail::log(::hmcsim::LogLevel::Info, component, __VA_ARGS__)
+#define HMCSIM_LOG_WARN(component, ...) \
+  ::hmcsim::detail::log(::hmcsim::LogLevel::Warn, component, __VA_ARGS__)
+#define HMCSIM_LOG_ERROR(component, ...) \
+  ::hmcsim::detail::log(::hmcsim::LogLevel::Error, component, __VA_ARGS__)
+
+}  // namespace hmcsim

@@ -1,0 +1,83 @@
+// rng.hpp — deterministic pseudo-random generators for workload synthesis.
+//
+// The simulator core is fully deterministic; all randomness lives in the
+// host-side workload generators and is seeded explicitly so every experiment
+// is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hmcsim {
+
+/// SplitMix64: tiny, fast seeder/stream generator (public-domain algorithm).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: high-quality 64-bit generator (Blackman & Vigna).
+/// Satisfies UniformRandomBitGenerator so it plugs into <random>.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) {
+      w = sm.next();
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // Bitmask-with-rejection: unbiased and branch-cheap for simulator use.
+    std::uint64_t bits = bound - 1;
+    bits |= bits >> 1;
+    bits |= bits >> 2;
+    bits |= bits >> 4;
+    bits |= bits >> 8;
+    bits |= bits >> 16;
+    bits |= bits >> 32;
+    std::uint64_t v = (*this)() & bits;
+    while (v >= bound) {
+      v = (*this)() & bits;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace hmcsim

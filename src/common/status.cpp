@@ -1,0 +1,50 @@
+#include "common/status.hpp"
+
+namespace hmcsim {
+
+std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::Ok:
+      return "OK";
+    case StatusCode::Stall:
+      return "STALL";
+    case StatusCode::NoData:
+      return "NO_DATA";
+    case StatusCode::InvalidArg:
+      return "INVALID_ARG";
+    case StatusCode::InvalidState:
+      return "INVALID_STATE";
+    case StatusCode::NotFound:
+      return "NOT_FOUND";
+    case StatusCode::AlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::Unsupported:
+      return "UNSUPPORTED";
+    case StatusCode::LoadError:
+      return "LOAD_ERROR";
+    case StatusCode::CmcError:
+      return "CMC_ERROR";
+    case StatusCode::Internal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out{hmcsim::to_string(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, StatusCode c) {
+  return os << to_string(c);
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,101 @@
+// status.hpp — error/status codes used across the simulator.
+//
+// The simulator distinguishes *flow-control* outcomes (Stall) from genuine
+// errors: a full queue is a normal, expected condition the host must retry
+// on, exactly as back-pressure behaves on a real HMC link.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hmcsim {
+
+/// Coarse result category for every fallible simulator operation.
+enum class StatusCode : std::uint8_t {
+  Ok = 0,          ///< Operation completed.
+  Stall,           ///< Back-pressure: target queue full; retry next cycle.
+  NoData,          ///< recv(): no response is ready on the polled link.
+  InvalidArg,      ///< Caller passed an out-of-range or malformed argument.
+  InvalidState,    ///< Operation illegal in the current simulator state.
+  NotFound,        ///< Lookup failed (command code, register, CMC slot...).
+  AlreadyExists,   ///< Registration collision (e.g. CMC slot already active).
+  Unsupported,     ///< Valid request the current configuration cannot honor.
+  LoadError,       ///< Dynamic library load/symbol resolution failure.
+  CmcError,        ///< A CMC plugin's execute function reported failure.
+  Internal,        ///< Invariant violation inside the simulator (a bug).
+};
+
+/// Human-readable name of a status code (stable, for traces and tests).
+[[nodiscard]] std::string_view to_string(StatusCode code) noexcept;
+
+/// A status code plus an optional diagnostic message.
+///
+/// Cheap to copy in the Ok case (no allocation); error paths may carry a
+/// message describing what failed.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  /*implicit*/ Status(StatusCode code) noexcept : code_(code) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::Ok; }
+  [[nodiscard]] bool stalled() const noexcept {
+    return code_ == StatusCode::Stall;
+  }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+
+  /// Full diagnostic string: "code: message" (or just "code").
+  [[nodiscard]] std::string to_string() const;
+
+  static Status Ok() noexcept { return Status{}; }
+  static Status Stall(std::string msg = {}) {
+    return {StatusCode::Stall, std::move(msg)};
+  }
+  static Status NoData(std::string msg = {}) {
+    return {StatusCode::NoData, std::move(msg)};
+  }
+  static Status InvalidArg(std::string msg) {
+    return {StatusCode::InvalidArg, std::move(msg)};
+  }
+  static Status InvalidState(std::string msg) {
+    return {StatusCode::InvalidState, std::move(msg)};
+  }
+  static Status NotFound(std::string msg) {
+    return {StatusCode::NotFound, std::move(msg)};
+  }
+  static Status AlreadyExists(std::string msg) {
+    return {StatusCode::AlreadyExists, std::move(msg)};
+  }
+  static Status Unsupported(std::string msg) {
+    return {StatusCode::Unsupported, std::move(msg)};
+  }
+  static Status LoadError(std::string msg) {
+    return {StatusCode::LoadError, std::move(msg)};
+  }
+  static Status CmcError(std::string msg) {
+    return {StatusCode::CmcError, std::move(msg)};
+  }
+  static Status Internal(std::string msg) {
+    return {StatusCode::Internal, std::move(msg)};
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::Ok;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+std::ostream& operator<<(std::ostream& os, StatusCode c);
+
+}  // namespace hmcsim

@@ -1,0 +1,139 @@
+/* cmc_api.h — the C ABI between HMC-Sim and Custom Memory Cube plugins.
+ *
+ * A CMC operation is implemented in an externally compiled shared library
+ * that exports exactly three symbols (paper, Section IV-D):
+ *
+ *   int  hmcsim_register_cmc(hmc_rqst_t *rqst, uint32_t *cmd,
+ *                            uint32_t *rqst_len, uint32_t *rsp_len,
+ *                            hmc_response_t *rsp_cmd,
+ *                            uint8_t *rsp_cmd_code);
+ *   int  hmcsim_execute_cmc(void *hmc,
+ *                           uint32_t dev, uint32_t quad, uint32_t vault,
+ *                           uint32_t bank, uint64_t addr, uint32_t length,
+ *                           uint64_t head, uint64_t tail,
+ *                           uint64_t *rqst_payload, uint64_t *rsp_payload);
+ *   void hmcsim_cmc_str(char *out);
+ *
+ * hmcsim resolves these by name with dlsym(3) when the user calls
+ * hmcsim_load_cmc(). The execute arguments are exactly those of Table IV of
+ * the paper. All functions return 0 on success, nonzero on failure.
+ *
+ * Plugins access *simulated* memory through the two helper functions at the
+ * bottom of this header; all mutable operation state must live in simulated
+ * memory (or be managed thread-safely by the plugin itself).
+ */
+#ifndef HMCSIM_CMC_API_H
+#define HMCSIM_CMC_API_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Request command enumeration. Enumerator values are the 7-bit wire codes
+ * of the HMC 2.1 transaction layer; CMCnn names cover the 70 codes the
+ * Gen2 specification leaves unused. */
+typedef enum {
+  HMC_FLOW_NULL = 0,
+  HMC_PRET = 1,
+  HMC_TRET = 2,
+  HMC_IRTRY = 3,
+  HMC_CMC04 = 4, HMC_CMC05 = 5, HMC_CMC06 = 6, HMC_CMC07 = 7,
+  HMC_WR16 = 8, HMC_WR32 = 9, HMC_WR48 = 10, HMC_WR64 = 11,
+  HMC_WR80 = 12, HMC_WR96 = 13, HMC_WR112 = 14, HMC_WR128 = 15,
+  HMC_MD_WR = 16, HMC_BWR = 17, HMC_TWOADD8 = 18, HMC_ADD16 = 19,
+  HMC_CMC20 = 20, HMC_CMC21 = 21, HMC_CMC22 = 22, HMC_CMC23 = 23,
+  HMC_P_WR16 = 24, HMC_P_WR32 = 25, HMC_P_WR48 = 26, HMC_P_WR64 = 27,
+  HMC_P_WR80 = 28, HMC_P_WR96 = 29, HMC_P_WR112 = 30, HMC_P_WR128 = 31,
+  HMC_CMC32 = 32,
+  HMC_P_BWR = 33, HMC_P_2ADD8 = 34, HMC_P_ADD16 = 35,
+  HMC_CMC36 = 36, HMC_CMC37 = 37, HMC_CMC38 = 38, HMC_CMC39 = 39,
+  HMC_MD_RD = 40,
+  HMC_CMC41 = 41, HMC_CMC42 = 42, HMC_CMC43 = 43, HMC_CMC44 = 44,
+  HMC_CMC45 = 45, HMC_CMC46 = 46, HMC_CMC47 = 47,
+  HMC_RD16 = 48, HMC_RD32 = 49, HMC_RD48 = 50, HMC_RD64 = 51,
+  HMC_RD80 = 52, HMC_RD96 = 53, HMC_RD112 = 54, HMC_RD128 = 55,
+  HMC_CMC56 = 56, HMC_CMC57 = 57, HMC_CMC58 = 58, HMC_CMC59 = 59,
+  HMC_CMC60 = 60, HMC_CMC61 = 61, HMC_CMC62 = 62, HMC_CMC63 = 63,
+  HMC_XOR16 = 64, HMC_OR16 = 65, HMC_NOR16 = 66, HMC_AND16 = 67,
+  HMC_NAND16 = 68,
+  HMC_CMC69 = 69, HMC_CMC70 = 70, HMC_CMC71 = 71, HMC_CMC72 = 72,
+  HMC_CMC73 = 73, HMC_CMC74 = 74, HMC_CMC75 = 75, HMC_CMC76 = 76,
+  HMC_CMC77 = 77, HMC_CMC78 = 78,
+  HMC_WR256 = 79,
+  HMC_INC8 = 80, HMC_BWR8R = 81, HMC_TWOADDS8R = 82, HMC_ADDS16R = 83,
+  HMC_P_INC8 = 84,
+  HMC_CMC85 = 85, HMC_CMC86 = 86, HMC_CMC87 = 87, HMC_CMC88 = 88,
+  HMC_CMC89 = 89, HMC_CMC90 = 90, HMC_CMC91 = 91, HMC_CMC92 = 92,
+  HMC_CMC93 = 93, HMC_CMC94 = 94,
+  HMC_P_WR256 = 95,
+  HMC_CASGT8 = 96, HMC_CASLT8 = 97, HMC_CASGT16 = 98, HMC_CASLT16 = 99,
+  HMC_CASEQ8 = 100, HMC_CASZERO16 = 101,
+  HMC_CMC102 = 102, HMC_CMC103 = 103,
+  HMC_EQ16 = 104, HMC_EQ8 = 105, HMC_SWAP16 = 106,
+  HMC_CMC107 = 107, HMC_CMC108 = 108, HMC_CMC109 = 109, HMC_CMC110 = 110,
+  HMC_CMC111 = 111, HMC_CMC112 = 112, HMC_CMC113 = 113, HMC_CMC114 = 114,
+  HMC_CMC115 = 115, HMC_CMC116 = 116, HMC_CMC117 = 117, HMC_CMC118 = 118,
+  HMC_RD256 = 119,
+  HMC_CMC120 = 120, HMC_CMC121 = 121, HMC_CMC122 = 122, HMC_CMC123 = 123,
+  HMC_CMC124 = 124, HMC_CMC125 = 125, HMC_CMC126 = 126, HMC_CMC127 = 127
+} hmc_rqst_t;
+
+/* Response command enumeration (subset visible to plugins). */
+typedef enum {
+  HMC_RSP_NONE = 0,       /* posted: no response packet               */
+  HMC_RD_RS = 0x38,       /* read response (carries data FLITs)       */
+  HMC_WR_RS = 0x39,       /* write response (header/tail only)        */
+  HMC_MD_RD_RS = 0x3A,
+  HMC_MD_WR_RS = 0x3B,
+  HMC_RSP_ERROR = 0x3E,
+  HMC_RSP_CMC = 0xFF      /* custom code: set *rsp_cmd_code as well   */
+} hmc_response_t;
+
+/* Longest operation name (including NUL) hmcsim_cmc_str may write. */
+#define HMCSIM_CMC_STR_MAX 64
+
+/* Function-pointer types matching the three required plugin symbols. */
+typedef int (*hmcsim_cmc_register_fn)(hmc_rqst_t *rqst, uint32_t *cmd,
+                                      uint32_t *rqst_len, uint32_t *rsp_len,
+                                      hmc_response_t *rsp_cmd,
+                                      uint8_t *rsp_cmd_code);
+typedef int (*hmcsim_cmc_execute_fn)(void *hmc, uint32_t dev, uint32_t quad,
+                                     uint32_t vault, uint32_t bank,
+                                     uint64_t addr, uint32_t length,
+                                     uint64_t head, uint64_t tail,
+                                     uint64_t *rqst_payload,
+                                     uint64_t *rsp_payload);
+typedef void (*hmcsim_cmc_str_fn)(char *out);
+
+/* Required exported symbol names, for dlsym(3). */
+#define HMCSIM_CMC_SYM_REGISTER "hmcsim_register_cmc"
+#define HMCSIM_CMC_SYM_EXECUTE "hmcsim_execute_cmc"
+#define HMCSIM_CMC_SYM_STR "hmcsim_cmc_str"
+
+/* ---- services callable from inside hmcsim_execute_cmc ----------------
+ *
+ * `hmc` is the opaque context pointer passed to the execute function. The
+ * address is a cube-local physical address on device `dev` (the same device
+ * the execute call named). nwords counts 64-bit words. Return 0 on success.
+ */
+int hmcsim_cmc_mem_read(void *hmc, uint32_t dev, uint64_t addr,
+                        uint64_t *data, uint32_t nwords);
+int hmcsim_cmc_mem_write(void *hmc, uint32_t dev, uint64_t addr,
+                         const uint64_t *data, uint32_t nwords);
+
+/* Set the response header AF (atomic flag) bit for the response to the
+ * request currently being executed. */
+int hmcsim_cmc_set_af(void *hmc, int af);
+
+/* Emit a free-form CMC trace annotation (shows up as a CMC-level trace
+ * event alongside the automatic per-operation records). `msg` is copied;
+ * keep it short. */
+int hmcsim_cmc_trace(void *hmc, const char *msg);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* HMCSIM_CMC_API_H */

@@ -1,0 +1,69 @@
+#include "core/cmc_loader.hpp"
+
+#include <dlfcn.h>
+
+namespace hmcsim::cmc {
+namespace {
+
+std::string dl_error() {
+  const char* err = dlerror();
+  return err != nullptr ? std::string(err) : std::string("unknown dl error");
+}
+
+}  // namespace
+
+CmcLoader::~CmcLoader() {
+  for (void* handle : handles_) {
+    dlclose(handle);
+  }
+}
+
+Status CmcLoader::load(std::string_view path, CmcRegistry& registry) {
+  const std::string path_str(path);
+  dlerror();  // Clear any stale error state.
+  void* handle = dlopen(path_str.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    return Status::LoadError("dlopen(" + path_str + "): " + dl_error());
+  }
+
+  auto resolve = [&](const char* sym, void*& out) -> Status {
+    dlerror();
+    out = dlsym(handle, sym);
+    if (out == nullptr) {
+      return Status::LoadError("dlsym(" + path_str + ", " + sym +
+                               "): " + dl_error());
+    }
+    return Status::Ok();
+  };
+
+  void* reg_sym = nullptr;
+  void* exec_sym = nullptr;
+  void* str_sym = nullptr;
+  for (const auto& [name, slot] :
+       {std::pair{HMCSIM_CMC_SYM_REGISTER, &reg_sym},
+        std::pair{HMCSIM_CMC_SYM_EXECUTE, &exec_sym},
+        std::pair{HMCSIM_CMC_SYM_STR, &str_sym}}) {
+    if (Status s = resolve(name, *slot); !s.ok()) {
+      dlclose(handle);
+      return s;
+    }
+  }
+
+  // Function-pointer casts through reinterpret_cast are the sanctioned way
+  // to consume dlsym results on POSIX platforms.
+  const auto reg = reinterpret_cast<hmcsim_cmc_register_fn>(reg_sym);
+  const auto exec = reinterpret_cast<hmcsim_cmc_execute_fn>(exec_sym);
+  const auto str = reinterpret_cast<hmcsim_cmc_str_fn>(str_sym);
+
+  if (Status s = registry.register_op(reg, exec, str, handles_.size());
+      !s.ok()) {
+    dlclose(handle);
+    return s;
+  }
+
+  handles_.push_back(handle);
+  paths_.push_back(path_str);
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::cmc

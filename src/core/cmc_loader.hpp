@@ -1,0 +1,50 @@
+// cmc_loader.hpp — dynamic loading of CMC shared libraries.
+//
+// The paper's hmc_load_cmc() path: dlopen the user's shared object, resolve
+// the three required symbols with dlsym, then hand them to the registry.
+// Libraries stay mapped for the lifetime of the loader (function pointers
+// stored in the registry point into them) and are dlclose'd on destruction.
+// Linux/UNIX only, per the paper's explicit platform decision.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/cmc_registry.hpp"
+
+namespace hmcsim::cmc {
+
+class CmcLoader {
+ public:
+  CmcLoader() = default;
+  ~CmcLoader();
+
+  CmcLoader(const CmcLoader&) = delete;
+  CmcLoader& operator=(const CmcLoader&) = delete;
+  CmcLoader(CmcLoader&&) = delete;
+  CmcLoader& operator=(CmcLoader&&) = delete;
+
+  /// Load one CMC shared library and register its operation with
+  /// `registry`. Fails (without leaking the handle) if the library cannot
+  /// be opened, any of the three symbols is missing, or registration is
+  /// rejected.
+  [[nodiscard]] Status load(std::string_view path, CmcRegistry& registry);
+
+  /// Number of libraries currently mapped.
+  [[nodiscard]] std::size_t loaded_count() const noexcept {
+    return handles_.size();
+  }
+
+  /// Paths of loaded libraries, in load order.
+  [[nodiscard]] const std::vector<std::string>& paths() const noexcept {
+    return paths_;
+  }
+
+ private:
+  std::vector<void*> handles_;
+  std::vector<std::string> paths_;
+};
+
+}  // namespace hmcsim::cmc

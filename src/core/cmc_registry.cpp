@@ -1,0 +1,226 @@
+#include "core/cmc_registry.hpp"
+
+#include <algorithm>
+
+#include "spec/flit.hpp"
+
+namespace hmcsim::cmc {
+
+CmcRegistry::CmcRegistry() {
+  slot_for_code_.fill(0xFF);
+  const auto cmcs = spec::all_cmc_commands();
+  for (std::size_t i = 0; i < cmcs.size(); ++i) {
+    slots_[i].rqst = cmcs[i];
+    slots_[i].cmd = static_cast<std::uint32_t>(cmcs[i]);
+    slot_for_code_[static_cast<std::uint8_t>(cmcs[i])] =
+        static_cast<std::uint8_t>(i);
+  }
+}
+
+std::optional<std::size_t> CmcRegistry::slot_index(
+    std::uint8_t cmd) const noexcept {
+  if (cmd >= slot_for_code_.size() || slot_for_code_[cmd] == 0xFF) {
+    return std::nullopt;
+  }
+  return slot_for_code_[cmd];
+}
+
+Status CmcRegistry::register_op(hmcsim_cmc_register_fn reg,
+                                hmcsim_cmc_execute_fn exec,
+                                hmcsim_cmc_str_fn str, std::size_t library) {
+  if (reg == nullptr || exec == nullptr || str == nullptr) {
+    return Status::InvalidArg("CMC registration requires all three symbols");
+  }
+
+  // Interrogate the plugin (the paper's "final stage of the registration
+  // process resolves the data members of the respective CMC operation").
+  hmc_rqst_t rqst = HMC_CMC04;
+  std::uint32_t cmd = 0;
+  std::uint32_t rqst_len = 0;
+  std::uint32_t rsp_len = 0;
+  hmc_response_t rsp_cmd = HMC_RSP_NONE;
+  std::uint8_t rsp_cmd_code = 0;
+  if (reg(&rqst, &cmd, &rqst_len, &rsp_len, &rsp_cmd, &rsp_cmd_code) != 0) {
+    return Status::CmcError("plugin cmc_register reported failure");
+  }
+
+  if (cmd != static_cast<std::uint32_t>(rqst)) {
+    return Status::InvalidArg("CMC cmd field (" + std::to_string(cmd) +
+                              ") does not match rqst enum (" +
+                              std::to_string(static_cast<int>(rqst)) + ")");
+  }
+  if (cmd > 127 || !spec::is_cmc(static_cast<spec::Rqst>(cmd))) {
+    return Status::InvalidArg("command code " + std::to_string(cmd) +
+                              " is not an unused Gen2 (CMC) code");
+  }
+  if (rqst_len < 1 || rqst_len > spec::kMaxPacketFlits) {
+    return Status::InvalidArg("CMC request length out of range: " +
+                              std::to_string(rqst_len));
+  }
+  if (rsp_len > spec::kMaxPacketFlits) {
+    return Status::InvalidArg("CMC response length out of range: " +
+                              std::to_string(rsp_len));
+  }
+  const bool posted = rsp_cmd == HMC_RSP_NONE;
+  if (posted != (rsp_len == 0)) {
+    return Status::InvalidArg(
+        "CMC response length and response command disagree on posted-ness");
+  }
+
+  const auto idx = slot_index(static_cast<std::uint8_t>(cmd));
+  CmcOp& slot = slots_[*idx];
+  if (slot.active) {
+    return Status::AlreadyExists("CMC slot " + std::to_string(cmd) +
+                                 " already holds operation '" + slot.name +
+                                 "'");
+  }
+
+  char name_buf[HMCSIM_CMC_STR_MAX] = {};
+  str(name_buf);
+  name_buf[HMCSIM_CMC_STR_MAX - 1] = '\0';
+
+  slot.active = true;
+  slot.rqst = static_cast<spec::Rqst>(cmd);
+  slot.cmd = cmd;
+  slot.rqst_len = rqst_len;
+  slot.rsp_len = rsp_len;
+  slot.rsp_cmd = static_cast<spec::ResponseType>(rsp_cmd);
+  slot.rsp_cmd_code = rsp_cmd_code;
+  slot.name = name_buf;
+  slot.cmc_register = reg;
+  slot.cmc_execute = exec;
+  slot.cmc_str = str;
+  slot.library = library;
+  return Status::Ok();
+}
+
+Status CmcRegistry::unregister_op(spec::Rqst rqst) {
+  const auto idx = slot_index(static_cast<std::uint8_t>(rqst));
+  if (!idx.has_value()) {
+    return Status::InvalidArg("not a CMC command code");
+  }
+  CmcOp& slot = slots_[*idx];
+  if (!slot.active) {
+    return Status::NotFound("CMC slot not active");
+  }
+  const spec::Rqst keep_rqst = slot.rqst;
+  const std::uint32_t keep_cmd = slot.cmd;
+  slot = CmcOp{};
+  slot.rqst = keep_rqst;
+  slot.cmd = keep_cmd;
+  return Status::Ok();
+}
+
+const CmcOp* CmcRegistry::lookup(std::uint8_t cmd) const noexcept {
+  const auto idx = slot_index(cmd);
+  if (!idx.has_value() || !slots_[*idx].active) {
+    return nullptr;
+  }
+  return &slots_[*idx];
+}
+
+const CmcOp* CmcRegistry::lookup(spec::Rqst rqst) const noexcept {
+  return lookup(static_cast<std::uint8_t>(rqst));
+}
+
+Status CmcRegistry::execute(std::uint8_t cmd, CmcContext& ctx,
+                            std::uint32_t dev, std::uint32_t quad,
+                            std::uint32_t vault, std::uint32_t bank,
+                            std::uint64_t addr, std::uint32_t length,
+                            std::uint64_t head, std::uint64_t tail,
+                            std::span<std::uint64_t> rqst_payload,
+                            CmcExecResult& out) const {
+  const CmcOp* op = lookup(cmd);
+  if (op == nullptr) {
+    // The paper: "If the command is not marked as active, an error is
+    // returned."
+    return Status::NotFound("CMC command " + std::to_string(cmd) +
+                            " is not active");
+  }
+
+  out = CmcExecResult{};
+  out.rsp_words = op->rsp_len > 0 ? 2 * (op->rsp_len - 1) : 0;
+
+  ctx.current = &out;
+  const int rc = op->cmc_execute(&ctx, dev, quad, vault, bank, addr, length,
+                                 head, tail, rqst_payload.data(),
+                                 out.rsp_payload.data());
+  ctx.current = nullptr;
+
+  if (rc != 0) {
+    return Status::CmcError("CMC '" + op->name + "' execute returned " +
+                            std::to_string(rc));
+  }
+  return Status::Ok();
+}
+
+std::size_t CmcRegistry::active_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(slots_.begin(), slots_.end(),
+                    [](const CmcOp& op) { return op.active; }));
+}
+
+void CmcRegistry::clear() {
+  for (CmcOp& slot : slots_) {
+    const spec::Rqst rqst = slot.rqst;
+    const std::uint32_t cmd = slot.cmd;
+    slot = CmcOp{};
+    slot.rqst = rqst;
+    slot.cmd = cmd;
+  }
+}
+
+}  // namespace hmcsim::cmc
+
+// ---- C services callable from plugin execute functions --------------------
+
+extern "C" int hmcsim_cmc_mem_read(void* hmc, std::uint32_t dev,
+                                   std::uint64_t addr, std::uint64_t* data,
+                                   std::uint32_t nwords) {
+  if (hmc == nullptr || data == nullptr) {
+    return -1;
+  }
+  auto* ctx = static_cast<hmcsim::cmc::CmcContext*>(hmc);
+  if (ctx->mem_read == nullptr) {
+    return -1;
+  }
+  return ctx->mem_read(ctx->user, dev, addr, data, nwords).ok() ? 0 : -1;
+}
+
+extern "C" int hmcsim_cmc_mem_write(void* hmc, std::uint32_t dev,
+                                    std::uint64_t addr,
+                                    const std::uint64_t* data,
+                                    std::uint32_t nwords) {
+  if (hmc == nullptr || data == nullptr) {
+    return -1;
+  }
+  auto* ctx = static_cast<hmcsim::cmc::CmcContext*>(hmc);
+  if (ctx->mem_write == nullptr) {
+    return -1;
+  }
+  return ctx->mem_write(ctx->user, dev, addr, data, nwords).ok() ? 0 : -1;
+}
+
+extern "C" int hmcsim_cmc_set_af(void* hmc, int af) {
+  if (hmc == nullptr) {
+    return -1;
+  }
+  auto* ctx = static_cast<hmcsim::cmc::CmcContext*>(hmc);
+  if (ctx->current == nullptr) {
+    return -1;
+  }
+  ctx->current->atomic_flag = af != 0;
+  return 0;
+}
+
+extern "C" int hmcsim_cmc_trace(void* hmc, const char* msg) {
+  if (hmc == nullptr || msg == nullptr) {
+    return -1;
+  }
+  auto* ctx = static_cast<hmcsim::cmc::CmcContext*>(hmc);
+  if (ctx->trace == nullptr) {
+    return 0;  // Tracing not wired: annotations are droppable.
+  }
+  ctx->trace(ctx->user, msg);
+  return 0;
+}

@@ -1,0 +1,140 @@
+// cmc_registry.hpp — the in-core half of the CMC architecture.
+//
+// The registry is the simulator-resident hmc_cmc_t table of the paper
+// (Fig. 2): one slot per unused Gen2 command code (70 slots), each holding
+// the registration data and the three function pointers resolved from the
+// plugin. The registry knows nothing about how an operation works — it only
+// validates registrations, answers lookups from the vault pipeline, and
+// invokes the plugin's execute/str functions (Fig. 3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "common/status.hpp"
+#include "core/cmc_api.h"
+#include "spec/commands.hpp"
+
+namespace hmcsim::cmc {
+
+/// One registered CMC operation — the paper's hmc_cmc_t.
+struct CmcOp {
+  bool active = false;
+  spec::Rqst rqst = spec::Rqst::CMC04;  ///< Enumerated request type.
+  std::uint32_t cmd = 0;                ///< Decimal command code (== rqst).
+  std::uint32_t rqst_len = 0;           ///< Request length in FLITs (1..17).
+  std::uint32_t rsp_len = 0;            ///< Response length in FLITs (0..17).
+  spec::ResponseType rsp_cmd = spec::ResponseType::None;
+  std::uint8_t rsp_cmd_code = 0;        ///< Wire code when rsp_cmd==RSP_CMC.
+  std::string name;                     ///< Resolved via cmc_str.
+
+  hmcsim_cmc_register_fn cmc_register = nullptr;
+  hmcsim_cmc_execute_fn cmc_execute = nullptr;
+  hmcsim_cmc_str_fn cmc_str = nullptr;
+
+  /// Index of the owning dynamic library in the loader (SIZE_MAX: static
+  /// registration, no library to unload).
+  std::size_t library = SIZE_MAX;
+
+  /// Wire command code the response packet will carry.
+  [[nodiscard]] std::uint8_t response_code() const noexcept {
+    return rsp_cmd == spec::ResponseType::RSP_CMC
+               ? rsp_cmd_code
+               : static_cast<std::uint8_t>(rsp_cmd);
+  }
+  /// True when the operation is posted (no response packet).
+  [[nodiscard]] bool posted() const noexcept {
+    return rsp_len == 0 || rsp_cmd == spec::ResponseType::None;
+  }
+};
+
+/// Result of executing a CMC operation in the vault pipeline.
+struct CmcExecResult {
+  std::array<std::uint64_t, 32> rsp_payload{};  ///< Up to 16 data FLITs.
+  std::uint32_t rsp_words = 0;  ///< Valid words (2 per data FLIT).
+  bool atomic_flag = false;     ///< AF bit requested via hmcsim_cmc_set_af.
+};
+
+/// The opaque `void *hmc` context handed to plugin execute functions.
+///
+/// Plugins cross a C ABI, so the context exposes type-erased services
+/// instead of C++ types: the registry passes a pointer to this struct and
+/// the C service functions (hmcsim_cmc_mem_read/write, hmcsim_cmc_set_af)
+/// cast it back. `user` belongs to whoever constructed the context — the
+/// simulator sets it to itself and supplies callbacks that reach its
+/// devices' backing stores.
+struct CmcContext {
+  void* user = nullptr;
+  Status (*mem_read)(void* user, std::uint32_t dev, std::uint64_t addr,
+                     std::uint64_t* data, std::uint32_t nwords) = nullptr;
+  Status (*mem_write)(void* user, std::uint32_t dev, std::uint64_t addr,
+                      const std::uint64_t* data,
+                      std::uint32_t nwords) = nullptr;
+  /// Optional: receives plugin trace annotations (hmcsim_cmc_trace).
+  void (*trace)(void* user, const char* msg) = nullptr;
+  /// Execution-scoped: the result record for the in-flight CMC call.
+  /// Managed by CmcRegistry::execute; null outside an execute call.
+  CmcExecResult* current = nullptr;
+};
+
+class CmcRegistry {
+ public:
+  CmcRegistry();
+
+  /// Register an operation from its three function pointers. This is the
+  /// common tail of both the dlopen path (loader resolves symbols first)
+  /// and the static path (caller passes compiled-in functions). Runs the
+  /// plugin's cmc_register, validates every field, resolves the name via
+  /// cmc_str, and activates the slot.
+  [[nodiscard]] Status register_op(hmcsim_cmc_register_fn reg,
+                                   hmcsim_cmc_execute_fn exec,
+                                   hmcsim_cmc_str_fn str,
+                                   std::size_t library = SIZE_MAX);
+
+  /// Deactivate the slot holding `rqst`. Fails if not active.
+  [[nodiscard]] Status unregister_op(spec::Rqst rqst);
+
+  /// Look up the active operation for a raw command code; nullptr when the
+  /// code is not a CMC slot or the slot is inactive.
+  [[nodiscard]] const CmcOp* lookup(std::uint8_t cmd) const noexcept;
+
+  /// Look up by enumerated command (active slots only).
+  [[nodiscard]] const CmcOp* lookup(spec::Rqst rqst) const noexcept;
+
+  /// Execute the active operation for `cmd`, wiring `ctx->current` to `out`
+  /// for the duration of the plugin call. Mirrors the paper's processing
+  /// flow (Fig. 3): inactive command -> error; plugin failure -> CmcError.
+  [[nodiscard]] Status execute(std::uint8_t cmd, CmcContext& ctx,
+                               std::uint32_t dev, std::uint32_t quad,
+                               std::uint32_t vault, std::uint32_t bank,
+                               std::uint64_t addr, std::uint32_t length,
+                               std::uint64_t head, std::uint64_t tail,
+                               std::span<std::uint64_t> rqst_payload,
+                               CmcExecResult& out) const;
+
+  /// Number of active operations.
+  [[nodiscard]] std::size_t active_count() const noexcept;
+
+  /// All 70 slots in ascending command-code order (introspection; the
+  /// Table V bench prints from here).
+  [[nodiscard]] std::span<const CmcOp> slots() const noexcept {
+    return slots_;
+  }
+
+  /// Remove every registration.
+  void clear();
+
+ private:
+  [[nodiscard]] std::optional<std::size_t> slot_index(
+      std::uint8_t cmd) const noexcept;
+
+  // One slot per CMC command code, dense; slot_for_code_ maps a raw 7-bit
+  // code to its slot (0xFF for non-CMC codes).
+  std::array<CmcOp, spec::kNumCmcCodes> slots_{};
+  std::array<std::uint8_t, 128> slot_for_code_{};
+};
+
+}  // namespace hmcsim::cmc

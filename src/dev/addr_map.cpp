@@ -1,0 +1,31 @@
+#include "dev/addr_map.hpp"
+
+namespace hmcsim::dev {
+
+AddrMap::AddrMap(const sim::Config& cfg) noexcept
+    : block_bits_(bits::log2_exact(cfg.block_size)),
+      vault_bits_(bits::log2_exact(cfg.total_vaults())),
+      bank_bits_(bits::log2_exact(cfg.banks_per_vault)),
+      vaults_per_quad_(cfg.vaults_per_quad) {}
+
+DecodedAddr AddrMap::decode(std::uint64_t addr) const noexcept {
+  DecodedAddr out;
+  std::uint64_t rest = addr >> block_bits_;
+  out.vault = static_cast<std::uint32_t>(rest & bits::mask(vault_bits_));
+  rest >>= vault_bits_;
+  out.bank = static_cast<std::uint32_t>(rest & bits::mask(bank_bits_));
+  rest >>= bank_bits_;
+  out.dram = rest;
+  out.quad = out.vault / vaults_per_quad_;
+  return out;
+}
+
+std::uint64_t AddrMap::encode(const DecodedAddr& loc) const noexcept {
+  std::uint64_t addr = loc.dram;
+  addr = (addr << bank_bits_) | loc.bank;
+  addr = (addr << vault_bits_) | loc.vault;
+  addr <<= block_bits_;
+  return addr;
+}
+
+}  // namespace hmcsim::dev

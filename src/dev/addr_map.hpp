@@ -1,0 +1,55 @@
+// addr_map.hpp — physical address decoding.
+//
+// HMC interleaves consecutive memory blocks across vaults, then banks
+// ("low-interleave" default map of the 2.1 spec): the low bits address
+// bytes within a block, the next 5 bits select the vault, the following
+// bits select the bank, and the remainder is the DRAM (row) address. The
+// map makes stride-1 streams fan out across all 32 vaults while a single
+// hot address — the paper's shared mutex — always lands in one vault.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "sim/config.hpp"
+
+namespace hmcsim::dev {
+
+/// Decoded location of a physical address inside one cube.
+struct DecodedAddr {
+  std::uint32_t quad = 0;
+  std::uint32_t vault = 0;  ///< Cube-wide vault index [0, 32).
+  std::uint32_t bank = 0;
+  std::uint64_t dram = 0;   ///< Block index within the bank.
+};
+
+class AddrMap {
+ public:
+  explicit AddrMap(const sim::Config& cfg) noexcept;
+
+  [[nodiscard]] DecodedAddr decode(std::uint64_t addr) const noexcept;
+
+  /// Inverse of decode: compose an address from a location (block-aligned).
+  [[nodiscard]] std::uint64_t encode(const DecodedAddr& loc) const noexcept;
+
+  [[nodiscard]] std::uint32_t block_size() const noexcept {
+    return 1U << block_bits_;
+  }
+  [[nodiscard]] std::uint32_t num_vaults() const noexcept {
+    return 1U << vault_bits_;
+  }
+  [[nodiscard]] std::uint32_t num_banks() const noexcept {
+    return 1U << bank_bits_;
+  }
+  [[nodiscard]] std::uint32_t vaults_per_quad() const noexcept {
+    return vaults_per_quad_;
+  }
+
+ private:
+  unsigned block_bits_;
+  unsigned vault_bits_;
+  unsigned bank_bits_;
+  std::uint32_t vaults_per_quad_;
+};
+
+}  // namespace hmcsim::dev

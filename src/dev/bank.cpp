@@ -1,0 +1,3 @@
+// bank.cpp — intentionally header-only (see bank.hpp); this TU anchors the
+// target so every dev/ component owns a translation unit.
+#include "dev/bank.hpp"

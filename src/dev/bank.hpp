@@ -1,0 +1,45 @@
+// bank.hpp — DRAM bank occupancy model.
+//
+// HMC-Sim is timing-agnostic by default: banks are pure bookkeeping and a
+// request never stalls on one. With Config::model_bank_conflicts enabled
+// (an extension the paper lists as future work), a bank stays busy for
+// bank_busy_cycles after each access and conflicting requests stall in the
+// vault queue.
+#pragma once
+
+#include <cstdint>
+
+namespace hmcsim::dev {
+
+class Bank {
+ public:
+  /// True if the bank can accept an access at `cycle`.
+  [[nodiscard]] bool available(std::uint64_t cycle) const noexcept {
+    return cycle >= busy_until_;
+  }
+
+  /// Mark the bank busy until cycle + busy_cycles.
+  void occupy(std::uint64_t cycle, std::uint32_t busy_cycles) noexcept {
+    busy_until_ = cycle + busy_cycles;
+    ++accesses_;
+  }
+
+  /// Record an access without occupancy (timing-agnostic mode).
+  void touch() noexcept { ++accesses_; }
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
+  [[nodiscard]] std::uint64_t busy_until() const noexcept {
+    return busy_until_;
+  }
+
+  void reset() noexcept {
+    busy_until_ = 0;
+    accesses_ = 0;
+  }
+
+ private:
+  std::uint64_t busy_until_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace hmcsim::dev

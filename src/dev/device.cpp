@@ -1,0 +1,396 @@
+#include "dev/device.hpp"
+
+#include "spec/flit.hpp"
+
+namespace hmcsim::dev {
+
+Device::Device(const sim::Config& cfg, std::uint32_t dev_id)
+    : cfg_(cfg),
+      id_(dev_id),
+      store_(cfg.capacity_bytes),
+      amap_(cfg),
+      xbar_(cfg.num_links, cfg.xbar_depth),
+      chain_rqst_(cfg.xbar_depth),
+      chain_rsp_(cfg.xbar_depth),
+      err_rng_(cfg.link_error_seed + dev_id) {
+  regs_.init(cfg, dev_id);
+  vaults_.reserve(cfg.total_vaults());
+  for (std::uint32_t v = 0; v < cfg.total_vaults(); ++v) {
+    vaults_.emplace_back(v / cfg.vaults_per_quad, v, cfg);
+  }
+  links_.reserve(cfg.num_links);
+  for (std::uint32_t l = 0; l < cfg.num_links; ++l) {
+    links_.emplace_back(cfg.xbar_depth);
+    links_.back().reset();  // Fill the token pool.
+  }
+}
+
+Status Device::send(RqstEntry entry, std::uint32_t link, std::uint64_t cycle,
+                    trace::Tracer& tracer) {
+  if (link >= links_.size()) {
+    return Status::InvalidArg("link index out of range");
+  }
+  const spec::Rqst rqst = entry.pkt.rqst();
+
+  // Flow packets terminate at the link layer.
+  if (spec::is_flow(rqst)) {
+    const auto rtc = static_cast<std::uint32_t>(
+        spec::RqstTail::Rtc::get(entry.pkt.tail));
+    links_[link].consume_flow(rqst, rtc);
+    return Status::Ok();
+  }
+
+  const std::uint32_t flits = entry.pkt.flits();
+  auto& q = xbar_.rqst_queue(link);
+  if (q.full()) {
+    links_[link].record_send_stall();
+    if (tracer.enabled(trace::Level::Stalls)) {
+      tracer.emit({.cycle = cycle,
+                   .kind = trace::Level::Stalls,
+                   .where = {.dev = id_, .link = link},
+                   .tag = entry.pkt.tag(),
+                   .op = spec::to_string(rqst),
+                   .addr = entry.pkt.addr(),
+                   .value = q.size(),
+                   .note = "xbar request queue full"});
+    }
+    return Status::Stall("crossbar request queue full on link " +
+                         std::to_string(link));
+  }
+  if (Status s = links_[link].accept_request(flits); !s.ok()) {
+    return s;
+  }
+  entry.src_link = static_cast<std::uint8_t>(link);
+  entry.pkt.set_slid(static_cast<std::uint8_t>(link));
+
+  // Link-error injection: a corrupted packet fails the CRC at the link
+  // layer and is redelivered after the retry exchange. From the host's
+  // perspective the send succeeded (the link accepted the FLITs); the
+  // latency cost shows up on the response.
+  if (cfg_.link_flit_error_ppm != 0 && inject_error(flits)) {
+    links_[link].record_retry();
+    if (tracer.enabled(trace::Level::Retry)) {
+      tracer.emit({.cycle = cycle,
+                   .kind = trace::Level::Retry,
+                   .where = {.dev = id_, .link = link},
+                   .tag = entry.pkt.tag(),
+                   .op = spec::to_string(rqst),
+                   .addr = entry.pkt.addr(),
+                   .value = cfg_.link_retry_latency});
+    }
+    retry_buffer_.push_back(RetryEntry{std::move(entry), link,
+                                       cycle + cfg_.link_retry_latency});
+    return Status::Ok();
+  }
+
+  const bool pushed = q.push(std::move(entry));
+  (void)pushed;  // Guarded by the full() check above.
+  return Status::Ok();
+}
+
+bool Device::inject_error(std::uint32_t flits) {
+  // Independent per-FLIT trials keep the model faithful at any rate.
+  for (std::uint32_t f = 0; f < flits; ++f) {
+    if (err_rng_.below(1'000'000) < cfg_.link_flit_error_ppm) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Device::drain_retries(std::uint64_t cycle, trace::Tracer& tracer) {
+  (void)tracer;
+  for (auto it = retry_buffer_.begin(); it != retry_buffer_.end();) {
+    if (it->ready_cycle > cycle) {
+      ++it;
+      continue;
+    }
+    auto& q = xbar_.rqst_queue(it->link);
+    if (q.full()) {
+      ++it;  // Queue pressure: redeliver on a later cycle.
+      continue;
+    }
+    const bool pushed = q.push(std::move(it->entry));
+    (void)pushed;  // Guarded by the full() check above.
+    it = retry_buffer_.erase(it);
+  }
+}
+
+bool Device::rsp_ready(std::uint32_t link) const {
+  return link < links_.size() && !xbar_.rsp_queue(link).empty();
+}
+
+Status Device::recv(std::uint32_t link, RspEntry& out) {
+  if (link >= links_.size()) {
+    return Status::InvalidArg("link index out of range");
+  }
+  auto& q = xbar_.rsp_queue(link);
+  if (q.empty()) {
+    return Status::NoData();
+  }
+  out = q.pop();
+  links_[link].eject_response(out.pkt.flits());
+  return Status::Ok();
+}
+
+void Device::clock_responses(std::uint64_t cycle, trace::Tracer& tracer,
+                             Device* prev) {
+  // Per-link response forwarding budget for this cycle.
+  if (rsp_budget_.size() != links_.size()) {
+    rsp_budget_.assign(links_.size(), 0);
+  }
+  const std::uint32_t rsp_bw =
+      cfg_.xbar_rsp_bw_flits == 0 ? UINT32_MAX : cfg_.xbar_rsp_bw_flits;
+  for (auto& b : rsp_budget_) {
+    b = rsp_bw;
+  }
+
+  // (1) Forward chain responses toward the host-attached cube.
+  if (prev != nullptr) {
+    while (!chain_rsp_.empty()) {
+      if (prev->chain_rsp_.full()) {
+        ++xbar_.stats().rsp_stalls;
+        break;
+      }
+      RspEntry entry = chain_rsp_.pop();
+      entry.hops = static_cast<std::uint8_t>(entry.hops + 1);
+      const bool pushed = prev->chain_rsp_.push(std::move(entry));
+      (void)pushed;  // Guarded by the full() check above.
+      ++forwarded_rsps_;
+    }
+  } else {
+    // Host-attached cube: chain responses eject onto their origin link.
+    while (!chain_rsp_.empty()) {
+      RspEntry& head = chain_rsp_.front();
+      auto& q = xbar_.rsp_queue(head.dst_link);
+      if (head.pkt.flits() > rsp_budget_[head.dst_link]) {
+        ++xbar_.stats().rsp_bw_throttles;
+        break;
+      }
+      if (q.full()) {
+        ++xbar_.stats().rsp_stalls;
+        break;
+      }
+      rsp_budget_[head.dst_link] -= head.pkt.flits();
+      const bool pushed = q.push(head);
+      (void)pushed;
+      (void)chain_rsp_.pop();
+      ++xbar_.stats().rsps_routed;
+    }
+  }
+
+  // (2) Vault response queues drain toward the host link (local cube) or
+  // the chain (remote cube). A full target queue leaves the remainder of
+  // the vault's responses queued, in order.
+  const bool local = prev == nullptr;
+  for (Vault& vault : vaults_) {
+    auto& vq = vault.rsp_queue();
+    while (!vq.empty()) {
+      RspEntry& head = vq.front();
+      bool moved = false;
+      if (local) {
+        auto& q = xbar_.rsp_queue(head.dst_link);
+        if (head.pkt.flits() > rsp_budget_[head.dst_link]) {
+          ++xbar_.stats().rsp_bw_throttles;
+          break;  // Budget spent: the vault's queue waits a cycle.
+        }
+        if (!q.full()) {
+          rsp_budget_[head.dst_link] -= head.pkt.flits();
+          const bool pushed = q.push(head);
+          (void)pushed;
+          ++xbar_.stats().rsps_routed;
+          moved = true;
+        }
+      } else {
+        if (chain_rsp_.push(head)) {
+          moved = true;
+        }
+      }
+      if (!moved) {
+        ++xbar_.stats().rsp_stalls;
+        if (tracer.enabled(trace::Level::Stalls)) {
+          tracer.emit({.cycle = cycle,
+                       .kind = trace::Level::Stalls,
+                       .where = {.dev = id_,
+                                 .quad = vault.quad(),
+                                 .vault = vault.id(),
+                                 .link = head.dst_link},
+                       .tag = head.pkt.tag(),
+                       .value = vq.size(),
+                       .note = "xbar response queue full"});
+        }
+        break;
+      }
+      (void)vq.pop();
+    }
+  }
+}
+
+void Device::clock_vaults(std::uint64_t cycle, const cmc::CmcRegistry* cmc,
+                          cmc::CmcContext* cmc_ctx, trace::Tracer& tracer) {
+  ExecEnv env{store_, regs_, amap_, cmc, cmc_ctx, tracer, cfg_, id_};
+  const bool sample_depth = tracer.enabled(trace::Level::QueueDepth);
+  for (Vault& vault : vaults_) {
+    // Occupancy samples are taken pre-execution so a trace consumer sees
+    // the pressure each cycle's work starts from (non-empty queues only).
+    if (sample_depth && !vault.rqst_queue().empty()) {
+      tracer.emit({.cycle = cycle,
+                   .kind = trace::Level::QueueDepth,
+                   .where = {.dev = id_,
+                             .quad = vault.quad(),
+                             .vault = vault.id()},
+                   .value = vault.rqst_queue().size()});
+    }
+    vault.process(cycle, env);
+  }
+  regs_.poke(Reg::ClockCount, cycle);
+  if (cmc != nullptr) {
+    regs_.poke(Reg::CmcActive, cmc->active_count());
+  }
+}
+
+void Device::drain_rqst_queue(FixedQueue<RqstEntry>& q, Link* token_owner,
+                              std::uint32_t budget_flits, std::uint64_t cycle,
+                              trace::Tracer& tracer, const Router& route) {
+  std::uint32_t budget =
+      budget_flits == 0 ? UINT32_MAX : budget_flits;
+  while (!q.empty()) {
+    const RqstEntry& head = q.front();
+    const std::uint8_t cub = head.pkt.cub();
+    if (head.pkt.flits() > budget) {
+      ++xbar_.stats().rqst_bw_throttles;
+      break;  // Forwarding bandwidth for this link is spent this cycle.
+    }
+
+    if (cub == id_) {
+      const DecodedAddr loc = amap_.decode(head.pkt.addr());
+      auto& vq = vaults_[loc.vault].rqst_queue();
+      if (vq.full()) {
+        ++xbar_.stats().rqst_stalls;
+        if (tracer.enabled(trace::Level::Stalls)) {
+          tracer.emit({.cycle = cycle,
+                       .kind = trace::Level::Stalls,
+                       .where = {.dev = id_, .link = head.src_link},
+                       .tag = head.pkt.tag(),
+                       .op = spec::to_string(head.pkt.rqst()),
+                       .addr = head.pkt.addr(),
+                       .value = q.size(),
+                       .note = "vault request queue full"});
+        }
+        break;  // Head-of-line blocking: nothing behind the head moves.
+      }
+      RqstEntry entry = q.pop();
+      budget -= entry.pkt.flits();
+      if (token_owner != nullptr) {
+        token_owner->return_tokens(entry.pkt.flits());
+      }
+      const bool pushed = vq.push(std::move(entry));
+      (void)pushed;  // Guarded by the full() check above.
+      ++xbar_.stats().rqsts_routed;
+      continue;
+    }
+
+    Device* next = route ? route(cub) : nullptr;
+    if (next == nullptr) {
+      // Unroutable cube id: drop after counting. The host validated the
+      // CUB range at send time, so this indicates a topology
+      // misconfiguration.
+      ++xbar_.stats().rqst_stalls;
+      (void)q.pop();
+      continue;
+    }
+
+    if (next->chain_rqst_.full()) {
+      ++xbar_.stats().rqst_stalls;
+      if (tracer.enabled(trace::Level::Stalls)) {
+        tracer.emit({.cycle = cycle,
+                     .kind = trace::Level::Stalls,
+                     .where = {.dev = id_, .link = head.src_link},
+                     .tag = head.pkt.tag(),
+                     .op = spec::to_string(head.pkt.rqst()),
+                     .addr = head.pkt.addr(),
+                     .value = q.size(),
+                     .note = "chain request queue full"});
+      }
+      break;
+    }
+    RqstEntry entry = q.pop();
+    budget -= entry.pkt.flits();
+    if (token_owner != nullptr) {
+      token_owner->return_tokens(entry.pkt.flits());
+    }
+    entry.hops = static_cast<std::uint8_t>(entry.hops + 1);
+    if (tracer.enabled(trace::Level::Route)) {
+      tracer.emit({.cycle = cycle,
+                   .kind = trace::Level::Route,
+                   .where = {.dev = id_, .link = entry.src_link},
+                   .tag = entry.pkt.tag(),
+                   .op = spec::to_string(entry.pkt.rqst()),
+                   .addr = entry.pkt.addr(),
+                   .value = cub});
+    }
+    const bool pushed = next->chain_rqst_.push(std::move(entry));
+    (void)pushed;  // Guarded by the full() check above.
+    ++forwarded_rqsts_;
+  }
+}
+
+void Device::clock_requests(std::uint64_t cycle, trace::Tracer& tracer,
+                            const Router& route) {
+  // Redeliver retried packets first (they already waited), then host
+  // links (round-robin across links is implicit: each link queue drains
+  // independently toward per-vault queues), then the chain ingress from
+  // the previous cube.
+  if (!retry_buffer_.empty()) {
+    drain_retries(cycle, tracer);
+  }
+  for (std::uint32_t l = 0; l < xbar_.num_links(); ++l) {
+    drain_rqst_queue(xbar_.rqst_queue(l), &links_[l],
+                     cfg_.xbar_rqst_bw_flits, cycle, tracer, route);
+  }
+  drain_rqst_queue(chain_rqst_, nullptr, cfg_.xbar_rqst_bw_flits, cycle,
+                   tracer, route);
+}
+
+DeviceStats Device::stats() const {
+  DeviceStats s;
+  for (const Vault& vault : vaults_) {
+    const VaultStats& vs = vault.stats();
+    s.rqsts_processed += vs.rqsts_processed;
+    s.rsps_generated += vs.rsps_generated;
+    s.cmc_executed += vs.cmc_executed;
+    s.amo_executed += vs.amo_executed;
+    s.errors += vs.errors;
+    s.bank_conflicts += vs.bank_conflicts;
+    s.vault_rsp_stalls += vs.rsp_stalls;
+  }
+  s.xbar_rqst_stalls = xbar_.stats().rqst_stalls;
+  s.xbar_rsp_stalls = xbar_.stats().rsp_stalls;
+  for (const Link& link : links_) {
+    const LinkStats& ls = link.stats();
+    s.send_stalls += ls.send_stalls;
+    s.rqst_flits += ls.rqst_flits;
+    s.rsp_flits += ls.rsp_flits;
+    s.link_retries += ls.retries;
+  }
+  s.forwarded_rqsts = forwarded_rqsts_;
+  s.forwarded_rsps = forwarded_rsps_;
+  return s;
+}
+
+void Device::reset_pipeline() {
+  for (Vault& vault : vaults_) {
+    vault.reset();
+  }
+  xbar_.reset();
+  for (Link& link : links_) {
+    link.reset();
+  }
+  chain_rqst_.clear();
+  chain_rsp_.clear();
+  retry_buffer_.clear();
+  forwarded_rqsts_ = 0;
+  forwarded_rsps_ = 0;
+}
+
+}  // namespace hmcsim::dev

@@ -1,0 +1,168 @@
+// device.hpp — one Hybrid Memory Cube.
+//
+// A Device assembles the pieces: host links feeding per-link crossbar
+// queues, 4 quads x 8 vaults of execution, a sparse backing store, the
+// register file, and — for chained topologies — a cube-to-cube forwarding
+// path. The Simulator drives the three clock stages in a fixed order so
+// every packet spends exactly one cycle per stage unless back-pressure
+// holds it:
+//
+//   stage A  clock_responses(): vault rsp queues -> link rsp queues
+//   stage B  clock_vaults():    execute every runnable vault queue entry
+//   stage C  clock_requests():  link rqst queues -> vault rqst queues
+//                               (or forward to the next cube in the chain)
+//
+// Running A before B before C means a request needs one clock to reach its
+// vault, one to execute, and one for its response to reach the link: a
+// 3-cycle uncontended round trip, which puts the minimum cost of the
+// paper's lock+unlock sequence at 6 cycles (Table VI).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/fixed_queue.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "core/cmc_registry.hpp"
+#include "dev/addr_map.hpp"
+#include "dev/link.hpp"
+#include "dev/registers.hpp"
+#include "dev/vault.hpp"
+#include "dev/xbar.hpp"
+#include "mem/backing_store.hpp"
+#include "sim/config.hpp"
+#include "trace/trace.hpp"
+
+namespace hmcsim::dev {
+
+/// Aggregated device statistics (sums over links/vaults plus device-level
+/// counters).
+struct DeviceStats {
+  std::uint64_t rqsts_processed = 0;
+  std::uint64_t rsps_generated = 0;
+  std::uint64_t cmc_executed = 0;
+  std::uint64_t amo_executed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t bank_conflicts = 0;
+  std::uint64_t xbar_rqst_stalls = 0;
+  std::uint64_t xbar_rsp_stalls = 0;
+  std::uint64_t vault_rsp_stalls = 0;
+  std::uint64_t send_stalls = 0;
+  std::uint64_t rqst_flits = 0;
+  std::uint64_t rsp_flits = 0;
+  std::uint64_t forwarded_rqsts = 0;
+  std::uint64_t forwarded_rsps = 0;
+  std::uint64_t link_retries = 0;  ///< CRC-failure redeliveries.
+};
+
+class Device {
+ public:
+  Device(const sim::Config& cfg, std::uint32_t dev_id);
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+
+  // ---- host-facing (only meaningful on the host-attached device) --------
+  /// Inject a request on `link`. Stalls when the link is out of
+  /// flow-control tokens or the crossbar request queue is full.
+  [[nodiscard]] Status send(RqstEntry entry, std::uint32_t link,
+                            std::uint64_t cycle, trace::Tracer& tracer);
+
+  /// True if a response is ready to eject on `link`.
+  [[nodiscard]] bool rsp_ready(std::uint32_t link) const;
+
+  /// Pop the next response on `link`; NoData when none is ready.
+  [[nodiscard]] Status recv(std::uint32_t link, RspEntry& out);
+
+  /// Topology hook: resolves the neighbour device a packet for `cub`
+  /// should be forwarded to, or nullptr when unroutable from here.
+  using Router = std::function<Device*(std::uint8_t cub)>;
+
+  // ---- clock stages (driven by the Simulator) ----------------------------
+  /// `prev` is the neighbour on the path toward the host (nullptr on the
+  /// host-attached device).
+  void clock_responses(std::uint64_t cycle, trace::Tracer& tracer,
+                       Device* prev);
+  void clock_vaults(std::uint64_t cycle, const cmc::CmcRegistry* cmc,
+                    cmc::CmcContext* cmc_ctx, trace::Tracer& tracer);
+  void clock_requests(std::uint64_t cycle, trace::Tracer& tracer,
+                      const Router& route);
+
+  // ---- component access ----------------------------------------------------
+  [[nodiscard]] mem::BackingStore& store() noexcept { return store_; }
+  [[nodiscard]] const mem::BackingStore& store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] Registers& regs() noexcept { return regs_; }
+  [[nodiscard]] const Registers& regs() const noexcept { return regs_; }
+  [[nodiscard]] const AddrMap& addr_map() const noexcept { return amap_; }
+  [[nodiscard]] std::vector<Vault>& vaults() noexcept { return vaults_; }
+  [[nodiscard]] const std::vector<Vault>& vaults() const noexcept {
+    return vaults_;
+  }
+  [[nodiscard]] Xbar& xbar() noexcept { return xbar_; }
+  [[nodiscard]] const Xbar& xbar() const noexcept { return xbar_; }
+  [[nodiscard]] std::vector<Link>& links() noexcept { return links_; }
+  [[nodiscard]] const std::vector<Link>& links() const noexcept {
+    return links_;
+  }
+  [[nodiscard]] const sim::Config& config() const noexcept { return cfg_; }
+
+  /// Chain ingress queues (requests/responses arriving from a neighbour).
+  [[nodiscard]] FixedQueue<RqstEntry>& chain_rqst() noexcept {
+    return chain_rqst_;
+  }
+  [[nodiscard]] FixedQueue<RspEntry>& chain_rsp() noexcept {
+    return chain_rsp_;
+  }
+
+  /// Sum statistics across all components.
+  [[nodiscard]] DeviceStats stats() const;
+
+  /// Drop all in-flight packets and counters; memory contents survive.
+  void reset_pipeline();
+
+ private:
+  sim::Config cfg_;
+  std::uint32_t id_;
+  mem::BackingStore store_;
+  Registers regs_;
+  AddrMap amap_;
+  std::vector<Vault> vaults_;
+  Xbar xbar_;
+  std::vector<Link> links_;
+  FixedQueue<RqstEntry> chain_rqst_;
+  FixedQueue<RspEntry> chain_rsp_;
+  std::uint64_t forwarded_rqsts_ = 0;
+  std::uint64_t forwarded_rsps_ = 0;
+
+  // ---- link-error injection ---------------------------------------------
+  /// A corrupted inbound packet parks here until its retry delivers it.
+  struct RetryEntry {
+    RqstEntry entry;
+    std::uint32_t link = 0;
+    std::uint64_t ready_cycle = 0;
+  };
+  std::vector<RetryEntry> retry_buffer_;
+  Xoshiro256 err_rng_;
+
+  /// Deterministically decide whether a packet of `flits` FLITs suffers a
+  /// transit error (per-FLIT probability from the configuration).
+  [[nodiscard]] bool inject_error(std::uint32_t flits);
+  /// Redeliver ready retry entries into their crossbar queues.
+  void drain_retries(std::uint64_t cycle, trace::Tracer& tracer);
+
+  /// Route one ingress queue toward vaults/neighbour cubes, spending at
+  /// most `budget_flits` of forwarding bandwidth. Returns on the first
+  /// head-of-line stall or on budget exhaustion (FIFO order preserved).
+  void drain_rqst_queue(FixedQueue<RqstEntry>& q, Link* token_owner,
+                        std::uint32_t budget_flits, std::uint64_t cycle,
+                        trace::Tracer& tracer, const Router& route);
+
+  /// Per-link response-direction forwarding budget scratch (sized once).
+  std::vector<std::uint32_t> rsp_budget_;
+};
+
+}  // namespace hmcsim::dev

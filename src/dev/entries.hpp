@@ -1,0 +1,26 @@
+// entries.hpp — packet-in-flight records moving through device queues.
+#pragma once
+
+#include <cstdint>
+
+#include "spec/packet.hpp"
+
+namespace hmcsim::dev {
+
+/// A request packet travelling host -> link -> xbar -> vault.
+struct RqstEntry {
+  spec::RqstPacket pkt;
+  std::uint64_t send_cycle = 0;  ///< Cycle the host injected the packet.
+  std::uint8_t src_link = 0;     ///< Host link it arrived on (response route).
+  std::uint8_t hops = 0;         ///< Cube-to-cube forwarding hops taken.
+};
+
+/// A response packet travelling vault -> xbar -> link -> host.
+struct RspEntry {
+  spec::RspPacket pkt;
+  std::uint64_t send_cycle = 0;  ///< Originating request's injection cycle.
+  std::uint8_t dst_link = 0;     ///< Host link to eject on.
+  std::uint8_t hops = 0;
+};
+
+}  // namespace hmcsim::dev

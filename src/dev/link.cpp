@@ -1,0 +1,35 @@
+#include "dev/link.hpp"
+
+#include <algorithm>
+
+namespace hmcsim::dev {
+
+Status Link::accept_request(std::uint32_t flits) {
+  if (tokens_ < flits) {
+    ++stats_.send_stalls;
+    return Status::Stall("link out of flow-control tokens");
+  }
+  tokens_ -= flits;
+  ++stats_.rqst_packets;
+  stats_.rqst_flits += flits;
+  return Status::Ok();
+}
+
+void Link::eject_response(std::uint32_t flits) {
+  ++stats_.rsp_packets;
+  stats_.rsp_flits += flits;
+}
+
+void Link::consume_flow(spec::Rqst rqst, std::uint32_t rtc) {
+  ++stats_.flow_packets;
+  if (rqst == spec::Rqst::TRET) {
+    tokens_ = std::min(token_capacity_, tokens_ + rtc);
+  }
+}
+
+void Link::reset() {
+  tokens_ = token_capacity_;
+  stats_ = LinkStats{};
+}
+
+}  // namespace hmcsim::dev

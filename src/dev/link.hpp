@@ -1,0 +1,74 @@
+// link.hpp — host/cube link endpoint.
+//
+// The link is the ingress/egress point between host and device. HMC-Sim's
+// latency model attributes queue occupancy to the crossbar, so the link
+// itself carries flow-control token state (HMC's credit scheme: one token
+// per crossbar queue FLIT slot) and FLIT-level traffic accounting used by
+// the bandwidth benches.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "spec/commands.hpp"
+
+namespace hmcsim::dev {
+
+/// Per-link traffic statistics.
+struct LinkStats {
+  std::uint64_t rqst_packets = 0;
+  std::uint64_t rqst_flits = 0;
+  std::uint64_t rsp_packets = 0;
+  std::uint64_t rsp_flits = 0;
+  std::uint64_t send_stalls = 0;  ///< Host send() rejected: queue full.
+  std::uint64_t flow_packets = 0; ///< NULL/PRET/TRET/IRTRY consumed.
+  std::uint64_t retries = 0;      ///< CRC-failure redeliveries.
+};
+
+class Link {
+ public:
+  Link() = default;
+  explicit Link(std::uint32_t token_capacity)
+      : tokens_(token_capacity), token_capacity_(token_capacity) {}
+
+  /// Account one request packet entering the device on this link and
+  /// consume its FLIT tokens. Returns Stall when tokens are exhausted —
+  /// token exhaustion and crossbar-queue fullness coincide by
+  /// construction, so this models HMC's credit-based flow control.
+  [[nodiscard]] Status accept_request(std::uint32_t flits);
+
+  /// Account one response packet leaving the device; its FLIT tokens
+  /// return to the host (the implicit TRET embedded in every response).
+  void eject_response(std::uint32_t flits);
+
+  /// Consume a link-layer flow packet (TRET returns tokens explicitly).
+  void consume_flow(spec::Rqst rqst, std::uint32_t rtc);
+
+  /// Return FLIT tokens to the host when a request leaves the crossbar
+  /// queue (the implicit credit return of the HMC link protocol).
+  void return_tokens(std::uint32_t flits) noexcept {
+    tokens_ = std::min(token_capacity_, tokens_ + flits);
+  }
+
+  /// Record a rejected host send (full crossbar queue).
+  void record_send_stall() noexcept { ++stats_.send_stalls; }
+
+  /// Record a link-layer CRC retry (corrupted packet redelivered).
+  void record_retry() noexcept { ++stats_.retries; }
+
+  [[nodiscard]] std::uint32_t tokens() const noexcept { return tokens_; }
+  [[nodiscard]] std::uint32_t token_capacity() const noexcept {
+    return token_capacity_;
+  }
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+
+  void reset();
+
+ private:
+  std::uint32_t tokens_ = 0;
+  std::uint32_t token_capacity_ = 0;
+  LinkStats stats_;
+};
+
+}  // namespace hmcsim::dev

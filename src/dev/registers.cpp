@@ -1,0 +1,92 @@
+#include "dev/registers.hpp"
+
+namespace hmcsim::dev {
+
+std::string_view to_string(Reg reg) noexcept {
+  switch (reg) {
+    case Reg::DeviceId:
+      return "DEVICE_ID";
+    case Reg::LinkConfig:
+      return "LINK_CONFIG";
+    case Reg::Capacity:
+      return "CAPACITY";
+    case Reg::BlockSize:
+      return "BLOCK_SIZE";
+    case Reg::VaultDepth:
+      return "VAULT_DEPTH";
+    case Reg::XbarDepth:
+      return "XBAR_DEPTH";
+    case Reg::Status:
+      return "STATUS";
+    case Reg::Error:
+      return "ERROR";
+    case Reg::CmcActive:
+      return "CMC_ACTIVE";
+    case Reg::ClockCount:
+      return "CLOCK_COUNT";
+    case Reg::Scratch0:
+      return "SCRATCH0";
+    case Reg::Scratch1:
+      return "SCRATCH1";
+    case Reg::Scratch2:
+      return "SCRATCH2";
+    case Reg::Scratch3:
+      return "SCRATCH3";
+    case Reg::VendorId:
+      return "VENDOR_ID";
+    case Reg::Revision:
+      return "REVISION";
+  }
+  return "?";
+}
+
+void Registers::init(const sim::Config& cfg, std::uint32_t dev_id) {
+  regs_.fill(0);
+  poke(Reg::DeviceId, dev_id);
+  poke(Reg::LinkConfig, cfg.num_links);
+  poke(Reg::Capacity, cfg.capacity_bytes);
+  poke(Reg::BlockSize, cfg.block_size);
+  poke(Reg::VaultDepth, cfg.vault_rqst_depth);
+  poke(Reg::XbarDepth, cfg.xbar_depth);
+  poke(Reg::Status, 1);
+  poke(Reg::VendorId, kVendorId);
+  poke(Reg::Revision, kRevision);
+}
+
+bool Registers::writable(std::uint32_t index) noexcept {
+  switch (static_cast<Reg>(index)) {
+    case Reg::Error:
+    case Reg::Scratch0:
+    case Reg::Scratch1:
+    case Reg::Scratch2:
+    case Reg::Scratch3:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status Registers::read(std::uint32_t index, std::uint64_t& out) const {
+  if (index >= kNumRegisters) {
+    return Status::NotFound("register index " + std::to_string(index) +
+                            " out of range");
+  }
+  out = regs_[index];
+  return Status::Ok();
+}
+
+Status Registers::write(std::uint32_t index, std::uint64_t value) {
+  if (index >= kNumRegisters) {
+    return Status::NotFound("register index " + std::to_string(index) +
+                            " out of range");
+  }
+  if (!writable(index)) {
+    return Status::InvalidArg("register " +
+                              std::string(to_string(static_cast<Reg>(index))) +
+                              " is read-only");
+  }
+  regs_[index] = value;
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::dev

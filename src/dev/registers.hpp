@@ -1,0 +1,72 @@
+// registers.hpp — per-device internal register file.
+//
+// HMC-Sim 1.0 exposed device internals through register read/write packets
+// and a simulated JTAG API; both are carried forward here. MD_RD/MD_WR
+// packets address registers by index via the packet ADRS field, and the
+// Simulator's jtag_read/jtag_write methods access them directly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "sim/config.hpp"
+
+namespace hmcsim::dev {
+
+/// Architected register indices.
+enum class Reg : std::uint32_t {
+  DeviceId = 0,     ///< CUB id of this device (RO).
+  LinkConfig = 1,   ///< Number of host links (RO).
+  Capacity = 2,     ///< Capacity in bytes (RO).
+  BlockSize = 3,    ///< Interleave block size (RO).
+  VaultDepth = 4,   ///< Vault request queue depth (RO).
+  XbarDepth = 5,    ///< Crossbar queue depth per link (RO).
+  Status = 6,       ///< Device status word (RO; 1 == operational).
+  Error = 7,        ///< Sticky error word (RW; host clears by writing 0).
+  CmcActive = 8,    ///< Number of active CMC operations (RO).
+  ClockCount = 9,   ///< Cycles elapsed (RO).
+  Scratch0 = 10,    ///< General-purpose scratch (RW).
+  Scratch1 = 11,    ///< General-purpose scratch (RW).
+  Scratch2 = 12,    ///< General-purpose scratch (RW).
+  Scratch3 = 13,    ///< General-purpose scratch (RW).
+  VendorId = 14,    ///< Constant vendor identification (RO).
+  Revision = 15,    ///< Constant specification revision, BCD 0x21 (RO).
+};
+
+inline constexpr std::uint32_t kNumRegisters = 16;
+
+/// Value reported in VendorId ("HMCS" in ASCII).
+inline constexpr std::uint64_t kVendorId = 0x484D4353ULL;
+
+/// Value reported in Revision (spec 2.1).
+inline constexpr std::uint64_t kRevision = 0x21ULL;
+
+[[nodiscard]] std::string_view to_string(Reg reg) noexcept;
+
+class Registers {
+ public:
+  Registers() = default;
+
+  /// Populate the RO identification registers from a configuration.
+  void init(const sim::Config& cfg, std::uint32_t dev_id);
+
+  [[nodiscard]] Status read(std::uint32_t index, std::uint64_t& out) const;
+  /// Host-visible write: rejects RO registers.
+  [[nodiscard]] Status write(std::uint32_t index, std::uint64_t value);
+
+  /// Internal (device-side) update: bypasses the RO mask.
+  void poke(Reg reg, std::uint64_t value) noexcept {
+    regs_[static_cast<std::uint32_t>(reg)] = value;
+  }
+  [[nodiscard]] std::uint64_t peek(Reg reg) const noexcept {
+    return regs_[static_cast<std::uint32_t>(reg)];
+  }
+
+ private:
+  [[nodiscard]] static bool writable(std::uint32_t index) noexcept;
+  std::array<std::uint64_t, kNumRegisters> regs_{};
+};
+
+}  // namespace hmcsim::dev

@@ -1,0 +1,391 @@
+#include "dev/vault.hpp"
+
+#include <array>
+
+#include "amo/amo_unit.hpp"
+#include "spec/flit.hpp"
+
+namespace hmcsim::dev {
+namespace {
+
+/// ERRSTAT values the device reports (7-bit field).
+enum Errstat : std::uint8_t {
+  kErrNone = 0,
+  kErrRange = 1,      ///< Address beyond device capacity.
+  kErrCmd = 2,        ///< Command illegal at the vault (e.g. flow packet).
+  kErrCmcInactive = 3,///< CMC command with no registered operation.
+  kErrCmcFailed = 4,  ///< CMC plugin execute reported failure.
+  kErrRegister = 5,   ///< Register access fault.
+};
+
+}  // namespace
+
+Vault::Vault(std::uint32_t quad, std::uint32_t vault_id,
+             const sim::Config& cfg)
+    : quad_(quad),
+      vault_id_(vault_id),
+      rqst_q_(cfg.vault_rqst_depth),
+      rsp_q_(cfg.vault_rsp_depth),
+      banks_(cfg.banks_per_vault) {
+  deferred_.reserve(cfg.vault_rqst_depth);
+}
+
+void Vault::reset() {
+  rqst_q_.clear();
+  rsp_q_.clear();
+  for (Bank& bank : banks_) {
+    bank.reset();
+  }
+  stats_ = VaultStats{};
+}
+
+void Vault::process(std::uint64_t cycle, ExecEnv& env) {
+  // HMC-Sim's timing-agnostic vault: every queued request is examined each
+  // clock. Entries that cannot retire (full response queue, busy bank) are
+  // re-queued in arrival order ahead of anything routed in later this
+  // cycle, preserving FIFO semantics.
+  const std::size_t n = rqst_q_.size();
+  if (n == 0) {
+    return;
+  }
+  deferred_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    RqstEntry entry = rqst_q_.pop();
+    if (!execute_entry(entry, cycle, env)) {
+      deferred_.push_back(entry);
+    }
+  }
+  for (RqstEntry& entry : deferred_) {
+    const bool ok = rqst_q_.push(std::move(entry));
+    (void)ok;  // Cannot fail: we popped at least deferred_.size() entries.
+  }
+}
+
+bool Vault::emit_response(const RqstEntry& rqst, std::uint8_t rsp_cmd_code,
+                          std::uint32_t flits, bool atomic_flag,
+                          std::uint8_t errstat,
+                          std::span<const std::uint64_t> payload,
+                          std::uint64_t cycle, ExecEnv& env) {
+  if (rsp_q_.full()) {
+    ++stats_.rsp_stalls;
+    if (env.tracer.enabled(trace::Level::Stalls)) {
+      env.tracer.emit({.cycle = cycle,
+                       .kind = trace::Level::Stalls,
+                       .where = {env.dev_id, quad_, vault_id_, 0,
+                                 rqst.src_link},
+                       .tag = rqst.pkt.tag(),
+                       .op = spec::to_string(rqst.pkt.rqst()),
+                       .addr = rqst.pkt.addr(),
+                       .value = rsp_q_.size(),
+                       .note = "vault response queue full"});
+    }
+    return false;
+  }
+
+  spec::RspParams params;
+  params.rsp_cmd_code = rsp_cmd_code;
+  params.flits = flits;
+  params.tag = rqst.pkt.tag();
+  params.cub = rqst.pkt.cub();
+  params.slid = rqst.src_link;
+  params.atomic_flag = atomic_flag;
+  params.errstat = errstat;
+  params.payload = payload;
+
+  RspEntry rsp;
+  rsp.send_cycle = rqst.send_cycle;
+  rsp.dst_link = rqst.src_link;
+  if (Status s = spec::build_response(params, rsp.pkt); !s.ok()) {
+    // Response construction can only fail on internal inconsistencies;
+    // surface as an error-status single-FLIT response.
+    params.rsp_cmd_code =
+        static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR);
+    params.flits = 1;
+    params.errstat = kErrCmd;
+    params.payload = {};
+    (void)spec::build_response(params, rsp.pkt);
+  }
+  const bool pushed = rsp_q_.push(std::move(rsp));
+  (void)pushed;  // Guarded by the full() check above.
+  ++stats_.rsps_generated;
+  if (env.tracer.enabled(trace::Level::Rsp)) {
+    env.tracer.emit({.cycle = cycle,
+                     .kind = trace::Level::Rsp,
+                     .where = {env.dev_id, quad_, vault_id_, 0,
+                               rqst.src_link},
+                     .tag = rqst.pkt.tag(),
+                     .op = spec::to_string(rqst.pkt.rqst()),
+                     .addr = rqst.pkt.addr(),
+                     .value = flits});
+  }
+  return true;
+}
+
+bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
+                          ExecEnv& env) {
+  const spec::Rqst rqst = entry.pkt.rqst();
+  const spec::CommandInfo& info = spec::command_info(rqst);
+  const std::uint64_t addr = entry.pkt.addr();
+  const DecodedAddr loc = env.amap.decode(addr);
+  const bool is_dram_access = info.kind != spec::CommandKind::Flow &&
+                              info.kind != spec::CommandKind::ModeRead &&
+                              info.kind != spec::CommandKind::ModeWrite;
+
+  // Optional bank-conflict timing extension: a request whose bank is busy
+  // stays queued. Disabled by default (HMC-Sim is timing-agnostic).
+  if (is_dram_access && env.cfg.model_bank_conflicts) {
+    Bank& bank = banks_[loc.bank];
+    if (!bank.available(cycle)) {
+      ++stats_.bank_conflicts;
+      if (env.tracer.enabled(trace::Level::BankConflict)) {
+        env.tracer.emit({.cycle = cycle,
+                         .kind = trace::Level::BankConflict,
+                         .where = {env.dev_id, quad_, vault_id_, loc.bank,
+                                   entry.src_link},
+                         .tag = entry.pkt.tag(),
+                         .op = info.name,
+                         .addr = addr,
+                         .value = bank.busy_until()});
+      }
+      return false;
+    }
+  }
+
+  if (env.tracer.enabled(trace::Level::Rqst)) {
+    env.tracer.emit({.cycle = cycle,
+                     .kind = trace::Level::Rqst,
+                     .where = {env.dev_id, quad_, vault_id_, loc.bank,
+                               entry.src_link},
+                     .tag = entry.pkt.tag(),
+                     .op = info.name,
+                     .addr = addr,
+                     .value = info.rqst_flits});
+  }
+
+  auto occupy_bank = [&] {
+    Bank& bank = banks_[loc.bank];
+    if (env.cfg.model_bank_conflicts) {
+      bank.occupy(cycle, env.cfg.bank_busy_cycles);
+    } else {
+      bank.touch();
+    }
+  };
+  auto rsp_code = [&info] {
+    return static_cast<std::uint8_t>(info.rsp);
+  };
+  constexpr auto kErrorCode =
+      static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR);
+
+  switch (info.kind) {
+    case spec::CommandKind::Flow:
+      // Flow packets are consumed at the link layer; one reaching a vault
+      // is a routing bug upstream. Retire it with an error count.
+      ++stats_.errors;
+      ++stats_.rqsts_processed;
+      return true;
+
+    case spec::CommandKind::Read: {
+      const auto& rsp_info = info;
+      const std::size_t bytes =
+          (static_cast<std::size_t>(rsp_info.rsp_flits) - 1) *
+          spec::kFlitBytes;
+      std::array<std::uint64_t, 32> data{};
+      std::array<std::uint8_t, spec::kMaxDataBytes> buf{};
+      if (Status s = env.store.read(addr, {buf.data(), bytes}); !s.ok()) {
+        if (!emit_response(entry, kErrorCode, 1, false, kErrRange, {}, cycle,
+                           env)) {
+          return false;
+        }
+        ++stats_.errors;
+        ++stats_.rqsts_processed;
+        return true;
+      }
+      for (std::size_t w = 0; w < bytes / 8; ++w) {
+        std::uint64_t v = 0;
+        for (unsigned b = 0; b < 8; ++b) {
+          v |= static_cast<std::uint64_t>(buf[w * 8 + b]) << (8 * b);
+        }
+        data[w] = v;
+      }
+      if (!emit_response(entry, rsp_code(), info.rsp_flits, false, kErrNone,
+                         {data.data(), bytes / 8}, cycle, env)) {
+        return false;
+      }
+      occupy_bank();
+      ++stats_.rqsts_processed;
+      return true;
+    }
+
+    case spec::CommandKind::Write:
+    case spec::CommandKind::PostedWrite: {
+      const std::size_t bytes = info.data_bytes;
+      std::array<std::uint8_t, spec::kMaxDataBytes> buf{};
+      const auto payload = entry.pkt.payload();
+      for (std::size_t w = 0; w < bytes / 8; ++w) {
+        const std::uint64_t v = w < payload.size() ? payload[w] : 0;
+        for (unsigned b = 0; b < 8; ++b) {
+          buf[w * 8 + b] = static_cast<std::uint8_t>((v >> (8 * b)) & 0xFFU);
+        }
+      }
+      if (Status s = env.store.write(addr, {buf.data(), bytes}); !s.ok()) {
+        if (info.kind == spec::CommandKind::Write &&
+            !emit_response(entry, kErrorCode, 1, false, kErrRange, {}, cycle,
+                           env)) {
+          return false;
+        }
+        ++stats_.errors;
+        ++stats_.rqsts_processed;
+        return true;
+      }
+      if (info.kind == spec::CommandKind::Write &&
+          !emit_response(entry, rsp_code(), info.rsp_flits, false, kErrNone,
+                         {}, cycle, env)) {
+        return false;
+      }
+      occupy_bank();
+      ++stats_.rqsts_processed;
+      return true;
+    }
+
+    case spec::CommandKind::ModeRead: {
+      std::uint64_t value = 0;
+      const Status s = env.regs.read(static_cast<std::uint32_t>(addr), value);
+      if (!s.ok()) {
+        if (!emit_response(entry, kErrorCode, 1, false, kErrRegister, {},
+                           cycle, env)) {
+          return false;
+        }
+        ++stats_.errors;
+        ++stats_.rqsts_processed;
+        return true;
+      }
+      const std::array<std::uint64_t, 2> data{value, 0};
+      if (!emit_response(entry, rsp_code(), info.rsp_flits, false, kErrNone,
+                         data, cycle, env)) {
+        return false;
+      }
+      if (env.tracer.enabled(trace::Level::Register)) {
+        env.tracer.emit({.cycle = cycle,
+                         .kind = trace::Level::Register,
+                         .where = {env.dev_id, quad_, vault_id_, 0,
+                                   entry.src_link},
+                         .tag = entry.pkt.tag(),
+                         .op = info.name,
+                         .addr = addr,
+                         .value = value});
+      }
+      ++stats_.rqsts_processed;
+      return true;
+    }
+
+    case spec::CommandKind::ModeWrite: {
+      const auto payload = entry.pkt.payload();
+      const std::uint64_t value = payload.empty() ? 0 : payload[0];
+      const Status s =
+          env.regs.write(static_cast<std::uint32_t>(addr), value);
+      const bool failed = !s.ok();
+      if (!emit_response(entry, failed ? kErrorCode : rsp_code(),
+                         failed ? 1 : info.rsp_flits, false,
+                         failed ? kErrRegister : kErrNone, {}, cycle, env)) {
+        return false;
+      }
+      if (!failed && env.tracer.enabled(trace::Level::Register)) {
+        env.tracer.emit({.cycle = cycle,
+                         .kind = trace::Level::Register,
+                         .where = {env.dev_id, quad_, vault_id_, 0,
+                                   entry.src_link},
+                         .tag = entry.pkt.tag(),
+                         .op = info.name,
+                         .addr = addr,
+                         .value = value});
+      }
+      if (failed) {
+        ++stats_.errors;
+      }
+      ++stats_.rqsts_processed;
+      return true;
+    }
+
+    case spec::CommandKind::Atomic:
+    case spec::CommandKind::PostedAtomic: {
+      amo::AmoResult result;
+      const Status s =
+          amo::execute(rqst, env.store, addr, entry.pkt.payload(), result);
+      if (!s.ok()) {
+        if (info.kind == spec::CommandKind::Atomic &&
+            !emit_response(entry, kErrorCode, 1, false, kErrRange, {}, cycle,
+                           env)) {
+          return false;
+        }
+        ++stats_.errors;
+        ++stats_.rqsts_processed;
+        return true;
+      }
+      if (info.kind == spec::CommandKind::Atomic &&
+          !emit_response(entry, rsp_code(), info.rsp_flits,
+                         result.atomic_flag, kErrNone,
+                         {result.rsp_data.data(), result.rsp_words}, cycle,
+                         env)) {
+        return false;
+      }
+      occupy_bank();
+      ++stats_.amo_executed;
+      ++stats_.rqsts_processed;
+      return true;
+    }
+
+    case spec::CommandKind::Cmc: {
+      // The paper's Fig. 3 flow: active check -> cmc_execute -> trace via
+      // cmc_str -> normal response construction.
+      const cmc::CmcOp* op =
+          env.cmc != nullptr ? env.cmc->lookup(entry.pkt.cmd()) : nullptr;
+      if (op == nullptr || env.cmc_ctx == nullptr) {
+        if (!emit_response(entry, kErrorCode, 1, false, kErrCmcInactive, {},
+                           cycle, env)) {
+          return false;
+        }
+        ++stats_.errors;
+        ++stats_.rqsts_processed;
+        return true;
+      }
+      cmc::CmcExecResult result;
+      const Status s = env.cmc->execute(
+          entry.pkt.cmd(), *env.cmc_ctx, env.dev_id, quad_, vault_id_,
+          loc.bank, addr, op->rqst_len, entry.pkt.head, entry.pkt.tail,
+          entry.pkt.payload(), result);
+      if (!s.ok()) {
+        if (!emit_response(entry, kErrorCode, 1, false, kErrCmcFailed, {},
+                           cycle, env)) {
+          return false;
+        }
+        ++stats_.errors;
+        ++stats_.rqsts_processed;
+        return true;
+      }
+      if (!op->posted() &&
+          !emit_response(entry, op->response_code(), op->rsp_len,
+                         result.atomic_flag, kErrNone,
+                         {result.rsp_payload.data(), result.rsp_words}, cycle,
+                         env)) {
+        return false;
+      }
+      occupy_bank();
+      if (env.tracer.enabled(trace::Level::Cmc)) {
+        env.tracer.emit({.cycle = cycle,
+                         .kind = trace::Level::Cmc,
+                         .where = {env.dev_id, quad_, vault_id_, loc.bank,
+                                   entry.src_link},
+                         .tag = entry.pkt.tag(),
+                         .op = op->name,
+                         .addr = addr,
+                         .value = result.atomic_flag ? 1ULL : 0ULL});
+      }
+      ++stats_.cmc_executed;
+      ++stats_.rqsts_processed;
+      return true;
+    }
+  }
+  return true;
+}
+
+}  // namespace hmcsim::dev

@@ -1,0 +1,107 @@
+// vault.hpp — vault controller: the execution stage of the cube.
+//
+// Each of the 32 vaults owns a bounded request queue and response queue and
+// a set of DRAM banks. One simulator clock processes every request in the
+// queue (HMC-Sim's timing-agnostic model: latency comes from queue hops and
+// back-pressure, not per-operation service time). Execution dispatches on
+// command kind: DRAM read/write, Gen2 atomic (AMO unit), mode register
+// access, or a registered CMC operation — the paper's
+// hmcsim_process_rqst() flow of Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_queue.hpp"
+#include "common/status.hpp"
+#include "core/cmc_registry.hpp"
+#include "dev/addr_map.hpp"
+#include "dev/bank.hpp"
+#include "dev/entries.hpp"
+#include "dev/registers.hpp"
+#include "mem/backing_store.hpp"
+#include "sim/config.hpp"
+#include "trace/trace.hpp"
+
+namespace hmcsim::dev {
+
+/// Everything a vault needs from its device to execute requests. Borrowed
+/// for the duration of one process() call.
+struct ExecEnv {
+  mem::BackingStore& store;
+  Registers& regs;
+  const AddrMap& amap;
+  const cmc::CmcRegistry* cmc;   ///< Null when no CMC support is wired.
+  cmc::CmcContext* cmc_ctx;      ///< Plugin-visible context (may be null).
+  trace::Tracer& tracer;
+  const sim::Config& cfg;
+  std::uint32_t dev_id;
+};
+
+/// Per-vault statistics (monotonic; reset() clears).
+struct VaultStats {
+  std::uint64_t rqsts_processed = 0;
+  std::uint64_t rsps_generated = 0;
+  std::uint64_t cmc_executed = 0;
+  std::uint64_t amo_executed = 0;
+  std::uint64_t bank_conflicts = 0;
+  std::uint64_t rsp_stalls = 0;  ///< Requests deferred: response queue full.
+  std::uint64_t errors = 0;      ///< Requests answered with RSP_ERROR.
+};
+
+class Vault {
+ public:
+  Vault(std::uint32_t quad, std::uint32_t vault_id, const sim::Config& cfg);
+
+  /// Bounded queues (sized from Config: the paper's evaluation uses a
+  /// request queue depth of 64).
+  [[nodiscard]] FixedQueue<RqstEntry>& rqst_queue() noexcept {
+    return rqst_q_;
+  }
+  [[nodiscard]] const FixedQueue<RqstEntry>& rqst_queue() const noexcept {
+    return rqst_q_;
+  }
+  [[nodiscard]] FixedQueue<RspEntry>& rsp_queue() noexcept { return rsp_q_; }
+  [[nodiscard]] const FixedQueue<RspEntry>& rsp_queue() const noexcept {
+    return rsp_q_;
+  }
+
+  /// Execute every queued request that can make progress this cycle.
+  /// Requests whose response cannot be enqueued (response queue full) or
+  /// whose bank is busy (timing extension) remain queued in order.
+  void process(std::uint64_t cycle, ExecEnv& env);
+
+  [[nodiscard]] const VaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint32_t quad() const noexcept { return quad_; }
+  [[nodiscard]] std::uint32_t id() const noexcept { return vault_id_; }
+  [[nodiscard]] const std::vector<Bank>& banks() const noexcept {
+    return banks_;
+  }
+
+  void reset();
+
+ private:
+  /// Execute one request; returns false when the entry must stay queued
+  /// (back-pressure or bank conflict), true when it retired.
+  [[nodiscard]] bool execute_entry(RqstEntry& entry, std::uint64_t cycle,
+                                   ExecEnv& env);
+
+  /// Push a response; false on full response queue.
+  [[nodiscard]] bool emit_response(const RqstEntry& rqst,
+                                   std::uint8_t rsp_cmd_code,
+                                   std::uint32_t flits, bool atomic_flag,
+                                   std::uint8_t errstat,
+                                   std::span<const std::uint64_t> payload,
+                                   std::uint64_t cycle, ExecEnv& env);
+
+  std::uint32_t quad_;
+  std::uint32_t vault_id_;
+  FixedQueue<RqstEntry> rqst_q_;
+  FixedQueue<RspEntry> rsp_q_;
+  std::vector<Bank> banks_;
+  VaultStats stats_;
+  // Scratch retained across calls to avoid re-allocation in the hot loop.
+  std::vector<RqstEntry> deferred_;
+};
+
+}  // namespace hmcsim::dev

@@ -1,0 +1,24 @@
+#include "dev/xbar.hpp"
+
+namespace hmcsim::dev {
+
+Xbar::Xbar(std::uint32_t num_links, std::uint32_t depth) {
+  rqst_qs_.reserve(num_links);
+  rsp_qs_.reserve(num_links);
+  for (std::uint32_t i = 0; i < num_links; ++i) {
+    rqst_qs_.emplace_back(depth);
+    rsp_qs_.emplace_back(depth);
+  }
+}
+
+void Xbar::reset() {
+  for (auto& q : rqst_qs_) {
+    q.clear();
+  }
+  for (auto& q : rsp_qs_) {
+    q.clear();
+  }
+  stats_ = XbarStats{};
+}
+
+}  // namespace hmcsim::dev

@@ -1,0 +1,68 @@
+// xbar.hpp — the logic-layer crossbar.
+//
+// The crossbar owns one request queue and one response queue per host link
+// (the paper's evaluation fixes their depth at 128 slots). Each simulator
+// clock drains request queues toward vault queues and accepts responses
+// from vault response queues; both directions stall on fullness, and a
+// stalled head blocks everything behind it in the same link queue —
+// head-of-line blocking is the mechanism that differentiates 4-link and
+// 8-link devices once a single vault hot-spots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_queue.hpp"
+#include "dev/entries.hpp"
+#include "sim/config.hpp"
+
+namespace hmcsim::dev {
+
+/// Per-crossbar statistics.
+struct XbarStats {
+  std::uint64_t rqsts_routed = 0;
+  std::uint64_t rsps_routed = 0;
+  std::uint64_t rqst_stalls = 0;  ///< Head blocked on a full vault queue.
+  std::uint64_t rsp_stalls = 0;   ///< Vault response blocked on a full
+                                  ///< link response queue.
+  std::uint64_t rqst_bw_throttles = 0;  ///< Forwarding budget exhausted
+                                        ///< (request direction).
+  std::uint64_t rsp_bw_throttles = 0;   ///< Forwarding budget exhausted
+                                        ///< (response direction).
+};
+
+class Xbar {
+ public:
+  Xbar(std::uint32_t num_links, std::uint32_t depth);
+
+  [[nodiscard]] std::uint32_t num_links() const noexcept {
+    return static_cast<std::uint32_t>(rqst_qs_.size());
+  }
+
+  [[nodiscard]] FixedQueue<RqstEntry>& rqst_queue(std::uint32_t link) {
+    return rqst_qs_[link];
+  }
+  [[nodiscard]] const FixedQueue<RqstEntry>& rqst_queue(
+      std::uint32_t link) const {
+    return rqst_qs_[link];
+  }
+  [[nodiscard]] FixedQueue<RspEntry>& rsp_queue(std::uint32_t link) {
+    return rsp_qs_[link];
+  }
+  [[nodiscard]] const FixedQueue<RspEntry>& rsp_queue(
+      std::uint32_t link) const {
+    return rsp_qs_[link];
+  }
+
+  [[nodiscard]] XbarStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const XbarStats& stats() const noexcept { return stats_; }
+
+  void reset();
+
+ private:
+  std::vector<FixedQueue<RqstEntry>> rqst_qs_;
+  std::vector<FixedQueue<RspEntry>> rsp_qs_;
+  XbarStats stats_;
+};
+
+}  // namespace hmcsim::dev

@@ -1,0 +1,176 @@
+#include "host/cache/cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.hpp"
+
+namespace hmcsim::host {
+
+Status CacheConfig::validate() const {
+  if (!bits::is_pow2(line_bytes) || line_bytes < 16 || line_bytes > 256) {
+    return Status::InvalidArg("line_bytes must be a power of two in "
+                              "[16,256]");
+  }
+  if (ways == 0) {
+    return Status::InvalidArg("ways must be nonzero");
+  }
+  if (size_bytes == 0 || size_bytes % (line_bytes * ways) != 0) {
+    return Status::InvalidArg(
+        "size_bytes must be a multiple of line_bytes * ways");
+  }
+  if (!bits::is_pow2(num_sets())) {
+    return Status::InvalidArg("set count must be a power of two");
+  }
+  return Status::Ok();
+}
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  lines_.resize(static_cast<std::size_t>(cfg_.num_sets()) * cfg_.ways);
+  for (Line& line : lines_) {
+    line.data.resize(cfg_.line_bytes);
+  }
+}
+
+std::uint32_t Cache::set_index(std::uint64_t addr) const noexcept {
+  return static_cast<std::uint32_t>((addr / cfg_.line_bytes) %
+                                    cfg_.num_sets());
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t addr) const noexcept {
+  return addr / cfg_.line_bytes / cfg_.num_sets();
+}
+
+Cache::Line* Cache::find(std::uint64_t addr) noexcept {
+  const std::uint32_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(std::uint64_t addr) const noexcept {
+  return const_cast<Cache*>(this)->find(addr);
+}
+
+bool Cache::contains(std::uint64_t addr) const noexcept {
+  return find(addr) != nullptr;
+}
+
+bool Cache::read(std::uint64_t addr, std::span<std::uint8_t> out) {
+  Line* line = find(addr);
+  if (line == nullptr) {
+    ++stats_.misses;
+    return false;
+  }
+  const std::size_t offset =
+      static_cast<std::size_t>(addr % cfg_.line_bytes);
+  if (offset + out.size() > cfg_.line_bytes) {
+    ++stats_.misses;  // Straddling access: treated as uncacheable miss.
+    return false;
+  }
+  std::memcpy(out.data(), line->data.data() + offset, out.size());
+  line->lru = ++lru_clock_;
+  ++stats_.hits;
+  return true;
+}
+
+bool Cache::write(std::uint64_t addr, std::span<const std::uint8_t> in) {
+  Line* line = find(addr);
+  if (line == nullptr) {
+    ++stats_.misses;
+    return false;
+  }
+  const std::size_t offset =
+      static_cast<std::size_t>(addr % cfg_.line_bytes);
+  if (offset + in.size() > cfg_.line_bytes) {
+    ++stats_.misses;
+    return false;
+  }
+  std::memcpy(line->data.data() + offset, in.data(), in.size());
+  line->dirty = true;
+  line->lru = ++lru_clock_;
+  ++stats_.hits;
+  return true;
+}
+
+std::optional<Eviction> Cache::fill(std::uint64_t line_addr,
+                                    std::span<const std::uint8_t> data,
+                                    bool dirty) {
+  const std::uint32_t set = set_index(line_addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  // Prefer refreshing an existing copy, then an invalid way, then LRU.
+  Line* victim = find(line_addr);
+  if (victim == nullptr) {
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+      if (!base[w].valid) {
+        victim = &base[w];
+        break;
+      }
+    }
+  }
+  if (victim == nullptr) {
+    victim = base;
+    for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
+      if (base[w].lru < victim->lru) {
+        victim = &base[w];
+      }
+    }
+  }
+
+  std::optional<Eviction> evicted;
+  if (victim->valid && victim->tag != tag_of(line_addr)) {
+    ++stats_.evictions;
+    Eviction ev;
+    ev.line_addr = (victim->tag * cfg_.num_sets() + set) * cfg_.line_bytes;
+    ev.dirty = victim->dirty;
+    if (victim->dirty) {
+      ++stats_.dirty_writebacks;
+      ev.data = victim->data;
+    }
+    evicted = std::move(ev);
+  }
+
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->tag = tag_of(line_addr);
+  victim->lru = ++lru_clock_;
+  std::copy(data.begin(), data.end(), victim->data.begin());
+  return evicted;
+}
+
+std::optional<Eviction> Cache::invalidate(std::uint64_t addr) {
+  Line* line = find(addr);
+  if (line == nullptr) {
+    return std::nullopt;
+  }
+  ++stats_.invalidations;
+  Eviction ev;
+  ev.line_addr = line_of(addr);
+  ev.dirty = line->dirty;
+  if (line->dirty) {
+    ev.data = line->data;
+  }
+  line->valid = false;
+  line->dirty = false;
+  return ev;
+}
+
+void Cache::clear() {
+  for (Line& line : lines_) {
+    line.valid = false;
+    line.dirty = false;
+  }
+}
+
+std::size_t Cache::resident_lines() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(lines_.begin(), lines_.end(),
+                    [](const Line& l) { return l.valid; }));
+}
+
+}  // namespace hmcsim::host

@@ -1,0 +1,117 @@
+// cache.hpp — set-associative cache with data storage.
+//
+// The building block of the cache-based host model: the baseline the
+// paper's mutex experiment implicitly compares against (a traditional
+// core spins on a lock through its cache hierarchy; the line ping-pongs
+// between cores via coherency traffic, and every bounce costs a full
+// read-modify-write against memory). Write-back, write-allocate, true-LRU
+// replacement; lines carry data so the coherent system above it is a
+// functional model, not just a hit/miss counter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hmcsim::host {
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 8;
+
+  [[nodiscard]] std::uint32_t num_sets() const noexcept {
+    return size_bytes / (line_bytes * ways);
+  }
+  [[nodiscard]] Status validate() const;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_writebacks = 0;
+  std::uint64_t invalidations = 0;  ///< Lines dropped by coherency.
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Result of an eviction: the victim's address and its dirty data (only
+/// meaningful when dirty).
+struct Eviction {
+  std::uint64_t line_addr = 0;
+  bool dirty = false;
+  std::vector<std::uint8_t> data;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+
+  /// Line-aligned base address of `addr`.
+  [[nodiscard]] std::uint64_t line_of(std::uint64_t addr) const noexcept {
+    return addr & ~static_cast<std::uint64_t>(cfg_.line_bytes - 1);
+  }
+
+  /// True if the line containing addr is resident (no LRU update).
+  [[nodiscard]] bool contains(std::uint64_t addr) const noexcept;
+
+  /// Read `out.size()` bytes at addr; hit only (returns false on miss).
+  /// Counts a hit and refreshes LRU on success; counts a miss otherwise.
+  [[nodiscard]] bool read(std::uint64_t addr, std::span<std::uint8_t> out);
+
+  /// Write bytes at addr; hit only (marks the line dirty). Counts hit or
+  /// miss like read().
+  [[nodiscard]] bool write(std::uint64_t addr,
+                           std::span<const std::uint8_t> in);
+
+  /// Install a line (after a memory fill). Returns the eviction performed
+  /// to make room, if any. `dirty` marks the line modified on arrival
+  /// (write-allocate stores).
+  std::optional<Eviction> fill(std::uint64_t line_addr,
+                               std::span<const std::uint8_t> data,
+                               bool dirty);
+
+  /// Coherency: drop the line containing addr if resident; returns its
+  /// dirty payload when it was modified (the caller forwards it home).
+  std::optional<Eviction> invalidate(std::uint64_t addr);
+
+  /// Drop everything (no writebacks; test/reset use).
+  void clear();
+
+  /// Number of currently valid lines.
+  [[nodiscard]] std::size_t resident_lines() const noexcept;
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< Higher == more recently used.
+    std::vector<std::uint8_t> data;
+  };
+
+  [[nodiscard]] std::uint32_t set_index(std::uint64_t addr) const noexcept;
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const noexcept;
+  /// Locate the resident line for addr; nullptr on miss.
+  [[nodiscard]] Line* find(std::uint64_t addr) noexcept;
+  [[nodiscard]] const Line* find(std::uint64_t addr) const noexcept;
+
+  CacheConfig cfg_;
+  std::vector<Line> lines_;  ///< sets x ways, row-major.
+  std::uint64_t lru_clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace hmcsim::host

@@ -1,0 +1,220 @@
+#include "host/cache/coherent_system.hpp"
+
+#include <cstring>
+
+namespace hmcsim::host {
+
+CoherentSystem::CoherentSystem(sim::Simulator& sim, std::uint32_t num_cores,
+                               const CacheConfig& cache_cfg)
+    : sim_(sim), mem_(sim, num_cores), cores_(num_cores) {
+  caches_.reserve(num_cores);
+  for (std::uint32_t c = 0; c < num_cores; ++c) {
+    caches_.emplace_back(cache_cfg);
+  }
+}
+
+Status CoherentSystem::issue(std::uint32_t core_id, const CoreRequest& req) {
+  if (core_id >= cores_.size()) {
+    return Status::InvalidArg("core id out of range");
+  }
+  Core& core = cores_[core_id];
+  if (core.state != CoreState::Idle) {
+    return Status::InvalidState("core busy");
+  }
+  if (req.addr % 8 != 0) {
+    return Status::InvalidArg("operations must be 8-byte aligned");
+  }
+  Cache& cache = caches_[core_id];
+  const std::uint64_t line = cache.line_of(req.addr);
+  DirEntry& dir = directory_[line];
+  if (dir.busy) {
+    ++stats_.nacks;
+    return Status::Stall("line transaction in flight");
+  }
+
+  core.req = req;
+  core.writebacks.clear();
+  core.needs_fill = false;
+  core.extra_cycles = 0;
+
+  const bool exclusive = req.op != MemOp::Load;
+  const bool resident = cache.contains(req.addr);
+
+  // Coherency: for exclusive access every other copy must go; a dirty
+  // remote copy is reflected through the cube first (memory-reflected
+  // ownership transfer — the Table II accounting).
+  if (exclusive) {
+    for (const std::uint32_t sharer : dir.sharers) {
+      if (sharer == core_id) {
+        continue;
+      }
+      auto dropped = caches_[sharer].invalidate(req.addr);
+      ++stats_.invalidations_sent;
+      core.extra_cycles += kInvalidateLatency;
+      if (dropped.has_value() && dropped->dirty) {
+        ++stats_.ownership_writebacks;
+        core.writebacks.push_back(PendingWriteback{
+            dropped->line_addr, std::move(dropped->data), false});
+      }
+    }
+    dir.sharers.clear();
+    dir.sharers.insert(core_id);
+  } else {
+    // A load may coexist with clean sharers, but a remote *dirty* copy
+    // must be downgraded through memory so the fill observes it.
+    for (const std::uint32_t sharer : dir.sharers) {
+      if (sharer == core_id || !caches_[sharer].contains(req.addr)) {
+        continue;
+      }
+      auto dropped = caches_[sharer].invalidate(req.addr);
+      if (dropped.has_value() && dropped->dirty) {
+        ++stats_.ownership_writebacks;
+        core.extra_cycles += kInvalidateLatency;
+        core.writebacks.push_back(PendingWriteback{
+            dropped->line_addr, std::move(dropped->data), false});
+      } else if (dropped.has_value()) {
+        // Clean copy: reinstall; sharing is fine for reads.
+        (void)caches_[sharer].fill(line, dropped->data, false);
+      }
+    }
+    dir.sharers.insert(core_id);
+  }
+
+  core.needs_fill = !resident;
+  if (core.needs_fill || !core.writebacks.empty()) {
+    dir.busy = true;
+    advance(core_id);
+  } else {
+    ++stats_.cache_hit_ops;
+    apply(core_id);
+  }
+  return Status::Ok();
+}
+
+void CoherentSystem::advance(std::uint32_t core_id) {
+  Core& core = cores_[core_id];
+  Cache& cache = caches_[core_id];
+
+  if (!core.writebacks.empty()) {
+    const PendingWriteback& wb = core.writebacks.front();
+    for (std::size_t w = 0; w < 8; ++w) {
+      std::memcpy(&core.wr_payload[w], wb.data.data() + w * 8, 8);
+    }
+    if (wb.is_victim) {
+      ++stats_.victim_writebacks;
+    }
+    spec::RqstParams p;
+    p.rqst = spec::Rqst::WR64;
+    p.addr = wb.line_addr;
+    p.payload = {core.wr_payload.data(), 8};
+    const Status s = mem_.issue(core_id, p);
+    (void)s;  // ThreadSim retries stalls internally.
+    core.state = CoreState::Writeback;
+    return;
+  }
+
+  if (core.needs_fill) {
+    spec::RqstParams p;
+    p.rqst = spec::Rqst::RD64;
+    p.addr = cache.line_of(core.req.addr);
+    const Status s = mem_.issue(core_id, p);
+    (void)s;
+    ++stats_.fills;
+    core.state = CoreState::Fill;
+    return;
+  }
+
+  apply(core_id);
+}
+
+void CoherentSystem::apply(std::uint32_t core_id) {
+  Core& core = cores_[core_id];
+  Cache& cache = caches_[core_id];
+  const std::uint64_t line = cache.line_of(core.req.addr);
+  directory_[line].busy = false;
+
+  // Execute now, while residency/ownership is guaranteed; deliver later.
+  std::array<std::uint8_t, 8> word{};
+  const bool hit = cache.read(core.req.addr, word);
+  (void)hit;  // The transaction guaranteed residency.
+  std::uint64_t value = 0;
+  std::memcpy(&value, word.data(), 8);
+
+  core.result = CoreCompletion{};
+  core.result.core = core_id;
+  core.result.value = value;
+  switch (core.req.op) {
+    case MemOp::Load:
+      break;
+    case MemOp::Store: {
+      std::array<std::uint8_t, 8> in{};
+      std::memcpy(in.data(), &core.req.operand, 8);
+      (void)cache.write(core.req.addr, in);
+      break;
+    }
+    case MemOp::Cas: {
+      core.result.cas_success = value == core.req.expect;
+      if (core.result.cas_success) {
+        std::array<std::uint8_t, 8> in{};
+        std::memcpy(in.data(), &core.req.operand, 8);
+        (void)cache.write(core.req.addr, in);
+      }
+      break;
+    }
+  }
+
+  core.state = CoreState::Finish;
+  core.finish_cycle = sim_.cycle() + kHitLatency + core.extra_cycles;
+}
+
+void CoherentSystem::step(
+    const std::function<void(const CoreCompletion&)>& on_complete) {
+  mem_.step([this](const Completion& c) {
+    Core& core = cores_[c.tid];
+    Cache& cache = caches_[c.tid];
+    switch (core.state) {
+      case CoreState::Writeback:
+        core.writebacks.erase(core.writebacks.begin());
+        advance(c.tid);
+        break;
+      case CoreState::Fill: {
+        // Install the returned line; handle any victim it displaces.
+        const auto payload = c.rsp.pkt.payload();
+        std::vector<std::uint8_t> data(cache.config().line_bytes, 0);
+        for (std::size_t w = 0; w < payload.size() && w * 8 < data.size();
+             ++w) {
+          std::memcpy(data.data() + w * 8, &payload[w], 8);
+        }
+        const auto victim =
+            cache.fill(cache.line_of(core.req.addr), data, false);
+        core.needs_fill = false;
+        if (victim.has_value()) {
+          auto& vdir = directory_[victim->line_addr];
+          vdir.sharers.erase(c.tid);
+          if (victim->dirty) {
+            core.writebacks.push_back(
+                PendingWriteback{victim->line_addr, victim->data, true});
+          }
+        }
+        advance(c.tid);
+        break;
+      }
+      default:
+        break;  // Stray response; ignore.
+    }
+  });
+
+  // Deliver elapsed completions.
+  for (std::uint32_t core_id = 0; core_id < cores_.size(); ++core_id) {
+    Core& core = cores_[core_id];
+    if (core.state == CoreState::Finish &&
+        sim_.cycle() >= core.finish_cycle) {
+      core.state = CoreState::Idle;
+      if (on_complete) {
+        on_complete(core.result);
+      }
+    }
+  }
+}
+
+}  // namespace hmcsim::host

@@ -1,0 +1,146 @@
+// coherent_system.hpp — a multi-core cache-coherent host over the HMC.
+//
+// Models the "traditional" side of the paper's mutex comparison: N cores
+// with private write-back caches kept coherent by an invalidation
+// protocol. The protocol is MESI-lite with *memory-reflected* ownership
+// transfer: when a core needs exclusive access to a line another core
+// holds dirty, the dirty copy is written back to the cube (a real WR
+// packet) and the requester re-fetches it (a real RD packet) — precisely
+// the read-modify-write accounting of Table II, so a contended lock line
+// ping-pongs through the memory system and burns 12 FLITs per bounce.
+//
+// The model is cycle-stepped and cooperative, like ThreadSim: cores have
+// at most one memory operation in flight; conflicting transactions on a
+// busy line are NACKed with Stall (the caller retries), which mirrors
+// MSHR-conflict behaviour and keeps the data path race-free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.hpp"
+#include "host/cache/cache.hpp"
+#include "host/thread_sim.hpp"
+#include "sim/simulator.hpp"
+
+namespace hmcsim::host {
+
+/// Memory operations a core can perform.
+enum class MemOp : std::uint8_t {
+  Load,   ///< 8-byte load.
+  Store,  ///< 8-byte store (operand).
+  Cas,    ///< 8-byte compare-and-swap (expect -> operand).
+};
+
+struct CoreRequest {
+  MemOp op = MemOp::Load;
+  std::uint64_t addr = 0;     ///< 8-byte aligned.
+  std::uint64_t operand = 0;  ///< Store value / CAS desired value.
+  std::uint64_t expect = 0;   ///< CAS comparand.
+};
+
+struct CoreCompletion {
+  std::uint32_t core = 0;
+  std::uint64_t value = 0;  ///< Loaded value / pre-CAS value.
+  bool cas_success = false;
+};
+
+struct CoherencyStats {
+  std::uint64_t invalidations_sent = 0;   ///< Sharer copies dropped.
+  std::uint64_t ownership_writebacks = 0; ///< Dirty handoffs via memory.
+  std::uint64_t fills = 0;                ///< Lines fetched from the cube.
+  std::uint64_t victim_writebacks = 0;    ///< Capacity/conflict writebacks.
+  std::uint64_t nacks = 0;                ///< Busy-line retries issued.
+  std::uint64_t cache_hit_ops = 0;        ///< Ops served without memory.
+};
+
+class CoherentSystem {
+ public:
+  /// `sim` must outlive the system. All cores share the device's links
+  /// round-robin (core i -> link i mod links), like ThreadSim.
+  CoherentSystem(sim::Simulator& sim, std::uint32_t num_cores,
+                 const CacheConfig& cache_cfg);
+
+  [[nodiscard]] std::uint32_t num_cores() const noexcept {
+    return static_cast<std::uint32_t>(cores_.size());
+  }
+
+  /// Begin a memory operation for an idle core. Returns Stall when the
+  /// target line has a transaction in flight (retry next cycle) and
+  /// InvalidState when the core is already busy.
+  [[nodiscard]] Status issue(std::uint32_t core, const CoreRequest& req);
+
+  [[nodiscard]] bool idle(std::uint32_t core) const noexcept {
+    return cores_[core].state == CoreState::Idle;
+  }
+
+  /// Advance one device cycle; deliver finished operations.
+  void step(const std::function<void(const CoreCompletion&)>& on_complete);
+
+  [[nodiscard]] const CoherencyStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const Cache& cache(std::uint32_t core) const {
+    return caches_[core];
+  }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+ private:
+  enum class CoreState : std::uint8_t {
+    Idle,
+    Writeback,  ///< Waiting on a WR64 (ownership or victim writeback).
+    Fill,       ///< Waiting on a RD64 line fetch.
+    Finish,     ///< Local latency countdown before completion.
+  };
+
+  struct PendingWriteback {
+    std::uint64_t line_addr = 0;
+    std::vector<std::uint8_t> data;
+    bool is_victim = false;  ///< Capacity/conflict victim (vs ownership).
+  };
+
+  struct Core {
+    CoreState state = CoreState::Idle;
+    CoreRequest req;
+    std::vector<PendingWriteback> writebacks;  ///< Ordered, drained first.
+    bool needs_fill = false;
+    std::uint64_t finish_cycle = 0;   ///< Completion time in Finish state.
+    std::uint64_t extra_cycles = 0;   ///< Coherency penalty accumulated.
+    std::array<std::uint64_t, 8> wr_payload{};  ///< Outgoing WR64 data.
+    CoreCompletion result;  ///< Computed at apply time, delivered later.
+  };
+
+  /// Per-line directory entry.
+  struct DirEntry {
+    std::unordered_set<std::uint32_t> sharers;
+    bool busy = false;  ///< A transaction on this line is in flight.
+  };
+
+  /// Move the core's transaction forward: issue the next writeback, the
+  /// fill, or apply the operation.
+  void advance(std::uint32_t core_id);
+
+  /// Execute the operation against the (resident, exclusive where needed)
+  /// cache line. Runs as soon as residency is guaranteed so no later
+  /// invalidation can race it; the completion is delivered after the
+  /// modelled latency elapses.
+  void apply(std::uint32_t core_id);
+
+  sim::Simulator& sim_;
+  ThreadSim mem_;  ///< One outstanding HMC op per core (tag == core id).
+  std::vector<Core> cores_;
+  std::vector<Cache> caches_;
+  std::unordered_map<std::uint64_t, DirEntry> directory_;
+  std::vector<CoreCompletion> finished_;  ///< Filled by apply()/handlers.
+  CoherencyStats stats_;
+
+  /// Fixed local latencies (cycles).
+  static constexpr std::uint64_t kHitLatency = 1;
+  static constexpr std::uint64_t kInvalidateLatency = 2;
+};
+
+}  // namespace hmcsim::host

@@ -1,0 +1,46 @@
+// spinlock_driver.hpp — the traditional mutex: a CAS spinlock through the
+// cache hierarchy.
+//
+// The counterpart to host::run_mutex_contention: the same Algorithm 1
+// structure, but each thread is a core of the CoherentSystem spinning with
+// compare-and-swap on a cached lock word. Under contention the lock line
+// ping-pongs between caches via memory-reflected ownership transfers, so
+// every handoff costs real HMC read/write packets — the behaviour the
+// paper's CMC mutex operations eliminate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "host/cache/coherent_system.hpp"
+
+namespace hmcsim::host {
+
+struct SpinlockResult {
+  std::uint32_t cores = 0;
+  std::uint64_t min_cycles = 0;
+  std::uint64_t max_cycles = 0;
+  double avg_cycles = 0.0;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t cas_attempts = 0;   ///< Total CAS operations issued.
+  std::uint64_t line_bounces = 0;   ///< Ownership writebacks observed.
+  std::uint64_t hmc_rqst_flits = 0; ///< Link traffic for the whole run.
+  std::uint64_t hmc_rsp_flits = 0;
+  std::vector<std::uint64_t> per_core_cycles;
+};
+
+struct SpinlockOptions {
+  std::uint64_t lock_addr = 0x4000;  ///< 8-byte aligned lock word.
+  CacheConfig cache;                 ///< Per-core private cache.
+  std::uint64_t max_cycles = 10'000'000;  ///< Watchdog bound.
+};
+
+/// Run the spinlock experiment: every core acquires and releases the lock
+/// once (lock; unlock — with CAS retry loops on contention).
+[[nodiscard]] Status run_spinlock_contention(sim::Simulator& sim,
+                                             std::uint32_t cores,
+                                             const SpinlockOptions& opts,
+                                             SpinlockResult& out);
+
+}  // namespace hmcsim::host

@@ -1,0 +1,151 @@
+#include "host/cache_amo_model.hpp"
+
+#include <array>
+
+#include "spec/flit.hpp"
+
+namespace hmcsim::host {
+namespace {
+
+/// Read/write command pair matching a cache-line size.
+spec::Rqst read_for_line(std::uint32_t line_bytes) {
+  switch (line_bytes) {
+    case 16:
+      return spec::Rqst::RD16;
+    case 32:
+      return spec::Rqst::RD32;
+    case 64:
+      return spec::Rqst::RD64;
+    case 128:
+      return spec::Rqst::RD128;
+    default:
+      return spec::Rqst::RD256;
+  }
+}
+
+spec::Rqst write_for_line(std::uint32_t line_bytes) {
+  switch (line_bytes) {
+    case 16:
+      return spec::Rqst::WR16;
+    case 32:
+      return spec::Rqst::WR32;
+    case 64:
+      return spec::Rqst::WR64;
+    case 128:
+      return spec::Rqst::WR128;
+    default:
+      return spec::Rqst::WR256;
+  }
+}
+
+/// Drive `count` iterations of a two-phase (or one-phase) request pattern
+/// to completion and report link FLIT deltas.
+struct TrafficProbe {
+  std::uint64_t rqst0 = 0;
+  std::uint64_t rsp0 = 0;
+
+  explicit TrafficProbe(const sim::Simulator& sim) {
+    const auto s = sim.stats();
+    rqst0 = s.devices.rqst_flits;
+    rsp0 = s.devices.rsp_flits;
+  }
+  void finish(const sim::Simulator& sim, std::uint64_t cycles,
+              MeasuredAmoTraffic& out) const {
+    const auto s = sim.stats();
+    out.rqst_flits = s.devices.rqst_flits - rqst0;
+    out.rsp_flits = s.devices.rsp_flits - rsp0;
+    out.cycles = cycles;
+  }
+};
+
+/// Send one request and clock until its response arrives on link 0.
+Status roundtrip(sim::Simulator& sim, const spec::RqstParams& params,
+                 bool expect_rsp) {
+  Status s = sim.send(params, 0);
+  while (s.stalled()) {
+    sim.clock();
+    s = sim.send(params, 0);
+  }
+  if (!s.ok()) {
+    return s;
+  }
+  if (!expect_rsp) {
+    return Status::Ok();
+  }
+  for (int guard = 0; guard < 1000; ++guard) {
+    sim.clock();
+    if (sim.rsp_ready(0)) {
+      sim::Response rsp;
+      return sim.recv(0, rsp);
+    }
+  }
+  return Status::Internal("no response within 1000 cycles");
+}
+
+}  // namespace
+
+AmoCost cache_amo_cost(std::uint32_t line_bytes) {
+  // Read line + write line, each a full packet: header/tail FLIT plus the
+  // line's data FLITs in the direction that carries data.
+  const auto data_flits =
+      static_cast<std::uint64_t>(spec::data_flits(line_bytes));
+  AmoCost cost;
+  cost.request_flits = 1 + (1 + data_flits);   // RD rqst + WR rqst
+  cost.response_flits = (1 + data_flits) + 1;  // RD rsp + WR rsp
+  return cost;
+}
+
+AmoCost hmc_amo_cost(spec::Rqst amo) {
+  const spec::CommandInfo& info = spec::command_info(amo);
+  return AmoCost{info.rqst_flits, info.rsp_flits};
+}
+
+Status measure_cache_amo(sim::Simulator& sim, std::uint32_t count,
+                         std::uint32_t line_bytes, MeasuredAmoTraffic& out) {
+  out = MeasuredAmoTraffic{};
+  const TrafficProbe probe(sim);
+  const std::uint64_t start = sim.cycle();
+  std::array<std::uint64_t, 32> line{};
+
+  for (std::uint32_t i = 0; i < count; ++i) {
+    // Fetch the line...
+    spec::RqstParams rd;
+    rd.rqst = read_for_line(line_bytes);
+    rd.addr = 0;
+    if (Status s = roundtrip(sim, rd, true); !s.ok()) {
+      return s;
+    }
+    // ...modify (the increment happens host-side in this model)...
+    line[0] += 1;
+    // ...and write it back.
+    spec::RqstParams wr;
+    wr.rqst = write_for_line(line_bytes);
+    wr.addr = 0;
+    wr.payload = {line.data(), 2ULL * spec::data_flits(line_bytes)};
+    if (Status s = roundtrip(sim, wr, true); !s.ok()) {
+      return s;
+    }
+  }
+  probe.finish(sim, sim.cycle() - start, out);
+  return Status::Ok();
+}
+
+Status measure_hmc_amo(sim::Simulator& sim, std::uint32_t count,
+                       MeasuredAmoTraffic& out) {
+  out = MeasuredAmoTraffic{};
+  const TrafficProbe probe(sim);
+  const std::uint64_t start = sim.cycle();
+
+  for (std::uint32_t i = 0; i < count; ++i) {
+    spec::RqstParams inc;
+    inc.rqst = spec::Rqst::INC8;
+    inc.addr = 0;
+    if (Status s = roundtrip(sim, inc, true); !s.ok()) {
+      return s;
+    }
+  }
+  probe.finish(sim, sim.cycle() - start, out);
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::host

@@ -1,0 +1,279 @@
+#include "host/kernels/bfs.hpp"
+
+#include <array>
+#include <cstring>
+#include <deque>
+#include <queue>
+
+#include "common/rng.hpp"
+#include "host/thread_sim.hpp"
+
+namespace hmcsim::host {
+namespace {
+
+/// Synthetic undirected random graph in adjacency-list form.
+std::vector<std::vector<std::uint32_t>> make_graph(std::uint32_t vertices,
+                                                   std::uint32_t avg_degree,
+                                                   std::uint64_t seed) {
+  std::vector<std::vector<std::uint32_t>> adj(vertices);
+  Xoshiro256 rng(seed);
+  const std::uint64_t edges =
+      static_cast<std::uint64_t>(vertices) * avg_degree / 2;
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    const auto u = static_cast<std::uint32_t>(rng.below(vertices));
+    const auto v = static_cast<std::uint32_t>(rng.below(vertices));
+    if (u == v) {
+      continue;
+    }
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  return adj;
+}
+
+/// Reference BFS levels (level+1 encoding; 0 = unreached).
+std::vector<std::uint64_t> reference_levels(
+    const std::vector<std::vector<std::uint32_t>>& adj, std::uint32_t root) {
+  std::vector<std::uint64_t> level(adj.size(), 0);
+  std::queue<std::uint32_t> frontier;
+  level[root] = 1;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const std::uint32_t u = frontier.front();
+    frontier.pop();
+    for (const std::uint32_t v : adj[u]) {
+      if (level[v] == 0) {
+        level[v] = level[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return level;
+}
+
+enum class SlotPhase : std::uint8_t { WaitCas, WaitRead, WaitWrite, Idle };
+
+struct Slot {
+  SlotPhase phase = SlotPhase::Idle;
+  std::uint32_t vertex = 0;
+  std::array<std::uint64_t, 2> payload{};
+};
+
+}  // namespace
+
+Status run_bfs(sim::Simulator& sim, const BfsOptions& opts, BfsResult& out) {
+  if (opts.vertices == 0 || opts.root >= opts.vertices) {
+    return Status::InvalidArg("root must name an existing vertex");
+  }
+  if (opts.concurrency == 0) {
+    return Status::InvalidArg("concurrency must be nonzero");
+  }
+  if (opts.visited_base % 16 != 0) {
+    return Status::InvalidArg("visited array must be 16-byte aligned");
+  }
+
+  const auto adj = make_graph(opts.vertices, opts.avg_degree, opts.seed);
+
+  // Zero the visited array (one 16-byte block per vertex: CAS-friendly
+  // and free of false sharing between claims).
+  {
+    const std::vector<std::uint8_t> zeros(
+        static_cast<std::size_t>(opts.vertices) * 16, 0);
+    if (Status s = sim.mem_write(opts.cub, opts.visited_base, zeros);
+        !s.ok()) {
+      return s;
+    }
+  }
+
+  out = BfsResult{};
+  const auto stats0 = sim.stats();
+  const std::uint64_t start = sim.cycle();
+  const bool cas_mode = opts.mode == BfsMode::CasAtomic;
+
+  ThreadSim ts(sim, opts.concurrency);
+  std::vector<Slot> slot(opts.concurrency);
+  auto addr_of = [&](std::uint32_t v) {
+    return opts.visited_base + 16ULL * v;
+  };
+
+  // Claim the root at level 1 through the same machinery (one CAS/WR).
+  std::vector<std::uint32_t> frontier;
+  std::vector<std::uint32_t> next_frontier;
+  std::vector<bool> queued(opts.vertices, false);  // Host-side dedup.
+  {
+    const std::array<std::uint8_t, 8> one{1};
+    if (Status s = sim.mem_write(opts.cub, addr_of(opts.root), one);
+        !s.ok()) {
+      return s;
+    }
+    frontier.push_back(opts.root);
+    queued[opts.root] = true;
+    out.reached = 1;
+  }
+
+  std::uint64_t level = 1;  // Encoded level of the current frontier.
+  // Edge work list for the running level.
+  std::deque<std::uint32_t> work;
+
+  auto issue_claim = [&](std::uint32_t tid, std::uint32_t v) -> bool {
+    Slot& s = slot[tid];
+    s.vertex = v;
+    ++out.edges_probed;
+    if (cas_mode) {
+      // CASEQ8: swap in (level+1) when the word is still 0.
+      s.payload = {level + 1, 0};
+      spec::RqstParams p;
+      p.rqst = spec::Rqst::CASEQ8;
+      p.addr = addr_of(v);
+      p.cub = opts.cub;
+      p.payload = s.payload;
+      if (ts.issue(tid, p).ok()) {
+        s.phase = SlotPhase::WaitCas;
+        return true;
+      }
+    } else {
+      spec::RqstParams p;
+      p.rqst = spec::Rqst::RD16;
+      p.addr = addr_of(v);
+      p.cub = opts.cub;
+      if (ts.issue(tid, p).ok()) {
+        s.phase = SlotPhase::WaitRead;
+        return true;
+      }
+    }
+    s.phase = SlotPhase::Idle;
+    return false;
+  };
+
+  auto feed = [&](std::uint32_t tid) {
+    while (!work.empty()) {
+      const std::uint32_t v = work.front();
+      work.pop_front();
+      if (queued[v]) {
+        continue;  // Already claimed/claim-in-flight this search.
+      }
+      if (issue_claim(tid, v)) {
+        return;
+      }
+    }
+    slot[tid].phase = SlotPhase::Idle;
+  };
+
+  auto claim_success = [&](std::uint32_t v) {
+    if (!queued[v]) {
+      queued[v] = true;
+      next_frontier.push_back(v);
+      ++out.reached;
+    }
+  };
+
+  auto on_rsp = [&](const Completion& c) {
+    Slot& s = slot[c.tid];
+    switch (s.phase) {
+      case SlotPhase::WaitCas:
+        if (c.rsp.pkt.atomic_flag()) {
+          claim_success(s.vertex);
+        }
+        feed(c.tid);
+        break;
+      case SlotPhase::WaitRead: {
+        const auto payload = c.rsp.pkt.payload();
+        const std::uint64_t word0 = payload.empty() ? 0 : payload[0];
+        if (word0 == 0) {
+          // Unvisited: write the level (host-side check-and-update; a
+          // concurrent claim writes the same value, so it is idempotent).
+          s.payload = {level + 1, 0};
+          spec::RqstParams p;
+          p.rqst = spec::Rqst::WR16;
+          p.addr = addr_of(s.vertex);
+          p.cub = opts.cub;
+          p.payload = s.payload;
+          if (ts.issue(c.tid, p).ok()) {
+            s.phase = SlotPhase::WaitWrite;
+            return;
+          }
+        }
+        feed(c.tid);
+        break;
+      }
+      case SlotPhase::WaitWrite:
+        claim_success(s.vertex);
+        feed(c.tid);
+        break;
+      default:
+        break;
+    }
+  };
+
+  const std::uint64_t watchdog =
+      100000 + 200ULL * opts.vertices * opts.avg_degree;
+  while (!frontier.empty()) {
+    // Expand the frontier into the edge work list.
+    work.clear();
+    for (const std::uint32_t u : frontier) {
+      for (const std::uint32_t v : adj[u]) {
+        work.push_back(v);
+      }
+    }
+    next_frontier.clear();
+    for (std::uint32_t tid = 0; tid < opts.concurrency; ++tid) {
+      feed(tid);
+    }
+    auto level_busy = [&] {
+      if (!work.empty()) {
+        return true;
+      }
+      for (std::uint32_t tid = 0; tid < opts.concurrency; ++tid) {
+        if (slot[tid].phase != SlotPhase::Idle || !ts.idle(tid)) {
+          return true;
+        }
+      }
+      return false;
+    };
+    while (level_busy()) {
+      if (sim.cycle() - start > watchdog) {
+        return Status::Internal("BFS watchdog expired");
+      }
+      ts.step(on_rsp);
+      for (std::uint32_t tid = 0; tid < opts.concurrency; ++tid) {
+        if (slot[tid].phase == SlotPhase::Idle && ts.idle(tid) &&
+            !work.empty()) {
+          feed(tid);
+        }
+      }
+    }
+    frontier.swap(next_frontier);
+    out.max_level = static_cast<std::uint32_t>(level);
+    ++level;
+  }
+
+  out.kernel.cycles = sim.cycle() - start;
+  out.kernel.operations = out.edges_probed;
+  const auto stats1 = sim.stats();
+  out.kernel.rqst_flits =
+      stats1.devices.rqst_flits - stats0.devices.rqst_flits;
+  out.kernel.rsp_flits =
+      stats1.devices.rsp_flits - stats0.devices.rsp_flits;
+  out.kernel.send_retries = ts.send_retries();
+
+  if (opts.verify) {
+    const auto expect = reference_levels(adj, opts.root);
+    std::vector<std::uint8_t> buf(
+        static_cast<std::size_t>(opts.vertices) * 16, 0);
+    if (Status s = sim.mem_read(opts.cub, opts.visited_base, buf); !s.ok()) {
+      return s;
+    }
+    for (std::uint32_t v = 0; v < opts.vertices; ++v) {
+      std::uint64_t got = 0;
+      std::memcpy(&got, buf.data() + static_cast<std::size_t>(v) * 16, 8);
+      if (got != expect[v]) {
+        return Status::Internal(
+            "BFS level mismatch at vertex " + std::to_string(v) + ": got " +
+            std::to_string(got) + " expected " + std::to_string(expect[v]));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::host

@@ -1,0 +1,52 @@
+// bfs.hpp — breadth-first search with in-memory compare-and-swap.
+//
+// Reproduces the related-work case study the paper cites (Nai & Kim,
+// MEMSYS'15): accelerating graph traversal by replacing the host-side
+// "check-and-update" of the visited array with the HMC 2.0 CAS commands.
+// The visited/level array lives in cube memory; frontier expansion claims
+// vertices either with
+//   * CasAtomic       one CASEQ8 per edge (4 FLITs, one round trip), or
+//   * ReadModifyWrite RD16 + conditional WR16 (6 FLITs, two round trips),
+// so the kernel exposes both the bandwidth and the latency sides of the
+// PIM argument on an irregular workload. The graph itself is a synthetic
+// random graph generated host-side (adjacency is host state; only the
+// contended visited array is in-memory, exactly the cited kernel's shape).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "host/kernels/kernel_result.hpp"
+#include "sim/simulator.hpp"
+
+namespace hmcsim::host {
+
+enum class BfsMode : std::uint8_t {
+  CasAtomic,        ///< CASEQ8 claims vertices in-memory.
+  ReadModifyWrite,  ///< Host-side check-and-update (RD16 + WR16).
+};
+
+struct BfsOptions {
+  std::uint32_t vertices = 1024;
+  std::uint32_t avg_degree = 8;
+  std::uint64_t seed = 42;
+  std::uint32_t root = 0;
+  std::uint32_t concurrency = 32;  ///< Edges probed in parallel.
+  BfsMode mode = BfsMode::CasAtomic;
+  std::uint8_t cub = 0;
+  std::uint64_t visited_base = 0;  ///< 16-byte aligned array base.
+  bool verify = true;  ///< Check levels against a host-side BFS.
+};
+
+struct BfsResult {
+  KernelResult kernel;
+  std::uint32_t reached = 0;       ///< Vertices visited.
+  std::uint32_t max_level = 0;     ///< Eccentricity from the root.
+  std::uint64_t edges_probed = 0;  ///< Claim attempts issued.
+};
+
+[[nodiscard]] Status run_bfs(sim::Simulator& sim, const BfsOptions& opts,
+                             BfsResult& out);
+
+}  // namespace hmcsim::host

@@ -1,0 +1,223 @@
+#include "host/kernels/histogram.hpp"
+
+#include <array>
+#include <cstring>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "host/thread_sim.hpp"
+
+namespace hmcsim::host {
+namespace {
+
+enum class SlotPhase : std::uint8_t { WaitInc, WaitRead, WaitWrite, Idle };
+
+struct Slot {
+  SlotPhase phase = SlotPhase::Idle;
+  std::uint32_t bucket = 0;
+  std::array<std::uint64_t, 2> payload{};
+};
+
+}  // namespace
+
+Status run_histogram(sim::Simulator& sim, const HistogramOptions& opts,
+                     KernelResult& out) {
+  if (opts.updates == 0 || opts.buckets == 0 || opts.concurrency == 0) {
+    return Status::InvalidArg(
+        "updates, buckets and concurrency must be nonzero");
+  }
+  if (opts.base % 16 != 0) {
+    return Status::InvalidArg("bucket array must be 16-byte aligned");
+  }
+
+  // Pre-generate the update stream (replayed host-side for verification).
+  std::vector<std::uint32_t> stream(opts.updates);
+  Xoshiro256 rng(opts.seed);
+  for (auto& b : stream) {
+    b = static_cast<std::uint32_t>(rng.below(opts.buckets));
+  }
+
+  // Zero the bucket array.
+  {
+    const std::vector<std::uint8_t> zeros(
+        static_cast<std::size_t>(opts.buckets) * 16, 0);
+    if (Status s = sim.mem_write(opts.cub, opts.base, zeros); !s.ok()) {
+      return s;
+    }
+  }
+
+  out = KernelResult{};
+  const auto stats0 = sim.stats();
+  const std::uint64_t start = sim.cycle();
+  auto addr_of = [&](std::uint32_t bucket) {
+    return opts.base + 16ULL * bucket;
+  };
+
+  const std::uint32_t slots = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(opts.concurrency, opts.updates));
+  ThreadSim ts(sim, slots);
+  std::vector<Slot> slot(slots);
+  std::uint64_t cursor = 0;
+  std::uint64_t completed = 0;  // Responses (non-posted) / issues (posted).
+
+  // RMW mode loses updates on same-bucket races; serialise per bucket.
+  std::unordered_set<std::uint32_t> inflight;
+  std::vector<std::uint32_t> deferred;
+
+  auto issue = [&](std::uint32_t tid, std::uint32_t bucket) -> bool {
+    Slot& s = slot[tid];
+    s.bucket = bucket;
+    spec::RqstParams p;
+    p.addr = addr_of(bucket);
+    p.cub = opts.cub;
+    switch (opts.mode) {
+      case HistogramMode::PostedAtomic:
+        p.rqst = spec::Rqst::P_INC8;
+        if (ts.issue(tid, p).ok()) {
+          // No response will come; the slot is immediately reusable.
+          ++completed;
+          s.phase = SlotPhase::Idle;
+          return true;
+        }
+        return false;
+      case HistogramMode::Atomic:
+        p.rqst = spec::Rqst::INC8;
+        if (ts.issue(tid, p).ok()) {
+          s.phase = SlotPhase::WaitInc;
+          return true;
+        }
+        return false;
+      case HistogramMode::ReadModifyWrite:
+        if (inflight.contains(bucket)) {
+          deferred.push_back(bucket);
+          return false;
+        }
+        p.rqst = spec::Rqst::RD16;
+        if (ts.issue(tid, p).ok()) {
+          inflight.insert(bucket);
+          s.phase = SlotPhase::WaitRead;
+          return true;
+        }
+        return false;
+    }
+    return false;
+  };
+
+  auto feed = [&](std::uint32_t tid) {
+    while (true) {
+      std::uint32_t bucket;
+      if (!deferred.empty() && opts.mode == HistogramMode::ReadModifyWrite &&
+          !inflight.contains(deferred.back())) {
+        bucket = deferred.back();
+        deferred.pop_back();
+      } else if (cursor < stream.size()) {
+        bucket = stream[cursor++];
+      } else {
+        slot[tid].phase = SlotPhase::Idle;
+        return;
+      }
+      if (issue(tid, bucket)) {
+        if (opts.mode != HistogramMode::PostedAtomic) {
+          return;  // One in-flight op per slot.
+        }
+        // Posted: keep issuing until the link stalls the slot (pending)
+        // or the stream runs dry. ThreadSim retries pending sends.
+        if (!ts.idle(tid)) {
+          return;
+        }
+      }
+    }
+  };
+
+  auto on_rsp = [&](const Completion& c) {
+    Slot& s = slot[c.tid];
+    switch (s.phase) {
+      case SlotPhase::WaitInc:
+        ++completed;
+        feed(c.tid);
+        break;
+      case SlotPhase::WaitRead: {
+        const auto payload = c.rsp.pkt.payload();
+        s.payload = {payload.empty() ? 1 : payload[0] + 1,
+                     payload.size() > 1 ? payload[1] : 0};
+        spec::RqstParams p;
+        p.rqst = spec::Rqst::WR16;
+        p.addr = addr_of(s.bucket);
+        p.cub = opts.cub;
+        p.payload = s.payload;
+        if (ts.issue(c.tid, p).ok()) {
+          s.phase = SlotPhase::WaitWrite;
+        }
+        break;
+      }
+      case SlotPhase::WaitWrite:
+        inflight.erase(s.bucket);
+        ++completed;
+        feed(c.tid);
+        break;
+      default:
+        break;
+    }
+  };
+
+  for (std::uint32_t tid = 0; tid < slots; ++tid) {
+    feed(tid);
+  }
+
+  const std::uint64_t watchdog = 10000 + 100 * opts.updates;
+  const std::uint64_t processed0 = stats0.devices.rqsts_processed;
+  auto done = [&] {
+    if (completed < opts.updates) {
+      return false;
+    }
+    // Posted mode: "completed" counts issues; wait for the device to have
+    // processed every packet so verification reads settled memory.
+    return sim.stats().devices.rqsts_processed - processed0 >=
+           (opts.mode == HistogramMode::ReadModifyWrite ? 2 * opts.updates
+                                                        : opts.updates);
+  };
+  while (!done()) {
+    if (sim.cycle() - start > watchdog) {
+      return Status::Internal("histogram watchdog expired");
+    }
+    ts.step(on_rsp);
+    for (std::uint32_t tid = 0; tid < slots; ++tid) {
+      if (slot[tid].phase == SlotPhase::Idle && ts.idle(tid) &&
+          (cursor < stream.size() || !deferred.empty())) {
+        feed(tid);
+      }
+    }
+  }
+
+  out.cycles = sim.cycle() - start;
+  out.operations = opts.updates;
+  const auto stats1 = sim.stats();
+  out.rqst_flits = stats1.devices.rqst_flits - stats0.devices.rqst_flits;
+  out.rsp_flits = stats1.devices.rsp_flits - stats0.devices.rsp_flits;
+  out.send_retries = ts.send_retries();
+
+  if (opts.verify) {
+    std::vector<std::uint64_t> expect(opts.buckets, 0);
+    for (const std::uint32_t b : stream) {
+      ++expect[b];
+    }
+    std::vector<std::uint8_t> buf(
+        static_cast<std::size_t>(opts.buckets) * 16, 0);
+    if (Status s = sim.mem_read(opts.cub, opts.base, buf); !s.ok()) {
+      return s;
+    }
+    for (std::uint32_t b = 0; b < opts.buckets; ++b) {
+      std::uint64_t got = 0;
+      std::memcpy(&got, buf.data() + static_cast<std::size_t>(b) * 16, 8);
+      if (got != expect[b]) {
+        return Status::Internal(
+            "histogram mismatch at bucket " + std::to_string(b) + ": got " +
+            std::to_string(got) + " expected " + std::to_string(expect[b]));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::host

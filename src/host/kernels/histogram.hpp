@@ -1,0 +1,43 @@
+// histogram.hpp — bucket-increment kernel across the atomic command classes.
+//
+// Histogram construction is the canonical posted-atomic workload: each
+// update is a bare increment whose result nobody reads, so the posted
+// P_INC8 command (1 request FLIT, *no response at all*) does the job at a
+// sixth of the cache-path traffic and half the non-posted atomic's. Three
+// host strategies make the whole Table I design space measurable:
+//
+//   ReadModifyWrite  RD16 + WR16 per update             (6 FLITs)
+//   Atomic           INC8, response awaited             (2 FLITs)
+//   PostedAtomic     P_INC8, fire-and-forget            (1 FLIT)
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "host/kernels/kernel_result.hpp"
+#include "sim/simulator.hpp"
+
+namespace hmcsim::host {
+
+enum class HistogramMode : std::uint8_t {
+  ReadModifyWrite,
+  Atomic,
+  PostedAtomic,
+};
+
+struct HistogramOptions {
+  std::uint64_t updates = 8192;
+  std::uint32_t buckets = 256;   ///< One 8-byte counter per 16-byte block.
+  std::uint32_t concurrency = 64;
+  HistogramMode mode = HistogramMode::PostedAtomic;
+  std::uint64_t seed = 0xB0CCE;
+  std::uint8_t cub = 0;
+  std::uint64_t base = 0;  ///< 16-byte aligned bucket array base.
+  bool verify = true;      ///< Compare counters to a host-side histogram.
+};
+
+[[nodiscard]] Status run_histogram(sim::Simulator& sim,
+                                   const HistogramOptions& opts,
+                                   KernelResult& out);
+
+}  // namespace hmcsim::host

@@ -1,0 +1,32 @@
+// kernel_result.hpp — common measurement record for workload kernels.
+#pragma once
+
+#include <cstdint>
+
+namespace hmcsim::host {
+
+struct KernelResult {
+  std::uint64_t cycles = 0;       ///< Simulated cycles consumed.
+  std::uint64_t operations = 0;   ///< Kernel-defined unit of work.
+  std::uint64_t rqst_flits = 0;   ///< Link FLITs host -> device.
+  std::uint64_t rsp_flits = 0;    ///< Link FLITs device -> host.
+  std::uint64_t send_retries = 0; ///< Host stall retries.
+
+  /// Payload bytes moved per cycle (16 B per FLIT).
+  [[nodiscard]] double bytes_per_cycle() const noexcept {
+    if (cycles == 0) {
+      return 0.0;
+    }
+    return 16.0 * static_cast<double>(rqst_flits + rsp_flits) /
+           static_cast<double>(cycles);
+  }
+  /// Operations retired per cycle.
+  [[nodiscard]] double ops_per_cycle() const noexcept {
+    if (cycles == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(operations) / static_cast<double>(cycles);
+  }
+};
+
+}  // namespace hmcsim::host

@@ -1,0 +1,95 @@
+#include "host/kernels/pointer_chase.hpp"
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "host/thread_sim.hpp"
+
+namespace hmcsim::host {
+
+Status run_pointer_chase(sim::Simulator& sim, const PointerChaseOptions& opts,
+                         KernelResult& out) {
+  if (opts.nodes < 2) {
+    return Status::InvalidArg("need at least two nodes");
+  }
+  if (opts.chains == 0 || opts.hops == 0) {
+    return Status::InvalidArg("chains and hops must be nonzero");
+  }
+  if (opts.base % 16 != 0) {
+    return Status::InvalidArg("table base must be 16-byte aligned");
+  }
+
+  // Build one random cyclic permutation (Sattolo's algorithm) shared by
+  // every chain; chains start at different offsets.
+  std::vector<std::uint64_t> next(opts.nodes);
+  std::iota(next.begin(), next.end(), 0);
+  Xoshiro256 rng(opts.seed);
+  for (std::uint64_t i = opts.nodes - 1; i > 0; --i) {
+    const std::uint64_t j = rng.below(i);
+    std::swap(next[i], next[j]);
+  }
+
+  {
+    std::vector<std::uint8_t> buf(opts.nodes * 16, 0);
+    for (std::uint64_t i = 0; i < opts.nodes; ++i) {
+      std::memcpy(buf.data() + i * 16, &next[i], 8);
+    }
+    if (Status s = sim.mem_write(opts.cub, opts.base, buf); !s.ok()) {
+      return s;
+    }
+  }
+
+  out = KernelResult{};
+  const auto stats0 = sim.stats();
+  const std::uint64_t start = sim.cycle();
+
+  ThreadSim ts(sim, opts.chains);
+  std::vector<std::uint64_t> position(opts.chains);
+  std::vector<std::uint64_t> remaining(opts.chains, opts.hops);
+  std::uint64_t done_chains = 0;
+
+  auto send_hop = [&](std::uint32_t tid) -> Status {
+    spec::RqstParams p;
+    p.rqst = spec::Rqst::RD16;
+    p.addr = opts.base + position[tid] * 16;
+    p.cub = opts.cub;
+    return ts.issue(tid, p);
+  };
+
+  for (std::uint32_t c = 0; c < opts.chains; ++c) {
+    position[c] = c % opts.nodes;
+    if (Status s = send_hop(c); !s.ok()) {
+      return s;
+    }
+  }
+
+  auto on_rsp = [&](const Completion& c) {
+    const auto payload = c.rsp.pkt.payload();
+    position[c.tid] = payload.empty() ? 0 : payload[0];
+    if (--remaining[c.tid] == 0) {
+      ++done_chains;
+      return;
+    }
+    (void)send_hop(c.tid);
+  };
+
+  const std::uint64_t watchdog = 1000 + 100 * opts.hops;
+  while (done_chains < opts.chains) {
+    if (sim.cycle() - start > watchdog) {
+      return Status::Internal("pointer chase watchdog expired");
+    }
+    ts.step(on_rsp);
+  }
+
+  out.cycles = sim.cycle() - start;
+  out.operations = static_cast<std::uint64_t>(opts.chains) * opts.hops;
+  const auto stats1 = sim.stats();
+  out.rqst_flits = stats1.devices.rqst_flits - stats0.devices.rqst_flits;
+  out.rsp_flits = stats1.devices.rsp_flits - stats0.devices.rsp_flits;
+  out.send_retries = ts.send_retries();
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::host

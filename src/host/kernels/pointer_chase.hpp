@@ -1,0 +1,31 @@
+// pointer_chase.hpp — dependent-load latency probe.
+//
+// A random cyclic permutation is planted in cube memory and the host walks
+// it with fully dependent 16-byte reads: no memory-level parallelism, so
+// the measured cycles-per-hop is the pure uncontended round-trip latency
+// of the pipeline (3 cycles in the default model). Multiple independent
+// chains can be walked concurrently to show latency/bandwidth overlap.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "host/kernels/kernel_result.hpp"
+#include "sim/simulator.hpp"
+
+namespace hmcsim::host {
+
+struct PointerChaseOptions {
+  std::uint64_t nodes = 4096;   ///< Permutation size (16-byte nodes).
+  std::uint64_t hops = 1024;    ///< Dependent loads per chain.
+  std::uint32_t chains = 1;     ///< Independent concurrent walkers.
+  std::uint64_t seed = 0xC0FFEE;
+  std::uint8_t cub = 0;
+  std::uint64_t base = 0;       ///< 16-byte aligned table base.
+};
+
+[[nodiscard]] Status run_pointer_chase(sim::Simulator& sim,
+                                       const PointerChaseOptions& opts,
+                                       KernelResult& out);
+
+}  // namespace hmcsim::host

@@ -1,0 +1,233 @@
+#include "host/kernels/random_access.hpp"
+
+#include <array>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "host/thread_sim.hpp"
+
+namespace hmcsim::host {
+namespace {
+
+enum class SlotPhase : std::uint8_t { WaitRead, WaitWrite, WaitAtomic, Idle };
+
+struct Slot {
+  SlotPhase phase = SlotPhase::Idle;
+  std::uint64_t value = 0;   ///< Update operand.
+  std::uint64_t index = 0;   ///< Table word index.
+  std::array<std::uint64_t, 2> payload{};  ///< Outgoing packet payload.
+};
+
+}  // namespace
+
+Status run_random_access(sim::Simulator& sim,
+                         const RandomAccessOptions& opts, KernelResult& out) {
+  if (opts.table_words == 0 ||
+      (opts.table_words & (opts.table_words - 1)) != 0) {
+    return Status::InvalidArg("table_words must be a power of two");
+  }
+  if (opts.updates == 0 || opts.concurrency == 0) {
+    return Status::InvalidArg("updates and concurrency must be nonzero");
+  }
+  if (opts.table_base % 16 != 0) {
+    return Status::InvalidArg("table_base must be 16-byte aligned");
+  }
+
+  // Pre-generate the update stream so verification replays exactly.
+  std::vector<std::uint64_t> stream(opts.updates);
+  Xoshiro256 rng(opts.seed);
+  for (auto& v : stream) {
+    v = rng();
+  }
+
+  // Zero the table region.
+  {
+    const std::vector<std::uint8_t> zeros(opts.table_words * 8, 0);
+    if (Status s = sim.mem_write(opts.cub, opts.table_base, zeros); !s.ok()) {
+      return s;
+    }
+  }
+
+  out = KernelResult{};
+  const auto stats0 = sim.stats();
+  const std::uint64_t start = sim.cycle();
+
+  const bool atomic = opts.mode == GupsMode::Atomic;
+  const std::uint32_t slots = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(opts.concurrency, opts.updates));
+  ThreadSim ts(sim, slots);
+  std::vector<Slot> slot(slots);
+  std::uint64_t cursor = 0;
+  std::uint64_t done = 0;
+
+  // Host-side RMW loses updates when two of them hit the same 16-byte
+  // block concurrently — exactly the hazard HMC atomics remove. The RMW
+  // driver therefore serialises per-block, modelling the coherence
+  // serialisation a real cache hierarchy would impose.
+  std::unordered_set<std::uint64_t> inflight_blocks;
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> waiting;
+
+  auto block_of = [&](std::uint64_t index) { return index / 2; };
+  auto addr_of_block = [&](std::uint64_t block) {
+    return opts.table_base + block * 16;
+  };
+
+  auto send_atomic = [&](std::uint32_t tid) -> Status {
+    Slot& s = slot[tid];
+    const bool high = (s.index & 1) != 0;
+    s.payload = {high ? 0 : s.value, high ? s.value : 0};
+    spec::RqstParams p;
+    p.rqst = spec::Rqst::XOR16;
+    p.addr = addr_of_block(block_of(s.index));
+    p.cub = opts.cub;
+    p.payload = s.payload;
+    return ts.issue(tid, p);
+  };
+  auto send_read = [&](std::uint32_t tid) -> Status {
+    spec::RqstParams p;
+    p.rqst = spec::Rqst::RD16;
+    p.addr = addr_of_block(block_of(slot[tid].index));
+    p.cub = opts.cub;
+    return ts.issue(tid, p);
+  };
+
+  // Assign the next runnable update to a slot; returns false when no work
+  // is currently available for it.
+  auto start_update = [&](std::uint32_t tid, std::uint64_t value) {
+    Slot& s = slot[tid];
+    s.value = value;
+    s.index = value & (opts.table_words - 1);
+    if (atomic) {
+      if (send_atomic(tid).ok()) {
+        s.phase = SlotPhase::WaitAtomic;
+        return;
+      }
+    } else {
+      const std::uint64_t block = block_of(s.index);
+      if (inflight_blocks.contains(block)) {
+        waiting[block].push_back(value);
+        s.phase = SlotPhase::Idle;
+        return;
+      }
+      inflight_blocks.insert(block);
+      if (send_read(tid).ok()) {
+        s.phase = SlotPhase::WaitRead;
+        return;
+      }
+      inflight_blocks.erase(block);
+    }
+    s.phase = SlotPhase::Idle;
+  };
+
+  auto next_for = [&](std::uint32_t tid) {
+    while (cursor < stream.size()) {
+      const std::uint64_t value = stream[cursor++];
+      start_update(tid, value);
+      if (slot[tid].phase != SlotPhase::Idle) {
+        return;
+      }
+      // Deferred into a waiting list (block busy): pull the next update.
+    }
+    slot[tid].phase = SlotPhase::Idle;
+  };
+
+  auto finish_block = [&](std::uint32_t tid, std::uint64_t block) {
+    inflight_blocks.erase(block);
+    ++done;
+    // Drain a same-block waiter first so deferred updates cannot starve.
+    if (const auto it = waiting.find(block);
+        it != waiting.end() && !it->second.empty()) {
+      const std::uint64_t value = it->second.back();
+      it->second.pop_back();
+      if (it->second.empty()) {
+        waiting.erase(it);
+      }
+      start_update(tid, value);
+      return;
+    }
+    next_for(tid);
+  };
+
+  auto on_rsp = [&](const Completion& c) {
+    Slot& s = slot[c.tid];
+    switch (s.phase) {
+      case SlotPhase::WaitAtomic:
+        ++done;
+        next_for(c.tid);
+        break;
+      case SlotPhase::WaitRead: {
+        const auto payload = c.rsp.pkt.payload();
+        const bool high = (s.index & 1) != 0;
+        s.payload = {payload.size() > 0 ? payload[0] : 0,
+                     payload.size() > 1 ? payload[1] : 0};
+        s.payload[high ? 1 : 0] ^= s.value;
+        spec::RqstParams p;
+        p.rqst = spec::Rqst::WR16;
+        p.addr = addr_of_block(block_of(s.index));
+        p.cub = opts.cub;
+        p.payload = s.payload;
+        if (ts.issue(c.tid, p).ok()) {
+          s.phase = SlotPhase::WaitWrite;
+        }
+        break;
+      }
+      case SlotPhase::WaitWrite:
+        finish_block(c.tid, block_of(s.index));
+        break;
+      default:
+        break;
+    }
+  };
+
+  for (std::uint32_t tid = 0; tid < slots; ++tid) {
+    next_for(tid);
+  }
+
+  const std::uint64_t watchdog = 1000 + 100 * opts.updates;
+  while (done < opts.updates) {
+    if (sim.cycle() - start > watchdog) {
+      return Status::Internal("random access watchdog expired");
+    }
+    ts.step(on_rsp);
+    // Idle slots may have runnable work again (a blocking update retired
+    // through another slot's waiting list, or the cursor advanced).
+    for (std::uint32_t tid = 0; tid < slots; ++tid) {
+      if (slot[tid].phase == SlotPhase::Idle && ts.idle(tid) &&
+          done < opts.updates) {
+        next_for(tid);
+      }
+    }
+  }
+
+  out.cycles = sim.cycle() - start;
+  out.operations = opts.updates;
+  const auto stats1 = sim.stats();
+  out.rqst_flits = stats1.devices.rqst_flits - stats0.devices.rqst_flits;
+  out.rsp_flits = stats1.devices.rsp_flits - stats0.devices.rsp_flits;
+  out.send_retries = ts.send_retries();
+
+  if (opts.verify) {
+    std::vector<std::uint64_t> expect(opts.table_words, 0);
+    for (const std::uint64_t v : stream) {
+      expect[v & (opts.table_words - 1)] ^= v;
+    }
+    std::vector<std::uint8_t> buf(opts.table_words * 8, 0);
+    if (Status s = sim.mem_read(opts.cub, opts.table_base, buf); !s.ok()) {
+      return s;
+    }
+    for (std::uint64_t i = 0; i < opts.table_words; ++i) {
+      std::uint64_t got;
+      std::memcpy(&got, buf.data() + i * 8, 8);
+      if (got != expect[i]) {
+        return Status::Internal("GUPS verification failed at word " +
+                                std::to_string(i));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::host

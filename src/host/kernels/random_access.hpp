@@ -1,0 +1,43 @@
+// random_access.hpp — the HPCC RandomAccess (GUPS) kernel.
+//
+// HMC-Sim 1.0's second evaluation kernel: random 8-byte XOR updates over a
+// large table. Two host strategies are provided, making the kernel double
+// as the AMO-benefit demonstrator:
+//
+//   * ReadModifyWrite — the classic host-side update (RD16 + WR16 per
+//     update), i.e. what a cache-based host must do.
+//   * Atomic          — one XOR16 HMC atomic per update (the PIM path).
+//
+// Updates use the HPCC LCG-style random stream, seeded explicitly.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "host/kernels/kernel_result.hpp"
+#include "sim/simulator.hpp"
+
+namespace hmcsim::host {
+
+enum class GupsMode : std::uint8_t {
+  ReadModifyWrite,  ///< Host-side RMW: RD16 then WR16.
+  Atomic,           ///< Device-side XOR16 atomic.
+};
+
+struct RandomAccessOptions {
+  std::uint64_t table_words = 1 << 16;  ///< Table size in 8-byte words
+                                        ///< (power of two).
+  std::uint64_t updates = 4096;         ///< Number of updates.
+  std::uint32_t concurrency = 64;       ///< Simultaneous updates in flight.
+  GupsMode mode = GupsMode::Atomic;
+  std::uint64_t seed = 0x2545F4914F6CDD1DULL;
+  std::uint8_t cub = 0;
+  std::uint64_t table_base = 0;
+  bool verify = true;  ///< Replay updates host-side and compare tables.
+};
+
+[[nodiscard]] Status run_random_access(sim::Simulator& sim,
+                                       const RandomAccessOptions& opts,
+                                       KernelResult& out);
+
+}  // namespace hmcsim::host

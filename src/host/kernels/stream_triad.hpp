@@ -1,0 +1,36 @@
+// stream_triad.hpp — the STREAM Triad kernel (a[i] = b[i] + s*c[i]).
+//
+// HMC-Sim 1.0's evaluation kernel, carried forward: a stride-1 bandwidth
+// probe whose accesses interleave across every vault. The simulated host
+// issues block reads for b and c and a block write for a, with a
+// configurable number of concurrent in-flight elements standing in for the
+// host's memory-level parallelism.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "host/kernels/kernel_result.hpp"
+#include "sim/simulator.hpp"
+
+namespace hmcsim::host {
+
+struct StreamTriadOptions {
+  std::uint64_t elements = 1024;  ///< Triad elements (8-byte doubles).
+  std::uint32_t block_bytes = 64; ///< Access granularity (16..256).
+  std::uint32_t concurrency = 32; ///< Simultaneously active elements.
+  double scalar = 3.0;            ///< The Triad scalar s.
+  std::uint8_t cub = 0;
+  std::uint64_t base_a = 0;       ///< Array base addresses (auto-spaced
+  std::uint64_t base_b = 0;       ///< when left zero).
+  std::uint64_t base_c = 0;
+  bool verify = true;             ///< Check a[] contents afterwards.
+};
+
+/// Run the kernel to completion; fails on watchdog expiry or (with
+/// verify=true) an incorrect result vector.
+[[nodiscard]] Status run_stream_triad(sim::Simulator& sim,
+                                      const StreamTriadOptions& opts,
+                                      KernelResult& out);
+
+}  // namespace hmcsim::host

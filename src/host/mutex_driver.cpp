@@ -1,0 +1,169 @@
+#include "host/mutex_driver.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace hmcsim::host {
+namespace {
+
+enum class Phase : std::uint8_t {
+  SendLock,
+  WaitLock,
+  SendTrylock,
+  WaitTrylock,
+  SendUnlock,
+  WaitUnlock,
+  Done,
+};
+
+struct ThreadFsm {
+  Phase phase = Phase::SendLock;
+  std::uint64_t done_cycle = 0;
+};
+
+}  // namespace
+
+Status run_mutex_contention(sim::Simulator& sim, std::uint32_t threads,
+                            const MutexOptions& opts, MutexResult& out) {
+  if (threads == 0) {
+    return Status::InvalidArg("need at least one thread");
+  }
+  for (const spec::Rqst op :
+       {spec::Rqst::CMC125, spec::Rqst::CMC126, spec::Rqst::CMC127}) {
+    if (sim.cmc_registry().lookup(op) == nullptr) {
+      return Status::InvalidState(
+          "mutex CMC operations not registered (need CMC125/126/127)");
+    }
+  }
+  if (opts.lock_addr % 16 != 0) {
+    return Status::InvalidArg("lock structure must be 16-byte aligned");
+  }
+  if (opts.num_locks == 0 || opts.lock_stride % 16 != 0) {
+    return Status::InvalidArg(
+        "need at least one lock and a 16-byte aligned stride");
+  }
+  const auto lock_addr_of = [&opts](std::uint32_t tid) {
+    return opts.lock_addr + opts.lock_stride * (tid % opts.num_locks);
+  };
+
+  // Known initial state: every lock free, owner undefined (zeroed).
+  const std::array<std::uint8_t, 16> zero{};
+  for (std::uint32_t l = 0; l < opts.num_locks; ++l) {
+    if (Status s = sim.mem_write(
+            opts.cub, opts.lock_addr + opts.lock_stride * l, zero);
+        !s.ok()) {
+      return s;
+    }
+  }
+
+  out = MutexResult{};
+  out.threads = threads;
+  out.per_thread_cycles.assign(threads, 0);
+
+  ThreadSim ts(sim, threads);
+  std::vector<ThreadFsm> fsm(threads);
+  const std::uint64_t start_cycle = sim.cycle();
+  std::uint32_t done_count = 0;
+
+  auto tid_token = [](std::uint32_t tid) -> std::uint64_t {
+    return static_cast<std::uint64_t>(tid) + 1;  // 0 is "lock free".
+  };
+
+  // Stalled sends are retried by ThreadSim with the same RqstParams, whose
+  // payload is a non-owning span — so each thread's payload lives here,
+  // not on a transient stack frame.
+  std::vector<std::array<std::uint64_t, 2>> payloads(threads);
+
+  auto send = [&](std::uint32_t tid, spec::Rqst op) -> Status {
+    payloads[tid] = {tid_token(tid), 0};
+    spec::RqstParams params;
+    params.rqst = op;
+    params.addr = lock_addr_of(tid);
+    params.cub = opts.cub;
+    params.payload = payloads[tid];
+    return ts.issue(tid, params);
+  };
+
+  // Kick off: every thread dispatches its HMC_LOCK at the start cycle.
+  for (std::uint32_t tid = 0; tid < threads; ++tid) {
+    if (Status s = send(tid, spec::Rqst::CMC125); !s.ok()) {
+      return s;
+    }
+    fsm[tid].phase = Phase::WaitLock;
+  }
+
+  auto on_rsp = [&](const Completion& c) {
+    const std::uint32_t tid = c.tid;
+    ThreadFsm& t = fsm[tid];
+    const auto payload = c.rsp.pkt.payload();
+    const std::uint64_t word0 = payload.empty() ? 0 : payload[0];
+
+    switch (t.phase) {
+      case Phase::WaitLock:
+        if (word0 != 0) {
+          t.phase = Phase::SendUnlock;
+        } else {
+          ++out.lock_failures;
+          t.phase = Phase::SendTrylock;
+        }
+        break;
+      case Phase::WaitTrylock:
+        // hmc_trylock returns the owner's thread token; the thread owns
+        // the lock iff that token is its own.
+        if (word0 == tid_token(tid)) {
+          t.phase = Phase::SendUnlock;
+        } else {
+          t.phase = Phase::SendTrylock;
+        }
+        break;
+      case Phase::WaitUnlock:
+        t.phase = Phase::Done;
+        t.done_cycle = sim.cycle();
+        out.per_thread_cycles[tid] = t.done_cycle - start_cycle;
+        ++done_count;
+        break;
+      default:
+        break;  // Stray response (should not happen); ignore.
+    }
+
+    // Dispatch the next operation for the new phase.
+    switch (t.phase) {
+      case Phase::SendTrylock:
+        ++out.trylock_attempts;
+        if (send(tid, spec::Rqst::CMC126).ok()) {
+          t.phase = Phase::WaitTrylock;
+        }
+        break;
+      case Phase::SendUnlock:
+        if (send(tid, spec::Rqst::CMC127).ok()) {
+          t.phase = Phase::WaitUnlock;
+        }
+        break;
+      default:
+        break;
+    }
+  };
+
+  while (done_count < threads) {
+    if (sim.cycle() - start_cycle > opts.max_cycles) {
+      return Status::Internal("mutex contention watchdog expired after " +
+                              std::to_string(opts.max_cycles) + " cycles");
+    }
+    ts.step(on_rsp);
+  }
+
+  out.total_cycles = sim.cycle() - start_cycle;
+  out.send_retries = ts.send_retries();
+  out.min_cycles = *std::min_element(out.per_thread_cycles.begin(),
+                                     out.per_thread_cycles.end());
+  out.max_cycles = *std::max_element(out.per_thread_cycles.begin(),
+                                     out.per_thread_cycles.end());
+  double sum = 0.0;
+  for (const std::uint64_t c : out.per_thread_cycles) {
+    sum += static_cast<double>(c);
+  }
+  out.avg_cycles = sum / static_cast<double>(threads);
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::host

@@ -1,0 +1,62 @@
+// mutex_driver.hpp — Algorithm 1 of the paper.
+//
+// Every thread executes, against one shared 16-byte lock structure:
+//
+//   HMC_LOCK(addr)
+//   if LOCK_SUCCESS:   HMC_UNLOCK(addr)
+//   else:              do HMC_TRYLOCK(addr) while not acquired
+//                      HMC_UNLOCK(addr)
+//
+// and the driver records the MIN/MAX/AVG number of cycles any thread needs
+// to complete the sequence — the exact measurement behind Figures 5-7 and
+// Table VI. Thread IDs are encoded as tid+1 so that thread 0 is
+// distinguishable from the all-zero initial lock state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "host/thread_sim.hpp"
+#include "sim/simulator.hpp"
+
+namespace hmcsim::host {
+
+/// Measured outcome of one mutex simulation.
+struct MutexResult {
+  std::uint32_t threads = 0;
+  std::uint64_t min_cycles = 0;  ///< The paper's MIN_CYCLE.
+  std::uint64_t max_cycles = 0;  ///< The paper's MAX_CYCLE.
+  double avg_cycles = 0.0;       ///< The paper's AVG_CYCLE.
+  std::uint64_t total_cycles = 0;      ///< Wall-clock cycles simulated.
+  std::uint64_t trylock_attempts = 0;  ///< Total TRYLOCK packets issued.
+  std::uint64_t lock_failures = 0;     ///< Initial LOCKs that lost the race.
+  std::uint64_t send_retries = 0;      ///< Host-side stall retries.
+  std::vector<std::uint64_t> per_thread_cycles;
+};
+
+/// Options for a mutex contention run.
+struct MutexOptions {
+  std::uint64_t lock_addr = 0;   ///< 16-byte aligned lock structure address.
+  std::uint8_t cub = 0;          ///< Target cube.
+  std::uint64_t max_cycles = 1'000'000;  ///< Watchdog bound.
+
+  /// Number of independent lock structures. The paper's experiment uses a
+  /// single lock ("this will undoubtedly induce a memory hot spot");
+  /// spreading threads over several locks (thread t uses lock t mod N) is
+  /// the natural hot-spot ablation.
+  std::uint32_t num_locks = 1;
+  /// Byte distance between consecutive locks. The default of one
+  /// interleave block (64 B) places each lock in a different vault.
+  std::uint64_t lock_stride = 64;
+};
+
+/// Run Algorithm 1 with `threads` contenders. The simulator must already
+/// have the three mutex CMC operations (CMC125/126/127) registered; the
+/// lock structure is zero-initialised through the back door before the run.
+[[nodiscard]] Status run_mutex_contention(sim::Simulator& sim,
+                                          std::uint32_t threads,
+                                          const MutexOptions& opts,
+                                          MutexResult& out);
+
+}  // namespace hmcsim::host

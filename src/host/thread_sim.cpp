@@ -1,0 +1,89 @@
+#include "host/thread_sim.hpp"
+
+namespace hmcsim::host {
+
+ThreadSim::ThreadSim(sim::Simulator& sim, std::uint32_t num_threads)
+    : sim_(sim), threads_(num_threads), tag_to_tid_(num_threads, 0) {
+  // One outstanding request per thread lets tags be thread ids directly;
+  // the 11-bit TAG field caps the thread count.
+  if (num_threads > spec::kMaxTag) {
+    threads_.resize(spec::kMaxTag);
+    tag_to_tid_.resize(spec::kMaxTag);
+  }
+  for (std::uint32_t t = 0; t < tag_to_tid_.size(); ++t) {
+    tag_to_tid_[t] = t;
+  }
+}
+
+Status ThreadSim::issue(std::uint32_t tid, const spec::RqstParams& params) {
+  if (tid >= threads_.size()) {
+    return Status::InvalidArg("thread id out of range");
+  }
+  ThreadState& t = threads_[tid];
+  if (t.outstanding || t.pending) {
+    return Status::InvalidState("thread " + std::to_string(tid) +
+                                " already has a request in flight");
+  }
+  t.request = params;
+  t.request.tag = static_cast<std::uint16_t>(tid);
+  t.pending = true;
+  try_send(tid);
+  return Status::Ok();
+}
+
+void ThreadSim::try_send(std::uint32_t tid) {
+  ThreadState& t = threads_[tid];
+  const Status s = sim_.send(t.request, link_for(tid));
+  if (s.ok()) {
+    t.pending = false;
+    // Posted requests never produce a response; the thread is immediately
+    // free to issue again.
+    bool posted;
+    if (spec::is_cmc(t.request.rqst)) {
+      const cmc::CmcOp* op = sim_.cmc_registry().lookup(t.request.rqst);
+      posted = op == nullptr || op->posted();
+    } else {
+      posted = spec::command_info(t.request.rqst).rsp_flits == 0;
+    }
+    t.outstanding = !posted;
+  } else if (s.stalled()) {
+    ++send_retries_;  // Stay pending; retried next step().
+  } else {
+    // Hard error: drop the request so the thread does not hang forever.
+    t.pending = false;
+    t.outstanding = false;
+  }
+}
+
+void ThreadSim::step(const std::function<void(const Completion&)>& on_rsp) {
+  // Retry stalled sends in tid order before the clock so a freed queue
+  // slot is claimed deterministically.
+  for (std::uint32_t tid = 0; tid < threads_.size(); ++tid) {
+    if (threads_[tid].pending) {
+      try_send(tid);
+    }
+  }
+
+  sim_.clock();
+
+  // Drain every ready response on every link.
+  for (std::uint32_t link = 0; link < sim_.config().num_links; ++link) {
+    while (sim_.rsp_ready(link)) {
+      Completion c;
+      if (!sim_.recv(link, c.rsp).ok()) {
+        break;
+      }
+      const std::uint16_t tag = c.rsp.pkt.tag();
+      if (tag >= threads_.size()) {
+        continue;  // Response to traffic issued outside this ThreadSim.
+      }
+      c.tid = tag_to_tid_[tag];
+      threads_[c.tid].outstanding = false;
+      if (on_rsp) {
+        on_rsp(c);
+      }
+    }
+  }
+}
+
+}  // namespace hmcsim::host

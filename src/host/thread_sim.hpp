@@ -1,0 +1,80 @@
+// thread_sim.hpp — cooperative simulated-host thread scheduler.
+//
+// The paper drives its evaluation with N logical host threads, each with at
+// most one outstanding HMC request, assigned to host links round-robin
+// (tid mod links). ThreadSim provides that substrate: tag allocation,
+// link assignment, stall-retry bookkeeping, and a step() that advances the
+// device one cycle and routes completed responses back to per-thread
+// handlers. Determinism: threads are always scanned in tid order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sim/simulator.hpp"
+
+namespace hmcsim::host {
+
+/// Identifies the response delivered to a thread.
+struct Completion {
+  std::uint32_t tid = 0;
+  sim::Response rsp;
+};
+
+class ThreadSim {
+ public:
+  /// `sim` must outlive the ThreadSim.
+  ThreadSim(sim::Simulator& sim, std::uint32_t num_threads);
+
+  [[nodiscard]] std::uint32_t num_threads() const noexcept {
+    return static_cast<std::uint32_t>(threads_.size());
+  }
+
+  /// Host link a thread's traffic uses (round-robin by thread id).
+  [[nodiscard]] std::uint32_t link_for(std::uint32_t tid) const noexcept {
+    return tid % sim_.config().num_links;
+  }
+
+  /// Queue a request for `tid`. The tag field is assigned internally; at
+  /// most one request may be outstanding per thread. If the link stalls,
+  /// the request is retried automatically on following cycles.
+  [[nodiscard]] Status issue(std::uint32_t tid,
+                             const spec::RqstParams& params);
+
+  /// True when `tid` has neither an outstanding nor a pending request.
+  [[nodiscard]] bool idle(std::uint32_t tid) const noexcept {
+    const ThreadState& t = threads_[tid];
+    return !t.outstanding && !t.pending;
+  }
+
+  /// Advance one cycle: retry stalled sends, clock the device, then drain
+  /// every link's ready responses into `on_rsp` (which may call issue()).
+  void step(const std::function<void(const Completion&)>& on_rsp);
+
+  /// Total send stalls observed (retries), for queue-pressure analysis.
+  [[nodiscard]] std::uint64_t send_retries() const noexcept {
+    return send_retries_;
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+ private:
+  struct ThreadState {
+    bool outstanding = false;  ///< Request in flight (device side).
+    bool pending = false;      ///< Request waiting to enter the device.
+    spec::RqstParams request;  ///< Pending request parameters.
+  };
+
+  /// Try to push a thread's pending request into the device.
+  void try_send(std::uint32_t tid);
+
+  sim::Simulator& sim_;
+  std::vector<ThreadState> threads_;
+  std::vector<std::uint32_t> tag_to_tid_;  ///< Indexed by tag.
+  std::uint64_t send_retries_ = 0;
+};
+
+}  // namespace hmcsim::host

@@ -1,0 +1,192 @@
+#include "host/trace_replay.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace hmcsim::host {
+
+Status parse_trace(std::istream& in, std::vector<TraceRecord>& out) {
+  out.clear();
+  std::string line;
+  std::size_t line_no = 0;
+  std::uint64_t prev_cycle = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    TraceRecord rec;
+    std::string cmd_name;
+    unsigned link = 0;
+    unsigned cub = 0;
+    if (!(fields >> rec.issue_cycle >> link >> cmd_name >> cub >> std::hex >>
+          rec.addr)) {
+      return Status::InvalidArg("trace line " + std::to_string(line_no) +
+                                ": expected <cycle> <link> <cmd> <cub> "
+                                "<addr-hex>");
+    }
+    const auto rqst = spec::parse_rqst(cmd_name);
+    if (!rqst.has_value()) {
+      return Status::InvalidArg("trace line " + std::to_string(line_no) +
+                                ": unknown command '" + cmd_name + "'");
+    }
+    rec.rqst = *rqst;
+    rec.link = link;
+    if (cub > spec::kMaxCub) {
+      return Status::InvalidArg("trace line " + std::to_string(line_no) +
+                                ": cub out of range");
+    }
+    rec.cub = static_cast<std::uint8_t>(cub);
+    std::uint64_t word = 0;
+    while (fields >> word) {
+      rec.payload.push_back(word);
+    }
+    if (rec.payload.size() > 32) {
+      return Status::InvalidArg("trace line " + std::to_string(line_no) +
+                                ": payload exceeds 32 words");
+    }
+    if (rec.issue_cycle < prev_cycle) {
+      return Status::InvalidArg("trace line " + std::to_string(line_no) +
+                                ": issue cycles must be non-decreasing");
+    }
+    prev_cycle = rec.issue_cycle;
+    out.push_back(std::move(rec));
+  }
+  return Status::Ok();
+}
+
+Status load_trace(const std::string& path, std::vector<TraceRecord>& out) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open trace file: " + path);
+  }
+  return parse_trace(in, out);
+}
+
+void write_trace(std::ostream& os, const std::vector<TraceRecord>& records) {
+  os << "# hmcsim trace: <cycle> <link> <cmd> <cub> <addr-hex> "
+        "[payload-hex...]\n";
+  for (const TraceRecord& rec : records) {
+    os << std::dec << rec.issue_cycle << ' ' << rec.link << ' '
+       << spec::to_string(rec.rqst) << ' ' << unsigned(rec.cub) << ' '
+       << std::hex << rec.addr;
+    for (const std::uint64_t w : rec.payload) {
+      os << ' ' << w;
+    }
+    os << std::dec << '\n';
+  }
+}
+
+Status save_trace(const std::string& path,
+                  const std::vector<TraceRecord>& records) {
+  std::ofstream os(path);
+  if (!os.is_open()) {
+    return Status::InvalidArg("cannot open trace file for write: " + path);
+  }
+  write_trace(os, records);
+  return os.good() ? Status::Ok()
+                   : Status::Internal("short write to " + path);
+}
+
+Status replay_trace(sim::Simulator& sim,
+                    const std::vector<TraceRecord>& records,
+                    ReplayResult& out) {
+  out = ReplayResult{};
+  const auto stats0 = sim.stats();
+  const std::uint64_t base_cycle = sim.cycle();
+  std::size_t next = 0;        // First not-yet-issued record.
+  std::uint64_t expected = 0;  // Non-posted requests awaiting responses.
+  std::uint16_t tag = 0;
+
+  auto is_posted = [&sim](spec::Rqst rqst) {
+    if (spec::is_cmc(rqst)) {
+      const cmc::CmcOp* op = sim.cmc_registry().lookup(rqst);
+      return op == nullptr ? false : op->posted();
+    }
+    return spec::command_info(rqst).rsp_flits == 0;
+  };
+
+  std::uint64_t first_issue = 0;
+  bool issued_any = false;
+  while (next < records.size() || expected > 0) {
+    const std::uint64_t rel_cycle = sim.cycle() - base_cycle;
+    // Issue every record due this cycle; a stalled head blocks the rest
+    // (host queue semantics).
+    while (next < records.size() &&
+           records[next].issue_cycle <= rel_cycle) {
+      const TraceRecord& rec = records[next];
+      spec::RqstParams params;
+      params.rqst = rec.rqst;
+      params.addr = rec.addr;
+      params.cub = rec.cub;
+      params.tag = tag;
+      params.payload = rec.payload;
+      const Status s = sim.send(params, rec.link);
+      if (s.stalled()) {
+        ++out.send_retries;
+        break;
+      }
+      if (!s.ok()) {
+        return Status(s.code(), "replay record " + std::to_string(next) +
+                                    ": " + s.message());
+      }
+      tag = static_cast<std::uint16_t>((tag + 1) & spec::kMaxTag);
+      if (!issued_any) {
+        issued_any = true;
+        first_issue = sim.cycle();
+      }
+      ++out.requests_issued;
+      if (!is_posted(rec.rqst)) {
+        ++expected;
+      }
+      ++next;
+    }
+
+    sim.clock();
+
+    for (std::uint32_t link = 0; link < sim.config().num_links; ++link) {
+      sim::Response rsp;
+      while (sim.recv(link, rsp).ok()) {
+        ++out.responses_received;
+        if (rsp.pkt.cmd() ==
+            static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR)) {
+          ++out.error_responses;
+        }
+        --expected;
+      }
+    }
+
+    // Watchdog: a replay that makes no forward progress for a long time
+    // indicates an unregistered CMC or a deadlocked configuration.
+    if (sim.cycle() - base_cycle >
+        records.size() * 100 + 100000) {
+      return Status::Internal("trace replay watchdog expired");
+    }
+  }
+
+  out.cycles = issued_any ? sim.cycle() - first_issue : 0;
+  const auto stats1 = sim.stats();
+  out.rqst_flits = stats1.devices.rqst_flits - stats0.devices.rqst_flits;
+  out.rsp_flits = stats1.devices.rsp_flits - stats0.devices.rsp_flits;
+  return Status::Ok();
+}
+
+TraceBuilder& TraceBuilder::add(spec::Rqst rqst, std::uint64_t addr,
+                                std::vector<std::uint64_t> payload,
+                                std::uint64_t gap, std::uint8_t cub) {
+  TraceRecord rec;
+  cycle_ += gap;
+  rec.issue_cycle = cycle_;
+  rec.link = next_link_;
+  next_link_ = (next_link_ + 1) % num_links_;
+  rec.rqst = rqst;
+  rec.cub = cub;
+  rec.addr = addr;
+  rec.payload = std::move(payload);
+  records_.push_back(std::move(rec));
+  return *this;
+}
+
+}  // namespace hmcsim::host

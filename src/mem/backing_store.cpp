@@ -1,0 +1,103 @@
+#include "mem/backing_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hmcsim::mem {
+
+BackingStore::BackingStore(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+BackingStore::Page& BackingStore::page_for_write(std::uint64_t page_index) {
+  auto& slot = pages_[page_index];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+const BackingStore::Page* BackingStore::page_for_read(
+    std::uint64_t page_index) const noexcept {
+  const auto it = pages_.find(page_index);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+Status BackingStore::read(std::uint64_t addr,
+                          std::span<std::uint8_t> out) const {
+  if (!in_range(addr, out.size())) {
+    return Status::InvalidArg("read beyond device capacity");
+  }
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t a = addr + done;
+    const std::uint64_t page_index = a / kPageBytes;
+    const std::size_t offset = static_cast<std::size_t>(a % kPageBytes);
+    const std::size_t chunk =
+        std::min(out.size() - done, kPageBytes - offset);
+    if (const Page* page = page_for_read(page_index); page != nullptr) {
+      std::memcpy(out.data() + done, page->data() + offset, chunk);
+    } else {
+      std::memset(out.data() + done, 0, chunk);
+    }
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+Status BackingStore::write(std::uint64_t addr,
+                           std::span<const std::uint8_t> in) {
+  if (!in_range(addr, in.size())) {
+    return Status::InvalidArg("write beyond device capacity");
+  }
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const std::uint64_t a = addr + done;
+    const std::uint64_t page_index = a / kPageBytes;
+    const std::size_t offset = static_cast<std::size_t>(a % kPageBytes);
+    const std::size_t chunk = std::min(in.size() - done, kPageBytes - offset);
+    Page& page = page_for_write(page_index);
+    std::memcpy(page.data() + offset, in.data() + done, chunk);
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+Status BackingStore::read_u64(std::uint64_t addr, std::uint64_t& out) const {
+  std::array<std::uint8_t, 8> buf{};
+  if (Status s = read(addr, buf); !s.ok()) {
+    return s;
+  }
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  }
+  out = v;
+  return Status::Ok();
+}
+
+Status BackingStore::write_u64(std::uint64_t addr, std::uint64_t value) {
+  std::array<std::uint8_t, 8> buf{};
+  for (unsigned i = 0; i < 8; ++i) {
+    buf[i] = static_cast<std::uint8_t>((value >> (8 * i)) & 0xFFU);
+  }
+  return write(addr, buf);
+}
+
+Status BackingStore::read_u128(std::uint64_t addr,
+                               std::array<std::uint64_t, 2>& out) const {
+  if (Status s = read_u64(addr, out[0]); !s.ok()) {
+    return s;
+  }
+  return read_u64(addr + 8, out[1]);
+}
+
+Status BackingStore::write_u128(std::uint64_t addr,
+                                const std::array<std::uint64_t, 2>& in) {
+  if (Status s = write_u64(addr, in[0]); !s.ok()) {
+    return s;
+  }
+  return write_u64(addr + 8, in[1]);
+}
+
+}  // namespace hmcsim::mem

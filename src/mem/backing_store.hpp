@@ -1,0 +1,73 @@
+// backing_store.hpp — sparse memory model backing a cube's DRAM.
+//
+// An 8 GB cube cannot be allocated eagerly; the store materialises 4 KiB
+// pages on first write. Reads of untouched memory return zero, which is the
+// deterministic "initial state" the paper's mutex experiments rely on
+// ("mutex values are initialized to a known state").
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "common/status.hpp"
+
+namespace hmcsim::mem {
+
+class BackingStore {
+ public:
+  static constexpr std::size_t kPageBytes = 4096;
+
+  /// capacity_bytes must be a multiple of the page size.
+  explicit BackingStore(std::uint64_t capacity_bytes);
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+
+  /// Number of pages currently materialised (observability/testing).
+  [[nodiscard]] std::size_t resident_pages() const noexcept {
+    return pages_.size();
+  }
+
+  /// Byte-granularity access. Out-of-range accesses fail without partial
+  /// effects.
+  [[nodiscard]] Status read(std::uint64_t addr,
+                            std::span<std::uint8_t> out) const;
+  [[nodiscard]] Status write(std::uint64_t addr,
+                             std::span<const std::uint8_t> in);
+
+  /// 64-bit word access (little-endian), the granularity AMOs operate on.
+  [[nodiscard]] Status read_u64(std::uint64_t addr,
+                                std::uint64_t& out) const;
+  [[nodiscard]] Status write_u64(std::uint64_t addr, std::uint64_t value);
+
+  /// 128-bit (one FLIT) access as two 64-bit words [lo, hi].
+  [[nodiscard]] Status read_u128(std::uint64_t addr,
+                                 std::array<std::uint64_t, 2>& out) const;
+  [[nodiscard]] Status write_u128(std::uint64_t addr,
+                                  const std::array<std::uint64_t, 2>& in);
+
+  /// Drop all pages (reset to all-zero state).
+  void clear() noexcept { pages_.clear(); }
+
+ private:
+  using Page = std::array<std::uint8_t, kPageBytes>;
+
+  [[nodiscard]] bool in_range(std::uint64_t addr,
+                              std::size_t len) const noexcept {
+    return addr < capacity_ && len <= capacity_ - addr;
+  }
+
+  /// Page for writing (materialises); never null for in-range addresses.
+  Page& page_for_write(std::uint64_t page_index);
+  /// Page for reading; nullptr if the page was never written.
+  [[nodiscard]] const Page* page_for_read(
+      std::uint64_t page_index) const noexcept;
+
+  std::uint64_t capacity_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace hmcsim::mem

@@ -1,0 +1,77 @@
+#include "power/power_model.hpp"
+
+#include <sstream>
+
+namespace hmcsim::power {
+
+Activity delta(const sim::SimStats& before, const sim::SimStats& after,
+               std::uint32_t num_devices) noexcept {
+  Activity a;
+  a.cycles = after.cycles - before.cycles;
+  a.rqst_flits = after.devices.rqst_flits - before.devices.rqst_flits;
+  a.rsp_flits = after.devices.rsp_flits - before.devices.rsp_flits;
+  a.rqsts_processed =
+      after.devices.rqsts_processed - before.devices.rqsts_processed;
+  a.amo_executed = after.devices.amo_executed - before.devices.amo_executed;
+  a.cmc_executed = after.devices.cmc_executed - before.devices.cmc_executed;
+  // Routed packets approximate one request + one response crossbar hop per
+  // processed request; forwarded packets add chain hops.
+  a.xbar_routed = after.devices.rqsts_processed -
+                  before.devices.rqsts_processed +
+                  after.devices.rsps_generated - before.devices.rsps_generated;
+  a.chain_hops = (after.devices.forwarded_rqsts -
+                  before.devices.forwarded_rqsts) +
+                 (after.devices.forwarded_rsps -
+                  before.devices.forwarded_rsps);
+  a.num_devices = num_devices;
+  return a;
+}
+
+EnergyReport PowerModel::estimate(const Activity& activity) const {
+  EnergyReport r;
+  const double to_nj = 1.0 / 1000.0;  // pJ -> nJ.
+  r.link_nj = static_cast<double>(activity.rqst_flits + activity.rsp_flits) *
+              coeffs_.link_flit_pj * to_nj;
+  // Every processed request touches one DRAM block except mode/register
+  // accesses; the approximation charges all of them, which over-counts by
+  // the (rare) register traffic.
+  r.dram_nj = static_cast<double>(activity.rqsts_processed) *
+              coeffs_.dram_block_pj * to_nj;
+  r.vault_nj = static_cast<double>(activity.rqsts_processed) *
+               coeffs_.vault_op_pj * to_nj;
+  r.amo_nj =
+      static_cast<double>(activity.amo_executed) * coeffs_.amo_op_pj * to_nj;
+  r.cmc_nj =
+      static_cast<double>(activity.cmc_executed) * coeffs_.cmc_op_pj * to_nj;
+  r.xbar_nj = static_cast<double>(activity.xbar_routed) *
+              coeffs_.xbar_hop_pj * to_nj;
+  r.chain_nj = static_cast<double>(activity.chain_hops) *
+               coeffs_.chain_hop_pj * to_nj;
+  // Static: P[mW] * t[ns] = pJ.
+  const double seg_ns =
+      static_cast<double>(activity.cycles) * coeffs_.clock_period_ns;
+  r.static_nj = coeffs_.static_mw_per_device *
+                static_cast<double>(activity.num_devices) * seg_ns * to_nj;
+  return r;
+}
+
+std::string PowerModel::format(const EnergyReport& report,
+                               double segment_ns) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(2);
+  oss << "energy breakdown (nJ):\n"
+      << "  links   " << report.link_nj << '\n'
+      << "  dram    " << report.dram_nj << '\n'
+      << "  vaults  " << report.vault_nj << '\n'
+      << "  amo     " << report.amo_nj << '\n'
+      << "  cmc     " << report.cmc_nj << '\n'
+      << "  xbar    " << report.xbar_nj << '\n'
+      << "  chain   " << report.chain_nj << '\n'
+      << "  static  " << report.static_nj << '\n'
+      << "  total   " << report.total_nj() << " nJ over " << segment_ns
+      << " ns => " << report.avg_power_mw(segment_ns) << " mW avg\n";
+  return oss.str();
+}
+
+}  // namespace hmcsim::power

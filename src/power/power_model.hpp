@@ -1,0 +1,129 @@
+// power_model.hpp — energy/power estimation (the paper's §VII future work).
+//
+// HMC-Sim deliberately ships no vendor timing or power data; this module
+// implements the estimation layer the paper proposes as future work. It is
+// an *activity-based* model: counted events (link FLITs, vault operations,
+// DRAM block accesses, cube-to-cube forwards) each carry an energy
+// coefficient, plus a static/background power term per cycle. Default
+// coefficients derive from the publicly documented HMC energy envelope
+// (~10.48 pJ/bit end-to-end, of which ~3.7 pJ/bit is DRAM access — Jeddeloh
+// & Keeth, VLSIT 2012); every coefficient is overridable so users can model
+// arbitrary devices.
+//
+// The model consumes the simulator's aggregate statistics, so it can price
+// any completed simulation segment:
+//
+//   PowerModel model;                      // default coefficients
+//   auto before = sim.stats();
+//   ... run workload ...
+//   EnergyReport r = model.estimate(delta(before, sim.stats()));
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace hmcsim::power {
+
+/// Energy coefficients in picojoules per event (see header comment for the
+/// provenance of the defaults).
+struct PowerCoefficients {
+  /// Link traversal: serialisation + SerDes, per FLIT (128 bits of payload
+  /// at ~6.78 pJ/bit link+logic share).
+  double link_flit_pj = 868.0;
+  /// DRAM array access per 16-byte block touched (3.7 pJ/bit x 128 bits).
+  double dram_block_pj = 474.0;
+  /// Vault controller issue/retire overhead per request.
+  double vault_op_pj = 120.0;
+  /// Logic-layer ALU cost per atomic (AMO) executed.
+  double amo_op_pj = 60.0;
+  /// Logic-layer cost per CMC operation executed (custom logic blocks are
+  /// typically richer than fixed-function AMOs).
+  double cmc_op_pj = 90.0;
+  /// Crossbar traversal per routed packet.
+  double xbar_hop_pj = 35.0;
+  /// Cube-to-cube forwarding per packet (chain hop SerDes).
+  double chain_hop_pj = 900.0;
+  /// Background/static power per device, in milliwatts (PLLs, refresh,
+  /// idle SerDes). Charged per cycle via the clock period below.
+  double static_mw_per_device = 650.0;
+  /// Modelled clock period in nanoseconds (1.25 GHz logic layer default).
+  double clock_period_ns = 0.8;
+};
+
+/// Activity deltas priced by the model (differences of two SimStats).
+struct Activity {
+  std::uint64_t cycles = 0;
+  std::uint64_t rqst_flits = 0;
+  std::uint64_t rsp_flits = 0;
+  std::uint64_t rqsts_processed = 0;
+  std::uint64_t amo_executed = 0;
+  std::uint64_t cmc_executed = 0;
+  std::uint64_t xbar_routed = 0;
+  std::uint64_t chain_hops = 0;
+  std::uint32_t num_devices = 1;
+};
+
+/// Difference of two stats snapshots taken around a workload.
+[[nodiscard]] Activity delta(const sim::SimStats& before,
+                             const sim::SimStats& after,
+                             std::uint32_t num_devices = 1) noexcept;
+
+/// Itemised energy estimate. All energies in nanojoules.
+struct EnergyReport {
+  double link_nj = 0;
+  double dram_nj = 0;
+  double vault_nj = 0;
+  double amo_nj = 0;
+  double cmc_nj = 0;
+  double xbar_nj = 0;
+  double chain_nj = 0;
+  double static_nj = 0;
+
+  [[nodiscard]] double dynamic_nj() const noexcept {
+    return link_nj + dram_nj + vault_nj + amo_nj + cmc_nj + xbar_nj +
+           chain_nj;
+  }
+  [[nodiscard]] double total_nj() const noexcept {
+    return dynamic_nj() + static_nj;
+  }
+  /// Average power over the segment in milliwatts.
+  [[nodiscard]] double avg_power_mw(double segment_ns) const noexcept {
+    return segment_ns > 0 ? total_nj() / segment_ns * 1000.0 : 0.0;
+  }
+  /// Energy per useful byte moved (nJ/byte), the figure of merit for the
+  /// PIM-vs-host comparisons.
+  [[nodiscard]] double nj_per_byte(std::uint64_t payload_bytes) const {
+    return payload_bytes > 0
+               ? total_nj() / static_cast<double>(payload_bytes)
+               : 0.0;
+  }
+};
+
+class PowerModel {
+ public:
+  PowerModel() = default;
+  explicit PowerModel(const PowerCoefficients& coeffs) : coeffs_(coeffs) {}
+
+  [[nodiscard]] const PowerCoefficients& coefficients() const noexcept {
+    return coeffs_;
+  }
+
+  /// Price an activity delta.
+  [[nodiscard]] EnergyReport estimate(const Activity& activity) const;
+
+  /// Simulated wall time of an activity segment in nanoseconds.
+  [[nodiscard]] double segment_ns(const Activity& activity) const noexcept {
+    return static_cast<double>(activity.cycles) * coeffs_.clock_period_ns;
+  }
+
+  /// Human-readable one-block rendering of a report.
+  [[nodiscard]] static std::string format(const EnergyReport& report,
+                                          double segment_ns);
+
+ private:
+  PowerCoefficients coeffs_;
+};
+
+}  // namespace hmcsim::power

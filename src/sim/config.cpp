@@ -1,0 +1,118 @@
+#include "sim/config.hpp"
+
+#include <sstream>
+
+#include "common/bits.hpp"
+
+namespace hmcsim::sim {
+
+std::string_view to_string(Topology t) noexcept {
+  switch (t) {
+    case Topology::Chain:
+      return "chain";
+    case Topology::Star:
+      return "star";
+  }
+  return "?";
+}
+
+Status Config::validate() const {
+  if (num_devs < 1 || num_devs > 8) {
+    return Status::InvalidArg("num_devs must be in [1,8] (3-bit CUB field)");
+  }
+  if (num_links != 4 && num_links != 8) {
+    return Status::InvalidArg("num_links must be 4 or 8");
+  }
+  if (capacity_bytes != 2 * kGiB && capacity_bytes != 4 * kGiB &&
+      capacity_bytes != 8 * kGiB) {
+    return Status::InvalidArg("capacity must be 2, 4 or 8 GiB per cube");
+  }
+  if (num_quads != 4) {
+    return Status::InvalidArg("Gen2 devices have 4 quads");
+  }
+  if (vaults_per_quad != 8) {
+    return Status::InvalidArg("Gen2 devices have 8 vaults per quad");
+  }
+  if (banks_per_vault != 8 && banks_per_vault != 16 &&
+      banks_per_vault != 32) {
+    return Status::InvalidArg("banks_per_vault must be 8, 16 or 32");
+  }
+  if (block_size != 32 && block_size != 64 && block_size != 128 &&
+      block_size != 256) {
+    return Status::InvalidArg("block_size must be 32, 64, 128 or 256");
+  }
+  if (xbar_depth < 1 || xbar_depth > 1024) {
+    return Status::InvalidArg("xbar_depth must be in [1,1024]");
+  }
+  if (vault_rqst_depth < 1 || vault_rqst_depth > 1024) {
+    return Status::InvalidArg("vault_rqst_depth must be in [1,1024]");
+  }
+  if (vault_rsp_depth < 1 || vault_rsp_depth > 1024) {
+    return Status::InvalidArg("vault_rsp_depth must be in [1,1024]");
+  }
+  if (xbar_rqst_bw_flits != 0 && xbar_rqst_bw_flits < 17) {
+    return Status::InvalidArg(
+        "xbar_rqst_bw_flits must be 0 (unbounded) or >= 17 (a maximal "
+        "packet must be forwardable in one cycle)");
+  }
+  if (xbar_rsp_bw_flits != 0 && xbar_rsp_bw_flits < 17) {
+    return Status::InvalidArg(
+        "xbar_rsp_bw_flits must be 0 (unbounded) or >= 17 (a maximal "
+        "packet must be forwardable in one cycle)");
+  }
+  if (model_bank_conflicts && bank_busy_cycles == 0) {
+    return Status::InvalidArg(
+        "bank_busy_cycles must be nonzero when modelling bank conflicts");
+  }
+  if (link_flit_error_ppm > 1'000'000) {
+    return Status::InvalidArg("link_flit_error_ppm exceeds 1e6");
+  }
+  if (link_flit_error_ppm != 0 && link_retry_latency == 0) {
+    return Status::InvalidArg(
+        "link_retry_latency must be nonzero when injecting link errors");
+  }
+  return Status::Ok();
+}
+
+std::string Config::describe() const {
+  std::ostringstream oss;
+  oss << num_links << "Link-" << (capacity_bytes / kGiB) << "GB"
+      << " devs=" << num_devs << " vaults=" << total_vaults()
+      << " banks/vault=" << banks_per_vault << " block=" << block_size
+      << "B rqstq=" << vault_rqst_depth << " xbarq=" << xbar_depth;
+  return oss.str();
+}
+
+Config Config::hmc_4link_4gb() {
+  Config c;
+  c.num_links = 4;
+  c.capacity_bytes = 4 * kGiB;
+  c.banks_per_vault = 16;
+  return c;
+}
+
+Config Config::hmc_8link_8gb() {
+  Config c;
+  c.num_links = 8;
+  c.capacity_bytes = 8 * kGiB;
+  c.banks_per_vault = 32;
+  return c;
+}
+
+Config Config::hmc_4link_2gb() {
+  Config c;
+  c.num_links = 4;
+  c.capacity_bytes = 2 * kGiB;
+  c.banks_per_vault = 8;
+  return c;
+}
+
+Config Config::hmc_8link_4gb() {
+  Config c;
+  c.num_links = 8;
+  c.capacity_bytes = 4 * kGiB;
+  c.banks_per_vault = 16;
+  return c;
+}
+
+}  // namespace hmcsim::sim

@@ -1,0 +1,98 @@
+// config.hpp — device/simulation configuration.
+//
+// Mirrors the knobs of HMC-Sim: device count, link count, capacity, block
+// size, and the two queue depths the paper's evaluation fixes (request
+// queue 64, crossbar queue 128). Timing-model extensions (bank-conflict
+// modelling) are off by default to match HMC-Sim's deliberately
+// timing-agnostic behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace hmcsim::sim {
+
+/// Gigabyte in bytes.
+inline constexpr std::uint64_t kGiB = 1024ULL * 1024ULL * 1024ULL;
+
+/// Multi-cube interconnect shape (HMC-Sim 1.0's device chaining feature).
+enum class Topology : std::uint8_t {
+  Chain,  ///< Linear: host -> dev0 -> dev1 -> ... (hops accumulate).
+  Star,   ///< Hub-and-spoke: host -> dev0 -> devN (one hop to any cube).
+};
+
+[[nodiscard]] std::string_view to_string(Topology t) noexcept;
+
+struct Config {
+  // ---- topology ---------------------------------------------------------
+  std::uint32_t num_devs = 1;    ///< Cubes (1..8); host attaches to dev 0.
+  Topology topology = Topology::Chain;
+  std::uint32_t num_links = 4;   ///< Host links per device: 4 or 8.
+  std::uint64_t capacity_bytes = 4 * kGiB;  ///< 2, 4 or 8 GiB per cube.
+  std::uint32_t num_quads = 4;       ///< Logic-layer quadrants.
+  std::uint32_t vaults_per_quad = 8; ///< 4x8 = 32 vaults per cube.
+  std::uint32_t banks_per_vault = 16;  ///< 16 (4 GiB) or 32 (8 GiB).
+
+  // ---- request routing --------------------------------------------------
+  std::uint32_t block_size = 64;  ///< Vault interleave granularity (bytes).
+
+  // ---- queueing ----------------------------------------------------------
+  std::uint32_t xbar_depth = 128;       ///< Crossbar queue slots per link.
+  std::uint32_t vault_rqst_depth = 64;  ///< Vault request queue slots.
+  std::uint32_t vault_rsp_depth = 64;   ///< Vault response queue slots.
+
+  /// Crossbar forwarding bandwidth, in FLITs per link per cycle, applied
+  /// independently to the request (link -> vault) and response (vault ->
+  /// link) directions. 0 = unbounded. The default (26) is calibrated so a
+  /// 4-link device saturates per-link forwarding at ~52 concurrent 2-FLIT
+  /// requests — reproducing the paper's observation that 4-link and 8-link
+  /// devices behave identically up to ~50 threads and diverge slightly
+  /// beyond (the 8-link device saturates only past ~104).
+  std::uint32_t xbar_rqst_bw_flits = 26;
+  std::uint32_t xbar_rsp_bw_flits = 26;
+
+  // ---- optional timing extensions (future-work features) -----------------
+  bool model_bank_conflicts = false;  ///< Stall on busy banks when true.
+  std::uint32_t bank_busy_cycles = 4; ///< Bank occupancy per access.
+
+  // ---- link-error injection (retry protocol exercise) ---------------------
+  /// Probability that one FLIT of an inbound request packet is corrupted
+  /// in transit (detected by the packet CRC; the link-layer retry then
+  /// redelivers the packet). 0 disables injection. Expressed per-million
+  /// to keep the configuration integral and the model deterministic.
+  std::uint32_t link_flit_error_ppm = 0;
+  /// Redelivery delay of a corrupted packet, in cycles (covers the error
+  /// detection + IRTRY/retry-pointer exchange of the HMC link protocol).
+  std::uint32_t link_retry_latency = 8;
+  /// Seed of the deterministic error-injection stream.
+  std::uint64_t link_error_seed = 0xE44;
+
+  // -------------------------------------------------------------------------
+  [[nodiscard]] std::uint32_t total_vaults() const noexcept {
+    return num_quads * vaults_per_quad;
+  }
+  [[nodiscard]] std::uint32_t total_banks() const noexcept {
+    return total_vaults() * banks_per_vault;
+  }
+
+  /// Sanity-check every field combination; returns the first violation.
+  [[nodiscard]] Status validate() const;
+
+  /// One-line description for logs and bench headers.
+  [[nodiscard]] std::string describe() const;
+
+  // ---- canonical configurations ------------------------------------------
+  /// The paper's 4Link-4GB evaluation device (64 B block, queues 64/128).
+  [[nodiscard]] static Config hmc_4link_4gb();
+  /// The paper's 8Link-8GB evaluation device (64 B block, queues 64/128).
+  [[nodiscard]] static Config hmc_8link_8gb();
+  /// Smaller Gen1-style device retained for API compatibility tests.
+  [[nodiscard]] static Config hmc_4link_2gb();
+  /// 8-link 4GB mid-point configuration.
+  [[nodiscard]] static Config hmc_8link_4gb();
+};
+
+}  // namespace hmcsim::sim

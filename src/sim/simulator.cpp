@@ -1,0 +1,239 @@
+#include "sim/simulator.hpp"
+
+namespace hmcsim::sim {
+
+Simulator::Simulator(const Config& cfg) : cfg_(cfg) {
+  devices_.reserve(cfg.num_devs);
+  for (std::uint32_t d = 0; d < cfg.num_devs; ++d) {
+    devices_.push_back(std::make_unique<dev::Device>(cfg, d));
+  }
+  cmc_ctx_.user = this;
+  cmc_ctx_.mem_read = &Simulator::cmc_mem_read;
+  cmc_ctx_.mem_write = &Simulator::cmc_mem_write;
+  cmc_ctx_.trace = [](void* user, const char* msg) {
+    auto* self = static_cast<Simulator*>(user);
+    if (self->tracer_.enabled(trace::Level::Cmc)) {
+      self->tracer_.emit({.cycle = self->cycle_,
+                          .kind = trace::Level::Cmc,
+                          .op = "cmc_annotation",
+                          .note = msg});
+    }
+  };
+}
+
+Status Simulator::create(const Config& cfg, std::unique_ptr<Simulator>& out) {
+  if (Status s = cfg.validate(); !s.ok()) {
+    return s;
+  }
+  out.reset(new Simulator(cfg));
+  return Status::Ok();
+}
+
+Status Simulator::send(const spec::RqstParams& params, std::uint32_t link) {
+  spec::RqstParams p = params;
+  // CMC packets take their length from the live registration, exactly as
+  // the registry recorded it from the plugin's cmc_register.
+  if (spec::is_cmc(p.rqst) && p.flits_override == 0) {
+    const cmc::CmcOp* op = cmc_registry_.lookup(p.rqst);
+    if (op == nullptr) {
+      return Status::NotFound("CMC command " +
+                              std::string(spec::to_string(p.rqst)) +
+                              " has no registered operation");
+    }
+    p.flits_override = static_cast<std::uint8_t>(op->rqst_len);
+  }
+  spec::RqstPacket pkt;
+  if (Status s = spec::build_request(p, pkt); !s.ok()) {
+    return s;
+  }
+  return send_packet(pkt, link);
+}
+
+Status Simulator::send_packet(spec::RqstPacket pkt, std::uint32_t link) {
+  if (pkt.cub() >= devices_.size()) {
+    return Status::InvalidArg("CUB " + std::to_string(pkt.cub()) +
+                              " beyond configured chain");
+  }
+  dev::RqstEntry entry;
+  entry.pkt = pkt;
+  entry.send_cycle = cycle_;
+  return devices_.front()->send(std::move(entry), link, cycle_, tracer_);
+}
+
+bool Simulator::rsp_ready(std::uint32_t link) const {
+  return devices_.front()->rsp_ready(link);
+}
+
+Status Simulator::recv(std::uint32_t link, Response& out) {
+  dev::RspEntry entry;
+  if (Status s = devices_.front()->recv(link, entry); !s.ok()) {
+    return s;
+  }
+  out.pkt = entry.pkt;
+  out.latency = cycle_ - entry.send_cycle;
+  if (tracer_.enabled(trace::Level::Latency)) {
+    tracer_.emit({.cycle = cycle_,
+                  .kind = trace::Level::Latency,
+                  .where = {.dev = entry.pkt.cub(), .link = link},
+                  .tag = entry.pkt.tag(),
+                  .value = out.latency});
+  }
+  return Status::Ok();
+}
+
+void Simulator::clock() {
+  ++cycle_;
+
+  // Topology wiring: `prev` is each device's neighbour toward the host
+  // (stage A follows it); the router resolves request forwarding targets
+  // (stage C follows it).
+  const bool star = cfg_.topology == Topology::Star;
+  auto prev_of = [&](std::size_t d) -> dev::Device* {
+    if (d == 0) {
+      return nullptr;
+    }
+    return star ? devices_[0].get() : devices_[d - 1].get();
+  };
+
+  // Stage A: responses migrate toward the host. Increasing device order
+  // makes every cube-to-cube hop cost one cycle (a response forwarded by
+  // device k this cycle is seen by its neighbour next cycle).
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    devices_[d]->clock_responses(cycle_, tracer_, prev_of(d));
+  }
+
+  // Stage B: every vault executes its runnable queue entries.
+  for (auto& device : devices_) {
+    device->clock_vaults(cycle_, &cmc_registry_, &cmc_ctx_, tracer_);
+  }
+
+  // Stage C: requests migrate from crossbar queues into vault queues, or
+  // forward along the topology. Decreasing order gives each forward hop a
+  // one-cycle cost (symmetric with stage A).
+  for (std::size_t d = devices_.size(); d-- > 0;) {
+    dev::Device::Router route;
+    if (star) {
+      // Only the hub forwards; it reaches every spoke directly.
+      if (d == 0) {
+        route = [this](std::uint8_t cub) -> dev::Device* {
+          return cub < devices_.size() ? devices_[cub].get() : nullptr;
+        };
+      }
+    } else if (d + 1 < devices_.size()) {
+      route = [this, d](std::uint8_t) -> dev::Device* {
+        return devices_[d + 1].get();
+      };
+    }
+    devices_[d]->clock_requests(cycle_, tracer_, route);
+  }
+}
+
+Status Simulator::load_cmc(std::string_view path) {
+  return cmc_loader_.load(path, cmc_registry_);
+}
+
+Status Simulator::register_cmc(hmcsim_cmc_register_fn reg,
+                               hmcsim_cmc_execute_fn exec,
+                               hmcsim_cmc_str_fn str) {
+  return cmc_registry_.register_op(reg, exec, str);
+}
+
+Status Simulator::unregister_cmc(spec::Rqst rqst) {
+  return cmc_registry_.unregister_op(rqst);
+}
+
+Status Simulator::jtag_read(std::uint32_t dev, std::uint32_t reg,
+                            std::uint64_t& out) const {
+  if (dev >= devices_.size()) {
+    return Status::InvalidArg("device index out of range");
+  }
+  return devices_[dev]->regs().read(reg, out);
+}
+
+Status Simulator::jtag_write(std::uint32_t dev, std::uint32_t reg,
+                             std::uint64_t value) {
+  if (dev >= devices_.size()) {
+    return Status::InvalidArg("device index out of range");
+  }
+  return devices_[dev]->regs().write(reg, value);
+}
+
+Status Simulator::mem_read(std::uint32_t dev, std::uint64_t addr,
+                           std::span<std::uint8_t> out) const {
+  if (dev >= devices_.size()) {
+    return Status::InvalidArg("device index out of range");
+  }
+  return devices_[dev]->store().read(addr, out);
+}
+
+Status Simulator::mem_write(std::uint32_t dev, std::uint64_t addr,
+                            std::span<const std::uint8_t> in) {
+  if (dev >= devices_.size()) {
+    return Status::InvalidArg("device index out of range");
+  }
+  return devices_[dev]->store().write(addr, in);
+}
+
+SimStats Simulator::stats() const {
+  SimStats s;
+  s.cycles = cycle_;
+  for (const auto& device : devices_) {
+    const dev::DeviceStats ds = device->stats();
+    s.devices.rqsts_processed += ds.rqsts_processed;
+    s.devices.rsps_generated += ds.rsps_generated;
+    s.devices.cmc_executed += ds.cmc_executed;
+    s.devices.amo_executed += ds.amo_executed;
+    s.devices.errors += ds.errors;
+    s.devices.bank_conflicts += ds.bank_conflicts;
+    s.devices.xbar_rqst_stalls += ds.xbar_rqst_stalls;
+    s.devices.xbar_rsp_stalls += ds.xbar_rsp_stalls;
+    s.devices.vault_rsp_stalls += ds.vault_rsp_stalls;
+    s.devices.send_stalls += ds.send_stalls;
+    s.devices.rqst_flits += ds.rqst_flits;
+    s.devices.rsp_flits += ds.rsp_flits;
+    s.devices.forwarded_rqsts += ds.forwarded_rqsts;
+    s.devices.forwarded_rsps += ds.forwarded_rsps;
+    s.devices.link_retries += ds.link_retries;
+  }
+  return s;
+}
+
+void Simulator::reset_pipeline() {
+  for (auto& device : devices_) {
+    device->reset_pipeline();
+  }
+}
+
+Status Simulator::cmc_mem_read(void* user, std::uint32_t dev,
+                               std::uint64_t addr, std::uint64_t* data,
+                               std::uint32_t nwords) {
+  auto* self = static_cast<Simulator*>(user);
+  if (self == nullptr || dev >= self->devices_.size()) {
+    return Status::InvalidArg("bad device in CMC memory access");
+  }
+  mem::BackingStore& store = self->devices_[dev]->store();
+  for (std::uint32_t i = 0; i < nwords; ++i) {
+    if (Status s = store.read_u64(addr + 8ULL * i, data[i]); !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Simulator::cmc_mem_write(void* user, std::uint32_t dev,
+                                std::uint64_t addr, const std::uint64_t* data,
+                                std::uint32_t nwords) {
+  auto* self = static_cast<Simulator*>(user);
+  if (self == nullptr || dev >= self->devices_.size()) {
+    return Status::InvalidArg("bad device in CMC memory access");
+  }
+  mem::BackingStore& store = self->devices_[dev]->store();
+  for (std::uint32_t i = 0; i < nwords; ++i) {
+    if (Status s = store.write_u64(addr + 8ULL * i, data[i]); !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::sim

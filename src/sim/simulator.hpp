@@ -1,0 +1,141 @@
+// simulator.hpp — the HMC-Sim public API.
+//
+// One Simulator owns a chain of 1..8 cube devices, the trace dispatcher and
+// the CMC registry/loader. The host-facing surface mirrors HMC-Sim's:
+//
+//   send()      inject a request on a host link (Stall == retry next cycle)
+//   clock()     advance the devices one cycle
+//   recv()      eject a ready response from a host link
+//   load_cmc()  dlopen a CMC plugin and activate its operation
+//   jtag_*()    side-band register access
+//
+// A Simulator instance is single-owner: external synchronisation is
+// required to share it across OS threads (simulated hosts in src/host are
+// cooperatively scheduled instead).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/cmc_loader.hpp"
+#include "core/cmc_registry.hpp"
+#include "dev/device.hpp"
+#include "sim/config.hpp"
+#include "spec/packet.hpp"
+#include "trace/trace.hpp"
+
+namespace hmcsim::sim {
+
+/// A received response plus its measured end-to-end latency.
+struct Response {
+  spec::RspPacket pkt;
+  std::uint64_t latency = 0;  ///< Cycles from send() to recv() eligibility.
+};
+
+/// Simulation-wide statistics (aggregated over all devices).
+struct SimStats {
+  std::uint64_t cycles = 0;
+  dev::DeviceStats devices;  ///< Sums across the chain.
+};
+
+class Simulator {
+ public:
+  /// Validates `cfg` and constructs the device chain.
+  [[nodiscard]] static Status create(const Config& cfg,
+                                     std::unique_ptr<Simulator>& out);
+
+  // ---- traffic -----------------------------------------------------------
+  /// Build a request packet from `params` and inject it on host link
+  /// `link` of the host-attached device. For CMC commands the packet
+  /// length is taken from the active registration automatically.
+  /// Returns Stall when the link cannot accept the packet this cycle.
+  [[nodiscard]] Status send(const spec::RqstParams& params,
+                            std::uint32_t link);
+
+  /// Inject an already-built packet (trace replay, tests).
+  [[nodiscard]] Status send_packet(spec::RqstPacket pkt, std::uint32_t link);
+
+  /// True when recv(link) would return a response.
+  [[nodiscard]] bool rsp_ready(std::uint32_t link) const;
+
+  /// Pop the next ready response on `link`; NoData when none.
+  [[nodiscard]] Status recv(std::uint32_t link, Response& out);
+
+  /// Advance the chain one cycle.
+  void clock();
+
+  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+
+  // ---- CMC ----------------------------------------------------------------
+  /// The paper's hmc_load_cmc(): dlopen `path`, resolve the three required
+  /// symbols, run the plugin's registration and activate the operation.
+  [[nodiscard]] Status load_cmc(std::string_view path);
+
+  /// Static-registration path: same validation pipeline, but the three
+  /// functions are passed directly (no shared library involved).
+  [[nodiscard]] Status register_cmc(hmcsim_cmc_register_fn reg,
+                                    hmcsim_cmc_execute_fn exec,
+                                    hmcsim_cmc_str_fn str);
+
+  /// Deactivate a CMC slot.
+  [[nodiscard]] Status unregister_cmc(spec::Rqst rqst);
+
+  [[nodiscard]] const cmc::CmcRegistry& cmc_registry() const noexcept {
+    return cmc_registry_;
+  }
+
+  // ---- JTAG / side-band -----------------------------------------------------
+  [[nodiscard]] Status jtag_read(std::uint32_t dev, std::uint32_t reg,
+                                 std::uint64_t& out) const;
+  [[nodiscard]] Status jtag_write(std::uint32_t dev, std::uint32_t reg,
+                                  std::uint64_t value);
+
+  /// Back-door memory access for workload setup and result verification
+  /// (does not traverse the pipeline or perturb statistics).
+  [[nodiscard]] Status mem_read(std::uint32_t dev, std::uint64_t addr,
+                                std::span<std::uint8_t> out) const;
+  [[nodiscard]] Status mem_write(std::uint32_t dev, std::uint64_t addr,
+                                 std::span<const std::uint8_t> in);
+
+  // ---- observability ---------------------------------------------------------
+  [[nodiscard]] trace::Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint32_t num_devices() const noexcept {
+    return static_cast<std::uint32_t>(devices_.size());
+  }
+  [[nodiscard]] dev::Device& device(std::uint32_t dev) {
+    return *devices_[dev];
+  }
+  [[nodiscard]] const dev::Device& device(std::uint32_t dev) const {
+    return *devices_[dev];
+  }
+  [[nodiscard]] SimStats stats() const;
+
+  /// Drop all in-flight packets and statistics; memory contents, CMC
+  /// registrations and the cycle counter survive.
+  void reset_pipeline();
+
+ private:
+  explicit Simulator(const Config& cfg);
+
+  // CmcContext service callbacks (type-erased plugin -> simulator bridge).
+  static Status cmc_mem_read(void* user, std::uint32_t dev,
+                             std::uint64_t addr, std::uint64_t* data,
+                             std::uint32_t nwords);
+  static Status cmc_mem_write(void* user, std::uint32_t dev,
+                              std::uint64_t addr, const std::uint64_t* data,
+                              std::uint32_t nwords);
+
+  Config cfg_;
+  trace::Tracer tracer_;
+  cmc::CmcRegistry cmc_registry_;
+  cmc::CmcLoader cmc_loader_;
+  cmc::CmcContext cmc_ctx_;
+  std::vector<std::unique_ptr<dev::Device>> devices_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace hmcsim::sim

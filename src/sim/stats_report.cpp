@@ -1,0 +1,104 @@
+#include "sim/stats_report.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace hmcsim::sim {
+
+std::vector<std::uint64_t> vault_histogram(const Simulator& sim,
+                                           std::uint32_t dev) {
+  std::vector<std::uint64_t> hist;
+  const auto& vaults = sim.device(dev).vaults();
+  hist.reserve(vaults.size());
+  for (const auto& vault : vaults) {
+    hist.push_back(vault.stats().rqsts_processed);
+  }
+  return hist;
+}
+
+double hotspot_factor(const Simulator& sim, std::uint32_t dev) {
+  const auto hist = vault_histogram(sim, dev);
+  const std::uint64_t total =
+      std::accumulate(hist.begin(), hist.end(), std::uint64_t{0});
+  if (total == 0) {
+    return 0.0;
+  }
+  const std::uint64_t peak = *std::max_element(hist.begin(), hist.end());
+  return static_cast<double>(peak) / static_cast<double>(total);
+}
+
+std::string format_stats(const Simulator& sim) {
+  std::ostringstream oss;
+  oss << "configuration: " << sim.config().describe() << '\n';
+  oss << "cycle: " << sim.cycle() << '\n';
+  for (std::uint32_t d = 0; d < sim.num_devices(); ++d) {
+    const dev::DeviceStats s = sim.device(d).stats();
+    oss << "device " << d << ": rqsts=" << s.rqsts_processed
+        << " rsps=" << s.rsps_generated << " amo=" << s.amo_executed
+        << " cmc=" << s.cmc_executed << " errors=" << s.errors << '\n';
+    oss << "  flits: rqst=" << s.rqst_flits << " rsp=" << s.rsp_flits
+        << " fwd_rqst=" << s.forwarded_rqsts
+        << " fwd_rsp=" << s.forwarded_rsps << '\n';
+    oss << "  stalls: send=" << s.send_stalls
+        << " xbar_rqst=" << s.xbar_rqst_stalls
+        << " xbar_rsp=" << s.xbar_rsp_stalls
+        << " vault_rsp=" << s.vault_rsp_stalls
+        << " bank_conflicts=" << s.bank_conflicts << '\n';
+
+    const auto hist = vault_histogram(sim, d);
+    const std::uint64_t total =
+        std::accumulate(hist.begin(), hist.end(), std::uint64_t{0});
+    if (total > 0) {
+      oss << "  hotspot factor: " << hotspot_factor(sim, d)
+          << " (busiest vaults:";
+      std::vector<std::uint32_t> order(hist.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(),
+                [&hist](std::uint32_t a, std::uint32_t b) {
+                  return hist[a] > hist[b];
+                });
+      for (std::uint32_t i = 0; i < 4 && i < order.size(); ++i) {
+        if (hist[order[i]] == 0) {
+          break;
+        }
+        oss << ' ' << order[i] << ':' << hist[order[i]];
+      }
+      oss << ")\n";
+    }
+    const auto& links = sim.device(d).links();
+    for (std::uint32_t l = 0; l < links.size(); ++l) {
+      const dev::LinkStats& ls = links[l].stats();
+      if (ls.rqst_packets == 0 && ls.rsp_packets == 0) {
+        continue;
+      }
+      oss << "  link " << l << ": rqst=" << ls.rqst_packets << " ("
+          << ls.rqst_flits << " flits) rsp=" << ls.rsp_packets << " ("
+          << ls.rsp_flits << " flits) stalls=" << ls.send_stalls << '\n';
+    }
+  }
+  return oss.str();
+}
+
+std::string format_stats_csv(const Simulator& sim) {
+  std::ostringstream oss;
+  oss << "section,dev,index,rqsts,rsps,flits_in,flits_out,stalls\n";
+  for (std::uint32_t d = 0; d < sim.num_devices(); ++d) {
+    const auto& vaults = sim.device(d).vaults();
+    for (std::uint32_t v = 0; v < vaults.size(); ++v) {
+      const dev::VaultStats& vs = vaults[v].stats();
+      oss << "vault," << d << ',' << v << ',' << vs.rqsts_processed << ','
+          << vs.rsps_generated << ",," << ',' << vs.rsp_stalls << '\n';
+    }
+    const auto& links = sim.device(d).links();
+    for (std::uint32_t l = 0; l < links.size(); ++l) {
+      const dev::LinkStats& ls = links[l].stats();
+      oss << "link," << d << ',' << l << ',' << ls.rqst_packets << ','
+          << ls.rsp_packets << ',' << ls.rqst_flits << ',' << ls.rsp_flits
+          << ',' << ls.send_stalls << '\n';
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace hmcsim::sim

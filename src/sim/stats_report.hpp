@@ -1,0 +1,32 @@
+// stats_report.hpp — human- and machine-readable statistics reports.
+//
+// Formats a simulator's counters into a text block (for interactive use)
+// or CSV rows (for post-processing), including the per-vault occupancy
+// histogram that makes hot-spotting — the central phenomenon of the
+// paper's evaluation — directly visible.
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace hmcsim::sim {
+
+/// Multi-line text report: device summary plus per-link traffic and the
+/// busiest vaults.
+[[nodiscard]] std::string format_stats(const Simulator& sim);
+
+/// CSV block: one header + one row per (device, vault) with request
+/// counts, plus a "link" section. Suitable for spreadsheet import.
+[[nodiscard]] std::string format_stats_csv(const Simulator& sim);
+
+/// Vault access histogram for one device: count of requests processed per
+/// vault, in vault order (32 entries).
+[[nodiscard]] std::vector<std::uint64_t> vault_histogram(
+    const Simulator& sim, std::uint32_t dev);
+
+/// Hot-spot factor: fraction of all vault traffic absorbed by the single
+/// busiest vault of `dev` (1.0 = perfectly hot-spotted, 1/32 = uniform).
+[[nodiscard]] double hotspot_factor(const Simulator& sim, std::uint32_t dev);
+
+}  // namespace hmcsim::sim

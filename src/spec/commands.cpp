@@ -1,0 +1,304 @@
+#include "spec/commands.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace hmcsim::spec {
+namespace {
+
+// Mnemonic strings for the CMC slots, indexed by command code. Generated
+// once so CommandInfo::name string_views have static storage duration.
+constexpr const char* kCmcNames[128] = {
+    nullptr,  nullptr,  nullptr,  nullptr,  "CMC04",  "CMC05",  "CMC06",
+    "CMC07",  nullptr,  nullptr,  nullptr,  nullptr,  nullptr,  nullptr,
+    nullptr,  nullptr,  nullptr,  nullptr,  nullptr,  nullptr,  "CMC20",
+    "CMC21",  "CMC22",  "CMC23",  nullptr,  nullptr,  nullptr,  nullptr,
+    nullptr,  nullptr,  nullptr,  nullptr,  "CMC32",  nullptr,  nullptr,
+    nullptr,  "CMC36",  "CMC37",  "CMC38",  "CMC39",  nullptr,  "CMC41",
+    "CMC42",  "CMC43",  "CMC44",  "CMC45",  "CMC46",  "CMC47",  nullptr,
+    nullptr,  nullptr,  nullptr,  nullptr,  nullptr,  nullptr,  nullptr,
+    "CMC56",  "CMC57",  "CMC58",  "CMC59",  "CMC60",  "CMC61",  "CMC62",
+    "CMC63",  nullptr,  nullptr,  nullptr,  nullptr,  nullptr,  "CMC69",
+    "CMC70",  "CMC71",  "CMC72",  "CMC73",  "CMC74",  "CMC75",  "CMC76",
+    "CMC77",  "CMC78",  nullptr,  nullptr,  nullptr,  nullptr,  nullptr,
+    nullptr,  "CMC85",  "CMC86",  "CMC87",  "CMC88",  "CMC89",  "CMC90",
+    "CMC91",  "CMC92",  "CMC93",  "CMC94",  nullptr,  nullptr,  nullptr,
+    nullptr,  nullptr,  nullptr,  nullptr,  "CMC102", "CMC103", nullptr,
+    nullptr,  nullptr,  "CMC107", "CMC108", "CMC109", "CMC110", "CMC111",
+    "CMC112", "CMC113", "CMC114", "CMC115", "CMC116", "CMC117", "CMC118",
+    nullptr,  "CMC120", "CMC121", "CMC122", "CMC123", "CMC124", "CMC125",
+    "CMC126", "CMC127"};
+
+constexpr CommandInfo make(Rqst rqst, std::string_view name,
+                           std::uint8_t rqst_flits, std::uint8_t rsp_flits,
+                           ResponseType rsp, CommandKind kind,
+                           std::uint16_t data_bytes) {
+  return CommandInfo{rqst,
+                     name,
+                     static_cast<std::uint8_t>(rqst),
+                     rqst_flits,
+                     rsp_flits,
+                     rsp,
+                     kind,
+                     data_bytes};
+}
+
+constexpr std::array<CommandInfo, 128> build_table() {
+  std::array<CommandInfo, 128> t{};
+
+  // Default every slot to an (initially inactive) CMC entry; the named
+  // commands below overwrite the used codes. CMC request/response lengths
+  // are registration-time properties; the static defaults are 1/1.
+  for (std::size_t code = 0; code < t.size(); ++code) {
+    const auto rqst = static_cast<Rqst>(code);
+    const char* name = kCmcNames[code];
+    t[code] = make(rqst, name != nullptr ? name : "?", 1, 1,
+                   ResponseType::RSP_CMC, CommandKind::Cmc, 0);
+  }
+
+  auto set = [&t](CommandInfo info) {
+    t[info.cmd] = info;
+  };
+
+  // Flow commands: single FLIT, consumed at the link layer.
+  set(make(Rqst::FLOW_NULL, "NULL", 1, 0, ResponseType::None,
+           CommandKind::Flow, 0));
+  set(make(Rqst::PRET, "PRET", 1, 0, ResponseType::None, CommandKind::Flow,
+           0));
+  set(make(Rqst::TRET, "TRET", 1, 0, ResponseType::None, CommandKind::Flow,
+           0));
+  set(make(Rqst::IRTRY, "IRTRY", 1, 0, ResponseType::None, CommandKind::Flow,
+           0));
+
+  // Reads: 1-FLIT request; response = header/tail FLIT + data FLITs.
+  struct RdDef {
+    Rqst r;
+    std::string_view n;
+    std::uint16_t bytes;
+  };
+  constexpr RdDef rds[] = {
+      {Rqst::RD16, "RD16", 16},   {Rqst::RD32, "RD32", 32},
+      {Rqst::RD48, "RD48", 48},   {Rqst::RD64, "RD64", 64},
+      {Rqst::RD80, "RD80", 80},   {Rqst::RD96, "RD96", 96},
+      {Rqst::RD112, "RD112", 112}, {Rqst::RD128, "RD128", 128},
+      {Rqst::RD256, "RD256", 256},
+  };
+  for (const auto& d : rds) {
+    set(make(d.r, d.n, 1, static_cast<std::uint8_t>(packet_flits(d.bytes)),
+             ResponseType::RD_RS, CommandKind::Read, 0));
+  }
+
+  // Writes: request = header/tail FLIT + data FLITs; 1-FLIT write response.
+  struct WrDef {
+    Rqst r;
+    std::string_view n;
+    std::uint16_t bytes;
+    bool posted;
+  };
+  constexpr WrDef wrs[] = {
+      {Rqst::WR16, "WR16", 16, false},     {Rqst::WR32, "WR32", 32, false},
+      {Rqst::WR48, "WR48", 48, false},     {Rqst::WR64, "WR64", 64, false},
+      {Rqst::WR80, "WR80", 80, false},     {Rqst::WR96, "WR96", 96, false},
+      {Rqst::WR112, "WR112", 112, false},  {Rqst::WR128, "WR128", 128, false},
+      {Rqst::WR256, "WR256", 256, false},  {Rqst::P_WR16, "P_WR16", 16, true},
+      {Rqst::P_WR32, "P_WR32", 32, true},  {Rqst::P_WR48, "P_WR48", 48, true},
+      {Rqst::P_WR64, "P_WR64", 64, true},  {Rqst::P_WR80, "P_WR80", 80, true},
+      {Rqst::P_WR96, "P_WR96", 96, true},
+      {Rqst::P_WR112, "P_WR112", 112, true},
+      {Rqst::P_WR128, "P_WR128", 128, true},
+      {Rqst::P_WR256, "P_WR256", 256, true},
+  };
+  for (const auto& d : wrs) {
+    set(make(d.r, d.n, static_cast<std::uint8_t>(packet_flits(d.bytes)),
+             d.posted ? 0 : 1,
+             d.posted ? ResponseType::None : ResponseType::WR_RS,
+             d.posted ? CommandKind::PostedWrite : CommandKind::Write,
+             d.bytes));
+  }
+
+  // Mode (register) access. The written/read register value travels in the
+  // packet data section: MD_WR carries one data FLIT out, MD_RD_RS carries
+  // one data FLIT back.
+  set(make(Rqst::MD_WR, "MD_WR", 2, 1, ResponseType::MD_WR_RS,
+           CommandKind::ModeWrite, 16));
+  set(make(Rqst::MD_RD, "MD_RD", 1, 2, ResponseType::MD_RD_RS,
+           CommandKind::ModeRead, 0));
+
+  // Atomics — request/response FLIT counts exactly as Table I.
+  struct AmoDef {
+    Rqst r;
+    std::string_view n;
+    std::uint8_t rq;
+    std::uint8_t rs;
+    ResponseType rsp;
+    CommandKind k;
+    std::uint16_t bytes;
+  };
+  constexpr AmoDef amos[] = {
+      // Gen1 atomics carried forward.
+      {Rqst::BWR, "BWR", 2, 1, ResponseType::WR_RS, CommandKind::Atomic, 16},
+      {Rqst::P_BWR, "P_BWR", 2, 0, ResponseType::None,
+       CommandKind::PostedAtomic, 16},
+      {Rqst::TWOADD8, "2ADD8", 2, 1, ResponseType::WR_RS, CommandKind::Atomic,
+       16},
+      {Rqst::P_2ADD8, "P_2ADD8", 2, 0, ResponseType::None,
+       CommandKind::PostedAtomic, 16},
+      {Rqst::ADD16, "ADD16", 2, 1, ResponseType::WR_RS, CommandKind::Atomic,
+       16},
+      {Rqst::P_ADD16, "P_ADD16", 2, 0, ResponseType::None,
+       CommandKind::PostedAtomic, 16},
+      // Gen2 additions (Table I).
+      {Rqst::TWOADDS8R, "2ADDS8R", 2, 2, ResponseType::RD_RS,
+       CommandKind::Atomic, 16},
+      {Rqst::ADDS16R, "ADDS16R", 2, 2, ResponseType::RD_RS,
+       CommandKind::Atomic, 16},
+      {Rqst::INC8, "INC8", 1, 1, ResponseType::WR_RS, CommandKind::Atomic, 0},
+      {Rqst::P_INC8, "P_INC8", 1, 0, ResponseType::None,
+       CommandKind::PostedAtomic, 0},
+      {Rqst::XOR16, "XOR16", 2, 2, ResponseType::RD_RS, CommandKind::Atomic,
+       16},
+      {Rqst::OR16, "OR16", 2, 2, ResponseType::RD_RS, CommandKind::Atomic,
+       16},
+      {Rqst::NOR16, "NOR16", 2, 2, ResponseType::RD_RS, CommandKind::Atomic,
+       16},
+      {Rqst::AND16, "AND16", 2, 2, ResponseType::RD_RS, CommandKind::Atomic,
+       16},
+      {Rqst::NAND16, "NAND16", 2, 2, ResponseType::RD_RS, CommandKind::Atomic,
+       16},
+      {Rqst::CASGT8, "CASGT8", 2, 2, ResponseType::RD_RS, CommandKind::Atomic,
+       16},
+      {Rqst::CASGT16, "CASGT16", 2, 2, ResponseType::RD_RS,
+       CommandKind::Atomic, 16},
+      {Rqst::CASLT8, "CASLT8", 2, 2, ResponseType::RD_RS, CommandKind::Atomic,
+       16},
+      {Rqst::CASLT16, "CASLT16", 2, 2, ResponseType::RD_RS,
+       CommandKind::Atomic, 16},
+      {Rqst::CASEQ8, "CASEQ8", 2, 2, ResponseType::RD_RS, CommandKind::Atomic,
+       16},
+      {Rqst::CASZERO16, "CASZERO16", 2, 2, ResponseType::RD_RS,
+       CommandKind::Atomic, 16},
+      {Rqst::EQ8, "EQ8", 2, 1, ResponseType::WR_RS, CommandKind::Atomic, 16},
+      {Rqst::EQ16, "EQ16", 2, 1, ResponseType::WR_RS, CommandKind::Atomic,
+       16},
+      {Rqst::BWR8R, "BWR8R", 2, 2, ResponseType::RD_RS, CommandKind::Atomic,
+       16},
+      {Rqst::SWAP16, "SWAP16", 2, 2, ResponseType::RD_RS, CommandKind::Atomic,
+       16},
+  };
+  for (const auto& d : amos) {
+    set(make(d.r, d.n, d.rq, d.rs, d.rsp, d.k, d.bytes));
+  }
+
+  return t;
+}
+
+constexpr std::array<CommandInfo, 128> kTable = build_table();
+
+constexpr std::array<Rqst, kNumCmcCodes> build_cmc_list() {
+  std::array<Rqst, kNumCmcCodes> out{};
+  std::size_t n = 0;
+  for (std::size_t code = 0; code < 128; ++code) {
+    if (is_cmc(static_cast<Rqst>(code))) {
+      out[n++] = static_cast<Rqst>(code);
+    }
+  }
+  return out;
+}
+
+constexpr std::array<Rqst, kNumCmcCodes> kCmcList = build_cmc_list();
+
+// Compile-time sanity: exactly 70 CMC codes exist (the paper's claim).
+static_assert([] {
+  std::size_t n = 0;
+  for (std::size_t code = 0; code < 128; ++code) {
+    if (is_cmc(static_cast<Rqst>(code))) {
+      ++n;
+    }
+  }
+  return n == kNumCmcCodes;
+}());
+
+}  // namespace
+
+std::span<const CommandInfo> all_commands() noexcept { return kTable; }
+
+const CommandInfo& command_info(Rqst rqst) noexcept {
+  return kTable[static_cast<std::uint8_t>(rqst)];
+}
+
+std::optional<CommandInfo> command_info(std::uint8_t cmd) noexcept {
+  if (cmd >= kTable.size()) {
+    return std::nullopt;
+  }
+  return kTable[cmd];
+}
+
+std::optional<Rqst> parse_rqst(std::string_view name) noexcept {
+  const auto it =
+      std::find_if(kTable.begin(), kTable.end(),
+                   [name](const CommandInfo& c) { return c.name == name; });
+  if (it == kTable.end() || it->name == "?") {
+    return std::nullopt;
+  }
+  return it->rqst;
+}
+
+std::string_view to_string(Rqst rqst) noexcept {
+  return command_info(rqst).name;
+}
+
+std::string_view to_string(ResponseType rsp) noexcept {
+  switch (rsp) {
+    case ResponseType::None:
+      return "NONE";
+    case ResponseType::RD_RS:
+      return "RD_RS";
+    case ResponseType::WR_RS:
+      return "WR_RS";
+    case ResponseType::MD_RD_RS:
+      return "MD_RD_RS";
+    case ResponseType::MD_WR_RS:
+      return "MD_WR_RS";
+    case ResponseType::RSP_ERROR:
+      return "RSP_ERROR";
+    case ResponseType::RSP_CMC:
+      return "RSP_CMC";
+  }
+  return "?";
+}
+
+std::string_view to_string(CommandKind kind) noexcept {
+  switch (kind) {
+    case CommandKind::Flow:
+      return "FLOW";
+    case CommandKind::Read:
+      return "READ";
+    case CommandKind::Write:
+      return "WRITE";
+    case CommandKind::PostedWrite:
+      return "POSTED_WRITE";
+    case CommandKind::ModeRead:
+      return "MODE_READ";
+    case CommandKind::ModeWrite:
+      return "MODE_WRITE";
+    case CommandKind::Atomic:
+      return "ATOMIC";
+    case CommandKind::PostedAtomic:
+      return "POSTED_ATOMIC";
+    case CommandKind::Cmc:
+      return "CMC";
+  }
+  return "?";
+}
+
+std::optional<Rqst> cmc_for_code(std::uint8_t cmd) noexcept {
+  if (cmd >= 128 || !is_cmc(static_cast<Rqst>(cmd))) {
+    return std::nullopt;
+  }
+  return static_cast<Rqst>(cmd);
+}
+
+std::span<const Rqst> all_cmc_commands() noexcept { return kCmcList; }
+
+}  // namespace hmcsim::spec

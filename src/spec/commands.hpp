@@ -1,0 +1,279 @@
+// commands.hpp — the complete HMC 2.0/2.1 request command set.
+//
+// Every request command of the Gen2 specification is enumerated here with
+// its 7-bit transaction-layer command code, and — reproducing Table I of the
+// paper — its request and response FLIT counts. The 70 command codes the
+// Gen2 spec leaves unused are enumerated as CMCnn (nn = decimal code), the
+// exact scheme HMC-Sim 2.0 uses to host Custom Memory Cube operations while
+// staying wire-compatible with the Gen2 packet format.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "spec/flit.hpp"
+
+namespace hmcsim::spec {
+
+/// 7-bit request command codes (HMC 2.1 transaction layer).
+///
+/// Enumerator values ARE the wire encoding, so conversion between the enum
+/// and the packet CMD field is a cast. CMCnn enumerators cover every unused
+/// code; there are exactly 70 of them.
+enum class Rqst : std::uint8_t {
+  // --- Flow commands (link-layer; never routed to a vault) -------------
+  FLOW_NULL = 0,  ///< Null FLIT filler.
+  PRET = 1,       ///< Packet retry pointer return.
+  TRET = 2,       ///< Token return.
+  IRTRY = 3,      ///< Init retry.
+
+  // --- Write requests ---------------------------------------------------
+  WR16 = 8,
+  WR32 = 9,
+  WR48 = 10,
+  WR64 = 11,
+  WR80 = 12,
+  WR96 = 13,
+  WR112 = 14,
+  WR128 = 15,
+  WR256 = 79,  ///< Gen2 addition (Table I).
+
+  // --- Mode (register) access -------------------------------------------
+  MD_WR = 16,  ///< Mode write: internal register write.
+  MD_RD = 40,  ///< Mode read: internal register read.
+
+  // --- Gen1 atomics carried forward --------------------------------------
+  BWR = 17,      ///< 8-byte bit write (data+mask).
+  TWOADD8 = 18,  ///< Dual 8-byte signed add immediate.
+  ADD16 = 19,    ///< Single 16-byte signed add immediate.
+
+  // --- Posted writes ------------------------------------------------------
+  P_WR16 = 24,
+  P_WR32 = 25,
+  P_WR48 = 26,
+  P_WR64 = 27,
+  P_WR80 = 28,
+  P_WR96 = 29,
+  P_WR112 = 30,
+  P_WR128 = 31,
+  P_WR256 = 95,  ///< Gen2 addition (Table I).
+
+  // --- Posted atomics (Gen1) ----------------------------------------------
+  P_BWR = 33,
+  P_2ADD8 = 34,
+  P_ADD16 = 35,
+
+  // --- Read requests --------------------------------------------------------
+  RD16 = 48,
+  RD32 = 49,
+  RD48 = 50,
+  RD64 = 51,
+  RD80 = 52,
+  RD96 = 53,
+  RD112 = 54,
+  RD128 = 55,
+  RD256 = 119,  ///< Gen2 addition (Table I).
+
+  // --- Gen2 boolean atomics (Table I) ---------------------------------------
+  XOR16 = 64,
+  OR16 = 65,
+  NOR16 = 66,
+  AND16 = 67,
+  NAND16 = 68,
+
+  // --- Gen2 arithmetic atomics (Table I) -------------------------------------
+  INC8 = 80,       ///< 8-byte increment.
+  BWR8R = 81,      ///< Bit write with return.
+  TWOADDS8R = 82,  ///< Dual 8-byte signed add immediate with return.
+  ADDS16R = 83,    ///< Single 16-byte signed add immediate with return.
+  P_INC8 = 84,     ///< Posted 8-byte increment.
+
+  // --- Gen2 compare atomics (Table I) ------------------------------------------
+  CASGT8 = 96,      ///< 8-byte CAS if greater-than.
+  CASLT8 = 97,      ///< 8-byte CAS if less-than.
+  CASGT16 = 98,     ///< 16-byte CAS if greater-than.
+  CASLT16 = 99,     ///< 16-byte CAS if less-than.
+  CASEQ8 = 100,     ///< 8-byte CAS if equal.
+  CASZERO16 = 101,  ///< 16-byte CAS if zero.
+  EQ16 = 104,       ///< 16-byte equality test.
+  EQ8 = 105,        ///< 8-byte equality test.
+  SWAP16 = 106,     ///< 16-byte swap/exchange.
+
+  // --- Custom Memory Cube commands ----------------------------------------------
+  // The 70 codes unused by the Gen2 spec, enumerated as the paper describes
+  // (Section IV-C1): "Each of the seventy unused command codes was added to
+  // the hmc_rqst_t enumerated type table as CMCnn".
+  CMC04 = 4,
+  CMC05 = 5,
+  CMC06 = 6,
+  CMC07 = 7,
+  CMC20 = 20,
+  CMC21 = 21,
+  CMC22 = 22,
+  CMC23 = 23,
+  CMC32 = 32,
+  CMC36 = 36,
+  CMC37 = 37,
+  CMC38 = 38,
+  CMC39 = 39,
+  CMC41 = 41,
+  CMC42 = 42,
+  CMC43 = 43,
+  CMC44 = 44,
+  CMC45 = 45,
+  CMC46 = 46,
+  CMC47 = 47,
+  CMC56 = 56,
+  CMC57 = 57,
+  CMC58 = 58,
+  CMC59 = 59,
+  CMC60 = 60,
+  CMC61 = 61,
+  CMC62 = 62,
+  CMC63 = 63,
+  CMC69 = 69,
+  CMC70 = 70,
+  CMC71 = 71,
+  CMC72 = 72,
+  CMC73 = 73,
+  CMC74 = 74,
+  CMC75 = 75,
+  CMC76 = 76,
+  CMC77 = 77,
+  CMC78 = 78,
+  CMC85 = 85,
+  CMC86 = 86,
+  CMC87 = 87,
+  CMC88 = 88,
+  CMC89 = 89,
+  CMC90 = 90,
+  CMC91 = 91,
+  CMC92 = 92,
+  CMC93 = 93,
+  CMC94 = 94,
+  CMC102 = 102,
+  CMC103 = 103,
+  CMC107 = 107,
+  CMC108 = 108,
+  CMC109 = 109,
+  CMC110 = 110,
+  CMC111 = 111,
+  CMC112 = 112,
+  CMC113 = 113,
+  CMC114 = 114,
+  CMC115 = 115,
+  CMC116 = 116,
+  CMC117 = 117,
+  CMC118 = 118,
+  CMC120 = 120,
+  CMC121 = 121,
+  CMC122 = 122,
+  CMC123 = 123,
+  CMC124 = 124,
+  CMC125 = 125,
+  CMC126 = 126,
+  CMC127 = 127,
+};
+
+/// Number of CMC (unused Gen2) command codes — the paper's "seventy".
+inline constexpr std::size_t kNumCmcCodes = 70;
+
+/// Response packet command types (hmc_response_t in the paper).
+enum class ResponseType : std::uint8_t {
+  None = 0,      ///< Posted request: no response packet is generated.
+  RD_RS = 0x38,  ///< Read response (carries data FLITs).
+  WR_RS = 0x39,  ///< Write response (header/tail only).
+  MD_RD_RS = 0x3A,
+  MD_WR_RS = 0x3B,
+  RSP_ERROR = 0x3E,
+  /// Custom response command: the paper's RSP_CMC. The actual 8-bit wire
+  /// code is supplied by the CMC plugin at registration time.
+  RSP_CMC = 0xFF,
+};
+
+/// Broad behavioural class of a request command.
+enum class CommandKind : std::uint8_t {
+  Flow,         ///< Link-layer flow control; consumed at the link.
+  Read,         ///< DRAM read.
+  Write,        ///< DRAM write with response.
+  PostedWrite,  ///< DRAM write without response.
+  ModeRead,     ///< Internal register read (JTAG-visible register file).
+  ModeWrite,    ///< Internal register write.
+  Atomic,       ///< Logic-layer read-modify-write with response.
+  PostedAtomic, ///< Logic-layer read-modify-write without response.
+  Cmc,          ///< Custom Memory Cube slot (behaviour defined by plugin).
+};
+
+/// Static description of one request command — one row of Table I.
+struct CommandInfo {
+  Rqst rqst;               ///< Enumerated command.
+  std::string_view name;   ///< Stable mnemonic ("RD256", "CMC125", ...).
+  std::uint8_t cmd;        ///< 7-bit wire command code.
+  std::uint8_t rqst_flits; ///< Total request packet length in FLITs.
+  std::uint8_t rsp_flits;  ///< Total response packet length (0 == posted).
+  ResponseType rsp;        ///< Response command type.
+  CommandKind kind;        ///< Behavioural class.
+  std::uint16_t data_bytes; ///< Request data payload size in bytes.
+};
+
+/// Full command database in ascending command-code order (128 entries).
+[[nodiscard]] std::span<const CommandInfo> all_commands() noexcept;
+
+/// Look up by enumerated command. Every Rqst value has an entry.
+[[nodiscard]] const CommandInfo& command_info(Rqst rqst) noexcept;
+
+/// Look up by 7-bit wire code; nullopt if code > 127.
+[[nodiscard]] std::optional<CommandInfo> command_info(
+    std::uint8_t cmd) noexcept;
+
+/// Parse a mnemonic ("INC8", "CMC125"); nullopt if unknown.
+[[nodiscard]] std::optional<Rqst> parse_rqst(std::string_view name) noexcept;
+
+/// Stable mnemonic for a command.
+[[nodiscard]] std::string_view to_string(Rqst rqst) noexcept;
+
+/// Stable mnemonic for a response type.
+[[nodiscard]] std::string_view to_string(ResponseType rsp) noexcept;
+
+/// Stable mnemonic for a command kind.
+[[nodiscard]] std::string_view to_string(CommandKind kind) noexcept;
+
+/// True if the command occupies one of the 70 CMC slots.
+[[nodiscard]] constexpr bool is_cmc(Rqst rqst) noexcept {
+  switch (static_cast<std::uint8_t>(rqst)) {
+    case 4: case 5: case 6: case 7:
+    case 20: case 21: case 22: case 23:
+    case 32:
+    case 36: case 37: case 38: case 39:
+    case 41: case 42: case 43: case 44: case 45: case 46: case 47:
+    case 56: case 57: case 58: case 59: case 60: case 61: case 62: case 63:
+    case 69: case 70: case 71: case 72: case 73: case 74: case 75: case 76:
+    case 77: case 78:
+    case 85: case 86: case 87: case 88: case 89: case 90: case 91: case 92:
+    case 93: case 94:
+    case 102: case 103:
+    case 107: case 108: case 109: case 110: case 111: case 112: case 113:
+    case 114: case 115: case 116: case 117: case 118:
+    case 120: case 121: case 122: case 123: case 124: case 125: case 126:
+    case 127:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True if the command is link-layer flow control.
+[[nodiscard]] constexpr bool is_flow(Rqst rqst) noexcept {
+  return static_cast<std::uint8_t>(rqst) <= 3;
+}
+
+/// The CMC command for a raw code in [0,127] that is a CMC slot; nullopt
+/// otherwise.
+[[nodiscard]] std::optional<Rqst> cmc_for_code(std::uint8_t cmd) noexcept;
+
+/// All 70 CMC commands in ascending code order.
+[[nodiscard]] std::span<const Rqst> all_cmc_commands() noexcept;
+
+}  // namespace hmcsim::spec

@@ -1,0 +1,46 @@
+#include "spec/crc32.hpp"
+
+#include <array>
+
+namespace hmcsim::spec {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i << 24;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x80000000U) != 0 ? (crc << 1) ^ kCrcPolynomial
+                                     : (crc << 1);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = build_table();
+
+}  // namespace
+
+std::uint32_t crc32k(std::span<const std::uint8_t> bytes,
+                     std::uint32_t seed) noexcept {
+  std::uint32_t crc = seed;
+  for (const std::uint8_t b : bytes) {
+    crc = (crc << 8) ^ kTable[((crc >> 24) ^ b) & 0xFFU];
+  }
+  return crc;
+}
+
+std::uint32_t crc32k_words(std::span<const std::uint64_t> words,
+                           std::uint32_t seed) noexcept {
+  std::uint32_t crc = seed;
+  for (const std::uint64_t w : words) {
+    for (unsigned byte = 0; byte < 8; ++byte) {
+      const auto b = static_cast<std::uint8_t>((w >> (8 * byte)) & 0xFFU);
+      crc = (crc << 8) ^ kTable[((crc >> 24) ^ b) & 0xFFU];
+    }
+  }
+  return crc;
+}
+
+}  // namespace hmcsim::spec

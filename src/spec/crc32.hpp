@@ -1,0 +1,27 @@
+// crc32.hpp — packet CRC as specified by HMC 2.1.
+//
+// The HMC link layer protects every packet with a 32-bit CRC placed in the
+// most-significant bits of the tail. The specification uses the Koopman
+// polynomial 0x741B8CD7. The CRC is computed over the entire packet with
+// the CRC field itself zeroed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hmcsim::spec {
+
+/// Koopman CRC-32 polynomial used by the HMC specification.
+inline constexpr std::uint32_t kCrcPolynomial = 0x741B8CD7U;
+
+/// CRC-32K over a byte stream (init 0, no reflection, no final xor — the
+/// simple framing the HMC spec describes for packet coverage).
+[[nodiscard]] std::uint32_t crc32k(std::span<const std::uint8_t> bytes,
+                                   std::uint32_t seed = 0) noexcept;
+
+/// CRC-32K over 64-bit words in little-endian byte order (packets are
+/// stored as uint64 words host-side).
+[[nodiscard]] std::uint32_t crc32k_words(std::span<const std::uint64_t> words,
+                                         std::uint32_t seed = 0) noexcept;
+
+}  // namespace hmcsim::spec

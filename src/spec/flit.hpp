@@ -1,0 +1,42 @@
+// flit.hpp — FLIT-level constants of the HMC 2.1 packet protocol.
+//
+// All HMC traffic is carved into FLITs of 128 bits (16 bytes). A packet is
+// 1..17 FLITs: one header/tail FLIT (64-bit header + 64-bit tail) plus up to
+// 16 data FLITs (256 bytes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hmcsim::spec {
+
+/// Size of one FLIT in bytes (128 bits).
+inline constexpr std::size_t kFlitBytes = 16;
+
+/// Size of one FLIT in bits.
+inline constexpr std::size_t kFlitBits = 128;
+
+/// A packet never exceeds 17 FLITs (256-byte write: 1 header/tail + 16 data).
+inline constexpr std::size_t kMaxPacketFlits = 17;
+
+/// Maximum data payload in bytes (16 data FLITs).
+inline constexpr std::size_t kMaxDataBytes = 256;
+
+/// Minimum DRAM access granularity in bytes (one FLIT).
+inline constexpr std::size_t kMinAccessBytes = 16;
+
+/// Number of 64-bit words in a maximal packet (2 per FLIT).
+inline constexpr std::size_t kMaxPacketWords = kMaxPacketFlits * 2;
+
+/// Convert a data payload size in bytes to the number of data FLITs.
+[[nodiscard]] constexpr std::size_t data_flits(std::size_t bytes) noexcept {
+  return (bytes + kFlitBytes - 1) / kFlitBytes;
+}
+
+/// Total packet FLITs for a given data payload (header/tail FLIT + data).
+[[nodiscard]] constexpr std::size_t packet_flits(
+    std::size_t data_bytes) noexcept {
+  return 1 + data_flits(data_bytes);
+}
+
+}  // namespace hmcsim::spec

@@ -1,0 +1,222 @@
+#include "spec/packet.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "spec/crc32.hpp"
+
+namespace hmcsim::spec {
+namespace {
+
+/// Serialise head/data/tail into a word buffer with the CRC field zeroed,
+/// for CRC computation. Returns word count.
+template <typename Packet>
+std::size_t words_for_crc(const Packet& pkt,
+                          std::span<std::uint64_t> scratch) noexcept {
+  const std::size_t n = serialize(pkt, scratch);
+  if (n == 0) {
+    return 0;
+  }
+  // Tail is the last word; its CRC field is [63:32] for both formats.
+  scratch[n - 1] &= 0x00000000FFFFFFFFULL;
+  return n;
+}
+
+}  // namespace
+
+Status build_request(const RqstParams& params, RqstPacket& out) {
+  const CommandInfo& info = command_info(params.rqst);
+  std::uint32_t flits = info.rqst_flits;
+  if (params.flits_override != 0) {
+    if (info.kind != CommandKind::Cmc) {
+      return Status::InvalidArg(
+          "flits_override is only valid for CMC commands");
+    }
+    flits = params.flits_override;
+  }
+  if (flits == 0 || flits > kMaxPacketFlits) {
+    return Status::InvalidArg("request length out of range: " +
+                              std::to_string(flits) + " FLITs");
+  }
+  if (!RqstHead::Adrs::holds(params.addr)) {
+    return Status::InvalidArg("address exceeds 34-bit ADRS field");
+  }
+  if (!RqstHead::Tag::holds(params.tag)) {
+    return Status::InvalidArg("tag exceeds 11-bit TAG field");
+  }
+  if (!RqstHead::Cub::holds(params.cub)) {
+    return Status::InvalidArg("cub exceeds 3-bit CUB field");
+  }
+  const std::size_t payload_words = 2 * (static_cast<std::size_t>(flits) - 1);
+  if (params.payload.size() > payload_words) {
+    return Status::InvalidArg("payload larger than packet data section");
+  }
+
+  out = RqstPacket{};
+  std::uint64_t head = 0;
+  head = RqstHead::Cmd::set(head, static_cast<std::uint64_t>(params.rqst));
+  head = RqstHead::Lng::set(head, flits);
+  head = RqstHead::Tag::set(head, params.tag);
+  head = RqstHead::Adrs::set(head, params.addr);
+  head = RqstHead::Cub::set(head, params.cub);
+  out.head = head;
+
+  std::copy(params.payload.begin(), params.payload.end(), out.data.begin());
+
+  // Sequence/retry-pointer fields are link-layer concerns filled by the
+  // link model; the builder leaves them zero and seals the CRC.
+  out.tail = RqstTail::Crc::set(0, packet_crc(out));
+  return Status::Ok();
+}
+
+Status build_response(const RspParams& params, RspPacket& out) {
+  if (params.flits == 0 || params.flits > kMaxPacketFlits) {
+    return Status::InvalidArg("response length out of range: " +
+                              std::to_string(params.flits) + " FLITs");
+  }
+  if (!RspHead::Cmd::holds(params.rsp_cmd_code)) {
+    return Status::InvalidArg("response command exceeds 7-bit CMD field");
+  }
+  if (!RspHead::Tag::holds(params.tag)) {
+    return Status::InvalidArg("tag exceeds 11-bit TAG field");
+  }
+  if (!RspTail::Errstat::holds(params.errstat)) {
+    return Status::InvalidArg("errstat exceeds 7-bit ERRSTAT field");
+  }
+  const std::size_t payload_words =
+      2 * (static_cast<std::size_t>(params.flits) - 1);
+  if (params.payload.size() > payload_words) {
+    return Status::InvalidArg("payload larger than packet data section");
+  }
+
+  out = RspPacket{};
+  std::uint64_t head = 0;
+  head = RspHead::Cmd::set(head, params.rsp_cmd_code);
+  head = RspHead::Lng::set(head, params.flits);
+  head = RspHead::Tag::set(head, params.tag);
+  head = RspHead::Af::set(head, params.atomic_flag ? 1 : 0);
+  head = RspHead::Slid::set(head, params.slid);
+  head = RspHead::Cub::set(head, params.cub);
+  out.head = head;
+
+  std::copy(params.payload.begin(), params.payload.end(), out.data.begin());
+  std::uint64_t tail = 0;
+  tail = RspTail::Errstat::set(tail, params.errstat);
+  out.tail = tail;
+  out.tail = RspTail::Crc::set(out.tail, packet_crc(out));
+  return Status::Ok();
+}
+
+std::size_t serialize(const RqstPacket& pkt,
+                      std::span<std::uint64_t> out) noexcept {
+  const std::uint32_t flits = pkt.flits();
+  if (flits == 0 || flits > kMaxPacketFlits || out.size() < 2 * flits) {
+    return 0;
+  }
+  const std::size_t payload_words = 2 * (static_cast<std::size_t>(flits) - 1);
+  out[0] = pkt.head;
+  std::copy_n(pkt.data.begin(), payload_words, out.begin() + 1);
+  out[payload_words + 1] = pkt.tail;
+  return payload_words + 2;
+}
+
+std::size_t serialize(const RspPacket& pkt,
+                      std::span<std::uint64_t> out) noexcept {
+  const std::uint32_t flits = pkt.flits();
+  if (flits == 0 || flits > kMaxPacketFlits || out.size() < 2 * flits) {
+    return 0;
+  }
+  const std::size_t payload_words = 2 * (static_cast<std::size_t>(flits) - 1);
+  out[0] = pkt.head;
+  std::copy_n(pkt.data.begin(), payload_words, out.begin() + 1);
+  out[payload_words + 1] = pkt.tail;
+  return payload_words + 2;
+}
+
+Status parse_request(std::span<const std::uint64_t> words, RqstPacket& out) {
+  if (words.size() < 2) {
+    return Status::InvalidArg("packet stream shorter than head+tail");
+  }
+  const auto flits =
+      static_cast<std::uint32_t>(RqstHead::Lng::get(words.front()));
+  if (flits == 0 || flits > kMaxPacketFlits) {
+    return Status::InvalidArg("LNG field out of range");
+  }
+  if (words.size() != 2 * flits) {
+    return Status::InvalidArg("stream size does not match LNG field");
+  }
+  out = RqstPacket{};
+  out.head = words.front();
+  out.tail = words.back();
+  std::copy(words.begin() + 1, words.end() - 1, out.data.begin());
+  if (!verify_crc(out)) {
+    return Status::InvalidArg("request CRC mismatch");
+  }
+  return Status::Ok();
+}
+
+Status parse_response(std::span<const std::uint64_t> words, RspPacket& out) {
+  if (words.size() < 2) {
+    return Status::InvalidArg("packet stream shorter than head+tail");
+  }
+  const auto flits =
+      static_cast<std::uint32_t>(RspHead::Lng::get(words.front()));
+  if (flits == 0 || flits > kMaxPacketFlits) {
+    return Status::InvalidArg("LNG field out of range");
+  }
+  if (words.size() != 2 * flits) {
+    return Status::InvalidArg("stream size does not match LNG field");
+  }
+  out = RspPacket{};
+  out.head = words.front();
+  out.tail = words.back();
+  std::copy(words.begin() + 1, words.end() - 1, out.data.begin());
+  if (!verify_crc(out)) {
+    return Status::InvalidArg("response CRC mismatch");
+  }
+  return Status::Ok();
+}
+
+std::uint32_t packet_crc(const RqstPacket& pkt) noexcept {
+  std::array<std::uint64_t, kMaxPacketWords> scratch{};
+  const std::size_t n = words_for_crc(pkt, scratch);
+  return crc32k_words({scratch.data(), n});
+}
+
+std::uint32_t packet_crc(const RspPacket& pkt) noexcept {
+  std::array<std::uint64_t, kMaxPacketWords> scratch{};
+  const std::size_t n = words_for_crc(pkt, scratch);
+  return crc32k_words({scratch.data(), n});
+}
+
+bool verify_crc(const RqstPacket& pkt) noexcept {
+  return RqstTail::Crc::get(pkt.tail) == packet_crc(pkt);
+}
+
+bool verify_crc(const RspPacket& pkt) noexcept {
+  return RspTail::Crc::get(pkt.tail) == packet_crc(pkt);
+}
+
+std::string to_string(const RqstPacket& pkt) {
+  std::ostringstream oss;
+  const auto info = command_info(pkt.cmd());
+  oss << "RQST{cmd=" << (info ? info->name : "?")
+      << " code=" << static_cast<unsigned>(pkt.cmd())
+      << " lng=" << pkt.flits() << " tag=" << pkt.tag() << " addr=0x"
+      << std::hex << pkt.addr() << std::dec
+      << " cub=" << static_cast<unsigned>(pkt.cub())
+      << " slid=" << static_cast<unsigned>(pkt.slid()) << "}";
+  return oss.str();
+}
+
+std::string to_string(const RspPacket& pkt) {
+  std::ostringstream oss;
+  oss << "RSP{code=" << static_cast<unsigned>(pkt.cmd())
+      << " lng=" << pkt.flits() << " tag=" << pkt.tag()
+      << " af=" << (pkt.atomic_flag() ? 1 : 0)
+      << " errstat=" << static_cast<unsigned>(pkt.errstat())
+      << " slid=" << static_cast<unsigned>(pkt.slid()) << "}";
+  return oss.str();
+}
+
+}  // namespace hmcsim::spec

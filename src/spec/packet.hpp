@@ -1,0 +1,227 @@
+// packet.hpp — HMC 2.1 request/response packet formats.
+//
+// A packet is 1..17 FLITs. The first 64 bits of the first FLIT are the
+// *header*; the last 64 bits of the last FLIT are the *tail*; everything in
+// between is data payload. Field positions follow the HMC 2.1 transaction
+// layer:
+//
+//   Request header   CMD[6:0] LNG[11:7] TAG[22:12] ADRS[57:24] CUB[63:61]
+//   Request tail     RRP[8:0] FRP[17:9] SEQ[20:18] Pb[21] SLID[28:26]
+//                    RTC[31:29] CRC[63:32]
+//   Response header  CMD[6:0] LNG[11:7] TAG[22:12] AF[33] SLID[36:34]
+//                    CUB[63:61]
+//   Response tail    RRP[8:0] FRP[17:9] SEQ[20:18] DINV[21] ERRSTAT[28:22]
+//                    RTC[31:29] CRC[63:32]
+//
+// The CRC (32-bit, Koopman polynomial) covers the whole packet with the CRC
+// field zeroed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+#include "spec/commands.hpp"
+#include "spec/flit.hpp"
+
+namespace hmcsim::spec {
+
+/// Named bit fields of the request packet header.
+struct RqstHead {
+  using Cmd = bits::Field<0, 7>;
+  using Lng = bits::Field<7, 5>;
+  using Tag = bits::Field<12, 11>;
+  using Adrs = bits::Field<24, 34>;
+  using Cub = bits::Field<61, 3>;
+};
+
+/// Named bit fields of the request packet tail.
+struct RqstTail {
+  using Rrp = bits::Field<0, 9>;
+  using Frp = bits::Field<9, 9>;
+  using Seq = bits::Field<18, 3>;
+  using Pb = bits::Field<21, 1>;
+  using Slid = bits::Field<26, 3>;
+  using Rtc = bits::Field<29, 3>;
+  using Crc = bits::Field<32, 32>;
+};
+
+/// Named bit fields of the response packet header.
+struct RspHead {
+  using Cmd = bits::Field<0, 7>;
+  using Lng = bits::Field<7, 5>;
+  using Tag = bits::Field<12, 11>;
+  using Af = bits::Field<33, 1>;
+  using Slid = bits::Field<34, 3>;
+  using Cub = bits::Field<61, 3>;
+};
+
+/// Named bit fields of the response packet tail.
+struct RspTail {
+  using Rrp = bits::Field<0, 9>;
+  using Frp = bits::Field<9, 9>;
+  using Seq = bits::Field<18, 3>;
+  using Dinv = bits::Field<21, 1>;
+  using Errstat = bits::Field<22, 7>;
+  using Rtc = bits::Field<29, 3>;
+  using Crc = bits::Field<32, 32>;
+};
+
+/// Widest representable tag (11-bit field).
+inline constexpr std::uint16_t kMaxTag = (1U << 11) - 1;
+
+/// Widest representable CUB id (3-bit field): up to 8 chained devices.
+inline constexpr std::uint8_t kMaxCub = 7;
+
+/// Vault-visible address width (34-bit ADRS field).
+inline constexpr unsigned kAdrsBits = 34;
+
+/// A request packet in unpacked word form.
+///
+/// `data` holds the payload words between header and tail: a packet of N
+/// FLITs has 2*(N-1) data words. Maximum payload: 32 words (256 bytes).
+struct RqstPacket {
+  std::uint64_t head = 0;
+  std::uint64_t tail = 0;
+  std::array<std::uint64_t, 32> data{};
+
+  [[nodiscard]] Rqst rqst() const noexcept {
+    return static_cast<Rqst>(RqstHead::Cmd::get(head));
+  }
+  [[nodiscard]] std::uint8_t cmd() const noexcept {
+    return static_cast<std::uint8_t>(RqstHead::Cmd::get(head));
+  }
+  [[nodiscard]] std::uint32_t flits() const noexcept {
+    return static_cast<std::uint32_t>(RqstHead::Lng::get(head));
+  }
+  [[nodiscard]] std::uint16_t tag() const noexcept {
+    return static_cast<std::uint16_t>(RqstHead::Tag::get(head));
+  }
+  [[nodiscard]] std::uint64_t addr() const noexcept {
+    return RqstHead::Adrs::get(head);
+  }
+  [[nodiscard]] std::uint8_t cub() const noexcept {
+    return static_cast<std::uint8_t>(RqstHead::Cub::get(head));
+  }
+  [[nodiscard]] std::uint8_t slid() const noexcept {
+    return static_cast<std::uint8_t>(RqstTail::Slid::get(tail));
+  }
+  void set_slid(std::uint8_t slid) noexcept {
+    tail = RqstTail::Slid::set(tail, slid);
+  }
+
+  /// Payload words actually carried (2 per data FLIT).
+  [[nodiscard]] std::span<const std::uint64_t> payload() const noexcept {
+    const std::uint32_t n = flits();
+    return {data.data(), n > 0 ? 2 * (static_cast<std::size_t>(n) - 1) : 0};
+  }
+  [[nodiscard]] std::span<std::uint64_t> payload() noexcept {
+    const std::uint32_t n = flits();
+    return {data.data(), n > 0 ? 2 * (static_cast<std::size_t>(n) - 1) : 0};
+  }
+};
+
+/// A response packet in unpacked word form.
+struct RspPacket {
+  std::uint64_t head = 0;
+  std::uint64_t tail = 0;
+  std::array<std::uint64_t, 32> data{};
+
+  [[nodiscard]] std::uint8_t cmd() const noexcept {
+    return static_cast<std::uint8_t>(RspHead::Cmd::get(head));
+  }
+  [[nodiscard]] std::uint32_t flits() const noexcept {
+    return static_cast<std::uint32_t>(RspHead::Lng::get(head));
+  }
+  [[nodiscard]] std::uint16_t tag() const noexcept {
+    return static_cast<std::uint16_t>(RspHead::Tag::get(head));
+  }
+  [[nodiscard]] bool atomic_flag() const noexcept {
+    return RspHead::Af::get(head) != 0;
+  }
+  [[nodiscard]] std::uint8_t slid() const noexcept {
+    return static_cast<std::uint8_t>(RspHead::Slid::get(head));
+  }
+  [[nodiscard]] std::uint8_t cub() const noexcept {
+    return static_cast<std::uint8_t>(RspHead::Cub::get(head));
+  }
+  [[nodiscard]] std::uint8_t errstat() const noexcept {
+    return static_cast<std::uint8_t>(RspTail::Errstat::get(tail));
+  }
+  [[nodiscard]] bool data_invalid() const noexcept {
+    return RspTail::Dinv::get(tail) != 0;
+  }
+
+  [[nodiscard]] std::span<const std::uint64_t> payload() const noexcept {
+    const std::uint32_t n = flits();
+    return {data.data(), n > 0 ? 2 * (static_cast<std::size_t>(n) - 1) : 0};
+  }
+  [[nodiscard]] std::span<std::uint64_t> payload() noexcept {
+    const std::uint32_t n = flits();
+    return {data.data(), n > 0 ? 2 * (static_cast<std::size_t>(n) - 1) : 0};
+  }
+};
+
+/// Parameters for building a request packet.
+struct RqstParams {
+  Rqst rqst = Rqst::RD16;
+  std::uint64_t addr = 0;        ///< Vault-visible address (34 bits used).
+  std::uint16_t tag = 0;         ///< Host transaction tag (11 bits).
+  std::uint8_t cub = 0;          ///< Target cube id (3 bits).
+  std::span<const std::uint64_t> payload{};  ///< Data words (2 per FLIT).
+  /// FLIT count override for CMC commands whose length is defined at
+  /// registration time; 0 = use the static command table.
+  std::uint8_t flits_override = 0;
+};
+
+/// Build a request packet: fills header/tail fields, copies the payload and
+/// computes the CRC. Fails on out-of-range fields or payload/LNG mismatch.
+[[nodiscard]] Status build_request(const RqstParams& params, RqstPacket& out);
+
+/// Parameters for building a response packet.
+struct RspParams {
+  std::uint8_t rsp_cmd_code = 0;  ///< Raw 7-bit response command code.
+  std::uint32_t flits = 1;        ///< Total packet length.
+  std::uint16_t tag = 0;          ///< Echo of the request tag.
+  std::uint8_t cub = 0;           ///< Origin cube.
+  std::uint8_t slid = 0;          ///< Host link to return on.
+  bool atomic_flag = false;       ///< AF header bit.
+  std::uint8_t errstat = 0;       ///< Tail error status (7 bits).
+  std::span<const std::uint64_t> payload{};
+};
+
+/// Build a response packet: fills header/tail fields, copies the payload
+/// and computes the CRC.
+[[nodiscard]] Status build_response(const RspParams& params, RspPacket& out);
+
+/// Serialise a request to its wire word stream: [head, data..., tail].
+/// Returns the number of words written (2 * LNG). `out` must hold at least
+/// kMaxPacketWords entries.
+[[nodiscard]] std::size_t serialize(const RqstPacket& pkt,
+                                    std::span<std::uint64_t> out) noexcept;
+[[nodiscard]] std::size_t serialize(const RspPacket& pkt,
+                                    std::span<std::uint64_t> out) noexcept;
+
+/// Parse a request from its wire word stream; validates LNG against the
+/// stream size and verifies the CRC.
+[[nodiscard]] Status parse_request(std::span<const std::uint64_t> words,
+                                   RqstPacket& out);
+[[nodiscard]] Status parse_response(std::span<const std::uint64_t> words,
+                                    RspPacket& out);
+
+/// Compute the CRC a request/response packet should carry.
+[[nodiscard]] std::uint32_t packet_crc(const RqstPacket& pkt) noexcept;
+[[nodiscard]] std::uint32_t packet_crc(const RspPacket& pkt) noexcept;
+
+/// Recompute + verify the CRC carried in the packet tail.
+[[nodiscard]] bool verify_crc(const RqstPacket& pkt) noexcept;
+[[nodiscard]] bool verify_crc(const RspPacket& pkt) noexcept;
+
+/// One-line human-readable rendering for traces and debugging.
+[[nodiscard]] std::string to_string(const RqstPacket& pkt);
+[[nodiscard]] std::string to_string(const RspPacket& pkt);
+
+}  // namespace hmcsim::spec

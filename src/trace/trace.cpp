@@ -1,0 +1,145 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace hmcsim::trace {
+
+std::string_view to_string(Level level) noexcept {
+  switch (level) {
+    case Level::None:
+      return "NONE";
+    case Level::Stalls:
+      return "STALL";
+    case Level::BankConflict:
+      return "BANK_CONFLICT";
+    case Level::QueueDepth:
+      return "QUEUE_DEPTH";
+    case Level::Latency:
+      return "LATENCY";
+    case Level::Rqst:
+      return "RQST";
+    case Level::Rsp:
+      return "RSP";
+    case Level::Cmc:
+      return "CMC";
+    case Level::Register:
+      return "REGISTER";
+    case Level::Route:
+      return "ROUTE";
+    case Level::Retry:
+      return "RETRY";
+    case Level::All:
+      return "ALL";
+  }
+  return "?";
+}
+
+void TextSink::on_event(const Event& ev) {
+  os_ << ev.cycle << " " << to_string(ev.kind) << " dev=" << ev.where.dev
+      << " quad=" << ev.where.quad << " vault=" << ev.where.vault
+      << " bank=" << ev.where.bank << " link=" << ev.where.link
+      << " tag=" << ev.tag << " op=" << (ev.op.empty() ? "-" : ev.op)
+      << " addr=0x" << std::hex << ev.addr << std::dec
+      << " value=" << ev.value;
+  if (!ev.note.empty()) {
+    os_ << " note=\"" << ev.note << "\"";
+  }
+  os_ << '\n';
+}
+
+CsvSink::CsvSink(std::ostream& os) : os_(os) {
+  os_ << "cycle,kind,dev,quad,vault,bank,link,tag,op,addr,value,note\n";
+}
+
+void CsvSink::on_event(const Event& ev) {
+  os_ << ev.cycle << ',' << to_string(ev.kind) << ',' << ev.where.dev << ','
+      << ev.where.quad << ',' << ev.where.vault << ',' << ev.where.bank << ','
+      << ev.where.link << ',' << ev.tag << ','
+      << (ev.op.empty() ? "-" : ev.op) << ',' << ev.addr << ',' << ev.value
+      << ',' << ev.note << '\n';
+}
+
+void LatencySink::on_event(const Event& ev) {
+  if (ev.kind == Level::Latency) {
+    samples_.push_back(ev.value);
+  }
+}
+
+std::uint64_t LatencySink::min() const noexcept {
+  return samples_.empty()
+             ? 0
+             : *std::min_element(samples_.begin(), samples_.end());
+}
+
+std::uint64_t LatencySink::max() const noexcept {
+  return samples_.empty()
+             ? 0
+             : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double LatencySink::mean() const noexcept {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const std::uint64_t s : samples_) {
+    sum += static_cast<double>(s);
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::uint64_t LatencySink::percentile(double q) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<std::uint64_t> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[rank];
+}
+
+void CountingSink::on_event(const Event& ev) {
+  const auto bits = static_cast<std::uint32_t>(ev.kind);
+  if (bits != 0) {
+    counts_[std::countr_zero(bits)] += 1;
+  }
+  ++total_;
+}
+
+std::uint64_t CountingSink::count(Level kind) const noexcept {
+  const auto bits = static_cast<std::uint32_t>(kind);
+  if (bits == 0) {
+    return 0;
+  }
+  return counts_[std::countr_zero(bits)];
+}
+
+void CountingSink::reset() noexcept {
+  std::fill(std::begin(counts_), std::end(counts_), 0ULL);
+  total_ = 0;
+}
+
+void Tracer::attach(Sink* sink) {
+  if (sink != nullptr &&
+      std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end()) {
+    sinks_.push_back(sink);
+  }
+}
+
+void Tracer::detach(Sink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+void Tracer::emit(const Event& ev) {
+  if (!enabled(ev.kind)) {
+    return;
+  }
+  for (Sink* sink : sinks_) {
+    sink->on_event(ev);
+  }
+}
+
+}  // namespace hmcsim::trace

@@ -1,0 +1,166 @@
+// trace.hpp — discrete event tracing.
+//
+// Traces are experiment data, not debug logging: packet movement, queue
+// stalls, bank conflicts and CMC resolution. Per the paper's "Discrete
+// Tracing" requirement, a user-defined CMC operation appears in the trace
+// under the human-readable name its plugin supplies via cmc_str — never as
+// an opaque code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hmcsim::trace {
+
+/// Bitmask of trace categories (mirrors HMC-Sim's trace-level controls).
+enum class Level : std::uint32_t {
+  None = 0,
+  Stalls = 1U << 0,        ///< Queue-full stalls anywhere in the pipeline.
+  BankConflict = 1U << 1,  ///< Bank-busy conflicts (optional timing model).
+  QueueDepth = 1U << 2,    ///< Periodic queue occupancy samples.
+  Latency = 1U << 3,       ///< Per-packet end-to-end latency on retirement.
+  Rqst = 1U << 4,          ///< Request arrival at a vault.
+  Rsp = 1U << 5,           ///< Response departure from a vault.
+  Cmc = 1U << 6,           ///< CMC execution (named via cmc_str).
+  Register = 1U << 7,      ///< Mode/JTAG register access.
+  Route = 1U << 8,         ///< Inter-cube routing hops.
+  Retry = 1U << 9,         ///< Link-layer CRC retry events.
+  All = 0xFFFFFFFFU,
+};
+
+[[nodiscard]] constexpr Level operator|(Level a, Level b) noexcept {
+  return static_cast<Level>(static_cast<std::uint32_t>(a) |
+                            static_cast<std::uint32_t>(b));
+}
+[[nodiscard]] constexpr Level operator&(Level a, Level b) noexcept {
+  return static_cast<Level>(static_cast<std::uint32_t>(a) &
+                            static_cast<std::uint32_t>(b));
+}
+[[nodiscard]] constexpr bool any(Level l) noexcept {
+  return static_cast<std::uint32_t>(l) != 0;
+}
+
+[[nodiscard]] std::string_view to_string(Level level) noexcept;
+
+/// Physical location of an event inside the cube network.
+struct Location {
+  std::uint32_t dev = 0;
+  std::uint32_t quad = 0;
+  std::uint32_t vault = 0;
+  std::uint32_t bank = 0;
+  std::uint32_t link = 0;
+};
+
+/// One trace record.
+struct Event {
+  std::uint64_t cycle = 0;
+  Level kind = Level::None;
+  Location where{};
+  std::uint16_t tag = 0;
+  std::string_view op;   ///< Command mnemonic or CMC name (static lifetime
+                         ///< or owned by the registry for the sim's life).
+  std::uint64_t addr = 0;
+  std::uint64_t value = 0;  ///< Kind-specific payload (latency, depth, ...).
+  std::string note;         ///< Optional free-form detail.
+};
+
+/// Receives every emitted event that passes the level mask.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_event(const Event& ev) = 0;
+};
+
+/// Human-readable single-line text sink.
+class TextSink final : public Sink {
+ public:
+  explicit TextSink(std::ostream& os) : os_(os) {}
+  void on_event(const Event& ev) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Machine-readable CSV sink (header written on construction).
+class CsvSink final : public Sink {
+ public:
+  explicit CsvSink(std::ostream& os);
+  void on_event(const Event& ev) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Counts events per category; cheap enough to leave attached in benches.
+class CountingSink final : public Sink {
+ public:
+  void on_event(const Event& ev) override;
+  [[nodiscard]] std::uint64_t count(Level kind) const noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  void reset() noexcept;
+
+ private:
+  std::uint64_t counts_[32] = {};
+  std::uint64_t total_ = 0;
+};
+
+/// Aggregates Latency events into a percentile-ready distribution.
+/// Attach with the Latency level enabled; query at any point.
+class LatencySink final : public Sink {
+ public:
+  void on_event(const Event& ev) override;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return samples_.size();
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  /// q in [0,1]: nearest-rank percentile (q=0.5 median, 0.99 tail).
+  [[nodiscard]] std::uint64_t percentile(double q) const;
+  void reset() noexcept { samples_.clear(); }
+
+ private:
+  // Samples are stored raw (latencies are small integers); percentile
+  // queries sort a scratch copy on demand.
+  mutable std::vector<std::uint64_t> samples_;
+};
+
+/// In-memory sink retaining every event (tests).
+class VectorSink final : public Sink {
+ public:
+  void on_event(const Event& ev) override { events_.push_back(ev); }
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Dispatcher: level mask + attached sinks. Sinks are borrowed, not owned —
+/// the caller controls their lifetime (they typically outlive the sim).
+class Tracer {
+ public:
+  void set_level(Level mask) noexcept { mask_ = mask; }
+  [[nodiscard]] Level level() const noexcept { return mask_; }
+  [[nodiscard]] bool enabled(Level kind) const noexcept {
+    return any(mask_ & kind);
+  }
+
+  void attach(Sink* sink);
+  void detach(Sink* sink);
+
+  void emit(const Event& ev);
+
+ private:
+  Level mask_ = Level::None;
+  std::vector<Sink*> sinks_;
+};
+
+}  // namespace hmcsim::trace

@@ -1,0 +1,478 @@
+// amo_test.cpp — semantics of every Gen2 atomic memory operation.
+#include "src/amo/amo_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "src/common/rng.hpp"
+
+namespace hmcsim::amo {
+namespace {
+
+using spec::Rqst;
+
+class AmoTest : public ::testing::Test {
+ protected:
+  AmoTest() : store_(1024 * 1024) {}
+
+  void seed(std::uint64_t lo, std::uint64_t hi) {
+    ASSERT_TRUE(store_.write_u128(kAddr, {lo, hi}).ok());
+  }
+  std::array<std::uint64_t, 2> memory() {
+    std::array<std::uint64_t, 2> out{};
+    EXPECT_TRUE(store_.read_u128(kAddr, out).ok());
+    return out;
+  }
+  AmoResult run(Rqst op, std::uint64_t p0 = 0, std::uint64_t p1 = 0) {
+    const std::array<std::uint64_t, 2> payload{p0, p1};
+    AmoResult result;
+    EXPECT_TRUE(execute(op, store_, kAddr, payload, result).ok())
+        << spec::to_string(op);
+    return result;
+  }
+
+  static constexpr std::uint64_t kAddr = 0x1000;
+  mem::BackingStore store_;
+};
+
+TEST_F(AmoTest, IsAmoClassification) {
+  EXPECT_TRUE(is_amo(Rqst::INC8));
+  EXPECT_TRUE(is_amo(Rqst::P_INC8));
+  EXPECT_TRUE(is_amo(Rqst::CASGT16));
+  EXPECT_TRUE(is_amo(Rqst::SWAP16));
+  EXPECT_FALSE(is_amo(Rqst::RD16));
+  EXPECT_FALSE(is_amo(Rqst::WR64));
+  EXPECT_FALSE(is_amo(Rqst::CMC125));
+  EXPECT_FALSE(is_amo(Rqst::FLOW_NULL));
+}
+
+TEST_F(AmoTest, RejectsNonAtomicCommand) {
+  AmoResult result;
+  EXPECT_FALSE(execute(Rqst::RD16, store_, kAddr, {}, result).ok());
+}
+
+TEST_F(AmoTest, RejectsOutOfRangeAddress) {
+  AmoResult result;
+  EXPECT_FALSE(
+      execute(Rqst::INC8, store_, store_.capacity(), {}, result).ok());
+}
+
+// ---- increments ------------------------------------------------------------
+
+TEST_F(AmoTest, Inc8IncrementsLowWordOnly) {
+  seed(41, 99);
+  const AmoResult r = run(Rqst::INC8);
+  EXPECT_EQ(memory()[0], 42ULL);
+  EXPECT_EQ(memory()[1], 99ULL);
+  EXPECT_EQ(r.rsp_words, 0);  // 1-FLIT WR_RS response: no data.
+}
+
+TEST_F(AmoTest, Inc8WrapsAround) {
+  seed(~0ULL, 0);
+  run(Rqst::INC8);
+  EXPECT_EQ(memory()[0], 0ULL);
+}
+
+TEST_F(AmoTest, PostedInc8SameEffect) {
+  seed(7, 0);
+  run(Rqst::P_INC8);
+  EXPECT_EQ(memory()[0], 8ULL);
+}
+
+// ---- adds ---------------------------------------------------------------------
+
+TEST_F(AmoTest, TwoAdd8AddsIndependentWords) {
+  seed(100, 200);
+  run(Rqst::TWOADD8, 5, 7);
+  EXPECT_EQ(memory()[0], 105ULL);
+  EXPECT_EQ(memory()[1], 207ULL);
+}
+
+TEST_F(AmoTest, TwoAdd8NegativeImmediates) {
+  seed(100, 200);
+  run(Rqst::TWOADD8, static_cast<std::uint64_t>(-30),
+      static_cast<std::uint64_t>(-50));
+  EXPECT_EQ(memory()[0], 70ULL);
+  EXPECT_EQ(memory()[1], 150ULL);
+}
+
+TEST_F(AmoTest, TwoAdd8NoCarryBetweenWords) {
+  seed(~0ULL, 0);
+  run(Rqst::TWOADD8, 1, 0);
+  EXPECT_EQ(memory()[0], 0ULL);
+  EXPECT_EQ(memory()[1], 0ULL);  // Independent lanes: no carry.
+}
+
+TEST_F(AmoTest, Add16CarriesAcrossWords) {
+  seed(~0ULL, 5);
+  run(Rqst::ADD16, 1, 0);
+  EXPECT_EQ(memory()[0], 0ULL);
+  EXPECT_EQ(memory()[1], 6ULL);  // 128-bit add: carry propagates.
+}
+
+TEST_F(AmoTest, TwoAdds8RReturnsOriginal) {
+  seed(10, 20);
+  const AmoResult r = run(Rqst::TWOADDS8R, 1, 2);
+  EXPECT_EQ(r.rsp_words, 2);
+  EXPECT_EQ(r.rsp_data[0], 10ULL);
+  EXPECT_EQ(r.rsp_data[1], 20ULL);
+  EXPECT_EQ(memory()[0], 11ULL);
+  EXPECT_EQ(memory()[1], 22ULL);
+}
+
+TEST_F(AmoTest, Adds16RReturnsOriginal) {
+  seed(1000, 0);
+  const AmoResult r = run(Rqst::ADDS16R, 24, 0);
+  EXPECT_EQ(r.rsp_words, 2);
+  EXPECT_EQ(r.rsp_data[0], 1000ULL);
+  EXPECT_EQ(memory()[0], 1024ULL);
+}
+
+// ---- booleans -------------------------------------------------------------------
+
+struct BoolCase {
+  Rqst op;
+  std::uint64_t mem;
+  std::uint64_t operand;
+  std::uint64_t expect;
+};
+
+class BooleanAmoTest : public ::testing::TestWithParam<BoolCase> {
+ protected:
+  BooleanAmoTest() : store_(1024 * 1024) {}
+  mem::BackingStore store_;
+};
+
+TEST_P(BooleanAmoTest, AppliesToBothWordsAndReturnsOriginal) {
+  const BoolCase& c = GetParam();
+  ASSERT_TRUE(store_.write_u128(0x40, {c.mem, c.mem}).ok());
+  const std::array<std::uint64_t, 2> payload{c.operand, c.operand};
+  AmoResult r;
+  ASSERT_TRUE(execute(c.op, store_, 0x40, payload, r).ok());
+  std::array<std::uint64_t, 2> out{};
+  ASSERT_TRUE(store_.read_u128(0x40, out).ok());
+  EXPECT_EQ(out[0], c.expect);
+  EXPECT_EQ(out[1], c.expect);
+  EXPECT_EQ(r.rsp_words, 2);
+  EXPECT_EQ(r.rsp_data[0], c.mem);
+  EXPECT_EQ(r.rsp_data[1], c.mem);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBooleans, BooleanAmoTest,
+    ::testing::Values(
+        BoolCase{Rqst::XOR16, 0xFF00FF00FF00FF00ULL, 0x0F0F0F0F0F0F0F0FULL,
+                 0xF00FF00FF00FF00FULL},
+        BoolCase{Rqst::OR16, 0xF0F0F0F0F0F0F0F0ULL, 0x0F000F000F000F00ULL,
+                 0xFFF0FFF0FFF0FFF0ULL},
+        BoolCase{Rqst::NOR16, 0xF0F0F0F0F0F0F0F0ULL, 0x0F000F000F000F00ULL,
+                 ~0xFFF0FFF0FFF0FFF0ULL},
+        BoolCase{Rqst::AND16, 0xFF00FF00FF00FF00ULL, 0xF0F0F0F0F0F0F0F0ULL,
+                 0xF000F000F000F000ULL},
+        BoolCase{Rqst::NAND16, 0xFF00FF00FF00FF00ULL, 0xF0F0F0F0F0F0F0F0ULL,
+                 ~0xF000F000F000F000ULL}),
+    [](const auto& info) {
+      return std::string(spec::to_string(info.param.op));
+    });
+
+// ---- compare-and-swaps --------------------------------------------------------------
+
+TEST_F(AmoTest, CasGt8SwapsWhenGreater) {
+  seed(100, 7);
+  const AmoResult r = run(Rqst::CASGT8, /*swap=*/55, /*comparand=*/50);
+  EXPECT_TRUE(r.atomic_flag);  // 100 > 50.
+  EXPECT_EQ(memory()[0], 55ULL);
+  EXPECT_EQ(memory()[1], 7ULL);  // High word untouched by 8-byte CAS.
+  EXPECT_EQ(r.rsp_data[0], 100ULL);
+}
+
+TEST_F(AmoTest, CasGt8NoSwapWhenNotGreater) {
+  seed(50, 0);
+  const AmoResult r = run(Rqst::CASGT8, 55, 50);
+  EXPECT_FALSE(r.atomic_flag);  // 50 > 50 is false.
+  EXPECT_EQ(memory()[0], 50ULL);
+}
+
+TEST_F(AmoTest, CasGt8IsSignedComparison) {
+  seed(static_cast<std::uint64_t>(-5), 0);
+  const AmoResult r = run(Rqst::CASGT8, 1, 2);
+  // -5 > 2 is false signed (would be true unsigned).
+  EXPECT_FALSE(r.atomic_flag);
+  EXPECT_EQ(memory()[0], static_cast<std::uint64_t>(-5));
+}
+
+TEST_F(AmoTest, CasLt8SwapsWhenLess) {
+  seed(static_cast<std::uint64_t>(-10), 0);
+  const AmoResult r = run(Rqst::CASLT8, 99, 0);
+  EXPECT_TRUE(r.atomic_flag);  // -10 < 0 signed.
+  EXPECT_EQ(memory()[0], 99ULL);
+}
+
+TEST_F(AmoTest, CasEq8SwapsOnlyOnEquality) {
+  seed(42, 0);
+  AmoResult r = run(Rqst::CASEQ8, 77, 42);
+  EXPECT_TRUE(r.atomic_flag);
+  EXPECT_EQ(memory()[0], 77ULL);
+  r = run(Rqst::CASEQ8, 11, 42);  // Memory now 77 != 42.
+  EXPECT_FALSE(r.atomic_flag);
+  EXPECT_EQ(memory()[0], 77ULL);
+}
+
+TEST_F(AmoTest, CasGt16Uses128BitSignedCompare) {
+  seed(0, 1);  // 2^64: large positive.
+  AmoResult r = run(Rqst::CASGT16, 5, 0);  // Operand = 5.
+  EXPECT_TRUE(r.atomic_flag);
+  EXPECT_EQ(memory()[0], 5ULL);
+  EXPECT_EQ(memory()[1], 0ULL);
+
+  seed(0, ~0ULL);  // Negative 128-bit value.
+  r = run(Rqst::CASGT16, 5, 0);
+  EXPECT_FALSE(r.atomic_flag);  // Negative > 5 is false.
+}
+
+TEST_F(AmoTest, CasLt16SwapsWholeBlock) {
+  seed(3, 0);
+  const AmoResult r = run(Rqst::CASLT16, 100, 200);
+  EXPECT_TRUE(r.atomic_flag);  // 3 < (200<<64|100).
+  EXPECT_EQ(memory()[0], 100ULL);
+  EXPECT_EQ(memory()[1], 200ULL);
+}
+
+TEST_F(AmoTest, CasZero16) {
+  seed(0, 0);
+  AmoResult r = run(Rqst::CASZERO16, 0xAB, 0xCD);
+  EXPECT_TRUE(r.atomic_flag);
+  EXPECT_EQ(memory()[0], 0xABULL);
+  EXPECT_EQ(memory()[1], 0xCDULL);
+  r = run(Rqst::CASZERO16, 1, 1);  // No longer zero.
+  EXPECT_FALSE(r.atomic_flag);
+  EXPECT_EQ(memory()[0], 0xABULL);
+}
+
+// ---- equality probes ---------------------------------------------------------------------
+
+TEST_F(AmoTest, Eq8SetsAtomicFlagWithoutModifying) {
+  seed(123, 456);
+  AmoResult r = run(Rqst::EQ8, 123, 0);
+  EXPECT_TRUE(r.atomic_flag);
+  EXPECT_EQ(r.rsp_words, 0);  // 1-FLIT response.
+  r = run(Rqst::EQ8, 124, 0);
+  EXPECT_FALSE(r.atomic_flag);
+  EXPECT_EQ(memory()[0], 123ULL);
+  EXPECT_EQ(memory()[1], 456ULL);
+}
+
+TEST_F(AmoTest, Eq16ComparesFullBlock) {
+  seed(1, 2);
+  AmoResult r = run(Rqst::EQ16, 1, 2);
+  EXPECT_TRUE(r.atomic_flag);
+  r = run(Rqst::EQ16, 1, 3);
+  EXPECT_FALSE(r.atomic_flag);
+}
+
+// ---- bit writes -------------------------------------------------------------------------------
+
+TEST_F(AmoTest, BwrWritesOnlyMaskedBits) {
+  seed(0xFFFFFFFF00000000ULL, 0x77);
+  run(Rqst::BWR, /*data=*/0x0000ABCD0000EF01ULL, /*mask=*/0x0000FFFF0000FFFFULL);
+  EXPECT_EQ(memory()[0], 0xFFFFABCD0000EF01ULL);
+  EXPECT_EQ(memory()[1], 0x77ULL);  // High word untouched.
+}
+
+TEST_F(AmoTest, Bwr8RReturnsOriginal) {
+  seed(0xAA, 0);
+  const AmoResult r = run(Rqst::BWR8R, 0xFF, 0x0F);
+  EXPECT_EQ(r.rsp_words, 2);
+  EXPECT_EQ(r.rsp_data[0], 0xAAULL);
+  EXPECT_EQ(memory()[0], 0xAFULL);  // (0xAA & ~0x0F) | (0xFF & 0x0F).
+}
+
+TEST_F(AmoTest, PostedBwrSameEffect) {
+  seed(0, 0);
+  run(Rqst::P_BWR, ~0ULL, 0xF0);
+  EXPECT_EQ(memory()[0], 0xF0ULL);
+}
+
+// ---- swap ---------------------------------------------------------------------------------------
+
+TEST_F(AmoTest, Swap16ExchangesAndReturnsOriginal) {
+  seed(111, 222);
+  const AmoResult r = run(Rqst::SWAP16, 333, 444);
+  EXPECT_EQ(memory()[0], 333ULL);
+  EXPECT_EQ(memory()[1], 444ULL);
+  EXPECT_EQ(r.rsp_words, 2);
+  EXPECT_EQ(r.rsp_data[0], 111ULL);
+  EXPECT_EQ(r.rsp_data[1], 222ULL);
+}
+
+// ---- randomized differential property: AMO unit vs a scalar oracle -------
+
+namespace {
+
+/// Independent reimplementation of each atomic's semantics on two plain
+/// 64-bit words (lo, hi). Returns the expected post-state.
+std::array<std::uint64_t, 2> oracle(spec::Rqst op,
+                                    std::array<std::uint64_t, 2> mem,
+                                    std::uint64_t p0, std::uint64_t p1,
+                                    bool& af) {
+  using spec::Rqst;
+  af = false;
+  auto s128_less = [](const std::array<std::uint64_t, 2>& a,
+                      const std::array<std::uint64_t, 2>& b) {
+    const auto ah = static_cast<std::int64_t>(a[1]);
+    const auto bh = static_cast<std::int64_t>(b[1]);
+    return ah != bh ? ah < bh : a[0] < b[0];
+  };
+  const std::array<std::uint64_t, 2> imm{p0, p1};
+  switch (op) {
+    case Rqst::TWOADD8:
+    case Rqst::P_2ADD8:
+    case Rqst::TWOADDS8R:
+      return {mem[0] + p0, mem[1] + p1};
+    case Rqst::ADD16:
+    case Rqst::P_ADD16:
+    case Rqst::ADDS16R: {
+      const std::uint64_t lo = mem[0] + p0;
+      return {lo, mem[1] + p1 + (lo < mem[0] ? 1 : 0)};
+    }
+    case Rqst::INC8:
+    case Rqst::P_INC8:
+      return {mem[0] + 1, mem[1]};
+    case Rqst::XOR16:
+      return {mem[0] ^ p0, mem[1] ^ p1};
+    case Rqst::OR16:
+      return {mem[0] | p0, mem[1] | p1};
+    case Rqst::NOR16:
+      return {~(mem[0] | p0), ~(mem[1] | p1)};
+    case Rqst::AND16:
+      return {mem[0] & p0, mem[1] & p1};
+    case Rqst::NAND16:
+      return {~(mem[0] & p0), ~(mem[1] & p1)};
+    case Rqst::CASGT8:
+      af = static_cast<std::int64_t>(mem[0]) > static_cast<std::int64_t>(p1);
+      return af ? std::array<std::uint64_t, 2>{p0, mem[1]} : mem;
+    case Rqst::CASLT8:
+      af = static_cast<std::int64_t>(mem[0]) < static_cast<std::int64_t>(p1);
+      return af ? std::array<std::uint64_t, 2>{p0, mem[1]} : mem;
+    case Rqst::CASEQ8:
+      af = mem[0] == p1;
+      return af ? std::array<std::uint64_t, 2>{p0, mem[1]} : mem;
+    case Rqst::CASGT16:
+      af = s128_less(imm, mem);
+      return af ? imm : mem;
+    case Rqst::CASLT16:
+      af = s128_less(mem, imm);
+      return af ? imm : mem;
+    case Rqst::CASZERO16:
+      af = mem[0] == 0 && mem[1] == 0;
+      return af ? imm : mem;
+    case Rqst::EQ8:
+      af = mem[0] == p0;
+      return mem;
+    case Rqst::EQ16:
+      af = mem[0] == p0 && mem[1] == p1;
+      return mem;
+    case Rqst::BWR:
+    case Rqst::P_BWR:
+    case Rqst::BWR8R:
+      return {(mem[0] & ~p1) | (p0 & p1), mem[1]};
+    case Rqst::SWAP16:
+      return imm;
+    default:
+      ADD_FAILURE() << "oracle missing op";
+      return mem;
+  }
+}
+
+}  // namespace
+
+TEST_F(AmoTest, RandomizedDifferentialSweepAllOps) {
+  constexpr spec::Rqst kOps[] = {
+      spec::Rqst::TWOADD8,  spec::Rqst::P_2ADD8, spec::Rqst::TWOADDS8R,
+      spec::Rqst::ADD16,    spec::Rqst::P_ADD16, spec::Rqst::ADDS16R,
+      spec::Rqst::INC8,     spec::Rqst::P_INC8,  spec::Rqst::XOR16,
+      spec::Rqst::OR16,     spec::Rqst::NOR16,   spec::Rqst::AND16,
+      spec::Rqst::NAND16,   spec::Rqst::CASGT8,  spec::Rqst::CASLT8,
+      spec::Rqst::CASEQ8,   spec::Rqst::CASGT16, spec::Rqst::CASLT16,
+      spec::Rqst::CASZERO16, spec::Rqst::EQ8,    spec::Rqst::EQ16,
+      spec::Rqst::BWR,      spec::Rqst::P_BWR,   spec::Rqst::BWR8R,
+      spec::Rqst::SWAP16,
+  };
+  Xoshiro256 rng(0xD1FF);
+  for (const spec::Rqst op : kOps) {
+    for (int iter = 0; iter < 64; ++iter) {
+      // Mix adversarial corner values with uniform randoms.
+      auto pick = [&rng]() -> std::uint64_t {
+        switch (rng.below(5)) {
+          case 0:
+            return 0;
+          case 1:
+            return ~0ULL;
+          case 2:
+            return 1ULL << 63;
+          default:
+            return rng();
+        }
+      };
+      const std::array<std::uint64_t, 2> init{pick(), pick()};
+      const std::uint64_t p0 = pick();
+      const std::uint64_t p1 = pick();
+      seed(init[0], init[1]);
+      const AmoResult r = run(op, p0, p1);
+
+      bool expect_af = false;
+      const auto expect = oracle(op, init, p0, p1, expect_af);
+      EXPECT_EQ(memory(), expect)
+          << spec::to_string(op) << " iter " << iter;
+      EXPECT_EQ(r.atomic_flag, expect_af)
+          << spec::to_string(op) << " iter " << iter;
+      if (spec::command_info(op).rsp_flits == 2) {
+        EXPECT_EQ(r.rsp_data, init) << spec::to_string(op);
+      }
+    }
+  }
+}
+
+// ---- response-length contract: every atomic obeys its Table I row -------
+
+class AmoResponseContractTest : public ::testing::TestWithParam<Rqst> {
+ protected:
+  AmoResponseContractTest() : store_(1024 * 1024) {}
+  mem::BackingStore store_;
+};
+
+TEST_P(AmoResponseContractTest, ResponseWordsMatchCommandTable) {
+  const Rqst op = GetParam();
+  const std::array<std::uint64_t, 2> payload{1, 2};
+  AmoResult r;
+  ASSERT_TRUE(execute(op, store_, 0x80, payload, r).ok());
+  const auto& info = spec::command_info(op);
+  if (info.rsp_flits == 2) {
+    EXPECT_EQ(r.rsp_words, 2);
+  } else {
+    EXPECT_EQ(r.rsp_words, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAtomics, AmoResponseContractTest,
+    ::testing::Values(Rqst::TWOADD8, Rqst::ADD16, Rqst::P_2ADD8,
+                      Rqst::P_ADD16, Rqst::TWOADDS8R, Rqst::ADDS16R,
+                      Rqst::INC8, Rqst::P_INC8, Rqst::XOR16, Rqst::OR16,
+                      Rqst::NOR16, Rqst::AND16, Rqst::NAND16, Rqst::CASGT8,
+                      Rqst::CASGT16, Rqst::CASLT8, Rqst::CASLT16,
+                      Rqst::CASEQ8, Rqst::CASZERO16, Rqst::EQ8, Rqst::EQ16,
+                      Rqst::BWR, Rqst::P_BWR, Rqst::BWR8R, Rqst::SWAP16),
+    [](const auto& info) {
+      std::string name(spec::to_string(info.param));
+      for (auto& ch : name) {
+        if (ch == '2') {
+          ch = 'D';  // gtest names must be identifiers; 2ADD8 -> DADD8.
+        }
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace hmcsim::amo

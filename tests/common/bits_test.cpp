@@ -1,0 +1,115 @@
+// bits_test.cpp — bit-field helper unit tests.
+#include "src/common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hmcsim::bits {
+namespace {
+
+TEST(Bits, MaskWidths) {
+  EXPECT_EQ(mask(0), 0ULL);
+  EXPECT_EQ(mask(1), 1ULL);
+  EXPECT_EQ(mask(7), 0x7FULL);
+  EXPECT_EQ(mask(16), 0xFFFFULL);
+  EXPECT_EQ(mask(34), 0x3FFFFFFFFULL);
+  EXPECT_EQ(mask(63), 0x7FFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(mask(64), ~0ULL);
+}
+
+TEST(Bits, ExtractBasic) {
+  const std::uint64_t word = 0xABCD'EF01'2345'6789ULL;
+  EXPECT_EQ(extract(word, 0, 4), 0x9ULL);
+  EXPECT_EQ(extract(word, 4, 8), 0x78ULL);
+  EXPECT_EQ(extract(word, 32, 16), 0xEF01ULL);
+  EXPECT_EQ(extract(word, 60, 4), 0xAULL);
+  EXPECT_EQ(extract(word, 0, 64), word);
+}
+
+TEST(Bits, DepositBasic) {
+  std::uint64_t word = 0;
+  word = deposit(word, 0, 7, 0x55);
+  EXPECT_EQ(word, 0x55ULL);
+  word = deposit(word, 7, 5, 0x1F);
+  EXPECT_EQ(extract(word, 7, 5), 0x1FULL);
+  EXPECT_EQ(extract(word, 0, 7), 0x55ULL);
+}
+
+TEST(Bits, DepositTruncatesValue) {
+  // Bits of value above the field width are discarded.
+  const std::uint64_t word = deposit(0, 8, 4, 0xFF);
+  EXPECT_EQ(word, 0xF00ULL);
+}
+
+TEST(Bits, DepositPreservesNeighbours) {
+  std::uint64_t word = ~0ULL;
+  word = deposit(word, 8, 8, 0);
+  EXPECT_EQ(word, 0xFFFF'FFFF'FFFF'00FFULL);
+}
+
+TEST(Bits, ExtractDepositRoundTrip) {
+  for (unsigned lsb = 0; lsb < 60; lsb += 7) {
+    for (unsigned width = 1; width <= 64 - lsb; width += 5) {
+      const std::uint64_t value = 0xA5A5'A5A5'A5A5'A5A5ULL & mask(width);
+      const std::uint64_t word = deposit(0x1234'5678'9ABC'DEF0ULL, lsb,
+                                         width, value);
+      EXPECT_EQ(extract(word, lsb, width), value)
+          << "lsb=" << lsb << " width=" << width;
+    }
+  }
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0, 8), 0);
+  EXPECT_EQ(sign_extend(0x1FF, 9), -1);
+  EXPECT_EQ(sign_extend(0xFFFFFFFFFFFFFFFFULL, 64), -1);
+}
+
+TEST(Bits, Fits) {
+  EXPECT_TRUE(fits(0, 1));
+  EXPECT_TRUE(fits(1, 1));
+  EXPECT_FALSE(fits(2, 1));
+  EXPECT_TRUE(fits(0x3FFFFFFFFULL, 34));
+  EXPECT_FALSE(fits(0x400000000ULL, 34));
+  EXPECT_TRUE(fits(~0ULL, 64));
+}
+
+TEST(Bits, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0U);
+  EXPECT_EQ(log2_exact(2), 1U);
+  EXPECT_EQ(log2_exact(64), 6U);
+  EXPECT_EQ(log2_exact(4096), 12U);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(Bits, FieldTypeAccessors) {
+  using F = Field<12, 11>;
+  EXPECT_EQ(F::kLsb, 12U);
+  EXPECT_EQ(F::kWidth, 11U);
+  std::uint64_t word = 0;
+  word = F::set(word, 0x7FF);
+  EXPECT_EQ(F::get(word), 0x7FFULL);
+  EXPECT_TRUE(F::holds(0x7FF));
+  EXPECT_FALSE(F::holds(0x800));
+}
+
+TEST(Bits, FieldsAreConstexpr) {
+  using F = Field<0, 7>;
+  static_assert(F::get(F::set(0, 0x5A)) == 0x5A);
+  static_assert(F::holds(127));
+  static_assert(!F::holds(128));
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hmcsim::bits

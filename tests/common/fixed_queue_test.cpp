@@ -1,0 +1,118 @@
+// fixed_queue_test.cpp — bounded FIFO unit tests.
+#include "src/common/fixed_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hmcsim {
+namespace {
+
+TEST(FixedQueue, StartsEmpty) {
+  FixedQueue<int> q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.full());
+  EXPECT_EQ(q.size(), 0U);
+  EXPECT_EQ(q.capacity(), 4U);
+  EXPECT_EQ(q.free_slots(), 4U);
+}
+
+TEST(FixedQueue, PushPopFifoOrder) {
+  FixedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.push(i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(q.front(), i);
+    EXPECT_EQ(q.pop(), i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, PushFailsWhenFull) {
+  FixedQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(q.size(), 2U);
+  EXPECT_EQ(q.front(), 1);  // Unchanged by the failed push.
+}
+
+TEST(FixedQueue, WrapAround) {
+  FixedQueue<int> q(3);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  EXPECT_EQ(q.pop(), 1);
+  ASSERT_TRUE(q.push(3));
+  ASSERT_TRUE(q.push(4));  // Wraps into the freed slot.
+  EXPECT_TRUE(q.full());
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 4);
+}
+
+TEST(FixedQueue, LongWrapStress) {
+  FixedQueue<int> q(7);
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    while (!q.full()) {
+      ASSERT_TRUE(q.push(next_in++));
+    }
+    const int drain = 1 + round % 7;
+    for (int i = 0; i < drain && !q.empty(); ++i) {
+      ASSERT_EQ(q.pop(), next_out++);
+    }
+  }
+}
+
+TEST(FixedQueue, IndexedPeek) {
+  FixedQueue<int> q(4);
+  ASSERT_TRUE(q.push(10));
+  ASSERT_TRUE(q.push(20));
+  ASSERT_TRUE(q.push(30));
+  EXPECT_EQ(q.at(0), 10);
+  EXPECT_EQ(q.at(1), 20);
+  EXPECT_EQ(q.at(2), 30);
+  (void)q.pop();
+  EXPECT_EQ(q.at(0), 20);
+  EXPECT_EQ(q.at(1), 30);
+}
+
+TEST(FixedQueue, ClearKeepsCapacity) {
+  FixedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.capacity(), 4U);
+  ASSERT_TRUE(q.push(9));
+  EXPECT_EQ(q.front(), 9);
+}
+
+TEST(FixedQueue, ResetChangesCapacity) {
+  FixedQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  q.reset(8);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.capacity(), 8U);
+}
+
+TEST(FixedQueue, MoveOnlyFriendlyTypes) {
+  FixedQueue<std::string> q(2);
+  ASSERT_TRUE(q.push("alpha"));
+  ASSERT_TRUE(q.push("beta"));
+  EXPECT_EQ(q.pop(), "alpha");
+  EXPECT_EQ(q.pop(), "beta");
+}
+
+TEST(FixedQueue, DefaultConstructedHasZeroCapacity) {
+  FixedQueue<int> q;
+  EXPECT_EQ(q.capacity(), 0U);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.full());  // Zero capacity: full and empty simultaneously.
+  EXPECT_FALSE(q.push(1));
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,85 @@
+// rng_test.cpp — deterministic generator tests.
+#include "src/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hmcsim {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next() == b.next() ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, BelowStaysInBound) {
+  Xoshiro256 rng(123);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL,
+                                    (1ULL << 33) + 5}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.below(1), 0U);
+  }
+}
+
+TEST(Xoshiro256, CoversSmallRange) {
+  Xoshiro256 rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.below(8));
+  }
+  EXPECT_EQ(seen.size(), 8U);  // All residues of a small range appear.
+}
+
+TEST(Xoshiro256, RoughUniformity) {
+  Xoshiro256 rng(2024);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 16000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    counts[rng.below(kBuckets)] += 1;
+  }
+  for (const int c : counts) {
+    // Expect ~1000 per bucket; allow generous +/-20%.
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ULL);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hmcsim

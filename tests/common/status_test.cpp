@@ -1,0 +1,77 @@
+// status_test.cpp — error propagation type tests.
+#include "src/common/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hmcsim {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_FALSE(s.stalled());
+  EXPECT_EQ(s.code(), StatusCode::Ok);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, FactoryConstructors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_TRUE(Status::Stall().stalled());
+  EXPECT_EQ(Status::NoData().code(), StatusCode::NoData);
+  EXPECT_EQ(Status::InvalidArg("x").code(), StatusCode::InvalidArg);
+  EXPECT_EQ(Status::InvalidState("x").code(), StatusCode::InvalidState);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::NotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::AlreadyExists);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::Unsupported);
+  EXPECT_EQ(Status::LoadError("x").code(), StatusCode::LoadError);
+  EXPECT_EQ(Status::CmcError("x").code(), StatusCode::CmcError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::Internal);
+}
+
+TEST(Status, MessagePreserved) {
+  const Status s = Status::InvalidArg("bad tag");
+  EXPECT_EQ(s.message(), "bad tag");
+  EXPECT_EQ(s.to_string(), "INVALID_ARG: bad tag");
+}
+
+TEST(Status, ToStringWithoutMessage) {
+  EXPECT_EQ(Status::Ok().to_string(), "OK");
+  EXPECT_EQ(Status::Stall().to_string(), "STALL");
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::InvalidArg("a"), Status::InvalidArg("b"));
+  EXPECT_FALSE(Status::InvalidArg("a") == Status::NotFound("a"));
+}
+
+TEST(Status, StreamOperator) {
+  std::ostringstream oss;
+  oss << Status::NotFound("missing");
+  EXPECT_EQ(oss.str(), "NOT_FOUND: missing");
+  std::ostringstream oss2;
+  oss2 << StatusCode::Stall;
+  EXPECT_EQ(oss2.str(), "STALL");
+}
+
+TEST(StatusCode, AllCodesHaveNames) {
+  for (const StatusCode code :
+       {StatusCode::Ok, StatusCode::Stall, StatusCode::NoData,
+        StatusCode::InvalidArg, StatusCode::InvalidState,
+        StatusCode::NotFound, StatusCode::AlreadyExists,
+        StatusCode::Unsupported, StatusCode::LoadError, StatusCode::CmcError,
+        StatusCode::Internal}) {
+    EXPECT_NE(to_string(code), "UNKNOWN");
+    EXPECT_FALSE(to_string(code).empty());
+  }
+}
+
+TEST(Status, StallIsNotOkAndNotError) {
+  const Status s = Status::Stall("queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.stalled());
+}
+
+}  // namespace
+}  // namespace hmcsim

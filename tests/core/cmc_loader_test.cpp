@@ -1,0 +1,131 @@
+// cmc_loader_test.cpp — dlopen plugin loading tests against the real
+// shared libraries built from plugins/.
+#include "src/core/cmc_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hmcsim::cmc {
+namespace {
+
+#ifdef HMCSIM_PLUGIN_DIR
+
+std::string plugin(const std::string& name) {
+  return std::string(HMCSIM_PLUGIN_DIR) + "/" + name;
+}
+
+TEST(CmcLoader, LoadsMutexTrio) {
+  CmcRegistry registry;
+  CmcLoader loader;
+  ASSERT_TRUE(loader.load(plugin("hmc_lock.so"), registry).ok());
+  ASSERT_TRUE(loader.load(plugin("hmc_trylock.so"), registry).ok());
+  ASSERT_TRUE(loader.load(plugin("hmc_unlock.so"), registry).ok());
+  EXPECT_EQ(loader.loaded_count(), 3U);
+  EXPECT_EQ(registry.active_count(), 3U);
+
+  const CmcOp* lock = registry.lookup(spec::Rqst::CMC125);
+  ASSERT_NE(lock, nullptr);
+  EXPECT_EQ(lock->name, "hmc_lock");
+  EXPECT_EQ(lock->rqst_len, 2U);
+  EXPECT_EQ(lock->rsp_len, 2U);
+  EXPECT_NE(lock->cmc_execute, nullptr);
+  EXPECT_EQ(lock->library, 0U);
+
+  const CmcOp* unlock = registry.lookup(spec::Rqst::CMC127);
+  ASSERT_NE(unlock, nullptr);
+  EXPECT_EQ(unlock->library, 2U);
+}
+
+TEST(CmcLoader, LoadsEveryShippedPlugin) {
+  CmcRegistry registry;
+  CmcLoader loader;
+  const char* plugins[] = {"hmc_lock.so",     "hmc_trylock.so",
+                           "hmc_unlock.so",   "hmc_popcnt.so",
+                           "hmc_fadd_f64.so", "hmc_fetchmax.so",
+                           "hmc_bloomset.so", "hmc_zero16.so",
+                           "hmc_satinc.so",   "hmc_memfill.so"};
+  for (const char* so : plugins) {
+    ASSERT_TRUE(loader.load(plugin(so), registry).ok()) << so;
+  }
+  EXPECT_EQ(registry.active_count(), 10U);
+  EXPECT_EQ(loader.paths().size(), 10U);
+
+  // Spot-check distinctive registrations.
+  const CmcOp* fadd = registry.lookup(spec::Rqst::CMC56);
+  ASSERT_NE(fadd, nullptr);
+  EXPECT_EQ(fadd->rsp_cmd, spec::ResponseType::RSP_CMC);
+  EXPECT_EQ(fadd->rsp_cmd_code, 0x70);
+
+  const CmcOp* zero = registry.lookup(spec::Rqst::CMC120);
+  ASSERT_NE(zero, nullptr);
+  EXPECT_TRUE(zero->posted());
+  EXPECT_EQ(zero->rsp_len, 0U);
+}
+
+TEST(CmcLoader, ExecuteThroughLoadedFunctionPointer) {
+  CmcRegistry registry;
+  CmcLoader loader;
+  ASSERT_TRUE(loader.load(plugin("hmc_popcnt.so"), registry).ok());
+  const CmcOp* op = registry.lookup(spec::Rqst::CMC32);
+  ASSERT_NE(op, nullptr);
+
+  // Memory fake: the popcount plugin reads one 16-byte block.
+  static std::uint64_t mem[2] = {0xF0F0, 0x1};
+  CmcContext ctx;
+  ctx.user = nullptr;
+  ctx.mem_read = [](void*, std::uint32_t, std::uint64_t, std::uint64_t* data,
+                    std::uint32_t nwords) {
+    for (std::uint32_t i = 0; i < nwords; ++i) {
+      data[i] = mem[i];
+    }
+    return Status::Ok();
+  };
+  ctx.mem_write = nullptr;
+
+  CmcExecResult result;
+  ASSERT_TRUE(
+      registry.execute(32, ctx, 0, 0, 0, 0, 0, 1, 0, 0, {}, result).ok());
+  EXPECT_EQ(result.rsp_payload[0], 9ULL);  // popcount(0xF0F0) + 1.
+}
+
+TEST(CmcLoader, DuplicateLoadRejectedAndUnmapped) {
+  CmcRegistry registry;
+  CmcLoader loader;
+  ASSERT_TRUE(loader.load(plugin("hmc_lock.so"), registry).ok());
+  const Status s = loader.load(plugin("hmc_lock.so"), registry);
+  EXPECT_EQ(s.code(), StatusCode::AlreadyExists);
+  EXPECT_EQ(loader.loaded_count(), 1U);
+  EXPECT_EQ(registry.active_count(), 1U);
+}
+
+TEST(CmcLoader, MissingLibraryFails) {
+  CmcRegistry registry;
+  CmcLoader loader;
+  const Status s = loader.load(plugin("does_not_exist.so"), registry);
+  EXPECT_EQ(s.code(), StatusCode::LoadError);
+  EXPECT_EQ(loader.loaded_count(), 0U);
+  EXPECT_EQ(registry.active_count(), 0U);
+}
+
+TEST(CmcLoader, NonPluginLibraryFailsSymbolResolution) {
+  // libhmcsim_plugins_builtin.a is not a shared object; use the test
+  // binary's own path? Instead: load a real .so that lacks the symbols —
+  // use the C library, which every Linux system maps.
+  CmcRegistry registry;
+  CmcLoader loader;
+  const Status s = loader.load("libm.so.6", registry);
+  // Either the dlopen fails (unusual) or — the expected path — symbol
+  // resolution fails. Both must surface as LoadError without leaking.
+  EXPECT_EQ(s.code(), StatusCode::LoadError);
+  EXPECT_EQ(loader.loaded_count(), 0U);
+}
+
+#else
+TEST(CmcLoader, DISABLED_PluginsUnavailable) {
+  GTEST_SKIP() << "HMCSIM_PLUGIN_DIR not defined";
+}
+#endif
+
+}  // namespace
+}  // namespace hmcsim::cmc

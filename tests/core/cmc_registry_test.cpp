@@ -1,0 +1,378 @@
+// cmc_registry_test.cpp — CMC slot table tests: registration validation,
+// 70-slot capacity, lookup, execution plumbing and the C service functions.
+#include "src/core/cmc_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "plugins/builtin.h"
+
+namespace hmcsim::cmc {
+namespace {
+
+// ---- configurable fake plugin --------------------------------------------
+// The registration callback has no user context (it is a C ABI), so the
+// fake reads its answers from these globals. Each test resets them.
+struct FakeSpec {
+  hmc_rqst_t rqst = HMC_CMC44;
+  std::uint32_t cmd = 44;
+  std::uint32_t rqst_len = 2;
+  std::uint32_t rsp_len = 2;
+  hmc_response_t rsp_cmd = HMC_RD_RS;
+  std::uint8_t rsp_cmd_code = 0;
+  int register_rc = 0;
+  int execute_rc = 0;
+};
+FakeSpec g_fake;
+int g_execute_calls = 0;
+
+int fake_register(hmc_rqst_t* rqst, std::uint32_t* cmd,
+                  std::uint32_t* rqst_len, std::uint32_t* rsp_len,
+                  hmc_response_t* rsp_cmd, std::uint8_t* rsp_cmd_code) {
+  *rqst = g_fake.rqst;
+  *cmd = g_fake.cmd;
+  *rqst_len = g_fake.rqst_len;
+  *rsp_len = g_fake.rsp_len;
+  *rsp_cmd = g_fake.rsp_cmd;
+  *rsp_cmd_code = g_fake.rsp_cmd_code;
+  return g_fake.register_rc;
+}
+
+int fake_execute(void* hmc, std::uint32_t, std::uint32_t, std::uint32_t,
+                 std::uint32_t, std::uint64_t, std::uint32_t, std::uint64_t,
+                 std::uint64_t, std::uint64_t* rqst_payload,
+                 std::uint64_t* rsp_payload) {
+  ++g_execute_calls;
+  if (rsp_payload != nullptr && rqst_payload != nullptr) {
+    rsp_payload[0] = rqst_payload[0] + 1;  // Observable transformation.
+  }
+  (void)hmcsim_cmc_set_af(hmc, 1);
+  return g_fake.execute_rc;
+}
+
+void fake_str(char* out) {
+  std::strncpy(out, "fake_op", HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}
+
+// Sequential registration helper for the 70-slot capacity test.
+std::size_t g_seq_index = 0;
+int seq_register(hmc_rqst_t* rqst, std::uint32_t* cmd,
+                 std::uint32_t* rqst_len, std::uint32_t* rsp_len,
+                 hmc_response_t* rsp_cmd, std::uint8_t* rsp_cmd_code) {
+  const spec::Rqst code = spec::all_cmc_commands()[g_seq_index++];
+  *rqst = static_cast<hmc_rqst_t>(code);
+  *cmd = static_cast<std::uint32_t>(code);
+  *rqst_len = 1;
+  *rsp_len = 1;
+  *rsp_cmd = HMC_WR_RS;
+  *rsp_cmd_code = 0;
+  return 0;
+}
+
+class CmcRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_fake = FakeSpec{};
+    g_execute_calls = 0;
+    g_seq_index = 0;
+  }
+  CmcRegistry registry_;
+};
+
+TEST_F(CmcRegistryTest, StartsEmpty) {
+  EXPECT_EQ(registry_.active_count(), 0U);
+  EXPECT_EQ(registry_.slots().size(), 70U);
+  for (const CmcOp& slot : registry_.slots()) {
+    EXPECT_FALSE(slot.active);
+    EXPECT_TRUE(spec::is_cmc(slot.rqst));
+  }
+}
+
+TEST_F(CmcRegistryTest, RegisterActivatesSlot) {
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  EXPECT_EQ(registry_.active_count(), 1U);
+  const CmcOp* op = registry_.lookup(std::uint8_t{44});
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(op->name, "fake_op");
+  EXPECT_EQ(op->cmd, 44U);
+  EXPECT_EQ(op->rqst_len, 2U);
+  EXPECT_EQ(op->rsp_len, 2U);
+  EXPECT_EQ(op->rsp_cmd, spec::ResponseType::RD_RS);
+  EXPECT_FALSE(op->posted());
+  EXPECT_EQ(op->response_code(), 0x38);
+}
+
+TEST_F(CmcRegistryTest, RejectsNullFunctions) {
+  EXPECT_FALSE(registry_.register_op(nullptr, fake_execute, fake_str).ok());
+  EXPECT_FALSE(registry_.register_op(fake_register, nullptr, fake_str).ok());
+  EXPECT_FALSE(
+      registry_.register_op(fake_register, fake_execute, nullptr).ok());
+  EXPECT_EQ(registry_.active_count(), 0U);
+}
+
+TEST_F(CmcRegistryTest, RejectsPluginRegistrationFailure) {
+  g_fake.register_rc = -1;
+  EXPECT_EQ(registry_.register_op(fake_register, fake_execute, fake_str)
+                .code(),
+            StatusCode::CmcError);
+}
+
+TEST_F(CmcRegistryTest, RejectsCmdEnumMismatch) {
+  g_fake.cmd = 45;  // rqst says 44.
+  EXPECT_EQ(registry_.register_op(fake_register, fake_execute, fake_str)
+                .code(),
+            StatusCode::InvalidArg);
+}
+
+TEST_F(CmcRegistryTest, RejectsNonCmcCode) {
+  g_fake.rqst = HMC_WR16;
+  g_fake.cmd = 8;
+  EXPECT_EQ(registry_.register_op(fake_register, fake_execute, fake_str)
+                .code(),
+            StatusCode::InvalidArg);
+}
+
+TEST_F(CmcRegistryTest, RejectsBadLengths) {
+  g_fake.rqst_len = 0;
+  EXPECT_FALSE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  g_fake.rqst_len = 18;
+  EXPECT_FALSE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  g_fake.rqst_len = 2;
+  g_fake.rsp_len = 18;
+  EXPECT_FALSE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+}
+
+TEST_F(CmcRegistryTest, RejectsPostedInconsistency) {
+  // rsp_len == 0 demands RSP_NONE...
+  g_fake.rsp_len = 0;
+  g_fake.rsp_cmd = HMC_RD_RS;
+  EXPECT_FALSE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  // ...and RSP_NONE demands rsp_len == 0.
+  g_fake.rsp_len = 2;
+  g_fake.rsp_cmd = HMC_RSP_NONE;
+  EXPECT_FALSE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+}
+
+TEST_F(CmcRegistryTest, RejectsDuplicateSlot) {
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  EXPECT_EQ(registry_.register_op(fake_register, fake_execute, fake_str)
+                .code(),
+            StatusCode::AlreadyExists);
+  EXPECT_EQ(registry_.active_count(), 1U);
+}
+
+TEST_F(CmcRegistryTest, UnregisterFreesSlot) {
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  ASSERT_TRUE(registry_.unregister_op(spec::Rqst::CMC44).ok());
+  EXPECT_EQ(registry_.active_count(), 0U);
+  EXPECT_EQ(registry_.lookup(spec::Rqst::CMC44), nullptr);
+  // Slot is reusable.
+  EXPECT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+}
+
+TEST_F(CmcRegistryTest, UnregisterErrors) {
+  EXPECT_EQ(registry_.unregister_op(spec::Rqst::CMC44).code(),
+            StatusCode::NotFound);
+  EXPECT_EQ(registry_.unregister_op(spec::Rqst::WR16).code(),
+            StatusCode::InvalidArg);
+}
+
+TEST_F(CmcRegistryTest, LookupNonCmcCodesIsNull) {
+  EXPECT_EQ(registry_.lookup(std::uint8_t{8}), nullptr);    // WR16.
+  EXPECT_EQ(registry_.lookup(std::uint8_t{200}), nullptr);  // Out of range.
+}
+
+TEST_F(CmcRegistryTest, AllSeventySlotsLoadConcurrently) {
+  // The paper: "The CMC infrastructure has the ability to load up to
+  // seventy disparate operations concurrently."
+  for (std::size_t i = 0; i < spec::kNumCmcCodes; ++i) {
+    ASSERT_TRUE(
+        registry_.register_op(seq_register, fake_execute, fake_str).ok())
+        << "slot " << i;
+  }
+  EXPECT_EQ(registry_.active_count(), 70U);
+  for (const spec::Rqst rqst : spec::all_cmc_commands()) {
+    EXPECT_NE(registry_.lookup(rqst), nullptr);
+  }
+  // The 71st registration has nowhere to go: every code is taken.
+  g_seq_index = 0;
+  EXPECT_EQ(registry_.register_op(seq_register, fake_execute, fake_str)
+                .code(),
+            StatusCode::AlreadyExists);
+}
+
+TEST_F(CmcRegistryTest, ClearDeactivatesEverything) {
+  for (std::size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        registry_.register_op(seq_register, fake_execute, fake_str).ok());
+  }
+  registry_.clear();
+  EXPECT_EQ(registry_.active_count(), 0U);
+}
+
+TEST_F(CmcRegistryTest, ExecuteInactiveIsError) {
+  CmcContext ctx;
+  CmcExecResult result;
+  EXPECT_EQ(registry_
+                .execute(44, ctx, 0, 0, 0, 0, 0x100, 2, 0, 0, {}, result)
+                .code(),
+            StatusCode::NotFound);
+}
+
+TEST_F(CmcRegistryTest, ExecuteRunsPluginAndCollectsResult) {
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  CmcContext ctx;
+  CmcExecResult result;
+  std::uint64_t payload[2] = {41, 0};
+  ASSERT_TRUE(registry_
+                  .execute(44, ctx, 0, 1, 2, 3, 0x100, 2, 0, 0,
+                           {payload, 2}, result)
+                  .ok());
+  EXPECT_EQ(g_execute_calls, 1);
+  EXPECT_EQ(result.rsp_payload[0], 42ULL);
+  EXPECT_EQ(result.rsp_words, 2U);
+  EXPECT_TRUE(result.atomic_flag);       // Set via hmcsim_cmc_set_af.
+  EXPECT_EQ(ctx.current, nullptr);       // Unwired after the call.
+}
+
+TEST_F(CmcRegistryTest, ExecuteFailurePropagates) {
+  g_fake.execute_rc = -7;
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  CmcContext ctx;
+  CmcExecResult result;
+  std::uint64_t payload[2] = {0, 0};
+  EXPECT_EQ(registry_
+                .execute(44, ctx, 0, 0, 0, 0, 0x100, 2, 0, 0, {payload, 2},
+                         result)
+                .code(),
+            StatusCode::CmcError);
+}
+
+TEST_F(CmcRegistryTest, CustomResponseCodeSurfaces) {
+  g_fake.rqst = HMC_CMC56;
+  g_fake.cmd = 56;
+  g_fake.rsp_cmd = HMC_RSP_CMC;
+  g_fake.rsp_cmd_code = 0x70;
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  const CmcOp* op = registry_.lookup(std::uint8_t{56});
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(op->rsp_cmd, spec::ResponseType::RSP_CMC);
+  EXPECT_EQ(op->response_code(), 0x70);
+}
+
+// ---- C service functions ---------------------------------------------------
+
+Status vec_mem_read(void* user, std::uint32_t, std::uint64_t addr,
+                    std::uint64_t* data, std::uint32_t nwords) {
+  auto* mem = static_cast<std::vector<std::uint64_t>*>(user);
+  for (std::uint32_t i = 0; i < nwords; ++i) {
+    data[i] = (*mem)[addr / 8 + i];
+  }
+  return Status::Ok();
+}
+
+Status vec_mem_write(void* user, std::uint32_t, std::uint64_t addr,
+                     const std::uint64_t* data, std::uint32_t nwords) {
+  auto* mem = static_cast<std::vector<std::uint64_t>*>(user);
+  for (std::uint32_t i = 0; i < nwords; ++i) {
+    (*mem)[addr / 8 + i] = data[i];
+  }
+  return Status::Ok();
+}
+
+TEST(CmcServices, MemReadWriteThroughContext) {
+  std::vector<std::uint64_t> mem(16, 0);
+  mem[2] = 0xAB;
+  CmcContext ctx;
+  ctx.user = &mem;
+  ctx.mem_read = vec_mem_read;
+  ctx.mem_write = vec_mem_write;
+
+  std::uint64_t value = 0;
+  EXPECT_EQ(hmcsim_cmc_mem_read(&ctx, 0, 16, &value, 1), 0);
+  EXPECT_EQ(value, 0xABULL);
+
+  const std::uint64_t out = 0xCD;
+  EXPECT_EQ(hmcsim_cmc_mem_write(&ctx, 0, 24, &out, 1), 0);
+  EXPECT_EQ(mem[3], 0xCDULL);
+}
+
+TEST(CmcServices, NullArgumentsRejected) {
+  CmcContext ctx;
+  std::uint64_t v = 0;
+  EXPECT_NE(hmcsim_cmc_mem_read(nullptr, 0, 0, &v, 1), 0);
+  EXPECT_NE(hmcsim_cmc_mem_read(&ctx, 0, 0, nullptr, 1), 0);
+  EXPECT_NE(hmcsim_cmc_mem_read(&ctx, 0, 0, &v, 1), 0);  // No callback.
+  EXPECT_NE(hmcsim_cmc_set_af(nullptr, 1), 0);
+  EXPECT_NE(hmcsim_cmc_set_af(&ctx, 1), 0);  // No in-flight execution.
+  EXPECT_NE(hmcsim_cmc_trace(nullptr, "x"), 0);
+  EXPECT_NE(hmcsim_cmc_trace(&ctx, nullptr), 0);
+}
+
+TEST(CmcServices, TraceAnnotationThroughContext) {
+  static std::string captured;
+  captured.clear();
+  CmcContext ctx;
+  ctx.user = nullptr;
+  ctx.trace = [](void*, const char* msg) { captured = msg; };
+  EXPECT_EQ(hmcsim_cmc_trace(&ctx, "hello from a plugin"), 0);
+  EXPECT_EQ(captured, "hello from a plugin");
+  // Without a trace callback, annotations are silently droppable.
+  ctx.trace = nullptr;
+  EXPECT_EQ(hmcsim_cmc_trace(&ctx, "dropped"), 0);
+}
+
+TEST(CmcServices, BuiltinMutexRegistrationsAreWellFormed) {
+  CmcRegistry registry;
+  ASSERT_TRUE(registry
+                  .register_op(hmcsim_builtin_lock_register,
+                               hmcsim_builtin_lock_execute,
+                               hmcsim_builtin_lock_str)
+                  .ok());
+  ASSERT_TRUE(registry
+                  .register_op(hmcsim_builtin_trylock_register,
+                               hmcsim_builtin_trylock_execute,
+                               hmcsim_builtin_trylock_str)
+                  .ok());
+  ASSERT_TRUE(registry
+                  .register_op(hmcsim_builtin_unlock_register,
+                               hmcsim_builtin_unlock_execute,
+                               hmcsim_builtin_unlock_str)
+                  .ok());
+  // Table V: codes 125/126/127, 2-FLIT requests, 2-FLIT responses, with
+  // WR_RS / RD_RS / WR_RS response commands respectively.
+  const CmcOp* lock = registry.lookup(spec::Rqst::CMC125);
+  const CmcOp* trylock = registry.lookup(spec::Rqst::CMC126);
+  const CmcOp* unlock = registry.lookup(spec::Rqst::CMC127);
+  ASSERT_NE(lock, nullptr);
+  ASSERT_NE(trylock, nullptr);
+  ASSERT_NE(unlock, nullptr);
+  EXPECT_EQ(lock->name, "hmc_lock");
+  EXPECT_EQ(trylock->name, "hmc_trylock");
+  EXPECT_EQ(unlock->name, "hmc_unlock");
+  for (const CmcOp* op : {lock, trylock, unlock}) {
+    EXPECT_EQ(op->rqst_len, 2U);
+    EXPECT_EQ(op->rsp_len, 2U);
+  }
+  EXPECT_EQ(lock->rsp_cmd, spec::ResponseType::WR_RS);
+  EXPECT_EQ(trylock->rsp_cmd, spec::ResponseType::RD_RS);
+  EXPECT_EQ(unlock->rsp_cmd, spec::ResponseType::WR_RS);
+}
+
+}  // namespace
+}  // namespace hmcsim::cmc

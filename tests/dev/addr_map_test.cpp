@@ -1,0 +1,119 @@
+// addr_map_test.cpp — address decode/encode tests.
+#include "src/dev/addr_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.hpp"
+
+namespace hmcsim::dev {
+namespace {
+
+TEST(AddrMap, GeometryFromConfig) {
+  const AddrMap map(sim::Config::hmc_4link_4gb());
+  EXPECT_EQ(map.block_size(), 64U);
+  EXPECT_EQ(map.num_vaults(), 32U);
+  EXPECT_EQ(map.num_banks(), 16U);
+  EXPECT_EQ(map.vaults_per_quad(), 8U);
+}
+
+TEST(AddrMap, ZeroDecodesToOrigin) {
+  const AddrMap map(sim::Config::hmc_4link_4gb());
+  const DecodedAddr loc = map.decode(0);
+  EXPECT_EQ(loc.quad, 0U);
+  EXPECT_EQ(loc.vault, 0U);
+  EXPECT_EQ(loc.bank, 0U);
+  EXPECT_EQ(loc.dram, 0U);
+}
+
+TEST(AddrMap, ConsecutiveBlocksInterleaveAcrossVaults) {
+  const AddrMap map(sim::Config::hmc_4link_4gb());
+  for (std::uint32_t block = 0; block < 64; ++block) {
+    const DecodedAddr loc = map.decode(std::uint64_t{block} * 64);
+    EXPECT_EQ(loc.vault, block % 32) << block;
+    EXPECT_EQ(loc.bank, (block / 32) % 16) << block;
+  }
+}
+
+TEST(AddrMap, OffsetsWithinBlockShareLocation) {
+  const AddrMap map(sim::Config::hmc_4link_4gb());
+  const DecodedAddr base = map.decode(0x12340);
+  for (std::uint64_t off = 0; off < 64; ++off) {
+    const DecodedAddr loc = map.decode((0x12340 & ~63ULL) + off);
+    EXPECT_EQ(loc.vault, base.vault);
+    EXPECT_EQ(loc.bank, base.bank);
+    EXPECT_EQ(loc.dram, base.dram);
+  }
+}
+
+TEST(AddrMap, QuadDerivedFromVault) {
+  const AddrMap map(sim::Config::hmc_4link_4gb());
+  for (std::uint32_t v = 0; v < 32; ++v) {
+    const DecodedAddr loc = map.decode(std::uint64_t{v} * 64);
+    EXPECT_EQ(loc.vault, v);
+    EXPECT_EQ(loc.quad, v / 8);
+  }
+}
+
+TEST(AddrMap, EncodeIsInverseOfDecode) {
+  const AddrMap map(sim::Config::hmc_8link_8gb());
+  Xoshiro256 rng(31337);
+  for (int i = 0; i < 2000; ++i) {
+    // Block-aligned addresses inside 8 GiB.
+    const std::uint64_t addr = (rng() % (8ULL << 30)) & ~63ULL;
+    const DecodedAddr loc = map.decode(addr);
+    EXPECT_EQ(map.encode(loc), addr);
+  }
+}
+
+TEST(AddrMap, SingleHotAddressAlwaysSameVault) {
+  // The paper's mutex experiment depends on this: one lock address is a
+  // single-vault hot spot regardless of which thread/link sends.
+  const AddrMap map(sim::Config::hmc_4link_4gb());
+  const DecodedAddr first = map.decode(0x4000);
+  for (int i = 0; i < 100; ++i) {
+    const DecodedAddr loc = map.decode(0x4000);
+    EXPECT_EQ(loc.vault, first.vault);
+    EXPECT_EQ(loc.bank, first.bank);
+  }
+}
+
+TEST(AddrMap, StrideOneStreamTouchesEveryVault) {
+  const AddrMap map(sim::Config::hmc_4link_4gb());
+  std::set<std::uint32_t> vaults;
+  for (std::uint64_t block = 0; block < 32; ++block) {
+    vaults.insert(map.decode(block * 64).vault);
+  }
+  EXPECT_EQ(vaults.size(), 32U);
+}
+
+TEST(AddrMap, BlockSizeChangesInterleaveGranularity) {
+  sim::Config cfg = sim::Config::hmc_4link_4gb();
+  cfg.block_size = 256;
+  const AddrMap map(cfg);
+  EXPECT_EQ(map.decode(0).vault, 0U);
+  EXPECT_EQ(map.decode(255).vault, 0U);
+  EXPECT_EQ(map.decode(256).vault, 1U);
+}
+
+TEST(AddrMap, EightGigConfigHas32Banks) {
+  const AddrMap map(sim::Config::hmc_8link_8gb());
+  EXPECT_EQ(map.num_banks(), 32U);
+  // Bank field sits above the vault field.
+  const DecodedAddr loc = map.decode(64ULL * 32 * 5);  // block 160.
+  EXPECT_EQ(loc.vault, 0U);
+  EXPECT_EQ(loc.bank, 5U);
+}
+
+TEST(AddrMap, DramIndexAdvancesAboveBanks) {
+  const AddrMap map(sim::Config::hmc_4link_4gb());  // 32 vaults, 16 banks.
+  const std::uint64_t blocks_per_dram_row = 32ULL * 16;
+  const DecodedAddr loc = map.decode(blocks_per_dram_row * 64 * 3);
+  EXPECT_EQ(loc.vault, 0U);
+  EXPECT_EQ(loc.bank, 0U);
+  EXPECT_EQ(loc.dram, 3U);
+}
+
+}  // namespace
+}  // namespace hmcsim::dev

@@ -1,0 +1,86 @@
+// link_test.cpp — link endpoint flow-control and accounting tests.
+#include "src/dev/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hmcsim::dev {
+namespace {
+
+TEST(Link, StartsWithFullTokenPoolAfterReset) {
+  Link link(128);
+  link.reset();
+  EXPECT_EQ(link.tokens(), 128U);
+  EXPECT_EQ(link.token_capacity(), 128U);
+}
+
+TEST(Link, AcceptConsumesTokens) {
+  Link link(10);
+  link.reset();
+  ASSERT_TRUE(link.accept_request(3).ok());
+  EXPECT_EQ(link.tokens(), 7U);
+  EXPECT_EQ(link.stats().rqst_packets, 1U);
+  EXPECT_EQ(link.stats().rqst_flits, 3U);
+}
+
+TEST(Link, AcceptStallsWhenTokensExhausted) {
+  Link link(4);
+  link.reset();
+  ASSERT_TRUE(link.accept_request(3).ok());
+  const Status s = link.accept_request(2);
+  EXPECT_TRUE(s.stalled());
+  EXPECT_EQ(link.tokens(), 1U);  // Unchanged by the failed accept.
+  EXPECT_EQ(link.stats().send_stalls, 1U);
+}
+
+TEST(Link, ReturnTokensCapsAtCapacity) {
+  Link link(8);
+  link.reset();
+  ASSERT_TRUE(link.accept_request(5).ok());
+  link.return_tokens(3);
+  EXPECT_EQ(link.tokens(), 6U);
+  link.return_tokens(100);
+  EXPECT_EQ(link.tokens(), 8U);
+}
+
+TEST(Link, TretFlowPacketReturnsTokens) {
+  Link link(8);
+  link.reset();
+  ASSERT_TRUE(link.accept_request(6).ok());
+  link.consume_flow(spec::Rqst::TRET, 4);
+  EXPECT_EQ(link.tokens(), 6U);
+  EXPECT_EQ(link.stats().flow_packets, 1U);
+}
+
+TEST(Link, NonTretFlowPacketsOnlyCounted) {
+  Link link(8);
+  link.reset();
+  ASSERT_TRUE(link.accept_request(4).ok());
+  link.consume_flow(spec::Rqst::FLOW_NULL, 9);
+  link.consume_flow(spec::Rqst::PRET, 9);
+  link.consume_flow(spec::Rqst::IRTRY, 9);
+  EXPECT_EQ(link.tokens(), 4U);  // No token movement.
+  EXPECT_EQ(link.stats().flow_packets, 3U);
+}
+
+TEST(Link, EjectAccountsResponses) {
+  Link link(8);
+  link.reset();
+  link.eject_response(5);
+  link.eject_response(1);
+  EXPECT_EQ(link.stats().rsp_packets, 2U);
+  EXPECT_EQ(link.stats().rsp_flits, 6U);
+}
+
+TEST(Link, ResetClearsStatsAndRefills) {
+  Link link(8);
+  link.reset();
+  ASSERT_TRUE(link.accept_request(8).ok());
+  link.record_send_stall();
+  link.reset();
+  EXPECT_EQ(link.tokens(), 8U);
+  EXPECT_EQ(link.stats().rqst_packets, 0U);
+  EXPECT_EQ(link.stats().send_stalls, 0U);
+}
+
+}  // namespace
+}  // namespace hmcsim::dev

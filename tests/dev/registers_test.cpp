@@ -1,0 +1,79 @@
+// registers_test.cpp — device register file tests.
+#include "src/dev/registers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hmcsim::dev {
+namespace {
+
+TEST(Registers, InitPopulatesIdentification) {
+  Registers regs;
+  regs.init(sim::Config::hmc_8link_8gb(), /*dev_id=*/3);
+  EXPECT_EQ(regs.peek(Reg::DeviceId), 3ULL);
+  EXPECT_EQ(regs.peek(Reg::LinkConfig), 8ULL);
+  EXPECT_EQ(regs.peek(Reg::Capacity), 8ULL << 30);
+  EXPECT_EQ(regs.peek(Reg::BlockSize), 64ULL);
+  EXPECT_EQ(regs.peek(Reg::VaultDepth), 64ULL);
+  EXPECT_EQ(regs.peek(Reg::XbarDepth), 128ULL);
+  EXPECT_EQ(regs.peek(Reg::Status), 1ULL);
+  EXPECT_EQ(regs.peek(Reg::VendorId), kVendorId);
+  EXPECT_EQ(regs.peek(Reg::Revision), 0x21ULL);
+}
+
+TEST(Registers, ReadMatchesPeek) {
+  Registers regs;
+  regs.init(sim::Config::hmc_4link_4gb(), 0);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(
+      regs.read(static_cast<std::uint32_t>(Reg::Capacity), v).ok());
+  EXPECT_EQ(v, 4ULL << 30);
+}
+
+TEST(Registers, WritableRegistersAccept) {
+  Registers regs;
+  regs.init(sim::Config::hmc_4link_4gb(), 0);
+  for (const Reg reg : {Reg::Error, Reg::Scratch0, Reg::Scratch1,
+                        Reg::Scratch2, Reg::Scratch3}) {
+    ASSERT_TRUE(
+        regs.write(static_cast<std::uint32_t>(reg), 0xABCD).ok());
+    EXPECT_EQ(regs.peek(reg), 0xABCDULL);
+  }
+}
+
+TEST(Registers, ReadOnlyRegistersReject) {
+  Registers regs;
+  regs.init(sim::Config::hmc_4link_4gb(), 0);
+  for (const Reg reg :
+       {Reg::DeviceId, Reg::LinkConfig, Reg::Capacity, Reg::BlockSize,
+        Reg::VaultDepth, Reg::XbarDepth, Reg::Status, Reg::CmcActive,
+        Reg::ClockCount, Reg::VendorId, Reg::Revision}) {
+    const std::uint64_t before = regs.peek(reg);
+    EXPECT_FALSE(regs.write(static_cast<std::uint32_t>(reg), 0xFF).ok())
+        << to_string(reg);
+    EXPECT_EQ(regs.peek(reg), before);
+  }
+}
+
+TEST(Registers, OutOfRangeIndex) {
+  Registers regs;
+  std::uint64_t v = 0;
+  EXPECT_FALSE(regs.read(kNumRegisters, v).ok());
+  EXPECT_FALSE(regs.write(kNumRegisters, 1).ok());
+  EXPECT_FALSE(regs.read(1000, v).ok());
+}
+
+TEST(Registers, PokeBypassesReadOnly) {
+  Registers regs;
+  regs.init(sim::Config::hmc_4link_4gb(), 0);
+  regs.poke(Reg::ClockCount, 12345);
+  EXPECT_EQ(regs.peek(Reg::ClockCount), 12345ULL);
+}
+
+TEST(Registers, AllRegistersHaveNames) {
+  for (std::uint32_t i = 0; i < kNumRegisters; ++i) {
+    EXPECT_NE(to_string(static_cast<Reg>(i)), "?") << i;
+  }
+}
+
+}  // namespace
+}  // namespace hmcsim::dev

@@ -1,0 +1,150 @@
+// cache_test.cpp — set-associative cache unit tests.
+#include "src/host/cache/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace hmcsim::host {
+namespace {
+
+CacheConfig tiny_cache() {
+  CacheConfig cfg;
+  cfg.size_bytes = 1024;  // 4 sets x 4 ways x 64 B.
+  cfg.line_bytes = 64;
+  cfg.ways = 4;
+  return cfg;
+}
+
+std::vector<std::uint8_t> pattern_line(std::uint8_t seed,
+                                       std::uint32_t bytes = 64) {
+  std::vector<std::uint8_t> data(bytes);
+  for (std::uint32_t i = 0; i < bytes; ++i) {
+    data[i] = static_cast<std::uint8_t>(seed + i);
+  }
+  return data;
+}
+
+TEST(CacheConfig, Validation) {
+  EXPECT_TRUE(tiny_cache().validate().ok());
+  EXPECT_TRUE(CacheConfig{}.validate().ok());
+  CacheConfig bad = tiny_cache();
+  bad.line_bytes = 48;
+  EXPECT_FALSE(bad.validate().ok());
+  bad = tiny_cache();
+  bad.ways = 0;
+  EXPECT_FALSE(bad.validate().ok());
+  bad = tiny_cache();
+  bad.size_bytes = 1000;
+  EXPECT_FALSE(bad.validate().ok());
+}
+
+TEST(Cache, MissOnCold) {
+  Cache cache(tiny_cache());
+  std::array<std::uint8_t, 8> buf{};
+  EXPECT_FALSE(cache.read(0x100, buf));
+  EXPECT_FALSE(cache.write(0x100, buf));
+  EXPECT_EQ(cache.stats().misses, 2U);
+  EXPECT_EQ(cache.stats().hits, 0U);
+  EXPECT_EQ(cache.resident_lines(), 0U);
+}
+
+TEST(Cache, FillThenHit) {
+  Cache cache(tiny_cache());
+  const auto data = pattern_line(0x10);
+  EXPECT_FALSE(cache.fill(0x100 & ~63ULL, data, false).has_value());
+  EXPECT_TRUE(cache.contains(0x100));
+  std::array<std::uint8_t, 8> buf{};
+  ASSERT_TRUE(cache.read(0x108, buf));  // Offset 8 within the line.
+  EXPECT_EQ(buf[0], static_cast<std::uint8_t>(0x10 + 8));
+  EXPECT_EQ(cache.stats().hits, 1U);
+}
+
+TEST(Cache, WriteMarksDirtyAndUpdatesData) {
+  Cache cache(tiny_cache());
+  (void)cache.fill(0, pattern_line(0), false);
+  const std::array<std::uint8_t, 8> in{9, 9, 9, 9, 9, 9, 9, 9};
+  ASSERT_TRUE(cache.write(8, in));
+  std::array<std::uint8_t, 8> out{};
+  ASSERT_TRUE(cache.read(8, out));
+  EXPECT_EQ(out, in);
+  // Dirty data comes back on invalidation.
+  const auto dropped = cache.invalidate(0);
+  ASSERT_TRUE(dropped.has_value());
+  EXPECT_TRUE(dropped->dirty);
+  EXPECT_EQ(dropped->data[8], 9);
+}
+
+TEST(Cache, StraddlingAccessIsMiss) {
+  Cache cache(tiny_cache());
+  (void)cache.fill(0, pattern_line(0), false);
+  std::array<std::uint8_t, 16> buf{};
+  EXPECT_FALSE(cache.read(56, buf));  // Crosses the 64 B line end.
+}
+
+TEST(Cache, LruEvictionOrder) {
+  Cache cache(tiny_cache());  // 4 ways per set.
+  // Five lines mapping to set 0 (stride = sets * line = 4 * 64 = 256).
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(cache.fill(i * 256, pattern_line(std::uint8_t(i)), false)
+                     .has_value());
+  }
+  // Touch line 0 so line 1 becomes LRU.
+  std::array<std::uint8_t, 8> buf{};
+  ASSERT_TRUE(cache.read(0, buf));
+  const auto evicted = cache.fill(4 * 256, pattern_line(4), false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line_addr, 256U);  // Line 1 was least recently used.
+  EXPECT_FALSE(evicted->dirty);
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(256));
+}
+
+TEST(Cache, DirtyEvictionCarriesData) {
+  Cache cache(tiny_cache());
+  (void)cache.fill(0, pattern_line(1), false);
+  const std::array<std::uint8_t, 8> in{0xAA};
+  ASSERT_TRUE(cache.write(0, in));
+  for (std::uint64_t i = 1; i < 4; ++i) {
+    (void)cache.fill(i * 256, pattern_line(std::uint8_t(i)), false);
+  }
+  const auto evicted = cache.fill(4 * 256, pattern_line(9), false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line_addr, 0U);
+  EXPECT_TRUE(evicted->dirty);
+  EXPECT_EQ(evicted->data[0], 0xAA);
+  EXPECT_EQ(cache.stats().dirty_writebacks, 1U);
+}
+
+TEST(Cache, RefillExistingLineNoEviction) {
+  Cache cache(tiny_cache());
+  (void)cache.fill(0, pattern_line(1), false);
+  EXPECT_FALSE(cache.fill(0, pattern_line(2), false).has_value());
+  EXPECT_EQ(cache.resident_lines(), 1U);
+  std::array<std::uint8_t, 8> buf{};
+  ASSERT_TRUE(cache.read(0, buf));
+  EXPECT_EQ(buf[0], 2);
+}
+
+TEST(Cache, InvalidateMissingLineIsNoop) {
+  Cache cache(tiny_cache());
+  EXPECT_FALSE(cache.invalidate(0x500).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 0U);
+}
+
+TEST(Cache, ClearDropsEverything) {
+  Cache cache(tiny_cache());
+  (void)cache.fill(0, pattern_line(1), true);
+  cache.clear();
+  EXPECT_EQ(cache.resident_lines(), 0U);
+  EXPECT_FALSE(cache.contains(0));
+}
+
+TEST(Cache, LineOfMasksOffset) {
+  Cache cache(tiny_cache());
+  EXPECT_EQ(cache.line_of(0x13F), 0x100U);
+  EXPECT_EQ(cache.line_of(0x140), 0x140U);
+}
+
+}  // namespace
+}  // namespace hmcsim::host

@@ -1,0 +1,423 @@
+// kernels_test.cpp — workload kernel tests (STREAM Triad, RandomAccess,
+// pointer chase) and the Table II AMO cost model.
+#include <gtest/gtest.h>
+
+#include "src/host/cache_amo_model.hpp"
+#include "src/host/kernels/bfs.hpp"
+#include "src/host/kernels/histogram.hpp"
+#include "src/host/kernels/pointer_chase.hpp"
+#include "src/host/kernels/random_access.hpp"
+#include "src/host/kernels/stream_triad.hpp"
+
+namespace hmcsim::host {
+namespace {
+
+std::unique_ptr<sim::Simulator> make_sim(
+    const sim::Config& cfg = sim::Config::hmc_4link_4gb()) {
+  std::unique_ptr<sim::Simulator> sim;
+  EXPECT_TRUE(sim::Simulator::create(cfg, sim).ok());
+  return sim;
+}
+
+// ---- Table II cost model ---------------------------------------------------
+
+TEST(CacheAmoModel, TableIIRow1CacheBased) {
+  // "Read 64 Bytes + Write 64 Bytes = (1FLIT + 5FLITS) + (5FLITS + 1FLIT)
+  //  = 1536 bytes"
+  const AmoCost cost = cache_amo_cost(64);
+  EXPECT_EQ(cost.request_flits, 6U);   // 1 (RD rqst) + 5 (WR rqst).
+  EXPECT_EQ(cost.response_flits, 6U);  // 5 (RD rsp) + 1 (WR rsp).
+  EXPECT_EQ(cost.total_flits(), 12U);
+  EXPECT_EQ(cost.total_bytes(), 1536U);
+}
+
+TEST(CacheAmoModel, TableIIRow2HmcBased) {
+  // "INC8 Command = 1FLIT + 1FLIT = 256 bytes"
+  const AmoCost cost = hmc_amo_cost(spec::Rqst::INC8);
+  EXPECT_EQ(cost.request_flits, 1U);
+  EXPECT_EQ(cost.response_flits, 1U);
+  EXPECT_EQ(cost.total_bytes(), 256U);
+}
+
+TEST(CacheAmoModel, RatioIsSixFold) {
+  EXPECT_EQ(cache_amo_cost(64).total_bytes() /
+                hmc_amo_cost(spec::Rqst::INC8).total_bytes(),
+            6U);
+}
+
+TEST(CacheAmoModel, OtherLineSizes) {
+  EXPECT_EQ(cache_amo_cost(128).total_flits(), 20U);  // (1+9)+(9+1).
+  EXPECT_EQ(cache_amo_cost(32).total_flits(), 8U);    // (1+3)+(3+1).
+}
+
+TEST(CacheAmoModel, MeasuredTrafficMatchesAnalyticModel) {
+  auto sim = make_sim();
+  MeasuredAmoTraffic cache;
+  ASSERT_TRUE(measure_cache_amo(*sim, /*count=*/10, 64, cache).ok());
+  EXPECT_EQ(cache.rqst_flits, 10 * cache_amo_cost(64).request_flits);
+  EXPECT_EQ(cache.rsp_flits, 10 * cache_amo_cost(64).response_flits);
+
+  auto sim2 = make_sim();
+  MeasuredAmoTraffic hmc;
+  ASSERT_TRUE(measure_hmc_amo(*sim2, 10, hmc).ok());
+  EXPECT_EQ(hmc.rqst_flits, 10U);
+  EXPECT_EQ(hmc.rsp_flits, 10U);
+  EXPECT_LT(hmc.cycles, cache.cycles);  // PIM path is also faster.
+}
+
+// ---- STREAM Triad ------------------------------------------------------------
+
+TEST(StreamTriad, VerifiesResultVector) {
+  auto sim = make_sim();
+  StreamTriadOptions opts;
+  opts.elements = 512;
+  opts.concurrency = 16;
+  KernelResult result;
+  ASSERT_TRUE(run_stream_triad(*sim, opts, result).ok());
+  EXPECT_EQ(result.operations, 512U);
+  EXPECT_GT(result.cycles, 0U);
+  EXPECT_GT(result.rqst_flits, 0U);
+}
+
+TEST(StreamTriad, RejectsBadOptions) {
+  auto sim = make_sim();
+  KernelResult result;
+  StreamTriadOptions opts;
+  opts.block_bytes = 24;
+  EXPECT_FALSE(run_stream_triad(*sim, opts, result).ok());
+  opts = StreamTriadOptions{};
+  opts.elements = 0;
+  EXPECT_FALSE(run_stream_triad(*sim, opts, result).ok());
+  opts = StreamTriadOptions{};
+  opts.concurrency = 0;
+  EXPECT_FALSE(run_stream_triad(*sim, opts, result).ok());
+}
+
+TEST(StreamTriad, FlitTrafficMatchesBlockArithmetic) {
+  auto sim = make_sim();
+  StreamTriadOptions opts;
+  opts.elements = 256;   // 256 doubles = 2048 B = 32 blocks of 64 B.
+  opts.block_bytes = 64;
+  opts.concurrency = 8;
+  KernelResult result;
+  ASSERT_TRUE(run_stream_triad(*sim, opts, result).ok());
+  // Per block: RD(1) + RD(1) + WR(5) = 7 request FLITs,
+  //            RDRS(5) + RDRS(5) + WRRS(1) = 11 response FLITs.
+  EXPECT_EQ(result.rqst_flits, 32U * 7U);
+  EXPECT_EQ(result.rsp_flits, 32U * 11U);
+}
+
+TEST(StreamTriad, MoreConcurrencyIsFaster) {
+  StreamTriadOptions opts;
+  opts.elements = 2048;
+  opts.concurrency = 1;
+  KernelResult serial;
+  {
+    auto sim = make_sim();
+    ASSERT_TRUE(run_stream_triad(*sim, opts, serial).ok());
+  }
+  opts.concurrency = 32;
+  KernelResult parallel;
+  {
+    auto sim = make_sim();
+    ASSERT_TRUE(run_stream_triad(*sim, opts, parallel).ok());
+  }
+  EXPECT_LT(parallel.cycles, serial.cycles / 4);
+}
+
+// ---- RandomAccess (GUPS) ----------------------------------------------------------
+
+TEST(RandomAccess, AtomicModeVerifies) {
+  auto sim = make_sim();
+  RandomAccessOptions opts;
+  opts.table_words = 1 << 12;
+  opts.updates = 1024;
+  opts.mode = GupsMode::Atomic;
+  KernelResult result;
+  ASSERT_TRUE(run_random_access(*sim, opts, result).ok());
+  EXPECT_EQ(result.operations, 1024U);
+  // XOR16: 2 request FLITs + 2 response FLITs per update.
+  EXPECT_EQ(result.rqst_flits, 2048U);
+  EXPECT_EQ(result.rsp_flits, 2048U);
+}
+
+TEST(RandomAccess, RmwModeVerifies) {
+  auto sim = make_sim();
+  RandomAccessOptions opts;
+  opts.table_words = 1 << 12;
+  opts.updates = 1024;
+  opts.mode = GupsMode::ReadModifyWrite;
+  KernelResult result;
+  ASSERT_TRUE(run_random_access(*sim, opts, result).ok());
+  // RD16 (1+2) + WR16 (2+1) per update.
+  EXPECT_EQ(result.rqst_flits, 3 * 1024U);
+  EXPECT_EQ(result.rsp_flits, 3 * 1024U);
+}
+
+TEST(RandomAccess, AtomicBeatsRmwOnTrafficAndTime) {
+  RandomAccessOptions opts;
+  opts.table_words = 1 << 12;
+  opts.updates = 2048;
+  KernelResult atomic;
+  KernelResult rmw;
+  {
+    auto sim = make_sim();
+    opts.mode = GupsMode::Atomic;
+    ASSERT_TRUE(run_random_access(*sim, opts, atomic).ok());
+  }
+  {
+    auto sim = make_sim();
+    opts.mode = GupsMode::ReadModifyWrite;
+    ASSERT_TRUE(run_random_access(*sim, opts, rmw).ok());
+  }
+  EXPECT_LT(atomic.rqst_flits + atomic.rsp_flits,
+            rmw.rqst_flits + rmw.rsp_flits);
+  EXPECT_LT(atomic.cycles, rmw.cycles);
+}
+
+TEST(RandomAccess, DeterministicForSeed) {
+  RandomAccessOptions opts;
+  opts.table_words = 1 << 10;
+  opts.updates = 512;
+  KernelResult a;
+  KernelResult b;
+  {
+    auto sim = make_sim();
+    ASSERT_TRUE(run_random_access(*sim, opts, a).ok());
+  }
+  {
+    auto sim = make_sim();
+    ASSERT_TRUE(run_random_access(*sim, opts, b).ok());
+  }
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.rqst_flits, b.rqst_flits);
+}
+
+TEST(RandomAccess, RejectsBadOptions) {
+  auto sim = make_sim();
+  KernelResult result;
+  RandomAccessOptions opts;
+  opts.table_words = 1000;  // Not a power of two.
+  EXPECT_FALSE(run_random_access(*sim, opts, result).ok());
+  opts = RandomAccessOptions{};
+  opts.table_base = 8;  // Misaligned.
+  EXPECT_FALSE(run_random_access(*sim, opts, result).ok());
+}
+
+// ---- pointer chase -----------------------------------------------------------------
+
+TEST(PointerChase, SingleChainLatencyIsRoundTripPerHop) {
+  auto sim = make_sim();
+  PointerChaseOptions opts;
+  opts.nodes = 1024;
+  opts.hops = 200;
+  opts.chains = 1;
+  KernelResult result;
+  ASSERT_TRUE(run_pointer_chase(*sim, opts, result).ok());
+  // Fully dependent loads: every hop costs one full 3-cycle round trip
+  // plus the send/recv cycle overlap of the driver loop.
+  const double cycles_per_hop =
+      static_cast<double>(result.cycles) / static_cast<double>(opts.hops);
+  EXPECT_GE(cycles_per_hop, 3.0);
+  EXPECT_LE(cycles_per_hop, 4.0);
+}
+
+TEST(PointerChase, ParallelChainsOverlapLatency) {
+  PointerChaseOptions opts;
+  opts.nodes = 4096;
+  opts.hops = 200;
+  opts.chains = 1;
+  KernelResult one;
+  {
+    auto sim = make_sim();
+    ASSERT_TRUE(run_pointer_chase(*sim, opts, one).ok());
+  }
+  opts.chains = 8;
+  KernelResult eight;
+  {
+    auto sim = make_sim();
+    ASSERT_TRUE(run_pointer_chase(*sim, opts, eight).ok());
+  }
+  // 8x the work in barely more time.
+  EXPECT_EQ(eight.operations, 8 * one.operations);
+  EXPECT_LT(eight.cycles, 2 * one.cycles);
+}
+
+TEST(PointerChase, RejectsBadOptions) {
+  auto sim = make_sim();
+  KernelResult result;
+  PointerChaseOptions opts;
+  opts.nodes = 1;
+  EXPECT_FALSE(run_pointer_chase(*sim, opts, result).ok());
+  opts = PointerChaseOptions{};
+  opts.base = 7;
+  EXPECT_FALSE(run_pointer_chase(*sim, opts, result).ok());
+}
+
+// ---- histogram (posted-atomic showcase) ----------------------------------------
+
+class HistogramModeTest
+    : public ::testing::TestWithParam<HistogramMode> {};
+
+TEST_P(HistogramModeTest, VerifiesAgainstHostHistogram) {
+  std::unique_ptr<sim::Simulator> sim;
+  ASSERT_TRUE(
+      sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok());
+  HistogramOptions opts;
+  opts.updates = 2048;
+  opts.buckets = 128;
+  opts.mode = GetParam();
+  KernelResult result;
+  ASSERT_TRUE(run_histogram(*sim, opts, result).ok());  // verify inside.
+  EXPECT_EQ(result.operations, 2048U);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, HistogramModeTest,
+                         ::testing::Values(HistogramMode::ReadModifyWrite,
+                                           HistogramMode::Atomic,
+                                           HistogramMode::PostedAtomic),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case HistogramMode::ReadModifyWrite:
+                               return "rmw";
+                             case HistogramMode::Atomic:
+                               return "atomic";
+                             default:
+                               return "posted";
+                           }
+                         });
+
+TEST(Histogram, PostedHalvesAtomicTrafficAndCrushesRmw) {
+  HistogramOptions opts;
+  opts.updates = 4096;
+  opts.buckets = 256;
+  std::array<KernelResult, 3> results;
+  const HistogramMode modes[] = {HistogramMode::ReadModifyWrite,
+                                 HistogramMode::Atomic,
+                                 HistogramMode::PostedAtomic};
+  for (int i = 0; i < 3; ++i) {
+    std::unique_ptr<sim::Simulator> sim;
+    ASSERT_TRUE(
+        sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok());
+    opts.mode = modes[i];
+    ASSERT_TRUE(run_histogram(*sim, opts, results[i]).ok());
+  }
+  const auto flits = [](const KernelResult& r) {
+    return r.rqst_flits + r.rsp_flits;
+  };
+  // RMW: 6 FLITs/op, atomic: 2, posted: 1 — exactly Table I arithmetic.
+  EXPECT_EQ(flits(results[0]), 6 * 4096U);
+  EXPECT_EQ(flits(results[1]), 2 * 4096U);
+  EXPECT_EQ(flits(results[2]), 1 * 4096U);
+  EXPECT_LT(results[2].cycles, results[1].cycles);
+  EXPECT_LT(results[1].cycles, results[0].cycles);
+}
+
+TEST(Histogram, RejectsBadOptions) {
+  std::unique_ptr<sim::Simulator> sim;
+  ASSERT_TRUE(
+      sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok());
+  KernelResult result;
+  HistogramOptions opts;
+  opts.buckets = 0;
+  EXPECT_FALSE(run_histogram(*sim, opts, result).ok());
+  opts = HistogramOptions{};
+  opts.base = 8;
+  EXPECT_FALSE(run_histogram(*sim, opts, result).ok());
+}
+
+// ---- BFS (CAS-accelerated graph traversal) ------------------------------------
+
+TEST(Bfs, CasModeVerifiesAgainstReference) {
+  auto sim = make_sim();
+  BfsOptions opts;
+  opts.vertices = 512;
+  opts.avg_degree = 6;
+  opts.mode = BfsMode::CasAtomic;
+  BfsResult result;
+  ASSERT_TRUE(run_bfs(*sim, opts, result).ok());  // verify=true inside.
+  EXPECT_GT(result.reached, 1U);
+  EXPECT_GT(result.kernel.cycles, 0U);
+  EXPECT_GE(result.edges_probed, result.reached - 1);
+}
+
+TEST(Bfs, RmwModeVerifiesAgainstReference) {
+  auto sim = make_sim();
+  BfsOptions opts;
+  opts.vertices = 512;
+  opts.avg_degree = 6;
+  opts.mode = BfsMode::ReadModifyWrite;
+  BfsResult result;
+  ASSERT_TRUE(run_bfs(*sim, opts, result).ok());
+  EXPECT_GT(result.reached, 1U);
+}
+
+TEST(Bfs, BothModesReachTheSameVertices) {
+  BfsOptions opts;
+  opts.vertices = 768;
+  opts.avg_degree = 4;
+  opts.seed = 1234;
+  BfsResult cas;
+  BfsResult rmw;
+  {
+    auto sim = make_sim();
+    opts.mode = BfsMode::CasAtomic;
+    ASSERT_TRUE(run_bfs(*sim, opts, cas).ok());
+  }
+  {
+    auto sim = make_sim();
+    opts.mode = BfsMode::ReadModifyWrite;
+    ASSERT_TRUE(run_bfs(*sim, opts, rmw).ok());
+  }
+  EXPECT_EQ(cas.reached, rmw.reached);
+  EXPECT_EQ(cas.max_level, rmw.max_level);
+}
+
+TEST(Bfs, CasOffloadSavesTrafficAndTime) {
+  BfsOptions opts;
+  opts.vertices = 1024;
+  opts.avg_degree = 8;
+  BfsResult cas;
+  BfsResult rmw;
+  {
+    auto sim = make_sim();
+    opts.mode = BfsMode::CasAtomic;
+    ASSERT_TRUE(run_bfs(*sim, opts, cas).ok());
+  }
+  {
+    auto sim = make_sim();
+    opts.mode = BfsMode::ReadModifyWrite;
+    ASSERT_TRUE(run_bfs(*sim, opts, rmw).ok());
+  }
+  EXPECT_LT(cas.kernel.rqst_flits + cas.kernel.rsp_flits,
+            rmw.kernel.rqst_flits + rmw.kernel.rsp_flits);
+  EXPECT_LT(cas.kernel.cycles, rmw.kernel.cycles);
+}
+
+TEST(Bfs, IsolatedRootTerminates) {
+  auto sim = make_sim();
+  BfsOptions opts;
+  opts.vertices = 16;
+  opts.avg_degree = 0;  // No edges at all.
+  BfsResult result;
+  ASSERT_TRUE(run_bfs(*sim, opts, result).ok());
+  EXPECT_EQ(result.reached, 1U);
+  EXPECT_EQ(result.edges_probed, 0U);
+}
+
+TEST(Bfs, RejectsBadOptions) {
+  auto sim = make_sim();
+  BfsResult result;
+  BfsOptions opts;
+  opts.root = opts.vertices;  // Out of range.
+  EXPECT_FALSE(run_bfs(*sim, opts, result).ok());
+  opts = BfsOptions{};
+  opts.concurrency = 0;
+  EXPECT_FALSE(run_bfs(*sim, opts, result).ok());
+  opts = BfsOptions{};
+  opts.visited_base = 8;
+  EXPECT_FALSE(run_bfs(*sim, opts, result).ok());
+}
+
+}  // namespace
+}  // namespace hmcsim::host

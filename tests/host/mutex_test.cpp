@@ -1,0 +1,330 @@
+// mutex_test.cpp — Algorithm 1 / Table V semantics and the paper's
+// headline experiment properties.
+#include "src/host/mutex_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "plugins/builtin.h"
+
+namespace hmcsim::host {
+namespace {
+
+void register_mutex_ops(sim::Simulator& sim) {
+  ASSERT_TRUE(sim.register_cmc(hmcsim_builtin_lock_register,
+                               hmcsim_builtin_lock_execute,
+                               hmcsim_builtin_lock_str).ok());
+  ASSERT_TRUE(sim.register_cmc(hmcsim_builtin_trylock_register,
+                               hmcsim_builtin_trylock_execute,
+                               hmcsim_builtin_trylock_str).ok());
+  ASSERT_TRUE(sim.register_cmc(hmcsim_builtin_unlock_register,
+                               hmcsim_builtin_unlock_execute,
+                               hmcsim_builtin_unlock_str).ok());
+}
+
+std::unique_ptr<sim::Simulator> make_sim(const sim::Config& cfg) {
+  std::unique_ptr<sim::Simulator> sim;
+  EXPECT_TRUE(sim::Simulator::create(cfg, sim).ok());
+  register_mutex_ops(*sim);
+  return sim;
+}
+
+// ---- direct operation semantics (through the full pipeline) ---------------
+
+class MutexOpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = make_sim(sim::Config::hmc_4link_4gb());
+  }
+
+  sim::Response op(spec::Rqst rqst, std::uint64_t tid) {
+    const std::array<std::uint64_t, 2> payload{tid, 0};
+    spec::RqstParams p;
+    p.rqst = rqst;
+    p.addr = kLock;
+    p.payload = payload;
+    EXPECT_TRUE(sim_->send(p, 0).ok());
+    while (!sim_->rsp_ready(0)) {
+      sim_->clock();
+    }
+    sim::Response rsp;
+    EXPECT_TRUE(sim_->recv(0, rsp).ok());
+    return rsp;
+  }
+
+  std::array<std::uint64_t, 2> lock_struct() {
+    std::array<std::uint64_t, 2> out{};
+    EXPECT_TRUE(sim_->device(0).store().read_u128(kLock, out).ok());
+    return out;
+  }
+
+  static constexpr std::uint64_t kLock = 0x4000;
+  std::unique_ptr<sim::Simulator> sim_;
+};
+
+TEST_F(MutexOpTest, LockAcquiresFreeLock) {
+  const sim::Response rsp = op(spec::Rqst::CMC125, 7);
+  EXPECT_EQ(rsp.pkt.payload()[0], 1ULL);
+  EXPECT_EQ(lock_struct()[0], 1ULL);  // Figure 4: lock word.
+  EXPECT_EQ(lock_struct()[1], 7ULL);  // Figure 4: owner TID.
+}
+
+TEST_F(MutexOpTest, LockFailsOnHeldLockWithoutModification) {
+  (void)op(spec::Rqst::CMC125, 7);
+  const sim::Response rsp = op(spec::Rqst::CMC125, 9);
+  EXPECT_EQ(rsp.pkt.payload()[0], 0ULL);
+  EXPECT_EQ(lock_struct()[1], 7ULL);  // Owner unchanged.
+}
+
+TEST_F(MutexOpTest, TrylockAcquiresAndReturnsOwnTid) {
+  const sim::Response rsp = op(spec::Rqst::CMC126, 5);
+  EXPECT_EQ(rsp.pkt.payload()[0], 5ULL);  // Owner after the attempt.
+  EXPECT_EQ(lock_struct()[0], 1ULL);
+}
+
+TEST_F(MutexOpTest, TrylockOnHeldLockReturnsHolder) {
+  (void)op(spec::Rqst::CMC125, 7);
+  const sim::Response rsp = op(spec::Rqst::CMC126, 9);
+  EXPECT_EQ(rsp.pkt.payload()[0], 7ULL);  // The holder, not 9.
+  EXPECT_EQ(lock_struct()[1], 7ULL);
+}
+
+TEST_F(MutexOpTest, UnlockByOwnerSucceeds) {
+  (void)op(spec::Rqst::CMC125, 7);
+  const sim::Response rsp = op(spec::Rqst::CMC127, 7);
+  EXPECT_EQ(rsp.pkt.payload()[0], 1ULL);
+  EXPECT_EQ(lock_struct()[0], 0ULL);  // Free again.
+}
+
+TEST_F(MutexOpTest, UnlockByNonOwnerFails) {
+  (void)op(spec::Rqst::CMC125, 7);
+  const sim::Response rsp = op(spec::Rqst::CMC127, 9);
+  EXPECT_EQ(rsp.pkt.payload()[0], 0ULL);
+  EXPECT_EQ(lock_struct()[0], 1ULL);  // Still held by 7.
+  EXPECT_EQ(lock_struct()[1], 7ULL);
+}
+
+TEST_F(MutexOpTest, UnlockOfFreeLockFails) {
+  const sim::Response rsp = op(spec::Rqst::CMC127, 7);
+  EXPECT_EQ(rsp.pkt.payload()[0], 0ULL);
+}
+
+TEST_F(MutexOpTest, LockAfterUnlockByNewOwner) {
+  (void)op(spec::Rqst::CMC125, 7);
+  (void)op(spec::Rqst::CMC127, 7);
+  const sim::Response rsp = op(spec::Rqst::CMC125, 9);
+  EXPECT_EQ(rsp.pkt.payload()[0], 1ULL);
+  EXPECT_EQ(lock_struct()[1], 9ULL);
+}
+
+TEST_F(MutexOpTest, ResponseCommandsMatchTableV) {
+  sim::Response rsp = op(spec::Rqst::CMC125, 1);
+  EXPECT_EQ(rsp.pkt.cmd(), 0x39);  // WR_RS.
+  rsp = op(spec::Rqst::CMC126, 1);
+  EXPECT_EQ(rsp.pkt.cmd(), 0x38);  // RD_RS.
+  rsp = op(spec::Rqst::CMC127, 1);
+  EXPECT_EQ(rsp.pkt.cmd(), 0x39);  // WR_RS.
+}
+
+// ---- Algorithm 1 driver ------------------------------------------------------
+
+TEST(MutexDriver, RequiresRegisteredOps) {
+  std::unique_ptr<sim::Simulator> sim;
+  ASSERT_TRUE(
+      sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok());
+  MutexResult result;
+  EXPECT_EQ(run_mutex_contention(*sim, 4, {}, result).code(),
+            StatusCode::InvalidState);
+}
+
+TEST(MutexDriver, RejectsBadArguments) {
+  auto sim = make_sim(sim::Config::hmc_4link_4gb());
+  MutexResult result;
+  EXPECT_FALSE(run_mutex_contention(*sim, 0, {}, result).ok());
+  MutexOptions unaligned;
+  unaligned.lock_addr = 0x4001;
+  EXPECT_FALSE(run_mutex_contention(*sim, 2, unaligned, result).ok());
+}
+
+TEST(MutexDriver, SingleThreadCompletesInSixCycles) {
+  // MIN_CYCLE == 6 (Table VI): one lock round trip + one unlock round trip.
+  auto sim = make_sim(sim::Config::hmc_4link_4gb());
+  MutexResult result;
+  ASSERT_TRUE(run_mutex_contention(*sim, 1, {}, result).ok());
+  EXPECT_EQ(result.min_cycles, 6U);
+  EXPECT_EQ(result.max_cycles, 6U);
+  EXPECT_DOUBLE_EQ(result.avg_cycles, 6.0);
+  EXPECT_EQ(result.trylock_attempts, 0U);
+  EXPECT_EQ(result.lock_failures, 0U);
+}
+
+TEST(MutexDriver, EveryThreadCompletes) {
+  auto sim = make_sim(sim::Config::hmc_4link_4gb());
+  MutexResult result;
+  ASSERT_TRUE(run_mutex_contention(*sim, 32, {}, result).ok());
+  EXPECT_EQ(result.per_thread_cycles.size(), 32U);
+  for (const std::uint64_t c : result.per_thread_cycles) {
+    EXPECT_GE(c, 6U);
+  }
+  EXPECT_EQ(result.lock_failures, 31U);  // Exactly one initial winner.
+  EXPECT_GE(result.trylock_attempts, 31U);
+}
+
+TEST(MutexDriver, LockIsFreeAfterRun) {
+  auto sim = make_sim(sim::Config::hmc_4link_4gb());
+  MutexOptions opts;
+  opts.lock_addr = 0x8000;
+  MutexResult result;
+  ASSERT_TRUE(run_mutex_contention(*sim, 16, opts, result).ok());
+  std::array<std::uint64_t, 2> lock{};
+  ASSERT_TRUE(sim->device(0).store().read_u128(0x8000, lock).ok());
+  EXPECT_EQ(lock[0], 0ULL);
+}
+
+TEST(MutexDriver, MutualExclusionHolds) {
+  // Property: at most one thread may ever hold the lock. If exclusion were
+  // violated, two threads would unlock successfully without a matching
+  // handoff, or an unlock would fail. The driver treats every thread's
+  // unlock as phase-terminal, so a violated invariant shows up as a
+  // watchdog timeout or a lock left held; both are checked here, across
+  // several contention levels.
+  for (const std::uint32_t threads : {2U, 8U, 24U, 64U}) {
+    auto sim = make_sim(sim::Config::hmc_4link_4gb());
+    MutexResult result;
+    ASSERT_TRUE(run_mutex_contention(*sim, threads, {}, result).ok())
+        << threads;
+    std::array<std::uint64_t, 2> lock{};
+    ASSERT_TRUE(sim->device(0).store().read_u128(0, lock).ok());
+    EXPECT_EQ(lock[0], 0ULL) << threads;
+  }
+}
+
+TEST(MutexDriver, DeterministicAcrossRuns) {
+  MutexResult a;
+  MutexResult b;
+  {
+    auto sim = make_sim(sim::Config::hmc_4link_4gb());
+    ASSERT_TRUE(run_mutex_contention(*sim, 20, {}, a).ok());
+  }
+  {
+    auto sim = make_sim(sim::Config::hmc_4link_4gb());
+    ASSERT_TRUE(run_mutex_contention(*sim, 20, {}, b).ok());
+  }
+  EXPECT_EQ(a.per_thread_cycles, b.per_thread_cycles);
+  EXPECT_EQ(a.trylock_attempts, b.trylock_attempts);
+}
+
+TEST(MutexDriver, FourAndEightLinkIdenticalAtLowThreadCounts) {
+  // The paper: "minimum, maximum and average HMC-Sim cycle counts are
+  // actually identical between both the 4Link and 8Link device
+  // configurations for thread counts from two to fifty."
+  for (const std::uint32_t threads : {2U, 10U, 25U, 50U}) {
+    MutexResult r4;
+    MutexResult r8;
+    {
+      auto sim = make_sim(sim::Config::hmc_4link_4gb());
+      ASSERT_TRUE(run_mutex_contention(*sim, threads, {}, r4).ok());
+    }
+    {
+      auto sim = make_sim(sim::Config::hmc_8link_8gb());
+      ASSERT_TRUE(run_mutex_contention(*sim, threads, {}, r8).ok());
+    }
+    EXPECT_EQ(r4.min_cycles, r8.min_cycles) << threads;
+    EXPECT_EQ(r4.max_cycles, r8.max_cycles) << threads;
+    EXPECT_DOUBLE_EQ(r4.avg_cycles, r8.avg_cycles) << threads;
+  }
+}
+
+TEST(MutexDriver, MinCycleIsSixOnBothConfigs) {
+  for (const auto& cfg :
+       {sim::Config::hmc_4link_4gb(), sim::Config::hmc_8link_8gb()}) {
+    auto sim = make_sim(cfg);
+    MutexResult result;
+    ASSERT_TRUE(run_mutex_contention(*sim, 40, {}, result).ok());
+    EXPECT_EQ(result.min_cycles, 6U);
+  }
+}
+
+TEST(MutexDriver, EightLinkNoWorseThanFourLinkAtHighThreadCounts) {
+  // Beyond ~50 threads the 8-link device's extra queueing capacity gives
+  // it a small edge (paper Figs. 5-7, Table VI).
+  MutexResult r4;
+  MutexResult r8;
+  {
+    auto sim = make_sim(sim::Config::hmc_4link_4gb());
+    ASSERT_TRUE(run_mutex_contention(*sim, 99, {}, r4).ok());
+  }
+  {
+    auto sim = make_sim(sim::Config::hmc_8link_8gb());
+    ASSERT_TRUE(run_mutex_contention(*sim, 99, {}, r8).ok());
+  }
+  EXPECT_LE(r8.max_cycles, r4.max_cycles);
+  EXPECT_LE(r8.avg_cycles, r4.avg_cycles);
+  EXPECT_LT(r8.avg_cycles, r4.avg_cycles);  // Strictly better on average.
+}
+
+TEST(MutexDriver, MultiLockValidatesOptions) {
+  auto sim = make_sim(sim::Config::hmc_4link_4gb());
+  MutexResult result;
+  MutexOptions opts;
+  opts.num_locks = 0;
+  EXPECT_FALSE(run_mutex_contention(*sim, 4, opts, result).ok());
+  opts = MutexOptions{};
+  opts.lock_stride = 24;  // Not 16-byte aligned.
+  EXPECT_FALSE(run_mutex_contention(*sim, 4, opts, result).ok());
+}
+
+TEST(MutexDriver, MultiLockAllLocksEndFree) {
+  auto sim = make_sim(sim::Config::hmc_4link_4gb());
+  MutexOptions opts;
+  opts.lock_addr = 0x4000;
+  opts.num_locks = 8;
+  MutexResult result;
+  ASSERT_TRUE(run_mutex_contention(*sim, 32, opts, result).ok());
+  for (std::uint32_t l = 0; l < 8; ++l) {
+    std::array<std::uint64_t, 2> lock{};
+    ASSERT_TRUE(sim->device(0)
+                    .store()
+                    .read_u128(0x4000 + 64ULL * l, lock)
+                    .ok());
+    EXPECT_EQ(lock[0], 0ULL) << "lock " << l;
+  }
+}
+
+TEST(MutexDriver, SpreadingLocksRelievesTheHotSpot) {
+  // The paper attributes the scaling behaviour to the single-lock hot
+  // spot; with one lock per contending pair, completion time collapses.
+  MutexResult single;
+  MutexResult spread;
+  {
+    auto sim = make_sim(sim::Config::hmc_4link_4gb());
+    MutexOptions opts;
+    opts.lock_addr = 0x4000;
+    ASSERT_TRUE(run_mutex_contention(*sim, 64, opts, single).ok());
+  }
+  {
+    auto sim = make_sim(sim::Config::hmc_4link_4gb());
+    MutexOptions opts;
+    opts.lock_addr = 0x4000;
+    opts.num_locks = 32;  // Two threads per lock, spread over 32 vaults.
+    ASSERT_TRUE(run_mutex_contention(*sim, 64, opts, spread).ok());
+  }
+  EXPECT_LT(spread.max_cycles, single.max_cycles / 4);
+  EXPECT_LT(spread.avg_cycles, single.avg_cycles / 4);
+}
+
+TEST(MutexDriver, ScalesRoughlyLinearlyWithThreads) {
+  auto sim = make_sim(sim::Config::hmc_4link_4gb());
+  MutexResult r20;
+  ASSERT_TRUE(run_mutex_contention(*sim, 20, {}, r20).ok());
+  auto sim2 = make_sim(sim::Config::hmc_4link_4gb());
+  MutexResult r80;
+  ASSERT_TRUE(run_mutex_contention(*sim2, 80, {}, r80).ok());
+  // One lock handoff per thread: max grows ~4x for 4x the threads.
+  EXPECT_GT(r80.max_cycles, 3 * r20.max_cycles);
+  EXPECT_LT(r80.max_cycles, 6 * r20.max_cycles);
+}
+
+}  // namespace
+}  // namespace hmcsim::host

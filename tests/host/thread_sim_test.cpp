@@ -1,0 +1,147 @@
+// thread_sim_test.cpp — cooperative host-thread scheduler tests.
+#include "src/host/thread_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace hmcsim::host {
+namespace {
+
+class ThreadSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim_).ok());
+  }
+  std::unique_ptr<sim::Simulator> sim_;
+};
+
+TEST_F(ThreadSimTest, LinkAssignmentIsRoundRobin) {
+  ThreadSim ts(*sim_, 10);
+  EXPECT_EQ(ts.link_for(0), 0U);
+  EXPECT_EQ(ts.link_for(1), 1U);
+  EXPECT_EQ(ts.link_for(3), 3U);
+  EXPECT_EQ(ts.link_for(4), 0U);
+  EXPECT_EQ(ts.link_for(9), 1U);
+}
+
+TEST_F(ThreadSimTest, IssueAndComplete) {
+  ThreadSim ts(*sim_, 2);
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  rd.addr = 0x100;
+  ASSERT_TRUE(ts.issue(0, rd).ok());
+  EXPECT_FALSE(ts.idle(0));
+  EXPECT_TRUE(ts.idle(1));
+
+  std::vector<Completion> done;
+  for (int i = 0; i < 10 && done.empty(); ++i) {
+    ts.step([&](const Completion& c) { done.push_back(c); });
+  }
+  ASSERT_EQ(done.size(), 1U);
+  EXPECT_EQ(done[0].tid, 0U);
+  EXPECT_EQ(done[0].rsp.latency, 3U);
+  EXPECT_TRUE(ts.idle(0));
+}
+
+TEST_F(ThreadSimTest, OneOutstandingPerThreadEnforced) {
+  ThreadSim ts(*sim_, 1);
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  ASSERT_TRUE(ts.issue(0, rd).ok());
+  EXPECT_EQ(ts.issue(0, rd).code(), StatusCode::InvalidState);
+}
+
+TEST_F(ThreadSimTest, PostedRequestLeavesThreadIdle) {
+  ThreadSim ts(*sim_, 1);
+  const std::array<std::uint64_t, 2> data{1, 2};
+  spec::RqstParams wr;
+  wr.rqst = spec::Rqst::P_WR16;
+  wr.addr = 0x100;
+  wr.payload = data;
+  ASSERT_TRUE(ts.issue(0, wr).ok());
+  EXPECT_TRUE(ts.idle(0));  // No response expected.
+}
+
+TEST_F(ThreadSimTest, InvalidThreadRejected) {
+  ThreadSim ts(*sim_, 2);
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  EXPECT_FALSE(ts.issue(2, rd).ok());
+}
+
+TEST_F(ThreadSimTest, ManyThreadsAllComplete) {
+  constexpr std::uint32_t kThreads = 64;
+  ThreadSim ts(*sim_, kThreads);
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    spec::RqstParams rd;
+    rd.rqst = spec::Rqst::RD16;
+    rd.addr = 0x1000 + 64ULL * t;  // Spread across vaults.
+    ASSERT_TRUE(ts.issue(t, rd).ok());
+  }
+  std::vector<bool> done(kThreads, false);
+  std::uint32_t count = 0;
+  for (int i = 0; i < 200 && count < kThreads; ++i) {
+    ts.step([&](const Completion& c) {
+      EXPECT_FALSE(done[c.tid]);
+      done[c.tid] = true;
+      ++count;
+    });
+  }
+  EXPECT_EQ(count, kThreads);
+}
+
+TEST_F(ThreadSimTest, IssueFromCompletionHandler) {
+  ThreadSim ts(*sim_, 1);
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  rd.addr = 0x40;
+  ASSERT_TRUE(ts.issue(0, rd).ok());
+  int completions = 0;
+  for (int i = 0; i < 20 && completions < 3; ++i) {
+    ts.step([&](const Completion&) {
+      ++completions;
+      if (completions < 3) {
+        EXPECT_TRUE(ts.issue(0, rd).ok());
+      }
+    });
+  }
+  EXPECT_EQ(completions, 3);
+}
+
+TEST_F(ThreadSimTest, StalledSendsRetryAutomatically) {
+  // Tiny queues force stalls: every thread targets the same vault.
+  sim::Config cfg = sim::Config::hmc_4link_4gb();
+  cfg.xbar_depth = 2;
+  cfg.vault_rqst_depth = 1;
+  cfg.vault_rsp_depth = 1;
+  cfg.xbar_rqst_bw_flits = 17;
+  cfg.xbar_rsp_bw_flits = 17;
+  std::unique_ptr<sim::Simulator> tiny;
+  ASSERT_TRUE(sim::Simulator::create(cfg, tiny).ok());
+
+  constexpr std::uint32_t kThreads = 16;
+  ThreadSim ts(*tiny, kThreads);
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    spec::RqstParams rd;
+    rd.rqst = spec::Rqst::RD16;
+    rd.addr = 0;  // Hot spot.
+    ASSERT_TRUE(ts.issue(t, rd).ok());
+  }
+  std::uint32_t count = 0;
+  for (int i = 0; i < 2000 && count < kThreads; ++i) {
+    ts.step([&](const Completion&) { ++count; });
+  }
+  EXPECT_EQ(count, kThreads);
+  EXPECT_GT(ts.send_retries(), 0U);
+}
+
+TEST_F(ThreadSimTest, ThreadCountCappedToTagSpace) {
+  ThreadSim ts(*sim_, 5000);
+  EXPECT_EQ(ts.num_threads(), spec::kMaxTag);
+}
+
+}  // namespace
+}  // namespace hmcsim::host

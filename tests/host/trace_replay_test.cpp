@@ -1,0 +1,210 @@
+// trace_replay_test.cpp — trace format parsing, round trips and replay.
+#include "src/host/trace_replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "plugins/builtin.h"
+
+namespace hmcsim::host {
+namespace {
+
+std::unique_ptr<sim::Simulator> make_sim() {
+  std::unique_ptr<sim::Simulator> sim;
+  EXPECT_TRUE(
+      sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok());
+  return sim;
+}
+
+TEST(TraceParse, BasicLines) {
+  std::istringstream in(R"(# a comment
+
+  # indented comment
+0 0 WR16 0 1000 deadbeef 42
+3 1 RD16 0 1000
+5 2 INC8 0 2000
+)");
+  std::vector<TraceRecord> records;
+  ASSERT_TRUE(parse_trace(in, records).ok());
+  ASSERT_EQ(records.size(), 3U);
+  EXPECT_EQ(records[0].rqst, spec::Rqst::WR16);
+  EXPECT_EQ(records[0].addr, 0x1000ULL);
+  ASSERT_EQ(records[0].payload.size(), 2U);
+  EXPECT_EQ(records[0].payload[0], 0xDEADBEEFULL);
+  EXPECT_EQ(records[0].payload[1], 0x42ULL);
+  EXPECT_EQ(records[1].issue_cycle, 3U);
+  EXPECT_EQ(records[1].link, 1U);
+  EXPECT_EQ(records[2].rqst, spec::Rqst::INC8);
+}
+
+TEST(TraceParse, RejectsUnknownCommand) {
+  std::istringstream in("0 0 BOGUS 0 0\n");
+  std::vector<TraceRecord> records;
+  const Status s = parse_trace(in, records);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("BOGUS"), std::string::npos);
+  EXPECT_NE(s.message().find("line 1"), std::string::npos);
+}
+
+TEST(TraceParse, RejectsShortLine) {
+  std::istringstream in("0 0 RD16\n");
+  std::vector<TraceRecord> records;
+  EXPECT_FALSE(parse_trace(in, records).ok());
+}
+
+TEST(TraceParse, RejectsOutOfOrderCycles) {
+  std::istringstream in("5 0 RD16 0 0\n2 0 RD16 0 0\n");
+  std::vector<TraceRecord> records;
+  EXPECT_FALSE(parse_trace(in, records).ok());
+}
+
+TEST(TraceParse, RejectsBadCub) {
+  std::istringstream in("0 0 RD16 9 0\n");
+  std::vector<TraceRecord> records;
+  EXPECT_FALSE(parse_trace(in, records).ok());
+}
+
+TEST(TraceParse, RejectsOversizedPayload) {
+  std::ostringstream line;
+  line << "0 0 WR256 0 0";
+  for (int i = 0; i < 33; ++i) {
+    line << " 1";
+  }
+  std::istringstream in(line.str());
+  std::vector<TraceRecord> records;
+  EXPECT_FALSE(parse_trace(in, records).ok());
+}
+
+TEST(TraceFormat, WriteParseRoundTrip) {
+  TraceBuilder builder(4);
+  builder.add(spec::Rqst::WR16, 0x100, {0xAB, 0xCD})
+      .add(spec::Rqst::RD64, 0x2000, {}, 3)
+      .add(spec::Rqst::CMC125, 0x4000, {7, 0}, 2);
+  const auto original = builder.records();
+
+  std::ostringstream os;
+  write_trace(os, original);
+  std::istringstream is(os.str());
+  std::vector<TraceRecord> parsed;
+  ASSERT_TRUE(parse_trace(is, parsed).ok());
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].issue_cycle, original[i].issue_cycle) << i;
+    EXPECT_EQ(parsed[i].link, original[i].link) << i;
+    EXPECT_EQ(parsed[i].rqst, original[i].rqst) << i;
+    EXPECT_EQ(parsed[i].addr, original[i].addr) << i;
+    EXPECT_EQ(parsed[i].payload, original[i].payload) << i;
+  }
+}
+
+TEST(TraceFile, SaveLoadRoundTrip) {
+  TraceBuilder builder(4);
+  builder.add(spec::Rqst::INC8, 0x40).add(spec::Rqst::RD16, 0x40);
+  const std::string path = ::testing::TempDir() + "/replay_test.trace";
+  ASSERT_TRUE(save_trace(path, builder.records()).ok());
+  std::vector<TraceRecord> loaded;
+  ASSERT_TRUE(load_trace(path, loaded).ok());
+  EXPECT_EQ(loaded.size(), 2U);
+  EXPECT_EQ(loaded[0].rqst, spec::Rqst::INC8);
+}
+
+TEST(TraceFile, LoadMissingFileFails) {
+  std::vector<TraceRecord> records;
+  EXPECT_EQ(load_trace("/nonexistent/file.trace", records).code(),
+            StatusCode::NotFound);
+}
+
+TEST(TraceBuilderApi, RoundRobinLinksAndGaps) {
+  TraceBuilder builder(4);
+  for (int i = 0; i < 6; ++i) {
+    builder.add(spec::Rqst::RD16, 0, {}, 2);
+  }
+  const auto& records = builder.records();
+  EXPECT_EQ(records[0].link, 0U);
+  EXPECT_EQ(records[1].link, 1U);
+  EXPECT_EQ(records[4].link, 0U);
+  EXPECT_EQ(records[0].issue_cycle, 2U);
+  EXPECT_EQ(records[5].issue_cycle, 12U);
+}
+
+TEST(TraceReplay, MemoryEffectsApplied) {
+  auto sim = make_sim();
+  TraceBuilder builder(4);
+  builder.add(spec::Rqst::WR16, 0x1000, {0x1111, 0x2222})
+      .add(spec::Rqst::INC8, 0x1000)
+      .add(spec::Rqst::INC8, 0x1000)
+      .add(spec::Rqst::P_WR16, 0x2000, {0x9999, 0});
+  ReplayResult result;
+  ASSERT_TRUE(replay_trace(*sim, builder.records(), result).ok());
+  EXPECT_EQ(result.requests_issued, 4U);
+  EXPECT_EQ(result.responses_received, 3U);  // P_WR16 is posted.
+  EXPECT_EQ(result.error_responses, 0U);
+
+  std::uint64_t v = 0;
+  ASSERT_TRUE(sim->device(0).store().read_u64(0x1000, v).ok());
+  EXPECT_EQ(v, 0x1113ULL);  // 0x1111 + 2 increments.
+  ASSERT_TRUE(sim->device(0).store().read_u64(0x2000, v).ok());
+  EXPECT_EQ(v, 0x9999ULL);
+}
+
+TEST(TraceReplay, HonorsIssueCycles) {
+  auto sim = make_sim();
+  std::vector<TraceRecord> records(1);
+  records[0].issue_cycle = 50;
+  records[0].rqst = spec::Rqst::RD16;
+  ReplayResult result;
+  ASSERT_TRUE(replay_trace(*sim, records, result).ok());
+  // Response latency is 3; total simulated span >= 53 cycles.
+  EXPECT_GE(sim->cycle(), 53U);
+  EXPECT_LE(result.cycles, 4U);  // But issue-to-response is still short.
+}
+
+TEST(TraceReplay, CmcRecordsNeedRegistration) {
+  auto sim = make_sim();
+  TraceBuilder builder(4);
+  builder.add(spec::Rqst::CMC125, 0x4000, {1, 0});
+  ReplayResult result;
+  // Unregistered CMC: send() fails and the replay reports the error.
+  EXPECT_FALSE(replay_trace(*sim, builder.records(), result).ok());
+
+  ASSERT_TRUE(sim->register_cmc(hmcsim_builtin_lock_register,
+                                hmcsim_builtin_lock_execute,
+                                hmcsim_builtin_lock_str).ok());
+  ASSERT_TRUE(replay_trace(*sim, builder.records(), result).ok());
+  EXPECT_EQ(result.responses_received, 1U);
+  std::uint64_t owner = 0;
+  ASSERT_TRUE(sim->device(0).store().read_u64(0x4008, owner).ok());
+  EXPECT_EQ(owner, 1ULL);
+}
+
+TEST(TraceReplay, ErrorResponsesCounted) {
+  auto sim = make_sim();
+  std::vector<TraceRecord> records(1);
+  records[0].rqst = spec::Rqst::RD16;
+  records[0].addr = (1ULL << 34) - 64;  // Beyond the 4 GiB device.
+  ReplayResult result;
+  ASSERT_TRUE(replay_trace(*sim, records, result).ok());
+  EXPECT_EQ(result.error_responses, 1U);
+}
+
+TEST(TraceReplay, LargeTraceCompletes) {
+  auto sim = make_sim();
+  TraceBuilder builder(4);
+  for (int i = 0; i < 2000; ++i) {
+    const bool write = i % 2 == 0;
+    builder.add(write ? spec::Rqst::WR16 : spec::Rqst::RD16,
+                64ULL * static_cast<std::uint64_t>(i % 256),
+                write ? std::vector<std::uint64_t>{1, 2}
+                      : std::vector<std::uint64_t>{},
+                /*gap=*/0);
+  }
+  ReplayResult result;
+  ASSERT_TRUE(replay_trace(*sim, builder.records(), result).ok());
+  EXPECT_EQ(result.requests_issued, 2000U);
+  EXPECT_EQ(result.responses_received, 2000U);
+  EXPECT_GT(result.rqst_flits, 2000U);
+}
+
+}  // namespace
+}  // namespace hmcsim::host

@@ -1,0 +1,184 @@
+// fault_injection_test.cpp — link-error injection and the retry protocol.
+//
+// Every workload must complete correctly under injected CRC failures: a
+// corrupted packet is redelivered by the link layer, costing latency but
+// never data. These tests also pin the determinism of the injection
+// stream and the zero-overhead property of the disabled path.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "plugins/builtin.h"
+#include "src/host/kernels/random_access.hpp"
+#include "src/host/mutex_driver.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace hmcsim {
+namespace {
+
+sim::Config faulty_config(std::uint32_t ppm) {
+  sim::Config cfg = sim::Config::hmc_4link_4gb();
+  cfg.link_flit_error_ppm = ppm;
+  return cfg;
+}
+
+TEST(FaultInjection, ConfigValidation) {
+  sim::Config cfg = faulty_config(2'000'000);
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg = faulty_config(1000);
+  cfg.link_retry_latency = 0;
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg.link_retry_latency = 8;
+  EXPECT_TRUE(cfg.validate().ok());
+}
+
+TEST(FaultInjection, CorruptedPacketIsRedeliveredWithExtraLatency) {
+  // 100% FLIT error rate: every packet retries exactly once (the retry
+  // path bypasses re-injection, as the redelivered packet was already
+  // error-checked).
+  sim::Config cfg = faulty_config(1'000'000);
+  cfg.link_retry_latency = 8;
+  std::unique_ptr<sim::Simulator> sim;
+  ASSERT_TRUE(sim::Simulator::create(cfg, sim).ok());
+
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  rd.addr = 0x100;
+  ASSERT_TRUE(sim->send(rd, 0).ok());
+  int guard = 0;
+  while (!sim->rsp_ready(0) && guard++ < 100) {
+    sim->clock();
+  }
+  sim::Response rsp;
+  ASSERT_TRUE(sim->recv(0, rsp).ok());
+  // Round trip (3) + retry delay (8), minus the link stage the packet
+  // already completed before the corruption was detected: redelivery
+  // re-enters at the crossbar.
+  EXPECT_EQ(rsp.latency, 3U + 8U - 1U);
+  EXPECT_EQ(sim->stats().devices.link_retries, 1U);
+}
+
+TEST(FaultInjection, ZeroRateMatchesBaselineExactly) {
+  auto run = [](std::uint32_t ppm) {
+    std::unique_ptr<sim::Simulator> sim;
+    EXPECT_TRUE(sim::Simulator::create(faulty_config(ppm), sim).ok());
+    std::uint64_t total_latency = 0;
+    for (int i = 0; i < 50; ++i) {
+      spec::RqstParams rd;
+      rd.rqst = spec::Rqst::RD16;
+      rd.addr = 64ULL * static_cast<std::uint64_t>(i);
+      rd.tag = static_cast<std::uint16_t>(i);
+      EXPECT_TRUE(sim->send(rd, static_cast<std::uint32_t>(i % 4)).ok());
+      while (!sim->rsp_ready(static_cast<std::uint32_t>(i % 4))) {
+        sim->clock();
+      }
+      sim::Response rsp;
+      EXPECT_TRUE(sim->recv(static_cast<std::uint32_t>(i % 4), rsp).ok());
+      total_latency += rsp.latency;
+    }
+    return total_latency;
+  };
+  EXPECT_EQ(run(0), 50U * 3U);
+}
+
+TEST(FaultInjection, DeterministicForSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Config cfg = faulty_config(200'000);  // 20% per FLIT.
+    cfg.link_error_seed = seed;
+    std::unique_ptr<sim::Simulator> sim;
+    EXPECT_TRUE(sim::Simulator::create(cfg, sim).ok());
+    for (int i = 0; i < 100; ++i) {
+      spec::RqstParams rd;
+      rd.rqst = spec::Rqst::RD16;
+      rd.addr = 64ULL * static_cast<std::uint64_t>(i % 32);
+      rd.tag = static_cast<std::uint16_t>(i);
+      EXPECT_TRUE(sim->send(rd, 0).ok());
+      while (!sim->rsp_ready(0)) {
+        sim->clock();
+      }
+      sim::Response rsp;
+      EXPECT_TRUE(sim->recv(0, rsp).ok());
+    }
+    return sim->stats().devices.link_retries;
+  };
+  const std::uint64_t a = run(7);
+  EXPECT_EQ(a, run(7));
+  EXPECT_NE(a, 0U);
+}
+
+TEST(FaultInjection, GupsCompletesAndVerifiesUnderErrors) {
+  sim::Config cfg = faulty_config(50'000);  // 5% per FLIT.
+  std::unique_ptr<sim::Simulator> sim;
+  ASSERT_TRUE(sim::Simulator::create(cfg, sim).ok());
+  host::RandomAccessOptions opts;
+  opts.table_words = 1 << 10;
+  opts.updates = 512;
+  opts.mode = host::GupsMode::Atomic;
+  host::KernelResult result;
+  // verify=true: data integrity under fault injection.
+  ASSERT_TRUE(host::run_random_access(*sim, opts, result).ok());
+  EXPECT_GT(sim->stats().devices.link_retries, 0U);
+}
+
+TEST(FaultInjection, MutexContentionSurvivesErrors) {
+  sim::Config cfg = faulty_config(20'000);  // 2% per FLIT.
+  std::unique_ptr<sim::Simulator> sim;
+  ASSERT_TRUE(sim::Simulator::create(cfg, sim).ok());
+  ASSERT_TRUE(sim->register_cmc(hmcsim_builtin_lock_register,
+                                hmcsim_builtin_lock_execute,
+                                hmcsim_builtin_lock_str).ok());
+  ASSERT_TRUE(sim->register_cmc(hmcsim_builtin_trylock_register,
+                                hmcsim_builtin_trylock_execute,
+                                hmcsim_builtin_trylock_str).ok());
+  ASSERT_TRUE(sim->register_cmc(hmcsim_builtin_unlock_register,
+                                hmcsim_builtin_unlock_execute,
+                                hmcsim_builtin_unlock_str).ok());
+  host::MutexResult result;
+  ASSERT_TRUE(host::run_mutex_contention(*sim, 24, {}, result).ok());
+  // Mutual exclusion held: the lock ends free.
+  std::array<std::uint64_t, 2> lock{};
+  ASSERT_TRUE(sim->device(0).store().read_u128(0, lock).ok());
+  EXPECT_EQ(lock[0], 0ULL);
+  EXPECT_GT(sim->stats().devices.link_retries, 0U);
+}
+
+TEST(FaultInjection, ErrorsIncreaseAverageLatency) {
+  auto avg_latency = [](std::uint32_t ppm) {
+    std::unique_ptr<sim::Simulator> sim;
+    EXPECT_TRUE(sim::Simulator::create(faulty_config(ppm), sim).ok());
+    std::uint64_t total = 0;
+    for (int i = 0; i < 200; ++i) {
+      spec::RqstParams rd;
+      rd.rqst = spec::Rqst::RD64;
+      rd.addr = 64ULL * static_cast<std::uint64_t>(i % 64);
+      EXPECT_TRUE(sim->send(rd, 0).ok());
+      while (!sim->rsp_ready(0)) {
+        sim->clock();
+      }
+      sim::Response rsp;
+      EXPECT_TRUE(sim->recv(0, rsp).ok());
+      total += rsp.latency;
+    }
+    return static_cast<double>(total) / 200.0;
+  };
+  EXPECT_GT(avg_latency(100'000), avg_latency(0));
+}
+
+TEST(FaultInjection, RetryTraceEventsEmitted) {
+  sim::Config cfg = faulty_config(1'000'000);
+  std::unique_ptr<sim::Simulator> sim;
+  ASSERT_TRUE(sim::Simulator::create(cfg, sim).ok());
+  trace::CountingSink sink;
+  sim->tracer().attach(&sink);
+  sim->tracer().set_level(trace::Level::Retry);
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  ASSERT_TRUE(sim->send(rd, 0).ok());
+  for (int i = 0; i < 20; ++i) {
+    sim->clock();
+  }
+  EXPECT_EQ(sink.count(trace::Level::Retry), 1U);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,213 @@
+// memory_consistency_test.cpp — randomized differential property test.
+//
+// Drives long random command streams through the full pipeline while
+// maintaining a shadow ("oracle") memory image updated with the same
+// architectural semantics. After every response wave the oracle and the
+// device must agree; at the end, the complete touched address range is
+// compared byte for byte. This catches ordering bugs anywhere in the
+// link/crossbar/vault path as well as AMO semantic regressions.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace hmcsim {
+namespace {
+
+/// Shadow memory with the same semantics as the device's backing store.
+class Oracle {
+ public:
+  std::uint64_t read_u64(std::uint64_t addr) const {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(byte(addr + i)) << (8 * i);
+    }
+    return v;
+  }
+  void write_u64(std::uint64_t addr, std::uint64_t v) {
+    for (unsigned i = 0; i < 8; ++i) {
+      mem_[addr + i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF);
+    }
+  }
+  void write_bytes(std::uint64_t addr, std::span<const std::uint8_t> in) {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      mem_[addr + i] = in[i];
+    }
+  }
+  std::uint8_t byte(std::uint64_t addr) const {
+    const auto it = mem_.find(addr);
+    return it == mem_.end() ? 0 : it->second;
+  }
+  const std::map<std::uint64_t, std::uint8_t>& bytes() const { return mem_; }
+
+ private:
+  std::map<std::uint64_t, std::uint8_t> mem_;
+};
+
+struct StreamParams {
+  std::uint64_t seed;
+  int operations;
+  sim::Config config;
+  std::string name;
+};
+
+class ConsistencyTest : public ::testing::TestWithParam<StreamParams> {};
+
+TEST_P(ConsistencyTest, DeviceMatchesOracle) {
+  const StreamParams& sp = GetParam();
+  std::unique_ptr<sim::Simulator> sim;
+  ASSERT_TRUE(sim::Simulator::create(sp.config, sim).ok());
+  Oracle oracle;
+  Xoshiro256 rng(sp.seed);
+
+  // Serialized issue (one op in flight) makes the oracle exact: with the
+  // single-owner vault execution, concurrent ops to distinct addresses
+  // commute, so serial equivalence is the architectural contract.
+  auto roundtrip = [&](const spec::RqstParams& params) {
+    Status s = sim->send(params, static_cast<std::uint32_t>(rng.below(
+                                     sp.config.num_links)));
+    ASSERT_TRUE(s.ok()) << s.to_string();
+    const bool posted =
+        spec::command_info(params.rqst).rsp_flits == 0;
+    for (int guard = 0; guard < 100; ++guard) {
+      sim->clock();
+      for (std::uint32_t link = 0; link < sp.config.num_links; ++link) {
+        sim::Response rsp;
+        if (sim->recv(link, rsp).ok()) {
+          return;
+        }
+      }
+      if (posted && guard >= 4) {
+        return;  // Posted: just let it land.
+      }
+    }
+    FAIL() << "no response";
+  };
+
+  const std::uint64_t kSpan = 1 << 16;  // 64 KiB working set.
+  std::array<std::uint64_t, 32> payload{};
+
+  for (int op = 0; op < sp.operations; ++op) {
+    const std::uint64_t addr16 = (rng() % kSpan) & ~15ULL;
+    spec::RqstParams p;
+    p.addr = addr16;
+    p.tag = static_cast<std::uint16_t>(op & spec::kMaxTag);
+
+    switch (rng.below(8)) {
+      case 0: {  // Block write of random size.
+        static constexpr spec::Rqst kWrites[] = {
+            spec::Rqst::WR16, spec::Rqst::WR32, spec::Rqst::WR64,
+            spec::Rqst::WR128, spec::Rqst::P_WR16, spec::Rqst::P_WR64};
+        p.rqst = kWrites[rng.below(std::size(kWrites))];
+        const auto bytes = spec::command_info(p.rqst).data_bytes;
+        p.addr = (rng() % kSpan) & ~255ULL;  // Keep the block in range.
+        std::vector<std::uint8_t> raw(bytes);
+        for (std::size_t w = 0; w < bytes / 8; ++w) {
+          payload[w] = rng();
+          std::memcpy(raw.data() + w * 8, &payload[w], 8);
+        }
+        p.payload = {payload.data(), static_cast<std::size_t>(bytes / 8)};
+        oracle.write_bytes(p.addr, raw);
+        break;
+      }
+      case 1:  // INC8.
+        p.rqst = rng.below(2) == 0 ? spec::Rqst::INC8 : spec::Rqst::P_INC8;
+        oracle.write_u64(addr16, oracle.read_u64(addr16) + 1);
+        break;
+      case 2: {  // 2ADD8.
+        p.rqst = spec::Rqst::TWOADD8;
+        payload[0] = rng();
+        payload[1] = rng();
+        p.payload = {payload.data(), 2};
+        oracle.write_u64(addr16, oracle.read_u64(addr16) + payload[0]);
+        oracle.write_u64(addr16 + 8, oracle.read_u64(addr16 + 8) + payload[1]);
+        break;
+      }
+      case 3: {  // Boolean.
+        p.rqst = spec::Rqst::XOR16;
+        payload[0] = rng();
+        payload[1] = rng();
+        p.payload = {payload.data(), 2};
+        oracle.write_u64(addr16, oracle.read_u64(addr16) ^ payload[0]);
+        oracle.write_u64(addr16 + 8, oracle.read_u64(addr16 + 8) ^ payload[1]);
+        break;
+      }
+      case 4: {  // CASEQ8 with a 50% chance of matching comparand.
+        p.rqst = spec::Rqst::CASEQ8;
+        const std::uint64_t current = oracle.read_u64(addr16);
+        payload[0] = rng();  // Swap value.
+        payload[1] = rng.below(2) == 0 ? current : rng();
+        p.payload = {payload.data(), 2};
+        if (current == payload[1]) {
+          oracle.write_u64(addr16, payload[0]);
+        }
+        break;
+      }
+      case 5: {  // SWAP16.
+        p.rqst = spec::Rqst::SWAP16;
+        payload[0] = rng();
+        payload[1] = rng();
+        p.payload = {payload.data(), 2};
+        oracle.write_u64(addr16, payload[0]);
+        oracle.write_u64(addr16 + 8, payload[1]);
+        break;
+      }
+      case 6: {  // BWR.
+        p.rqst = spec::Rqst::BWR;
+        payload[0] = rng();
+        payload[1] = rng();
+        p.payload = {payload.data(), 2};
+        const std::uint64_t m = oracle.read_u64(addr16);
+        oracle.write_u64(addr16,
+                         (m & ~payload[1]) | (payload[0] & payload[1]));
+        break;
+      }
+      default: {  // Read-back check of a random touched word.
+        p.rqst = spec::Rqst::RD16;
+        Status s = sim->send(p, 0);
+        ASSERT_TRUE(s.ok());
+        sim::Response rsp;
+        int guard = 0;
+        while (!sim->rsp_ready(0) && guard++ < 100) {
+          sim->clock();
+        }
+        ASSERT_TRUE(sim->recv(0, rsp).ok());
+        EXPECT_EQ(rsp.pkt.payload()[0], oracle.read_u64(addr16))
+            << "op " << op << " addr " << addr16;
+        EXPECT_EQ(rsp.pkt.payload()[1], oracle.read_u64(addr16 + 8));
+        continue;
+      }
+    }
+    roundtrip(p);
+  }
+
+  // Final sweep: every byte the oracle knows about must match the device.
+  // (Read via the back door; the pipeline was already validated inline.)
+  for (const auto& [addr, value] : oracle.bytes()) {
+    std::array<std::uint8_t, 1> got{};
+    ASSERT_TRUE(sim->mem_read(0, addr, got).ok());
+    ASSERT_EQ(got[0], value) << "final state diverged at 0x" << std::hex
+                             << addr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomStreams, ConsistencyTest,
+    ::testing::Values(
+        StreamParams{0xA11CE, 400, sim::Config::hmc_4link_4gb(),
+                     "seed_a11ce_4link"},
+        StreamParams{0xB0B, 400, sim::Config::hmc_8link_8gb(),
+                     "seed_b0b_8link"},
+        StreamParams{0xC0DE, 400, sim::Config::hmc_4link_2gb(),
+                     "seed_c0de_2gb"},
+        StreamParams{0xD00D, 1000, sim::Config::hmc_8link_4gb(),
+                     "seed_d00d_long"}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace hmcsim

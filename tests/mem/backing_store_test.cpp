@@ -1,0 +1,151 @@
+// backing_store_test.cpp — sparse memory model tests.
+#include "src/mem/backing_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace hmcsim::mem {
+namespace {
+
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+TEST(BackingStore, UntouchedMemoryReadsZero) {
+  BackingStore store(16 * kMiB);
+  std::array<std::uint8_t, 64> buf;
+  buf.fill(0xFF);
+  ASSERT_TRUE(store.read(0x1234, buf).ok());
+  for (const auto b : buf) {
+    EXPECT_EQ(b, 0);
+  }
+  EXPECT_EQ(store.resident_pages(), 0U);  // Reads never materialise pages.
+}
+
+TEST(BackingStore, WriteReadRoundTrip) {
+  BackingStore store(16 * kMiB);
+  std::array<std::uint8_t, 32> in;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  ASSERT_TRUE(store.write(0x4000, in).ok());
+  std::array<std::uint8_t, 32> out{};
+  ASSERT_TRUE(store.read(0x4000, out).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(BackingStore, CrossPageBoundary) {
+  BackingStore store(16 * kMiB);
+  const std::uint64_t addr = BackingStore::kPageBytes - 8;
+  std::array<std::uint8_t, 16> in;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::uint8_t>(0xA0 + i);
+  }
+  ASSERT_TRUE(store.write(addr, in).ok());
+  EXPECT_EQ(store.resident_pages(), 2U);
+  std::array<std::uint8_t, 16> out{};
+  ASSERT_TRUE(store.read(addr, out).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(BackingStore, PartialPageReadMixesZeroAndData) {
+  BackingStore store(16 * kMiB);
+  const std::array<std::uint8_t, 4> in{1, 2, 3, 4};
+  ASSERT_TRUE(store.write(100, in).ok());
+  std::array<std::uint8_t, 8> out{};
+  ASSERT_TRUE(store.read(98, out).ok());
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[2], 1);
+  EXPECT_EQ(out[5], 4);
+  EXPECT_EQ(out[6], 0);
+}
+
+TEST(BackingStore, RejectsOutOfRange) {
+  BackingStore store(kMiB);
+  std::array<std::uint8_t, 16> buf{};
+  EXPECT_FALSE(store.read(kMiB, buf).ok());
+  EXPECT_FALSE(store.write(kMiB, buf).ok());
+  EXPECT_FALSE(store.read(kMiB - 8, buf).ok());  // Tail crosses the end.
+  EXPECT_TRUE(store.read(kMiB - 16, buf).ok());  // Exactly at the end.
+}
+
+TEST(BackingStore, U64RoundTripLittleEndian) {
+  BackingStore store(kMiB);
+  ASSERT_TRUE(store.write_u64(0x100, 0x0102030405060708ULL).ok());
+  std::uint64_t v = 0;
+  ASSERT_TRUE(store.read_u64(0x100, v).ok());
+  EXPECT_EQ(v, 0x0102030405060708ULL);
+  // Byte order: LSB first.
+  std::array<std::uint8_t, 8> bytes{};
+  ASSERT_TRUE(store.read(0x100, bytes).ok());
+  EXPECT_EQ(bytes[0], 0x08);
+  EXPECT_EQ(bytes[7], 0x01);
+}
+
+TEST(BackingStore, U128RoundTrip) {
+  BackingStore store(kMiB);
+  const std::array<std::uint64_t, 2> in{0xDEAD, 0xBEEF};
+  ASSERT_TRUE(store.write_u128(0x200, in).ok());
+  std::array<std::uint64_t, 2> out{};
+  ASSERT_TRUE(store.read_u128(0x200, out).ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(BackingStore, UnalignedU64Access) {
+  BackingStore store(kMiB);
+  ASSERT_TRUE(store.write_u64(3, 0xCAFEBABEDEADBEEFULL).ok());
+  std::uint64_t v = 0;
+  ASSERT_TRUE(store.read_u64(3, v).ok());
+  EXPECT_EQ(v, 0xCAFEBABEDEADBEEFULL);
+}
+
+TEST(BackingStore, SparseDoesNotMaterialiseUntouchedPages) {
+  BackingStore store(8ULL * 1024 * kMiB);  // 8 GiB logical.
+  ASSERT_TRUE(store.write_u64(7ULL * 1024 * kMiB, 1).ok());
+  ASSERT_TRUE(store.write_u64(0, 2).ok());
+  EXPECT_EQ(store.resident_pages(), 2U);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(store.read_u64(7ULL * 1024 * kMiB, v).ok());
+  EXPECT_EQ(v, 1ULL);
+}
+
+TEST(BackingStore, ClearResetsToZero) {
+  BackingStore store(kMiB);
+  ASSERT_TRUE(store.write_u64(0x10, 0x1234).ok());
+  store.clear();
+  EXPECT_EQ(store.resident_pages(), 0U);
+  std::uint64_t v = 99;
+  ASSERT_TRUE(store.read_u64(0x10, v).ok());
+  EXPECT_EQ(v, 0ULL);
+}
+
+TEST(BackingStore, OverwriteInPlace) {
+  BackingStore store(kMiB);
+  ASSERT_TRUE(store.write_u64(0x40, 1).ok());
+  ASSERT_TRUE(store.write_u64(0x40, 2).ok());
+  std::uint64_t v = 0;
+  ASSERT_TRUE(store.read_u64(0x40, v).ok());
+  EXPECT_EQ(v, 2ULL);
+  EXPECT_EQ(store.resident_pages(), 1U);
+}
+
+TEST(BackingStore, LargeBulkTransfer) {
+  BackingStore store(64 * kMiB);
+  std::vector<std::uint8_t> in(3 * BackingStore::kPageBytes + 123);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  }
+  ASSERT_TRUE(store.write(kMiB - 57, in).ok());
+  std::vector<std::uint8_t> out(in.size());
+  ASSERT_TRUE(store.read(kMiB - 57, out).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(BackingStore, CapacityReported) {
+  BackingStore store(4 * kMiB);
+  EXPECT_EQ(store.capacity(), 4 * kMiB);
+}
+
+}  // namespace
+}  // namespace hmcsim::mem

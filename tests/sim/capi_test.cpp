@@ -1,0 +1,156 @@
+// capi_test.cpp — the C-compatible API shim (paper-style hmcsim_* calls).
+#include "src/capi/hmc_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+namespace {
+
+class CApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = hmcsim_init(/*num_devs=*/1, /*num_links=*/4, /*capacity_gb=*/4,
+                       /*block_size=*/64, /*queue_depth=*/64,
+                       /*xbar_depth=*/128);
+    ASSERT_NE(sim_, nullptr);
+  }
+  void TearDown() override { hmcsim_free(sim_); }
+
+  /// Clock until a response arrives on `link`; returns its payload word 0.
+  int wait_recv(uint32_t link, uint8_t* cmd = nullptr,
+                uint64_t* word0 = nullptr, uint64_t* latency = nullptr) {
+    uint64_t payload[32] = {};
+    uint32_t words = 0;
+    for (int i = 0; i < 1000; ++i) {
+      hmcsim_clock(sim_);
+      const int rc = hmcsim_recv(sim_, link, cmd, nullptr, payload, &words,
+                                 latency);
+      if (rc == HMC_OK) {
+        if (word0 != nullptr) {
+          *word0 = payload[0];
+        }
+        return HMC_OK;
+      }
+      if (rc != HMC_NO_DATA) {
+        return rc;
+      }
+    }
+    return HMC_ERROR;
+  }
+
+  hmc_sim_t* sim_ = nullptr;
+};
+
+TEST_F(CApiTest, InitRejectsBadConfig) {
+  EXPECT_EQ(hmcsim_init(1, 5, 4, 64, 64, 128), nullptr);
+  EXPECT_EQ(hmcsim_init(1, 4, 3, 64, 64, 128), nullptr);
+  EXPECT_EQ(hmcsim_init(0, 4, 4, 64, 64, 128), nullptr);
+}
+
+TEST_F(CApiTest, FreeNullIsNoop) { hmcsim_free(nullptr); }
+
+TEST_F(CApiTest, WriteReadRoundTrip) {
+  const uint64_t data[2] = {0xABCD, 0x1234};
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_WR16, 0, 0x1000, 1, data, 2), HMC_OK);
+  uint8_t cmd = 0;
+  ASSERT_EQ(wait_recv(0, &cmd), HMC_OK);
+  EXPECT_EQ(cmd, 0x39);
+
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_RD16, 0, 0x1000, 2, nullptr, 0),
+            HMC_OK);
+  uint64_t word0 = 0;
+  uint64_t latency = 0;
+  ASSERT_EQ(wait_recv(0, &cmd, &word0, &latency), HMC_OK);
+  EXPECT_EQ(cmd, 0x38);
+  EXPECT_EQ(word0, 0xABCDULL);
+  EXPECT_EQ(latency, 3ULL);
+}
+
+TEST_F(CApiTest, AtomicInc) {
+  ASSERT_EQ(hmcsim_util_mem_write(sim_, 0, 0x40, 9), HMC_OK);
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_INC8, 0, 0x40, 3, nullptr, 0), HMC_OK);
+  ASSERT_EQ(wait_recv(0), HMC_OK);
+  uint64_t value = 0;
+  ASSERT_EQ(hmcsim_util_mem_read(sim_, 0, 0x40, &value), HMC_OK);
+  EXPECT_EQ(value, 10ULL);
+}
+
+TEST_F(CApiTest, ClockAndCycleCount) {
+  EXPECT_EQ(hmcsim_cycle(sim_), 0ULL);
+  hmcsim_clock(sim_);
+  hmcsim_clock(sim_);
+  EXPECT_EQ(hmcsim_cycle(sim_), 2ULL);
+}
+
+TEST_F(CApiTest, JtagRegisters) {
+  uint64_t value = 0;
+  ASSERT_EQ(hmcsim_jtag_reg_read(sim_, 0, 1 /*LinkConfig*/, &value), HMC_OK);
+  EXPECT_EQ(value, 4ULL);
+  ASSERT_EQ(hmcsim_jtag_reg_write(sim_, 0, 10 /*Scratch0*/, 0x77), HMC_OK);
+  ASSERT_EQ(hmcsim_jtag_reg_read(sim_, 0, 10, &value), HMC_OK);
+  EXPECT_EQ(value, 0x77ULL);
+  EXPECT_EQ(hmcsim_jtag_reg_write(sim_, 0, 0 /*DeviceId: RO*/, 1),
+            HMC_ERROR);
+  EXPECT_EQ(hmcsim_jtag_reg_read(sim_, 9, 0, &value), HMC_ERROR);
+}
+
+TEST_F(CApiTest, UtilMemBounds) {
+  uint64_t value = 0;
+  EXPECT_EQ(hmcsim_util_mem_read(sim_, 3, 0, &value), HMC_ERROR);
+  EXPECT_EQ(hmcsim_util_mem_write(sim_, 3, 0, 1), HMC_ERROR);
+}
+
+TEST_F(CApiTest, RecvNoDataWhenIdle) {
+  EXPECT_EQ(hmcsim_recv(sim_, 0, nullptr, nullptr, nullptr, nullptr,
+                        nullptr),
+            HMC_NO_DATA);
+}
+
+TEST_F(CApiTest, NullHandleIsError) {
+  EXPECT_EQ(hmcsim_clock(nullptr), HMC_ERROR);
+  EXPECT_EQ(hmcsim_send(nullptr, 0, HMC_RD16, 0, 0, 0, nullptr, 0),
+            HMC_ERROR);
+  EXPECT_EQ(hmcsim_load_cmc(nullptr, "x.so"), HMC_ERROR);
+  EXPECT_EQ(hmcsim_cycle(nullptr), 0ULL);
+}
+
+#ifdef HMCSIM_PLUGIN_DIR
+TEST_F(CApiTest, LoadCmcAndExecute) {
+  const std::string path = std::string(HMCSIM_PLUGIN_DIR) + "/hmc_lock.so";
+  ASSERT_EQ(hmcsim_load_cmc(sim_, path.c_str()), HMC_OK);
+  const uint64_t tid[2] = {42, 0};
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_CMC125, 0, 0x4000, 7, tid, 2), HMC_OK);
+  uint64_t word0 = 0;
+  ASSERT_EQ(wait_recv(0, nullptr, &word0), HMC_OK);
+  EXPECT_EQ(word0, 1ULL);  // Lock acquired.
+  uint64_t owner = 0;
+  ASSERT_EQ(hmcsim_util_mem_read(sim_, 0, 0x4008, &owner), HMC_OK);
+  EXPECT_EQ(owner, 42ULL);
+}
+
+TEST_F(CApiTest, TraceFileReceivesCmcNames) {
+  const std::string path =
+      std::string(HMCSIM_PLUGIN_DIR) + "/hmc_trylock.so";
+  ASSERT_EQ(hmcsim_load_cmc(sim_, path.c_str()), HMC_OK);
+  const std::string trace_path =
+      ::testing::TempDir() + "/capi_trace.txt";
+  ASSERT_EQ(hmcsim_trace_file(sim_, trace_path.c_str()), HMC_OK);
+  ASSERT_EQ(hmcsim_trace_level(sim_, 0xFFFFFFFF), HMC_OK);
+
+  const uint64_t tid[2] = {5, 0};
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_CMC126, 0, 0x4000, 1, tid, 2), HMC_OK);
+  ASSERT_EQ(wait_recv(0), HMC_OK);
+  hmcsim_free(sim_);
+  sim_ = nullptr;
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.is_open());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("hmc_trylock"), std::string::npos);
+}
+#endif
+
+}  // namespace

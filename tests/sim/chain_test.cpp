@@ -1,0 +1,172 @@
+// chain_test.cpp — multi-device (chained cube) routing tests, the HMC-Sim
+// 1.0 chaining feature carried forward into 2.0.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "src/sim/simulator.hpp"
+
+namespace hmcsim::sim {
+namespace {
+
+class ChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Config cfg = Config::hmc_4link_4gb();
+    cfg.num_devs = 4;
+    ASSERT_TRUE(Simulator::create(cfg, sim_).ok());
+  }
+
+  Response roundtrip(const spec::RqstParams& params, std::uint32_t link = 0) {
+    Status s = sim_->send(params, link);
+    int guard = 0;
+    while (s.stalled() && guard++ < 10000) {
+      sim_->clock();
+      s = sim_->send(params, link);
+    }
+    EXPECT_TRUE(s.ok()) << s.to_string();
+    Response rsp;
+    guard = 0;
+    while (!sim_->rsp_ready(link) && guard++ < 10000) {
+      sim_->clock();
+    }
+    EXPECT_TRUE(sim_->recv(link, rsp).ok());
+    return rsp;
+  }
+
+  std::unique_ptr<Simulator> sim_;
+};
+
+TEST_F(ChainTest, CreatesRequestedDevices) {
+  EXPECT_EQ(sim_->num_devices(), 4U);
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(sim_->device(d).id(), d);
+    std::uint64_t id = 0;
+    ASSERT_TRUE(sim_->jtag_read(
+        d, static_cast<std::uint32_t>(dev::Reg::DeviceId), id).ok());
+    EXPECT_EQ(id, d);
+  }
+}
+
+TEST_F(ChainTest, WriteReadOnRemoteCube) {
+  const std::array<std::uint64_t, 2> data{0x1234, 0x5678};
+  spec::RqstParams wr;
+  wr.rqst = spec::Rqst::WR16;
+  wr.addr = 0x1000;
+  wr.cub = 3;
+  wr.payload = data;
+  Response rsp = roundtrip(wr);
+  EXPECT_EQ(rsp.pkt.cmd(), 0x39);
+  EXPECT_EQ(rsp.pkt.cub(), 3);
+
+  // The data lives on device 3, not device 0.
+  std::uint64_t v = 0;
+  ASSERT_TRUE(sim_->device(3).store().read_u64(0x1000, v).ok());
+  EXPECT_EQ(v, 0x1234ULL);
+  ASSERT_TRUE(sim_->device(0).store().read_u64(0x1000, v).ok());
+  EXPECT_EQ(v, 0ULL);
+
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  rd.addr = 0x1000;
+  rd.cub = 3;
+  rsp = roundtrip(rd);
+  EXPECT_EQ(rsp.pkt.payload()[0], 0x1234ULL);
+}
+
+TEST_F(ChainTest, LatencyGrowsWithHopDistance) {
+  std::array<std::uint64_t, 4> latency{};
+  for (std::uint8_t cub = 0; cub < 4; ++cub) {
+    spec::RqstParams rd;
+    rd.rqst = spec::Rqst::RD16;
+    rd.addr = 0x40;
+    rd.cub = cub;
+    rd.tag = cub;
+    latency[cub] = roundtrip(rd).latency;
+  }
+  // Local access: the 3-cycle round trip. The first chain step costs +3
+  // (request hop, response hop, and the remote cube's chain-egress staging
+  // cycle); each further step adds one request hop + one response hop.
+  EXPECT_EQ(latency[0], 3U);
+  EXPECT_EQ(latency[1], 6U);
+  for (int cub = 2; cub < 4; ++cub) {
+    EXPECT_EQ(latency[cub], latency[cub - 1] + 2)
+        << "one request hop + one response hop per additional chain step";
+  }
+}
+
+TEST_F(ChainTest, ForwardingCountersTrack) {
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  rd.cub = 2;
+  (void)roundtrip(rd);
+  EXPECT_EQ(sim_->device(0).stats().forwarded_rqsts, 1U);
+  EXPECT_EQ(sim_->device(1).stats().forwarded_rqsts, 1U);
+  EXPECT_EQ(sim_->device(2).stats().forwarded_rqsts, 0U);
+  EXPECT_EQ(sim_->device(1).stats().forwarded_rsps, 1U);
+  EXPECT_EQ(sim_->device(2).stats().forwarded_rsps, 1U);
+}
+
+TEST_F(ChainTest, AtomicOnRemoteCube) {
+  ASSERT_TRUE(sim_->device(2).store().write_u64(0x80, 9).ok());
+  spec::RqstParams inc;
+  inc.rqst = spec::Rqst::INC8;
+  inc.addr = 0x80;
+  inc.cub = 2;
+  (void)roundtrip(inc);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(sim_->device(2).store().read_u64(0x80, v).ok());
+  EXPECT_EQ(v, 10ULL);
+}
+
+TEST_F(ChainTest, RouteTraceEmitsHops) {
+  trace::CountingSink sink;
+  sim_->tracer().attach(&sink);
+  sim_->tracer().set_level(trace::Level::Route);
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  rd.cub = 3;
+  (void)roundtrip(rd);
+  sim_->tracer().detach(&sink);
+  EXPECT_EQ(sink.count(trace::Level::Route), 3U);  // dev0->1->2->3.
+}
+
+TEST_F(ChainTest, InterleavedTrafficToAllCubes) {
+  // Four tags in flight, one per cube, all on link 0.
+  for (std::uint8_t cub = 0; cub < 4; ++cub) {
+    spec::RqstParams rd;
+    rd.rqst = spec::Rqst::RD16;
+    rd.addr = 0x40;
+    rd.cub = cub;
+    rd.tag = cub;
+    ASSERT_TRUE(sim_->send(rd, 0).ok());
+  }
+  int received = 0;
+  std::array<bool, 4> seen{};
+  for (int i = 0; i < 40 && received < 4; ++i) {
+    sim_->clock();
+    while (sim_->rsp_ready(0)) {
+      Response rsp;
+      ASSERT_TRUE(sim_->recv(0, rsp).ok());
+      seen[rsp.pkt.tag()] = true;
+      ++received;
+    }
+  }
+  EXPECT_EQ(received, 4);
+  for (const bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+}
+
+TEST(ChainConfig, MaxEightCubes) {
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.num_devs = 8;
+  std::unique_ptr<Simulator> sim;
+  ASSERT_TRUE(Simulator::create(cfg, sim).ok());
+  EXPECT_EQ(sim->num_devices(), 8U);
+  cfg.num_devs = 9;
+  EXPECT_FALSE(Simulator::create(cfg, sim).ok());
+}
+
+}  // namespace
+}  // namespace hmcsim::sim

@@ -1,0 +1,147 @@
+// config_test.cpp — configuration validation tests.
+#include "src/sim/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hmcsim::sim {
+namespace {
+
+TEST(Config, DefaultsAreValid) {
+  EXPECT_TRUE(Config{}.validate().ok());
+}
+
+TEST(Config, CanonicalConfigsMatchPaperEvaluation) {
+  const Config c4 = Config::hmc_4link_4gb();
+  EXPECT_TRUE(c4.validate().ok());
+  EXPECT_EQ(c4.num_links, 4U);
+  EXPECT_EQ(c4.capacity_bytes, 4 * kGiB);
+  EXPECT_EQ(c4.block_size, 64U);          // "maximum block size of 64 bytes"
+  EXPECT_EQ(c4.vault_rqst_depth, 64U);    // "request queue depth of 64 slots"
+  EXPECT_EQ(c4.xbar_depth, 128U);         // "crossbar queue depth of 128"
+  EXPECT_EQ(c4.total_vaults(), 32U);
+
+  const Config c8 = Config::hmc_8link_8gb();
+  EXPECT_TRUE(c8.validate().ok());
+  EXPECT_EQ(c8.num_links, 8U);
+  EXPECT_EQ(c8.capacity_bytes, 8 * kGiB);
+  EXPECT_EQ(c8.banks_per_vault, 32U);
+  EXPECT_EQ(c8.vault_rqst_depth, 64U);
+  EXPECT_EQ(c8.xbar_depth, 128U);
+
+  EXPECT_TRUE(Config::hmc_4link_2gb().validate().ok());
+  EXPECT_TRUE(Config::hmc_8link_4gb().validate().ok());
+}
+
+TEST(Config, IdenticalQueueStructuresAcrossLinkCounts) {
+  // The paper attributes identical low-thread results to "the identical
+  // queueing structure for both configurations".
+  const Config c4 = Config::hmc_4link_4gb();
+  const Config c8 = Config::hmc_8link_8gb();
+  EXPECT_EQ(c4.vault_rqst_depth, c8.vault_rqst_depth);
+  EXPECT_EQ(c4.xbar_depth, c8.xbar_depth);
+  EXPECT_EQ(c4.xbar_rqst_bw_flits, c8.xbar_rqst_bw_flits);
+}
+
+TEST(Config, RejectsBadDeviceCount) {
+  Config c;
+  c.num_devs = 0;
+  EXPECT_FALSE(c.validate().ok());
+  c.num_devs = 9;  // CUB field is 3 bits.
+  EXPECT_FALSE(c.validate().ok());
+  c.num_devs = 8;
+  EXPECT_TRUE(c.validate().ok());
+}
+
+TEST(Config, RejectsBadLinkCount) {
+  Config c;
+  for (const std::uint32_t links : {0U, 1U, 2U, 3U, 5U, 6U, 7U, 16U}) {
+    c.num_links = links;
+    EXPECT_FALSE(c.validate().ok()) << links;
+  }
+}
+
+TEST(Config, RejectsBadCapacity) {
+  Config c;
+  c.capacity_bytes = 1 * kGiB;
+  EXPECT_FALSE(c.validate().ok());
+  c.capacity_bytes = 3 * kGiB;
+  EXPECT_FALSE(c.validate().ok());
+  c.capacity_bytes = 16 * kGiB;
+  EXPECT_FALSE(c.validate().ok());
+}
+
+TEST(Config, RejectsNonGen2Geometry) {
+  Config c;
+  c.num_quads = 2;
+  EXPECT_FALSE(c.validate().ok());
+  c = Config{};
+  c.vaults_per_quad = 4;
+  EXPECT_FALSE(c.validate().ok());
+  c = Config{};
+  c.banks_per_vault = 12;
+  EXPECT_FALSE(c.validate().ok());
+}
+
+TEST(Config, RejectsBadBlockSize) {
+  Config c;
+  for (const std::uint32_t block : {0U, 8U, 16U, 48U, 96U, 512U}) {
+    c.block_size = block;
+    EXPECT_FALSE(c.validate().ok()) << block;
+  }
+  for (const std::uint32_t block : {32U, 64U, 128U, 256U}) {
+    c.block_size = block;
+    EXPECT_TRUE(c.validate().ok()) << block;
+  }
+}
+
+TEST(Config, RejectsBadQueueDepths) {
+  Config c;
+  c.xbar_depth = 0;
+  EXPECT_FALSE(c.validate().ok());
+  c = Config{};
+  c.vault_rqst_depth = 0;
+  EXPECT_FALSE(c.validate().ok());
+  c = Config{};
+  c.vault_rsp_depth = 2000;
+  EXPECT_FALSE(c.validate().ok());
+}
+
+TEST(Config, RejectsSubPacketForwardBandwidth) {
+  Config c;
+  c.xbar_rqst_bw_flits = 16;  // A 17-FLIT packet could never move.
+  EXPECT_FALSE(c.validate().ok());
+  c.xbar_rqst_bw_flits = 17;
+  EXPECT_TRUE(c.validate().ok());
+  c.xbar_rqst_bw_flits = 0;  // Unbounded is allowed.
+  EXPECT_TRUE(c.validate().ok());
+  c = Config{};
+  c.xbar_rsp_bw_flits = 5;
+  EXPECT_FALSE(c.validate().ok());
+}
+
+TEST(Config, BankConflictModelNeedsBusyCycles) {
+  Config c;
+  c.model_bank_conflicts = true;
+  c.bank_busy_cycles = 0;
+  EXPECT_FALSE(c.validate().ok());
+  c.bank_busy_cycles = 4;
+  EXPECT_TRUE(c.validate().ok());
+}
+
+TEST(Config, DescribeMentionsKeyParameters) {
+  const std::string desc = Config::hmc_8link_8gb().describe();
+  EXPECT_NE(desc.find("8Link-8GB"), std::string::npos);
+  EXPECT_NE(desc.find("vaults=32"), std::string::npos);
+  EXPECT_NE(desc.find("rqstq=64"), std::string::npos);
+  EXPECT_NE(desc.find("xbarq=128"), std::string::npos);
+}
+
+TEST(Config, DerivedCounts) {
+  const Config c = Config::hmc_4link_4gb();
+  EXPECT_EQ(c.total_vaults(), 32U);
+  EXPECT_EQ(c.total_banks(), 512U);
+  EXPECT_EQ(Config::hmc_8link_8gb().total_banks(), 1024U);
+}
+
+}  // namespace
+}  // namespace hmcsim::sim

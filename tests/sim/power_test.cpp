@@ -1,0 +1,156 @@
+// power_test.cpp — activity-based energy model tests (§VII future work).
+#include "src/power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace hmcsim::power {
+namespace {
+
+Activity make_activity() {
+  Activity a;
+  a.cycles = 1000;
+  a.rqst_flits = 200;
+  a.rsp_flits = 300;
+  a.rqsts_processed = 100;
+  a.amo_executed = 40;
+  a.cmc_executed = 10;
+  a.xbar_routed = 200;
+  a.chain_hops = 5;
+  a.num_devices = 1;
+  return a;
+}
+
+TEST(PowerModel, ZeroActivityCostsOnlyStatic) {
+  PowerModel model;
+  Activity idle;
+  idle.cycles = 1000;
+  idle.num_devices = 1;
+  const EnergyReport r = model.estimate(idle);
+  EXPECT_EQ(r.dynamic_nj(), 0.0);
+  EXPECT_GT(r.static_nj, 0.0);
+  // 650 mW * 1000 cycles * 0.8 ns = 520000 pJ = 520 nJ.
+  EXPECT_NEAR(r.static_nj, 520.0, 1e-9);
+}
+
+TEST(PowerModel, ZeroCyclesZeroStatic) {
+  PowerModel model;
+  Activity a = make_activity();
+  a.cycles = 0;
+  EXPECT_EQ(model.estimate(a).static_nj, 0.0);
+  EXPECT_GT(model.estimate(a).dynamic_nj(), 0.0);
+}
+
+TEST(PowerModel, ComponentsPricedByCoefficients) {
+  PowerCoefficients c;
+  c.link_flit_pj = 1000;     // 1 nJ per flit.
+  c.dram_block_pj = 2000;
+  c.vault_op_pj = 0;
+  c.amo_op_pj = 0;
+  c.cmc_op_pj = 0;
+  c.xbar_hop_pj = 0;
+  c.chain_hop_pj = 0;
+  c.static_mw_per_device = 0;
+  PowerModel model(c);
+  const Activity a = make_activity();
+  const EnergyReport r = model.estimate(a);
+  EXPECT_NEAR(r.link_nj, 500.0, 1e-9);  // 500 flits * 1 nJ.
+  EXPECT_NEAR(r.dram_nj, 200.0, 1e-9);  // 100 blocks * 2 nJ.
+  EXPECT_EQ(r.vault_nj, 0.0);
+  EXPECT_NEAR(r.total_nj(), 700.0, 1e-9);
+}
+
+TEST(PowerModel, LinearInActivity) {
+  PowerModel model;
+  Activity a = make_activity();
+  const double e1 = model.estimate(a).total_nj();
+  a.cycles *= 2;
+  a.rqst_flits *= 2;
+  a.rsp_flits *= 2;
+  a.rqsts_processed *= 2;
+  a.amo_executed *= 2;
+  a.cmc_executed *= 2;
+  a.xbar_routed *= 2;
+  a.chain_hops *= 2;
+  const double e2 = model.estimate(a).total_nj();
+  EXPECT_NEAR(e2, 2 * e1, 1e-6);
+}
+
+TEST(PowerModel, StaticScalesWithDeviceCount) {
+  PowerModel model;
+  Activity a;
+  a.cycles = 100;
+  a.num_devices = 1;
+  const double one = model.estimate(a).static_nj;
+  a.num_devices = 4;
+  EXPECT_NEAR(model.estimate(a).static_nj, 4 * one, 1e-9);
+}
+
+TEST(PowerModel, AvgPowerAndPerByte) {
+  EnergyReport r;
+  r.link_nj = 100.0;
+  EXPECT_NEAR(r.avg_power_mw(1000.0), 100.0, 1e-9);  // 100 nJ / 1 us.
+  EXPECT_NEAR(r.nj_per_byte(50), 2.0, 1e-9);
+  EXPECT_EQ(r.nj_per_byte(0), 0.0);
+  EXPECT_EQ(r.avg_power_mw(0), 0.0);
+}
+
+TEST(PowerModel, DeltaFromSimStats) {
+  sim::SimStats before;
+  before.cycles = 10;
+  before.devices.rqst_flits = 5;
+  sim::SimStats after;
+  after.cycles = 110;
+  after.devices.rqst_flits = 45;
+  after.devices.rsp_flits = 30;
+  after.devices.rqsts_processed = 20;
+  after.devices.rsps_generated = 18;
+  after.devices.amo_executed = 4;
+  after.devices.forwarded_rqsts = 2;
+  after.devices.forwarded_rsps = 2;
+  const Activity a = delta(before, after, 2);
+  EXPECT_EQ(a.cycles, 100U);
+  EXPECT_EQ(a.rqst_flits, 40U);
+  EXPECT_EQ(a.rsp_flits, 30U);
+  EXPECT_EQ(a.rqsts_processed, 20U);
+  EXPECT_EQ(a.amo_executed, 4U);
+  EXPECT_EQ(a.xbar_routed, 38U);
+  EXPECT_EQ(a.chain_hops, 4U);
+  EXPECT_EQ(a.num_devices, 2U);
+}
+
+TEST(PowerModel, EndToEndOnLiveSimulator) {
+  std::unique_ptr<sim::Simulator> sim;
+  ASSERT_TRUE(
+      sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok());
+  const auto before = sim->stats();
+  // 10 write/read round trips.
+  for (int i = 0; i < 10; ++i) {
+    const std::array<std::uint64_t, 2> data{1, 2};
+    spec::RqstParams wr;
+    wr.rqst = spec::Rqst::WR16;
+    wr.addr = 64ULL * static_cast<std::uint64_t>(i);
+    wr.payload = data;
+    ASSERT_TRUE(sim->send(wr, 0).ok());
+    while (!sim->rsp_ready(0)) {
+      sim->clock();
+    }
+    sim::Response rsp;
+    ASSERT_TRUE(sim->recv(0, rsp).ok());
+  }
+  PowerModel model;
+  const Activity a = delta(before, sim->stats());
+  const EnergyReport r = model.estimate(a);
+  EXPECT_GT(r.link_nj, 0.0);
+  EXPECT_GT(r.dram_nj, 0.0);
+  EXPECT_GT(r.static_nj, 0.0);
+  EXPECT_EQ(r.cmc_nj, 0.0);  // No CMC traffic ran.
+  EXPECT_GT(r.total_nj(), r.dynamic_nj());
+  const std::string text = PowerModel::format(r, model.segment_ns(a));
+  EXPECT_NE(text.find("total"), std::string::npos);
+  EXPECT_NE(text.find("mW avg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmcsim::power

@@ -1,0 +1,474 @@
+// simulator_test.cpp — end-to-end pipeline tests through the public API.
+#include "src/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <sstream>
+
+#include "plugins/builtin.h"
+
+namespace hmcsim::sim {
+namespace {
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(Simulator::create(Config::hmc_4link_4gb(), sim_).ok());
+  }
+
+  /// Send (retrying stalls) and wait for the response on `link`.
+  Response roundtrip(const spec::RqstParams& params, std::uint32_t link = 0) {
+    Status s = sim_->send(params, link);
+    int guard = 0;
+    while (s.stalled() && guard++ < 10000) {
+      sim_->clock();
+      s = sim_->send(params, link);
+    }
+    EXPECT_TRUE(s.ok()) << s.to_string();
+    Response rsp;
+    guard = 0;
+    while (!sim_->rsp_ready(link) && guard++ < 10000) {
+      sim_->clock();
+    }
+    EXPECT_TRUE(sim_->recv(link, rsp).ok());
+    return rsp;
+  }
+
+  std::unique_ptr<Simulator> sim_;
+};
+
+TEST(SimulatorCreate, RejectsInvalidConfig) {
+  Config bad;
+  bad.num_links = 5;
+  std::unique_ptr<Simulator> sim;
+  EXPECT_FALSE(Simulator::create(bad, sim).ok());
+  EXPECT_EQ(sim, nullptr);
+}
+
+TEST_F(SimulatorTest, UncontendedRoundTripIsThreeCycles) {
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  rd.addr = 0x100;
+  rd.tag = 1;
+  const Response rsp = roundtrip(rd);
+  EXPECT_EQ(rsp.latency, 3U);
+  EXPECT_EQ(rsp.pkt.tag(), 1);
+  EXPECT_EQ(rsp.pkt.cmd(), 0x38);  // RD_RS.
+}
+
+// Every read/write size moves data correctly through the pipeline.
+class RwSizeTest : public SimulatorTest,
+                   public ::testing::WithParamInterface<std::uint32_t> {};
+
+TEST_P(RwSizeTest, WriteThenReadRoundTrip) {
+  const std::uint32_t bytes = GetParam();
+  const std::uint32_t words = bytes / 8;
+  std::array<std::uint64_t, 32> data{};
+  for (std::uint32_t w = 0; w < words; ++w) {
+    data[w] = 0x1111111111111111ULL * (w + 1);
+  }
+  const auto wr_cmd = spec::parse_rqst("WR" + std::to_string(bytes));
+  const auto rd_cmd = spec::parse_rqst("RD" + std::to_string(bytes));
+  ASSERT_TRUE(wr_cmd.has_value());
+  ASSERT_TRUE(rd_cmd.has_value());
+
+  spec::RqstParams wr;
+  wr.rqst = *wr_cmd;
+  wr.addr = 0x2000;
+  wr.tag = 10;
+  wr.payload = {data.data(), words};
+  Response rsp = roundtrip(wr);
+  EXPECT_EQ(rsp.pkt.cmd(), 0x39);  // WR_RS.
+  EXPECT_EQ(rsp.pkt.errstat(), 0);
+
+  spec::RqstParams rd;
+  rd.rqst = *rd_cmd;
+  rd.addr = 0x2000;
+  rd.tag = 11;
+  rsp = roundtrip(rd);
+  // A read response of N data bytes carries exactly N/8 payload words.
+  ASSERT_EQ(rsp.pkt.payload().size(), words);
+  for (std::uint32_t w = 0; w < words; ++w) {
+    EXPECT_EQ(rsp.pkt.payload()[w], data[w]) << "word " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, RwSizeTest,
+                         ::testing::Values(16U, 32U, 48U, 64U, 80U, 96U,
+                                           112U, 128U, 256U),
+                         [](const auto& info) {
+                           return "B" + std::to_string(info.param);
+                         });
+
+TEST_F(SimulatorTest, PostedWriteProducesNoResponse) {
+  const std::array<std::uint64_t, 2> data{0xAA, 0xBB};
+  spec::RqstParams wr;
+  wr.rqst = spec::Rqst::P_WR16;
+  wr.addr = 0x300;
+  wr.payload = data;
+  ASSERT_TRUE(sim_->send(wr, 0).ok());
+  for (int i = 0; i < 10; ++i) {
+    sim_->clock();
+    EXPECT_FALSE(sim_->rsp_ready(0));
+  }
+  // But the write landed.
+  std::uint64_t v = 0;
+  ASSERT_TRUE(sim_->device(0).store().read_u64(0x300, v).ok());
+  EXPECT_EQ(v, 0xAAULL);
+}
+
+TEST_F(SimulatorTest, AtomicIncThroughPipeline) {
+  ASSERT_TRUE(sim_->device(0).store().write_u64(0x400, 41).ok());
+  spec::RqstParams inc;
+  inc.rqst = spec::Rqst::INC8;
+  inc.addr = 0x400;
+  const Response rsp = roundtrip(inc);
+  EXPECT_EQ(rsp.pkt.cmd(), 0x39);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(sim_->device(0).store().read_u64(0x400, v).ok());
+  EXPECT_EQ(v, 42ULL);
+}
+
+TEST_F(SimulatorTest, AtomicWithReturnCarriesOriginal) {
+  ASSERT_TRUE(sim_->device(0).store().write_u64(0x500, 100).ok());
+  const std::array<std::uint64_t, 2> imm{5, 0};
+  spec::RqstParams add;
+  add.rqst = spec::Rqst::TWOADDS8R;
+  add.addr = 0x500;
+  add.payload = imm;
+  const Response rsp = roundtrip(add);
+  ASSERT_EQ(rsp.pkt.payload().size(), 2U);
+  EXPECT_EQ(rsp.pkt.payload()[0], 100ULL);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(sim_->device(0).store().read_u64(0x500, v).ok());
+  EXPECT_EQ(v, 105ULL);
+}
+
+TEST_F(SimulatorTest, Eq8SetsAtomicFlagInResponseHeader) {
+  ASSERT_TRUE(sim_->device(0).store().write_u64(0x600, 7).ok());
+  const std::array<std::uint64_t, 2> probe{7, 0};
+  spec::RqstParams eq;
+  eq.rqst = spec::Rqst::EQ8;
+  eq.addr = 0x600;
+  eq.payload = probe;
+  Response rsp = roundtrip(eq);
+  EXPECT_TRUE(rsp.pkt.atomic_flag());
+
+  const std::array<std::uint64_t, 2> probe2{8, 0};
+  eq.payload = probe2;
+  rsp = roundtrip(eq);
+  EXPECT_FALSE(rsp.pkt.atomic_flag());
+}
+
+TEST_F(SimulatorTest, ModeRegisterAccessViaPackets) {
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::MD_RD;
+  rd.addr = static_cast<std::uint64_t>(dev::Reg::VendorId);
+  Response rsp = roundtrip(rd);
+  EXPECT_EQ(rsp.pkt.cmd(), 0x3A);  // MD_RD_RS.
+  ASSERT_GE(rsp.pkt.payload().size(), 1U);
+  EXPECT_EQ(rsp.pkt.payload()[0], dev::kVendorId);
+
+  const std::array<std::uint64_t, 2> value{0x5C0FF, 0};
+  spec::RqstParams wr;
+  wr.rqst = spec::Rqst::MD_WR;
+  wr.addr = static_cast<std::uint64_t>(dev::Reg::Scratch0);
+  wr.payload = value;
+  rsp = roundtrip(wr);
+  EXPECT_EQ(rsp.pkt.cmd(), 0x3B);  // MD_WR_RS.
+
+  std::uint64_t scratch = 0;
+  ASSERT_TRUE(sim_->jtag_read(
+      0, static_cast<std::uint32_t>(dev::Reg::Scratch0), scratch).ok());
+  EXPECT_EQ(scratch, 0x5C0FFULL);
+}
+
+TEST_F(SimulatorTest, ModeWriteToReadOnlyRegisterReturnsError) {
+  const std::array<std::uint64_t, 2> value{1, 0};
+  spec::RqstParams wr;
+  wr.rqst = spec::Rqst::MD_WR;
+  wr.addr = static_cast<std::uint64_t>(dev::Reg::VendorId);
+  wr.payload = value;
+  const Response rsp = roundtrip(wr);
+  EXPECT_EQ(rsp.pkt.cmd(),
+            static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR));
+  EXPECT_NE(rsp.pkt.errstat(), 0);
+}
+
+TEST_F(SimulatorTest, JtagInterface) {
+  std::uint64_t v = 0;
+  ASSERT_TRUE(sim_->jtag_read(
+      0, static_cast<std::uint32_t>(dev::Reg::LinkConfig), v).ok());
+  EXPECT_EQ(v, 4ULL);
+  EXPECT_FALSE(sim_->jtag_read(5, 0, v).ok());  // No such device.
+  EXPECT_TRUE(sim_->jtag_write(
+      0, static_cast<std::uint32_t>(dev::Reg::Scratch1), 77).ok());
+  ASSERT_TRUE(sim_->jtag_read(
+      0, static_cast<std::uint32_t>(dev::Reg::Scratch1), v).ok());
+  EXPECT_EQ(v, 77ULL);
+}
+
+TEST_F(SimulatorTest, ClockCountRegisterTracksCycles) {
+  for (int i = 0; i < 5; ++i) {
+    sim_->clock();
+  }
+  std::uint64_t v = 0;
+  ASSERT_TRUE(sim_->jtag_read(
+      0, static_cast<std::uint32_t>(dev::Reg::ClockCount), v).ok());
+  EXPECT_EQ(v, 5ULL);
+}
+
+TEST_F(SimulatorTest, FlowPacketsConsumedAtLink) {
+  spec::RqstParams tret;
+  tret.rqst = spec::Rqst::TRET;
+  ASSERT_TRUE(sim_->send(tret, 0).ok());
+  for (int i = 0; i < 5; ++i) {
+    sim_->clock();
+  }
+  EXPECT_FALSE(sim_->rsp_ready(0));
+  EXPECT_EQ(sim_->device(0).links()[0].stats().flow_packets, 1U);
+  EXPECT_EQ(sim_->stats().devices.rqsts_processed, 0U);
+}
+
+TEST_F(SimulatorTest, InvalidLinkRejected) {
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  EXPECT_FALSE(sim_->send(rd, 4).ok());  // 4-link device: links 0..3.
+  Response rsp;
+  EXPECT_FALSE(sim_->recv(4, rsp).ok());
+}
+
+TEST_F(SimulatorTest, InvalidCubRejected) {
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  rd.cub = 1;  // Single-device sim.
+  EXPECT_EQ(sim_->send(rd, 0).code(), StatusCode::InvalidArg);
+}
+
+TEST_F(SimulatorTest, RecvOnIdleLinkReturnsNoData) {
+  Response rsp;
+  EXPECT_EQ(sim_->recv(0, rsp).code(), StatusCode::NoData);
+}
+
+TEST_F(SimulatorTest, SendStallsWhenQueuesSaturate) {
+  // Saturate one link: each RD16 occupies one token; the xbar queue drains
+  // only 26 FLITs per cycle into a 64-deep vault queue, so flooding
+  // without clocking must eventually stall.
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  rd.addr = 0;  // All to one vault.
+  int sent = 0;
+  Status s = Status::Ok();
+  for (int i = 0; i < 1000 && s.ok(); ++i) {
+    rd.tag = static_cast<std::uint16_t>(i % 2000);
+    s = sim_->send(rd, 0);
+    if (s.ok()) {
+      ++sent;
+    }
+  }
+  EXPECT_TRUE(s.stalled());
+  EXPECT_EQ(sent, 128);  // Exactly the crossbar queue capacity.
+  EXPECT_GT(sim_->stats().devices.send_stalls, 0U);
+}
+
+TEST_F(SimulatorTest, ReadBeyondCapacityReturnsErrorResponse) {
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD256;
+  rd.addr = (1ULL << 34) - 64;  // Past the 4 GiB device, within ADRS.
+  const Response rsp = roundtrip(rd);
+  EXPECT_EQ(rsp.pkt.cmd(),
+            static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR));
+  EXPECT_NE(rsp.pkt.errstat(), 0);
+  EXPECT_EQ(sim_->stats().devices.errors, 1U);
+}
+
+TEST_F(SimulatorTest, CmcUnregisteredCommandSendFails) {
+  spec::RqstParams cmc;
+  cmc.rqst = spec::Rqst::CMC44;
+  EXPECT_EQ(sim_->send(cmc, 0).code(), StatusCode::NotFound);
+}
+
+TEST_F(SimulatorTest, CmcUnregisteredPacketGetsErrorResponse) {
+  // A raw packet can still be injected (e.g. replay); the vault answers
+  // with an error response, per the paper's active-check.
+  spec::RqstParams cmc;
+  cmc.rqst = spec::Rqst::CMC44;
+  cmc.flits_override = 2;
+  const Response rsp = roundtrip(cmc);
+  EXPECT_EQ(rsp.pkt.cmd(),
+            static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR));
+  EXPECT_NE(rsp.pkt.errstat(), 0);
+}
+
+TEST_F(SimulatorTest, CmcLockRoundTrip) {
+  ASSERT_TRUE(sim_->register_cmc(hmcsim_builtin_lock_register,
+                                 hmcsim_builtin_lock_execute,
+                                 hmcsim_builtin_lock_str).ok());
+  const std::array<std::uint64_t, 2> tid{99, 0};
+  spec::RqstParams lock;
+  lock.rqst = spec::Rqst::CMC125;
+  lock.addr = 0x4000;
+  lock.payload = tid;
+  Response rsp = roundtrip(lock);
+  EXPECT_EQ(rsp.pkt.cmd(), 0x39);  // WR_RS per Table V.
+  EXPECT_EQ(rsp.pkt.payload()[0], 1ULL);  // Acquired.
+  EXPECT_TRUE(rsp.pkt.atomic_flag());
+
+  // Lock word and owner TID as in Figure 4.
+  std::array<std::uint64_t, 2> mem{};
+  ASSERT_TRUE(sim_->device(0).store().read_u128(0x4000, mem).ok());
+  EXPECT_EQ(mem[0], 1ULL);
+  EXPECT_EQ(mem[1], 99ULL);
+
+  // Second lock attempt fails without modifying the owner.
+  rsp = roundtrip(lock);
+  EXPECT_EQ(rsp.pkt.payload()[0], 0ULL);
+  ASSERT_TRUE(sim_->device(0).store().read_u128(0x4000, mem).ok());
+  EXPECT_EQ(mem[1], 99ULL);
+}
+
+TEST_F(SimulatorTest, PostedCmcProducesNoResponse) {
+  ASSERT_TRUE(sim_->register_cmc(hmcsim_builtin_zero16_register,
+                                 hmcsim_builtin_zero16_execute,
+                                 hmcsim_builtin_zero16_str).ok());
+  ASSERT_TRUE(sim_->device(0).store().write_u128(0x700, {123, 456}).ok());
+  spec::RqstParams zero;
+  zero.rqst = spec::Rqst::CMC120;
+  zero.addr = 0x700;
+  ASSERT_TRUE(sim_->send(zero, 0).ok());
+  for (int i = 0; i < 10; ++i) {
+    sim_->clock();
+    EXPECT_FALSE(sim_->rsp_ready(0));
+  }
+  std::array<std::uint64_t, 2> mem{0xFF, 0xFF};
+  ASSERT_TRUE(sim_->device(0).store().read_u128(0x700, mem).ok());
+  EXPECT_EQ(mem[0], 0ULL);
+  EXPECT_EQ(mem[1], 0ULL);
+  EXPECT_EQ(sim_->stats().devices.cmc_executed, 1U);
+}
+
+TEST_F(SimulatorTest, CmcCustomResponseCodeOnWire) {
+  ASSERT_TRUE(sim_->register_cmc(hmcsim_builtin_fadd_f64_register,
+                                 hmcsim_builtin_fadd_f64_execute,
+                                 hmcsim_builtin_fadd_f64_str).ok());
+  double init = 1.5;
+  std::uint64_t raw;
+  std::memcpy(&raw, &init, 8);
+  ASSERT_TRUE(sim_->device(0).store().write_u64(0x800, raw).ok());
+
+  double operand = 2.25;
+  std::array<std::uint64_t, 2> payload{};
+  std::memcpy(&payload[0], &operand, 8);
+  spec::RqstParams fadd;
+  fadd.rqst = spec::Rqst::CMC56;
+  fadd.addr = 0x800;
+  fadd.payload = payload;
+  const Response rsp = roundtrip(fadd);
+  EXPECT_EQ(rsp.pkt.cmd(), 0x70);  // The plugin's custom RSP_CMC code.
+
+  std::uint64_t result_raw = 0;
+  ASSERT_TRUE(sim_->device(0).store().read_u64(0x800, result_raw).ok());
+  double result;
+  std::memcpy(&result, &result_raw, 8);
+  EXPECT_DOUBLE_EQ(result, 3.75);
+}
+
+TEST_F(SimulatorTest, UnregisterCmcDisablesOperation) {
+  ASSERT_TRUE(sim_->register_cmc(hmcsim_builtin_popcnt_register,
+                                 hmcsim_builtin_popcnt_execute,
+                                 hmcsim_builtin_popcnt_str).ok());
+  ASSERT_TRUE(sim_->unregister_cmc(spec::Rqst::CMC32).ok());
+  spec::RqstParams pc;
+  pc.rqst = spec::Rqst::CMC32;
+  EXPECT_EQ(sim_->send(pc, 0).code(), StatusCode::NotFound);
+}
+
+TEST_F(SimulatorTest, CmcResolvedByNameInTrace) {
+  // The paper's Discrete Tracing requirement: the trace line shows the
+  // plugin-provided operation name.
+  ASSERT_TRUE(sim_->register_cmc(hmcsim_builtin_lock_register,
+                                 hmcsim_builtin_lock_execute,
+                                 hmcsim_builtin_lock_str).ok());
+  std::ostringstream trace_out;
+  trace::TextSink sink(trace_out);
+  sim_->tracer().attach(&sink);
+  sim_->tracer().set_level(trace::Level::Cmc);
+
+  const std::array<std::uint64_t, 2> tid{5, 0};
+  spec::RqstParams lock;
+  lock.rqst = spec::Rqst::CMC125;
+  lock.addr = 0x4000;
+  lock.payload = tid;
+  (void)roundtrip(lock);
+  sim_->tracer().detach(&sink);
+
+  EXPECT_NE(trace_out.str().find("hmc_lock"), std::string::npos);
+  EXPECT_NE(trace_out.str().find("CMC"), std::string::npos);
+}
+
+TEST_F(SimulatorTest, LatencyTraceOnRecv) {
+  trace::VectorSink sink;
+  sim_->tracer().attach(&sink);
+  sim_->tracer().set_level(trace::Level::Latency);
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  (void)roundtrip(rd);
+  sim_->tracer().detach(&sink);
+  ASSERT_EQ(sink.events().size(), 1U);
+  EXPECT_EQ(sink.events()[0].value, 3U);
+}
+
+TEST_F(SimulatorTest, StatsAggregate) {
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  (void)roundtrip(rd);
+  (void)roundtrip(rd);
+  const SimStats stats = sim_->stats();
+  EXPECT_EQ(stats.devices.rqsts_processed, 2U);
+  EXPECT_EQ(stats.devices.rsps_generated, 2U);
+  EXPECT_EQ(stats.devices.rqst_flits, 2U);  // RD16 = 1 FLIT each.
+  EXPECT_EQ(stats.devices.rsp_flits, 4U);   // RD_RS = 2 FLITs each.
+  EXPECT_GE(stats.cycles, 6U);
+}
+
+TEST_F(SimulatorTest, ResetPipelineKeepsMemoryAndCmc) {
+  ASSERT_TRUE(sim_->register_cmc(hmcsim_builtin_popcnt_register,
+                                 hmcsim_builtin_popcnt_execute,
+                                 hmcsim_builtin_popcnt_str).ok());
+  ASSERT_TRUE(sim_->device(0).store().write_u64(0x40, 0xF).ok());
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  ASSERT_TRUE(sim_->send(rd, 0).ok());
+  sim_->reset_pipeline();
+  EXPECT_FALSE(sim_->rsp_ready(0));
+  EXPECT_EQ(sim_->stats().devices.rqsts_processed, 0U);
+  // Memory and registrations survive.
+  std::uint64_t v = 0;
+  ASSERT_TRUE(sim_->device(0).store().read_u64(0x40, v).ok());
+  EXPECT_EQ(v, 0xFULL);
+  EXPECT_EQ(sim_->cmc_registry().active_count(), 1U);
+}
+
+TEST_F(SimulatorTest, ResponsesOnCorrectLink) {
+  // A request sent on link 2 must come back on link 2 (SLID routing).
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  rd.tag = 9;
+  ASSERT_TRUE(sim_->send(rd, 2).ok());
+  for (int i = 0; i < 5; ++i) {
+    sim_->clock();
+  }
+  EXPECT_FALSE(sim_->rsp_ready(0));
+  EXPECT_FALSE(sim_->rsp_ready(1));
+  EXPECT_FALSE(sim_->rsp_ready(3));
+  ASSERT_TRUE(sim_->rsp_ready(2));
+  Response rsp;
+  ASSERT_TRUE(sim_->recv(2, rsp).ok());
+  EXPECT_EQ(rsp.pkt.slid(), 2);
+  EXPECT_EQ(rsp.pkt.tag(), 9);
+}
+
+}  // namespace
+}  // namespace hmcsim::sim

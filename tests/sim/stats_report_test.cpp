@@ -1,0 +1,84 @@
+// stats_report_test.cpp — statistics report formatting and hot-spot
+// analysis.
+#include "src/sim/stats_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace hmcsim::sim {
+namespace {
+
+class StatsReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(Simulator::create(Config::hmc_4link_4gb(), sim_).ok());
+  }
+
+  void roundtrip(std::uint64_t addr, std::uint32_t link = 0) {
+    spec::RqstParams rd;
+    rd.rqst = spec::Rqst::RD16;
+    rd.addr = addr;
+    ASSERT_TRUE(sim_->send(rd, link).ok());
+    while (!sim_->rsp_ready(link)) {
+      sim_->clock();
+    }
+    Response rsp;
+    ASSERT_TRUE(sim_->recv(link, rsp).ok());
+  }
+
+  std::unique_ptr<Simulator> sim_;
+};
+
+TEST_F(StatsReportTest, HistogramCountsPerVault) {
+  roundtrip(0);        // Vault 0.
+  roundtrip(0);        // Vault 0.
+  roundtrip(64);       // Vault 1.
+  const auto hist = vault_histogram(*sim_, 0);
+  ASSERT_EQ(hist.size(), 32U);
+  EXPECT_EQ(hist[0], 2U);
+  EXPECT_EQ(hist[1], 1U);
+  EXPECT_EQ(hist[2], 0U);
+}
+
+TEST_F(StatsReportTest, HotspotFactorSingleAddress) {
+  for (int i = 0; i < 10; ++i) {
+    roundtrip(0x4000);  // One vault only.
+  }
+  EXPECT_DOUBLE_EQ(hotspot_factor(*sim_, 0), 1.0);
+}
+
+TEST_F(StatsReportTest, HotspotFactorUniformStream) {
+  for (std::uint64_t block = 0; block < 32; ++block) {
+    roundtrip(block * 64);
+  }
+  EXPECT_DOUBLE_EQ(hotspot_factor(*sim_, 0), 1.0 / 32.0);
+}
+
+TEST_F(StatsReportTest, HotspotFactorIdleIsZero) {
+  EXPECT_EQ(hotspot_factor(*sim_, 0), 0.0);
+}
+
+TEST_F(StatsReportTest, TextReportContainsKeySections) {
+  roundtrip(0x4000, 2);
+  const std::string report = format_stats(*sim_);
+  EXPECT_NE(report.find("configuration: 4Link-4GB"), std::string::npos);
+  EXPECT_NE(report.find("device 0"), std::string::npos);
+  EXPECT_NE(report.find("rqsts=1"), std::string::npos);
+  EXPECT_NE(report.find("hotspot factor"), std::string::npos);
+  EXPECT_NE(report.find("link 2"), std::string::npos);
+}
+
+TEST_F(StatsReportTest, CsvHasVaultAndLinkRows) {
+  roundtrip(0);
+  const std::string csv = format_stats_csv(*sim_);
+  EXPECT_EQ(csv.find("section,dev,index"), 0U);
+  EXPECT_NE(csv.find("vault,0,0,1"), std::string::npos);
+  EXPECT_NE(csv.find("link,0,0,1"), std::string::npos);
+  // 32 vault rows + 4 link rows + header.
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, 1 + 32 + 4);
+}
+
+}  // namespace
+}  // namespace hmcsim::sim

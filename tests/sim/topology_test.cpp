@@ -1,0 +1,134 @@
+// topology_test.cpp — multi-cube interconnect shapes (chain vs star).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "src/sim/simulator.hpp"
+
+namespace hmcsim::sim {
+namespace {
+
+std::unique_ptr<Simulator> make_topo(Topology topo, std::uint32_t devs) {
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.num_devs = devs;
+  cfg.topology = topo;
+  std::unique_ptr<Simulator> sim;
+  EXPECT_TRUE(Simulator::create(cfg, sim).ok());
+  return sim;
+}
+
+Response roundtrip(Simulator& sim, std::uint8_t cub,
+                   spec::Rqst rqst = spec::Rqst::RD16,
+                   std::span<const std::uint64_t> payload = {}) {
+  spec::RqstParams p;
+  p.rqst = rqst;
+  p.addr = 0x40;
+  p.cub = cub;
+  p.payload = payload;
+  Status s = sim.send(p, 0);
+  int guard = 0;
+  while (s.stalled() && guard++ < 1000) {
+    sim.clock();
+    s = sim.send(p, 0);
+  }
+  EXPECT_TRUE(s.ok());
+  guard = 0;
+  while (!sim.rsp_ready(0) && guard++ < 1000) {
+    sim.clock();
+  }
+  Response rsp;
+  EXPECT_TRUE(sim.recv(0, rsp).ok());
+  return rsp;
+}
+
+TEST(Topology, Names) {
+  EXPECT_EQ(to_string(Topology::Chain), "chain");
+  EXPECT_EQ(to_string(Topology::Star), "star");
+}
+
+TEST(Topology, StarReachesEveryCubeInOneHop) {
+  auto sim = make_topo(Topology::Star, 8);
+  // Hub access: the plain 3-cycle round trip. Every spoke: one request
+  // hop + one response hop + the spoke's chain-egress staging cycle.
+  EXPECT_EQ(roundtrip(*sim, 0).latency, 3U);
+  for (std::uint8_t cub = 1; cub < 8; ++cub) {
+    EXPECT_EQ(roundtrip(*sim, cub).latency, 6U) << unsigned(cub);
+  }
+}
+
+TEST(Topology, ChainLatencyGrowsStarStaysFlat) {
+  auto chain = make_topo(Topology::Chain, 8);
+  auto star = make_topo(Topology::Star, 8);
+  const std::uint64_t chain_far = roundtrip(*chain, 7).latency;
+  const std::uint64_t star_far = roundtrip(*star, 7).latency;
+  EXPECT_EQ(chain_far, 18U);  // 3 + 3 + 2*(hops-1).
+  EXPECT_EQ(star_far, 6U);
+}
+
+TEST(Topology, StarDataLandsOnCorrectCube) {
+  auto sim = make_topo(Topology::Star, 4);
+  for (std::uint8_t cub = 0; cub < 4; ++cub) {
+    const std::array<std::uint64_t, 2> data{0x100ULL + cub, 0};
+    (void)roundtrip(*sim, cub, spec::Rqst::WR16, data);
+  }
+  for (std::uint32_t cub = 0; cub < 4; ++cub) {
+    std::uint64_t v = 0;
+    ASSERT_TRUE(sim->device(cub).store().read_u64(0x40, v).ok());
+    EXPECT_EQ(v, 0x100ULL + cub);
+  }
+}
+
+TEST(Topology, StarForwardingOnlyThroughHub) {
+  auto sim = make_topo(Topology::Star, 4);
+  (void)roundtrip(*sim, 3);
+  EXPECT_EQ(sim->device(0).stats().forwarded_rqsts, 1U);
+  EXPECT_EQ(sim->device(1).stats().forwarded_rqsts, 0U);
+  EXPECT_EQ(sim->device(2).stats().forwarded_rqsts, 0U);
+  EXPECT_EQ(sim->device(3).stats().forwarded_rsps, 1U);
+  EXPECT_EQ(sim->device(2).stats().forwarded_rsps, 0U);
+}
+
+TEST(Topology, StarAtomicsOnSpokes) {
+  auto sim = make_topo(Topology::Star, 3);
+  ASSERT_TRUE(sim->device(2).store().write_u64(0x40, 10).ok());
+  (void)roundtrip(*sim, 2, spec::Rqst::INC8);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(sim->device(2).store().read_u64(0x40, v).ok());
+  EXPECT_EQ(v, 11ULL);
+}
+
+TEST(Topology, InterleavedStarTraffic) {
+  auto sim = make_topo(Topology::Star, 8);
+  for (std::uint8_t cub = 0; cub < 8; ++cub) {
+    spec::RqstParams rd;
+    rd.rqst = spec::Rqst::RD16;
+    rd.addr = 0x40;
+    rd.cub = cub;
+    rd.tag = cub;
+    ASSERT_TRUE(sim->send(rd, 0).ok());
+  }
+  std::array<bool, 8> seen{};
+  int received = 0;
+  for (int i = 0; i < 40 && received < 8; ++i) {
+    sim->clock();
+    Response rsp;
+    while (sim->recv(0, rsp).ok()) {
+      seen[rsp.pkt.tag()] = true;
+      ++received;
+    }
+  }
+  EXPECT_EQ(received, 8);
+  for (const bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+}
+
+TEST(Topology, SingleDeviceEitherTopology) {
+  for (const Topology topo : {Topology::Chain, Topology::Star}) {
+    auto sim = make_topo(topo, 1);
+    EXPECT_EQ(roundtrip(*sim, 0).latency, 3U);
+  }
+}
+
+}  // namespace
+}  // namespace hmcsim::sim

@@ -1,0 +1,257 @@
+// commands_test.cpp — command database tests, including a row-by-row
+// verification of Table I of the paper.
+#include "src/spec/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hmcsim::spec {
+namespace {
+
+TEST(Commands, ExactlySeventyCmcCodes) {
+  // The paper: "The Gen2 architecture has sufficient command code space
+  // ... leaving room for an additional 70 unused command codes."
+  EXPECT_EQ(all_cmc_commands().size(), 70U);
+  std::size_t counted = 0;
+  for (unsigned code = 0; code < 128; ++code) {
+    if (is_cmc(static_cast<Rqst>(code))) {
+      ++counted;
+    }
+  }
+  EXPECT_EQ(counted, 70U);
+}
+
+TEST(Commands, CmcCodesAreDisjointFromNamedCommands) {
+  for (const CommandInfo& info : all_commands()) {
+    if (info.kind == CommandKind::Cmc) {
+      EXPECT_TRUE(is_cmc(info.rqst)) << info.name;
+      EXPECT_EQ(info.name.substr(0, 3), "CMC") << unsigned(info.cmd);
+    } else {
+      EXPECT_FALSE(is_cmc(info.rqst)) << info.name;
+    }
+  }
+}
+
+TEST(Commands, EnumValuesAreWireCodes) {
+  for (unsigned code = 0; code < 128; ++code) {
+    const auto info = command_info(static_cast<std::uint8_t>(code));
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->cmd, code);
+    EXPECT_EQ(static_cast<unsigned>(info->rqst), code);
+  }
+  EXPECT_FALSE(command_info(std::uint8_t{128}).has_value());
+  EXPECT_FALSE(command_info(std::uint8_t{255}).has_value());
+}
+
+TEST(Commands, NamesAreUniqueAndParseable) {
+  std::set<std::string_view> names;
+  for (const CommandInfo& info : all_commands()) {
+    ASSERT_FALSE(info.name.empty());
+    EXPECT_NE(info.name, "?") << unsigned(info.cmd);
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate name " << info.name;
+    const auto parsed = parse_rqst(info.name);
+    ASSERT_TRUE(parsed.has_value()) << info.name;
+    EXPECT_EQ(*parsed, info.rqst);
+  }
+  EXPECT_FALSE(parse_rqst("NOT_A_COMMAND").has_value());
+  EXPECT_FALSE(parse_rqst("").has_value());
+}
+
+// ---- Table I: HMC-Sim 2.0 Gen2 additional command support ----------------
+
+struct TableIRow {
+  Rqst rqst;
+  std::string_view name;
+  unsigned rqst_flits;
+  unsigned rsp_flits;
+};
+
+class TableITest : public ::testing::TestWithParam<TableIRow> {};
+
+TEST_P(TableITest, FlitCountsMatchPaper) {
+  const TableIRow& row = GetParam();
+  const CommandInfo& info = command_info(row.rqst);
+  EXPECT_EQ(info.name, row.name);
+  EXPECT_EQ(info.rqst_flits, row.rqst_flits) << row.name;
+  EXPECT_EQ(info.rsp_flits, row.rsp_flits) << row.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, TableITest,
+    ::testing::Values(
+        // Read/write/posted-write 256-byte additions.
+        TableIRow{Rqst::RD256, "RD256", 1, 17},
+        TableIRow{Rqst::WR256, "WR256", 17, 1},
+        TableIRow{Rqst::P_WR256, "P_WR256", 17, 0},
+        // Arithmetic atomics.
+        TableIRow{Rqst::TWOADD8, "2ADD8", 2, 1},
+        TableIRow{Rqst::ADD16, "ADD16", 2, 1},
+        TableIRow{Rqst::P_2ADD8, "P_2ADD8", 2, 0},
+        TableIRow{Rqst::P_ADD16, "P_ADD16", 2, 0},
+        TableIRow{Rqst::TWOADDS8R, "2ADDS8R", 2, 2},
+        TableIRow{Rqst::ADDS16R, "ADDS16R", 2, 2},
+        TableIRow{Rqst::INC8, "INC8", 1, 1},
+        TableIRow{Rqst::P_INC8, "P_INC8", 1, 0},
+        // Boolean atomics.
+        TableIRow{Rqst::XOR16, "XOR16", 2, 2},
+        TableIRow{Rqst::OR16, "OR16", 2, 2},
+        TableIRow{Rqst::NOR16, "NOR16", 2, 2},
+        TableIRow{Rqst::AND16, "AND16", 2, 2},
+        TableIRow{Rqst::NAND16, "NAND16", 2, 2},
+        // Comparison atomics.
+        TableIRow{Rqst::CASGT8, "CASGT8", 2, 2},
+        TableIRow{Rqst::CASGT16, "CASGT16", 2, 2},
+        TableIRow{Rqst::CASLT8, "CASLT8", 2, 2},
+        TableIRow{Rqst::CASLT16, "CASLT16", 2, 2},
+        TableIRow{Rqst::CASEQ8, "CASEQ8", 2, 2},
+        TableIRow{Rqst::CASZERO16, "CASZERO16", 2, 2},
+        TableIRow{Rqst::EQ8, "EQ8", 2, 1},
+        TableIRow{Rqst::EQ16, "EQ16", 2, 1},
+        // Bit writes and swap.
+        TableIRow{Rqst::BWR, "BWR", 2, 1},
+        TableIRow{Rqst::P_BWR, "P_BWR", 2, 0},
+        TableIRow{Rqst::BWR8R, "BWR8R", 2, 2},
+        TableIRow{Rqst::SWAP16, "SWAP16", 2, 2}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// ---- Gen1 read/write packet lengths (carried forward) ---------------------
+
+struct RwRow {
+  Rqst rqst;
+  unsigned data_bytes;
+};
+
+class ReadLengthTest : public ::testing::TestWithParam<RwRow> {};
+
+TEST_P(ReadLengthTest, ResponseCarriesHeaderPlusData) {
+  const CommandInfo& info = command_info(GetParam().rqst);
+  EXPECT_EQ(info.rqst_flits, 1U);
+  EXPECT_EQ(info.rsp_flits, 1 + GetParam().data_bytes / 16);
+  EXPECT_EQ(info.rsp, ResponseType::RD_RS);
+  EXPECT_EQ(info.kind, CommandKind::Read);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllReads, ReadLengthTest,
+    ::testing::Values(RwRow{Rqst::RD16, 16}, RwRow{Rqst::RD32, 32},
+                      RwRow{Rqst::RD48, 48}, RwRow{Rqst::RD64, 64},
+                      RwRow{Rqst::RD80, 80}, RwRow{Rqst::RD96, 96},
+                      RwRow{Rqst::RD112, 112}, RwRow{Rqst::RD128, 128},
+                      RwRow{Rqst::RD256, 256}),
+    [](const auto& info) {
+      return std::string(command_info(info.param.rqst).name);
+    });
+
+class WriteLengthTest : public ::testing::TestWithParam<RwRow> {};
+
+TEST_P(WriteLengthTest, RequestCarriesHeaderPlusData) {
+  const CommandInfo& info = command_info(GetParam().rqst);
+  EXPECT_EQ(info.rqst_flits, 1 + GetParam().data_bytes / 16);
+  EXPECT_EQ(info.data_bytes, GetParam().data_bytes);
+  if (info.kind == CommandKind::Write) {
+    EXPECT_EQ(info.rsp_flits, 1U);
+    EXPECT_EQ(info.rsp, ResponseType::WR_RS);
+  } else {
+    EXPECT_EQ(info.kind, CommandKind::PostedWrite);
+    EXPECT_EQ(info.rsp_flits, 0U);
+    EXPECT_EQ(info.rsp, ResponseType::None);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWrites, WriteLengthTest,
+    ::testing::Values(RwRow{Rqst::WR16, 16}, RwRow{Rqst::WR32, 32},
+                      RwRow{Rqst::WR48, 48}, RwRow{Rqst::WR64, 64},
+                      RwRow{Rqst::WR80, 80}, RwRow{Rqst::WR96, 96},
+                      RwRow{Rqst::WR112, 112}, RwRow{Rqst::WR128, 128},
+                      RwRow{Rqst::WR256, 256}, RwRow{Rqst::P_WR16, 16},
+                      RwRow{Rqst::P_WR32, 32}, RwRow{Rqst::P_WR48, 48},
+                      RwRow{Rqst::P_WR64, 64}, RwRow{Rqst::P_WR80, 80},
+                      RwRow{Rqst::P_WR96, 96}, RwRow{Rqst::P_WR112, 112},
+                      RwRow{Rqst::P_WR128, 128}, RwRow{Rqst::P_WR256, 256}),
+    [](const auto& info) {
+      return std::string(command_info(info.param.rqst).name);
+    });
+
+TEST(Commands, FlowCommandsAreLinkLayer) {
+  for (const Rqst rqst :
+       {Rqst::FLOW_NULL, Rqst::PRET, Rqst::TRET, Rqst::IRTRY}) {
+    EXPECT_TRUE(is_flow(rqst));
+    EXPECT_EQ(command_info(rqst).kind, CommandKind::Flow);
+    EXPECT_EQ(command_info(rqst).rsp_flits, 0U);
+  }
+  EXPECT_FALSE(is_flow(Rqst::WR16));
+  EXPECT_FALSE(is_flow(Rqst::CMC04));
+}
+
+TEST(Commands, PostedCommandsHaveNoResponse) {
+  for (const CommandInfo& info : all_commands()) {
+    const bool posted = info.kind == CommandKind::PostedWrite ||
+                        info.kind == CommandKind::PostedAtomic;
+    if (posted) {
+      EXPECT_EQ(info.rsp_flits, 0U) << info.name;
+      EXPECT_EQ(info.rsp, ResponseType::None) << info.name;
+    }
+  }
+}
+
+TEST(Commands, PacketLengthsWithinSpecBounds) {
+  for (const CommandInfo& info : all_commands()) {
+    EXPECT_GE(info.rqst_flits, 1U) << info.name;
+    EXPECT_LE(info.rqst_flits, 17U) << info.name;
+    EXPECT_LE(info.rsp_flits, 17U) << info.name;
+  }
+}
+
+TEST(Commands, CmcForCode) {
+  EXPECT_EQ(cmc_for_code(125), Rqst::CMC125);
+  EXPECT_EQ(cmc_for_code(4), Rqst::CMC04);
+  EXPECT_FALSE(cmc_for_code(8).has_value());    // WR16
+  EXPECT_FALSE(cmc_for_code(119).has_value());  // RD256
+  EXPECT_FALSE(cmc_for_code(128).has_value());
+}
+
+TEST(Commands, MutexTrioLivesOnPaperCodes) {
+  // Table V assigns the mutex operations to codes 125, 126 and 127.
+  EXPECT_TRUE(is_cmc(Rqst::CMC125));
+  EXPECT_TRUE(is_cmc(Rqst::CMC126));
+  EXPECT_TRUE(is_cmc(Rqst::CMC127));
+  EXPECT_EQ(to_string(Rqst::CMC125), "CMC125");
+  EXPECT_EQ(to_string(Rqst::CMC126), "CMC126");
+  EXPECT_EQ(to_string(Rqst::CMC127), "CMC127");
+}
+
+TEST(Commands, ResponseTypeNames) {
+  EXPECT_EQ(to_string(ResponseType::RD_RS), "RD_RS");
+  EXPECT_EQ(to_string(ResponseType::WR_RS), "WR_RS");
+  EXPECT_EQ(to_string(ResponseType::MD_RD_RS), "MD_RD_RS");
+  EXPECT_EQ(to_string(ResponseType::MD_WR_RS), "MD_WR_RS");
+  EXPECT_EQ(to_string(ResponseType::RSP_ERROR), "RSP_ERROR");
+  EXPECT_EQ(to_string(ResponseType::RSP_CMC), "RSP_CMC");
+  EXPECT_EQ(to_string(ResponseType::None), "NONE");
+}
+
+TEST(Commands, CommandKindNames) {
+  EXPECT_EQ(to_string(CommandKind::Flow), "FLOW");
+  EXPECT_EQ(to_string(CommandKind::Read), "READ");
+  EXPECT_EQ(to_string(CommandKind::Write), "WRITE");
+  EXPECT_EQ(to_string(CommandKind::PostedWrite), "POSTED_WRITE");
+  EXPECT_EQ(to_string(CommandKind::ModeRead), "MODE_READ");
+  EXPECT_EQ(to_string(CommandKind::ModeWrite), "MODE_WRITE");
+  EXPECT_EQ(to_string(CommandKind::Atomic), "ATOMIC");
+  EXPECT_EQ(to_string(CommandKind::PostedAtomic), "POSTED_ATOMIC");
+  EXPECT_EQ(to_string(CommandKind::Cmc), "CMC");
+}
+
+TEST(Commands, CmcListIsSortedAscending) {
+  const auto cmcs = all_cmc_commands();
+  for (std::size_t i = 1; i < cmcs.size(); ++i) {
+    EXPECT_LT(static_cast<unsigned>(cmcs[i - 1]),
+              static_cast<unsigned>(cmcs[i]));
+  }
+}
+
+}  // namespace
+}  // namespace hmcsim::spec

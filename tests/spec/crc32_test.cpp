@@ -1,0 +1,98 @@
+// crc32_test.cpp — packet CRC tests.
+#include "src/spec/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace hmcsim::spec {
+namespace {
+
+TEST(Crc32, EmptyInputIsSeed) {
+  EXPECT_EQ(crc32k({}), 0U);
+  EXPECT_EQ(crc32k({}, 0xDEADBEEF), 0xDEADBEEFU);
+}
+
+TEST(Crc32, DeterministicAndSensitiveToEveryByte) {
+  std::vector<std::uint8_t> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  }
+  const std::uint32_t base = crc32k(data);
+  EXPECT_EQ(crc32k(data), base);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto corrupted = data;
+    corrupted[i] ^= 0x01;
+    EXPECT_NE(crc32k(corrupted), base) << "undetected flip at byte " << i;
+  }
+}
+
+TEST(Crc32, SensitiveToSingleBitFlips) {
+  std::vector<std::uint8_t> data(32, 0xAB);
+  const std::uint32_t base = crc32k(data);
+  for (unsigned bit = 0; bit < 8; ++bit) {
+    auto corrupted = data;
+    corrupted[17] ^= static_cast<std::uint8_t>(1U << bit);
+    EXPECT_NE(crc32k(corrupted), base);
+  }
+}
+
+TEST(Crc32, OrderMatters) {
+  const std::array<std::uint8_t, 4> ab{1, 2, 3, 4};
+  const std::array<std::uint8_t, 4> ba{4, 3, 2, 1};
+  EXPECT_NE(crc32k(ab), crc32k(ba));
+}
+
+TEST(Crc32, WordVariantMatchesByteVariantLittleEndian) {
+  const std::array<std::uint64_t, 3> words{0x0123456789ABCDEFULL,
+                                           0xFEDCBA9876543210ULL,
+                                           0x1122334455667788ULL};
+  std::vector<std::uint8_t> bytes;
+  for (const std::uint64_t w : words) {
+    for (unsigned b = 0; b < 8; ++b) {
+      bytes.push_back(static_cast<std::uint8_t>((w >> (8 * b)) & 0xFF));
+    }
+  }
+  EXPECT_EQ(crc32k_words(words), crc32k(bytes));
+}
+
+TEST(Crc32, SeedChaining) {
+  // CRC(a ++ b) == CRC(b, seed=CRC(a)) for this simple framing.
+  const std::array<std::uint8_t, 5> a{1, 2, 3, 4, 5};
+  const std::array<std::uint8_t, 3> b{6, 7, 8};
+  std::vector<std::uint8_t> ab(a.begin(), a.end());
+  ab.insert(ab.end(), b.begin(), b.end());
+  EXPECT_EQ(crc32k(ab), crc32k(b, crc32k(a)));
+}
+
+namespace {
+/// Bit-at-a-time MSB-first reference CRC with the spec polynomial.
+std::uint32_t reference_crc(std::span<const std::uint8_t> bytes,
+                            std::uint32_t seed = 0) {
+  std::uint32_t crc = seed;
+  for (const std::uint8_t byte : bytes) {
+    crc ^= static_cast<std::uint32_t>(byte) << 24;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x80000000U) != 0 ? (crc << 1) ^ kCrcPolynomial
+                                     : (crc << 1);
+    }
+  }
+  return crc;
+}
+}  // namespace
+
+TEST(Crc32, UsesKoopmanPolynomial) {
+  EXPECT_EQ(kCrcPolynomial, 0x741B8CD7U);
+}
+
+TEST(Crc32, TableMatchesBitwiseReference) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 257; ++i) {
+    data.push_back(static_cast<std::uint8_t>(i * 31 + 7));
+    EXPECT_EQ(crc32k(data), reference_crc(data)) << "length " << data.size();
+  }
+}
+
+}  // namespace
+}  // namespace hmcsim::spec

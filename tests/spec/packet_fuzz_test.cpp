@@ -1,0 +1,126 @@
+// packet_fuzz_test.cpp — codec robustness under hostile inputs.
+//
+// The parser consumes wire words that, in a real deployment, arrive from
+// other agents: it must never crash, never accept corrupted data, and
+// always fail cleanly on malformed streams.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/spec/packet.hpp"
+
+namespace hmcsim::spec {
+namespace {
+
+TEST(PacketFuzz, RandomWordStreamsNeverCrashAndRarelyPass) {
+  Xoshiro256 rng(0xFADE);
+  int accepted = 0;
+  for (int iter = 0; iter < 5000; ++iter) {
+    const std::size_t len = 1 + rng.below(40);
+    std::vector<std::uint64_t> words(len);
+    for (auto& w : words) {
+      w = rng();
+    }
+    RqstPacket rqst;
+    if (parse_request(words, rqst).ok()) {
+      ++accepted;  // Only possible if LNG matches AND the CRC collides.
+    }
+    RspPacket rsp;
+    if (parse_response(words, rsp).ok()) {
+      ++accepted;
+    }
+  }
+  // A 32-bit CRC collision over 10k tries is ~2e-6 likely; zero expected.
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(PacketFuzz, EveryTailBitFlipIsDetected) {
+  RqstPacket pkt;
+  RqstParams params;
+  params.rqst = Rqst::WR32;
+  params.addr = 0xABC0;
+  params.tag = 99;
+  const std::array<std::uint64_t, 4> payload{1, 2, 3, 4};
+  params.payload = payload;
+  ASSERT_TRUE(build_request(params, pkt).ok());
+  std::array<std::uint64_t, kMaxPacketWords> wire{};
+  const std::size_t n = serialize(pkt, wire);
+
+  int rejected = 0;
+  int total = 0;
+  for (std::size_t word = 0; word < n; ++word) {
+    for (unsigned bit = 0; bit < 64; ++bit) {
+      auto corrupted = wire;
+      corrupted[word] ^= 1ULL << bit;
+      RqstPacket parsed;
+      const Status s = parse_request({corrupted.data(), n}, parsed);
+      ++total;
+      if (!s.ok()) {
+        ++rejected;
+      }
+    }
+  }
+  // Every single-bit flip must be caught (LNG mismatch or CRC failure).
+  EXPECT_EQ(rejected, total);
+}
+
+TEST(PacketFuzz, TruncatedAndPaddedStreamsRejected) {
+  RqstPacket pkt;
+  RqstParams params;
+  params.rqst = Rqst::WR64;  // 5 FLITs = 10 words.
+  ASSERT_TRUE(build_request(params, pkt).ok());
+  std::array<std::uint64_t, kMaxPacketWords> wire{};
+  const std::size_t n = serialize(pkt, wire);
+  ASSERT_EQ(n, 10U);
+  RqstPacket parsed;
+  for (std::size_t len = 0; len < n; ++len) {
+    EXPECT_FALSE(parse_request({wire.data(), len}, parsed).ok()) << len;
+  }
+  EXPECT_FALSE(parse_request({wire.data(), n + 2}, parsed).ok());
+}
+
+TEST(PacketFuzz, ZeroAndAllOnesStreams) {
+  RqstPacket rqst;
+  RspPacket rsp;
+  for (const std::uint64_t fill : {0ULL, ~0ULL}) {
+    for (const std::size_t len : {2U, 4U, 10U, 34U}) {
+      std::vector<std::uint64_t> words(len, fill);
+      EXPECT_FALSE(parse_request(words, rqst).ok());
+      EXPECT_FALSE(parse_response(words, rsp).ok());
+    }
+  }
+}
+
+TEST(PacketFuzz, MutatedBuiltPacketsRoundTripOnlyWhenUntouched) {
+  Xoshiro256 rng(0x5EED5);
+  for (int iter = 0; iter < 500; ++iter) {
+    RqstParams params;
+    params.rqst = Rqst::RD64;
+    params.addr = rng() & ((1ULL << 34) - 1);
+    params.tag = static_cast<std::uint16_t>(rng.below(kMaxTag + 1));
+    RqstPacket pkt;
+    ASSERT_TRUE(build_request(params, pkt).ok());
+    std::array<std::uint64_t, kMaxPacketWords> wire{};
+    const std::size_t n = serialize(pkt, wire);
+
+    RqstPacket parsed;
+    ASSERT_TRUE(parse_request({wire.data(), n}, parsed).ok());
+
+    // One random mutation that keeps LNG plausible must be rejected.
+    auto corrupted = wire;
+    const std::size_t word = rng.below(n);
+    std::uint64_t flip = 1ULL << rng.below(64);
+    if (word == 0) {
+      // Avoid toggling LNG into a mismatch trivially — flip the address
+      // bits instead, the harder case for detection.
+      flip = 1ULL << (24 + rng.below(34));
+    }
+    corrupted[word] ^= flip;
+    EXPECT_FALSE(parse_request({corrupted.data(), n}, parsed).ok());
+  }
+}
+
+}  // namespace
+}  // namespace hmcsim::spec

@@ -1,0 +1,325 @@
+// packet_test.cpp — HMC 2.1 packet codec tests: field layout, build/parse
+// round trips (including a randomized property sweep), CRC integrity.
+#include "src/spec/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "src/common/rng.hpp"
+
+namespace hmcsim::spec {
+namespace {
+
+TEST(PacketFields, RequestHeaderLayout) {
+  std::uint64_t head = 0;
+  head = RqstHead::Cmd::set(head, 0x7F);
+  head = RqstHead::Lng::set(head, 17);
+  head = RqstHead::Tag::set(head, 0x7FF);
+  head = RqstHead::Adrs::set(head, 0x3FFFFFFFFULL);
+  head = RqstHead::Cub::set(head, 7);
+  EXPECT_EQ(RqstHead::Cmd::get(head), 0x7FULL);
+  EXPECT_EQ(RqstHead::Lng::get(head), 17ULL);
+  EXPECT_EQ(RqstHead::Tag::get(head), 0x7FFULL);
+  EXPECT_EQ(RqstHead::Adrs::get(head), 0x3FFFFFFFFULL);
+  EXPECT_EQ(RqstHead::Cub::get(head), 7ULL);
+}
+
+TEST(PacketFields, RequestFieldsDoNotOverlap) {
+  // Setting each field to its maximum with the others zero must be
+  // recoverable independently.
+  struct Probe {
+    unsigned lsb;
+    unsigned width;
+  };
+  const Probe fields[] = {{RqstHead::Cmd::kLsb, RqstHead::Cmd::kWidth},
+                          {RqstHead::Lng::kLsb, RqstHead::Lng::kWidth},
+                          {RqstHead::Tag::kLsb, RqstHead::Tag::kWidth},
+                          {RqstHead::Adrs::kLsb, RqstHead::Adrs::kWidth},
+                          {RqstHead::Cub::kLsb, RqstHead::Cub::kWidth}};
+  for (std::size_t i = 0; i < std::size(fields); ++i) {
+    for (std::size_t j = i + 1; j < std::size(fields); ++j) {
+      const bool disjoint =
+          fields[i].lsb + fields[i].width <= fields[j].lsb ||
+          fields[j].lsb + fields[j].width <= fields[i].lsb;
+      EXPECT_TRUE(disjoint) << "fields " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(PacketFields, ResponseTailLayout) {
+  std::uint64_t tail = 0;
+  tail = RspTail::Errstat::set(tail, 0x55);
+  tail = RspTail::Dinv::set(tail, 1);
+  tail = RspTail::Crc::set(tail, 0xFFFFFFFF);
+  EXPECT_EQ(RspTail::Errstat::get(tail), 0x55ULL);
+  EXPECT_EQ(RspTail::Dinv::get(tail), 1ULL);
+  EXPECT_EQ(RspTail::Crc::get(tail), 0xFFFFFFFFULL);
+}
+
+TEST(BuildRequest, BasicReadPacket) {
+  RqstPacket pkt;
+  RqstParams params;
+  params.rqst = Rqst::RD64;
+  params.addr = 0x123456;
+  params.tag = 42;
+  params.cub = 3;
+  ASSERT_TRUE(build_request(params, pkt).ok());
+  EXPECT_EQ(pkt.rqst(), Rqst::RD64);
+  EXPECT_EQ(pkt.flits(), 1U);
+  EXPECT_EQ(pkt.tag(), 42);
+  EXPECT_EQ(pkt.addr(), 0x123456ULL);
+  EXPECT_EQ(pkt.cub(), 3);
+  EXPECT_TRUE(verify_crc(pkt));
+}
+
+TEST(BuildRequest, WritePacketCarriesPayload) {
+  const std::array<std::uint64_t, 2> payload{0xAABB, 0xCCDD};
+  RqstPacket pkt;
+  RqstParams params;
+  params.rqst = Rqst::WR16;
+  params.addr = 0x40;
+  params.payload = payload;
+  ASSERT_TRUE(build_request(params, pkt).ok());
+  EXPECT_EQ(pkt.flits(), 2U);
+  ASSERT_EQ(pkt.payload().size(), 2U);
+  EXPECT_EQ(pkt.payload()[0], 0xAABBULL);
+  EXPECT_EQ(pkt.payload()[1], 0xCCDDULL);
+}
+
+TEST(BuildRequest, RejectsOutOfRangeFields) {
+  RqstPacket pkt;
+  RqstParams params;
+  params.rqst = Rqst::RD16;
+
+  params.addr = 1ULL << 34;  // ADRS is 34 bits.
+  EXPECT_EQ(build_request(params, pkt).code(), StatusCode::InvalidArg);
+  params.addr = 0;
+
+  params.tag = 0x800;  // TAG is 11 bits.
+  EXPECT_EQ(build_request(params, pkt).code(), StatusCode::InvalidArg);
+  params.tag = 0;
+
+  params.cub = 8;  // CUB is 3 bits.
+  EXPECT_EQ(build_request(params, pkt).code(), StatusCode::InvalidArg);
+}
+
+TEST(BuildRequest, RejectsOversizedPayload) {
+  const std::array<std::uint64_t, 4> payload{1, 2, 3, 4};
+  RqstPacket pkt;
+  RqstParams params;
+  params.rqst = Rqst::WR16;  // 2 FLITs -> 2 payload words max.
+  params.payload = payload;
+  EXPECT_EQ(build_request(params, pkt).code(), StatusCode::InvalidArg);
+}
+
+TEST(BuildRequest, FlitsOverrideOnlyForCmc) {
+  RqstPacket pkt;
+  RqstParams params;
+  params.rqst = Rqst::RD16;
+  params.flits_override = 3;
+  EXPECT_EQ(build_request(params, pkt).code(), StatusCode::InvalidArg);
+
+  params.rqst = Rqst::CMC125;
+  ASSERT_TRUE(build_request(params, pkt).ok());
+  EXPECT_EQ(pkt.flits(), 3U);
+}
+
+TEST(BuildResponse, BasicFields) {
+  const std::array<std::uint64_t, 2> payload{7, 9};
+  RspPacket pkt;
+  RspParams params;
+  params.rsp_cmd_code = static_cast<std::uint8_t>(ResponseType::RD_RS);
+  params.flits = 2;
+  params.tag = 99;
+  params.cub = 2;
+  params.slid = 5;
+  params.atomic_flag = true;
+  params.errstat = 3;
+  params.payload = payload;
+  ASSERT_TRUE(build_response(params, pkt).ok());
+  EXPECT_EQ(pkt.cmd(), 0x38);
+  EXPECT_EQ(pkt.flits(), 2U);
+  EXPECT_EQ(pkt.tag(), 99);
+  EXPECT_EQ(pkt.cub(), 2);
+  EXPECT_EQ(pkt.slid(), 5);
+  EXPECT_TRUE(pkt.atomic_flag());
+  EXPECT_EQ(pkt.errstat(), 3);
+  EXPECT_FALSE(pkt.data_invalid());
+  ASSERT_EQ(pkt.payload().size(), 2U);
+  EXPECT_EQ(pkt.payload()[0], 7ULL);
+  EXPECT_TRUE(verify_crc(pkt));
+}
+
+TEST(BuildResponse, RejectsBadLengths) {
+  RspPacket pkt;
+  RspParams params;
+  params.flits = 0;
+  EXPECT_EQ(build_response(params, pkt).code(), StatusCode::InvalidArg);
+  params.flits = 18;
+  EXPECT_EQ(build_response(params, pkt).code(), StatusCode::InvalidArg);
+}
+
+TEST(Serialize, RoundTripRequest) {
+  const std::array<std::uint64_t, 2> payload{0x1111, 0x2222};
+  RqstPacket pkt;
+  RqstParams params;
+  params.rqst = Rqst::WR16;
+  params.addr = 0x80;
+  params.tag = 5;
+  params.payload = payload;
+  ASSERT_TRUE(build_request(params, pkt).ok());
+
+  std::array<std::uint64_t, kMaxPacketWords> wire{};
+  const std::size_t n = serialize(pkt, wire);
+  ASSERT_EQ(n, 4U);  // 2 FLITs = 4 words.
+  EXPECT_EQ(wire[0], pkt.head);
+  EXPECT_EQ(wire[3], pkt.tail);
+
+  RqstPacket parsed;
+  ASSERT_TRUE(parse_request({wire.data(), n}, parsed).ok());
+  EXPECT_EQ(parsed.head, pkt.head);
+  EXPECT_EQ(parsed.tail, pkt.tail);
+  EXPECT_EQ(parsed.payload()[0], 0x1111ULL);
+  EXPECT_EQ(parsed.payload()[1], 0x2222ULL);
+}
+
+TEST(Serialize, ParseDetectsCorruption) {
+  RqstPacket pkt;
+  RqstParams params;
+  params.rqst = Rqst::RD32;
+  params.addr = 0x1000;
+  ASSERT_TRUE(build_request(params, pkt).ok());
+
+  std::array<std::uint64_t, kMaxPacketWords> wire{};
+  const std::size_t n = serialize(pkt, wire);
+  ASSERT_EQ(n, 2U);
+
+  // Flip one address bit: the CRC check must reject the stream.
+  wire[0] ^= 1ULL << 30;
+  RqstPacket parsed;
+  EXPECT_EQ(parse_request({wire.data(), n}, parsed).code(),
+            StatusCode::InvalidArg);
+}
+
+TEST(Serialize, ParseRejectsLengthMismatch) {
+  RqstPacket pkt;
+  RqstParams params;
+  params.rqst = Rqst::WR64;  // 5 FLITs.
+  ASSERT_TRUE(build_request(params, pkt).ok());
+  std::array<std::uint64_t, kMaxPacketWords> wire{};
+  const std::size_t n = serialize(pkt, wire);
+  ASSERT_EQ(n, 10U);
+  RqstPacket parsed;
+  EXPECT_FALSE(parse_request({wire.data(), n - 2}, parsed).ok());
+  EXPECT_FALSE(parse_request({wire.data(), 1}, parsed).ok());
+}
+
+TEST(Serialize, BufferTooSmallReturnsZero) {
+  RqstPacket pkt;
+  RqstParams params;
+  params.rqst = Rqst::WR256;  // 17 FLITs = 34 words.
+  ASSERT_TRUE(build_request(params, pkt).ok());
+  std::array<std::uint64_t, 10> small{};
+  EXPECT_EQ(serialize(pkt, small), 0U);
+}
+
+// Property: build -> serialize -> parse is the identity for every command
+// and randomized field values.
+TEST(PacketProperty, RandomizedRoundTripAllCommands) {
+  Xoshiro256 rng(0xBEEF);
+  std::array<std::uint64_t, 32> payload{};
+  for (const CommandInfo& info : all_commands()) {
+    if (info.kind == CommandKind::Flow) {
+      continue;  // Flow packets are link-consumed, not vault-routed.
+    }
+    for (int iter = 0; iter < 8; ++iter) {
+      RqstParams params;
+      params.rqst = info.rqst;
+      params.addr = rng() & ((1ULL << 34) - 1);
+      params.tag = static_cast<std::uint16_t>(rng.below(kMaxTag + 1));
+      params.cub = static_cast<std::uint8_t>(rng.below(8));
+      std::uint32_t flits = info.rqst_flits;
+      if (info.kind == CommandKind::Cmc) {
+        flits = 1 + static_cast<std::uint32_t>(rng.below(17));
+        params.flits_override = static_cast<std::uint8_t>(flits);
+      }
+      const std::size_t words = 2 * (flits - 1);
+      for (std::size_t w = 0; w < words; ++w) {
+        payload[w] = rng();
+      }
+      params.payload = {payload.data(), words};
+
+      RqstPacket pkt;
+      ASSERT_TRUE(build_request(params, pkt).ok()) << info.name;
+      EXPECT_TRUE(verify_crc(pkt)) << info.name;
+
+      std::array<std::uint64_t, kMaxPacketWords> wire{};
+      const std::size_t n = serialize(pkt, wire);
+      ASSERT_EQ(n, 2 * flits) << info.name;
+
+      RqstPacket parsed;
+      ASSERT_TRUE(parse_request({wire.data(), n}, parsed).ok()) << info.name;
+      EXPECT_EQ(parsed.head, pkt.head);
+      EXPECT_EQ(parsed.tail, pkt.tail);
+      EXPECT_EQ(parsed.addr(), params.addr);
+      EXPECT_EQ(parsed.tag(), params.tag);
+      EXPECT_EQ(parsed.cub(), params.cub);
+      for (std::size_t w = 0; w < words; ++w) {
+        EXPECT_EQ(parsed.payload()[w], payload[w]);
+      }
+    }
+  }
+}
+
+TEST(PacketProperty, RandomizedResponseRoundTrip) {
+  Xoshiro256 rng(0xF00D);
+  std::array<std::uint64_t, 32> payload{};
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::uint32_t flits = 1 + static_cast<std::uint32_t>(rng.below(17));
+    const std::size_t words = 2 * (flits - 1);
+    for (std::size_t w = 0; w < words; ++w) {
+      payload[w] = rng();
+    }
+    RspParams params;
+    params.rsp_cmd_code = static_cast<std::uint8_t>(rng.below(128));
+    params.flits = flits;
+    params.tag = static_cast<std::uint16_t>(rng.below(kMaxTag + 1));
+    params.cub = static_cast<std::uint8_t>(rng.below(8));
+    params.slid = static_cast<std::uint8_t>(rng.below(8));
+    params.atomic_flag = rng.below(2) != 0;
+    params.errstat = static_cast<std::uint8_t>(rng.below(128));
+    params.payload = {payload.data(), words};
+
+    RspPacket pkt;
+    ASSERT_TRUE(build_response(params, pkt).ok());
+    std::array<std::uint64_t, kMaxPacketWords> wire{};
+    const std::size_t n = serialize(pkt, wire);
+    ASSERT_EQ(n, 2 * flits);
+    RspPacket parsed;
+    ASSERT_TRUE(parse_response({wire.data(), n}, parsed).ok());
+    EXPECT_EQ(parsed.tag(), params.tag);
+    EXPECT_EQ(parsed.slid(), params.slid);
+    EXPECT_EQ(parsed.atomic_flag(), params.atomic_flag);
+    EXPECT_EQ(parsed.errstat(), params.errstat);
+    for (std::size_t w = 0; w < words; ++w) {
+      EXPECT_EQ(parsed.payload()[w], payload[w]);
+    }
+  }
+}
+
+TEST(PacketToString, ContainsKeyFields) {
+  RqstPacket pkt;
+  RqstParams params;
+  params.rqst = Rqst::INC8;
+  params.addr = 0xABC;
+  params.tag = 7;
+  ASSERT_TRUE(build_request(params, pkt).ok());
+  const std::string s = to_string(pkt);
+  EXPECT_NE(s.find("INC8"), std::string::npos);
+  EXPECT_NE(s.find("tag=7"), std::string::npos);
+  EXPECT_NE(s.find("abc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmcsim::spec

@@ -1,0 +1,195 @@
+// trace_test.cpp — trace subsystem tests.
+#include "src/trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hmcsim::trace {
+namespace {
+
+Event make_event(Level kind, std::uint64_t cycle = 10) {
+  Event ev;
+  ev.cycle = cycle;
+  ev.kind = kind;
+  ev.where = {1, 2, 3, 4, 5};
+  ev.tag = 77;
+  ev.op = "hmc_lock";
+  ev.addr = 0x4000;
+  ev.value = 9;
+  return ev;
+}
+
+TEST(TraceLevel, BitmaskOperators) {
+  const Level mask = Level::Stalls | Level::Cmc;
+  EXPECT_TRUE(any(mask & Level::Stalls));
+  EXPECT_TRUE(any(mask & Level::Cmc));
+  EXPECT_FALSE(any(mask & Level::Latency));
+  EXPECT_FALSE(any(Level::None));
+}
+
+TEST(Tracer, DisabledByDefault) {
+  Tracer tracer;
+  VectorSink sink;
+  tracer.attach(&sink);
+  tracer.emit(make_event(Level::Stalls));
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(Tracer, MaskFiltersKinds) {
+  Tracer tracer;
+  VectorSink sink;
+  tracer.attach(&sink);
+  tracer.set_level(Level::Cmc | Level::Latency);
+  tracer.emit(make_event(Level::Cmc));
+  tracer.emit(make_event(Level::Stalls));  // Filtered.
+  tracer.emit(make_event(Level::Latency));
+  ASSERT_EQ(sink.events().size(), 2U);
+  EXPECT_EQ(sink.events()[0].kind, Level::Cmc);
+  EXPECT_EQ(sink.events()[1].kind, Level::Latency);
+}
+
+TEST(Tracer, MultipleSinksAllReceive) {
+  Tracer tracer;
+  VectorSink a;
+  VectorSink b;
+  tracer.attach(&a);
+  tracer.attach(&b);
+  tracer.set_level(Level::All);
+  tracer.emit(make_event(Level::Rqst));
+  EXPECT_EQ(a.events().size(), 1U);
+  EXPECT_EQ(b.events().size(), 1U);
+}
+
+TEST(Tracer, AttachIsIdempotent) {
+  Tracer tracer;
+  VectorSink sink;
+  tracer.attach(&sink);
+  tracer.attach(&sink);
+  tracer.set_level(Level::All);
+  tracer.emit(make_event(Level::Rqst));
+  EXPECT_EQ(sink.events().size(), 1U);
+}
+
+TEST(Tracer, DetachStopsDelivery) {
+  Tracer tracer;
+  VectorSink sink;
+  tracer.attach(&sink);
+  tracer.set_level(Level::All);
+  tracer.detach(&sink);
+  tracer.emit(make_event(Level::Rqst));
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(TextSink, RendersCmcOpByName) {
+  // The paper's requirement: CMC operations resolve in the trace by their
+  // plugin-supplied name, like any normal HMC command.
+  std::ostringstream oss;
+  TextSink sink(oss);
+  sink.on_event(make_event(Level::Cmc));
+  const std::string line = oss.str();
+  EXPECT_NE(line.find("CMC"), std::string::npos);
+  EXPECT_NE(line.find("hmc_lock"), std::string::npos);
+  EXPECT_NE(line.find("tag=77"), std::string::npos);
+  EXPECT_NE(line.find("0x4000"), std::string::npos);
+}
+
+TEST(TextSink, IncludesNoteWhenPresent) {
+  std::ostringstream oss;
+  TextSink sink(oss);
+  Event ev = make_event(Level::Stalls);
+  ev.note = "vault request queue full";
+  sink.on_event(ev);
+  EXPECT_NE(oss.str().find("vault request queue full"), std::string::npos);
+}
+
+TEST(CsvSink, HeaderAndRow) {
+  std::ostringstream oss;
+  CsvSink sink(oss);
+  sink.on_event(make_event(Level::Rsp));
+  const std::string out = oss.str();
+  EXPECT_EQ(out.find("cycle,kind,dev,quad,vault,bank,link,tag,op,addr"), 0U);
+  EXPECT_NE(out.find("10,RSP,1,2,3,4,5,77,hmc_lock"), std::string::npos);
+}
+
+TEST(CountingSink, CountsPerKind) {
+  CountingSink sink;
+  sink.on_event(make_event(Level::Stalls));
+  sink.on_event(make_event(Level::Stalls));
+  sink.on_event(make_event(Level::Cmc));
+  EXPECT_EQ(sink.count(Level::Stalls), 2U);
+  EXPECT_EQ(sink.count(Level::Cmc), 1U);
+  EXPECT_EQ(sink.count(Level::Latency), 0U);
+  EXPECT_EQ(sink.total(), 3U);
+  sink.reset();
+  EXPECT_EQ(sink.total(), 0U);
+  EXPECT_EQ(sink.count(Level::Stalls), 0U);
+}
+
+TEST(LatencySink, EmptyIsZero) {
+  LatencySink sink;
+  EXPECT_EQ(sink.count(), 0U);
+  EXPECT_EQ(sink.min(), 0U);
+  EXPECT_EQ(sink.max(), 0U);
+  EXPECT_EQ(sink.mean(), 0.0);
+  EXPECT_EQ(sink.percentile(0.5), 0U);
+}
+
+TEST(LatencySink, AggregatesOnlyLatencyEvents) {
+  LatencySink sink;
+  Event ev = make_event(Level::Latency);
+  for (const std::uint64_t v : {3U, 5U, 7U, 9U, 100U}) {
+    ev.value = v;
+    sink.on_event(ev);
+  }
+  Event other = make_event(Level::Stalls);
+  other.value = 9999;
+  sink.on_event(other);  // Ignored.
+
+  EXPECT_EQ(sink.count(), 5U);
+  EXPECT_EQ(sink.min(), 3U);
+  EXPECT_EQ(sink.max(), 100U);
+  EXPECT_DOUBLE_EQ(sink.mean(), 124.0 / 5.0);
+  EXPECT_EQ(sink.percentile(0.0), 3U);
+  EXPECT_EQ(sink.percentile(0.5), 7U);
+  EXPECT_EQ(sink.percentile(1.0), 100U);
+}
+
+TEST(LatencySink, PercentilesOnUniformRamp) {
+  LatencySink sink;
+  Event ev = make_event(Level::Latency);
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    ev.value = v;
+    sink.on_event(ev);
+  }
+  EXPECT_EQ(sink.percentile(0.95), 95U);
+  EXPECT_EQ(sink.percentile(0.99), 99U);
+  sink.reset();
+  EXPECT_EQ(sink.count(), 0U);
+}
+
+TEST(LatencySink, EndToEndThroughSimulatorTraffic) {
+  // Used as intended: attached to a live tracer with Latency enabled.
+  Tracer tracer;
+  LatencySink sink;
+  tracer.attach(&sink);
+  tracer.set_level(Level::Latency);
+  Event ev = make_event(Level::Latency);
+  ev.value = 3;
+  tracer.emit(ev);
+  tracer.emit(ev);
+  EXPECT_EQ(sink.count(), 2U);
+  EXPECT_EQ(sink.percentile(0.5), 3U);
+}
+
+TEST(TraceLevel, Names) {
+  EXPECT_EQ(to_string(Level::Stalls), "STALL");
+  EXPECT_EQ(to_string(Level::BankConflict), "BANK_CONFLICT");
+  EXPECT_EQ(to_string(Level::Cmc), "CMC");
+  EXPECT_EQ(to_string(Level::Latency), "LATENCY");
+  EXPECT_EQ(to_string(Level::Register), "REGISTER");
+  EXPECT_EQ(to_string(Level::Route), "ROUTE");
+}
+
+}  // namespace
+}  // namespace hmcsim::trace

@@ -1,0 +1,320 @@
+// hmcsim_cli.cpp — command-line driver for the simulator.
+//
+// Subcommands:
+//   commands                      print the full Gen2 command table
+//   config [4|8]                  print a canonical device configuration
+//   cmc-info <plugin.so>...       validate plugins and print registrations
+//   replay <trace> [options]      replay a trace file
+//   mutex <threads> [options]     run the Algorithm 1 contention experiment
+//
+// Common options: --links 4|8 (device selection), --plugins <dir> (load
+// the mutex trio from shared libraries), --power (energy estimate),
+// --trace-file <path> --trace-level <mask> (simulator event tracing).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plugins/builtin.h"
+#include "src/host/mutex_driver.hpp"
+#include "src/host/trace_replay.hpp"
+#include "src/power/power_model.hpp"
+#include "src/sim/stats_report.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+struct CliOptions {
+  int links = 4;
+  std::string plugin_dir;
+  bool power = false;
+  std::string trace_file;
+  std::uint32_t trace_level = 0;
+  std::vector<std::string> positional;
+};
+
+int usage() {
+  std::fputs(
+      "usage: hmcsim_cli <commands|config|cmc-info|replay|mutex> [args]\n"
+      "  commands                    print the Gen2 command table\n"
+      "  config [4|8]                print a canonical configuration\n"
+      "  cmc-info <plugin.so>...     validate plugins, print registrations\n"
+      "  replay <trace-file>         replay a trace\n"
+      "  mutex <threads>             run the mutex contention experiment\n"
+      "options: --links 4|8  --plugins <dir>  --power\n"
+      "         --trace-file <path>  --trace-level <mask>\n",
+      stderr);
+  return 2;
+}
+
+bool parse_options(int argc, char** argv, CliOptions& opts) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--links") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.links = std::atoi(v);
+    } else if (arg == "--plugins") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.plugin_dir = v;
+    } else if (arg == "--power") {
+      opts.power = true;
+    } else if (arg == "--trace-file") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.trace_file = v;
+    } else if (arg == "--trace-level") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.trace_level = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+    } else {
+      opts.positional.emplace_back(arg);
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<sim::Simulator> make_sim(const CliOptions& opts) {
+  const sim::Config cfg = opts.links == 8 ? sim::Config::hmc_8link_8gb()
+                                          : sim::Config::hmc_4link_4gb();
+  std::unique_ptr<sim::Simulator> sim;
+  if (Status s = sim::Simulator::create(cfg, sim); !s.ok()) {
+    std::fprintf(stderr, "create: %s\n", s.to_string().c_str());
+    return nullptr;
+  }
+  return sim;
+}
+
+bool load_mutex_ops(sim::Simulator& sim, const CliOptions& opts) {
+  if (!opts.plugin_dir.empty()) {
+    for (const char* so : {"hmc_lock.so", "hmc_trylock.so",
+                           "hmc_unlock.so"}) {
+      const std::string path = opts.plugin_dir + "/" + so;
+      if (Status s = sim.load_cmc(path); !s.ok()) {
+        std::fprintf(stderr, "load_cmc(%s): %s\n", path.c_str(),
+                     s.to_string().c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+  return sim.register_cmc(hmcsim_builtin_lock_register,
+                          hmcsim_builtin_lock_execute,
+                          hmcsim_builtin_lock_str)
+             .ok() &&
+         sim.register_cmc(hmcsim_builtin_trylock_register,
+                          hmcsim_builtin_trylock_execute,
+                          hmcsim_builtin_trylock_str)
+             .ok() &&
+         sim.register_cmc(hmcsim_builtin_unlock_register,
+                          hmcsim_builtin_unlock_execute,
+                          hmcsim_builtin_unlock_str)
+             .ok();
+}
+
+int cmd_commands() {
+  std::printf("%-4s %-10s %-14s %-10s %-10s %-10s\n", "code", "name",
+              "kind", "rqst_flit", "rsp_flit", "data_B");
+  for (const auto& info : spec::all_commands()) {
+    std::printf("%-4u %-10s %-14s %-10u %-10u %-10u\n", unsigned(info.cmd),
+                std::string(info.name).c_str(),
+                std::string(spec::to_string(info.kind)).c_str(),
+                unsigned(info.rqst_flits), unsigned(info.rsp_flits),
+                unsigned(info.data_bytes));
+  }
+  return 0;
+}
+
+int cmd_config(const CliOptions& opts) {
+  const sim::Config cfg = opts.links == 8 ? sim::Config::hmc_8link_8gb()
+                                          : sim::Config::hmc_4link_4gb();
+  std::printf("%s\n", cfg.describe().c_str());
+  std::printf("xbar forwarding bandwidth: %u flits/link/cycle (rqst), "
+              "%u (rsp)\n",
+              cfg.xbar_rqst_bw_flits, cfg.xbar_rsp_bw_flits);
+  std::printf("bank conflict model: %s\n",
+              cfg.model_bank_conflicts ? "on" : "off");
+  return 0;
+}
+
+int cmd_cmc_info(const CliOptions& opts) {
+  if (opts.positional.empty()) {
+    return usage();
+  }
+  cmc::CmcRegistry registry;
+  cmc::CmcLoader loader;
+  int rc = 0;
+  for (const std::string& path : opts.positional) {
+    if (Status s = loader.load(path, registry); !s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), s.to_string().c_str());
+      rc = 1;
+      continue;
+    }
+  }
+  std::printf("%-14s %-8s %-10s %-10s %-10s %-8s\n", "name", "code",
+              "rqst_len", "rsp_len", "rsp_cmd", "rsp_code");
+  for (const auto& op : registry.slots()) {
+    if (!op.active) {
+      continue;
+    }
+    std::printf("%-14s %-8u %-10u %-10u %-10s 0x%02X\n", op.name.c_str(),
+                op.cmd, op.rqst_len, op.rsp_len,
+                std::string(spec::to_string(op.rsp_cmd)).c_str(),
+                op.rsp_cmd_code);
+  }
+  return rc;
+}
+
+/// Attach file tracing if requested; keeps the sink alive via out-params.
+bool setup_tracing(sim::Simulator& sim, const CliOptions& opts,
+                   std::unique_ptr<std::ofstream>& file,
+                   std::unique_ptr<trace::TextSink>& sink) {
+  if (opts.trace_file.empty()) {
+    return true;
+  }
+  file = std::make_unique<std::ofstream>(opts.trace_file);
+  if (!file->is_open()) {
+    std::fprintf(stderr, "cannot open trace file %s\n",
+                 opts.trace_file.c_str());
+    return false;
+  }
+  sink = std::make_unique<trace::TextSink>(*file);
+  sim.tracer().attach(sink.get());
+  sim.tracer().set_level(static_cast<trace::Level>(
+      opts.trace_level != 0 ? opts.trace_level
+                            : static_cast<std::uint32_t>(
+                                  trace::Level::All)));
+  return true;
+}
+
+void maybe_power_report(const sim::Simulator& sim,
+                        const sim::SimStats& before, const CliOptions& opts) {
+  if (!opts.power) {
+    return;
+  }
+  const power::PowerModel model;
+  const power::Activity activity =
+      power::delta(before, sim.stats(), sim.num_devices());
+  std::printf("%s", power::PowerModel::format(model.estimate(activity),
+                                              model.segment_ns(activity))
+                        .c_str());
+}
+
+int cmd_replay(const CliOptions& opts) {
+  if (opts.positional.empty()) {
+    return usage();
+  }
+  std::vector<host::TraceRecord> records;
+  if (Status s = host::load_trace(opts.positional[0], records); !s.ok()) {
+    std::fprintf(stderr, "load_trace: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  auto sim = make_sim(opts);
+  if (!sim) {
+    return 1;
+  }
+  // CMC records in the trace need the mutex/extras registered; register
+  // the builtin set so common traces replay out of the box.
+  (void)load_mutex_ops(*sim, opts);
+  std::unique_ptr<std::ofstream> trace_stream;
+  std::unique_ptr<trace::TextSink> trace_sink;
+  if (!setup_tracing(*sim, opts, trace_stream, trace_sink)) {
+    return 1;
+  }
+  const auto before = sim->stats();
+  host::ReplayResult result;
+  if (Status s = host::replay_trace(*sim, records, result); !s.ok()) {
+    std::fprintf(stderr, "replay: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("replayed %llu requests: %llu responses, %llu errors, "
+              "%llu cycles, %llu retries\n",
+              static_cast<unsigned long long>(result.requests_issued),
+              static_cast<unsigned long long>(result.responses_received),
+              static_cast<unsigned long long>(result.error_responses),
+              static_cast<unsigned long long>(result.cycles),
+              static_cast<unsigned long long>(result.send_retries));
+  std::printf("%s", sim::format_stats(*sim).c_str());
+  maybe_power_report(*sim, before, opts);
+  return result.error_responses == 0 ? 0 : 1;
+}
+
+int cmd_mutex(const CliOptions& opts) {
+  if (opts.positional.empty()) {
+    return usage();
+  }
+  const auto threads =
+      static_cast<std::uint32_t>(std::atoi(opts.positional[0].c_str()));
+  auto sim = make_sim(opts);
+  if (!sim || !load_mutex_ops(*sim, opts)) {
+    return 1;
+  }
+  std::unique_ptr<std::ofstream> trace_stream;
+  std::unique_ptr<trace::TextSink> trace_sink;
+  if (!setup_tracing(*sim, opts, trace_stream, trace_sink)) {
+    return 1;
+  }
+  const auto before = sim->stats();
+  host::MutexOptions mopts;
+  mopts.lock_addr = 0x4000;
+  host::MutexResult result;
+  if (Status s = host::run_mutex_contention(*sim, threads, mopts, result);
+      !s.ok()) {
+    std::fprintf(stderr, "mutex: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("threads=%u MIN_CYCLE=%llu MAX_CYCLE=%llu AVG_CYCLE=%.2f\n",
+              threads, static_cast<unsigned long long>(result.min_cycles),
+              static_cast<unsigned long long>(result.max_cycles),
+              result.avg_cycles);
+  maybe_power_report(*sim, before, opts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  CliOptions opts;
+  if (!parse_options(argc, argv, opts)) {
+    return usage();
+  }
+  const std::string_view cmd = argv[1];
+  if (cmd == "commands") {
+    return cmd_commands();
+  }
+  if (cmd == "config") {
+    if (!opts.positional.empty()) {
+      opts.links = std::atoi(opts.positional[0].c_str());
+    }
+    return cmd_config(opts);
+  }
+  if (cmd == "cmc-info") {
+    return cmd_cmc_info(opts);
+  }
+  if (cmd == "replay") {
+    return cmd_replay(opts);
+  }
+  if (cmd == "mutex") {
+    return cmd_mutex(opts);
+  }
+  return usage();
+}
