@@ -72,7 +72,7 @@ int main() {
     std::printf("%-12s %12llu %12llu %12llu %12.2f %10.2f\n", rate,
                 static_cast<unsigned long long>(result.cycles),
                 static_cast<unsigned long long>(
-                    sim->stats().devices.link_retries),
+                    sim->stats().link_retries),
                 static_cast<unsigned long long>(result.rqst_flits),
                 result.bytes_per_cycle(), probe_latency(ppm));
   }

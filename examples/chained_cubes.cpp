@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
   std::printf("\nforwarded requests per cube:");
   for (std::uint32_t cub = 0; cub < cubes; ++cub) {
     std::printf(" %llu", static_cast<unsigned long long>(
-                             sim->device(cub).stats().forwarded_rqsts));
+                             sim->device(cub).forwarded_rqsts().value()));
   }
   std::puts(ok ? "\nall counters correct" : "\nCOUNTER MISMATCH");
   return ok ? 0 : 1;

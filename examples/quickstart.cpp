@@ -116,7 +116,7 @@ int main() {
   const sim::SimStats stats = sim->stats();
   std::printf("total: %llu cycles, %llu requests, %llu responses\n",
               static_cast<unsigned long long>(stats.cycles),
-              static_cast<unsigned long long>(stats.devices.rqsts_processed),
-              static_cast<unsigned long long>(stats.devices.rsps_generated));
+              static_cast<unsigned long long>(stats.rqsts_processed),
+              static_cast<unsigned long long>(stats.rsps_generated));
   return 0;
 }

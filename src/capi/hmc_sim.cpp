@@ -1,10 +1,13 @@
 #include "capi/hmc_sim.h"
 
+#include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "sim/simulator.hpp"
+#include "sim/stats_report.hpp"
 
 /* The opaque C handle wraps the C++ Simulator plus the trace plumbing the
  * C API owns (sink objects need a stable home). */
@@ -192,6 +195,40 @@ int hmcsim_trace_file(hmc_sim_t *sim, const char *path) {
   }
   sim->sim->tracer().attach(sim->sink.get());
   return HMC_OK;
+}
+
+uint64_t hmcsim_stats_json(hmc_sim_t *sim, char *buf, uint64_t buf_len) {
+  if (sim == nullptr) {
+    return 0;
+  }
+  const std::string json = hmcsim::sim::format_stats_json(*sim->sim);
+  if (buf != nullptr && buf_len > 0) {
+    const uint64_t n =
+        std::min<uint64_t>(json.size(), buf_len - 1);
+    std::memcpy(buf, json.data(), n);
+    buf[n] = '\0';
+  }
+  return json.size();
+}
+
+int hmcsim_stat_get(hmc_sim_t *sim, const char *path, uint64_t *value) {
+  if (sim == nullptr || path == nullptr || value == nullptr) {
+    return HMC_ERROR;
+  }
+  const hmcsim::metrics::StatRegistry &reg = sim->sim->metrics();
+  if (const auto *c = reg.find_counter(path)) {
+    *value = c->value();
+    return HMC_OK;
+  }
+  if (const auto *h = reg.find_histogram(path)) {
+    *value = h->count();
+    return HMC_OK;
+  }
+  if (const auto *g = reg.find_gauge(path)) {
+    *value = static_cast<uint64_t>(g->value());
+    return HMC_OK;
+  }
+  return HMC_ERROR;
 }
 
 } /* extern "C" */

@@ -76,6 +76,20 @@ int hmcsim_util_mem_write(hmc_sim_t *sim, uint32_t dev, uint64_t addr,
 int hmcsim_trace_level(hmc_sim_t *sim, uint32_t level);
 int hmcsim_trace_file(hmc_sim_t *sim, const char *path);
 
+/* Render the full statistics registry as JSON (schema documented in
+ * docs/METRICS.md). Writes at most buf_len-1 bytes plus a NUL terminator
+ * into `buf` and returns the number of bytes the complete document needs
+ * (excluding the NUL) — call with buf_len 0 to size a buffer, then again
+ * to fill it. Returns 0 on error (NULL sim). */
+uint64_t hmcsim_stats_json(hmc_sim_t *sim, char *buf, uint64_t buf_len);
+
+/* Read one statistic by its registry path (e.g.
+ * "cube0.quad0.vault0.rqsts_processed" or "cube0.cmc.hmc_lock.executed").
+ * Counters yield their count, histograms their sample count, gauges their
+ * value truncated toward zero. Returns HMC_OK, or HMC_ERROR when the path
+ * is unknown. */
+int hmcsim_stat_get(hmc_sim_t *sim, const char *path, uint64_t *value);
+
 #ifdef __cplusplus
 } /* extern "C" */
 #endif

@@ -1,7 +1,5 @@
 #include "core/cmc_registry.hpp"
 
-#include <algorithm>
-
 #include "spec/flit.hpp"
 
 namespace hmcsim::cmc {
@@ -80,6 +78,7 @@ Status CmcRegistry::register_op(hmcsim_cmc_register_fn reg,
   name_buf[HMCSIM_CMC_STR_MAX - 1] = '\0';
 
   slot.active = true;
+  ++active_;
   slot.rqst = static_cast<spec::Rqst>(cmd);
   slot.cmd = cmd;
   slot.rqst_len = rqst_len;
@@ -108,6 +107,7 @@ Status CmcRegistry::unregister_op(spec::Rqst rqst) {
   slot = CmcOp{};
   slot.rqst = keep_rqst;
   slot.cmd = keep_cmd;
+  --active_;
   return Status::Ok();
 }
 
@@ -154,12 +154,6 @@ Status CmcRegistry::execute(std::uint8_t cmd, CmcContext& ctx,
   return Status::Ok();
 }
 
-std::size_t CmcRegistry::active_count() const noexcept {
-  return static_cast<std::size_t>(
-      std::count_if(slots_.begin(), slots_.end(),
-                    [](const CmcOp& op) { return op.active; }));
-}
-
 void CmcRegistry::clear() {
   for (CmcOp& slot : slots_) {
     const spec::Rqst rqst = slot.rqst;
@@ -168,6 +162,7 @@ void CmcRegistry::clear() {
     slot.rqst = rqst;
     slot.cmd = cmd;
   }
+  active_ = 0;
 }
 
 }  // namespace hmcsim::cmc

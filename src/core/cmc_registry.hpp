@@ -115,8 +115,9 @@ class CmcRegistry {
                                std::span<std::uint64_t> rqst_payload,
                                CmcExecResult& out) const;
 
-  /// Number of active operations.
-  [[nodiscard]] std::size_t active_count() const noexcept;
+  /// Number of active operations. O(1): maintained on register/unregister
+  /// (polled every device clock for the CmcActive register).
+  [[nodiscard]] std::size_t active_count() const noexcept { return active_; }
 
   /// All 70 slots in ascending command-code order (introspection; the
   /// Table V bench prints from here).
@@ -135,6 +136,7 @@ class CmcRegistry {
   // code to its slot (0xFF for non-CMC codes).
   std::array<CmcOp, spec::kNumCmcCodes> slots_{};
   std::array<std::uint8_t, 128> slot_for_code_{};
+  std::size_t active_ = 0;
 };
 
 }  // namespace hmcsim::cmc

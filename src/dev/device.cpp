@@ -4,25 +4,41 @@
 
 namespace hmcsim::dev {
 
-Device::Device(const sim::Config& cfg, std::uint32_t dev_id)
+Device::Device(const sim::Config& cfg, std::uint32_t dev_id,
+               metrics::StatRegistry& reg)
     : cfg_(cfg),
       id_(dev_id),
+      metrics_(&reg),
+      prefix_("cube" + std::to_string(dev_id)),
       store_(cfg.capacity_bytes),
       amap_(cfg),
-      xbar_(cfg.num_links, cfg.xbar_depth),
+      xbar_(cfg.num_links, cfg.xbar_depth, reg, prefix_ + ".xbar"),
       chain_rqst_(cfg.xbar_depth),
       chain_rsp_(cfg.xbar_depth),
-      err_rng_(cfg.link_error_seed + dev_id) {
-  regs_.init(cfg, dev_id);
+      err_rng_(cfg.link_error_seed + dev_id),
+      forwarded_rqsts_(&reg.counter(prefix_ + ".forwarded_rqsts",
+                                    "requests forwarded to a neighbour")),
+      forwarded_rsps_(&reg.counter(prefix_ + ".forwarded_rsps",
+                                   "responses forwarded to a neighbour")) {
+  regs_.init(cfg, dev_id, reg, prefix_);
   vaults_.reserve(cfg.total_vaults());
   for (std::uint32_t v = 0; v < cfg.total_vaults(); ++v) {
-    vaults_.emplace_back(v / cfg.vaults_per_quad, v, cfg);
+    vaults_.emplace_back(v / cfg.vaults_per_quad, v, cfg, reg, prefix_);
   }
   links_.reserve(cfg.num_links);
   for (std::uint32_t l = 0; l < cfg.num_links; ++l) {
-    links_.emplace_back(cfg.xbar_depth);
-    links_.back().reset();  // Fill the token pool.
+    links_.emplace_back(cfg.xbar_depth, reg,
+                        prefix_ + ".link" + std::to_string(l));
   }
+}
+
+void Device::attach_cmc_counter(std::uint8_t cmd, std::string_view name) {
+  if (cmd >= cmc_op_counters_.size() || name.empty()) {
+    return;
+  }
+  cmc_op_counters_[cmd] = &metrics_->counter(
+      prefix_ + ".cmc." + std::string(name) + ".executed",
+      "CMC operation executions");
 }
 
 Status Device::send(RqstEntry entry, std::uint32_t link, std::uint64_t cycle,
@@ -149,14 +165,14 @@ void Device::clock_responses(std::uint64_t cycle, trace::Tracer& tracer,
   if (prev != nullptr) {
     while (!chain_rsp_.empty()) {
       if (prev->chain_rsp_.full()) {
-        ++xbar_.stats().rsp_stalls;
+        xbar_.rsp_stalls().inc();
         break;
       }
       RspEntry entry = chain_rsp_.pop();
       entry.hops = static_cast<std::uint8_t>(entry.hops + 1);
       const bool pushed = prev->chain_rsp_.push(std::move(entry));
       (void)pushed;  // Guarded by the full() check above.
-      ++forwarded_rsps_;
+      forwarded_rsps_->inc();
     }
   } else {
     // Host-attached cube: chain responses eject onto their origin link.
@@ -164,18 +180,18 @@ void Device::clock_responses(std::uint64_t cycle, trace::Tracer& tracer,
       RspEntry& head = chain_rsp_.front();
       auto& q = xbar_.rsp_queue(head.dst_link);
       if (head.pkt.flits() > rsp_budget_[head.dst_link]) {
-        ++xbar_.stats().rsp_bw_throttles;
+        xbar_.rsp_bw_throttles().inc();
         break;
       }
       if (q.full()) {
-        ++xbar_.stats().rsp_stalls;
+        xbar_.rsp_stalls().inc();
         break;
       }
       rsp_budget_[head.dst_link] -= head.pkt.flits();
       const bool pushed = q.push(head);
       (void)pushed;
       (void)chain_rsp_.pop();
-      ++xbar_.stats().rsps_routed;
+      xbar_.rsps_routed().inc();
     }
   }
 
@@ -191,14 +207,14 @@ void Device::clock_responses(std::uint64_t cycle, trace::Tracer& tracer,
       if (local) {
         auto& q = xbar_.rsp_queue(head.dst_link);
         if (head.pkt.flits() > rsp_budget_[head.dst_link]) {
-          ++xbar_.stats().rsp_bw_throttles;
+          xbar_.rsp_bw_throttles().inc();
           break;  // Budget spent: the vault's queue waits a cycle.
         }
         if (!q.full()) {
           rsp_budget_[head.dst_link] -= head.pkt.flits();
           const bool pushed = q.push(head);
           (void)pushed;
-          ++xbar_.stats().rsps_routed;
+          xbar_.rsps_routed().inc();
           moved = true;
         }
       } else {
@@ -207,7 +223,7 @@ void Device::clock_responses(std::uint64_t cycle, trace::Tracer& tracer,
         }
       }
       if (!moved) {
-        ++xbar_.stats().rsp_stalls;
+        xbar_.rsp_stalls().inc();
         if (tracer.enabled(trace::Level::Stalls)) {
           tracer.emit({.cycle = cycle,
                        .kind = trace::Level::Stalls,
@@ -228,7 +244,8 @@ void Device::clock_responses(std::uint64_t cycle, trace::Tracer& tracer,
 
 void Device::clock_vaults(std::uint64_t cycle, const cmc::CmcRegistry* cmc,
                           cmc::CmcContext* cmc_ctx, trace::Tracer& tracer) {
-  ExecEnv env{store_, regs_, amap_, cmc, cmc_ctx, tracer, cfg_, id_};
+  ExecEnv env{store_, regs_, amap_, cmc,      cmc_ctx,
+              tracer, cfg_,  id_,   cmc_op_counters_.data()};
   const bool sample_depth = tracer.enabled(trace::Level::QueueDepth);
   for (Vault& vault : vaults_) {
     // Occupancy samples are taken pre-execution so a trace consumer sees
@@ -258,7 +275,7 @@ void Device::drain_rqst_queue(FixedQueue<RqstEntry>& q, Link* token_owner,
     const RqstEntry& head = q.front();
     const std::uint8_t cub = head.pkt.cub();
     if (head.pkt.flits() > budget) {
-      ++xbar_.stats().rqst_bw_throttles;
+      xbar_.rqst_bw_throttles().inc();
       break;  // Forwarding bandwidth for this link is spent this cycle.
     }
 
@@ -266,7 +283,7 @@ void Device::drain_rqst_queue(FixedQueue<RqstEntry>& q, Link* token_owner,
       const DecodedAddr loc = amap_.decode(head.pkt.addr());
       auto& vq = vaults_[loc.vault].rqst_queue();
       if (vq.full()) {
-        ++xbar_.stats().rqst_stalls;
+        xbar_.rqst_stalls().inc();
         if (tracer.enabled(trace::Level::Stalls)) {
           tracer.emit({.cycle = cycle,
                        .kind = trace::Level::Stalls,
@@ -286,7 +303,7 @@ void Device::drain_rqst_queue(FixedQueue<RqstEntry>& q, Link* token_owner,
       }
       const bool pushed = vq.push(std::move(entry));
       (void)pushed;  // Guarded by the full() check above.
-      ++xbar_.stats().rqsts_routed;
+      xbar_.rqsts_routed().inc();
       continue;
     }
 
@@ -295,13 +312,13 @@ void Device::drain_rqst_queue(FixedQueue<RqstEntry>& q, Link* token_owner,
       // Unroutable cube id: drop after counting. The host validated the
       // CUB range at send time, so this indicates a topology
       // misconfiguration.
-      ++xbar_.stats().rqst_stalls;
+      xbar_.rqst_stalls().inc();
       (void)q.pop();
       continue;
     }
 
     if (next->chain_rqst_.full()) {
-      ++xbar_.stats().rqst_stalls;
+      xbar_.rqst_stalls().inc();
       if (tracer.enabled(trace::Level::Stalls)) {
         tracer.emit({.cycle = cycle,
                      .kind = trace::Level::Stalls,
@@ -331,7 +348,7 @@ void Device::drain_rqst_queue(FixedQueue<RqstEntry>& q, Link* token_owner,
     }
     const bool pushed = next->chain_rqst_.push(std::move(entry));
     (void)pushed;  // Guarded by the full() check above.
-    ++forwarded_rqsts_;
+    forwarded_rqsts_->inc();
   }
 }
 
@@ -352,32 +369,6 @@ void Device::clock_requests(std::uint64_t cycle, trace::Tracer& tracer,
                    tracer, route);
 }
 
-DeviceStats Device::stats() const {
-  DeviceStats s;
-  for (const Vault& vault : vaults_) {
-    const VaultStats& vs = vault.stats();
-    s.rqsts_processed += vs.rqsts_processed;
-    s.rsps_generated += vs.rsps_generated;
-    s.cmc_executed += vs.cmc_executed;
-    s.amo_executed += vs.amo_executed;
-    s.errors += vs.errors;
-    s.bank_conflicts += vs.bank_conflicts;
-    s.vault_rsp_stalls += vs.rsp_stalls;
-  }
-  s.xbar_rqst_stalls = xbar_.stats().rqst_stalls;
-  s.xbar_rsp_stalls = xbar_.stats().rsp_stalls;
-  for (const Link& link : links_) {
-    const LinkStats& ls = link.stats();
-    s.send_stalls += ls.send_stalls;
-    s.rqst_flits += ls.rqst_flits;
-    s.rsp_flits += ls.rsp_flits;
-    s.link_retries += ls.retries;
-  }
-  s.forwarded_rqsts = forwarded_rqsts_;
-  s.forwarded_rsps = forwarded_rsps_;
-  return s;
-}
-
 void Device::reset_pipeline() {
   for (Vault& vault : vaults_) {
     vault.reset();
@@ -389,8 +380,13 @@ void Device::reset_pipeline() {
   chain_rqst_.clear();
   chain_rsp_.clear();
   retry_buffer_.clear();
-  forwarded_rqsts_ = 0;
-  forwarded_rsps_ = 0;
+  forwarded_rqsts_->reset();
+  forwarded_rsps_->reset();
+  for (metrics::Counter* c : cmc_op_counters_) {
+    if (c != nullptr) {
+      c->reset();
+    }
+  }
 }
 
 }  // namespace hmcsim::dev

@@ -18,9 +18,12 @@
 // paper's lock+unlock sequence at 6 cycles (Table VI).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/fixed_queue.hpp"
@@ -33,34 +36,19 @@
 #include "dev/vault.hpp"
 #include "dev/xbar.hpp"
 #include "mem/backing_store.hpp"
+#include "metrics/stat_registry.hpp"
 #include "sim/config.hpp"
 #include "trace/trace.hpp"
 
 namespace hmcsim::dev {
 
-/// Aggregated device statistics (sums over links/vaults plus device-level
-/// counters).
-struct DeviceStats {
-  std::uint64_t rqsts_processed = 0;
-  std::uint64_t rsps_generated = 0;
-  std::uint64_t cmc_executed = 0;
-  std::uint64_t amo_executed = 0;
-  std::uint64_t errors = 0;
-  std::uint64_t bank_conflicts = 0;
-  std::uint64_t xbar_rqst_stalls = 0;
-  std::uint64_t xbar_rsp_stalls = 0;
-  std::uint64_t vault_rsp_stalls = 0;
-  std::uint64_t send_stalls = 0;
-  std::uint64_t rqst_flits = 0;
-  std::uint64_t rsp_flits = 0;
-  std::uint64_t forwarded_rqsts = 0;
-  std::uint64_t forwarded_rsps = 0;
-  std::uint64_t link_retries = 0;  ///< CRC-failure redeliveries.
-};
-
 class Device {
  public:
-  Device(const sim::Config& cfg, std::uint32_t dev_id);
+  /// Builds the cube and registers every component statistic in `reg`
+  /// under `cube{dev_id}.`. The registry must outlive the device (the
+  /// Simulator owns both, registry first).
+  Device(const sim::Config& cfg, std::uint32_t dev_id,
+         metrics::StatRegistry& reg);
 
   [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
 
@@ -118,8 +106,23 @@ class Device {
     return chain_rsp_;
   }
 
-  /// Sum statistics across all components.
-  [[nodiscard]] DeviceStats stats() const;
+  /// Requests/responses forwarded to a neighbour cube (chain/star hops).
+  [[nodiscard]] const metrics::Counter& forwarded_rqsts() const noexcept {
+    return *forwarded_rqsts_;
+  }
+  [[nodiscard]] const metrics::Counter& forwarded_rsps() const noexcept {
+    return *forwarded_rsps_;
+  }
+
+  /// Registry path prefix of this device ("cube{id}").
+  [[nodiscard]] const std::string& stat_prefix() const noexcept {
+    return prefix_;
+  }
+
+  /// Attach (or create) the per-operation execution counter for CMC
+  /// command code `cmd` under `cube{id}.cmc.{name}.executed`. Called by
+  /// the Simulator whenever a CMC operation (re)registers; idempotent.
+  void attach_cmc_counter(std::uint8_t cmd, std::string_view name);
 
   /// Drop all in-flight packets and counters; memory contents survive.
   void reset_pipeline();
@@ -127,6 +130,8 @@ class Device {
  private:
   sim::Config cfg_;
   std::uint32_t id_;
+  metrics::StatRegistry* metrics_;
+  std::string prefix_;
   mem::BackingStore store_;
   Registers regs_;
   AddrMap amap_;
@@ -135,8 +140,6 @@ class Device {
   std::vector<Link> links_;
   FixedQueue<RqstEntry> chain_rqst_;
   FixedQueue<RspEntry> chain_rsp_;
-  std::uint64_t forwarded_rqsts_ = 0;
-  std::uint64_t forwarded_rsps_ = 0;
 
   // ---- link-error injection ---------------------------------------------
   /// A corrupted inbound packet parks here until its retry delivers it.
@@ -163,6 +166,15 @@ class Device {
 
   /// Per-link response-direction forwarding budget scratch (sized once).
   std::vector<std::uint32_t> rsp_budget_;
+
+  // Cold metrics members live past the per-cycle working set so the hot
+  // clock-stage members above share as few cache lines as possible.
+  metrics::Counter* forwarded_rqsts_;
+  metrics::Counter* forwarded_rsps_;
+  /// Per-raw-command-code CMC execution counters (null: no counter
+  /// attached). Indexed by the 7-bit wire command code; handed to vaults
+  /// through ExecEnv each clock.
+  std::array<metrics::Counter*, 128> cmc_op_counters_{};
 };
 
 }  // namespace hmcsim::dev

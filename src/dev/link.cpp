@@ -4,24 +4,43 @@
 
 namespace hmcsim::dev {
 
+Link::Link(std::uint32_t token_capacity, metrics::StatRegistry& reg,
+           const std::string& prefix)
+    : tokens_(token_capacity),
+      token_capacity_(token_capacity),
+      rqst_packets_(&reg.counter(prefix + ".rqst_packets",
+                                 "request packets accepted")),
+      rqst_flits_(&reg.counter(prefix + ".rqst_flits",
+                               "request FLITs accepted")),
+      rsp_packets_(&reg.counter(prefix + ".rsp_packets",
+                                "response packets ejected")),
+      rsp_flits_(&reg.counter(prefix + ".rsp_flits",
+                              "response FLITs ejected")),
+      send_stalls_(&reg.counter(prefix + ".send_stalls",
+                                "host sends rejected: queue full")),
+      flow_packets_(&reg.counter(prefix + ".flow_packets",
+                                 "NULL/PRET/TRET/IRTRY consumed")),
+      retries_(&reg.counter(prefix + ".retries",
+                            "CRC-failure redeliveries")) {}
+
 Status Link::accept_request(std::uint32_t flits) {
   if (tokens_ < flits) {
-    ++stats_.send_stalls;
+    send_stalls_->inc();
     return Status::Stall("link out of flow-control tokens");
   }
   tokens_ -= flits;
-  ++stats_.rqst_packets;
-  stats_.rqst_flits += flits;
+  rqst_packets_->inc();
+  rqst_flits_->inc(flits);
   return Status::Ok();
 }
 
 void Link::eject_response(std::uint32_t flits) {
-  ++stats_.rsp_packets;
-  stats_.rsp_flits += flits;
+  rsp_packets_->inc();
+  rsp_flits_->inc(flits);
 }
 
 void Link::consume_flow(spec::Rqst rqst, std::uint32_t rtc) {
-  ++stats_.flow_packets;
+  flow_packets_->inc();
   if (rqst == spec::Rqst::TRET) {
     tokens_ = std::min(token_capacity_, tokens_ + rtc);
   }
@@ -29,7 +48,13 @@ void Link::consume_flow(spec::Rqst rqst, std::uint32_t rtc) {
 
 void Link::reset() {
   tokens_ = token_capacity_;
-  stats_ = LinkStats{};
+  rqst_packets_->reset();
+  rqst_flits_->reset();
+  rsp_packets_->reset();
+  rsp_flits_->reset();
+  send_stalls_->reset();
+  flow_packets_->reset();
+  retries_->reset();
 }
 
 }  // namespace hmcsim::dev

@@ -4,33 +4,25 @@
 // latency model attributes queue occupancy to the crossbar, so the link
 // itself carries flow-control token state (HMC's credit scheme: one token
 // per crossbar queue FLIT slot) and FLIT-level traffic accounting used by
-// the bandwidth benches.
+// the bandwidth benches. Counters live in the device's StatRegistry under
+// `<prefix>.{rqst_packets,rqst_flits,rsp_packets,rsp_flits,send_stalls,
+// flow_packets,retries}`; the link caches the handles at construction.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 
 #include "common/status.hpp"
+#include "metrics/stat_registry.hpp"
 #include "spec/commands.hpp"
 
 namespace hmcsim::dev {
 
-/// Per-link traffic statistics.
-struct LinkStats {
-  std::uint64_t rqst_packets = 0;
-  std::uint64_t rqst_flits = 0;
-  std::uint64_t rsp_packets = 0;
-  std::uint64_t rsp_flits = 0;
-  std::uint64_t send_stalls = 0;  ///< Host send() rejected: queue full.
-  std::uint64_t flow_packets = 0; ///< NULL/PRET/TRET/IRTRY consumed.
-  std::uint64_t retries = 0;      ///< CRC-failure redeliveries.
-};
-
 class Link {
  public:
-  Link() = default;
-  explicit Link(std::uint32_t token_capacity)
-      : tokens_(token_capacity), token_capacity_(token_capacity) {}
+  Link(std::uint32_t token_capacity, metrics::StatRegistry& reg,
+       const std::string& prefix);
 
   /// Account one request packet entering the device on this link and
   /// consume its FLIT tokens. Returns Stall when tokens are exhausted —
@@ -52,23 +44,51 @@ class Link {
   }
 
   /// Record a rejected host send (full crossbar queue).
-  void record_send_stall() noexcept { ++stats_.send_stalls; }
+  void record_send_stall() noexcept { send_stalls_->inc(); }
 
   /// Record a link-layer CRC retry (corrupted packet redelivered).
-  void record_retry() noexcept { ++stats_.retries; }
+  void record_retry() noexcept { retries_->inc(); }
 
   [[nodiscard]] std::uint32_t tokens() const noexcept { return tokens_; }
   [[nodiscard]] std::uint32_t token_capacity() const noexcept {
     return token_capacity_;
   }
-  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+
+  // ---- counters ----------------------------------------------------------
+  [[nodiscard]] const metrics::Counter& rqst_packets() const noexcept {
+    return *rqst_packets_;
+  }
+  [[nodiscard]] const metrics::Counter& rqst_flits() const noexcept {
+    return *rqst_flits_;
+  }
+  [[nodiscard]] const metrics::Counter& rsp_packets() const noexcept {
+    return *rsp_packets_;
+  }
+  [[nodiscard]] const metrics::Counter& rsp_flits() const noexcept {
+    return *rsp_flits_;
+  }
+  [[nodiscard]] const metrics::Counter& send_stalls() const noexcept {
+    return *send_stalls_;
+  }
+  [[nodiscard]] const metrics::Counter& flow_packets() const noexcept {
+    return *flow_packets_;
+  }
+  [[nodiscard]] const metrics::Counter& retries() const noexcept {
+    return *retries_;
+  }
 
   void reset();
 
  private:
   std::uint32_t tokens_ = 0;
   std::uint32_t token_capacity_ = 0;
-  LinkStats stats_;
+  metrics::Counter* rqst_packets_;
+  metrics::Counter* rqst_flits_;
+  metrics::Counter* rsp_packets_;
+  metrics::Counter* rsp_flits_;
+  metrics::Counter* send_stalls_;
+  metrics::Counter* flow_packets_;
+  metrics::Counter* retries_;
 };
 
 }  // namespace hmcsim::dev

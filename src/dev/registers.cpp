@@ -53,6 +53,15 @@ void Registers::init(const sim::Config& cfg, std::uint32_t dev_id) {
   poke(Reg::Revision, kRevision);
 }
 
+void Registers::init(const sim::Config& cfg, std::uint32_t dev_id,
+                     metrics::StatRegistry& reg, const std::string& prefix) {
+  init(cfg, dev_id);
+  reads_ = &reg.counter(prefix + ".regs.reads",
+                        "host-visible register reads");
+  writes_ = &reg.counter(prefix + ".regs.writes",
+                         "host-visible register writes (accepted)");
+}
+
 bool Registers::writable(std::uint32_t index) noexcept {
   switch (static_cast<Reg>(index)) {
     case Reg::Error:
@@ -72,6 +81,9 @@ Status Registers::read(std::uint32_t index, std::uint64_t& out) const {
                             " out of range");
   }
   out = regs_[index];
+  if (reads_ != nullptr) {
+    reads_->inc();
+  }
   return Status::Ok();
 }
 
@@ -86,6 +98,9 @@ Status Registers::write(std::uint32_t index, std::uint64_t value) {
                               " is read-only");
   }
   regs_[index] = value;
+  if (writes_ != nullptr) {
+    writes_->inc();
+  }
   return Status::Ok();
 }
 

@@ -8,9 +8,11 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "common/status.hpp"
+#include "metrics/stat_registry.hpp"
 #include "sim/config.hpp"
 
 namespace hmcsim::dev {
@@ -52,6 +54,12 @@ class Registers {
   /// Populate the RO identification registers from a configuration.
   void init(const sim::Config& cfg, std::uint32_t dev_id);
 
+  /// As above, additionally registering access counters under
+  /// `<prefix>.regs.{reads,writes}` (host-visible accesses only; poke/peek
+  /// are side-band and not counted).
+  void init(const sim::Config& cfg, std::uint32_t dev_id,
+            metrics::StatRegistry& reg, const std::string& prefix);
+
   [[nodiscard]] Status read(std::uint32_t index, std::uint64_t& out) const;
   /// Host-visible write: rejects RO registers.
   [[nodiscard]] Status write(std::uint32_t index, std::uint64_t value);
@@ -67,6 +75,9 @@ class Registers {
  private:
   [[nodiscard]] static bool writable(std::uint32_t index) noexcept;
   std::array<std::uint64_t, kNumRegisters> regs_{};
+  // Null when constructed without a registry (standalone use in tests).
+  metrics::Counter* reads_ = nullptr;
+  metrics::Counter* writes_ = nullptr;
 };
 
 }  // namespace hmcsim::dev

@@ -21,12 +21,34 @@ enum Errstat : std::uint8_t {
 }  // namespace
 
 Vault::Vault(std::uint32_t quad, std::uint32_t vault_id,
-             const sim::Config& cfg)
+             const sim::Config& cfg, metrics::StatRegistry& reg,
+             const std::string& dev_prefix)
     : quad_(quad),
       vault_id_(vault_id),
       rqst_q_(cfg.vault_rqst_depth),
       rsp_q_(cfg.vault_rsp_depth),
       banks_(cfg.banks_per_vault) {
+  const std::string prefix = dev_prefix + ".quad" + std::to_string(quad) +
+                             ".vault" + std::to_string(vault_id);
+  rqsts_processed_ =
+      &reg.counter(prefix + ".rqsts_processed", "requests retired");
+  rsps_generated_ =
+      &reg.counter(prefix + ".rsps_generated", "responses enqueued");
+  cmc_executed_ =
+      &reg.counter(prefix + ".cmc_executed", "CMC operations executed");
+  amo_executed_ =
+      &reg.counter(prefix + ".amo_executed", "Gen2 atomics executed");
+  bank_conflicts_ =
+      &reg.counter(prefix + ".bank_conflicts", "requests deferred: bank busy");
+  rsp_stalls_ = &reg.counter(prefix + ".rsp_stalls",
+                             "requests deferred: response queue full");
+  errors_ = &reg.counter(prefix + ".errors", "requests answered RSP_ERROR");
+  bank_conflict_counters_.reserve(banks_.size());
+  for (std::uint32_t b = 0; b < cfg.banks_per_vault; ++b) {
+    bank_conflict_counters_.push_back(
+        &reg.counter(prefix + ".bank" + std::to_string(b) + ".conflicts",
+                     "requests deferred: this bank busy"));
+  }
   deferred_.reserve(cfg.vault_rqst_depth);
 }
 
@@ -36,7 +58,16 @@ void Vault::reset() {
   for (Bank& bank : banks_) {
     bank.reset();
   }
-  stats_ = VaultStats{};
+  rqsts_processed_->reset();
+  rsps_generated_->reset();
+  cmc_executed_->reset();
+  amo_executed_->reset();
+  bank_conflicts_->reset();
+  rsp_stalls_->reset();
+  errors_->reset();
+  for (metrics::Counter* c : bank_conflict_counters_) {
+    c->reset();
+  }
 }
 
 void Vault::process(std::uint64_t cycle, ExecEnv& env) {
@@ -67,7 +98,7 @@ bool Vault::emit_response(const RqstEntry& rqst, std::uint8_t rsp_cmd_code,
                           std::span<const std::uint64_t> payload,
                           std::uint64_t cycle, ExecEnv& env) {
   if (rsp_q_.full()) {
-    ++stats_.rsp_stalls;
+    rsp_stalls_->inc();
     if (env.tracer.enabled(trace::Level::Stalls)) {
       env.tracer.emit({.cycle = cycle,
                        .kind = trace::Level::Stalls,
@@ -107,7 +138,7 @@ bool Vault::emit_response(const RqstEntry& rqst, std::uint8_t rsp_cmd_code,
   }
   const bool pushed = rsp_q_.push(std::move(rsp));
   (void)pushed;  // Guarded by the full() check above.
-  ++stats_.rsps_generated;
+  rsps_generated_->inc();
   if (env.tracer.enabled(trace::Level::Rsp)) {
     env.tracer.emit({.cycle = cycle,
                      .kind = trace::Level::Rsp,
@@ -136,7 +167,8 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
   if (is_dram_access && env.cfg.model_bank_conflicts) {
     Bank& bank = banks_[loc.bank];
     if (!bank.available(cycle)) {
-      ++stats_.bank_conflicts;
+      bank_conflicts_->inc();
+      bank_conflict_counters_[loc.bank]->inc();
       if (env.tracer.enabled(trace::Level::BankConflict)) {
         env.tracer.emit({.cycle = cycle,
                          .kind = trace::Level::BankConflict,
@@ -180,8 +212,8 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
     case spec::CommandKind::Flow:
       // Flow packets are consumed at the link layer; one reaching a vault
       // is a routing bug upstream. Retire it with an error count.
-      ++stats_.errors;
-      ++stats_.rqsts_processed;
+      errors_->inc();
+      rqsts_processed_->inc();
       return true;
 
     case spec::CommandKind::Read: {
@@ -196,8 +228,8 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
                            env)) {
           return false;
         }
-        ++stats_.errors;
-        ++stats_.rqsts_processed;
+        errors_->inc();
+        rqsts_processed_->inc();
         return true;
       }
       for (std::size_t w = 0; w < bytes / 8; ++w) {
@@ -212,7 +244,7 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
         return false;
       }
       occupy_bank();
-      ++stats_.rqsts_processed;
+      rqsts_processed_->inc();
       return true;
     }
 
@@ -233,8 +265,8 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
                            env)) {
           return false;
         }
-        ++stats_.errors;
-        ++stats_.rqsts_processed;
+        errors_->inc();
+        rqsts_processed_->inc();
         return true;
       }
       if (info.kind == spec::CommandKind::Write &&
@@ -243,7 +275,7 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
         return false;
       }
       occupy_bank();
-      ++stats_.rqsts_processed;
+      rqsts_processed_->inc();
       return true;
     }
 
@@ -255,8 +287,8 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
                            cycle, env)) {
           return false;
         }
-        ++stats_.errors;
-        ++stats_.rqsts_processed;
+        errors_->inc();
+        rqsts_processed_->inc();
         return true;
       }
       const std::array<std::uint64_t, 2> data{value, 0};
@@ -274,7 +306,7 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
                          .addr = addr,
                          .value = value});
       }
-      ++stats_.rqsts_processed;
+      rqsts_processed_->inc();
       return true;
     }
 
@@ -300,9 +332,9 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
                          .value = value});
       }
       if (failed) {
-        ++stats_.errors;
+        errors_->inc();
       }
-      ++stats_.rqsts_processed;
+      rqsts_processed_->inc();
       return true;
     }
 
@@ -317,8 +349,8 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
                            env)) {
           return false;
         }
-        ++stats_.errors;
-        ++stats_.rqsts_processed;
+        errors_->inc();
+        rqsts_processed_->inc();
         return true;
       }
       if (info.kind == spec::CommandKind::Atomic &&
@@ -329,8 +361,8 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
         return false;
       }
       occupy_bank();
-      ++stats_.amo_executed;
-      ++stats_.rqsts_processed;
+      amo_executed_->inc();
+      rqsts_processed_->inc();
       return true;
     }
 
@@ -344,8 +376,8 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
                            cycle, env)) {
           return false;
         }
-        ++stats_.errors;
-        ++stats_.rqsts_processed;
+        errors_->inc();
+        rqsts_processed_->inc();
         return true;
       }
       cmc::CmcExecResult result;
@@ -358,8 +390,8 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
                            cycle, env)) {
           return false;
         }
-        ++stats_.errors;
-        ++stats_.rqsts_processed;
+        errors_->inc();
+        rqsts_processed_->inc();
         return true;
       }
       if (!op->posted() &&
@@ -380,8 +412,12 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
                          .addr = addr,
                          .value = result.atomic_flag ? 1ULL : 0ULL});
       }
-      ++stats_.cmc_executed;
-      ++stats_.rqsts_processed;
+      cmc_executed_->inc();
+      if (env.cmc_op_counters != nullptr &&
+          env.cmc_op_counters[entry.pkt.cmd()] != nullptr) {
+        env.cmc_op_counters[entry.pkt.cmd()]->inc();
+      }
+      rqsts_processed_->inc();
       return true;
     }
   }

@@ -7,9 +7,14 @@
 // command kind: DRAM read/write, Gen2 atomic (AMO unit), mode register
 // access, or a registered CMC operation — the paper's
 // hmcsim_process_rqst() flow of Fig. 3.
+//
+// Statistics register under `<dev>.quad{q}.vault{v}.{leaf}` with per-bank
+// conflict counters at `<dev>.quad{q}.vault{v}.bank{b}.conflicts`; the
+// vault caches the handles at construction (no lookups on the hot path).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/fixed_queue.hpp"
@@ -20,6 +25,7 @@
 #include "dev/entries.hpp"
 #include "dev/registers.hpp"
 #include "mem/backing_store.hpp"
+#include "metrics/stat_registry.hpp"
 #include "sim/config.hpp"
 #include "trace/trace.hpp"
 
@@ -36,22 +42,16 @@ struct ExecEnv {
   trace::Tracer& tracer;
   const sim::Config& cfg;
   std::uint32_t dev_id;
-};
-
-/// Per-vault statistics (monotonic; reset() clears).
-struct VaultStats {
-  std::uint64_t rqsts_processed = 0;
-  std::uint64_t rsps_generated = 0;
-  std::uint64_t cmc_executed = 0;
-  std::uint64_t amo_executed = 0;
-  std::uint64_t bank_conflicts = 0;
-  std::uint64_t rsp_stalls = 0;  ///< Requests deferred: response queue full.
-  std::uint64_t errors = 0;      ///< Requests answered with RSP_ERROR.
+  /// Per-command-code CMC execution counters indexed by raw command code
+  /// (128 slots; null entries for codes with no attached counter). Null
+  /// when the device has no per-op accounting wired.
+  metrics::Counter* const* cmc_op_counters = nullptr;
 };
 
 class Vault {
  public:
-  Vault(std::uint32_t quad, std::uint32_t vault_id, const sim::Config& cfg);
+  Vault(std::uint32_t quad, std::uint32_t vault_id, const sim::Config& cfg,
+        metrics::StatRegistry& reg, const std::string& dev_prefix);
 
   /// Bounded queues (sized from Config: the paper's evaluation uses a
   /// request queue depth of 64).
@@ -71,7 +71,36 @@ class Vault {
   /// whose bank is busy (timing extension) remain queued in order.
   void process(std::uint64_t cycle, ExecEnv& env);
 
-  [[nodiscard]] const VaultStats& stats() const noexcept { return stats_; }
+  // ---- counters ----------------------------------------------------------
+  [[nodiscard]] const metrics::Counter& rqsts_processed() const noexcept {
+    return *rqsts_processed_;
+  }
+  [[nodiscard]] const metrics::Counter& rsps_generated() const noexcept {
+    return *rsps_generated_;
+  }
+  [[nodiscard]] const metrics::Counter& cmc_executed() const noexcept {
+    return *cmc_executed_;
+  }
+  [[nodiscard]] const metrics::Counter& amo_executed() const noexcept {
+    return *amo_executed_;
+  }
+  [[nodiscard]] const metrics::Counter& bank_conflicts() const noexcept {
+    return *bank_conflicts_;
+  }
+  /// Requests deferred because the response queue was full.
+  [[nodiscard]] const metrics::Counter& rsp_stalls() const noexcept {
+    return *rsp_stalls_;
+  }
+  /// Requests answered with RSP_ERROR.
+  [[nodiscard]] const metrics::Counter& errors() const noexcept {
+    return *errors_;
+  }
+  /// Conflict counter of one bank.
+  [[nodiscard]] const metrics::Counter& bank_conflicts(
+      std::uint32_t bank) const noexcept {
+    return *bank_conflict_counters_[bank];
+  }
+
   [[nodiscard]] std::uint32_t quad() const noexcept { return quad_; }
   [[nodiscard]] std::uint32_t id() const noexcept { return vault_id_; }
   [[nodiscard]] const std::vector<Bank>& banks() const noexcept {
@@ -99,7 +128,14 @@ class Vault {
   FixedQueue<RqstEntry> rqst_q_;
   FixedQueue<RspEntry> rsp_q_;
   std::vector<Bank> banks_;
-  VaultStats stats_;
+  metrics::Counter* rqsts_processed_;
+  metrics::Counter* rsps_generated_;
+  metrics::Counter* cmc_executed_;
+  metrics::Counter* amo_executed_;
+  metrics::Counter* bank_conflicts_;
+  metrics::Counter* rsp_stalls_;
+  metrics::Counter* errors_;
+  std::vector<metrics::Counter*> bank_conflict_counters_;
   // Scratch retained across calls to avoid re-allocation in the hot loop.
   std::vector<RqstEntry> deferred_;
 };

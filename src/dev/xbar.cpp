@@ -2,7 +2,22 @@
 
 namespace hmcsim::dev {
 
-Xbar::Xbar(std::uint32_t num_links, std::uint32_t depth) {
+Xbar::Xbar(std::uint32_t num_links, std::uint32_t depth,
+           metrics::StatRegistry& reg, const std::string& prefix)
+    : rqsts_routed_(&reg.counter(prefix + ".rqsts_routed",
+                                 "requests routed to vault queues")),
+      rsps_routed_(&reg.counter(prefix + ".rsps_routed",
+                                "responses routed to link queues")),
+      rqst_stalls_(&reg.counter(prefix + ".rqst_stalls",
+                                "request heads blocked: vault queue full")),
+      rsp_stalls_(&reg.counter(prefix + ".rsp_stalls",
+                               "responses blocked: link queue full")),
+      rqst_bw_throttles_(&reg.counter(
+          prefix + ".rqst_bw_throttles",
+          "request forwarding budget exhausted this cycle")),
+      rsp_bw_throttles_(&reg.counter(
+          prefix + ".rsp_bw_throttles",
+          "response forwarding budget exhausted this cycle")) {
   rqst_qs_.reserve(num_links);
   rsp_qs_.reserve(num_links);
   for (std::uint32_t i = 0; i < num_links; ++i) {
@@ -18,7 +33,12 @@ void Xbar::reset() {
   for (auto& q : rsp_qs_) {
     q.clear();
   }
-  stats_ = XbarStats{};
+  rqsts_routed_->reset();
+  rsps_routed_->reset();
+  rqst_stalls_->reset();
+  rsp_stalls_->reset();
+  rqst_bw_throttles_->reset();
+  rsp_bw_throttles_->reset();
 }
 
 }  // namespace hmcsim::dev

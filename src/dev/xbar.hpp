@@ -6,34 +6,26 @@
 // from vault response queues; both directions stall on fullness, and a
 // stalled head blocks everything behind it in the same link queue —
 // head-of-line blocking is the mechanism that differentiates 4-link and
-// 8-link devices once a single vault hot-spots.
+// 8-link devices once a single vault hot-spots. Counters register under
+// `<prefix>.{rqsts_routed,rsps_routed,rqst_stalls,rsp_stalls,
+// rqst_bw_throttles,rsp_bw_throttles}`.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/fixed_queue.hpp"
 #include "dev/entries.hpp"
+#include "metrics/stat_registry.hpp"
 #include "sim/config.hpp"
 
 namespace hmcsim::dev {
 
-/// Per-crossbar statistics.
-struct XbarStats {
-  std::uint64_t rqsts_routed = 0;
-  std::uint64_t rsps_routed = 0;
-  std::uint64_t rqst_stalls = 0;  ///< Head blocked on a full vault queue.
-  std::uint64_t rsp_stalls = 0;   ///< Vault response blocked on a full
-                                  ///< link response queue.
-  std::uint64_t rqst_bw_throttles = 0;  ///< Forwarding budget exhausted
-                                        ///< (request direction).
-  std::uint64_t rsp_bw_throttles = 0;   ///< Forwarding budget exhausted
-                                        ///< (response direction).
-};
-
 class Xbar {
  public:
-  Xbar(std::uint32_t num_links, std::uint32_t depth);
+  Xbar(std::uint32_t num_links, std::uint32_t depth,
+       metrics::StatRegistry& reg, const std::string& prefix);
 
   [[nodiscard]] std::uint32_t num_links() const noexcept {
     return static_cast<std::uint32_t>(rqst_qs_.size());
@@ -54,15 +46,61 @@ class Xbar {
     return rsp_qs_[link];
   }
 
-  [[nodiscard]] XbarStats& stats() noexcept { return stats_; }
-  [[nodiscard]] const XbarStats& stats() const noexcept { return stats_; }
+  // ---- counters (mutable: the owning Device increments these while
+  // routing) --------------------------------------------------------------
+  [[nodiscard]] metrics::Counter& rqsts_routed() noexcept {
+    return *rqsts_routed_;
+  }
+  [[nodiscard]] metrics::Counter& rsps_routed() noexcept {
+    return *rsps_routed_;
+  }
+  /// Head blocked on a full vault queue.
+  [[nodiscard]] metrics::Counter& rqst_stalls() noexcept {
+    return *rqst_stalls_;
+  }
+  /// Vault response blocked on a full link response queue.
+  [[nodiscard]] metrics::Counter& rsp_stalls() noexcept {
+    return *rsp_stalls_;
+  }
+  /// Forwarding budget exhausted (request direction).
+  [[nodiscard]] metrics::Counter& rqst_bw_throttles() noexcept {
+    return *rqst_bw_throttles_;
+  }
+  /// Forwarding budget exhausted (response direction).
+  [[nodiscard]] metrics::Counter& rsp_bw_throttles() noexcept {
+    return *rsp_bw_throttles_;
+  }
+
+  [[nodiscard]] const metrics::Counter& rqsts_routed() const noexcept {
+    return *rqsts_routed_;
+  }
+  [[nodiscard]] const metrics::Counter& rsps_routed() const noexcept {
+    return *rsps_routed_;
+  }
+  [[nodiscard]] const metrics::Counter& rqst_stalls() const noexcept {
+    return *rqst_stalls_;
+  }
+  [[nodiscard]] const metrics::Counter& rsp_stalls() const noexcept {
+    return *rsp_stalls_;
+  }
+  [[nodiscard]] const metrics::Counter& rqst_bw_throttles() const noexcept {
+    return *rqst_bw_throttles_;
+  }
+  [[nodiscard]] const metrics::Counter& rsp_bw_throttles() const noexcept {
+    return *rsp_bw_throttles_;
+  }
 
   void reset();
 
  private:
   std::vector<FixedQueue<RqstEntry>> rqst_qs_;
   std::vector<FixedQueue<RspEntry>> rsp_qs_;
-  XbarStats stats_;
+  metrics::Counter* rqsts_routed_;
+  metrics::Counter* rsps_routed_;
+  metrics::Counter* rqst_stalls_;
+  metrics::Counter* rsp_stalls_;
+  metrics::Counter* rqst_bw_throttles_;
+  metrics::Counter* rsp_bw_throttles_;
 };
 
 }  // namespace hmcsim::dev

@@ -90,8 +90,8 @@ Status run_spinlock_contention(sim::Simulator& sim, std::uint32_t cores,
   out.line_bounces = system.stats().ownership_writebacks;
   const auto stats1 = sim.stats();
   out.hmc_rqst_flits =
-      stats1.devices.rqst_flits - stats0.devices.rqst_flits;
-  out.hmc_rsp_flits = stats1.devices.rsp_flits - stats0.devices.rsp_flits;
+      stats1.rqst_flits - stats0.rqst_flits;
+  out.hmc_rsp_flits = stats1.rsp_flits - stats0.rsp_flits;
   out.min_cycles = *std::min_element(out.per_core_cycles.begin(),
                                      out.per_core_cycles.end());
   out.max_cycles = *std::max_element(out.per_core_cycles.begin(),

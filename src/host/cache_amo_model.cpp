@@ -46,14 +46,14 @@ struct TrafficProbe {
 
   explicit TrafficProbe(const sim::Simulator& sim) {
     const auto s = sim.stats();
-    rqst0 = s.devices.rqst_flits;
-    rsp0 = s.devices.rsp_flits;
+    rqst0 = s.rqst_flits;
+    rsp0 = s.rsp_flits;
   }
   void finish(const sim::Simulator& sim, std::uint64_t cycles,
               MeasuredAmoTraffic& out) const {
     const auto s = sim.stats();
-    out.rqst_flits = s.devices.rqst_flits - rqst0;
-    out.rsp_flits = s.devices.rsp_flits - rsp0;
+    out.rqst_flits = s.rqst_flits - rqst0;
+    out.rsp_flits = s.rsp_flits - rsp0;
     out.cycles = cycles;
   }
 };

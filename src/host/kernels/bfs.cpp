@@ -251,9 +251,9 @@ Status run_bfs(sim::Simulator& sim, const BfsOptions& opts, BfsResult& out) {
   out.kernel.operations = out.edges_probed;
   const auto stats1 = sim.stats();
   out.kernel.rqst_flits =
-      stats1.devices.rqst_flits - stats0.devices.rqst_flits;
+      stats1.rqst_flits - stats0.rqst_flits;
   out.kernel.rsp_flits =
-      stats1.devices.rsp_flits - stats0.devices.rsp_flits;
+      stats1.rsp_flits - stats0.rsp_flits;
   out.kernel.send_retries = ts.send_retries();
 
   if (opts.verify) {

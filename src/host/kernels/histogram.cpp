@@ -166,14 +166,14 @@ Status run_histogram(sim::Simulator& sim, const HistogramOptions& opts,
   }
 
   const std::uint64_t watchdog = 10000 + 100 * opts.updates;
-  const std::uint64_t processed0 = stats0.devices.rqsts_processed;
+  const std::uint64_t processed0 = stats0.rqsts_processed;
   auto done = [&] {
     if (completed < opts.updates) {
       return false;
     }
     // Posted mode: "completed" counts issues; wait for the device to have
     // processed every packet so verification reads settled memory.
-    return sim.stats().devices.rqsts_processed - processed0 >=
+    return sim.stats().rqsts_processed - processed0 >=
            (opts.mode == HistogramMode::ReadModifyWrite ? 2 * opts.updates
                                                         : opts.updates);
   };
@@ -193,8 +193,8 @@ Status run_histogram(sim::Simulator& sim, const HistogramOptions& opts,
   out.cycles = sim.cycle() - start;
   out.operations = opts.updates;
   const auto stats1 = sim.stats();
-  out.rqst_flits = stats1.devices.rqst_flits - stats0.devices.rqst_flits;
-  out.rsp_flits = stats1.devices.rsp_flits - stats0.devices.rsp_flits;
+  out.rqst_flits = stats1.rqst_flits - stats0.rqst_flits;
+  out.rsp_flits = stats1.rsp_flits - stats0.rsp_flits;
   out.send_retries = ts.send_retries();
 
   if (opts.verify) {

@@ -86,8 +86,8 @@ Status run_pointer_chase(sim::Simulator& sim, const PointerChaseOptions& opts,
   out.cycles = sim.cycle() - start;
   out.operations = static_cast<std::uint64_t>(opts.chains) * opts.hops;
   const auto stats1 = sim.stats();
-  out.rqst_flits = stats1.devices.rqst_flits - stats0.devices.rqst_flits;
-  out.rsp_flits = stats1.devices.rsp_flits - stats0.devices.rsp_flits;
+  out.rqst_flits = stats1.rqst_flits - stats0.rqst_flits;
+  out.rsp_flits = stats1.rsp_flits - stats0.rsp_flits;
   out.send_retries = ts.send_retries();
   return Status::Ok();
 }

@@ -203,8 +203,8 @@ Status run_stream_triad(sim::Simulator& sim, const StreamTriadOptions& opts,
   out.cycles = sim.cycle() - start;
   out.operations = opts.elements;
   const auto stats1 = sim.stats();
-  out.rqst_flits = stats1.devices.rqst_flits - stats0.devices.rqst_flits;
-  out.rsp_flits = stats1.devices.rsp_flits - stats0.devices.rsp_flits;
+  out.rqst_flits = stats1.rqst_flits - stats0.rqst_flits;
+  out.rsp_flits = stats1.rsp_flits - stats0.rsp_flits;
   out.send_retries = ts.send_retries();
 
   if (opts.verify) {

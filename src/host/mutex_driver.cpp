@@ -154,6 +154,17 @@ Status run_mutex_contention(sim::Simulator& sim, std::uint32_t threads,
 
   out.total_cycles = sim.cycle() - start_cycle;
   out.send_retries = ts.send_retries();
+  metrics::StatRegistry& reg = sim.metrics();
+  reg.counter("host.mutex.runs", "mutex contention runs completed").inc();
+  reg.counter("host.mutex.trylock_attempts",
+              "HMC_TRYLOCK packets issued across runs")
+      .inc(out.trylock_attempts);
+  reg.counter("host.mutex.lock_failures",
+              "initial HMC_LOCK attempts that lost the race")
+      .inc(out.lock_failures);
+  reg.counter("host.mutex.send_retries",
+              "sends retried during mutex runs")
+      .inc(out.send_retries);
   out.min_cycles = *std::min_element(out.per_thread_cycles.begin(),
                                      out.per_thread_cycles.end());
   out.max_cycles = *std::max_element(out.per_thread_cycles.begin(),

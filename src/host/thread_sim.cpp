@@ -3,13 +3,21 @@
 namespace hmcsim::host {
 
 ThreadSim::ThreadSim(sim::Simulator& sim, std::uint32_t num_threads)
-    : sim_(sim), threads_(num_threads), tag_to_tid_(num_threads, 0) {
+    : sim_(sim),
+      threads_(num_threads),
+      tag_to_tid_(num_threads, 0),
+      retries_stat_(&sim.metrics().counter(
+          "host.threads.send_retries",
+          "sends retried after a link stall (all ThreadSims)")) {
   // One outstanding request per thread lets tags be thread ids directly;
   // the 11-bit TAG field caps the thread count.
   if (num_threads > spec::kMaxTag) {
     threads_.resize(spec::kMaxTag);
     tag_to_tid_.resize(spec::kMaxTag);
   }
+  sim.metrics()
+      .gauge("host.threads.count", "threads of the latest ThreadSim")
+      .set(static_cast<double>(threads_.size()));
   for (std::uint32_t t = 0; t < tag_to_tid_.size(); ++t) {
     tag_to_tid_[t] = t;
   }
@@ -48,6 +56,7 @@ void ThreadSim::try_send(std::uint32_t tid) {
     t.outstanding = !posted;
   } else if (s.stalled()) {
     ++send_retries_;  // Stay pending; retried next step().
+    retries_stat_->inc();
   } else {
     // Hard error: drop the request so the thread does not hang forever.
     t.pending = false;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "metrics/stat_registry.hpp"
 #include "sim/simulator.hpp"
 
 namespace hmcsim::host {
@@ -74,7 +75,9 @@ class ThreadSim {
   sim::Simulator& sim_;
   std::vector<ThreadState> threads_;
   std::vector<std::uint32_t> tag_to_tid_;  ///< Indexed by tag.
-  std::uint64_t send_retries_ = 0;
+  std::uint64_t send_retries_ = 0;  ///< This ThreadSim only.
+  /// Global (registry) retry counter: `host.threads.send_retries`.
+  metrics::Counter* retries_stat_;
 };
 
 }  // namespace hmcsim::host

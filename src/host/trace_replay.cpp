@@ -168,8 +168,8 @@ Status replay_trace(sim::Simulator& sim,
 
   out.cycles = issued_any ? sim.cycle() - first_issue : 0;
   const auto stats1 = sim.stats();
-  out.rqst_flits = stats1.devices.rqst_flits - stats0.devices.rqst_flits;
-  out.rsp_flits = stats1.devices.rsp_flits - stats0.devices.rsp_flits;
+  out.rqst_flits = stats1.rqst_flits - stats0.rqst_flits;
+  out.rsp_flits = stats1.rsp_flits - stats0.rsp_flits;
   return Status::Ok();
 }
 

@@ -1,0 +1,371 @@
+#include "metrics/stat_registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hmcsim::metrics {
+namespace {
+
+/// Shortest round-trippable decimal form of a double ("%.17g" is exact
+/// but ugly; try increasing precision until the value survives a parse).
+std::string format_double(double v) {
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) {
+      break;
+    }
+  }
+  return buf;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20U) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  append_json_escaped(out, s);
+  return out;
+}
+
+std::string_view to_string(StatKind kind) noexcept {
+  switch (kind) {
+    case StatKind::Counter:
+      return "counter";
+    case StatKind::Gauge:
+      return "gauge";
+    case StatKind::Histogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+std::uint64_t Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) {
+    return 0;
+  }
+  const double rank = (p / 100.0) * static_cast<double>(count_);
+  std::uint64_t target = static_cast<std::uint64_t>(std::ceil(rank));
+  if (target < 1) {
+    target = 1;
+  }
+  if (target > count_) {
+    target = count_;
+  }
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      const std::uint64_t upper = bucket_upper(i);
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;
+}
+
+StatRegistry::Entry& StatRegistry::open(std::string_view path, StatKind kind,
+                                        std::string_view desc) {
+  auto it = entries_.find(path);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      throw std::logic_error("stat path '" + std::string(path) +
+                             "' re-registered as a different kind");
+    }
+    return it->second;
+  }
+  std::size_t index = 0;
+  switch (kind) {
+    case StatKind::Counter:
+      index = counters_.size();
+      counters_.emplace_back();
+      break;
+    case StatKind::Gauge:
+      index = gauges_.size();
+      gauges_.emplace_back();
+      break;
+    case StatKind::Histogram:
+      index = histograms_.size();
+      histograms_.emplace_back();
+      break;
+  }
+  auto [pos, inserted] = entries_.emplace(
+      std::string(path), Entry{kind, index, std::string(desc)});
+  (void)inserted;
+  return pos->second;
+}
+
+Counter& StatRegistry::counter(std::string_view path, std::string_view desc) {
+  return counters_[open(path, StatKind::Counter, desc).index];
+}
+
+Gauge& StatRegistry::gauge(std::string_view path, std::string_view desc) {
+  return gauges_[open(path, StatKind::Gauge, desc).index];
+}
+
+Histogram& StatRegistry::histogram(std::string_view path,
+                                   std::string_view desc) {
+  return histograms_[open(path, StatKind::Histogram, desc).index];
+}
+
+const StatRegistry::Entry* StatRegistry::find(std::string_view path,
+                                              StatKind kind) const {
+  const auto it = entries_.find(path);
+  if (it == entries_.end() || it->second.kind != kind) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+const Counter* StatRegistry::find_counter(std::string_view path) const {
+  const Entry* e = find(path, StatKind::Counter);
+  return e == nullptr ? nullptr : &counters_[e->index];
+}
+
+const Gauge* StatRegistry::find_gauge(std::string_view path) const {
+  const Entry* e = find(path, StatKind::Gauge);
+  return e == nullptr ? nullptr : &gauges_[e->index];
+}
+
+const Histogram* StatRegistry::find_histogram(std::string_view path) const {
+  const Entry* e = find(path, StatKind::Histogram);
+  return e == nullptr ? nullptr : &histograms_[e->index];
+}
+
+std::uint64_t StatRegistry::counter_value(std::string_view path) const {
+  const Counter* c = find_counter(path);
+  return c == nullptr ? 0 : c->value();
+}
+
+std::uint64_t StatRegistry::sum(std::string_view prefix,
+                                std::string_view leaf) const {
+  std::uint64_t total = 0;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    const std::string_view path = it->first;
+    if (path.substr(0, prefix.size()) != prefix) {
+      break;  // Sorted map: once past the prefix range, we are done.
+    }
+    if (it->second.kind != StatKind::Counter) {
+      continue;
+    }
+    if (path.size() <= leaf.size() + 1 || !path.ends_with(leaf) ||
+        path[path.size() - leaf.size() - 1] != '.') {
+      continue;
+    }
+    total += counters_[it->second.index].value();
+  }
+  return total;
+}
+
+void StatRegistry::for_each(
+    const std::function<void(std::string_view, StatKind, const Counter*,
+                             const Gauge*, const Histogram*)>& fn) const {
+  for (const auto& [path, entry] : entries_) {
+    switch (entry.kind) {
+      case StatKind::Counter:
+        fn(path, entry.kind, &counters_[entry.index], nullptr, nullptr);
+        break;
+      case StatKind::Gauge:
+        fn(path, entry.kind, nullptr, &gauges_[entry.index], nullptr);
+        break;
+      case StatKind::Histogram:
+        fn(path, entry.kind, nullptr, nullptr, &histograms_[entry.index]);
+        break;
+    }
+  }
+}
+
+StatRegistry::Snapshot StatRegistry::snapshot_counters() const {
+  Snapshot snap;
+  for (const auto& [path, entry] : entries_) {
+    if (entry.kind == StatKind::Counter) {
+      snap.emplace(path, counters_[entry.index].value());
+    }
+  }
+  return snap;
+}
+
+StatRegistry::Snapshot StatRegistry::delta(const Snapshot& before,
+                                           const Snapshot& after) {
+  Snapshot d;
+  for (const auto& [path, value] : after) {
+    const auto it = before.find(path);
+    const std::uint64_t prev = it == before.end() ? 0 : it->second;
+    if (value > prev) {
+      d.emplace(path, value - prev);
+    }
+  }
+  return d;
+}
+
+namespace {
+
+/// Intermediate tree for nested JSON rendering. Stats are few (hundreds),
+/// so building a temporary tree per export is cheap and keeps the writer
+/// trivially correct.
+struct JsonNode {
+  std::map<std::string, JsonNode, std::less<>> children;
+  const Counter* counter = nullptr;
+  const Gauge* gauge = nullptr;
+  const Histogram* histogram = nullptr;
+};
+
+void append_histogram_json(std::string& out, const Histogram& h,
+                           const std::string& pad, const std::string& step) {
+  const std::string inner = pad + step;
+  out += "{\n";
+  out += inner + "\"count\": " + std::to_string(h.count()) + ",\n";
+  out += inner + "\"sum\": " + std::to_string(h.sum()) + ",\n";
+  out += inner + "\"min\": " + std::to_string(h.min()) + ",\n";
+  out += inner + "\"max\": " + std::to_string(h.max()) + ",\n";
+  out += inner + "\"mean\": " + format_double(h.mean()) + ",\n";
+  out += inner + "\"p50\": " + std::to_string(h.percentile(50.0)) + ",\n";
+  out += inner + "\"p95\": " + std::to_string(h.percentile(95.0)) + ",\n";
+  out += inner + "\"p99\": " + std::to_string(h.percentile(99.0)) + ",\n";
+  out += inner + "\"buckets\": {";
+  bool first = true;
+  for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (h.bucket(i) == 0) {
+      continue;
+    }
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += '"';
+    out += std::to_string(Histogram::bucket_upper(i));
+    out += "\": ";
+    out += std::to_string(h.bucket(i));
+  }
+  out += "}\n" + pad + "}";
+}
+
+void append_node_json(std::string& out, const JsonNode& node,
+                      const std::string& pad, const std::string& step) {
+  out += "{\n";
+  const std::string inner = pad + step;
+  bool first = true;
+  for (const auto& [key, child] : node.children) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += inner + "\"";
+    append_json_escaped(out, key);
+    out += "\": ";
+    if (child.counter != nullptr) {
+      out += std::to_string(child.counter->value());
+    } else if (child.gauge != nullptr) {
+      out += format_double(child.gauge->value());
+    } else if (child.histogram != nullptr) {
+      append_histogram_json(out, *child.histogram, inner, step);
+    } else {
+      append_node_json(out, child, inner, step);
+    }
+  }
+  out += "\n" + pad + "}";
+}
+
+}  // namespace
+
+std::string StatRegistry::to_json(unsigned base_indent) const {
+  JsonNode root;
+  for_each([&root](std::string_view path, StatKind, const Counter* c,
+                   const Gauge* g, const Histogram* h) {
+    JsonNode* node = &root;
+    std::string_view rest = path;
+    while (true) {
+      const std::size_t dot = rest.find('.');
+      const std::string_view seg =
+          dot == std::string_view::npos ? rest : rest.substr(0, dot);
+      node = &node->children[std::string(seg)];
+      if (dot == std::string_view::npos) {
+        break;
+      }
+      rest = rest.substr(dot + 1);
+    }
+    node->counter = c;
+    node->gauge = g;
+    node->histogram = h;
+  });
+  std::string out;
+  append_node_json(out, root, std::string(base_indent, ' '), "  ");
+  return out;
+}
+
+std::string StatRegistry::to_csv() const {
+  std::string out = "path,kind,value,count,sum,min,max,p50,p95,p99\n";
+  for_each([&out](std::string_view path, StatKind kind, const Counter* c,
+                  const Gauge* g, const Histogram* h) {
+    out += path;
+    out += ',';
+    out += to_string(kind);
+    out += ',';
+    switch (kind) {
+      case StatKind::Counter:
+        out += std::to_string(c->value());
+        out += ",,,,,,,";
+        break;
+      case StatKind::Gauge:
+        out += format_double(g->value());
+        out += ",,,,,,,";
+        break;
+      case StatKind::Histogram:
+        out += ',' + std::to_string(h->count()) + ',' +
+               std::to_string(h->sum()) + ',' + std::to_string(h->min()) +
+               ',' + std::to_string(h->max()) + ',' +
+               std::to_string(h->percentile(50.0)) + ',' +
+               std::to_string(h->percentile(95.0)) + ',' +
+               std::to_string(h->percentile(99.0));
+        break;
+    }
+    out += '\n';
+  });
+  return out;
+}
+
+void StatRegistry::reset() {
+  for (Counter& c : counters_) {
+    c.reset();
+  }
+  for (Gauge& g : gauges_) {
+    g.reset();
+  }
+  for (Histogram& h : histograms_) {
+    h.reset();
+  }
+}
+
+}  // namespace hmcsim::metrics

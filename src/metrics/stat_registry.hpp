@@ -1,0 +1,216 @@
+// stat_registry.hpp — the simulator-wide instrumentation layer.
+//
+// Every component (link, xbar, vault, bank, registers, device, host
+// drivers) registers typed statistics into one StatRegistry at
+// construction, addressed by a hierarchical dotted path such as
+// `cube0.quad2.vault5.bank3.conflicts` or `cube0.cmc.hmc_lock.executed`.
+// Registration returns a stable handle (the registry owns the objects in
+// deques, so addresses never move); the hot path increments a plain
+// uint64_t behind that handle — no string lookups after construction.
+//
+// The registry is the single source of truth for reporting: the text
+// report, the CSV export, the JSON export and the snapshot/delta
+// machinery all render from it.
+//
+// Path naming rules (see docs/METRICS.md):
+//   * segments are separated by '.', lowercase, no spaces;
+//   * a path must not also be a prefix of another path (a node is either
+//     a leaf statistic or an interior group, never both);
+//   * device-scoped stats live under `cube{id}.`, host-side stats under
+//     `host.`.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace hmcsim::metrics {
+
+/// Monotonic event counter. Hot-path friendly: inc() is one add on a
+/// plain uint64_t reached through the handle the owner cached at
+/// construction.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value gauge (levels: thread counts, occupancies, ratios).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double v) noexcept { value_ += v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log2-bucketed histogram over uint64 samples (latencies, sizes).
+///
+/// Bucket i holds samples whose value needs i bits: bucket 0 is exactly
+/// {0}, bucket i (1 <= i <= 63) covers [2^(i-1), 2^i - 1], bucket 64
+/// covers [2^63, UINT64_MAX]. 65 buckets make record() branch-free
+/// (std::bit_width + one increment) while keeping percentile error
+/// bounded by one power of two.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 65;
+
+  void record(std::uint64_t v) noexcept {
+    ++buckets_[static_cast<std::size_t>(std::bit_width(v))];
+    ++count_;
+    sum_ += v;
+    min_ = v < min_ ? v : min_;
+    max_ = v > max_ ? v : max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  /// Smallest recorded sample (0 when empty).
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count_ == 0 ? 0 : min_;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i];
+  }
+
+  /// Inclusive upper bound of bucket i.
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t i) noexcept {
+    if (i == 0) {
+      return 0;
+    }
+    if (i >= 64) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  /// Approximate percentile (p in [0,100]): the upper bound of the bucket
+  /// holding the p-th sample, clamped to the observed maximum. Exact when
+  /// all samples in that bucket share one value.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+
+  void reset() noexcept {
+    for (auto& b : buckets_) {
+      b = 0;
+    }
+    count_ = 0;
+    sum_ = 0;
+    min_ = std::numeric_limits<std::uint64_t>::max();
+    max_ = 0;
+  }
+
+ private:
+  std::uint64_t buckets_[kNumBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+enum class StatKind : std::uint8_t { Counter, Gauge, Histogram };
+
+[[nodiscard]] std::string_view to_string(StatKind kind) noexcept;
+
+/// Escape `s` for embedding inside a JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Owns every registered statistic and renders them. Handles returned by
+/// counter()/gauge()/histogram() stay valid for the registry's lifetime
+/// (storage is deque-backed). Not copyable or movable: components hold
+/// raw pointers into it.
+class StatRegistry {
+ public:
+  StatRegistry() = default;
+  StatRegistry(const StatRegistry&) = delete;
+  StatRegistry& operator=(const StatRegistry&) = delete;
+
+  /// Register (or re-open) the statistic at `path`. Idempotent: a second
+  /// call with the same path and kind returns the existing object, so
+  /// re-constructed components re-attach to their counters. A kind
+  /// mismatch on an existing path is a programming error and throws.
+  Counter& counter(std::string_view path, std::string_view desc = {});
+  Gauge& gauge(std::string_view path, std::string_view desc = {});
+  Histogram& histogram(std::string_view path, std::string_view desc = {});
+
+  /// Lookups by exact path; nullptr when absent or of another kind.
+  [[nodiscard]] const Counter* find_counter(std::string_view path) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view path) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view path) const;
+
+  /// Counter value at `path`, 0 when absent.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view path) const;
+
+  /// Sum of every counter whose path starts with `prefix` and whose final
+  /// segment equals `leaf` (e.g. sum("cube0.quad", "rqsts_processed")
+  /// totals all 32 vaults of cube 0).
+  [[nodiscard]] std::uint64_t sum(std::string_view prefix,
+                                  std::string_view leaf) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Visit every statistic in sorted path order.
+  void for_each(
+      const std::function<void(std::string_view path, StatKind kind,
+                               const Counter*, const Gauge*,
+                               const Histogram*)>& fn) const;
+
+  /// Point-in-time copy of every counter value, keyed by path.
+  using Snapshot = std::map<std::string, std::uint64_t, std::less<>>;
+  [[nodiscard]] Snapshot snapshot_counters() const;
+
+  /// Per-path increase from `before` to `after`; paths absent from
+  /// `before` count from zero, zero deltas are omitted.
+  [[nodiscard]] static Snapshot delta(const Snapshot& before,
+                                      const Snapshot& after);
+
+  /// Render the whole registry as a nested JSON object (paths split on
+  /// '.'; counters as integers, gauges as numbers, histograms as objects
+  /// with count/sum/min/max/mean/p50/p95/p99 and non-empty buckets).
+  /// `base_indent` shifts every line right for embedding.
+  [[nodiscard]] std::string to_json(unsigned base_indent = 0) const;
+
+  /// Flat CSV: `path,kind,value,count,sum,min,max,p50,p95,p99` — value
+  /// for counters/gauges, the distribution columns for histograms.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Zero every statistic (registrations survive).
+  void reset();
+
+ private:
+  struct Entry {
+    StatKind kind;
+    std::size_t index;  ///< Into the deque matching `kind`.
+    std::string desc;
+  };
+
+  Entry& open(std::string_view path, StatKind kind, std::string_view desc);
+  [[nodiscard]] const Entry* find(std::string_view path,
+                                  StatKind kind) const;
+
+  // Sorted map: export order is deterministic; transparent comparator
+  // lets string_view probe without allocating.
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace hmcsim::metrics

@@ -8,21 +8,21 @@ Activity delta(const sim::SimStats& before, const sim::SimStats& after,
                std::uint32_t num_devices) noexcept {
   Activity a;
   a.cycles = after.cycles - before.cycles;
-  a.rqst_flits = after.devices.rqst_flits - before.devices.rqst_flits;
-  a.rsp_flits = after.devices.rsp_flits - before.devices.rsp_flits;
+  a.rqst_flits = after.rqst_flits - before.rqst_flits;
+  a.rsp_flits = after.rsp_flits - before.rsp_flits;
   a.rqsts_processed =
-      after.devices.rqsts_processed - before.devices.rqsts_processed;
-  a.amo_executed = after.devices.amo_executed - before.devices.amo_executed;
-  a.cmc_executed = after.devices.cmc_executed - before.devices.cmc_executed;
+      after.rqsts_processed - before.rqsts_processed;
+  a.amo_executed = after.amo_executed - before.amo_executed;
+  a.cmc_executed = after.cmc_executed - before.cmc_executed;
   // Routed packets approximate one request + one response crossbar hop per
   // processed request; forwarded packets add chain hops.
-  a.xbar_routed = after.devices.rqsts_processed -
-                  before.devices.rqsts_processed +
-                  after.devices.rsps_generated - before.devices.rsps_generated;
-  a.chain_hops = (after.devices.forwarded_rqsts -
-                  before.devices.forwarded_rqsts) +
-                 (after.devices.forwarded_rsps -
-                  before.devices.forwarded_rsps);
+  a.xbar_routed = after.rqsts_processed -
+                  before.rqsts_processed +
+                  after.rsps_generated - before.rsps_generated;
+  a.chain_hops = (after.forwarded_rqsts -
+                  before.forwarded_rqsts) +
+                 (after.forwarded_rsps -
+                  before.forwarded_rsps);
   a.num_devices = num_devices;
   return a;
 }

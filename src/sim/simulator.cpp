@@ -5,7 +5,40 @@ namespace hmcsim::sim {
 Simulator::Simulator(const Config& cfg) : cfg_(cfg) {
   devices_.reserve(cfg.num_devs);
   for (std::uint32_t d = 0; d < cfg.num_devs; ++d) {
-    devices_.push_back(std::make_unique<dev::Device>(cfg, d));
+    devices_.push_back(std::make_unique<dev::Device>(cfg, d, registry_));
+  }
+
+  // Topology wiring: `prev_[d]` is device d's neighbour toward the host
+  // (stage A follows it); `routers_[d]` resolves request forwarding
+  // targets (stage C follows it). Both are fixed for the simulator's
+  // lifetime, so resolve them here rather than every clock.
+  const bool star = cfg.topology == Topology::Star;
+  prev_.resize(cfg.num_devs, nullptr);
+  routers_.resize(cfg.num_devs);
+  for (std::size_t d = 1; d < devices_.size(); ++d) {
+    prev_[d] = star ? devices_[0].get() : devices_[d - 1].get();
+  }
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (star) {
+      // Only the hub forwards; it reaches every spoke directly.
+      if (d == 0) {
+        routers_[d] = [this](std::uint8_t cub) -> dev::Device* {
+          return cub < devices_.size() ? devices_[cub].get() : nullptr;
+        };
+      }
+    } else if (d + 1 < devices_.size()) {
+      routers_[d] = [this, d](std::uint8_t) -> dev::Device* {
+        return devices_[d + 1].get();
+      };
+    }
+  }
+  latency_hist_ = &registry_.histogram(
+      "host.latency", "end-to-end request latency in cycles");
+  link_latency_.reserve(cfg.num_links);
+  for (std::uint32_t l = 0; l < cfg.num_links; ++l) {
+    link_latency_.push_back(
+        &registry_.histogram("host.link" + std::to_string(l) + ".latency",
+                             "end-to-end latency per host link"));
   }
   cmc_ctx_.user = this;
   cmc_ctx_.mem_read = &Simulator::cmc_mem_read;
@@ -71,6 +104,8 @@ Status Simulator::recv(std::uint32_t link, Response& out) {
   }
   out.pkt = entry.pkt;
   out.latency = cycle_ - entry.send_cycle;
+  latency_hist_->record(out.latency);
+  link_latency_[link]->record(out.latency);
   if (tracer_.enabled(trace::Level::Latency)) {
     tracer_.emit({.cycle = cycle_,
                   .kind = trace::Level::Latency,
@@ -84,22 +119,11 @@ Status Simulator::recv(std::uint32_t link, Response& out) {
 void Simulator::clock() {
   ++cycle_;
 
-  // Topology wiring: `prev` is each device's neighbour toward the host
-  // (stage A follows it); the router resolves request forwarding targets
-  // (stage C follows it).
-  const bool star = cfg_.topology == Topology::Star;
-  auto prev_of = [&](std::size_t d) -> dev::Device* {
-    if (d == 0) {
-      return nullptr;
-    }
-    return star ? devices_[0].get() : devices_[d - 1].get();
-  };
-
   // Stage A: responses migrate toward the host. Increasing device order
   // makes every cube-to-cube hop cost one cycle (a response forwarded by
   // device k this cycle is seen by its neighbour next cycle).
   for (std::size_t d = 0; d < devices_.size(); ++d) {
-    devices_[d]->clock_responses(cycle_, tracer_, prev_of(d));
+    devices_[d]->clock_responses(cycle_, tracer_, prev_[d]);
   }
 
   // Stage B: every vault executes its runnable queue entries.
@@ -111,31 +135,48 @@ void Simulator::clock() {
   // forward along the topology. Decreasing order gives each forward hop a
   // one-cycle cost (symmetric with stage A).
   for (std::size_t d = devices_.size(); d-- > 0;) {
-    dev::Device::Router route;
-    if (star) {
-      // Only the hub forwards; it reaches every spoke directly.
-      if (d == 0) {
-        route = [this](std::uint8_t cub) -> dev::Device* {
-          return cub < devices_.size() ? devices_[cub].get() : nullptr;
-        };
-      }
-    } else if (d + 1 < devices_.size()) {
-      route = [this, d](std::uint8_t) -> dev::Device* {
-        return devices_[d + 1].get();
-      };
+    devices_[d]->clock_requests(cycle_, tracer_, routers_[d]);
+  }
+
+  if (stats_every_ != 0 && cycle_ % stats_every_ == 0 && stats_cb_) {
+    stats_cb_(*this);
+  }
+}
+
+void Simulator::set_stats_interval(std::uint64_t every,
+                                   std::function<void(Simulator&)> cb) {
+  stats_every_ = every;
+  stats_cb_ = std::move(cb);
+}
+
+void Simulator::sync_cmc_counters() {
+  for (const cmc::CmcOp& op : cmc_registry_.slots()) {
+    if (!op.active) {
+      continue;
     }
-    devices_[d]->clock_requests(cycle_, tracer_, route);
+    for (auto& device : devices_) {
+      device->attach_cmc_counter(static_cast<std::uint8_t>(op.cmd),
+                                 op.name);
+    }
   }
 }
 
 Status Simulator::load_cmc(std::string_view path) {
-  return cmc_loader_.load(path, cmc_registry_);
+  Status s = cmc_loader_.load(path, cmc_registry_);
+  if (s.ok()) {
+    sync_cmc_counters();
+  }
+  return s;
 }
 
 Status Simulator::register_cmc(hmcsim_cmc_register_fn reg,
                                hmcsim_cmc_execute_fn exec,
                                hmcsim_cmc_str_fn str) {
-  return cmc_registry_.register_op(reg, exec, str);
+  Status s = cmc_registry_.register_op(reg, exec, str);
+  if (s.ok()) {
+    sync_cmc_counters();
+  }
+  return s;
 }
 
 Status Simulator::unregister_cmc(spec::Rqst rqst) {
@@ -175,25 +216,31 @@ Status Simulator::mem_write(std::uint32_t dev, std::uint64_t addr,
 }
 
 SimStats Simulator::stats() const {
+  // Sums via the typed handles each component registered — no string
+  // lookups, so per-cycle polling (the histogram kernel does this) stays
+  // off the allocator.
   SimStats s;
   s.cycles = cycle_;
   for (const auto& device : devices_) {
-    const dev::DeviceStats ds = device->stats();
-    s.devices.rqsts_processed += ds.rqsts_processed;
-    s.devices.rsps_generated += ds.rsps_generated;
-    s.devices.cmc_executed += ds.cmc_executed;
-    s.devices.amo_executed += ds.amo_executed;
-    s.devices.errors += ds.errors;
-    s.devices.bank_conflicts += ds.bank_conflicts;
-    s.devices.xbar_rqst_stalls += ds.xbar_rqst_stalls;
-    s.devices.xbar_rsp_stalls += ds.xbar_rsp_stalls;
-    s.devices.vault_rsp_stalls += ds.vault_rsp_stalls;
-    s.devices.send_stalls += ds.send_stalls;
-    s.devices.rqst_flits += ds.rqst_flits;
-    s.devices.rsp_flits += ds.rsp_flits;
-    s.devices.forwarded_rqsts += ds.forwarded_rqsts;
-    s.devices.forwarded_rsps += ds.forwarded_rsps;
-    s.devices.link_retries += ds.link_retries;
+    for (const dev::Vault& vault : device->vaults()) {
+      s.rqsts_processed += vault.rqsts_processed().value();
+      s.rsps_generated += vault.rsps_generated().value();
+      s.cmc_executed += vault.cmc_executed().value();
+      s.amo_executed += vault.amo_executed().value();
+      s.errors += vault.errors().value();
+      s.bank_conflicts += vault.bank_conflicts().value();
+      s.vault_rsp_stalls += vault.rsp_stalls().value();
+    }
+    s.xbar_rqst_stalls += device->xbar().rqst_stalls().value();
+    s.xbar_rsp_stalls += device->xbar().rsp_stalls().value();
+    for (const dev::Link& link : device->links()) {
+      s.send_stalls += link.send_stalls().value();
+      s.rqst_flits += link.rqst_flits().value();
+      s.rsp_flits += link.rsp_flits().value();
+      s.link_retries += link.retries().value();
+    }
+    s.forwarded_rqsts += device->forwarded_rqsts().value();
+    s.forwarded_rsps += device->forwarded_rsps().value();
   }
   return s;
 }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "core/cmc_loader.hpp"
 #include "core/cmc_registry.hpp"
 #include "dev/device.hpp"
+#include "metrics/stat_registry.hpp"
 #include "sim/config.hpp"
 #include "spec/packet.hpp"
 #include "trace/trace.hpp"
@@ -35,10 +37,26 @@ struct Response {
   std::uint64_t latency = 0;  ///< Cycles from send() to recv() eligibility.
 };
 
-/// Simulation-wide statistics (aggregated over all devices).
+/// Simulation-wide statistics: chain-wide sums rendered from the metrics
+/// registry's typed handles (cheap enough to poll every simulated cycle).
+/// Per-component resolution lives in Simulator::metrics().
 struct SimStats {
   std::uint64_t cycles = 0;
-  dev::DeviceStats devices;  ///< Sums across the chain.
+  std::uint64_t rqsts_processed = 0;
+  std::uint64_t rsps_generated = 0;
+  std::uint64_t cmc_executed = 0;
+  std::uint64_t amo_executed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t bank_conflicts = 0;
+  std::uint64_t xbar_rqst_stalls = 0;
+  std::uint64_t xbar_rsp_stalls = 0;
+  std::uint64_t vault_rsp_stalls = 0;
+  std::uint64_t send_stalls = 0;
+  std::uint64_t rqst_flits = 0;
+  std::uint64_t rsp_flits = 0;
+  std::uint64_t forwarded_rqsts = 0;
+  std::uint64_t forwarded_rsps = 0;
+  std::uint64_t link_retries = 0;  ///< CRC-failure redeliveries.
 };
 
 class Simulator {
@@ -114,12 +132,39 @@ class Simulator {
   }
   [[nodiscard]] SimStats stats() const;
 
-  /// Drop all in-flight packets and statistics; memory contents, CMC
-  /// registrations and the cycle counter survive.
+  /// The hierarchical metrics registry every component reports into.
+  /// Paths are documented in docs/METRICS.md.
+  [[nodiscard]] metrics::StatRegistry& metrics() noexcept {
+    return registry_;
+  }
+  [[nodiscard]] const metrics::StatRegistry& metrics() const noexcept {
+    return registry_;
+  }
+
+  /// End-to-end latency distribution over every recv()'d response
+  /// (`host.latency`); per-link distributions live at
+  /// `host.link{l}.latency`.
+  [[nodiscard]] const metrics::Histogram& latency_histogram()
+      const noexcept {
+    return *latency_hist_;
+  }
+
+  /// Invoke `cb` every `every` cycles from inside clock() (periodic
+  /// snapshot/delta reporting; 0 disables). The callback runs after the
+  /// cycle's three stages complete.
+  void set_stats_interval(std::uint64_t every,
+                          std::function<void(Simulator&)> cb);
+
+  /// Drop all in-flight packets and device statistics; memory contents,
+  /// CMC registrations, host-side stats and the cycle counter survive.
   void reset_pipeline();
 
  private:
   explicit Simulator(const Config& cfg);
+
+  /// Attach per-operation counters for every active CMC registration to
+  /// every device (idempotent; called after load/register).
+  void sync_cmc_counters();
 
   // CmcContext service callbacks (type-erased plugin -> simulator bridge).
   static Status cmc_mem_read(void* user, std::uint32_t dev,
@@ -131,11 +176,23 @@ class Simulator {
 
   Config cfg_;
   trace::Tracer tracer_;
+  // Declared before devices_: devices hold handles into the registry, so
+  // it must be constructed first and destroyed last.
+  metrics::StatRegistry registry_;
   cmc::CmcRegistry cmc_registry_;
   cmc::CmcLoader cmc_loader_;
   cmc::CmcContext cmc_ctx_;
   std::vector<std::unique_ptr<dev::Device>> devices_;
+  // Topology wiring, resolved once at construction (the device list is
+  // immutable after create): per-device host-ward neighbour for stage A
+  // and per-device request router for stage C.
+  std::vector<dev::Device*> prev_;
+  std::vector<dev::Device::Router> routers_;
   std::uint64_t cycle_ = 0;
+  metrics::Histogram* latency_hist_;
+  std::vector<metrics::Histogram*> link_latency_;
+  std::uint64_t stats_every_ = 0;
+  std::function<void(Simulator&)> stats_cb_;
 };
 
 }  // namespace hmcsim::sim

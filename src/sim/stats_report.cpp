@@ -4,15 +4,24 @@
 #include <numeric>
 #include <sstream>
 
+#include "metrics/stat_registry.hpp"
+
 namespace hmcsim::sim {
 
 std::vector<std::uint64_t> vault_histogram(const Simulator& sim,
                                            std::uint32_t dev) {
+  // Read per-vault counters back out of the registry by path — this is
+  // the query-side contract the registry exists for (and what keeps the
+  // histogram correct across future re-organisations of Vault).
+  const metrics::StatRegistry& reg = sim.metrics();
+  const std::string prefix = "cube" + std::to_string(dev) + ".quad";
   std::vector<std::uint64_t> hist;
   const auto& vaults = sim.device(dev).vaults();
   hist.reserve(vaults.size());
   for (const auto& vault : vaults) {
-    hist.push_back(vault.stats().rqsts_processed);
+    hist.push_back(reg.counter_value(
+        prefix + std::to_string(vault.quad()) + ".vault" +
+        std::to_string(vault.id()) + ".rqsts_processed"));
   }
   return hist;
 }
@@ -29,22 +38,33 @@ double hotspot_factor(const Simulator& sim, std::uint32_t dev) {
 }
 
 std::string format_stats(const Simulator& sim) {
+  const metrics::StatRegistry& reg = sim.metrics();
   std::ostringstream oss;
   oss << "configuration: " << sim.config().describe() << '\n';
   oss << "cycle: " << sim.cycle() << '\n';
   for (std::uint32_t d = 0; d < sim.num_devices(); ++d) {
-    const dev::DeviceStats s = sim.device(d).stats();
-    oss << "device " << d << ": rqsts=" << s.rqsts_processed
-        << " rsps=" << s.rsps_generated << " amo=" << s.amo_executed
-        << " cmc=" << s.cmc_executed << " errors=" << s.errors << '\n';
-    oss << "  flits: rqst=" << s.rqst_flits << " rsp=" << s.rsp_flits
-        << " fwd_rqst=" << s.forwarded_rqsts
-        << " fwd_rsp=" << s.forwarded_rsps << '\n';
-    oss << "  stalls: send=" << s.send_stalls
-        << " xbar_rqst=" << s.xbar_rqst_stalls
-        << " xbar_rsp=" << s.xbar_rsp_stalls
-        << " vault_rsp=" << s.vault_rsp_stalls
-        << " bank_conflicts=" << s.bank_conflicts << '\n';
+    const std::string cube = "cube" + std::to_string(d);
+    // Vault-level sums use the `<cube>.quad` prefix and link-level sums
+    // the `<cube>.link` prefix: the `rsp_stalls` leaf exists under both
+    // vaults and the xbar, so the prefixes must disambiguate.
+    const std::string vaults = cube + ".quad";
+    const std::string links = cube + ".link";
+    oss << "device " << d
+        << ": rqsts=" << reg.sum(vaults, "rqsts_processed")
+        << " rsps=" << reg.sum(vaults, "rsps_generated")
+        << " amo=" << reg.sum(vaults, "amo_executed")
+        << " cmc=" << reg.sum(vaults, "cmc_executed")
+        << " errors=" << reg.sum(vaults, "errors") << '\n';
+    oss << "  flits: rqst=" << reg.sum(links, "rqst_flits")
+        << " rsp=" << reg.sum(links, "rsp_flits")
+        << " fwd_rqst=" << reg.counter_value(cube + ".forwarded_rqsts")
+        << " fwd_rsp=" << reg.counter_value(cube + ".forwarded_rsps")
+        << '\n';
+    oss << "  stalls: send=" << reg.sum(links, "send_stalls")
+        << " xbar_rqst=" << reg.counter_value(cube + ".xbar.rqst_stalls")
+        << " xbar_rsp=" << reg.counter_value(cube + ".xbar.rsp_stalls")
+        << " vault_rsp=" << reg.sum(vaults, "rsp_stalls")
+        << " bank_conflicts=" << reg.sum(vaults, "bank_conflicts") << '\n';
 
     const auto hist = vault_histogram(sim, d);
     const std::uint64_t total =
@@ -66,16 +86,28 @@ std::string format_stats(const Simulator& sim) {
       }
       oss << ")\n";
     }
-    const auto& links = sim.device(d).links();
-    for (std::uint32_t l = 0; l < links.size(); ++l) {
-      const dev::LinkStats& ls = links[l].stats();
-      if (ls.rqst_packets == 0 && ls.rsp_packets == 0) {
+    for (std::uint32_t l = 0; l < sim.config().num_links; ++l) {
+      const std::string link = links + std::to_string(l);
+      const std::uint64_t rqst_pkts =
+          reg.counter_value(link + ".rqst_packets");
+      const std::uint64_t rsp_pkts = reg.counter_value(link + ".rsp_packets");
+      if (rqst_pkts == 0 && rsp_pkts == 0) {
         continue;
       }
-      oss << "  link " << l << ": rqst=" << ls.rqst_packets << " ("
-          << ls.rqst_flits << " flits) rsp=" << ls.rsp_packets << " ("
-          << ls.rsp_flits << " flits) stalls=" << ls.send_stalls << '\n';
+      oss << "  link " << l << ": rqst=" << rqst_pkts << " ("
+          << reg.counter_value(link + ".rqst_flits") << " flits) rsp="
+          << rsp_pkts << " (" << reg.counter_value(link + ".rsp_flits")
+          << " flits) stalls=" << reg.counter_value(link + ".send_stalls")
+          << '\n';
     }
+  }
+  const metrics::Histogram& lat = sim.latency_histogram();
+  if (lat.count() > 0) {
+    oss << "latency: count=" << lat.count() << " mean=" << lat.mean()
+        << " min=" << lat.min() << " max=" << lat.max()
+        << " p50=" << lat.percentile(50.0)
+        << " p95=" << lat.percentile(95.0)
+        << " p99=" << lat.percentile(99.0) << '\n';
   }
   return oss.str();
 }
@@ -86,19 +118,32 @@ std::string format_stats_csv(const Simulator& sim) {
   for (std::uint32_t d = 0; d < sim.num_devices(); ++d) {
     const auto& vaults = sim.device(d).vaults();
     for (std::uint32_t v = 0; v < vaults.size(); ++v) {
-      const dev::VaultStats& vs = vaults[v].stats();
-      oss << "vault," << d << ',' << v << ',' << vs.rqsts_processed << ','
-          << vs.rsps_generated << ",," << ',' << vs.rsp_stalls << '\n';
+      oss << "vault," << d << ',' << v << ','
+          << vaults[v].rqsts_processed().value() << ','
+          << vaults[v].rsps_generated().value() << ",," << ','
+          << vaults[v].rsp_stalls().value() << '\n';
     }
     const auto& links = sim.device(d).links();
     for (std::uint32_t l = 0; l < links.size(); ++l) {
-      const dev::LinkStats& ls = links[l].stats();
-      oss << "link," << d << ',' << l << ',' << ls.rqst_packets << ','
-          << ls.rsp_packets << ',' << ls.rqst_flits << ',' << ls.rsp_flits
-          << ',' << ls.send_stalls << '\n';
+      const dev::Link& link = links[l];
+      oss << "link," << d << ',' << l << ',' << link.rqst_packets().value()
+          << ',' << link.rsp_packets().value() << ','
+          << link.rqst_flits().value() << ',' << link.rsp_flits().value()
+          << ',' << link.send_stalls().value() << '\n';
     }
   }
   return oss.str();
+}
+
+std::string format_stats_json(const Simulator& sim) {
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"cycle\": " + std::to_string(sim.cycle()) + ",\n";
+  out += "  \"config\": \"" + metrics::json_escape(sim.config().describe()) +
+         "\",\n";
+  out += "  \"stats\": " + sim.metrics().to_json(2) + "\n";
+  out += "}\n";
+  return out;
 }
 
 }  // namespace hmcsim::sim

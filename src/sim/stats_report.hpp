@@ -1,9 +1,11 @@
-// stats_report.hpp — human- and machine-readable statistics reports.
+// stats_report.hpp — renderers over the metrics registry.
 //
-// Formats a simulator's counters into a text block (for interactive use)
-// or CSV rows (for post-processing), including the per-vault occupancy
-// histogram that makes hot-spotting — the central phenomenon of the
-// paper's evaluation — directly visible.
+// The registry (Simulator::metrics()) is the source of truth; these
+// functions only format it: a text block (for interactive use), CSV rows
+// (for post-processing), and a JSON document (machine-readable, schema in
+// docs/METRICS.md), including the per-vault occupancy histogram that makes
+// hot-spotting — the central phenomenon of the paper's evaluation —
+// directly visible.
 #pragma once
 
 #include <string>
@@ -12,21 +14,28 @@
 
 namespace hmcsim::sim {
 
-/// Multi-line text report: device summary plus per-link traffic and the
-/// busiest vaults.
+/// Multi-line text report: device summary plus per-link traffic, the
+/// busiest vaults, and (when responses were received) the end-to-end
+/// latency distribution.
 [[nodiscard]] std::string format_stats(const Simulator& sim);
 
 /// CSV block: one header + one row per (device, vault) with request
 /// counts, plus a "link" section. Suitable for spreadsheet import.
 [[nodiscard]] std::string format_stats_csv(const Simulator& sim);
 
-/// Vault access histogram for one device: count of requests processed per
-/// vault, in vault order (32 entries).
+/// JSON document wrapping the full registry:
+///   {"schema_version": 1, "cycle": N, "config": "...", "stats": {...}}
+/// Validated against the schema in docs/METRICS.md.
+[[nodiscard]] std::string format_stats_json(const Simulator& sim);
+
+/// Vault access histogram for one device, read from the metrics registry:
+/// count of requests processed per vault, in vault order (32 entries).
 [[nodiscard]] std::vector<std::uint64_t> vault_histogram(
     const Simulator& sim, std::uint32_t dev);
 
 /// Hot-spot factor: fraction of all vault traffic absorbed by the single
 /// busiest vault of `dev` (1.0 = perfectly hot-spotted, 1/32 = uniform).
+/// 0.0 on a zero-traffic device.
 [[nodiscard]] double hotspot_factor(const Simulator& sim, std::uint32_t dev);
 
 }  // namespace hmcsim::sim

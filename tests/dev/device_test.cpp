@@ -11,7 +11,8 @@ namespace {
 
 class DeviceTest : public ::testing::Test {
  protected:
-  DeviceTest() : cfg_(sim::Config::hmc_4link_4gb()), device_(cfg_, 0) {}
+  DeviceTest()
+      : cfg_(sim::Config::hmc_4link_4gb()), device_(cfg_, 0, reg_) {}
 
   RqstEntry make_entry(spec::Rqst rqst, std::uint64_t addr,
                        std::uint16_t tag) {
@@ -32,6 +33,7 @@ class DeviceTest : public ::testing::Test {
 
   sim::Config cfg_;
   trace::Tracer tracer_;
+  metrics::StatRegistry reg_;
   Device device_;
 };
 
@@ -74,7 +76,8 @@ TEST_F(DeviceTest, HeadOfLineBlockingPerLinkQueue) {
   sim::Config cfg = sim::Config::hmc_4link_4gb();
   cfg.vault_rqst_depth = 2;
   cfg.xbar_rqst_bw_flits = 0;  // Isolate HOL from bandwidth effects.
-  Device dev(cfg, 0);
+  metrics::StatRegistry reg;
+  Device dev(cfg, 0, reg);
 
   // Two packets fill vault 0's queue after one stage-C pass.
   ASSERT_TRUE(dev.send(make_entry(spec::Rqst::RD16, 0, 1), 0, 0, tracer_)
@@ -92,13 +95,14 @@ TEST_F(DeviceTest, HeadOfLineBlockingPerLinkQueue) {
   // Vault 0 full, head stalled; the vault-1 packet is NOT routed.
   EXPECT_EQ(dev.vaults()[1].rqst_queue().size(), 0U);
   EXPECT_EQ(dev.xbar().rqst_queue(0).size(), 2U);
-  EXPECT_GT(dev.xbar().stats().rqst_stalls, 0U);
+  EXPECT_GT(dev.xbar().rqst_stalls().value(), 0U);
 }
 
 TEST_F(DeviceTest, ForwardBandwidthBudgetThrottles) {
   sim::Config cfg = sim::Config::hmc_4link_4gb();
   cfg.xbar_rqst_bw_flits = 17;  // Minimum legal budget.
-  Device dev(cfg, 0);
+  metrics::StatRegistry reg;
+  Device dev(cfg, 0, reg);
   // 20 single-FLIT reads on one link: only 17 forward per cycle.
   for (std::uint16_t i = 0; i < 20; ++i) {
     ASSERT_TRUE(dev.send(make_entry(spec::Rqst::RD16, 64ULL * i, i), 0, 0,
@@ -107,7 +111,7 @@ TEST_F(DeviceTest, ForwardBandwidthBudgetThrottles) {
   }
   dev.clock_requests(1, tracer_, nullptr);
   EXPECT_EQ(dev.xbar().rqst_queue(0).size(), 3U);
-  EXPECT_GT(dev.xbar().stats().rqst_bw_throttles, 0U);
+  EXPECT_GT(dev.xbar().rqst_bw_throttles().value(), 0U);
   dev.clock_requests(2, tracer_, nullptr);
   EXPECT_TRUE(dev.xbar().rqst_queue(0).empty());
 }
@@ -115,7 +119,8 @@ TEST_F(DeviceTest, ForwardBandwidthBudgetThrottles) {
 TEST_F(DeviceTest, ResponseBandwidthBudgetThrottles) {
   sim::Config cfg = sim::Config::hmc_4link_4gb();
   cfg.xbar_rsp_bw_flits = 18;  // 9 two-FLIT responses per cycle per link.
-  Device dev(cfg, 0);
+  metrics::StatRegistry reg;
+  Device dev(cfg, 0, reg);
   // 12 INC8s to one vault, all from link 0 -> 12 1-FLIT WR_RS... use RD16
   // (2-FLIT responses) instead.
   for (std::uint16_t i = 0; i < 12; ++i) {
@@ -127,7 +132,7 @@ TEST_F(DeviceTest, ResponseBandwidthBudgetThrottles) {
   dev.clock_vaults(2, nullptr, nullptr, t);  // 12 responses generated.
   dev.clock_responses(3, tracer_, nullptr);  // Budget: 9 move.
   EXPECT_EQ(dev.xbar().rsp_queue(0).size(), 9U);
-  EXPECT_GT(dev.xbar().stats().rsp_bw_throttles, 0U);
+  EXPECT_GT(dev.xbar().rsp_bw_throttles().value(), 0U);
   dev.clock_responses(4, tracer_, nullptr);  // Remaining 3 move.
   EXPECT_EQ(dev.xbar().rsp_queue(0).size(), 12U);
 }
@@ -140,11 +145,10 @@ TEST_F(DeviceTest, StatsAggregateComponents) {
   clock(3);
   RspEntry rsp;
   ASSERT_TRUE(device_.recv(0, rsp).ok());
-  const DeviceStats s = device_.stats();
-  EXPECT_EQ(s.rqsts_processed, 1U);
-  EXPECT_EQ(s.rsps_generated, 1U);
-  EXPECT_EQ(s.rqst_flits, 1U);
-  EXPECT_EQ(s.rsp_flits, 2U);
+  EXPECT_EQ(reg_.sum("cube0.quad", "rqsts_processed"), 1U);
+  EXPECT_EQ(reg_.sum("cube0.quad", "rsps_generated"), 1U);
+  EXPECT_EQ(reg_.sum("cube0.link", "rqst_flits"), 1U);
+  EXPECT_EQ(reg_.sum("cube0.link", "rsp_flits"), 2U);
 }
 
 TEST_F(DeviceTest, ResetPipelineDropsInFlightKeepsMemory) {
@@ -156,7 +160,7 @@ TEST_F(DeviceTest, ResetPipelineDropsInFlightKeepsMemory) {
   clock(2);
   clock(3);
   EXPECT_FALSE(device_.rsp_ready(0));
-  EXPECT_EQ(device_.stats().rqsts_processed, 0U);
+  EXPECT_EQ(reg_.sum("cube0.quad", "rqsts_processed"), 0U);
   std::uint64_t v = 0;
   ASSERT_TRUE(device_.store().read_u64(0x10, v).ok());
   EXPECT_EQ(v, 42ULL);

@@ -3,38 +3,48 @@
 
 #include <gtest/gtest.h>
 
+#include "src/metrics/stat_registry.hpp"
+
 namespace hmcsim::dev {
 namespace {
 
-TEST(Link, StartsWithFullTokenPoolAfterReset) {
-  Link link(128);
+// Each test builds its own registry so counter paths never alias between
+// Link instances.
+class LinkTest : public ::testing::Test {
+ protected:
+  Link make_link(std::uint32_t capacity) {
+    return Link(capacity, reg_, "cube0.link0");
+  }
+
+  metrics::StatRegistry reg_;
+};
+
+TEST_F(LinkTest, StartsWithFullTokenPoolAfterReset) {
+  Link link = make_link(128);
   link.reset();
   EXPECT_EQ(link.tokens(), 128U);
   EXPECT_EQ(link.token_capacity(), 128U);
 }
 
-TEST(Link, AcceptConsumesTokens) {
-  Link link(10);
-  link.reset();
+TEST_F(LinkTest, AcceptConsumesTokens) {
+  Link link = make_link(10);
   ASSERT_TRUE(link.accept_request(3).ok());
   EXPECT_EQ(link.tokens(), 7U);
-  EXPECT_EQ(link.stats().rqst_packets, 1U);
-  EXPECT_EQ(link.stats().rqst_flits, 3U);
+  EXPECT_EQ(link.rqst_packets().value(), 1U);
+  EXPECT_EQ(link.rqst_flits().value(), 3U);
 }
 
-TEST(Link, AcceptStallsWhenTokensExhausted) {
-  Link link(4);
-  link.reset();
+TEST_F(LinkTest, AcceptStallsWhenTokensExhausted) {
+  Link link = make_link(4);
   ASSERT_TRUE(link.accept_request(3).ok());
   const Status s = link.accept_request(2);
   EXPECT_TRUE(s.stalled());
   EXPECT_EQ(link.tokens(), 1U);  // Unchanged by the failed accept.
-  EXPECT_EQ(link.stats().send_stalls, 1U);
+  EXPECT_EQ(link.send_stalls().value(), 1U);
 }
 
-TEST(Link, ReturnTokensCapsAtCapacity) {
-  Link link(8);
-  link.reset();
+TEST_F(LinkTest, ReturnTokensCapsAtCapacity) {
+  Link link = make_link(8);
   ASSERT_TRUE(link.accept_request(5).ok());
   link.return_tokens(3);
   EXPECT_EQ(link.tokens(), 6U);
@@ -42,44 +52,47 @@ TEST(Link, ReturnTokensCapsAtCapacity) {
   EXPECT_EQ(link.tokens(), 8U);
 }
 
-TEST(Link, TretFlowPacketReturnsTokens) {
-  Link link(8);
-  link.reset();
+TEST_F(LinkTest, TretFlowPacketReturnsTokens) {
+  Link link = make_link(8);
   ASSERT_TRUE(link.accept_request(6).ok());
   link.consume_flow(spec::Rqst::TRET, 4);
   EXPECT_EQ(link.tokens(), 6U);
-  EXPECT_EQ(link.stats().flow_packets, 1U);
+  EXPECT_EQ(link.flow_packets().value(), 1U);
 }
 
-TEST(Link, NonTretFlowPacketsOnlyCounted) {
-  Link link(8);
-  link.reset();
+TEST_F(LinkTest, NonTretFlowPacketsOnlyCounted) {
+  Link link = make_link(8);
   ASSERT_TRUE(link.accept_request(4).ok());
   link.consume_flow(spec::Rqst::FLOW_NULL, 9);
   link.consume_flow(spec::Rqst::PRET, 9);
   link.consume_flow(spec::Rqst::IRTRY, 9);
   EXPECT_EQ(link.tokens(), 4U);  // No token movement.
-  EXPECT_EQ(link.stats().flow_packets, 3U);
+  EXPECT_EQ(link.flow_packets().value(), 3U);
 }
 
-TEST(Link, EjectAccountsResponses) {
-  Link link(8);
-  link.reset();
+TEST_F(LinkTest, EjectAccountsResponses) {
+  Link link = make_link(8);
   link.eject_response(5);
   link.eject_response(1);
-  EXPECT_EQ(link.stats().rsp_packets, 2U);
-  EXPECT_EQ(link.stats().rsp_flits, 6U);
+  EXPECT_EQ(link.rsp_packets().value(), 2U);
+  EXPECT_EQ(link.rsp_flits().value(), 6U);
 }
 
-TEST(Link, ResetClearsStatsAndRefills) {
-  Link link(8);
-  link.reset();
+TEST_F(LinkTest, ResetClearsStatsAndRefills) {
+  Link link = make_link(8);
   ASSERT_TRUE(link.accept_request(8).ok());
   link.record_send_stall();
   link.reset();
   EXPECT_EQ(link.tokens(), 8U);
-  EXPECT_EQ(link.stats().rqst_packets, 0U);
-  EXPECT_EQ(link.stats().send_stalls, 0U);
+  EXPECT_EQ(link.rqst_packets().value(), 0U);
+  EXPECT_EQ(link.send_stalls().value(), 0U);
+}
+
+TEST_F(LinkTest, CountersVisibleThroughRegistryPaths) {
+  Link link = make_link(16);
+  ASSERT_TRUE(link.accept_request(3).ok());
+  EXPECT_EQ(reg_.counter_value("cube0.link0.rqst_packets"), 1U);
+  EXPECT_EQ(reg_.counter_value("cube0.link0.rqst_flits"), 3U);
 }
 
 }  // namespace

@@ -15,7 +15,7 @@ class VaultTest : public ::testing::Test {
       : cfg_(sim::Config::hmc_4link_4gb()),
         store_(cfg_.capacity_bytes),
         amap_(cfg_),
-        vault_(0, 0, cfg_) {
+        vault_(0, 0, cfg_, reg_, "cube0") {
     regs_.init(cfg_, 0);
   }
 
@@ -42,6 +42,7 @@ class VaultTest : public ::testing::Test {
   Registers regs_;
   AddrMap amap_;
   trace::Tracer tracer_;
+  metrics::StatRegistry reg_;
   Vault vault_;
 };
 
@@ -56,7 +57,7 @@ TEST_F(VaultTest, ProcessesEntireQueueInOneCycle) {
   vault_.process(1, e);
   EXPECT_TRUE(vault_.rqst_queue().empty());
   EXPECT_EQ(vault_.rsp_queue().size(), 64U);
-  EXPECT_EQ(vault_.stats().rqsts_processed, 64U);
+  EXPECT_EQ(vault_.rqsts_processed().value(), 64U);
 }
 
 TEST_F(VaultTest, ResponsesPreserveRequestOrder) {
@@ -87,7 +88,7 @@ TEST_F(VaultTest, DefersWhenResponseQueueFull) {
   }
   vault_.process(2, e);
   EXPECT_EQ(vault_.rqst_queue().size(), 6U);
-  EXPECT_GT(vault_.stats().rsp_stalls, 0U);
+  EXPECT_GT(vault_.rsp_stalls().value(), 0U);
   // Drain two responses; exactly two deferred requests retire.
   (void)vault_.rsp_queue().pop();
   (void)vault_.rsp_queue().pop();
@@ -108,7 +109,7 @@ TEST_F(VaultTest, PostedRequestsRetireWithoutResponses) {
   vault_.process(1, e);
   EXPECT_TRUE(vault_.rqst_queue().empty());
   EXPECT_TRUE(vault_.rsp_queue().empty());
-  EXPECT_EQ(vault_.stats().rqsts_processed, 2U);
+  EXPECT_EQ(vault_.rqsts_processed().value(), 2U);
   std::uint64_t v = 0;
   ASSERT_TRUE(store_.read_u64(0x100, v).ok());
   EXPECT_EQ(v, 2ULL);  // 1 written, then incremented.
@@ -119,7 +120,7 @@ TEST_F(VaultTest, FlowPacketAtVaultCountsAsError) {
       vault_.rqst_queue().push(make_entry(spec::Rqst::TRET, 0, 0)));
   auto e = env();
   vault_.process(1, e);
-  EXPECT_EQ(vault_.stats().errors, 1U);
+  EXPECT_EQ(vault_.errors().value(), 1U);
   EXPECT_TRUE(vault_.rsp_queue().empty());
 }
 
@@ -137,7 +138,7 @@ TEST_F(VaultTest, CmcWithoutRegistryYieldsErrorResponse) {
   ASSERT_EQ(vault_.rsp_queue().size(), 1U);
   EXPECT_EQ(vault_.rsp_queue().front().pkt.cmd(),
             static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR));
-  EXPECT_EQ(vault_.stats().errors, 1U);
+  EXPECT_EQ(vault_.errors().value(), 1U);
 }
 
 TEST_F(VaultTest, BankConflictsStallWhenModelled) {
@@ -150,7 +151,7 @@ TEST_F(VaultTest, BankConflictsStallWhenModelled) {
   vault_.process(1, e);
   EXPECT_EQ(vault_.rsp_queue().size(), 1U);
   EXPECT_EQ(vault_.rqst_queue().size(), 1U);
-  EXPECT_EQ(vault_.stats().bank_conflicts, 1U);
+  EXPECT_EQ(vault_.bank_conflicts().value(), 1U);
   vault_.process(2, e);
   EXPECT_EQ(vault_.rqst_queue().size(), 1U);  // Bank busy until cycle 5.
   vault_.process(5, e);
@@ -169,7 +170,7 @@ TEST_F(VaultTest, DifferentBanksNoConflict) {
   auto e = env();
   vault_.process(1, e);
   EXPECT_EQ(vault_.rsp_queue().size(), 2U);
-  EXPECT_EQ(vault_.stats().bank_conflicts, 0U);
+  EXPECT_EQ(vault_.bank_conflicts().value(), 0U);
 }
 
 TEST_F(VaultTest, BankAccessCountsTracked) {
@@ -187,7 +188,7 @@ TEST_F(VaultTest, ResetClearsEverything) {
   vault_.reset();
   EXPECT_TRUE(vault_.rqst_queue().empty());
   EXPECT_TRUE(vault_.rsp_queue().empty());
-  EXPECT_EQ(vault_.stats().rqsts_processed, 0U);
+  EXPECT_EQ(vault_.rqsts_processed().value(), 0U);
   EXPECT_EQ(vault_.banks()[0].accesses(), 0U);
 }
 

@@ -55,7 +55,7 @@ TEST(FaultInjection, CorruptedPacketIsRedeliveredWithExtraLatency) {
   // already completed before the corruption was detected: redelivery
   // re-enters at the crossbar.
   EXPECT_EQ(rsp.latency, 3U + 8U - 1U);
-  EXPECT_EQ(sim->stats().devices.link_retries, 1U);
+  EXPECT_EQ(sim->stats().link_retries, 1U);
 }
 
 TEST(FaultInjection, ZeroRateMatchesBaselineExactly) {
@@ -99,7 +99,7 @@ TEST(FaultInjection, DeterministicForSeed) {
       sim::Response rsp;
       EXPECT_TRUE(sim->recv(0, rsp).ok());
     }
-    return sim->stats().devices.link_retries;
+    return sim->stats().link_retries;
   };
   const std::uint64_t a = run(7);
   EXPECT_EQ(a, run(7));
@@ -117,7 +117,7 @@ TEST(FaultInjection, GupsCompletesAndVerifiesUnderErrors) {
   host::KernelResult result;
   // verify=true: data integrity under fault injection.
   ASSERT_TRUE(host::run_random_access(*sim, opts, result).ok());
-  EXPECT_GT(sim->stats().devices.link_retries, 0U);
+  EXPECT_GT(sim->stats().link_retries, 0U);
 }
 
 TEST(FaultInjection, MutexContentionSurvivesErrors) {
@@ -139,7 +139,7 @@ TEST(FaultInjection, MutexContentionSurvivesErrors) {
   std::array<std::uint64_t, 2> lock{};
   ASSERT_TRUE(sim->device(0).store().read_u128(0, lock).ok());
   EXPECT_EQ(lock[0], 0ULL);
-  EXPECT_GT(sim->stats().devices.link_retries, 0U);
+  EXPECT_GT(sim->stats().link_retries, 0U);
 }
 
 TEST(FaultInjection, ErrorsIncreaseAverageLatency) {

@@ -82,9 +82,9 @@ std::string run_workload_digest(sim::Simulator& sim) {
   drain(true);
   digest << "cycles=" << sim.cycle();
   const auto stats = sim.stats();
-  digest << " rqsts=" << stats.devices.rqsts_processed
-         << " flits=" << stats.devices.rqst_flits << '/'
-         << stats.devices.rsp_flits;
+  digest << " rqsts=" << stats.rqsts_processed
+         << " flits=" << stats.rqst_flits << '/'
+         << stats.rsp_flits;
   return digest.str();
 }
 

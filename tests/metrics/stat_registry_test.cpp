@@ -1,0 +1,208 @@
+// stat_registry_test.cpp — the hierarchical statistics registry.
+#include "src/metrics/stat_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace hmcsim::metrics {
+namespace {
+
+TEST(Counter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0U);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42U);
+  c.reset();
+  EXPECT_EQ(c.value(), 0U);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.set(2.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 = {0}; bucket i covers [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::bucket_upper(0), 0U);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1U);
+  EXPECT_EQ(Histogram::bucket_upper(2), 3U);
+  EXPECT_EQ(Histogram::bucket_upper(10), 1023U);
+  EXPECT_EQ(Histogram::bucket_upper(64),
+            std::numeric_limits<std::uint64_t>::max());
+
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(4);
+  EXPECT_EQ(h.bucket(0), 1U);  // {0}
+  EXPECT_EQ(h.bucket(1), 1U);  // {1}
+  EXPECT_EQ(h.bucket(2), 2U);  // {2, 3}
+  EXPECT_EQ(h.bucket(3), 1U);  // {4}
+}
+
+TEST(Histogram, SummaryStatistics) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_EQ(h.min(), 0U);  // Empty histogram reports 0, not UINT64_MAX.
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  for (std::uint64_t v : {5ULL, 10ULL, 15ULL}) {
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), 3U);
+  EXPECT_EQ(h.sum(), 30U);
+  EXPECT_EQ(h.min(), 5U);
+  EXPECT_EQ(h.max(), 15U);
+  EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+}
+
+TEST(Histogram, PercentilesClampToObservedMax) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) {
+    h.record(10);  // Bucket 4, upper bound 15.
+  }
+  h.record(1000);  // Bucket 10, upper bound 1023.
+  // p50 lands in the bucket holding 10s; its upper bound (15) caps the
+  // estimate. p99 is still within the 10s; p100-ish tail hits the max.
+  EXPECT_EQ(h.percentile(50), 15U);
+  EXPECT_EQ(h.percentile(99), 15U);
+  EXPECT_EQ(h.percentile(100), 1000U);  // Clamped to observed max.
+}
+
+TEST(StatRegistry, RegistrationIsIdempotent) {
+  StatRegistry reg;
+  Counter& a = reg.counter("cube0.vault0.hits", "hits");
+  Counter& b = reg.counter("cube0.vault0.hits");
+  EXPECT_EQ(&a, &b);
+  a.inc(7);
+  EXPECT_EQ(reg.counter_value("cube0.vault0.hits"), 7U);
+  EXPECT_EQ(reg.size(), 1U);
+}
+
+TEST(StatRegistry, KindMismatchThrows) {
+  StatRegistry reg;
+  reg.counter("x.y");
+  EXPECT_THROW(reg.gauge("x.y"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x.y"), std::logic_error);
+}
+
+TEST(StatRegistry, FindIsKindAware) {
+  StatRegistry reg;
+  reg.counter("a.count").inc(3);
+  reg.gauge("a.level").set(1.5);
+  reg.histogram("a.lat").record(9);
+  EXPECT_NE(reg.find_counter("a.count"), nullptr);
+  EXPECT_EQ(reg.find_counter("a.level"), nullptr);
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  EXPECT_NE(reg.find_gauge("a.level"), nullptr);
+  EXPECT_NE(reg.find_histogram("a.lat"), nullptr);
+  EXPECT_EQ(reg.counter_value("missing"), 0U);
+}
+
+TEST(StatRegistry, SumMatchesPrefixAndLeaf) {
+  StatRegistry reg;
+  reg.counter("cube0.quad0.vault0.rqsts").inc(1);
+  reg.counter("cube0.quad0.vault1.rqsts").inc(2);
+  reg.counter("cube0.quad1.vault0.rqsts").inc(4);
+  reg.counter("cube0.quad0.vault0.errors").inc(100);  // Different leaf.
+  reg.counter("cube1.quad0.vault0.rqsts").inc(100);   // Different prefix.
+  EXPECT_EQ(reg.sum("cube0.quad", "rqsts"), 7U);
+  // The leaf must be a full final segment: "qsts" matches nothing.
+  EXPECT_EQ(reg.sum("cube0.quad", "qsts"), 0U);
+}
+
+TEST(StatRegistry, SnapshotDeltaOmitsZeroAndCountsNewFromZero) {
+  StatRegistry reg;
+  Counter& a = reg.counter("a");
+  Counter& b = reg.counter("b");
+  a.inc(5);
+  const auto before = reg.snapshot_counters();
+  a.inc(3);
+  Counter& c = reg.counter("c");
+  c.inc(2);
+  const auto after = reg.snapshot_counters();
+  const auto d = StatRegistry::delta(before, after);
+  ASSERT_EQ(d.size(), 2U);
+  EXPECT_EQ(d.at("a"), 3U);
+  EXPECT_EQ(d.at("c"), 2U);  // Absent from `before`: counts from zero.
+  EXPECT_EQ(d.count("b"), 0U);  // Unchanged: omitted.
+  (void)b;
+}
+
+TEST(StatRegistry, ForEachVisitsSortedPaths) {
+  StatRegistry reg;
+  reg.counter("b");
+  reg.counter("a");
+  reg.gauge("c");
+  std::vector<std::string> order;
+  reg.for_each([&order](std::string_view path, StatKind, const Counter*,
+                        const Gauge*, const Histogram*) {
+    order.emplace_back(path);
+  });
+  ASSERT_EQ(order.size(), 3U);
+  EXPECT_EQ(order[0], "a");
+  EXPECT_EQ(order[1], "b");
+  EXPECT_EQ(order[2], "c");
+}
+
+TEST(StatRegistry, JsonNestsPathsAndRendersKinds) {
+  StatRegistry reg;
+  reg.counter("cube0.vault0.hits").inc(3);
+  reg.counter("cube0.vault0.misses").inc(1);
+  reg.gauge("host.load").set(0.5);
+  reg.histogram("host.latency").record(7);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"cube0\""), std::string::npos);
+  EXPECT_NE(json.find("\"vault0\""), std::string::npos);
+  EXPECT_NE(json.find("\"hits\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"misses\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"load\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\": 7"), std::string::npos);
+}
+
+TEST(StatRegistry, CsvHasHeaderAndOneRowPerStat) {
+  StatRegistry reg;
+  reg.counter("a").inc(4);
+  reg.histogram("h").record(2);
+  const std::string csv = reg.to_csv();
+  EXPECT_EQ(csv.find("path,kind,value,count,sum,min,max,p50,p95,p99"), 0U);
+  EXPECT_NE(csv.find("a,counter,4"), std::string::npos);
+  EXPECT_NE(csv.find("h,histogram"), std::string::npos);
+}
+
+TEST(StatRegistry, ResetZeroesValuesKeepsRegistrations) {
+  StatRegistry reg;
+  Counter& c = reg.counter("a");
+  c.inc(9);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h").record(5);
+  reg.reset();
+  EXPECT_EQ(reg.size(), 3U);
+  EXPECT_EQ(c.value(), 0U);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("g")->value(), 0.0);
+  EXPECT_EQ(reg.find_histogram("h")->count(), 0U);
+  // Handles stay valid across reset: the same object keeps counting.
+  c.inc();
+  EXPECT_EQ(reg.counter_value("a"), 1U);
+}
+
+TEST(JsonEscape, ControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+}
+
+}  // namespace
+}  // namespace hmcsim::metrics

@@ -116,6 +116,54 @@ TEST_F(CApiTest, NullHandleIsError) {
   EXPECT_EQ(hmcsim_cycle(nullptr), 0ULL);
 }
 
+TEST_F(CApiTest, StatsJsonBufferContract) {
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_RD16, 0, 0, 1, nullptr, 0), HMC_OK);
+  ASSERT_EQ(wait_recv(0), HMC_OK);
+
+  // Sizing call: no buffer, returns the full document length.
+  const uint64_t needed = hmcsim_stats_json(sim_, nullptr, 0);
+  ASSERT_GT(needed, 0ULL);
+
+  // Full-size call round-trips the document.
+  std::string buf(needed + 1, '\0');
+  EXPECT_EQ(hmcsim_stats_json(sim_, buf.data(), buf.size()), needed);
+  const std::string json(buf.c_str());
+  EXPECT_EQ(json.size(), needed);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"cube0\""), std::string::npos);
+
+  // Short buffer: truncated but still NUL-terminated; return value is
+  // unchanged (snprintf contract).
+  char small[16];
+  EXPECT_EQ(hmcsim_stats_json(sim_, small, sizeof small), needed);
+  EXPECT_EQ(small[sizeof small - 1], '\0');
+  EXPECT_EQ(std::string(small), json.substr(0, sizeof small - 1));
+
+  EXPECT_EQ(hmcsim_stats_json(nullptr, nullptr, 0), 0ULL);
+}
+
+TEST_F(CApiTest, StatGetByPath) {
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_RD16, 0, 0, 1, nullptr, 0), HMC_OK);
+  ASSERT_EQ(wait_recv(0), HMC_OK);
+
+  uint64_t value = 0;
+  ASSERT_EQ(hmcsim_stat_get(sim_, "cube0.quad0.vault0.rqsts_processed",
+                            &value),
+            HMC_OK);
+  EXPECT_EQ(value, 1ULL);
+  ASSERT_EQ(hmcsim_stat_get(sim_, "cube0.link0.rqst_packets", &value),
+            HMC_OK);
+  EXPECT_EQ(value, 1ULL);
+  // Histograms read as their sample count.
+  ASSERT_EQ(hmcsim_stat_get(sim_, "host.latency", &value), HMC_OK);
+  EXPECT_EQ(value, 1ULL);
+
+  EXPECT_EQ(hmcsim_stat_get(sim_, "no.such.stat", &value), HMC_ERROR);
+  EXPECT_EQ(hmcsim_stat_get(sim_, nullptr, &value), HMC_ERROR);
+  EXPECT_EQ(hmcsim_stat_get(sim_, "host.latency", nullptr), HMC_ERROR);
+  EXPECT_EQ(hmcsim_stat_get(nullptr, "host.latency", &value), HMC_ERROR);
+}
+
 #ifdef HMCSIM_PLUGIN_DIR
 TEST_F(CApiTest, LoadCmcAndExecute) {
   const std::string path = std::string(HMCSIM_PLUGIN_DIR) + "/hmc_lock.so";

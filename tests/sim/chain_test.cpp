@@ -100,11 +100,11 @@ TEST_F(ChainTest, ForwardingCountersTrack) {
   rd.rqst = spec::Rqst::RD16;
   rd.cub = 2;
   (void)roundtrip(rd);
-  EXPECT_EQ(sim_->device(0).stats().forwarded_rqsts, 1U);
-  EXPECT_EQ(sim_->device(1).stats().forwarded_rqsts, 1U);
-  EXPECT_EQ(sim_->device(2).stats().forwarded_rqsts, 0U);
-  EXPECT_EQ(sim_->device(1).stats().forwarded_rsps, 1U);
-  EXPECT_EQ(sim_->device(2).stats().forwarded_rsps, 1U);
+  EXPECT_EQ(sim_->device(0).forwarded_rqsts().value(), 1U);
+  EXPECT_EQ(sim_->device(1).forwarded_rqsts().value(), 1U);
+  EXPECT_EQ(sim_->device(2).forwarded_rqsts().value(), 0U);
+  EXPECT_EQ(sim_->device(1).forwarded_rsps().value(), 1U);
+  EXPECT_EQ(sim_->device(2).forwarded_rsps().value(), 1U);
 }
 
 TEST_F(ChainTest, AtomicOnRemoteCube) {

@@ -1,0 +1,38 @@
+# cli_stats_smoke.cmake — end-to-end check of the CLI statistics flags.
+#
+# Runs `hmcsim_cli mutex ... --stats-json <file> --stats-every <N>` and
+# validates that (a) the run succeeds, (b) the periodic delta report
+# appeared on stdout, and (c) the JSON document contains the expected
+# top-level structure. Invoked as:
+#   cmake -DCLI=<hmcsim_cli> -DOUT_DIR=<dir> -P cli_stats_smoke.cmake
+if(NOT DEFINED CLI OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<exe> -DOUT_DIR=<dir> -P ${CMAKE_SCRIPT_MODE_FILE}")
+endif()
+
+set(json_path "${OUT_DIR}/cli_stats_smoke.json")
+execute_process(
+  COMMAND "${CLI}" mutex 8 --stats-json "${json_path}" --stats-every 5
+  OUTPUT_VARIABLE run_stdout
+  ERROR_VARIABLE run_stderr
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "hmcsim_cli exited with ${run_rc}\n${run_stdout}\n${run_stderr}")
+endif()
+
+if(NOT run_stdout MATCHES "\\[stats\\] cycle=")
+  message(FATAL_ERROR "--stats-every produced no periodic report:\n${run_stdout}")
+endif()
+if(NOT run_stdout MATCHES "rqsts_processed \\+")
+  message(FATAL_ERROR "periodic report lists no counter deltas:\n${run_stdout}")
+endif()
+
+if(NOT EXISTS "${json_path}")
+  message(FATAL_ERROR "--stats-json wrote no file at ${json_path}")
+endif()
+file(READ "${json_path}" json)
+foreach(needle "\"schema_version\": 1" "\"cycle\":" "\"config\":" "\"cube0\"" "\"host\"")
+  string(FIND "${json}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "stats JSON missing ${needle}:\n${json}")
+  endif()
+endforeach()

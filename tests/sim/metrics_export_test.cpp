@@ -1,0 +1,312 @@
+// metrics_export_test.cpp — golden-file guard for the text/CSV reports and
+// a round-trip check for the JSON export.
+//
+// The text and CSV literals below were captured from the seed tree (the
+// last revision whose reports rendered from the ad-hoc stats structs) on a
+// fixed 9-operation workload. The registry-backed renderers must reproduce
+// them byte for byte; the text report may only append new sections (the
+// latency block) after the seed content.
+#include "src/sim/stats_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hmcsim::sim {
+namespace {
+
+/// Minimal JSON reader for the export's subset (objects, strings, numbers
+/// — the renderer emits no arrays). Flattens leaves to dotted paths.
+class FlatJson {
+ public:
+  static std::map<std::string, std::string> parse(const std::string& text) {
+    FlatJson p(text);
+    p.skip_ws();
+    p.parse_object("");
+    return std::move(p.leaves_);
+  }
+
+ private:
+  explicit FlatJson(const std::string& text) : text_(text) {}
+
+  void parse_object(const std::string& prefix) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      const std::string path = prefix.empty() ? key : prefix + "." + key;
+      if (peek() == '{') {
+        parse_object(path);
+      } else if (peek() == '"') {
+        leaves_[path] = parse_string();
+      } else {
+        leaves_[path] = parse_number();
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        out += text_[pos_ + 1];
+        pos_ += 2;
+      } else {
+        out += text_[pos_++];
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  std::string parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    EXPECT_GT(pos_, start) << "expected a number at offset " << start;
+    return text_.substr(start, pos_ - start);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void expect(char c) {
+    ASSERT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    ASSERT_EQ(text_[pos_], c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::string> leaves_;
+};
+
+/// Drive the fixed golden workload: 9 operations spread over all 4 links
+/// and 4 vaults, fully drained.
+void run_golden_workload(Simulator& sim) {
+  struct Op {
+    spec::Rqst rqst;
+    std::uint64_t addr;
+    std::uint32_t link;
+    bool has_payload;
+  };
+  const Op ops[] = {
+      {spec::Rqst::WR16, 0x0000, 0, true},
+      {spec::Rqst::WR16, 0x0040, 1, true},
+      {spec::Rqst::RD16, 0x0000, 0, false},
+      {spec::Rqst::RD16, 0x0040, 1, false},
+      {spec::Rqst::RD16, 0x0080, 2, false},
+      {spec::Rqst::INC8, 0x0000, 0, false},
+      {spec::Rqst::INC8, 0x00C0, 3, false},
+      {spec::Rqst::RD16, 0x0000, 2, false},
+      {spec::Rqst::RD16, 0x0000, 3, false},
+  };
+  static const std::uint64_t payload[2] = {0x1111, 0x2222};
+  std::uint16_t tag = 0;
+  for (const Op& op : ops) {
+    spec::RqstParams p;
+    p.rqst = op.rqst;
+    p.addr = op.addr;
+    p.tag = tag++;
+    if (op.has_payload) {
+      p.payload = payload;
+    }
+    ASSERT_TRUE(sim.send(p, op.link).ok());
+  }
+  std::uint32_t received = 0;
+  for (int i = 0; i < 100 && received < 9; ++i) {
+    sim.clock();
+    for (std::uint32_t link = 0; link < 4; ++link) {
+      Response rsp;
+      while (sim.recv(link, rsp).ok()) {
+        ++received;
+      }
+    }
+  }
+  ASSERT_EQ(received, 9U);
+}
+
+class MetricsExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(Simulator::create(Config::hmc_4link_4gb(), sim_).ok());
+  }
+
+  std::unique_ptr<Simulator> sim_;
+};
+
+TEST_F(MetricsExportTest, TextReportMatchesSeedGolden) {
+  run_golden_workload(*sim_);
+  const std::string seed =
+      "configuration: 4Link-4GB devs=1 vaults=32 banks/vault=16 block=64B "
+      "rqstq=64 xbarq=128\n"
+      "cycle: 3\n"
+      "device 0: rqsts=9 rsps=9 amo=2 cmc=0 errors=0\n"
+      "  flits: rqst=11 rsp=14 fwd_rqst=0 fwd_rsp=0\n"
+      "  stalls: send=0 xbar_rqst=0 xbar_rsp=0 vault_rsp=0 "
+      "bank_conflicts=0\n"
+      "  hotspot factor: 0.555556 (busiest vaults: 0:5 1:2 2:1 3:1)\n"
+      "  link 0: rqst=3 (4 flits) rsp=3 (4 flits) stalls=0\n"
+      "  link 1: rqst=2 (3 flits) rsp=2 (3 flits) stalls=0\n"
+      "  link 2: rqst=2 (2 flits) rsp=2 (4 flits) stalls=0\n"
+      "  link 3: rqst=2 (2 flits) rsp=2 (3 flits) stalls=0\n";
+  const std::string report = format_stats(*sim_);
+  // Byte-identical prefix; the registry-era report appends the latency
+  // distribution after the seed sections.
+  ASSERT_GE(report.size(), seed.size());
+  EXPECT_EQ(report.substr(0, seed.size()), seed);
+  EXPECT_NE(report.find("latency: count=9"), std::string::npos);
+}
+
+TEST_F(MetricsExportTest, CsvReportMatchesSeedGolden) {
+  run_golden_workload(*sim_);
+  const std::string csv = format_stats_csv(*sim_);
+  EXPECT_EQ(csv.find("section,dev,index,rqsts,rsps,flits_in,flits_out,"
+                     "stalls\n"),
+            0U);
+  EXPECT_NE(csv.find("vault,0,0,5,5,,,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("vault,0,1,2,2,,,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("vault,0,2,1,1,,,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("vault,0,3,1,1,,,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("link,0,0,3,3,4,4,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("link,0,1,2,2,3,3,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("link,0,2,2,2,2,4,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("link,0,3,2,2,2,3,0\n"), std::string::npos);
+  const auto lines =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, 1U + 32U + 4U);
+}
+
+TEST_F(MetricsExportTest, JsonRoundTripsEveryRegistryValue) {
+  run_golden_workload(*sim_);
+  const std::string json = format_stats_json(*sim_);
+  const auto flat = FlatJson::parse(json);
+  EXPECT_EQ(flat.at("schema_version"), "1");
+  EXPECT_EQ(flat.at("cycle"), std::to_string(sim_->cycle()));
+  EXPECT_FALSE(flat.at("config").empty());
+
+  // Every counter in the registry must appear in the document with its
+  // exact value, nested under "stats." along its dotted path.
+  std::size_t counters_checked = 0;
+  sim_->metrics().for_each(
+      [&flat, &counters_checked](std::string_view path, metrics::StatKind,
+                                 const metrics::Counter* c,
+                                 const metrics::Gauge*,
+                                 const metrics::Histogram* h) {
+        if (c != nullptr) {
+          const auto it = flat.find("stats." + std::string(path));
+          ASSERT_NE(it, flat.end()) << path;
+          EXPECT_EQ(it->second, std::to_string(c->value())) << path;
+          ++counters_checked;
+        } else if (h != nullptr) {
+          const auto it = flat.find("stats." + std::string(path) + ".count");
+          ASSERT_NE(it, flat.end()) << path;
+          EXPECT_EQ(it->second, std::to_string(h->count())) << path;
+        }
+      });
+  EXPECT_GT(counters_checked, 400U);  // 32 vaults x 7 + banks + links + ...
+
+  // The aggregate SimStats view and the JSON agree on the headline totals.
+  const SimStats s = sim_->stats();
+  EXPECT_EQ(flat.at("stats.cube0.quad0.vault0.rqsts_processed"), "5");
+  std::uint64_t rqst_flits = 0;
+  for (int l = 0; l < 4; ++l) {
+    rqst_flits += static_cast<std::uint64_t>(std::stoull(
+        flat.at("stats.cube0.link" + std::to_string(l) + ".rqst_flits")));
+  }
+  EXPECT_EQ(rqst_flits, s.rqst_flits);
+  EXPECT_EQ(flat.at("stats.host.latency.count"), "9");
+}
+
+TEST_F(MetricsExportTest, StatsEveryCallbackFires) {
+  int fired = 0;
+  sim_->set_stats_interval(2, [&fired](Simulator&) { ++fired; });
+  for (int i = 0; i < 10; ++i) {
+    sim_->clock();
+  }
+  EXPECT_EQ(fired, 5);
+  sim_->set_stats_interval(0, nullptr);  // Disarm.
+  for (int i = 0; i < 4; ++i) {
+    sim_->clock();
+  }
+  EXPECT_EQ(fired, 5);
+}
+
+// Multi-device chains and zero-traffic devices: the hot-spot helpers read
+// the registry per device and must neither mix devices nor divide by zero.
+TEST(MetricsHotspotTest, ChainSeparatesDevicesAndIdleDeviceIsZero) {
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.num_devs = 2;
+  std::unique_ptr<Simulator> sim;
+  ASSERT_TRUE(Simulator::create(cfg, sim).ok());
+
+  // Traffic for cube 1 only; cube 0 merely forwards.
+  for (int i = 0; i < 4; ++i) {
+    spec::RqstParams rd;
+    rd.rqst = spec::Rqst::RD16;
+    rd.addr = 0x40;
+    rd.cub = 1;
+    rd.tag = static_cast<std::uint16_t>(i);
+    Status s = sim->send(rd, 0);
+    int guard = 0;
+    while (s.stalled() && guard++ < 100) {
+      sim->clock();
+      s = sim->send(rd, 0);
+    }
+    ASSERT_TRUE(s.ok());
+    Response rsp;
+    guard = 0;
+    while (!sim->rsp_ready(0) && guard++ < 1000) {
+      sim->clock();
+    }
+    ASSERT_TRUE(sim->recv(0, rsp).ok());
+  }
+
+  const auto h0 = vault_histogram(*sim, 0);
+  const auto h1 = vault_histogram(*sim, 1);
+  ASSERT_EQ(h0.size(), 32U);
+  ASSERT_EQ(h1.size(), 32U);
+  std::uint64_t total0 = 0;
+  for (const std::uint64_t v : h0) {
+    total0 += v;
+  }
+  EXPECT_EQ(total0, 0U);  // Forwarding does not touch cube 0's vaults.
+  EXPECT_EQ(h1[1], 4U);   // All four reads landed in cube 1, vault 1.
+
+  // Zero-traffic device: guard against divide-by-zero, report 0.0.
+  EXPECT_EQ(hotspot_factor(*sim, 0), 0.0);
+  EXPECT_DOUBLE_EQ(hotspot_factor(*sim, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace hmcsim::sim

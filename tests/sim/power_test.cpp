@@ -99,16 +99,16 @@ TEST(PowerModel, AvgPowerAndPerByte) {
 TEST(PowerModel, DeltaFromSimStats) {
   sim::SimStats before;
   before.cycles = 10;
-  before.devices.rqst_flits = 5;
+  before.rqst_flits = 5;
   sim::SimStats after;
   after.cycles = 110;
-  after.devices.rqst_flits = 45;
-  after.devices.rsp_flits = 30;
-  after.devices.rqsts_processed = 20;
-  after.devices.rsps_generated = 18;
-  after.devices.amo_executed = 4;
-  after.devices.forwarded_rqsts = 2;
-  after.devices.forwarded_rsps = 2;
+  after.rqst_flits = 45;
+  after.rsp_flits = 30;
+  after.rqsts_processed = 20;
+  after.rsps_generated = 18;
+  after.amo_executed = 4;
+  after.forwarded_rqsts = 2;
+  after.forwarded_rsps = 2;
   const Activity a = delta(before, after, 2);
   EXPECT_EQ(a.cycles, 100U);
   EXPECT_EQ(a.rqst_flits, 40U);

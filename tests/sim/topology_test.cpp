@@ -81,11 +81,11 @@ TEST(Topology, StarDataLandsOnCorrectCube) {
 TEST(Topology, StarForwardingOnlyThroughHub) {
   auto sim = make_topo(Topology::Star, 4);
   (void)roundtrip(*sim, 3);
-  EXPECT_EQ(sim->device(0).stats().forwarded_rqsts, 1U);
-  EXPECT_EQ(sim->device(1).stats().forwarded_rqsts, 0U);
-  EXPECT_EQ(sim->device(2).stats().forwarded_rqsts, 0U);
-  EXPECT_EQ(sim->device(3).stats().forwarded_rsps, 1U);
-  EXPECT_EQ(sim->device(2).stats().forwarded_rsps, 0U);
+  EXPECT_EQ(sim->device(0).forwarded_rqsts().value(), 1U);
+  EXPECT_EQ(sim->device(1).forwarded_rqsts().value(), 0U);
+  EXPECT_EQ(sim->device(2).forwarded_rqsts().value(), 0U);
+  EXPECT_EQ(sim->device(3).forwarded_rsps().value(), 1U);
+  EXPECT_EQ(sim->device(2).forwarded_rsps().value(), 0U);
 }
 
 TEST(Topology, StarAtomicsOnSpokes) {

@@ -34,6 +34,8 @@ struct CliOptions {
   bool power = false;
   std::string trace_file;
   std::uint32_t trace_level = 0;
+  std::string stats_json;
+  std::uint64_t stats_every = 0;
   std::vector<std::string> positional;
 };
 
@@ -46,7 +48,8 @@ int usage() {
       "  replay <trace-file>         replay a trace\n"
       "  mutex <threads>             run the mutex contention experiment\n"
       "options: --links 4|8  --plugins <dir>  --power\n"
-      "         --trace-file <path>  --trace-level <mask>\n",
+      "         --trace-file <path>  --trace-level <mask>\n"
+      "         --stats-json <path>  --stats-every <cycles>\n",
       stderr);
   return 2;
 }
@@ -83,6 +86,18 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
         return false;
       }
       opts.trace_level = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--stats-json") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.stats_json = v;
+    } else if (arg == "--stats-every") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.stats_every = std::strtoull(v, nullptr, 0);
     } else {
       opts.positional.emplace_back(arg);
     }
@@ -203,6 +218,42 @@ bool setup_tracing(sim::Simulator& sim, const CliOptions& opts,
   return true;
 }
 
+/// Install the periodic stats callback: every N cycles, print the counters
+/// that moved since the previous report.
+void setup_stats_interval(sim::Simulator& sim, const CliOptions& opts) {
+  if (opts.stats_every == 0) {
+    return;
+  }
+  auto last = std::make_shared<metrics::StatRegistry::Snapshot>(
+      sim.metrics().snapshot_counters());
+  sim.set_stats_interval(opts.stats_every, [last](sim::Simulator& s) {
+    auto now = s.metrics().snapshot_counters();
+    const auto diff = metrics::StatRegistry::delta(*last, now);
+    std::printf("[stats] cycle=%llu\n",
+                static_cast<unsigned long long>(s.cycle()));
+    for (const auto& [path, d] : diff) {
+      std::printf("  %s +%llu\n", path.c_str(),
+                  static_cast<unsigned long long>(d));
+    }
+    *last = std::move(now);
+  });
+}
+
+/// Write the full registry as JSON when --stats-json was given.
+bool maybe_stats_json(sim::Simulator& sim, const CliOptions& opts) {
+  if (opts.stats_json.empty()) {
+    return true;
+  }
+  std::ofstream out(opts.stats_json);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open stats file %s\n",
+                 opts.stats_json.c_str());
+    return false;
+  }
+  out << sim::format_stats_json(sim);
+  return true;
+}
+
 void maybe_power_report(const sim::Simulator& sim,
                         const sim::SimStats& before, const CliOptions& opts) {
   if (!opts.power) {
@@ -237,6 +288,7 @@ int cmd_replay(const CliOptions& opts) {
   if (!setup_tracing(*sim, opts, trace_stream, trace_sink)) {
     return 1;
   }
+  setup_stats_interval(*sim, opts);
   const auto before = sim->stats();
   host::ReplayResult result;
   if (Status s = host::replay_trace(*sim, records, result); !s.ok()) {
@@ -252,6 +304,9 @@ int cmd_replay(const CliOptions& opts) {
               static_cast<unsigned long long>(result.send_retries));
   std::printf("%s", sim::format_stats(*sim).c_str());
   maybe_power_report(*sim, before, opts);
+  if (!maybe_stats_json(*sim, opts)) {
+    return 1;
+  }
   return result.error_responses == 0 ? 0 : 1;
 }
 
@@ -270,6 +325,7 @@ int cmd_mutex(const CliOptions& opts) {
   if (!setup_tracing(*sim, opts, trace_stream, trace_sink)) {
     return 1;
   }
+  setup_stats_interval(*sim, opts);
   const auto before = sim->stats();
   host::MutexOptions mopts;
   mopts.lock_addr = 0x4000;
@@ -284,6 +340,9 @@ int cmd_mutex(const CliOptions& opts) {
               static_cast<unsigned long long>(result.max_cycles),
               result.avg_cycles);
   maybe_power_report(*sim, before, opts);
+  if (!maybe_stats_json(*sim, opts)) {
+    return 1;
+  }
   return 0;
 }
 
