@@ -1,0 +1,170 @@
+// bench_clock_scaling.cpp — clock-scheduler scaling benchmarks.
+//
+// Measures the event-driven active-set scheduler and the quiescence
+// fast-forward against the exhaustive HMC-Sim walk, on the occupancy
+// regimes that matter:
+//
+//   idle       empty queues (the cost floor of clock())
+//   ff         clock_until() across a dead stretch (O(1) per jump)
+//   sparse     1% duty cycle (one request, then 100 quiet cycles)
+//   spin-wait  the paper's mutex contention experiment (Algorithm 1)
+//   saturated  every link busy every cycle (the scheduler's overhead
+//              ceiling: must stay within noise of the exhaustive walk)
+//
+// Every scenario runs twice — active (default) and exhaustive
+// (Config::exhaustive_clock) — so one JSON report carries its own
+// baseline. Rates are cycles/second via items_processed.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "mutex_sweep.hpp"
+#include "src/host/mutex_driver.hpp"
+#include "src/sim/simulator.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+std::unique_ptr<sim::Simulator> make_sim(benchmark::State& state,
+                                         bool exhaustive) {
+  sim::Config cfg = sim::Config::hmc_4link_4gb();
+  cfg.exhaustive_clock = exhaustive;
+  std::unique_ptr<sim::Simulator> sim;
+  if (!sim::Simulator::create(cfg, sim).ok()) {
+    state.SkipWithError("create failed");
+  }
+  return sim;
+}
+
+/// Per-cycle cost of clock() with every queue empty.
+void BM_IdleClock(benchmark::State& state, bool exhaustive) {
+  auto sim = make_sim(state, exhaustive);
+  if (!sim) {
+    return;
+  }
+  for (auto _ : state) {
+    sim->clock();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+/// Cost of covering a 4096-cycle dead stretch with clock_until(). The
+/// active scheduler jumps it in O(1); the exhaustive configuration steps
+/// every cycle. Rate is simulated cycles per second.
+void BM_IdleFastForward(benchmark::State& state, bool exhaustive) {
+  constexpr std::uint64_t kSpan = 4096;
+  auto sim = make_sim(state, exhaustive);
+  if (!sim) {
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim->clock_until(sim->cycle() + kSpan));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSpan));
+}
+
+/// 1% duty cycle: one read, then a 100-cycle quiet window (a host doing
+/// real work between memory operations). Rate is simulated cycles/second.
+void BM_SparseTraffic(benchmark::State& state, bool exhaustive) {
+  constexpr std::uint64_t kWindow = 100;
+  auto sim = make_sim(state, exhaustive);
+  if (!sim) {
+    return;
+  }
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD64;
+  std::uint16_t tag = 0;
+  sim::Response rsp;
+  for (auto _ : state) {
+    rd.tag = tag++ & spec::kMaxTag;
+    rd.addr = (static_cast<std::uint64_t>(rd.tag) * 64) % (1 << 20);
+    (void)sim->send(rd, rd.tag % 4);
+    // clock_until honours exhaustive_clock, so both arms execute the
+    // identical scenario; only the scheduler differs.
+    (void)sim->clock_until(sim->cycle() + kWindow);
+    for (std::uint32_t link = 0; link < 4; ++link) {
+      while (sim->recv(link, rsp).ok()) {
+        benchmark::DoNotOptimize(rsp);
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWindow));
+}
+
+/// The paper's Algorithm 1 under contention, spin-waiting with backoff:
+/// 32 threads fight for one lock and every loser waits out a 256-cycle
+/// backoff before its next TRYLOCK. Most simulated time is spent with
+/// every thread backing off and every queue empty — dead spans the
+/// active scheduler crosses with clock_until while the exhaustive walk
+/// clocks each cycle. Rate is simulated cycles per second.
+void BM_MutexSpinWait(benchmark::State& state, bool exhaustive) {
+  constexpr std::uint32_t kThreads = 32;
+  // Sim construction is ~100x the cost of one contention run: build it
+  // once and time only the runs, so the measurement is clock cycles.
+  auto sim = make_sim(state, exhaustive);
+  if (!sim) {
+    return;
+  }
+  bench::register_mutex_ops(*sim);
+  host::MutexOptions opts;
+  opts.lock_addr = 0x4000;
+  opts.trylock_backoff = 256;
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    host::MutexResult result;
+    if (!host::run_mutex_contention(*sim, kThreads, opts, result).ok()) {
+      state.SkipWithError("mutex run failed");
+      return;
+    }
+    cycles += static_cast<std::int64_t>(result.total_cycles);
+    state.counters["fast_forwarded"] =
+        static_cast<double>(result.fast_forwarded);
+  }
+  state.SetItemsProcessed(cycles);
+}
+
+/// Every link carries a request every cycle: the active-set bookkeeping's
+/// overhead ceiling. Must stay within noise of the exhaustive walk.
+void BM_Saturated(benchmark::State& state, bool exhaustive) {
+  auto sim = make_sim(state, exhaustive);
+  if (!sim) {
+    return;
+  }
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD64;
+  std::uint16_t tag = 0;
+  sim::Response rsp;
+  for (auto _ : state) {
+    for (std::uint32_t link = 0; link < 4; ++link) {
+      rd.tag = tag++ & spec::kMaxTag;
+      rd.addr = (static_cast<std::uint64_t>(rd.tag) * 64) % (1 << 20);
+      (void)sim->send(rd, link);
+    }
+    sim->clock();
+    for (std::uint32_t link = 0; link < 4; ++link) {
+      while (sim->recv(link, rsp).ok()) {
+        benchmark::DoNotOptimize(rsp);
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_IdleClock, active, false);
+BENCHMARK_CAPTURE(BM_IdleClock, exhaustive, true);
+BENCHMARK_CAPTURE(BM_IdleFastForward, active, false);
+BENCHMARK_CAPTURE(BM_IdleFastForward, exhaustive, true);
+BENCHMARK_CAPTURE(BM_SparseTraffic, active, false);
+BENCHMARK_CAPTURE(BM_SparseTraffic, exhaustive, true);
+BENCHMARK_CAPTURE(BM_MutexSpinWait, active, false);
+BENCHMARK_CAPTURE(BM_MutexSpinWait, exhaustive, true);
+BENCHMARK_CAPTURE(BM_Saturated, active, false);
+BENCHMARK_CAPTURE(BM_Saturated, exhaustive, true);
+
+BENCHMARK_MAIN();

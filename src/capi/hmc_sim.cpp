@@ -130,6 +130,18 @@ uint64_t hmcsim_cycle(const hmc_sim_t *sim) {
   return sim == nullptr ? 0 : sim->sim->cycle();
 }
 
+uint64_t hmcsim_next_event_cycle(const hmc_sim_t *sim) {
+  return sim == nullptr ? UINT64_MAX : sim->sim->next_event_cycle();
+}
+
+uint64_t hmcsim_clock_until(hmc_sim_t *sim, uint64_t cycle) {
+  return sim == nullptr ? 0 : sim->sim->clock_until(cycle);
+}
+
+uint64_t hmcsim_clock_until_idle(hmc_sim_t *sim, uint64_t max_cycles) {
+  return sim == nullptr ? 0 : sim->sim->clock_until_idle(max_cycles);
+}
+
 int hmcsim_jtag_reg_read(hmc_sim_t *sim, uint32_t dev, uint64_t reg,
                          uint64_t *result) {
   if (sim == nullptr || result == nullptr) {

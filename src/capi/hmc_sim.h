@@ -59,6 +59,21 @@ int hmcsim_clock(hmc_sim_t *sim);
 /* Current cycle count. */
 uint64_t hmcsim_cycle(const hmc_sim_t *sim);
 
+/* Earliest future cycle at which any component can make progress, or
+ * UINT64_MAX when the chain is fully quiescent (no in-flight packet and no
+ * parked link retry). */
+uint64_t hmcsim_next_event_cycle(const hmc_sim_t *sim);
+
+/* Advance until the cycle counter reaches `cycle`, fast-forwarding dead
+ * stretches in O(1) (observably identical to clocking each cycle).
+ * Returns the number of cycles advanced; 0 when `cycle` is in the past or
+ * `sim` is NULL. */
+uint64_t hmcsim_clock_until(hmc_sim_t *sim, uint64_t cycle);
+
+/* Advance until the chain is quiescent or `max_cycles` have elapsed
+ * (0 = unbounded). Returns the number of cycles advanced. */
+uint64_t hmcsim_clock_until_idle(hmc_sim_t *sim, uint64_t max_cycles);
+
 /* Side-band register access (the simulated JTAG interface). */
 int hmcsim_jtag_reg_read(hmc_sim_t *sim, uint32_t dev, uint64_t reg,
                          uint64_t *result);

@@ -73,6 +73,15 @@ class FixedQueue {
     return out;
   }
 
+  /// Discard the front element without extracting it. Pairs with front():
+  /// move out of front(), then drop — avoids the extra move a pop() into a
+  /// discarded temporary would cost.
+  void drop_front() {
+    assert(!empty());
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+  }
+
   void clear() noexcept {
     head_ = 0;
     size_ = 0;

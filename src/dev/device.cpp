@@ -1,5 +1,8 @@
 #include "dev/device.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "spec/flit.hpp"
 
 namespace hmcsim::dev {
@@ -101,6 +104,7 @@ Status Device::send(RqstEntry entry, std::uint32_t link, std::uint64_t cycle,
 
   const bool pushed = q.push(std::move(entry));
   (void)pushed;  // Guarded by the full() check above.
+  xbar_rqst_active_ |= 1U << link;
   return Status::Ok();
 }
 
@@ -128,8 +132,17 @@ void Device::drain_retries(std::uint64_t cycle, trace::Tracer& tracer) {
     }
     const bool pushed = q.push(std::move(it->entry));
     (void)pushed;  // Guarded by the full() check above.
+    xbar_rqst_active_ |= 1U << it->link;
     it = retry_buffer_.erase(it);
   }
+}
+
+std::uint64_t Device::next_retry_ready() const noexcept {
+  std::uint64_t best = UINT64_MAX;
+  for (const RetryEntry& r : retry_buffer_) {
+    best = std::min(best, r.ready_cycle);
+  }
+  return best;
 }
 
 bool Device::rsp_ready(std::uint32_t link) const {
@@ -168,10 +181,11 @@ void Device::clock_responses(std::uint64_t cycle, trace::Tracer& tracer,
         xbar_.rsp_stalls().inc();
         break;
       }
-      RspEntry entry = chain_rsp_.pop();
-      entry.hops = static_cast<std::uint8_t>(entry.hops + 1);
-      const bool pushed = prev->chain_rsp_.push(std::move(entry));
+      RspEntry& head = chain_rsp_.front();
+      head.hops = static_cast<std::uint8_t>(head.hops + 1);
+      const bool pushed = prev->chain_rsp_.push(std::move(head));
       (void)pushed;  // Guarded by the full() check above.
+      chain_rsp_.drop_front();
       forwarded_rsps_->inc();
     }
   } else {
@@ -188,57 +202,101 @@ void Device::clock_responses(std::uint64_t cycle, trace::Tracer& tracer,
         break;
       }
       rsp_budget_[head.dst_link] -= head.pkt.flits();
-      const bool pushed = q.push(head);
+      const bool pushed = q.push(std::move(head));
       (void)pushed;
-      (void)chain_rsp_.pop();
+      chain_rsp_.drop_front();
       xbar_.rsps_routed().inc();
     }
   }
 
   // (2) Vault response queues drain toward the host link (local cube) or
   // the chain (remote cube). A full target queue leaves the remainder of
-  // the vault's responses queued, in order.
+  // the vault's responses queued, in order. Increasing vault order in both
+  // modes: the vaults share per-link forwarding budgets, so visit order is
+  // observable.
   const bool local = prev == nullptr;
-  for (Vault& vault : vaults_) {
-    auto& vq = vault.rsp_queue();
-    while (!vq.empty()) {
-      RspEntry& head = vq.front();
-      bool moved = false;
-      if (local) {
-        auto& q = xbar_.rsp_queue(head.dst_link);
-        if (head.pkt.flits() > rsp_budget_[head.dst_link]) {
-          xbar_.rsp_bw_throttles().inc();
-          break;  // Budget spent: the vault's queue waits a cycle.
-        }
-        if (!q.full()) {
-          rsp_budget_[head.dst_link] -= head.pkt.flits();
-          const bool pushed = q.push(head);
-          (void)pushed;
-          xbar_.rsps_routed().inc();
-          moved = true;
-        }
-      } else {
-        if (chain_rsp_.push(head)) {
-          moved = true;
-        }
-      }
-      if (!moved) {
-        xbar_.rsp_stalls().inc();
-        if (tracer.enabled(trace::Level::Stalls)) {
-          tracer.emit({.cycle = cycle,
-                       .kind = trace::Level::Stalls,
-                       .where = {.dev = id_,
-                                 .quad = vault.quad(),
-                                 .vault = vault.id(),
-                                 .link = head.dst_link},
-                       .tag = head.pkt.tag(),
-                       .value = vq.size(),
-                       .note = "xbar response queue full"});
-        }
-        break;
-      }
-      (void)vq.pop();
+  if (cfg_.exhaustive_clock) {
+    for (std::uint32_t v = 0; v < vaults_.size(); ++v) {
+      drain_vault_rsp(v, local, cycle, tracer);
     }
+  } else {
+    std::uint64_t m = vault_rsp_active_;
+    while (m != 0) {
+      const auto v = static_cast<std::uint32_t>(std::countr_zero(m));
+      m &= m - 1;
+      drain_vault_rsp(v, local, cycle, tracer);
+    }
+  }
+}
+
+void Device::drain_vault_rsp(std::uint32_t v, bool local, std::uint64_t cycle,
+                             trace::Tracer& tracer) {
+  Vault& vault = vaults_[v];
+  auto& vq = vault.rsp_queue();
+  while (!vq.empty()) {
+    RspEntry& head = vq.front();
+    bool moved = false;
+    if (local) {
+      auto& q = xbar_.rsp_queue(head.dst_link);
+      if (head.pkt.flits() > rsp_budget_[head.dst_link]) {
+        xbar_.rsp_bw_throttles().inc();
+        break;  // Budget spent: the vault's queue waits a cycle.
+      }
+      if (!q.full()) {
+        rsp_budget_[head.dst_link] -= head.pkt.flits();
+        const bool pushed = q.push(std::move(head));
+        (void)pushed;
+        xbar_.rsps_routed().inc();
+        moved = true;
+      }
+    } else {
+      if (!chain_rsp_.full()) {
+        const bool pushed = chain_rsp_.push(std::move(head));
+        (void)pushed;
+        moved = true;
+      }
+    }
+    if (!moved) {
+      xbar_.rsp_stalls().inc();
+      if (tracer.enabled(trace::Level::Stalls)) {
+        tracer.emit({.cycle = cycle,
+                     .kind = trace::Level::Stalls,
+                     .where = {.dev = id_,
+                               .quad = vault.quad(),
+                               .vault = vault.id(),
+                               .link = head.dst_link},
+                     .tag = head.pkt.tag(),
+                     .value = vq.size(),
+                     .note = "xbar response queue full"});
+      }
+      break;
+    }
+    vq.drop_front();
+  }
+  if (vq.empty()) {
+    vault_rsp_active_ &= ~(1ULL << v);
+  }
+}
+
+void Device::run_vault(std::uint32_t v, std::uint64_t cycle, ExecEnv& env,
+                       bool sample_depth, trace::Tracer& tracer) {
+  Vault& vault = vaults_[v];
+  // Occupancy samples are taken pre-execution so a trace consumer sees
+  // the pressure each cycle's work starts from (non-empty queues only).
+  if (sample_depth && !vault.rqst_queue().empty()) {
+    tracer.emit({.cycle = cycle,
+                 .kind = trace::Level::QueueDepth,
+                 .where = {.dev = id_,
+                           .quad = vault.quad(),
+                           .vault = vault.id()},
+                 .value = vault.rqst_queue().size()});
+  }
+  vault.process(cycle, env);
+  if (vault.rqst_queue().empty()) {
+    vault_rqst_active_ &= ~(1ULL << v);
+  }
+  if (!vault.rsp_queue().empty()) {
+    vault_rsp_active_ |= 1ULL << v;
   }
 }
 
@@ -247,18 +305,17 @@ void Device::clock_vaults(std::uint64_t cycle, const cmc::CmcRegistry* cmc,
   ExecEnv env{store_, regs_, amap_, cmc,      cmc_ctx,
               tracer, cfg_,  id_,   cmc_op_counters_.data()};
   const bool sample_depth = tracer.enabled(trace::Level::QueueDepth);
-  for (Vault& vault : vaults_) {
-    // Occupancy samples are taken pre-execution so a trace consumer sees
-    // the pressure each cycle's work starts from (non-empty queues only).
-    if (sample_depth && !vault.rqst_queue().empty()) {
-      tracer.emit({.cycle = cycle,
-                   .kind = trace::Level::QueueDepth,
-                   .where = {.dev = id_,
-                             .quad = vault.quad(),
-                             .vault = vault.id()},
-                   .value = vault.rqst_queue().size()});
+  if (cfg_.exhaustive_clock) {
+    for (std::uint32_t v = 0; v < vaults_.size(); ++v) {
+      run_vault(v, cycle, env, sample_depth, tracer);
     }
-    vault.process(cycle, env);
+  } else {
+    std::uint64_t m = vault_rqst_active_;
+    while (m != 0) {
+      const auto v = static_cast<std::uint32_t>(std::countr_zero(m));
+      m &= m - 1;
+      run_vault(v, cycle, env, sample_depth, tracer);
+    }
   }
   regs_.poke(Reg::ClockCount, cycle);
   if (cmc != nullptr) {
@@ -303,6 +360,7 @@ void Device::drain_rqst_queue(FixedQueue<RqstEntry>& q, Link* token_owner,
       }
       const bool pushed = vq.push(std::move(entry));
       (void)pushed;  // Guarded by the full() check above.
+      vault_rqst_active_ |= 1ULL << loc.vault;
       xbar_.rqsts_routed().inc();
       continue;
     }
@@ -361,12 +419,32 @@ void Device::clock_requests(std::uint64_t cycle, trace::Tracer& tracer,
   if (!retry_buffer_.empty()) {
     drain_retries(cycle, tracer);
   }
-  for (std::uint32_t l = 0; l < xbar_.num_links(); ++l) {
-    drain_rqst_queue(xbar_.rqst_queue(l), &links_[l],
-                     cfg_.xbar_rqst_bw_flits, cycle, tracer, route);
+  if (cfg_.exhaustive_clock) {
+    for (std::uint32_t l = 0; l < xbar_.num_links(); ++l) {
+      drain_rqst_queue(xbar_.rqst_queue(l), &links_[l],
+                       cfg_.xbar_rqst_bw_flits, cycle, tracer, route);
+      if (xbar_.rqst_queue(l).empty()) {
+        xbar_rqst_active_ &= ~(1U << l);
+      }
+    }
+  } else {
+    // Snapshot after drain_retries so a redelivered packet's link is
+    // visited this cycle, exactly as the exhaustive walk would.
+    std::uint32_t m = xbar_rqst_active_;
+    while (m != 0) {
+      const auto l = static_cast<std::uint32_t>(std::countr_zero(m));
+      m &= m - 1;
+      drain_rqst_queue(xbar_.rqst_queue(l), &links_[l],
+                       cfg_.xbar_rqst_bw_flits, cycle, tracer, route);
+      if (xbar_.rqst_queue(l).empty()) {
+        xbar_rqst_active_ &= ~(1U << l);
+      }
+    }
   }
-  drain_rqst_queue(chain_rqst_, nullptr, cfg_.xbar_rqst_bw_flits, cycle,
-                   tracer, route);
+  if (!chain_rqst_.empty()) {
+    drain_rqst_queue(chain_rqst_, nullptr, cfg_.xbar_rqst_bw_flits, cycle,
+                     tracer, route);
+  }
 }
 
 void Device::reset_pipeline() {
@@ -380,6 +458,9 @@ void Device::reset_pipeline() {
   chain_rqst_.clear();
   chain_rsp_.clear();
   retry_buffer_.clear();
+  vault_rqst_active_ = 0;
+  vault_rsp_active_ = 0;
+  xbar_rqst_active_ = 0;
   forwarded_rqsts_->reset();
   forwarded_rsps_->reset();
   for (metrics::Counter* c : cmc_op_counters_) {

@@ -119,6 +119,41 @@ class Device {
     return prefix_;
   }
 
+  // ---- active-set scheduling ---------------------------------------------
+  // Every queue push registers its component on the owning per-stage
+  // active set (a bitmask: 32 vaults fit a uint64, links a uint32);
+  // components deregister when a stage drains them. The masks are a
+  // conservative superset of the non-empty queues — a set bit with an
+  // empty queue costs one wasted visit, but a clear bit guarantees the
+  // queue is empty, which is what next_event_cycle() relies on.
+
+  /// Stage A has something to move (vault responses or chain ingress).
+  [[nodiscard]] bool rsp_stage_work() const noexcept {
+    return vault_rsp_active_ != 0 || !chain_rsp_.empty();
+  }
+  /// Stage B has a vault with queued requests.
+  [[nodiscard]] bool vault_stage_work() const noexcept {
+    return vault_rqst_active_ != 0;
+  }
+  /// Stage C has something to route (crossbar queues, chain ingress, or a
+  /// parked retry awaiting redelivery).
+  [[nodiscard]] bool rqst_stage_work() const noexcept {
+    return xbar_rqst_active_ != 0 || !chain_rqst_.empty() ||
+           !retry_buffer_.empty();
+  }
+  /// A clock this cycle can make progress somewhere in this device.
+  /// Excludes parked retries whose ready_cycle is in the future (see
+  /// next_retry_ready()) and host-visible link response queues (draining
+  /// them is recv()'s job, not the clock's).
+  [[nodiscard]] bool has_queued_work() const noexcept {
+    return vault_rqst_active_ != 0 || vault_rsp_active_ != 0 ||
+           xbar_rqst_active_ != 0 || !chain_rqst_.empty() ||
+           !chain_rsp_.empty();
+  }
+  /// Earliest ready_cycle over parked link-retry entries; UINT64_MAX when
+  /// none are parked.
+  [[nodiscard]] std::uint64_t next_retry_ready() const noexcept;
+
   /// Attach (or create) the per-operation execution counter for CMC
   /// command code `cmd` under `cube{id}.cmc.{name}.executed`. Called by
   /// the Simulator whenever a CMC operation (re)registers; idempotent.
@@ -166,6 +201,20 @@ class Device {
 
   /// Per-link response-direction forwarding budget scratch (sized once).
   std::vector<std::uint32_t> rsp_budget_;
+
+  // ---- per-stage active sets (bit i == component i may have work) --------
+  std::uint64_t vault_rqst_active_ = 0;  ///< Stage B: vault request queues.
+  std::uint64_t vault_rsp_active_ = 0;   ///< Stage A: vault response queues.
+  std::uint32_t xbar_rqst_active_ = 0;   ///< Stage C: crossbar link queues.
+
+  /// Stage-A drain of one vault's response queue toward the host link
+  /// (local cube) or the chain (remote cube). Clears the vault's stage-A
+  /// bit when it empties.
+  void drain_vault_rsp(std::uint32_t v, bool local, std::uint64_t cycle,
+                       trace::Tracer& tracer);
+  /// Stage-B execution of one vault, plus active-set bookkeeping.
+  void run_vault(std::uint32_t v, std::uint64_t cycle, ExecEnv& env,
+                 bool sample_depth, trace::Tracer& tracer);
 
   // Cold metrics members live past the per-cycle working set so the hot
   // clock-stage members above share as few cache lines as possible.

@@ -1,6 +1,8 @@
 #include "dev/vault.hpp"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 #include "amo/amo_unit.hpp"
 #include "spec/flit.hpp"
@@ -83,7 +85,7 @@ void Vault::process(std::uint64_t cycle, ExecEnv& env) {
   for (std::size_t i = 0; i < n; ++i) {
     RqstEntry entry = rqst_q_.pop();
     if (!execute_entry(entry, cycle, env)) {
-      deferred_.push_back(entry);
+      deferred_.push_back(std::move(entry));
     }
   }
   for (RqstEntry& entry : deferred_) {
@@ -221,9 +223,28 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
       const std::size_t bytes =
           (static_cast<std::size_t>(rsp_info.rsp_flits) - 1) *
           spec::kFlitBytes;
+      // The payload words are little-endian byte images of memory, so on a
+      // little-endian host the word array doubles as the read buffer —
+      // one copy from the backing store, no per-byte assembly.
       std::array<std::uint64_t, 32> data{};
-      std::array<std::uint8_t, spec::kMaxDataBytes> buf{};
-      if (Status s = env.store.read(addr, {buf.data(), bytes}); !s.ok()) {
+      Status rd_status = Status::Ok();
+      if constexpr (std::endian::native == std::endian::little) {
+        rd_status = env.store.read(
+            addr, {reinterpret_cast<std::uint8_t*>(data.data()), bytes});
+      } else {
+        std::array<std::uint8_t, spec::kMaxDataBytes> buf{};
+        rd_status = env.store.read(addr, {buf.data(), bytes});
+        if (rd_status.ok()) {
+          for (std::size_t w = 0; w < bytes / 8; ++w) {
+            std::uint64_t v = 0;
+            for (unsigned b = 0; b < 8; ++b) {
+              v |= static_cast<std::uint64_t>(buf[w * 8 + b]) << (8 * b);
+            }
+            data[w] = v;
+          }
+        }
+      }
+      if (!rd_status.ok()) {
         if (!emit_response(entry, kErrorCode, 1, false, kErrRange, {}, cycle,
                            env)) {
           return false;
@@ -231,13 +252,6 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
         errors_->inc();
         rqsts_processed_->inc();
         return true;
-      }
-      for (std::size_t w = 0; w < bytes / 8; ++w) {
-        std::uint64_t v = 0;
-        for (unsigned b = 0; b < 8; ++b) {
-          v |= static_cast<std::uint64_t>(buf[w * 8 + b]) << (8 * b);
-        }
-        data[w] = v;
       }
       if (!emit_response(entry, rsp_code(), info.rsp_flits, false, kErrNone,
                          {data.data(), bytes / 8}, cycle, env)) {
@@ -253,10 +267,18 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
       const std::size_t bytes = info.data_bytes;
       std::array<std::uint8_t, spec::kMaxDataBytes> buf{};
       const auto payload = entry.pkt.payload();
-      for (std::size_t w = 0; w < bytes / 8; ++w) {
-        const std::uint64_t v = w < payload.size() ? payload[w] : 0;
-        for (unsigned b = 0; b < 8; ++b) {
-          buf[w * 8 + b] = static_cast<std::uint8_t>((v >> (8 * b)) & 0xFFU);
+      if constexpr (std::endian::native == std::endian::little) {
+        // buf is zero-filled, so a short payload's missing tail words
+        // write zeroes, matching the portable per-word scatter below.
+        const std::size_t have = std::min(bytes, payload.size() * 8);
+        std::memcpy(buf.data(), payload.data(), have);
+      } else {
+        for (std::size_t w = 0; w < bytes / 8; ++w) {
+          const std::uint64_t v = w < payload.size() ? payload[w] : 0;
+          for (unsigned b = 0; b < 8; ++b) {
+            buf[w * 8 + b] =
+                static_cast<std::uint8_t>((v >> (8 * b)) & 0xFFU);
+          }
         }
       }
       if (Status s = env.store.write(addr, {buf.data(), bytes}); !s.ok()) {

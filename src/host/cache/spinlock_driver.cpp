@@ -42,6 +42,7 @@ Status run_spinlock_contention(sim::Simulator& sim, std::uint32_t cores,
   CoherentSystem system(sim, cores, opts.cache);
   std::vector<Phase> phase(cores, Phase::WantLock);
   const std::uint64_t start_cycle = sim.cycle();
+  const std::uint64_t ff_start = sim.fast_forwarded_cycles();
   std::uint32_t done_count = 0;
 
   auto try_issue = [&](std::uint32_t core) {
@@ -88,6 +89,7 @@ Status run_spinlock_contention(sim::Simulator& sim, std::uint32_t cores,
 
   out.total_cycles = sim.cycle() - start_cycle;
   out.line_bounces = system.stats().ownership_writebacks;
+  out.fast_forwarded = sim.fast_forwarded_cycles() - ff_start;
   const auto stats1 = sim.stats();
   out.hmc_rqst_flits =
       stats1.rqst_flits - stats0.rqst_flits;

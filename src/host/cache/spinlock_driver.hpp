@@ -27,6 +27,9 @@ struct SpinlockResult {
   std::uint64_t line_bounces = 0;   ///< Ownership writebacks observed.
   std::uint64_t hmc_rqst_flits = 0; ///< Link traffic for the whole run.
   std::uint64_t hmc_rsp_flits = 0;
+  /// Cycles of the run jumped by quiescence fast-forward (subset of
+  /// total_cycles; 0 with Config::exhaustive_clock).
+  std::uint64_t fast_forwarded = 0;
   std::vector<std::uint64_t> per_core_cycles;
 };
 

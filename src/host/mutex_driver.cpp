@@ -11,6 +11,7 @@ enum class Phase : std::uint8_t {
   WaitLock,
   SendTrylock,
   WaitTrylock,
+  Backoff,  ///< Waiting out opts.trylock_backoff before the next TRYLOCK.
   SendUnlock,
   WaitUnlock,
   Done,
@@ -19,6 +20,7 @@ enum class Phase : std::uint8_t {
 struct ThreadFsm {
   Phase phase = Phase::SendLock;
   std::uint64_t done_cycle = 0;
+  std::uint64_t wake_cycle = 0;  ///< First cycle to retry (Backoff only).
 };
 
 }  // namespace
@@ -63,6 +65,7 @@ Status run_mutex_contention(sim::Simulator& sim, std::uint32_t threads,
   ThreadSim ts(sim, threads);
   std::vector<ThreadFsm> fsm(threads);
   const std::uint64_t start_cycle = sim.cycle();
+  const std::uint64_t ff_start = sim.fast_forwarded_cycles();
   std::uint32_t done_count = 0;
 
   auto tid_token = [](std::uint32_t tid) -> std::uint64_t {
@@ -98,13 +101,21 @@ Status run_mutex_contention(sim::Simulator& sim, std::uint32_t threads,
     const auto payload = c.rsp.pkt.payload();
     const std::uint64_t word0 = payload.empty() ? 0 : payload[0];
 
+    const auto retry_phase = [&]() {
+      if (opts.trylock_backoff == 0) {
+        return Phase::SendTrylock;
+      }
+      t.wake_cycle = sim.cycle() + opts.trylock_backoff;
+      return Phase::Backoff;
+    };
+
     switch (t.phase) {
       case Phase::WaitLock:
         if (word0 != 0) {
           t.phase = Phase::SendUnlock;
         } else {
           ++out.lock_failures;
-          t.phase = Phase::SendTrylock;
+          t.phase = retry_phase();
         }
         break;
       case Phase::WaitTrylock:
@@ -113,7 +124,7 @@ Status run_mutex_contention(sim::Simulator& sim, std::uint32_t threads,
         if (word0 == tid_token(tid)) {
           t.phase = Phase::SendUnlock;
         } else {
-          t.phase = Phase::SendTrylock;
+          t.phase = retry_phase();
         }
         break;
       case Phase::WaitUnlock:
@@ -149,11 +160,42 @@ Status run_mutex_contention(sim::Simulator& sim, std::uint32_t threads,
       return Status::Internal("mutex contention watchdog expired after " +
                               std::to_string(opts.max_cycles) + " cycles");
     }
+    // Re-arm threads whose backoff expired, in tid order.
+    for (std::uint32_t tid = 0; tid < threads; ++tid) {
+      if (fsm[tid].phase == Phase::Backoff &&
+          fsm[tid].wake_cycle <= sim.cycle()) {
+        ++out.trylock_attempts;
+        if (send(tid, spec::Rqst::CMC126).ok()) {
+          fsm[tid].phase = Phase::WaitTrylock;
+        }
+      }
+    }
+    // When every live thread is backing off, nothing is in flight and the
+    // device is fully quiescent: jump to the earliest wake-up. clock_until
+    // honours Config::exhaustive_clock, so the exhaustive arm walks the
+    // same span cycle by cycle — identical simulation, only slower.
+    std::uint64_t min_wake = UINT64_MAX;
+    bool all_backing_off = true;
+    for (std::uint32_t tid = 0; tid < threads; ++tid) {
+      if (fsm[tid].phase == Phase::Backoff) {
+        min_wake = std::min(min_wake, fsm[tid].wake_cycle);
+      } else if (fsm[tid].phase != Phase::Done) {
+        all_backing_off = false;
+        break;
+      }
+    }
+    if (all_backing_off && min_wake != UINT64_MAX &&
+        min_wake > sim.cycle() + 1 &&
+        sim.next_event_cycle() == sim::Simulator::kNoEvent) {
+      (void)sim.clock_until(min_wake);
+      continue;
+    }
     ts.step(on_rsp);
   }
 
   out.total_cycles = sim.cycle() - start_cycle;
   out.send_retries = ts.send_retries();
+  out.fast_forwarded = sim.fast_forwarded_cycles() - ff_start;
   metrics::StatRegistry& reg = sim.metrics();
   reg.counter("host.mutex.runs", "mutex contention runs completed").inc();
   reg.counter("host.mutex.trylock_attempts",

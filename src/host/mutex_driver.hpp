@@ -32,6 +32,9 @@ struct MutexResult {
   std::uint64_t trylock_attempts = 0;  ///< Total TRYLOCK packets issued.
   std::uint64_t lock_failures = 0;     ///< Initial LOCKs that lost the race.
   std::uint64_t send_retries = 0;      ///< Host-side stall retries.
+  /// Cycles of the run jumped by quiescence fast-forward (subset of
+  /// total_cycles; 0 with Config::exhaustive_clock).
+  std::uint64_t fast_forwarded = 0;
   std::vector<std::uint64_t> per_thread_cycles;
 };
 
@@ -49,6 +52,14 @@ struct MutexOptions {
   /// Byte distance between consecutive locks. The default of one
   /// interleave block (64 B) places each lock in a different vault.
   std::uint64_t lock_stride = 64;
+
+  /// Cycles a thread backs off after a failed TRYLOCK before retrying.
+  /// 0 reproduces the paper's tight spin (a new TRYLOCK the cycle the
+  /// failure response arrives). With a backoff, spans where every thread
+  /// is waiting out its backoff have no queued work anywhere, and the
+  /// driver crosses them with Simulator::clock_until — the quiescence
+  /// fast-forward skips them in O(1) instead of clocking each dead cycle.
+  std::uint32_t trylock_backoff = 0;
 };
 
 /// Run Algorithm 1 with `threads` contenders. The simulator must already

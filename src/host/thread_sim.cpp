@@ -67,13 +67,33 @@ void ThreadSim::try_send(std::uint32_t tid) {
 void ThreadSim::step(const std::function<void(const Completion&)>& on_rsp) {
   // Retry stalled sends in tid order before the clock so a freed queue
   // slot is claimed deterministically.
+  bool any_pending = false;
   for (std::uint32_t tid = 0; tid < threads_.size(); ++tid) {
     if (threads_[tid].pending) {
       try_send(tid);
+      any_pending |= threads_[tid].pending;
     }
   }
 
-  sim_.clock();
+  // Quiescence fast-forward: when no send is waiting to enter the device,
+  // no response is waiting to leave it, and the device itself cannot make
+  // progress before some future cycle (a parked link retry), jump there
+  // instead of clocking dead cycles one by one. With every thread blocked
+  // in a spin-wait this is where the simulated time between retries goes.
+  bool rsp_waiting = false;
+  for (std::uint32_t link = 0; link < sim_.config().num_links; ++link) {
+    if (sim_.rsp_ready(link)) {
+      rsp_waiting = true;
+      break;
+    }
+  }
+  const std::uint64_t ne = sim_.next_event_cycle();
+  if (!sim_.config().exhaustive_clock && !any_pending && !rsp_waiting &&
+      ne != sim::Simulator::kNoEvent && ne > sim_.cycle() + 1) {
+    sim_.clock_until(ne);
+  } else {
+    sim_.clock();
+  }
 
   // Drain every ready response on every link.
   for (std::uint32_t link = 0; link < sim_.config().num_links; ++link) {

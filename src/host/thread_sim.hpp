@@ -53,6 +53,10 @@ class ThreadSim {
 
   /// Advance one cycle: retry stalled sends, clock the device, then drain
   /// every link's ready responses into `on_rsp` (which may call issue()).
+  /// When nothing is pending, ready, or able to progress before a known
+  /// future cycle (a parked link retry), the intervening dead cycles are
+  /// fast-forwarded instead of clocked — observably identical, and
+  /// disabled entirely by Config::exhaustive_clock.
   void step(const std::function<void(const Completion&)>& on_rsp);
 
   /// Total send stalls observed (retries), for queue-pressure analysis.

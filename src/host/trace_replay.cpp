@@ -1,5 +1,6 @@
 #include "host/trace_replay.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -96,6 +97,7 @@ Status replay_trace(sim::Simulator& sim,
   out = ReplayResult{};
   const auto stats0 = sim.stats();
   const std::uint64_t base_cycle = sim.cycle();
+  const std::uint64_t ff0 = sim.fast_forwarded_cycles();
   std::size_t next = 0;        // First not-yet-issued record.
   std::uint64_t expected = 0;  // Non-posted requests awaiting responses.
   std::uint16_t tag = 0;
@@ -144,7 +146,32 @@ Status replay_trace(sim::Simulator& sim,
       ++next;
     }
 
-    sim.clock();
+    // Fast-forward dead time between trace issue cycles: when no response
+    // is waiting (recv() timestamps latency at recv time, so a ready
+    // response pins us to this cycle) and the device cannot progress
+    // before the next record's issue cycle, jump straight there. Capped
+    // at the watchdog deadline so a quiet-but-hung replay still trips it.
+    const std::uint64_t deadline = base_cycle + records.size() * 100 + 100000;
+    bool rsp_waiting = false;
+    for (std::uint32_t link = 0; link < sim.config().num_links; ++link) {
+      if (sim.rsp_ready(link)) {
+        rsp_waiting = true;
+        break;
+      }
+    }
+    std::uint64_t target = sim::Simulator::kNoEvent;
+    if (!sim.config().exhaustive_clock && !rsp_waiting) {
+      target = sim.next_event_cycle();
+      if (next < records.size()) {
+        target = std::min(target, base_cycle + records[next].issue_cycle);
+      }
+      target = std::min(target, deadline + 1);
+    }
+    if (target != sim::Simulator::kNoEvent && target > sim.cycle() + 1) {
+      sim.clock_until(target);
+    } else {
+      sim.clock();
+    }
 
     for (std::uint32_t link = 0; link < sim.config().num_links; ++link) {
       sim::Response rsp;
@@ -170,6 +197,7 @@ Status replay_trace(sim::Simulator& sim,
   const auto stats1 = sim.stats();
   out.rqst_flits = stats1.rqst_flits - stats0.rqst_flits;
   out.rsp_flits = stats1.rsp_flits - stats0.rsp_flits;
+  out.fast_forwarded = sim.fast_forwarded_cycles() - ff0;
   return Status::Ok();
 }
 

@@ -61,6 +61,9 @@ struct ReplayResult {
   std::uint64_t send_retries = 0;     ///< Stall-retry count.
   std::uint64_t rqst_flits = 0;
   std::uint64_t rsp_flits = 0;
+  /// Idle cycles jumped instead of clocked (issue-gap dead time). Always
+  /// 0 with Config::exhaustive_clock.
+  std::uint64_t fast_forwarded = 0;
 };
 
 /// Replay `records` against `sim` to completion (every non-posted request

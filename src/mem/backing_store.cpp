@@ -1,6 +1,7 @@
 #include "mem/backing_store.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 namespace hmcsim::mem {
@@ -9,18 +10,33 @@ BackingStore::BackingStore(std::uint64_t capacity_bytes)
     : capacity_(capacity_bytes) {}
 
 BackingStore::Page& BackingStore::page_for_write(std::uint64_t page_index) {
+  if (page_index == mru_index_) {
+    return *mru_page_;
+  }
   auto& slot = pages_[page_index];
   if (!slot) {
     slot = std::make_unique<Page>();
     slot->fill(0);
   }
+  mru_index_ = page_index;
+  mru_page_ = slot.get();
   return *slot;
 }
 
 const BackingStore::Page* BackingStore::page_for_read(
     std::uint64_t page_index) const noexcept {
+  if (page_index == mru_index_) {
+    return mru_page_;
+  }
   const auto it = pages_.find(page_index);
-  return it == pages_.end() ? nullptr : it->second.get();
+  if (it == pages_.end()) {
+    // Don't cache misses: the page may materialise through page_for_write
+    // later, and a cached nullptr would mask it.
+    return nullptr;
+  }
+  mru_index_ = page_index;
+  mru_page_ = it->second.get();
+  return it->second.get();
 }
 
 Status BackingStore::read(std::uint64_t addr,
@@ -64,6 +80,23 @@ Status BackingStore::write(std::uint64_t addr,
 }
 
 Status BackingStore::read_u64(std::uint64_t addr, std::uint64_t& out) const {
+  // AMO-rate hot path: a page-aligned word on a little-endian host is one
+  // memcpy from the resident page (or the constant 0 for untouched pages).
+  if constexpr (std::endian::native == std::endian::little) {
+    const std::size_t offset = static_cast<std::size_t>(addr % kPageBytes);
+    if (offset <= kPageBytes - 8) {
+      if (!in_range(addr, 8)) {
+        return Status::InvalidArg("read beyond device capacity");
+      }
+      if (const Page* page = page_for_read(addr / kPageBytes);
+          page != nullptr) {
+        std::memcpy(&out, page->data() + offset, 8);
+      } else {
+        out = 0;
+      }
+      return Status::Ok();
+    }
+  }
   std::array<std::uint8_t, 8> buf{};
   if (Status s = read(addr, buf); !s.ok()) {
     return s;
@@ -77,6 +110,17 @@ Status BackingStore::read_u64(std::uint64_t addr, std::uint64_t& out) const {
 }
 
 Status BackingStore::write_u64(std::uint64_t addr, std::uint64_t value) {
+  if constexpr (std::endian::native == std::endian::little) {
+    const std::size_t offset = static_cast<std::size_t>(addr % kPageBytes);
+    if (offset <= kPageBytes - 8) {
+      if (!in_range(addr, 8)) {
+        return Status::InvalidArg("write beyond device capacity");
+      }
+      std::memcpy(page_for_write(addr / kPageBytes).data() + offset, &value,
+                  8);
+      return Status::Ok();
+    }
+  }
   std::array<std::uint8_t, 8> buf{};
   for (unsigned i = 0; i < 8; ++i) {
     buf[i] = static_cast<std::uint8_t>((value >> (8 * i)) & 0xFFU);

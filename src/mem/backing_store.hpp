@@ -50,7 +50,11 @@ class BackingStore {
                                   const std::array<std::uint64_t, 2>& in);
 
   /// Drop all pages (reset to all-zero state).
-  void clear() noexcept { pages_.clear(); }
+  void clear() noexcept {
+    pages_.clear();
+    mru_index_ = UINT64_MAX;
+    mru_page_ = nullptr;
+  }
 
  private:
   using Page = std::array<std::uint8_t, kPageBytes>;
@@ -68,6 +72,13 @@ class BackingStore {
 
   std::uint64_t capacity_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  // Single-entry MRU page cache: vault traffic hits the same page in long
+  // runs, so remembering the last resolved page skips the hash lookup.
+  // Only materialised pages are cached (never a read miss), so the entry
+  // stays valid until clear(); the pointees are unique_ptr-owned and
+  // stable across rehash.
+  mutable std::uint64_t mru_index_ = UINT64_MAX;
+  mutable Page* mru_page_ = nullptr;
 };
 
 }  // namespace hmcsim::mem

@@ -58,6 +58,16 @@ struct Config {
   bool model_bank_conflicts = false;  ///< Stall on busy banks when true.
   std::uint32_t bank_busy_cycles = 4; ///< Bank occupancy per access.
 
+  // ---- clock scheduling ---------------------------------------------------
+  /// When true, every clock() walks all devices x vaults x links exactly as
+  /// HMC-Sim does, regardless of queue occupancy, and the host-side drivers
+  /// never fast-forward. The default (false) uses event-driven active-set
+  /// scheduling: clock stages touch only components with queued work.
+  /// Both modes are observably identical (stats, traces, response order);
+  /// the exhaustive walk is retained as the golden reference for A/B
+  /// equivalence testing and as a perf baseline.
+  bool exhaustive_clock = false;
+
   // ---- link-error injection (retry protocol exercise) ---------------------
   /// Probability that one FLIT of an inbound request packet is corrupted
   /// in transit (detected by the packet CRC; the link-layer retry then

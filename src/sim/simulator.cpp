@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 namespace hmcsim::sim {
 
 Simulator::Simulator(const Config& cfg) : cfg_(cfg) {
@@ -122,24 +124,133 @@ void Simulator::clock() {
   // Stage A: responses migrate toward the host. Increasing device order
   // makes every cube-to-cube hop cost one cycle (a response forwarded by
   // device k this cycle is seen by its neighbour next cycle).
-  for (std::size_t d = 0; d < devices_.size(); ++d) {
-    devices_[d]->clock_responses(cycle_, tracer_, prev_[d]);
-  }
-
+  //
   // Stage B: every vault executes its runnable queue entries.
-  for (auto& device : devices_) {
-    device->clock_vaults(cycle_, &cmc_registry_, &cmc_ctx_, tracer_);
-  }
-
+  //
   // Stage C: requests migrate from crossbar queues into vault queues, or
   // forward along the topology. Decreasing order gives each forward hop a
   // one-cycle cost (symmetric with stage A).
-  for (std::size_t d = devices_.size(); d-- > 0;) {
-    devices_[d]->clock_requests(cycle_, tracer_, routers_[d]);
+  if (cfg_.exhaustive_clock) {
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      devices_[d]->clock_responses(cycle_, tracer_, prev_[d]);
+    }
+    for (auto& device : devices_) {
+      device->clock_vaults(cycle_, &cmc_registry_, &cmc_ctx_, tracer_);
+    }
+    for (std::size_t d = devices_.size(); d-- > 0;) {
+      devices_[d]->clock_requests(cycle_, tracer_, routers_[d]);
+    }
+  } else {
+    // Active-set scheduling: a stage whose queues are all empty cannot
+    // move a packet, sample a depth, or bump a counter, so skipping it is
+    // observably identical to running it. The per-stage gating is safe
+    // within a cycle because stage A never creates B/C work, stage B only
+    // creates stage-A work (already past), and stage C's cross-device
+    // pushes land in chain queues processed next cycle either way.
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      if (devices_[d]->rsp_stage_work()) {
+        devices_[d]->clock_responses(cycle_, tracer_, prev_[d]);
+      }
+    }
+    for (auto& device : devices_) {
+      if (device->vault_stage_work()) {
+        device->clock_vaults(cycle_, &cmc_registry_, &cmc_ctx_, tracer_);
+      }
+    }
+    for (std::size_t d = devices_.size(); d-- > 0;) {
+      if (devices_[d]->rqst_stage_work()) {
+        devices_[d]->clock_requests(cycle_, tracer_, routers_[d]);
+      }
+    }
   }
+
+  latch_registers();
 
   if (stats_every_ != 0 && cycle_ % stats_every_ == 0 && stats_cb_) {
     stats_cb_(*this);
+  }
+}
+
+void Simulator::latch_registers() {
+  const auto active = static_cast<std::uint64_t>(cmc_registry_.active_count());
+  for (auto& device : devices_) {
+    device->regs().poke(dev::Reg::ClockCount, cycle_);
+    device->regs().poke(dev::Reg::CmcActive, active);
+  }
+}
+
+std::uint64_t Simulator::next_event_cycle() const {
+  std::uint64_t best = kNoEvent;
+  for (const auto& device : devices_) {
+    if (device->has_queued_work()) {
+      return cycle_ + 1;
+    }
+    best = std::min(best, device->next_retry_ready());
+  }
+  if (best == kNoEvent) {
+    return kNoEvent;
+  }
+  // A retry whose ready_cycle already passed still needs a clock to
+  // redeliver it.
+  return std::max(best, cycle_ + 1);
+}
+
+std::uint64_t Simulator::clock_until(std::uint64_t target) {
+  const std::uint64_t start = cycle_;
+  while (cycle_ < target) {
+    const std::uint64_t ne = next_event_cycle();
+    if (cfg_.exhaustive_clock || ne <= cycle_ + 1) {
+      clock();
+      continue;
+    }
+    // Nothing can progress before `ne`: jump to just before it (or to
+    // `target` if the next event lies beyond it), then step normally.
+    std::uint64_t stop = target;
+    if (ne != kNoEvent) {
+      stop = std::min(stop, ne - 1);
+    }
+    fast_forward_to(stop);
+  }
+  return cycle_ - start;
+}
+
+std::uint64_t Simulator::clock_until_idle(std::uint64_t max_cycles) {
+  const std::uint64_t start = cycle_;
+  const std::uint64_t limit =
+      max_cycles == 0 ? kNoEvent : start + max_cycles;
+  while (cycle_ < limit) {
+    const std::uint64_t ne = next_event_cycle();
+    if (ne == kNoEvent || ne > limit) {
+      break;
+    }
+    clock_until(ne);
+  }
+  return cycle_ - start;
+}
+
+void Simulator::fast_forward_to(std::uint64_t target) {
+  while (cycle_ < target) {
+    std::uint64_t stop = target;
+    if (stats_every_ != 0 && stats_cb_) {
+      // Land exactly on the next callback cycle so periodic reporting is
+      // indistinguishable from stepped clocking.
+      const std::uint64_t next_cb =
+          (cycle_ / stats_every_ + 1) * stats_every_;
+      stop = std::min(stop, next_cb);
+    }
+    fast_forwarded_ += stop - cycle_;
+    cycle_ = stop;
+    latch_registers();
+    if (stats_every_ != 0 && stats_cb_ && cycle_ % stats_every_ == 0) {
+      stats_cb_(*this);
+      // The callback may have injected traffic; if so the quiescence
+      // assumption no longer holds and the caller must re-plan.
+      for (const auto& device : devices_) {
+        if (device->has_queued_work()) {
+          return;
+        }
+      }
+    }
   }
 }
 

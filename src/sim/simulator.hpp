@@ -87,6 +87,38 @@ class Simulator {
 
   [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
 
+  // ---- quiescence fast-forward --------------------------------------------
+  /// Sentinel from next_event_cycle(): no in-flight packet and no parked
+  /// retry anywhere in the chain — only a new send() creates future work.
+  static constexpr std::uint64_t kNoEvent = UINT64_MAX;
+
+  /// Earliest future cycle at which any component can make progress:
+  /// cycle()+1 when anything is queued anywhere, otherwise the earliest
+  /// parked link-retry redelivery, otherwise kNoEvent. Host-visible link
+  /// response queues do not count (draining them is recv()'s job).
+  [[nodiscard]] std::uint64_t next_event_cycle() const;
+
+  /// Advance until cycle() == target. Stretches where no component can
+  /// make progress are jumped in O(1) instead of clocked; periodic stats
+  /// callbacks still fire at their exact cycles (and may inject traffic,
+  /// which resumes normal clocking). Observably identical to calling
+  /// clock() in a loop. With Config::exhaustive_clock every cycle is
+  /// stepped. Returns the number of cycles advanced.
+  std::uint64_t clock_until(std::uint64_t target);
+
+  /// Advance until the chain is quiescent (next_event_cycle() == kNoEvent)
+  /// or `max_cycles` have elapsed (0 = unbounded). Returns the number of
+  /// cycles advanced. Stops early when the only remaining events lie
+  /// beyond the budget.
+  std::uint64_t clock_until_idle(std::uint64_t max_cycles);
+
+  /// Cycles skipped (not stepped) by fast-forwarding since construction;
+  /// always <= cycle(). Not part of the metrics registry: it measures the
+  /// scheduler, not the modelled hardware.
+  [[nodiscard]] std::uint64_t fast_forwarded_cycles() const noexcept {
+    return fast_forwarded_;
+  }
+
   // ---- CMC ----------------------------------------------------------------
   /// The paper's hmc_load_cmc(): dlopen `path`, resolve the three required
   /// symbols, run the plugin's registration and activate the operation.
@@ -162,6 +194,17 @@ class Simulator {
  private:
   explicit Simulator(const Config& cfg);
 
+  /// Jump cycle_ straight to `target`, firing periodic stats callbacks at
+  /// their exact cycles along the way. Returns early if a callback
+  /// injects work. Caller guarantees no component can progress in
+  /// (cycle_, target].
+  void fast_forward_to(std::uint64_t target);
+
+  /// Refresh the free-running registers (ClockCount, CmcActive) on every
+  /// device. Runs each cycle so devices skipped by active-set scheduling
+  /// (or jumped by fast-forward) stay current.
+  void latch_registers();
+
   /// Attach per-operation counters for every active CMC registration to
   /// every device (idempotent; called after load/register).
   void sync_cmc_counters();
@@ -189,6 +232,7 @@ class Simulator {
   std::vector<dev::Device*> prev_;
   std::vector<dev::Device::Router> routers_;
   std::uint64_t cycle_ = 0;
+  std::uint64_t fast_forwarded_ = 0;
   metrics::Histogram* latency_hist_;
   std::vector<metrics::Histogram*> link_latency_;
   std::uint64_t stats_every_ = 0;

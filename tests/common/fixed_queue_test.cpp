@@ -106,6 +106,24 @@ TEST(FixedQueue, MoveOnlyFriendlyTypes) {
   EXPECT_EQ(q.pop(), "beta");
 }
 
+TEST(FixedQueue, DropFrontDiscardsInOrder) {
+  FixedQueue<std::string> q(3);
+  ASSERT_TRUE(q.push("a"));
+  ASSERT_TRUE(q.push("b"));
+  ASSERT_TRUE(q.push("c"));
+  std::string moved = std::move(q.front());
+  q.drop_front();
+  EXPECT_EQ(moved, "a");
+  EXPECT_EQ(q.size(), 2U);
+  EXPECT_EQ(q.front(), "b");
+  q.drop_front();
+  EXPECT_EQ(q.front(), "c");
+  ASSERT_TRUE(q.push("d"));  // Slot freed by drop_front is reusable.
+  q.drop_front();
+  EXPECT_EQ(q.pop(), "d");
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(FixedQueue, DefaultConstructedHasZeroCapacity) {
   FixedQueue<int> q;
   EXPECT_EQ(q.capacity(), 0U);

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <string>
 
 #include "plugins/builtin.h"
+#include "src/sim/stats_report.hpp"
 
 namespace hmcsim::host {
 namespace {
@@ -312,6 +314,41 @@ TEST(MutexDriver, SpreadingLocksRelievesTheHotSpot) {
   }
   EXPECT_LT(spread.max_cycles, single.max_cycles / 4);
   EXPECT_LT(spread.avg_cycles, single.avg_cycles / 4);
+}
+
+TEST(MutexDriver, BackoffIsIdenticalAcrossClockSchedulers) {
+  // Spin-wait with backoff leaves whole spans with every queue empty;
+  // the active scheduler jumps them with clock_until while the exhaustive
+  // walk steps each cycle. Both must simulate the identical run.
+  MutexOptions opts;
+  opts.lock_addr = 0x4000;
+  opts.trylock_backoff = 100;
+  MutexResult golden;
+  MutexResult active;
+  std::string golden_stats;
+  std::string active_stats;
+  {
+    sim::Config cfg = sim::Config::hmc_4link_4gb();
+    cfg.exhaustive_clock = true;
+    auto sim = make_sim(cfg);
+    ASSERT_TRUE(run_mutex_contention(*sim, 16, opts, golden).ok());
+    golden_stats = sim::format_stats_json(*sim);
+  }
+  {
+    auto sim = make_sim(sim::Config::hmc_4link_4gb());
+    ASSERT_TRUE(run_mutex_contention(*sim, 16, opts, active).ok());
+    active_stats = sim::format_stats_json(*sim);
+  }
+  EXPECT_EQ(golden.per_thread_cycles, active.per_thread_cycles);
+  EXPECT_EQ(golden.total_cycles, active.total_cycles);
+  EXPECT_EQ(golden.trylock_attempts, active.trylock_attempts);
+  EXPECT_EQ(golden.lock_failures, active.lock_failures);
+  EXPECT_EQ(golden.send_retries, active.send_retries);
+  EXPECT_EQ(golden_stats, active_stats);
+  EXPECT_EQ(golden.fast_forwarded, 0U);
+  EXPECT_GT(active.fast_forwarded, 0U);
+  // The backoff dominates the run: most cycles are jumped, not stepped.
+  EXPECT_GT(active.fast_forwarded, active.total_cycles / 2);
 }
 
 TEST(MutexDriver, ScalesRoughlyLinearlyWithThreads) {

@@ -147,5 +147,62 @@ TEST(BackingStore, CapacityReported) {
   EXPECT_EQ(store.capacity(), 4 * kMiB);
 }
 
+TEST(BackingStore, U64AcrossPageBoundary) {
+  BackingStore store(kMiB);
+  const std::uint64_t addr = BackingStore::kPageBytes - 3;
+  ASSERT_TRUE(store.write_u64(addr, 0x1122334455667788ULL).ok());
+  EXPECT_EQ(store.resident_pages(), 2U);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(store.read_u64(addr, v).ok());
+  EXPECT_EQ(v, 0x1122334455667788ULL);
+}
+
+TEST(BackingStore, U64OutOfRangeMessages) {
+  BackingStore store(kMiB);
+  std::uint64_t v = 0;
+  const Status rd = store.read_u64(kMiB - 4, v);
+  ASSERT_FALSE(rd.ok());
+  EXPECT_NE(rd.message().find("read beyond device capacity"),
+            std::string::npos);
+  const Status wr = store.write_u64(kMiB, 1);
+  ASSERT_FALSE(wr.ok());
+  EXPECT_NE(wr.message().find("write beyond device capacity"),
+            std::string::npos);
+}
+
+TEST(BackingStore, MruCacheSeesWritesThroughOtherPaths) {
+  // Interleave u64 accesses (MRU fast path) with bulk read/write on the
+  // same and neighbouring pages: the cache must never serve stale data
+  // and must not cache a read miss that a later write materialises.
+  BackingStore store(kMiB);
+  std::uint64_t v = 99;
+  ASSERT_TRUE(store.read_u64(0x100, v).ok());  // Miss: page untouched.
+  EXPECT_EQ(v, 0ULL);
+  const std::array<std::uint8_t, 8> bytes{8, 7, 6, 5, 4, 3, 2, 1};
+  ASSERT_TRUE(store.write(0x100, bytes).ok());  // Materialises the page.
+  ASSERT_TRUE(store.read_u64(0x100, v).ok());
+  EXPECT_EQ(v, 0x0102030405060708ULL);
+  // Hop to another page and back: the MRU entry must follow.
+  ASSERT_TRUE(store.write_u64(BackingStore::kPageBytes * 3, 0xAA).ok());
+  ASSERT_TRUE(store.read_u64(0x100, v).ok());
+  EXPECT_EQ(v, 0x0102030405060708ULL);
+  ASSERT_TRUE(store.read_u64(BackingStore::kPageBytes * 3, v).ok());
+  EXPECT_EQ(v, 0xAAULL);
+}
+
+TEST(BackingStore, ClearInvalidatesMruCache) {
+  BackingStore store(kMiB);
+  ASSERT_TRUE(store.write_u64(0x80, 0x5555).ok());
+  std::uint64_t v = 0;
+  ASSERT_TRUE(store.read_u64(0x80, v).ok());  // Caches the page.
+  EXPECT_EQ(v, 0x5555ULL);
+  store.clear();
+  ASSERT_TRUE(store.read_u64(0x80, v).ok());
+  EXPECT_EQ(v, 0ULL);  // Stale cache would return 0x5555.
+  ASSERT_TRUE(store.write_u64(0x80, 0x7777).ok());
+  ASSERT_TRUE(store.read_u64(0x80, v).ok());
+  EXPECT_EQ(v, 0x7777ULL);
+}
+
 }  // namespace
 }  // namespace hmcsim::mem

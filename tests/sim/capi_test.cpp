@@ -84,6 +84,29 @@ TEST_F(CApiTest, ClockAndCycleCount) {
   EXPECT_EQ(hmcsim_cycle(sim_), 2ULL);
 }
 
+TEST_F(CApiTest, ClockUntilAndNextEvent) {
+  // Idle device: no event, and clock_until jumps straight to the target.
+  EXPECT_EQ(hmcsim_next_event_cycle(sim_), UINT64_MAX);
+  EXPECT_EQ(hmcsim_clock_until(sim_, 500), 500ULL);
+  EXPECT_EQ(hmcsim_cycle(sim_), 500ULL);
+  EXPECT_EQ(hmcsim_clock_until(sim_, 100), 0ULL);  // Past target: no-op.
+
+  // In-flight work: the next event is the next cycle, and
+  // clock_until_idle runs the request to completion.
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_RD16, 0, 0x2000, 1, nullptr, 0),
+            HMC_OK);
+  EXPECT_EQ(hmcsim_next_event_cycle(sim_), hmcsim_cycle(sim_) + 1);
+  EXPECT_GT(hmcsim_clock_until_idle(sim_, 1000), 0ULL);
+  EXPECT_EQ(hmcsim_recv(sim_, 0, nullptr, nullptr, nullptr, nullptr,
+                        nullptr),
+            HMC_OK);
+
+  // Null handles are inert.
+  EXPECT_EQ(hmcsim_next_event_cycle(nullptr), UINT64_MAX);
+  EXPECT_EQ(hmcsim_clock_until(nullptr, 10), 0ULL);
+  EXPECT_EQ(hmcsim_clock_until_idle(nullptr, 10), 0ULL);
+}
+
 TEST_F(CApiTest, JtagRegisters) {
   uint64_t value = 0;
   ASSERT_EQ(hmcsim_jtag_reg_read(sim_, 0, 1 /*LinkConfig*/, &value), HMC_OK);

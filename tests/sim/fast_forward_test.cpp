@@ -1,0 +1,146 @@
+// fast_forward_test.cpp — next_event_cycle / clock_until / clock_until_idle.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/host/thread_sim.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace hmcsim::sim {
+namespace {
+
+std::unique_ptr<Simulator> make(Config cfg) {
+  std::unique_ptr<Simulator> sim;
+  EXPECT_TRUE(Simulator::create(cfg, sim).ok());
+  return sim;
+}
+
+spec::RqstParams read64(std::uint64_t addr, std::uint16_t tag = 0) {
+  spec::RqstParams p;
+  p.rqst = spec::Rqst::RD64;
+  p.addr = addr;
+  p.tag = tag;
+  return p;
+}
+
+TEST(FastForward, IdleChainHasNoEvent) {
+  auto sim = make(Config::hmc_4link_4gb());
+  EXPECT_EQ(sim->next_event_cycle(), Simulator::kNoEvent);
+  // Nothing to wait for: clock_until_idle returns immediately.
+  EXPECT_EQ(sim->clock_until_idle(1000), 0U);
+  EXPECT_EQ(sim->cycle(), 0U);
+}
+
+TEST(FastForward, QueuedWorkMeansNextCycle) {
+  auto sim = make(Config::hmc_4link_4gb());
+  ASSERT_TRUE(sim->send(read64(0x100), 0).ok());
+  EXPECT_EQ(sim->next_event_cycle(), sim->cycle() + 1);
+}
+
+TEST(FastForward, ClockUntilJumpsIdleSpanExactly) {
+  auto sim = make(Config::hmc_4link_4gb());
+  EXPECT_EQ(sim->clock_until(123), 123U);
+  EXPECT_EQ(sim->cycle(), 123U);
+  EXPECT_EQ(sim->fast_forwarded_cycles(), 123U);
+  // A target in the past is a no-op.
+  EXPECT_EQ(sim->clock_until(50), 0U);
+  EXPECT_EQ(sim->cycle(), 123U);
+}
+
+TEST(FastForward, ExhaustiveModeStepsEveryCycle) {
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.exhaustive_clock = true;
+  auto sim = make(cfg);
+  EXPECT_EQ(sim->clock_until(100), 100U);
+  EXPECT_EQ(sim->cycle(), 100U);
+  EXPECT_EQ(sim->fast_forwarded_cycles(), 0U);
+}
+
+TEST(FastForward, ClockUntilIdleCompletesInFlightWork) {
+  auto sim = make(Config::hmc_4link_4gb());
+  ASSERT_TRUE(sim->send(read64(0x200), 0).ok());
+  const std::uint64_t advanced = sim->clock_until_idle(10000);
+  EXPECT_GT(advanced, 0U);
+  EXPECT_LT(advanced, 100U);  // Uncontended round trip is a few cycles.
+  // The response parked on the host link does not count as device work.
+  EXPECT_TRUE(sim->rsp_ready(0));
+  EXPECT_EQ(sim->next_event_cycle(), Simulator::kNoEvent);
+  Response rsp;
+  EXPECT_TRUE(sim->recv(0, rsp).ok());
+  // The round trip itself has no dead cycles to jump.
+  EXPECT_EQ(sim->fast_forwarded_cycles(), 0U);
+}
+
+TEST(FastForward, ParkedRetryIsTheNextEvent) {
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.link_flit_error_ppm = 1'000'000;  // Every inbound packet corrupts.
+  cfg.link_retry_latency = 16;
+  auto sim = make(cfg);
+  ASSERT_TRUE(sim->send(read64(0x300), 0).ok());
+  const std::uint64_t ne = sim->next_event_cycle();
+  EXPECT_NE(ne, Simulator::kNoEvent);
+  EXPECT_GT(ne, sim->cycle() + 1);  // Dead time until redelivery.
+  EXPECT_LE(ne, sim->cycle() + cfg.link_retry_latency + 1);
+  EXPECT_EQ(sim->clock_until(ne), ne);
+  EXPECT_EQ(sim->cycle(), ne);
+  EXPECT_GT(sim->fast_forwarded_cycles(), 0U);
+  // The retry redelivers and the request completes normally.
+  (void)sim->clock_until_idle(10000);
+  EXPECT_TRUE(sim->rsp_ready(0));
+}
+
+TEST(FastForward, StatsCallbackFiresAtExactCyclesDuringJump) {
+  auto sim = make(Config::hmc_4link_4gb());
+  std::vector<std::uint64_t> fired;
+  sim->set_stats_interval(10, [&fired](Simulator& s) {
+    fired.push_back(s.cycle());
+  });
+  EXPECT_EQ(sim->clock_until(95), 95U);
+  const std::vector<std::uint64_t> expected{10, 20, 30, 40, 50,
+                                            60, 70, 80, 90};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(FastForward, ThreadSimJumpsRetryDeadTimeIdentically) {
+  // With every packet corrupted, each request spends link_retry_latency
+  // cycles parked with nothing else in flight — exactly the dead time
+  // ThreadSim::step fast-forwards. Completion cycles and latencies must
+  // match the exhaustive walk; only the fast-forward counter differs.
+  auto run = [](bool exhaustive, std::uint64_t& fast_forwarded) {
+    Config cfg = Config::hmc_4link_4gb();
+    cfg.link_flit_error_ppm = 1'000'000;
+    cfg.link_retry_latency = 16;
+    cfg.exhaustive_clock = exhaustive;
+    std::unique_ptr<Simulator> sim;
+    EXPECT_TRUE(Simulator::create(cfg, sim).ok());
+    host::ThreadSim ts(*sim, 4);
+    for (std::uint32_t tid = 0; tid < 4; ++tid) {
+      EXPECT_TRUE(ts.issue(tid, read64(0x400 + tid * 64)).ok());
+    }
+    std::vector<std::string> log;
+    int guard = 0;
+    while (guard++ < 10000 &&
+           !(ts.idle(0) && ts.idle(1) && ts.idle(2) && ts.idle(3))) {
+      ts.step([&](const host::Completion& c) {
+        log.push_back(std::to_string(c.tid) + "@" +
+                      std::to_string(sim->cycle()) + ":" +
+                      std::to_string(c.rsp.latency));
+      });
+    }
+    fast_forwarded = sim->fast_forwarded_cycles();
+    return log;
+  };
+  std::uint64_t ff_golden = 0;
+  std::uint64_t ff_active = 0;
+  const auto golden = run(/*exhaustive=*/true, ff_golden);
+  const auto active = run(/*exhaustive=*/false, ff_active);
+  EXPECT_EQ(golden, active);
+  EXPECT_EQ(golden.size(), 4U);
+  EXPECT_EQ(ff_golden, 0U);
+  EXPECT_GT(ff_active, 0U);
+}
+
+}  // namespace
+}  // namespace hmcsim::sim

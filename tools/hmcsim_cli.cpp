@@ -36,6 +36,7 @@ struct CliOptions {
   std::uint32_t trace_level = 0;
   std::string stats_json;
   std::uint64_t stats_every = 0;
+  bool exhaustive_clock = false;
   std::vector<std::string> positional;
 };
 
@@ -49,7 +50,9 @@ int usage() {
       "  mutex <threads>             run the mutex contention experiment\n"
       "options: --links 4|8  --plugins <dir>  --power\n"
       "         --trace-file <path>  --trace-level <mask>\n"
-      "         --stats-json <path>  --stats-every <cycles>\n",
+      "         --stats-json <path>  --stats-every <cycles>\n"
+      "         --exhaustive-clock   (disable active-set scheduling and\n"
+      "                               quiescence fast-forward)\n",
       stderr);
   return 2;
 }
@@ -98,6 +101,8 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
         return false;
       }
       opts.stats_every = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--exhaustive-clock") {
+      opts.exhaustive_clock = true;
     } else {
       opts.positional.emplace_back(arg);
     }
@@ -106,8 +111,9 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
 }
 
 std::unique_ptr<sim::Simulator> make_sim(const CliOptions& opts) {
-  const sim::Config cfg = opts.links == 8 ? sim::Config::hmc_8link_8gb()
-                                          : sim::Config::hmc_4link_4gb();
+  sim::Config cfg = opts.links == 8 ? sim::Config::hmc_8link_8gb()
+                                    : sim::Config::hmc_4link_4gb();
+  cfg.exhaustive_clock = opts.exhaustive_clock;
   std::unique_ptr<sim::Simulator> sim;
   if (Status s = sim::Simulator::create(cfg, sim); !s.ok()) {
     std::fprintf(stderr, "create: %s\n", s.to_string().c_str());
