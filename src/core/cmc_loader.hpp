@@ -16,6 +16,15 @@
 
 namespace hmcsim::cmc {
 
+// Lifetime contract with CmcRegistry: load() stores raw function pointers
+// into the registry that point into the dlopen'd image, and ~CmcLoader
+// dlclose's every image — after which those registry slots dangle.
+// Invoking (or even reading the name of) a registered CMC after its
+// loader is destroyed is a use-after-unmap. Keep the loader alive as
+// long as the registry is *used*; mere destruction order is forgiving
+// only because ~CmcRegistry never calls through its slots (Simulator
+// relies on this: its registry member precedes its loader member, so the
+// loader unmaps first, but no CMC runs during teardown).
 class CmcLoader {
  public:
   CmcLoader() = default;

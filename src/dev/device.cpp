@@ -18,7 +18,9 @@ Device::Device(const sim::Config& cfg, std::uint32_t dev_id,
       xbar_(cfg.num_links, cfg.xbar_depth, reg, prefix_ + ".xbar"),
       chain_rqst_(cfg.xbar_depth),
       chain_rsp_(cfg.xbar_depth),
+      retry_(cfg.num_links),
       err_rng_(cfg.link_error_seed + dev_id),
+      rsp_err_rng_(cfg.link_error_seed + dev_id + 0x9E3779B9ULL),
       forwarded_rqsts_(&reg.counter(prefix_ + ".forwarded_rqsts",
                                     "requests forwarded to a neighbour")),
       forwarded_rsps_(&reg.counter(prefix_ + ".forwarded_rsps",
@@ -50,16 +52,32 @@ Status Device::send(RqstEntry entry, std::uint32_t link, std::uint64_t cycle,
     return Status::InvalidArg("link index out of range");
   }
   const spec::Rqst rqst = entry.pkt.rqst();
+  const std::uint32_t flits = entry.pkt.flits();
 
-  // Flow packets terminate at the link layer.
+  // Flow packets terminate at the link layer — but they travel the same
+  // wire, so error injection applies first. A corrupted flow packet
+  // carries no sequence number and cannot be retried: hardware drops it
+  // (a lost TRET's tokens come back through later response RTC fields).
   if (spec::is_flow(rqst)) {
+    if (cfg_.link_flit_error_ppm != 0 && inject_error(flits)) {
+      links_[link].record_flow_drop();
+      if (tracer.enabled(trace::Level::Retry)) {
+        tracer.emit({.cycle = cycle,
+                     .kind = trace::Level::Retry,
+                     .where = {.dev = id_, .link = link},
+                     .tag = entry.pkt.tag(),
+                     .op = spec::to_string(rqst),
+                     .value = flits,
+                     .note = "corrupted flow packet dropped"});
+      }
+      return Status::Ok();
+    }
     const auto rtc = static_cast<std::uint32_t>(
         spec::RqstTail::Rtc::get(entry.pkt.tail));
     links_[link].consume_flow(rqst, rtc);
     return Status::Ok();
   }
 
-  const std::uint32_t flits = entry.pkt.flits();
   auto& q = xbar_.rqst_queue(link);
   if (q.full()) {
     links_[link].record_send_stall();
@@ -76,30 +94,59 @@ Status Device::send(RqstEntry entry, std::uint32_t link, std::uint64_t cycle,
     return Status::Stall("crossbar request queue full on link " +
                          std::to_string(link));
   }
-  if (Status s = links_[link].accept_request(flits); !s.ok()) {
+  Link& lnk = links_[link];
+  if (Status s = lnk.accept_request(flits); !s.ok()) {
     return s;
   }
+  // Link-layer transmit stamps: source link, per-link sequence number,
+  // this packet's forward retry pointer, and the RRP acknowledging the
+  // last response the host saw on this link. Every stamp invalidates the
+  // sealed CRC, so reseal once after the batch (tail-delta fast path: all
+  // stamped fields live in the tail word).
   entry.src_link = static_cast<std::uint8_t>(link);
+  const std::uint64_t sealed_tail = entry.pkt.tail;
   entry.pkt.set_slid(static_cast<std::uint8_t>(link));
+  entry.pkt.set_seq(lnk.next_rqst_seq());
+  entry.pkt.set_frp(lnk.next_rqst_frp());
+  entry.pkt.set_rrp(lnk.last_rsp_frp());
+  spec::reseal_tail(entry.pkt, sealed_tail);
 
   // Link-error injection: a corrupted packet fails the CRC at the link
-  // layer and is redelivered after the retry exchange. From the host's
-  // perspective the send succeeded (the link accepted the FLITs); the
-  // latency cost shows up on the response.
-  if (cfg_.link_flit_error_ppm != 0 && inject_error(flits)) {
-    links_[link].record_retry();
-    if (tracer.enabled(trace::Level::Retry)) {
-      tracer.emit({.cycle = cycle,
-                   .kind = trace::Level::Retry,
-                   .where = {.dev = id_, .link = link},
-                   .tag = entry.pkt.tag(),
-                   .op = spec::to_string(rqst),
-                   .addr = entry.pkt.addr(),
-                   .value = cfg_.link_retry_latency});
+  // layer; go-back-N means it AND everything transmitted behind it on
+  // this link replay in original order after the retry exchange. From the
+  // host's perspective the send succeeded (the link accepted the FLITs);
+  // the latency cost shows up on the response. Packets joining an active
+  // retry FIFO wait unexamined — their first real transmission is the
+  // replay, which this model treats as error-free so forward progress is
+  // guaranteed even at a 100% error rate. With injection off the FIFOs
+  // are provably empty, so the hot path skips them entirely.
+  if (cfg_.link_flit_error_ppm != 0) {
+    LinkRetry& retry = retry_[link];
+    const bool link_in_retry = !retry.rqst.empty();
+    if (!link_in_retry && inject_error(flits)) {
+      lnk.record_retry();
+      if (tracer.enabled(trace::Level::Retry)) {
+        tracer.emit({.cycle = cycle,
+                     .kind = trace::Level::Retry,
+                     .where = {.dev = id_, .link = link},
+                     .tag = entry.pkt.tag(),
+                     .op = spec::to_string(rqst),
+                     .addr = entry.pkt.addr(),
+                     .value = cfg_.link_retry_latency,
+                     .note = "request corrupted; link entering retry"});
+      }
+      retry.rqst_ready = cycle + cfg_.link_retry_latency;
+      retry.rqst.push_back(std::move(entry));
+      lnk.add_retry_buffered(flits);
+      rqst_retry_links_ |= 1U << link;
+      return Status::Ok();
     }
-    retry_buffer_.push_back(RetryEntry{std::move(entry), link,
-                                       cycle + cfg_.link_retry_latency});
-    return Status::Ok();
+    if (link_in_retry) {
+      // In-order guarantee: nothing overtakes the parked head.
+      retry.rqst.push_back(std::move(entry));
+      lnk.add_retry_buffered(flits);
+      return Status::Ok();
+    }
   }
 
   const bool pushed = q.push(std::move(entry));
@@ -118,29 +165,114 @@ bool Device::inject_error(std::uint32_t flits) {
   return false;
 }
 
+bool Device::inject_rsp_error(std::uint32_t flits) {
+  for (std::uint32_t f = 0; f < flits; ++f) {
+    if (rsp_err_rng_.below(1'000'000) < cfg_.link_flit_error_ppm) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void Device::drain_retries(std::uint64_t cycle, trace::Tracer& tracer) {
-  (void)tracer;
-  for (auto it = retry_buffer_.begin(); it != retry_buffer_.end();) {
-    if (it->ready_cycle > cycle) {
-      ++it;
+  std::uint32_t m = rqst_retry_links_;
+  while (m != 0) {
+    const auto l = static_cast<std::uint32_t>(std::countr_zero(m));
+    m &= m - 1;
+    LinkRetry& retry = retry_[l];
+    if (retry.rqst_ready > cycle) {
+      continue;  // The retry exchange on this link is still in flight.
+    }
+    auto& q = xbar_.rqst_queue(l);
+    while (!retry.rqst.empty()) {
+      if (q.full()) {
+        // Queue pressure: the head waits, and FIFO order means everything
+        // behind it waits too — no bypass.
+        break;
+      }
+      RqstEntry entry = std::move(retry.rqst.front());
+      retry.rqst.pop_front();
+      // The replay re-acknowledges the latest response stream position;
+      // SEQ and FRP keep their original stamps.
+      const std::uint64_t sealed_tail = entry.pkt.tail;
+      entry.pkt.set_rrp(links_[l].last_rsp_frp());
+      spec::reseal_tail(entry.pkt, sealed_tail);
+      links_[l].sub_retry_buffered(entry.pkt.flits());
+      if (tracer.enabled(trace::Level::Retry)) {
+        tracer.emit({.cycle = cycle,
+                     .kind = trace::Level::Retry,
+                     .where = {.dev = id_, .link = l},
+                     .tag = entry.pkt.tag(),
+                     .op = spec::to_string(entry.pkt.rqst()),
+                     .addr = entry.pkt.addr(),
+                     .value = retry.rqst.size(),
+                     .note = "request redelivered"});
+      }
+      const bool pushed = q.push(std::move(entry));
+      (void)pushed;  // Guarded by the full() check above.
+      xbar_rqst_active_ |= 1U << l;
+    }
+    if (retry.rqst.empty()) {
+      rqst_retry_links_ &= ~(1U << l);
+    }
+  }
+}
+
+void Device::drain_rsp_retries(std::uint64_t cycle, trace::Tracer& tracer) {
+  std::uint32_t m = rsp_retry_links_;
+  while (m != 0) {
+    const auto l = static_cast<std::uint32_t>(std::countr_zero(m));
+    m &= m - 1;
+    LinkRetry& retry = retry_[l];
+    if (retry.rsp_ready > cycle) {
       continue;
     }
-    auto& q = xbar_.rqst_queue(it->link);
-    if (q.full()) {
-      ++it;  // Queue pressure: redeliver on a later cycle.
-      continue;
+    auto& q = xbar_.rsp_queue(l);
+    while (!retry.rsp.empty()) {
+      RspEntry& head = retry.rsp.front();
+      const std::uint32_t flits = head.pkt.flits();
+      // A replay is a real transmission: it spends link bandwidth again.
+      if (flits > rsp_budget_[l]) {
+        xbar_.rsp_bw_throttles().inc();
+        break;
+      }
+      if (q.full()) {
+        xbar_.rsp_stalls().inc();
+        break;  // FIFO order: nothing behind the head moves.
+      }
+      rsp_budget_[l] -= flits;
+      const std::uint64_t sealed_tail = head.pkt.tail;
+      head.pkt.set_rrp(links_[l].last_rqst_frp());
+      spec::reseal_tail(head.pkt, sealed_tail);
+      links_[l].sub_retry_buffered(flits);
+      if (tracer.enabled(trace::Level::Retry)) {
+        tracer.emit({.cycle = cycle,
+                     .kind = trace::Level::Retry,
+                     .where = {.dev = id_, .link = l},
+                     .tag = head.pkt.tag(),
+                     .value = retry.rsp.size() - 1,
+                     .note = "response redelivered"});
+      }
+      const bool pushed = q.push(std::move(head));
+      (void)pushed;  // Guarded by the full() check above.
+      retry.rsp.pop_front();
+      xbar_.rsps_routed().inc();
     }
-    const bool pushed = q.push(std::move(it->entry));
-    (void)pushed;  // Guarded by the full() check above.
-    xbar_rqst_active_ |= 1U << it->link;
-    it = retry_buffer_.erase(it);
+    if (retry.rsp.empty()) {
+      rsp_retry_links_ &= ~(1U << l);
+    }
   }
 }
 
 std::uint64_t Device::next_retry_ready() const noexcept {
   std::uint64_t best = UINT64_MAX;
-  for (const RetryEntry& r : retry_buffer_) {
-    best = std::min(best, r.ready_cycle);
+  for (std::uint32_t l = 0; l < retry_.size(); ++l) {
+    if ((rqst_retry_links_ >> l) & 1U) {
+      best = std::min(best, retry_[l].rqst_ready);
+    }
+    if ((rsp_retry_links_ >> l) & 1U) {
+      best = std::min(best, retry_[l].rsp_ready);
+    }
   }
   return best;
 }
@@ -174,6 +306,12 @@ void Device::clock_responses(std::uint64_t cycle, trace::Tracer& tracer,
     b = rsp_bw;
   }
 
+  // (0) Replay ready response retries first: they are the oldest
+  // transmissions on their links and nothing may overtake them.
+  if (rsp_retry_links_ != 0) {
+    drain_rsp_retries(cycle, tracer);
+  }
+
   // (1) Forward chain responses toward the host-attached cube.
   if (prev != nullptr) {
     while (!chain_rsp_.empty()) {
@@ -192,20 +330,14 @@ void Device::clock_responses(std::uint64_t cycle, trace::Tracer& tracer,
     // Host-attached cube: chain responses eject onto their origin link.
     while (!chain_rsp_.empty()) {
       RspEntry& head = chain_rsp_.front();
-      auto& q = xbar_.rsp_queue(head.dst_link);
       if (head.pkt.flits() > rsp_budget_[head.dst_link]) {
         xbar_.rsp_bw_throttles().inc();
         break;
       }
-      if (q.full()) {
-        xbar_.rsp_stalls().inc();
+      if (!transmit_rsp(head, head.dst_link, cycle, tracer)) {
         break;
       }
-      rsp_budget_[head.dst_link] -= head.pkt.flits();
-      const bool pushed = q.push(std::move(head));
-      (void)pushed;
       chain_rsp_.drop_front();
-      xbar_.rsps_routed().inc();
     }
   }
 
@@ -229,6 +361,62 @@ void Device::clock_responses(std::uint64_t cycle, trace::Tracer& tracer,
   }
 }
 
+bool Device::transmit_rsp(RspEntry& head, std::uint32_t l,
+                          std::uint64_t cycle, trace::Tracer& tracer) {
+  // Caller has already charged/checked the bandwidth budget headroom.
+  // With injection off the retry FIFO is provably empty — skip it.
+  const std::uint32_t flits = head.pkt.flits();
+  const bool inject_on = cfg_.link_flit_error_ppm != 0;
+  const bool link_in_retry = inject_on && !retry_[l].rsp.empty();
+  auto& q = xbar_.rsp_queue(l);
+  if (!link_in_retry && q.full()) {
+    xbar_.rsp_stalls().inc();
+    return false;
+  }
+  rsp_budget_[l] -= flits;
+  // Link-layer transmit stamps for the response direction: sequence
+  // number, forward retry pointer, the RRP acknowledging the last request
+  // received on this link, and up to 7 returned credits in RTC. Reseal
+  // once after the batch (all stamped fields live in the tail word).
+  Link& lnk = links_[l];
+  const std::uint64_t sealed_tail = head.pkt.tail;
+  head.pkt.set_seq(lnk.next_rsp_seq());
+  head.pkt.set_frp(lnk.next_rsp_frp());
+  head.pkt.set_rrp(lnk.last_rqst_frp());
+  head.pkt.set_rtc(lnk.take_rtc());
+  spec::reseal_tail(head.pkt, sealed_tail);
+
+  if (inject_on) {
+    LinkRetry& retry = retry_[l];
+    if (!link_in_retry && inject_rsp_error(flits)) {
+      lnk.record_rsp_retry();
+      if (tracer.enabled(trace::Level::Retry)) {
+        tracer.emit({.cycle = cycle,
+                     .kind = trace::Level::Retry,
+                     .where = {.dev = id_, .link = l},
+                     .tag = head.pkt.tag(),
+                     .value = cfg_.link_retry_latency,
+                     .note = "response corrupted; link entering retry"});
+      }
+      retry.rsp_ready = cycle + cfg_.link_retry_latency;
+      retry.rsp.push_back(std::move(head));
+      lnk.add_retry_buffered(flits);
+      rsp_retry_links_ |= 1U << l;
+      return true;
+    }
+    if (link_in_retry) {
+      // In-order guarantee: queue behind the parked corrupted head.
+      retry.rsp.push_back(std::move(head));
+      lnk.add_retry_buffered(flits);
+      return true;
+    }
+  }
+  const bool pushed = q.push(std::move(head));
+  (void)pushed;  // Guarded by the full() check above.
+  xbar_.rsps_routed().inc();
+  return true;
+}
+
 void Device::drain_vault_rsp(std::uint32_t v, bool local, std::uint64_t cycle,
                              trace::Tracer& tracer) {
   Vault& vault = vaults_[v];
@@ -237,27 +425,22 @@ void Device::drain_vault_rsp(std::uint32_t v, bool local, std::uint64_t cycle,
     RspEntry& head = vq.front();
     bool moved = false;
     if (local) {
-      auto& q = xbar_.rsp_queue(head.dst_link);
       if (head.pkt.flits() > rsp_budget_[head.dst_link]) {
         xbar_.rsp_bw_throttles().inc();
         break;  // Budget spent: the vault's queue waits a cycle.
       }
-      if (!q.full()) {
-        rsp_budget_[head.dst_link] -= head.pkt.flits();
-        const bool pushed = q.push(std::move(head));
-        (void)pushed;
-        xbar_.rsps_routed().inc();
-        moved = true;
-      }
+      moved = transmit_rsp(head, head.dst_link, cycle, tracer);
     } else {
       if (!chain_rsp_.full()) {
         const bool pushed = chain_rsp_.push(std::move(head));
         (void)pushed;
         moved = true;
+      } else {
+        xbar_.rsp_stalls().inc();
       }
     }
     if (!moved) {
-      xbar_.rsp_stalls().inc();
+      // transmit_rsp / the chain check above counted the stall.
       if (tracer.enabled(trace::Level::Stalls)) {
         tracer.emit({.cycle = cycle,
                      .kind = trace::Level::Stalls,
@@ -416,7 +599,7 @@ void Device::clock_requests(std::uint64_t cycle, trace::Tracer& tracer,
   // links (round-robin across links is implicit: each link queue drains
   // independently toward per-vault queues), then the chain ingress from
   // the previous cube.
-  if (!retry_buffer_.empty()) {
+  if (rqst_retry_links_ != 0) {
     drain_retries(cycle, tracer);
   }
   if (cfg_.exhaustive_clock) {
@@ -457,7 +640,14 @@ void Device::reset_pipeline() {
   }
   chain_rqst_.clear();
   chain_rsp_.clear();
-  retry_buffer_.clear();
+  for (LinkRetry& retry : retry_) {
+    retry.rqst.clear();
+    retry.rsp.clear();
+    retry.rqst_ready = 0;
+    retry.rsp_ready = 0;
+  }
+  rqst_retry_links_ = 0;
+  rsp_retry_links_ = 0;
   vault_rqst_active_ = 0;
   vault_rsp_active_ = 0;
   xbar_rqst_active_ = 0;

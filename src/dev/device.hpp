@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -127,9 +128,11 @@ class Device {
   // empty queue costs one wasted visit, but a clear bit guarantees the
   // queue is empty, which is what next_event_cycle() relies on.
 
-  /// Stage A has something to move (vault responses or chain ingress).
+  /// Stage A has something to move (vault responses, chain ingress, or a
+  /// parked response retry awaiting redelivery).
   [[nodiscard]] bool rsp_stage_work() const noexcept {
-    return vault_rsp_active_ != 0 || !chain_rsp_.empty();
+    return vault_rsp_active_ != 0 || !chain_rsp_.empty() ||
+           rsp_retry_links_ != 0;
   }
   /// Stage B has a vault with queued requests.
   [[nodiscard]] bool vault_stage_work() const noexcept {
@@ -139,7 +142,7 @@ class Device {
   /// parked retry awaiting redelivery).
   [[nodiscard]] bool rqst_stage_work() const noexcept {
     return xbar_rqst_active_ != 0 || !chain_rqst_.empty() ||
-           !retry_buffer_.empty();
+           rqst_retry_links_ != 0;
   }
   /// A clock this cycle can make progress somewhere in this device.
   /// Excludes parked retries whose ready_cycle is in the future (see
@@ -176,21 +179,41 @@ class Device {
   FixedQueue<RqstEntry> chain_rqst_;
   FixedQueue<RspEntry> chain_rsp_;
 
-  // ---- link-error injection ---------------------------------------------
-  /// A corrupted inbound packet parks here until its retry delivers it.
-  struct RetryEntry {
-    RqstEntry entry;
-    std::uint32_t link = 0;
-    std::uint64_t ready_cycle = 0;
+  // ---- link-error injection + go-back-N retry ---------------------------
+  /// Per-link, per-direction retry state. When a packet corrupts on link L
+  /// the packet and *every* packet transmitted on L behind it queue here
+  /// in original order (go-back-N) and replay together, still in order,
+  /// once ready_cycle arrives. Depth is bounded by the link's flow-control
+  /// tokens (requests) / the vault response queues (responses), so the
+  /// deques never grow past the device's in-flight packet budget.
+  struct LinkRetry {
+    std::deque<RqstEntry> rqst;
+    std::uint64_t rqst_ready = 0;
+    std::deque<RspEntry> rsp;
+    std::uint64_t rsp_ready = 0;
   };
-  std::vector<RetryEntry> retry_buffer_;
-  Xoshiro256 err_rng_;
+  std::vector<LinkRetry> retry_;
+  std::uint32_t rqst_retry_links_ = 0;  ///< Bit l: retry_[l].rqst non-empty.
+  std::uint32_t rsp_retry_links_ = 0;   ///< Bit l: retry_[l].rsp non-empty.
+  Xoshiro256 err_rng_;      ///< Request-direction error draws.
+  Xoshiro256 rsp_err_rng_;  ///< Response-direction error draws.
 
   /// Deterministically decide whether a packet of `flits` FLITs suffers a
   /// transit error (per-FLIT probability from the configuration).
   [[nodiscard]] bool inject_error(std::uint32_t flits);
-  /// Redeliver ready retry entries into their crossbar queues.
+  [[nodiscard]] bool inject_rsp_error(std::uint32_t flits);
+  /// Replay ready request-retry FIFOs into their crossbar queues, FIFO
+  /// order per link (the head blocking blocks everything behind it).
   void drain_retries(std::uint64_t cycle, trace::Tracer& tracer);
+  /// Replay ready response-retry FIFOs into their link response queues.
+  void drain_rsp_retries(std::uint64_t cycle, trace::Tracer& tracer);
+  /// Stage-A transmit of one response onto host link `l`: stamps the
+  /// link-layer tail fields, reseals the CRC, rolls error injection, and
+  /// routes the packet into the crossbar response queue or the link's
+  /// retry FIFO. Returns false (consuming nothing) on budget or queue
+  /// back-pressure.
+  [[nodiscard]] bool transmit_rsp(RspEntry& head, std::uint32_t l,
+                                  std::uint64_t cycle, trace::Tracer& tracer);
 
   /// Route one ingress queue toward vaults/neighbour cubes, spending at
   /// most `budget_flits` of forwarding bandwidth. Returns on the first

@@ -20,8 +20,14 @@ Link::Link(std::uint32_t token_capacity, metrics::StatRegistry& reg,
                                 "host sends rejected: queue full")),
       flow_packets_(&reg.counter(prefix + ".flow_packets",
                                  "NULL/PRET/TRET/IRTRY consumed")),
+      flow_drops_(&reg.counter(prefix + ".flow_drops",
+                               "corrupted flow packets dropped")),
       retries_(&reg.counter(prefix + ".retries",
-                            "CRC-failure redeliveries")) {}
+                            "CRC-failure redeliveries")),
+      rsp_retries_(&reg.counter(prefix + ".rsp_retries",
+                                "response-direction CRC redeliveries")),
+      retry_buffered_(&reg.gauge(prefix + ".retry_buffered_flits",
+                                 "FLITs parked in retry buffers")) {}
 
 Status Link::accept_request(std::uint32_t flits) {
   if (tokens_ < flits) {
@@ -48,13 +54,23 @@ void Link::consume_flow(spec::Rqst rqst, std::uint32_t rtc) {
 
 void Link::reset() {
   tokens_ = token_capacity_;
+  rqst_seq_ = 0;
+  rsp_seq_ = 0;
+  rqst_frp_ = 1;
+  rsp_frp_ = 1;
+  last_rqst_frp_ = 0;
+  last_rsp_frp_ = 0;
+  pending_rtc_ = 0;
   rqst_packets_->reset();
   rqst_flits_->reset();
   rsp_packets_->reset();
   rsp_flits_->reset();
   send_stalls_->reset();
   flow_packets_->reset();
+  flow_drops_->reset();
   retries_->reset();
+  rsp_retries_->reset();
+  retry_buffered_->reset();
 }
 
 }  // namespace hmcsim::dev

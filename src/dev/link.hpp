@@ -3,10 +3,14 @@
 // The link is the ingress/egress point between host and device. HMC-Sim's
 // latency model attributes queue occupancy to the crossbar, so the link
 // itself carries flow-control token state (HMC's credit scheme: one token
-// per crossbar queue FLIT slot) and FLIT-level traffic accounting used by
-// the bandwidth benches. Counters live in the device's StatRegistry under
-// `<prefix>.{rqst_packets,rqst_flits,rsp_packets,rsp_flits,send_stalls,
-// flow_packets,retries}`; the link caches the handles at construction.
+// per crossbar queue FLIT slot), FLIT-level traffic accounting used by the
+// bandwidth benches, and the link-layer retry protocol state: per-direction
+// SEQ/FRP transmit counters, the retry pointers piggybacked as RRP, and the
+// pending token-return pool encoded into response RTC fields. Counters live
+// in the device's StatRegistry under `<prefix>.{rqst_packets,rqst_flits,
+// rsp_packets,rsp_flits,send_stalls,flow_packets,flow_drops,retries,
+// rsp_retries}` plus the `<prefix>.retry_buffered_flits` gauge; the link
+// caches the handles at construction.
 #pragma once
 
 #include <algorithm>
@@ -38,16 +42,87 @@ class Link {
   void consume_flow(spec::Rqst rqst, std::uint32_t rtc);
 
   /// Return FLIT tokens to the host when a request leaves the crossbar
-  /// queue (the implicit credit return of the HMC link protocol).
+  /// queue (the implicit credit return of the HMC link protocol). The
+  /// returned credits also accrue to the pending-RTC pool drained by
+  /// take_rtc() into response tails.
   void return_tokens(std::uint32_t flits) noexcept {
     tokens_ = std::min(token_capacity_, tokens_ + flits);
+    pending_rtc_ += flits;
+  }
+
+  // ---- link-layer retry protocol ----------------------------------------
+  // Per-direction 3-bit SEQ and 9-bit FRP counters, advanced once per
+  // packet at its first transmission (replays keep their original stamps).
+  // The last FRP transmitted in one direction is the RRP acknowledged in
+  // the other.
+
+  /// Next request-direction sequence number (3-bit, wraps).
+  [[nodiscard]] std::uint8_t next_rqst_seq() noexcept {
+    const std::uint8_t s = rqst_seq_;
+    rqst_seq_ = static_cast<std::uint8_t>((rqst_seq_ + 1U) & 0x7U);
+    return s;
+  }
+  /// Next request-direction forward retry pointer (9-bit, wraps).
+  [[nodiscard]] std::uint16_t next_rqst_frp() noexcept {
+    last_rqst_frp_ = rqst_frp_;
+    rqst_frp_ = static_cast<std::uint16_t>((rqst_frp_ + 1U) & 0x1FFU);
+    return last_rqst_frp_;
+  }
+  /// Next response-direction sequence number (3-bit, wraps).
+  [[nodiscard]] std::uint8_t next_rsp_seq() noexcept {
+    const std::uint8_t s = rsp_seq_;
+    rsp_seq_ = static_cast<std::uint8_t>((rsp_seq_ + 1U) & 0x7U);
+    return s;
+  }
+  /// Next response-direction forward retry pointer (9-bit, wraps).
+  [[nodiscard]] std::uint16_t next_rsp_frp() noexcept {
+    last_rsp_frp_ = rsp_frp_;
+    rsp_frp_ = static_cast<std::uint16_t>((rsp_frp_ + 1U) & 0x1FFU);
+    return last_rsp_frp_;
+  }
+  /// FRP of the last request transmitted (stamped as RRP on responses).
+  [[nodiscard]] std::uint16_t last_rqst_frp() const noexcept {
+    return last_rqst_frp_;
+  }
+  /// FRP of the last response transmitted (stamped as RRP on requests).
+  [[nodiscard]] std::uint16_t last_rsp_frp() const noexcept {
+    return last_rsp_frp_;
+  }
+
+  /// Drain up to 7 pending return credits (the 3-bit RTC field) for the
+  /// tail of the response being transmitted.
+  [[nodiscard]] std::uint8_t take_rtc() noexcept {
+    const auto rtc = static_cast<std::uint8_t>(std::min<std::uint32_t>(
+        pending_rtc_, 7U));
+    pending_rtc_ -= rtc;
+    return rtc;
+  }
+  [[nodiscard]] std::uint32_t pending_rtc() const noexcept {
+    return pending_rtc_;
+  }
+
+  /// FLITs entering / leaving this link's retry buffers (both directions).
+  void add_retry_buffered(std::uint32_t flits) noexcept {
+    retry_buffered_->add(static_cast<double>(flits));
+  }
+  void sub_retry_buffered(std::uint32_t flits) noexcept {
+    retry_buffered_->add(-static_cast<double>(flits));
   }
 
   /// Record a rejected host send (full crossbar queue).
   void record_send_stall() noexcept { send_stalls_->inc(); }
 
-  /// Record a link-layer CRC retry (corrupted packet redelivered).
+  /// Record a request-direction CRC retry (corrupted packet redelivered).
   void record_retry() noexcept { retries_->inc(); }
+
+  /// Record a response-direction CRC retry.
+  void record_rsp_retry() noexcept {
+    retries_->inc();
+    rsp_retries_->inc();
+  }
+
+  /// Record a corrupted flow packet (dropped, never retried).
+  void record_flow_drop() noexcept { flow_drops_->inc(); }
 
   [[nodiscard]] std::uint32_t tokens() const noexcept { return tokens_; }
   [[nodiscard]] std::uint32_t token_capacity() const noexcept {
@@ -73,8 +148,17 @@ class Link {
   [[nodiscard]] const metrics::Counter& flow_packets() const noexcept {
     return *flow_packets_;
   }
+  [[nodiscard]] const metrics::Counter& flow_drops() const noexcept {
+    return *flow_drops_;
+  }
   [[nodiscard]] const metrics::Counter& retries() const noexcept {
     return *retries_;
+  }
+  [[nodiscard]] const metrics::Counter& rsp_retries() const noexcept {
+    return *rsp_retries_;
+  }
+  [[nodiscard]] const metrics::Gauge& retry_buffered() const noexcept {
+    return *retry_buffered_;
   }
 
   void reset();
@@ -82,13 +166,24 @@ class Link {
  private:
   std::uint32_t tokens_ = 0;
   std::uint32_t token_capacity_ = 0;
+  // ---- retry protocol state ---------------------------------------------
+  std::uint8_t rqst_seq_ = 0;
+  std::uint8_t rsp_seq_ = 0;
+  std::uint16_t rqst_frp_ = 1;  ///< FRP 0 is the "nothing sent yet" RRP.
+  std::uint16_t rsp_frp_ = 1;
+  std::uint16_t last_rqst_frp_ = 0;
+  std::uint16_t last_rsp_frp_ = 0;
+  std::uint32_t pending_rtc_ = 0;
   metrics::Counter* rqst_packets_;
   metrics::Counter* rqst_flits_;
   metrics::Counter* rsp_packets_;
   metrics::Counter* rsp_flits_;
   metrics::Counter* send_stalls_;
   metrics::Counter* flow_packets_;
+  metrics::Counter* flow_drops_;
   metrics::Counter* retries_;
+  metrics::Counter* rsp_retries_;
+  metrics::Gauge* retry_buffered_;
 };
 
 }  // namespace hmcsim::dev

@@ -2,10 +2,12 @@
 
 #include <array>
 #include <bit>
+#include <cassert>
 #include <cstring>
 
 #include "amo/amo_unit.hpp"
 #include "spec/flit.hpp"
+#include "spec/packet.hpp"
 
 namespace hmcsim::dev {
 namespace {
@@ -18,7 +20,26 @@ enum Errstat : std::uint8_t {
   kErrCmcInactive = 3,///< CMC command with no registered operation.
   kErrCmcFailed = 4,  ///< CMC plugin execute reported failure.
   kErrRegister = 5,   ///< Register access fault.
+  kErrInternal = 6,   ///< Execution failed on a simulator-internal error.
 };
+
+/// Map an execution Status to the ERRSTAT code its RSP_ERROR carries.
+/// Every failure used to collapse to kErrRange regardless of cause; the
+/// category now follows the status taxonomy of common/status.hpp.
+std::uint8_t errstat_for(const Status& s) noexcept {
+  switch (s.code()) {
+    case StatusCode::InvalidArg:
+      return kErrRange;  // Address/payload outside the device's range.
+    case StatusCode::NotFound:
+      return kErrRegister;
+    case StatusCode::Unsupported:
+      return kErrCmd;
+    case StatusCode::CmcError:
+      return kErrCmcFailed;
+    default:
+      return kErrInternal;
+  }
+}
 
 }  // namespace
 
@@ -45,6 +66,18 @@ Vault::Vault(std::uint32_t quad, std::uint32_t vault_id,
   rsp_stalls_ = &reg.counter(prefix + ".rsp_stalls",
                              "requests deferred: response queue full");
   errors_ = &reg.counter(prefix + ".errors", "requests answered RSP_ERROR");
+  errstat_counters_[kErrRange] =
+      &reg.counter(prefix + ".errstat_range", "RSP_ERROR: address range");
+  errstat_counters_[kErrCmd] =
+      &reg.counter(prefix + ".errstat_cmd", "RSP_ERROR: illegal command");
+  errstat_counters_[kErrCmcInactive] = &reg.counter(
+      prefix + ".errstat_cmc_inactive", "RSP_ERROR: CMC slot inactive");
+  errstat_counters_[kErrCmcFailed] = &reg.counter(
+      prefix + ".errstat_cmc_failed", "RSP_ERROR: CMC execute failed");
+  errstat_counters_[kErrRegister] = &reg.counter(
+      prefix + ".errstat_register", "RSP_ERROR: register access fault");
+  errstat_counters_[kErrInternal] = &reg.counter(
+      prefix + ".errstat_internal", "RSP_ERROR: internal failure");
   bank_conflict_counters_.reserve(banks_.size());
   for (std::uint32_t b = 0; b < cfg.banks_per_vault; ++b) {
     bank_conflict_counters_.push_back(
@@ -67,6 +100,11 @@ void Vault::reset() {
   bank_conflicts_->reset();
   rsp_stalls_->reset();
   errors_->reset();
+  for (metrics::Counter* c : errstat_counters_) {
+    if (c != nullptr) {
+      c->reset();
+    }
+  }
   for (metrics::Counter* c : bank_conflict_counters_) {
     c->reset();
   }
@@ -156,6 +194,11 @@ bool Vault::emit_response(const RqstEntry& rqst, std::uint8_t rsp_cmd_code,
 
 bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
                           ExecEnv& env) {
+  // The link layer reseals the CRC after every tail mutation (SLID/SEQ/
+  // FRP/RRP stamps and retry replays); a stale CRC reaching the vault
+  // means a mutation path forgot to call spec::reseal_crc.
+  assert(spec::verify_crc(entry.pkt) &&
+         "request reached the vault with a stale CRC");
   const spec::Rqst rqst = entry.pkt.rqst();
   const spec::CommandInfo& info = spec::command_info(rqst);
   const std::uint64_t addr = entry.pkt.addr();
@@ -214,7 +257,7 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
     case spec::CommandKind::Flow:
       // Flow packets are consumed at the link layer; one reaching a vault
       // is a routing bug upstream. Retire it with an error count.
-      errors_->inc();
+      record_error(kErrCmd);
       rqsts_processed_->inc();
       return true;
 
@@ -245,11 +288,12 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
         }
       }
       if (!rd_status.ok()) {
-        if (!emit_response(entry, kErrorCode, 1, false, kErrRange, {}, cycle,
+        const std::uint8_t errstat = errstat_for(rd_status);
+        if (!emit_response(entry, kErrorCode, 1, false, errstat, {}, cycle,
                            env)) {
           return false;
         }
-        errors_->inc();
+        record_error(errstat);
         rqsts_processed_->inc();
         return true;
       }
@@ -282,12 +326,13 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
         }
       }
       if (Status s = env.store.write(addr, {buf.data(), bytes}); !s.ok()) {
+        const std::uint8_t errstat = errstat_for(s);
         if (info.kind == spec::CommandKind::Write &&
-            !emit_response(entry, kErrorCode, 1, false, kErrRange, {}, cycle,
+            !emit_response(entry, kErrorCode, 1, false, errstat, {}, cycle,
                            env)) {
           return false;
         }
-        errors_->inc();
+        record_error(errstat);
         rqsts_processed_->inc();
         return true;
       }
@@ -309,7 +354,7 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
                            cycle, env)) {
           return false;
         }
-        errors_->inc();
+        record_error(kErrRegister);
         rqsts_processed_->inc();
         return true;
       }
@@ -354,7 +399,7 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
                          .value = value});
       }
       if (failed) {
-        errors_->inc();
+        record_error(kErrRegister);
       }
       rqsts_processed_->inc();
       return true;
@@ -366,12 +411,13 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
       const Status s =
           amo::execute(rqst, env.store, addr, entry.pkt.payload(), result);
       if (!s.ok()) {
+        const std::uint8_t errstat = errstat_for(s);
         if (info.kind == spec::CommandKind::Atomic &&
-            !emit_response(entry, kErrorCode, 1, false, kErrRange, {}, cycle,
+            !emit_response(entry, kErrorCode, 1, false, errstat, {}, cycle,
                            env)) {
           return false;
         }
-        errors_->inc();
+        record_error(errstat);
         rqsts_processed_->inc();
         return true;
       }
@@ -398,7 +444,7 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
                            cycle, env)) {
           return false;
         }
-        errors_->inc();
+        record_error(kErrCmcInactive);
         rqsts_processed_->inc();
         return true;
       }
@@ -412,7 +458,7 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
                            cycle, env)) {
           return false;
         }
-        errors_->inc();
+        record_error(kErrCmcFailed);
         rqsts_processed_->inc();
         return true;
       }

@@ -13,6 +13,7 @@
 // vault caches the handles at construction (no lookups on the hot path).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -95,6 +96,13 @@ class Vault {
   [[nodiscard]] const metrics::Counter& errors() const noexcept {
     return *errors_;
   }
+  /// Errors broken down by the ERRSTAT code carried in the response tail
+  /// (index = 7-bit code; null for codes this device never reports).
+  [[nodiscard]] const metrics::Counter* errstat_counter(
+      std::uint8_t errstat) const noexcept {
+    return errstat < errstat_counters_.size() ? errstat_counters_[errstat]
+                                              : nullptr;
+  }
   /// Conflict counter of one bank.
   [[nodiscard]] const metrics::Counter& bank_conflicts(
       std::uint32_t bank) const noexcept {
@@ -123,6 +131,15 @@ class Vault {
                                    std::span<const std::uint64_t> payload,
                                    std::uint64_t cycle, ExecEnv& env);
 
+  /// Count one RSP_ERROR under the total and its per-ERRSTAT breakdown.
+  void record_error(std::uint8_t errstat) noexcept {
+    errors_->inc();
+    if (errstat < errstat_counters_.size() &&
+        errstat_counters_[errstat] != nullptr) {
+      errstat_counters_[errstat]->inc();
+    }
+  }
+
   std::uint32_t quad_;
   std::uint32_t vault_id_;
   FixedQueue<RqstEntry> rqst_q_;
@@ -135,6 +152,7 @@ class Vault {
   metrics::Counter* bank_conflicts_;
   metrics::Counter* rsp_stalls_;
   metrics::Counter* errors_;
+  std::array<metrics::Counter*, 7> errstat_counters_{};
   std::vector<metrics::Counter*> bank_conflict_counters_;
   // Scratch retained across calls to avoid re-allocation in the hot loop.
   std::vector<RqstEntry> deferred_;

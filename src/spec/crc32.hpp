@@ -24,4 +24,57 @@ inline constexpr std::uint32_t kCrcPolynomial = 0x741B8CD7U;
 [[nodiscard]] std::uint32_t crc32k_words(std::span<const std::uint64_t> words,
                                          std::uint32_t seed = 0) noexcept;
 
+namespace detail {
+
+/// Slicing-by-8 tables for the one-word CRC below: kSlice[k][b] is the
+/// CRC-32K of byte `b` followed by `k` zero bytes. With a zero seed the
+/// CRC is GF(2)-linear, so an 8-byte message is the xor of one lookup per
+/// byte — no serial dependency chain between bytes.
+[[nodiscard]] constexpr std::array<std::array<std::uint32_t, 256>, 8>
+build_crc32k_slices() {
+  std::array<std::array<std::uint32_t, 256>, 8> slices{};
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint32_t crc = b << 24;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x80000000U) != 0 ? (crc << 1) ^ kCrcPolynomial
+                                     : (crc << 1);
+    }
+    slices[0][b] = crc;
+  }
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      const std::uint32_t prev = slices[k - 1][b];
+      slices[k][b] = (prev << 8) ^ slices[0][(prev >> 24) & 0xFFU];
+    }
+  }
+  return slices;
+}
+
+inline constexpr auto kCrc32kSlices = build_crc32k_slices();
+
+}  // namespace detail
+
+/// CRC-32K of a single little-endian 64-bit word (an 8-byte message with a
+/// zero seed). Agrees with crc32k_words({&w, 1}) but runs as 8 independent
+/// table lookups — used on the link hot path for tail-delta CRC patching.
+[[nodiscard]] inline std::uint32_t crc32k_word(std::uint64_t w) noexcept {
+  std::uint32_t crc = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    crc ^= detail::kCrc32kSlices[7 - i][(w >> (8 * i)) & 0xFFU];
+  }
+  return crc;
+}
+
+/// crc32k_word() specialised for a word whose upper 32 bits are zero (the
+/// zero bytes hit table entry 0, which is 0 in every slice). Tail deltas
+/// always have this shape: the CRC field occupies bits [63:32] and is
+/// zeroed on both sides of the delta.
+[[nodiscard]] inline std::uint32_t crc32k_low_word(std::uint32_t w) noexcept {
+  std::uint32_t crc = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    crc ^= detail::kCrc32kSlices[7 - i][(w >> (8 * i)) & 0xFFU];
+  }
+  return crc;
+}
+
 }  // namespace hmcsim::spec

@@ -197,6 +197,14 @@ bool verify_crc(const RspPacket& pkt) noexcept {
   return RspTail::Crc::get(pkt.tail) == packet_crc(pkt);
 }
 
+void reseal_crc(RqstPacket& pkt) noexcept {
+  pkt.tail = RqstTail::Crc::set(pkt.tail, packet_crc(pkt));
+}
+
+void reseal_crc(RspPacket& pkt) noexcept {
+  pkt.tail = RspTail::Crc::set(pkt.tail, packet_crc(pkt));
+}
+
 std::string to_string(const RqstPacket& pkt) {
   std::ostringstream oss;
   const auto info = command_info(pkt.cmd());

@@ -25,6 +25,7 @@
 #include "common/bits.hpp"
 #include "common/status.hpp"
 #include "spec/commands.hpp"
+#include "spec/crc32.hpp"
 #include "spec/flit.hpp"
 
 namespace hmcsim::spec {
@@ -113,6 +114,27 @@ struct RqstPacket {
     tail = RqstTail::Slid::set(tail, slid);
   }
 
+  // Link-layer retry fields (stamped by the link model on transmit; any
+  // mutation of a sealed packet must be followed by reseal_crc()).
+  [[nodiscard]] std::uint8_t seq() const noexcept {
+    return static_cast<std::uint8_t>(RqstTail::Seq::get(tail));
+  }
+  void set_seq(std::uint8_t seq) noexcept {
+    tail = RqstTail::Seq::set(tail, seq);
+  }
+  [[nodiscard]] std::uint16_t frp() const noexcept {
+    return static_cast<std::uint16_t>(RqstTail::Frp::get(tail));
+  }
+  void set_frp(std::uint16_t frp) noexcept {
+    tail = RqstTail::Frp::set(tail, frp);
+  }
+  [[nodiscard]] std::uint16_t rrp() const noexcept {
+    return static_cast<std::uint16_t>(RqstTail::Rrp::get(tail));
+  }
+  void set_rrp(std::uint16_t rrp) noexcept {
+    tail = RqstTail::Rrp::set(tail, rrp);
+  }
+
   /// Payload words actually carried (2 per data FLIT).
   [[nodiscard]] std::span<const std::uint64_t> payload() const noexcept {
     const std::uint32_t n = flits();
@@ -153,6 +175,33 @@ struct RspPacket {
   }
   [[nodiscard]] bool data_invalid() const noexcept {
     return RspTail::Dinv::get(tail) != 0;
+  }
+
+  // Link-layer retry fields (stamped by the link model on transmit; any
+  // mutation of a sealed packet must be followed by reseal_crc()).
+  [[nodiscard]] std::uint8_t seq() const noexcept {
+    return static_cast<std::uint8_t>(RspTail::Seq::get(tail));
+  }
+  void set_seq(std::uint8_t seq) noexcept {
+    tail = RspTail::Seq::set(tail, seq);
+  }
+  [[nodiscard]] std::uint16_t frp() const noexcept {
+    return static_cast<std::uint16_t>(RspTail::Frp::get(tail));
+  }
+  void set_frp(std::uint16_t frp) noexcept {
+    tail = RspTail::Frp::set(tail, frp);
+  }
+  [[nodiscard]] std::uint16_t rrp() const noexcept {
+    return static_cast<std::uint16_t>(RspTail::Rrp::get(tail));
+  }
+  void set_rrp(std::uint16_t rrp) noexcept {
+    tail = RspTail::Rrp::set(tail, rrp);
+  }
+  [[nodiscard]] std::uint8_t rtc() const noexcept {
+    return static_cast<std::uint8_t>(RspTail::Rtc::get(tail));
+  }
+  void set_rtc(std::uint8_t rtc) noexcept {
+    tail = RspTail::Rtc::set(tail, rtc);
   }
 
   [[nodiscard]] std::span<const std::uint64_t> payload() const noexcept {
@@ -219,6 +268,34 @@ struct RspParams {
 /// Recompute + verify the CRC carried in the packet tail.
 [[nodiscard]] bool verify_crc(const RqstPacket& pkt) noexcept;
 [[nodiscard]] bool verify_crc(const RspPacket& pkt) noexcept;
+
+/// Recompute and store the tail CRC. The link layer calls this after every
+/// mutation of a sealed packet (SLID/SEQ/FRP/RRP/RTC stamps) so in-flight
+/// packets always round-trip through serialize/parse.
+void reseal_crc(RqstPacket& pkt) noexcept;
+void reseal_crc(RspPacket& pkt) noexcept;
+
+/// Fast reseal for a mutation confined to the tail word. `sealed_tail` is
+/// the tail as it was when the packet was last sealed. CRC-32K with a zero
+/// seed and no final xor is GF(2)-linear, so the new CRC is the old CRC
+/// xor the CRC of the one-word delta (leading zero bytes of the delta
+/// message contribute nothing) — no full-packet pass. Equivalent to
+/// reseal_crc() whenever head and data are untouched. Inline: this runs
+/// once per packet per link transmit.
+inline void reseal_tail(RqstPacket& pkt, std::uint64_t sealed_tail) noexcept {
+  // The delta's upper 32 bits vanish: that's the CRC field, zeroed on
+  // both sides, so the low-word CRC specialisation applies.
+  const std::uint32_t crc =
+      static_cast<std::uint32_t>(RqstTail::Crc::get(sealed_tail)) ^
+      crc32k_low_word(static_cast<std::uint32_t>(sealed_tail ^ pkt.tail));
+  pkt.tail = RqstTail::Crc::set(pkt.tail, crc);
+}
+inline void reseal_tail(RspPacket& pkt, std::uint64_t sealed_tail) noexcept {
+  const std::uint32_t crc =
+      static_cast<std::uint32_t>(RspTail::Crc::get(sealed_tail)) ^
+      crc32k_low_word(static_cast<std::uint32_t>(sealed_tail ^ pkt.tail));
+  pkt.tail = RspTail::Crc::set(pkt.tail, crc);
+}
 
 /// One-line human-readable rendering for traces and debugging.
 [[nodiscard]] std::string to_string(const RqstPacket& pkt);

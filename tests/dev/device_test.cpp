@@ -175,5 +175,96 @@ TEST_F(DeviceTest, InvalidLinkIndices) {
   EXPECT_FALSE(device_.rsp_ready(4));
 }
 
+TEST_F(DeviceTest, InFlightPacketsRoundTripThroughSerialize) {
+  // Regression: the SLID stamp used to leave every in-flight request with
+  // a stale CRC, so serialize -> parse_request failed mid-flight. The
+  // link layer now reseals after stamping SLID/SEQ/FRP/RRP.
+  ASSERT_TRUE(
+      device_.send(make_entry(spec::Rqst::WR64, 0x80, 7), 2, 0, tracer_)
+          .ok());
+  const RqstEntry& in_flight = device_.xbar().rqst_queue(2).front();
+  EXPECT_TRUE(spec::verify_crc(in_flight.pkt));
+  std::array<std::uint64_t, spec::kMaxPacketWords> wire{};
+  const std::size_t n = spec::serialize(in_flight.pkt, wire);
+  ASSERT_GT(n, 0U);
+  spec::RqstPacket parsed;
+  ASSERT_TRUE(spec::parse_request({wire.data(), n}, parsed).ok());
+  EXPECT_EQ(parsed.tag(), 7);
+  EXPECT_EQ(parsed.slid(), 2);
+}
+
+TEST_F(DeviceTest, SendStampsLinkLayerFields) {
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        device_.send(make_entry(spec::Rqst::RD16, 0x40, i), 1, i, tracer_)
+            .ok());
+  }
+  auto& q = device_.xbar().rqst_queue(1);
+  ASSERT_EQ(q.size(), 3U);
+  // SEQ and FRP advance per packet on the link; RRP acknowledges the (so
+  // far absent) response stream.
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    const spec::RqstPacket& pkt = q.at(i).pkt;
+    EXPECT_EQ(pkt.seq(), i);
+    EXPECT_EQ(pkt.frp(), i + 1U);
+    EXPECT_EQ(pkt.rrp(), 0U);
+    EXPECT_TRUE(spec::verify_crc(pkt));
+  }
+}
+
+TEST_F(DeviceTest, ResponseTailCarriesRtcAndSeq) {
+  ASSERT_TRUE(
+      device_.send(make_entry(spec::Rqst::RD16, 0x40, 3), 0, 0, tracer_)
+          .ok());
+  clock(1);
+  clock(2);
+  clock(3);
+  ASSERT_TRUE(device_.rsp_ready(0));
+  RspEntry rsp;
+  ASSERT_TRUE(device_.recv(0, rsp).ok());
+  // The RD16 request's single FLIT credit came back in this response's
+  // RTC field; SEQ 0 and FRP 1 are the first transmit on the response
+  // direction, and RRP acknowledges the request's FRP (1).
+  EXPECT_EQ(rsp.pkt.rtc(), 1U);
+  EXPECT_EQ(rsp.pkt.seq(), 0U);
+  EXPECT_EQ(rsp.pkt.frp(), 1U);
+  EXPECT_EQ(rsp.pkt.rrp(), 1U);
+  EXPECT_TRUE(spec::verify_crc(rsp.pkt));
+}
+
+TEST_F(DeviceTest, RedeliveredPacketsReverifyAfterReplay) {
+  // With every packet corrupting, the first send parks in the link's
+  // retry FIFO and later sends queue behind it; after redelivery every
+  // packet in the crossbar queue must still carry a valid CRC (replays
+  // restamp RRP and reseal).
+  sim::Config cfg = sim::Config::hmc_4link_4gb();
+  cfg.link_flit_error_ppm = 1'000'000;
+  cfg.link_retry_latency = 4;
+  metrics::StatRegistry reg;
+  Device dev(cfg, 0, reg);
+  trace::Tracer tracer;
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        dev.send(make_entry(spec::Rqst::RD16, 0x40, i), 0, 0, tracer).ok());
+  }
+  EXPECT_EQ(dev.links()[0].retry_buffered().value(), 3.0);
+  EXPECT_EQ(dev.xbar().rqst_queue(0).size(), 0U);
+  // Nothing moves before ready_cycle (cycle 4); hold stage C only so the
+  // redelivered packets stay observable in the crossbar queue.
+  dev.clock_requests(3, tracer, nullptr);
+  EXPECT_EQ(dev.xbar().rqst_queue(0).size(), 0U);
+  dev.clock_requests(4, tracer, nullptr);
+  // Redelivery drains the FIFO in order and the drain continues into the
+  // vault queues the same cycle, preserving FIFO order throughout.
+  EXPECT_EQ(dev.links()[0].retry_buffered().value(), 0.0);
+  EXPECT_EQ(dev.links()[0].retries().value(), 1U);
+  auto& vq = dev.vaults()[1].rqst_queue();  // 0x40 decodes to vault 1.
+  ASSERT_EQ(vq.size(), 3U);
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(vq.at(i).pkt.tag(), i);
+    EXPECT_TRUE(spec::verify_crc(vq.at(i).pkt));
+  }
+}
+
 }  // namespace
 }  // namespace hmcsim::dev

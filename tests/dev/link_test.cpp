@@ -88,6 +88,85 @@ TEST_F(LinkTest, ResetClearsStatsAndRefills) {
   EXPECT_EQ(link.send_stalls().value(), 0U);
 }
 
+TEST_F(LinkTest, SeqAndFrpWrapAtFieldWidth) {
+  Link link = make_link(8);
+  // SEQ is a 3-bit field: 0..7 then back to 0.
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(link.next_rqst_seq(), i);
+  }
+  EXPECT_EQ(link.next_rqst_seq(), 0U);
+  // FRP is a 9-bit pointer that starts at 1 (0 means "nothing received
+  // yet") and wraps 511 -> 0 -> 1.
+  for (std::uint32_t i = 1; i < 512; ++i) {
+    EXPECT_EQ(link.next_rqst_frp(), i);
+  }
+  EXPECT_EQ(link.next_rqst_frp(), 0U);
+  EXPECT_EQ(link.next_rqst_frp(), 1U);
+  EXPECT_EQ(link.last_rqst_frp(), 1U);
+}
+
+TEST_F(LinkTest, RqstAndRspSequencesAreIndependent) {
+  Link link = make_link(8);
+  EXPECT_EQ(link.next_rqst_seq(), 0U);
+  EXPECT_EQ(link.next_rqst_seq(), 1U);
+  EXPECT_EQ(link.next_rsp_seq(), 0U);  // Unaffected by request traffic.
+  EXPECT_EQ(link.next_rqst_frp(), 1U);
+  EXPECT_EQ(link.next_rsp_frp(), 1U);
+  EXPECT_EQ(link.last_rqst_frp(), 1U);
+  EXPECT_EQ(link.last_rsp_frp(), 1U);
+}
+
+TEST_F(LinkTest, TakeRtcDrainsPendingPoolInFieldSizedBites) {
+  Link link = make_link(32);
+  ASSERT_TRUE(link.accept_request(20).ok());
+  link.return_tokens(9);  // Also feeds the pending RTC pool.
+  EXPECT_EQ(link.pending_rtc(), 9U);
+  EXPECT_EQ(link.take_rtc(), 7U);  // RTC is a 3-bit field: capped at 7.
+  EXPECT_EQ(link.take_rtc(), 2U);
+  EXPECT_EQ(link.take_rtc(), 0U);
+  EXPECT_EQ(link.pending_rtc(), 0U);
+}
+
+TEST_F(LinkTest, RetryBufferGaugeTracksParkedFlits) {
+  Link link = make_link(8);
+  link.add_retry_buffered(5);
+  link.add_retry_buffered(2);
+  EXPECT_EQ(link.retry_buffered().value(), 7.0);
+  link.sub_retry_buffered(5);
+  EXPECT_EQ(link.retry_buffered().value(), 2.0);
+  link.sub_retry_buffered(2);
+  EXPECT_EQ(link.retry_buffered().value(), 0.0);
+}
+
+TEST_F(LinkTest, RspRetryCountsUnderBothTotals) {
+  Link link = make_link(8);
+  link.record_retry();
+  link.record_rsp_retry();
+  EXPECT_EQ(link.retries().value(), 2U);  // Total spans both directions.
+  EXPECT_EQ(link.rsp_retries().value(), 1U);
+  link.record_flow_drop();
+  EXPECT_EQ(link.flow_drops().value(), 1U);
+}
+
+TEST_F(LinkTest, ResetClearsRetryStateAndSequences) {
+  Link link = make_link(8);
+  (void)link.next_rqst_seq();
+  (void)link.next_rqst_frp();
+  (void)link.next_rsp_frp();
+  link.return_tokens(3);
+  link.add_retry_buffered(4);
+  link.record_rsp_retry();
+  link.record_flow_drop();
+  link.reset();
+  EXPECT_EQ(link.next_rqst_seq(), 0U);
+  EXPECT_EQ(link.next_rqst_frp(), 1U);
+  EXPECT_EQ(link.last_rsp_frp(), 0U);
+  EXPECT_EQ(link.pending_rtc(), 0U);
+  EXPECT_EQ(link.retry_buffered().value(), 0.0);
+  EXPECT_EQ(link.rsp_retries().value(), 0U);
+  EXPECT_EQ(link.flow_drops().value(), 0U);
+}
+
 TEST_F(LinkTest, CountersVisibleThroughRegistryPaths) {
   Link link = make_link(16);
   ASSERT_TRUE(link.accept_request(3).ok());

@@ -1,0 +1,59 @@
+# cli_error_injection.cmake — deterministic error-injection run via the CLI.
+#
+# Drives the mutex workload with a fixed injector seed and a nonzero FLIT
+# error rate, three times:
+#   1. active-set scheduling        -> cli_error_active.json
+#   2. active-set again (same seed) -> cli_error_repeat.json  (reproducibility)
+#   3. --exhaustive-clock           -> cli_error_golden.json  (equivalence)
+# All three stats documents must be byte-identical, and the retry machinery
+# must actually have fired (a zero-retry run would validate nothing).
+# CI copies cli_error_active.json next to the benchmark artifacts as
+# BENCH_error_injection.json. Invoked as:
+#   cmake -DCLI=<hmcsim_cli> -DOUT_DIR=<dir> -P cli_error_injection.cmake
+if(NOT DEFINED CLI OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<exe> -DOUT_DIR=<dir> -P ${CMAKE_SCRIPT_MODE_FILE}")
+endif()
+
+set(inject_args mutex 16 --error-ppm 200000 --error-seed 0xD1CE
+    --retry-latency 6)
+
+function(run_injected json_path extra_flags)
+  execute_process(
+    COMMAND "${CLI}" ${inject_args} ${extra_flags}
+            --stats-json "${json_path}"
+    OUTPUT_VARIABLE run_stdout
+    ERROR_VARIABLE run_stderr
+    RESULT_VARIABLE run_rc)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "hmcsim_cli exited with ${run_rc}\n${run_stdout}\n${run_stderr}")
+  endif()
+  if(NOT EXISTS "${json_path}")
+    message(FATAL_ERROR "--stats-json wrote no file at ${json_path}")
+  endif()
+endfunction()
+
+set(active_json "${OUT_DIR}/cli_error_active.json")
+set(repeat_json "${OUT_DIR}/cli_error_repeat.json")
+set(golden_json "${OUT_DIR}/cli_error_golden.json")
+run_injected("${active_json}" "")
+run_injected("${repeat_json}" "")
+run_injected("${golden_json}" "--exhaustive-clock")
+
+file(READ "${active_json}" active)
+file(READ "${repeat_json}" repeat)
+file(READ "${golden_json}" golden)
+if(NOT active STREQUAL repeat)
+  message(FATAL_ERROR "same seed, different stats: error injection is not deterministic")
+endif()
+if(NOT active STREQUAL golden)
+  message(FATAL_ERROR "active-set and exhaustive schedulers diverge under error injection")
+endif()
+
+# The run must have exercised the retry path: some link's `retries`
+# counter (and the parked-FLIT gauge, drained back to zero) must appear.
+if(NOT active MATCHES "\"retries\": [1-9]")
+  message(FATAL_ERROR "no link retries recorded; injection rate too low?\n${active}")
+endif()
+if(NOT active MATCHES "\"retry_buffered_flits\": 0[,\n]")
+  message(FATAL_ERROR "retry buffers did not drain to zero:\n${active}")
+endif()

@@ -211,6 +211,40 @@ TEST(GoldenEquivalence, LinkRetries) {
   });
 }
 
+TEST(GoldenEquivalence, ErrorInjectionMixedTraffic) {
+  // Heavy injection on both directions with mixed read/write/flow traffic:
+  // exercises request FIFOs, response FIFOs, and flow-packet drops in the
+  // same run. The replay schedule (and therefore every Retry trace line
+  // and every per-link counter) must be byte-identical between schedulers.
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.link_flit_error_ppm = 120000;
+  cfg.link_error_seed = 0xD1CE;
+  cfg.link_retry_latency = 6;
+  expect_equivalent(cfg, [](Simulator& sim, Observed& obs) {
+    std::uint16_t tag = 0;
+    for (int round = 0; round < 3; ++round) {
+      for (std::uint32_t i = 0; i < 24; ++i) {
+        const std::uint64_t addr = (i * 64 + round * 8192) % (1 << 20);
+        if (i % 3 == 0) {
+          send_retrying(sim, obs, write64(addr, tag), tag % 4);
+        } else {
+          send_retrying(sim, obs, read64(addr, tag), tag % 4);
+        }
+        ++tag;
+        if (i % 8 == 7) {
+          // Flow packets roll the same RNG as real traffic; a drop in one
+          // scheduler but not the other would desynchronise everything.
+          spec::RqstParams tret;
+          tret.rqst = spec::Rqst::TRET;
+          (void)sim.send(tret, i % 4);
+        }
+      }
+      // Quiet tail long enough for both direction FIFOs to fully replay.
+      pump(sim, obs, 80);
+    }
+  });
+}
+
 TEST(GoldenEquivalence, BankConflicts) {
   Config cfg = Config::hmc_4link_4gb();
   cfg.model_bank_conflicts = true;

@@ -151,6 +151,76 @@ TEST(BuildResponse, BasicFields) {
   EXPECT_TRUE(verify_crc(pkt));
 }
 
+TEST(ResealCrc, RestoresValidityAfterLinkLayerStamps) {
+  RqstPacket pkt;
+  RqstParams params;
+  params.rqst = Rqst::RD32;
+  params.addr = 0x2000;
+  params.tag = 17;
+  ASSERT_TRUE(build_request(params, pkt).ok());
+  ASSERT_TRUE(verify_crc(pkt));
+  // The link layer mutates sealed packets (SLID, SEQ/FRP/RRP stamps);
+  // every such mutation invalidates the CRC until resealed.
+  pkt.set_slid(3);
+  pkt.set_seq(5);
+  pkt.set_frp(42);
+  pkt.set_rrp(7);
+  EXPECT_FALSE(verify_crc(pkt));
+  reseal_crc(pkt);
+  EXPECT_TRUE(verify_crc(pkt));
+  EXPECT_EQ(pkt.slid(), 3);
+  EXPECT_EQ(pkt.seq(), 5);
+  EXPECT_EQ(pkt.frp(), 42);
+  EXPECT_EQ(pkt.rrp(), 7);
+}
+
+TEST(ResealCrc, TailDeltaFastPathMatchesFullReseal) {
+  // The link hot path reseals via the GF(2)-linear tail-delta shortcut;
+  // it must agree with the full-packet recompute for every stamp combo.
+  const std::array<std::uint64_t, 6> payload{11, 22, 33, 44, 55, 66};
+  RqstParams params;
+  params.rqst = Rqst::WR48;
+  params.addr = 0xABCD40;
+  params.tag = 311;
+  params.payload = payload;
+  for (std::uint8_t slid = 0; slid < 8; ++slid) {
+    RqstPacket fast;
+    ASSERT_TRUE(build_request(params, fast).ok());
+    RqstPacket full = fast;
+    const std::uint64_t sealed = fast.tail;
+    fast.set_slid(slid);
+    fast.set_seq(static_cast<std::uint8_t>(slid ^ 5));
+    fast.set_frp(static_cast<std::uint16_t>(37 * slid + 1));
+    fast.set_rrp(static_cast<std::uint16_t>(511 - slid));
+    reseal_tail(fast, sealed);
+    full.tail = fast.tail;  // Same stamps, then the slow recompute.
+    reseal_crc(full);
+    EXPECT_EQ(fast.tail, full.tail);
+    EXPECT_TRUE(verify_crc(fast));
+  }
+}
+
+TEST(ResealCrc, ResponseRetryStampsRoundTrip) {
+  RspPacket pkt;
+  RspParams params;
+  params.rsp_cmd_code = static_cast<std::uint8_t>(ResponseType::RD_RS);
+  params.flits = 1;
+  params.tag = 4;
+  ASSERT_TRUE(build_response(params, pkt).ok());
+  ASSERT_TRUE(verify_crc(pkt));
+  pkt.set_seq(2);
+  pkt.set_frp(100);
+  pkt.set_rrp(99);
+  pkt.set_rtc(6);
+  EXPECT_FALSE(verify_crc(pkt));
+  reseal_crc(pkt);
+  EXPECT_TRUE(verify_crc(pkt));
+  EXPECT_EQ(pkt.seq(), 2);
+  EXPECT_EQ(pkt.frp(), 100);
+  EXPECT_EQ(pkt.rrp(), 99);
+  EXPECT_EQ(pkt.rtc(), 6);
+}
+
 TEST(BuildResponse, RejectsBadLengths) {
   RspPacket pkt;
   RspParams params;

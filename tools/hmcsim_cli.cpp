@@ -37,6 +37,10 @@ struct CliOptions {
   std::string stats_json;
   std::uint64_t stats_every = 0;
   bool exhaustive_clock = false;
+  std::uint32_t error_ppm = 0;
+  std::uint64_t error_seed = 0;
+  bool error_seed_set = false;
+  std::uint32_t retry_latency = 0;
   std::vector<std::string> positional;
 };
 
@@ -52,7 +56,11 @@ int usage() {
       "         --trace-file <path>  --trace-level <mask>\n"
       "         --stats-json <path>  --stats-every <cycles>\n"
       "         --exhaustive-clock   (disable active-set scheduling and\n"
-      "                               quiescence fast-forward)\n",
+      "                               quiescence fast-forward)\n"
+      "         --error-ppm <n>      (inject link CRC errors, parts/million\n"
+      "                               per FLIT; exercises the retry path)\n"
+      "         --error-seed <n>     (seed for the deterministic injector)\n"
+      "         --retry-latency <n>  (cycles a link spends replaying)\n",
       stderr);
   return 2;
 }
@@ -103,6 +111,26 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
       opts.stats_every = std::strtoull(v, nullptr, 0);
     } else if (arg == "--exhaustive-clock") {
       opts.exhaustive_clock = true;
+    } else if (arg == "--error-ppm") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.error_ppm = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--error-seed") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.error_seed = std::strtoull(v, nullptr, 0);
+      opts.error_seed_set = true;
+    } else if (arg == "--retry-latency") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.retry_latency =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
     } else {
       opts.positional.emplace_back(arg);
     }
@@ -114,6 +142,13 @@ std::unique_ptr<sim::Simulator> make_sim(const CliOptions& opts) {
   sim::Config cfg = opts.links == 8 ? sim::Config::hmc_8link_8gb()
                                     : sim::Config::hmc_4link_4gb();
   cfg.exhaustive_clock = opts.exhaustive_clock;
+  cfg.link_flit_error_ppm = opts.error_ppm;
+  if (opts.error_seed_set) {
+    cfg.link_error_seed = opts.error_seed;
+  }
+  if (opts.retry_latency != 0) {
+    cfg.link_retry_latency = opts.retry_latency;
+  }
   std::unique_ptr<sim::Simulator> sim;
   if (Status s = sim::Simulator::create(cfg, sim); !s.ok()) {
     std::fprintf(stderr, "create: %s\n", s.to_string().c_str());
