@@ -1,0 +1,124 @@
+// bench_cmc_guard.cpp — cost of the CMC fault-containment guard.
+//
+// The guard wraps every plugin execute call in a try/catch, pre-fills the
+// response-payload canary, polices the memory trampolines against a word
+// budget, and scans the canary afterwards. These benchmarks price that
+// machinery three ways:
+//   RawPluginCall    — the plugin function pointer alone (the pre-guard
+//                      cost floor for a registered execute call)
+//   GuardedExecute   — CmcRegistry::execute with the full guard engaged
+//   GuardedLoadedSim — a simulator driving a well-behaved CMC op through
+//                      the whole packet path (the end-to-end loaded
+//                      number the <=2% regression budget applies to)
+// CI records the JSON output as BENCH_cmc_guard.json.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "plugins/builtin.h"
+#include "src/core/cmc_registry.hpp"
+#include "src/sim/simulator.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+std::uint64_t g_mem[64];
+
+Status bench_mem_read(void*, std::uint32_t, std::uint64_t addr,
+                      std::uint64_t* data, std::uint32_t nwords) {
+  for (std::uint32_t i = 0; i < nwords; ++i) {
+    data[i] = g_mem[(addr / 8 + i) % 64];
+  }
+  return Status::Ok();
+}
+
+Status bench_mem_write(void*, std::uint32_t, std::uint64_t addr,
+                       const std::uint64_t* data, std::uint32_t nwords) {
+  for (std::uint32_t i = 0; i < nwords; ++i) {
+    g_mem[(addr / 8 + i) % 64] = data[i];
+  }
+  return Status::Ok();
+}
+
+/// The raw plugin call: satinc's execute function through its pointer,
+/// with the services wired but no registry guard around it.
+void BM_CmcRawPluginCall(benchmark::State& state) {
+  cmc::CmcContext ctx;
+  ctx.mem_read = bench_mem_read;
+  ctx.mem_write = bench_mem_write;
+  cmc::CmcExecResult result;
+  ctx.current = &result;  // set_af needs an in-flight record.
+  std::uint64_t rqst_payload[2] = {0, 0};
+  for (auto _ : state) {
+    const int rc = hmcsim_builtin_satinc_execute(
+        &ctx, 0, 0, 0, 0, 0x100, 1, 0, 0, rqst_payload,
+        result.rsp_payload.data());
+    benchmark::DoNotOptimize(rc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CmcRawPluginCall);
+
+/// The same call through CmcRegistry::execute with the guard engaged.
+void BM_CmcGuardedExecute(benchmark::State& state) {
+  cmc::CmcRegistry registry;
+  if (!registry
+           .register_op(hmcsim_builtin_satinc_register,
+                        hmcsim_builtin_satinc_execute,
+                        hmcsim_builtin_satinc_str)
+           .ok()) {
+    state.SkipWithError("register failed");
+    return;
+  }
+  cmc::CmcContext ctx;
+  ctx.mem_read = bench_mem_read;
+  ctx.mem_write = bench_mem_write;
+  cmc::CmcExecResult result;
+  std::uint64_t rqst_payload[2] = {0, 0};
+  for (auto _ : state) {
+    const Status s = registry.execute(21, ctx, 0, 0, 0, 0, 0x100, 1, 0, 0,
+                                      {rqst_payload, 2}, result);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CmcGuardedExecute);
+
+/// End-to-end: a stream of satinc requests through the full packet path.
+/// This is the loaded-path number the guard must not regress by >2%.
+void BM_CmcGuardedLoadedSim(benchmark::State& state) {
+  std::unique_ptr<sim::Simulator> sim;
+  if (!sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  if (!sim->register_cmc(hmcsim_builtin_satinc_register,
+                         hmcsim_builtin_satinc_execute,
+                         hmcsim_builtin_satinc_str)
+           .ok()) {
+    state.SkipWithError("register failed");
+    return;
+  }
+  spec::RqstParams params;
+  params.rqst = spec::Rqst::CMC21;
+  std::uint16_t tag = 0;
+  for (auto _ : state) {
+    params.tag = tag++ & spec::kMaxTag;
+    params.addr = (static_cast<std::uint64_t>(tag) * 64) % (1 << 20);
+    (void)sim->send(params, tag % 4);
+    sim->clock();
+    sim::Response rsp;
+    for (std::uint32_t link = 0; link < 4; ++link) {
+      while (sim->recv(link, rsp).ok()) {
+        benchmark::DoNotOptimize(rsp);
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CmcGuardedLoadedSim);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+/* hmc_abi_mismatch.c — CMC72: loader-handshake fixture. A structurally
+ * valid plugin whose exported ABI version deliberately disagrees with the
+ * simulator's HMCSIM_CMC_ABI_VERSION; CmcLoader::load must reject it with
+ * a LoadError before running its registration. */
+#include <string.h>
+
+#include "core/cmc_api.h"
+
+uint32_t hmcsim_cmc_abi_version(void) { return HMCSIM_CMC_ABI_VERSION + 1; }
+
+int hmcsim_register_cmc(hmc_rqst_t *r, uint32_t *c, uint32_t *rq_len,
+                        uint32_t *rs_len, hmc_response_t *rs_cmd,
+                        uint8_t *rs_code) {
+  *r = HMC_CMC72;
+  *c = 72;
+  *rq_len = 1;
+  *rs_len = 1;
+  *rs_cmd = HMC_WR_RS;
+  *rs_code = 0;
+  return 0;
+}
+
+int hmcsim_execute_cmc(void *hmc, uint32_t dev, uint32_t quad, uint32_t vault,
+                       uint32_t bank, uint64_t addr, uint32_t length,
+                       uint64_t head, uint64_t tail, uint64_t *rqst_payload,
+                       uint64_t *rsp_payload) {
+  (void)hmc;
+  (void)dev;
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)addr;
+  (void)length;
+  (void)head;
+  (void)tail;
+  (void)rqst_payload;
+  (void)rsp_payload;
+  return 0;
+}
+
+void hmcsim_cmc_str(char *out) {
+  strncpy(out, "hmc_abi_mismatch", HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}

@@ -2,6 +2,9 @@
  * Demonstrates the RSP_CMC custom response command code path. */
 #include "extras_common.h"
 
+/* ABI handshake: report the header version this plugin was built against. */
+HMCSIM_CMC_DEFINE_ABI_VERSION()
+
 int hmcsim_register_cmc(hmc_rqst_t *r, uint32_t *c, uint32_t *rq_len,
                         uint32_t *rs_len, hmc_response_t *rs_cmd,
                         uint8_t *rs_code) {

@@ -1,0 +1,42 @@
+/* hmc_legacy_noabi.c — CMC73: loader-handshake fixture. A valid plugin
+ * that exports only the three classic symbols and no
+ * hmcsim_cmc_abi_version; it must still load (the handshake symbol is
+ * optional for backward compatibility) with a deprecation warning. */
+#include <string.h>
+
+#include "core/cmc_api.h"
+
+int hmcsim_register_cmc(hmc_rqst_t *r, uint32_t *c, uint32_t *rq_len,
+                        uint32_t *rs_len, hmc_response_t *rs_cmd,
+                        uint8_t *rs_code) {
+  *r = HMC_CMC73;
+  *c = 73;
+  *rq_len = 1;
+  *rs_len = 1;
+  *rs_cmd = HMC_WR_RS;
+  *rs_code = 0;
+  return 0;
+}
+
+int hmcsim_execute_cmc(void *hmc, uint32_t dev, uint32_t quad, uint32_t vault,
+                       uint32_t bank, uint64_t addr, uint32_t length,
+                       uint64_t head, uint64_t tail, uint64_t *rqst_payload,
+                       uint64_t *rsp_payload) {
+  (void)hmc;
+  (void)dev;
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)addr;
+  (void)length;
+  (void)head;
+  (void)tail;
+  (void)rqst_payload;
+  (void)rsp_payload;
+  return 0;
+}
+
+void hmcsim_cmc_str(char *out) {
+  strncpy(out, "hmc_legacy_noabi", HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}

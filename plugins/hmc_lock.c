@@ -5,6 +5,9 @@
  */
 #include "mutex_common.h"
 
+/* ABI handshake: report the header version this plugin was built against. */
+HMCSIM_CMC_DEFINE_ABI_VERSION()
+
 /* Table III static globals describing this operation. */
 static const char *op_name = "hmc_lock";
 static const hmc_rqst_t rqst = HMC_CMC125;

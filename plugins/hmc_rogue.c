@@ -1,0 +1,104 @@
+/* hmc_rogue.c — CMC70: deliberately misbehaving operation for exercising
+ * the fault-containment layer. NOT a model of any real CMC op.
+ *
+ * The low address bits select the behaviour of each execute call, so one
+ * registration can produce every failure class the guard must contain:
+ *
+ *   (addr >> 4) & 0x7
+ *     0  behave: write the two declared response words, read one word of
+ *        simulated memory (a well-behaved control within the same slot)
+ *     1  fail: return nonzero from execute
+ *     2  overrun: write far past the declared rsp_payload length (stays
+ *        within the 32-word response buffer, so the canary — not the
+ *        address sanitizer — must catch it)
+ *     3  budget bust: stream mem_read calls until the per-call word
+ *        budget refuses them, ignore the error codes and return 0 (the
+ *        simulator must force the call to fail anyway)
+ *     4  bad call: hmcsim_cmc_mem_read with NULL data, ignore the error
+ *        and return 0 (again: forced failure expected)
+ *   other  behave (same as 0)
+ */
+#include <stddef.h>
+#include <string.h>
+
+#include "core/cmc_api.h"
+
+HMCSIM_CMC_DEFINE_ABI_VERSION()
+
+static const char *op_name = "hmc_rogue";
+static const hmc_rqst_t rqst = HMC_CMC70;
+static const uint32_t cmd = 70;
+static const uint32_t rqst_len = 2;  /* header/tail + 2 request words */
+static const uint32_t rsp_len = 2;   /* header/tail + 2 response words */
+static const hmc_response_t rsp_cmd = HMC_RD_RS;
+
+/* Large enough to out-read any budget a test would configure, small
+ * enough (512 words * 256 calls = 1 MiB traffic) to stay quick. */
+#define HMC_ROGUE_CHUNK_WORDS 512u
+#define HMC_ROGUE_MAX_CHUNKS 256u
+
+int hmcsim_register_cmc(hmc_rqst_t *r, uint32_t *c, uint32_t *rq_len,
+                        uint32_t *rs_len, hmc_response_t *rs_cmd,
+                        uint8_t *rs_code) {
+  *r = rqst;
+  *c = cmd;
+  *rq_len = rqst_len;
+  *rs_len = rsp_len;
+  *rs_cmd = rsp_cmd;
+  *rs_code = 0;
+  return 0;
+}
+
+int hmcsim_execute_cmc(void *hmc, uint32_t dev, uint32_t quad, uint32_t vault,
+                       uint32_t bank, uint64_t addr, uint32_t length,
+                       uint64_t head, uint64_t tail, uint64_t *rqst_payload,
+                       uint64_t *rsp_payload) {
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)length;
+  (void)head;
+  (void)tail;
+  (void)rqst_payload;
+  static uint64_t scratch[HMC_ROGUE_CHUNK_WORDS];
+  const uint64_t mode = (addr >> 4) & 0x7u;
+
+  switch (mode) {
+    case 1: /* plain failure */
+      return 1;
+
+    case 2: /* response payload overrun: 2 words declared, 12 written */
+      for (size_t i = 0; i < 12; ++i) {
+        rsp_payload[i] = 0xB0B0B0B000000000ull + i;
+      }
+      return 0;
+
+    case 3: /* memory budget bust, errors ignored */
+      for (uint32_t i = 0; i < HMC_ROGUE_MAX_CHUNKS; ++i) {
+        if (hmcsim_cmc_mem_read(hmc, dev, addr & ~0xFFFull, scratch,
+                                HMC_ROGUE_CHUNK_WORDS) != HMCSIM_CMC_OK) {
+          break;
+        }
+      }
+      rsp_payload[0] = 0;
+      rsp_payload[1] = 0;
+      return 0;
+
+    case 4: /* null data pointer, error ignored */
+      (void)hmcsim_cmc_mem_read(hmc, dev, addr, NULL, 4);
+      rsp_payload[0] = 0;
+      rsp_payload[1] = 0;
+      return 0;
+
+    default: /* behave */
+      (void)hmcsim_cmc_mem_read(hmc, dev, addr & ~0x7ull, scratch, 1);
+      rsp_payload[0] = scratch[0];
+      rsp_payload[1] = addr;
+      return 0;
+  }
+}
+
+void hmcsim_cmc_str(char *out) {
+  strncpy(out, op_name, HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}

@@ -1,0 +1,49 @@
+// hmc_rogue_throw.cpp — CMC71: a C++ plugin that throws an exception
+// straight through the C ABI from its execute function. Exists purely to
+// prove the registry's execute guard converts the escape into an ordinary
+// CMC failure instead of terminating the simulator.
+#include <cstring>
+#include <stdexcept>
+
+#include "core/cmc_api.h"
+
+extern "C" {
+
+HMCSIM_CMC_DEFINE_ABI_VERSION()
+
+int hmcsim_register_cmc(hmc_rqst_t *r, uint32_t *c, uint32_t *rq_len,
+                        uint32_t *rs_len, hmc_response_t *rs_cmd,
+                        uint8_t *rs_code) {
+  *r = HMC_CMC71;
+  *c = 71;
+  *rq_len = 2;
+  *rs_len = 2;
+  *rs_cmd = HMC_RD_RS;
+  *rs_code = 0;
+  return 0;
+}
+
+int hmcsim_execute_cmc(void *hmc, uint32_t dev, uint32_t quad, uint32_t vault,
+                       uint32_t bank, uint64_t addr, uint32_t length,
+                       uint64_t head, uint64_t tail, uint64_t *rqst_payload,
+                       uint64_t *rsp_payload) {
+  (void)hmc;
+  (void)dev;
+  (void)quad;
+  (void)vault;
+  (void)bank;
+  (void)addr;
+  (void)length;
+  (void)head;
+  (void)tail;
+  (void)rqst_payload;
+  (void)rsp_payload;
+  throw std::runtime_error("hmc_rogue_throw: escaping the C ABI");
+}
+
+void hmcsim_cmc_str(char *out) {
+  std::strncpy(out, "hmc_rogue_throw", HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}
+
+}  // extern "C"

@@ -3,6 +3,9 @@
  */
 #include "mutex_common.h"
 
+/* ABI handshake: report the header version this plugin was built against. */
+HMCSIM_CMC_DEFINE_ABI_VERSION()
+
 static const char *op_name = "hmc_trylock";
 static const hmc_rqst_t rqst = HMC_CMC126;
 static const uint32_t cmd = 126;

@@ -69,6 +69,14 @@ int hmcsim_load_cmc(hmc_sim_t *sim, const char *path) {
   return status_to_rc(sim->sim->load_cmc(path));
 }
 
+int hmcsim_cmc_rearm(hmc_sim_t *sim, hmc_rqst_t rqst) {
+  if (sim == nullptr) {
+    return HMC_ERROR;
+  }
+  return status_to_rc(
+      sim->sim->rearm_cmc(static_cast<hmcsim::spec::Rqst>(rqst)));
+}
+
 int hmcsim_send(hmc_sim_t *sim, uint32_t link, hmc_rqst_t rqst, uint8_t cub,
                 uint64_t addr, uint16_t tag, const uint64_t *payload,
                 uint32_t payload_words) {

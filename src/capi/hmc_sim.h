@@ -41,6 +41,11 @@ void hmcsim_free(hmc_sim_t *sim);
 /* Load a CMC shared library (the paper's hmc_load_cmc). */
 int hmcsim_load_cmc(hmc_sim_t *sim, const char *path);
 
+/* Lift the quarantine of a CMC slot that crossed the consecutive-failure
+ * threshold; it resumes executing with a clean failure streak. HMC_ERROR
+ * when the command has no registration or is not quarantined. */
+int hmcsim_cmc_rearm(hmc_sim_t *sim, hmc_rqst_t rqst);
+
 /* Build and inject a request. `payload` supplies the data section
  * (2 x (rqst_flits - 1) 64-bit words, may be NULL when empty). */
 int hmcsim_send(hmc_sim_t *sim, uint32_t link, hmc_rqst_t rqst, uint8_t cub,

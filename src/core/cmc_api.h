@@ -94,6 +94,27 @@ typedef enum {
 /* Longest operation name (including NUL) hmcsim_cmc_str may write. */
 #define HMCSIM_CMC_STR_MAX 64
 
+/* ---- ABI handshake ----------------------------------------------------
+ *
+ * The version of the plugin ABI this header describes. A plugin should
+ * export a fourth symbol reporting the version it was compiled against:
+ *
+ *   uint32_t hmcsim_cmc_abi_version(void);   // return HMCSIM_CMC_ABI_VERSION
+ *
+ * (or just place HMCSIM_CMC_DEFINE_ABI_VERSION(); at file scope). The
+ * loader rejects libraries whose reported version differs from its own;
+ * libraries that omit the symbol still load, with a deprecation warning,
+ * under the assumption they predate the handshake. Bump the constant on
+ * any change to the function signatures, enumerations or service-function
+ * contracts in this header.
+ */
+#define HMCSIM_CMC_ABI_VERSION 1u
+
+typedef uint32_t (*hmcsim_cmc_abi_version_fn)(void);
+
+#define HMCSIM_CMC_DEFINE_ABI_VERSION()                                   \
+  uint32_t hmcsim_cmc_abi_version(void) { return HMCSIM_CMC_ABI_VERSION; }
+
 /* Function-pointer types matching the three required plugin symbols. */
 typedef int (*hmcsim_cmc_register_fn)(hmc_rqst_t *rqst, uint32_t *cmd,
                                       uint32_t *rqst_len, uint32_t *rsp_len,
@@ -111,25 +132,52 @@ typedef void (*hmcsim_cmc_str_fn)(char *out);
 #define HMCSIM_CMC_SYM_REGISTER "hmcsim_register_cmc"
 #define HMCSIM_CMC_SYM_EXECUTE "hmcsim_execute_cmc"
 #define HMCSIM_CMC_SYM_STR "hmcsim_cmc_str"
+/* Optional ABI-handshake symbol (see HMCSIM_CMC_ABI_VERSION above). */
+#define HMCSIM_CMC_SYM_ABI_VERSION "hmcsim_cmc_abi_version"
 
 /* ---- services callable from inside hmcsim_execute_cmc ----------------
  *
  * `hmc` is the opaque context pointer passed to the execute function. The
  * address is a cube-local physical address on device `dev` (the same device
- * the execute call named). nwords counts 64-bit words. Return 0 on success.
+ * the execute call named). nwords counts 64-bit words.
+ *
+ * Return-value contract: every service returns HMCSIM_CMC_OK (0) on
+ * success and one of the negative codes below on failure; no service ever
+ * dereferences a null argument. EINVAL and EBUDGET are *guard violations*:
+ * the simulator records them against the calling operation and forces the
+ * in-flight execute to fail even if the plugin then returns 0.
  */
+#define HMCSIM_CMC_OK 0
+#define HMCSIM_CMC_EINVAL (-1)  /* null hmc/data, nwords == 0 or oversized */
+#define HMCSIM_CMC_ENOSVC (-2)  /* service not wired in this context      */
+#define HMCSIM_CMC_EBUDGET (-3) /* per-call memory word budget exhausted;
+                                 * the access was not performed           */
+#define HMCSIM_CMC_EFAULT (-4)  /* simulated memory access failed         */
+#define HMCSIM_CMC_ENOCALL (-5) /* no CMC execute call in flight          */
+
+/* Hard per-access cap on nwords, independent of the configurable budget:
+ * a single read/write of more than this many 64-bit words is rejected as
+ * EINVAL (and flagged as a guard violation) before touching memory. */
+#define HMCSIM_CMC_MEM_MAX_WORDS (1u << 20)
+
+/* Read/write simulated memory. EINVAL on null/zero/oversized arguments,
+ * ENOSVC when the context has no memory service, EBUDGET once the
+ * configured per-call word budget is spent, EFAULT when the backing
+ * store rejects the access (e.g. address out of range). */
 int hmcsim_cmc_mem_read(void *hmc, uint32_t dev, uint64_t addr,
                         uint64_t *data, uint32_t nwords);
 int hmcsim_cmc_mem_write(void *hmc, uint32_t dev, uint64_t addr,
                          const uint64_t *data, uint32_t nwords);
 
 /* Set the response header AF (atomic flag) bit for the response to the
- * request currently being executed. */
+ * request currently being executed. EINVAL on null hmc, ENOCALL when no
+ * execute call is in flight. */
 int hmcsim_cmc_set_af(void *hmc, int af);
 
 /* Emit a free-form CMC trace annotation (shows up as a CMC-level trace
  * event alongside the automatic per-operation records). `msg` is copied;
- * keep it short. */
+ * keep it short. EINVAL on null arguments; OK (annotations are droppable)
+ * when tracing is not wired. */
 int hmcsim_cmc_trace(void *hmc, const char *msg);
 
 #ifdef __cplusplus

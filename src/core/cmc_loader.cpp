@@ -2,6 +2,8 @@
 
 #include <dlfcn.h>
 
+#include "common/log.hpp"
+
 namespace hmcsim::cmc {
 namespace {
 
@@ -47,6 +49,30 @@ Status CmcLoader::load(std::string_view path, CmcRegistry& registry) {
       dlclose(handle);
       return s;
     }
+  }
+
+  // ABI handshake: the version symbol is optional (libraries predating it
+  // still load, with a warning), but when present it must match exactly.
+  dlerror();
+  if (void* abi_sym = dlsym(handle, HMCSIM_CMC_SYM_ABI_VERSION);
+      abi_sym != nullptr) {
+    const auto abi_fn = reinterpret_cast<hmcsim_cmc_abi_version_fn>(abi_sym);
+    const std::uint32_t got = abi_fn();
+    if (got != HMCSIM_CMC_ABI_VERSION) {
+      dlclose(handle);
+      return Status::LoadError(
+          path_str + ": plugin ABI version " + std::to_string(got) +
+          " does not match simulator ABI version " +
+          std::to_string(HMCSIM_CMC_ABI_VERSION) +
+          " (rebuild the plugin against the current cmc_api.h)");
+    }
+  } else {
+    HMCSIM_LOG_WARN("cmc_loader",
+                    path_str, ": no ", HMCSIM_CMC_SYM_ABI_VERSION,
+                    " symbol; assuming legacy ABI version ",
+                    HMCSIM_CMC_ABI_VERSION,
+                    " (deprecated - add HMCSIM_CMC_DEFINE_ABI_VERSION() "
+                    "and rebuild)");
   }
 
   // Function-pointer casts through reinterpret_cast are the sanctioned way

@@ -24,7 +24,11 @@ namespace hmcsim::cmc {
 // long as the registry is *used*; mere destruction order is forgiving
 // only because ~CmcRegistry never calls through its slots (Simulator
 // relies on this: its registry member precedes its loader member, so the
-// loader unmaps first, but no CMC runs during teardown).
+// loader unmaps first, but no CMC runs during teardown). Quarantined
+// slots change none of this: quarantine deactivates lookup, not the
+// registration — the slot still holds pointers into the image (rearm()
+// resumes calling through them), so a quarantined plugin's library must
+// stay mapped exactly as long as an executing one's.
 class CmcLoader {
  public:
   CmcLoader() = default;

@@ -1,8 +1,37 @@
 #include "core/cmc_registry.hpp"
 
+#include <cctype>
+
+#include "metrics/stat_registry.hpp"
 #include "spec/flit.hpp"
 
 namespace hmcsim::cmc {
+namespace {
+
+// Pattern written into the unused tail of rsp_payload before every plugin
+// call; a changed word afterwards convicts the plugin of writing past its
+// registered response length. (A plugin with rsp_len == 17 owns all 32
+// words, leaving no canary slots — such overruns are caught only by the
+// address sanitizer in the CI sanitize job.)
+constexpr std::uint64_t kPayloadCanary = 0xC3C35AFEDEADBEEFULL;
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (const char c : name) {
+    const auto uc = static_cast<unsigned char>(c);
+    // Printable, no whitespace, and no '.' (the metric path separator):
+    // the name becomes a path segment of cmc.<name>.* and appears
+    // verbatim in traces and reports.
+    if (std::isprint(uc) == 0 || std::isspace(uc) != 0 || c == '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 CmcRegistry::CmcRegistry() {
   slot_for_code_.fill(0xFF);
@@ -73,9 +102,19 @@ Status CmcRegistry::register_op(hmcsim_cmc_register_fn reg,
                                  "'");
   }
 
+  // Resolve the name defensively: the plugin sees a pre-filled,
+  // fixed-size buffer and whatever it leaves there is force-terminated
+  // at the last byte, so even a cmc_str that writes garbage (or nothing)
+  // yields a bounded C string.
   char name_buf[HMCSIM_CMC_STR_MAX] = {};
   str(name_buf);
   name_buf[HMCSIM_CMC_STR_MAX - 1] = '\0';
+  std::string name(name_buf);
+  if (!valid_metric_name(name)) {
+    return Status::InvalidArg(
+        "CMC slot " + std::to_string(cmd) +
+        ": cmc_str produced an empty or non-printable name");
+  }
 
   slot.active = true;
   ++active_;
@@ -85,11 +124,16 @@ Status CmcRegistry::register_op(hmcsim_cmc_register_fn reg,
   slot.rsp_len = rsp_len;
   slot.rsp_cmd = static_cast<spec::ResponseType>(rsp_cmd);
   slot.rsp_cmd_code = rsp_cmd_code;
-  slot.name = name_buf;
+  slot.name = std::move(name);
   slot.cmc_register = reg;
   slot.cmc_execute = exec;
   slot.cmc_str = str;
   slot.library = library;
+  slot.quarantined = false;
+  slot.consecutive_failures = 0;
+  if (metrics_ != nullptr) {
+    attach_slot_metrics(slot);
+  }
   return Status::Ok();
 }
 
@@ -102,6 +146,9 @@ Status CmcRegistry::unregister_op(spec::Rqst rqst) {
   if (!slot.active) {
     return Status::NotFound("CMC slot not active");
   }
+  if (slot.quarantined_gauge != nullptr) {
+    slot.quarantined_gauge->set(0.0);
+  }
   const spec::Rqst keep_rqst = slot.rqst;
   const std::uint32_t keep_cmd = slot.cmd;
   slot = CmcOp{};
@@ -113,7 +160,7 @@ Status CmcRegistry::unregister_op(spec::Rqst rqst) {
 
 const CmcOp* CmcRegistry::lookup(std::uint8_t cmd) const noexcept {
   const auto idx = slot_index(cmd);
-  if (!idx.has_value() || !slots_[*idx].active) {
+  if (!idx.has_value() || !slots_[*idx].active || slots_[*idx].quarantined) {
     return nullptr;
   }
   return &slots_[*idx];
@@ -123,39 +170,179 @@ const CmcOp* CmcRegistry::lookup(spec::Rqst rqst) const noexcept {
   return lookup(static_cast<std::uint8_t>(rqst));
 }
 
+const CmcOp* CmcRegistry::lookup_registered(std::uint8_t cmd) const noexcept {
+  const auto idx = slot_index(cmd);
+  if (!idx.has_value() || !slots_[*idx].active) {
+    return nullptr;
+  }
+  return &slots_[*idx];
+}
+
+const CmcOp* CmcRegistry::lookup_registered(spec::Rqst rqst) const noexcept {
+  return lookup_registered(static_cast<std::uint8_t>(rqst));
+}
+
+void CmcRegistry::attach_metrics(metrics::StatRegistry& registry) {
+  metrics_ = &registry;
+  for (CmcOp& slot : slots_) {
+    if (slot.active) {
+      attach_slot_metrics(slot);
+    }
+  }
+}
+
+void CmcRegistry::attach_slot_metrics(CmcOp& slot) {
+  const std::string prefix = "cmc." + slot.name;
+  slot.failures = &metrics_->counter(
+      prefix + ".failures", "execute calls that failed (any cause)");
+  slot.guard_violations = &metrics_->counter(
+      prefix + ".guard_violations",
+      "containment-guard trips: exception, payload overrun, bad mem call");
+  slot.mem_words_read = &metrics_->counter(
+      prefix + ".mem_words_read", "64-bit words read via hmcsim_cmc_mem_read");
+  slot.mem_words_written =
+      &metrics_->counter(prefix + ".mem_words_written",
+                         "64-bit words written via hmcsim_cmc_mem_write");
+  slot.quarantined_gauge = &metrics_->gauge(
+      prefix + ".quarantined", "1 while the slot is quarantined");
+  slot.quarantined_gauge->set(slot.quarantined ? 1.0 : 0.0);
+}
+
+void CmcRegistry::note_failure(CmcOp& slot, CmcContext& ctx, const char* what,
+                               bool violation) {
+  if (slot.failures != nullptr) {
+    slot.failures->inc();
+  }
+  if (violation && slot.guard_violations != nullptr) {
+    slot.guard_violations->inc();
+  }
+  if (violation && ctx.fault != nullptr) {
+    ctx.fault(ctx.user, slot.name.c_str(), what);
+  }
+  ++slot.consecutive_failures;
+  if (policy_.fail_threshold != 0 && !slot.quarantined &&
+      slot.consecutive_failures >= policy_.fail_threshold) {
+    slot.quarantined = true;
+    if (slot.quarantined_gauge != nullptr) {
+      slot.quarantined_gauge->set(1.0);
+    }
+    if (ctx.fault != nullptr) {
+      ctx.fault(ctx.user, slot.name.c_str(),
+                "quarantined: consecutive failure threshold reached");
+    }
+  }
+}
+
 Status CmcRegistry::execute(std::uint8_t cmd, CmcContext& ctx,
                             std::uint32_t dev, std::uint32_t quad,
                             std::uint32_t vault, std::uint32_t bank,
                             std::uint64_t addr, std::uint32_t length,
                             std::uint64_t head, std::uint64_t tail,
                             std::span<std::uint64_t> rqst_payload,
-                            CmcExecResult& out) const {
-  const CmcOp* op = lookup(cmd);
-  if (op == nullptr) {
+                            CmcExecResult& out) {
+  const auto idx = slot_index(cmd);
+  if (!idx.has_value() || !slots_[*idx].active || slots_[*idx].quarantined) {
     // The paper: "If the command is not marked as active, an error is
-    // returned."
+    // returned." Quarantined slots answer the same way.
     return Status::NotFound("CMC command " + std::to_string(cmd) +
                             " is not active");
   }
+  CmcOp& op = slots_[*idx];
 
   out = CmcExecResult{};
-  out.rsp_words = op->rsp_len > 0 ? 2 * (op->rsp_len - 1) : 0;
+  const std::uint32_t expect_words =
+      op.rsp_len > 0 ? 2 * (op.rsp_len - 1) : 0;
+  out.rsp_words = expect_words;
+  for (std::size_t i = expect_words; i < out.rsp_payload.size(); ++i) {
+    out.rsp_payload[i] = kPayloadCanary;
+  }
 
+  CmcCallState call{};
+  call.budgeted = policy_.mem_word_budget != 0;
+  call.budget_left = policy_.mem_word_budget;
   ctx.current = &out;
-  const int rc = op->cmc_execute(&ctx, dev, quad, vault, bank, addr, length,
-                                 head, tail, rqst_payload.data(),
-                                 out.rsp_payload.data());
+  ctx.call = &call;
+  int rc = 0;
+  bool threw = false;
+  // The guard proper: a C ABI must not leak C++ exceptions, but a plugin
+  // compiled as C++ can throw one anyway — catch everything and convert
+  // it into an ordinary execute failure.
+  try {
+    rc = op.cmc_execute(&ctx, dev, quad, vault, bank, addr, length, head,
+                        tail, rqst_payload.data(), out.rsp_payload.data());
+  } catch (...) {
+    threw = true;
+  }
   ctx.current = nullptr;
+  ctx.call = nullptr;
 
+  if (op.mem_words_read != nullptr && call.words_read != 0) {
+    op.mem_words_read->inc(call.words_read);
+  }
+  if (op.mem_words_written != nullptr && call.words_written != 0) {
+    op.mem_words_written->inc(call.words_written);
+  }
+
+  // Violation checks, in guard order (DESIGN.md §8): exception first,
+  // then trampoline-flagged misuse, then response-payload integrity.
+  const char* violation = nullptr;
+  if (threw) {
+    violation = "exception escaped the plugin's C ABI";
+  } else if (call.violation != nullptr) {
+    violation = call.violation;
+  } else if (out.rsp_words != expect_words) {
+    violation = "plugin altered the response word count";
+  } else {
+    for (std::size_t i = expect_words; i < out.rsp_payload.size(); ++i) {
+      if (out.rsp_payload[i] != kPayloadCanary) {
+        violation = "plugin overran its registered rsp_payload length";
+        break;
+      }
+    }
+  }
+
+  if (violation != nullptr) {
+    note_failure(op, ctx, violation, /*violation=*/true);
+    // Never hand a tainted payload to the vault.
+    out = CmcExecResult{};
+    return Status::CmcError("CMC '" + op.name + "': " + violation);
+  }
   if (rc != 0) {
-    return Status::CmcError("CMC '" + op->name + "' execute returned " +
+    note_failure(op, ctx, "execute returned nonzero", /*violation=*/false);
+    out = CmcExecResult{};
+    return Status::CmcError("CMC '" + op.name + "' execute returned " +
                             std::to_string(rc));
+  }
+  op.consecutive_failures = 0;
+  return Status::Ok();
+}
+
+Status CmcRegistry::rearm(spec::Rqst rqst) {
+  const auto idx = slot_index(static_cast<std::uint8_t>(rqst));
+  if (!idx.has_value()) {
+    return Status::InvalidArg("not a CMC command code");
+  }
+  CmcOp& slot = slots_[*idx];
+  if (!slot.active) {
+    return Status::NotFound("CMC slot not active");
+  }
+  if (!slot.quarantined) {
+    return Status::InvalidState("CMC slot '" + slot.name +
+                                "' is not quarantined");
+  }
+  slot.quarantined = false;
+  slot.consecutive_failures = 0;
+  if (slot.quarantined_gauge != nullptr) {
+    slot.quarantined_gauge->set(0.0);
   }
   return Status::Ok();
 }
 
 void CmcRegistry::clear() {
   for (CmcOp& slot : slots_) {
+    if (slot.quarantined_gauge != nullptr) {
+      slot.quarantined_gauge->set(0.0);
+    }
     const spec::Rqst rqst = slot.rqst;
     const std::uint32_t cmd = slot.cmd;
     slot = CmcOp{};
@@ -169,53 +356,110 @@ void CmcRegistry::clear() {
 
 // ---- C services callable from plugin execute functions --------------------
 
+namespace {
+
+/// Flag a guard violation against the in-flight call (no-op when the
+/// context has no call state wired, e.g. direct trampoline unit tests).
+void flag_violation(hmcsim::cmc::CmcContext* ctx, const char* what) {
+  if (ctx->call != nullptr && ctx->call->violation == nullptr) {
+    ctx->call->violation = what;
+  }
+}
+
+/// Common argument/bounds/budget policing for both mem services. Returns
+/// HMCSIM_CMC_OK when the access may proceed (and charges the budget).
+int police_mem_access(hmcsim::cmc::CmcContext* ctx, const void* data,
+                      std::uint32_t nwords, const char* oversized_what,
+                      const char* budget_what) {
+  if (data == nullptr || nwords == 0) {
+    flag_violation(ctx, "mem access with null data or zero nwords");
+    return HMCSIM_CMC_EINVAL;
+  }
+  if (nwords > HMCSIM_CMC_MEM_MAX_WORDS) {
+    flag_violation(ctx, oversized_what);
+    return HMCSIM_CMC_EINVAL;
+  }
+  if (ctx->call != nullptr && ctx->call->budgeted) {
+    if (nwords > ctx->call->budget_left) {
+      flag_violation(ctx, budget_what);
+      return HMCSIM_CMC_EBUDGET;
+    }
+    ctx->call->budget_left -= nwords;
+  }
+  return HMCSIM_CMC_OK;
+}
+
+}  // namespace
+
 extern "C" int hmcsim_cmc_mem_read(void* hmc, std::uint32_t dev,
                                    std::uint64_t addr, std::uint64_t* data,
                                    std::uint32_t nwords) {
-  if (hmc == nullptr || data == nullptr) {
-    return -1;
+  if (hmc == nullptr) {
+    return HMCSIM_CMC_EINVAL;
   }
   auto* ctx = static_cast<hmcsim::cmc::CmcContext*>(hmc);
-  if (ctx->mem_read == nullptr) {
-    return -1;
+  if (const int rc = police_mem_access(
+          ctx, data, nwords, "mem_read larger than HMCSIM_CMC_MEM_MAX_WORDS",
+          "mem_read exceeded the per-call word budget");
+      rc != HMCSIM_CMC_OK) {
+    return rc;
   }
-  return ctx->mem_read(ctx->user, dev, addr, data, nwords).ok() ? 0 : -1;
+  if (ctx->mem_read == nullptr) {
+    return HMCSIM_CMC_ENOSVC;
+  }
+  if (ctx->call != nullptr) {
+    ctx->call->words_read += nwords;
+  }
+  return ctx->mem_read(ctx->user, dev, addr, data, nwords).ok()
+             ? HMCSIM_CMC_OK
+             : HMCSIM_CMC_EFAULT;
 }
 
 extern "C" int hmcsim_cmc_mem_write(void* hmc, std::uint32_t dev,
                                     std::uint64_t addr,
                                     const std::uint64_t* data,
                                     std::uint32_t nwords) {
-  if (hmc == nullptr || data == nullptr) {
-    return -1;
+  if (hmc == nullptr) {
+    return HMCSIM_CMC_EINVAL;
   }
   auto* ctx = static_cast<hmcsim::cmc::CmcContext*>(hmc);
-  if (ctx->mem_write == nullptr) {
-    return -1;
+  if (const int rc = police_mem_access(
+          ctx, data, nwords, "mem_write larger than HMCSIM_CMC_MEM_MAX_WORDS",
+          "mem_write exceeded the per-call word budget");
+      rc != HMCSIM_CMC_OK) {
+    return rc;
   }
-  return ctx->mem_write(ctx->user, dev, addr, data, nwords).ok() ? 0 : -1;
+  if (ctx->mem_write == nullptr) {
+    return HMCSIM_CMC_ENOSVC;
+  }
+  if (ctx->call != nullptr) {
+    ctx->call->words_written += nwords;
+  }
+  return ctx->mem_write(ctx->user, dev, addr, data, nwords).ok()
+             ? HMCSIM_CMC_OK
+             : HMCSIM_CMC_EFAULT;
 }
 
 extern "C" int hmcsim_cmc_set_af(void* hmc, int af) {
   if (hmc == nullptr) {
-    return -1;
+    return HMCSIM_CMC_EINVAL;
   }
   auto* ctx = static_cast<hmcsim::cmc::CmcContext*>(hmc);
   if (ctx->current == nullptr) {
-    return -1;
+    return HMCSIM_CMC_ENOCALL;
   }
   ctx->current->atomic_flag = af != 0;
-  return 0;
+  return HMCSIM_CMC_OK;
 }
 
 extern "C" int hmcsim_cmc_trace(void* hmc, const char* msg) {
   if (hmc == nullptr || msg == nullptr) {
-    return -1;
+    return HMCSIM_CMC_EINVAL;
   }
   auto* ctx = static_cast<hmcsim::cmc::CmcContext*>(hmc);
   if (ctx->trace == nullptr) {
-    return 0;  // Tracing not wired: annotations are droppable.
+    return HMCSIM_CMC_OK;  // Tracing not wired: annotations are droppable.
   }
   ctx->trace(ctx->user, msg);
-  return 0;
+  return HMCSIM_CMC_OK;
 }

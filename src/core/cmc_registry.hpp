@@ -18,11 +18,18 @@
 #include "core/cmc_api.h"
 #include "spec/commands.hpp"
 
+namespace hmcsim::metrics {
+class Counter;
+class Gauge;
+class StatRegistry;
+}  // namespace hmcsim::metrics
+
 namespace hmcsim::cmc {
 
 /// One registered CMC operation — the paper's hmc_cmc_t.
 struct CmcOp {
   bool active = false;
+  bool quarantined = false;  ///< Failed too often; lookups skip the slot.
   spec::Rqst rqst = spec::Rqst::CMC04;  ///< Enumerated request type.
   std::uint32_t cmd = 0;                ///< Decimal command code (== rqst).
   std::uint32_t rqst_len = 0;           ///< Request length in FLITs (1..17).
@@ -38,6 +45,17 @@ struct CmcOp {
   /// Index of the owning dynamic library in the loader (SIZE_MAX: static
   /// registration, no library to unload).
   std::size_t library = SIZE_MAX;
+
+  /// Fault-containment state: failures since the last success. Reaching
+  /// FaultPolicy::fail_threshold quarantines the slot.
+  std::uint32_t consecutive_failures = 0;
+
+  /// Per-op fault metrics (null until attach_metrics wires a registry).
+  metrics::Counter* failures = nullptr;
+  metrics::Counter* guard_violations = nullptr;
+  metrics::Counter* mem_words_read = nullptr;
+  metrics::Counter* mem_words_written = nullptr;
+  metrics::Gauge* quarantined_gauge = nullptr;
 
   /// Wire command code the response packet will carry.
   [[nodiscard]] std::uint8_t response_code() const noexcept {
@@ -58,6 +76,27 @@ struct CmcExecResult {
   bool atomic_flag = false;     ///< AF bit requested via hmcsim_cmc_set_af.
 };
 
+/// Guard policy applied to every plugin execute call.
+struct FaultPolicy {
+  /// Consecutive failures before a slot is quarantined (0: never).
+  std::uint32_t fail_threshold = 8;
+  /// 64-bit words one execute call may move through the mem services
+  /// (reads + writes combined; 0: unlimited).
+  std::uint32_t mem_word_budget = 65536;
+};
+
+/// Per-execute-call guard state, wired into the context for the duration
+/// of one plugin call. The mem trampolines account and police against it;
+/// the registry inspects it afterwards and forces the call to fail when a
+/// violation was flagged — even if the plugin itself returned 0.
+struct CmcCallState {
+  std::uint64_t words_read = 0;
+  std::uint64_t words_written = 0;
+  std::uint64_t budget_left = 0;    ///< Remaining words; ignored if !budgeted.
+  bool budgeted = false;
+  const char* violation = nullptr;  ///< Static-lifetime description.
+};
+
 /// The opaque `void *hmc` context handed to plugin execute functions.
 ///
 /// Plugins cross a C ABI, so the context exposes type-erased services
@@ -75,9 +114,16 @@ struct CmcContext {
                       std::uint32_t nwords) = nullptr;
   /// Optional: receives plugin trace annotations (hmcsim_cmc_trace).
   void (*trace)(void* user, const char* msg) = nullptr;
+  /// Optional: receives fault-containment events (guard violations,
+  /// failures crossing the quarantine threshold). `op` is the operation
+  /// name (registry-owned), `what` a static or call-scoped description.
+  void (*fault)(void* user, const char* op, const char* what) = nullptr;
   /// Execution-scoped: the result record for the in-flight CMC call.
   /// Managed by CmcRegistry::execute; null outside an execute call.
   CmcExecResult* current = nullptr;
+  /// Execution-scoped: guard accounting for the in-flight call. Managed
+  /// by CmcRegistry::execute; null outside an execute call.
+  CmcCallState* call = nullptr;
 };
 
 class CmcRegistry {
@@ -98,22 +144,57 @@ class CmcRegistry {
   [[nodiscard]] Status unregister_op(spec::Rqst rqst);
 
   /// Look up the active operation for a raw command code; nullptr when the
-  /// code is not a CMC slot or the slot is inactive.
+  /// code is not a CMC slot, the slot is inactive, or the slot is
+  /// quarantined (quarantined commands take the vault's fast
+  /// errstat_cmc_inactive error path).
   [[nodiscard]] const CmcOp* lookup(std::uint8_t cmd) const noexcept;
 
-  /// Look up by enumerated command (active slots only).
+  /// Look up by enumerated command (active, non-quarantined slots only).
   [[nodiscard]] const CmcOp* lookup(spec::Rqst rqst) const noexcept;
 
-  /// Execute the active operation for `cmd`, wiring `ctx->current` to `out`
-  /// for the duration of the plugin call. Mirrors the paper's processing
-  /// flow (Fig. 3): inactive command -> error; plugin failure -> CmcError.
+  /// Look up ignoring quarantine: any registered slot, quarantined or
+  /// not. Hosts use this to keep building packets for a quarantined
+  /// command (they are answered with RSP_ERROR/errstat_cmc_inactive).
+  [[nodiscard]] const CmcOp* lookup_registered(
+      std::uint8_t cmd) const noexcept;
+  [[nodiscard]] const CmcOp* lookup_registered(
+      spec::Rqst rqst) const noexcept;
+
+  /// Execute the active operation for `cmd`, wiring `ctx->current` to
+  /// `out` and `ctx->call` to fresh guard state for the duration of the
+  /// plugin call. Mirrors the paper's processing flow (Fig. 3) behind a
+  /// containment guard: inactive/quarantined command -> NotFound; a
+  /// nonzero plugin return, an exception escaping the C ABI, a response
+  /// payload overrun or a trampoline-flagged violation -> CmcError (and
+  /// one consecutive-failure strike; FaultPolicy::fail_threshold strikes
+  /// quarantine the slot). Never lets a plugin failure propagate.
   [[nodiscard]] Status execute(std::uint8_t cmd, CmcContext& ctx,
                                std::uint32_t dev, std::uint32_t quad,
                                std::uint32_t vault, std::uint32_t bank,
                                std::uint64_t addr, std::uint32_t length,
                                std::uint64_t head, std::uint64_t tail,
                                std::span<std::uint64_t> rqst_payload,
-                               CmcExecResult& out) const;
+                               CmcExecResult& out);
+
+  /// Lift a quarantine: reactivate the slot and zero its failure streak.
+  /// NotFound when the command is not registered; InvalidState when it is
+  /// not quarantined.
+  [[nodiscard]] Status rearm(spec::Rqst rqst);
+
+  /// Replace the guard policy (applies to subsequent execute calls).
+  void set_fault_policy(const FaultPolicy& policy) noexcept {
+    policy_ = policy;
+  }
+  [[nodiscard]] const FaultPolicy& fault_policy() const noexcept {
+    return policy_;
+  }
+
+  /// Wire per-op fault metrics (cmc.<name>.failures, .guard_violations,
+  /// .mem_words_read/.mem_words_written, .quarantined) into `registry`.
+  /// Handles are created for already-registered ops and for every later
+  /// registration; pass-before-register is therefore preferred but not
+  /// required. Call at most once; the registry must outlive this object.
+  void attach_metrics(metrics::StatRegistry& registry);
 
   /// Number of active operations. O(1): maintained on register/unregister
   /// (polled every device clock for the CmcActive register).
@@ -132,11 +213,22 @@ class CmcRegistry {
   [[nodiscard]] std::optional<std::size_t> slot_index(
       std::uint8_t cmd) const noexcept;
 
+  /// Create (or refresh) the fault-metric handles of one slot.
+  void attach_slot_metrics(CmcOp& slot);
+
+  /// Record one failed execute against `slot`: bump counters, advance the
+  /// failure streak, quarantine at the policy threshold. `what` is a
+  /// short static-lifetime description surfaced via ctx.fault.
+  void note_failure(CmcOp& slot, CmcContext& ctx, const char* what,
+                    bool violation);
+
   // One slot per CMC command code, dense; slot_for_code_ maps a raw 7-bit
   // code to its slot (0xFF for non-CMC codes).
   std::array<CmcOp, spec::kNumCmcCodes> slots_{};
   std::array<std::uint8_t, 128> slot_for_code_{};
   std::size_t active_ = 0;
+  FaultPolicy policy_{};
+  metrics::StatRegistry* metrics_ = nullptr;
 };
 
 }  // namespace hmcsim::cmc

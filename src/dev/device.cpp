@@ -483,7 +483,7 @@ void Device::run_vault(std::uint32_t v, std::uint64_t cycle, ExecEnv& env,
   }
 }
 
-void Device::clock_vaults(std::uint64_t cycle, const cmc::CmcRegistry* cmc,
+void Device::clock_vaults(std::uint64_t cycle, cmc::CmcRegistry* cmc,
                           cmc::CmcContext* cmc_ctx, trace::Tracer& tracer) {
   ExecEnv env{store_, regs_, amap_, cmc,      cmc_ctx,
               tracer, cfg_,  id_,   cmc_op_counters_.data()};

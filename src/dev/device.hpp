@@ -74,7 +74,7 @@ class Device {
   /// host-attached device).
   void clock_responses(std::uint64_t cycle, trace::Tracer& tracer,
                        Device* prev);
-  void clock_vaults(std::uint64_t cycle, const cmc::CmcRegistry* cmc,
+  void clock_vaults(std::uint64_t cycle, cmc::CmcRegistry* cmc,
                     cmc::CmcContext* cmc_ctx, trace::Tracer& tracer);
   void clock_requests(std::uint64_t cycle, trace::Tracer& tracer,
                       const Router& route);

@@ -38,7 +38,9 @@ struct ExecEnv {
   mem::BackingStore& store;
   Registers& regs;
   const AddrMap& amap;
-  const cmc::CmcRegistry* cmc;   ///< Null when no CMC support is wired.
+  /// Null when no CMC support is wired. Non-const: execute() mutates
+  /// per-slot fault-containment state (failure streaks, quarantine).
+  cmc::CmcRegistry* cmc;
   cmc::CmcContext* cmc_ctx;      ///< Plugin-visible context (may be null).
   trace::Tracer& tracer;
   const sim::Config& cfg;

@@ -80,6 +80,18 @@ struct Config {
   /// Seed of the deterministic error-injection stream.
   std::uint64_t link_error_seed = 0xE44;
 
+  // ---- CMC fault containment ----------------------------------------------
+  /// Consecutive failed plugin executes before a CMC slot is quarantined
+  /// (requests then take the fast errstat_cmc_inactive error path until
+  /// the slot is re-armed). 0 disables auto-quarantine.
+  std::uint32_t cmc_fail_threshold = 8;
+  /// 64-bit words one plugin execute call may move through the
+  /// hmcsim_cmc_mem_read/write services (reads + writes combined) before
+  /// further accesses are refused and the call is failed. 0 = unlimited.
+  /// The default comfortably covers every shipped operation (the largest,
+  /// hmc_memfill, writes at most 512 words per call).
+  std::uint32_t cmc_mem_word_budget = 65536;
+
   // -------------------------------------------------------------------------
   [[nodiscard]] std::uint32_t total_vaults() const noexcept {
     return num_quads * vaults_per_quad;

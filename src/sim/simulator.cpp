@@ -54,6 +54,21 @@ Simulator::Simulator(const Config& cfg) : cfg_(cfg) {
                           .note = msg});
     }
   };
+  cmc_ctx_.fault = [](void* user, const char* op, const char* what) {
+    auto* self = static_cast<Simulator*>(user);
+    if (self->tracer_.enabled(trace::Level::Cmc)) {
+      // `op` points at the registry-owned slot name: stable while the
+      // registration (and hence the simulator) lives.
+      self->tracer_.emit({.cycle = self->cycle_,
+                          .kind = trace::Level::Cmc,
+                          .op = "cmc_fault",
+                          .note = std::string(op) + ": " + what});
+    }
+  };
+  cmc_registry_.attach_metrics(registry_);
+  cmc_registry_.set_fault_policy(
+      {.fail_threshold = cfg.cmc_fail_threshold,
+       .mem_word_budget = cfg.cmc_mem_word_budget});
 }
 
 Status Simulator::create(const Config& cfg, std::unique_ptr<Simulator>& out) {
@@ -67,9 +82,12 @@ Status Simulator::create(const Config& cfg, std::unique_ptr<Simulator>& out) {
 Status Simulator::send(const spec::RqstParams& params, std::uint32_t link) {
   spec::RqstParams p = params;
   // CMC packets take their length from the live registration, exactly as
-  // the registry recorded it from the plugin's cmc_register.
+  // the registry recorded it from the plugin's cmc_register. Quarantined
+  // registrations still shape packets: the host may keep sending (each
+  // request is answered with RSP_ERROR/errstat_cmc_inactive) and observe
+  // recovery after a rearm without re-registering.
   if (spec::is_cmc(p.rqst) && p.flits_override == 0) {
-    const cmc::CmcOp* op = cmc_registry_.lookup(p.rqst);
+    const cmc::CmcOp* op = cmc_registry_.lookup_registered(p.rqst);
     if (op == nullptr) {
       return Status::NotFound("CMC command " +
                               std::string(spec::to_string(p.rqst)) +
@@ -292,6 +310,18 @@ Status Simulator::register_cmc(hmcsim_cmc_register_fn reg,
 
 Status Simulator::unregister_cmc(spec::Rqst rqst) {
   return cmc_registry_.unregister_op(rqst);
+}
+
+Status Simulator::rearm_cmc(spec::Rqst rqst) {
+  Status s = cmc_registry_.rearm(rqst);
+  if (s.ok() && tracer_.enabled(trace::Level::Cmc)) {
+    const cmc::CmcOp* op = cmc_registry_.lookup_registered(rqst);
+    tracer_.emit({.cycle = cycle_,
+                  .kind = trace::Level::Cmc,
+                  .op = "cmc_rearm",
+                  .note = op != nullptr ? op->name : std::string()});
+  }
+  return s;
 }
 
 Status Simulator::jtag_read(std::uint32_t dev, std::uint32_t reg,

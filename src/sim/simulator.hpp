@@ -133,6 +133,12 @@ class Simulator {
   /// Deactivate a CMC slot.
   [[nodiscard]] Status unregister_cmc(spec::Rqst rqst);
 
+  /// Lift a quarantine imposed after Config::cmc_fail_threshold
+  /// consecutive plugin failures: the slot resumes executing with a clean
+  /// failure streak. NotFound when the command has no registration,
+  /// InvalidState when the slot is not quarantined.
+  [[nodiscard]] Status rearm_cmc(spec::Rqst rqst);
+
   [[nodiscard]] const cmc::CmcRegistry& cmc_registry() const noexcept {
     return cmc_registry_;
   }

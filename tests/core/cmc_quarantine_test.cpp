@@ -1,0 +1,432 @@
+// cmc_quarantine_test.cpp — CMC fault-containment tests: the execute
+// guard (exceptions, payload overruns, trampoline-flagged misuse, memory
+// budgets), the consecutive-failure quarantine state machine, the rearm
+// path, name hardening, the trampoline error codes and the per-op fault
+// metrics. The loader's ABI handshake is tested against the real fixture
+// plugins when HMCSIM_PLUGIN_DIR is available.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/core/cmc_loader.hpp"
+#include "src/core/cmc_registry.hpp"
+#include "src/metrics/stat_registry.hpp"
+
+namespace hmcsim::cmc {
+namespace {
+
+// ---- configurable fake plugin --------------------------------------------
+// Registration callbacks cross a C ABI (no user context), so the fake
+// reads its behaviour from these globals. Each test resets them.
+enum class Behaviour {
+  kSucceed,
+  kFail,            // Return nonzero.
+  kThrow,           // Throw across the C ABI.
+  kOverrun,         // Write past the registered response length.
+  kTamperWords,     // Rewrite CmcExecResult::rsp_words through the context.
+  kNullRead,        // hmcsim_cmc_mem_read with a null buffer.
+  kOversizedRead,   // nwords > HMCSIM_CMC_MEM_MAX_WORDS.
+  kGreedyRead,      // Read until the budget refuses, then return 0.
+};
+Behaviour g_behaviour = Behaviour::kSucceed;
+int g_last_service_rc = 0;
+
+int fake_register(hmc_rqst_t* rqst, std::uint32_t* cmd,
+                  std::uint32_t* rqst_len, std::uint32_t* rsp_len,
+                  hmc_response_t* rsp_cmd, std::uint8_t* rsp_cmd_code) {
+  *rqst = HMC_CMC44;
+  *cmd = 44;
+  *rqst_len = 2;
+  *rsp_len = 2;
+  *rsp_cmd = HMC_RD_RS;
+  *rsp_cmd_code = 0;
+  return 0;
+}
+
+int fake_execute(void* hmc, std::uint32_t, std::uint32_t, std::uint32_t,
+                 std::uint32_t, std::uint64_t addr, std::uint32_t,
+                 std::uint64_t, std::uint64_t, std::uint64_t*,
+                 std::uint64_t* rsp_payload) {
+  static std::uint64_t scratch[8];
+  switch (g_behaviour) {
+    case Behaviour::kSucceed:
+      rsp_payload[0] = addr;
+      return 0;
+    case Behaviour::kFail:
+      return -1;
+    case Behaviour::kThrow:
+      throw std::runtime_error("escaping the C ABI");
+    case Behaviour::kOverrun:
+      // Registered rsp_len=2 owns words [0,2); word 2 is canary land.
+      rsp_payload[2] = 0xB0B0B0B0ULL;
+      return 0;
+    case Behaviour::kTamperWords:
+      static_cast<CmcContext*>(hmc)->current->rsp_words = 30;
+      return 0;
+    case Behaviour::kNullRead:
+      g_last_service_rc = hmcsim_cmc_mem_read(hmc, 0, addr, nullptr, 1);
+      return 0;
+    case Behaviour::kOversizedRead:
+      g_last_service_rc = hmcsim_cmc_mem_read(hmc, 0, addr, scratch,
+                                              HMCSIM_CMC_MEM_MAX_WORDS + 1);
+      return 0;
+    case Behaviour::kGreedyRead:
+      for (int i = 0; i < 1024; ++i) {
+        g_last_service_rc = hmcsim_cmc_mem_read(hmc, 0, addr, scratch, 8);
+        if (g_last_service_rc != HMCSIM_CMC_OK) {
+          break;
+        }
+      }
+      return 0;
+  }
+  return 0;
+}
+
+void fake_str(char* out) {
+  std::strncpy(out, "fake_op", HMCSIM_CMC_STR_MAX - 1);
+  out[HMCSIM_CMC_STR_MAX - 1] = '\0';
+}
+
+// Name-hardening fakes: one fills the whole buffer with printable bytes
+// and no terminator, one emits control characters, one writes nothing.
+void garbage_str_unterminated(char* out) {
+  std::memset(out, 'A', HMCSIM_CMC_STR_MAX);
+}
+void garbage_str_nonprintable(char* out) {
+  out[0] = 'o';
+  out[1] = 'k';
+  out[2] = '\x01';
+  out[3] = '\0';
+}
+void garbage_str_empty(char* out) { (void)out; }
+
+Status ok_mem_read(void*, std::uint32_t, std::uint64_t, std::uint64_t* data,
+                   std::uint32_t nwords) {
+  for (std::uint32_t i = 0; i < nwords; ++i) {
+    data[i] = 7;
+  }
+  return Status::Ok();
+}
+
+struct FaultEvent {
+  std::string op;
+  std::string what;
+};
+
+class CmcQuarantineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_behaviour = Behaviour::kSucceed;
+    g_last_service_rc = 0;
+    ctx_.user = &events_;
+    ctx_.mem_read = ok_mem_read;
+    ctx_.fault = [](void* user, const char* op, const char* what) {
+      static_cast<std::vector<FaultEvent>*>(user)->push_back(
+          {std::string(op), std::string(what)});
+    };
+  }
+
+  Status run_once() {
+    std::uint64_t payload[2] = {0, 0};
+    return registry_.execute(44, ctx_, 0, 0, 0, 0, 0x100, 2, 0, 0,
+                             {payload, 2}, result_);
+  }
+
+  CmcRegistry registry_;
+  CmcContext ctx_;
+  CmcExecResult result_;
+  std::vector<FaultEvent> events_;
+};
+
+TEST_F(CmcQuarantineTest, ConsecutiveFailuresQuarantineSlot) {
+  registry_.set_fault_policy({.fail_threshold = 3, .mem_word_budget = 0});
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  g_behaviour = Behaviour::kFail;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(run_once().code(), StatusCode::CmcError) << "failure " << i;
+  }
+  // Threshold reached: regular lookups skip the slot...
+  EXPECT_EQ(registry_.lookup(spec::Rqst::CMC44), nullptr);
+  // ...but the registration survives for host-side packet shaping...
+  const CmcOp* op = registry_.lookup_registered(spec::Rqst::CMC44);
+  ASSERT_NE(op, nullptr);
+  EXPECT_TRUE(op->quarantined);
+  // ...and execute takes the inactive (NotFound -> errstat_cmc_inactive)
+  // path without calling the plugin.
+  EXPECT_EQ(run_once().code(), StatusCode::NotFound);
+  // The quarantine transition was announced through the fault hook.
+  ASSERT_FALSE(events_.empty());
+  EXPECT_EQ(events_.back().op, "fake_op");
+  EXPECT_NE(events_.back().what.find("quarantined"), std::string::npos);
+}
+
+TEST_F(CmcQuarantineTest, SuccessResetsFailureStreak) {
+  registry_.set_fault_policy({.fail_threshold = 3, .mem_word_budget = 0});
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  g_behaviour = Behaviour::kFail;
+  EXPECT_FALSE(run_once().ok());
+  EXPECT_FALSE(run_once().ok());
+  g_behaviour = Behaviour::kSucceed;
+  EXPECT_TRUE(run_once().ok());  // Streak back to zero.
+  g_behaviour = Behaviour::kFail;
+  EXPECT_FALSE(run_once().ok());
+  EXPECT_FALSE(run_once().ok());
+  EXPECT_NE(registry_.lookup(spec::Rqst::CMC44), nullptr);  // Still live.
+  EXPECT_FALSE(run_once().ok());                            // Third strike.
+  EXPECT_EQ(registry_.lookup(spec::Rqst::CMC44), nullptr);
+}
+
+TEST_F(CmcQuarantineTest, ZeroThresholdNeverQuarantines) {
+  registry_.set_fault_policy({.fail_threshold = 0, .mem_word_budget = 0});
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  g_behaviour = Behaviour::kFail;
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(run_once().code(), StatusCode::CmcError);
+  }
+  EXPECT_NE(registry_.lookup(spec::Rqst::CMC44), nullptr);
+}
+
+TEST_F(CmcQuarantineTest, RearmRestoresExecution) {
+  registry_.set_fault_policy({.fail_threshold = 2, .mem_word_budget = 0});
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  g_behaviour = Behaviour::kFail;
+  EXPECT_FALSE(run_once().ok());
+  EXPECT_FALSE(run_once().ok());
+  EXPECT_EQ(registry_.lookup(spec::Rqst::CMC44), nullptr);
+
+  ASSERT_TRUE(registry_.rearm(spec::Rqst::CMC44).ok());
+  EXPECT_NE(registry_.lookup(spec::Rqst::CMC44), nullptr);
+  g_behaviour = Behaviour::kSucceed;
+  EXPECT_TRUE(run_once().ok());
+  EXPECT_EQ(result_.rsp_payload[0], 0x100ULL);
+}
+
+TEST_F(CmcQuarantineTest, RearmErrors) {
+  EXPECT_EQ(registry_.rearm(spec::Rqst::WR16).code(), StatusCode::InvalidArg);
+  EXPECT_EQ(registry_.rearm(spec::Rqst::CMC44).code(), StatusCode::NotFound);
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  EXPECT_EQ(registry_.rearm(spec::Rqst::CMC44).code(),
+            StatusCode::InvalidState);  // Active but not quarantined.
+}
+
+TEST_F(CmcQuarantineTest, ExceptionAcrossCAbiIsContained) {
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  g_behaviour = Behaviour::kThrow;
+  EXPECT_EQ(run_once().code(), StatusCode::CmcError);
+  ASSERT_FALSE(events_.empty());
+  EXPECT_NE(events_.back().what.find("exception"), std::string::npos);
+  // The context is unwired even on the throwing path.
+  EXPECT_EQ(ctx_.current, nullptr);
+  EXPECT_EQ(ctx_.call, nullptr);
+}
+
+TEST_F(CmcQuarantineTest, PayloadOverrunCaughtByCanary) {
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  g_behaviour = Behaviour::kOverrun;
+  EXPECT_EQ(run_once().code(), StatusCode::CmcError);
+  ASSERT_FALSE(events_.empty());
+  EXPECT_NE(events_.back().what.find("overran"), std::string::npos);
+  // The tainted payload never reaches the caller.
+  EXPECT_EQ(result_.rsp_words, 0U);
+  for (const std::uint64_t w : result_.rsp_payload) {
+    EXPECT_EQ(w, 0ULL);
+  }
+}
+
+TEST_F(CmcQuarantineTest, RspWordsTamperingCaught) {
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  g_behaviour = Behaviour::kTamperWords;
+  EXPECT_EQ(run_once().code(), StatusCode::CmcError);
+  ASSERT_FALSE(events_.empty());
+  EXPECT_NE(events_.back().what.find("word count"), std::string::npos);
+}
+
+TEST_F(CmcQuarantineTest, NullReadIsViolationEvenWhenPluginReturnsZero) {
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  g_behaviour = Behaviour::kNullRead;
+  EXPECT_EQ(run_once().code(), StatusCode::CmcError);
+  EXPECT_EQ(g_last_service_rc, HMCSIM_CMC_EINVAL);
+}
+
+TEST_F(CmcQuarantineTest, OversizedReadIsViolation) {
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  g_behaviour = Behaviour::kOversizedRead;
+  EXPECT_EQ(run_once().code(), StatusCode::CmcError);
+  EXPECT_EQ(g_last_service_rc, HMCSIM_CMC_EINVAL);
+}
+
+TEST_F(CmcQuarantineTest, MemoryBudgetRefusesAndFailsTheCall) {
+  registry_.set_fault_policy({.fail_threshold = 8, .mem_word_budget = 20});
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  g_behaviour = Behaviour::kGreedyRead;
+  EXPECT_EQ(run_once().code(), StatusCode::CmcError);
+  // 8-word reads against a 20-word budget: two succeed, the third is
+  // refused without being performed.
+  EXPECT_EQ(g_last_service_rc, HMCSIM_CMC_EBUDGET);
+}
+
+TEST_F(CmcQuarantineTest, DisabledBudgetAllowsLargeTransfers) {
+  registry_.set_fault_policy({.fail_threshold = 8, .mem_word_budget = 0});
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+  g_behaviour = Behaviour::kGreedyRead;
+  EXPECT_TRUE(run_once().ok());  // All 1024 reads succeed.
+  EXPECT_EQ(g_last_service_rc, HMCSIM_CMC_OK);
+}
+
+TEST_F(CmcQuarantineTest, FaultMetricsTrackFailuresAndQuarantine) {
+  metrics::StatRegistry stats;
+  registry_.attach_metrics(stats);
+  registry_.set_fault_policy({.fail_threshold = 2, .mem_word_budget = 64});
+  ASSERT_TRUE(
+      registry_.register_op(fake_register, fake_execute, fake_str).ok());
+
+  const metrics::Counter* failures = stats.find_counter("cmc.fake_op.failures");
+  const metrics::Counter* violations =
+      stats.find_counter("cmc.fake_op.guard_violations");
+  const metrics::Counter* words_read =
+      stats.find_counter("cmc.fake_op.mem_words_read");
+  const metrics::Gauge* quarantined =
+      stats.find_gauge("cmc.fake_op.quarantined");
+  ASSERT_NE(failures, nullptr);
+  ASSERT_NE(violations, nullptr);
+  ASSERT_NE(words_read, nullptr);
+  ASSERT_NE(quarantined, nullptr);
+  EXPECT_EQ(quarantined->value(), 0.0);
+
+  g_behaviour = Behaviour::kFail;  // Plain failure: no violation.
+  EXPECT_FALSE(run_once().ok());
+  EXPECT_EQ(failures->value(), 1U);
+  EXPECT_EQ(violations->value(), 0U);
+
+  g_behaviour = Behaviour::kGreedyRead;  // Budget bust: violation.
+  EXPECT_FALSE(run_once().ok());
+  EXPECT_EQ(failures->value(), 2U);
+  EXPECT_EQ(violations->value(), 1U);
+  EXPECT_EQ(words_read->value(), 64U);  // Only the granted reads count.
+  EXPECT_EQ(quarantined->value(), 1.0);  // Threshold of 2 reached.
+
+  ASSERT_TRUE(registry_.rearm(spec::Rqst::CMC44).ok());
+  EXPECT_EQ(quarantined->value(), 0.0);
+}
+
+// ---- name hardening --------------------------------------------------------
+
+TEST(CmcNameHardening, UnterminatedGarbageIsBoundedAndAccepted) {
+  CmcRegistry registry;
+  ASSERT_TRUE(
+      registry.register_op(fake_register, fake_execute,
+                           garbage_str_unterminated)
+          .ok());
+  const CmcOp* op = registry.lookup(spec::Rqst::CMC44);
+  ASSERT_NE(op, nullptr);
+  // Force-terminated at the last buffer byte: 63 'A's, printable, bounded.
+  EXPECT_EQ(op->name.size(), HMCSIM_CMC_STR_MAX - 1);
+  EXPECT_EQ(op->name, std::string(HMCSIM_CMC_STR_MAX - 1, 'A'));
+}
+
+TEST(CmcNameHardening, NonPrintableNameRejected) {
+  CmcRegistry registry;
+  EXPECT_EQ(registry
+                .register_op(fake_register, fake_execute,
+                             garbage_str_nonprintable)
+                .code(),
+            StatusCode::InvalidArg);
+  EXPECT_EQ(registry.active_count(), 0U);
+}
+
+TEST(CmcNameHardening, EmptyNameRejected) {
+  CmcRegistry registry;
+  EXPECT_EQ(
+      registry.register_op(fake_register, fake_execute, garbage_str_empty)
+          .code(),
+      StatusCode::InvalidArg);
+}
+
+// ---- trampoline error codes ------------------------------------------------
+
+TEST(CmcServiceCodes, DocumentedErrnoValues) {
+  CmcContext ctx;  // No services wired, no call in flight.
+  std::uint64_t v = 0;
+  EXPECT_EQ(hmcsim_cmc_mem_read(nullptr, 0, 0, &v, 1), HMCSIM_CMC_EINVAL);
+  EXPECT_EQ(hmcsim_cmc_mem_read(&ctx, 0, 0, nullptr, 1), HMCSIM_CMC_EINVAL);
+  EXPECT_EQ(hmcsim_cmc_mem_read(&ctx, 0, 0, &v, 0), HMCSIM_CMC_EINVAL);
+  EXPECT_EQ(hmcsim_cmc_mem_read(&ctx, 0, 0, &v, 1), HMCSIM_CMC_ENOSVC);
+  EXPECT_EQ(hmcsim_cmc_mem_write(nullptr, 0, 0, &v, 1), HMCSIM_CMC_EINVAL);
+  EXPECT_EQ(hmcsim_cmc_mem_write(&ctx, 0, 0, &v, 1), HMCSIM_CMC_ENOSVC);
+  EXPECT_EQ(hmcsim_cmc_set_af(nullptr, 1), HMCSIM_CMC_EINVAL);
+  EXPECT_EQ(hmcsim_cmc_set_af(&ctx, 1), HMCSIM_CMC_ENOCALL);
+  EXPECT_EQ(hmcsim_cmc_trace(nullptr, "x"), HMCSIM_CMC_EINVAL);
+  EXPECT_EQ(hmcsim_cmc_trace(&ctx, nullptr), HMCSIM_CMC_EINVAL);
+  EXPECT_EQ(hmcsim_cmc_trace(&ctx, "ok"), HMCSIM_CMC_OK);
+
+  // EFAULT: a wired mem service that reports failure.
+  ctx.mem_read = [](void*, std::uint32_t, std::uint64_t, std::uint64_t*,
+                    std::uint32_t) { return Status::Internal("bad address"); };
+  EXPECT_EQ(hmcsim_cmc_mem_read(&ctx, 0, 0, &v, 1), HMCSIM_CMC_EFAULT);
+}
+
+// ---- loader ABI handshake --------------------------------------------------
+
+#ifdef HMCSIM_PLUGIN_DIR
+
+std::string plugin(const std::string& name) {
+  return std::string(HMCSIM_PLUGIN_DIR) + "/" + name;
+}
+
+TEST(CmcAbiHandshake, MismatchedVersionRejected) {
+  CmcRegistry registry;
+  CmcLoader loader;
+  const Status s = loader.load(plugin("hmc_abi_mismatch.so"), registry);
+  EXPECT_EQ(s.code(), StatusCode::LoadError);
+  EXPECT_NE(s.message().find("ABI version"), std::string::npos);
+  EXPECT_EQ(loader.loaded_count(), 0U);
+  EXPECT_EQ(registry.active_count(), 0U);  // Registration never ran.
+}
+
+TEST(CmcAbiHandshake, LegacyPluginWithoutSymbolStillLoads) {
+  CmcRegistry registry;
+  CmcLoader loader;
+  ASSERT_TRUE(loader.load(plugin("hmc_legacy_noabi.so"), registry).ok());
+  EXPECT_NE(registry.lookup(spec::Rqst::CMC73), nullptr);
+}
+
+TEST(CmcAbiHandshake, CurrentPluginsCarryTheVersionSymbol) {
+  CmcRegistry registry;
+  CmcLoader loader;
+  ASSERT_TRUE(loader.load(plugin("hmc_satinc.so"), registry).ok());
+  EXPECT_NE(registry.lookup(spec::Rqst::CMC21), nullptr);
+}
+
+TEST(CmcAbiHandshake, RogueThrowPluginIsContainedEndToEnd) {
+  CmcRegistry registry;
+  CmcLoader loader;
+  ASSERT_TRUE(loader.load(plugin("hmc_rogue_throw.so"), registry).ok());
+  CmcContext ctx;
+  CmcExecResult result;
+  std::uint64_t payload[2] = {0, 0};
+  EXPECT_EQ(registry
+                .execute(71, ctx, 0, 0, 0, 0, 0x100, 2, 0, 0, {payload, 2},
+                         result)
+                .code(),
+            StatusCode::CmcError);
+}
+
+#endif  // HMCSIM_PLUGIN_DIR
+
+}  // namespace
+}  // namespace hmcsim::cmc

@@ -1,0 +1,166 @@
+// cmc_rogue_test.cpp — end-to-end CMC fault containment through the full
+// packet path: a dlopen'd rogue plugin misbehaves in every supported way
+// (plain failure, response-buffer overrun, memory-budget bust, null
+// service arguments, a thrown exception) and the simulator must answer
+// every request with RSP_ERROR instead of crashing, quarantine the slot
+// at the failure threshold while a well-behaved op keeps executing, and
+// produce identical stats under active-set and exhaustive clocking.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "plugins/builtin.h"
+#include "src/sim/simulator.hpp"
+#include "src/sim/stats_report.hpp"
+
+namespace hmcsim {
+namespace {
+
+#ifdef HMCSIM_PLUGIN_DIR
+
+std::string plugin(const std::string& name) {
+  return std::string(HMCSIM_PLUGIN_DIR) + "/" + name;
+}
+
+constexpr std::uint8_t kRspError =
+    static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR);
+constexpr std::uint8_t kErrCmcInactive = 3;
+constexpr std::uint8_t kErrCmcFailed = 4;
+
+// Rogue behaviour is selected by address bits [6:4] (see hmc_rogue.c):
+// 0 = behave, 1 = fail, 2 = overrun, 3 = budget bust, 4 = null read.
+std::uint64_t rogue_addr(std::uint64_t mode) { return 0x10000 | (mode << 4); }
+
+class CmcRogueEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::Config cfg = sim::Config::hmc_4link_4gb();
+    cfg.cmc_fail_threshold = 4;
+    cfg.cmc_mem_word_budget = 1024;
+    ASSERT_TRUE(sim::Simulator::create(cfg, sim_).ok());
+    ASSERT_TRUE(sim_->load_cmc(plugin("hmc_rogue.so")).ok());
+    ASSERT_TRUE(sim_->load_cmc(plugin("hmc_rogue_throw.so")).ok());
+    ASSERT_TRUE(sim_->register_cmc(hmcsim_builtin_satinc_register,
+                                   hmcsim_builtin_satinc_execute,
+                                   hmcsim_builtin_satinc_str)
+                    .ok());
+  }
+
+  // One round trip; returns the response packet.
+  spec::RspPacket transact(spec::Rqst rqst, std::uint64_t addr) {
+    spec::RqstParams params;
+    params.rqst = rqst;
+    params.addr = addr;
+    params.tag = static_cast<std::uint16_t>(next_tag_++ & 0x7FF);
+    EXPECT_TRUE(sim_->send(params, 0).ok());
+    int guard = 0;
+    while (!sim_->rsp_ready(0) && guard++ < 4096) {
+      sim_->clock();
+    }
+    sim::Response rsp;
+    EXPECT_TRUE(sim_->recv(0, rsp).ok());
+    return rsp.pkt;
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::uint16_t next_tag_ = 1;
+};
+
+TEST_F(CmcRogueEndToEnd, EveryMisbehaviourAnswersRspErrorNotACrash) {
+  // Each failure mode yields RSP_ERROR with the CMC-failed errstat.
+  for (const std::uint64_t mode : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    const spec::RspPacket rsp =
+        transact(spec::Rqst::CMC70, rogue_addr(mode));
+    EXPECT_EQ(rsp.cmd(), kRspError) << "mode " << mode;
+    EXPECT_EQ(rsp.errstat(), kErrCmcFailed) << "mode " << mode;
+  }
+  // A thrown exception is just another contained failure.
+  const spec::RspPacket rsp = transact(spec::Rqst::CMC71, 0x200);
+  EXPECT_EQ(rsp.cmd(), kRspError);
+  EXPECT_EQ(rsp.errstat(), kErrCmcFailed);
+}
+
+TEST_F(CmcRogueEndToEnd, ThresholdQuarantinesRogueWhileNeighbourExecutes) {
+  // Threshold is 4: four straight failures quarantine the slot.
+  for (int i = 0; i < 4; ++i) {
+    const spec::RspPacket rsp = transact(spec::Rqst::CMC70, rogue_addr(1));
+    EXPECT_EQ(rsp.errstat(), kErrCmcFailed);
+  }
+  const metrics::Gauge* quarantined =
+      sim_->metrics().find_gauge("cmc.hmc_rogue.quarantined");
+  ASSERT_NE(quarantined, nullptr);
+  EXPECT_EQ(quarantined->value(), 1.0);
+
+  // Further rogue requests complete with the inactive errstat — the
+  // plugin is no longer called, but the request path stays alive.
+  const spec::RspPacket after = transact(spec::Rqst::CMC70, rogue_addr(0));
+  EXPECT_EQ(after.cmd(), kRspError);
+  EXPECT_EQ(after.errstat(), kErrCmcInactive);
+
+  // The well-behaved neighbour on another slot is unaffected.
+  const spec::RspPacket good = transact(spec::Rqst::CMC21, 0x20000);
+  EXPECT_NE(good.cmd(), kRspError);
+  const metrics::Counter* satinc_failures =
+      sim_->metrics().find_counter("cmc.hmc_satinc.failures");
+  ASSERT_NE(satinc_failures, nullptr);
+  EXPECT_EQ(satinc_failures->value(), 0U);
+
+  // Rearm lifts the quarantine; the behaving mode then succeeds.
+  ASSERT_TRUE(sim_->rearm_cmc(spec::Rqst::CMC70).ok());
+  EXPECT_EQ(quarantined->value(), 0.0);
+  const spec::RspPacket revived = transact(spec::Rqst::CMC70, rogue_addr(0));
+  EXPECT_NE(revived.cmd(), kRspError);
+}
+
+TEST_F(CmcRogueEndToEnd, SuccessBetweenFailuresPreventsQuarantine) {
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 3; ++i) {  // Three strikes, threshold is four...
+      transact(spec::Rqst::CMC70, rogue_addr(1));
+    }
+    const spec::RspPacket ok = transact(spec::Rqst::CMC70, rogue_addr(0));
+    EXPECT_NE(ok.cmd(), kRspError);  // ...then a success resets the streak.
+  }
+  const metrics::Gauge* quarantined =
+      sim_->metrics().find_gauge("cmc.hmc_rogue.quarantined");
+  ASSERT_NE(quarantined, nullptr);
+  EXPECT_EQ(quarantined->value(), 0.0);
+}
+
+TEST(CmcRogueEquivalence, ActiveSetAndExhaustiveStatsAreByteIdentical) {
+  auto run = [](bool exhaustive) {
+    sim::Config cfg = sim::Config::hmc_4link_4gb();
+    cfg.cmc_fail_threshold = 4;
+    cfg.cmc_mem_word_budget = 1024;
+    cfg.exhaustive_clock = exhaustive;
+    std::unique_ptr<sim::Simulator> sim;
+    EXPECT_TRUE(sim::Simulator::create(cfg, sim).ok());
+    EXPECT_TRUE(sim->load_cmc(plugin("hmc_rogue.so")).ok());
+    std::uint16_t tag = 1;
+    for (int i = 0; i < 12; ++i) {
+      spec::RqstParams params;
+      params.rqst = spec::Rqst::CMC70;
+      params.addr = 0x10000 | (static_cast<std::uint64_t>(i % 5) << 4);
+      params.tag = tag++;
+      EXPECT_TRUE(sim->send(params, 0).ok());
+      int guard = 0;
+      while (!sim->rsp_ready(0) && guard++ < 4096) {
+        sim->clock();
+      }
+      sim::Response rsp;
+      EXPECT_TRUE(sim->recv(0, rsp).ok());
+    }
+    (void)sim->clock_until_idle(8192);
+    return sim::format_stats_json(*sim);
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+#else
+TEST(CmcRogueEndToEnd, DISABLED_PluginsUnavailable) {
+  GTEST_SKIP() << "HMCSIM_PLUGIN_DIR not defined";
+}
+#endif
+
+}  // namespace
+}  // namespace hmcsim

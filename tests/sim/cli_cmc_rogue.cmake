@@ -1,0 +1,68 @@
+# cli_cmc_rogue.cmake — deterministic CMC fault-containment run via the CLI.
+#
+# Drives the deliberately misbehaving hmc_rogue plugin (plain failures,
+# response-buffer overruns, memory-budget busts, null-pointer service
+# calls) alongside the well-behaved builtin satinc op, three times:
+#   1. active-set scheduling        -> cli_cmc_rogue_active.json
+#   2. active-set again             -> cli_cmc_rogue_repeat.json  (reproducibility)
+#   3. --exhaustive-clock           -> cli_cmc_rogue_golden.json  (equivalence)
+# All three stats documents must be byte-identical, the rogue slot must end
+# the run quarantined with failures/guard-violations recorded, and the
+# well-behaved neighbour must stay clean. CI copies the active document
+# next to the benchmark artifacts as BENCH_cmc_rogue_stats.json.
+# Invoked as:
+#   cmake -DCLI=<hmcsim_cli> -DROGUE=<hmc_rogue.so> -DOUT_DIR=<dir> \
+#         -P cli_cmc_rogue.cmake
+if(NOT DEFINED CLI OR NOT DEFINED ROGUE OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<exe> -DROGUE=<so> -DOUT_DIR=<dir> -P ${CMAKE_SCRIPT_MODE_FILE}")
+endif()
+
+function(run_rogue json_path extra_flags)
+  execute_process(
+    COMMAND "${CLI}" rogue "${ROGUE}" ${extra_flags}
+            --stats-json "${json_path}"
+    OUTPUT_VARIABLE run_stdout
+    ERROR_VARIABLE run_stderr
+    RESULT_VARIABLE run_rc)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "hmcsim_cli exited with ${run_rc}\n${run_stdout}\n${run_stderr}")
+  endif()
+  if(NOT EXISTS "${json_path}")
+    message(FATAL_ERROR "--stats-json wrote no file at ${json_path}")
+  endif()
+endfunction()
+
+set(active_json "${OUT_DIR}/cli_cmc_rogue_active.json")
+set(repeat_json "${OUT_DIR}/cli_cmc_rogue_repeat.json")
+set(golden_json "${OUT_DIR}/cli_cmc_rogue_golden.json")
+run_rogue("${active_json}" "")
+run_rogue("${repeat_json}" "")
+run_rogue("${golden_json}" "--exhaustive-clock")
+
+file(READ "${active_json}" active)
+file(READ "${repeat_json}" repeat)
+file(READ "${golden_json}" golden)
+if(NOT active STREQUAL repeat)
+  message(FATAL_ERROR "same workload, different stats: rogue run is not deterministic")
+endif()
+if(NOT active STREQUAL golden)
+  message(FATAL_ERROR "active-set and exhaustive schedulers diverge under CMC faults")
+endif()
+
+# The rogue slot must have tripped the quarantine, and both failure classes
+# (plain failures and guard violations) must be on the books.
+if(NOT active MATCHES "\"quarantined\": 1")
+  message(FATAL_ERROR "rogue slot never quarantined:\n${active}")
+endif()
+if(NOT active MATCHES "\"failures\": [1-9]")
+  message(FATAL_ERROR "no CMC failures recorded:\n${active}")
+endif()
+if(NOT active MATCHES "\"guard_violations\": [1-9]")
+  message(FATAL_ERROR "no guard violations recorded:\n${active}")
+endif()
+# The well-behaved neighbour must be untouched: its failures counter stays
+# zero (the rogue's own counter saturates at the fail threshold, so a
+# second "failures": 0 entry can only belong to satinc).
+if(NOT active MATCHES "\"failures\": 0")
+  message(FATAL_ERROR "well-behaved satinc op reported failures:\n${active}")
+endif()

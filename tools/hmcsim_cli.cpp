@@ -41,6 +41,10 @@ struct CliOptions {
   std::uint64_t error_seed = 0;
   bool error_seed_set = false;
   std::uint32_t retry_latency = 0;
+  std::uint32_t cmc_fail_threshold = 0;
+  bool cmc_fail_threshold_set = false;
+  std::uint32_t cmc_mem_budget = 0;
+  bool cmc_mem_budget_set = false;
   std::vector<std::string> positional;
 };
 
@@ -52,6 +56,8 @@ int usage() {
       "  cmc-info <plugin.so>...     validate plugins, print registrations\n"
       "  replay <trace-file>         replay a trace\n"
       "  mutex <threads>             run the mutex contention experiment\n"
+      "  rogue <rogue.so>            drive a misbehaving CMC plugin into\n"
+      "                              quarantine (fault-containment demo)\n"
       "options: --links 4|8  --plugins <dir>  --power\n"
       "         --trace-file <path>  --trace-level <mask>\n"
       "         --stats-json <path>  --stats-every <cycles>\n"
@@ -60,7 +66,11 @@ int usage() {
       "         --error-ppm <n>      (inject link CRC errors, parts/million\n"
       "                               per FLIT; exercises the retry path)\n"
       "         --error-seed <n>     (seed for the deterministic injector)\n"
-      "         --retry-latency <n>  (cycles a link spends replaying)\n",
+      "         --retry-latency <n>  (cycles a link spends replaying)\n"
+      "         --cmc-fail-threshold <n>  (consecutive CMC failures before\n"
+      "                               a slot is quarantined; 0 disables)\n"
+      "         --cmc-mem-budget <n> (64-bit words one CMC call may move\n"
+      "                               through the mem services; 0 = off)\n",
       stderr);
   return 2;
 }
@@ -131,6 +141,22 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
       }
       opts.retry_latency =
           static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--cmc-fail-threshold") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.cmc_fail_threshold =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+      opts.cmc_fail_threshold_set = true;
+    } else if (arg == "--cmc-mem-budget") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.cmc_mem_budget =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+      opts.cmc_mem_budget_set = true;
     } else {
       opts.positional.emplace_back(arg);
     }
@@ -148,6 +174,12 @@ std::unique_ptr<sim::Simulator> make_sim(const CliOptions& opts) {
   }
   if (opts.retry_latency != 0) {
     cfg.link_retry_latency = opts.retry_latency;
+  }
+  if (opts.cmc_fail_threshold_set) {
+    cfg.cmc_fail_threshold = opts.cmc_fail_threshold;
+  }
+  if (opts.cmc_mem_budget_set) {
+    cfg.cmc_mem_word_budget = opts.cmc_mem_budget;
   }
   std::unique_ptr<sim::Simulator> sim;
   if (Status s = sim::Simulator::create(cfg, sim); !s.ok()) {
@@ -387,6 +419,131 @@ int cmd_mutex(const CliOptions& opts) {
   return 0;
 }
 
+/// Fault-containment demo: load a rogue CMC library and drive it through
+/// every misbehaviour mode until the slot quarantines, while a
+/// well-behaved builtin op (hmc_satinc, CMC21) keeps executing on another
+/// slot. Fully deterministic — no RNG — so repeated runs and the
+/// --exhaustive-clock scheduler must produce byte-identical stats.
+int cmd_rogue(const CliOptions& opts) {
+  if (opts.positional.empty()) {
+    return usage();
+  }
+  auto sim = make_sim(opts);
+  if (!sim) {
+    return 1;
+  }
+  if (Status s = sim->load_cmc(opts.positional[0]); !s.ok()) {
+    std::fprintf(stderr, "load_cmc(%s): %s\n", opts.positional[0].c_str(),
+                 s.to_string().c_str());
+    return 1;
+  }
+  if (Status s = sim->register_cmc(hmcsim_builtin_satinc_register,
+                                   hmcsim_builtin_satinc_execute,
+                                   hmcsim_builtin_satinc_str);
+      !s.ok()) {
+    std::fprintf(stderr, "register satinc: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::unique_ptr<std::ofstream> trace_stream;
+  std::unique_ptr<trace::TextSink> trace_sink;
+  if (!setup_tracing(*sim, opts, trace_stream, trace_sink)) {
+    return 1;
+  }
+  setup_stats_interval(*sim, opts);
+
+  // One request at a time: send, clock to the response, receive.
+  std::uint64_t oks = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t satinc_failures = 0;
+  std::uint16_t tag = 1;
+  auto transact = [&](spec::Rqst rqst, std::uint64_t addr,
+                      bool& was_error) -> bool {
+    spec::RqstParams params;
+    params.rqst = rqst;
+    params.addr = addr;
+    params.tag = static_cast<std::uint16_t>(tag++ & 0x7FF);
+    for (int tries = 0; tries < 64; ++tries) {
+      const Status s = sim->send(params, 0);
+      if (s.ok()) {
+        break;
+      }
+      if (!s.stalled()) {
+        std::fprintf(stderr, "send: %s\n", s.to_string().c_str());
+        return false;
+      }
+      sim->clock();
+    }
+    sim::Response rsp;
+    for (int cycles = 0; cycles < 4096; ++cycles) {
+      sim->clock();
+      if (sim->rsp_ready(0)) {
+        if (!sim->recv(0, rsp).ok()) {
+          return false;
+        }
+        was_error = rsp.pkt.cmd() ==
+                    static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR);
+        return true;
+      }
+    }
+    std::fprintf(stderr, "no response after 4096 cycles\n");
+    return false;
+  };
+
+  const std::uint64_t rogue_base = 0x10000;
+  const std::uint64_t satinc_addr = 0x20000;
+  const std::uint32_t threshold =
+      sim->config().cmc_fail_threshold != 0 ? sim->config().cmc_fail_threshold
+                                            : 8;
+  bool was_error = false;
+  // Phase 1 — every mode once (success at mode 0 resets the streak).
+  for (std::uint64_t mode = 0; mode < 5; ++mode) {
+    if (!transact(spec::Rqst::CMC70, rogue_base | (mode << 4), was_error)) {
+      return 1;
+    }
+    (was_error ? errors : oks)++;
+    if (!transact(spec::Rqst::CMC21, satinc_addr, was_error)) {
+      return 1;
+    }
+    satinc_failures += was_error ? 1 : 0;
+  }
+  // Phase 2 — failures only, until the quarantine threshold trips.
+  for (std::uint32_t i = 0; i < 2 * threshold; ++i) {
+    const std::uint64_t mode = 1 + (i % 4);
+    if (!transact(spec::Rqst::CMC70, rogue_base | (mode << 4), was_error)) {
+      return 1;
+    }
+    (was_error ? errors : oks)++;
+  }
+  // Phase 3 — the quarantined slot answers errors without executing; the
+  // well-behaved neighbour is unaffected.
+  for (int i = 0; i < 4; ++i) {
+    if (!transact(spec::Rqst::CMC70, rogue_base, was_error)) {
+      return 1;
+    }
+    (was_error ? errors : oks)++;
+    if (!transact(spec::Rqst::CMC21, satinc_addr, was_error)) {
+      return 1;
+    }
+    satinc_failures += was_error ? 1 : 0;
+  }
+  (void)sim->clock_until_idle(8192);
+
+  const metrics::Gauge* quarantined =
+      sim->metrics().find_gauge("cmc.hmc_rogue.quarantined");
+  const bool is_quarantined =
+      quarantined != nullptr && quarantined->value() == 1.0;
+  std::printf("rogue: %llu ok, %llu error responses; satinc failures: %llu; "
+              "quarantined: %s\n",
+              static_cast<unsigned long long>(oks),
+              static_cast<unsigned long long>(errors),
+              static_cast<unsigned long long>(satinc_failures),
+              is_quarantined ? "yes" : "no");
+  if (!maybe_stats_json(*sim, opts)) {
+    return 1;
+  }
+  return (is_quarantined && satinc_failures == 0) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -415,6 +572,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "mutex") {
     return cmd_mutex(opts);
+  }
+  if (cmd == "rogue") {
+    return cmd_rogue(opts);
   }
   return usage();
 }
