@@ -1,0 +1,87 @@
+// bench_trace_overhead.cpp — cost of per-packet latency attribution.
+//
+// Saturated round-trip traffic (every link busy every cycle) under three
+// observability settings:
+//
+//   off      tracing disabled — the pay-for-what-you-use baseline; the
+//            journey hot path must be one integer compare per packet
+//            (the ISSUE budget: < 2% below the seed's throughput)
+//   journey  trace::Level::Journey + the host.stage.* histograms (the
+//            --stage-stats configuration)
+//   chrome   journey plus a ChromeSink streaming every span and slice
+//            to a discarding stream (the --trace-chrome configuration;
+//            bounded by JSON formatting, not simulation)
+//
+// Rates are retired packets per second via items_processed. CI exports
+// the report as BENCH_trace_overhead.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <streambuf>
+
+#include "src/sim/simulator.hpp"
+#include "src/trace/chrome_sink.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+/// Discards everything: the chrome case measures formatting, not disk.
+class NullBuffer final : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    return n;
+  }
+};
+
+enum class Mode { Off, Journey, Chrome };
+
+void BM_SaturatedTraffic(benchmark::State& state, Mode mode) {
+  std::unique_ptr<sim::Simulator> sim;
+  if (!sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  NullBuffer null_buf;
+  std::ostream null_stream(&null_buf);
+  trace::ChromeSink chrome(null_stream);
+  if (mode != Mode::Off) {
+    sim->tracer().set_level(sim->tracer().level() | trace::Level::Journey);
+  }
+  if (mode == Mode::Chrome) {
+    sim->tracer().attach(&chrome);
+    sim->journeys().attach(&chrome);
+  }
+
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD64;
+  std::uint16_t tag = 0;
+  sim::Response rsp;
+  std::int64_t retired = 0;
+  for (auto _ : state) {
+    for (std::uint32_t link = 0; link < 4; ++link) {
+      rd.tag = tag++ & spec::kMaxTag;
+      rd.addr = (static_cast<std::uint64_t>(rd.tag) * 64) % (1 << 20);
+      (void)sim->send(rd, link);
+    }
+    sim->clock();
+    for (std::uint32_t link = 0; link < 4; ++link) {
+      while (sim->recv(link, rsp).ok()) {
+        benchmark::DoNotOptimize(rsp);
+        ++retired;
+      }
+    }
+  }
+  state.SetItemsProcessed(retired);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SaturatedTraffic, off, Mode::Off);
+BENCHMARK_CAPTURE(BM_SaturatedTraffic, journey, Mode::Journey);
+BENCHMARK_CAPTURE(BM_SaturatedTraffic, chrome, Mode::Chrome);
+
+BENCHMARK_MAIN();

@@ -8,6 +8,7 @@
 
 #include "sim/simulator.hpp"
 #include "sim/stats_report.hpp"
+#include "trace/chrome_sink.hpp"
 
 /* The opaque C handle wraps the C++ Simulator plus the trace plumbing the
  * C API owns (sink objects need a stable home). */
@@ -15,6 +16,11 @@ struct hmc_sim_t {
   std::unique_ptr<hmcsim::sim::Simulator> sim;
   std::unique_ptr<hmcsim::trace::TextSink> sink;
   std::unique_ptr<std::ofstream> trace_file;
+  /* Destruction order matters: the ChromeSink's destructor writes the
+   * closing bracket, so it must die before its ofstream — members are
+   * destroyed in reverse declaration order. */
+  std::unique_ptr<std::ofstream> chrome_file;
+  std::unique_ptr<hmcsim::trace::ChromeSink> chrome;
 };
 
 namespace {
@@ -214,6 +220,36 @@ int hmcsim_trace_file(hmc_sim_t *sim, const char *path) {
         std::make_unique<hmcsim::trace::TextSink>(*sim->trace_file);
   }
   sim->sim->tracer().attach(sim->sink.get());
+  return HMC_OK;
+}
+
+int hmcsim_trace_chrome_file(hmc_sim_t *sim, const char *path) {
+  if (sim == nullptr) {
+    return HMC_ERROR;
+  }
+  if (sim->chrome) {
+    sim->sim->tracer().detach(sim->chrome.get());
+    sim->sim->journeys().detach(sim->chrome.get());
+    sim->chrome->finish();
+    sim->chrome.reset();
+    sim->chrome_file.reset();
+  }
+  if (path == nullptr) {
+    return HMC_OK;
+  }
+  auto file = std::make_unique<std::ofstream>(path);
+  if (!file->is_open()) {
+    return HMC_ERROR;
+  }
+  sim->chrome_file = std::move(file);
+  sim->chrome =
+      std::make_unique<hmcsim::trace::ChromeSink>(*sim->chrome_file);
+  sim->sim->tracer().attach(sim->chrome.get());
+  sim->sim->journeys().attach(sim->chrome.get());
+  sim->sim->tracer().set_level(sim->sim->tracer().level() |
+                               hmcsim::trace::Level::Journey |
+                               hmcsim::trace::Level::Retry |
+                               hmcsim::trace::Level::Cmc);
   return HMC_OK;
 }
 

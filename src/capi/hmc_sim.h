@@ -96,6 +96,14 @@ int hmcsim_util_mem_write(hmc_sim_t *sim, uint32_t dev, uint64_t addr,
 int hmcsim_trace_level(hmc_sim_t *sim, uint32_t level);
 int hmcsim_trace_file(hmc_sim_t *sim, const char *path);
 
+/* Stream per-packet journeys (plus link-retry and CMC fault/re-arm
+ * incidents) to `path` as a Chrome trace-event JSON document, loadable in
+ * Perfetto or chrome://tracing (schema in docs/TRACE_FORMAT.md). Enables
+ * the JOURNEY, RETRY and CMC trace levels in addition to the current
+ * mask. Passing NULL detaches the sink and finalises the document; the
+ * document is also finalised by hmcsim_free(). */
+int hmcsim_trace_chrome_file(hmc_sim_t *sim, const char *path);
+
 /* Render the full statistics registry as JSON (schema documented in
  * docs/METRICS.md). Writes at most buf_len-1 bytes plus a NUL terminator
  * into `buf` and returns the number of bytes the complete document needs

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "spec/flit.hpp"
+#include "trace/journey.hpp"
 
 namespace hmcsim::dev {
 
@@ -97,6 +98,14 @@ Status Device::send(RqstEntry entry, std::uint32_t link, std::uint64_t cycle,
   Link& lnk = links_[link];
   if (Status s = lnk.accept_request(flits); !s.ok()) {
     return s;
+  }
+  // The packet is committed to the pipeline: open its journey record.
+  // Downstream stages stamp it keyed on the carried index alone, so the
+  // record stays consistent even if the trace level changes mid-flight.
+  if (tracer.journeys_on()) {
+    entry.journey = tracer.journeys()->open(
+        cycle, id_, link, entry.pkt.tag(), spec::to_string(rqst),
+        entry.pkt.addr());
   }
   // Link-layer transmit stamps: source link, per-link sequence number,
   // this packet's forward retry pointer, and the RRP acknowledging the
@@ -252,6 +261,10 @@ void Device::drain_rsp_retries(std::uint64_t cycle, trace::Tracer& tracer) {
                      .tag = head.pkt.tag(),
                      .value = retry.rsp.size() - 1,
                      .note = "response redelivered"});
+      }
+      if (head.journey != trace::kNoJourney &&
+          tracer.journeys() != nullptr) {
+        tracer.journeys()->at(head.journey).t_eject = cycle;
       }
       const bool pushed = q.push(std::move(head));
       (void)pushed;  // Guarded by the full() check above.
@@ -411,6 +424,12 @@ bool Device::transmit_rsp(RspEntry& head, std::uint32_t l,
       return true;
     }
   }
+  // The response reaches its host-link ejection queue this cycle; a
+  // retry-parked response is stamped at redelivery instead, so retry
+  // delay accrues to the rsp_queue stage.
+  if (head.journey != trace::kNoJourney && tracer.journeys() != nullptr) {
+    tracer.journeys()->at(head.journey).t_eject = cycle;
+  }
   const bool pushed = q.push(std::move(head));
   (void)pushed;  // Guarded by the full() check above.
   xbar_.rsps_routed().inc();
@@ -541,6 +560,10 @@ void Device::drain_rqst_queue(FixedQueue<RqstEntry>& q, Link* token_owner,
       if (token_owner != nullptr) {
         token_owner->return_tokens(entry.pkt.flits());
       }
+      if (entry.journey != trace::kNoJourney &&
+          tracer.journeys() != nullptr) {
+        tracer.journeys()->at(entry.journey).t_vault = cycle;
+      }
       const bool pushed = vq.push(std::move(entry));
       (void)pushed;  // Guarded by the full() check above.
       vault_rqst_active_ |= 1ULL << loc.vault;
@@ -554,7 +577,11 @@ void Device::drain_rqst_queue(FixedQueue<RqstEntry>& q, Link* token_owner,
       // CUB range at send time, so this indicates a topology
       // misconfiguration.
       xbar_.rqst_stalls().inc();
-      (void)q.pop();
+      RqstEntry dropped = q.pop();
+      if (dropped.journey != trace::kNoJourney &&
+          tracer.journeys() != nullptr) {
+        tracer.journeys()->drop(dropped.journey);
+      }
       continue;
     }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "spec/packet.hpp"
+#include "trace/journey.hpp"
 
 namespace hmcsim::dev {
 
@@ -13,6 +14,9 @@ struct RqstEntry {
   std::uint64_t send_cycle = 0;  ///< Cycle the host injected the packet.
   std::uint8_t src_link = 0;     ///< Host link it arrived on (response route).
   std::uint8_t hops = 0;         ///< Cube-to-cube forwarding hops taken.
+  /// Journey slot index (latency attribution); kNoJourney when journey
+  /// tracing is off — the common case, costing one compare per stage.
+  std::uint32_t journey = trace::kNoJourney;
 };
 
 /// A response packet travelling vault -> xbar -> link -> host.
@@ -21,6 +25,7 @@ struct RspEntry {
   std::uint64_t send_cycle = 0;  ///< Originating request's injection cycle.
   std::uint8_t dst_link = 0;     ///< Host link to eject on.
   std::uint8_t hops = 0;
+  std::uint32_t journey = trace::kNoJourney;  ///< Inherited from the request.
 };
 
 }  // namespace hmcsim::dev

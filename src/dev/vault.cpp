@@ -8,6 +8,7 @@
 #include "amo/amo_unit.hpp"
 #include "spec/flit.hpp"
 #include "spec/packet.hpp"
+#include "trace/journey.hpp"
 
 namespace hmcsim::dev {
 namespace {
@@ -124,6 +125,18 @@ void Vault::process(std::uint64_t cycle, ExecEnv& env) {
     RqstEntry entry = rqst_q_.pop();
     if (!execute_entry(entry, cycle, env)) {
       deferred_.push_back(std::move(entry));
+    } else if (entry.journey != trace::kNoJourney &&
+               env.tracer.journeys() != nullptr) {
+      // The entry retired but its journey index was not handed to a
+      // response (posted command, or a response-less error path): the
+      // packet's life ends at the vault. Complete the journey here.
+      trace::JourneyTracker& jt = *env.tracer.journeys();
+      trace::Journey& j = jt.at(entry.journey);
+      j.posted = true;
+      if (j.t_rsp == trace::kNoCycle) {
+        j.t_rsp = cycle;
+      }
+      jt.complete(entry.journey);
     }
   }
   for (RqstEntry& entry : deferred_) {
@@ -132,7 +145,7 @@ void Vault::process(std::uint64_t cycle, ExecEnv& env) {
   }
 }
 
-bool Vault::emit_response(const RqstEntry& rqst, std::uint8_t rsp_cmd_code,
+bool Vault::emit_response(RqstEntry& rqst, std::uint8_t rsp_cmd_code,
                           std::uint32_t flits, bool atomic_flag,
                           std::uint8_t errstat,
                           std::span<const std::uint64_t> payload,
@@ -176,6 +189,15 @@ bool Vault::emit_response(const RqstEntry& rqst, std::uint8_t rsp_cmd_code,
     params.payload = {};
     (void)spec::build_response(params, rsp.pkt);
   }
+  if (rqst.journey != trace::kNoJourney &&
+      env.tracer.journeys() != nullptr) {
+    trace::Journey& j = env.tracer.journeys()->at(rqst.journey);
+    j.t_rsp = cycle;
+    j.error = params.rsp_cmd_code ==
+              static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR);
+    rsp.journey = rqst.journey;
+    rqst.journey = trace::kNoJourney;
+  }
   const bool pushed = rsp_q_.push(std::move(rsp));
   (void)pushed;  // Guarded by the full() check above.
   rsps_generated_->inc();
@@ -203,6 +225,20 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
   const spec::CommandInfo& info = spec::command_info(rqst);
   const std::uint64_t addr = entry.pkt.addr();
   const DecodedAddr loc = env.amap.decode(addr);
+  // First service attempt: stamp t_service and the serving location. A
+  // deferral (bank conflict, full response queue) re-runs this path, but
+  // only the first attempt moves the stamp — later attempts accrue to the
+  // bank_service stage.
+  if (entry.journey != trace::kNoJourney &&
+      env.tracer.journeys() != nullptr) {
+    trace::Journey& j = env.tracer.journeys()->at(entry.journey);
+    if (j.t_service == trace::kNoCycle) {
+      j.t_service = cycle;
+      j.quad = quad_;
+      j.vault = vault_id_;
+      j.bank = loc.bank;
+    }
+  }
   const bool is_dram_access = info.kind != spec::CommandKind::Flow &&
                               info.kind != spec::CommandKind::ModeRead &&
                               info.kind != spec::CommandKind::ModeWrite;

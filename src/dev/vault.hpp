@@ -125,8 +125,9 @@ class Vault {
   [[nodiscard]] bool execute_entry(RqstEntry& entry, std::uint64_t cycle,
                                    ExecEnv& env);
 
-  /// Push a response; false on full response queue.
-  [[nodiscard]] bool emit_response(const RqstEntry& rqst,
+  /// Push a response; false on full response queue. Non-const request:
+  /// on success the journey slot index migrates to the response entry.
+  [[nodiscard]] bool emit_response(RqstEntry& rqst,
                                    std::uint8_t rsp_cmd_code,
                                    std::uint32_t flits, bool atomic_flag,
                                    std::uint8_t errstat,

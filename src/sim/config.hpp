@@ -80,6 +80,16 @@ struct Config {
   /// Seed of the deterministic error-injection stream.
   std::uint64_t link_error_seed = 0xE44;
 
+  // ---- latency attribution -------------------------------------------------
+  /// When true, journey tracing (trace::Level::Journey) is enabled at
+  /// construction and the `host.stage.*` per-stage histograms are
+  /// registered eagerly, so they appear in stats exports even before the
+  /// first packet retires. When false (the default) the histograms are
+  /// registered lazily on the first completed journey: with journey
+  /// tracing never enabled, stats output is byte-identical to a build
+  /// without the feature.
+  bool stage_stats = false;
+
   // ---- CMC fault containment ----------------------------------------------
   /// Consecutive failed plugin executes before a CMC slot is quarantined
   /// (requests then take the fast errstat_cmc_inactive error path until

@@ -42,6 +42,11 @@ Simulator::Simulator(const Config& cfg) : cfg_(cfg) {
         &registry_.histogram("host.link" + std::to_string(l) + ".latency",
                              "end-to-end latency per host link"));
   }
+  tracer_.set_journeys(&journeys_);
+  if (cfg.stage_stats) {
+    ensure_stage_histograms();
+    tracer_.set_level(tracer_.level() | trace::Level::Journey);
+  }
   cmc_ctx_.user = this;
   cmc_ctx_.mem_read = &Simulator::cmc_mem_read;
   cmc_ctx_.mem_write = &Simulator::cmc_mem_write;
@@ -133,7 +138,58 @@ Status Simulator::recv(std::uint32_t link, Response& out) {
                   .tag = entry.pkt.tag(),
                   .value = out.latency});
   }
+  if (entry.journey != trace::kNoJourney) {
+    close_journey(entry.journey, link);
+  }
   return Status::Ok();
+}
+
+void Simulator::ensure_stage_histograms() {
+  if (stage_hists_[0] != nullptr) {
+    return;
+  }
+  for (std::size_t i = 0; i < trace::kStageCount; ++i) {
+    const auto stage = static_cast<trace::Stage>(i);
+    stage_hists_[i] = &registry_.histogram(
+        "host.stage." + std::string(trace::to_string(stage)),
+        "cycles a retired packet spent in this pipeline stage");
+  }
+}
+
+void Simulator::close_journey(std::uint32_t idx, std::uint32_t link) {
+  trace::Journey& j = journeys_.at(idx);
+  j.t_retire = cycle_;
+  // The stage durations telescope send -> retire, so their sum equals the
+  // host.latency sample recorded for this response exactly.
+  const auto durations = j.stage_durations();
+  ensure_stage_histograms();
+  for (std::size_t i = 0; i < trace::kStageCount; ++i) {
+    stage_hists_[i]->record(durations[i]);
+  }
+  if (tracer_.enabled(trace::Level::Journey)) {
+    std::string note;
+    for (std::size_t i = 0; i < trace::kStageCount; ++i) {
+      if (i != 0) {
+        note += ' ';
+      }
+      note += trace::to_string(static_cast<trace::Stage>(i));
+      note += '=';
+      note += std::to_string(durations[i]);
+    }
+    tracer_.emit({.cycle = cycle_,
+                  .kind = trace::Level::Journey,
+                  .where = {.dev = j.dev,
+                            .quad = j.quad,
+                            .vault = j.vault,
+                            .bank = j.bank,
+                            .link = link},
+                  .tag = j.tag,
+                  .op = j.op,
+                  .addr = j.addr,
+                  .value = j.t_retire - j.t_send,
+                  .note = std::move(note)});
+  }
+  journeys_.complete(idx);
 }
 
 void Simulator::clock() {
@@ -390,6 +446,9 @@ void Simulator::reset_pipeline() {
   for (auto& device : devices_) {
     device->reset_pipeline();
   }
+  // The dropped packets' journey slots die with them (no observer
+  // notification: the packets never retired).
+  journeys_.clear();
 }
 
 Status Simulator::cmc_mem_read(void* user, std::uint32_t dev,

@@ -14,6 +14,7 @@
 // cooperatively scheduled instead).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -27,6 +28,7 @@
 #include "metrics/stat_registry.hpp"
 #include "sim/config.hpp"
 #include "spec/packet.hpp"
+#include "trace/journey.hpp"
 #include "trace/trace.hpp"
 
 namespace hmcsim::sim {
@@ -158,6 +160,17 @@ class Simulator {
 
   // ---- observability ---------------------------------------------------------
   [[nodiscard]] trace::Tracer& tracer() noexcept { return tracer_; }
+
+  /// The journey tracker behind per-packet latency attribution. Enable
+  /// trace::Level::Journey (or Config::stage_stats) to populate it; attach
+  /// a trace::JourneyObserver (ChromeSink, JourneySink) to stream
+  /// completed journeys.
+  [[nodiscard]] trace::JourneyTracker& journeys() noexcept {
+    return journeys_;
+  }
+  [[nodiscard]] const trace::JourneyTracker& journeys() const noexcept {
+    return journeys_;
+  }
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
   [[nodiscard]] std::uint32_t num_devices() const noexcept {
     return static_cast<std::uint32_t>(devices_.size());
@@ -215,6 +228,16 @@ class Simulator {
   /// every device (idempotent; called after load/register).
   void sync_cmc_counters();
 
+  /// Register the host.stage.* histograms (idempotent). Called lazily on
+  /// the first completed journey — or eagerly when Config::stage_stats is
+  /// set — so that with journey tracing off, stats exports never mention
+  /// the stage paths.
+  void ensure_stage_histograms();
+
+  /// Stamp t_retire, record the five stage durations and complete the
+  /// journey carried by a just-received response.
+  void close_journey(std::uint32_t idx, std::uint32_t link);
+
   // CmcContext service callbacks (type-erased plugin -> simulator bridge).
   static Status cmc_mem_read(void* user, std::uint32_t dev,
                              std::uint64_t addr, std::uint64_t* data,
@@ -225,6 +248,7 @@ class Simulator {
 
   Config cfg_;
   trace::Tracer tracer_;
+  trace::JourneyTracker journeys_;
   // Declared before devices_: devices hold handles into the registry, so
   // it must be constructed first and destroyed last.
   metrics::StatRegistry registry_;
@@ -241,6 +265,9 @@ class Simulator {
   std::uint64_t fast_forwarded_ = 0;
   metrics::Histogram* latency_hist_;
   std::vector<metrics::Histogram*> link_latency_;
+  /// host.stage.* histograms, indexed by trace::Stage; null until
+  /// ensure_stage_histograms() runs.
+  std::array<metrics::Histogram*, trace::kStageCount> stage_hists_{};
   std::uint64_t stats_every_ = 0;
   std::function<void(Simulator&)> stats_cb_;
 };

@@ -1,0 +1,148 @@
+#include "trace/chrome_sink.hpp"
+
+#include <string>
+
+#include "metrics/stat_registry.hpp"
+
+namespace hmcsim::trace {
+
+ChromeSink::ChromeSink(std::ostream& os) : os_(os) { os_ << "["; }
+
+ChromeSink::~ChromeSink() { finish(); }
+
+void ChromeSink::finish() {
+  if (!finished_) {
+    os_ << "\n]\n";
+    os_.flush();
+    finished_ = true;
+  }
+}
+
+void ChromeSink::begin_record(const char* ph, std::uint32_t pid,
+                              std::uint32_t tid, std::uint64_t ts) {
+  os_ << (first_ ? "\n" : ",\n");
+  first_ = false;
+  ++events_written_;
+  os_ << "{\"ph\":\"" << ph << "\",\"pid\":" << pid << ",\"tid\":" << tid
+      << ",\"ts\":" << ts;
+}
+
+void ChromeSink::ensure_track(std::uint32_t pid, std::uint32_t tid,
+                              const std::string& name) {
+  if (procs_.insert(pid).second) {
+    begin_record("M", pid, 0, 0);
+    os_ << ",\"name\":\"process_name\",\"args\":{\"name\":\"cube" << pid
+        << "\"}}";
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(pid) << 32) | tid;
+  if (tracks_.insert(key).second) {
+    begin_record("M", pid, tid, 0);
+    os_ << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << metrics::json_escape(name) << "\"}}";
+  }
+}
+
+void ChromeSink::slice(std::uint32_t pid, std::uint32_t tid,
+                       std::string_view name, std::uint64_t ts,
+                       std::uint64_t dur, std::uint16_t tag) {
+  begin_record("X", pid, tid, ts);
+  os_ << ",\"dur\":" << dur << ",\"name\":\""
+      << metrics::json_escape(std::string(name))
+      << "\",\"args\":{\"tag\":" << tag << "}}";
+}
+
+void ChromeSink::on_journey(const Journey& j) {
+  if (finished_) {
+    return;
+  }
+  const std::uint32_t ltid = link_tid(j.link);
+  const std::uint32_t vtid = vault_tid(j.vault);
+  ensure_track(j.dev, ltid, "link" + std::to_string(j.link));
+  if (j.t_service != kNoCycle) {
+    ensure_track(j.dev, vtid,
+                 "quad" + std::to_string(j.quad) + ".vault" +
+                     std::to_string(j.vault));
+  }
+  const std::uint64_t t_end =
+      j.t_retire != kNoCycle
+          ? j.t_retire
+          : (j.t_rsp != kNoCycle ? j.t_rsp : j.t_send);
+  const std::string op = metrics::json_escape(std::string(
+      j.op.empty() ? std::string_view("?") : j.op));
+
+  // Async span: the packet's whole life on its host-link track.
+  begin_record("b", j.dev, ltid, j.t_send);
+  os_ << ",\"cat\":\"packet\",\"id\":" << j.serial << ",\"name\":\"" << op
+      << "\",\"args\":{\"addr\":\"0x" << std::hex << j.addr << std::dec
+      << "\",\"tag\":" << j.tag << "}}";
+
+  // Per-stage duration slices on the link / serving-vault tracks.
+  const auto d = j.stage_durations();
+  std::uint64_t t = j.t_send;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const auto stage = static_cast<Stage>(i);
+    const bool vault_stage = stage == Stage::VaultQueue ||
+                             stage == Stage::BankService ||
+                             stage == Stage::RspQueue;
+    if (vault_stage && j.t_service == kNoCycle) {
+      continue;  // Never reached a vault: no track to place the slice on.
+    }
+    if (stage == Stage::RspQueue && j.posted) {
+      t += d[i];
+      continue;  // Posted: retired at the vault, no response stages.
+    }
+    if ((stage == Stage::RspPath || stage == Stage::RspQueue) &&
+        j.t_retire == kNoCycle && !j.posted) {
+      continue;
+    }
+    if (stage == Stage::RspPath && j.posted) {
+      continue;
+    }
+    slice(j.dev, vault_stage ? vtid : ltid, to_string(stage), t, d[i],
+          j.tag);
+    t += d[i];
+  }
+
+  begin_record("e", j.dev, ltid, t_end);
+  os_ << ",\"cat\":\"packet\",\"id\":" << j.serial << ",\"name\":\"" << op
+      << "\",\"args\":{\"latency\":" << (t_end - j.t_send)
+      << ",\"posted\":" << (j.posted ? "true" : "false")
+      << ",\"error\":" << (j.error ? "true" : "false");
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    os_ << ",\"" << to_string(static_cast<Stage>(i)) << "\":" << d[i];
+  }
+  os_ << "}}";
+}
+
+void ChromeSink::on_event(const Event& ev) {
+  if (finished_) {
+    return;
+  }
+  const bool retry = ev.kind == Level::Retry;
+  const bool cmc_incident =
+      ev.kind == Level::Cmc &&
+      (ev.op == "cmc_fault" || ev.op == "cmc_rearm");
+  if (!retry && !cmc_incident) {
+    return;
+  }
+  const std::uint32_t tid =
+      retry ? link_tid(ev.where.link) : vault_tid(ev.where.vault);
+  if (retry) {
+    ensure_track(ev.where.dev, tid,
+                 "link" + std::to_string(ev.where.link));
+  } else {
+    ensure_track(ev.where.dev, tid,
+                 "quad" + std::to_string(ev.where.quad) + ".vault" +
+                     std::to_string(ev.where.vault));
+  }
+  begin_record("i", ev.where.dev, tid, ev.cycle);
+  os_ << ",\"s\":\"t\",\"name\":\""
+      << metrics::json_escape(std::string(retry ? "retry" : ev.op))
+      << "\",\"args\":{\"tag\":" << ev.tag;
+  if (!ev.note.empty()) {
+    os_ << ",\"note\":\"" << metrics::json_escape(ev.note) << "\"";
+  }
+  os_ << "}}";
+}
+
+}  // namespace hmcsim::trace

@@ -1,0 +1,81 @@
+// chrome_sink.hpp — Chrome trace-event JSON export (Perfetto-loadable).
+//
+// ChromeSink renders packet journeys and link/CMC incidents into the
+// Chrome trace-event JSON array format, loadable directly in Perfetto
+// (ui.perfetto.dev) or chrome://tracing:
+//
+//   * one async span ("b"/"e" pair, id = journey serial) per packet on
+//     its host-link track, covering send() to retirement;
+//   * one "X" duration slice per journey stage, on the link track for
+//     the link stages and the serving vault's track for the vault
+//     stages;
+//   * one instant ("i") event per link retry and per CMC plugin
+//     fault/re-arm.
+//
+// Tracks: pid = cube id, tid 1..L = host links, tid 1000+v = vaults
+// (named through "M" metadata records, emitted lazily on first use).
+// Timestamps are simulator cycles written as trace microseconds.
+//
+// Attach to both the Tracer (instant events) and the JourneyTracker
+// (spans): the sink implements both interfaces. The document is a JSON
+// array; finish() writes the closing bracket (the destructor calls it).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <unordered_set>
+
+#include "trace/journey.hpp"
+#include "trace/trace.hpp"
+
+namespace hmcsim::trace {
+
+class ChromeSink final : public Sink, public JourneyObserver {
+ public:
+  explicit ChromeSink(std::ostream& os);
+  ChromeSink(const ChromeSink&) = delete;
+  ChromeSink& operator=(const ChromeSink&) = delete;
+  ~ChromeSink() override;
+
+  /// Instant events: link retries (Level::Retry) and CMC plugin faults /
+  /// re-arms (Level::Cmc). Other kinds are ignored.
+  void on_event(const Event& ev) override;
+
+  /// Async span + per-stage slices for one completed journey.
+  void on_journey(const Journey& journey) override;
+
+  /// Close the JSON array. Idempotent; called by the destructor. No
+  /// events may be emitted afterwards.
+  void finish();
+
+  [[nodiscard]] std::uint64_t events_written() const noexcept {
+    return events_written_;
+  }
+
+ private:
+  /// tid of a host-link track / a vault track.
+  [[nodiscard]] static std::uint32_t link_tid(std::uint32_t link) noexcept {
+    return 1 + link;
+  }
+  [[nodiscard]] static std::uint32_t vault_tid(std::uint32_t vault) noexcept {
+    return 1000 + vault;
+  }
+
+  /// Emit the process/thread "M" metadata records for (pid, tid) once.
+  void ensure_track(std::uint32_t pid, std::uint32_t tid,
+                    const std::string& name);
+  /// Start one record: separator plus the shared prefix fields.
+  void begin_record(const char* ph, std::uint32_t pid, std::uint32_t tid,
+                    std::uint64_t ts);
+  void slice(std::uint32_t pid, std::uint32_t tid, std::string_view name,
+             std::uint64_t ts, std::uint64_t dur, std::uint16_t tag);
+
+  std::ostream& os_;
+  std::unordered_set<std::uint64_t> tracks_;  ///< (pid<<32)|tid seen.
+  std::unordered_set<std::uint64_t> procs_;   ///< pid seen.
+  std::uint64_t events_written_ = 0;
+  bool first_ = true;
+  bool finished_ = false;
+};
+
+}  // namespace hmcsim::trace

@@ -1,0 +1,109 @@
+#include "trace/journey.hpp"
+
+#include <algorithm>
+
+namespace hmcsim::trace {
+
+std::string_view to_string(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::LinkIngress:
+      return "link_ingress";
+    case Stage::VaultQueue:
+      return "vault_queue";
+    case Stage::BankService:
+      return "bank_service";
+    case Stage::RspQueue:
+      return "rsp_queue";
+    case Stage::RspPath:
+      return "rsp_path";
+  }
+  return "?";
+}
+
+std::array<std::uint64_t, kStageCount> Journey::stage_durations()
+    const noexcept {
+  // Each stage runs from the latest earlier stamp to its own stamp; a
+  // missing (or out-of-order) stamp contributes zero and does not move
+  // the baseline, so the total telescopes to (last stamp - t_send).
+  std::array<std::uint64_t, kStageCount> out{};
+  const std::array<std::uint64_t, kStageCount> stamps{
+      t_vault, t_service, t_rsp, t_eject, t_retire};
+  std::uint64_t prev = t_send;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    if (stamps[i] != kNoCycle && stamps[i] >= prev) {
+      out[i] = stamps[i] - prev;
+      prev = stamps[i];
+    }
+  }
+  return out;
+}
+
+std::uint32_t JourneyTracker::open(std::uint64_t cycle, std::uint32_t dev,
+                                   std::uint32_t link, std::uint16_t tag,
+                                   std::string_view op, std::uint64_t addr) {
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    live_.push_back(false);
+  }
+  Journey& j = slots_[idx];
+  j = Journey{};
+  j.serial = next_serial_++;
+  j.dev = dev;
+  j.link = link;
+  j.tag = tag;
+  j.op = op;
+  j.addr = addr;
+  j.t_send = cycle;
+  live_[idx] = true;
+  ++in_flight_;
+  ++opened_;
+  return idx;
+}
+
+void JourneyTracker::complete(std::uint32_t idx) {
+  const Journey& j = slots_[idx];
+  for (JourneyObserver* observer : observers_) {
+    observer->on_journey(j);
+  }
+  ++completed_;
+  drop(idx);
+}
+
+void JourneyTracker::drop(std::uint32_t idx) noexcept {
+  if (idx < live_.size() && live_[idx]) {
+    live_[idx] = false;
+    --in_flight_;
+    free_.push_back(idx);
+  }
+}
+
+void JourneyTracker::clear() noexcept {
+  for (std::uint32_t idx = 0; idx < live_.size(); ++idx) {
+    if (live_[idx]) {
+      live_[idx] = false;
+      free_.push_back(idx);
+    }
+  }
+  in_flight_ = 0;
+}
+
+void JourneyTracker::attach(JourneyObserver* observer) {
+  if (observer != nullptr &&
+      std::find(observers_.begin(), observers_.end(), observer) ==
+          observers_.end()) {
+    observers_.push_back(observer);
+  }
+}
+
+void JourneyTracker::detach(JourneyObserver* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
+}
+
+}  // namespace hmcsim::trace

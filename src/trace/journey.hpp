@@ -1,0 +1,152 @@
+// journey.hpp — per-packet latency attribution.
+//
+// A Journey is the in-flight record of one request, stamped at each
+// pipeline transition (link ingress, vault-queue entry, service start,
+// response enqueue, link ejection, host retirement). On retirement the
+// stage durations feed the host.stage.* histograms and every attached
+// JourneyObserver (e.g. trace::ChromeSink, trace::JourneySink).
+//
+// Pay-for-what-you-use: packets carry a 32-bit slot index (kNoJourney
+// when tracing is off), so with trace::Level::Journey disabled the hot
+// path costs one integer compare and performs no allocation. Slots are
+// pooled through a free list: steady-state tracing allocates only while
+// the in-flight high-water mark is still growing.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace hmcsim::trace {
+
+/// Sentinel slot index carried by packets that have no journey record.
+inline constexpr std::uint32_t kNoJourney = UINT32_MAX;
+/// Sentinel for a pipeline transition that has not happened (yet).
+inline constexpr std::uint64_t kNoCycle = UINT64_MAX;
+
+/// The five stages a retired packet's end-to-end latency decomposes into.
+/// Their durations are consecutive differences of the journey stamps, so
+/// they always sum to the packet's host.latency sample exactly.
+enum class Stage : std::uint8_t {
+  LinkIngress = 0,  ///< send() -> vault-queue entry (link + xbar + hops).
+  VaultQueue,       ///< vault-queue entry -> first service attempt.
+  BankService,      ///< first attempt -> response enqueued (conflicts,
+                    ///< response-queue stalls and AMO/CMC execution).
+  RspQueue,         ///< response enqueued -> host-link ejection queue.
+  RspPath,          ///< ejection queue -> host recv().
+};
+inline constexpr std::size_t kStageCount = 5;
+
+[[nodiscard]] std::string_view to_string(Stage stage) noexcept;
+
+/// One packet's stamped trip through the pipeline.
+struct Journey {
+  // Identity (fixed at open).
+  std::uint64_t serial = 0;  ///< Monotonic id (Chrome async-span id).
+  std::uint64_t addr = 0;
+  std::string_view op;  ///< Command mnemonic (static lifetime).
+  std::uint32_t dev = 0;
+  std::uint32_t link = 0;
+  std::uint16_t tag = 0;
+  // Service placement (stamped at first service attempt).
+  std::uint32_t quad = 0;
+  std::uint32_t vault = 0;
+  std::uint32_t bank = 0;
+  bool posted = false;  ///< Retired at the vault without a response.
+  bool error = false;   ///< Response carried RSP_ERROR.
+  // Pipeline transition stamps (cycles; kNoCycle until reached).
+  std::uint64_t t_send = 0;
+  std::uint64_t t_vault = kNoCycle;
+  std::uint64_t t_service = kNoCycle;
+  std::uint64_t t_rsp = kNoCycle;
+  std::uint64_t t_eject = kNoCycle;
+  std::uint64_t t_retire = kNoCycle;
+
+  /// Per-stage durations. Missing stamps contribute zero cycles, and each
+  /// stage is measured from the latest earlier stamp, so the array always
+  /// sums to (last stamp - t_send) — for a retired packet, exactly the
+  /// host.latency sample.
+  [[nodiscard]] std::array<std::uint64_t, kStageCount> stage_durations()
+      const noexcept;
+
+  [[nodiscard]] bool completed() const noexcept {
+    return t_retire != kNoCycle || (posted && t_rsp != kNoCycle);
+  }
+};
+
+/// Receives every completed journey (retired responses and posted
+/// retirements). Dropped packets (unroutable, pipeline reset) are not
+/// reported.
+class JourneyObserver {
+ public:
+  virtual ~JourneyObserver() = default;
+  virtual void on_journey(const Journey& journey) = 0;
+};
+
+/// Slot store for in-flight journeys. Owned by the Simulator and shared
+/// with the devices through trace::Tracer (borrowed pointer), mirroring
+/// how sinks are wired.
+class JourneyTracker {
+ public:
+  /// Open a journey for a packet accepted at a host link; returns its
+  /// slot index (to be carried in the packet's queue entry).
+  [[nodiscard]] std::uint32_t open(std::uint64_t cycle, std::uint32_t dev,
+                                   std::uint32_t link, std::uint16_t tag,
+                                   std::string_view op, std::uint64_t addr);
+
+  /// The live record behind a slot index returned by open().
+  [[nodiscard]] Journey& at(std::uint32_t idx) noexcept {
+    return slots_[idx];
+  }
+  [[nodiscard]] const Journey& at(std::uint32_t idx) const noexcept {
+    return slots_[idx];
+  }
+
+  /// Finish a journey: notify observers, then recycle the slot.
+  void complete(std::uint32_t idx);
+
+  /// Abandon a journey without notifying observers (dropped packet).
+  void drop(std::uint32_t idx) noexcept;
+
+  /// Abandon every in-flight journey (pipeline reset).
+  void clear() noexcept;
+
+  void attach(JourneyObserver* observer);
+  void detach(JourneyObserver* observer);
+
+  [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_; }
+  [[nodiscard]] std::uint64_t opened() const noexcept { return opened_; }
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    return completed_;
+  }
+
+ private:
+  std::vector<Journey> slots_;
+  std::vector<std::uint32_t> free_;
+  std::vector<bool> live_;  ///< Slot holds an in-flight journey.
+  std::vector<JourneyObserver*> observers_;
+  std::uint64_t next_serial_ = 0;
+  std::uint64_t opened_ = 0;
+  std::uint64_t completed_ = 0;
+  std::size_t in_flight_ = 0;
+};
+
+/// In-memory observer retaining every completed journey (tests and
+/// programmatic inspection).
+class JourneySink final : public JourneyObserver {
+ public:
+  void on_journey(const Journey& journey) override {
+    journeys_.push_back(journey);
+  }
+  [[nodiscard]] const std::vector<Journey>& journeys() const noexcept {
+    return journeys_;
+  }
+  void clear() noexcept { journeys_.clear(); }
+
+ private:
+  std::vector<Journey> journeys_;
+};
+
+}  // namespace hmcsim::trace

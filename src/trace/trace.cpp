@@ -29,6 +29,8 @@ std::string_view to_string(Level level) noexcept {
       return "ROUTE";
     case Level::Retry:
       return "RETRY";
+    case Level::Journey:
+      return "JOURNEY";
     case Level::All:
       return "ALL";
   }
@@ -48,6 +50,27 @@ void TextSink::on_event(const Event& ev) {
   os_ << '\n';
 }
 
+namespace {
+
+// RFC 4180: a field containing a comma, a double quote or a line break is
+// enclosed in quotes, with embedded quotes doubled.
+void write_csv_field(std::ostream& os, std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    os << field;
+    return;
+  }
+  os << '"';
+  for (const char c : field) {
+    if (c == '"') {
+      os << '"';
+    }
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
 CsvSink::CsvSink(std::ostream& os) : os_(os) {
   os_ << "cycle,kind,dev,quad,vault,bank,link,tag,op,addr,value,note\n";
 }
@@ -55,14 +78,24 @@ CsvSink::CsvSink(std::ostream& os) : os_(os) {
 void CsvSink::on_event(const Event& ev) {
   os_ << ev.cycle << ',' << to_string(ev.kind) << ',' << ev.where.dev << ','
       << ev.where.quad << ',' << ev.where.vault << ',' << ev.where.bank << ','
-      << ev.where.link << ',' << ev.tag << ','
-      << (ev.op.empty() ? "-" : ev.op) << ',' << ev.addr << ',' << ev.value
-      << ',' << ev.note << '\n';
+      << ev.where.link << ',' << ev.tag << ',';
+  write_csv_field(os_, ev.op.empty() ? std::string_view("-") : ev.op);
+  os_ << ",0x" << std::hex << ev.addr << std::dec << ',' << ev.value << ',';
+  write_csv_field(os_, ev.note);
+  os_ << '\n';
 }
 
 void LatencySink::on_event(const Event& ev) {
   if (ev.kind == Level::Latency) {
     samples_.push_back(ev.value);
+    sorted_ = false;
+  }
+}
+
+void LatencySink::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
   }
 }
 
@@ -93,12 +126,21 @@ std::uint64_t LatencySink::percentile(double q) const {
   if (samples_.empty()) {
     return 0;
   }
+  ensure_sorted();
   q = std::clamp(q, 0.0, 1.0);
-  std::vector<std::uint64_t> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
   const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[rank];
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+std::vector<std::uint64_t> LatencySink::percentiles(
+    std::span<const double> qs) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(qs.size());
+  for (const double q : qs) {
+    out.push_back(percentile(q));
+  }
+  return out;
 }
 
 void CountingSink::on_event(const Event& ev) {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <ostream>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,6 +30,8 @@ enum class Level : std::uint32_t {
   Register = 1U << 7,      ///< Mode/JTAG register access.
   Route = 1U << 8,         ///< Inter-cube routing hops.
   Retry = 1U << 9,         ///< Link-layer CRC retry events.
+  Journey = 1U << 10,      ///< Per-packet stage-stamped journeys
+                           ///< (latency attribution; see journey.hpp).
   All = 0xFFFFFFFFU,
 };
 
@@ -122,12 +125,22 @@ class LatencySink final : public Sink {
   [[nodiscard]] double mean() const noexcept;
   /// q in [0,1]: nearest-rank percentile (q=0.5 median, 0.99 tail).
   [[nodiscard]] std::uint64_t percentile(double q) const;
-  void reset() noexcept { samples_.clear(); }
+  /// Batch percentile query: one result per requested q, computed from a
+  /// single sort (the p50/p95/p99 report path).
+  [[nodiscard]] std::vector<std::uint64_t> percentiles(
+      std::span<const double> qs) const;
+  void reset() noexcept {
+    samples_.clear();
+    sorted_ = true;
+  }
 
  private:
-  // Samples are stored raw (latencies are small integers); percentile
-  // queries sort a scratch copy on demand.
+  /// Sort the sample store in place once per batch of inserts: inserts
+  /// mark the cache dirty, queries re-sort only when it is.
+  void ensure_sorted() const;
+
   mutable std::vector<std::uint64_t> samples_;
+  mutable bool sorted_ = true;
 };
 
 /// In-memory sink retaining every event (tests).
@@ -142,6 +155,8 @@ class VectorSink final : public Sink {
  private:
   std::vector<Event> events_;
 };
+
+class JourneyTracker;  // journey.hpp
 
 /// Dispatcher: level mask + attached sinks. Sinks are borrowed, not owned —
 /// the caller controls their lifetime (they typically outlive the sim).
@@ -158,9 +173,24 @@ class Tracer {
 
   void emit(const Event& ev);
 
+  /// Journey stamping plumbing: the Simulator owns the JourneyTracker and
+  /// lends it to the pipeline stages through the tracer they already
+  /// receive. Null (the default) means no journey can ever open.
+  void set_journeys(JourneyTracker* journeys) noexcept {
+    journeys_ = journeys;
+  }
+  [[nodiscard]] JourneyTracker* journeys() const noexcept {
+    return journeys_;
+  }
+  /// True when a packet admitted now should open a journey record.
+  [[nodiscard]] bool journeys_on() const noexcept {
+    return journeys_ != nullptr && enabled(Level::Journey);
+  }
+
  private:
   Level mask_ = Level::None;
   std::vector<Sink*> sinks_;
+  JourneyTracker* journeys_ = nullptr;
 };
 
 }  // namespace hmcsim::trace

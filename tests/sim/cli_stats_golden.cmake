@@ -1,0 +1,63 @@
+# cli_stats_golden.cmake — tracing-off stats stay byte-identical.
+#
+# Replays the committed golden workload twice:
+#   1. plain                -> the stats JSON must equal the committed
+#                              pre-journey golden byte for byte (the
+#                              journey subsystem is pay-for-what-you-use:
+#                              disabled tracing may not perturb a single
+#                              registered statistic);
+#   2. --stage-stats        -> the host.stage.* histograms appear in the
+#                              JSON and the CLI prints the attribution
+#                              report with its percentile line.
+# Invoked as:
+#   cmake -DCLI=<hmcsim_cli> -DTRACE=<journey_off.trace>
+#         -DGOLDEN=<journey_off_stats.json> -DOUT_DIR=<dir>
+#         -P cli_stats_golden.cmake
+if(NOT DEFINED CLI OR NOT DEFINED TRACE OR NOT DEFINED GOLDEN
+   OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<exe> -DTRACE=<trace> -DGOLDEN=<json> -DOUT_DIR=<dir> -P ${CMAKE_SCRIPT_MODE_FILE}")
+endif()
+
+function(run_replay json_path out_var)
+  execute_process(
+    COMMAND "${CLI}" replay "${TRACE}" ${ARGN}
+            --stats-json "${json_path}"
+    OUTPUT_VARIABLE run_stdout
+    ERROR_VARIABLE run_stderr
+    RESULT_VARIABLE run_rc)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "hmcsim_cli exited with ${run_rc}\n${run_stdout}\n${run_stderr}")
+  endif()
+  if(NOT EXISTS "${json_path}")
+    message(FATAL_ERROR "--stats-json wrote no file at ${json_path}")
+  endif()
+  set(${out_var} "${run_stdout}" PARENT_SCOPE)
+endfunction()
+
+set(plain_json "${OUT_DIR}/cli_journey_off_stats.json")
+run_replay("${plain_json}" plain_stdout)
+
+file(READ "${plain_json}" plain)
+file(READ "${GOLDEN}" golden)
+if(NOT plain STREQUAL golden)
+  message(FATAL_ERROR "tracing-off stats diverged from the committed golden: the journey subsystem is no longer free when disabled")
+endif()
+if(plain MATCHES "link_ingress")
+  message(FATAL_ERROR "host.stage.* registered without --stage-stats:\n${plain}")
+endif()
+
+set(stage_json "${OUT_DIR}/cli_journey_stage_stats.json")
+run_replay("${stage_json}" stage_stdout "--stage-stats")
+
+file(READ "${stage_json}" staged)
+foreach(stage link_ingress vault_queue bank_service rsp_queue rsp_path)
+  if(NOT staged MATCHES "\"${stage}\"")
+    message(FATAL_ERROR "--stage-stats JSON lacks host.stage.${stage}:\n${staged}")
+  endif()
+endforeach()
+if(NOT stage_stdout MATCHES "stage attribution \\(1[0-9] retired packets\\):")
+  message(FATAL_ERROR "--stage-stats printed no attribution report:\n${stage_stdout}")
+endif()
+if(NOT stage_stdout MATCHES "end-to-end latency: p50=[0-9]+ p95=[0-9]+ p99=[0-9]+")
+  message(FATAL_ERROR "--stage-stats printed no percentile line:\n${stage_stdout}")
+endif()

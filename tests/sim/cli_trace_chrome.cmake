@@ -1,0 +1,54 @@
+# cli_trace_chrome.cmake — --trace-chrome emits a well-formed document.
+#
+# Replays the committed golden workload with --trace-chrome and checks the
+# structural invariants of the Chrome trace-event array (the full schema
+# check lives in tests/trace/chrome_trace_test.cpp; this guards the CLI
+# wiring: the sink is attached, flushed and finalised on exit):
+#   * the document is a JSON array (opens with '[', closes with ']');
+#   * process/thread metadata ("M"), async spans ("b"/"e") and stage
+#     slices ("X") are all present;
+#   * every "b" has a matching "e" (counted over the whole document).
+# Invoked as:
+#   cmake -DCLI=<hmcsim_cli> -DTRACE=<journey_off.trace> -DOUT_DIR=<dir>
+#         -P cli_trace_chrome.cmake
+if(NOT DEFINED CLI OR NOT DEFINED TRACE OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<exe> -DTRACE=<trace> -DOUT_DIR=<dir> -P ${CMAKE_SCRIPT_MODE_FILE}")
+endif()
+
+set(chrome_json "${OUT_DIR}/cli_journey_chrome.json")
+execute_process(
+  COMMAND "${CLI}" replay "${TRACE}" --trace-chrome "${chrome_json}"
+  OUTPUT_VARIABLE run_stdout
+  ERROR_VARIABLE run_stderr
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "hmcsim_cli exited with ${run_rc}\n${run_stdout}\n${run_stderr}")
+endif()
+if(NOT EXISTS "${chrome_json}")
+  message(FATAL_ERROR "--trace-chrome wrote no file at ${chrome_json}")
+endif()
+
+file(READ "${chrome_json}" doc)
+if(NOT doc MATCHES "^\\[")
+  message(FATAL_ERROR "document does not open a JSON array:\n${doc}")
+endif()
+if(NOT doc MATCHES "\\]\n$")
+  message(FATAL_ERROR "document was not finalised with a closing bracket")
+endif()
+foreach(needle "\"ph\":\"M\"" "\"ph\":\"X\"" "process_name" "thread_name"
+        "\"cat\":\"packet\"")
+  if(NOT doc MATCHES "${needle}")
+    message(FATAL_ERROR "document lacks ${needle}:\n${doc}")
+  endif()
+endforeach()
+
+string(REGEX MATCHALL "\"ph\":\"b\"" begins "${doc}")
+string(REGEX MATCHALL "\"ph\":\"e\"" ends "${doc}")
+list(LENGTH begins n_begin)
+list(LENGTH ends n_end)
+if(n_begin EQUAL 0)
+  message(FATAL_ERROR "no async spans in the document:\n${doc}")
+endif()
+if(NOT n_begin EQUAL n_end)
+  message(FATAL_ERROR "unbalanced async spans: ${n_begin} begins, ${n_end} ends")
+endif()

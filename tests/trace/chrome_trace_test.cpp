@@ -1,0 +1,365 @@
+// chrome_trace_test.cpp — schema checks for the Chrome trace-event export.
+//
+// Parses the emitted document with a minimal JSON reader (array of flat
+// records; the only nesting is the "args" object) and checks the trace
+// invariants Perfetto relies on: every async "b" has a matching "e" with
+// the same id, metadata records name each track before use, and the
+// per-stage slice durations reconcile with the span's latency.
+#include "src/trace/chrome_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/capi/hmc_sim.h"
+#include "src/sim/simulator.hpp"
+
+namespace hmcsim::trace {
+namespace {
+
+/// One trace record flattened to dotted keys ("args.tag" etc.). Strings
+/// keep their unquoted value; numbers and booleans keep their literal
+/// spelling.
+using Record = std::map<std::string, std::string>;
+
+class TraceJson {
+ public:
+  /// Parses a trace-event JSON array; fails the test on malformed input.
+  static std::vector<Record> parse(const std::string& text) {
+    TraceJson p(text);
+    std::vector<Record> records;
+    p.skip_ws();
+    p.expect('[');
+    p.skip_ws();
+    if (p.peek() == ']') {
+      ++p.pos_;
+    } else {
+      while (true) {
+        Record r;
+        p.parse_object("", r);
+        records.push_back(std::move(r));
+        p.skip_ws();
+        if (p.peek() == ',') {
+          ++p.pos_;
+          p.skip_ws();
+          continue;
+        }
+        p.expect(']');
+        break;
+      }
+    }
+    p.skip_ws();
+    EXPECT_EQ(p.pos_, p.text_.size()) << "trailing bytes after the array";
+    return records;
+  }
+
+ private:
+  explicit TraceJson(const std::string& text) : text_(text) {}
+
+  void parse_object(const std::string& prefix, Record& out) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      const std::string path = prefix.empty() ? key : prefix + "." + key;
+      if (peek() == '{') {
+        parse_object(path, out);
+      } else if (peek() == '"') {
+        out[path] = parse_string();
+      } else {
+        out[path] = parse_scalar();
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        out += text_[pos_ + 1];
+        pos_ += 2;
+      } else {
+        out += text_[pos_++];
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  std::string parse_scalar() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    EXPECT_GT(pos_, start) << "expected a scalar at offset " << start;
+    return text_.substr(start, pos_ - start);
+  }
+
+  void expect(char c) {
+    ASSERT_LT(pos_, text_.size()) << "unexpected end of document";
+    ASSERT_EQ(text_[pos_], c) << "offset " << pos_;
+    ++pos_;
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<Record> by_ph(const std::vector<Record>& records,
+                          const std::string& ph) {
+  std::vector<Record> out;
+  for (const Record& r : records) {
+    if (auto it = r.find("ph"); it != r.end() && it->second == ph) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+class ChromeTraceTest : public ::testing::Test {
+ protected:
+  void make_sim(sim::Config cfg) {
+    ASSERT_TRUE(sim::Simulator::create(cfg, sim_).ok());
+    sink_ = std::make_unique<ChromeSink>(os_);
+    sim_->tracer().attach(sink_.get());
+    sim_->journeys().attach(sink_.get());
+    sim_->tracer().set_level(sim_->tracer().level() | Level::Journey |
+                             Level::Retry | Level::Cmc);
+  }
+
+  void roundtrip(std::uint64_t addr, std::uint16_t tag, std::uint32_t link) {
+    spec::RqstParams rd;
+    rd.rqst = spec::Rqst::RD16;
+    rd.addr = addr;
+    rd.tag = tag;
+    Status s = sim_->send(rd, link);
+    int guard = 0;
+    while (s.stalled() && guard++ < 10000) {
+      sim_->clock();
+      s = sim_->send(rd, link);
+    }
+    ASSERT_TRUE(s.ok()) << s.to_string();
+    guard = 0;
+    while (!sim_->rsp_ready(link) && guard++ < 10000) {
+      sim_->clock();
+    }
+    sim::Response rsp;
+    ASSERT_TRUE(sim_->recv(link, rsp).ok());
+  }
+
+  std::vector<Record> finish_and_parse() {
+    sink_->finish();
+    return TraceJson::parse(os_.str());
+  }
+
+  std::ostringstream os_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<ChromeSink> sink_;
+};
+
+TEST(ChromeSinkDocument, EmptyTraceIsAValidArray) {
+  std::ostringstream os;
+  {
+    ChromeSink sink(os);
+    sink.finish();
+    sink.finish();  // Idempotent.
+  }
+  EXPECT_TRUE(TraceJson::parse(os.str()).empty());
+  EXPECT_EQ(os.str().front(), '[');
+}
+
+TEST_F(ChromeTraceTest, SpansBalanceAndTracksAreNamed) {
+  make_sim(sim::Config::hmc_4link_4gb());
+  for (std::uint16_t i = 0; i < 8; ++i) {
+    roundtrip(0x100 + 0x40ULL * i, static_cast<std::uint16_t>(i + 1),
+              i % 4U);
+  }
+  const std::vector<Record> records = finish_and_parse();
+
+  const auto begins = by_ph(records, "b");
+  const auto ends = by_ph(records, "e");
+  ASSERT_EQ(begins.size(), 8U);
+  ASSERT_EQ(ends.size(), 8U);
+  // Each "b" pairs with exactly one "e" by async id, on the same track.
+  for (const Record& b : begins) {
+    int matches = 0;
+    for (const Record& e : ends) {
+      if (e.at("id") == b.at("id")) {
+        ++matches;
+        EXPECT_EQ(e.at("pid"), b.at("pid"));
+        EXPECT_EQ(e.at("tid"), b.at("tid"));
+        EXPECT_EQ(e.at("cat"), "packet");
+      }
+    }
+    EXPECT_EQ(matches, 1) << "id " << b.at("id");
+  }
+
+  // Every (pid, tid) used by a span or slice was named by an "M" record.
+  std::map<std::string, std::string> track_names;
+  bool saw_process_name = false;
+  for (const Record& m : by_ph(records, "M")) {
+    if (m.at("name") == "process_name") {
+      saw_process_name = true;
+      EXPECT_EQ(m.at("args.name"), "cube" + m.at("pid"));
+    } else {
+      ASSERT_EQ(m.at("name"), "thread_name");
+      track_names[m.at("pid") + ":" + m.at("tid")] = m.at("args.name");
+    }
+  }
+  EXPECT_TRUE(saw_process_name);
+  for (const Record& r : records) {
+    if (r.at("ph") == "M") {
+      continue;
+    }
+    EXPECT_TRUE(track_names.contains(r.at("pid") + ":" + r.at("tid")))
+        << "unnamed track for ph=" << r.at("ph");
+  }
+  // All four host links plus at least one vault got a track.
+  EXPECT_EQ(track_names.at("0:1"), "link0");
+  EXPECT_EQ(track_names.at("0:4"), "link3");
+
+  // Stage slices carry valid names and reconcile with each span's latency.
+  for (const Record& x : by_ph(records, "X")) {
+    const std::string& name = x.at("name");
+    bool known = false;
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      known = known || name == to_string(static_cast<Stage>(i));
+    }
+    EXPECT_TRUE(known) << "unknown stage slice " << name;
+  }
+  for (const Record& e : ends) {
+    std::uint64_t stage_sum = 0;
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      stage_sum += std::stoull(
+          e.at("args." + std::string(to_string(static_cast<Stage>(i)))));
+    }
+    EXPECT_EQ(std::to_string(stage_sum), e.at("args.latency"));
+    EXPECT_EQ(e.at("args.posted"), "false");
+    EXPECT_EQ(e.at("args.error"), "false");
+  }
+}
+
+TEST_F(ChromeTraceTest, PostedSpanEndsAtTheVault) {
+  make_sim(sim::Config::hmc_4link_4gb());
+  const std::array<std::uint64_t, 2> data{0xAB, 0xCD};
+  spec::RqstParams wr;
+  wr.rqst = spec::Rqst::P_WR16;
+  wr.addr = 0x900;
+  wr.tag = 9;
+  wr.payload = data;
+  ASSERT_TRUE(sim_->send(wr, 0).ok());
+  (void)sim_->clock_until_idle(100);
+  const std::vector<Record> records = finish_and_parse();
+
+  const auto ends = by_ph(records, "e");
+  ASSERT_EQ(ends.size(), 1U);
+  EXPECT_EQ(ends[0].at("args.posted"), "true");
+  // Retired at the vault: no response-side stage slices exist.
+  for (const Record& x : by_ph(records, "X")) {
+    EXPECT_NE(x.at("name"), "rsp_queue");
+    EXPECT_NE(x.at("name"), "rsp_path");
+  }
+}
+
+TEST_F(ChromeTraceTest, LinkRetryEmitsAnInstant) {
+  sim::Config cfg = sim::Config::hmc_4link_4gb();
+  cfg.link_flit_error_ppm = 1'000'000;
+  make_sim(cfg);
+  roundtrip(0x100, 1, 0);
+  const std::vector<Record> records = finish_and_parse();
+
+  bool saw_retry = false;
+  for (const Record& i : by_ph(records, "i")) {
+    if (i.at("name") == "retry") {
+      saw_retry = true;
+      EXPECT_EQ(i.at("s"), "t");
+      EXPECT_EQ(i.at("tid"), "1");  // link0's track.
+    }
+  }
+  EXPECT_TRUE(saw_retry);
+}
+
+TEST(ChromeTraceCapi, FileExportRoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "/hmcsim_chrome_capi_test.json";
+  hmc_sim_t* sim = hmcsim_init(1, 4, 4, 64, 64, 128);
+  ASSERT_NE(sim, nullptr);
+  ASSERT_EQ(hmcsim_trace_chrome_file(sim, path.c_str()), HMC_OK);
+  ASSERT_EQ(hmcsim_send(sim, 0, HMC_RD16, 0, 0x400, 11, nullptr, 0),
+            HMC_OK);
+  uint8_t cmd = 0;
+  uint16_t tag = 0;
+  int rc = HMC_NO_DATA;
+  for (int guard = 0; guard < 10000 && rc != HMC_OK; ++guard) {
+    (void)hmcsim_clock(sim);
+    rc = hmcsim_recv(sim, 0, &cmd, &tag, nullptr, nullptr, nullptr);
+  }
+  ASSERT_EQ(rc, HMC_OK);
+  EXPECT_EQ(tag, 11);
+  hmcsim_free(sim);  // Finalises the document.
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::vector<Record> records = TraceJson::parse(buf.str());
+  EXPECT_EQ(by_ph(records, "b").size(), 1U);
+  EXPECT_EQ(by_ph(records, "e").size(), 1U);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTraceCapi, NullPathDetachesAndFinalises) {
+  const std::string path =
+      ::testing::TempDir() + "/hmcsim_chrome_capi_null.json";
+  hmc_sim_t* sim = hmcsim_init(1, 4, 4, 64, 64, 128);
+  ASSERT_NE(sim, nullptr);
+  ASSERT_EQ(hmcsim_trace_chrome_file(sim, path.c_str()), HMC_OK);
+  ASSERT_EQ(hmcsim_trace_chrome_file(sim, nullptr), HMC_OK);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(TraceJson::parse(buf.str()).empty());
+  hmcsim_free(sim);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hmcsim::trace

@@ -1,0 +1,174 @@
+// sink_format_test.cpp — golden-line guards for the trace sink formats.
+//
+// The text and CSV lines below are the documented formats from
+// docs/TRACE_FORMAT.md; downstream parsers depend on them byte for byte.
+// The CSV cases exercise RFC 4180 quoting (commas, embedded quotes and
+// line breaks in the free-form fields) introduced with the journey
+// subsystem's machine-readable notes.
+#include "src/trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <string>
+
+namespace hmcsim::trace {
+namespace {
+
+Event make_event() {
+  Event ev;
+  ev.cycle = 42;
+  ev.kind = Level::Cmc;
+  ev.where = {.dev = 1, .quad = 2, .vault = 3, .bank = 4, .link = 0};
+  ev.tag = 9;
+  ev.op = "hmc_lock";
+  ev.addr = 0x4000;
+  ev.value = 7;
+  return ev;
+}
+
+TEST(LevelNames, JourneyRendersAsJourney) {
+  EXPECT_EQ(to_string(Level::Journey), "JOURNEY");
+  // Journey is part of the All mask: enabling everything enables journeys.
+  EXPECT_TRUE(any(Level::All & Level::Journey));
+}
+
+TEST(TextSinkFormat, GoldenLine) {
+  std::ostringstream os;
+  TextSink sink(os);
+  sink.on_event(make_event());
+  EXPECT_EQ(os.str(),
+            "42 CMC dev=1 quad=2 vault=3 bank=4 link=0 tag=9 op=hmc_lock "
+            "addr=0x4000 value=7\n");
+}
+
+TEST(TextSinkFormat, NoteIsQuoted) {
+  std::ostringstream os;
+  TextSink sink(os);
+  Event ev = make_event();
+  ev.note = "deferred";
+  sink.on_event(ev);
+  EXPECT_NE(os.str().find("note=\"deferred\""), std::string::npos);
+}
+
+TEST(CsvSinkFormat, HeaderAndGoldenLine) {
+  std::ostringstream os;
+  CsvSink sink(os);
+  sink.on_event(make_event());
+  EXPECT_EQ(os.str(),
+            "cycle,kind,dev,quad,vault,bank,link,tag,op,addr,value,note\n"
+            "42,CMC,1,2,3,4,0,9,hmc_lock,0x4000,7,\n");
+}
+
+TEST(CsvSinkFormat, AddrIsHexWithPrefix) {
+  std::ostringstream os;
+  CsvSink sink(os);
+  Event ev = make_event();
+  ev.addr = 0xDEADBEEF;
+  sink.on_event(ev);
+  EXPECT_NE(os.str().find(",0xdeadbeef,"), std::string::npos);
+  // The value column that follows stays decimal.
+  EXPECT_NE(os.str().find(",0xdeadbeef,7,"), std::string::npos);
+}
+
+TEST(CsvSinkFormat, EmptyOpRendersDash) {
+  std::ostringstream os;
+  CsvSink sink(os);
+  Event ev = make_event();
+  ev.op = {};
+  sink.on_event(ev);
+  EXPECT_NE(os.str().find(",9,-,0x4000,"), std::string::npos);
+}
+
+TEST(CsvSinkFormat, NoteWithCommasIsQuoted) {
+  std::ostringstream os;
+  CsvSink sink(os);
+  Event ev = make_event();
+  ev.note = "link_ingress=1, vault_queue=2";
+  sink.on_event(ev);
+  EXPECT_EQ(os.str(),
+            "cycle,kind,dev,quad,vault,bank,link,tag,op,addr,value,note\n"
+            "42,CMC,1,2,3,4,0,9,hmc_lock,0x4000,7,"
+            "\"link_ingress=1, vault_queue=2\"\n");
+}
+
+TEST(CsvSinkFormat, EmbeddedQuotesAreDoubled) {
+  std::ostringstream os;
+  CsvSink sink(os);
+  Event ev = make_event();
+  ev.note = "plugin said \"busy\"";
+  sink.on_event(ev);
+  EXPECT_NE(os.str().find(",\"plugin said \"\"busy\"\"\"\n"),
+            std::string::npos);
+}
+
+TEST(CsvSinkFormat, LineBreakInNoteStaysOneField) {
+  std::ostringstream os;
+  CsvSink sink(os);
+  Event ev = make_event();
+  ev.note = "line1\nline2";
+  sink.on_event(ev);
+  EXPECT_NE(os.str().find(",\"line1\nline2\"\n"), std::string::npos);
+}
+
+TEST(CsvSinkFormat, OpWithCommaIsQuoted) {
+  std::ostringstream os;
+  CsvSink sink(os);
+  Event ev = make_event();
+  ev.op = "cmc,custom";
+  sink.on_event(ev);
+  EXPECT_NE(os.str().find(",9,\"cmc,custom\",0x4000,"), std::string::npos);
+}
+
+TEST(CountingSinkFormat, CountsPerCategory) {
+  CountingSink sink;
+  Event ev = make_event();
+  sink.on_event(ev);
+  sink.on_event(ev);
+  ev.kind = Level::Retry;
+  sink.on_event(ev);
+  ev.kind = Level::Journey;
+  sink.on_event(ev);
+  EXPECT_EQ(sink.count(Level::Cmc), 2U);
+  EXPECT_EQ(sink.count(Level::Retry), 1U);
+  EXPECT_EQ(sink.count(Level::Journey), 1U);
+  EXPECT_EQ(sink.count(Level::Stalls), 0U);
+  EXPECT_EQ(sink.total(), 4U);
+  sink.reset();
+  EXPECT_EQ(sink.count(Level::Cmc), 0U);
+  EXPECT_EQ(sink.total(), 0U);
+}
+
+TEST(LatencySinkFormat, BatchPercentilesMatchSingleQueries) {
+  LatencySink sink;
+  Event ev;
+  ev.kind = Level::Latency;
+  // Insert out of order; queries must see the sorted distribution.
+  for (const std::uint64_t v : {9ULL, 1ULL, 5ULL, 3ULL, 7ULL, 2ULL, 8ULL,
+                                4ULL, 6ULL, 10ULL}) {
+    ev.value = v;
+    sink.on_event(ev);
+  }
+  constexpr std::array<double, 3> kQs{0.5, 0.95, 0.99};
+  const auto batch = sink.percentiles(kQs);
+  ASSERT_EQ(batch.size(), 3U);
+  EXPECT_EQ(batch[0], sink.percentile(0.5));
+  EXPECT_EQ(batch[1], sink.percentile(0.95));
+  EXPECT_EQ(batch[2], sink.percentile(0.99));
+  EXPECT_EQ(batch[0], 6U);   // Nearest-rank median of 1..10.
+  EXPECT_EQ(batch[2], 10U);  // Tail lands on the maximum.
+
+  // Interleaved inserts invalidate the cache: new samples are visible.
+  ev.value = 100;
+  sink.on_event(ev);
+  EXPECT_EQ(sink.percentile(1.0), 100U);
+  EXPECT_EQ(sink.max(), 100U);
+
+  sink.reset();
+  EXPECT_EQ(sink.count(), 0U);
+  EXPECT_EQ(sink.percentile(0.5), 0U);
+}
+
+}  // namespace
+}  // namespace hmcsim::trace

@@ -10,6 +10,7 @@
 // Common options: --links 4|8 (device selection), --plugins <dir> (load
 // the mutex trio from shared libraries), --power (energy estimate),
 // --trace-file <path> --trace-level <mask> (simulator event tracing).
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +24,7 @@
 #include "src/host/trace_replay.hpp"
 #include "src/power/power_model.hpp"
 #include "src/sim/stats_report.hpp"
+#include "src/trace/chrome_sink.hpp"
 
 using namespace hmcsim;
 
@@ -34,6 +36,8 @@ struct CliOptions {
   bool power = false;
   std::string trace_file;
   std::uint32_t trace_level = 0;
+  std::string trace_chrome;
+  bool stage_stats = false;
   std::string stats_json;
   std::uint64_t stats_every = 0;
   bool exhaustive_clock = false;
@@ -60,6 +64,10 @@ int usage() {
       "                              quarantine (fault-containment demo)\n"
       "options: --links 4|8  --plugins <dir>  --power\n"
       "         --trace-file <path>  --trace-level <mask>\n"
+      "         --trace-chrome <path> (per-packet journeys as Chrome\n"
+      "                               trace-event JSON; open in Perfetto)\n"
+      "         --stage-stats        (per-stage latency attribution\n"
+      "                               histograms + end-of-run report)\n"
       "         --stats-json <path>  --stats-every <cycles>\n"
       "         --exhaustive-clock   (disable active-set scheduling and\n"
       "                               quiescence fast-forward)\n"
@@ -107,6 +115,14 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
         return false;
       }
       opts.trace_level = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--trace-chrome") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.trace_chrome = v;
+    } else if (arg == "--stage-stats") {
+      opts.stage_stats = true;
     } else if (arg == "--stats-json") {
       const char* v = next();
       if (v == nullptr) {
@@ -168,6 +184,7 @@ std::unique_ptr<sim::Simulator> make_sim(const CliOptions& opts) {
   sim::Config cfg = opts.links == 8 ? sim::Config::hmc_8link_8gb()
                                     : sim::Config::hmc_4link_4gb();
   cfg.exhaustive_clock = opts.exhaustive_clock;
+  cfg.stage_stats = opts.stage_stats;
   cfg.link_flit_error_ppm = opts.error_ppm;
   if (opts.error_seed_set) {
     cfg.link_error_seed = opts.error_seed;
@@ -269,26 +286,91 @@ int cmd_cmc_info(const CliOptions& opts) {
   return rc;
 }
 
-/// Attach file tracing if requested; keeps the sink alive via out-params.
+/// Every sink the CLI may wire up for one run. The ChromeSink is declared
+/// after its stream so it is destroyed first (its destructor writes the
+/// closing bracket of the JSON document).
+struct TraceWiring {
+  std::unique_ptr<std::ofstream> text_stream;
+  std::unique_ptr<trace::TextSink> text_sink;
+  std::unique_ptr<std::ofstream> chrome_stream;
+  std::unique_ptr<trace::ChromeSink> chrome_sink;
+  trace::LatencySink latency;  ///< Percentiles for the --stage-stats report.
+};
+
+/// Attach the requested sinks (--trace-file, --trace-chrome,
+/// --stage-stats); keeps them alive via `wiring`.
 bool setup_tracing(sim::Simulator& sim, const CliOptions& opts,
-                   std::unique_ptr<std::ofstream>& file,
-                   std::unique_ptr<trace::TextSink>& sink) {
-  if (opts.trace_file.empty()) {
-    return true;
+                   TraceWiring& wiring) {
+  if (!opts.trace_file.empty()) {
+    wiring.text_stream = std::make_unique<std::ofstream>(opts.trace_file);
+    if (!wiring.text_stream->is_open()) {
+      std::fprintf(stderr, "cannot open trace file %s\n",
+                   opts.trace_file.c_str());
+      return false;
+    }
+    wiring.text_sink = std::make_unique<trace::TextSink>(*wiring.text_stream);
+    sim.tracer().attach(wiring.text_sink.get());
+    sim.tracer().set_level(static_cast<trace::Level>(
+        opts.trace_level != 0 ? opts.trace_level
+                              : static_cast<std::uint32_t>(
+                                    trace::Level::All)));
   }
-  file = std::make_unique<std::ofstream>(opts.trace_file);
-  if (!file->is_open()) {
-    std::fprintf(stderr, "cannot open trace file %s\n",
-                 opts.trace_file.c_str());
-    return false;
+  if (!opts.trace_chrome.empty()) {
+    wiring.chrome_stream =
+        std::make_unique<std::ofstream>(opts.trace_chrome);
+    if (!wiring.chrome_stream->is_open()) {
+      std::fprintf(stderr, "cannot open chrome trace file %s\n",
+                   opts.trace_chrome.c_str());
+      return false;
+    }
+    wiring.chrome_sink =
+        std::make_unique<trace::ChromeSink>(*wiring.chrome_stream);
+    sim.tracer().attach(wiring.chrome_sink.get());
+    sim.journeys().attach(wiring.chrome_sink.get());
+    sim.tracer().set_level(sim.tracer().level() | trace::Level::Journey |
+                           trace::Level::Retry | trace::Level::Cmc);
   }
-  sink = std::make_unique<trace::TextSink>(*file);
-  sim.tracer().attach(sink.get());
-  sim.tracer().set_level(static_cast<trace::Level>(
-      opts.trace_level != 0 ? opts.trace_level
-                            : static_cast<std::uint32_t>(
-                                  trace::Level::All)));
+  if (opts.stage_stats) {
+    // Config::stage_stats already enabled the Journey level; the latency
+    // sink additionally needs the per-retirement Latency events.
+    sim.tracer().attach(&wiring.latency);
+    sim.tracer().set_level(sim.tracer().level() | trace::Level::Latency);
+  }
   return true;
+}
+
+/// End-of-run --stage-stats report: where did the cycles go, and what do
+/// the latency tails look like.
+void maybe_stage_report(sim::Simulator& sim, const CliOptions& opts,
+                        const TraceWiring& wiring) {
+  if (!opts.stage_stats) {
+    return;
+  }
+  const metrics::Histogram& total = sim.latency_histogram();
+  std::printf("stage attribution (%llu retired packets):\n",
+              static_cast<unsigned long long>(total.count()));
+  const double total_sum =
+      total.sum() == 0 ? 1.0 : static_cast<double>(total.sum());
+  for (std::size_t i = 0; i < trace::kStageCount; ++i) {
+    const auto stage = static_cast<trace::Stage>(i);
+    const std::string path =
+        "host.stage." + std::string(trace::to_string(stage));
+    const metrics::Histogram* h = sim.metrics().find_histogram(path);
+    if (h == nullptr) {
+      continue;
+    }
+    std::printf("  %-12s sum=%-8llu mean=%-7.2f max=%-6llu (%5.1f%%)\n",
+                std::string(trace::to_string(stage)).c_str(),
+                static_cast<unsigned long long>(h->sum()), h->mean(),
+                static_cast<unsigned long long>(h->max()),
+                100.0 * static_cast<double>(h->sum()) / total_sum);
+  }
+  constexpr std::array<double, 3> kQs{0.5, 0.95, 0.99};
+  const auto ps = wiring.latency.percentiles(kQs);
+  std::printf("  end-to-end latency: p50=%llu p95=%llu p99=%llu\n",
+              static_cast<unsigned long long>(ps[0]),
+              static_cast<unsigned long long>(ps[1]),
+              static_cast<unsigned long long>(ps[2]));
 }
 
 /// Install the periodic stats callback: every N cycles, print the counters
@@ -356,9 +438,8 @@ int cmd_replay(const CliOptions& opts) {
   // CMC records in the trace need the mutex/extras registered; register
   // the builtin set so common traces replay out of the box.
   (void)load_mutex_ops(*sim, opts);
-  std::unique_ptr<std::ofstream> trace_stream;
-  std::unique_ptr<trace::TextSink> trace_sink;
-  if (!setup_tracing(*sim, opts, trace_stream, trace_sink)) {
+  TraceWiring wiring;
+  if (!setup_tracing(*sim, opts, wiring)) {
     return 1;
   }
   setup_stats_interval(*sim, opts);
@@ -376,6 +457,7 @@ int cmd_replay(const CliOptions& opts) {
               static_cast<unsigned long long>(result.cycles),
               static_cast<unsigned long long>(result.send_retries));
   std::printf("%s", sim::format_stats(*sim).c_str());
+  maybe_stage_report(*sim, opts, wiring);
   maybe_power_report(*sim, before, opts);
   if (!maybe_stats_json(*sim, opts)) {
     return 1;
@@ -393,9 +475,8 @@ int cmd_mutex(const CliOptions& opts) {
   if (!sim || !load_mutex_ops(*sim, opts)) {
     return 1;
   }
-  std::unique_ptr<std::ofstream> trace_stream;
-  std::unique_ptr<trace::TextSink> trace_sink;
-  if (!setup_tracing(*sim, opts, trace_stream, trace_sink)) {
+  TraceWiring wiring;
+  if (!setup_tracing(*sim, opts, wiring)) {
     return 1;
   }
   setup_stats_interval(*sim, opts);
@@ -412,6 +493,7 @@ int cmd_mutex(const CliOptions& opts) {
               threads, static_cast<unsigned long long>(result.min_cycles),
               static_cast<unsigned long long>(result.max_cycles),
               result.avg_cycles);
+  maybe_stage_report(*sim, opts, wiring);
   maybe_power_report(*sim, before, opts);
   if (!maybe_stats_json(*sim, opts)) {
     return 1;
@@ -444,9 +526,8 @@ int cmd_rogue(const CliOptions& opts) {
     std::fprintf(stderr, "register satinc: %s\n", s.to_string().c_str());
     return 1;
   }
-  std::unique_ptr<std::ofstream> trace_stream;
-  std::unique_ptr<trace::TextSink> trace_sink;
-  if (!setup_tracing(*sim, opts, trace_stream, trace_sink)) {
+  TraceWiring wiring;
+  if (!setup_tracing(*sim, opts, wiring)) {
     return 1;
   }
   setup_stats_interval(*sim, opts);
@@ -538,6 +619,7 @@ int cmd_rogue(const CliOptions& opts) {
               static_cast<unsigned long long>(errors),
               static_cast<unsigned long long>(satinc_failures),
               is_quarantined ? "yes" : "no");
+  maybe_stage_report(*sim, opts, wiring);
   if (!maybe_stats_json(*sim, opts)) {
     return 1;
   }
