@@ -12,6 +12,7 @@
 #include "src/host/kernels/random_access.hpp"
 #include "src/host/kernels/stream_triad.hpp"
 #include "src/power/power_model.hpp"
+#include "src/sim/sim_stats.hpp"
 
 using namespace hmcsim;
 
@@ -41,7 +42,7 @@ int main() {
     if (!sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok()) {
       return 1;
     }
-    const auto before = sim->stats();
+    const auto before = sim::collect_stats(*sim);
     host::StreamTriadOptions opts;
     opts.elements = 8192;
     opts.concurrency = 64;
@@ -49,7 +50,7 @@ int main() {
     if (!host::run_stream_triad(*sim, opts, kr).ok()) {
       return 1;
     }
-    report("stream-triad", model, power::delta(before, sim->stats()),
+    report("stream-triad", model, power::delta(before, sim::collect_stats(*sim)),
            3 * opts.elements * 8);
   }
 
@@ -61,7 +62,7 @@ int main() {
     if (!sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok()) {
       return 1;
     }
-    const auto before = sim->stats();
+    const auto before = sim::collect_stats(*sim);
     host::RandomAccessOptions opts;
     opts.table_words = 1 << 16;
     opts.updates = 8192;
@@ -71,7 +72,7 @@ int main() {
     if (!host::run_random_access(*sim, opts, kr).ok()) {
       return 1;
     }
-    report(name, model, power::delta(before, sim->stats()),
+    report(name, model, power::delta(before, sim::collect_stats(*sim)),
            opts.updates * 8);
   }
 
@@ -82,7 +83,7 @@ int main() {
       return 1;
     }
     bench::register_mutex_ops(*sim);
-    const auto before = sim->stats();
+    const auto before = sim::collect_stats(*sim);
     host::MutexOptions opts;
     opts.lock_addr = 0x4000;
     host::MutexResult mr;
@@ -91,7 +92,7 @@ int main() {
     }
     char label[32];
     std::snprintf(label, sizeof(label), "mutex %u threads", threads);
-    report(label, model, power::delta(before, sim->stats()),
+    report(label, model, power::delta(before, sim::collect_stats(*sim)),
            threads * 16ULL);
   }
 

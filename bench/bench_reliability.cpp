@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "src/host/kernels/random_access.hpp"
+#include "src/sim/sim_stats.hpp"
 #include "src/sim/simulator.hpp"
 
 using namespace hmcsim;
@@ -72,7 +73,7 @@ int main() {
     std::printf("%-12s %12llu %12llu %12llu %12.2f %10.2f\n", rate,
                 static_cast<unsigned long long>(result.cycles),
                 static_cast<unsigned long long>(
-                    sim->stats().link_retries),
+                    sim::collect_stats(*sim).link_retries),
                 static_cast<unsigned long long>(result.rqst_flits),
                 result.bytes_per_cycle(), probe_latency(ppm));
   }

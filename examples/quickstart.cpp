@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "plugins/builtin.h"
+#include "sim/sim_stats.hpp"
 #include "sim/simulator.hpp"
 
 using namespace hmcsim;
@@ -113,7 +114,7 @@ int main() {
               static_cast<unsigned long long>(addr),
               static_cast<unsigned long long>(rsp.pkt.payload()[0]));
 
-  const sim::SimStats stats = sim->stats();
+  const sim::SimStats stats = sim::collect_stats(*sim);
   std::printf("total: %llu cycles, %llu requests, %llu responses\n",
               static_cast<unsigned long long>(stats.cycles),
               static_cast<unsigned long long>(stats.rqsts_processed),

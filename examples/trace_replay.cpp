@@ -11,6 +11,7 @@
 
 #include "src/host/trace_replay.hpp"
 #include "src/power/power_model.hpp"
+#include "src/sim/sim_stats.hpp"
 #include "src/sim/stats_report.hpp"
 
 using namespace hmcsim;
@@ -65,7 +66,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "create: %s\n", s.to_string().c_str());
       return 1;
     }
-    const auto before = sim->stats();
+    const auto before = sim::collect_stats(*sim);
     host::ReplayResult result;
     if (Status s = host::replay_trace(*sim, records, result); !s.ok()) {
       std::fprintf(stderr, "replay: %s\n", s.to_string().c_str());
@@ -82,7 +83,7 @@ int main(int argc, char** argv) {
     std::printf("%s", sim::format_stats(*sim).c_str());
 
     const power::Activity activity =
-        power::delta(before, sim->stats(), sim->num_devices());
+        power::delta(before, sim::collect_stats(*sim), sim->num_devices());
     const power::EnergyReport energy = power_model.estimate(activity);
     std::printf("%s", power::PowerModel::format(
                           energy, power_model.segment_ns(activity))

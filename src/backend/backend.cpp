@@ -1,0 +1,78 @@
+#include "backend/backend.hpp"
+
+#include <algorithm>
+
+#include "backend/hmc_backend.hpp"
+
+namespace hmcsim::backend {
+namespace {
+
+/// Register the in-tree backends. Explicit calls (rather than static
+/// registrar objects) so registration survives static-library linking:
+/// the archive member is pulled in by instance(), not by luck.
+void register_builtin_backends(BackendRegistry& reg) {
+  (void)reg.add("hmc", "HMC cube chain (sim::Simulator), the canonical model",
+                &HmcBackend::create);
+}
+
+}  // namespace
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry* reg = [] {
+    auto* r = new BackendRegistry;
+    register_builtin_backends(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+Status BackendRegistry::add(std::string_view name,
+                            std::string_view description, Factory factory) {
+  if (name.empty() || factory == nullptr) {
+    return Status::InvalidArg("backend registration needs a name and factory");
+  }
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& e, std::string_view n) { return e.first < n; });
+  if (pos != entries_.end() && pos->first == name) {
+    return Status::AlreadyExists("backend '" + std::string(name) +
+                                 "' is already registered");
+  }
+  entries_.insert(pos, {std::string(name),
+                        Entry{std::string(description), factory}});
+  return Status::Ok();
+}
+
+bool BackendRegistry::contains(std::string_view name) const {
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& e, std::string_view n) { return e.first < n; });
+  return pos != entries_.end() && pos->first == name;
+}
+
+Status BackendRegistry::create(std::string_view name, const sim::Config& cfg,
+                               std::unique_ptr<MemoryBackend>& out) const {
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& e, std::string_view n) { return e.first < n; });
+  if (pos == entries_.end() || pos->first != name) {
+    std::string known;
+    for (const auto& [n, e] : entries_) {
+      known += known.empty() ? n : ", " + n;
+    }
+    return Status::NotFound("unknown backend '" + std::string(name) +
+                            "' (registered: " + known + ")");
+  }
+  return pos->second.factory(cfg, out);
+}
+
+std::vector<BackendInfo> BackendRegistry::list() const {
+  std::vector<BackendInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back({name, entry.description});
+  }
+  return out;
+}
+
+}  // namespace hmcsim::backend

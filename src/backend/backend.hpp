@@ -1,0 +1,127 @@
+// backend.hpp — the memory-system side of the frontend/backend seam.
+//
+// MemoryBackend is the send/recv/clock/next_event_cycle surface Simulator
+// already exposes, lifted behind a virtual interface so request sources
+// (src/frontend) can be written once and pointed at any memory model. The
+// HMC device chain (HmcBackend) is the canonical implementation;
+// alternative models register themselves in BackendRegistry under a name,
+// the same pattern CmcRegistry uses for plugin operations.
+//
+// The interface is deliberately the *host* surface only: back-door memory
+// access, CMC registration, tracing and metrics are simulator-specific
+// services, reachable through the simulator() escape hatch (null for
+// non-HMC backends). Frontends that need them must degrade gracefully or
+// report Unsupported.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sim/config.hpp"
+#include "sim/simulator.hpp"
+#include "spec/packet.hpp"
+
+namespace hmcsim::backend {
+
+/// Sentinel from next_event_cycle(): the backend is quiescent and only a
+/// new send() creates future work. Mirrors sim::Simulator::kNoEvent.
+inline constexpr std::uint64_t kNoEvent = UINT64_MAX;
+
+/// A clocked memory system as seen from the host side of the links.
+class MemoryBackend {
+ public:
+  virtual ~MemoryBackend() = default;
+  MemoryBackend() = default;
+  MemoryBackend(const MemoryBackend&) = delete;
+  MemoryBackend& operator=(const MemoryBackend&) = delete;
+
+  /// One-line description for logs and bench headers.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Host links requests can be injected on (frontends shard round-robin).
+  [[nodiscard]] virtual std::uint32_t num_links() const = 0;
+
+  /// Root seed for frontend RNG streams (Config::workload_seed for the
+  /// HMC backend). Exposed here so frontends stay backend-agnostic.
+  [[nodiscard]] virtual std::uint64_t workload_seed() const = 0;
+
+  // ---- traffic -----------------------------------------------------------
+  /// Inject a request on host link `link`. Stall == retry next cycle.
+  [[nodiscard]] virtual Status send(const spec::RqstParams& params,
+                                    std::uint32_t link) = 0;
+  /// Inject an already-built packet (trace replay, tests).
+  [[nodiscard]] virtual Status send_packet(spec::RqstPacket pkt,
+                                           std::uint32_t link) = 0;
+  /// True when recv(link) would return a response.
+  [[nodiscard]] virtual bool rsp_ready(std::uint32_t link) const = 0;
+  /// Pop the next ready response on `link`; NoData when none.
+  [[nodiscard]] virtual Status recv(std::uint32_t link,
+                                    sim::Response& out) = 0;
+
+  // ---- time --------------------------------------------------------------
+  virtual void clock() = 0;
+  [[nodiscard]] virtual std::uint64_t cycle() const = 0;
+  /// Earliest future cycle at which the backend can make progress on its
+  /// own, or kNoEvent when quiescent.
+  [[nodiscard]] virtual std::uint64_t next_event_cycle() const = 0;
+  /// Advance until cycle() == target; observably identical to clocking in
+  /// a loop. Returns the number of cycles advanced.
+  virtual std::uint64_t clock_until(std::uint64_t target) = 0;
+  /// Advance until quiescent or `max_cycles` elapsed (0 = unbounded).
+  virtual std::uint64_t clock_until_idle(std::uint64_t max_cycles) = 0;
+  /// False when the backend is configured for exhaustive per-cycle
+  /// stepping: host drivers must then clock every cycle instead of
+  /// jumping dead time (Config::exhaustive_clock on the HMC backend).
+  [[nodiscard]] virtual bool fast_forward_allowed() const = 0;
+
+  // ---- escape hatch ------------------------------------------------------
+  /// The underlying HMC simulator, or null for non-HMC backends.
+  /// HMC-specific frontends (CMC registration, back-door memory setup,
+  /// journey tracing) use this and must fail gracefully on null.
+  [[nodiscard]] virtual sim::Simulator* simulator() noexcept {
+    return nullptr;
+  }
+};
+
+/// One registry row: the name is the lookup key.
+struct BackendInfo {
+  std::string name;
+  std::string description;
+};
+
+/// Name-keyed factory registry for memory backends.
+class BackendRegistry {
+ public:
+  using Factory = Status (*)(const sim::Config& cfg,
+                             std::unique_ptr<MemoryBackend>& out);
+
+  /// The process-wide registry, with the built-in backends registered.
+  [[nodiscard]] static BackendRegistry& instance();
+
+  /// Register a backend. AlreadyExists when the name is taken.
+  Status add(std::string_view name, std::string_view description,
+             Factory factory);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Instantiate backend `name` over `cfg`. NotFound (naming the unknown
+  /// backend and the registered ones) when no such registration exists.
+  [[nodiscard]] Status create(std::string_view name, const sim::Config& cfg,
+                              std::unique_ptr<MemoryBackend>& out) const;
+
+  /// All registrations, sorted by name (stable across registration order).
+  [[nodiscard]] std::vector<BackendInfo> list() const;
+
+ private:
+  struct Entry {
+    std::string description;
+    Factory factory = nullptr;
+  };
+  std::vector<std::pair<std::string, Entry>> entries_;  // name-sorted
+};
+
+}  // namespace hmcsim::backend

@@ -1,0 +1,15 @@
+#include "backend/hmc_backend.hpp"
+
+namespace hmcsim::backend {
+
+Status HmcBackend::create(const sim::Config& cfg,
+                          std::unique_ptr<MemoryBackend>& out) {
+  std::unique_ptr<sim::Simulator> sim;
+  if (Status s = sim::Simulator::create(cfg, sim); !s.ok()) {
+    return s;
+  }
+  out.reset(new HmcBackend(std::move(sim)));
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::backend

@@ -1,0 +1,73 @@
+// hmc_backend.hpp — the HMC device chain as a MemoryBackend.
+//
+// Two construction modes:
+//   - owning: create("hmc") via the BackendRegistry builds a Simulator
+//     from the Config and owns it (the CLI path);
+//   - borrowing: HmcBackend(sim) wraps a caller-owned Simulator so the
+//     legacy host:: driver entry points can route through the virtual
+//     seam without changing their signatures.
+#pragma once
+
+#include <memory>
+
+#include "backend/backend.hpp"
+
+namespace hmcsim::backend {
+
+class HmcBackend final : public MemoryBackend {
+ public:
+  /// Borrow a caller-owned simulator (must outlive the backend).
+  explicit HmcBackend(sim::Simulator& sim) : sim_(&sim) {}
+
+  /// Registry factory: build and own a Simulator from `cfg`.
+  [[nodiscard]] static Status create(const sim::Config& cfg,
+                                     std::unique_ptr<MemoryBackend>& out);
+
+  [[nodiscard]] std::string describe() const override {
+    return sim_->config().describe();
+  }
+  [[nodiscard]] std::uint32_t num_links() const override {
+    return sim_->config().num_links;
+  }
+  [[nodiscard]] std::uint64_t workload_seed() const override {
+    return sim_->config().workload_seed;
+  }
+  [[nodiscard]] Status send(const spec::RqstParams& params,
+                            std::uint32_t link) override {
+    return sim_->send(params, link);
+  }
+  [[nodiscard]] Status send_packet(spec::RqstPacket pkt,
+                                   std::uint32_t link) override {
+    return sim_->send_packet(std::move(pkt), link);
+  }
+  [[nodiscard]] bool rsp_ready(std::uint32_t link) const override {
+    return sim_->rsp_ready(link);
+  }
+  [[nodiscard]] Status recv(std::uint32_t link, sim::Response& out) override {
+    return sim_->recv(link, out);
+  }
+  void clock() override { sim_->clock(); }
+  [[nodiscard]] std::uint64_t cycle() const override { return sim_->cycle(); }
+  [[nodiscard]] std::uint64_t next_event_cycle() const override {
+    return sim_->next_event_cycle();
+  }
+  std::uint64_t clock_until(std::uint64_t target) override {
+    return sim_->clock_until(target);
+  }
+  std::uint64_t clock_until_idle(std::uint64_t max_cycles) override {
+    return sim_->clock_until_idle(max_cycles);
+  }
+  [[nodiscard]] bool fast_forward_allowed() const override {
+    return !sim_->config().exhaustive_clock;
+  }
+  [[nodiscard]] sim::Simulator* simulator() noexcept override { return sim_; }
+
+ private:
+  HmcBackend(std::unique_ptr<sim::Simulator> owned)
+      : owned_(std::move(owned)), sim_(owned_.get()) {}
+
+  std::unique_ptr<sim::Simulator> owned_;  ///< Null in borrowing mode.
+  sim::Simulator* sim_;
+};
+
+}  // namespace hmcsim::backend

@@ -1,0 +1,33 @@
+// builtin_frontends.cpp — the in-tree frontend registrations.
+//
+// Called from FrontendRegistry::instance() so the registrations survive
+// static-library archive elision (a static registrar object in an
+// otherwise-unreferenced archive member would be silently dropped).
+#include "frontend/frontend.hpp"
+#include "frontend/mutex_frontend.hpp"
+#include "frontend/replay_frontend.hpp"
+#include "frontend/rogue_frontend.hpp"
+#include "frontend/spinlock_frontend.hpp"
+#include "frontend/synthetic_frontend.hpp"
+
+namespace hmcsim::frontend::detail {
+
+void register_builtin_frontends(FrontendRegistry& reg) {
+  (void)reg.add("replay", "replay a request trace file against the device",
+                ReplayFrontend::make, "trace");
+  (void)reg.add("mutex",
+                "Algorithm 1 mutex contention (HMC_LOCK/TRYLOCK/UNLOCK)",
+                MutexFrontend::make, "threads");
+  (void)reg.add("rogue",
+                "CMC fault-containment demo (rogue plugin vs hmc_satinc)",
+                RogueFrontend::make, "plugin");
+  (void)reg.add("spinlock",
+                "CAS spinlock contention through the coherent cache model",
+                SpinlockFrontend::make, "cores");
+  (void)reg.add("synthetic",
+                "open-loop synthetic load generator "
+                "(uniform/zipfian/chase/bursty)",
+                SyntheticFrontend::make, "pattern");
+}
+
+}  // namespace hmcsim::frontend::detail

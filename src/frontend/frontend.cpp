@@ -1,0 +1,173 @@
+#include "frontend/frontend.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+namespace hmcsim::frontend {
+namespace detail {
+
+// Implemented in builtin_frontends.cpp; explicit registration keeps the
+// archive members alive under static-library linking.
+void register_builtin_frontends(FrontendRegistry& reg);
+
+}  // namespace detail
+
+std::string FrontendOptions::str(std::string_view key,
+                                 std::string_view def) const {
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) {
+    return std::string(def);
+  }
+  it->second.consumed = true;
+  return it->second.text;
+}
+
+Status FrontendOptions::get_u64(std::string_view key,
+                                std::uint64_t& out) const {
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) {
+    return Status::Ok();
+  }
+  it->second.consumed = true;
+  const std::string& text = it->second.text;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArg("option " + std::string(key) +
+                              ": expected an unsigned integer, got '" + text +
+                              "'");
+  }
+  out = v;
+  return Status::Ok();
+}
+
+Status FrontendOptions::get_u32(std::string_view key,
+                                std::uint32_t& out) const {
+  std::uint64_t wide = out;
+  if (Status s = get_u64(key, wide); !s.ok()) {
+    return s;
+  }
+  if (wide > UINT32_MAX) {
+    return Status::InvalidArg("option " + std::string(key) +
+                              ": value out of 32-bit range");
+  }
+  out = static_cast<std::uint32_t>(wide);
+  return Status::Ok();
+}
+
+Status FrontendOptions::get_double(std::string_view key, double& out) const {
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) {
+    return Status::Ok();
+  }
+  it->second.consumed = true;
+  const std::string& text = it->second.text;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArg("option " + std::string(key) +
+                              ": expected a number, got '" + text + "'");
+  }
+  out = v;
+  return Status::Ok();
+}
+
+std::vector<std::string> FrontendOptions::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (!value.consumed) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+FrontendRegistry& FrontendRegistry::instance() {
+  static FrontendRegistry* reg = [] {
+    auto* r = new FrontendRegistry;
+    detail::register_builtin_frontends(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+Status FrontendRegistry::add(std::string_view name,
+                             std::string_view description, Factory factory,
+                             std::string_view positional_key) {
+  if (name.empty() || factory == nullptr) {
+    return Status::InvalidArg("frontend registration needs a name and factory");
+  }
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& e, std::string_view n) { return e.first < n; });
+  if (pos != entries_.end() && pos->first == name) {
+    return Status::AlreadyExists("frontend '" + std::string(name) +
+                                 "' is already registered");
+  }
+  entries_.insert(pos,
+                  {std::string(name),
+                   Entry{std::string(description),
+                         std::string(positional_key), factory}});
+  return Status::Ok();
+}
+
+bool FrontendRegistry::contains(std::string_view name) const {
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& e, std::string_view n) { return e.first < n; });
+  return pos != entries_.end() && pos->first == name;
+}
+
+Status FrontendRegistry::info(std::string_view name, FrontendInfo& out) const {
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& e, std::string_view n) { return e.first < n; });
+  if (pos == entries_.end() || pos->first != name) {
+    std::string known;
+    for (const auto& [n, e] : entries_) {
+      known += known.empty() ? n : ", " + n;
+    }
+    return Status::NotFound("unknown frontend '" + std::string(name) +
+                            "' (registered: " + known + ")");
+  }
+  out = {pos->first, pos->second.description, pos->second.positional_key};
+  return Status::Ok();
+}
+
+Status FrontendRegistry::create(std::string_view name,
+                                const FrontendOptions& opts,
+                                std::unique_ptr<Frontend>& out) const {
+  FrontendInfo unused;
+  if (Status s = info(name, unused); !s.ok()) {
+    return s;
+  }
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& e, std::string_view n) { return e.first < n; });
+  if (Status s = pos->second.factory(opts, out); !s.ok()) {
+    return s;
+  }
+  for (const std::string& key : opts.unconsumed()) {
+    // "plugins" is a CLI-global option every frontend may ignore.
+    if (key == "plugins") {
+      continue;
+    }
+    return Status::InvalidArg("unknown option '" + key + "' for frontend '" +
+                              std::string(name) + "'");
+  }
+  return Status::Ok();
+}
+
+std::vector<FrontendInfo> FrontendRegistry::list() const {
+  std::vector<FrontendInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back({name, entry.description, entry.positional_key});
+  }
+  return out;
+}
+
+}  // namespace hmcsim::frontend

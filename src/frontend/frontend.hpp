@@ -1,0 +1,186 @@
+// frontend.hpp — the request-source side of the frontend/backend seam.
+//
+// A Frontend is a tick-able workload: the runner (runner.hpp) calls
+// setup() once, then tick() until done(), then finish(). Each tick must
+// advance the backend by at least one cycle (directly or via the
+// advance() helper), issue whatever requests are due, and drain whatever
+// responses are ready — exactly one iteration of the hand-rolled driver
+// loops this interface replaced.
+//
+// Frontends are created by name through FrontendRegistry from a string
+// key/value option map, which is what the CLI's subcommands resolve to.
+// Workload RNG streams must be derived from the backend's workload_seed()
+// (Config::workload_seed), never from ad-hoc constructor seeds, so a
+// Config fully determines a run. Stat and journey hooks: setup() may
+// register host.* metrics and attach trace/journey observers through the
+// simulator() escape hatch — see docs/FRONTENDS.md for the contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "common/status.hpp"
+
+namespace hmcsim::frontend {
+
+/// Callback the host environment (CLI, tests) installs to register one
+/// named CMC operation ("hmc_lock", "hmc_satinc", ...) on a simulator.
+/// Frontends request exactly the operations their workload needs; the
+/// provider decides where the implementation comes from (statically
+/// linked builtin, dlopen'd plugin). Keeps libhmcsim free of a link
+/// dependency on the plugin library.
+using CmcProvisionFn =
+    std::function<Status(sim::Simulator& sim, std::string_view op)>;
+
+/// A tick-able request source.
+class Frontend {
+ public:
+  virtual ~Frontend() = default;
+  Frontend() = default;
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  /// One-line description for logs and list-frontends.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Validate options against the backend, initialise memory through the
+  /// back door, register metrics, and issue any cycle-zero requests.
+  [[nodiscard]] virtual Status setup(backend::MemoryBackend& mem) = 0;
+
+  /// One driver-loop iteration at `cycle` (== mem.cycle()). Must advance
+  /// the backend by at least one cycle.
+  [[nodiscard]] virtual Status tick(backend::MemoryBackend& mem,
+                                    std::uint64_t cycle) = 0;
+
+  /// True when the workload has fully completed (no requests left to
+  /// issue, none outstanding).
+  [[nodiscard]] virtual bool done() const = 0;
+
+  /// Called once after the last tick: compute results, flush metrics.
+  [[nodiscard]] virtual Status finish(backend::MemoryBackend& mem) {
+    (void)mem;
+    return Status::Ok();
+  }
+
+  /// End-of-run report for the CLI; empty = nothing to print.
+  [[nodiscard]] virtual std::string summary() const { return {}; }
+
+  /// Workload-level verdict (drives the CLI exit code): true unless the
+  /// run completed but the workload's own acceptance check failed.
+  [[nodiscard]] virtual bool succeeded() const { return true; }
+};
+
+/// String key/value options a frontend factory is configured from (the
+/// CLI's per-frontend flags). Reads mark keys as consumed so the registry
+/// can reject typos: any key never consumed by the factory is an error.
+class FrontendOptions {
+ public:
+  void set(std::string key, std::string value) {
+    values_[std::move(key)] = {std::move(value), false};
+  }
+
+  [[nodiscard]] bool has(std::string_view key) const {
+    return values_.find(std::string(key)) != values_.end();
+  }
+
+  /// String value of `key`, or `def` when absent.
+  [[nodiscard]] std::string str(std::string_view key,
+                                std::string_view def = {}) const;
+
+  /// Parse `key` as an unsigned integer (base auto-detected: 0x.. hex).
+  /// Leaves `out` untouched when the key is absent; InvalidArg on a
+  /// malformed value.
+  [[nodiscard]] Status get_u64(std::string_view key, std::uint64_t& out) const;
+  [[nodiscard]] Status get_u32(std::string_view key, std::uint32_t& out) const;
+
+  /// Parse `key` as a double. Same absence/error contract as get_u64.
+  [[nodiscard]] Status get_double(std::string_view key, double& out) const;
+
+  /// Keys that were set but never read by the factory.
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+  /// CMC provisioning callback (may be empty: frontends then rely on
+  /// operations the caller registered up front, or on plugins=<dir>).
+  void set_cmc_provider(CmcProvisionFn fn) { provider_ = std::move(fn); }
+  [[nodiscard]] const CmcProvisionFn& cmc_provider() const {
+    return provider_;
+  }
+
+ private:
+  struct Value {
+    std::string text;
+    mutable bool consumed = false;
+  };
+  std::map<std::string, Value> values_;
+  CmcProvisionFn provider_;
+};
+
+/// One registry row: the name is the lookup key (and CLI subcommand).
+struct FrontendInfo {
+  std::string name;
+  std::string description;
+  /// Option key the CLI maps its first positional argument to ("threads"
+  /// for mutex, "trace" for replay, ...); empty = no positional.
+  std::string positional_key;
+};
+
+/// Name-keyed factory registry for frontends.
+class FrontendRegistry {
+ public:
+  using Factory = Status (*)(const FrontendOptions& opts,
+                             std::unique_ptr<Frontend>& out);
+
+  /// The process-wide registry, with the built-in frontends registered.
+  [[nodiscard]] static FrontendRegistry& instance();
+
+  /// Register a frontend. AlreadyExists when the name is taken.
+  Status add(std::string_view name, std::string_view description,
+             Factory factory, std::string_view positional_key = {});
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Info for one registration; NotFound (with the known names) otherwise.
+  [[nodiscard]] Status info(std::string_view name, FrontendInfo& out) const;
+
+  /// Instantiate frontend `name` from `opts`. NotFound (naming the
+  /// unknown frontend and the registered ones) when no registration
+  /// exists; InvalidArg when `opts` contains keys the factory never read.
+  [[nodiscard]] Status create(std::string_view name,
+                              const FrontendOptions& opts,
+                              std::unique_ptr<Frontend>& out) const;
+
+  /// All registrations, sorted by name (stable across registration order).
+  [[nodiscard]] std::vector<FrontendInfo> list() const;
+
+ private:
+  struct Entry {
+    std::string description;
+    std::string positional_key;
+    Factory factory = nullptr;
+  };
+  std::vector<std::pair<std::string, Entry>> entries_;  // name-sorted
+};
+
+/// Self-registration helper for out-of-tree frontends whose object file
+/// is guaranteed to be linked (the in-tree set registers explicitly in
+/// frontend.cpp so static-library archive elision cannot drop it).
+struct FrontendRegistrar {
+  FrontendRegistrar(std::string_view name, std::string_view description,
+                    FrontendRegistry::Factory factory,
+                    std::string_view positional_key = {}) {
+    (void)FrontendRegistry::instance().add(name, description, factory,
+                                           positional_key);
+  }
+};
+
+#define HMCSIM_REGISTER_FRONTEND(name, description, factory)         \
+  static const ::hmcsim::frontend::FrontendRegistrar                 \
+      hmcsim_frontend_registrar_##factory{(name), (description), (factory)}
+
+}  // namespace hmcsim::frontend

@@ -1,0 +1,268 @@
+#include "frontend/mutex_frontend.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hmcsim::frontend {
+
+Status MutexFrontend::make(const FrontendOptions& opts,
+                           std::unique_ptr<Frontend>& out) {
+  std::uint64_t threads = 0;
+  if (Status s = opts.get_u64("threads", threads); !s.ok()) {
+    return s;
+  }
+  if (threads == 0) {
+    return Status::InvalidArg("mutex: missing threads=<n>");
+  }
+  Options o;
+  // The CLI's historical default lock address (16-byte aligned, off the
+  // zero page).
+  o.mutex.lock_addr = 0x4000;
+  if (Status s = opts.get_u64("lock-addr", o.mutex.lock_addr); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_u64("max-cycles", o.mutex.max_cycles); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_u32("locks", o.mutex.num_locks); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_u64("lock-stride", o.mutex.lock_stride); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_u32("backoff", o.mutex.trylock_backoff); !s.ok()) {
+    return s;
+  }
+  o.plugin_dir = opts.str("plugins");
+  o.provision = opts.cmc_provider();
+  out = std::make_unique<MutexFrontend>(static_cast<std::uint32_t>(threads),
+                                        std::move(o));
+  return Status::Ok();
+}
+
+Status MutexFrontend::setup(backend::MemoryBackend& mem) {
+  sim_ = mem.simulator();
+  if (sim_ == nullptr) {
+    return Status::Unsupported(
+        "mutex frontend requires a simulator-backed backend (CMC "
+        "operations and back-door lock initialisation)");
+  }
+  if (!opts_.plugin_dir.empty()) {
+    for (const char* so :
+         {"hmc_lock.so", "hmc_trylock.so", "hmc_unlock.so"}) {
+      const std::string path = opts_.plugin_dir + "/" + so;
+      if (Status s = sim_->load_cmc(path); !s.ok()) {
+        return Status(s.code(), "load_cmc(" + path + "): " + s.message());
+      }
+    }
+  } else if (opts_.provision) {
+    for (const std::string_view op :
+         {std::string_view("hmc_lock"), std::string_view("hmc_trylock"),
+          std::string_view("hmc_unlock")}) {
+      if (Status s = opts_.provision(*sim_, op); !s.ok()) {
+        return s;
+      }
+    }
+  }
+
+  const host::MutexOptions& mopts = opts_.mutex;
+  if (threads_ == 0) {
+    return Status::InvalidArg("need at least one thread");
+  }
+  for (const spec::Rqst op :
+       {spec::Rqst::CMC125, spec::Rqst::CMC126, spec::Rqst::CMC127}) {
+    if (sim_->cmc_registry().lookup(op) == nullptr) {
+      return Status::InvalidState(
+          "mutex CMC operations not registered (need CMC125/126/127)");
+    }
+  }
+  if (mopts.lock_addr % 16 != 0) {
+    return Status::InvalidArg("lock structure must be 16-byte aligned");
+  }
+  if (mopts.num_locks == 0 || mopts.lock_stride % 16 != 0) {
+    return Status::InvalidArg(
+        "need at least one lock and a 16-byte aligned stride");
+  }
+
+  // Known initial state: every lock free, owner undefined (zeroed).
+  const std::array<std::uint8_t, 16> zero{};
+  for (std::uint32_t l = 0; l < mopts.num_locks; ++l) {
+    if (Status s = sim_->mem_write(
+            mopts.cub, mopts.lock_addr + mopts.lock_stride * l, zero);
+        !s.ok()) {
+      return s;
+    }
+  }
+
+  result_ = host::MutexResult{};
+  result_.threads = threads_;
+  result_.per_thread_cycles.assign(threads_, 0);
+  setup_done_ = true;
+
+  ts_ = std::make_unique<host::ThreadSim>(*sim_, threads_);
+  fsm_.assign(threads_, ThreadFsm{});
+  payloads_.assign(threads_, {});
+  start_cycle_ = mem.cycle();
+  ff_start_ = sim_->fast_forwarded_cycles();
+  done_count_ = 0;
+
+  // Kick off: every thread dispatches its HMC_LOCK at the start cycle.
+  for (std::uint32_t tid = 0; tid < threads_; ++tid) {
+    if (Status s = send(tid, spec::Rqst::CMC125); !s.ok()) {
+      return s;
+    }
+    fsm_[tid].phase = Phase::WaitLock;
+  }
+  return Status::Ok();
+}
+
+Status MutexFrontend::send(std::uint32_t tid, spec::Rqst op) {
+  payloads_[tid] = {tid_token(tid), 0};
+  spec::RqstParams params;
+  params.rqst = op;
+  params.addr = lock_addr_of(tid);
+  params.cub = opts_.mutex.cub;
+  params.payload = payloads_[tid];
+  return ts_->issue(tid, params);
+}
+
+void MutexFrontend::on_rsp(const host::Completion& c) {
+  const std::uint32_t tid = c.tid;
+  ThreadFsm& t = fsm_[tid];
+  const auto payload = c.rsp.pkt.payload();
+  const std::uint64_t word0 = payload.empty() ? 0 : payload[0];
+
+  const auto retry_phase = [&]() {
+    if (opts_.mutex.trylock_backoff == 0) {
+      return Phase::SendTrylock;
+    }
+    t.wake_cycle = sim_->cycle() + opts_.mutex.trylock_backoff;
+    return Phase::Backoff;
+  };
+
+  switch (t.phase) {
+    case Phase::WaitLock:
+      if (word0 != 0) {
+        t.phase = Phase::SendUnlock;
+      } else {
+        ++result_.lock_failures;
+        t.phase = retry_phase();
+      }
+      break;
+    case Phase::WaitTrylock:
+      // hmc_trylock returns the owner's thread token; the thread owns
+      // the lock iff that token is its own.
+      if (word0 == tid_token(tid)) {
+        t.phase = Phase::SendUnlock;
+      } else {
+        t.phase = retry_phase();
+      }
+      break;
+    case Phase::WaitUnlock:
+      t.phase = Phase::Done;
+      t.done_cycle = sim_->cycle();
+      result_.per_thread_cycles[tid] = t.done_cycle - start_cycle_;
+      ++done_count_;
+      break;
+    default:
+      break;  // Stray response (should not happen); ignore.
+  }
+
+  // Dispatch the next operation for the new phase.
+  switch (t.phase) {
+    case Phase::SendTrylock:
+      ++result_.trylock_attempts;
+      if (send(tid, spec::Rqst::CMC126).ok()) {
+        t.phase = Phase::WaitTrylock;
+      }
+      break;
+    case Phase::SendUnlock:
+      if (send(tid, spec::Rqst::CMC127).ok()) {
+        t.phase = Phase::WaitUnlock;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+Status MutexFrontend::tick(backend::MemoryBackend& mem, std::uint64_t cycle) {
+  (void)mem;
+  if (cycle - start_cycle_ > opts_.mutex.max_cycles) {
+    return Status::Internal("mutex contention watchdog expired after " +
+                            std::to_string(opts_.mutex.max_cycles) +
+                            " cycles");
+  }
+  // Re-arm threads whose backoff expired, in tid order.
+  for (std::uint32_t tid = 0; tid < threads_; ++tid) {
+    if (fsm_[tid].phase == Phase::Backoff &&
+        fsm_[tid].wake_cycle <= cycle) {
+      ++result_.trylock_attempts;
+      if (send(tid, spec::Rqst::CMC126).ok()) {
+        fsm_[tid].phase = Phase::WaitTrylock;
+      }
+    }
+  }
+  // When every live thread is backing off, nothing is in flight and the
+  // device is fully quiescent: jump to the earliest wake-up. clock_until
+  // honours Config::exhaustive_clock, so the exhaustive arm walks the
+  // same span cycle by cycle — identical simulation, only slower.
+  std::uint64_t min_wake = UINT64_MAX;
+  bool all_backing_off = true;
+  for (std::uint32_t tid = 0; tid < threads_; ++tid) {
+    if (fsm_[tid].phase == Phase::Backoff) {
+      min_wake = std::min(min_wake, fsm_[tid].wake_cycle);
+    } else if (fsm_[tid].phase != Phase::Done) {
+      all_backing_off = false;
+      break;
+    }
+  }
+  if (all_backing_off && min_wake != UINT64_MAX &&
+      min_wake > sim_->cycle() + 1 &&
+      sim_->next_event_cycle() == sim::Simulator::kNoEvent) {
+    (void)sim_->clock_until(min_wake);
+    return Status::Ok();
+  }
+  ts_->step([this](const host::Completion& c) { on_rsp(c); });
+  return Status::Ok();
+}
+
+Status MutexFrontend::finish(backend::MemoryBackend& mem) {
+  result_.total_cycles = mem.cycle() - start_cycle_;
+  result_.send_retries = ts_->send_retries();
+  result_.fast_forwarded = sim_->fast_forwarded_cycles() - ff_start_;
+  metrics::StatRegistry& reg = sim_->metrics();
+  reg.counter("host.mutex.runs", "mutex contention runs completed").inc();
+  reg.counter("host.mutex.trylock_attempts",
+              "HMC_TRYLOCK packets issued across runs")
+      .inc(result_.trylock_attempts);
+  reg.counter("host.mutex.lock_failures",
+              "initial HMC_LOCK attempts that lost the race")
+      .inc(result_.lock_failures);
+  reg.counter("host.mutex.send_retries",
+              "sends retried during mutex runs")
+      .inc(result_.send_retries);
+  result_.min_cycles = *std::min_element(result_.per_thread_cycles.begin(),
+                                         result_.per_thread_cycles.end());
+  result_.max_cycles = *std::max_element(result_.per_thread_cycles.begin(),
+                                         result_.per_thread_cycles.end());
+  double sum = 0.0;
+  for (const std::uint64_t c : result_.per_thread_cycles) {
+    sum += static_cast<double>(c);
+  }
+  result_.avg_cycles = sum / static_cast<double>(threads_);
+  return Status::Ok();
+}
+
+std::string MutexFrontend::summary() const {
+  char line[128];
+  std::snprintf(line, sizeof line,
+                "threads=%u MIN_CYCLE=%llu MAX_CYCLE=%llu AVG_CYCLE=%.2f\n",
+                threads_,
+                static_cast<unsigned long long>(result_.min_cycles),
+                static_cast<unsigned long long>(result_.max_cycles),
+                result_.avg_cycles);
+  return line;
+}
+
+}  // namespace hmcsim::frontend

@@ -1,0 +1,100 @@
+// mutex_frontend.hpp — the paper's Algorithm 1 as a Frontend.
+//
+// The mutex contention experiment (HMC_LOCK, then TRYLOCK-spin, then
+// HMC_UNLOCK per thread) restructured into the tick() shape: one tick is
+// one iteration of the classic driver loop — watchdog, backoff re-arm,
+// quiescent-backoff jump, then one ThreadSim step. Registered as "mutex";
+// host::run_mutex_contention() is a thin wrapper over this class.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/frontend.hpp"
+#include "host/mutex_driver.hpp"
+#include "host/thread_sim.hpp"
+
+namespace hmcsim::frontend {
+
+class MutexFrontend final : public Frontend {
+ public:
+  struct Options {
+    host::MutexOptions mutex;
+    /// Directory with hmc_lock/trylock/unlock.so; "" = use `provision`.
+    std::string plugin_dir;
+    /// Registers the mutex trio in setup(); empty = the caller must have
+    /// registered CMC125/126/127 already (the legacy wrapper contract).
+    CmcProvisionFn provision;
+  };
+
+  MutexFrontend(std::uint32_t threads, Options opts)
+      : threads_(threads), opts_(std::move(opts)) {}
+
+  /// FrontendRegistry factory ("mutex", positional key "threads").
+  static Status make(const FrontendOptions& opts,
+                     std::unique_ptr<Frontend>& out);
+
+  [[nodiscard]] std::string describe() const override {
+    return "mutex contention (" + std::to_string(threads_) + " threads)";
+  }
+  Status setup(backend::MemoryBackend& mem) override;
+  Status tick(backend::MemoryBackend& mem, std::uint64_t cycle) override;
+  [[nodiscard]] bool done() const override {
+    return setup_done_ && done_count_ >= threads_;
+  }
+  Status finish(backend::MemoryBackend& mem) override;
+  [[nodiscard]] std::string summary() const override;
+
+  [[nodiscard]] const host::MutexResult& result() const { return result_; }
+  /// True once setup() has initialised result(); the wrapper only copies
+  /// it back then, preserving the legacy "untouched on validation error"
+  /// contract.
+  [[nodiscard]] bool result_written() const { return setup_done_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    SendLock,
+    WaitLock,
+    SendTrylock,
+    WaitTrylock,
+    Backoff,  ///< Waiting out trylock_backoff before the next TRYLOCK.
+    SendUnlock,
+    WaitUnlock,
+    Done,
+  };
+  struct ThreadFsm {
+    Phase phase = Phase::SendLock;
+    std::uint64_t done_cycle = 0;
+    std::uint64_t wake_cycle = 0;  ///< First cycle to retry (Backoff only).
+  };
+
+  [[nodiscard]] std::uint64_t lock_addr_of(std::uint32_t tid) const {
+    return opts_.mutex.lock_addr +
+           opts_.mutex.lock_stride * (tid % opts_.mutex.num_locks);
+  }
+  [[nodiscard]] static std::uint64_t tid_token(std::uint32_t tid) {
+    return static_cast<std::uint64_t>(tid) + 1;  // 0 is "lock free".
+  }
+  Status send(std::uint32_t tid, spec::Rqst op);
+  void on_rsp(const host::Completion& c);
+
+  std::uint32_t threads_;
+  Options opts_;
+  sim::Simulator* sim_ = nullptr;
+  std::unique_ptr<host::ThreadSim> ts_;
+  std::vector<ThreadFsm> fsm_;
+  /// Stalled sends are retried by ThreadSim with the same RqstParams,
+  /// whose payload is a non-owning span — so each thread's payload lives
+  /// here, not on a transient stack frame.
+  std::vector<std::array<std::uint64_t, 2>> payloads_;
+  host::MutexResult result_;
+  std::uint64_t start_cycle_ = 0;
+  std::uint64_t ff_start_ = 0;
+  std::uint32_t done_count_ = 0;
+  bool setup_done_ = false;
+};
+
+}  // namespace hmcsim::frontend

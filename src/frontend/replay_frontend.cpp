@@ -1,0 +1,155 @@
+#include "frontend/replay_frontend.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "frontend/runner.hpp"
+#include "sim/stats_report.hpp"
+
+namespace hmcsim::frontend {
+namespace {
+
+/// Mutex-trio operation names, in registration order.
+constexpr std::string_view kMutexOps[] = {"hmc_lock", "hmc_trylock",
+                                          "hmc_unlock"};
+
+}  // namespace
+
+Status ReplayFrontend::make(const FrontendOptions& opts,
+                            std::unique_ptr<Frontend>& out) {
+  Options o;
+  o.trace_path = opts.str("trace");
+  if (o.trace_path.empty()) {
+    return Status::InvalidArg("replay: missing trace=<file>");
+  }
+  o.plugin_dir = opts.str("plugins");
+  o.provision = opts.cmc_provider();
+  out = std::make_unique<ReplayFrontend>(std::move(o));
+  return Status::Ok();
+}
+
+Status ReplayFrontend::setup(backend::MemoryBackend& mem) {
+  sim_ = mem.simulator();
+  if (sim_ == nullptr) {
+    return Status::Unsupported(
+        "replay frontend requires a simulator-backed backend (CMC posted "
+        "lookup and FLIT accounting)");
+  }
+  if (records_ == nullptr) {
+    if (Status s = host::load_trace(opts_.trace_path, loaded_); !s.ok()) {
+      return s;
+    }
+  }
+  // CMC records in common traces need the mutex trio; register it
+  // best-effort so such traces replay out of the box (failures — e.g. ops
+  // already registered by the caller — are deliberately ignored).
+  if (!opts_.plugin_dir.empty()) {
+    for (const char* so :
+         {"hmc_lock.so", "hmc_trylock.so", "hmc_unlock.so"}) {
+      (void)sim_->load_cmc(opts_.plugin_dir + "/" + so);
+    }
+  } else if (opts_.provision) {
+    for (const std::string_view op : kMutexOps) {
+      (void)opts_.provision(*sim_, op);
+    }
+  }
+  result_ = host::ReplayResult{};
+  stats0_ = sim::collect_stats(*sim_);
+  base_cycle_ = mem.cycle();
+  ff0_ = sim_->fast_forwarded_cycles();
+  return Status::Ok();
+}
+
+Status ReplayFrontend::tick(backend::MemoryBackend& mem,
+                            std::uint64_t cycle) {
+  const std::vector<host::TraceRecord>& recs = records();
+  const std::uint64_t rel_cycle = cycle - base_cycle_;
+
+  auto is_posted = [this](spec::Rqst rqst) {
+    if (spec::is_cmc(rqst)) {
+      const cmc::CmcOp* op = sim_->cmc_registry().lookup(rqst);
+      return op == nullptr ? false : op->posted();
+    }
+    return spec::command_info(rqst).rsp_flits == 0;
+  };
+
+  // Issue every record due this cycle; a stalled head blocks the rest
+  // (host queue semantics).
+  while (next_ < recs.size() && recs[next_].issue_cycle <= rel_cycle) {
+    const host::TraceRecord& rec = recs[next_];
+    spec::RqstParams params;
+    params.rqst = rec.rqst;
+    params.addr = rec.addr;
+    params.cub = rec.cub;
+    params.tag = tag_;
+    params.payload = rec.payload;
+    const Status s = mem.send(params, rec.link);
+    if (s.stalled()) {
+      ++result_.send_retries;
+      break;
+    }
+    if (!s.ok()) {
+      return Status(s.code(), "replay record " + std::to_string(next_) +
+                                  ": " + s.message());
+    }
+    tag_ = static_cast<std::uint16_t>((tag_ + 1) & spec::kMaxTag);
+    if (!issued_any_) {
+      issued_any_ = true;
+      first_issue_ = mem.cycle();
+    }
+    ++result_.requests_issued;
+    if (!is_posted(rec.rqst)) {
+      ++expected_;
+    }
+    ++next_;
+  }
+
+  // Fast-forward dead time between trace issue cycles, capped at the
+  // watchdog deadline so a quiet-but-hung replay still trips it.
+  AdvanceHint hint;
+  if (next_ < recs.size()) {
+    hint.next_wanted = base_cycle_ + recs[next_].issue_cycle;
+  }
+  hint.next_wanted = std::min(hint.next_wanted, deadline() + 1);
+  advance(mem, hint);
+
+  for (std::uint32_t link = 0; link < mem.num_links(); ++link) {
+    sim::Response rsp;
+    while (mem.recv(link, rsp).ok()) {
+      ++result_.responses_received;
+      if (rsp.pkt.cmd() ==
+          static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR)) {
+        ++result_.error_responses;
+      }
+      --expected_;
+    }
+  }
+
+  // Watchdog: a replay that makes no forward progress for a long time
+  // indicates an unregistered CMC or a deadlocked configuration.
+  if (mem.cycle() - base_cycle_ > recs.size() * 100 + 100000) {
+    return Status::Internal("trace replay watchdog expired");
+  }
+  return Status::Ok();
+}
+
+Status ReplayFrontend::finish(backend::MemoryBackend& mem) {
+  result_.cycles = issued_any_ ? mem.cycle() - first_issue_ : 0;
+  const auto stats1 = sim::collect_stats(*sim_);
+  result_.rqst_flits = stats1.rqst_flits - stats0_.rqst_flits;
+  result_.rsp_flits = stats1.rsp_flits - stats0_.rsp_flits;
+  result_.fast_forwarded = sim_->fast_forwarded_cycles() - ff0_;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "replayed %llu requests: %llu responses, %llu errors, "
+                "%llu cycles, %llu retries\n",
+                static_cast<unsigned long long>(result_.requests_issued),
+                static_cast<unsigned long long>(result_.responses_received),
+                static_cast<unsigned long long>(result_.error_responses),
+                static_cast<unsigned long long>(result_.cycles),
+                static_cast<unsigned long long>(result_.send_retries));
+  summary_ = std::string(line) + sim::format_stats(*sim_);
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::frontend

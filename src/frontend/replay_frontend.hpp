@@ -1,0 +1,89 @@
+// replay_frontend.hpp — trace replay as a Frontend.
+//
+// One tick = one iteration of the classic replay loop: issue every record
+// due this cycle (a stalled head blocks the rest, host-queue style), let
+// the backend advance (jumping issue-gap dead time when legal), then
+// drain every link. Registered as "replay"; host::replay_trace() is a
+// thin wrapper over this class so the legacy entry point and the CLI
+// share one implementation — byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/frontend.hpp"
+#include "host/trace_replay.hpp"
+#include "sim/sim_stats.hpp"
+
+namespace hmcsim::frontend {
+
+class ReplayFrontend final : public Frontend {
+ public:
+  struct Options {
+    /// Trace file loaded during setup; unused when records are injected
+    /// directly (the host::replay_trace wrapper path).
+    std::string trace_path;
+    /// Directory with hmc_lock/trylock/unlock.so; "" = use `provision`.
+    std::string plugin_dir;
+    /// Best-effort mutex-trio registration (CMC records in common traces
+    /// need them); failures are ignored, matching the CLI's historical
+    /// behaviour.
+    CmcProvisionFn provision;
+  };
+
+  /// Wrapper path: replay caller-owned records, no CMC provisioning.
+  explicit ReplayFrontend(const std::vector<host::TraceRecord>& records)
+      : records_(&records) {}
+  /// Factory path: load the trace and provision CMC ops in setup().
+  explicit ReplayFrontend(Options opts) : opts_(std::move(opts)) {}
+
+  /// FrontendRegistry factory ("replay", positional key "trace").
+  static Status make(const FrontendOptions& opts,
+                     std::unique_ptr<Frontend>& out);
+
+  [[nodiscard]] std::string describe() const override {
+    return "trace replay (" +
+           (opts_.trace_path.empty() ? std::to_string(records().size()) +
+                                           " records"
+                                     : opts_.trace_path) +
+           ")";
+  }
+  Status setup(backend::MemoryBackend& mem) override;
+  Status tick(backend::MemoryBackend& mem, std::uint64_t cycle) override;
+  [[nodiscard]] bool done() const override {
+    return next_ >= records().size() && expected_ == 0;
+  }
+  Status finish(backend::MemoryBackend& mem) override;
+  [[nodiscard]] std::string summary() const override { return summary_; }
+  [[nodiscard]] bool succeeded() const override {
+    return result_.error_responses == 0;
+  }
+
+  [[nodiscard]] const host::ReplayResult& result() const { return result_; }
+
+ private:
+  [[nodiscard]] const std::vector<host::TraceRecord>& records() const {
+    return records_ != nullptr ? *records_ : loaded_;
+  }
+  [[nodiscard]] std::uint64_t deadline() const {
+    return base_cycle_ + records().size() * 100 + 100000;
+  }
+
+  Options opts_;
+  const std::vector<host::TraceRecord>* records_ = nullptr;
+  std::vector<host::TraceRecord> loaded_;
+  sim::Simulator* sim_ = nullptr;
+  host::ReplayResult result_;
+  sim::SimStats stats0_;
+  std::uint64_t base_cycle_ = 0;
+  std::uint64_t ff0_ = 0;
+  std::size_t next_ = 0;        ///< First not-yet-issued record.
+  std::uint64_t expected_ = 0;  ///< Non-posted requests awaiting responses.
+  std::uint16_t tag_ = 0;
+  std::uint64_t first_issue_ = 0;
+  bool issued_any_ = false;
+  std::string summary_;
+};
+
+}  // namespace hmcsim::frontend

@@ -1,0 +1,126 @@
+#include "frontend/rogue_frontend.hpp"
+
+#include <cstdio>
+
+namespace hmcsim::frontend {
+
+Status RogueFrontend::make(const FrontendOptions& opts,
+                           std::unique_ptr<Frontend>& out) {
+  Options o;
+  o.plugin_path = opts.str("plugin");
+  if (o.plugin_path.empty()) {
+    return Status::InvalidArg("rogue: missing plugin=<path.so>");
+  }
+  o.provision = opts.cmc_provider();
+  out = std::make_unique<RogueFrontend>(std::move(o));
+  return Status::Ok();
+}
+
+Status RogueFrontend::setup(backend::MemoryBackend& mem) {
+  sim_ = mem.simulator();
+  if (sim_ == nullptr) {
+    return Status::Unsupported(
+        "rogue frontend requires a simulator-backed backend (CMC loading "
+        "and quarantine metrics)");
+  }
+  if (Status s = sim_->load_cmc(opts_.plugin_path); !s.ok()) {
+    return Status(s.code(),
+                  "load_cmc(" + opts_.plugin_path + "): " + s.message());
+  }
+  if (!opts_.provision) {
+    return Status::InvalidState(
+        "rogue frontend needs a CMC provider for hmc_satinc");
+  }
+  if (Status s = opts_.provision(*sim_, "hmc_satinc"); !s.ok()) {
+    return Status(s.code(), "register satinc: " + s.message());
+  }
+
+  constexpr std::uint64_t kRogueBase = 0x10000;
+  constexpr std::uint64_t kSatincAddr = 0x20000;
+  const std::uint32_t threshold = sim_->config().cmc_fail_threshold != 0
+                                      ? sim_->config().cmc_fail_threshold
+                                      : 8;
+  // Phase 1 — every mode once (success at mode 0 resets the streak).
+  for (std::uint64_t mode = 0; mode < 5; ++mode) {
+    schedule_.push_back({spec::Rqst::CMC70, kRogueBase | (mode << 4), false});
+    schedule_.push_back({spec::Rqst::CMC21, kSatincAddr, true});
+  }
+  // Phase 2 — failures only, until the quarantine threshold trips.
+  for (std::uint32_t i = 0; i < 2 * threshold; ++i) {
+    const std::uint64_t mode = 1 + (i % 4);
+    schedule_.push_back({spec::Rqst::CMC70, kRogueBase | (mode << 4), false});
+  }
+  // Phase 3 — the quarantined slot answers errors without executing; the
+  // well-behaved neighbour is unaffected.
+  for (int i = 0; i < 4; ++i) {
+    schedule_.push_back({spec::Rqst::CMC70, kRogueBase, false});
+    schedule_.push_back({spec::Rqst::CMC21, kSatincAddr, true});
+  }
+  return Status::Ok();
+}
+
+Status RogueFrontend::transact(backend::MemoryBackend& mem, const Step& step,
+                               bool& was_error) {
+  spec::RqstParams params;
+  params.rqst = step.rqst;
+  params.addr = step.addr;
+  params.tag = static_cast<std::uint16_t>(tag_++ & 0x7FF);
+  for (int tries = 0; tries < 64; ++tries) {
+    const Status s = mem.send(params, 0);
+    if (s.ok()) {
+      break;
+    }
+    if (!s.stalled()) {
+      return Status(s.code(), "send: " + s.message());
+    }
+    mem.clock();
+  }
+  sim::Response rsp;
+  for (int cycles = 0; cycles < 4096; ++cycles) {
+    mem.clock();
+    if (mem.rsp_ready(0)) {
+      if (Status s = mem.recv(0, rsp); !s.ok()) {
+        return s;
+      }
+      was_error = rsp.pkt.cmd() ==
+                  static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR);
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("no response after 4096 cycles");
+}
+
+Status RogueFrontend::tick(backend::MemoryBackend& mem, std::uint64_t cycle) {
+  (void)cycle;
+  const Step& step = schedule_[next_];
+  bool was_error = false;
+  if (Status s = transact(mem, step, was_error); !s.ok()) {
+    return s;
+  }
+  if (step.is_satinc) {
+    satinc_failures_ += was_error ? 1 : 0;
+  } else {
+    (was_error ? errors_ : oks_)++;
+  }
+  ++next_;
+  return Status::Ok();
+}
+
+Status RogueFrontend::finish(backend::MemoryBackend& mem) {
+  (void)mem.clock_until_idle(8192);
+  const metrics::Gauge* quarantined =
+      sim_->metrics().find_gauge("cmc.hmc_rogue.quarantined");
+  quarantined_ = quarantined != nullptr && quarantined->value() == 1.0;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "rogue: %llu ok, %llu error responses; satinc failures: "
+                "%llu; quarantined: %s\n",
+                static_cast<unsigned long long>(oks_),
+                static_cast<unsigned long long>(errors_),
+                static_cast<unsigned long long>(satinc_failures_),
+                quarantined_ ? "yes" : "no");
+  summary_ = line;
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::frontend

@@ -1,0 +1,70 @@
+// rogue_frontend.hpp — the CMC fault-containment demo as a Frontend.
+//
+// Loads a rogue CMC library and drives it through every misbehaviour mode
+// until the slot quarantines, while the well-behaved builtin hmc_satinc
+// (CMC21) keeps executing on another slot. One tick = one transaction
+// (send with bounded stall retries, clock to the response, receive).
+// Fully deterministic — no RNG — so repeated runs and the
+// --exhaustive-clock scheduler must produce byte-identical stats.
+// Registered as "rogue".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/frontend.hpp"
+#include "sim/simulator.hpp"
+
+namespace hmcsim::frontend {
+
+class RogueFrontend final : public Frontend {
+ public:
+  struct Options {
+    std::string plugin_path;  ///< The rogue CMC shared object (CMC70).
+    CmcProvisionFn provision;  ///< Must be able to register "hmc_satinc".
+  };
+
+  explicit RogueFrontend(Options opts) : opts_(std::move(opts)) {}
+
+  /// FrontendRegistry factory ("rogue", positional key "plugin").
+  static Status make(const FrontendOptions& opts,
+                     std::unique_ptr<Frontend>& out);
+
+  [[nodiscard]] std::string describe() const override {
+    return "CMC fault containment (" + opts_.plugin_path + ")";
+  }
+  Status setup(backend::MemoryBackend& mem) override;
+  Status tick(backend::MemoryBackend& mem, std::uint64_t cycle) override;
+  [[nodiscard]] bool done() const override {
+    return next_ >= schedule_.size();
+  }
+  Status finish(backend::MemoryBackend& mem) override;
+  [[nodiscard]] std::string summary() const override { return summary_; }
+  [[nodiscard]] bool succeeded() const override {
+    return quarantined_ && satinc_failures_ == 0;
+  }
+
+ private:
+  struct Step {
+    spec::Rqst rqst = spec::Rqst::CMC70;
+    std::uint64_t addr = 0;
+    bool is_satinc = false;
+  };
+
+  Status transact(backend::MemoryBackend& mem, const Step& step,
+                  bool& was_error);
+
+  Options opts_;
+  sim::Simulator* sim_ = nullptr;
+  std::vector<Step> schedule_;
+  std::size_t next_ = 0;
+  std::uint16_t tag_ = 1;
+  std::uint64_t oks_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t satinc_failures_ = 0;
+  bool quarantined_ = false;
+  std::string summary_;
+};
+
+}  // namespace hmcsim::frontend

@@ -1,0 +1,176 @@
+#include "frontend/runner.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "sim/stats_report.hpp"
+
+namespace hmcsim::frontend {
+namespace {
+
+/// Ticks without backend progress before the runner declares the
+/// frontend stuck. Every well-formed tick clocks at least once, so any
+/// positive streak indicates a broken frontend, not a slow workload.
+constexpr std::uint64_t kMaxStuckTicks = 4096;
+
+}  // namespace
+
+void advance(backend::MemoryBackend& mem, const AdvanceHint& hint) {
+  bool rsp_waiting = false;
+  for (std::uint32_t link = 0; link < mem.num_links(); ++link) {
+    if (mem.rsp_ready(link)) {
+      rsp_waiting = true;
+      break;
+    }
+  }
+  std::uint64_t target = backend::kNoEvent;
+  if (mem.fast_forward_allowed() && !hint.host_pending && !rsp_waiting) {
+    target = std::min(mem.next_event_cycle(), hint.next_wanted);
+  }
+  if (target != backend::kNoEvent && target > mem.cycle() + 1) {
+    (void)mem.clock_until(target);
+  } else {
+    mem.clock();
+  }
+}
+
+Status run(backend::MemoryBackend& mem, Frontend& fe, RunResult& out) {
+  out = RunResult{};
+  out.start_cycle = mem.cycle();
+  if (Status s = fe.setup(mem); !s.ok()) {
+    return s;
+  }
+  std::uint64_t stuck = 0;
+  while (!fe.done()) {
+    const std::uint64_t before = mem.cycle();
+    if (Status s = fe.tick(mem, before); !s.ok()) {
+      return s;
+    }
+    ++out.ticks;
+    if (mem.cycle() == before) {
+      if (++stuck >= kMaxStuckTicks) {
+        return Status::Internal("frontend '" + fe.describe() +
+                                "' made no progress");
+      }
+    } else {
+      stuck = 0;
+    }
+  }
+  out.end_cycle = mem.cycle();
+  return fe.finish(mem);
+}
+
+Status run(backend::MemoryBackend& mem, Frontend& fe) {
+  RunResult unused;
+  return run(mem, fe, unused);
+}
+
+Status RunIo::attach(backend::MemoryBackend& mem, const IoOptions& opts) {
+  opts_ = opts;
+  sim::Simulator* sim = mem.simulator();
+  if (sim == nullptr) {
+    return Status::Ok();
+  }
+  if (!opts_.trace_file.empty()) {
+    text_stream_ = std::make_unique<std::ofstream>(opts_.trace_file);
+    if (!text_stream_->is_open()) {
+      return Status::InvalidArg("cannot open trace file " + opts_.trace_file);
+    }
+    text_sink_ = std::make_unique<trace::TextSink>(*text_stream_);
+    sim->tracer().attach(text_sink_.get());
+    sim->tracer().set_level(static_cast<trace::Level>(
+        opts_.trace_level != 0
+            ? opts_.trace_level
+            : static_cast<std::uint32_t>(trace::Level::All)));
+  }
+  if (!opts_.trace_chrome.empty()) {
+    chrome_stream_ = std::make_unique<std::ofstream>(opts_.trace_chrome);
+    if (!chrome_stream_->is_open()) {
+      return Status::InvalidArg("cannot open chrome trace file " +
+                                opts_.trace_chrome);
+    }
+    chrome_sink_ = std::make_unique<trace::ChromeSink>(*chrome_stream_);
+    sim->tracer().attach(chrome_sink_.get());
+    sim->journeys().attach(chrome_sink_.get());
+    sim->tracer().set_level(sim->tracer().level() | trace::Level::Journey |
+                            trace::Level::Retry | trace::Level::Cmc);
+  }
+  if (opts_.stage_stats) {
+    // Config::stage_stats already enabled the Journey level; the latency
+    // sink additionally needs the per-retirement Latency events.
+    sim->tracer().attach(&latency_);
+    sim->tracer().set_level(sim->tracer().level() | trace::Level::Latency);
+  }
+  if (opts_.stats_every != 0) {
+    auto last = std::make_shared<metrics::StatRegistry::Snapshot>(
+        sim->metrics().snapshot_counters());
+    sim->set_stats_interval(opts_.stats_every, [last](sim::Simulator& s) {
+      auto now = s.metrics().snapshot_counters();
+      const auto diff = metrics::StatRegistry::delta(*last, now);
+      std::printf("[stats] cycle=%llu\n",
+                  static_cast<unsigned long long>(s.cycle()));
+      for (const auto& [path, d] : diff) {
+        std::printf("  %s +%llu\n", path.c_str(),
+                    static_cast<unsigned long long>(d));
+      }
+      *last = std::move(now);
+    });
+  }
+  return Status::Ok();
+}
+
+void RunIo::print_stage_report(backend::MemoryBackend& mem) const {
+  if (!opts_.stage_stats) {
+    return;
+  }
+  sim::Simulator* simp = mem.simulator();
+  if (simp == nullptr) {
+    return;
+  }
+  sim::Simulator& sim = *simp;
+  const metrics::Histogram& total = sim.latency_histogram();
+  std::printf("stage attribution (%llu retired packets):\n",
+              static_cast<unsigned long long>(total.count()));
+  const double total_sum =
+      total.sum() == 0 ? 1.0 : static_cast<double>(total.sum());
+  for (std::size_t i = 0; i < trace::kStageCount; ++i) {
+    const auto stage = static_cast<trace::Stage>(i);
+    const std::string path =
+        "host.stage." + std::string(trace::to_string(stage));
+    const metrics::Histogram* h = sim.metrics().find_histogram(path);
+    if (h == nullptr) {
+      continue;
+    }
+    std::printf("  %-12s sum=%-8llu mean=%-7.2f max=%-6llu (%5.1f%%)\n",
+                std::string(trace::to_string(stage)).c_str(),
+                static_cast<unsigned long long>(h->sum()), h->mean(),
+                static_cast<unsigned long long>(h->max()),
+                100.0 * static_cast<double>(h->sum()) / total_sum);
+  }
+  constexpr std::array<double, 3> kQs{0.5, 0.95, 0.99};
+  const auto ps = latency_.percentiles(kQs);
+  std::printf("  end-to-end latency: p50=%llu p95=%llu p99=%llu\n",
+              static_cast<unsigned long long>(ps[0]),
+              static_cast<unsigned long long>(ps[1]),
+              static_cast<unsigned long long>(ps[2]));
+}
+
+Status RunIo::write_stats_json(backend::MemoryBackend& mem) const {
+  if (opts_.stats_json.empty()) {
+    return Status::Ok();
+  }
+  sim::Simulator* sim = mem.simulator();
+  if (sim == nullptr) {
+    return Status::Unsupported(
+        "--stats-json requires a simulator-backed backend");
+  }
+  std::ofstream out(opts_.stats_json);
+  if (!out.is_open()) {
+    return Status::InvalidArg("cannot open stats file " + opts_.stats_json);
+  }
+  out << sim::format_stats_json(*sim);
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::frontend

@@ -1,0 +1,94 @@
+// runner.hpp — the shared frontend run loop.
+//
+// Replaces the per-driver while-loops: the runner owns the
+// setup -> tick -> finish sequence and a no-progress guard, and RunIo
+// owns the observability plumbing the CLI used to wire by hand (trace
+// sinks, Chrome journey export, periodic stats deltas, the stats JSON
+// dump and the --stage-stats report). Frontends stay pure request
+// sources; fast-forward policy is centralised in advance().
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "backend/backend.hpp"
+#include "common/status.hpp"
+#include "frontend/frontend.hpp"
+#include "trace/chrome_sink.hpp"
+#include "trace/trace.hpp"
+
+namespace hmcsim::frontend {
+
+/// What the frontend knows about its own future when it lets the backend
+/// advance: the earliest absolute cycle it wants control back at
+/// (kNoEvent = "nothing scheduled"), and whether a stalled send is
+/// waiting to enter the device.
+struct AdvanceHint {
+  std::uint64_t next_wanted = backend::kNoEvent;
+  bool host_pending = false;
+};
+
+/// Advance the backend by at least one cycle. When fast-forward is
+/// allowed, nothing is pending host-side and no response is waiting
+/// (recv() timestamps latency at recv time, so a ready response pins the
+/// current cycle), dead time up to min(next_event_cycle, next_wanted) is
+/// jumped in O(1); otherwise a single clock() is stepped. Observably
+/// identical to clocking every cycle.
+void advance(backend::MemoryBackend& mem, const AdvanceHint& hint);
+
+/// Outcome of one runner invocation.
+struct RunResult {
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;
+  std::uint64_t ticks = 0;  ///< Frontend tick() calls executed.
+};
+
+/// Drive `fe` over `mem` to completion: setup(), tick() until done(),
+/// finish(). Fails with Internal if the frontend stops advancing the
+/// backend (a stuck workload would otherwise spin forever).
+[[nodiscard]] Status run(backend::MemoryBackend& mem, Frontend& fe,
+                         RunResult& out);
+[[nodiscard]] Status run(backend::MemoryBackend& mem, Frontend& fe);
+
+// ---- observability wiring -------------------------------------------------
+
+/// Everything a run may export, in one options block (the CLI's
+/// --trace-file/--trace-chrome/--stage-stats/--stats-json/--stats-every).
+struct IoOptions {
+  std::string trace_file;        ///< Text event trace path; "" = off.
+  std::uint32_t trace_level = 0; ///< Event mask; 0 = Level::All.
+  std::string trace_chrome;      ///< Chrome trace-event JSON path; "" = off.
+  bool stage_stats = false;      ///< Per-stage attribution report.
+  std::string stats_json;        ///< Full registry JSON path; "" = off.
+  std::uint64_t stats_every = 0; ///< Periodic delta print interval; 0 = off.
+};
+
+/// Owns the sinks for one run. Attach before run() (so cycle-zero sends
+/// from setup() are captured); keep alive until after the final export —
+/// the ChromeSink's destructor writes the closing bracket of its JSON.
+class RunIo {
+ public:
+  /// Wire the requested sinks into the backend's simulator. No-op (Ok)
+  /// for backends without one — there is nothing to observe.
+  [[nodiscard]] Status attach(backend::MemoryBackend& mem,
+                              const IoOptions& opts);
+
+  /// End-of-run --stage-stats report: where the cycles went, and the
+  /// latency tail percentiles. No-op unless stage_stats was set.
+  void print_stage_report(backend::MemoryBackend& mem) const;
+
+  /// Write the full registry JSON when stats_json was set.
+  [[nodiscard]] Status write_stats_json(backend::MemoryBackend& mem) const;
+
+ private:
+  IoOptions opts_;
+  std::unique_ptr<std::ofstream> text_stream_;
+  std::unique_ptr<trace::TextSink> text_sink_;
+  std::unique_ptr<std::ofstream> chrome_stream_;
+  std::unique_ptr<trace::ChromeSink> chrome_sink_;
+  trace::LatencySink latency_;  ///< --stage-stats percentile source.
+};
+
+}  // namespace hmcsim::frontend

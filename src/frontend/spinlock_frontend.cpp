@@ -1,0 +1,153 @@
+#include "frontend/spinlock_frontend.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+namespace hmcsim::frontend {
+
+Status SpinlockFrontend::make(const FrontendOptions& opts,
+                              std::unique_ptr<Frontend>& out) {
+  std::uint64_t cores = 0;
+  if (Status s = opts.get_u64("cores", cores); !s.ok()) {
+    return s;
+  }
+  if (cores == 0) {
+    return Status::InvalidArg("spinlock: missing cores=<n>");
+  }
+  host::SpinlockOptions o;
+  if (Status s = opts.get_u64("lock-addr", o.lock_addr); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_u64("max-cycles", o.max_cycles); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_u32("cache-size", o.cache.size_bytes); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_u32("cache-line", o.cache.line_bytes); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_u32("cache-ways", o.cache.ways); !s.ok()) {
+    return s;
+  }
+  out = std::make_unique<SpinlockFrontend>(static_cast<std::uint32_t>(cores),
+                                           o);
+  return Status::Ok();
+}
+
+Status SpinlockFrontend::setup(backend::MemoryBackend& mem) {
+  sim_ = mem.simulator();
+  if (sim_ == nullptr) {
+    return Status::Unsupported(
+        "spinlock frontend requires a simulator-backed backend (coherent "
+        "cache model and back-door lock initialisation)");
+  }
+  if (cores_ == 0) {
+    return Status::InvalidArg("need at least one core");
+  }
+  if (opts_.lock_addr % 8 != 0) {
+    return Status::InvalidArg("lock word must be 8-byte aligned");
+  }
+  if (Status s = opts_.cache.validate(); !s.ok()) {
+    return s;
+  }
+  // Known initial state: lock free.
+  const std::array<std::uint8_t, 8> zero{};
+  if (Status s = sim_->mem_write(0, opts_.lock_addr, zero); !s.ok()) {
+    return s;
+  }
+
+  result_ = host::SpinlockResult{};
+  result_.cores = cores_;
+  result_.per_core_cycles.assign(cores_, 0);
+  stats0_ = sim::collect_stats(*sim_);
+  setup_done_ = true;
+
+  system_ = std::make_unique<host::CoherentSystem>(*sim_, cores_,
+                                                   opts_.cache);
+  phase_.assign(cores_, Phase::WantLock);
+  start_cycle_ = mem.cycle();
+  ff_start_ = sim_->fast_forwarded_cycles();
+  done_count_ = 0;
+  return Status::Ok();
+}
+
+void SpinlockFrontend::try_issue(std::uint32_t core) {
+  if (phase_[core] == Phase::WantLock) {
+    host::CoreRequest cas;
+    cas.op = host::MemOp::Cas;
+    cas.addr = opts_.lock_addr;
+    cas.expect = 0;
+    cas.operand = 1;
+    if (system_->issue(core, cas).ok()) {
+      ++result_.cas_attempts;
+      phase_[core] = Phase::WaitCas;
+    }
+  } else if (phase_[core] == Phase::WantUnlock) {
+    host::CoreRequest release;
+    release.op = host::MemOp::Store;
+    release.addr = opts_.lock_addr;
+    release.operand = 0;
+    if (system_->issue(core, release).ok()) {
+      phase_[core] = Phase::WaitUnlock;
+    }
+  }
+}
+
+void SpinlockFrontend::on_complete(const host::CoreCompletion& c) {
+  if (phase_[c.core] == Phase::WaitCas) {
+    phase_[c.core] = c.cas_success ? Phase::WantUnlock : Phase::WantLock;
+  } else if (phase_[c.core] == Phase::WaitUnlock) {
+    phase_[c.core] = Phase::Done;
+    result_.per_core_cycles[c.core] = sim_->cycle() - start_cycle_;
+    ++done_count_;
+  }
+}
+
+Status SpinlockFrontend::tick(backend::MemoryBackend& mem,
+                              std::uint64_t cycle) {
+  (void)mem;
+  if (cycle - start_cycle_ > opts_.max_cycles) {
+    return Status::Internal("spinlock watchdog expired");
+  }
+  for (std::uint32_t core = 0; core < cores_; ++core) {
+    try_issue(core);
+  }
+  system_->step([this](const host::CoreCompletion& c) { on_complete(c); });
+  return Status::Ok();
+}
+
+Status SpinlockFrontend::finish(backend::MemoryBackend& mem) {
+  result_.total_cycles = mem.cycle() - start_cycle_;
+  result_.line_bounces = system_->stats().ownership_writebacks;
+  result_.fast_forwarded = sim_->fast_forwarded_cycles() - ff_start_;
+  const auto stats1 = sim::collect_stats(*sim_);
+  result_.hmc_rqst_flits = stats1.rqst_flits - stats0_.rqst_flits;
+  result_.hmc_rsp_flits = stats1.rsp_flits - stats0_.rsp_flits;
+  result_.min_cycles = *std::min_element(result_.per_core_cycles.begin(),
+                                         result_.per_core_cycles.end());
+  result_.max_cycles = *std::max_element(result_.per_core_cycles.begin(),
+                                         result_.per_core_cycles.end());
+  double sum = 0.0;
+  for (const std::uint64_t c : result_.per_core_cycles) {
+    sum += static_cast<double>(c);
+  }
+  result_.avg_cycles = sum / static_cast<double>(cores_);
+  return Status::Ok();
+}
+
+std::string SpinlockFrontend::summary() const {
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "cores=%u MIN_CYCLE=%llu MAX_CYCLE=%llu AVG_CYCLE=%.2f "
+                "cas=%llu bounces=%llu\n",
+                cores_, static_cast<unsigned long long>(result_.min_cycles),
+                static_cast<unsigned long long>(result_.max_cycles),
+                result_.avg_cycles,
+                static_cast<unsigned long long>(result_.cas_attempts),
+                static_cast<unsigned long long>(result_.line_bounces));
+  return line;
+}
+
+}  // namespace hmcsim::frontend

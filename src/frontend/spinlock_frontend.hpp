@@ -1,0 +1,73 @@
+// spinlock_frontend.hpp — the coherent-cache CAS spinlock as a Frontend.
+//
+// The counterpart to MutexFrontend: the same Algorithm 1 structure, but
+// each thread is a core of the CoherentSystem spinning with
+// compare-and-swap on a cached lock word. One tick is one iteration of
+// the classic driver loop — watchdog, issue pass over every core, one
+// CoherentSystem step. Registered as "spinlock";
+// host::run_spinlock_contention() is a thin wrapper over this class.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/frontend.hpp"
+#include "host/cache/spinlock_driver.hpp"
+#include "sim/sim_stats.hpp"
+
+namespace hmcsim::frontend {
+
+class SpinlockFrontend final : public Frontend {
+ public:
+  SpinlockFrontend(std::uint32_t cores, host::SpinlockOptions opts)
+      : cores_(cores), opts_(opts) {}
+
+  /// FrontendRegistry factory ("spinlock", positional key "cores").
+  static Status make(const FrontendOptions& opts,
+                     std::unique_ptr<Frontend>& out);
+
+  [[nodiscard]] std::string describe() const override {
+    return "CAS spinlock contention (" + std::to_string(cores_) + " cores)";
+  }
+  Status setup(backend::MemoryBackend& mem) override;
+  Status tick(backend::MemoryBackend& mem, std::uint64_t cycle) override;
+  [[nodiscard]] bool done() const override {
+    return setup_done_ && done_count_ >= cores_;
+  }
+  Status finish(backend::MemoryBackend& mem) override;
+  [[nodiscard]] std::string summary() const override;
+
+  [[nodiscard]] const host::SpinlockResult& result() const { return result_; }
+  /// True once setup() has initialised result(); the wrapper only copies
+  /// it back then, preserving the legacy "untouched on validation error"
+  /// contract.
+  [[nodiscard]] bool result_written() const { return setup_done_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    WantLock,    ///< Needs to issue a CAS.
+    WaitCas,     ///< CAS in flight.
+    WantUnlock,  ///< Needs to issue the releasing store.
+    WaitUnlock,  ///< Store in flight.
+    Done,
+  };
+
+  void try_issue(std::uint32_t core);
+  void on_complete(const host::CoreCompletion& c);
+
+  std::uint32_t cores_;
+  host::SpinlockOptions opts_;
+  sim::Simulator* sim_ = nullptr;
+  std::unique_ptr<host::CoherentSystem> system_;
+  std::vector<Phase> phase_;
+  host::SpinlockResult result_;
+  sim::SimStats stats0_;
+  std::uint64_t start_cycle_ = 0;
+  std::uint64_t ff_start_ = 0;
+  std::uint32_t done_count_ = 0;
+  bool setup_done_ = false;
+};
+
+}  // namespace hmcsim::frontend

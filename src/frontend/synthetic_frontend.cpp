@@ -1,0 +1,405 @@
+#include "frontend/synthetic_frontend.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "frontend/runner.hpp"
+#include "sim/simulator.hpp"
+
+namespace hmcsim::frontend {
+namespace {
+
+constexpr std::uint64_t kGranuleBytes = 64;
+
+/// SplitMix64 finaliser as a stateless scrambler (rank -> granule, and the
+/// pointer-chase successor function).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] const char* pattern_name(SyntheticFrontend::Pattern p) {
+  switch (p) {
+    case SyntheticFrontend::Pattern::Uniform:
+      return "uniform";
+    case SyntheticFrontend::Pattern::Zipfian:
+      return "zipfian";
+    case SyntheticFrontend::Pattern::Chase:
+      return "chase";
+    case SyntheticFrontend::Pattern::Bursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Status SyntheticFrontend::make(const FrontendOptions& opts,
+                               std::unique_ptr<Frontend>& out) {
+  Options o;
+  const std::string pattern = opts.str("pattern", "uniform");
+  if (pattern == "uniform") {
+    o.pattern = Pattern::Uniform;
+  } else if (pattern == "zipfian") {
+    o.pattern = Pattern::Zipfian;
+  } else if (pattern == "chase") {
+    o.pattern = Pattern::Chase;
+  } else if (pattern == "bursty") {
+    o.pattern = Pattern::Bursty;
+  } else {
+    return Status::InvalidArg(
+        "synthetic: unknown pattern '" + pattern +
+        "' (expected uniform, zipfian, chase or bursty)");
+  }
+  if (Status s = opts.get_u64("count", o.count); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_double("rate", o.rate); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_double("theta", o.theta); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_u64("footprint", o.footprint); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_u64("base-addr", o.base_addr); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_u32("write-pct", o.write_pct); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_u32("cmc-pct", o.cmc_pct); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_u32("burst-len", o.burst_len); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_u32("chains", o.chains); !s.ok()) {
+    return s;
+  }
+  if (Status s = opts.get_u32("window", o.window); !s.ok()) {
+    return s;
+  }
+  o.provision = opts.cmc_provider();
+  out = std::make_unique<SyntheticFrontend>(std::move(o));
+  return Status::Ok();
+}
+
+std::string SyntheticFrontend::describe() const {
+  return std::string("synthetic load (") + pattern_name(opts_.pattern) +
+         ", " + std::to_string(opts_.count) + " requests)";
+}
+
+Status SyntheticFrontend::setup(backend::MemoryBackend& mem) {
+  if (opts_.count == 0) {
+    return Status::InvalidArg("synthetic: count must be nonzero");
+  }
+  if (opts_.footprint < kGranuleBytes ||
+      opts_.footprint % kGranuleBytes != 0) {
+    return Status::InvalidArg(
+        "synthetic: footprint must be a nonzero multiple of 64 bytes");
+  }
+  if (opts_.base_addr % kGranuleBytes != 0) {
+    return Status::InvalidArg("synthetic: base-addr must be 64-byte aligned");
+  }
+  if (opts_.rate <= 0.0) {
+    return Status::InvalidArg("synthetic: rate must be positive");
+  }
+  if (opts_.write_pct + opts_.cmc_pct > 100) {
+    return Status::InvalidArg(
+        "synthetic: write-pct + cmc-pct must not exceed 100");
+  }
+  if (opts_.window == 0 || opts_.window > spec::kMaxTag) {
+    return Status::InvalidArg("synthetic: window must be in [1, 2047]");
+  }
+  if (opts_.pattern == Pattern::Zipfian &&
+      (opts_.theta <= 0.0 || opts_.theta >= 1.0)) {
+    return Status::InvalidArg("synthetic: theta must be in (0, 1)");
+  }
+  if (opts_.pattern == Pattern::Chase &&
+      (opts_.chains == 0 || opts_.chains > spec::kMaxTag ||
+       opts_.chains > opts_.count)) {
+    return Status::InvalidArg(
+        "synthetic: chains must be in [1, min(count, 2047)]");
+  }
+  if (opts_.burst_len == 0) {
+    return Status::InvalidArg("synthetic: burst-len must be nonzero");
+  }
+  sim_ = mem.simulator();
+  if (opts_.cmc_pct > 0) {
+    if (sim_ == nullptr) {
+      return Status::Unsupported(
+          "synthetic: a CMC mix requires a simulator-backed backend");
+    }
+    if (!opts_.provision) {
+      return Status::InvalidState(
+          "synthetic: cmc-pct > 0 needs a CMC provider for hmc_satinc");
+    }
+    if (Status s = opts_.provision(*sim_, "hmc_satinc"); !s.ok()) {
+      return s;
+    }
+  }
+
+  // Independent deterministic streams, all derived from the config seed.
+  SplitMix64 seeder(mem.workload_seed());
+  addr_rng_ = Xoshiro256(seeder.next());
+  mix_rng_ = Xoshiro256(seeder.next());
+  arrival_rng_ = Xoshiro256(seeder.next());
+
+  if (opts_.pattern == Pattern::Zipfian) {
+    // Gray et al. "Quickly generating billion-record synthetic databases":
+    // closed-form Zipf sampler over `granules()` ranks.
+    const double n = static_cast<double>(granules());
+    zetan_ = 0.0;
+    for (std::uint64_t i = 1; i <= granules(); ++i) {
+      zetan_ += 1.0 / std::pow(static_cast<double>(i), opts_.theta);
+    }
+    const double zeta2 = 1.0 + std::pow(0.5, opts_.theta);
+    zipf_alpha_ = 1.0 / (1.0 - opts_.theta);
+    zipf_eta_ = (1.0 - std::pow(2.0 / n, 1.0 - opts_.theta)) /
+                (1.0 - zeta2 / zetan_);
+  }
+
+  base_cycle_ = mem.cycle();
+  if (opts_.pattern == Pattern::Chase) {
+    // Closed loop: seed every chain with its first hop; successors are
+    // generated as responses return.
+    chain_addr_.assign(opts_.chains, 0);
+    for (std::uint32_t c = 0; c < opts_.chains; ++c) {
+      chain_addr_[c] = draw_addr();
+      Pending p;
+      p.rqst = spec::Rqst::RD64;
+      p.addr = chain_addr_[c];
+      p.tag = static_cast<std::uint16_t>(c);
+      queue_.push_back(p);
+      ++generated_;
+    }
+  }
+  return Status::Ok();
+}
+
+std::uint64_t SyntheticFrontend::zipf_rank() {
+  const double u = uniform01(addr_rng_);
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, opts_.theta)) {
+    return 1;
+  }
+  const double n = static_cast<double>(granules());
+  const auto rank = static_cast<std::uint64_t>(
+      n * std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+  return rank >= granules() ? granules() - 1 : rank;
+}
+
+std::uint64_t SyntheticFrontend::draw_addr() {
+  std::uint64_t granule = 0;
+  switch (opts_.pattern) {
+    case Pattern::Zipfian:
+      // Scramble so the hottest ranks scatter across vaults instead of
+      // clustering at the bottom of the footprint.
+      granule = mix64(zipf_rank()) % granules();
+      break;
+    case Pattern::Uniform:
+    case Pattern::Chase:
+    case Pattern::Bursty:
+      granule = addr_rng_.below(granules());
+      break;
+  }
+  return opts_.base_addr + granule * kGranuleBytes;
+}
+
+SyntheticFrontend::Pending SyntheticFrontend::draw_request(
+    std::uint64_t addr) {
+  Pending p;
+  p.addr = addr;
+  const std::uint64_t draw = mix_rng_.below(100);
+  if (draw < opts_.cmc_pct) {
+    p.rqst = spec::Rqst::CMC21;  // hmc_satinc: an 8-byte saturating counter.
+  } else if (draw < opts_.cmc_pct + opts_.write_pct) {
+    p.rqst = spec::Rqst::WR64;
+    p.payload_words = 8;
+    for (std::uint8_t i = 0; i < 8; ++i) {
+      p.payload[i] = mix64(addr + i);
+    }
+  } else {
+    p.rqst = spec::Rqst::RD64;
+  }
+  return p;
+}
+
+void SyntheticFrontend::generate_due(std::uint64_t rel_cycle) {
+  if (opts_.pattern == Pattern::Chase) {
+    return;  // Closed loop: successors come from drain().
+  }
+  while (generated_ < opts_.count &&
+         next_arrival_ <= static_cast<double>(rel_cycle)) {
+    if (opts_.pattern == Pattern::Bursty) {
+      // A Poisson burst process: exponential gaps between bursts whose
+      // sizes are geometric with mean burst_len, so the long-run request
+      // rate stays `rate`.
+      const double p_stop = 1.0 / static_cast<double>(opts_.burst_len);
+      std::uint64_t size = 1;
+      while (uniform01(arrival_rng_) > p_stop) {
+        ++size;
+      }
+      for (std::uint64_t i = 0; i < size && generated_ < opts_.count; ++i) {
+        queue_.push_back(draw_request(draw_addr()));
+        ++generated_;
+      }
+      const double burst_rate =
+          opts_.rate / static_cast<double>(opts_.burst_len);
+      const double u = uniform01(arrival_rng_);
+      next_arrival_ += -std::log(1.0 - u) / burst_rate;
+    } else {
+      queue_.push_back(draw_request(draw_addr()));
+      ++generated_;
+      next_arrival_ += 1.0 / opts_.rate;
+    }
+  }
+}
+
+Status SyntheticFrontend::issue_ready(backend::MemoryBackend& mem) {
+  while (!queue_.empty() && outstanding_ < opts_.window) {
+    Pending& head = queue_.front();
+    spec::RqstParams params;
+    params.rqst = head.rqst;
+    params.addr = head.addr;
+    params.cub = opts_.cub;
+    if (opts_.pattern == Pattern::Chase) {
+      params.tag = head.tag;
+    } else {
+      // Rolling tags stay unique: at most `window` (< 2048) in flight.
+      params.tag = tag_;
+    }
+    if (head.payload_words != 0) {
+      params.payload = {head.payload.data(), head.payload_words};
+    }
+    const Status s = mem.send(params, link_rr_);
+    if (s.stalled()) {
+      ++send_retries_;  // Head-of-line: retry the same request next tick.
+      break;
+    }
+    if (!s.ok()) {
+      return s;
+    }
+    if (opts_.pattern != Pattern::Chase) {
+      tag_ = static_cast<std::uint16_t>((tag_ + 1) & spec::kMaxTag);
+    }
+    link_rr_ = (link_rr_ + 1) % mem.num_links();
+    switch (head.rqst) {
+      case spec::Rqst::RD64:
+        ++reads_;
+        break;
+      case spec::Rqst::WR64:
+        ++writes_;
+        break;
+      default:
+        ++cmcs_;
+        break;
+    }
+    if (!issued_any_) {
+      issued_any_ = true;
+      first_issue_ = mem.cycle();
+    }
+    ++issued_;
+    ++outstanding_;
+    queue_.pop_front();
+  }
+  return Status::Ok();
+}
+
+void SyntheticFrontend::drain(backend::MemoryBackend& mem) {
+  for (std::uint32_t link = 0; link < mem.num_links(); ++link) {
+    sim::Response rsp;
+    while (mem.recv(link, rsp).ok()) {
+      ++responses_;
+      --outstanding_;
+      if (rsp.pkt.cmd() ==
+          static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR)) {
+        ++error_responses_;
+      }
+      if (opts_.pattern == Pattern::Chase && generated_ < opts_.count) {
+        // The next hop depends on the previous one having completed —
+        // the successor is a pure function of the chain's address, so
+        // the walk is deterministic regardless of completion order.
+        const auto chain = static_cast<std::uint32_t>(rsp.pkt.tag());
+        chain_addr_[chain] = opts_.base_addr +
+                             (mix64(chain_addr_[chain] + chain) %
+                              granules()) * kGranuleBytes;
+        Pending p;
+        p.rqst = spec::Rqst::RD64;
+        p.addr = chain_addr_[chain];
+        p.tag = static_cast<std::uint16_t>(chain);
+        queue_.push_back(p);
+        ++generated_;
+      }
+    }
+  }
+}
+
+Status SyntheticFrontend::tick(backend::MemoryBackend& mem,
+                               std::uint64_t cycle) {
+  const std::uint64_t rel_cycle = cycle - base_cycle_;
+  if (rel_cycle > opts_.count * 1000 + 1'000'000) {
+    return Status::Internal("synthetic load watchdog expired");
+  }
+  generate_due(rel_cycle);
+  if (Status s = issue_ready(mem); !s.ok()) {
+    return s;
+  }
+  AdvanceHint hint;
+  hint.host_pending = !queue_.empty();
+  if (queue_.empty() && generated_ < opts_.count &&
+      opts_.pattern != Pattern::Chase) {
+    hint.next_wanted =
+        base_cycle_ + static_cast<std::uint64_t>(std::ceil(next_arrival_));
+  }
+  advance(mem, hint);
+  drain(mem);
+  return Status::Ok();
+}
+
+Status SyntheticFrontend::finish(backend::MemoryBackend& mem) {
+  const std::uint64_t cycles =
+      issued_any_ ? mem.cycle() - first_issue_ : 0;
+  if (sim_ != nullptr) {
+    metrics::StatRegistry& reg = sim_->metrics();
+    reg.counter("host.synthetic.requests", "synthetic requests issued")
+        .inc(issued_);
+    reg.counter("host.synthetic.responses", "synthetic responses received")
+        .inc(responses_);
+    reg.counter("host.synthetic.reads", "synthetic RD64 requests")
+        .inc(reads_);
+    reg.counter("host.synthetic.writes", "synthetic WR64 requests")
+        .inc(writes_);
+    reg.counter("host.synthetic.cmc", "synthetic CMC requests").inc(cmcs_);
+    reg.counter("host.synthetic.send_retries",
+                "synthetic sends retried on link stall")
+        .inc(send_retries_);
+  }
+  const double throughput =
+      cycles == 0 ? 0.0
+                  : static_cast<double>(issued_) / static_cast<double>(cycles);
+  char line[200];
+  std::snprintf(line, sizeof line,
+                "synthetic(%s): %llu requests (%llu rd, %llu wr, %llu cmc), "
+                "%llu responses, %llu errors, %llu cycles, %.3f req/cycle, "
+                "%llu retries\n",
+                pattern_name(opts_.pattern),
+                static_cast<unsigned long long>(issued_),
+                static_cast<unsigned long long>(reads_),
+                static_cast<unsigned long long>(writes_),
+                static_cast<unsigned long long>(cmcs_),
+                static_cast<unsigned long long>(responses_),
+                static_cast<unsigned long long>(error_responses_),
+                static_cast<unsigned long long>(cycles), throughput,
+                static_cast<unsigned long long>(send_retries_));
+  summary_ = line;
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::frontend

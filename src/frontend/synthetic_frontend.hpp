@@ -1,0 +1,122 @@
+// synthetic_frontend.hpp — an open-loop synthetic load generator.
+//
+// The proof piece for the frontend/backend seam: a request source that
+// talks only to the MemoryBackend interface (no Simulator escape hatch
+// needed unless the mix includes CMC ops). Four address/arrival patterns:
+//
+//   uniform  — fixed-rate arrivals, uniformly random granules
+//   zipfian  — fixed-rate arrivals, Zipf(theta) hot-spot granules
+//              (Gray et al. sampler with scrambled ranks)
+//   chase    — closed-loop dependent chains: each chain issues its next
+//              read only when the previous response returns (latency-bound)
+//   bursty   — Poisson burst arrivals with geometric burst sizes
+//
+// over a configurable read/write/CMC mix. Open-loop: arrivals are
+// generated on a clock the device cannot push back on; a backed-up
+// device grows the host queue (head-of-line blocking on a stalled send),
+// which is exactly the saturation behaviour the generator measures. All
+// RNG streams derive from MemoryBackend::workload_seed()
+// (Config::workload_seed), so a Config fully determines a run.
+// Registered as "synthetic".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "frontend/frontend.hpp"
+
+namespace hmcsim::frontend {
+
+class SyntheticFrontend final : public Frontend {
+ public:
+  enum class Pattern : std::uint8_t { Uniform, Zipfian, Chase, Bursty };
+
+  struct Options {
+    Pattern pattern = Pattern::Uniform;
+    std::uint64_t count = 4096;       ///< Total requests to issue.
+    double rate = 0.25;               ///< Mean arrivals per cycle (open-loop).
+    double theta = 0.99;              ///< Zipf skew, in (0, 1).
+    std::uint64_t footprint = 1 << 20;  ///< Working-set bytes (64 B granules).
+    std::uint64_t base_addr = 0x100000; ///< Working-set base address.
+    std::uint32_t write_pct = 20;     ///< % of requests that are WR64.
+    std::uint32_t cmc_pct = 0;        ///< % that are CMC21 (hmc_satinc).
+    std::uint32_t burst_len = 8;      ///< Mean burst size (bursty only).
+    std::uint32_t chains = 8;         ///< Dependent chains (chase only).
+    std::uint32_t window = 256;       ///< Max requests in flight.
+    std::uint8_t cub = 0;             ///< Target cube.
+    CmcProvisionFn provision;         ///< Needed only when cmc_pct > 0.
+  };
+
+  explicit SyntheticFrontend(Options opts) : opts_(std::move(opts)) {}
+
+  /// FrontendRegistry factory ("synthetic", positional key "pattern").
+  static Status make(const FrontendOptions& opts,
+                     std::unique_ptr<Frontend>& out);
+
+  [[nodiscard]] std::string describe() const override;
+  Status setup(backend::MemoryBackend& mem) override;
+  Status tick(backend::MemoryBackend& mem, std::uint64_t cycle) override;
+  [[nodiscard]] bool done() const override {
+    return generated_ >= opts_.count && queue_.empty() && outstanding_ == 0;
+  }
+  Status finish(backend::MemoryBackend& mem) override;
+  [[nodiscard]] std::string summary() const override { return summary_; }
+  [[nodiscard]] bool succeeded() const override {
+    return error_responses_ == 0;
+  }
+
+ private:
+  struct Pending {
+    spec::Rqst rqst = spec::Rqst::RD64;
+    std::uint64_t addr = 0;
+    std::uint16_t tag = 0;  ///< Chain id (chase); assigned at issue otherwise.
+    std::uint8_t payload_words = 0;
+    std::array<std::uint64_t, 8> payload{};
+  };
+
+  [[nodiscard]] std::uint64_t granules() const {
+    return opts_.footprint / 64;
+  }
+  [[nodiscard]] double uniform01(Xoshiro256& rng) {
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+  }
+  [[nodiscard]] std::uint64_t zipf_rank();
+  [[nodiscard]] std::uint64_t draw_addr();
+  [[nodiscard]] Pending draw_request(std::uint64_t addr);
+  void generate_due(std::uint64_t rel_cycle);
+  [[nodiscard]] Status issue_ready(backend::MemoryBackend& mem);
+  void drain(backend::MemoryBackend& mem);
+
+  Options opts_;
+  sim::Simulator* sim_ = nullptr;
+  Xoshiro256 addr_rng_{0};
+  Xoshiro256 mix_rng_{0};
+  Xoshiro256 arrival_rng_{0};
+  double zetan_ = 0.0;
+  double zipf_eta_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  std::deque<Pending> queue_;
+  std::vector<std::uint64_t> chain_addr_;  ///< Current address per chain.
+  std::uint64_t base_cycle_ = 0;
+  double next_arrival_ = 0.0;  ///< Relative cycle of the next arrival/burst.
+  std::uint64_t generated_ = 0;
+  std::uint64_t issued_ = 0;
+  std::uint64_t outstanding_ = 0;
+  std::uint64_t responses_ = 0;
+  std::uint64_t error_responses_ = 0;
+  std::uint64_t send_retries_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t cmcs_ = 0;
+  std::uint64_t first_issue_ = 0;
+  bool issued_any_ = false;
+  std::uint16_t tag_ = 0;
+  std::uint32_t link_rr_ = 0;
+  std::string summary_;
+};
+
+}  // namespace hmcsim::frontend

@@ -1,109 +1,23 @@
 #include "host/cache/spinlock_driver.hpp"
 
-#include <algorithm>
-#include <array>
+#include "backend/hmc_backend.hpp"
+#include "frontend/runner.hpp"
+#include "frontend/spinlock_frontend.hpp"
 
 namespace hmcsim::host {
-namespace {
-
-enum class Phase : std::uint8_t {
-  WantLock,    ///< Needs to issue a CAS.
-  WaitCas,     ///< CAS in flight.
-  WantUnlock,  ///< Needs to issue the releasing store.
-  WaitUnlock,  ///< Store in flight.
-  Done,
-};
-
-}  // namespace
 
 Status run_spinlock_contention(sim::Simulator& sim, std::uint32_t cores,
                                const SpinlockOptions& opts,
                                SpinlockResult& out) {
-  if (cores == 0) {
-    return Status::InvalidArg("need at least one core");
+  // Legacy entry point, now a thin wrapper over the frontend/backend
+  // seam; `out` stays untouched when validation fails.
+  backend::HmcBackend mem(sim);
+  frontend::SpinlockFrontend fe(cores, opts);
+  const Status s = frontend::run(mem, fe);
+  if (fe.result_written()) {
+    out = fe.result();
   }
-  if (opts.lock_addr % 8 != 0) {
-    return Status::InvalidArg("lock word must be 8-byte aligned");
-  }
-  if (Status s = opts.cache.validate(); !s.ok()) {
-    return s;
-  }
-  // Known initial state: lock free.
-  const std::array<std::uint8_t, 8> zero{};
-  if (Status s = sim.mem_write(0, opts.lock_addr, zero); !s.ok()) {
-    return s;
-  }
-
-  out = SpinlockResult{};
-  out.cores = cores;
-  out.per_core_cycles.assign(cores, 0);
-  const auto stats0 = sim.stats();
-
-  CoherentSystem system(sim, cores, opts.cache);
-  std::vector<Phase> phase(cores, Phase::WantLock);
-  const std::uint64_t start_cycle = sim.cycle();
-  const std::uint64_t ff_start = sim.fast_forwarded_cycles();
-  std::uint32_t done_count = 0;
-
-  auto try_issue = [&](std::uint32_t core) {
-    if (phase[core] == Phase::WantLock) {
-      CoreRequest cas;
-      cas.op = MemOp::Cas;
-      cas.addr = opts.lock_addr;
-      cas.expect = 0;
-      cas.operand = 1;
-      if (system.issue(core, cas).ok()) {
-        ++out.cas_attempts;
-        phase[core] = Phase::WaitCas;
-      }
-    } else if (phase[core] == Phase::WantUnlock) {
-      CoreRequest release;
-      release.op = MemOp::Store;
-      release.addr = opts.lock_addr;
-      release.operand = 0;
-      if (system.issue(core, release).ok()) {
-        phase[core] = Phase::WaitUnlock;
-      }
-    }
-  };
-
-  auto on_complete = [&](const CoreCompletion& c) {
-    if (phase[c.core] == Phase::WaitCas) {
-      phase[c.core] = c.cas_success ? Phase::WantUnlock : Phase::WantLock;
-    } else if (phase[c.core] == Phase::WaitUnlock) {
-      phase[c.core] = Phase::Done;
-      out.per_core_cycles[c.core] = sim.cycle() - start_cycle;
-      ++done_count;
-    }
-  };
-
-  while (done_count < cores) {
-    if (sim.cycle() - start_cycle > opts.max_cycles) {
-      return Status::Internal("spinlock watchdog expired");
-    }
-    for (std::uint32_t core = 0; core < cores; ++core) {
-      try_issue(core);
-    }
-    system.step(on_complete);
-  }
-
-  out.total_cycles = sim.cycle() - start_cycle;
-  out.line_bounces = system.stats().ownership_writebacks;
-  out.fast_forwarded = sim.fast_forwarded_cycles() - ff_start;
-  const auto stats1 = sim.stats();
-  out.hmc_rqst_flits =
-      stats1.rqst_flits - stats0.rqst_flits;
-  out.hmc_rsp_flits = stats1.rsp_flits - stats0.rsp_flits;
-  out.min_cycles = *std::min_element(out.per_core_cycles.begin(),
-                                     out.per_core_cycles.end());
-  out.max_cycles = *std::max_element(out.per_core_cycles.begin(),
-                                     out.per_core_cycles.end());
-  double sum = 0.0;
-  for (const std::uint64_t c : out.per_core_cycles) {
-    sum += static_cast<double>(c);
-  }
-  out.avg_cycles = sum / static_cast<double>(cores);
-  return Status::Ok();
+  return s;
 }
 
 }  // namespace hmcsim::host

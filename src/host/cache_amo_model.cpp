@@ -1,3 +1,4 @@
+#include "sim/sim_stats.hpp"
 #include "host/cache_amo_model.hpp"
 
 #include <array>
@@ -45,13 +46,13 @@ struct TrafficProbe {
   std::uint64_t rsp0 = 0;
 
   explicit TrafficProbe(const sim::Simulator& sim) {
-    const auto s = sim.stats();
+    const auto s = sim::collect_stats(sim);
     rqst0 = s.rqst_flits;
     rsp0 = s.rsp_flits;
   }
   void finish(const sim::Simulator& sim, std::uint64_t cycles,
               MeasuredAmoTraffic& out) const {
-    const auto s = sim.stats();
+    const auto s = sim::collect_stats(sim);
     out.rqst_flits = s.rqst_flits - rqst0;
     out.rsp_flits = s.rsp_flits - rsp0;
     out.cycles = cycles;

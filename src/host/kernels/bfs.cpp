@@ -1,3 +1,4 @@
+#include "sim/sim_stats.hpp"
 #include "host/kernels/bfs.hpp"
 
 #include <array>
@@ -86,7 +87,7 @@ Status run_bfs(sim::Simulator& sim, const BfsOptions& opts, BfsResult& out) {
   }
 
   out = BfsResult{};
-  const auto stats0 = sim.stats();
+  const auto stats0 = sim::collect_stats(sim);
   const std::uint64_t start = sim.cycle();
   const bool cas_mode = opts.mode == BfsMode::CasAtomic;
 
@@ -249,7 +250,7 @@ Status run_bfs(sim::Simulator& sim, const BfsOptions& opts, BfsResult& out) {
 
   out.kernel.cycles = sim.cycle() - start;
   out.kernel.operations = out.edges_probed;
-  const auto stats1 = sim.stats();
+  const auto stats1 = sim::collect_stats(sim);
   out.kernel.rqst_flits =
       stats1.rqst_flits - stats0.rqst_flits;
   out.kernel.rsp_flits =

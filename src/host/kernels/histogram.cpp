@@ -1,3 +1,4 @@
+#include "sim/sim_stats.hpp"
 #include "host/kernels/histogram.hpp"
 
 #include <array>
@@ -48,7 +49,7 @@ Status run_histogram(sim::Simulator& sim, const HistogramOptions& opts,
   }
 
   out = KernelResult{};
-  const auto stats0 = sim.stats();
+  const auto stats0 = sim::collect_stats(sim);
   const std::uint64_t start = sim.cycle();
   auto addr_of = [&](std::uint32_t bucket) {
     return opts.base + 16ULL * bucket;
@@ -173,7 +174,7 @@ Status run_histogram(sim::Simulator& sim, const HistogramOptions& opts,
     }
     // Posted mode: "completed" counts issues; wait for the device to have
     // processed every packet so verification reads settled memory.
-    return sim.stats().rqsts_processed - processed0 >=
+    return sim::collect_stats(sim).rqsts_processed - processed0 >=
            (opts.mode == HistogramMode::ReadModifyWrite ? 2 * opts.updates
                                                         : opts.updates);
   };
@@ -192,7 +193,7 @@ Status run_histogram(sim::Simulator& sim, const HistogramOptions& opts,
 
   out.cycles = sim.cycle() - start;
   out.operations = opts.updates;
-  const auto stats1 = sim.stats();
+  const auto stats1 = sim::collect_stats(sim);
   out.rqst_flits = stats1.rqst_flits - stats0.rqst_flits;
   out.rsp_flits = stats1.rsp_flits - stats0.rsp_flits;
   out.send_retries = ts.send_retries();

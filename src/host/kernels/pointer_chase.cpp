@@ -1,3 +1,4 @@
+#include "sim/sim_stats.hpp"
 #include "host/kernels/pointer_chase.hpp"
 
 #include <cstring>
@@ -42,7 +43,7 @@ Status run_pointer_chase(sim::Simulator& sim, const PointerChaseOptions& opts,
   }
 
   out = KernelResult{};
-  const auto stats0 = sim.stats();
+  const auto stats0 = sim::collect_stats(sim);
   const std::uint64_t start = sim.cycle();
 
   ThreadSim ts(sim, opts.chains);
@@ -85,7 +86,7 @@ Status run_pointer_chase(sim::Simulator& sim, const PointerChaseOptions& opts,
 
   out.cycles = sim.cycle() - start;
   out.operations = static_cast<std::uint64_t>(opts.chains) * opts.hops;
-  const auto stats1 = sim.stats();
+  const auto stats1 = sim::collect_stats(sim);
   out.rqst_flits = stats1.rqst_flits - stats0.rqst_flits;
   out.rsp_flits = stats1.rsp_flits - stats0.rsp_flits;
   out.send_retries = ts.send_retries();

@@ -1,3 +1,4 @@
+#include "sim/sim_stats.hpp"
 #include "host/kernels/random_access.hpp"
 
 #include <array>
@@ -52,7 +53,7 @@ Status run_random_access(sim::Simulator& sim,
   }
 
   out = KernelResult{};
-  const auto stats0 = sim.stats();
+  const auto stats0 = sim::collect_stats(sim);
   const std::uint64_t start = sim.cycle();
 
   const bool atomic = opts.mode == GupsMode::Atomic;
@@ -204,7 +205,7 @@ Status run_random_access(sim::Simulator& sim,
 
   out.cycles = sim.cycle() - start;
   out.operations = opts.updates;
-  const auto stats1 = sim.stats();
+  const auto stats1 = sim::collect_stats(sim);
   out.rqst_flits = stats1.rqst_flits - stats0.rqst_flits;
   out.rsp_flits = stats1.rsp_flits - stats0.rsp_flits;
   out.send_retries = ts.send_retries();

@@ -1,3 +1,4 @@
+#include "sim/sim_stats.hpp"
 #include "host/kernels/stream_triad.hpp"
 
 #include <array>
@@ -115,7 +116,7 @@ Status run_stream_triad(sim::Simulator& sim, const StreamTriadOptions& opts,
   }
 
   out = KernelResult{};
-  const auto stats0 = sim.stats();
+  const auto stats0 = sim::collect_stats(sim);
   const std::uint64_t start = sim.cycle();
 
   const std::uint32_t slots =
@@ -202,7 +203,7 @@ Status run_stream_triad(sim::Simulator& sim, const StreamTriadOptions& opts,
 
   out.cycles = sim.cycle() - start;
   out.operations = opts.elements;
-  const auto stats1 = sim.stats();
+  const auto stats1 = sim::collect_stats(sim);
   out.rqst_flits = stats1.rqst_flits - stats0.rqst_flits;
   out.rsp_flits = stats1.rsp_flits - stats0.rsp_flits;
   out.send_retries = ts.send_retries();

@@ -1,222 +1,25 @@
 #include "host/mutex_driver.hpp"
 
-#include <algorithm>
-#include <array>
+#include "backend/hmc_backend.hpp"
+#include "frontend/mutex_frontend.hpp"
+#include "frontend/runner.hpp"
 
 namespace hmcsim::host {
-namespace {
-
-enum class Phase : std::uint8_t {
-  SendLock,
-  WaitLock,
-  SendTrylock,
-  WaitTrylock,
-  Backoff,  ///< Waiting out opts.trylock_backoff before the next TRYLOCK.
-  SendUnlock,
-  WaitUnlock,
-  Done,
-};
-
-struct ThreadFsm {
-  Phase phase = Phase::SendLock;
-  std::uint64_t done_cycle = 0;
-  std::uint64_t wake_cycle = 0;  ///< First cycle to retry (Backoff only).
-};
-
-}  // namespace
 
 Status run_mutex_contention(sim::Simulator& sim, std::uint32_t threads,
                             const MutexOptions& opts, MutexResult& out) {
-  if (threads == 0) {
-    return Status::InvalidArg("need at least one thread");
+  // Legacy entry point, now a thin wrapper over the frontend/backend
+  // seam. The caller must have registered CMC125/126/127 already (no
+  // provisioning hook), and `out` stays untouched when validation fails.
+  frontend::MutexFrontend::Options fopts;
+  fopts.mutex = opts;
+  backend::HmcBackend mem(sim);
+  frontend::MutexFrontend fe(threads, std::move(fopts));
+  const Status s = frontend::run(mem, fe);
+  if (fe.result_written()) {
+    out = fe.result();
   }
-  for (const spec::Rqst op :
-       {spec::Rqst::CMC125, spec::Rqst::CMC126, spec::Rqst::CMC127}) {
-    if (sim.cmc_registry().lookup(op) == nullptr) {
-      return Status::InvalidState(
-          "mutex CMC operations not registered (need CMC125/126/127)");
-    }
-  }
-  if (opts.lock_addr % 16 != 0) {
-    return Status::InvalidArg("lock structure must be 16-byte aligned");
-  }
-  if (opts.num_locks == 0 || opts.lock_stride % 16 != 0) {
-    return Status::InvalidArg(
-        "need at least one lock and a 16-byte aligned stride");
-  }
-  const auto lock_addr_of = [&opts](std::uint32_t tid) {
-    return opts.lock_addr + opts.lock_stride * (tid % opts.num_locks);
-  };
-
-  // Known initial state: every lock free, owner undefined (zeroed).
-  const std::array<std::uint8_t, 16> zero{};
-  for (std::uint32_t l = 0; l < opts.num_locks; ++l) {
-    if (Status s = sim.mem_write(
-            opts.cub, opts.lock_addr + opts.lock_stride * l, zero);
-        !s.ok()) {
-      return s;
-    }
-  }
-
-  out = MutexResult{};
-  out.threads = threads;
-  out.per_thread_cycles.assign(threads, 0);
-
-  ThreadSim ts(sim, threads);
-  std::vector<ThreadFsm> fsm(threads);
-  const std::uint64_t start_cycle = sim.cycle();
-  const std::uint64_t ff_start = sim.fast_forwarded_cycles();
-  std::uint32_t done_count = 0;
-
-  auto tid_token = [](std::uint32_t tid) -> std::uint64_t {
-    return static_cast<std::uint64_t>(tid) + 1;  // 0 is "lock free".
-  };
-
-  // Stalled sends are retried by ThreadSim with the same RqstParams, whose
-  // payload is a non-owning span — so each thread's payload lives here,
-  // not on a transient stack frame.
-  std::vector<std::array<std::uint64_t, 2>> payloads(threads);
-
-  auto send = [&](std::uint32_t tid, spec::Rqst op) -> Status {
-    payloads[tid] = {tid_token(tid), 0};
-    spec::RqstParams params;
-    params.rqst = op;
-    params.addr = lock_addr_of(tid);
-    params.cub = opts.cub;
-    params.payload = payloads[tid];
-    return ts.issue(tid, params);
-  };
-
-  // Kick off: every thread dispatches its HMC_LOCK at the start cycle.
-  for (std::uint32_t tid = 0; tid < threads; ++tid) {
-    if (Status s = send(tid, spec::Rqst::CMC125); !s.ok()) {
-      return s;
-    }
-    fsm[tid].phase = Phase::WaitLock;
-  }
-
-  auto on_rsp = [&](const Completion& c) {
-    const std::uint32_t tid = c.tid;
-    ThreadFsm& t = fsm[tid];
-    const auto payload = c.rsp.pkt.payload();
-    const std::uint64_t word0 = payload.empty() ? 0 : payload[0];
-
-    const auto retry_phase = [&]() {
-      if (opts.trylock_backoff == 0) {
-        return Phase::SendTrylock;
-      }
-      t.wake_cycle = sim.cycle() + opts.trylock_backoff;
-      return Phase::Backoff;
-    };
-
-    switch (t.phase) {
-      case Phase::WaitLock:
-        if (word0 != 0) {
-          t.phase = Phase::SendUnlock;
-        } else {
-          ++out.lock_failures;
-          t.phase = retry_phase();
-        }
-        break;
-      case Phase::WaitTrylock:
-        // hmc_trylock returns the owner's thread token; the thread owns
-        // the lock iff that token is its own.
-        if (word0 == tid_token(tid)) {
-          t.phase = Phase::SendUnlock;
-        } else {
-          t.phase = retry_phase();
-        }
-        break;
-      case Phase::WaitUnlock:
-        t.phase = Phase::Done;
-        t.done_cycle = sim.cycle();
-        out.per_thread_cycles[tid] = t.done_cycle - start_cycle;
-        ++done_count;
-        break;
-      default:
-        break;  // Stray response (should not happen); ignore.
-    }
-
-    // Dispatch the next operation for the new phase.
-    switch (t.phase) {
-      case Phase::SendTrylock:
-        ++out.trylock_attempts;
-        if (send(tid, spec::Rqst::CMC126).ok()) {
-          t.phase = Phase::WaitTrylock;
-        }
-        break;
-      case Phase::SendUnlock:
-        if (send(tid, spec::Rqst::CMC127).ok()) {
-          t.phase = Phase::WaitUnlock;
-        }
-        break;
-      default:
-        break;
-    }
-  };
-
-  while (done_count < threads) {
-    if (sim.cycle() - start_cycle > opts.max_cycles) {
-      return Status::Internal("mutex contention watchdog expired after " +
-                              std::to_string(opts.max_cycles) + " cycles");
-    }
-    // Re-arm threads whose backoff expired, in tid order.
-    for (std::uint32_t tid = 0; tid < threads; ++tid) {
-      if (fsm[tid].phase == Phase::Backoff &&
-          fsm[tid].wake_cycle <= sim.cycle()) {
-        ++out.trylock_attempts;
-        if (send(tid, spec::Rqst::CMC126).ok()) {
-          fsm[tid].phase = Phase::WaitTrylock;
-        }
-      }
-    }
-    // When every live thread is backing off, nothing is in flight and the
-    // device is fully quiescent: jump to the earliest wake-up. clock_until
-    // honours Config::exhaustive_clock, so the exhaustive arm walks the
-    // same span cycle by cycle — identical simulation, only slower.
-    std::uint64_t min_wake = UINT64_MAX;
-    bool all_backing_off = true;
-    for (std::uint32_t tid = 0; tid < threads; ++tid) {
-      if (fsm[tid].phase == Phase::Backoff) {
-        min_wake = std::min(min_wake, fsm[tid].wake_cycle);
-      } else if (fsm[tid].phase != Phase::Done) {
-        all_backing_off = false;
-        break;
-      }
-    }
-    if (all_backing_off && min_wake != UINT64_MAX &&
-        min_wake > sim.cycle() + 1 &&
-        sim.next_event_cycle() == sim::Simulator::kNoEvent) {
-      (void)sim.clock_until(min_wake);
-      continue;
-    }
-    ts.step(on_rsp);
-  }
-
-  out.total_cycles = sim.cycle() - start_cycle;
-  out.send_retries = ts.send_retries();
-  out.fast_forwarded = sim.fast_forwarded_cycles() - ff_start;
-  metrics::StatRegistry& reg = sim.metrics();
-  reg.counter("host.mutex.runs", "mutex contention runs completed").inc();
-  reg.counter("host.mutex.trylock_attempts",
-              "HMC_TRYLOCK packets issued across runs")
-      .inc(out.trylock_attempts);
-  reg.counter("host.mutex.lock_failures",
-              "initial HMC_LOCK attempts that lost the race")
-      .inc(out.lock_failures);
-  reg.counter("host.mutex.send_retries",
-              "sends retried during mutex runs")
-      .inc(out.send_retries);
-  out.min_cycles = *std::min_element(out.per_thread_cycles.begin(),
-                                     out.per_thread_cycles.end());
-  out.max_cycles = *std::max_element(out.per_thread_cycles.begin(),
-                                     out.per_thread_cycles.end());
-  double sum = 0.0;
-  for (const std::uint64_t c : out.per_thread_cycles) {
-    sum += static_cast<double>(c);
-  }
-  out.avg_cycles = sum / static_cast<double>(threads);
-  return Status::Ok();
+  return s;
 }
 
 }  // namespace hmcsim::host

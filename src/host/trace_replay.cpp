@@ -1,8 +1,13 @@
 #include "host/trace_replay.hpp"
 
-#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "backend/hmc_backend.hpp"
+#include "frontend/replay_frontend.hpp"
+#include "frontend/runner.hpp"
 
 namespace hmcsim::host {
 
@@ -13,6 +18,9 @@ Status parse_trace(std::istream& in, std::vector<TraceRecord>& out) {
   std::uint64_t prev_cycle = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();  // Accept CRLF line endings.
+    }
     const auto first = line.find_first_not_of(" \t");
     if (first == std::string::npos || line[first] == '#') {
       continue;
@@ -40,8 +48,22 @@ Status parse_trace(std::istream& in, std::vector<TraceRecord>& out) {
                                 ": cub out of range");
     }
     rec.cub = static_cast<std::uint8_t>(cub);
-    std::uint64_t word = 0;
-    while (fields >> word) {
+    // Payload words (hex). Anything from a '#' on is a trailing comment;
+    // a token that is not a hex number is a hard, line-numbered error —
+    // silently dropping it would replay a different request than the
+    // trace describes.
+    std::string tok;
+    while (fields >> tok) {
+      if (tok[0] == '#') {
+        break;
+      }
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long word = std::strtoull(tok.c_str(), &end, 16);
+      if (end == tok.c_str() || *end != '\0' || errno == ERANGE) {
+        return Status::InvalidArg("trace line " + std::to_string(line_no) +
+                                  ": malformed payload word '" + tok + "'");
+      }
       rec.payload.push_back(word);
     }
     if (rec.payload.size() > 32) {
@@ -94,111 +116,13 @@ Status save_trace(const std::string& path,
 Status replay_trace(sim::Simulator& sim,
                     const std::vector<TraceRecord>& records,
                     ReplayResult& out) {
-  out = ReplayResult{};
-  const auto stats0 = sim.stats();
-  const std::uint64_t base_cycle = sim.cycle();
-  const std::uint64_t ff0 = sim.fast_forwarded_cycles();
-  std::size_t next = 0;        // First not-yet-issued record.
-  std::uint64_t expected = 0;  // Non-posted requests awaiting responses.
-  std::uint16_t tag = 0;
-
-  auto is_posted = [&sim](spec::Rqst rqst) {
-    if (spec::is_cmc(rqst)) {
-      const cmc::CmcOp* op = sim.cmc_registry().lookup(rqst);
-      return op == nullptr ? false : op->posted();
-    }
-    return spec::command_info(rqst).rsp_flits == 0;
-  };
-
-  std::uint64_t first_issue = 0;
-  bool issued_any = false;
-  while (next < records.size() || expected > 0) {
-    const std::uint64_t rel_cycle = sim.cycle() - base_cycle;
-    // Issue every record due this cycle; a stalled head blocks the rest
-    // (host queue semantics).
-    while (next < records.size() &&
-           records[next].issue_cycle <= rel_cycle) {
-      const TraceRecord& rec = records[next];
-      spec::RqstParams params;
-      params.rqst = rec.rqst;
-      params.addr = rec.addr;
-      params.cub = rec.cub;
-      params.tag = tag;
-      params.payload = rec.payload;
-      const Status s = sim.send(params, rec.link);
-      if (s.stalled()) {
-        ++out.send_retries;
-        break;
-      }
-      if (!s.ok()) {
-        return Status(s.code(), "replay record " + std::to_string(next) +
-                                    ": " + s.message());
-      }
-      tag = static_cast<std::uint16_t>((tag + 1) & spec::kMaxTag);
-      if (!issued_any) {
-        issued_any = true;
-        first_issue = sim.cycle();
-      }
-      ++out.requests_issued;
-      if (!is_posted(rec.rqst)) {
-        ++expected;
-      }
-      ++next;
-    }
-
-    // Fast-forward dead time between trace issue cycles: when no response
-    // is waiting (recv() timestamps latency at recv time, so a ready
-    // response pins us to this cycle) and the device cannot progress
-    // before the next record's issue cycle, jump straight there. Capped
-    // at the watchdog deadline so a quiet-but-hung replay still trips it.
-    const std::uint64_t deadline = base_cycle + records.size() * 100 + 100000;
-    bool rsp_waiting = false;
-    for (std::uint32_t link = 0; link < sim.config().num_links; ++link) {
-      if (sim.rsp_ready(link)) {
-        rsp_waiting = true;
-        break;
-      }
-    }
-    std::uint64_t target = sim::Simulator::kNoEvent;
-    if (!sim.config().exhaustive_clock && !rsp_waiting) {
-      target = sim.next_event_cycle();
-      if (next < records.size()) {
-        target = std::min(target, base_cycle + records[next].issue_cycle);
-      }
-      target = std::min(target, deadline + 1);
-    }
-    if (target != sim::Simulator::kNoEvent && target > sim.cycle() + 1) {
-      sim.clock_until(target);
-    } else {
-      sim.clock();
-    }
-
-    for (std::uint32_t link = 0; link < sim.config().num_links; ++link) {
-      sim::Response rsp;
-      while (sim.recv(link, rsp).ok()) {
-        ++out.responses_received;
-        if (rsp.pkt.cmd() ==
-            static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR)) {
-          ++out.error_responses;
-        }
-        --expected;
-      }
-    }
-
-    // Watchdog: a replay that makes no forward progress for a long time
-    // indicates an unregistered CMC or a deadlocked configuration.
-    if (sim.cycle() - base_cycle >
-        records.size() * 100 + 100000) {
-      return Status::Internal("trace replay watchdog expired");
-    }
-  }
-
-  out.cycles = issued_any ? sim.cycle() - first_issue : 0;
-  const auto stats1 = sim.stats();
-  out.rqst_flits = stats1.rqst_flits - stats0.rqst_flits;
-  out.rsp_flits = stats1.rsp_flits - stats0.rsp_flits;
-  out.fast_forwarded = sim.fast_forwarded_cycles() - ff0;
-  return Status::Ok();
+  // Legacy entry point, now a thin wrapper over the frontend/backend
+  // seam: same loop, one implementation, byte-identical results.
+  backend::HmcBackend mem(sim);
+  frontend::ReplayFrontend fe(records);
+  const Status s = frontend::run(mem, fe);
+  out = fe.result();
+  return s;
 }
 
 TraceBuilder& TraceBuilder::add(spec::Rqst rqst, std::uint64_t addr,

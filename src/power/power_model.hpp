@@ -14,15 +14,15 @@
 // any completed simulation segment:
 //
 //   PowerModel model;                      // default coefficients
-//   auto before = sim.stats();
+//   auto before = sim::collect_stats(sim);
 //   ... run workload ...
-//   EnergyReport r = model.estimate(delta(before, sim.stats()));
+//   EnergyReport r = model.estimate(delta(before, sim::collect_stats(sim)));
 #pragma once
 
 #include <cstdint>
 #include <string>
 
-#include "sim/simulator.hpp"
+#include "sim/sim_stats.hpp"
 
 namespace hmcsim::power {
 

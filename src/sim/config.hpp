@@ -90,6 +90,14 @@ struct Config {
   /// without the feature.
   bool stage_stats = false;
 
+  // ---- workload seeding ----------------------------------------------------
+  /// Root seed for host-side workload generators (the synthetic frontend's
+  /// arrival/address/op streams). Frontends derive their private streams
+  /// from this value instead of taking ad-hoc constructor seeds, so one
+  /// Config fully determines a run. Not part of describe(): it does not
+  /// change the modelled hardware.
+  std::uint64_t workload_seed = 0x5EED;
+
   // ---- CMC fault containment ----------------------------------------------
   /// Consecutive failed plugin executes before a CMC slot is quarantined
   /// (requests then take the fast errstat_cmc_inactive error path until

@@ -1,0 +1,35 @@
+#include "sim/sim_stats.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace hmcsim::sim {
+
+SimStats collect_stats(const Simulator& sim) {
+  SimStats s;
+  s.cycles = sim.cycle();
+  for (std::uint32_t d = 0; d < sim.num_devices(); ++d) {
+    const dev::Device& device = sim.device(d);
+    for (const dev::Vault& vault : device.vaults()) {
+      s.rqsts_processed += vault.rqsts_processed().value();
+      s.rsps_generated += vault.rsps_generated().value();
+      s.cmc_executed += vault.cmc_executed().value();
+      s.amo_executed += vault.amo_executed().value();
+      s.errors += vault.errors().value();
+      s.bank_conflicts += vault.bank_conflicts().value();
+      s.vault_rsp_stalls += vault.rsp_stalls().value();
+    }
+    s.xbar_rqst_stalls += device.xbar().rqst_stalls().value();
+    s.xbar_rsp_stalls += device.xbar().rsp_stalls().value();
+    for (const dev::Link& link : device.links()) {
+      s.send_stalls += link.send_stalls().value();
+      s.rqst_flits += link.rqst_flits().value();
+      s.rsp_flits += link.rsp_flits().value();
+      s.link_retries += link.retries().value();
+    }
+    s.forwarded_rqsts += device.forwarded_rqsts().value();
+    s.forwarded_rsps += device.forwarded_rsps().value();
+  }
+  return s;
+}
+
+}  // namespace hmcsim::sim

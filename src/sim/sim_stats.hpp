@@ -1,0 +1,43 @@
+// sim_stats.hpp — chain-wide statistic totals.
+//
+// SimStats is a convenience POD for callers that want "the big numbers"
+// without walking the metrics registry: collect_stats() renders it from
+// the typed handles each component registered. The registry
+// (Simulator::metrics(), docs/METRICS.md) is the single source of truth;
+// nothing here is counted separately.
+#pragma once
+
+#include <cstdint>
+
+namespace hmcsim::sim {
+
+class Simulator;
+
+/// Simulation-wide statistics: chain-wide sums rendered from the metrics
+/// registry's typed handles (cheap enough to poll every simulated cycle).
+/// Per-component resolution lives in Simulator::metrics().
+struct SimStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t rqsts_processed = 0;
+  std::uint64_t rsps_generated = 0;
+  std::uint64_t cmc_executed = 0;
+  std::uint64_t amo_executed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t bank_conflicts = 0;
+  std::uint64_t xbar_rqst_stalls = 0;
+  std::uint64_t xbar_rsp_stalls = 0;
+  std::uint64_t vault_rsp_stalls = 0;
+  std::uint64_t send_stalls = 0;
+  std::uint64_t rqst_flits = 0;
+  std::uint64_t rsp_flits = 0;
+  std::uint64_t forwarded_rqsts = 0;
+  std::uint64_t forwarded_rsps = 0;
+  std::uint64_t link_retries = 0;  ///< CRC-failure redeliveries.
+};
+
+/// Sum the per-component typed handles into one SimStats. No string
+/// lookups and no allocation, so per-cycle polling (the histogram kernel
+/// does this) stays cheap.
+[[nodiscard]] SimStats collect_stats(const Simulator& sim);
+
+}  // namespace hmcsim::sim

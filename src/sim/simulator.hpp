@@ -39,28 +39,6 @@ struct Response {
   std::uint64_t latency = 0;  ///< Cycles from send() to recv() eligibility.
 };
 
-/// Simulation-wide statistics: chain-wide sums rendered from the metrics
-/// registry's typed handles (cheap enough to poll every simulated cycle).
-/// Per-component resolution lives in Simulator::metrics().
-struct SimStats {
-  std::uint64_t cycles = 0;
-  std::uint64_t rqsts_processed = 0;
-  std::uint64_t rsps_generated = 0;
-  std::uint64_t cmc_executed = 0;
-  std::uint64_t amo_executed = 0;
-  std::uint64_t errors = 0;
-  std::uint64_t bank_conflicts = 0;
-  std::uint64_t xbar_rqst_stalls = 0;
-  std::uint64_t xbar_rsp_stalls = 0;
-  std::uint64_t vault_rsp_stalls = 0;
-  std::uint64_t send_stalls = 0;
-  std::uint64_t rqst_flits = 0;
-  std::uint64_t rsp_flits = 0;
-  std::uint64_t forwarded_rqsts = 0;
-  std::uint64_t forwarded_rsps = 0;
-  std::uint64_t link_retries = 0;  ///< CRC-failure redeliveries.
-};
-
 class Simulator {
  public:
   /// Validates `cfg` and constructs the device chain.
@@ -181,7 +159,6 @@ class Simulator {
   [[nodiscard]] const dev::Device& device(std::uint32_t dev) const {
     return *devices_[dev];
   }
-  [[nodiscard]] SimStats stats() const;
 
   /// The hierarchical metrics registry every component reports into.
   /// Paths are documented in docs/METRICS.md.

@@ -1,0 +1,289 @@
+// registry_test.cpp — FrontendRegistry/BackendRegistry contracts and the
+// golden-equivalence guarantee: running a workload through the virtual
+// frontend/backend dispatch must produce byte-identical stats to the
+// legacy direct entry points.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "backend/hmc_backend.hpp"
+#include "frontend/frontend.hpp"
+#include "frontend/runner.hpp"
+#include "host/mutex_driver.hpp"
+#include "host/trace_replay.hpp"
+#include "plugins/builtin.h"
+#include "sim/simulator.hpp"
+#include "sim/stats_report.hpp"
+
+namespace hmcsim::frontend {
+namespace {
+
+Status register_mutex_trio(sim::Simulator& sim) {
+  if (Status s = sim.register_cmc(hmcsim_builtin_lock_register,
+                                  hmcsim_builtin_lock_execute,
+                                  hmcsim_builtin_lock_str);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = sim.register_cmc(hmcsim_builtin_trylock_register,
+                                  hmcsim_builtin_trylock_execute,
+                                  hmcsim_builtin_trylock_str);
+      !s.ok()) {
+    return s;
+  }
+  return sim.register_cmc(hmcsim_builtin_unlock_register,
+                          hmcsim_builtin_unlock_execute,
+                          hmcsim_builtin_unlock_str);
+}
+
+Status provide_cmc(sim::Simulator& sim, std::string_view op) {
+  if (op == "hmc_lock") {
+    return sim.register_cmc(hmcsim_builtin_lock_register,
+                            hmcsim_builtin_lock_execute,
+                            hmcsim_builtin_lock_str);
+  }
+  if (op == "hmc_trylock") {
+    return sim.register_cmc(hmcsim_builtin_trylock_register,
+                            hmcsim_builtin_trylock_execute,
+                            hmcsim_builtin_trylock_str);
+  }
+  if (op == "hmc_unlock") {
+    return sim.register_cmc(hmcsim_builtin_unlock_register,
+                            hmcsim_builtin_unlock_execute,
+                            hmcsim_builtin_unlock_str);
+  }
+  if (op == "hmc_satinc") {
+    return sim.register_cmc(hmcsim_builtin_satinc_register,
+                            hmcsim_builtin_satinc_execute,
+                            hmcsim_builtin_satinc_str);
+  }
+  return Status::NotFound("no builtin CMC operation named '" +
+                          std::string(op) + "'");
+}
+
+std::unique_ptr<sim::Simulator> make_sim(
+    std::uint64_t seed = sim::Config{}.workload_seed) {
+  sim::Config cfg = sim::Config::hmc_4link_4gb();
+  cfg.workload_seed = seed;
+  std::unique_ptr<sim::Simulator> sim;
+  EXPECT_TRUE(sim::Simulator::create(cfg, sim).ok());
+  return sim;
+}
+
+class NullFrontend final : public Frontend {
+ public:
+  [[nodiscard]] std::string describe() const override { return "null"; }
+  Status setup(backend::MemoryBackend&) override { return Status::Ok(); }
+  Status tick(backend::MemoryBackend& mem, std::uint64_t) override {
+    mem.clock();
+    return Status::Ok();
+  }
+  [[nodiscard]] bool done() const override { return true; }
+};
+
+Status null_factory(const FrontendOptions&, std::unique_ptr<Frontend>& out) {
+  out = std::make_unique<NullFrontend>();
+  return Status::Ok();
+}
+
+// ---- registry contracts ---------------------------------------------------
+
+TEST(FrontendRegistryTest, BuiltinsAreRegistered) {
+  FrontendRegistry& reg = FrontendRegistry::instance();
+  for (const char* name :
+       {"replay", "mutex", "rogue", "spinlock", "synthetic"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+  }
+}
+
+TEST(FrontendRegistryTest, DuplicateNameIsRejected) {
+  FrontendRegistry reg;
+  ASSERT_TRUE(reg.add("alpha", "first", null_factory).ok());
+  const Status dup = reg.add("alpha", "second", null_factory);
+  EXPECT_EQ(dup.code(), StatusCode::AlreadyExists);
+  EXPECT_NE(dup.message().find("alpha"), std::string::npos);
+}
+
+TEST(FrontendRegistryTest, UnknownNameNamesTheRegisteredSet) {
+  FrontendRegistry reg;
+  ASSERT_TRUE(reg.add("alpha", "", null_factory).ok());
+  ASSERT_TRUE(reg.add("beta", "", null_factory).ok());
+  FrontendInfo info;
+  const Status s = reg.info("gamma", info);
+  EXPECT_EQ(s.code(), StatusCode::NotFound);
+  EXPECT_NE(s.message().find("unknown frontend 'gamma'"), std::string::npos);
+  EXPECT_NE(s.message().find("alpha, beta"), std::string::npos);
+}
+
+TEST(FrontendRegistryTest, ListIsSortedRegardlessOfRegistrationOrder) {
+  FrontendRegistry reg;
+  ASSERT_TRUE(reg.add("zeta", "", null_factory).ok());
+  ASSERT_TRUE(reg.add("alpha", "", null_factory).ok());
+  ASSERT_TRUE(reg.add("mu", "", null_factory).ok());
+  const auto list = reg.list();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].name, "alpha");
+  EXPECT_EQ(list[1].name, "mu");
+  EXPECT_EQ(list[2].name, "zeta");
+}
+
+TEST(FrontendRegistryTest, UnconsumedOptionIsRejected) {
+  FrontendRegistry reg;
+  ASSERT_TRUE(reg.add("alpha", "", null_factory).ok());
+  FrontendOptions opts;
+  opts.set("bogus", "1");
+  std::unique_ptr<Frontend> fe;
+  const Status s = reg.create("alpha", opts, fe);
+  EXPECT_EQ(s.code(), StatusCode::InvalidArg);
+  EXPECT_NE(s.message().find("unknown option 'bogus'"), std::string::npos);
+}
+
+TEST(FrontendOptionsTest, MalformedNumberIsRejected) {
+  FrontendOptions opts;
+  opts.set("count", "12abc");
+  std::uint64_t v = 0;
+  EXPECT_EQ(opts.get_u64("count", v).code(), StatusCode::InvalidArg);
+  // Absent keys leave the output untouched and succeed.
+  std::uint64_t untouched = 7;
+  EXPECT_TRUE(opts.get_u64("absent", untouched).ok());
+  EXPECT_EQ(untouched, 7u);
+}
+
+TEST(BackendRegistryTest, HmcIsRegisteredAndUnknownNamesError) {
+  backend::BackendRegistry& reg = backend::BackendRegistry::instance();
+  EXPECT_TRUE(reg.contains("hmc"));
+  std::unique_ptr<backend::MemoryBackend> mem;
+  const Status s = reg.create("dram", sim::Config::hmc_4link_4gb(), mem);
+  EXPECT_EQ(s.code(), StatusCode::NotFound);
+  EXPECT_NE(s.message().find("unknown backend 'dram'"), std::string::npos);
+  EXPECT_NE(s.message().find("hmc"), std::string::npos);
+
+  ASSERT_TRUE(reg.create("hmc", sim::Config::hmc_4link_4gb(), mem).ok());
+  ASSERT_NE(mem, nullptr);
+  EXPECT_EQ(mem->num_links(), 4u);
+  EXPECT_NE(mem->simulator(), nullptr);
+}
+
+// ---- golden equivalence through virtual dispatch --------------------------
+
+TEST(FrontendDispatchTest, MutexMatchesLegacyEntryPointByteForByte) {
+  // Legacy path: the host:: entry point over a directly-driven simulator.
+  auto sim_a = make_sim();
+  ASSERT_TRUE(register_mutex_trio(*sim_a).ok());
+  host::MutexOptions mopts;
+  mopts.lock_addr = 0x4000;
+  host::MutexResult result_a;
+  ASSERT_TRUE(host::run_mutex_contention(*sim_a, 4, mopts, result_a).ok());
+
+  // Registry path: frontend created by name, run through MemoryBackend.
+  auto sim_b = make_sim();
+  ASSERT_TRUE(register_mutex_trio(*sim_b).ok());
+  FrontendOptions opts;
+  opts.set("threads", "4");
+  opts.set("lock-addr", "0x4000");
+  std::unique_ptr<Frontend> fe;
+  ASSERT_TRUE(
+      FrontendRegistry::instance().create("mutex", opts, fe).ok());
+  backend::HmcBackend mem(*sim_b);
+  ASSERT_TRUE(run(mem, *fe).ok());
+
+  EXPECT_EQ(sim::format_stats_json(*sim_a), sim::format_stats_json(*sim_b));
+}
+
+TEST(FrontendDispatchTest, ReplayMatchesLegacyEntryPointByteForByte) {
+  host::TraceBuilder builder(4);
+  for (int i = 0; i < 32; ++i) {
+    builder.add(spec::Rqst::WR64, 0x1000 + 64 * i,
+                {1, 2, 3, 4, 5, 6, 7, 8}, 2);
+  }
+  for (int i = 0; i < 32; ++i) {
+    builder.add(spec::Rqst::RD64, 0x1000 + 64 * i, {}, 1);
+  }
+  const auto records = builder.take();
+
+  auto sim_a = make_sim();
+  host::ReplayResult result_a;
+  ASSERT_TRUE(host::replay_trace(*sim_a, records, result_a).ok());
+
+  auto sim_b = make_sim();
+  backend::HmcBackend mem(*sim_b);
+  std::unique_ptr<Frontend> fe;
+  {
+    const std::string path = testing::TempDir() + "/registry_replay.trace";
+    ASSERT_TRUE(host::save_trace(path, records).ok());
+    FrontendOptions opts;
+    opts.set("trace", path);
+    ASSERT_TRUE(
+        FrontendRegistry::instance().create("replay", opts, fe).ok());
+  }
+  ASSERT_TRUE(run(mem, *fe).ok());
+
+  EXPECT_EQ(sim::format_stats_json(*sim_a), sim::format_stats_json(*sim_b));
+}
+
+// ---- synthetic load generator ---------------------------------------------
+
+std::string run_synthetic(std::uint64_t seed, const char* pattern) {
+  auto sim = make_sim(seed);
+  FrontendOptions opts;
+  opts.set("pattern", pattern);
+  opts.set("count", "256");
+  opts.set("rate", "0.5");
+  opts.set_cmc_provider(provide_cmc);
+  std::unique_ptr<Frontend> fe;
+  EXPECT_TRUE(
+      FrontendRegistry::instance().create("synthetic", opts, fe).ok());
+  backend::HmcBackend mem(*sim);
+  EXPECT_TRUE(run(mem, *fe).ok());
+  EXPECT_TRUE(fe->succeeded());
+  return sim::format_stats_json(*sim);
+}
+
+TEST(SyntheticFrontendTest, EveryPatternCompletesAndIsSeedDeterministic) {
+  for (const char* pattern : {"uniform", "zipfian", "chase", "bursty"}) {
+    const std::string first = run_synthetic(0xABCD, pattern);
+    const std::string second = run_synthetic(0xABCD, pattern);
+    EXPECT_EQ(first, second) << pattern;
+    // format_stats_json nests paths, so look for the group and leaf keys.
+    EXPECT_NE(first.find("\"synthetic\""), std::string::npos) << pattern;
+    EXPECT_NE(first.find("\"requests\""), std::string::npos) << pattern;
+  }
+}
+
+TEST(SyntheticFrontendTest, SeedChangesTheRun) {
+  const std::string a = run_synthetic(1, "uniform");
+  const std::string b = run_synthetic(2, "uniform");
+  EXPECT_NE(a, b);
+}
+
+TEST(SyntheticFrontendTest, CmcMixNeedsAProvider) {
+  auto sim = make_sim();
+  FrontendOptions opts;
+  opts.set("cmc-pct", "10");
+  std::unique_ptr<Frontend> fe;
+  ASSERT_TRUE(
+      FrontendRegistry::instance().create("synthetic", opts, fe).ok());
+  backend::HmcBackend mem(*sim);
+  const Status s = run(mem, *fe);
+  EXPECT_EQ(s.code(), StatusCode::InvalidState);
+}
+
+TEST(SyntheticFrontendTest, CmcMixExecutesThroughProvider) {
+  auto sim = make_sim();
+  FrontendOptions opts;
+  opts.set("count", "64");
+  opts.set("cmc-pct", "50");
+  opts.set_cmc_provider(provide_cmc);
+  std::unique_ptr<Frontend> fe;
+  ASSERT_TRUE(
+      FrontendRegistry::instance().create("synthetic", opts, fe).ok());
+  backend::HmcBackend mem(*sim);
+  ASSERT_TRUE(run(mem, *fe).ok());
+  EXPECT_TRUE(fe->succeeded());
+  const std::string json = sim::format_stats_json(*sim);
+  EXPECT_NE(json.find("\"hmc_satinc\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmcsim::frontend

@@ -1,5 +1,6 @@
 // coherent_system_test.cpp — multi-core coherence and the spinlock driver.
 #include "src/host/cache/coherent_system.hpp"
+#include "src/sim/sim_stats.hpp"
 
 #include <gtest/gtest.h>
 
@@ -56,9 +57,9 @@ TEST_F(CoherentSystemTest, LoadMissFillsFromCube) {
 TEST_F(CoherentSystemTest, SecondLoadHitsLocally) {
   CoherentSystem sys(*sim_, 1, CacheConfig{});
   (void)run_op(sys, 0, {MemOp::Load, 0x1000, 0, 0});
-  const auto flits_before = sim_->stats().rqst_flits;
+  const auto flits_before = sim::collect_stats(*sim_).rqst_flits;
   (void)run_op(sys, 0, {MemOp::Load, 0x1008, 0, 0});  // Same line.
-  EXPECT_EQ(sim_->stats().rqst_flits, flits_before);
+  EXPECT_EQ(sim::collect_stats(*sim_).rqst_flits, flits_before);
   EXPECT_EQ(sys.stats().cache_hit_ops, 1U);
 }
 

@@ -38,6 +38,45 @@ TEST(TraceParse, BasicLines) {
   EXPECT_EQ(records[2].rqst, spec::Rqst::INC8);
 }
 
+TEST(TraceParse, AcceptsCrlfLineEndings) {
+  std::istringstream in("0 0 WR16 0 1000 11 22\r\n1 1 RD16 0 1000\r\n");
+  std::vector<TraceRecord> records;
+  ASSERT_TRUE(parse_trace(in, records).ok());
+  ASSERT_EQ(records.size(), 2U);
+  ASSERT_EQ(records[0].payload.size(), 2U);
+  EXPECT_EQ(records[0].payload[1], 0x22ULL);
+}
+
+TEST(TraceParse, TrailingCommentEndsTheLine) {
+  std::istringstream in(R"(0 0 RD16 0 1000 # issued by core 3
+1 0 WR16 0 1000 11 22 # two payload words, then prose
+)");
+  std::vector<TraceRecord> records;
+  ASSERT_TRUE(parse_trace(in, records).ok());
+  ASSERT_EQ(records.size(), 2U);
+  EXPECT_TRUE(records[0].payload.empty());
+  ASSERT_EQ(records[1].payload.size(), 2U);
+  EXPECT_EQ(records[1].payload[0], 0x11ULL);
+}
+
+TEST(TraceParse, MalformedPayloadWordIsLineNumbered) {
+  std::istringstream in("0 0 RD16 0 1000\n1 0 WR16 0 1000 11 zz\n");
+  std::vector<TraceRecord> records;
+  const Status s = parse_trace(in, records);
+  EXPECT_EQ(s.code(), StatusCode::InvalidArg);
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+  EXPECT_NE(s.message().find("'zz'"), std::string::npos);
+}
+
+TEST(TraceParse, ShortLineIsLineNumbered) {
+  std::istringstream in("0 0 RD16 0 1000\n\n# gap\n7 0\n");
+  std::vector<TraceRecord> records;
+  const Status s = parse_trace(in, records);
+  EXPECT_EQ(s.code(), StatusCode::InvalidArg);
+  // Blank and comment lines still count toward the reported line number.
+  EXPECT_NE(s.message().find("line 4"), std::string::npos);
+}
+
 TEST(TraceParse, RejectsUnknownCommand) {
   std::istringstream in("0 0 BOGUS 0 0\n");
   std::vector<TraceRecord> records;

@@ -11,6 +11,7 @@
 #include "plugins/builtin.h"
 #include "src/host/kernels/random_access.hpp"
 #include "src/host/mutex_driver.hpp"
+#include "src/sim/sim_stats.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace hmcsim {
@@ -56,7 +57,7 @@ TEST(FaultInjection, CorruptedPacketIsRedeliveredWithExtraLatency) {
   // round trip. Outbound: the response corrupts at the link and replays
   // a full retry delay (8) later. 8-1 + 3 + 8 = 18.
   EXPECT_EQ(rsp.latency, 8U - 1U + 3U + 8U);
-  EXPECT_EQ(sim->stats().link_retries, 2U);
+  EXPECT_EQ(sim::collect_stats(*sim).link_retries, 2U);
 }
 
 TEST(FaultInjection, ZeroRateMatchesBaselineExactly) {
@@ -100,7 +101,7 @@ TEST(FaultInjection, DeterministicForSeed) {
       sim::Response rsp;
       EXPECT_TRUE(sim->recv(0, rsp).ok());
     }
-    return sim->stats().link_retries;
+    return sim::collect_stats(*sim).link_retries;
   };
   const std::uint64_t a = run(7);
   EXPECT_EQ(a, run(7));
@@ -118,7 +119,7 @@ TEST(FaultInjection, GupsCompletesAndVerifiesUnderErrors) {
   host::KernelResult result;
   // verify=true: data integrity under fault injection.
   ASSERT_TRUE(host::run_random_access(*sim, opts, result).ok());
-  EXPECT_GT(sim->stats().link_retries, 0U);
+  EXPECT_GT(sim::collect_stats(*sim).link_retries, 0U);
 }
 
 TEST(FaultInjection, MutexContentionSurvivesErrors) {
@@ -140,7 +141,7 @@ TEST(FaultInjection, MutexContentionSurvivesErrors) {
   std::array<std::uint64_t, 2> lock{};
   ASSERT_TRUE(sim->device(0).store().read_u128(0, lock).ok());
   EXPECT_EQ(lock[0], 0ULL);
-  EXPECT_GT(sim->stats().link_retries, 0U);
+  EXPECT_GT(sim::collect_stats(*sim).link_retries, 0U);
 }
 
 TEST(FaultInjection, ErrorsIncreaseAverageLatency) {
@@ -228,7 +229,7 @@ TEST(FaultInjection, PerLinkResponsesArriveInSendOrder) {
       }
     }
   }
-  ASSERT_GT(sim->stats().link_retries, 0U);
+  ASSERT_GT(sim::collect_stats(*sim).link_retries, 0U);
   for (std::uint32_t l = 0; l < num_links; ++l) {
     ASSERT_EQ(arrival[l].size(), kPerLink) << "link " << l;
     // Tags on link l were issued as l, l+num_links, l+2*num_links, ...;
@@ -275,7 +276,7 @@ TEST(FaultInjection, RetryBufferGaugeDrainsToZero) {
   sim::Response rsp;
   while (sim->recv(0, rsp).ok()) {
   }
-  ASSERT_GT(sim->stats().link_retries, 0U);
+  ASSERT_GT(sim::collect_stats(*sim).link_retries, 0U);
   // Everything delivered: no FLITs left parked in any retry buffer.
   for (const auto& link : sim->device(0).links()) {
     EXPECT_EQ(link.retry_buffered().value(), 0.0);

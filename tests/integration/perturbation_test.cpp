@@ -11,6 +11,7 @@
 #include "plugins/builtin.h"
 #include "src/common/rng.hpp"
 #include "src/host/mutex_driver.hpp"
+#include "src/sim/sim_stats.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace hmcsim {
@@ -81,7 +82,7 @@ std::string run_workload_digest(sim::Simulator& sim) {
   }
   drain(true);
   digest << "cycles=" << sim.cycle();
-  const auto stats = sim.stats();
+  const auto stats = sim::collect_stats(sim);
   digest << " rqsts=" << stats.rqsts_processed
          << " flits=" << stats.rqst_flits << '/'
          << stats.rsp_flits;

@@ -1,0 +1,35 @@
+# cli_mutex_golden.cmake — mutex through the frontend registry stays
+# byte-identical to the pre-refactor driver.
+#
+# The committed golden was captured from `hmcsim_cli mutex 8 --stats-json`
+# before the Frontend/MemoryBackend seam existed. The same invocation must
+# still produce it byte for byte, and the summary line must be unchanged:
+# virtual dispatch is not allowed to perturb a single statistic.
+# Invoked as:
+#   cmake -DCLI=<hmcsim_cli> -DGOLDEN=<mutex8_stats.json> -DOUT_DIR=<dir>
+#         -P cli_mutex_golden.cmake
+if(NOT DEFINED CLI OR NOT DEFINED GOLDEN OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<exe> -DGOLDEN=<json> -DOUT_DIR=<dir> -P ${CMAKE_SCRIPT_MODE_FILE}")
+endif()
+
+set(json_path "${OUT_DIR}/cli_mutex_golden_stats.json")
+execute_process(
+  COMMAND "${CLI}" mutex 8 --stats-json "${json_path}"
+  OUTPUT_VARIABLE run_stdout
+  ERROR_VARIABLE run_stderr
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "hmcsim_cli exited with ${run_rc}\n${run_stdout}\n${run_stderr}")
+endif()
+if(NOT EXISTS "${json_path}")
+  message(FATAL_ERROR "--stats-json wrote no file at ${json_path}")
+endif()
+
+file(READ "${json_path}" actual)
+file(READ "${GOLDEN}" golden)
+if(NOT actual STREQUAL golden)
+  message(FATAL_ERROR "mutex stats diverged from the pre-refactor golden: the frontend seam changed simulated behavior")
+endif()
+if(NOT run_stdout MATCHES "threads=8 MIN_CYCLE=6 MAX_CYCLE=27 AVG_CYCLE=16\\.50")
+  message(FATAL_ERROR "mutex summary line changed:\n${run_stdout}")
+endif()

@@ -1,0 +1,50 @@
+# cli_synthetic_determinism.cmake — the synthetic load generator is a pure
+# function of its seed.
+#
+# Runs the same fixed-seed invocation twice and demands byte-identical
+# stats JSON, then flips the seed and demands a different one. A frontend
+# whose randomness leaks in from anywhere but Config::workload_seed (time,
+# ASLR, global state) fails the first check; a frontend that ignores the
+# seed fails the second.
+# Invoked as:
+#   cmake -DCLI=<hmcsim_cli> -DPATTERN=<pattern> -DOUT_DIR=<dir>
+#         -P cli_synthetic_determinism.cmake
+if(NOT DEFINED CLI OR NOT DEFINED PATTERN OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<exe> -DPATTERN=<pattern> -DOUT_DIR=<dir> -P ${CMAKE_SCRIPT_MODE_FILE}")
+endif()
+
+function(run_synthetic seed json_path)
+  execute_process(
+    COMMAND "${CLI}" synthetic --pattern "${PATTERN}" --count 512
+            --rate 0.5 --seed "${seed}" --stats-json "${json_path}"
+    OUTPUT_VARIABLE run_stdout
+    ERROR_VARIABLE run_stderr
+    RESULT_VARIABLE run_rc)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "hmcsim_cli exited with ${run_rc}\n${run_stdout}\n${run_stderr}")
+  endif()
+  if(NOT run_stdout MATCHES "synthetic\\(${PATTERN}\\): 512 requests")
+    message(FATAL_ERROR "unexpected summary:\n${run_stdout}")
+  endif()
+endfunction()
+
+set(a "${OUT_DIR}/cli_synthetic_${PATTERN}_a.json")
+set(b "${OUT_DIR}/cli_synthetic_${PATTERN}_b.json")
+set(c "${OUT_DIR}/cli_synthetic_${PATTERN}_c.json")
+run_synthetic(12345 "${a}")
+run_synthetic(12345 "${b}")
+run_synthetic(54321 "${c}")
+
+file(READ "${a}" run_a)
+file(READ "${b}" run_b)
+file(READ "${c}" run_c)
+if(NOT run_a STREQUAL run_b)
+  message(FATAL_ERROR "same seed produced different stats for pattern ${PATTERN}: the generator is not seed-deterministic")
+endif()
+if(run_a STREQUAL run_c)
+  message(FATAL_ERROR "different seeds produced identical stats for pattern ${PATTERN}: the generator ignores --seed")
+endif()
+# The stats JSON nests paths, so match the group and leaf keys.
+if(NOT run_a MATCHES "\"synthetic\"" OR NOT run_a MATCHES "\"requests\"")
+  message(FATAL_ERROR "stats JSON lacks host.synthetic.* counters:\n${run_a}")
+endif()

@@ -6,6 +6,7 @@
 // fixed 9-operation workload. The registry-backed renderers must reproduce
 // them byte for byte; the text report may only append new sections (the
 // latency block) after the seed content.
+#include "src/sim/sim_stats.hpp"
 #include "src/sim/stats_report.hpp"
 
 #include <gtest/gtest.h>
@@ -237,7 +238,7 @@ TEST_F(MetricsExportTest, JsonRoundTripsEveryRegistryValue) {
   EXPECT_GT(counters_checked, 400U);  // 32 vaults x 7 + banks + links + ...
 
   // The aggregate SimStats view and the JSON agree on the headline totals.
-  const SimStats s = sim_->stats();
+  const SimStats s = collect_stats(*sim_);
   EXPECT_EQ(flat.at("stats.cube0.quad0.vault0.rqsts_processed"), "5");
   std::uint64_t rqst_flits = 0;
   for (int l = 0; l < 4; ++l) {

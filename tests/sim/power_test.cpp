@@ -5,6 +5,8 @@
 
 #include <array>
 
+#include "src/sim/simulator.hpp"
+
 namespace hmcsim::power {
 namespace {
 
@@ -124,7 +126,7 @@ TEST(PowerModel, EndToEndOnLiveSimulator) {
   std::unique_ptr<sim::Simulator> sim;
   ASSERT_TRUE(
       sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok());
-  const auto before = sim->stats();
+  const auto before = sim::collect_stats(*sim);
   // 10 write/read round trips.
   for (int i = 0; i < 10; ++i) {
     const std::array<std::uint64_t, 2> data{1, 2};
@@ -140,7 +142,7 @@ TEST(PowerModel, EndToEndOnLiveSimulator) {
     ASSERT_TRUE(sim->recv(0, rsp).ok());
   }
   PowerModel model;
-  const Activity a = delta(before, sim->stats());
+  const Activity a = delta(before, sim::collect_stats(*sim));
   const EnergyReport r = model.estimate(a);
   EXPECT_GT(r.link_nj, 0.0);
   EXPECT_GT(r.dram_nj, 0.0);

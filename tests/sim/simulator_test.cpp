@@ -1,4 +1,5 @@
 // simulator_test.cpp — end-to-end pipeline tests through the public API.
+#include "src/sim/sim_stats.hpp"
 #include "src/sim/simulator.hpp"
 
 #include <gtest/gtest.h>
@@ -229,7 +230,7 @@ TEST_F(SimulatorTest, FlowPacketsConsumedAtLink) {
   }
   EXPECT_FALSE(sim_->rsp_ready(0));
   EXPECT_EQ(sim_->device(0).links()[0].flow_packets().value(), 1U);
-  EXPECT_EQ(sim_->stats().rqsts_processed, 0U);
+  EXPECT_EQ(collect_stats(*sim_).rqsts_processed, 0U);
 }
 
 TEST_F(SimulatorTest, InvalidLinkRejected) {
@@ -270,7 +271,7 @@ TEST_F(SimulatorTest, SendStallsWhenQueuesSaturate) {
   }
   EXPECT_TRUE(s.stalled());
   EXPECT_EQ(sent, 128);  // Exactly the crossbar queue capacity.
-  EXPECT_GT(sim_->stats().send_stalls, 0U);
+  EXPECT_GT(collect_stats(*sim_).send_stalls, 0U);
 }
 
 TEST_F(SimulatorTest, ReadBeyondCapacityReturnsErrorResponse) {
@@ -281,7 +282,7 @@ TEST_F(SimulatorTest, ReadBeyondCapacityReturnsErrorResponse) {
   EXPECT_EQ(rsp.pkt.cmd(),
             static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR));
   EXPECT_NE(rsp.pkt.errstat(), 0);
-  EXPECT_EQ(sim_->stats().errors, 1U);
+  EXPECT_EQ(collect_stats(*sim_).errors, 1U);
 }
 
 TEST_F(SimulatorTest, CmcUnregisteredCommandSendFails) {
@@ -346,7 +347,7 @@ TEST_F(SimulatorTest, PostedCmcProducesNoResponse) {
   ASSERT_TRUE(sim_->device(0).store().read_u128(0x700, mem).ok());
   EXPECT_EQ(mem[0], 0ULL);
   EXPECT_EQ(mem[1], 0ULL);
-  EXPECT_EQ(sim_->stats().cmc_executed, 1U);
+  EXPECT_EQ(collect_stats(*sim_).cmc_executed, 1U);
 }
 
 TEST_F(SimulatorTest, CmcCustomResponseCodeOnWire) {
@@ -425,7 +426,7 @@ TEST_F(SimulatorTest, StatsAggregate) {
   rd.rqst = spec::Rqst::RD16;
   (void)roundtrip(rd);
   (void)roundtrip(rd);
-  const SimStats stats = sim_->stats();
+  const SimStats stats = collect_stats(*sim_);
   EXPECT_EQ(stats.rqsts_processed, 2U);
   EXPECT_EQ(stats.rsps_generated, 2U);
   EXPECT_EQ(stats.rqst_flits, 2U);  // RD16 = 1 FLIT each.
@@ -443,7 +444,7 @@ TEST_F(SimulatorTest, ResetPipelineKeepsMemoryAndCmc) {
   ASSERT_TRUE(sim_->send(rd, 0).ok());
   sim_->reset_pipeline();
   EXPECT_FALSE(sim_->rsp_ready(0));
-  EXPECT_EQ(sim_->stats().rqsts_processed, 0U);
+  EXPECT_EQ(collect_stats(*sim_).rqsts_processed, 0U);
   // Memory and registrations survive.
   std::uint64_t v = 0;
   ASSERT_TRUE(sim_->device(0).store().read_u64(0x40, v).ok());

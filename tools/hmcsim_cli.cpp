@@ -1,30 +1,42 @@
 // hmcsim_cli.cpp — command-line driver for the simulator.
 //
-// Subcommands:
+// Workload subcommands are resolved through FrontendRegistry: any
+// registered frontend is runnable as `hmcsim_cli <name> [positional]
+// [--frontend-options]`, over any backend in BackendRegistry (--backend,
+// default "hmc"). Built-in informational subcommands:
+//
 //   commands                      print the full Gen2 command table
 //   config [4|8]                  print a canonical device configuration
 //   cmc-info <plugin.so>...       validate plugins and print registrations
-//   replay <trace> [options]      replay a trace file
-//   mutex <threads> [options]     run the Algorithm 1 contention experiment
+//   list-frontends                print every registered frontend
+//   list-backends                 print every registered memory backend
 //
-// Common options: --links 4|8 (device selection), --plugins <dir> (load
-// the mutex trio from shared libraries), --power (energy estimate),
-// --trace-file <path> --trace-level <mask> (simulator event tracing).
-#include <array>
+// Registered frontends (see list-frontends):
+//   replay <trace>                replay a trace file
+//   mutex <threads>               the Algorithm 1 contention experiment
+//   rogue <rogue.so>              drive a misbehaving CMC plugin into
+//                                 quarantine (fault-containment demo)
+//   spinlock <cores>              CAS spinlock through the coherent cache
+//   synthetic [pattern]           open-loop load generator, e.g.
+//                                 `synthetic --pattern zipfian --theta 0.99
+//                                  --rate 0.5`
+//
+// Unrecognised `--key value` pairs are handed to the frontend factory as
+// options; a key the frontend does not consume is an error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "plugins/builtin.h"
-#include "src/host/mutex_driver.hpp"
-#include "src/host/trace_replay.hpp"
+#include "src/backend/backend.hpp"
+#include "src/frontend/frontend.hpp"
+#include "src/frontend/runner.hpp"
 #include "src/power/power_model.hpp"
+#include "src/sim/sim_stats.hpp"
 #include "src/sim/stats_report.hpp"
-#include "src/trace/chrome_sink.hpp"
 
 using namespace hmcsim;
 
@@ -32,6 +44,7 @@ namespace {
 
 struct CliOptions {
   int links = 4;
+  std::string backend = "hmc";
   std::string plugin_dir;
   bool power = false;
   std::string trace_file;
@@ -49,20 +62,30 @@ struct CliOptions {
   bool cmc_fail_threshold_set = false;
   std::uint32_t cmc_mem_budget = 0;
   bool cmc_mem_budget_set = false;
+  std::uint64_t workload_seed = 0;
+  bool workload_seed_set = false;
+  /// Unrecognised --key value pairs, forwarded to the frontend factory.
+  std::vector<std::pair<std::string, std::string>> frontend_opts;
   std::vector<std::string> positional;
 };
 
 int usage() {
   std::fputs(
-      "usage: hmcsim_cli <commands|config|cmc-info|replay|mutex> [args]\n"
+      "usage: hmcsim_cli <subcommand> [args] [options]\n"
       "  commands                    print the Gen2 command table\n"
       "  config [4|8]                print a canonical configuration\n"
       "  cmc-info <plugin.so>...     validate plugins, print registrations\n"
+      "  list-frontends              print every registered frontend\n"
+      "  list-backends               print every registered memory backend\n"
       "  replay <trace-file>         replay a trace\n"
       "  mutex <threads>             run the mutex contention experiment\n"
       "  rogue <rogue.so>            drive a misbehaving CMC plugin into\n"
       "                              quarantine (fault-containment demo)\n"
-      "options: --links 4|8  --plugins <dir>  --power\n"
+      "  spinlock <cores>            CAS spinlock via the coherent caches\n"
+      "  synthetic [pattern]         open-loop load generator (uniform,\n"
+      "                              zipfian, chase, bursty)\n"
+      "options: --links 4|8  --backend <name>  --plugins <dir>  --power\n"
+      "         --seed <n>           (workload RNG seed, Config::workload_seed)\n"
       "         --trace-file <path>  --trace-level <mask>\n"
       "         --trace-chrome <path> (per-packet journeys as Chrome\n"
       "                               trace-event JSON; open in Perfetto)\n"
@@ -78,7 +101,9 @@ int usage() {
       "         --cmc-fail-threshold <n>  (consecutive CMC failures before\n"
       "                               a slot is quarantined; 0 disables)\n"
       "         --cmc-mem-budget <n> (64-bit words one CMC call may move\n"
-      "                               through the mem services; 0 = off)\n",
+      "                               through the mem services; 0 = off)\n"
+      "Frontend-specific --key value options are forwarded to the frontend\n"
+      "(e.g. synthetic --pattern zipfian --theta 0.99 --rate 0.5).\n",
       stderr);
   return 2;
 }
@@ -95,6 +120,12 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
         return false;
       }
       opts.links = std::atoi(v);
+    } else if (arg == "--backend") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.backend = v;
     } else if (arg == "--plugins") {
       const char* v = next();
       if (v == nullptr) {
@@ -103,6 +134,13 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
       opts.plugin_dir = v;
     } else if (arg == "--power") {
       opts.power = true;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.workload_seed = std::strtoull(v, nullptr, 0);
+      opts.workload_seed_set = true;
     } else if (arg == "--trace-file") {
       const char* v = next();
       if (v == nullptr) {
@@ -173,6 +211,15 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
       opts.cmc_mem_budget =
           static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
       opts.cmc_mem_budget_set = true;
+    } else if (arg.size() > 2 && arg.substr(0, 2) == "--") {
+      // Unknown flag: forward to the frontend factory as key=value.
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "option %s needs a value\n",
+                     std::string(arg).c_str());
+        return false;
+      }
+      opts.frontend_opts.emplace_back(std::string(arg.substr(2)), v);
     } else {
       opts.positional.emplace_back(arg);
     }
@@ -180,7 +227,7 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
   return true;
 }
 
-std::unique_ptr<sim::Simulator> make_sim(const CliOptions& opts) {
+sim::Config make_cfg(const CliOptions& opts) {
   sim::Config cfg = opts.links == 8 ? sim::Config::hmc_8link_8gb()
                                     : sim::Config::hmc_4link_4gb();
   cfg.exhaustive_clock = opts.exhaustive_clock;
@@ -198,39 +245,39 @@ std::unique_ptr<sim::Simulator> make_sim(const CliOptions& opts) {
   if (opts.cmc_mem_budget_set) {
     cfg.cmc_mem_word_budget = opts.cmc_mem_budget;
   }
-  std::unique_ptr<sim::Simulator> sim;
-  if (Status s = sim::Simulator::create(cfg, sim); !s.ok()) {
-    std::fprintf(stderr, "create: %s\n", s.to_string().c_str());
-    return nullptr;
+  if (opts.workload_seed_set) {
+    cfg.workload_seed = opts.workload_seed;
   }
-  return sim;
+  return cfg;
 }
 
-bool load_mutex_ops(sim::Simulator& sim, const CliOptions& opts) {
-  if (!opts.plugin_dir.empty()) {
-    for (const char* so : {"hmc_lock.so", "hmc_trylock.so",
-                           "hmc_unlock.so"}) {
-      const std::string path = opts.plugin_dir + "/" + so;
-      if (Status s = sim.load_cmc(path); !s.ok()) {
-        std::fprintf(stderr, "load_cmc(%s): %s\n", path.c_str(),
-                     s.to_string().c_str());
-        return false;
-      }
-    }
-    return true;
+/// The CMC provisioning hook handed to frontends: maps operation names to
+/// the statically-linked builtin implementations. Frontends request
+/// exactly what their workload needs, so the metric namespace (and with
+/// it the stats JSON) only ever contains the operations a run used.
+Status provide_builtin_cmc(sim::Simulator& sim, std::string_view op) {
+  if (op == "hmc_lock") {
+    return sim.register_cmc(hmcsim_builtin_lock_register,
+                            hmcsim_builtin_lock_execute,
+                            hmcsim_builtin_lock_str);
   }
-  return sim.register_cmc(hmcsim_builtin_lock_register,
-                          hmcsim_builtin_lock_execute,
-                          hmcsim_builtin_lock_str)
-             .ok() &&
-         sim.register_cmc(hmcsim_builtin_trylock_register,
-                          hmcsim_builtin_trylock_execute,
-                          hmcsim_builtin_trylock_str)
-             .ok() &&
-         sim.register_cmc(hmcsim_builtin_unlock_register,
-                          hmcsim_builtin_unlock_execute,
-                          hmcsim_builtin_unlock_str)
-             .ok();
+  if (op == "hmc_trylock") {
+    return sim.register_cmc(hmcsim_builtin_trylock_register,
+                            hmcsim_builtin_trylock_execute,
+                            hmcsim_builtin_trylock_str);
+  }
+  if (op == "hmc_unlock") {
+    return sim.register_cmc(hmcsim_builtin_unlock_register,
+                            hmcsim_builtin_unlock_execute,
+                            hmcsim_builtin_unlock_str);
+  }
+  if (op == "hmc_satinc") {
+    return sim.register_cmc(hmcsim_builtin_satinc_register,
+                            hmcsim_builtin_satinc_execute,
+                            hmcsim_builtin_satinc_str);
+  }
+  return Status::NotFound("no builtin CMC operation named '" +
+                          std::string(op) + "'");
 }
 
 int cmd_commands() {
@@ -286,344 +333,110 @@ int cmd_cmc_info(const CliOptions& opts) {
   return rc;
 }
 
-/// Every sink the CLI may wire up for one run. The ChromeSink is declared
-/// after its stream so it is destroyed first (its destructor writes the
-/// closing bracket of the JSON document).
-struct TraceWiring {
-  std::unique_ptr<std::ofstream> text_stream;
-  std::unique_ptr<trace::TextSink> text_sink;
-  std::unique_ptr<std::ofstream> chrome_stream;
-  std::unique_ptr<trace::ChromeSink> chrome_sink;
-  trace::LatencySink latency;  ///< Percentiles for the --stage-stats report.
-};
-
-/// Attach the requested sinks (--trace-file, --trace-chrome,
-/// --stage-stats); keeps them alive via `wiring`.
-bool setup_tracing(sim::Simulator& sim, const CliOptions& opts,
-                   TraceWiring& wiring) {
-  if (!opts.trace_file.empty()) {
-    wiring.text_stream = std::make_unique<std::ofstream>(opts.trace_file);
-    if (!wiring.text_stream->is_open()) {
-      std::fprintf(stderr, "cannot open trace file %s\n",
-                   opts.trace_file.c_str());
-      return false;
-    }
-    wiring.text_sink = std::make_unique<trace::TextSink>(*wiring.text_stream);
-    sim.tracer().attach(wiring.text_sink.get());
-    sim.tracer().set_level(static_cast<trace::Level>(
-        opts.trace_level != 0 ? opts.trace_level
-                              : static_cast<std::uint32_t>(
-                                    trace::Level::All)));
-  }
-  if (!opts.trace_chrome.empty()) {
-    wiring.chrome_stream =
-        std::make_unique<std::ofstream>(opts.trace_chrome);
-    if (!wiring.chrome_stream->is_open()) {
-      std::fprintf(stderr, "cannot open chrome trace file %s\n",
-                   opts.trace_chrome.c_str());
-      return false;
-    }
-    wiring.chrome_sink =
-        std::make_unique<trace::ChromeSink>(*wiring.chrome_stream);
-    sim.tracer().attach(wiring.chrome_sink.get());
-    sim.journeys().attach(wiring.chrome_sink.get());
-    sim.tracer().set_level(sim.tracer().level() | trace::Level::Journey |
-                           trace::Level::Retry | trace::Level::Cmc);
-  }
-  if (opts.stage_stats) {
-    // Config::stage_stats already enabled the Journey level; the latency
-    // sink additionally needs the per-retirement Latency events.
-    sim.tracer().attach(&wiring.latency);
-    sim.tracer().set_level(sim.tracer().level() | trace::Level::Latency);
-  }
-  return true;
-}
-
-/// End-of-run --stage-stats report: where did the cycles go, and what do
-/// the latency tails look like.
-void maybe_stage_report(sim::Simulator& sim, const CliOptions& opts,
-                        const TraceWiring& wiring) {
-  if (!opts.stage_stats) {
-    return;
-  }
-  const metrics::Histogram& total = sim.latency_histogram();
-  std::printf("stage attribution (%llu retired packets):\n",
-              static_cast<unsigned long long>(total.count()));
-  const double total_sum =
-      total.sum() == 0 ? 1.0 : static_cast<double>(total.sum());
-  for (std::size_t i = 0; i < trace::kStageCount; ++i) {
-    const auto stage = static_cast<trace::Stage>(i);
-    const std::string path =
-        "host.stage." + std::string(trace::to_string(stage));
-    const metrics::Histogram* h = sim.metrics().find_histogram(path);
-    if (h == nullptr) {
-      continue;
-    }
-    std::printf("  %-12s sum=%-8llu mean=%-7.2f max=%-6llu (%5.1f%%)\n",
-                std::string(trace::to_string(stage)).c_str(),
-                static_cast<unsigned long long>(h->sum()), h->mean(),
-                static_cast<unsigned long long>(h->max()),
-                100.0 * static_cast<double>(h->sum()) / total_sum);
-  }
-  constexpr std::array<double, 3> kQs{0.5, 0.95, 0.99};
-  const auto ps = wiring.latency.percentiles(kQs);
-  std::printf("  end-to-end latency: p50=%llu p95=%llu p99=%llu\n",
-              static_cast<unsigned long long>(ps[0]),
-              static_cast<unsigned long long>(ps[1]),
-              static_cast<unsigned long long>(ps[2]));
-}
-
-/// Install the periodic stats callback: every N cycles, print the counters
-/// that moved since the previous report.
-void setup_stats_interval(sim::Simulator& sim, const CliOptions& opts) {
-  if (opts.stats_every == 0) {
-    return;
-  }
-  auto last = std::make_shared<metrics::StatRegistry::Snapshot>(
-      sim.metrics().snapshot_counters());
-  sim.set_stats_interval(opts.stats_every, [last](sim::Simulator& s) {
-    auto now = s.metrics().snapshot_counters();
-    const auto diff = metrics::StatRegistry::delta(*last, now);
-    std::printf("[stats] cycle=%llu\n",
-                static_cast<unsigned long long>(s.cycle()));
-    for (const auto& [path, d] : diff) {
-      std::printf("  %s +%llu\n", path.c_str(),
-                  static_cast<unsigned long long>(d));
-    }
-    *last = std::move(now);
-  });
-}
-
-/// Write the full registry as JSON when --stats-json was given.
-bool maybe_stats_json(sim::Simulator& sim, const CliOptions& opts) {
-  if (opts.stats_json.empty()) {
-    return true;
-  }
-  std::ofstream out(opts.stats_json);
-  if (!out.is_open()) {
-    std::fprintf(stderr, "cannot open stats file %s\n",
-                 opts.stats_json.c_str());
-    return false;
-  }
-  out << sim::format_stats_json(sim);
-  return true;
-}
-
-void maybe_power_report(const sim::Simulator& sim,
-                        const sim::SimStats& before, const CliOptions& opts) {
-  if (!opts.power) {
-    return;
-  }
-  const power::PowerModel model;
-  const power::Activity activity =
-      power::delta(before, sim.stats(), sim.num_devices());
-  std::printf("%s", power::PowerModel::format(model.estimate(activity),
-                                              model.segment_ns(activity))
-                        .c_str());
-}
-
-int cmd_replay(const CliOptions& opts) {
-  if (opts.positional.empty()) {
-    return usage();
-  }
-  std::vector<host::TraceRecord> records;
-  if (Status s = host::load_trace(opts.positional[0], records); !s.ok()) {
-    std::fprintf(stderr, "load_trace: %s\n", s.to_string().c_str());
-    return 1;
-  }
-  auto sim = make_sim(opts);
-  if (!sim) {
-    return 1;
-  }
-  // CMC records in the trace need the mutex/extras registered; register
-  // the builtin set so common traces replay out of the box.
-  (void)load_mutex_ops(*sim, opts);
-  TraceWiring wiring;
-  if (!setup_tracing(*sim, opts, wiring)) {
-    return 1;
-  }
-  setup_stats_interval(*sim, opts);
-  const auto before = sim->stats();
-  host::ReplayResult result;
-  if (Status s = host::replay_trace(*sim, records, result); !s.ok()) {
-    std::fprintf(stderr, "replay: %s\n", s.to_string().c_str());
-    return 1;
-  }
-  std::printf("replayed %llu requests: %llu responses, %llu errors, "
-              "%llu cycles, %llu retries\n",
-              static_cast<unsigned long long>(result.requests_issued),
-              static_cast<unsigned long long>(result.responses_received),
-              static_cast<unsigned long long>(result.error_responses),
-              static_cast<unsigned long long>(result.cycles),
-              static_cast<unsigned long long>(result.send_retries));
-  std::printf("%s", sim::format_stats(*sim).c_str());
-  maybe_stage_report(*sim, opts, wiring);
-  maybe_power_report(*sim, before, opts);
-  if (!maybe_stats_json(*sim, opts)) {
-    return 1;
-  }
-  return result.error_responses == 0 ? 0 : 1;
-}
-
-int cmd_mutex(const CliOptions& opts) {
-  if (opts.positional.empty()) {
-    return usage();
-  }
-  const auto threads =
-      static_cast<std::uint32_t>(std::atoi(opts.positional[0].c_str()));
-  auto sim = make_sim(opts);
-  if (!sim || !load_mutex_ops(*sim, opts)) {
-    return 1;
-  }
-  TraceWiring wiring;
-  if (!setup_tracing(*sim, opts, wiring)) {
-    return 1;
-  }
-  setup_stats_interval(*sim, opts);
-  const auto before = sim->stats();
-  host::MutexOptions mopts;
-  mopts.lock_addr = 0x4000;
-  host::MutexResult result;
-  if (Status s = host::run_mutex_contention(*sim, threads, mopts, result);
-      !s.ok()) {
-    std::fprintf(stderr, "mutex: %s\n", s.to_string().c_str());
-    return 1;
-  }
-  std::printf("threads=%u MIN_CYCLE=%llu MAX_CYCLE=%llu AVG_CYCLE=%.2f\n",
-              threads, static_cast<unsigned long long>(result.min_cycles),
-              static_cast<unsigned long long>(result.max_cycles),
-              result.avg_cycles);
-  maybe_stage_report(*sim, opts, wiring);
-  maybe_power_report(*sim, before, opts);
-  if (!maybe_stats_json(*sim, opts)) {
-    return 1;
+int cmd_list_frontends() {
+  std::printf("%-10s %-10s %s\n", "name", "arg", "description");
+  for (const auto& info : frontend::FrontendRegistry::instance().list()) {
+    std::printf("%-10s %-10s %s\n", info.name.c_str(),
+                info.positional_key.empty() ? "-"
+                                            : info.positional_key.c_str(),
+                info.description.c_str());
   }
   return 0;
 }
 
-/// Fault-containment demo: load a rogue CMC library and drive it through
-/// every misbehaviour mode until the slot quarantines, while a
-/// well-behaved builtin op (hmc_satinc, CMC21) keeps executing on another
-/// slot. Fully deterministic — no RNG — so repeated runs and the
-/// --exhaustive-clock scheduler must produce byte-identical stats.
-int cmd_rogue(const CliOptions& opts) {
-  if (opts.positional.empty()) {
-    return usage();
+int cmd_list_backends() {
+  std::printf("%-10s %s\n", "name", "description");
+  for (const auto& info : backend::BackendRegistry::instance().list()) {
+    std::printf("%-10s %s\n", info.name.c_str(), info.description.c_str());
   }
-  auto sim = make_sim(opts);
-  if (!sim) {
-    return 1;
+  return 0;
+}
+
+/// Run one registered frontend over one registered backend: the shared
+/// path behind every workload subcommand.
+int cmd_run(const std::string& name, const CliOptions& opts) {
+  frontend::FrontendRegistry& frontends = frontend::FrontendRegistry::instance();
+  frontend::FrontendInfo info;
+  if (Status s = frontends.info(name, info); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 2;
   }
-  if (Status s = sim->load_cmc(opts.positional[0]); !s.ok()) {
-    std::fprintf(stderr, "load_cmc(%s): %s\n", opts.positional[0].c_str(),
-                 s.to_string().c_str());
-    return 1;
+
+  frontend::FrontendOptions fopts;
+  if (!opts.positional.empty()) {
+    if (info.positional_key.empty() || opts.positional.size() > 1) {
+      std::fprintf(stderr, "%s: unexpected argument '%s'\n", name.c_str(),
+                   opts.positional[info.positional_key.empty() ? 0 : 1]
+                       .c_str());
+      return 2;
+    }
+    fopts.set(info.positional_key, opts.positional[0]);
   }
-  if (Status s = sim->register_cmc(hmcsim_builtin_satinc_register,
-                                   hmcsim_builtin_satinc_execute,
-                                   hmcsim_builtin_satinc_str);
+  for (const auto& [key, value] : opts.frontend_opts) {
+    fopts.set(key, value);
+  }
+  if (!opts.plugin_dir.empty()) {
+    fopts.set("plugins", opts.plugin_dir);
+  }
+  fopts.set_cmc_provider(provide_builtin_cmc);
+
+  std::unique_ptr<backend::MemoryBackend> mem;
+  if (Status s = backend::BackendRegistry::instance().create(
+          opts.backend, make_cfg(opts), mem);
       !s.ok()) {
-    std::fprintf(stderr, "register satinc: %s\n", s.to_string().c_str());
+    std::fprintf(stderr, "create: %s\n", s.to_string().c_str());
     return 1;
   }
-  TraceWiring wiring;
-  if (!setup_tracing(*sim, opts, wiring)) {
+
+  std::unique_ptr<frontend::Frontend> fe;
+  if (Status s = frontends.create(name, fopts, fe); !s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(), s.to_string().c_str());
     return 1;
   }
-  setup_stats_interval(*sim, opts);
 
-  // One request at a time: send, clock to the response, receive.
-  std::uint64_t oks = 0;
-  std::uint64_t errors = 0;
-  std::uint64_t satinc_failures = 0;
-  std::uint16_t tag = 1;
-  auto transact = [&](spec::Rqst rqst, std::uint64_t addr,
-                      bool& was_error) -> bool {
-    spec::RqstParams params;
-    params.rqst = rqst;
-    params.addr = addr;
-    params.tag = static_cast<std::uint16_t>(tag++ & 0x7FF);
-    for (int tries = 0; tries < 64; ++tries) {
-      const Status s = sim->send(params, 0);
-      if (s.ok()) {
-        break;
-      }
-      if (!s.stalled()) {
-        std::fprintf(stderr, "send: %s\n", s.to_string().c_str());
-        return false;
-      }
-      sim->clock();
-    }
-    sim::Response rsp;
-    for (int cycles = 0; cycles < 4096; ++cycles) {
-      sim->clock();
-      if (sim->rsp_ready(0)) {
-        if (!sim->recv(0, rsp).ok()) {
-          return false;
-        }
-        was_error = rsp.pkt.cmd() ==
-                    static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR);
-        return true;
-      }
-    }
-    std::fprintf(stderr, "no response after 4096 cycles\n");
-    return false;
-  };
-
-  const std::uint64_t rogue_base = 0x10000;
-  const std::uint64_t satinc_addr = 0x20000;
-  const std::uint32_t threshold =
-      sim->config().cmc_fail_threshold != 0 ? sim->config().cmc_fail_threshold
-                                            : 8;
-  bool was_error = false;
-  // Phase 1 — every mode once (success at mode 0 resets the streak).
-  for (std::uint64_t mode = 0; mode < 5; ++mode) {
-    if (!transact(spec::Rqst::CMC70, rogue_base | (mode << 4), was_error)) {
-      return 1;
-    }
-    (was_error ? errors : oks)++;
-    if (!transact(spec::Rqst::CMC21, satinc_addr, was_error)) {
-      return 1;
-    }
-    satinc_failures += was_error ? 1 : 0;
-  }
-  // Phase 2 — failures only, until the quarantine threshold trips.
-  for (std::uint32_t i = 0; i < 2 * threshold; ++i) {
-    const std::uint64_t mode = 1 + (i % 4);
-    if (!transact(spec::Rqst::CMC70, rogue_base | (mode << 4), was_error)) {
-      return 1;
-    }
-    (was_error ? errors : oks)++;
-  }
-  // Phase 3 — the quarantined slot answers errors without executing; the
-  // well-behaved neighbour is unaffected.
-  for (int i = 0; i < 4; ++i) {
-    if (!transact(spec::Rqst::CMC70, rogue_base, was_error)) {
-      return 1;
-    }
-    (was_error ? errors : oks)++;
-    if (!transact(spec::Rqst::CMC21, satinc_addr, was_error)) {
-      return 1;
-    }
-    satinc_failures += was_error ? 1 : 0;
-  }
-  (void)sim->clock_until_idle(8192);
-
-  const metrics::Gauge* quarantined =
-      sim->metrics().find_gauge("cmc.hmc_rogue.quarantined");
-  const bool is_quarantined =
-      quarantined != nullptr && quarantined->value() == 1.0;
-  std::printf("rogue: %llu ok, %llu error responses; satinc failures: %llu; "
-              "quarantined: %s\n",
-              static_cast<unsigned long long>(oks),
-              static_cast<unsigned long long>(errors),
-              static_cast<unsigned long long>(satinc_failures),
-              is_quarantined ? "yes" : "no");
-  maybe_stage_report(*sim, opts, wiring);
-  if (!maybe_stats_json(*sim, opts)) {
+  frontend::IoOptions io_opts;
+  io_opts.trace_file = opts.trace_file;
+  io_opts.trace_level = opts.trace_level;
+  io_opts.trace_chrome = opts.trace_chrome;
+  io_opts.stage_stats = opts.stage_stats;
+  io_opts.stats_json = opts.stats_json;
+  io_opts.stats_every = opts.stats_every;
+  frontend::RunIo io;
+  if (Status s = io.attach(*mem, io_opts); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
     return 1;
   }
-  return (is_quarantined && satinc_failures == 0) ? 0 : 1;
+
+  sim::SimStats before;
+  if (opts.power && mem->simulator() != nullptr) {
+    before = sim::collect_stats(*mem->simulator());
+  }
+
+  const Status run_status = frontend::run(*mem, *fe);
+  if (!run_status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                 run_status.to_string().c_str());
+    return 1;
+  }
+  const std::string summary = fe->summary();
+  if (!summary.empty()) {
+    std::printf("%s", summary.c_str());
+  }
+  io.print_stage_report(*mem);
+  if (opts.power && mem->simulator() != nullptr) {
+    const power::PowerModel model;
+    const power::Activity activity =
+        power::delta(before, sim::collect_stats(*mem->simulator()),
+                     mem->simulator()->num_devices());
+    std::printf("%s", power::PowerModel::format(model.estimate(activity),
+                                                model.segment_ns(activity))
+                          .c_str());
+  }
+  if (Status s = io.write_stats_json(*mem); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  return fe->succeeded() ? 0 : 1;
 }
 
 }  // namespace
@@ -636,7 +449,7 @@ int main(int argc, char** argv) {
   if (!parse_options(argc, argv, opts)) {
     return usage();
   }
-  const std::string_view cmd = argv[1];
+  const std::string cmd = argv[1];
   if (cmd == "commands") {
     return cmd_commands();
   }
@@ -649,14 +462,14 @@ int main(int argc, char** argv) {
   if (cmd == "cmc-info") {
     return cmd_cmc_info(opts);
   }
-  if (cmd == "replay") {
-    return cmd_replay(opts);
+  if (cmd == "list-frontends") {
+    return cmd_list_frontends();
   }
-  if (cmd == "mutex") {
-    return cmd_mutex(opts);
+  if (cmd == "list-backends") {
+    return cmd_list_backends();
   }
-  if (cmd == "rogue") {
-    return cmd_rogue(opts);
+  if (frontend::FrontendRegistry::instance().contains(cmd)) {
+    return cmd_run(cmd, opts);
   }
   return usage();
 }
