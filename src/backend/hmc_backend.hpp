@@ -24,7 +24,14 @@ class HmcBackend final : public MemoryBackend {
                                      std::unique_ptr<MemoryBackend>& out);
 
   [[nodiscard]] std::string describe() const override {
-    return sim_->config().describe();
+    std::string desc = sim_->config().describe();
+    // Report the pool the clock actually uses (capped at one worker per
+    // cube), not the raw Config::threads request; sequential runs keep
+    // the historical string.
+    if (sim_->effective_threads() > 1) {
+      desc += " threads=" + std::to_string(sim_->effective_threads());
+    }
+    return desc;
   }
   [[nodiscard]] std::uint32_t num_links() const override {
     return sim_->config().num_links;

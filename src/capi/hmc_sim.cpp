@@ -156,6 +156,13 @@ uint64_t hmcsim_clock_until_idle(hmc_sim_t *sim, uint64_t max_cycles) {
   return sim == nullptr ? 0 : sim->sim->clock_until_idle(max_cycles);
 }
 
+int hmcsim_set_threads(hmc_sim_t *sim, uint32_t threads) {
+  if (sim == nullptr) {
+    return HMC_ERROR;
+  }
+  return status_to_rc(sim->sim->set_threads(threads));
+}
+
 int hmcsim_jtag_reg_read(hmc_sim_t *sim, uint32_t dev, uint64_t reg,
                          uint64_t *result) {
   if (sim == nullptr || result == nullptr) {

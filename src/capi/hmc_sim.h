@@ -79,6 +79,11 @@ uint64_t hmcsim_clock_until(hmc_sim_t *sim, uint64_t cycle);
  * (0 = unbounded). Returns the number of cycles advanced. */
 uint64_t hmcsim_clock_until_idle(hmc_sim_t *sim, uint64_t max_cycles);
 
+/* Resize the clock's worker-thread pool (1..64; 1 restores the sequential
+ * walk). Safe between clocks; the simulation stays byte-identical for any
+ * thread count (see docs/PARALLEL.md). HMC_ERROR on an invalid count. */
+int hmcsim_set_threads(hmc_sim_t *sim, uint32_t threads);
+
 /* Side-band register access (the simulated JTAG interface). */
 int hmcsim_jtag_reg_read(hmc_sim_t *sim, uint32_t dev, uint64_t reg,
                          uint64_t *result);

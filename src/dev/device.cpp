@@ -148,6 +148,7 @@ Status Device::send(RqstEntry entry, std::uint32_t link, std::uint64_t cycle,
       retry.rqst.push_back(std::move(entry));
       lnk.add_retry_buffered(flits);
       rqst_retry_links_ |= 1U << link;
+      retry_cache_valid_ = false;
       return Status::Ok();
     }
     if (link_in_retry) {
@@ -223,6 +224,7 @@ void Device::drain_retries(std::uint64_t cycle, trace::Tracer& tracer) {
     }
     if (retry.rqst.empty()) {
       rqst_retry_links_ &= ~(1U << l);
+      retry_cache_valid_ = false;
     }
   }
 }
@@ -273,11 +275,15 @@ void Device::drain_rsp_retries(std::uint64_t cycle, trace::Tracer& tracer) {
     }
     if (retry.rsp.empty()) {
       rsp_retry_links_ &= ~(1U << l);
+      retry_cache_valid_ = false;
     }
   }
 }
 
 std::uint64_t Device::next_retry_ready() const noexcept {
+  if (retry_cache_valid_) {
+    return retry_ready_cache_;
+  }
   std::uint64_t best = UINT64_MAX;
   for (std::uint32_t l = 0; l < retry_.size(); ++l) {
     if ((rqst_retry_links_ >> l) & 1U) {
@@ -287,6 +293,8 @@ std::uint64_t Device::next_retry_ready() const noexcept {
       best = std::min(best, retry_[l].rsp_ready);
     }
   }
+  retry_ready_cache_ = best;
+  retry_cache_valid_ = true;
   return best;
 }
 
@@ -415,6 +423,7 @@ bool Device::transmit_rsp(RspEntry& head, std::uint32_t l,
       retry.rsp.push_back(std::move(head));
       lnk.add_retry_buffered(flits);
       rsp_retry_links_ |= 1U << l;
+      retry_cache_valid_ = false;
       return true;
     }
     if (link_in_retry) {
@@ -675,6 +684,8 @@ void Device::reset_pipeline() {
   }
   rqst_retry_links_ = 0;
   rsp_retry_links_ = 0;
+  retry_ready_cache_ = UINT64_MAX;
+  retry_cache_valid_ = true;
   vault_rqst_active_ = 0;
   vault_rsp_active_ = 0;
   xbar_rqst_active_ = 0;

@@ -154,7 +154,10 @@ class Device {
            !chain_rsp_.empty();
   }
   /// Earliest ready_cycle over parked link-retry entries; UINT64_MAX when
-  /// none are parked.
+  /// none are parked. Cached behind a dirty flag invalidated whenever
+  /// retry state mutates, so the per-device horizon probe the scheduler
+  /// (and the parallel core's span planner) performs every quiescent
+  /// window is O(1) instead of a per-link rescan.
   [[nodiscard]] std::uint64_t next_retry_ready() const noexcept;
 
   /// Attach (or create) the per-operation execution counter for CMC
@@ -195,6 +198,12 @@ class Device {
   std::vector<LinkRetry> retry_;
   std::uint32_t rqst_retry_links_ = 0;  ///< Bit l: retry_[l].rqst non-empty.
   std::uint32_t rsp_retry_links_ = 0;   ///< Bit l: retry_[l].rsp non-empty.
+  /// Memoized next_retry_ready(); valid while no park/drain/reset touched
+  /// the retry FIFOs since the last recompute. With no retries parked the
+  /// cache is UINT64_MAX and stays valid, making the common-case probe a
+  /// single load.
+  mutable std::uint64_t retry_ready_cache_ = UINT64_MAX;
+  mutable bool retry_cache_valid_ = true;
   Xoshiro256 err_rng_;      ///< Request-direction error draws.
   Xoshiro256 rsp_err_rng_;  ///< Response-direction error draws.
 

@@ -128,15 +128,18 @@ StatRegistry::Entry& StatRegistry::open(std::string_view path, StatKind kind,
 }
 
 Counter& StatRegistry::counter(std::string_view path, std::string_view desc) {
+  const std::lock_guard<std::mutex> lock(reg_mu_);
   return counters_[open(path, StatKind::Counter, desc).index];
 }
 
 Gauge& StatRegistry::gauge(std::string_view path, std::string_view desc) {
+  const std::lock_guard<std::mutex> lock(reg_mu_);
   return gauges_[open(path, StatKind::Gauge, desc).index];
 }
 
 Histogram& StatRegistry::histogram(std::string_view path,
                                    std::string_view desc) {
+  const std::lock_guard<std::mutex> lock(reg_mu_);
   return histograms_[open(path, StatKind::Histogram, desc).index];
 }
 

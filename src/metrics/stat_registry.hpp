@@ -26,6 +26,7 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -136,6 +137,15 @@ enum class StatKind : std::uint8_t { Counter, Gauge, Histogram };
 /// counter()/gauge()/histogram() stay valid for the registry's lifetime
 /// (storage is deque-backed). Not copyable or movable: components hold
 /// raw pointers into it.
+///
+/// Threading contract (the parallel core relies on this): registration is
+/// serialized by an internal mutex, so components may (lazily) register
+/// from any thread. Updates through handles are deliberately unsynchronized
+/// plain stores — they are shard-partitioned by construction: every
+/// `cube{id}.*` statistic is touched only by the worker that owns device
+/// `id` during a span, and `host.*` statistics only by the host thread
+/// between spans. One registry therefore needs no merge step and exports
+/// deterministically (sorted map) for any thread count.
 class StatRegistry {
  public:
   StatRegistry() = default;
@@ -205,6 +215,9 @@ class StatRegistry {
   [[nodiscard]] const Entry* find(std::string_view path,
                                   StatKind kind) const;
 
+  /// Serializes open(): concurrent lazy registration must not tear the
+  /// entry map or the storage deques. Never taken on the update hot path.
+  std::mutex reg_mu_;
   // Sorted map: export order is deterministic; transparent comparator
   // lets string_view probe without allocating.
   std::map<std::string, Entry, std::less<>> entries_;

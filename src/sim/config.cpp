@@ -64,6 +64,9 @@ Status Config::validate() const {
     return Status::InvalidArg(
         "bank_busy_cycles must be nonzero when modelling bank conflicts");
   }
+  if (threads < 1 || threads > 64) {
+    return Status::InvalidArg("threads must be in [1,64]");
+  }
   if (link_flit_error_ppm > 1'000'000) {
     return Status::InvalidArg("link_flit_error_ppm exceeds 1e6");
   }

@@ -68,6 +68,16 @@ struct Config {
   /// equivalence testing and as a perf baseline.
   bool exhaustive_clock = false;
 
+  // ---- parallel sharded execution -----------------------------------------
+  /// Worker threads for the sharded simulation core. 1 (the default) runs
+  /// the original single-threaded walk with zero new synchronization on the
+  /// hot path. Values > 1 shard the devices across a persistent worker pool
+  /// (at most one worker per cube is ever useful), synchronizing
+  /// conservatively at the cube-to-cube link boundaries each cycle. Every
+  /// thread count produces byte-identical stats, traces and response
+  /// streams — see docs/PARALLEL.md.
+  std::uint32_t threads = 1;
+
   // ---- link-error injection (retry protocol exercise) ---------------------
   /// Probability that one FLIT of an inbound request packet is corrupted
   /// in transit (detected by the packet CRC; the link-layer retry then

@@ -1,0 +1,222 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+
+#include "sim/simulator.hpp"
+
+namespace hmcsim::sim {
+
+namespace {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(Simulator& sim, std::uint32_t workers)
+    : sim_(sim), num_workers_(workers) {
+  const auto n = static_cast<std::uint32_t>(sim.devices_.size());
+  shards_.resize(num_workers_);
+  for (std::uint32_t w = 0; w < num_workers_; ++w) {
+    shards_[w].first = w * n / num_workers_;
+    shards_[w].last = (w + 1) * n / num_workers_;
+  }
+  epochs_ = std::vector<StageEpochs>(n);
+  bufs_.resize(num_workers_);
+
+  // Resolve who feeds each device's chain ingress queues. Stage A moves
+  // responses host-ward: device e pushes into prev_[e], so d's response
+  // producer is the (largest) e with prev_[e] == d. Stage C moves
+  // requests away from the host along routers_: chain devices feed their
+  // successor, the star hub feeds every spoke.
+  a_pusher_.assign(n, kNoDevice);
+  c_pusher_.assign(n, kNoDevice);
+  const bool star = sim.cfg_.topology == Topology::Star;
+  for (std::uint32_t e = 0; e < n; ++e) {
+    if (sim.prev_[e] != nullptr) {
+      // Ascending e: the last writer is the largest pusher, whose epoch
+      // transitively covers every smaller one (stage A serializes
+      // ascending within a cycle).
+      a_pusher_[sim.prev_[e]->id()] = e;
+    }
+  }
+  for (std::uint32_t d = 1; d < n; ++d) {
+    c_pusher_[d] = star ? 0 : d - 1;
+  }
+
+  threads_.reserve(num_workers_ - 1);
+  for (std::uint32_t w = 1; w < num_workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  span_seq_.fetch_add(1, std::memory_order_release);
+  span_seq_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ParallelEngine::wait_for(const std::atomic<std::uint64_t>& epoch,
+                              std::uint64_t target) {
+  std::uint32_t spins = 0;
+  while (epoch.load(std::memory_order_acquire) < target) {
+    // Short spin first (the wavefront neighbour is typically one stage
+    // away), then yield so oversubscribed hosts keep making progress.
+    if (++spins < 64) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ParallelEngine::worker_main(std::uint32_t w) {
+  std::uint64_t seen = 0;
+  trace::Tracer::bind_capture(&bufs_[w]);
+  for (;;) {
+    std::uint64_t seq = span_seq_.load(std::memory_order_acquire);
+    while (seq == seen) {
+      span_seq_.wait(seen, std::memory_order_acquire);
+      seq = span_seq_.load(std::memory_order_acquire);
+    }
+    seen = seq;
+    if (shutdown_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    run_shard(w);
+    done_count_.fetch_add(1, std::memory_order_release);
+    done_count_.notify_one();
+  }
+}
+
+void ParallelEngine::run_shard(std::uint32_t w) {
+  const Shard& sh = shards_[w];
+  const auto n = static_cast<std::uint32_t>(sim_.devices_.size());
+  const bool exhaustive = sim_.cfg_.exhaustive_clock;
+  trace::Tracer& tracer = sim_.tracer_;
+
+  for (std::uint64_t t = span_from_; t <= span_stop_; ++t) {
+    // Stage A, ascending device order. A(d) drains d's chain_rsp_ into
+    // prev(d)'s — so it must follow prev's A this cycle (the sequential
+    // walk checks fullness after prev drained), which the d-1 wait covers
+    // for both topologies (star spokes all push into the hub; serializing
+    // them ascending is exactly the sequential push order). The pusher
+    // wait keeps d's own ingress queue quiet: its producer must have
+    // finished cycle t-1 and not yet entered cycle t's A — the d-1 chain
+    // of waits guarantees the latter, the epoch the former.
+    for (std::uint32_t d = sh.first; d < sh.last; ++d) {
+      if (a_pusher_[d] != kNoDevice) {
+        wait_for(epochs_[a_pusher_[d]].a, t - 1);
+      }
+      if (d > 0) {
+        wait_for(epochs_[d - 1].a, t);
+      }
+      trace::Tracer::set_capture_order(0, d);
+      dev::Device& dev = *sim_.devices_[d];
+      if (exhaustive || dev.rsp_stage_work()) {
+        dev.clock_responses(t, tracer, sim_.prev_[d]);
+      }
+      epochs_[d].a.store(t, std::memory_order_release);
+    }
+
+    // Stage B: device-local unless a CMC operation could execute (shared
+    // registry slots, shared CmcContext scratch, cross-cube mem services)
+    // — then the sequential ascending order is enforced.
+    for (std::uint32_t d = sh.first; d < sh.last; ++d) {
+      if (serialize_b_) {
+        if (d > 0) {
+          wait_for(epochs_[d - 1].b, t);
+        } else if (n > 1) {
+          wait_for(epochs_[n - 1].b, t - 1);
+        }
+        sim_.cmc_exec_cycle_ = t;
+      }
+      trace::Tracer::set_capture_order(1, d);
+      dev::Device& dev = *sim_.devices_[d];
+      if (exhaustive || dev.vault_stage_work()) {
+        dev.clock_vaults(t, &sim_.cmc_registry_, &sim_.cmc_ctx_, tracer);
+      }
+      epochs_[d].b.store(t, std::memory_order_release);
+    }
+
+    // Stage C, descending device order (the sequential walk's order, so a
+    // forward hop costs one cycle). C(d) pushes into next(d)'s chain_rqst_
+    // after next drained it this cycle — the d+1 wait — and d's own
+    // ingress producer must have finished cycle t-1 — the pusher wait
+    // (the star hub feeds every spoke, so spokes wait on the hub
+    // directly, not on their index neighbour).
+    for (std::uint32_t d = sh.last; d-- > sh.first;) {
+      if (d + 1 < n) {
+        wait_for(epochs_[d + 1].c, t);
+      }
+      if (c_pusher_[d] != kNoDevice) {
+        wait_for(epochs_[c_pusher_[d]].c, t - 1);
+      }
+      trace::Tracer::set_capture_order(2, n - 1 - d);
+      dev::Device& dev = *sim_.devices_[d];
+      if (exhaustive || dev.rqst_stage_work()) {
+        dev.clock_requests(t, tracer, sim_.routers_[d]);
+      }
+      // Latch this device's free-running registers for cycle t (the
+      // sequential walk's latch_registers, sharded; poke is silent so the
+      // per-device order is unobservable).
+      dev.regs().poke(dev::Reg::ClockCount, t);
+      dev.regs().poke(dev::Reg::CmcActive, cmc_active_);
+      epochs_[d].c.store(t, std::memory_order_release);
+    }
+  }
+}
+
+void ParallelEngine::run_span(std::uint64_t stop) {
+  const std::uint64_t from = sim_.cycle_ + 1;
+  if (stop < from) {
+    return;
+  }
+  span_from_ = from;
+  span_stop_ = stop;
+  serialize_b_ = sim_.cmc_registry_.active_count() > 0;
+  cmc_active_ =
+      static_cast<std::uint64_t>(sim_.cmc_registry_.active_count());
+  for (StageEpochs& e : epochs_) {
+    e.a.store(from - 1, std::memory_order_relaxed);
+    e.b.store(from - 1, std::memory_order_relaxed);
+    e.c.store(from - 1, std::memory_order_relaxed);
+  }
+  done_count_.store(0, std::memory_order_relaxed);
+  sim_.tracer_.begin_capture();
+
+  span_seq_.fetch_add(1, std::memory_order_release);
+  span_seq_.notify_all();
+
+  // The coordinator doubles as the worker for shard 0.
+  trace::Tracer::bind_capture(&bufs_[0]);
+  run_shard(0);
+  trace::Tracer::bind_capture(nullptr);
+
+  const std::uint32_t need = num_workers_ - 1;
+  std::uint32_t done = done_count_.load(std::memory_order_acquire);
+  std::uint32_t spins = 0;
+  while (done != need) {
+    if (++spins < 256) {
+      cpu_relax();
+    } else {
+      done_count_.wait(done, std::memory_order_acquire);
+    }
+    done = done_count_.load(std::memory_order_acquire);
+  }
+
+  sim_.cycle_ = stop;
+  sim_.tracer_.end_capture(bufs_);
+}
+
+}  // namespace hmcsim::sim

@@ -1,0 +1,114 @@
+// parallel.hpp — the conservative parallel execution core.
+//
+// Shards a multi-cube Simulator across a persistent pool of worker
+// threads: each worker owns a contiguous block of devices and advances
+// them cycle by cycle through the same three stages the sequential walk
+// runs, synchronizing conservatively at the cube-to-cube link boundaries.
+// The lookahead is the link forwarding latency (one cycle): a device's
+// chain ingress queues are only ever written by its neighbour's stage of
+// the *previous* cycle, so per-device per-stage epoch counters are enough
+// to order every cross-cube access exactly as the sequential walk does.
+//
+// Determinism is the design constraint, not an afterthought: for any
+// thread count the engine reproduces the sequential stats, trace and
+// response streams byte for byte (docs/PARALLEL.md states the full
+// argument; tests/sim/golden_equivalence_test.cpp enforces it).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace hmcsim::sim {
+
+class Simulator;
+
+class ParallelEngine {
+ public:
+  /// `workers` must be in [2, sim.num_devices()]; the Simulator only
+  /// constructs an engine when both the thread count and the device count
+  /// make parallelism meaningful.
+  ParallelEngine(Simulator& sim, std::uint32_t workers);
+  ~ParallelEngine();
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  /// Advance the simulation from sim.cycle()+1 through `stop` inclusive,
+  /// running every device's stages for every cycle of the span and
+  /// leaving sim.cycle() == stop. The caller (the Simulator) fires stats
+  /// callbacks between spans; trace events emitted inside the span are
+  /// captured per worker and replayed in sequential order on return.
+  void run_span(std::uint64_t stop);
+
+  [[nodiscard]] std::uint32_t workers() const noexcept {
+    return num_workers_;
+  }
+
+ private:
+  /// Completed-cycle counters, one triple per device, padded so two
+  /// devices' epochs never share a cache line. a/b/c hold the last cycle
+  /// whose response/vault/request stage finished on that device.
+  struct alignas(64) StageEpochs {
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    std::atomic<std::uint64_t> c{0};
+  };
+
+  /// Contiguous device block [first, last) owned by one worker.
+  struct Shard {
+    std::uint32_t first = 0;
+    std::uint32_t last = 0;
+  };
+
+  static constexpr std::uint32_t kNoDevice = UINT32_MAX;
+
+  void worker_main(std::uint32_t w);
+  /// Run shard `w` through every cycle of the current span.
+  void run_shard(std::uint32_t w);
+  /// Block until `epoch` reaches at least `target` (spin, then yield: the
+  /// waits inside a span are short and bounded by the wavefront skew).
+  static void wait_for(const std::atomic<std::uint64_t>& epoch,
+                       std::uint64_t target);
+
+  Simulator& sim_;
+  std::uint32_t num_workers_;
+  std::vector<Shard> shards_;
+  std::vector<StageEpochs> epochs_;
+  /// Per-device producers of the chain ingress queues (kNoDevice when
+  /// nothing feeds that queue). a_pusher_[d] pushes into d's chain_rsp_
+  /// during its stage A; c_pusher_[d] pushes into d's chain_rqst_ during
+  /// its stage C. Resolved once from the topology.
+  std::vector<std::uint32_t> a_pusher_;
+  std::vector<std::uint32_t> c_pusher_;
+  /// Per-worker trace capture buffers, merged by Tracer::end_capture.
+  std::vector<trace::CaptureBuf> bufs_;
+
+  // ---- span handshake -----------------------------------------------------
+  // The coordinator (the host thread, which doubles as the worker for
+  // shard 0) publishes span parameters, bumps span_seq_ and wakes the
+  // pool; each worker runs its shard and bumps done_count_. Plain members
+  // below are written before the span_seq_ release and read after its
+  // acquire, so they need no atomicity of their own.
+  std::atomic<std::uint64_t> span_seq_{0};
+  std::atomic<std::uint32_t> done_count_{0};
+  std::atomic<bool> shutdown_{false};
+  std::uint64_t span_from_ = 0;
+  std::uint64_t span_stop_ = 0;
+  /// Serialize stage B across devices for this span: active CMC
+  /// registrations share registry slot state, the per-call CmcContext
+  /// scratch, and (through the mem services) any cube's backing store, so
+  /// vault execution must follow the sequential device order while a
+  /// plugin could run. Without active CMC ops, stage B touches only
+  /// device-local state and runs fully parallel.
+  bool serialize_b_ = false;
+  /// CmcActive register value latched for the span (cannot change while
+  /// the span runs: registration is a host-side operation).
+  std::uint64_t cmc_active_ = 0;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hmcsim::sim

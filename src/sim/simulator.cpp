@@ -2,7 +2,18 @@
 
 #include <algorithm>
 
+#include "sim/parallel.hpp"
+
 namespace hmcsim::sim {
+
+namespace {
+
+/// Cycles per parallel span between scheduler re-plans: long enough to
+/// amortize the pool handshake, short enough that a quiescent stretch is
+/// noticed and fast-forwarded promptly.
+constexpr std::uint64_t kSpanChunk = 64;
+
+}  // namespace
 
 Simulator::Simulator(const Config& cfg) : cfg_(cfg) {
   devices_.reserve(cfg.num_devs);
@@ -50,10 +61,13 @@ Simulator::Simulator(const Config& cfg) : cfg_(cfg) {
   cmc_ctx_.user = this;
   cmc_ctx_.mem_read = &Simulator::cmc_mem_read;
   cmc_ctx_.mem_write = &Simulator::cmc_mem_write;
+  // Plugin annotations fire from vault stage B, which a parallel span
+  // runs ahead of cycle_ — cmc_exec_cycle_ is the stage's true cycle in
+  // both clocking modes.
   cmc_ctx_.trace = [](void* user, const char* msg) {
     auto* self = static_cast<Simulator*>(user);
     if (self->tracer_.enabled(trace::Level::Cmc)) {
-      self->tracer_.emit({.cycle = self->cycle_,
+      self->tracer_.emit({.cycle = self->cmc_exec_cycle_,
                           .kind = trace::Level::Cmc,
                           .op = "cmc_annotation",
                           .note = msg});
@@ -64,7 +78,7 @@ Simulator::Simulator(const Config& cfg) : cfg_(cfg) {
     if (self->tracer_.enabled(trace::Level::Cmc)) {
       // `op` points at the registry-owned slot name: stable while the
       // registration (and hence the simulator) lives.
-      self->tracer_.emit({.cycle = self->cycle_,
+      self->tracer_.emit({.cycle = self->cmc_exec_cycle_,
                           .kind = trace::Level::Cmc,
                           .op = "cmc_fault",
                           .note = std::string(op) + ": " + what});
@@ -74,7 +88,13 @@ Simulator::Simulator(const Config& cfg) : cfg_(cfg) {
   cmc_registry_.set_fault_policy(
       {.fail_threshold = cfg.cmc_fail_threshold,
        .mem_word_budget = cfg.cmc_mem_word_budget});
+  if (cfg.threads > 1 && cfg.num_devs > 1) {
+    engine_ = std::make_unique<ParallelEngine>(
+        *this, std::min(cfg.threads, cfg.num_devs));
+  }
 }
+
+Simulator::~Simulator() = default;
 
 Status Simulator::create(const Config& cfg, std::unique_ptr<Simulator>& out) {
   if (Status s = cfg.validate(); !s.ok()) {
@@ -193,7 +213,17 @@ void Simulator::close_journey(std::uint32_t idx, std::uint32_t link) {
 }
 
 void Simulator::clock() {
+  if (engine_) {
+    // One-cycle span on the worker pool; the stats callback fires here on
+    // the host thread, exactly as the sequential walk fires it.
+    engine_->run_span(cycle_ + 1);
+    if (stats_every_ != 0 && cycle_ % stats_every_ == 0 && stats_cb_) {
+      stats_cb_(*this);
+    }
+    return;
+  }
   ++cycle_;
+  cmc_exec_cycle_ = cycle_;
 
   // Stage A: responses migrate toward the host. Increasing device order
   // makes every cube-to-cube hop cost one cycle (a response forwarded by
@@ -270,6 +300,9 @@ std::uint64_t Simulator::next_event_cycle() const {
 }
 
 std::uint64_t Simulator::clock_until(std::uint64_t target) {
+  if (engine_) {
+    return clock_until_parallel(target);
+  }
   const std::uint64_t start = cycle_;
   while (cycle_ < target) {
     const std::uint64_t ne = next_event_cycle();
@@ -284,6 +317,35 @@ std::uint64_t Simulator::clock_until(std::uint64_t target) {
       stop = std::min(stop, ne - 1);
     }
     fast_forward_to(stop);
+  }
+  return cycle_ - start;
+}
+
+std::uint64_t Simulator::clock_until_parallel(std::uint64_t target) {
+  const std::uint64_t start = cycle_;
+  while (cycle_ < target) {
+    const std::uint64_t ne = next_event_cycle();
+    if (!cfg_.exhaustive_clock && ne > cycle_ + 1) {
+      // Quiescent stretch: jump it on the host thread exactly like the
+      // sequential scheduler (empty cycles are observably free, so the
+      // two paths stay byte-identical).
+      std::uint64_t stop = target;
+      if (ne != kNoEvent) {
+        stop = std::min(stop, ne - 1);
+      }
+      fast_forward_to(stop);
+      continue;
+    }
+    // Run a span of lock-step cycles, trimmed so periodic stats callbacks
+    // fire between spans at their exact cycles.
+    std::uint64_t stop = std::min(target, cycle_ + kSpanChunk);
+    if (stats_every_ != 0 && stats_cb_) {
+      stop = std::min(stop, (cycle_ / stats_every_ + 1) * stats_every_);
+    }
+    engine_->run_span(stop);
+    if (stats_every_ != 0 && stats_cb_ && cycle_ % stats_every_ == 0) {
+      stats_cb_(*this);
+    }
   }
   return cycle_ - start;
 }
@@ -326,6 +388,30 @@ void Simulator::fast_forward_to(std::uint64_t target) {
       }
     }
   }
+}
+
+Status Simulator::set_threads(std::uint32_t threads) {
+  if (threads < 1 || threads > 64) {
+    return Status::InvalidArg("threads must be in [1,64]");
+  }
+  if (threads == cfg_.threads) {
+    return Status::Ok();
+  }
+  cfg_.threads = threads;
+  // The engine is stateless between spans (all simulation state lives in
+  // the devices), so the pool can be resized at any clock boundary
+  // without perturbing the run.
+  engine_.reset();
+  if (threads > 1 && devices_.size() > 1) {
+    engine_ = std::make_unique<ParallelEngine>(
+        *this,
+        std::min(threads, static_cast<std::uint32_t>(devices_.size())));
+  }
+  return Status::Ok();
+}
+
+std::uint32_t Simulator::effective_threads() const noexcept {
+  return engine_ ? engine_->workers() : 1;
 }
 
 void Simulator::set_stats_interval(std::uint64_t every,

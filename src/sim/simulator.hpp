@@ -33,6 +33,8 @@
 
 namespace hmcsim::sim {
 
+class ParallelEngine;
+
 /// A received response plus its measured end-to-end latency.
 struct Response {
   spec::RspPacket pkt;
@@ -41,9 +43,13 @@ struct Response {
 
 class Simulator {
  public:
-  /// Validates `cfg` and constructs the device chain.
+  /// Validates `cfg` and constructs the device chain. When Config::threads
+  /// exceeds 1 (and more than one cube is configured) clocking runs on the
+  /// sharded parallel core — observably identical to the sequential walk;
+  /// see docs/PARALLEL.md.
   [[nodiscard]] static Status create(const Config& cfg,
                                      std::unique_ptr<Simulator>& out);
+  ~Simulator();
 
   // ---- traffic -----------------------------------------------------------
   /// Build a request packet from `params` and inject it on host link
@@ -187,8 +193,24 @@ class Simulator {
   /// CMC registrations, host-side stats and the cycle counter survive.
   void reset_pipeline();
 
+  /// Resize the worker pool (tears down or builds the parallel engine;
+  /// safe between clocks). `threads` follows Config::threads semantics:
+  /// 1 restores the sequential walk. The simulation remains byte-identical
+  /// across any sequence of thread counts.
+  [[nodiscard]] Status set_threads(std::uint32_t threads);
+  /// Worker threads the clock actually uses (1 = sequential; capped at
+  /// the device count).
+  [[nodiscard]] std::uint32_t effective_threads() const noexcept;
+
  private:
+  friend class ParallelEngine;
+
   explicit Simulator(const Config& cfg);
+
+  /// clock_until() on the parallel core: spans of lock-step cycles
+  /// between stats-callback boundaries, with quiescent stretches still
+  /// fast-forwarded exactly like the sequential scheduler.
+  std::uint64_t clock_until_parallel(std::uint64_t target);
 
   /// Jump cycle_ straight to `target`, firing periodic stats callbacks at
   /// their exact cycles along the way. Returns early if a callback
@@ -247,6 +269,13 @@ class Simulator {
   std::array<metrics::Histogram*, trace::kStageCount> stage_hists_{};
   std::uint64_t stats_every_ = 0;
   std::function<void(Simulator&)> stats_cb_;
+  /// Cycle currently executing vault stage B — the cycle stamp for
+  /// CMC plugin trace/fault annotations, which outrun cycle_ while a
+  /// parallel span is in flight. Kept equal to cycle_ by the sequential
+  /// clock.
+  std::uint64_t cmc_exec_cycle_ = 0;
+  /// Present iff cfg_.threads > 1 and the chain has more than one cube.
+  std::unique_ptr<ParallelEngine> engine_;
 };
 
 }  // namespace hmcsim::sim

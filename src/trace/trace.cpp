@@ -175,12 +175,71 @@ void Tracer::detach(Sink* sink) {
   sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
 }
 
+namespace {
+
+/// Calling thread's capture binding. `order` pre-combines (stage << 8) |
+/// rank so the emit path only shifts the cycle in.
+struct CaptureTls {
+  CaptureBuf* buf = nullptr;
+  std::uint32_t order = 0;
+};
+thread_local CaptureTls t_capture;
+
+}  // namespace
+
+void Tracer::bind_capture(CaptureBuf* buf) noexcept {
+  t_capture.buf = buf;
+  t_capture.order = 0;
+}
+
+void Tracer::set_capture_order(std::uint32_t stage,
+                               std::uint32_t rank) noexcept {
+  t_capture.order = (stage << 8) | (rank & 0xFFU);
+}
+
 void Tracer::emit(const Event& ev) {
   if (!enabled(ev.kind)) {
     return;
   }
+  if (capturing_) {
+    CaptureBuf* buf = t_capture.buf;
+    if (buf != nullptr) {
+      buf->recs_.push_back({(ev.cycle << 12) | t_capture.order, ev});
+      return;
+    }
+  }
   for (Sink* sink : sinks_) {
     sink->on_event(ev);
+  }
+}
+
+void Tracer::end_capture(std::span<CaptureBuf> bufs) {
+  capturing_ = false;
+  std::size_t total = 0;
+  for (const CaptureBuf& buf : bufs) {
+    total += buf.recs_.size();
+  }
+  if (total == 0) {
+    return;
+  }
+  std::vector<CaptureBuf::Rec> merged;
+  merged.reserve(total);
+  for (CaptureBuf& buf : bufs) {
+    for (CaptureBuf::Rec& rec : buf.recs_) {
+      merged.push_back(std::move(rec));
+    }
+    buf.clear();
+  }
+  // Stable: per-buffer append order breaks ties within one bucket, which
+  // is exactly the sequential intra-stage emission order.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const CaptureBuf::Rec& a, const CaptureBuf::Rec& b) {
+                     return a.key < b.key;
+                   });
+  for (const CaptureBuf::Rec& rec : merged) {
+    for (Sink* sink : sinks_) {
+      sink->on_event(rec.ev);
+    }
   }
 }
 

@@ -158,6 +158,26 @@ class VectorSink final : public Sink {
 
 class JourneyTracker;  // journey.hpp
 
+/// Per-worker event buffer for the parallel core's deterministic capture
+/// mode. While a Tracer is capturing, each worker thread buffers its
+/// events here (keyed by cycle/stage/device rank) instead of dispatching
+/// to sinks; Tracer::end_capture merges every buffer and replays the
+/// events in exactly the order the sequential walk would have emitted
+/// them. Buffers are plain storage — one per worker, never shared.
+class CaptureBuf {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return recs_.empty(); }
+  void clear() noexcept { recs_.clear(); }
+
+ private:
+  friend class Tracer;
+  struct Rec {
+    std::uint64_t key;  ///< (cycle << 12) | (stage << 8) | device rank.
+    Event ev;
+  };
+  std::vector<Rec> recs_;
+};
+
 /// Dispatcher: level mask + attached sinks. Sinks are borrowed, not owned —
 /// the caller controls their lifetime (they typically outlive the sim).
 class Tracer {
@@ -187,10 +207,38 @@ class Tracer {
     return journeys_ != nullptr && enabled(Level::Journey);
   }
 
+  // ---- deterministic parallel capture -------------------------------------
+  // The parallel core brackets each execution span with begin_capture /
+  // end_capture. In between, every emitting thread must have bound a
+  // CaptureBuf and keeps its (stage, device-rank) ordering hint current;
+  // emit() then buffers instead of dispatching. end_capture stable-sorts
+  // the union of all buffers by (cycle, stage, rank) — per-buffer append
+  // order is the tiebreak within one (cycle, stage, device) bucket, and a
+  // bucket never spans buffers because one device's stage runs on exactly
+  // one worker — and replays through the sinks, reproducing the sequential
+  // emission order byte for byte. Single-threaded runs never set
+  // capturing_, so the only added hot-path cost is one predictable branch.
+
+  /// Enter capture mode (coordinator, before releasing workers).
+  void begin_capture() noexcept { capturing_ = true; }
+  [[nodiscard]] bool capturing() const noexcept { return capturing_; }
+  /// Leave capture mode, merge `bufs` and replay to sinks (coordinator,
+  /// after all workers joined). Buffers come back cleared.
+  void end_capture(std::span<CaptureBuf> bufs);
+  /// Bind (or unbind, with nullptr) the calling thread's capture buffer.
+  static void bind_capture(CaptureBuf* buf) noexcept;
+  /// Set the calling thread's ordering hint: `stage` is the intra-cycle
+  /// stage index (0 = responses, 1 = vaults, 2 = requests) and `rank` the
+  /// device's position in that stage's sequential visit order (ascending
+  /// device id for stages A/B, descending for stage C).
+  static void set_capture_order(std::uint32_t stage,
+                                std::uint32_t rank) noexcept;
+
  private:
   Level mask_ = Level::None;
   std::vector<Sink*> sinks_;
   JourneyTracker* journeys_ = nullptr;
+  bool capturing_ = false;
 };
 
 }  // namespace hmcsim::trace

@@ -302,6 +302,256 @@ TEST(GoldenEquivalence, StatsCallbackCyclesExact) {
   });
 }
 
+// ---- parallel sharded clock -----------------------------------------------
+//
+// The same equivalence bar, one axis over: the sequential walk (threads=1)
+// is golden, and every worker count must reproduce its stats JSON, trace
+// stream, response sequence and callback cycles byte for byte. Thread
+// counts above the cube count are deliberately included — the engine caps
+// the pool at one worker per cube and must stay exact while doing so.
+
+void expect_parallel_equivalent(Config cfg, const Driver& driver,
+                                bool exhaustive = false) {
+  cfg.threads = 1;
+  const Observed golden = run_scenario(cfg, exhaustive, driver);
+  ASSERT_FALSE(golden.responses.empty());
+  for (const std::uint32_t threads : {2U, 4U, 8U}) {
+    Config pcfg = cfg;
+    pcfg.threads = threads;
+    const Observed par = run_scenario(pcfg, exhaustive, driver);
+    EXPECT_EQ(golden.stats_json, par.stats_json) << "threads=" << threads;
+    EXPECT_EQ(golden.trace_text, par.trace_text) << "threads=" << threads;
+    EXPECT_EQ(golden.responses, par.responses) << "threads=" << threads;
+    EXPECT_EQ(golden.callback_cycles, par.callback_cycles)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEquivalence, IdleChainWithSparseTraffic) {
+  // Mostly-dead chain: single packets separated by long quiescent
+  // stretches crossed with clock_until — the parallel scheduler must
+  // fast-forward them exactly like the sequential one.
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.num_devs = 4;
+  cfg.topology = Topology::Chain;
+  expect_parallel_equivalent(cfg, [](Simulator& sim, Observed& obs) {
+    std::uint16_t tag = 0;
+    for (std::uint8_t cub = 0; cub < 4; ++cub) {
+      send_retrying(sim, obs, read64(cub * 4096, tag, cub), tag % 4);
+      ++tag;
+      (void)sim.clock_until(sim.cycle() + 300);
+      drain_responses(sim, obs);
+    }
+  });
+}
+
+TEST(ParallelEquivalence, SaturatedChain) {
+  // Every cube busy at once: cross-cube chain queues carry traffic in
+  // both directions every cycle, which is exactly the state the
+  // wavefront ordering protects.
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.num_devs = 8;
+  cfg.topology = Topology::Chain;
+  expect_parallel_equivalent(cfg, [](Simulator& sim, Observed& obs) {
+    std::uint16_t tag = 0;
+    for (int round = 0; round < 2; ++round) {
+      for (std::uint8_t cub = 0; cub < 8; ++cub) {
+        for (std::uint32_t i = 0; i < 4; ++i) {
+          const std::uint64_t addr = i * 64 + round * 8192;
+          if (i % 2 == 0) {
+            send_retrying(sim, obs, write64(addr, tag, cub), tag % 4);
+          } else {
+            send_retrying(sim, obs, read64(addr, tag, cub), tag % 4);
+          }
+          ++tag;
+        }
+      }
+      pump(sim, obs, 150);
+    }
+    pump(sim, obs, 400);
+  });
+}
+
+TEST(ParallelEquivalence, StarTopology) {
+  // Star routing flips the stage-C push direction (hub fans out to every
+  // spoke), exercising the per-topology pusher wiring.
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.num_devs = 4;
+  cfg.topology = Topology::Star;
+  expect_parallel_equivalent(cfg, [](Simulator& sim, Observed& obs) {
+    std::uint16_t tag = 0;
+    for (int round = 0; round < 2; ++round) {
+      for (std::uint8_t cub = 0; cub < 4; ++cub) {
+        for (std::uint32_t i = 0; i < 4; ++i) {
+          send_retrying(sim, obs, read64(i * 64 + cub * 4096, tag, cub),
+                        tag % 4);
+          ++tag;
+        }
+      }
+      pump(sim, obs, 120);
+    }
+    pump(sim, obs, 200);
+  });
+}
+
+TEST(ParallelEquivalence, ErrorInjection) {
+  // Link CRC injection draws from per-link RNG streams; the replay
+  // schedule (and every Retry trace line) must survive sharding.
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.num_devs = 4;
+  cfg.topology = Topology::Chain;
+  cfg.link_flit_error_ppm = 120000;
+  cfg.link_error_seed = 0xD1CE;
+  cfg.link_retry_latency = 6;
+  expect_parallel_equivalent(cfg, [](Simulator& sim, Observed& obs) {
+    std::uint16_t tag = 0;
+    for (int round = 0; round < 2; ++round) {
+      for (std::uint8_t cub = 0; cub < 4; ++cub) {
+        for (std::uint32_t i = 0; i < 6; ++i) {
+          const std::uint64_t addr = i * 64 + round * 8192;
+          if (i % 3 == 0) {
+            send_retrying(sim, obs, write64(addr, tag, cub), tag % 4);
+          } else {
+            send_retrying(sim, obs, read64(addr, tag, cub), tag % 4);
+          }
+          ++tag;
+        }
+      }
+      pump(sim, obs, 200);
+    }
+  });
+}
+
+TEST(ParallelEquivalence, StatsCallbacksFireAtExactCycles) {
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.num_devs = 4;
+  cfg.topology = Topology::Chain;
+  expect_parallel_equivalent(cfg, [](Simulator& sim, Observed& obs) {
+    sim.set_stats_interval(7, [&obs](Simulator& s) {
+      obs.callback_cycles.push_back(s.cycle());
+    });
+    std::uint16_t tag = 0;
+    for (std::uint8_t cub = 0; cub < 4; ++cub) {
+      send_retrying(sim, obs, read64(cub * 256, tag, cub), tag % 4);
+      ++tag;
+    }
+    pump(sim, obs, 30);
+    // Dead stretch spanning many callback boundaries: the parallel
+    // scheduler must still fire each one at its exact cycle.
+    (void)sim.clock_until(sim.cycle() + 200);
+    drain_responses(sim, obs);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      send_retrying(sim, obs, read64(i * 64, tag), tag % 4);
+      ++tag;
+    }
+    pump(sim, obs, 60);
+  });
+}
+
+TEST(ParallelEquivalence, ExhaustiveClockLockstep) {
+  // exhaustive_clock disables the per-stage work gates: every device
+  // runs every stage every cycle, maximising cross-shard contention.
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.num_devs = 4;
+  cfg.topology = Topology::Chain;
+  expect_parallel_equivalent(
+      cfg,
+      [](Simulator& sim, Observed& obs) {
+        std::uint16_t tag = 0;
+        for (std::uint8_t cub = 0; cub < 4; ++cub) {
+          for (std::uint32_t i = 0; i < 4; ++i) {
+            send_retrying(sim, obs, read64(i * 64, tag, cub), tag % 4);
+            ++tag;
+          }
+        }
+        pump(sim, obs, 250);
+      },
+      /*exhaustive=*/true);
+}
+
+TEST(ParallelEquivalence, SetThreadsMidRunStaysExact) {
+  // Resizing the pool between clocks must not disturb the simulation:
+  // drive the same scenario sequentially and with a 1 -> 4 -> 2 -> 8
+  // thread schedule, comparing all observables.
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.num_devs = 4;
+  cfg.topology = Topology::Chain;
+  auto driver = [](bool resize) {
+    return [resize](Simulator& sim, Observed& obs) {
+      const std::array<std::uint32_t, 4> schedule{1, 4, 2, 8};
+      std::uint16_t tag = 0;
+      for (std::size_t phase = 0; phase < schedule.size(); ++phase) {
+        if (resize) {
+          ASSERT_TRUE(sim.set_threads(schedule[phase]).ok());
+        }
+        for (std::uint8_t cub = 0; cub < 4; ++cub) {
+          send_retrying(sim, obs, read64(cub * 1024 + phase * 64,
+                                         tag, cub),
+                        tag % 4);
+          ++tag;
+        }
+        pump(sim, obs, 120);
+      }
+    };
+  };
+  const Observed golden = run_scenario(cfg, false, driver(false));
+  const Observed resized = run_scenario(cfg, false, driver(true));
+  EXPECT_EQ(golden.stats_json, resized.stats_json);
+  EXPECT_EQ(golden.trace_text, resized.trace_text);
+  EXPECT_EQ(golden.responses, resized.responses);
+  EXPECT_FALSE(golden.responses.empty());
+}
+
+#ifdef HMCSIM_PLUGIN_DIR
+
+TEST(ParallelEquivalence, RogueCmcQuarantine) {
+  // A misbehaving CMC plugin forces the wavefront's serialised vault
+  // stage (plugin execution shares registry state across cubes) and
+  // drives the quarantine machinery; failure streaks, quarantine entry
+  // and the rearm must land on identical cycles for every thread count.
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.num_devs = 4;
+  cfg.topology = Topology::Chain;
+  cfg.cmc_fail_threshold = 4;
+  expect_parallel_equivalent(cfg, [](Simulator& sim, Observed& obs) {
+    ASSERT_TRUE(
+        sim.load_cmc(std::string(HMCSIM_PLUGIN_DIR) + "/hmc_rogue.so").ok());
+    std::uint16_t tag = 0;
+    // Rogue behaviour is selected by address bits [6:4] (hmc_rogue.c):
+    // 0 = behave, 1 = fail. Interleave behaving traffic on remote cubes
+    // with failures on cube 0 until the slot quarantines.
+    auto cmc = [](std::uint64_t mode, std::uint16_t t, std::uint8_t cub) {
+      spec::RqstParams p;
+      p.rqst = spec::Rqst::CMC70;
+      p.addr = 0x10000 | (mode << 4);
+      p.tag = t;
+      p.cub = cub;
+      return p;
+    };
+    // Failures on every cube (a success would reset the consecutive
+    // streak), with plain reads riding along so the vault stages carry
+    // mixed CMC / non-CMC work.
+    for (int round = 0; round < 3; ++round) {
+      for (std::uint8_t cub = 0; cub < 4; ++cub) {
+        send_retrying(sim, obs, cmc(1, tag, cub), tag % 4);
+        ++tag;
+        send_retrying(sim, obs, read64(0x4000 + cub * 256, tag, cub),
+                      tag % 4);
+        ++tag;
+      }
+      pump(sim, obs, 80);
+    }
+    // Past the threshold the slot is quarantined; rearm and confirm the
+    // revival is part of the byte-identical record too.
+    ASSERT_TRUE(sim.rearm_cmc(spec::Rqst::CMC70).ok());
+    send_retrying(sim, obs, cmc(0, tag, 2), tag % 4);
+    ++tag;
+    pump(sim, obs, 120);
+  });
+}
+
+#endif  // HMCSIM_PLUGIN_DIR
+
 TEST(GoldenEquivalence, ClockUntilMatchesSteppedClock) {
   // Within the active scheduler: fast-forwarding a span must be
   // observably identical to stepping it cycle by cycle.

@@ -54,6 +54,8 @@ struct CliOptions {
   std::string stats_json;
   std::uint64_t stats_every = 0;
   bool exhaustive_clock = false;
+  std::uint32_t threads = 1;
+  std::uint32_t devs = 1;
   std::uint32_t error_ppm = 0;
   std::uint64_t error_seed = 0;
   bool error_seed_set = false;
@@ -94,6 +96,10 @@ int usage() {
       "         --stats-json <path>  --stats-every <cycles>\n"
       "         --exhaustive-clock   (disable active-set scheduling and\n"
       "                               quiescence fast-forward)\n"
+      "         --devs <n>           (cubes in the chain, 1..8)\n"
+      "         --threads <n>        (worker threads for the sharded\n"
+      "                               parallel clock; 1 = sequential;\n"
+      "                               output is identical for any value)\n"
       "         --error-ppm <n>      (inject link CRC errors, parts/million\n"
       "                               per FLIT; exercises the retry path)\n"
       "         --error-seed <n>     (seed for the deterministic injector)\n"
@@ -175,6 +181,18 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
       opts.stats_every = std::strtoull(v, nullptr, 0);
     } else if (arg == "--exhaustive-clock") {
       opts.exhaustive_clock = true;
+    } else if (arg == "--devs") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.devs = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.threads = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
     } else if (arg == "--error-ppm") {
       const char* v = next();
       if (v == nullptr) {
@@ -232,6 +250,10 @@ sim::Config make_cfg(const CliOptions& opts) {
                                     : sim::Config::hmc_4link_4gb();
   cfg.exhaustive_clock = opts.exhaustive_clock;
   cfg.stage_stats = opts.stage_stats;
+  if (opts.devs != 0) {
+    cfg.num_devs = opts.devs;
+  }
+  cfg.threads = opts.threads == 0 ? 1 : opts.threads;
   cfg.link_flit_error_ppm = opts.error_ppm;
   if (opts.error_seed_set) {
     cfg.link_error_seed = opts.error_seed;
