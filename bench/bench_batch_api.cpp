@@ -1,0 +1,315 @@
+// bench_batch_api.cpp — packets/sec of the three submission surfaces.
+//
+// The same saturated read workload (kBatch requests sharded round-robin
+// over the links and cubes of a 4-cube chain, run to completion) is driven
+// through:
+//
+//   BM_PacketAtATime   the canonical synchronous C-API loop (the
+//                      send / clock-until-response / recv idiom): one
+//                      packet in flight at a time
+//   BM_PipelinedCapi   per-packet C API, but the host pipelines: clock
+//                      once per send, harvest responses as they stream
+//   BM_BatchedCapi     hmcsim_send_batch / hmcsim_batch_advance /
+//                      hmcsim_poll_batch (one API crossing per batch)
+//   BM_BatchedSession  the C++ sim::Session underneath the C shim
+//   BM_ShmRingCosim    a full co-simulation hop: server thread + the C
+//                      client library over POSIX-shm SPSC rings
+//
+// The headline arms run the flagship scaling configuration: the paper's
+// 4-cube chain on the sharded parallel backend (one worker thread per
+// cube, deterministic conservative sync). That is the configuration where
+// the submission surface decides throughput: every clock crosses a worker
+// barrier, so a per-packet driver pays the full round trip in barriers per
+// packet while a batch pays one clock span per ~kBatch packets. The
+// *SingleShard variants run the identical workload on the in-line
+// single-threaded backend for transparency — there clocking is cheap and
+// the surfaces converge, batching's win reducing to one API crossing per
+// batch.
+//
+// Acceptance for the batched path (BENCH_batch_api.json in CI): at least
+// 2x the packets/sec of BM_PacketAtATime — batching admits a whole batch
+// per clock span instead of one request per crossing.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/backend/backend.hpp"
+#include "src/capi/hmc_cosim_client.h"
+#include "src/capi/hmc_sim.h"
+#include "src/ipc/cosim_server.hpp"
+#include "src/sim/session.hpp"
+#include "src/sim/simulator.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+constexpr std::uint32_t kBatch = 256;
+constexpr std::uint32_t kLinks = 4;
+constexpr std::uint32_t kCubes = 4;
+
+std::uint64_t bench_addr(std::uint32_t i) {
+  return (static_cast<std::uint64_t>(i) * 4096 + (i % 7) * 64) % (1 << 20);
+}
+
+hmc_sim_t* bench_init(bool sharded) {
+  hmc_sim_t* sim = hmcsim_init(kCubes, kLinks, 4, 64, 64, 128);
+  if (sim != nullptr && sharded) {
+    hmcsim_set_threads(sim, kCubes);
+  }
+  return sim;
+}
+
+void run_packet_at_a_time(benchmark::State& state, bool sharded) {
+  hmc_sim_t* sim = bench_init(sharded);
+  if (sim == nullptr) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  std::int64_t packets = 0;
+  std::uint16_t tag = 0;
+  uint64_t payload[32];
+  // The synchronous per-packet idiom: submit one request, clock until its
+  // response lands, only then submit the next. One packet in flight —
+  // every request pays the full round-trip latency in clocks.
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < kBatch; ++i) {
+      const std::uint16_t t = static_cast<std::uint16_t>(tag++ & 0x7FF);
+      while (hmcsim_send(sim, i % kLinks, HMC_RD64, i % kCubes, bench_addr(i),
+                         t, nullptr, 0) == HMC_STALL) {
+        hmcsim_clock(sim);
+      }
+      for (;;) {
+        hmcsim_clock(sim);
+        uint32_t words = 32;
+        if (hmcsim_recv(sim, i % kLinks, nullptr, nullptr, payload, &words,
+                        nullptr) == HMC_OK) {
+          ++packets;
+          break;
+        }
+      }
+    }
+  }
+  state.SetItemsProcessed(packets);
+  hmcsim_free(sim);
+}
+
+void run_pipelined_capi(benchmark::State& state, bool sharded) {
+  hmc_sim_t* sim = bench_init(sharded);
+  if (sim == nullptr) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  std::int64_t packets = 0;
+  std::uint16_t tag = 0;
+  uint64_t payload[32];
+  // A hand-tuned per-packet host: keeps the links saturated, clocks once
+  // per submission, streams responses back. The best the per-packet API
+  // can do — the batch API's job is to package exactly this loop.
+  auto clock_and_drain = [&](std::uint32_t& received) {
+    hmcsim_clock(sim);
+    for (std::uint32_t link = 0; link < kLinks; ++link) {
+      uint32_t words = 32;
+      while (hmcsim_recv(sim, link, nullptr, nullptr, payload, &words,
+                         nullptr) == HMC_OK) {
+        ++received;
+        words = 32;
+      }
+    }
+  };
+  for (auto _ : state) {
+    std::uint32_t received = 0;
+    for (std::uint32_t i = 0; i < kBatch; ++i) {
+      const std::uint16_t t = static_cast<std::uint16_t>(tag++ & 0x7FF);
+      while (hmcsim_send(sim, i % kLinks, HMC_RD64, i % kCubes, bench_addr(i),
+                         t, nullptr, 0) == HMC_STALL) {
+        clock_and_drain(received);
+      }
+    }
+    while (received < kBatch) {
+      clock_and_drain(received);
+    }
+    packets += received;
+  }
+  state.SetItemsProcessed(packets);
+  hmcsim_free(sim);
+}
+
+void run_batched_capi(benchmark::State& state, bool sharded) {
+  hmc_sim_t* sim = bench_init(sharded);
+  if (sim == nullptr) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  std::vector<hmc_batch_rqst_t> reqs(kBatch);
+  std::vector<hmc_batch_rsp_t> rsps(kBatch);
+  std::int64_t packets = 0;
+  std::uint16_t tag = 0;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < kBatch; ++i) {
+      reqs[i] = {};
+      reqs[i].rqst = HMC_RD64;
+      reqs[i].tag = static_cast<std::uint16_t>(tag++ & 0x7FF);
+      reqs[i].cub = static_cast<std::uint8_t>(i % kCubes);
+      reqs[i].addr = bench_addr(i);
+    }
+    hmc_ticket_t ticket = 0;
+    if (hmcsim_send_batch(sim, reqs.data(), kBatch, HMC_LINK_ANY, &ticket) !=
+        HMC_OK) {
+      state.SkipWithError("send_batch failed");
+      break;
+    }
+    hmcsim_batch_advance(sim, ticket, 0);
+    uint32_t count = kBatch;
+    if (hmcsim_poll_batch(sim, ticket, rsps.data(), &count) != HMC_OK) {
+      state.SkipWithError("poll_batch did not complete");
+      break;
+    }
+    packets += count;
+  }
+  state.SetItemsProcessed(packets);
+  hmcsim_free(sim);
+}
+
+void run_batched_session(benchmark::State& state, bool sharded) {
+  sim::Config cfg = sim::Config::hmc_4link_4gb();
+  cfg.num_devs = kCubes;
+  std::unique_ptr<sim::Simulator> simulator;
+  if (!sim::Simulator::create(cfg, simulator).ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  if (sharded) {
+    (void)simulator->set_threads(kCubes);
+  }
+  sim::Session session(*simulator);
+  std::int64_t packets = 0;
+  session.set_on_complete(
+      [&packets](sim::BatchTicket, const sim::Response& rsp) {
+        benchmark::DoNotOptimize(rsp);
+        ++packets;
+      });
+  std::vector<spec::RqstParams> reqs(kBatch);
+  std::uint16_t tag = 0;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < kBatch; ++i) {
+      reqs[i] = {};
+      reqs[i].rqst = spec::Rqst::RD64;
+      reqs[i].tag = static_cast<std::uint16_t>(tag++ & spec::kMaxTag);
+      reqs[i].cub = static_cast<std::uint8_t>(i % kCubes);
+      reqs[i].addr = bench_addr(i);
+    }
+    sim::BatchTicket ticket = sim::kInvalidTicket;
+    if (!session.send_batch(reqs, ticket).ok() ||
+        !session.wait_batch(ticket).ok()) {
+      state.SkipWithError("batch failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(packets);
+}
+
+// ---- headline arms: 4-cube chain on the sharded parallel backend --------
+
+void BM_PacketAtATime(benchmark::State& state) {
+  run_packet_at_a_time(state, true);
+}
+BENCHMARK(BM_PacketAtATime)->Unit(benchmark::kMicrosecond);
+
+void BM_PipelinedCapi(benchmark::State& state) {
+  run_pipelined_capi(state, true);
+}
+BENCHMARK(BM_PipelinedCapi)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchedCapi(benchmark::State& state) { run_batched_capi(state, true); }
+BENCHMARK(BM_BatchedCapi)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchedSession(benchmark::State& state) {
+  run_batched_session(state, true);
+}
+BENCHMARK(BM_BatchedSession)->Unit(benchmark::kMicrosecond);
+
+// ---- transparency arms: same workload, in-line single-threaded backend --
+
+void BM_PacketAtATimeSingleShard(benchmark::State& state) {
+  run_packet_at_a_time(state, false);
+}
+BENCHMARK(BM_PacketAtATimeSingleShard)->Unit(benchmark::kMicrosecond);
+
+void BM_PipelinedCapiSingleShard(benchmark::State& state) {
+  run_pipelined_capi(state, false);
+}
+BENCHMARK(BM_PipelinedCapiSingleShard)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchedCapiSingleShard(benchmark::State& state) {
+  run_batched_capi(state, false);
+}
+BENCHMARK(BM_BatchedCapiSingleShard)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchedSessionSingleShard(benchmark::State& state) {
+  run_batched_session(state, false);
+}
+BENCHMARK(BM_BatchedSessionSingleShard)->Unit(benchmark::kMicrosecond);
+
+void BM_ShmRingCosim(benchmark::State& state) {
+  sim::Config cfg = sim::Config::hmc_4link_4gb();
+  cfg.num_devs = kCubes;
+  std::unique_ptr<backend::MemoryBackend> mem;
+  if (!backend::BackendRegistry::instance().create("hmc", cfg, mem).ok()) {
+    state.SkipWithError("backend failed");
+    return;
+  }
+  ipc::CosimOptions opts;
+  opts.socket_path =
+      "/tmp/hmcsim-bench-cosim-" + std::to_string(::getpid()) + ".sock";
+  opts.quantum = 64;
+  ipc::CosimServer server(*mem, opts);
+  if (!server.bind().ok()) {
+    state.SkipWithError("bind failed");
+    return;
+  }
+  std::thread srv([&server] { (void)server.serve(); });
+  hmc_cosim_t* client = hmc_cosim_connect(opts.socket_path.c_str(), 0, 10000);
+  if (client == nullptr) {
+    server.request_stop();
+    srv.join();
+    state.SkipWithError("connect failed");
+    return;
+  }
+
+  std::int64_t packets = 0;
+  std::uint16_t tag = 0;
+  uint64_t payload[HMC_COSIM_PAYLOAD_WORDS];
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < kBatch; ++i) {
+      hmc_cosim_send(client, i % kLinks, 51 /* RD64 */, i % kCubes,
+                     bench_addr(i),
+                     static_cast<std::uint16_t>(tag++ & 0x7FF), nullptr, 0);
+    }
+    std::uint32_t received = 0;
+    while (received < kBatch) {
+      hmc_cosim_clock(client, opts.quantum);
+      uint32_t words = HMC_COSIM_PAYLOAD_WORDS;
+      while (hmc_cosim_recv(client, nullptr, nullptr, payload, &words,
+                            nullptr) == HMC_COSIM_OK) {
+        ++received;
+        words = HMC_COSIM_PAYLOAD_WORDS;
+      }
+    }
+    packets += received;
+  }
+  state.SetItemsProcessed(packets);
+  hmc_cosim_disconnect(client);
+  srv.join();
+}
+BENCHMARK(BM_ShmRingCosim)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+/* hmc_cosim_client.h — C client for the co-simulation server.
+ *
+ * Attach a client process to a running `hmcsim_cli serve` /
+ * `hmcsim_server` instance and drive the shared simulation:
+ *
+ *   hmc_cosim_t *c = hmc_cosim_connect("/tmp/hmcsim.sock", 0, 5000);
+ *   hmc_cosim_send(c, 0, 24, 0, 0x1000, 1, NULL, 0);     // WR64
+ *   hmc_cosim_clock(c, hmc_cosim_quantum(c));            // barrier
+ *   while (hmc_cosim_recv(c, ...) == HMC_COSIM_NO_DATA)
+ *     hmc_cosim_clock(c, hmc_cosim_quantum(c));
+ *   hmc_cosim_disconnect(c);
+ *
+ * All calls are for single-threaded use per connection. hmc_cosim_clock
+ * blocks until the server finishes the quantum barrier — i.e. until
+ * every other client has also called clock — and buffers any responses
+ * the server delivered along the way for hmc_cosim_recv. The protocol
+ * and its determinism rules are documented in docs/COSIM.md.
+ */
+#ifndef HMCSIM_HMC_COSIM_CLIENT_H
+#define HMCSIM_HMC_COSIM_CLIENT_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Result codes (aligned with hmc_sim.h). */
+#define HMC_COSIM_OK 0
+#define HMC_COSIM_STALL 1     /* ring momentarily full; retry */
+#define HMC_COSIM_NO_DATA 2   /* no buffered response */
+#define HMC_COSIM_ERROR (-1)
+#define HMC_COSIM_ETRUNC (-2) /* caller buffer too small; truncated */
+
+/* Opaque connection handle. */
+typedef struct hmc_cosim_t hmc_cosim_t;
+
+/* Connect to the server socket at `socket_path` as client `slot`
+ * (0 .. clients-1; the launcher assigns slots so admission order is
+ * reproducible). Retries until the server appears or `timeout_ms`
+ * milliseconds elapse. NULL on failure. */
+hmc_cosim_t *hmc_cosim_connect(const char *socket_path, uint32_t slot,
+                               uint32_t timeout_ms);
+
+/* Post BYE and release the connection. NULL is a no-op. Pending
+ * responses the client never collected are dropped. */
+void hmc_cosim_disconnect(hmc_cosim_t *client);
+
+/* Geometry from the server's welcome. */
+uint32_t hmc_cosim_client_id(const hmc_cosim_t *client);
+uint32_t hmc_cosim_num_links(const hmc_cosim_t *client);
+/* Cycles every clock call must request (identical across clients). */
+uint64_t hmc_cosim_quantum(const hmc_cosim_t *client);
+/* Simulation cycle as of the last acknowledged barrier. */
+uint64_t hmc_cosim_cycle(const hmc_cosim_t *client);
+
+/* Queue one request (same argument meaning as hmcsim_send). The request
+ * reaches the simulator at the next clock barrier; payload is copied.
+ * HMC_COSIM_STALL only if the ring stayed full for ~1s (server dead). */
+int hmc_cosim_send(hmc_cosim_t *client, uint32_t link, uint32_t rqst,
+                   uint8_t cub, uint64_t addr, uint16_t tag,
+                   const uint64_t *payload, uint32_t payload_words);
+
+/* Barrier: advance the shared simulation by `cycles` (must equal
+ * hmc_cosim_quantum()). Blocks until the server acknowledges; responses
+ * delivered during the quantum are buffered for hmc_cosim_recv. */
+int hmc_cosim_clock(hmc_cosim_t *client, uint64_t cycles);
+
+/* Pop the oldest buffered response. Outputs are optional (NULL to
+ * skip). `payload_words` is in/out capacity exactly as in hmcsim_recv:
+ * in = words `payload` can take (0/NULL = assume 32), out = the full
+ * response size; HMC_COSIM_ETRUNC when the copy was truncated. */
+int hmc_cosim_recv(hmc_cosim_t *client, uint8_t *rsp_cmd, uint16_t *tag,
+                   uint64_t *payload, uint32_t *payload_words,
+                   uint64_t *latency);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* HMCSIM_HMC_COSIM_CLIENT_H */

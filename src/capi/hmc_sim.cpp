@@ -1,11 +1,16 @@
 #include "capi/hmc_sim.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <span>
 
+#include <vector>
+
+#include "sim/session.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats_report.hpp"
 #include "trace/chrome_sink.hpp"
@@ -14,6 +19,9 @@
  * C API owns (sink objects need a stable home). */
 struct hmc_sim_t {
   std::unique_ptr<hmcsim::sim::Simulator> sim;
+  /* Lazily created by the first hmcsim_send_batch; once present it owns
+   * response draining (declared after `sim`: destroyed first). */
+  std::unique_ptr<hmcsim::sim::Session> session;
   std::unique_ptr<hmcsim::trace::TextSink> sink;
   std::unique_ptr<std::ofstream> trace_file;
   /* Destruction order matters: the ChromeSink's destructor writes the
@@ -36,6 +44,43 @@ int status_to_rc(const hmcsim::Status& s) {
     default:
       return HMC_ERROR;
   }
+}
+
+/* Copy a response into the caller's output pointers under the documented
+ * capacity rule: *payload_words is in/out capacity (0/NULL = the legacy
+ * 32-word contract); a short buffer gets a truncated copy + HMC_ETRUNC. */
+int fill_response(const hmcsim::sim::Response& rsp, uint8_t* rsp_cmd,
+                  uint16_t* tag, uint64_t* payload, uint32_t* payload_words,
+                  uint64_t* latency) {
+  if (rsp_cmd != nullptr) {
+    *rsp_cmd = rsp.pkt.cmd();
+  }
+  if (tag != nullptr) {
+    *tag = rsp.pkt.tag();
+  }
+  const auto data = rsp.pkt.payload();
+  int rc = HMC_OK;
+  if (payload != nullptr) {
+    std::size_t capacity = 32;
+    if (payload_words != nullptr && *payload_words > 0) {
+      capacity = *payload_words;
+    }
+    std::size_t n = data.size();
+    if (n > capacity) {
+      n = capacity;
+      rc = HMC_ETRUNC;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      payload[i] = data[i];
+    }
+  }
+  if (payload_words != nullptr) {
+    *payload_words = static_cast<uint32_t>(data.size());
+  }
+  if (latency != nullptr) {
+    *latency = rsp.latency;
+  }
+  return rc;
 }
 
 }  // namespace
@@ -107,29 +152,112 @@ int hmcsim_recv(hmc_sim_t *sim, uint32_t link, uint8_t *rsp_cmd,
     return HMC_ERROR;
   }
   hmcsim::sim::Response rsp;
-  const hmcsim::Status s = sim->sim->recv(link, rsp);
+  if (sim->session) {
+    /* The session owns draining: batch responses go to their tickets,
+     * everything else lands in the per-link unmatched queues we serve
+     * here with unchanged semantics. */
+    sim->session->pump();
+    const hmcsim::Status s = sim->session->recv_unmatched(link, rsp);
+    if (!s.ok()) {
+      return status_to_rc(s);
+    }
+  } else {
+    const hmcsim::Status s = sim->sim->recv(link, rsp);
+    if (!s.ok()) {
+      return status_to_rc(s);
+    }
+  }
+  return fill_response(rsp, rsp_cmd, tag, payload, payload_words, latency);
+}
+
+int hmcsim_send_batch(hmc_sim_t *sim, const hmc_batch_rqst_t *reqs,
+                      uint32_t count, uint32_t link, hmc_ticket_t *ticket) {
+  if (sim == nullptr || ticket == nullptr ||
+      (reqs == nullptr && count > 0)) {
+    return HMC_ERROR;
+  }
+  *ticket = hmcsim::sim::kInvalidTicket;
+  if (!sim->session) {
+    sim->session = std::make_unique<hmcsim::sim::Session>(*sim->sim);
+  }
+  std::vector<hmcsim::spec::RqstParams> params(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    params[i].rqst = static_cast<hmcsim::spec::Rqst>(reqs[i].rqst);
+    params[i].addr = reqs[i].addr;
+    params[i].tag = reqs[i].tag;
+    params[i].cub = reqs[i].cub;
+    if (reqs[i].payload != nullptr && reqs[i].payload_words > 0) {
+      params[i].payload = {reqs[i].payload, reqs[i].payload_words};
+    }
+  }
+  hmcsim::sim::BatchTicket t = hmcsim::sim::kInvalidTicket;
+  const hmcsim::Status s = sim->session->send_batch(
+      params, t, link == HMC_LINK_ANY ? hmcsim::sim::kAnyLink : link);
   if (!s.ok()) {
     return status_to_rc(s);
   }
-  if (rsp_cmd != nullptr) {
-    *rsp_cmd = rsp.pkt.cmd();
-  }
-  if (tag != nullptr) {
-    *tag = rsp.pkt.tag();
-  }
-  const auto data = rsp.pkt.payload();
-  if (payload != nullptr) {
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      payload[i] = data[i];
-    }
-  }
-  if (payload_words != nullptr) {
-    *payload_words = static_cast<uint32_t>(data.size());
-  }
-  if (latency != nullptr) {
-    *latency = rsp.latency;
-  }
+  *ticket = t;
   return HMC_OK;
+}
+
+int hmcsim_poll_batch(hmc_sim_t *sim, hmc_ticket_t ticket,
+                      hmc_batch_rsp_t *rsps, uint32_t *count) {
+  if (sim == nullptr || count == nullptr ||
+      (rsps == nullptr && *count > 0)) {
+    return HMC_ERROR;
+  }
+  if (!sim->session) {
+    *count = 0;  // No batch was ever submitted: every ticket is unknown.
+    return HMC_ERROR;
+  }
+  /* Convert through a small stack chunk instead of materialising one
+   * hmcsim::sim::Response per caller slot — each Response carries a full
+   * packet, so a caller-sized temporary would dwarf the poll itself. */
+  std::array<hmcsim::sim::Response, 16> buf;
+  uint32_t total = 0;
+  hmcsim::Status s = hmcsim::Status::Ok();
+  do {
+    const std::size_t want =
+        std::min<std::size_t>(buf.size(), *count - total);
+    std::size_t filled = 0;
+    s = sim->session->poll_batch(
+        ticket, std::span<hmcsim::sim::Response>(buf.data(), want), filled);
+    for (std::size_t i = 0; i < filled; ++i) {
+      hmc_batch_rsp_t &out = rsps[total + i];
+      out.rsp_cmd = buf[i].pkt.cmd();
+      out.errstat = buf[i].pkt.errstat();
+      out.tag = buf[i].pkt.tag();
+      out.latency = buf[i].latency;
+      const auto data = buf[i].pkt.payload();
+      out.payload_words = static_cast<uint32_t>(data.size());
+      for (std::size_t w = 0; w < data.size(); ++w) {
+        out.payload[w] = data[w];
+      }
+    }
+    total += static_cast<uint32_t>(filled);
+    if (s.code() != hmcsim::StatusCode::Stall || filled < want) {
+      break;  /* Retired, errored, or nothing more ready right now. */
+    }
+  } while (total < *count);
+  *count = total;
+  return status_to_rc(s);
+}
+
+int hmcsim_batch_done(hmc_sim_t *sim, hmc_ticket_t ticket) {
+  if (sim == nullptr || !sim->session) {
+    return 0;
+  }
+  return sim->session->batch_done(ticket) ? 1 : 0;
+}
+
+uint64_t hmcsim_batch_advance(hmc_sim_t *sim, hmc_ticket_t ticket,
+                              uint64_t max_cycles) {
+  if (sim == nullptr || !sim->session) {
+    return 0;
+  }
+  const uint64_t start = sim->sim->cycle();
+  (void)sim->session->wait_batch(ticket, max_cycles);
+  return sim->sim->cycle() - start;
 }
 
 int hmcsim_clock(hmc_sim_t *sim) {
@@ -137,6 +265,9 @@ int hmcsim_clock(hmc_sim_t *sim) {
     return HMC_ERROR;
   }
   sim->sim->clock();
+  if (sim->session) {
+    sim->session->pump();
+  }
   return HMC_OK;
 }
 

@@ -20,9 +20,10 @@ extern "C" {
 
 /* Result codes. */
 #define HMC_OK 0
-#define HMC_STALL 1    /* retry next cycle */
-#define HMC_NO_DATA 2  /* no response ready */
+#define HMC_STALL 1     /* retry next cycle */
+#define HMC_NO_DATA 2   /* no response ready */
 #define HMC_ERROR (-1)
+#define HMC_ETRUNC (-2) /* caller buffer too small; payload truncated */
 
 /* Opaque simulation context (the paper's hmc_sim_t). */
 typedef struct hmc_sim_t hmc_sim_t;
@@ -53,10 +54,97 @@ int hmcsim_send(hmc_sim_t *sim, uint32_t link, hmc_rqst_t rqst, uint8_t cub,
                 uint32_t payload_words);
 
 /* Eject the next ready response on `link`. Outputs are optional (NULL to
- * skip). *payload must hold at least 32 words when provided. */
+ * skip).
+ *
+ * `payload_words` is in/out capacity: on entry it holds the number of
+ * 64-bit words `payload` can take, on return the response's full payload
+ * size in words. When the response payload exceeds the capacity, the
+ * first *payload_words words are copied and HMC_ETRUNC is returned — the
+ * response is still consumed, so check *payload_words before retrying a
+ * larger buffer on the NEXT response. Legacy behavior: a NULL
+ * payload_words or an input value of 0 means "assume 32 words of
+ * capacity" (the historical contract: *payload must hold at least 32
+ * words when provided), which can never truncate. */
 int hmcsim_recv(hmc_sim_t *sim, uint32_t link, uint8_t *rsp_cmd,
                 uint16_t *tag, uint64_t *payload, uint32_t *payload_words,
                 uint64_t *latency);
+
+/* ---- batched asynchronous session API -----------------------------------
+ *
+ * The batch entry points amortize the per-packet C API crossing: a whole
+ * span of requests is submitted in one call and admitted by an internal
+ * session (deterministic per-link FIFO, links in ascending order, until
+ * each link stalls), and completed responses are harvested in bulk. A
+ * batch driven this way retires with byte-identical statistics to the
+ * same requests pushed one at a time through hmcsim_send/hmcsim_recv in
+ * the canonical admit/clock/drain loop (see docs/COSIM.md).
+ *
+ * Once any batch has been submitted, response draining is owned by the
+ * session: keep calling hmcsim_recv for non-batch traffic (it is served
+ * from the session's unmatched-response queues with identical semantics),
+ * but do not expect batch responses from it. */
+
+/* Names one submitted batch; 0 is never a valid ticket. */
+typedef uint64_t hmc_ticket_t;
+
+/* Link selector for hmcsim_send_batch: round-robin across all links. */
+#define HMC_LINK_ANY UINT32_MAX
+
+/* One request of a batch. `payload` supplies the data section exactly as
+ * for hmcsim_send and is copied during hmcsim_send_batch (the caller's
+ * buffer may be reused immediately). */
+typedef struct {
+  uint32_t rqst;           /* hmc_rqst_t command */
+  uint8_t cub;             /* target cube */
+  uint16_t tag;            /* host transaction tag (11 bits) */
+  uint64_t addr;           /* request address */
+  const uint64_t *payload; /* data words, NULL when none */
+  uint32_t payload_words;  /* number of data words */
+} hmc_batch_rqst_t;
+
+/* One completed response. The payload array is always large enough for
+ * the biggest response (32 words), so batch harvesting never truncates. */
+typedef struct {
+  uint8_t rsp_cmd;        /* response command code */
+  uint8_t errstat;        /* response ERRSTAT field */
+  uint16_t tag;           /* echo of the request tag */
+  uint32_t payload_words; /* valid words in payload[] */
+  uint64_t latency;       /* cycles from admission to ejection */
+  uint64_t payload[32];
+} hmc_batch_rsp_t;
+
+/* Submit `count` requests as one batch on `link` (HMC_LINK_ANY: shard
+ * round-robin across links). The batch is validated atomically — on any
+ * invalid request nothing is queued and HMC_ERROR is returned. On success
+ * *ticket names the batch; as much of it as the links accept is admitted
+ * at the current cycle and the rest is re-attempted as the clock
+ * advances (each hmcsim_clock / hmcsim_poll_batch / hmcsim_batch_advance
+ * pumps admission). */
+int hmcsim_send_batch(hmc_sim_t *sim, const hmc_batch_rqst_t *reqs,
+                      uint32_t count, uint32_t link, hmc_ticket_t *ticket);
+
+/* Harvest completed responses for `ticket`. `count` is in/out capacity:
+ * on entry the size of the `rsps` array, on return the number written
+ * (retirement order). Never truncates a response and never loses one —
+ * responses beyond the capacity stay buffered for the next poll (the
+ * batch mirror of the hmcsim_recv capacity rule). Returns HMC_OK exactly
+ * once, when the batch is complete and its last response has been
+ * delivered (the ticket is then retired); HMC_STALL while work remains;
+ * HMC_ERROR for an unknown/retired ticket or when the backend rejected a
+ * batch request at admission. */
+int hmcsim_poll_batch(hmc_sim_t *sim, hmc_ticket_t ticket,
+                      hmc_batch_rsp_t *rsps, uint32_t *count);
+
+/* 1 when every request of `ticket` was admitted and every owed response
+ * received (poll may still have responses to deliver), else 0. */
+int hmcsim_batch_done(hmc_sim_t *sim, hmc_ticket_t ticket);
+
+/* Run the clock until `ticket` completes or `max_cycles` elapse
+ * (0 = unbounded), fast-forwarding quiescent stretches exactly like
+ * hmcsim_clock_until. Returns the number of cycles advanced; check
+ * hmcsim_batch_done to distinguish completion from budget exhaustion. */
+uint64_t hmcsim_batch_advance(hmc_sim_t *sim, hmc_ticket_t ticket,
+                              uint64_t max_cycles);
 
 /* Advance the simulation one cycle. */
 int hmcsim_clock(hmc_sim_t *sim);

@@ -82,6 +82,14 @@ class FixedQueue {
     --size_;
   }
 
+  /// Shrink to `new_size` elements by discarding from the back. Pairs with
+  /// in-place compaction via at(): survivors are moved toward the front,
+  /// then the tail of stale slots is cut off in O(1).
+  void shrink(std::size_t new_size) noexcept {
+    assert(new_size <= size_);
+    size_ = new_size;
+  }
+
   void clear() noexcept {
     head_ = 0;
     size_ = 0;

@@ -1,0 +1,54 @@
+// parse.hpp — strict numeric parsing for command-line values.
+//
+// atoi/strtoul silently accept trailing junk ("8x" -> 8), treat garbage
+// as 0 ("--links foo" -> 0 links) and wrap negatives ("-1" -> UINT_MAX),
+// which turns typos into misconfigured simulations. These helpers reject
+// anything that is not a complete, in-range, non-negative integer.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+
+namespace hmcsim::common {
+
+/// Parse `text` as an unsigned 64-bit integer (base 10, or 0x/0 prefixed
+/// via base 0). Rejects NULL, empty strings, leading whitespace or signs,
+/// trailing junk, and values above `max`. Returns true and writes `out`
+/// only on a complete, in-range parse.
+inline bool parse_u64(const char* text, std::uint64_t& out,
+                      std::uint64_t max = std::numeric_limits<std::uint64_t>::max()) {
+  if (text == nullptr || *text == '\0') {
+    return false;
+  }
+  // strtoull skips whitespace and accepts '-' (wrapping the result);
+  // insist the string starts with a digit so both are rejected.
+  if (!(*text >= '0' && *text <= '9')) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 0);
+  if (errno == ERANGE || end == text || *end != '\0') {
+    return false;
+  }
+  if (v > max) {
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+/// parse_u64 narrowed to 32 bits (optionally tighter via `max`).
+inline bool parse_u32(const char* text, std::uint32_t& out,
+                      std::uint32_t max = std::numeric_limits<std::uint32_t>::max()) {
+  std::uint64_t wide = 0;
+  if (!parse_u64(text, wide, max)) {
+    return false;
+  }
+  out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+}  // namespace hmcsim::common

@@ -85,12 +85,20 @@ Vault::Vault(std::uint32_t quad, std::uint32_t vault_id,
         &reg.counter(prefix + ".bank" + std::to_string(b) + ".conflicts",
                      "requests deferred: this bank busy"));
   }
-  deferred_.reserve(cfg.vault_rqst_depth);
+  stage_pool_.reserve(cfg.vault_rqst_depth);
+  stage_free_.reserve(cfg.vault_rqst_depth);
+  pending_.reserve(cfg.vault_rqst_depth);
+  next_pending_.reserve(cfg.vault_rqst_depth);
 }
 
 void Vault::reset() {
   rqst_q_.clear();
   rsp_q_.clear();
+  pending_.clear();
+  next_pending_.clear();
+  stage_pool_.clear();
+  stage_free_.clear();
+  staged_armed_ = false;
   for (Bank& bank : banks_) {
     bank.reset();
   }
@@ -113,59 +121,98 @@ void Vault::reset() {
 
 void Vault::process(std::uint64_t cycle, ExecEnv& env) {
   // HMC-Sim's timing-agnostic vault: every queued request is examined each
-  // clock. Entries that cannot retire (full response queue, busy bank) are
-  // re-queued in arrival order ahead of anything routed in later this
-  // cycle, preserving FIFO semantics.
+  // clock. Entries that cannot retire (full response queue, busy bank)
+  // stay queued in arrival order ahead of anything routed in later this
+  // cycle, preserving FIFO semantics. An entry blocked on the response
+  // queue executes exactly once; its staged response replays from the
+  // pool until a slot frees. The walk is in place: retired entries drop
+  // off the front in O(1), mid-queue retirements compact survivors
+  // forward, and a fully-blocked queue moves nothing at all — the cost of
+  // a blocked cycle no longer scales with the bytes queued.
   const std::size_t n = rqst_q_.size();
   if (n == 0) {
     return;
   }
-  deferred_.clear();
+  next_pending_.clear();
+  std::size_t w = 0;        // Kept entries so far (compaction cursor).
+  std::size_t dropped = 0;  // Leading retirements taken via drop_front.
   for (std::size_t i = 0; i < n; ++i) {
-    RqstEntry entry = rqst_q_.pop();
-    if (!execute_entry(entry, cycle, env)) {
-      deferred_.push_back(std::move(entry));
-    } else if (entry.journey != trace::kNoJourney &&
-               env.tracer.journeys() != nullptr) {
-      // The entry retired but its journey index was not handed to a
-      // response (posted command, or a response-less error path): the
-      // packet's life ends at the vault. Complete the journey here.
-      trace::JourneyTracker& jt = *env.tracer.journeys();
-      trace::Journey& j = jt.at(entry.journey);
-      j.posted = true;
-      if (j.t_rsp == trace::kNoCycle) {
-        j.t_rsp = cycle;
+    const std::size_t pos = i - dropped;
+    RqstEntry& entry = rqst_q_.at(pos);
+    std::uint32_t stage = i < pending_.size() ? pending_[i] : kNoStage;
+    bool retired;
+    if (stage != kNoStage) {
+      // Already executed on an earlier cycle: only the push is pending.
+      retired = try_retire(stage_pool_[stage], cycle, env);
+    } else {
+      staged_armed_ = false;
+      retired = execute_entry(entry, cycle, env);
+      if (!retired && staged_armed_) {
+        if (!stage_free_.empty()) {
+          stage = stage_free_.back();
+          stage_free_.pop_back();
+          stage_pool_[stage] = std::move(staged_);
+        } else {
+          stage = static_cast<std::uint32_t>(stage_pool_.size());
+          stage_pool_.push_back(std::move(staged_));
+        }
+      } else if (retired && entry.journey != trace::kNoJourney &&
+                 env.tracer.journeys() != nullptr) {
+        // The entry retired but its journey index was not handed to a
+        // response (posted command, or a response-less error path): the
+        // packet's life ends at the vault. Complete the journey here.
+        trace::JourneyTracker& jt = *env.tracer.journeys();
+        trace::Journey& j = jt.at(entry.journey);
+        j.posted = true;
+        if (j.t_rsp == trace::kNoCycle) {
+          j.t_rsp = cycle;
+        }
+        jt.complete(entry.journey);
       }
-      jt.complete(entry.journey);
     }
+    if (retired) {
+      if (stage != kNoStage) {
+        stage_free_.push_back(stage);
+      }
+      if (w == 0) {
+        rqst_q_.drop_front();  // Prefix retirement: O(1), no moves.
+        ++dropped;
+      }
+      // Otherwise the slot is a hole; later survivors compact over it.
+      continue;
+    }
+    if (w != pos) {
+      rqst_q_.at(w) = std::move(entry);
+    }
+    next_pending_.push_back(stage);
+    ++w;
   }
-  for (RqstEntry& entry : deferred_) {
-    const bool ok = rqst_q_.push(std::move(entry));
-    (void)ok;  // Cannot fail: we popped at least deferred_.size() entries.
-  }
+  rqst_q_.shrink(w);
+  pending_.swap(next_pending_);
 }
 
-bool Vault::emit_response(RqstEntry& rqst, std::uint8_t rsp_cmd_code,
-                          std::uint32_t flits, bool atomic_flag,
-                          std::uint8_t errstat,
-                          std::span<const std::uint64_t> payload,
-                          std::uint64_t cycle, ExecEnv& env) {
-  if (rsp_q_.full()) {
-    rsp_stalls_->inc();
-    if (env.tracer.enabled(trace::Level::Stalls)) {
-      env.tracer.emit({.cycle = cycle,
-                       .kind = trace::Level::Stalls,
-                       .where = {env.dev_id, quad_, vault_id_, 0,
-                                 rqst.src_link},
-                       .tag = rqst.pkt.tag(),
-                       .op = spec::to_string(rqst.pkt.rqst()),
-                       .addr = rqst.pkt.addr(),
-                       .value = rsp_q_.size(),
-                       .note = "vault response queue full"});
-    }
-    return false;
-  }
+void Vault::stage_begin(const RqstEntry& rqst) {
+  staged_.op = spec::to_string(rqst.pkt.rqst());
+  staged_.extra_op = {};
+  staged_.addr = rqst.pkt.addr();
+  staged_.extra_value = 0;
+  staged_.cmc_op_counter = nullptr;
+  staged_.rsp_flits = 0;
+  staged_.bank = 0;
+  staged_.tag = rqst.pkt.tag();
+  staged_.extra_trace = trace::Level::None;
+  staged_.src_link = rqst.src_link;
+  staged_.errstat = kErrNone;
+  staged_.occupy = false;
+  staged_.count_amo = false;
+  staged_.count_cmc = false;
+  staged_.error_rsp = false;
+}
 
+bool Vault::finish_response(RqstEntry& rqst, std::uint8_t rsp_cmd_code,
+                            std::uint32_t flits, bool atomic_flag,
+                            std::span<const std::uint64_t> payload,
+                            std::uint64_t cycle, ExecEnv& env) {
   spec::RspParams params;
   params.rsp_cmd_code = rsp_cmd_code;
   params.flits = flits;
@@ -173,13 +220,13 @@ bool Vault::emit_response(RqstEntry& rqst, std::uint8_t rsp_cmd_code,
   params.cub = rqst.pkt.cub();
   params.slid = rqst.src_link;
   params.atomic_flag = atomic_flag;
-  params.errstat = errstat;
+  params.errstat = staged_.errstat;
   params.payload = payload;
 
-  RspEntry rsp;
-  rsp.send_cycle = rqst.send_cycle;
-  rsp.dst_link = rqst.src_link;
-  if (Status s = spec::build_response(params, rsp.pkt); !s.ok()) {
+  staged_.rsp = RspEntry{};
+  staged_.rsp.send_cycle = rqst.send_cycle;
+  staged_.rsp.dst_link = rqst.src_link;
+  if (Status s = spec::build_response(params, staged_.rsp.pkt); !s.ok()) {
     // Response construction can only fail on internal inconsistencies;
     // surface as an error-status single-FLIT response.
     params.rsp_cmd_code =
@@ -187,30 +234,105 @@ bool Vault::emit_response(RqstEntry& rqst, std::uint8_t rsp_cmd_code,
     params.flits = 1;
     params.errstat = kErrCmd;
     params.payload = {};
-    (void)spec::build_response(params, rsp.pkt);
+    (void)spec::build_response(params, staged_.rsp.pkt);
   }
+  staged_.error_rsp = params.rsp_cmd_code ==
+                      static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR);
+  staged_.rsp_flits = flits;
   if (rqst.journey != trace::kNoJourney &&
       env.tracer.journeys() != nullptr) {
-    trace::Journey& j = env.tracer.journeys()->at(rqst.journey);
-    j.t_rsp = cycle;
-    j.error = params.rsp_cmd_code ==
-              static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR);
-    rsp.journey = rqst.journey;
+    staged_.rsp.journey = rqst.journey;
     rqst.journey = trace::kNoJourney;
   }
-  const bool pushed = rsp_q_.push(std::move(rsp));
+  if (!try_retire(staged_, cycle, env)) {
+    staged_armed_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool Vault::try_retire(StagedRetire& staged, std::uint64_t cycle,
+                       ExecEnv& env) {
+  if (rsp_q_.full()) {
+    rsp_stalls_->inc();
+    if (env.tracer.enabled(trace::Level::Stalls)) {
+      env.tracer.emit({.cycle = cycle,
+                       .kind = trace::Level::Stalls,
+                       .where = {env.dev_id, quad_, vault_id_, 0,
+                                 staged.src_link},
+                       .tag = staged.tag,
+                       .op = staged.op,
+                       .addr = staged.addr,
+                       .value = rsp_q_.size(),
+                       .note = "vault response queue full"});
+    }
+    return false;
+  }
+  if (staged.rsp.journey != trace::kNoJourney &&
+      env.tracer.journeys() != nullptr) {
+    trace::Journey& j = env.tracer.journeys()->at(staged.rsp.journey);
+    j.t_rsp = cycle;
+    j.error = staged.error_rsp;
+  }
+  const bool pushed = rsp_q_.push(std::move(staged.rsp));
   (void)pushed;  // Guarded by the full() check above.
   rsps_generated_->inc();
   if (env.tracer.enabled(trace::Level::Rsp)) {
     env.tracer.emit({.cycle = cycle,
                      .kind = trace::Level::Rsp,
                      .where = {env.dev_id, quad_, vault_id_, 0,
-                               rqst.src_link},
-                     .tag = rqst.pkt.tag(),
-                     .op = spec::to_string(rqst.pkt.rqst()),
-                     .addr = rqst.pkt.addr(),
-                     .value = flits});
+                               staged.src_link},
+                     .tag = staged.tag,
+                     .op = staged.op,
+                     .addr = staged.addr,
+                     .value = staged.rsp_flits});
   }
+  // Retirement bookkeeping: on the fast path this runs in the execution
+  // cycle exactly as before; for a staged response it runs in the cycle
+  // the response finally left, which is when the old model's successful
+  // re-execution would have run it.
+  if (staged.occupy) {
+    Bank& bank = banks_[staged.bank];
+    if (env.cfg.model_bank_conflicts) {
+      bank.occupy(cycle, env.cfg.bank_busy_cycles);
+    } else {
+      bank.touch();
+    }
+  }
+  if (staged.errstat != kErrNone) {
+    record_error(staged.errstat);
+  }
+  if (staged.count_amo) {
+    amo_executed_->inc();
+  }
+  if (staged.extra_trace == trace::Level::Cmc &&
+      env.tracer.enabled(trace::Level::Cmc)) {
+    env.tracer.emit({.cycle = cycle,
+                     .kind = trace::Level::Cmc,
+                     .where = {env.dev_id, quad_, vault_id_, staged.bank,
+                               staged.src_link},
+                     .tag = staged.tag,
+                     .op = staged.extra_op,
+                     .addr = staged.addr,
+                     .value = staged.extra_value});
+  } else if (staged.extra_trace == trace::Level::Register &&
+             env.tracer.enabled(trace::Level::Register)) {
+    env.tracer.emit({.cycle = cycle,
+                     .kind = trace::Level::Register,
+                     .where = {env.dev_id, quad_, vault_id_, 0,
+                               staged.src_link},
+                     .tag = staged.tag,
+                     .op = staged.extra_op,
+                     .addr = staged.addr,
+                     .value = staged.extra_value});
+  }
+  if (staged.count_cmc) {
+    cmc_executed_->inc();
+    if (staged.cmc_op_counter != nullptr) {
+      staged.cmc_op_counter->inc();
+    }
+  }
+  rqsts_processed_->inc();
   return true;
 }
 
@@ -289,6 +411,8 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
   constexpr auto kErrorCode =
       static_cast<std::uint8_t>(spec::ResponseType::RSP_ERROR);
 
+  stage_begin(entry);
+
   switch (info.kind) {
     case spec::CommandKind::Flow:
       // Flow packets are consumed at the link layer; one reaching a vault
@@ -324,22 +448,13 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
         }
       }
       if (!rd_status.ok()) {
-        const std::uint8_t errstat = errstat_for(rd_status);
-        if (!emit_response(entry, kErrorCode, 1, false, errstat, {}, cycle,
-                           env)) {
-          return false;
-        }
-        record_error(errstat);
-        rqsts_processed_->inc();
-        return true;
+        staged_.errstat = errstat_for(rd_status);
+        return finish_response(entry, kErrorCode, 1, false, {}, cycle, env);
       }
-      if (!emit_response(entry, rsp_code(), info.rsp_flits, false, kErrNone,
-                         {data.data(), bytes / 8}, cycle, env)) {
-        return false;
-      }
-      occupy_bank();
-      rqsts_processed_->inc();
-      return true;
+      staged_.occupy = true;
+      staged_.bank = loc.bank;
+      return finish_response(entry, rsp_code(), info.rsp_flits, false,
+                             {data.data(), bytes / 8}, cycle, env);
     }
 
     case spec::CommandKind::Write:
@@ -363,19 +478,20 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
       }
       if (Status s = env.store.write(addr, {buf.data(), bytes}); !s.ok()) {
         const std::uint8_t errstat = errstat_for(s);
-        if (info.kind == spec::CommandKind::Write &&
-            !emit_response(entry, kErrorCode, 1, false, errstat, {}, cycle,
-                           env)) {
-          return false;
+        if (info.kind == spec::CommandKind::Write) {
+          staged_.errstat = errstat;
+          return finish_response(entry, kErrorCode, 1, false, {}, cycle,
+                                 env);
         }
         record_error(errstat);
         rqsts_processed_->inc();
         return true;
       }
-      if (info.kind == spec::CommandKind::Write &&
-          !emit_response(entry, rsp_code(), info.rsp_flits, false, kErrNone,
-                         {}, cycle, env)) {
-        return false;
+      if (info.kind == spec::CommandKind::Write) {
+        staged_.occupy = true;
+        staged_.bank = loc.bank;
+        return finish_response(entry, rsp_code(), info.rsp_flits, false, {},
+                               cycle, env);
       }
       occupy_bank();
       rqsts_processed_->inc();
@@ -386,31 +502,15 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
       std::uint64_t value = 0;
       const Status s = env.regs.read(static_cast<std::uint32_t>(addr), value);
       if (!s.ok()) {
-        if (!emit_response(entry, kErrorCode, 1, false, kErrRegister, {},
-                           cycle, env)) {
-          return false;
-        }
-        record_error(kErrRegister);
-        rqsts_processed_->inc();
-        return true;
+        staged_.errstat = kErrRegister;
+        return finish_response(entry, kErrorCode, 1, false, {}, cycle, env);
       }
       const std::array<std::uint64_t, 2> data{value, 0};
-      if (!emit_response(entry, rsp_code(), info.rsp_flits, false, kErrNone,
-                         data, cycle, env)) {
-        return false;
-      }
-      if (env.tracer.enabled(trace::Level::Register)) {
-        env.tracer.emit({.cycle = cycle,
-                         .kind = trace::Level::Register,
-                         .where = {env.dev_id, quad_, vault_id_, 0,
-                                   entry.src_link},
-                         .tag = entry.pkt.tag(),
-                         .op = info.name,
-                         .addr = addr,
-                         .value = value});
-      }
-      rqsts_processed_->inc();
-      return true;
+      staged_.extra_trace = trace::Level::Register;
+      staged_.extra_op = info.name;
+      staged_.extra_value = value;
+      return finish_response(entry, rsp_code(), info.rsp_flits, false, data,
+                             cycle, env);
     }
 
     case spec::CommandKind::ModeWrite: {
@@ -419,26 +519,16 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
       const Status s =
           env.regs.write(static_cast<std::uint32_t>(addr), value);
       const bool failed = !s.ok();
-      if (!emit_response(entry, failed ? kErrorCode : rsp_code(),
-                         failed ? 1 : info.rsp_flits, false,
-                         failed ? kErrRegister : kErrNone, {}, cycle, env)) {
-        return false;
-      }
-      if (!failed && env.tracer.enabled(trace::Level::Register)) {
-        env.tracer.emit({.cycle = cycle,
-                         .kind = trace::Level::Register,
-                         .where = {env.dev_id, quad_, vault_id_, 0,
-                                   entry.src_link},
-                         .tag = entry.pkt.tag(),
-                         .op = info.name,
-                         .addr = addr,
-                         .value = value});
-      }
       if (failed) {
-        record_error(kErrRegister);
+        staged_.errstat = kErrRegister;
+      } else {
+        staged_.extra_trace = trace::Level::Register;
+        staged_.extra_op = info.name;
+        staged_.extra_value = value;
       }
-      rqsts_processed_->inc();
-      return true;
+      return finish_response(entry, failed ? kErrorCode : rsp_code(),
+                             failed ? 1 : info.rsp_flits, false, {}, cycle,
+                             env);
     }
 
     case spec::CommandKind::Atomic:
@@ -448,21 +538,23 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
           amo::execute(rqst, env.store, addr, entry.pkt.payload(), result);
       if (!s.ok()) {
         const std::uint8_t errstat = errstat_for(s);
-        if (info.kind == spec::CommandKind::Atomic &&
-            !emit_response(entry, kErrorCode, 1, false, errstat, {}, cycle,
-                           env)) {
-          return false;
+        if (info.kind == spec::CommandKind::Atomic) {
+          staged_.errstat = errstat;
+          return finish_response(entry, kErrorCode, 1, false, {}, cycle,
+                                 env);
         }
         record_error(errstat);
         rqsts_processed_->inc();
         return true;
       }
-      if (info.kind == spec::CommandKind::Atomic &&
-          !emit_response(entry, rsp_code(), info.rsp_flits,
-                         result.atomic_flag, kErrNone,
-                         {result.rsp_data.data(), result.rsp_words}, cycle,
-                         env)) {
-        return false;
+      if (info.kind == spec::CommandKind::Atomic) {
+        staged_.occupy = true;
+        staged_.bank = loc.bank;
+        staged_.count_amo = true;
+        return finish_response(entry, rsp_code(), info.rsp_flits,
+                               result.atomic_flag,
+                               {result.rsp_data.data(), result.rsp_words},
+                               cycle, env);
       }
       occupy_bank();
       amo_executed_->inc();
@@ -476,13 +568,8 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
       const cmc::CmcOp* op =
           env.cmc != nullptr ? env.cmc->lookup(entry.pkt.cmd()) : nullptr;
       if (op == nullptr || env.cmc_ctx == nullptr) {
-        if (!emit_response(entry, kErrorCode, 1, false, kErrCmcInactive, {},
-                           cycle, env)) {
-          return false;
-        }
-        record_error(kErrCmcInactive);
-        rqsts_processed_->inc();
-        return true;
+        staged_.errstat = kErrCmcInactive;
+        return finish_response(entry, kErrorCode, 1, false, {}, cycle, env);
       }
       cmc::CmcExecResult result;
       const Status s = env.cmc->execute(
@@ -490,20 +577,23 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
           loc.bank, addr, op->rqst_len, entry.pkt.head, entry.pkt.tail,
           entry.pkt.payload(), result);
       if (!s.ok()) {
-        if (!emit_response(entry, kErrorCode, 1, false, kErrCmcFailed, {},
-                           cycle, env)) {
-          return false;
-        }
-        record_error(kErrCmcFailed);
-        rqsts_processed_->inc();
-        return true;
+        staged_.errstat = kErrCmcFailed;
+        return finish_response(entry, kErrorCode, 1, false, {}, cycle, env);
       }
-      if (!op->posted() &&
-          !emit_response(entry, op->response_code(), op->rsp_len,
-                         result.atomic_flag, kErrNone,
-                         {result.rsp_payload.data(), result.rsp_words}, cycle,
-                         env)) {
-        return false;
+      if (!op->posted()) {
+        staged_.occupy = true;
+        staged_.bank = loc.bank;
+        staged_.count_cmc = true;
+        if (env.cmc_op_counters != nullptr) {
+          staged_.cmc_op_counter = env.cmc_op_counters[entry.pkt.cmd()];
+        }
+        staged_.extra_trace = trace::Level::Cmc;
+        staged_.extra_op = op->name;
+        staged_.extra_value = result.atomic_flag ? 1ULL : 0ULL;
+        return finish_response(entry, op->response_code(), op->rsp_len,
+                               result.atomic_flag,
+                               {result.rsp_payload.data(), result.rsp_words},
+                               cycle, env);
       }
       occupy_bank();
       if (env.tracer.enabled(trace::Level::Cmc)) {

@@ -120,19 +120,58 @@ class Vault {
   void reset();
 
  private:
+  /// A fully-executed request whose response could not be enqueued yet
+  /// (response queue full). The request's side effects happened exactly
+  /// once when it executed; later cycles only retry the push and then run
+  /// the retirement bookkeeping captured here. Re-executing the request
+  /// each blocked cycle instead — the previous behaviour — double-applied
+  /// atomics and CMC operations under response-queue pressure and made a
+  /// blocked vault's clock cost scale with its queue occupancy.
+  struct StagedRetire {
+    RspEntry rsp;             ///< Built response, journey already migrated.
+    std::string_view op;      ///< Command mnemonic (stall/Rsp trace replay).
+    std::string_view extra_op;      ///< Name carried by the extra event.
+    std::uint64_t addr = 0;         ///< Request address for trace replay.
+    std::uint64_t extra_value = 0;  ///< Value carried by the extra event.
+    metrics::Counter* cmc_op_counter = nullptr;
+    std::uint32_t rsp_flits = 0;    ///< Rsp trace event value.
+    std::uint32_t bank = 0;         ///< Bank to occupy/touch at retirement.
+    std::uint16_t tag = 0;
+    /// Trace event emitted after the response (None, Cmc or Register).
+    trace::Level extra_trace = trace::Level::None;
+    std::uint8_t src_link = 0;
+    std::uint8_t errstat = 0;   ///< Non-zero: record_error at retirement.
+    bool occupy = false;        ///< Bank access happens at retirement.
+    bool count_amo = false;
+    bool count_cmc = false;
+    bool error_rsp = false;     ///< Journey error flag for the response.
+  };
+
   /// Execute one request; returns false when the entry must stay queued
-  /// (back-pressure or bank conflict), true when it retired.
+  /// (back-pressure or bank conflict), true when it retired. On a
+  /// back-pressure false return, staged_armed_ is set and staged_ holds
+  /// the built response for replay on a later cycle.
   [[nodiscard]] bool execute_entry(RqstEntry& entry, std::uint64_t cycle,
                                    ExecEnv& env);
 
-  /// Push a response; false on full response queue. Non-const request:
-  /// on success the journey slot index migrates to the response entry.
-  [[nodiscard]] bool emit_response(RqstEntry& rqst,
-                                   std::uint8_t rsp_cmd_code,
-                                   std::uint32_t flits, bool atomic_flag,
-                                   std::uint8_t errstat,
-                                   std::span<const std::uint64_t> payload,
-                                   std::uint64_t cycle, ExecEnv& env);
+  /// Reset staged_'s metadata for one request's execution.
+  void stage_begin(const RqstEntry& rqst);
+
+  /// Build the response into staged_ and attempt to retire it. On a full
+  /// response queue the staged record stays armed for later cycles and
+  /// this returns false. Non-const request: the journey slot index
+  /// migrates to the staged response.
+  [[nodiscard]] bool finish_response(RqstEntry& rqst,
+                                     std::uint8_t rsp_cmd_code,
+                                     std::uint32_t flits, bool atomic_flag,
+                                     std::span<const std::uint64_t> payload,
+                                     std::uint64_t cycle, ExecEnv& env);
+
+  /// Push a staged response and run its retirement bookkeeping; false (and
+  /// one rsp_stalls count, matching the per-cycle stall accounting of the
+  /// re-execution model) when the response queue is full.
+  [[nodiscard]] bool try_retire(StagedRetire& staged, std::uint64_t cycle,
+                                ExecEnv& env);
 
   /// Count one RSP_ERROR under the total and its per-ERRSTAT breakdown.
   void record_error(std::uint8_t errstat) noexcept {
@@ -157,8 +196,19 @@ class Vault {
   metrics::Counter* errors_;
   std::array<metrics::Counter*, 7> errstat_counters_{};
   std::vector<metrics::Counter*> bank_conflict_counters_;
-  // Scratch retained across calls to avoid re-allocation in the hot loop.
-  std::vector<RqstEntry> deferred_;
+  /// No staged response: the entry has not executed yet (fresh arrival, or
+  /// a bank-conflict deferral that must re-attempt execution).
+  static constexpr std::uint32_t kNoStage = UINT32_MAX;
+  // Staged retirements live in a pool and are referenced by index so that
+  // a blocked cycle shuffles 4-byte handles, never the records themselves:
+  // pending_[i] belongs to the i-th entry from the queue front (deferred
+  // entries always stay ahead of new arrivals, so the alignment holds).
+  std::vector<StagedRetire> stage_pool_;
+  std::vector<std::uint32_t> stage_free_;
+  std::vector<std::uint32_t> pending_;
+  std::vector<std::uint32_t> next_pending_;
+  StagedRetire staged_;        ///< Scratch for the request being executed.
+  bool staged_armed_ = false;  ///< execute_entry staged a blocked response.
 };
 
 }  // namespace hmcsim::dev

@@ -1,0 +1,326 @@
+/* cosim_client.c — C implementation of the co-simulation client.
+ *
+ * Pure C11 + POSIX: client processes embedding this need neither the
+ * C++ runtime nor the simulator library, only this file and the two
+ * headers. See cosim_proto.h for the protocol.
+ */
+#include "capi/hmc_cosim_client.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sched.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "ipc/cosim_proto.h"
+
+struct hmc_cosim_t {
+  int fd;
+  uint32_t client_id;
+  uint32_t num_links;
+  uint32_t ring_slots;
+  uint32_t num_clients;
+  uint64_t quantum;
+  uint64_t cycle;
+  void *shm_base;
+  size_t shm_bytes;
+  hmc_cosim_ring_t *c2s; /* this client produces */
+  hmc_cosim_ring_t *s2c; /* this client consumes */
+  /* FIFO of responses popped from s2c but not yet given to the caller. */
+  hmc_cosim_msg_t *rsp_q;
+  size_t rsp_cap;
+  size_t rsp_head;
+  size_t rsp_len;
+};
+
+static int read_full(int fd, void *buf, size_t len) {
+  char *p = (char *)buf;
+  while (len > 0) {
+    const ssize_t n = read(fd, p, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return 0;
+    }
+    p += n;
+    len -= (size_t)n;
+  }
+  return 1;
+}
+
+static int write_full(int fd, const void *buf, size_t len) {
+  const char *p = (const char *)buf;
+  while (len > 0) {
+    const ssize_t n = write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return 0;
+    }
+    p += n;
+    len -= (size_t)n;
+  }
+  return 1;
+}
+
+static void sleep_ms(unsigned ms) {
+  struct timespec ts;
+  ts.tv_sec = ms / 1000u;
+  ts.tv_nsec = (long)(ms % 1000u) * 1000000L;
+  nanosleep(&ts, NULL);
+}
+
+hmc_cosim_t *hmc_cosim_connect(const char *socket_path, uint32_t slot,
+                               uint32_t timeout_ms) {
+  if (socket_path == NULL) {
+    return NULL;
+  }
+  struct sockaddr_un addr;
+  memset(&addr, 0, sizeof(addr));
+  if (strlen(socket_path) >= sizeof(addr.sun_path)) {
+    return NULL;
+  }
+  addr.sun_family = AF_UNIX;
+  strcpy(addr.sun_path, socket_path);
+
+  /* The server may not have bound yet: retry until the deadline. */
+  int fd = -1;
+  uint32_t waited = 0;
+  for (;;) {
+    fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return NULL;
+    }
+    if (connect(fd, (const struct sockaddr *)&addr, sizeof(addr)) == 0) {
+      break;
+    }
+    close(fd);
+    fd = -1;
+    if (waited >= timeout_ms) {
+      return NULL;
+    }
+    sleep_ms(10);
+    waited += 10;
+  }
+
+  hmc_cosim_hello_t hello;
+  memset(&hello, 0, sizeof(hello));
+  hello.magic = HMC_COSIM_MAGIC;
+  hello.version = HMC_COSIM_VERSION;
+  hello.slot = slot;
+  hmc_cosim_welcome_t welcome;
+  if (!write_full(fd, &hello, sizeof(hello)) ||
+      !read_full(fd, &welcome, sizeof(welcome)) ||
+      welcome.magic != HMC_COSIM_MAGIC ||
+      welcome.version != HMC_COSIM_VERSION || welcome.ring_slots < 2) {
+    close(fd);
+    return NULL;
+  }
+
+  const int shm_fd = shm_open(welcome.shm_name, O_RDWR, 0);
+  if (shm_fd < 0) {
+    close(fd);
+    return NULL;
+  }
+  const size_t bytes =
+      hmc_cosim_shm_bytes(welcome.ring_slots, welcome.num_clients);
+  void *base = mmap(NULL, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, shm_fd,
+                    0);
+  close(shm_fd);
+  if (base == MAP_FAILED) {
+    close(fd);
+    return NULL;
+  }
+
+  hmc_cosim_t *c = (hmc_cosim_t *)calloc(1, sizeof(*c));
+  if (c == NULL) {
+    munmap(base, bytes);
+    close(fd);
+    return NULL;
+  }
+  c->fd = fd;
+  c->client_id = welcome.client_id;
+  c->num_links = welcome.num_links;
+  c->ring_slots = welcome.ring_slots;
+  c->num_clients = welcome.num_clients;
+  c->quantum = welcome.quantum;
+  c->cycle = 0;
+  c->shm_base = base;
+  c->shm_bytes = bytes;
+  c->c2s = hmc_cosim_shm_c2s(base, welcome.ring_slots, welcome.client_id);
+  c->s2c = hmc_cosim_shm_s2c(base, welcome.ring_slots, welcome.client_id);
+  return c;
+}
+
+void hmc_cosim_disconnect(hmc_cosim_t *client) {
+  if (client == NULL) {
+    return;
+  }
+  hmc_cosim_msg_t bye;
+  memset(&bye, 0, sizeof(bye));
+  bye.type = HMC_COSIM_MSG_BYE;
+  /* Best effort: if the ring is full the closed socket says goodbye. */
+  (void)hmc_cosim_ring_push(client->c2s, client->ring_slots, &bye);
+  close(client->fd);
+  munmap(client->shm_base, client->shm_bytes);
+  free(client->rsp_q);
+  free(client);
+}
+
+uint32_t hmc_cosim_client_id(const hmc_cosim_t *client) {
+  return client == NULL ? 0 : client->client_id;
+}
+
+uint32_t hmc_cosim_num_links(const hmc_cosim_t *client) {
+  return client == NULL ? 0 : client->num_links;
+}
+
+uint64_t hmc_cosim_quantum(const hmc_cosim_t *client) {
+  return client == NULL ? 0 : client->quantum;
+}
+
+uint64_t hmc_cosim_cycle(const hmc_cosim_t *client) {
+  return client == NULL ? 0 : client->cycle;
+}
+
+/* Push with bounded patience: the server drains eagerly, so a full ring
+ * only persists if the server died. */
+static int push_c2s(hmc_cosim_t *c, const hmc_cosim_msg_t *msg) {
+  unsigned spins = 0;
+  while (hmc_cosim_ring_push(c->c2s, c->ring_slots, msg) == 0) {
+    if (++spins > 100000u) {
+      return HMC_COSIM_STALL;
+    }
+    sched_yield();
+  }
+  return HMC_COSIM_OK;
+}
+
+static void buffer_rsp(hmc_cosim_t *c, const hmc_cosim_msg_t *msg) {
+  if (c->rsp_head + c->rsp_len == c->rsp_cap) {
+    /* Compact or grow. */
+    if (c->rsp_head > 0) {
+      memmove(c->rsp_q, c->rsp_q + c->rsp_head,
+              c->rsp_len * sizeof(*c->rsp_q));
+      c->rsp_head = 0;
+    }
+    if (c->rsp_len == c->rsp_cap) {
+      const size_t cap = c->rsp_cap == 0 ? 64 : c->rsp_cap * 2;
+      hmc_cosim_msg_t *q =
+          (hmc_cosim_msg_t *)realloc(c->rsp_q, cap * sizeof(*q));
+      if (q == NULL) {
+        return; /* OOM: drop the response. */
+      }
+      c->rsp_q = q;
+      c->rsp_cap = cap;
+    }
+  }
+  c->rsp_q[c->rsp_head + c->rsp_len] = *msg;
+  c->rsp_len += 1;
+}
+
+int hmc_cosim_send(hmc_cosim_t *client, uint32_t link, uint32_t rqst,
+                   uint8_t cub, uint64_t addr, uint16_t tag,
+                   const uint64_t *payload, uint32_t payload_words) {
+  if (client == NULL || link >= client->num_links ||
+      payload_words > HMC_COSIM_PAYLOAD_WORDS ||
+      (payload == NULL && payload_words > 0)) {
+    return HMC_COSIM_ERROR;
+  }
+  hmc_cosim_msg_t msg;
+  memset(&msg, 0, sizeof(msg));
+  msg.type = HMC_COSIM_MSG_SEND;
+  msg.link = link;
+  msg.rqst = rqst;
+  msg.cub = cub;
+  msg.addr = addr;
+  msg.tag = tag;
+  msg.payload_words = payload_words;
+  if (payload_words > 0) {
+    memcpy(msg.payload, payload, (size_t)payload_words * sizeof(uint64_t));
+  }
+  return push_c2s(client, &msg);
+}
+
+int hmc_cosim_clock(hmc_cosim_t *client, uint64_t cycles) {
+  if (client == NULL || cycles == 0) {
+    return HMC_COSIM_ERROR;
+  }
+  hmc_cosim_msg_t msg;
+  memset(&msg, 0, sizeof(msg));
+  msg.type = HMC_COSIM_MSG_CLOCK;
+  msg.arg = cycles;
+  const int rc = push_c2s(client, &msg);
+  if (rc != HMC_COSIM_OK) {
+    return rc;
+  }
+  /* Wait for the barrier ack, banking responses along the way. */
+  for (;;) {
+    if (hmc_cosim_ring_pop(client->s2c, client->ring_slots, &msg) == 0) {
+      sched_yield();
+      continue;
+    }
+    if (msg.type == HMC_COSIM_MSG_RSP) {
+      buffer_rsp(client, &msg);
+    } else if (msg.type == HMC_COSIM_MSG_CLOCK_ACK) {
+      client->cycle = msg.arg;
+      return HMC_COSIM_OK;
+    }
+  }
+}
+
+int hmc_cosim_recv(hmc_cosim_t *client, uint8_t *rsp_cmd, uint16_t *tag,
+                   uint64_t *payload, uint32_t *payload_words,
+                   uint64_t *latency) {
+  if (client == NULL) {
+    return HMC_COSIM_ERROR;
+  }
+  /* Opportunistically drain responses the server pushed since the last
+   * barrier (they only appear during barriers, but cost nothing). */
+  hmc_cosim_msg_t pulled;
+  while (hmc_cosim_ring_pop(client->s2c, client->ring_slots, &pulled) != 0) {
+    if (pulled.type == HMC_COSIM_MSG_RSP) {
+      buffer_rsp(client, &pulled);
+    }
+  }
+  if (client->rsp_len == 0) {
+    return HMC_COSIM_NO_DATA;
+  }
+  const hmc_cosim_msg_t *msg = &client->rsp_q[client->rsp_head];
+  client->rsp_head += 1;
+  client->rsp_len -= 1;
+  if (rsp_cmd != NULL) {
+    *rsp_cmd = (uint8_t)msg->rqst;
+  }
+  if (tag != NULL) {
+    *tag = msg->tag;
+  }
+  int rc = HMC_COSIM_OK;
+  if (payload != NULL) {
+    uint32_t capacity = 32;
+    if (payload_words != NULL && *payload_words > 0) {
+      capacity = *payload_words;
+    }
+    uint32_t n = msg->payload_words;
+    if (n > capacity) {
+      n = capacity;
+      rc = HMC_COSIM_ETRUNC;
+    }
+    memcpy(payload, msg->payload, (size_t)n * sizeof(uint64_t));
+  }
+  if (payload_words != NULL) {
+    *payload_words = msg->payload_words;
+  }
+  if (latency != NULL) {
+    *latency = msg->arg;
+  }
+  return rc;
+}

@@ -1,0 +1,212 @@
+/* cosim_proto.h — wire protocol of the co-simulation server.
+ *
+ * A server process owns the simulation; client processes attach over a
+ * Unix-domain control socket and exchange packets through per-client
+ * SPSC rings in one POSIX shared-memory segment. This header is the
+ * single source of truth for both sides and compiles as C11 and C++20
+ * (the server includes it from C++, the client library from C).
+ *
+ * Handshake (control socket, fixed-size structs, host byte order — the
+ * transport is same-machine by construction):
+ *
+ *   client -> server   hmc_cosim_hello_t   (magic, version, slot)
+ *   server -> client   hmc_cosim_welcome_t (shm name, geometry, quantum)
+ *
+ * The client then maps the shm segment and talks exclusively through its
+ * ring pair; the socket stays open only to detect peer death.
+ *
+ * Data plane (per client): one client->server ring and one
+ * server->client ring of fixed hmc_cosim_msg_t slots.
+ *
+ *   client -> server   SEND*  CLOCK | BYE
+ *   server -> client   RSP*   CLOCK_ACK
+ *
+ * Synchronization is conservative and quantum-based: a client posts any
+ * number of SENDs followed by one CLOCK(n). The server waits until every
+ * live client has posted its CLOCK (a barrier), admits all queued SENDs
+ * in client-slot order (messages of one client in arrival order), then
+ * advances the simulation n cycles — every client must request the same
+ * n at a given barrier (use the quantum from the welcome) — delivering
+ * RSP messages as packets retire, and finally posts CLOCK_ACK carrying
+ * the new cycle count. Admission order is therefore a pure function of
+ * the message sequences, never of scheduling: two runs with the same
+ * per-client workloads produce byte-identical statistics (docs/COSIM.md).
+ */
+#ifndef HMCSIM_IPC_COSIM_PROTO_H
+#define HMCSIM_IPC_COSIM_PROTO_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+#define HMC_COSIM_CAST(type, expr) (reinterpret_cast<type>(expr))
+#define HMC_COSIM_ALIGN(n) alignas(n)
+extern "C" {
+#else
+#define HMC_COSIM_CAST(type, expr) ((type)(expr))
+#define HMC_COSIM_ALIGN(n) _Alignas(n)
+#endif
+
+#define HMC_COSIM_MAGIC 0x434D4348u /* "HCMC" */
+#define HMC_COSIM_VERSION 1u
+
+/* Ring message types. */
+#define HMC_COSIM_MSG_SEND 1u      /* client->server: inject a request */
+#define HMC_COSIM_MSG_CLOCK 2u     /* client->server: barrier, advance n */
+#define HMC_COSIM_MSG_BYE 3u       /* client->server: detach */
+#define HMC_COSIM_MSG_RSP 4u       /* server->client: completed response */
+#define HMC_COSIM_MSG_CLOCK_ACK 5u /* server->client: barrier done */
+
+/* Payload capacity of one message: the largest Gen2 packet moves
+ * 2 x (9 - 1) = 16 data words; 32 leaves headroom for CMC shapes. */
+#define HMC_COSIM_PAYLOAD_WORDS 32u
+
+/* One fixed-size ring slot. Field use by type:
+ *   SEND       link, rqst, cub, tag, addr, payload[payload_words]
+ *   CLOCK      arg = cycles to advance
+ *   BYE        (no fields)
+ *   RSP        link, rqst = response command, cub = ERRSTAT, tag,
+ *              arg = latency in cycles, payload[payload_words]
+ *   CLOCK_ACK  arg = server cycle after the barrier */
+typedef struct {
+  uint32_t type;
+  uint32_t link;
+  uint64_t addr;
+  uint64_t arg;
+  uint32_t rqst;
+  uint16_t tag;
+  uint8_t cub;
+  uint8_t pad0;
+  uint32_t payload_words;
+  uint32_t pad1;
+  uint64_t payload[HMC_COSIM_PAYLOAD_WORDS];
+} hmc_cosim_msg_t;
+
+/* ---- control-socket structs --------------------------------------------- */
+
+/* Client slots are caller-assigned (0..num_clients-1): the launcher, not
+ * the accept() race, decides which client is which, so admission order —
+ * and with it the statistics — is reproducible across runs. */
+typedef struct {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t slot;
+  uint32_t pad;
+} hmc_cosim_hello_t;
+
+#define HMC_COSIM_SHM_NAME_MAX 64u
+
+typedef struct {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t client_id;   /* echoes the granted slot */
+  uint32_t num_links;   /* host links of the simulated device */
+  uint32_t ring_slots;  /* messages per ring */
+  uint32_t num_clients; /* total expected clients */
+  uint64_t quantum;     /* cycles every CLOCK must request */
+  char shm_name[HMC_COSIM_SHM_NAME_MAX]; /* for shm_open() */
+} hmc_cosim_welcome_t;
+
+/* ---- SPSC ring ----------------------------------------------------------
+ *
+ * Single producer, single consumer. head is written by the producer,
+ * tail by the consumer; both only ever increase (indices are taken
+ * modulo the slot count). The 64-byte alignment keeps the two counters
+ * on separate cache lines. Slot storage follows the header directly in
+ * shared memory — see hmc_cosim_ring_slot(). */
+
+typedef struct {
+  HMC_COSIM_ALIGN(64) uint64_t head; /* next slot the producer writes */
+  HMC_COSIM_ALIGN(64) uint64_t tail; /* next slot the consumer reads */
+} hmc_cosim_ring_t;
+
+#define HMC_COSIM_RING_HDR_BYTES 128u
+
+static inline size_t hmc_cosim_ring_bytes(uint32_t ring_slots) {
+  const size_t bytes = HMC_COSIM_RING_HDR_BYTES +
+                       (size_t)ring_slots * sizeof(hmc_cosim_msg_t);
+  /* Round up so consecutive rings keep the 64-byte counter alignment. */
+  return (bytes + 63u) & ~(size_t)63u;
+}
+
+static inline hmc_cosim_msg_t *hmc_cosim_ring_slot(hmc_cosim_ring_t *ring,
+                                                   uint32_t ring_slots,
+                                                   uint64_t index) {
+  uint8_t *base = HMC_COSIM_CAST(uint8_t *, ring) + HMC_COSIM_RING_HDR_BYTES;
+  return HMC_COSIM_CAST(hmc_cosim_msg_t *, base) + index % ring_slots;
+}
+
+/* Non-blocking push; 0 when the ring is full. */
+static inline int hmc_cosim_ring_push(hmc_cosim_ring_t *ring,
+                                      uint32_t ring_slots,
+                                      const hmc_cosim_msg_t *msg) {
+  const uint64_t head = __atomic_load_n(&ring->head, __ATOMIC_RELAXED);
+  const uint64_t tail = __atomic_load_n(&ring->tail, __ATOMIC_ACQUIRE);
+  if (head - tail >= ring_slots) {
+    return 0;
+  }
+  *hmc_cosim_ring_slot(ring, ring_slots, head) = *msg;
+  __atomic_store_n(&ring->head, head + 1, __ATOMIC_RELEASE);
+  return 1;
+}
+
+/* Non-blocking pop; 0 when the ring is empty. */
+static inline int hmc_cosim_ring_pop(hmc_cosim_ring_t *ring,
+                                     uint32_t ring_slots,
+                                     hmc_cosim_msg_t *msg) {
+  const uint64_t tail = __atomic_load_n(&ring->tail, __ATOMIC_RELAXED);
+  const uint64_t head = __atomic_load_n(&ring->head, __ATOMIC_ACQUIRE);
+  if (tail == head) {
+    return 0;
+  }
+  *msg = *hmc_cosim_ring_slot(ring, ring_slots, tail);
+  __atomic_store_n(&ring->tail, tail + 1, __ATOMIC_RELEASE);
+  return 1;
+}
+
+/* ---- shared-memory segment layout ---------------------------------------
+ *
+ *   [ 64B header | client0: c2s ring, s2c ring | client1: ... ]
+ *
+ * Ring offsets are pure functions of (ring_slots, slot index), so both
+ * sides compute them independently from the welcome geometry. */
+
+typedef struct {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t ring_slots;
+  uint32_t num_clients;
+} hmc_cosim_shm_hdr_t;
+
+#define HMC_COSIM_SHM_HDR_BYTES 64u
+
+static inline size_t hmc_cosim_shm_bytes(uint32_t ring_slots,
+                                         uint32_t num_clients) {
+  return HMC_COSIM_SHM_HDR_BYTES +
+         (size_t)num_clients * 2u * hmc_cosim_ring_bytes(ring_slots);
+}
+
+/* Client `slot`'s client->server ring. */
+static inline hmc_cosim_ring_t *hmc_cosim_shm_c2s(void *shm_base,
+                                                  uint32_t ring_slots,
+                                                  uint32_t slot) {
+  uint8_t *p = HMC_COSIM_CAST(uint8_t *, shm_base) + HMC_COSIM_SHM_HDR_BYTES +
+               (size_t)slot * 2u * hmc_cosim_ring_bytes(ring_slots);
+  return HMC_COSIM_CAST(hmc_cosim_ring_t *, p);
+}
+
+/* Client `slot`'s server->client ring. */
+static inline hmc_cosim_ring_t *hmc_cosim_shm_s2c(void *shm_base,
+                                                  uint32_t ring_slots,
+                                                  uint32_t slot) {
+  uint8_t *p = HMC_COSIM_CAST(uint8_t *, shm_base) + HMC_COSIM_SHM_HDR_BYTES +
+               (size_t)slot * 2u * hmc_cosim_ring_bytes(ring_slots) +
+               hmc_cosim_ring_bytes(ring_slots);
+  return HMC_COSIM_CAST(hmc_cosim_ring_t *, p);
+}
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* HMCSIM_IPC_COSIM_PROTO_H */

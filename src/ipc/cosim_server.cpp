@@ -1,0 +1,414 @@
+#include "ipc/cosim_server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sched.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hmcsim::ipc {
+
+namespace {
+
+/// Blocking full write on a stream socket (EINTR-safe).
+bool write_full(int fd, const void* buf, std::size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking full read on a stream socket (EINTR-safe); false on EOF.
+bool read_full(int fd, void* buf, std::size_t len) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// Server-side state of one attached client.
+struct CosimServer::Client {
+  int fd = -1;                 ///< Control socket (liveness only).
+  hmc_cosim_ring_t* c2s = nullptr;
+  hmc_cosim_ring_t* s2c = nullptr;
+  std::vector<hmc_cosim_msg_t> pending;  ///< SENDs queued this quantum.
+  std::uint64_t clock_request = 0;       ///< Cycles asked by CLOCK.
+  bool at_barrier = false;               ///< CLOCK seen this quantum.
+  bool live = false;                     ///< Attached and not BYE'd.
+
+  ~Client() {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+};
+
+CosimServer::CosimServer(backend::MemoryBackend& mem, CosimOptions opts)
+    : mem_(&mem), opts_(std::move(opts)) {}
+
+CosimServer::~CosimServer() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+  if (shm_base_ != nullptr) {
+    ::munmap(shm_base_, shm_bytes_);
+  }
+  if (!shm_name_.empty()) {
+    ::shm_unlink(shm_name_.c_str());
+  }
+  if (!opts_.socket_path.empty()) {
+    ::unlink(opts_.socket_path.c_str());
+  }
+}
+
+Status CosimServer::bind() {
+  if (opts_.socket_path.empty()) {
+    return Status::InvalidArg("cosim server needs a socket path");
+  }
+  if (opts_.expected_clients < 1 || opts_.expected_clients > 64) {
+    return Status::InvalidArg("expected_clients must be in [1, 64]");
+  }
+  if (opts_.ring_slots < 2) {
+    return Status::InvalidArg("ring_slots must be at least 2");
+  }
+  if (opts_.quantum == 0) {
+    return Status::InvalidArg("quantum must be at least 1 cycle");
+  }
+  sockaddr_un addr{};
+  if (opts_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArg("socket path longer than sockaddr_un allows");
+  }
+
+  // Shared-memory segment: one name per server process.
+  shm_name_ = "/hmcsim-cosim-" + std::to_string(::getpid());
+  ::shm_unlink(shm_name_.c_str());  // stale segment from a crashed run
+  const int shm_fd =
+      ::shm_open(shm_name_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (shm_fd < 0) {
+    shm_name_.clear();
+    return Status::Internal("shm_open: " + std::string(std::strerror(errno)));
+  }
+  shm_bytes_ = hmc_cosim_shm_bytes(opts_.ring_slots, opts_.expected_clients);
+  if (::ftruncate(shm_fd, static_cast<off_t>(shm_bytes_)) != 0) {
+    ::close(shm_fd);
+    return Status::Internal("ftruncate: " + std::string(std::strerror(errno)));
+  }
+  shm_base_ = ::mmap(nullptr, shm_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     shm_fd, 0);
+  ::close(shm_fd);
+  if (shm_base_ == MAP_FAILED) {
+    shm_base_ = nullptr;
+    return Status::Internal("mmap: " + std::string(std::strerror(errno)));
+  }
+  std::memset(shm_base_, 0, shm_bytes_);
+  auto* hdr = static_cast<hmc_cosim_shm_hdr_t*>(shm_base_);
+  hdr->magic = HMC_COSIM_MAGIC;
+  hdr->version = HMC_COSIM_VERSION;
+  hdr->ring_slots = opts_.ring_slots;
+  hdr->num_clients = opts_.expected_clients;
+
+  // Control socket.
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("socket: " + std::string(std::strerror(errno)));
+  }
+  ::unlink(opts_.socket_path.c_str());  // stale socket from a crashed run
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+              opts_.socket_path.size() + 1);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::Internal("bind " + opts_.socket_path + ": " +
+                            std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, static_cast<int>(opts_.expected_clients)) != 0) {
+    return Status::Internal("listen: " + std::string(std::strerror(errno)));
+  }
+
+  clients_.clear();
+  for (std::uint32_t i = 0; i < opts_.expected_clients; ++i) {
+    auto c = std::make_unique<Client>();
+    c->c2s = hmc_cosim_shm_c2s(shm_base_, opts_.ring_slots, i);
+    c->s2c = hmc_cosim_shm_s2c(shm_base_, opts_.ring_slots, i);
+    clients_.push_back(std::move(c));
+  }
+  session_ = std::make_unique<sim::Session>(*mem_);
+  session_->set_on_complete(
+      [this](sim::BatchTicket t, const sim::Response& r) { deliver(t, r); });
+  return Status::Ok();
+}
+
+Status CosimServer::accept_clients() {
+  std::uint32_t attached = 0;
+  while (attached < opts_.expected_clients) {
+    if (stop_.load(std::memory_order_relaxed)) {
+      return Status::InvalidState("stop requested while waiting for clients");
+    }
+    // Bounded poll so request_stop() can interrupt an idle accept.
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready < 0 && errno != EINTR) {
+      return Status::Internal("poll: " + std::string(std::strerror(errno)));
+    }
+    if (ready <= 0) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Internal("accept: " + std::string(std::strerror(errno)));
+    }
+    hmc_cosim_hello_t hello{};
+    if (!read_full(fd, &hello, sizeof(hello)) ||
+        hello.magic != HMC_COSIM_MAGIC ||
+        hello.version != HMC_COSIM_VERSION ||
+        hello.slot >= opts_.expected_clients ||
+        clients_[hello.slot]->live) {
+      ::close(fd);
+      return Status::InvalidState("rejected client handshake (bad magic, "
+                                  "version, or slot)");
+    }
+    Client& c = *clients_[hello.slot];
+    c.fd = fd;
+    c.live = true;
+    hmc_cosim_welcome_t welcome{};
+    welcome.magic = HMC_COSIM_MAGIC;
+    welcome.version = HMC_COSIM_VERSION;
+    welcome.client_id = hello.slot;
+    welcome.num_links = mem_->num_links();
+    welcome.ring_slots = opts_.ring_slots;
+    welcome.num_clients = opts_.expected_clients;
+    welcome.quantum = opts_.quantum;
+    std::snprintf(welcome.shm_name, sizeof(welcome.shm_name), "%s",
+                  shm_name_.c_str());
+    if (!write_full(fd, &welcome, sizeof(welcome))) {
+      return Status::Internal("welcome write failed for slot " +
+                              std::to_string(hello.slot));
+    }
+    ++attached;
+  }
+  return Status::Ok();
+}
+
+void CosimServer::poll_client(Client& c) {
+  hmc_cosim_msg_t msg;
+  while (!c.at_barrier && c.live &&
+         hmc_cosim_ring_pop(c.c2s, opts_.ring_slots, &msg) != 0) {
+    switch (msg.type) {
+      case HMC_COSIM_MSG_SEND:
+        c.pending.push_back(msg);
+        break;
+      case HMC_COSIM_MSG_CLOCK:
+        c.clock_request = msg.arg;
+        c.at_barrier = true;
+        break;
+      case HMC_COSIM_MSG_BYE:
+        c.live = false;
+        break;
+      default:
+        c.live = false;  // Protocol garbage: drop the client.
+        break;
+    }
+  }
+}
+
+Status CosimServer::admit_pending() {
+  for (std::size_t slot = 0; slot < clients_.size(); ++slot) {
+    Client& c = *clients_[slot];
+    // One batch per maximal same-link run preserves the client's per-link
+    // order while keeping admission independent of arrival timing.
+    std::size_t i = 0;
+    while (i < c.pending.size()) {
+      const std::uint32_t link = c.pending[i].link;
+      std::vector<spec::RqstParams> run;
+      while (i < c.pending.size() && c.pending[i].link == link) {
+        const hmc_cosim_msg_t& m = c.pending[i];
+        spec::RqstParams p;
+        p.rqst = static_cast<spec::Rqst>(m.rqst);
+        p.addr = m.addr;
+        p.tag = m.tag;
+        p.cub = m.cub;
+        const std::uint32_t words =
+            m.payload_words > HMC_COSIM_PAYLOAD_WORDS ? HMC_COSIM_PAYLOAD_WORDS
+                                                      : m.payload_words;
+        p.payload = {m.payload, words};
+        run.push_back(p);
+        ++i;
+      }
+      sim::BatchTicket ticket = sim::kInvalidTicket;
+      if (Status s = session_->send_batch(run, ticket, link); !s.ok()) {
+        return Status::InvalidState(
+            "client " + std::to_string(slot) + " sent an inadmissible "
+            "request: " + s.to_string());
+      }
+      // Posted-only batches can retire inside send_batch; only live
+      // tickets owe responses worth routing.
+      sim::BatchProgress prog;
+      if (session_->batch_progress(ticket, prog).ok()) {
+        ticket_owner_[ticket] = static_cast<std::uint32_t>(slot);
+      }
+      requests_ += run.size();
+    }
+    c.pending.clear();
+  }
+  return Status::Ok();
+}
+
+void CosimServer::deliver(sim::BatchTicket ticket, const sim::Response& rsp) {
+  const auto it = ticket_owner_.find(ticket);
+  if (it == ticket_owner_.end()) {
+    return;  // Owner already gone; drop the response.
+  }
+  Client& c = *clients_[it->second];
+  if (session_->batch_done(ticket)) {
+    ticket_owner_.erase(it);
+  }
+  if (!c.live) {
+    return;
+  }
+  hmc_cosim_msg_t msg{};
+  msg.type = HMC_COSIM_MSG_RSP;
+  msg.rqst = rsp.pkt.cmd();
+  msg.cub = rsp.pkt.errstat();
+  msg.tag = rsp.pkt.tag();
+  msg.arg = rsp.latency;
+  const auto data = rsp.pkt.payload();
+  msg.payload_words = static_cast<std::uint32_t>(data.size());
+  for (std::size_t w = 0; w < data.size(); ++w) {
+    msg.payload[w] = data[w];
+  }
+  push_to_client(c, msg);
+  ++responses_;
+}
+
+void CosimServer::push_to_client(Client& c, const hmc_cosim_msg_t& msg) {
+  while (hmc_cosim_ring_push(c.s2c, opts_.ring_slots, &msg) == 0) {
+    if (stop_.load(std::memory_order_relaxed) || !c.live) {
+      return;  // Ring stuck full: the client is gone, drop the message.
+    }
+    ::sched_yield();
+  }
+}
+
+Status CosimServer::run_barriers() {
+  while (true) {
+    // Barrier: every live client has posted CLOCK (or left).
+    bool all_ready = true;
+    std::uint32_t live = 0;
+    for (auto& cp : clients_) {
+      poll_client(*cp);
+      if (cp->live) {
+        ++live;
+        if (!cp->at_barrier) {
+          all_ready = false;
+        }
+      }
+    }
+    if (live == 0) {
+      return Status::Ok();  // Everyone said BYE.
+    }
+    if (!all_ready) {
+      if (stop_.load(std::memory_order_relaxed)) {
+        return Status::InvalidState("stop requested at the barrier");
+      }
+      ::sched_yield();
+      continue;
+    }
+
+    // All CLOCKs must agree — the quantum is part of the configuration.
+    std::uint64_t cycles = 0;
+    for (auto& cp : clients_) {
+      if (!cp->live) {
+        continue;
+      }
+      if (cycles == 0) {
+        cycles = cp->clock_request;
+      } else if (cp->clock_request != cycles) {
+        return Status::InvalidState("clients disagree on the clock quantum");
+      }
+    }
+    if (cycles == 0) {
+      return Status::InvalidState("CLOCK must request at least one cycle");
+    }
+
+    if (Status s = admit_pending(); !s.ok()) {
+      return s;
+    }
+    session_->advance(cycles);
+    ++quanta_;
+
+    hmc_cosim_msg_t ack{};
+    ack.type = HMC_COSIM_MSG_CLOCK_ACK;
+    ack.arg = mem_->cycle();
+    for (auto& cp : clients_) {
+      if (cp->live) {
+        cp->at_barrier = false;
+        push_to_client(*cp, ack);
+      }
+    }
+    if (opts_.max_cycles != 0 && mem_->cycle() >= opts_.max_cycles) {
+      return Status::InvalidState("max_cycles guard reached at cycle " +
+                                  std::to_string(mem_->cycle()));
+    }
+  }
+}
+
+Status CosimServer::serve() {
+  if (listen_fd_ < 0) {
+    return Status::InvalidState("serve() before bind()");
+  }
+  if (Status s = accept_clients(); !s.ok()) {
+    return s;
+  }
+  Status s = run_barriers();
+  // Admit whatever the departed clients left queued, then run to
+  // quiescence so in-flight packets retire and statistics settle.
+  if (s.ok()) {
+    s = admit_pending();
+  }
+  if (s.ok()) {
+    mem_->clock_until_idle(opts_.max_cycles);
+    session_->pump();
+  }
+  return s;
+}
+
+void CosimServer::request_stop() noexcept {
+  stop_.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace hmcsim::ipc

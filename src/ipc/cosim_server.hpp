@@ -1,0 +1,99 @@
+// cosim_server.hpp — co-simulation server: one process owns the cube,
+// client processes drive it over shared-memory rings.
+//
+// The server accepts a fixed set of clients (no late joins — the client
+// count is part of the configuration, so runs are reproducible), then
+// executes quantum barriers: wait for every live client's CLOCK, admit
+// all queued SENDs in client-slot order through a sim::Session, advance
+// the agreed number of cycles delivering responses as they retire, ack.
+// serve() returns when every client has said BYE (the simulation is then
+// run to quiescence so statistics settle) or on a protocol error.
+//
+// Determinism contract: with the same configuration and the same
+// per-client message sequences, two server runs produce byte-identical
+// statistics JSON — regardless of process scheduling, because nothing
+// the server does depends on *when* messages arrive, only on their
+// per-client order and the slot numbering (docs/COSIM.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "common/status.hpp"
+#include "ipc/cosim_proto.h"
+#include "sim/session.hpp"
+
+namespace hmcsim::ipc {
+
+struct CosimOptions {
+  std::string socket_path;            ///< Unix-domain control socket.
+  std::uint32_t expected_clients = 1; ///< Exact client count (1..64).
+  std::uint64_t quantum = 64;         ///< Cycles each CLOCK must request.
+  std::uint32_t ring_slots = 1024;    ///< Messages per SPSC ring (>= 2).
+  std::uint64_t max_cycles = 0;       ///< Abort guard; 0 = unbounded.
+};
+
+class CosimServer {
+ public:
+  /// Serve `mem` (not owned; must outlive the server).
+  CosimServer(backend::MemoryBackend& mem, CosimOptions opts);
+  ~CosimServer();
+  CosimServer(const CosimServer&) = delete;
+  CosimServer& operator=(const CosimServer&) = delete;
+
+  /// Create the control socket and the shared-memory segment. Fails if
+  /// the socket path is taken (stale sockets are unlinked first) or the
+  /// options are out of range.
+  [[nodiscard]] Status bind();
+
+  /// Accept the expected clients, run quantum barriers until all of them
+  /// disconnect, then clock the backend to quiescence. Blocking; call
+  /// request_stop() from another thread to abort an idle accept/barrier.
+  [[nodiscard]] Status serve();
+
+  /// Ask a blocked serve() to give up at its next poll.
+  void request_stop() noexcept;
+
+  [[nodiscard]] std::uint64_t cycle() const { return mem_->cycle(); }
+  /// Barriers executed so far.
+  [[nodiscard]] std::uint64_t quanta() const noexcept { return quanta_; }
+  /// Requests admitted on behalf of clients so far.
+  [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+  /// Responses delivered to client rings so far.
+  [[nodiscard]] std::uint64_t responses() const noexcept { return responses_; }
+
+ private:
+  struct Client;
+
+  [[nodiscard]] Status accept_clients();
+  [[nodiscard]] Status run_barriers();
+  /// Drain one client's c2s ring into its pending queue; true while the
+  /// client is still live.
+  void poll_client(Client& c);
+  /// Admit every pending SEND (slot order, arrival order within a slot).
+  [[nodiscard]] Status admit_pending();
+  void deliver(sim::BatchTicket ticket, const sim::Response& rsp);
+  void push_to_client(Client& c, const hmc_cosim_msg_t& msg);
+
+  backend::MemoryBackend* mem_;
+  CosimOptions opts_;
+  std::unique_ptr<sim::Session> session_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  /// Batch ticket -> client slot owed its responses.
+  std::unordered_map<sim::BatchTicket, std::uint32_t> ticket_owner_;
+  std::string shm_name_;
+  void* shm_base_ = nullptr;
+  std::size_t shm_bytes_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::uint64_t quanta_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t responses_ = 0;
+};
+
+}  // namespace hmcsim::ipc

@@ -1,0 +1,300 @@
+#include "sim/session.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "backend/hmc_backend.hpp"
+#include "spec/commands.hpp"
+
+namespace hmcsim::sim {
+
+Session::Session(backend::MemoryBackend& mem)
+    : mem_(&mem), links_(mem.num_links()) {
+  admit_q_.resize(links_);
+  unmatched_.resize(links_);
+}
+
+Session::Session(Simulator& sim)
+    : owned_(std::make_unique<backend::HmcBackend>(sim)),
+      mem_(owned_.get()),
+      links_(mem_->num_links()) {
+  admit_q_.resize(links_);
+  unmatched_.resize(links_);
+}
+
+Session::~Session() = default;
+
+Status Session::validate(const spec::RqstParams& p) const {
+  spec::RqstParams q = p;
+  if (spec::is_cmc(q.rqst) && q.flits_override == 0) {
+    // Mirror Simulator::send: CMC packet length comes from the live
+    // registration (quarantined slots still shape packets).
+    Simulator* s = mem_->simulator();
+    if (s == nullptr) {
+      return Status::Unsupported(
+          "CMC request needs flits_override on a non-HMC backend");
+    }
+    const cmc::CmcOp* op = s->cmc_registry().lookup_registered(q.rqst);
+    if (op == nullptr) {
+      return Status::NotFound("CMC command " +
+                              std::string(spec::to_string(q.rqst)) +
+                              " has no registered operation");
+    }
+    q.flits_override = static_cast<std::uint8_t>(op->rqst_len);
+  }
+  return spec::validate_request(q);
+}
+
+bool Session::expects_response(const spec::RqstParams& p) const {
+  if (spec::is_cmc(p.rqst)) {
+    if (Simulator* s = mem_->simulator()) {
+      if (const cmc::CmcOp* op = s->cmc_registry().lookup_registered(p.rqst)) {
+        return op->rsp_len > 0;
+      }
+    }
+    return true;  // Unknown shape: assume a response so none is dropped.
+  }
+  return spec::command_info(p.rqst).rsp_flits > 0;
+}
+
+Status Session::send_batch(std::span<const spec::RqstParams> reqs,
+                           BatchTicket& ticket, std::uint32_t link) {
+  ticket = kInvalidTicket;
+  if (reqs.empty()) {
+    return Status::InvalidArg("empty batch");
+  }
+  if (reqs.size() > kMaxBatchRequests) {
+    return Status::InvalidArg(
+        "batch of " + std::to_string(reqs.size()) + " exceeds the per-batch "
+        "cap of " + std::to_string(kMaxBatchRequests) +
+        " requests; split it (batches pipeline)");
+  }
+  if (link != kAnyLink && link >= links_) {
+    return Status::InvalidArg("link " + std::to_string(link) +
+                              " beyond the backend's " +
+                              std::to_string(links_) + " host links");
+  }
+  // Atomic submit: reject the whole batch before queueing anything.
+  for (const spec::RqstParams& p : reqs) {
+    if (Status s = validate(p); !s.ok()) {
+      return s;
+    }
+  }
+
+  const BatchTicket t = next_ticket_++;
+  Batch& batch = batches_[t];
+  batch.progress.total = reqs.size();
+  for (const spec::RqstParams& p : reqs) {
+    const std::uint32_t l = link == kAnyLink ? rr_link_++ % links_ : link;
+    Pending pending;
+    pending.params = p;
+    pending.payload.assign(p.payload.begin(), p.payload.end());
+    pending.ticket = t;
+    pending.expects_rsp = expects_response(p);
+    admit_q_[l].push_back(std::move(pending));
+  }
+  ticket = t;
+  // Admit what fits right now, so a batch submitted at cycle C enters the
+  // links at cycle C exactly like a hand-written admission loop.
+  pump();
+  return Status::Ok();
+}
+
+void Session::drain() {
+  Response rsp;
+  for (std::uint32_t link = 0; link < links_; ++link) {
+    while (mem_->rsp_ready(link)) {
+      if (!mem_->recv(link, rsp).ok()) {
+        break;
+      }
+      const auto it = inflight_.find(match_key(link, rsp.pkt.tag()));
+      if (it == inflight_.end() || it->second.empty()) {
+        unmatched_[link].push_back(rsp);
+        continue;
+      }
+      const BatchTicket t = it->second.front();
+      it->second.pop_front();
+      if (it->second.empty()) {
+        inflight_.erase(it);
+      }
+      Batch& batch = batches_.at(t);
+      ++batch.progress.received;
+      ++matched_;
+      if (on_complete_) {
+        ++batch.progress.delivered;
+        on_complete_(t, rsp);
+        maybe_retire(t);
+      } else {
+        batch.ready.push_back(rsp);
+      }
+    }
+  }
+}
+
+void Session::maybe_retire(BatchTicket ticket) {
+  if (!on_complete_) {
+    return;
+  }
+  const auto it = batches_.find(ticket);
+  if (it != batches_.end() && it->second.progress.done() &&
+      it->second.ready.empty() && it->second.error.ok()) {
+    batches_.erase(it);
+  }
+}
+
+void Session::admit() {
+  for (std::uint32_t link = 0; link < links_; ++link) {
+    std::deque<Pending>& q = admit_q_[link];
+    while (!q.empty()) {
+      Pending& p = q.front();
+      p.params.payload = {p.payload.data(), p.payload.size()};
+      const Status s = mem_->send(p.params, link);
+      if (s.stalled()) {
+        break;  // Head-of-line: keep FIFO order, try again next pump.
+      }
+      if (!s.ok()) {
+        const BatchTicket t = p.ticket;
+        q.pop_front();
+        fail_batch(t, s);
+        continue;
+      }
+      Batch& batch = batches_.at(p.ticket);
+      ++batch.progress.admitted;
+      if (p.expects_rsp) {
+        ++batch.progress.expected;
+        inflight_[match_key(link, p.params.tag)].push_back(p.ticket);
+      }
+      const BatchTicket t = p.ticket;
+      q.pop_front();
+      maybe_retire(t);  // Posted-only batch may complete at admission.
+    }
+  }
+}
+
+void Session::fail_batch(BatchTicket ticket, const Status& error) {
+  Batch& batch = batches_.at(ticket);
+  if (batch.error.ok()) {
+    batch.error = error;
+  }
+  // Drop the batch's still-queued requests everywhere; already-admitted
+  // ones stay matched so their responses are not orphaned. The batch
+  // counts the drops as admitted-without-response so done() converges.
+  for (std::deque<Pending>& q : admit_q_) {
+    for (auto it = q.begin(); it != q.end();) {
+      if (it->ticket == ticket) {
+        ++batch.progress.admitted;
+        it = q.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void Session::pump() {
+  drain();
+  admit();
+}
+
+std::uint64_t Session::advance(std::uint64_t cycles) {
+  pump();
+  for (std::uint64_t i = 0; i < cycles; ++i) {
+    mem_->clock();
+    pump();
+  }
+  return cycles;
+}
+
+Status Session::poll_batch(BatchTicket ticket, std::span<Response> out,
+                           std::size_t& filled) {
+  filled = 0;
+  pump();
+  const auto it = batches_.find(ticket);
+  if (it == batches_.end()) {
+    return Status::NotFound("unknown or retired batch ticket " +
+                            std::to_string(ticket));
+  }
+  Batch& batch = it->second;
+  const std::size_t n = std::min(out.size(), batch.ready.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = batch.ready.front();
+    batch.ready.pop_front();
+    ++batch.progress.delivered;
+  }
+  filled = n;
+  if (batch.progress.done() && batch.ready.empty()) {
+    const Status err = batch.error;
+    batches_.erase(it);
+    return err;  // Ok unless an admission hard-failed; ticket retired.
+  }
+  return Status::Stall();
+}
+
+Status Session::batch_progress(BatchTicket ticket, BatchProgress& out) const {
+  const auto it = batches_.find(ticket);
+  if (it == batches_.end()) {
+    return Status::NotFound("unknown or retired batch ticket " +
+                            std::to_string(ticket));
+  }
+  out = it->second.progress;
+  return Status::Ok();
+}
+
+bool Session::batch_done(BatchTicket ticket) const {
+  const auto it = batches_.find(ticket);
+  return it != batches_.end() && it->second.progress.done();
+}
+
+void Session::set_on_complete(CompletionFn fn) { on_complete_ = std::move(fn); }
+
+Status Session::wait_batch(BatchTicket ticket, std::uint64_t max_cycles) {
+  if (!batches_.contains(ticket)) {
+    return Status::NotFound("unknown or retired batch ticket " +
+                            std::to_string(ticket));
+  }
+  const std::uint64_t limit =
+      max_cycles == 0 ? backend::kNoEvent : mem_->cycle() + max_cycles;
+  pump();
+  while (!batch_done(ticket)) {
+    if (!batches_.contains(ticket)) {
+      // Live at entry, gone now: the completion callback retired it
+      // during a pump, which only happens once the batch is done.
+      return Status::Ok();
+    }
+    const std::uint64_t now = mem_->cycle();
+    if (now >= limit) {
+      return Status::Stall("batch still in flight after " +
+                           std::to_string(max_cycles) + " cycles");
+    }
+    std::uint64_t target = now + 1;
+    if (mem_->fast_forward_allowed()) {
+      const std::uint64_t next = mem_->next_event_cycle();
+      if (next == backend::kNoEvent) {
+        // Nothing in flight, nothing parked, batch incomplete: a response
+        // was lost (e.g. drained by a recv outside this session).
+        return Status::InvalidState(
+            "backend quiescent with batch responses outstanding");
+      }
+      target = std::min(std::max(next, target), limit);
+    }
+    mem_->clock_until(target);
+    pump();
+  }
+  return Status::Ok();
+}
+
+Status Session::recv_unmatched(std::uint32_t link, Response& out) {
+  if (link >= links_) {
+    return Status::InvalidArg("link " + std::to_string(link) +
+                              " beyond the backend's " +
+                              std::to_string(links_) + " host links");
+  }
+  if (unmatched_[link].empty()) {
+    return Status::NoData();
+  }
+  out = unmatched_[link].front();
+  unmatched_[link].pop_front();
+  return Status::Ok();
+}
+
+}  // namespace hmcsim::sim

@@ -1,0 +1,207 @@
+// session.hpp — batched asynchronous submission over a MemoryBackend.
+//
+// Session amortizes the per-packet host interface (send one / clock /
+// recv-poll every link) into whole-batch operations:
+//
+//   send_batch()  queue a span of requests, get a BatchTicket back;
+//                 as much of the batch as the links accept is admitted
+//                 immediately, the rest is retried every pump
+//   poll_batch()  harvest completed responses for a ticket (bulk copy)
+//   wait_batch()  run the clock until a batch completes, fast-forwarding
+//                 dead stretches exactly like the sequential scheduler
+//
+// Determinism is the contract (docs/COSIM.md): admission is per-link FIFO,
+// links walked in ascending order, head-of-line until the link stalls, and
+// responses are drained in ascending link order every pump. A batch driven
+// through a Session therefore retires with byte-identical statistics to
+// the same requests hand-driven by the canonical packet-at-a-time loop
+// (admit-until-stall per link, clock, drain) — the golden-equivalence
+// suite holds this bit-for-bit.
+//
+// One Session per backend. The Session drains every host link it pumps:
+// responses that match no in-flight batch request are parked per link and
+// surfaced through recv_unmatched(), so raw send()/Session traffic can be
+// mixed as long as every recv goes through the Session.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "common/status.hpp"
+#include "spec/packet.hpp"
+
+namespace hmcsim::sim {
+
+/// Handle naming one submitted batch. Tickets are unique per Session and
+/// stay valid until poll_batch() returns Ok (batch complete and every
+/// response delivered), which retires them.
+using BatchTicket = std::uint64_t;
+
+/// Never returned by send_batch(); safe "no ticket" initializer.
+inline constexpr BatchTicket kInvalidTicket = 0;
+
+/// send_batch() link selector: shard the batch round-robin across links.
+inline constexpr std::uint32_t kAnyLink = UINT32_MAX;
+
+/// Hard per-batch request cap (keeps tickets and admission queues sane;
+/// submit several batches for larger workloads — they pipeline).
+inline constexpr std::size_t kMaxBatchRequests = 1u << 16;
+
+/// Observable lifecycle counters of one batch.
+struct BatchProgress {
+  std::size_t total = 0;      ///< Requests submitted.
+  std::size_t admitted = 0;   ///< Requests accepted by the backend so far.
+  std::size_t expected = 0;   ///< Responses owed by admitted requests.
+  std::size_t received = 0;   ///< Responses matched back to the batch.
+  std::size_t delivered = 0;  ///< Responses handed to the caller/callback.
+  /// Complete: everything admitted, every owed response received. Posted
+  /// requests (rsp_flits == 0) owe no response and complete at admission.
+  [[nodiscard]] bool done() const noexcept {
+    return admitted == total && received == expected;
+  }
+};
+
+class Session {
+ public:
+  /// Invoked at drain time for every completed response of a batch when
+  /// installed via set_on_complete(); responses consumed by the callback
+  /// are not buffered for poll_batch().
+  using CompletionFn = std::function<void(BatchTicket, const Response&)>;
+
+  /// Drive `mem` (not owned; must outlive the session).
+  explicit Session(backend::MemoryBackend& mem);
+  /// Convenience: drive a caller-owned Simulator through an internal
+  /// borrowed HmcBackend.
+  explicit Session(Simulator& sim);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // ---- submission ---------------------------------------------------------
+  /// Queue `reqs` for admission on `link` (kAnyLink: round-robin across
+  /// links, one request at a time) and admit as much as the links accept
+  /// this cycle. Payloads are copied; `reqs` may die after the call.
+  /// The whole batch is validated up front: on any invalid request the
+  /// batch is rejected atomically and no ticket is created. InvalidArg on
+  /// an empty batch, a batch over kMaxBatchRequests, or a bad link.
+  [[nodiscard]] Status send_batch(std::span<const spec::RqstParams> reqs,
+                                  BatchTicket& ticket,
+                                  std::uint32_t link = kAnyLink);
+
+  // ---- completion ---------------------------------------------------------
+  /// Pump once (drain + admit, no clocking), then copy up to out.size()
+  /// completed-but-undelivered responses of `ticket` into `out`; `filled`
+  /// reports how many were written. Responses arrive in retirement order.
+  /// Returns Ok exactly once — when the batch is complete and its last
+  /// response has been delivered — and retires the ticket; Stall while
+  /// work remains (in flight, or completed responses beyond out.size());
+  /// NotFound for an unknown/retired ticket; the batch's sticky error if
+  /// the backend hard-rejected one of its requests at admission.
+  [[nodiscard]] Status poll_batch(BatchTicket ticket, std::span<Response> out,
+                                  std::size_t& filled);
+
+  /// Lifecycle counters for a live ticket; NotFound once retired.
+  [[nodiscard]] Status batch_progress(BatchTicket ticket,
+                                      BatchProgress& out) const;
+
+  /// True when every request of `ticket` is admitted and every owed
+  /// response received (delivery via poll may still be pending). False
+  /// for unknown/retired tickets.
+  [[nodiscard]] bool batch_done(BatchTicket ticket) const;
+
+  /// Stream completions through `fn` instead of buffering them for
+  /// poll_batch (fire-and-forget / server mode). Pass nullptr to restore
+  /// buffering. Applies to responses drained after the call.
+  void set_on_complete(CompletionFn fn);
+
+  // ---- time ---------------------------------------------------------------
+  /// Drain ready responses (ascending links) then admit queued requests
+  /// (ascending links, FIFO, until each link stalls). Never clocks.
+  void pump();
+
+  /// clock() `cycles` times, pumping before the first clock and after
+  /// every clock — the batched equivalent of the canonical per-cycle
+  /// admit/clock/drain loop. Returns `cycles`.
+  std::uint64_t advance(std::uint64_t cycles);
+
+  /// Run the clock until `ticket` completes or `max_cycles` elapse
+  /// (0 = unbounded). Quiescent stretches are fast-forwarded in O(1) when
+  /// the backend allows it — observably identical to advance() one cycle
+  /// at a time. Returns Ok when done (ticket stays live for polling),
+  /// Stall at budget exhaustion, InvalidState if the backend goes
+  /// quiescent while responses are still owed (lost traffic).
+  [[nodiscard]] Status wait_batch(BatchTicket ticket,
+                                  std::uint64_t max_cycles = 0);
+
+  // ---- unmatched traffic --------------------------------------------------
+  /// Pop the oldest drained response on `link` that matched no in-flight
+  /// batch request (raw send() traffic); NoData when none.
+  [[nodiscard]] Status recv_unmatched(std::uint32_t link, Response& out);
+
+  // ---- introspection ------------------------------------------------------
+  [[nodiscard]] std::uint64_t cycle() const { return mem_->cycle(); }
+  [[nodiscard]] backend::MemoryBackend& memory() noexcept { return *mem_; }
+  /// Batch responses matched since construction (all batches).
+  [[nodiscard]] std::uint64_t responses_matched() const noexcept {
+    return matched_;
+  }
+  /// Live (unretired) tickets.
+  [[nodiscard]] std::size_t open_batches() const noexcept {
+    return batches_.size();
+  }
+
+ private:
+  /// One queued request: params plus its copied payload words.
+  struct Pending {
+    spec::RqstParams params;
+    std::vector<std::uint64_t> payload;
+    BatchTicket ticket = kInvalidTicket;
+    bool expects_rsp = true;
+  };
+
+  struct Batch {
+    BatchProgress progress;
+    std::deque<Response> ready;  ///< Completed, not yet delivered.
+    Status error = Status::Ok(); ///< Sticky admission failure.
+  };
+
+  /// (link, tag) key for response matching: tags are 11 bits.
+  static std::uint32_t match_key(std::uint32_t link,
+                                 std::uint16_t tag) noexcept {
+    return (link << 12) | (tag & spec::kMaxTag);
+  }
+
+  [[nodiscard]] Status validate(const spec::RqstParams& p) const;
+  [[nodiscard]] bool expects_response(const spec::RqstParams& p) const;
+  void drain();
+  void admit();
+  /// Callback mode: retire `ticket` once it is done and clean — nobody
+  /// will poll it, so it would otherwise stay in batches_ forever.
+  void maybe_retire(BatchTicket ticket);
+  /// Hard admission failure: record the sticky error and drop the batch's
+  /// still-queued requests from every link.
+  void fail_batch(BatchTicket ticket, const Status& error);
+
+  std::unique_ptr<backend::MemoryBackend> owned_;  ///< Simulator ctor only.
+  backend::MemoryBackend* mem_;
+  std::uint32_t links_;
+  std::vector<std::deque<Pending>> admit_q_;  ///< Per-link FIFO.
+  /// (link,tag) -> tickets awaiting that tag on that link, in admission
+  /// order (duplicate in-flight tags resolve FIFO, matching the in-order
+  /// host links).
+  std::unordered_map<std::uint32_t, std::deque<BatchTicket>> inflight_;
+  std::unordered_map<BatchTicket, Batch> batches_;
+  std::vector<std::deque<Response>> unmatched_;  ///< Per-link orphans.
+  CompletionFn on_complete_;
+  BatchTicket next_ticket_ = 1;
+  std::uint32_t rr_link_ = 0;
+  std::uint64_t matched_ = 0;
+};
+
+}  // namespace hmcsim::sim

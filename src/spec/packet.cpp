@@ -24,7 +24,7 @@ std::size_t words_for_crc(const Packet& pkt,
 
 }  // namespace
 
-Status build_request(const RqstParams& params, RqstPacket& out) {
+Status validate_request(const RqstParams& params) {
   const CommandInfo& info = command_info(params.rqst);
   std::uint32_t flits = info.rqst_flits;
   if (params.flits_override != 0) {
@@ -51,6 +51,16 @@ Status build_request(const RqstParams& params, RqstPacket& out) {
   if (params.payload.size() > payload_words) {
     return Status::InvalidArg("payload larger than packet data section");
   }
+  return Status::Ok();
+}
+
+Status build_request(const RqstParams& params, RqstPacket& out) {
+  if (Status s = validate_request(params); !s.ok()) {
+    return s;
+  }
+  const CommandInfo& info = command_info(params.rqst);
+  const std::uint32_t flits =
+      params.flits_override != 0 ? params.flits_override : info.rqst_flits;
 
   out = RqstPacket{};
   std::uint64_t head = 0;

@@ -230,6 +230,11 @@ struct RqstParams {
 /// computes the CRC. Fails on out-of-range fields or payload/LNG mismatch.
 [[nodiscard]] Status build_request(const RqstParams& params, RqstPacket& out);
 
+/// The validation half of build_request: accepts exactly the parameter sets
+/// build_request would build, without serialising or sealing a CRC. For
+/// callers that pre-screen batches and build later.
+[[nodiscard]] Status validate_request(const RqstParams& params);
+
 /// Parameters for building a response packet.
 struct RspParams {
   std::uint8_t rsp_cmd_code = 0;  ///< Raw 7-bit response command code.

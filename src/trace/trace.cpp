@@ -128,9 +128,11 @@ std::uint64_t LatencySink::percentile(double q) const {
   }
   ensure_sorted();
   q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank with rounding: q*(n-1)+0.5 can reach n for q=1 (and for
+  // q just below 1 under FP rounding), so clamp to the last sample.
   const auto rank = static_cast<std::size_t>(
       q * static_cast<double>(samples_.size() - 1) + 0.5);
-  return samples_[rank];
+  return samples_[std::min(rank, samples_.size() - 1)];
 }
 
 std::vector<std::uint64_t> LatencySink::percentiles(

@@ -181,6 +181,67 @@ TEST_F(VaultTest, BankAccessCountsTracked) {
   EXPECT_EQ(vault_.banks()[0].accesses(), 2U);
 }
 
+TEST(VaultBackpressureTest, BlockedAtomicAppliesExactlyOnce) {
+  // Regression: a non-posted atomic blocked by a full response queue must
+  // execute its memory side effect exactly once. The old model re-executed
+  // the whole request every blocked cycle, so an ADD16 stuck behind
+  // response back-pressure added its immediate once per cycle.
+  sim::Config cfg = sim::Config::hmc_4link_4gb();
+  cfg.vault_rsp_depth = 1;  // One slot: the second response blocks.
+  mem::BackingStore store(cfg.capacity_bytes);
+  Registers regs;
+  regs.init(cfg, 0);
+  AddrMap amap(cfg);
+  trace::Tracer tracer;
+  metrics::StatRegistry reg;
+  Vault vault(0, 0, cfg, reg, "cube0");
+  ExecEnv env{store, regs, amap, nullptr, nullptr, tracer, cfg, 0};
+
+  const std::uint64_t addr = 0x200;
+  ASSERT_TRUE(store.write_u64(addr, 5).ok());
+
+  auto make = [](spec::Rqst rqst, std::uint64_t a, std::uint16_t tag,
+                 std::span<const std::uint64_t> payload = {}) {
+    spec::RqstParams params;
+    params.rqst = rqst;
+    params.addr = a;
+    params.tag = tag;
+    params.payload = payload;
+    RqstEntry entry;
+    EXPECT_TRUE(spec::build_request(params, entry.pkt).ok());
+    return entry;
+  };
+
+  // A read fills the single response slot, then the atomic executes but
+  // cannot retire.
+  const std::array<std::uint64_t, 2> imm{7, 0};
+  ASSERT_TRUE(vault.rqst_queue().push(make(spec::Rqst::RD16, 0, 1)));
+  ASSERT_TRUE(vault.rqst_queue().push(make(spec::Rqst::ADD16, addr, 2, imm)));
+  vault.process(1, env);
+  ASSERT_TRUE(vault.rsp_queue().full());
+  ASSERT_EQ(vault.rqst_queue().size(), 1U);
+
+  // Two more blocked cycles: the staged response retries, the add must not
+  // reapply.
+  vault.process(2, env);
+  vault.process(3, env);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(store.read_u64(addr, v).ok());
+  EXPECT_EQ(v, 12ULL) << "atomic applied more than once while blocked";
+  EXPECT_EQ(vault.rsp_stalls().value(), 3U);  // One count per blocked cycle.
+  EXPECT_EQ(vault.amo_executed().value(), 0U);  // Counted at retirement.
+
+  // Drain the read; the staged atomic response retires untouched.
+  (void)vault.rsp_queue().pop();
+  vault.process(4, env);
+  ASSERT_EQ(vault.rsp_queue().size(), 1U);
+  EXPECT_EQ(vault.rsp_queue().front().pkt.tag(), 2);
+  EXPECT_EQ(vault.amo_executed().value(), 1U);
+  EXPECT_TRUE(vault.rqst_queue().empty());
+  ASSERT_TRUE(store.read_u64(addr, v).ok());
+  EXPECT_EQ(v, 12ULL);
+}
+
 TEST_F(VaultTest, ResetClearsEverything) {
   ASSERT_TRUE(vault_.rqst_queue().push(make_entry(spec::Rqst::RD16, 0, 1)));
   auto e = env();

@@ -1,0 +1,389 @@
+// cosim_test.cpp — co-simulation server, SPSC rings, and the C client.
+//
+// The in-process tests run a real CosimServer (own thread, real POSIX
+// shm + Unix socket) against the C client library, exactly as separate
+// processes would; the determinism test then replays the same workload
+// through a bare Session and demands byte-identical statistics JSON.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/backend/backend.hpp"
+#include "src/capi/hmc_cosim_client.h"
+#include "src/ipc/cosim_proto.h"
+#include "src/ipc/cosim_server.hpp"
+#include "src/sim/session.hpp"
+#include "src/sim/stats_report.hpp"
+
+namespace hmcsim::ipc {
+namespace {
+
+constexpr std::uint32_t kWr64 = 11;  // spec::Rqst::WR64
+constexpr std::uint32_t kRd64 = 51;  // spec::Rqst::RD64
+
+// ---- ring unit tests ------------------------------------------------------
+
+struct RingBuffer {
+  explicit RingBuffer(std::uint32_t slots) : slots_(slots) {
+    const std::size_t bytes = hmc_cosim_ring_bytes(slots);
+    mem_ = ::operator new(bytes, std::align_val_t{64});
+    std::memset(mem_, 0, bytes);
+  }
+  ~RingBuffer() { ::operator delete(mem_, std::align_val_t{64}); }
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  hmc_cosim_ring_t* ring() { return static_cast<hmc_cosim_ring_t*>(mem_); }
+  std::uint32_t slots() const { return slots_; }
+
+ private:
+  std::uint32_t slots_;
+  void* mem_ = nullptr;
+};
+
+TEST(CosimRing, FifoOrderAcrossWraparound) {
+  RingBuffer buf(4);
+  hmc_cosim_msg_t msg{};
+  for (std::uint32_t round = 0; round < 3; ++round) {  // wraps twice
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      msg.type = HMC_COSIM_MSG_SEND;
+      msg.tag = static_cast<std::uint16_t>(round * 4 + i);
+      ASSERT_EQ(hmc_cosim_ring_push(buf.ring(), buf.slots(), &msg), 1);
+    }
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      ASSERT_EQ(hmc_cosim_ring_pop(buf.ring(), buf.slots(), &msg), 1);
+      EXPECT_EQ(msg.tag, round * 4 + i);
+    }
+  }
+}
+
+TEST(CosimRing, FullRejectsPushEmptyRejectsPop) {
+  RingBuffer buf(2);
+  hmc_cosim_msg_t msg{};
+  EXPECT_EQ(hmc_cosim_ring_pop(buf.ring(), buf.slots(), &msg), 0);
+  EXPECT_EQ(hmc_cosim_ring_push(buf.ring(), buf.slots(), &msg), 1);
+  EXPECT_EQ(hmc_cosim_ring_push(buf.ring(), buf.slots(), &msg), 1);
+  EXPECT_EQ(hmc_cosim_ring_push(buf.ring(), buf.slots(), &msg), 0);
+  EXPECT_EQ(hmc_cosim_ring_pop(buf.ring(), buf.slots(), &msg), 1);
+  EXPECT_EQ(hmc_cosim_ring_push(buf.ring(), buf.slots(), &msg), 1);
+}
+
+TEST(CosimRing, PayloadSurvivesRoundTrip) {
+  RingBuffer buf(8);
+  hmc_cosim_msg_t in{};
+  in.type = HMC_COSIM_MSG_RSP;
+  in.addr = 0xDEADBEEF;
+  in.arg = 42;
+  in.payload_words = HMC_COSIM_PAYLOAD_WORDS;
+  for (std::uint32_t w = 0; w < HMC_COSIM_PAYLOAD_WORDS; ++w) {
+    in.payload[w] = 0x1111111111111111ull * w;
+  }
+  ASSERT_EQ(hmc_cosim_ring_push(buf.ring(), buf.slots(), &in), 1);
+  hmc_cosim_msg_t out{};
+  ASSERT_EQ(hmc_cosim_ring_pop(buf.ring(), buf.slots(), &out), 1);
+  EXPECT_EQ(std::memcmp(&in, &out, sizeof(in)), 0);
+}
+
+// ---- in-process server fixture -------------------------------------------
+
+std::string unique_socket(const char* name) {
+  return "/tmp/hmcsim-cosim-test-" + std::to_string(::getpid()) + "-" + name +
+         ".sock";
+}
+
+std::unique_ptr<backend::MemoryBackend> make_backend() {
+  sim::Config cfg = sim::Config::hmc_4link_4gb();
+  std::unique_ptr<backend::MemoryBackend> mem;
+  EXPECT_TRUE(backend::BackendRegistry::instance().create("hmc", cfg, mem).ok());
+  return mem;
+}
+
+/// A server on its own thread; joins and reports serve()'s Status.
+struct ServerThread {
+  ServerThread(backend::MemoryBackend& mem, CosimOptions opts)
+      : server(mem, opts) {
+    bind_status = server.bind();
+    if (bind_status.ok()) {
+      thread = std::thread([this] { serve_status = server.serve(); });
+    }
+  }
+  ~ServerThread() {
+    if (thread.joinable()) {
+      server.request_stop();
+      thread.join();
+    }
+  }
+  void join() {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+
+  CosimServer server;
+  Status bind_status = Status::Ok();
+  Status serve_status = Status::Ok();
+  std::thread thread;
+};
+
+std::uint64_t pattern_word(std::uint32_t slot, std::uint32_t i,
+                           std::uint32_t w) {
+  return (static_cast<std::uint64_t>(slot) << 32) | (i * 8 + w);
+}
+
+/// Barrier-clock and drain until `received` reaches `want`; bounded.
+void drain_until(hmc_cosim_t* c, std::uint32_t slot, std::uint32_t total,
+                 std::uint32_t want, std::uint32_t& received,
+                 std::uint32_t& rounds) {
+  const std::uint64_t quantum = hmc_cosim_quantum(c);
+  std::uint64_t payload[HMC_COSIM_PAYLOAD_WORDS];
+  std::uint32_t guard = 0;
+  while (received < want && guard++ < 10000) {
+    EXPECT_EQ(hmc_cosim_clock(c, quantum), HMC_COSIM_OK);
+    ++rounds;
+    std::uint8_t cmd = 0;
+    std::uint16_t tag = 0;
+    std::uint64_t latency = 0;
+    std::uint32_t words = HMC_COSIM_PAYLOAD_WORDS;
+    while (hmc_cosim_recv(c, &cmd, &tag, payload, &words, &latency) ==
+           HMC_COSIM_OK) {
+      EXPECT_GT(latency, 0u);
+      if (words == 8) {  // RD64 data: reads back the phase-1 write
+        const std::uint32_t i = static_cast<std::uint32_t>(tag) - total;
+        for (std::uint32_t w = 0; w < 8; ++w) {
+          EXPECT_EQ(payload[w], pattern_word(slot, i, w));
+        }
+      }
+      ++received;
+      words = HMC_COSIM_PAYLOAD_WORDS;
+    }
+  }
+}
+
+/// One client's workload, two phases so reads never race their writes:
+/// `total` WR64 round-robin over the links (slot-private 1 MiB window),
+/// drain all write responses, then `total` RD64 of the same addresses,
+/// each read checked against what its write stored. Returns responses
+/// received; reports the clock barriers each phase took.
+std::uint32_t run_client_workload(const std::string& socket,
+                                  std::uint32_t slot, std::uint32_t total,
+                                  std::uint32_t* barriers1 = nullptr,
+                                  std::uint32_t* barriers2 = nullptr) {
+  hmc_cosim_t* c = hmc_cosim_connect(socket.c_str(), slot, 10000);
+  if (c == nullptr) {
+    ADD_FAILURE() << "client " << slot << " failed to connect";
+    return 0;
+  }
+  const std::uint32_t links = hmc_cosim_num_links(c);
+  const std::uint64_t window = static_cast<std::uint64_t>(slot) << 20;
+
+  std::uint64_t payload[HMC_COSIM_PAYLOAD_WORDS];
+  for (std::uint32_t i = 0; i < total; ++i) {
+    const std::uint64_t addr = window + static_cast<std::uint64_t>(i) * 512;
+    for (std::uint32_t w = 0; w < 8; ++w) {
+      payload[w] = pattern_word(slot, i, w);
+    }
+    EXPECT_EQ(hmc_cosim_send(c, i % links, kWr64, 0, addr,
+                             static_cast<std::uint16_t>(i & 0x7FF), payload, 8),
+              HMC_COSIM_OK);
+  }
+  std::uint32_t received = 0;
+  std::uint32_t rounds = 0;
+  drain_until(c, slot, total, total, received, rounds);
+  if (barriers1 != nullptr) {
+    *barriers1 = rounds;
+  }
+
+  rounds = 0;
+  for (std::uint32_t i = 0; i < total; ++i) {
+    const std::uint64_t addr = window + static_cast<std::uint64_t>(i) * 512;
+    EXPECT_EQ(hmc_cosim_send(c, i % links, kRd64, 0, addr,
+                             static_cast<std::uint16_t>((total + i) & 0x7FF),
+                             nullptr, 0),
+              HMC_COSIM_OK);
+  }
+  drain_until(c, slot, total, 2 * total, received, rounds);
+  if (barriers2 != nullptr) {
+    *barriers2 = rounds;
+  }
+  EXPECT_GT(hmc_cosim_cycle(c), 0u);
+  hmc_cosim_disconnect(c);
+  return received;
+}
+
+TEST(CosimServerTest, ConnectTimesOutWithoutServer) {
+  EXPECT_EQ(hmc_cosim_connect("/tmp/hmcsim-no-such-server.sock", 0, 50),
+            nullptr);
+}
+
+TEST(CosimServerTest, BindRejectsBadGeometry) {
+  auto mem = make_backend();
+  CosimOptions opts;
+  opts.socket_path = unique_socket("badgeom");
+  opts.ring_slots = 1;  // below the 2-slot minimum
+  CosimServer server(*mem, opts);
+  EXPECT_FALSE(server.bind().ok());
+}
+
+TEST(CosimServerTest, SingleClientRoundTrip) {
+  auto mem = make_backend();
+  CosimOptions opts;
+  opts.socket_path = unique_socket("single");
+  opts.expected_clients = 1;
+  opts.quantum = 32;
+  ServerThread st(*mem, opts);
+  ASSERT_TRUE(st.bind_status.ok()) << st.bind_status.to_string();
+
+  const std::uint32_t got = run_client_workload(opts.socket_path, 0, 64);
+  st.join();
+  ASSERT_TRUE(st.serve_status.ok()) << st.serve_status.to_string();
+  EXPECT_EQ(got, 128u);
+  EXPECT_EQ(st.server.requests(), 128u);
+  EXPECT_EQ(st.server.responses(), 128u);
+  EXPECT_GT(st.server.quanta(), 0u);
+}
+
+TEST(CosimServerTest, TwoClientsShareOneSimulation) {
+  auto mem = make_backend();
+  CosimOptions opts;
+  opts.socket_path = unique_socket("pair");
+  opts.expected_clients = 2;
+  opts.quantum = 32;
+  ServerThread st(*mem, opts);
+  ASSERT_TRUE(st.bind_status.ok()) << st.bind_status.to_string();
+
+  std::uint32_t got0 = 0;
+  std::uint32_t got1 = 0;
+  std::thread t0([&] { got0 = run_client_workload(opts.socket_path, 0, 48); });
+  std::thread t1([&] { got1 = run_client_workload(opts.socket_path, 1, 48); });
+  t0.join();
+  t1.join();
+  st.join();
+  ASSERT_TRUE(st.serve_status.ok()) << st.serve_status.to_string();
+  EXPECT_EQ(got0, 96u);
+  EXPECT_EQ(got1, 96u);
+  EXPECT_EQ(st.server.requests(), 192u);
+  EXPECT_EQ(st.server.responses(), 192u);
+}
+
+TEST(CosimServerTest, RecvTruncatesIntoSmallBuffer) {
+  auto mem = make_backend();
+  CosimOptions opts;
+  opts.socket_path = unique_socket("trunc");
+  opts.quantum = 32;
+  ServerThread st(*mem, opts);
+  ASSERT_TRUE(st.bind_status.ok()) << st.bind_status.to_string();
+
+  hmc_cosim_t* c = hmc_cosim_connect(opts.socket_path.c_str(), 0, 10000);
+  ASSERT_NE(c, nullptr);
+  std::uint64_t words8[8] = {10, 11, 12, 13, 14, 15, 16, 17};
+  ASSERT_EQ(hmc_cosim_send(c, 0, kWr64, 0, 0x4000, 1, words8, 8),
+            HMC_COSIM_OK);
+  ASSERT_EQ(hmc_cosim_send(c, 0, kRd64, 0, 0x4000, 2, nullptr, 0),
+            HMC_COSIM_OK);
+
+  std::uint32_t received = 0;
+  int truncated = 0;
+  for (std::uint32_t round = 0; round < 1000 && received < 2; ++round) {
+    ASSERT_EQ(hmc_cosim_clock(c, opts.quantum), HMC_COSIM_OK);
+    std::uint64_t small[2] = {0, 0};
+    std::uint32_t words = 2;  // capacity smaller than the 8-word read data
+    std::uint16_t tag = 0;
+    int rc;
+    while ((rc = hmc_cosim_recv(c, nullptr, &tag, small, &words, nullptr)) !=
+           HMC_COSIM_NO_DATA) {
+      if (rc == HMC_COSIM_ETRUNC) {
+        EXPECT_EQ(tag, 2u);         // the read response carries data
+        EXPECT_EQ(words, 8u);       // full size reported back
+        EXPECT_EQ(small[0], 10u);   // prefix copied
+        EXPECT_EQ(small[1], 11u);
+        ++truncated;
+      } else {
+        EXPECT_EQ(rc, HMC_COSIM_OK);
+      }
+      ++received;
+      words = 2;
+    }
+  }
+  EXPECT_EQ(received, 2u);
+  EXPECT_EQ(truncated, 1);
+  hmc_cosim_disconnect(c);
+  st.join();
+  ASSERT_TRUE(st.serve_status.ok()) << st.serve_status.to_string();
+}
+
+TEST(CosimServerTest, StatsMatchDirectSessionByteForByte) {
+  // Crown-jewel check: a workload driven over IPC must leave the
+  // simulator in exactly the state the same workload leaves it in when
+  // driven through a Session in-process — byte-identical stats JSON.
+  const std::uint32_t total = 32;
+
+  auto served = make_backend();
+  CosimOptions opts;
+  opts.socket_path = unique_socket("golden");
+  opts.quantum = 32;
+  std::uint32_t barriers1 = 0;
+  std::uint32_t barriers2 = 0;
+  {
+    ServerThread st(*served, opts);
+    ASSERT_TRUE(st.bind_status.ok()) << st.bind_status.to_string();
+    const std::uint32_t got = run_client_workload(opts.socket_path, 0, total,
+                                                  &barriers1, &barriers2);
+    st.join();
+    ASSERT_TRUE(st.serve_status.ok()) << st.serve_status.to_string();
+    ASSERT_EQ(got, 2 * total);
+  }
+  ASSERT_GT(barriers1, 0u);
+  ASSERT_GT(barriers2, 0u);
+  const std::string served_json = sim::format_stats_json(*served->simulator());
+
+  // Mirror: same requests, same admission (client-slot order = one batch
+  // per maximal same-link run; here links alternate so runs are single
+  // requests), same clock schedule (quantum per barrier, then idle-out).
+  auto direct = make_backend();
+  {
+    const std::uint32_t links = direct->num_links();
+    sim::Session session(*direct);
+    session.set_on_complete([](sim::BatchTicket, const sim::Response&) {});
+    std::uint64_t payload[8];
+    for (std::uint32_t i = 0; i < total; ++i) {
+      spec::RqstParams p;
+      p.rqst = spec::Rqst::WR64;
+      p.addr = static_cast<std::uint64_t>(i) * 512;
+      p.tag = static_cast<std::uint16_t>(i & 0x7FF);
+      for (std::uint32_t w = 0; w < 8; ++w) {
+        payload[w] = pattern_word(0, i, w);
+      }
+      p.payload = {payload, 8};
+      sim::BatchTicket ticket = sim::kInvalidTicket;
+      ASSERT_TRUE(session.send_batch({&p, 1}, ticket, i % links).ok());
+    }
+    for (std::uint32_t b = 0; b < barriers1; ++b) {
+      session.advance(opts.quantum);
+    }
+    for (std::uint32_t i = 0; i < total; ++i) {
+      spec::RqstParams p;
+      p.rqst = spec::Rqst::RD64;
+      p.addr = static_cast<std::uint64_t>(i) * 512;
+      p.tag = static_cast<std::uint16_t>((total + i) & 0x7FF);
+      sim::BatchTicket ticket = sim::kInvalidTicket;
+      ASSERT_TRUE(session.send_batch({&p, 1}, ticket, i % links).ok());
+    }
+    for (std::uint32_t b = 0; b < barriers2; ++b) {
+      session.advance(opts.quantum);
+    }
+    direct->clock_until_idle(0);
+    session.pump();
+  }
+  const std::string direct_json = sim::format_stats_json(*direct->simulator());
+  EXPECT_EQ(served_json, direct_json);
+}
+
+}  // namespace
+}  // namespace hmcsim::ipc

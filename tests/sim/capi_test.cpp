@@ -201,6 +201,142 @@ TEST_F(CApiTest, LoadCmcAndExecute) {
   EXPECT_EQ(owner, 42ULL);
 }
 
+TEST_F(CApiTest, RecvTruncatesIntoSmallCapacityAndReportsFullSize) {
+  uint64_t data[8];
+  for (uint64_t w = 0; w < 8; ++w) {
+    data[w] = 0xA0 + w;
+  }
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_WR64, 0, 0x2000, 1, data, 8), HMC_OK);
+  ASSERT_EQ(wait_recv(0), HMC_OK);
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_RD64, 0, 0x2000, 2, nullptr, 0), HMC_OK);
+
+  uint64_t small[2] = {0, 0};
+  for (int i = 0; i < 1000; ++i) {
+    hmcsim_clock(sim_);
+    uint32_t words = 2;  // capacity below the 8-word read data
+    const int rc = hmcsim_recv(sim_, 0, nullptr, nullptr, small, &words,
+                               nullptr);
+    if (rc == HMC_NO_DATA) {
+      continue;
+    }
+    EXPECT_EQ(rc, HMC_ETRUNC);
+    EXPECT_EQ(words, 8u);  // full response size reported back
+    EXPECT_EQ(small[0], 0xA0u);
+    EXPECT_EQ(small[1], 0xA1u);
+    return;
+  }
+  FAIL() << "read response never arrived";
+}
+
+TEST_F(CApiTest, RecvLegacyZeroCapacityCopiesEverything) {
+  const uint64_t data[2] = {0x51, 0x52};
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_WR16, 0, 0x3000, 1, data, 2), HMC_OK);
+  ASSERT_EQ(wait_recv(0), HMC_OK);
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_RD16, 0, 0x3000, 2, nullptr, 0), HMC_OK);
+
+  uint64_t payload[32] = {};
+  for (int i = 0; i < 1000; ++i) {
+    hmcsim_clock(sim_);
+    uint32_t words = 0;  // legacy contract: 0 means "32 words of room"
+    const int rc = hmcsim_recv(sim_, 0, nullptr, nullptr, payload, &words,
+                               nullptr);
+    if (rc == HMC_NO_DATA) {
+      continue;
+    }
+    EXPECT_EQ(rc, HMC_OK);
+    EXPECT_EQ(words, 2u);
+    EXPECT_EQ(payload[0], 0x51u);
+    EXPECT_EQ(payload[1], 0x52u);
+    return;
+  }
+  FAIL() << "read response never arrived";
+}
+
+TEST_F(CApiTest, BatchRoundTripHarvestsEveryResponse) {
+  uint64_t data[4][8];
+  hmc_batch_rqst_t writes[4];
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint64_t w = 0; w < 8; ++w) {
+      data[i][w] = i * 8 + w;
+    }
+    writes[i] = {};
+    writes[i].rqst = HMC_WR64;
+    writes[i].tag = static_cast<uint16_t>(i + 1);
+    writes[i].addr = 0x8000 + i * 512;
+    writes[i].payload = data[i];
+    writes[i].payload_words = 8;
+  }
+  hmc_ticket_t wt = 0;
+  ASSERT_EQ(hmcsim_send_batch(sim_, writes, 4, HMC_LINK_ANY, &wt), HMC_OK);
+  ASSERT_NE(wt, 0u);
+  EXPECT_GT(hmcsim_batch_advance(sim_, wt, 10000), 0u);
+  ASSERT_EQ(hmcsim_batch_done(sim_, wt), 1);
+
+  // Harvest through a 2-slot window: capacity never loses responses.
+  hmc_batch_rsp_t rsps[2];
+  uint32_t harvested = 0;
+  int rc = HMC_STALL;
+  while (rc == HMC_STALL) {
+    uint32_t count = 2;
+    rc = hmcsim_poll_batch(sim_, wt, rsps, &count);
+    harvested += count;
+  }
+  EXPECT_EQ(rc, HMC_OK);
+  EXPECT_EQ(harvested, 4u);
+  // Retired: the ticket no longer resolves.
+  uint32_t count = 2;
+  EXPECT_EQ(hmcsim_poll_batch(sim_, wt, rsps, &count), HMC_ERROR);
+  EXPECT_EQ(hmcsim_batch_done(sim_, wt), 0);
+
+  hmc_batch_rqst_t reads[4];
+  for (uint32_t i = 0; i < 4; ++i) {
+    reads[i] = {};
+    reads[i].rqst = HMC_RD64;
+    reads[i].tag = static_cast<uint16_t>(i + 10);
+    reads[i].addr = 0x8000 + i * 512;
+  }
+  hmc_ticket_t rt = 0;
+  ASSERT_EQ(hmcsim_send_batch(sim_, reads, 4, HMC_LINK_ANY, &rt), HMC_OK);
+  EXPECT_GT(hmcsim_batch_advance(sim_, rt, 10000), 0u);
+  hmc_batch_rsp_t all[4];
+  uint32_t n = 4;
+  ASSERT_EQ(hmcsim_poll_batch(sim_, rt, all, &n), HMC_OK);
+  ASSERT_EQ(n, 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(all[i].payload_words, 8u);
+    EXPECT_GT(all[i].latency, 0u);
+    const uint32_t req = all[i].tag - 10u;
+    for (uint64_t w = 0; w < 8; ++w) {
+      EXPECT_EQ(all[i].payload[w], req * 8 + w);
+    }
+  }
+}
+
+TEST_F(CApiTest, BatchRejectsInvalidRequestsAtomically) {
+  hmc_batch_rqst_t reqs[2] = {};
+  reqs[0].rqst = HMC_WR16;
+  reqs[0].tag = 1;
+  reqs[1].rqst = HMC_CMC04;  // never registered in this fixture
+  reqs[1].tag = 2;
+  hmc_ticket_t ticket = 0;
+  EXPECT_EQ(hmcsim_send_batch(sim_, reqs, 2, HMC_LINK_ANY, &ticket),
+            HMC_ERROR);
+  EXPECT_EQ(ticket, 0u);
+  EXPECT_EQ(hmcsim_send_batch(sim_, reqs, 0, HMC_LINK_ANY, &ticket),
+            HMC_ERROR);
+  EXPECT_EQ(hmcsim_send_batch(sim_, reqs, 1, /*link=*/99, &ticket),
+            HMC_ERROR);
+}
+
+TEST_F(CApiTest, BatchUnknownTicketIsError) {
+  hmc_batch_rsp_t rsp;
+  uint32_t count = 1;
+  EXPECT_EQ(hmcsim_poll_batch(sim_, 777, &rsp, &count), HMC_ERROR);
+  EXPECT_EQ(count, 0u);
+  EXPECT_EQ(hmcsim_batch_done(sim_, 777), 0);
+  EXPECT_EQ(hmcsim_batch_advance(sim_, 777, 10), 0u);
+}
+
 TEST_F(CApiTest, TraceFileReceivesCmcNames) {
   const std::string path =
       std::string(HMCSIM_PLUGIN_DIR) + "/hmc_trylock.so";

@@ -1,0 +1,62 @@
+# cosim_roundtrip.cmake — server <-> client processes over shm rings.
+#
+# Launches a real hmcsim_server with two racing cosim_client processes,
+# twice, and demands byte-identical stats JSON: admission order must be a
+# pure function of the per-client workloads (client slots), never of
+# accept/scheduling races. Then smokes `hmcsim_cli serve` over the same
+# workload.
+# Invoked as:
+#   cmake -DSERVER=<hmcsim_server> -DCLI=<hmcsim_cli>
+#         -DCLIENT=<cosim_client> -DOUT_DIR=<dir> -P cosim_roundtrip.cmake
+if(NOT DEFINED SERVER OR NOT DEFINED CLI OR NOT DEFINED CLIENT
+   OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DSERVER=<exe> -DCLI=<exe> -DCLIENT=<exe> -DOUT_DIR=<dir> -P ${CMAKE_SCRIPT_MODE_FILE}")
+endif()
+
+# One server + two clients, all concurrent; the client library retries
+# connect for up to 10 s, so launch order cannot race.
+function(run_cosim server_cmd socket json_path)
+  execute_process(
+    COMMAND bash -c "\
+${server_cmd} & srv=$!; \
+'${CLIENT}' '${socket}' 0 128 16 & c0=$!; \
+'${CLIENT}' '${socket}' 1 128 16; rc1=$?; \
+wait $c0; rc0=$?; \
+wait $srv; rcs=$?; \
+exit $((rc0 | rc1 | rcs))"
+    OUTPUT_VARIABLE run_stdout
+    ERROR_VARIABLE run_stderr
+    RESULT_VARIABLE run_rc)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "cosim run exited with ${run_rc}\n${run_stdout}\n${run_stderr}")
+  endif()
+  if(NOT EXISTS "${json_path}")
+    message(FATAL_ERROR "no stats JSON at ${json_path}\n${run_stderr}")
+  endif()
+endfunction()
+
+set(sock_a "${OUT_DIR}/cosim_a.sock")
+set(sock_b "${OUT_DIR}/cosim_b.sock")
+set(sock_c "${OUT_DIR}/cosim_c.sock")
+set(json_a "${OUT_DIR}/cosim_a.json")
+set(json_b "${OUT_DIR}/cosim_b.json")
+set(json_c "${OUT_DIR}/cosim_c.json")
+
+run_cosim("'${SERVER}' --socket '${sock_a}' --clients 2 --quantum 32 --stats-json '${json_a}'" "${sock_a}" "${json_a}")
+run_cosim("'${SERVER}' --socket '${sock_b}' --clients 2 --quantum 32 --stats-json '${json_b}'" "${sock_b}" "${json_b}")
+
+file(READ "${json_a}" run_a)
+file(READ "${json_b}" run_b)
+if(NOT run_a STREQUAL run_b)
+  message(FATAL_ERROR "two identical cosim runs produced different stats: admission is racing on client arrival order")
+endif()
+if(NOT run_a MATCHES "\"rqst_packets\"")
+  message(FATAL_ERROR "cosim stats JSON lacks link counters:\n${run_a}")
+endif()
+
+# Same workload through `hmcsim_cli serve` (frontend-registry path).
+run_cosim("'${CLI}' serve '${sock_c}' --clients 2 --quantum 32 --stats-json '${json_c}'" "${sock_c}" "${json_c}")
+file(READ "${json_c}" run_c)
+if(NOT run_c MATCHES "\"rqst_packets\"")
+  message(FATAL_ERROR "cli serve stats JSON lacks link counters:\n${run_c}")
+endif()

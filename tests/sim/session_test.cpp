@@ -1,0 +1,276 @@
+// session_test.cpp — batched asynchronous session API.
+//
+// Lifecycle of BatchTickets (creation, polling, retirement, errors), the
+// deterministic admission queue, completion callbacks, posted commands,
+// and coexistence with raw link traffic. The byte-identity of batched
+// vs packet-at-a-time driving lives in golden_equivalence_test.cpp.
+#include "src/sim/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+
+namespace hmcsim::sim {
+namespace {
+
+constexpr std::array<std::uint64_t, 8> kWords{1, 2, 3, 4, 5, 6, 7, 8};
+
+spec::RqstParams read64(std::uint64_t addr, std::uint16_t tag) {
+  spec::RqstParams p;
+  p.rqst = spec::Rqst::RD64;
+  p.addr = addr;
+  p.tag = tag;
+  return p;
+}
+
+spec::RqstParams write64(std::uint64_t addr, std::uint16_t tag) {
+  spec::RqstParams p;
+  p.rqst = spec::Rqst::WR64;
+  p.addr = addr;
+  p.tag = tag;
+  p.payload = kWords;
+  return p;
+}
+
+spec::RqstParams posted_write16(std::uint64_t addr, std::uint16_t tag) {
+  spec::RqstParams p;
+  p.rqst = spec::Rqst::P_WR16;
+  p.addr = addr;
+  p.tag = tag;
+  p.payload = std::span<const std::uint64_t>(kWords.data(), 2);
+  return p;
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(Simulator::create(Config::hmc_4link_4gb(), sim_).ok());
+    session_ = std::make_unique<Session>(*sim_);
+  }
+
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(SessionTest, EmptyBatchIsRejected) {
+  BatchTicket ticket = 77;
+  const Status s = session_->send_batch({}, ticket);
+  EXPECT_EQ(s.code(), StatusCode::InvalidArg);
+  EXPECT_EQ(ticket, kInvalidTicket);
+  EXPECT_EQ(session_->open_batches(), 0U);
+}
+
+TEST_F(SessionTest, OversizedBatchIsRejected) {
+  std::vector<spec::RqstParams> reqs(kMaxBatchRequests + 1,
+                                     read64(0x1000, 1));
+  BatchTicket ticket = kInvalidTicket;
+  EXPECT_EQ(session_->send_batch(reqs, ticket).code(),
+            StatusCode::InvalidArg);
+  EXPECT_EQ(session_->open_batches(), 0U);
+}
+
+TEST_F(SessionTest, BadLinkIsRejected) {
+  const std::array reqs{read64(0x1000, 1)};
+  BatchTicket ticket = kInvalidTicket;
+  EXPECT_EQ(session_->send_batch(reqs, ticket, 99).code(),
+            StatusCode::InvalidArg);
+}
+
+TEST_F(SessionTest, InvalidRequestRejectsWholeBatchAtomically) {
+  // Second request is malformed (CMC code with no registration): nothing
+  // of the batch may be admitted.
+  std::array reqs{read64(0x1000, 1), read64(0x2000, 2)};
+  reqs[1].rqst = spec::Rqst::CMC04;
+  BatchTicket ticket = kInvalidTicket;
+  EXPECT_FALSE(session_->send_batch(reqs, ticket).ok());
+  EXPECT_EQ(ticket, kInvalidTicket);
+  EXPECT_EQ(session_->open_batches(), 0U);
+  session_->advance(100);
+  EXPECT_EQ(session_->responses_matched(), 0U);
+}
+
+TEST_F(SessionTest, UnknownTicketIsNotFound) {
+  std::array<Response, 4> out;
+  std::size_t filled = 9;
+  EXPECT_EQ(session_->poll_batch(123, out, filled).code(),
+            StatusCode::NotFound);
+  EXPECT_EQ(filled, 0U);
+  BatchProgress prog;
+  EXPECT_EQ(session_->batch_progress(123, prog).code(),
+            StatusCode::NotFound);
+  EXPECT_FALSE(session_->batch_done(123));
+  EXPECT_EQ(session_->wait_batch(123).code(), StatusCode::NotFound);
+}
+
+TEST_F(SessionTest, PollBeforeClockReportsStallNotLoss) {
+  const std::array reqs{read64(0x1000, 1), read64(0x2000, 2)};
+  BatchTicket ticket = kInvalidTicket;
+  ASSERT_TRUE(session_->send_batch(reqs, ticket, 0).ok());
+  ASSERT_NE(ticket, kInvalidTicket);
+
+  std::array<Response, 4> out;
+  std::size_t filled = 0;
+  // No cycle has elapsed: the batch is admitted but nothing retired.
+  EXPECT_EQ(session_->poll_batch(ticket, out, filled).code(),
+            StatusCode::Stall);
+  EXPECT_EQ(filled, 0U);
+  BatchProgress prog;
+  ASSERT_TRUE(session_->batch_progress(ticket, prog).ok());
+  EXPECT_EQ(prog.total, 2U);
+  EXPECT_EQ(prog.expected, 2U);
+  EXPECT_EQ(prog.received, 0U);
+}
+
+TEST_F(SessionTest, BatchRoundTripAndTicketRetirement) {
+  std::vector<spec::RqstParams> reqs;
+  for (std::uint16_t i = 0; i < 16; ++i) {
+    reqs.push_back(i % 2 == 0 ? write64(0x1000u + 0x40u * i, i)
+                              : read64(0x1000u + 0x40u * i, i));
+  }
+  BatchTicket ticket = kInvalidTicket;
+  ASSERT_TRUE(session_->send_batch(reqs, ticket).ok());
+  ASSERT_TRUE(session_->wait_batch(ticket, 100000).ok());
+  EXPECT_TRUE(session_->batch_done(ticket));
+
+  // Harvest with a deliberately small buffer: nothing may be lost.
+  std::array<Response, 3> out;
+  std::size_t filled = 0;
+  std::size_t harvested = 0;
+  Status s = Status::Stall();
+  int guard = 0;
+  while (!s.ok() && guard++ < 100) {
+    s = session_->poll_batch(ticket, out, filled);
+    ASSERT_NE(s.code(), StatusCode::NotFound);
+    harvested += filled;
+  }
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(harvested, 16U);
+  // Ok retired the ticket: every later query says NotFound/false.
+  EXPECT_FALSE(session_->batch_done(ticket));
+  EXPECT_EQ(session_->poll_batch(ticket, out, filled).code(),
+            StatusCode::NotFound);
+  EXPECT_EQ(session_->open_batches(), 0U);
+}
+
+TEST_F(SessionTest, InterleavedBatchesOnOneLinkMatchByFifoOrder) {
+  // Two batches pipelined down the same link; responses must route to
+  // their own tickets even though link+tag streams interleave.
+  const std::array first{read64(0x1000, 1), read64(0x2000, 2)};
+  const std::array second{read64(0x3000, 3), read64(0x4000, 4)};
+  BatchTicket t1 = kInvalidTicket;
+  BatchTicket t2 = kInvalidTicket;
+  ASSERT_TRUE(session_->send_batch(first, t1, 0).ok());
+  ASSERT_TRUE(session_->send_batch(second, t2, 0).ok());
+  ASSERT_NE(t1, t2);
+  EXPECT_EQ(session_->open_batches(), 2U);
+
+  ASSERT_TRUE(session_->wait_batch(t1, 100000).ok());
+  ASSERT_TRUE(session_->wait_batch(t2, 100000).ok());
+
+  std::array<Response, 8> out;
+  std::size_t filled = 0;
+  ASSERT_TRUE(session_->poll_batch(t1, out, filled).ok());
+  ASSERT_EQ(filled, 2U);
+  EXPECT_EQ(out[0].pkt.tag(), 1U);
+  EXPECT_EQ(out[1].pkt.tag(), 2U);
+  ASSERT_TRUE(session_->poll_batch(t2, out, filled).ok());
+  ASSERT_EQ(filled, 2U);
+  EXPECT_EQ(out[0].pkt.tag(), 3U);
+  EXPECT_EQ(out[1].pkt.tag(), 4U);
+}
+
+TEST_F(SessionTest, CompletionCallbackStreamsAndAutoRetires) {
+  std::vector<std::pair<BatchTicket, std::uint16_t>> seen;
+  session_->set_on_complete(
+      [&seen](BatchTicket t, const Response& rsp) {
+        seen.emplace_back(t, rsp.pkt.tag());
+      });
+  const std::array reqs{read64(0x1000, 5), read64(0x2000, 6)};
+  BatchTicket ticket = kInvalidTicket;
+  ASSERT_TRUE(session_->send_batch(reqs, ticket, 1).ok());
+  session_->advance(100000);
+  ASSERT_EQ(seen.size(), 2U);
+  EXPECT_EQ(seen[0], std::make_pair(ticket, std::uint16_t{5}));
+  EXPECT_EQ(seen[1], std::make_pair(ticket, std::uint16_t{6}));
+  // Callback mode retires finished batches automatically.
+  EXPECT_EQ(session_->open_batches(), 0U);
+  EXPECT_EQ(session_->responses_matched(), 2U);
+}
+
+TEST_F(SessionTest, PostedWritesCompleteAtAdmission) {
+  const std::array reqs{posted_write16(0x1000, 1),
+                        posted_write16(0x2000, 2)};
+  BatchTicket ticket = kInvalidTicket;
+  ASSERT_TRUE(session_->send_batch(reqs, ticket, 0).ok());
+  // Admitted this cycle, owes no responses.
+  BatchProgress prog;
+  ASSERT_TRUE(session_->batch_progress(ticket, prog).ok());
+  EXPECT_EQ(prog.admitted, 2U);
+  EXPECT_EQ(prog.expected, 0U);
+  EXPECT_TRUE(prog.done());
+  std::array<Response, 1> out;
+  std::size_t filled = 0;
+  EXPECT_TRUE(session_->poll_batch(ticket, out, filled).ok());
+  EXPECT_EQ(filled, 0U);
+  session_->advance(100000);  // Let the writes land; nothing to match.
+  EXPECT_EQ(session_->responses_matched(), 0U);
+}
+
+TEST_F(SessionTest, WaitBatchHonorsCycleBudget) {
+  const std::array reqs{read64(0x1000, 1)};
+  BatchTicket ticket = kInvalidTicket;
+  ASSERT_TRUE(session_->send_batch(reqs, ticket, 0).ok());
+  // One cycle is never enough for a full read round trip.
+  EXPECT_EQ(session_->wait_batch(ticket, 1).code(), StatusCode::Stall);
+  EXPECT_FALSE(session_->batch_done(ticket));
+  EXPECT_TRUE(session_->wait_batch(ticket, 100000).ok());
+  EXPECT_TRUE(session_->batch_done(ticket));
+}
+
+TEST_F(SessionTest, RawTrafficSurfacesThroughRecvUnmatched) {
+  // A raw send outside any batch: the session parks its response per
+  // link instead of mis-routing it into a batch.
+  ASSERT_TRUE(sim_->send(read64(0x9000, 42), 2).ok());
+  const std::array reqs{read64(0x1000, 7)};
+  BatchTicket ticket = kInvalidTicket;
+  ASSERT_TRUE(session_->send_batch(reqs, ticket, 0).ok());
+  ASSERT_TRUE(session_->wait_batch(ticket, 100000).ok());
+  session_->advance(1000);  // Ensure the raw response also retired.
+
+  Response rsp;
+  EXPECT_EQ(session_->recv_unmatched(0, rsp).code(), StatusCode::NoData);
+  ASSERT_TRUE(session_->recv_unmatched(2, rsp).ok());
+  EXPECT_EQ(rsp.pkt.tag(), 42U);
+  EXPECT_EQ(session_->recv_unmatched(2, rsp).code(), StatusCode::NoData);
+  EXPECT_EQ(session_->recv_unmatched(99, rsp).code(),
+            StatusCode::InvalidArg);
+}
+
+TEST_F(SessionTest, RoundRobinShardingTouchesEveryLink) {
+  std::vector<spec::RqstParams> reqs;
+  for (std::uint16_t i = 0; i < 8; ++i) {
+    reqs.push_back(read64(0x1000u + 0x40u * i, i));
+  }
+  BatchTicket ticket = kInvalidTicket;
+  ASSERT_TRUE(session_->send_batch(reqs, ticket, kAnyLink).ok());
+  ASSERT_TRUE(session_->wait_batch(ticket, 100000).ok());
+  std::array<Response, 8> out;
+  std::size_t filled = 0;
+  ASSERT_TRUE(session_->poll_batch(ticket, out, filled).ok());
+  EXPECT_EQ(filled, 8U);
+  // 8 requests over 4 links: every link processed some traffic.
+  for (std::uint32_t link = 0; link < 4; ++link) {
+    EXPECT_GT(sim_->metrics().counter_value("cube0.link" +
+                                            std::to_string(link) +
+                                            ".rqst_packets"),
+              0U)
+        << "link " << link;
+  }
+}
+
+}  // namespace
+}  // namespace hmcsim::sim

@@ -155,6 +155,30 @@ TEST(LatencySink, AggregatesOnlyLatencyEvents) {
   EXPECT_EQ(sink.percentile(1.0), 100U);
 }
 
+TEST(LatencySink, PercentileEdgeCasesSmallSampleCounts) {
+  // Nearest-rank rounding q*(n-1)+0.5 must never index past the last
+  // sample, including the n=1 and n=2 degenerate sorts.
+  LatencySink one;
+  Event ev = make_event(Level::Latency);
+  ev.value = 42;
+  one.on_event(ev);
+  EXPECT_EQ(one.percentile(0.0), 42U);
+  EXPECT_EQ(one.percentile(0.5), 42U);
+  EXPECT_EQ(one.percentile(1.0), 42U);
+
+  LatencySink two;
+  ev.value = 10;
+  two.on_event(ev);
+  ev.value = 20;
+  two.on_event(ev);
+  EXPECT_EQ(two.percentile(0.0), 10U);
+  EXPECT_EQ(two.percentile(0.5), 20U);  // rank round(0.5) = 1
+  EXPECT_EQ(two.percentile(1.0), 20U);
+  // Out-of-range q clamps instead of over-indexing.
+  EXPECT_EQ(two.percentile(1.5), 20U);
+  EXPECT_EQ(two.percentile(-0.5), 10U);
+}
+
 TEST(LatencySink, PercentilesOnUniformRamp) {
   LatencySink sink;
   Event ev = make_event(Level::Latency);

@@ -32,6 +32,8 @@
 
 #include "plugins/builtin.h"
 #include "src/backend/backend.hpp"
+#include "src/common/parse.hpp"
+#include "src/ipc/cosim_server.hpp"
 #include "src/frontend/frontend.hpp"
 #include "src/frontend/runner.hpp"
 #include "src/power/power_model.hpp"
@@ -86,6 +88,11 @@ int usage() {
       "  spinlock <cores>            CAS spinlock via the coherent caches\n"
       "  synthetic [pattern]         open-loop load generator (uniform,\n"
       "                              zipfian, chase, bursty)\n"
+      "  serve <socket-path>         co-simulation server: client\n"
+      "                              processes drive the cube over shm\n"
+      "                              rings (--clients N --quantum N\n"
+      "                              --ring-slots N --max-cycles N;\n"
+      "                              see docs/COSIM.md)\n"
       "options: --links 4|8  --backend <name>  --plugins <dir>  --power\n"
       "         --seed <n>           (workload RNG seed, Config::workload_seed)\n"
       "         --trace-file <path>  --trace-level <mask>\n"
@@ -114,6 +121,40 @@ int usage() {
   return 2;
 }
 
+/// Strict numeric flag value: complete unsigned integer in [min, max],
+/// with a diagnostic naming the flag on any failure (atoi/strtoul used to
+/// turn "--links foo" into 0 links silently).
+bool flag_u64(std::string_view flag, const char* v, std::uint64_t& out,
+              std::uint64_t min = 0,
+              std::uint64_t max = std::numeric_limits<std::uint64_t>::max()) {
+  if (v == nullptr) {
+    std::fprintf(stderr, "hmcsim_cli: %.*s needs a value\n",
+                 static_cast<int>(flag.size()), flag.data());
+    return false;
+  }
+  if (!common::parse_u64(v, out, max) || out < min) {
+    std::fprintf(stderr,
+                 "hmcsim_cli: invalid value '%s' for %.*s (expected an "
+                 "unsigned integer in [%llu, %llu])\n",
+                 v, static_cast<int>(flag.size()), flag.data(),
+                 static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max));
+    return false;
+  }
+  return true;
+}
+
+bool flag_u32(std::string_view flag, const char* v, std::uint32_t& out,
+              std::uint32_t min = 0,
+              std::uint32_t max = std::numeric_limits<std::uint32_t>::max()) {
+  std::uint64_t wide = 0;
+  if (!flag_u64(flag, v, wide, min, max)) {
+    return false;
+  }
+  out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
 bool parse_options(int argc, char** argv, CliOptions& opts) {
   for (int i = 2; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -121,11 +162,15 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--links") {
-      const char* v = next();
-      if (v == nullptr) {
+      std::uint32_t links = 0;
+      if (!flag_u32(arg, next(), links, 4, 8)) {
         return false;
       }
-      opts.links = std::atoi(v);
+      if (links != 4 && links != 8) {
+        std::fprintf(stderr, "hmcsim_cli: --links must be 4 or 8\n");
+        return false;
+      }
+      opts.links = static_cast<int>(links);
     } else if (arg == "--backend") {
       const char* v = next();
       if (v == nullptr) {
@@ -141,11 +186,9 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
     } else if (arg == "--power") {
       opts.power = true;
     } else if (arg == "--seed") {
-      const char* v = next();
-      if (v == nullptr) {
+      if (!flag_u64(arg, next(), opts.workload_seed)) {
         return false;
       }
-      opts.workload_seed = std::strtoull(v, nullptr, 0);
       opts.workload_seed_set = true;
     } else if (arg == "--trace-file") {
       const char* v = next();
@@ -154,11 +197,9 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
       }
       opts.trace_file = v;
     } else if (arg == "--trace-level") {
-      const char* v = next();
-      if (v == nullptr) {
+      if (!flag_u32(arg, next(), opts.trace_level)) {
         return false;
       }
-      opts.trace_level = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
     } else if (arg == "--trace-chrome") {
       const char* v = next();
       if (v == nullptr) {
@@ -174,60 +215,41 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
       }
       opts.stats_json = v;
     } else if (arg == "--stats-every") {
-      const char* v = next();
-      if (v == nullptr) {
+      if (!flag_u64(arg, next(), opts.stats_every)) {
         return false;
       }
-      opts.stats_every = std::strtoull(v, nullptr, 0);
     } else if (arg == "--exhaustive-clock") {
       opts.exhaustive_clock = true;
     } else if (arg == "--devs") {
-      const char* v = next();
-      if (v == nullptr) {
+      if (!flag_u32(arg, next(), opts.devs, 1, 8)) {
         return false;
       }
-      opts.devs = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
     } else if (arg == "--threads") {
-      const char* v = next();
-      if (v == nullptr) {
+      if (!flag_u32(arg, next(), opts.threads, 1, 64)) {
         return false;
       }
-      opts.threads = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
     } else if (arg == "--error-ppm") {
-      const char* v = next();
-      if (v == nullptr) {
+      if (!flag_u32(arg, next(), opts.error_ppm, 0, 1000000)) {
         return false;
       }
-      opts.error_ppm = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
     } else if (arg == "--error-seed") {
-      const char* v = next();
-      if (v == nullptr) {
+      if (!flag_u64(arg, next(), opts.error_seed)) {
         return false;
       }
-      opts.error_seed = std::strtoull(v, nullptr, 0);
       opts.error_seed_set = true;
     } else if (arg == "--retry-latency") {
-      const char* v = next();
-      if (v == nullptr) {
+      if (!flag_u32(arg, next(), opts.retry_latency)) {
         return false;
       }
-      opts.retry_latency =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
     } else if (arg == "--cmc-fail-threshold") {
-      const char* v = next();
-      if (v == nullptr) {
+      if (!flag_u32(arg, next(), opts.cmc_fail_threshold)) {
         return false;
       }
-      opts.cmc_fail_threshold =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
       opts.cmc_fail_threshold_set = true;
     } else if (arg == "--cmc-mem-budget") {
-      const char* v = next();
-      if (v == nullptr) {
+      if (!flag_u32(arg, next(), opts.cmc_mem_budget)) {
         return false;
       }
-      opts.cmc_mem_budget =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
       opts.cmc_mem_budget_set = true;
     } else if (arg.size() > 2 && arg.substr(0, 2) == "--") {
       // Unknown flag: forward to the frontend factory as key=value.
@@ -374,6 +396,85 @@ int cmd_list_backends() {
   return 0;
 }
 
+/// `serve`: host the co-simulation server until every client detaches.
+/// Server-specific knobs arrive as forwarded --key value options.
+int cmd_serve(const CliOptions& opts) {
+  if (opts.positional.size() != 1) {
+    std::fprintf(stderr, "serve needs exactly one socket path\n");
+    return 2;
+  }
+  ipc::CosimOptions sopts;
+  sopts.socket_path = opts.positional[0];
+  for (const auto& [key, value] : opts.frontend_opts) {
+    if (key == "clients") {
+      if (!flag_u32("--clients", value.c_str(), sopts.expected_clients, 1,
+                    64)) {
+        return 2;
+      }
+    } else if (key == "quantum") {
+      if (!flag_u64("--quantum", value.c_str(), sopts.quantum, 1)) {
+        return 2;
+      }
+    } else if (key == "ring-slots") {
+      if (!flag_u32("--ring-slots", value.c_str(), sopts.ring_slots, 2,
+                    1u << 20)) {
+        return 2;
+      }
+    } else if (key == "max-cycles") {
+      if (!flag_u64("--max-cycles", value.c_str(), sopts.max_cycles)) {
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "serve: unknown option '--%s'\n", key.c_str());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<backend::MemoryBackend> mem;
+  if (Status s = backend::BackendRegistry::instance().create(
+          opts.backend, make_cfg(opts), mem);
+      !s.ok()) {
+    std::fprintf(stderr, "create: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  frontend::IoOptions io_opts;
+  io_opts.trace_file = opts.trace_file;
+  io_opts.trace_level = opts.trace_level;
+  io_opts.trace_chrome = opts.trace_chrome;
+  io_opts.stage_stats = opts.stage_stats;
+  io_opts.stats_json = opts.stats_json;
+  frontend::RunIo io;
+  if (Status s = io.attach(*mem, io_opts); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+
+  ipc::CosimServer server(*mem, sopts);
+  if (Status s = server.bind(); !s.ok()) {
+    std::fprintf(stderr, "bind: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "serve: listening on %s (%u clients, quantum %llu)\n",
+               sopts.socket_path.c_str(), sopts.expected_clients,
+               static_cast<unsigned long long>(sopts.quantum));
+  if (Status s = server.serve(); !s.ok()) {
+    std::fprintf(stderr, "serve: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("serve: %llu quanta, %llu requests, %llu responses, "
+              "cycle %llu\n",
+              static_cast<unsigned long long>(server.quanta()),
+              static_cast<unsigned long long>(server.requests()),
+              static_cast<unsigned long long>(server.responses()),
+              static_cast<unsigned long long>(server.cycle()));
+  io.print_stage_report(*mem);
+  if (Status s = io.write_stats_json(*mem); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 /// Run one registered frontend over one registered backend: the shared
 /// path behind every workload subcommand.
 int cmd_run(const std::string& name, const CliOptions& opts) {
@@ -477,7 +578,14 @@ int main(int argc, char** argv) {
   }
   if (cmd == "config") {
     if (!opts.positional.empty()) {
-      opts.links = std::atoi(opts.positional[0].c_str());
+      std::uint32_t links = 0;
+      if (!common::parse_u32(opts.positional[0].c_str(), links) ||
+          (links != 4 && links != 8)) {
+        std::fprintf(stderr, "hmcsim_cli: config takes 4 or 8, got '%s'\n",
+                     opts.positional[0].c_str());
+        return 2;
+      }
+      opts.links = static_cast<int>(links);
     }
     return cmd_config(opts);
   }
@@ -489,6 +597,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "list-backends") {
     return cmd_list_backends();
+  }
+  if (cmd == "serve") {
+    return cmd_serve(opts);
   }
   if (frontend::FrontendRegistry::instance().contains(cmd)) {
     return cmd_run(cmd, opts);

@@ -1,0 +1,202 @@
+// hmcsim_server.cpp — standalone co-simulation server.
+//
+// Owns one simulated cube chain and serves client processes over the
+// shared-memory protocol (src/ipc/cosim_proto.h, docs/COSIM.md):
+//
+//   hmcsim_server --socket /tmp/hmcsim.sock --clients 2 --quantum 64
+//                 --stats-json run.json
+//
+// The process exits once every client has disconnected (the simulation
+// is first run to quiescence so the statistics settle). With the same
+// configuration and the same per-client workloads, two runs write
+// byte-identical statistics JSON.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/backend/backend.hpp"
+#include "src/common/parse.hpp"
+#include "src/frontend/runner.hpp"
+#include "src/ipc/cosim_server.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+struct ServerOptions {
+  ipc::CosimOptions cosim;
+  std::string backend = "hmc";
+  std::string stats_json;
+  std::uint32_t links = 4;
+  std::uint32_t devs = 1;
+  std::uint32_t threads = 1;
+};
+
+int usage() {
+  std::fputs(
+      "usage: hmcsim_server --socket <path> [options]\n"
+      "  --socket <path>      Unix-domain control socket (required)\n"
+      "  --clients <n>        client processes to expect (default 1)\n"
+      "  --quantum <n>        cycles per clock barrier (default 64)\n"
+      "  --ring-slots <n>     messages per SPSC ring (default 1024)\n"
+      "  --max-cycles <n>     abort guard, 0 = unbounded (default 0)\n"
+      "  --backend <name>     memory backend (default hmc)\n"
+      "  --links 4|8          host links (default 4)\n"
+      "  --devs <n>           cubes in the chain, 1..8 (default 1)\n"
+      "  --threads <n>        clock worker threads, 1..64 (default 1)\n"
+      "  --stats-json <path>  write the statistics registry on exit\n",
+      stderr);
+  return 2;
+}
+
+bool flag_u64(std::string_view flag, const char* v, std::uint64_t& out,
+              std::uint64_t min, std::uint64_t max) {
+  if (v == nullptr) {
+    std::fprintf(stderr, "hmcsim_server: %.*s needs a value\n",
+                 static_cast<int>(flag.size()), flag.data());
+    return false;
+  }
+  if (!common::parse_u64(v, out, max) || out < min) {
+    std::fprintf(stderr,
+                 "hmcsim_server: invalid value '%s' for %.*s (expected an "
+                 "unsigned integer in [%llu, %llu])\n",
+                 v, static_cast<int>(flag.size()), flag.data(),
+                 static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max));
+    return false;
+  }
+  return true;
+}
+
+bool flag_u32(std::string_view flag, const char* v, std::uint32_t& out,
+              std::uint32_t min, std::uint32_t max) {
+  std::uint64_t wide = 0;
+  if (!flag_u64(flag, v, wide, min, max)) {
+    return false;
+  }
+  out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+bool parse_args(int argc, char** argv, ServerOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.cosim.socket_path = v;
+    } else if (arg == "--clients") {
+      if (!flag_u32(arg, next(), opts.cosim.expected_clients, 1, 64)) {
+        return false;
+      }
+    } else if (arg == "--quantum") {
+      if (!flag_u64(arg, next(), opts.cosim.quantum, 1,
+                    std::numeric_limits<std::uint64_t>::max())) {
+        return false;
+      }
+    } else if (arg == "--ring-slots") {
+      if (!flag_u32(arg, next(), opts.cosim.ring_slots, 2, 1u << 20)) {
+        return false;
+      }
+    } else if (arg == "--max-cycles") {
+      if (!flag_u64(arg, next(), opts.cosim.max_cycles, 0,
+                    std::numeric_limits<std::uint64_t>::max())) {
+        return false;
+      }
+    } else if (arg == "--backend") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.backend = v;
+    } else if (arg == "--links") {
+      if (!flag_u32(arg, next(), opts.links, 4, 8)) {
+        return false;
+      }
+      if (opts.links != 4 && opts.links != 8) {
+        std::fprintf(stderr, "hmcsim_server: --links must be 4 or 8\n");
+        return false;
+      }
+    } else if (arg == "--devs") {
+      if (!flag_u32(arg, next(), opts.devs, 1, 8)) {
+        return false;
+      }
+    } else if (arg == "--threads") {
+      if (!flag_u32(arg, next(), opts.threads, 1, 64)) {
+        return false;
+      }
+    } else if (arg == "--stats-json") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.stats_json = v;
+    } else {
+      std::fprintf(stderr, "hmcsim_server: unknown option '%s'\n",
+                   std::string(arg).c_str());
+      return false;
+    }
+  }
+  return !opts.cosim.socket_path.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions opts;
+  if (!parse_args(argc, argv, opts)) {
+    return usage();
+  }
+
+  sim::Config cfg = opts.links == 8 ? sim::Config::hmc_8link_8gb()
+                                    : sim::Config::hmc_4link_4gb();
+  cfg.num_devs = opts.devs;
+  cfg.threads = opts.threads;
+
+  std::unique_ptr<backend::MemoryBackend> mem;
+  if (Status s = backend::BackendRegistry::instance().create(opts.backend,
+                                                             cfg, mem);
+      !s.ok()) {
+    std::fprintf(stderr, "create: %s\n", s.to_string().c_str());
+    return 1;
+  }
+
+  frontend::IoOptions io_opts;
+  io_opts.stats_json = opts.stats_json;
+  frontend::RunIo io;
+  if (Status s = io.attach(*mem, io_opts); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+
+  ipc::CosimServer server(*mem, opts.cosim);
+  if (Status s = server.bind(); !s.ok()) {
+    std::fprintf(stderr, "bind: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "hmcsim_server: listening on %s (%u clients, quantum %llu)\n",
+               opts.cosim.socket_path.c_str(), opts.cosim.expected_clients,
+               static_cast<unsigned long long>(opts.cosim.quantum));
+  if (Status s = server.serve(); !s.ok()) {
+    std::fprintf(stderr, "serve: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "hmcsim_server: done — %llu quanta, %llu requests, "
+               "%llu responses, cycle %llu\n",
+               static_cast<unsigned long long>(server.quanta()),
+               static_cast<unsigned long long>(server.requests()),
+               static_cast<unsigned long long>(server.responses()),
+               static_cast<unsigned long long>(server.cycle()));
+  if (Status s = io.write_stats_json(*mem); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  return 0;
+}
