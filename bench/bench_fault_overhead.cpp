@@ -1,0 +1,75 @@
+// bench_fault_overhead.cpp — cost of the DRAM fault subsystem.
+//
+// Saturated read round-trips (every link busy every cycle) under three
+// fault settings:
+//
+//   off        no fault mechanism configured — the pay-for-what-you-use
+//              baseline; the vault read path must stay a null-pointer
+//              compare per access (the ISSUE budget: <= 2% below the
+//              seed's throughput)
+//   transient  dram_fault_ppm=100 — realistic soft-error rate; every
+//              64-bit word read rolls a deterministic injection draw and
+//              runs the SEC-DED check
+//   scrubbed   transient plus 64 stuck-at cells and a 256-cycle patrol
+//              scrub interval — the full subsystem
+//
+// Rates are retired packets per second via items_processed. CI exports
+// the report as BENCH_fault_overhead.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "src/sim/simulator.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+enum class Mode { Off, Transient, Scrubbed };
+
+void BM_SaturatedReads(benchmark::State& state, Mode mode) {
+  sim::Config cfg = sim::Config::hmc_4link_4gb();
+  if (mode != Mode::Off) {
+    cfg.dram_fault_ppm = 100;
+    cfg.dram_fault_seed = 0xBE7C;
+  }
+  if (mode == Mode::Scrubbed) {
+    cfg.stuck_faults = 64;
+    cfg.scrub_interval = 256;
+  }
+  std::unique_ptr<sim::Simulator> sim;
+  if (!sim::Simulator::create(cfg, sim).ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD64;
+  std::uint16_t tag = 0;
+  sim::Response rsp;
+  std::int64_t retired = 0;
+  for (auto _ : state) {
+    for (std::uint32_t link = 0; link < 4; ++link) {
+      rd.tag = tag++ & spec::kMaxTag;
+      rd.addr = (static_cast<std::uint64_t>(rd.tag) * 64) % (1 << 20);
+      (void)sim->send(rd, link);
+    }
+    sim->clock();
+    for (std::uint32_t link = 0; link < 4; ++link) {
+      while (sim->recv(link, rsp).ok()) {
+        benchmark::DoNotOptimize(rsp);
+        ++retired;
+      }
+    }
+  }
+  state.SetItemsProcessed(retired);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SaturatedReads, off, Mode::Off);
+BENCHMARK_CAPTURE(BM_SaturatedReads, transient, Mode::Transient);
+BENCHMARK_CAPTURE(BM_SaturatedReads, scrubbed, Mode::Scrubbed);
+
+BENCHMARK_MAIN();

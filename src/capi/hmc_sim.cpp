@@ -87,9 +87,21 @@ int fill_response(const hmcsim::sim::Response& rsp, uint8_t* rsp_cmd,
 
 extern "C" {
 
-hmc_sim_t *hmcsim_init(uint32_t num_devs, uint32_t num_links,
-                       uint32_t capacity_gb, uint32_t block_size,
-                       uint32_t queue_depth, uint32_t xbar_depth) {
+static hmc_sim_t *init_from_cfg(hmcsim::sim::Config cfg) {
+  std::unique_ptr<hmcsim::sim::Simulator> sim;
+  if (!hmcsim::sim::Simulator::create(cfg, sim).ok()) {
+    return nullptr;
+  }
+  auto *handle = new hmc_sim_t{};
+  handle->sim = std::move(sim);
+  return handle;
+}
+
+static hmcsim::sim::Config base_cfg(uint32_t num_devs, uint32_t num_links,
+                                    uint32_t capacity_gb,
+                                    uint32_t block_size,
+                                    uint32_t queue_depth,
+                                    uint32_t xbar_depth) {
   hmcsim::sim::Config cfg;
   cfg.num_devs = num_devs;
   cfg.num_links = num_links;
@@ -101,14 +113,30 @@ hmc_sim_t *hmcsim_init(uint32_t num_devs, uint32_t num_links,
   cfg.xbar_depth = xbar_depth;
   // Bank count tracks capacity as on real Gen2 parts.
   cfg.banks_per_vault = capacity_gb >= 8 ? 32 : (capacity_gb >= 4 ? 16 : 8);
+  return cfg;
+}
 
-  std::unique_ptr<hmcsim::sim::Simulator> sim;
-  if (!hmcsim::sim::Simulator::create(cfg, sim).ok()) {
-    return nullptr;
-  }
-  auto *handle = new hmc_sim_t{};
-  handle->sim = std::move(sim);
-  return handle;
+hmc_sim_t *hmcsim_init(uint32_t num_devs, uint32_t num_links,
+                       uint32_t capacity_gb, uint32_t block_size,
+                       uint32_t queue_depth, uint32_t xbar_depth) {
+  return init_from_cfg(base_cfg(num_devs, num_links, capacity_gb,
+                                block_size, queue_depth, xbar_depth));
+}
+
+hmc_sim_t *hmcsim_init_faults(uint32_t num_devs, uint32_t num_links,
+                              uint32_t capacity_gb, uint32_t block_size,
+                              uint32_t queue_depth, uint32_t xbar_depth,
+                              uint32_t dram_fault_ppm,
+                              uint64_t dram_fault_seed,
+                              uint32_t scrub_interval,
+                              uint32_t stuck_faults) {
+  hmcsim::sim::Config cfg = base_cfg(num_devs, num_links, capacity_gb,
+                                     block_size, queue_depth, xbar_depth);
+  cfg.dram_fault_ppm = dram_fault_ppm;
+  cfg.dram_fault_seed = dram_fault_seed;
+  cfg.scrub_interval = scrub_interval;
+  cfg.stuck_faults = stuck_faults;
+  return init_from_cfg(cfg);
 }
 
 void hmcsim_free(hmc_sim_t *sim) { delete sim; }

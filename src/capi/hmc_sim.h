@@ -36,6 +36,23 @@ hmc_sim_t *hmcsim_init(uint32_t num_devs, uint32_t num_links,
                        uint32_t capacity_gb, uint32_t block_size,
                        uint32_t queue_depth, uint32_t xbar_depth);
 
+/* hmcsim_init plus deterministic DRAM fault injection: dram_fault_ppm
+ * transient bit flips per million 64-bit word reads (seeded by
+ * dram_fault_seed), a patrol scrubber pass every scrub_interval cycles
+ * (0 disables), and stuck_faults permanent stuck-at cells per cube
+ * (max 4096). Single-bit errors are corrected by SEC-DED ECC; multi-bit
+ * errors poison the response (zeroed payload, DINV errstat). When any
+ * mechanism is enabled the per-cube counters appear in the statistics
+ * registry as cube<N>.ecc.* (see docs/FAULTS.md) and are readable via
+ * hmcsim_stat_get. */
+hmc_sim_t *hmcsim_init_faults(uint32_t num_devs, uint32_t num_links,
+                              uint32_t capacity_gb, uint32_t block_size,
+                              uint32_t queue_depth, uint32_t xbar_depth,
+                              uint32_t dram_fault_ppm,
+                              uint64_t dram_fault_seed,
+                              uint32_t scrub_interval,
+                              uint32_t stuck_faults);
+
 /* Tear down a simulation context. NULL is a no-op. */
 void hmcsim_free(hmc_sim_t *sim);
 

@@ -26,6 +26,8 @@ std::string_view to_string(StatusCode code) noexcept {
       return "CMC_ERROR";
     case StatusCode::Internal:
       return "INTERNAL";
+    case StatusCode::Poisoned:
+      return "POISONED";
   }
   return "UNKNOWN";
 }

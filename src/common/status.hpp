@@ -26,6 +26,7 @@ enum class StatusCode : std::uint8_t {
   LoadError,       ///< Dynamic library load/symbol resolution failure.
   CmcError,        ///< A CMC plugin's execute function reported failure.
   Internal,        ///< Invariant violation inside the simulator (a bug).
+  Poisoned,        ///< Data carries an uncorrectable ECC error (DINV).
 };
 
 /// Human-readable name of a status code (stable, for traces and tests).
@@ -84,6 +85,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return {StatusCode::Internal, std::move(msg)};
+  }
+  static Status Poisoned(std::string msg) {
+    return {StatusCode::Poisoned, std::move(msg)};
   }
 
   friend bool operator==(const Status& a, const Status& b) noexcept {

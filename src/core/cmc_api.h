@@ -154,6 +154,11 @@ typedef void (*hmcsim_cmc_str_fn)(char *out);
                                  * the access was not performed           */
 #define HMCSIM_CMC_EFAULT (-4)  /* simulated memory access failed         */
 #define HMCSIM_CMC_ENOCALL (-5) /* no CMC execute call in flight          */
+#define HMCSIM_CMC_EPOISON (-6) /* read hit an uncorrectable ECC error;
+                                 * the buffer is zero-filled and the
+                                 * in-flight execute will complete with a
+                                 * poisoned (DINV) response, not a guard
+                                 * violation                              */
 
 /* Hard per-access cap on nwords, independent of the configurable budget:
  * a single read/write of more than this many 64-bit words is rejected as

@@ -307,6 +307,14 @@ Status CmcRegistry::execute(std::uint8_t cmd, CmcContext& ctx,
     out = CmcExecResult{};
     return Status::CmcError("CMC '" + op.name + "': " + violation);
   }
+  if (call.poisoned) {
+    // ECC poison is the memory's fault, not the plugin's: no quarantine
+    // strike, and the result is dropped so tainted derivations can never
+    // reach the host — it sees an RSP_ERROR with the DINV errstat.
+    out = CmcExecResult{};
+    return Status::Poisoned("CMC '" + op.name +
+                            "' consumed poisoned data");
+  }
   if (rc != 0) {
     note_failure(op, ctx, "execute returned nonzero", /*violation=*/false);
     out = CmcExecResult{};
@@ -410,9 +418,17 @@ extern "C" int hmcsim_cmc_mem_read(void* hmc, std::uint32_t dev,
   if (ctx->call != nullptr) {
     ctx->call->words_read += nwords;
   }
-  return ctx->mem_read(ctx->user, dev, addr, data, nwords).ok()
-             ? HMCSIM_CMC_OK
-             : HMCSIM_CMC_EFAULT;
+  const hmcsim::Status s = ctx->mem_read(ctx->user, dev, addr, data, nwords);
+  if (s.ok()) {
+    return HMCSIM_CMC_OK;
+  }
+  if (s.code() == hmcsim::StatusCode::Poisoned) {
+    if (ctx->call != nullptr) {
+      ctx->call->poisoned = true;
+    }
+    return HMCSIM_CMC_EPOISON;
+  }
+  return HMCSIM_CMC_EFAULT;
 }
 
 extern "C" int hmcsim_cmc_mem_write(void* hmc, std::uint32_t dev,

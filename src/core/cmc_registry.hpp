@@ -94,6 +94,10 @@ struct CmcCallState {
   std::uint64_t words_written = 0;
   std::uint64_t budget_left = 0;    ///< Remaining words; ignored if !budgeted.
   bool budgeted = false;
+  /// A mem_read hit an uncorrectable ECC error: the plugin got EPOISON and
+  /// a zeroed buffer; the call completes as Poisoned (DINV at the vault),
+  /// not as a plugin failure — no quarantine strike.
+  bool poisoned = false;
   const char* violation = nullptr;  ///< Static-lifetime description.
 };
 

@@ -16,6 +16,7 @@ Device::Device(const sim::Config& cfg, std::uint32_t dev_id,
       prefix_("cube" + std::to_string(dev_id)),
       store_(cfg.capacity_bytes),
       amap_(cfg),
+      fault_(cfg, dev_id, reg, prefix_),
       xbar_(cfg.num_links, cfg.xbar_depth, reg, prefix_ + ".xbar"),
       chain_rqst_(cfg.xbar_depth),
       chain_rsp_(cfg.xbar_depth),
@@ -513,8 +514,10 @@ void Device::run_vault(std::uint32_t v, std::uint64_t cycle, ExecEnv& env,
 
 void Device::clock_vaults(std::uint64_t cycle, cmc::CmcRegistry* cmc,
                           cmc::CmcContext* cmc_ctx, trace::Tracer& tracer) {
-  ExecEnv env{store_, regs_, amap_, cmc,      cmc_ctx,
-              tracer, cfg_,  id_,   cmc_op_counters_.data()};
+  ExecEnv env{store_, regs_, amap_, cmc,
+              cmc_ctx, tracer, cfg_, id_,
+              cmc_op_counters_.data(),
+              fault_.enabled() ? &fault_ : nullptr};
   const bool sample_depth = tracer.enabled(trace::Level::QueueDepth);
   if (cfg_.exhaustive_clock) {
     for (std::uint32_t v = 0; v < vaults_.size(); ++v) {
@@ -696,6 +699,7 @@ void Device::reset_pipeline() {
       c->reset();
     }
   }
+  fault_.reset();
 }
 
 }  // namespace hmcsim::dev

@@ -37,6 +37,7 @@
 #include "dev/vault.hpp"
 #include "dev/xbar.hpp"
 #include "mem/backing_store.hpp"
+#include "mem/fault.hpp"
 #include "metrics/stat_registry.hpp"
 #include "sim/config.hpp"
 #include "trace/trace.hpp"
@@ -120,6 +121,27 @@ class Device {
     return prefix_;
   }
 
+  // ---- DRAM fault injection / ECC / patrol scrub -------------------------
+  [[nodiscard]] mem::FaultInjector& fault() noexcept { return fault_; }
+  [[nodiscard]] const mem::FaultInjector& fault() const noexcept {
+    return fault_;
+  }
+  /// Patrol scrub tick. Ordering contract: called immediately after this
+  /// device's stage-B vault execution — in both the sequential core and
+  /// the sharded core — so cross-device CMC reads under the serialized
+  /// stage-B window observe the same overlay in every mode.
+  void clock_scrub(std::uint64_t cycle) {
+    if (fault_.enabled()) {
+      fault_.clock_scrub(cycle);
+    }
+  }
+  /// Next productive patrol-scrub cycle after `cycle` (UINT64_MAX when
+  /// nothing is pending); feeds Simulator::next_event_cycle.
+  [[nodiscard]] std::uint64_t next_fault_event(
+      std::uint64_t cycle) const noexcept {
+    return fault_.enabled() ? fault_.next_scrub_event(cycle) : UINT64_MAX;
+  }
+
   // ---- active-set scheduling ---------------------------------------------
   // Every queue push registers its component on the owning per-stage
   // active set (a bitmask: 32 vaults fit a uint64, links a uint32);
@@ -176,6 +198,7 @@ class Device {
   mem::BackingStore store_;
   Registers regs_;
   AddrMap amap_;
+  mem::FaultInjector fault_;
   std::vector<Vault> vaults_;
   Xbar xbar_;
   std::vector<Link> links_;

@@ -22,6 +22,7 @@ enum Errstat : std::uint8_t {
   kErrCmcFailed = 4,  ///< CMC plugin execute reported failure.
   kErrRegister = 5,   ///< Register access fault.
   kErrInternal = 6,   ///< Execution failed on a simulator-internal error.
+  kErrDinv = 7,       ///< Data invalid: uncorrectable ECC error (poison).
 };
 
 /// Map an execution Status to the ERRSTAT code its RSP_ERROR carries.
@@ -37,6 +38,8 @@ std::uint8_t errstat_for(const Status& s) noexcept {
       return kErrCmd;
     case StatusCode::CmcError:
       return kErrCmcFailed;
+    case StatusCode::Poisoned:
+      return kErrDinv;
     default:
       return kErrInternal;
   }
@@ -79,6 +82,13 @@ Vault::Vault(std::uint32_t quad, std::uint32_t vault_id,
       prefix + ".errstat_register", "RSP_ERROR: register access fault");
   errstat_counters_[kErrInternal] = &reg.counter(
       prefix + ".errstat_internal", "RSP_ERROR: internal failure");
+  // Registered only when DRAM fault injection is configured, so stats
+  // exports stay byte-identical to pre-fault builds otherwise (the
+  // record_error/reset loops are null-safe over the gated slot).
+  if (cfg.dram_fault_ppm != 0 || cfg.stuck_faults != 0) {
+    errstat_counters_[kErrDinv] = &reg.counter(
+        prefix + ".errstat_dinv", "RSP_ERROR: uncorrectable ECC (poison)");
+  }
   bank_conflict_counters_.reserve(banks_.size());
   for (std::uint32_t b = 0; b < cfg.banks_per_vault; ++b) {
     bank_conflict_counters_.push_back(
@@ -117,6 +127,40 @@ void Vault::reset() {
   for (metrics::Counter* c : bank_conflict_counters_) {
     c->reset();
   }
+}
+
+bool Vault::check_ecc(const RqstEntry& entry, std::uint64_t addr,
+                      std::span<const std::uint64_t> words,
+                      std::uint32_t bank, std::uint64_t cycle, ExecEnv& env) {
+  mem::FaultInjector& fault = *env.fault;
+  const bool traced = env.tracer.enabled(trace::Level::Ecc);
+  std::size_t bad_words = 0;
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    const std::uint64_t word_addr = addr + 8 * w;
+    const std::uint64_t err =
+        fault.read_error_bits(vault_id_, word_addr, words[w], cycle);
+    if (err == 0) {
+      continue;
+    }
+    const bool correctable = std::popcount(err) == 1;
+    if (correctable) {
+      fault.count_corrected();
+    } else {
+      ++bad_words;
+      fault.count_uncorrectable();
+    }
+    if (traced) {
+      env.tracer.emit({.cycle = cycle,
+                       .kind = trace::Level::Ecc,
+                       .where = {env.dev_id, quad_, vault_id_, bank,
+                                 entry.src_link},
+                       .tag = entry.pkt.tag(),
+                       .op = correctable ? "ECC_CORRECT" : "ECC_POISON",
+                       .addr = word_addr,
+                       .value = err});
+    }
+  }
+  return bad_words == 0;
 }
 
 void Vault::process(std::uint64_t cycle, ExecEnv& env) {
@@ -273,6 +317,9 @@ bool Vault::try_retire(StagedRetire& staged, std::uint64_t cycle,
     trace::Journey& j = env.tracer.journeys()->at(staged.rsp.journey);
     j.t_rsp = cycle;
     j.error = staged.error_rsp;
+    if (staged.errstat == kErrDinv) {
+      j.note = "ecc-poison";
+    }
   }
   const bool pushed = rsp_q_.push(std::move(staged.rsp));
   (void)pushed;  // Guarded by the full() check above.
@@ -451,6 +498,16 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
         staged_.errstat = errstat_for(rd_status);
         return finish_response(entry, kErrorCode, 1, false, {}, cycle, env);
       }
+      if (env.fault != nullptr &&
+          !check_ecc(entry, addr, {data.data(), bytes / 8}, loc.bank, cycle,
+                     env)) {
+        // SEC-DED gave up on at least one word: the response is poisoned —
+        // RSP_ERROR with the DINV errstat and no payload, never silently
+        // corrupt data.
+        env.fault->count_poison_returned();
+        staged_.errstat = kErrDinv;
+        return finish_response(entry, kErrorCode, 1, false, {}, cycle, env);
+      }
       staged_.occupy = true;
       staged_.bank = loc.bank;
       return finish_response(entry, rsp_code(), info.rsp_flits, false,
@@ -486,6 +543,12 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
         record_error(errstat);
         rqsts_processed_->inc();
         return true;
+      }
+      if (env.fault != nullptr) {
+        // The write landed TRUE data: latent flips on these words are
+        // gone; a covered stuck-at cell is re-dirtied for one patrol
+        // visit (and only one — writes must never spin the scrubber).
+        env.fault->note_write(addr, bytes);
       }
       if (info.kind == spec::CommandKind::Write) {
         staged_.occupy = true;
@@ -533,6 +596,25 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
 
     case spec::CommandKind::Atomic:
     case spec::CommandKind::PostedAtomic: {
+      if (env.fault != nullptr) {
+        // The AMO's read-modify-write consumes the 128-bit memory operand;
+        // ECC applies to that read exactly as to a DRAM read. Range errors
+        // fall through to amo::execute's own diagnostics.
+        std::array<std::uint64_t, 2> operand{};
+        if (env.store.read_u64(addr, operand[0]).ok() &&
+            env.store.read_u64(addr + 8, operand[1]).ok() &&
+            !check_ecc(entry, addr, operand, loc.bank, cycle, env)) {
+          if (info.kind == spec::CommandKind::Atomic) {
+            env.fault->count_poison_returned();
+            staged_.errstat = kErrDinv;
+            return finish_response(entry, kErrorCode, 1, false, {}, cycle,
+                                   env);
+          }
+          record_error(kErrDinv);
+          rqsts_processed_->inc();
+          return true;
+        }
+      }
       amo::AmoResult result;
       const Status s =
           amo::execute(rqst, env.store, addr, entry.pkt.payload(), result);
@@ -546,6 +628,10 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
         record_error(errstat);
         rqsts_processed_->inc();
         return true;
+      }
+      if (env.fault != nullptr) {
+        // The RMW wrote the operand back with corrected data.
+        env.fault->note_write(addr, 16);
       }
       if (info.kind == spec::CommandKind::Atomic) {
         staged_.occupy = true;
@@ -577,7 +663,27 @@ bool Vault::execute_entry(RqstEntry& entry, std::uint64_t cycle,
           loc.bank, addr, op->rqst_len, entry.pkt.head, entry.pkt.tail,
           entry.pkt.payload(), result);
       if (!s.ok()) {
-        staged_.errstat = kErrCmcFailed;
+        if (s.code() == StatusCode::Poisoned) {
+          // The operation consumed a word with an uncorrectable ECC error
+          // through the memory service: the plugin already saw a guarded
+          // EPOISON failure; the host sees DINV, never silent corruption.
+          if (env.fault != nullptr) {
+            env.fault->count_poison_returned();
+          }
+          if (env.tracer.enabled(trace::Level::Ecc)) {
+            env.tracer.emit({.cycle = cycle,
+                             .kind = trace::Level::Ecc,
+                             .where = {env.dev_id, quad_, vault_id_,
+                                       loc.bank, entry.src_link},
+                             .tag = entry.pkt.tag(),
+                             .op = op->name,
+                             .addr = addr,
+                             .note = "cmc consumed poisoned data"});
+          }
+          staged_.errstat = kErrDinv;
+        } else {
+          staged_.errstat = kErrCmcFailed;
+        }
         return finish_response(entry, kErrorCode, 1, false, {}, cycle, env);
       }
       if (!op->posted()) {

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "dev/entries.hpp"
 #include "dev/registers.hpp"
 #include "mem/backing_store.hpp"
+#include "mem/fault.hpp"
 #include "metrics/stat_registry.hpp"
 #include "sim/config.hpp"
 #include "trace/trace.hpp"
@@ -49,6 +51,9 @@ struct ExecEnv {
   /// (128 slots; null entries for codes with no attached counter). Null
   /// when the device has no per-op accounting wired.
   metrics::Counter* const* cmc_op_counters = nullptr;
+  /// DRAM fault/ECC model; null when fault injection is not configured,
+  /// which keeps the read path a single branch.
+  mem::FaultInjector* fault = nullptr;
 };
 
 class Vault {
@@ -157,6 +162,15 @@ class Vault {
   /// Reset staged_'s metadata for one request's execution.
   void stage_begin(const RqstEntry& rqst);
 
+  /// Roll deterministic fault injection + SEC-DED over a read payload
+  /// (env.fault must be non-null). Returns true when every word is clean
+  /// or single-bit-corrected, false when any word carries an
+  /// uncorrectable error — the caller must poison the response.
+  [[nodiscard]] bool check_ecc(const RqstEntry& entry, std::uint64_t addr,
+                               std::span<const std::uint64_t> words,
+                               std::uint32_t bank, std::uint64_t cycle,
+                               ExecEnv& env);
+
   /// Build the response into staged_ and attempt to retire it. On a full
   /// response queue the staged record stays armed for later cycles and
   /// this returns false. Non-const request: the journey slot index
@@ -194,7 +208,7 @@ class Vault {
   metrics::Counter* bank_conflicts_;
   metrics::Counter* rsp_stalls_;
   metrics::Counter* errors_;
-  std::array<metrics::Counter*, 7> errstat_counters_{};
+  std::array<metrics::Counter*, 8> errstat_counters_{};
   std::vector<metrics::Counter*> bank_conflict_counters_;
   /// No staged response: the entry has not executed yet (fresh arrival, or
   /// a bank-conflict deferral that must re-attempt execution).

@@ -75,7 +75,10 @@ static void sleep_ms(unsigned ms) {
   struct timespec ts;
   ts.tv_sec = ms / 1000u;
   ts.tv_nsec = (long)(ms % 1000u) * 1000000L;
-  nanosleep(&ts, NULL);
+  /* A signal may cut the sleep short: resume with the remainder so the
+   * backoff schedule keeps its timing under EINTR storms. */
+  while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
 }
 
 hmc_cosim_t *hmc_cosim_connect(const char *socket_path, uint32_t slot,
@@ -91,15 +94,22 @@ hmc_cosim_t *hmc_cosim_connect(const char *socket_path, uint32_t slot,
   addr.sun_family = AF_UNIX;
   strcpy(addr.sun_path, socket_path);
 
-  /* The server may not have bound yet: retry until the deadline. */
+  /* The server may not have bound yet: retry until the deadline with
+   * exponential backoff (1, 2, 4, ... ms, capped at 100 ms) so a fast
+   * server start is caught quickly without hammering a slow one. */
   int fd = -1;
   uint32_t waited = 0;
+  uint32_t backoff = 1;
   for (;;) {
     fd = socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) {
       return NULL;
     }
-    if (connect(fd, (const struct sockaddr *)&addr, sizeof(addr)) == 0) {
+    int rc;
+    do {
+      rc = connect(fd, (const struct sockaddr *)&addr, sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) {
       break;
     }
     close(fd);
@@ -107,8 +117,18 @@ hmc_cosim_t *hmc_cosim_connect(const char *socket_path, uint32_t slot,
     if (waited >= timeout_ms) {
       return NULL;
     }
-    sleep_ms(10);
-    waited += 10;
+    uint32_t nap = backoff;
+    if (nap > timeout_ms - waited) {
+      nap = timeout_ms - waited; /* Never sleep past the deadline. */
+    }
+    sleep_ms(nap);
+    waited += nap;
+    if (backoff < 100u) {
+      backoff *= 2;
+      if (backoff > 100u) {
+        backoff = 100u;
+      }
+    }
   }
 
   hmc_cosim_hello_t hello;

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -54,6 +55,31 @@ bool read_full(int fd, void* buf, std::size_t len) {
   return true;
 }
 
+/// True when a client's control socket reports the peer is gone: closed
+/// (orderly EOF), reset, or invalid. A merely idle socket returns false.
+bool socket_dead(int fd) {
+  if (fd < 0) {
+    return true;
+  }
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, 0);
+  if (ready < 0) {
+    return errno != EINTR;
+  }
+  if (ready == 0) {
+    return false;  // Quiet but connected.
+  }
+  if ((pfd.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0) {
+    return true;
+  }
+  // POLLIN on a control socket that should be silent: either stray bytes
+  // or EOF — peek one byte to tell them apart without consuming anything.
+  char b = 0;
+  return ::recv(fd, &b, 1, MSG_PEEK | MSG_DONTWAIT) == 0;
+}
+
 }  // namespace
 
 /// Server-side state of one attached client.
@@ -63,6 +89,7 @@ struct CosimServer::Client {
   hmc_cosim_ring_t* s2c = nullptr;
   std::vector<hmc_cosim_msg_t> pending;  ///< SENDs queued this quantum.
   std::uint64_t clock_request = 0;       ///< Cycles asked by CLOCK.
+  std::uint32_t slot = 0;                ///< Caller-assigned ring index.
   bool at_barrier = false;               ///< CLOCK seen this quantum.
   bool live = false;                     ///< Attached and not BYE'd.
 
@@ -156,10 +183,12 @@ Status CosimServer::bind() {
   }
 
   clients_.clear();
+  evicted_.clear();
   for (std::uint32_t i = 0; i < opts_.expected_clients; ++i) {
     auto c = std::make_unique<Client>();
     c->c2s = hmc_cosim_shm_c2s(shm_base_, opts_.ring_slots, i);
     c->s2c = hmc_cosim_shm_s2c(shm_base_, opts_.ring_slots, i);
+    c->slot = i;
     clients_.push_back(std::move(c));
   }
   session_ = std::make_unique<sim::Session>(*mem_);
@@ -169,10 +198,20 @@ Status CosimServer::bind() {
 }
 
 Status CosimServer::accept_clients() {
+  using Clock = std::chrono::steady_clock;
+  const bool bounded = opts_.client_timeout_ms != 0;
+  const auto timeout = std::chrono::milliseconds(opts_.client_timeout_ms);
+  auto deadline = Clock::now() + timeout;
   std::uint32_t attached = 0;
   while (attached < opts_.expected_clients) {
     if (stop_.load(std::memory_order_relaxed)) {
       return Status::InvalidState("stop requested while waiting for clients");
+    }
+    if (bounded && Clock::now() >= deadline) {
+      return Status::InvalidState(
+          "timed out after " + std::to_string(opts_.client_timeout_ms) +
+          " ms waiting for clients (" + std::to_string(attached) + "/" +
+          std::to_string(opts_.expected_clients) + " attached)");
     }
     // Bounded poll so request_stop() can interrupt an idle accept.
     pollfd pfd{};
@@ -220,14 +259,17 @@ Status CosimServer::accept_clients() {
                               std::to_string(hello.slot));
     }
     ++attached;
+    deadline = Clock::now() + timeout;  // Each attach is progress.
   }
   return Status::Ok();
 }
 
-void CosimServer::poll_client(Client& c) {
+bool CosimServer::poll_client(Client& c) {
+  bool consumed = false;
   hmc_cosim_msg_t msg;
   while (!c.at_barrier && c.live &&
          hmc_cosim_ring_pop(c.c2s, opts_.ring_slots, &msg) != 0) {
+    consumed = true;
     switch (msg.type) {
       case HMC_COSIM_MSG_SEND:
         c.pending.push_back(msg);
@@ -244,6 +286,14 @@ void CosimServer::poll_client(Client& c) {
         break;
     }
   }
+  return consumed;
+}
+
+void CosimServer::evict(Client& c) {
+  c.live = false;
+  c.at_barrier = false;
+  c.pending.clear();  // A dead client's queued SENDs are never admitted.
+  evicted_.push_back(c.slot);
 }
 
 Status CosimServer::admit_pending() {
@@ -316,21 +366,38 @@ void CosimServer::deliver(sim::BatchTicket ticket, const sim::Response& rsp) {
 }
 
 void CosimServer::push_to_client(Client& c, const hmc_cosim_msg_t& msg) {
+  using Clock = std::chrono::steady_clock;
+  const bool bounded = opts_.client_timeout_ms != 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(opts_.client_timeout_ms);
   while (hmc_cosim_ring_push(c.s2c, opts_.ring_slots, &msg) == 0) {
     if (stop_.load(std::memory_order_relaxed) || !c.live) {
       return;  // Ring stuck full: the client is gone, drop the message.
+    }
+    if (bounded && (socket_dead(c.fd) || Clock::now() >= deadline)) {
+      // Stale ring head: nobody is draining s2c. Evict instead of
+      // spinning the whole server on one dead consumer.
+      evict(c);
+      return;
     }
     ::sched_yield();
   }
 }
 
 Status CosimServer::run_barriers() {
+  using Clock = std::chrono::steady_clock;
+  const bool bounded = opts_.client_timeout_ms != 0;
+  const auto timeout = std::chrono::milliseconds(opts_.client_timeout_ms);
+  auto deadline = Clock::now() + timeout;
   while (true) {
     // Barrier: every live client has posted CLOCK (or left).
     bool all_ready = true;
+    bool progress = false;
     std::uint32_t live = 0;
     for (auto& cp : clients_) {
-      poll_client(*cp);
+      if (poll_client(*cp)) {
+        progress = true;
+      }
       if (cp->live) {
         ++live;
         if (!cp->at_barrier) {
@@ -339,11 +406,45 @@ Status CosimServer::run_barriers() {
       }
     }
     if (live == 0) {
-      return Status::Ok();  // Everyone said BYE.
+      return Status::Ok();  // Everyone said BYE (or was evicted).
     }
     if (!all_ready) {
       if (stop_.load(std::memory_order_relaxed)) {
         return Status::InvalidState("stop requested at the barrier");
+      }
+      if (progress) {
+        deadline = Clock::now() + timeout;  // Liveness clock: any message.
+      } else if (bounded && Clock::now() >= deadline) {
+        // No progress for a full timeout: probe the stragglers. Dead
+        // clients (closed/reset control socket) are evicted in slot
+        // order; survivors then re-evaluate the barrier.
+        bool evicted_any = false;
+        std::vector<std::uint32_t> stalled;
+        for (auto& cp : clients_) {
+          if (!cp->live || cp->at_barrier) {
+            continue;
+          }
+          if (socket_dead(cp->fd)) {
+            evict(*cp);
+            evicted_any = true;
+          } else {
+            stalled.push_back(cp->slot);
+          }
+        }
+        if (!evicted_any) {
+          std::string who;
+          for (const std::uint32_t s : stalled) {
+            if (!who.empty()) {
+              who += ',';
+            }
+            who += std::to_string(s);
+          }
+          return Status::InvalidState(
+              "barrier stalled for " +
+              std::to_string(opts_.client_timeout_ms) +
+              " ms waiting on live client slot(s) " + who);
+        }
+        deadline = Clock::now() + timeout;
       }
       ::sched_yield();
       continue;
@@ -384,6 +485,7 @@ Status CosimServer::run_barriers() {
       return Status::InvalidState("max_cycles guard reached at cycle " +
                                   std::to_string(mem_->cycle()));
     }
+    deadline = Clock::now() + timeout;  // A completed barrier is progress.
   }
 }
 
@@ -403,6 +505,18 @@ Status CosimServer::serve() {
   if (s.ok()) {
     mem_->clock_until_idle(opts_.max_cycles);
     session_->pump();
+  }
+  if (s.ok() && !evicted_.empty()) {
+    // Statistics have settled deterministically; now surface the fault.
+    std::string who;
+    for (const std::uint32_t slot : evicted_) {
+      if (!who.empty()) {
+        who += ',';
+      }
+      who += std::to_string(slot);
+    }
+    return Status::InvalidState("evicted dead client slot(s) " + who +
+                                " during the run");
   }
   return s;
 }

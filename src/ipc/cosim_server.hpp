@@ -36,6 +36,14 @@ struct CosimOptions {
   std::uint64_t quantum = 64;         ///< Cycles each CLOCK must request.
   std::uint32_t ring_slots = 1024;    ///< Messages per SPSC ring (>= 2).
   std::uint64_t max_cycles = 0;       ///< Abort guard; 0 = unbounded.
+  /// Liveness bound, in milliseconds of *no progress* (no client message,
+  /// no barrier completed, no ring slot freed). When it expires the server
+  /// probes every straggler's control socket: dead clients (closed socket
+  /// or stale ring head) are evicted in slot order and the survivors
+  /// continue; if every straggler is merely stalled the server gives up
+  /// with a clean Status error instead of spinning forever. 0 (the
+  /// default) waits indefinitely — the pre-timeout behaviour.
+  std::uint32_t client_timeout_ms = 0;
 };
 
 class CosimServer {
@@ -72,9 +80,12 @@ class CosimServer {
 
   [[nodiscard]] Status accept_clients();
   [[nodiscard]] Status run_barriers();
-  /// Drain one client's c2s ring into its pending queue; true while the
-  /// client is still live.
-  void poll_client(Client& c);
+  /// Drain one client's c2s ring into its pending queue; true when at
+  /// least one message was consumed (progress, for the liveness clock).
+  bool poll_client(Client& c);
+  /// Drop a client that died mid-run: discards its queued SENDs and
+  /// records the slot so serve() can report the eviction.
+  void evict(Client& c);
   /// Admit every pending SEND (slot order, arrival order within a slot).
   [[nodiscard]] Status admit_pending();
   void deliver(sim::BatchTicket ticket, const sim::Response& rsp);
@@ -94,6 +105,7 @@ class CosimServer {
   std::uint64_t quanta_ = 0;
   std::uint64_t requests_ = 0;
   std::uint64_t responses_ = 0;
+  std::vector<std::uint32_t> evicted_;  ///< Slots dropped as dead mid-run.
 };
 
 }  // namespace hmcsim::ipc

@@ -1,0 +1,240 @@
+// fault.cpp — see fault.hpp for the model and determinism contract.
+#include "mem/fault.hpp"
+
+#include <bit>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "sim/config.hpp"
+
+namespace hmcsim::mem {
+
+namespace {
+/// Domain separator for the stuck-at placement stream, so it can never
+/// collide with a per-read injection key.
+constexpr std::uint64_t kStuckDomain = 0x57AC4A7B17C3115ULL;
+}  // namespace
+
+FaultInjector::FaultInjector(const sim::Config& cfg, std::uint32_t dev_id,
+                             metrics::StatRegistry& reg,
+                             const std::string& prefix)
+    : enabled_(cfg.dram_fault_ppm != 0 || cfg.stuck_faults != 0),
+      dev_id_(dev_id),
+      seed_(cfg.dram_fault_seed),
+      capacity_words_(cfg.capacity_bytes / 8) {
+  if (!enabled_) {
+    return;
+  }
+  threshold_ = std::uint64_t{cfg.dram_fault_ppm} *
+               (std::numeric_limits<std::uint64_t>::max() / 1'000'000ULL);
+  scrub_interval_ = cfg.scrub_interval;
+  const std::string ecc = prefix + ".ecc.";
+  injected_ = &reg.counter(ecc + "injected",
+                           "transient bit flips deposited by reads");
+  corrected_ = &reg.counter(ecc + "corrected",
+                            "single-bit ECC corrections on reads");
+  uncorrectable_ =
+      &reg.counter(ecc + "uncorrectable",
+                   "words read with >= 2 bad bits (beyond SEC-DED)");
+  poison_returned_ =
+      &reg.counter(ecc + "poison_returned",
+                   "responses poisoned (zeroed payload, DINV errstat)");
+  scrub_repaired_ = &reg.counter(
+      ecc + "scrub_repaired",
+      "latent single-bit faults repaired by the patrol scrubber");
+  scrub_uncorrectable_ =
+      &reg.counter(ecc + "scrub_uncorrectable",
+                   "multi-bit words the scrubber found and parked");
+  scrub_stuck_ =
+      &reg.counter(ecc + "scrub_stuck",
+                   "dirtied stuck-at cells the scrubber visited and left");
+
+  // Place the permanent stuck-at cells. The stream is private to this
+  // constructor: placement depends only on (seed, cube), never on traffic.
+  SplitMix64 mix(seed_ ^ kStuckDomain);
+  Xoshiro256 g(mix.next() ^ dev_id_);
+  for (std::uint32_t i = 0; i < cfg.stuck_faults; ++i) {
+    const std::uint64_t word = g.below(capacity_words_);
+    const std::uint64_t bit = 1ULL << g.below(64);
+    const bool level = (g() & 1ULL) != 0;
+    Stuck& s = stuck_[word];
+    s.mask |= bit;
+    s.value = level ? (s.value | bit) : (s.value & ~bit);
+  }
+  for (const auto& [word, s] : stuck_) {
+    stuck_dirty_.insert(word);
+  }
+  pending_ = stuck_dirty_.size();
+}
+
+std::uint64_t FaultInjector::read_error_bits(std::uint32_t vault,
+                                             std::uint64_t addr,
+                                             std::uint64_t stored,
+                                             std::uint64_t cycle) {
+  const std::uint64_t word = addr >> 3;
+  if (threshold_ != 0) {
+    // Chained SplitMix64 key mix: a pure function of (seed, word, cycle,
+    // cube, vault) — no stream state survives between reads, so the
+    // schedule cannot depend on execution order.
+    SplitMix64 k1(seed_ ^ word);
+    SplitMix64 k2(k1.next() ^ cycle);
+    SplitMix64 k3(k2.next() ^
+                  ((std::uint64_t{dev_id_} << 32) | std::uint64_t{vault}));
+    Xoshiro256 g(k3.next());
+    if (g() < threshold_) {
+      // OR-deposit: a repeat read of this word in the same cycle draws the
+      // identical flip and must not cancel it.
+      injected_->inc();
+      deposit(word, 1ULL << g.below(64));
+    }
+  }
+  std::uint64_t err = 0;
+  if (const auto it = overlay_.find(word); it != overlay_.end()) {
+    err = it->second.mask;
+  }
+  if (!stuck_.empty()) {
+    if (const auto it = stuck_.find(word); it != stuck_.end()) {
+      err |= (stored ^ it->second.value) & it->second.mask;
+    }
+  }
+  return err;
+}
+
+void FaultInjector::deposit(std::uint64_t word, std::uint64_t mask) {
+  auto [it, inserted] = overlay_.try_emplace(word);
+  if (inserted) {
+    it->second.mask = mask;
+    ++pending_;
+    return;
+  }
+  const std::uint64_t merged = it->second.mask | mask;
+  if (merged != it->second.mask && it->second.parked) {
+    // New damage on a word the scrubber had given up on: revisit it.
+    it->second.parked = false;
+    ++pending_;
+  }
+  it->second.mask = merged;
+}
+
+void FaultInjector::note_write(std::uint64_t addr, std::size_t bytes) {
+  if (!enabled_ || bytes == 0) {
+    return;
+  }
+  const std::uint64_t first = addr >> 3;
+  const std::uint64_t last = (addr + bytes - 1) >> 3;
+  for (auto it = overlay_.lower_bound(first);
+       it != overlay_.end() && it->first <= last;) {
+    if (!it->second.parked) {
+      --pending_;
+    }
+    it = overlay_.erase(it);
+  }
+  if (!stuck_.empty()) {
+    for (auto it = stuck_.lower_bound(first);
+         it != stuck_.end() && it->first <= last; ++it) {
+      // The write re-dirtied a permanent cell; patrol visits it once.
+      if (stuck_dirty_.insert(it->first).second) {
+        ++pending_;
+      }
+    }
+  }
+}
+
+void FaultInjector::clear_range(std::uint64_t addr, std::size_t bytes) {
+  if (!enabled_ || bytes == 0) {
+    return;
+  }
+  const std::uint64_t first = addr >> 3;
+  const std::uint64_t last = (addr + bytes - 1) >> 3;
+  for (auto it = overlay_.lower_bound(first);
+       it != overlay_.end() && it->first <= last;) {
+    if (!it->second.parked) {
+      --pending_;
+    }
+    it = overlay_.erase(it);
+  }
+}
+
+void FaultInjector::clock_scrub(std::uint64_t cycle) {
+  if (scrub_interval_ == 0 || pending_ == 0 ||
+      cycle % scrub_interval_ != 0) {
+    return;
+  }
+  std::size_t budget = kScrubWordsPerTick;
+  auto ov = overlay_.begin();
+  auto st = stuck_dirty_.begin();
+  while (budget != 0 && pending_ != 0) {
+    while (ov != overlay_.end() && ov->second.parked) {
+      ++ov;
+    }
+    const bool have_ov = ov != overlay_.end();
+    const bool have_st = st != stuck_dirty_.end();
+    if (!have_ov && !have_st) {
+      break;
+    }
+    if (have_ov && (!have_st || ov->first <= *st)) {
+      if (std::popcount(ov->second.mask) == 1) {
+        ov = overlay_.erase(ov);
+        scrub_repaired_->inc();
+      } else {
+        // Beyond SEC-DED: park it so patrol cannot spin; only a write (or
+        // fresh damage) re-queues the word.
+        ov->second.parked = true;
+        scrub_uncorrectable_->inc();
+        ++ov;
+      }
+    } else {
+      scrub_stuck_->inc();
+      st = stuck_dirty_.erase(st);
+    }
+    --pending_;
+    --budget;
+  }
+}
+
+std::uint64_t FaultInjector::next_scrub_event(
+    std::uint64_t cycle) const noexcept {
+  if (scrub_interval_ == 0 || pending_ == 0) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return (cycle / scrub_interval_ + 1) * scrub_interval_;
+}
+
+void FaultInjector::inject_transient(std::uint64_t addr, std::uint64_t mask) {
+  if (enabled_ && mask != 0) {
+    deposit(addr >> 3, mask);
+  }
+}
+
+void FaultInjector::inject_stuck(std::uint64_t addr, std::uint64_t mask,
+                                 std::uint64_t value) {
+  if (!enabled_ || mask == 0) {
+    return;
+  }
+  const std::uint64_t word = addr >> 3;
+  Stuck& s = stuck_[word];
+  s.mask |= mask;
+  s.value = (s.value & ~mask) | (value & mask);
+  if (stuck_dirty_.insert(word).second) {
+    ++pending_;
+  }
+}
+
+void FaultInjector::reset() {
+  if (!enabled_) {
+    return;
+  }
+  overlay_.clear();
+  stuck_dirty_.clear();
+  for (const auto& [word, s] : stuck_) {
+    stuck_dirty_.insert(word);
+  }
+  pending_ = stuck_dirty_.size();
+  for (metrics::Counter* c :
+       {injected_, corrected_, uncorrectable_, poison_returned_,
+        scrub_repaired_, scrub_uncorrectable_, scrub_stuck_}) {
+    c->reset();
+  }
+}
+
+}  // namespace hmcsim::mem

@@ -1,0 +1,144 @@
+// fault.hpp — deterministic DRAM fault injection, SEC-DED ECC accounting,
+// and patrol scrubbing for one cube.
+//
+// The model works on 64-bit words. The backing store always holds the TRUE
+// data; faults live in a sparse overlay of per-word flip masks, so the value
+// a read observes is stored ^ overlay (plus any disagreement with permanent
+// stuck-at bits). SEC-DED semantics follow from the popcount of that error
+// mask: one bad bit is corrected transparently (counted), two or more make
+// the read uncorrectable — the vault returns a poisoned response (zeroed
+// payload, DINV errstat) and never silently corrupt data.
+//
+// Determinism contract (see docs/FAULTS.md): each per-read injection draw is
+// keyed by (cube, vault, word address, cycle) through chained SplitMix64
+// mixes feeding a private Xoshiro256 stream, so the flip schedule is a pure
+// function of the Config seed and the request stream — byte-identical for
+// every Config::threads value and for active vs exhaustive clocking. New
+// flips are OR-deposited (never XOR) so re-reading a word within one cycle
+// cannot cancel a fault.
+//
+// Threading: one FaultInjector per device, touched only during that
+// device's stage-B execution (vault reads, the patrol scrub burst) or under
+// the serialized CMC window — the same ownership discipline as the
+// backing store, so PR 7's shard workers need no extra synchronization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "metrics/stat_registry.hpp"
+
+namespace hmcsim::sim {
+struct Config;
+}
+
+namespace hmcsim::mem {
+
+class FaultInjector {
+ public:
+  /// Registers the cube's `ecc.*` counters under `prefix` (e.g. "cube0")
+  /// only when fault injection is configured, so stats output stays
+  /// byte-identical to pre-fault builds whenever the feature is off.
+  FaultInjector(const sim::Config& cfg, std::uint32_t dev_id,
+                metrics::StatRegistry& reg, const std::string& prefix);
+
+  /// True when any fault mechanism (transient or stuck-at) is configured.
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Rolls the deterministic injection draw for one 64-bit word read and
+  /// returns the word's accumulated error mask: latent overlay flips ORed
+  /// with the bits where `stored` disagrees with a stuck-at cell. The
+  /// caller applies SEC-DED: popcount 1 => corrected, >= 2 => poisoned.
+  /// `addr` is the byte address of the word (8-byte aligned).
+  [[nodiscard]] std::uint64_t read_error_bits(std::uint32_t vault,
+                                              std::uint64_t addr,
+                                              std::uint64_t stored,
+                                              std::uint64_t cycle);
+
+  /// A functional write lands TRUE data: it clears overlay flips covering
+  /// the written words and re-dirties any covered stuck cell so the patrol
+  /// scrubber will visit (and give up on) it exactly once.
+  void note_write(std::uint64_t addr, std::size_t bytes);
+
+  /// Backdoor (host preload) writes repair silently: overlay flips are
+  /// dropped without waking the scrubber or touching any counter.
+  void clear_range(std::uint64_t addr, std::size_t bytes);
+
+  // ECC outcome accounting (call sites decide; counters are never null
+  // when enabled() is true).
+  void count_corrected() { corrected_->inc(); }
+  void count_uncorrectable() { uncorrectable_->inc(); }
+  void count_poison_returned() { poison_returned_->inc(); }
+
+  /// Patrol scrub tick: on every scrub_interval-th cycle, visit up to
+  /// kScrubWordsPerTick pending words in ascending address order. Latent
+  /// single-bit overlay faults are repaired; multi-bit overlay faults are
+  /// recorded as uncorrectable and parked (a later write clears them);
+  /// dirtied stuck cells are visited once and left. No-op between ticks
+  /// and while no work is pending, so it never wakes an idle simulation.
+  void clock_scrub(std::uint64_t cycle);
+
+  /// Next cycle > `cycle` at which clock_scrub will do work, or
+  /// UINT64_MAX when no scrub work is pending — feeds next_event_cycle so
+  /// O(1) quiescence fast-forward never skips a productive tick.
+  [[nodiscard]] std::uint64_t next_scrub_event(
+      std::uint64_t cycle) const noexcept;
+
+  /// Words the patrol scrubber still has to visit.
+  [[nodiscard]] std::size_t pending_scrub_work() const noexcept {
+    return pending_;
+  }
+
+  // ---- deterministic test hooks ------------------------------------------
+  /// Deposit transient flips into one word (as if injected by a read).
+  void inject_transient(std::uint64_t addr, std::uint64_t mask);
+  /// Install/overwrite a permanent stuck-at cell: the bits in `mask` are
+  /// forced to the corresponding bits of `value` on every read.
+  void inject_stuck(std::uint64_t addr, std::uint64_t mask,
+                    std::uint64_t value);
+
+  /// Forget all latent faults, re-dirty every stuck cell, and zero the
+  /// ecc.* counters (mirrors Vault::reset()).
+  void reset();
+
+  /// Words visited per scrub tick. Fixed (not configurable) so golden runs
+  /// cannot drift with tuning.
+  static constexpr std::size_t kScrubWordsPerTick = 64;
+
+ private:
+  struct Latent {
+    std::uint64_t mask = 0;  ///< Flipped bits (observed = stored ^ mask).
+    bool parked = false;     ///< Scrubber saw it uncorrectable; skip it.
+  };
+  struct Stuck {
+    std::uint64_t mask = 0;   ///< Bits hard-wired by the fault.
+    std::uint64_t value = 0;  ///< Their stuck levels (subset of mask).
+  };
+
+  void deposit(std::uint64_t word, std::uint64_t mask);
+
+  bool enabled_ = false;
+  std::uint32_t dev_id_ = 0;
+  std::uint64_t seed_ = 0;
+  std::uint64_t threshold_ = 0;  ///< ppm scaled to the full 2^64 range.
+  std::uint64_t scrub_interval_ = 0;
+  std::uint64_t capacity_words_ = 0;
+
+  std::map<std::uint64_t, Latent> overlay_;  ///< word index -> flips
+  std::map<std::uint64_t, Stuck> stuck_;     ///< word index -> stuck spec
+  std::set<std::uint64_t> stuck_dirty_;      ///< stuck cells awaiting patrol
+  std::size_t pending_ = 0;  ///< un-parked overlay entries + stuck_dirty_
+
+  metrics::Counter* injected_ = nullptr;
+  metrics::Counter* corrected_ = nullptr;
+  metrics::Counter* uncorrectable_ = nullptr;
+  metrics::Counter* poison_returned_ = nullptr;
+  metrics::Counter* scrub_repaired_ = nullptr;
+  metrics::Counter* scrub_uncorrectable_ = nullptr;
+  metrics::Counter* scrub_stuck_ = nullptr;
+};
+
+}  // namespace hmcsim::mem

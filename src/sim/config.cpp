@@ -74,6 +74,12 @@ Status Config::validate() const {
     return Status::InvalidArg(
         "link_retry_latency must be nonzero when injecting link errors");
   }
+  if (dram_fault_ppm > 1'000'000) {
+    return Status::InvalidArg("dram_fault_ppm exceeds 1e6");
+  }
+  if (stuck_faults > 4096) {
+    return Status::InvalidArg("stuck_faults must be in [0,4096]");
+  }
   return Status::Ok();
 }
 

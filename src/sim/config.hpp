@@ -90,6 +90,30 @@ struct Config {
   /// Seed of the deterministic error-injection stream.
   std::uint64_t link_error_seed = 0xE44;
 
+  // ---- DRAM fault injection (ECC / scrubbing exercise) ---------------------
+  /// Probability, per 64-bit word read from a vault, that a transient
+  /// single-bit fault is deposited into that word (parts-per-million).
+  /// Faults are latent: SEC-DED ECC corrects one flipped bit per word on
+  /// every read, but flips accumulate until the patrol scrubber repairs
+  /// them — two flips in one word make the read uncorrectable (poisoned
+  /// response with the DINV errstat). 0 disables transient injection.
+  std::uint32_t dram_fault_ppm = 0;
+  /// Seed of the deterministic DRAM fault stream. Per-read draws are keyed
+  /// by (cube, vault, word address, cycle) so injection is byte-identical
+  /// for every thread count and for active vs exhaustive clocking.
+  std::uint64_t dram_fault_seed = 0xECC;
+  /// Patrol scrub cadence in cycles: every scrub_interval cycles each cube
+  /// repairs up to a fixed burst of latent faulty words (ascending address
+  /// order). 0 disables the scrubber. The scrubber registers with
+  /// next_event_cycle, so quiescence fast-forward stays exact.
+  std::uint32_t scrub_interval = 1024;
+  /// Number of permanent stuck-at single-bit cells seeded per cube (placed
+  /// deterministically from dram_fault_seed). A read of a stuck word whose
+  /// stored value disagrees with the stuck bit sees a single-bit ECC
+  /// correction; the scrubber visits each dirtied stuck cell once and
+  /// leaves it (permanent faults cannot be repaired). 0 disables.
+  std::uint32_t stuck_faults = 0;
+
   // ---- latency attribution -------------------------------------------------
   /// When true, journey tracing (trace::Level::Journey) is enabled at
   /// construction and the `host.stage.*` per-stage histograms are

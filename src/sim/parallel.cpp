@@ -146,6 +146,12 @@ void ParallelEngine::run_shard(std::uint32_t w) {
       if (exhaustive || dev.vault_stage_work()) {
         dev.clock_vaults(t, &sim_.cmc_registry_, &sim_.cmc_ctx_, tracer);
       }
+      // Patrol scrub interleaves per-device right after vault execution —
+      // the identical point the sequential walk uses — so a serialized
+      // cross-device CMC read observes the same fault overlay in both
+      // cores. Owner-partitioned: only this shard touches dev's injector
+      // outside the serialized CMC window.
+      dev.clock_scrub(t);
       epochs_[d].b.store(t, std::memory_order_release);
     }
 

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/parallel.hpp"
 
@@ -240,6 +241,10 @@ void Simulator::clock() {
     }
     for (auto& device : devices_) {
       device->clock_vaults(cycle_, &cmc_registry_, &cmc_ctx_, tracer_);
+      // Patrol scrub runs per-device immediately after that device's
+      // vault execution — the same interleaving the sharded core uses —
+      // so cross-device CMC reads see one canonical overlay state.
+      device->clock_scrub(cycle_);
     }
     for (std::size_t d = devices_.size(); d-- > 0;) {
       devices_[d]->clock_requests(cycle_, tracer_, routers_[d]);
@@ -260,6 +265,9 @@ void Simulator::clock() {
       if (device->vault_stage_work()) {
         device->clock_vaults(cycle_, &cmc_registry_, &cmc_ctx_, tracer_);
       }
+      // Not gated on vault_stage_work: a quiescent device can still owe a
+      // patrol tick (clock_scrub no-ops in O(1) otherwise).
+      device->clock_scrub(cycle_);
     }
     for (std::size_t d = devices_.size(); d-- > 0;) {
       if (devices_[d]->rqst_stage_work()) {
@@ -290,6 +298,9 @@ std::uint64_t Simulator::next_event_cycle() const {
       return cycle_ + 1;
     }
     best = std::min(best, device->next_retry_ready());
+    // Pending patrol-scrub work keeps its next tick on the horizon, so
+    // quiescence fast-forward can never skip a productive scrub cycle.
+    best = std::min(best, device->next_fault_event(cycle_));
   }
   if (best == kNoEvent) {
     return kNoEvent;
@@ -495,7 +506,12 @@ Status Simulator::mem_write(std::uint32_t dev, std::uint64_t addr,
   if (dev >= devices_.size()) {
     return Status::InvalidArg("device index out of range");
   }
-  return devices_[dev]->store().write(addr, in);
+  Status s = devices_[dev]->store().write(addr, in);
+  if (s.ok()) {
+    // Backdoor preloads repair silently: no scrub wakeup, no counters.
+    devices_[dev]->fault().clear_range(addr, in.size());
+  }
+  return s;
 }
 
 void Simulator::reset_pipeline() {
@@ -514,10 +530,40 @@ Status Simulator::cmc_mem_read(void* user, std::uint32_t dev,
   if (self == nullptr || dev >= self->devices_.size()) {
     return Status::InvalidArg("bad device in CMC memory access");
   }
-  mem::BackingStore& store = self->devices_[dev]->store();
+  dev::Device& device = *self->devices_[dev];
+  mem::BackingStore& store = device.store();
   for (std::uint32_t i = 0; i < nwords; ++i) {
     if (Status s = store.read_u64(addr + 8ULL * i, data[i]); !s.ok()) {
       return s;
+    }
+  }
+  mem::FaultInjector& fault = device.fault();
+  if (fault.enabled()) {
+    // CMC memory reads pass through the same per-word ECC as vault reads,
+    // keyed at the executing stage's true cycle so the flip schedule is
+    // identical in every clocking mode. Runs under the serialized CMC
+    // stage-B window, so cross-device counter updates cannot race.
+    bool poisoned = false;
+    for (std::uint32_t i = 0; i < nwords; ++i) {
+      const std::uint64_t word_addr = addr + 8ULL * i;
+      const std::uint32_t vault = device.addr_map().decode(word_addr).vault;
+      const std::uint64_t err = fault.read_error_bits(
+          vault, word_addr, data[i], self->cmc_exec_cycle_);
+      if (err == 0) {
+        continue;
+      }
+      if (std::popcount(err) == 1) {
+        fault.count_corrected();
+      } else {
+        fault.count_uncorrectable();
+        poisoned = true;
+      }
+    }
+    if (poisoned) {
+      // Never hand tainted words to a plugin: zero the whole buffer and
+      // let the guarded EPOISON/DINV chain report it.
+      std::fill_n(data, nwords, 0);
+      return Status::Poisoned("uncorrectable ECC error in CMC read");
     }
   }
   return Status::Ok();
@@ -530,12 +576,14 @@ Status Simulator::cmc_mem_write(void* user, std::uint32_t dev,
   if (self == nullptr || dev >= self->devices_.size()) {
     return Status::InvalidArg("bad device in CMC memory access");
   }
-  mem::BackingStore& store = self->devices_[dev]->store();
+  dev::Device& device = *self->devices_[dev];
+  mem::BackingStore& store = device.store();
   for (std::uint32_t i = 0; i < nwords; ++i) {
     if (Status s = store.write_u64(addr + 8ULL * i, data[i]); !s.ok()) {
       return s;
     }
   }
+  device.fault().note_write(addr, std::size_t{nwords} * 8);
   return Status::Ok();
 }
 

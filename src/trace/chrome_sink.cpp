@@ -108,6 +108,9 @@ void ChromeSink::on_journey(const Journey& j) {
       << "\",\"args\":{\"latency\":" << (t_end - j.t_send)
       << ",\"posted\":" << (j.posted ? "true" : "false")
       << ",\"error\":" << (j.error ? "true" : "false");
+  if (!j.note.empty()) {
+    os_ << ",\"note\":\"" << j.note << "\"";
+  }
   for (std::size_t i = 0; i < kStageCount; ++i) {
     os_ << ",\"" << to_string(static_cast<Stage>(i)) << "\":" << d[i];
   }

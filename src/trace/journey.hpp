@@ -56,6 +56,9 @@ struct Journey {
   std::uint32_t bank = 0;
   bool posted = false;  ///< Retired at the vault without a response.
   bool error = false;   ///< Response carried RSP_ERROR.
+  /// Optional annotation stamped at retirement (static lifetime), e.g.
+  /// "ecc-poison" for a response the ECC model invalidated.
+  std::string_view note;
   // Pipeline transition stamps (cycles; kNoCycle until reached).
   std::uint64_t t_send = 0;
   std::uint64_t t_vault = kNoCycle;

@@ -31,6 +31,8 @@ std::string_view to_string(Level level) noexcept {
       return "RETRY";
     case Level::Journey:
       return "JOURNEY";
+    case Level::Ecc:
+      return "ECC";
     case Level::All:
       return "ALL";
   }

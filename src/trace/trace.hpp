@@ -32,6 +32,8 @@ enum class Level : std::uint32_t {
   Retry = 1U << 9,         ///< Link-layer CRC retry events.
   Journey = 1U << 10,      ///< Per-packet stage-stamped journeys
                            ///< (latency attribution; see journey.hpp).
+  Ecc = 1U << 11,          ///< DRAM fault corrections / poisoned reads /
+                           ///< patrol-scrub repairs (see docs/FAULTS.md).
   All = 0xFFFFFFFFU,
 };
 

@@ -10,6 +10,7 @@
 
 #include "plugins/builtin.h"
 #include "src/host/kernels/random_access.hpp"
+#include "src/mem/fault.hpp"
 #include "src/host/mutex_driver.hpp"
 #include "src/sim/sim_stats.hpp"
 #include "src/sim/simulator.hpp"
@@ -281,6 +282,138 @@ TEST(FaultInjection, RetryBufferGaugeDrainsToZero) {
   for (const auto& link : sim->device(0).links()) {
     EXPECT_EQ(link.retry_buffered().value(), 0.0);
   }
+}
+
+// ---- DRAM faults: SEC-DED ECC, poison propagation, patrol scrub ----------
+
+/// Faults enabled for manual injection: no random transients, one seeded
+/// stuck-at cell (lost somewhere in 4 GB) just to arm the subsystem.
+sim::Config dram_fault_config(std::uint32_t scrub_interval = 1024) {
+  sim::Config cfg = sim::Config::hmc_4link_4gb();
+  cfg.stuck_faults = 1;
+  cfg.dram_fault_seed = 0xD1;
+  cfg.scrub_interval = scrub_interval;
+  return cfg;
+}
+
+sim::Response wait_response(sim::Simulator& sim, std::uint32_t link) {
+  int guard = 0;
+  while (!sim.rsp_ready(link) && guard++ < 1000) {
+    sim.clock();
+  }
+  sim::Response rsp;
+  EXPECT_TRUE(sim.recv(link, rsp).ok());
+  return rsp;
+}
+
+TEST(DramFault, UncorrectableReadReturnsDinvWithZeroedPayload) {
+  std::unique_ptr<sim::Simulator> sim;
+  ASSERT_TRUE(sim::Simulator::create(dram_fault_config(), sim).ok());
+  sim->device(0).fault().inject_transient(0x100, 0b11);  // beyond SEC-DED
+
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  rd.addr = 0x100;
+  ASSERT_TRUE(sim->send(rd, 0).ok());
+  const sim::Response rsp = wait_response(*sim, 0);
+  EXPECT_EQ(rsp.pkt.errstat(), 7U);  // DINV
+  EXPECT_TRUE(rsp.pkt.payload().empty());  // never silent corruption
+  const auto& m = sim->metrics();
+  EXPECT_EQ(m.find_counter("cube0.ecc.uncorrectable")->value(), 1U);
+  EXPECT_EQ(m.find_counter("cube0.ecc.poison_returned")->value(), 1U);
+}
+
+TEST(DramFault, SingleBitCorrectedReturnsTrueData) {
+  std::unique_ptr<sim::Simulator> sim;
+  ASSERT_TRUE(sim::Simulator::create(dram_fault_config(), sim).ok());
+
+  spec::RqstParams wr;
+  wr.rqst = spec::Rqst::WR16;
+  wr.addr = 0x500;
+  const std::array<std::uint64_t, 2> data{0xABCD, 0x1234};
+  wr.payload = data;
+  ASSERT_TRUE(sim->send(wr, 0).ok());
+  (void)wait_response(*sim, 0);
+
+  sim->device(0).fault().inject_transient(0x500, 1ULL << 13);
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD16;
+  rd.addr = 0x500;
+  rd.tag = 1;
+  ASSERT_TRUE(sim->send(rd, 0).ok());
+  const sim::Response rsp = wait_response(*sim, 0);
+  EXPECT_EQ(rsp.pkt.errstat(), 0U);
+  ASSERT_EQ(rsp.pkt.payload().size(), 2U);
+  EXPECT_EQ(rsp.pkt.payload()[0], 0xABCDULL);  // store holds TRUE data
+  EXPECT_EQ(rsp.pkt.payload()[1], 0x1234ULL);
+  EXPECT_EQ(sim->metrics().find_counter("cube0.ecc.corrected")->value(),
+            1U);
+}
+
+TEST(DramFault, PoisonedCmcReadCompletesAsDinvWithoutQuarantineStrike) {
+  // A CMC plugin consuming poisoned data is not at fault: the host sees
+  // ERRSTAT DINV, the plugin sees the guarded EPOISON error, and the
+  // fault-containment machinery records no failure strike.
+  std::unique_ptr<sim::Simulator> sim;
+  ASSERT_TRUE(sim::Simulator::create(dram_fault_config(), sim).ok());
+  ASSERT_TRUE(sim->register_cmc(hmcsim_builtin_lock_register,
+                                hmcsim_builtin_lock_execute,
+                                hmcsim_builtin_lock_str).ok());
+  sim->device(0).fault().inject_transient(0x2000, 0b101);
+
+  spec::RqstParams lock;
+  lock.rqst = spec::Rqst::CMC125;
+  lock.addr = 0x2000;
+  const std::array<std::uint64_t, 2> tid{42, 0};
+  lock.payload = tid;
+  ASSERT_TRUE(sim->send(lock, 0).ok());
+  const sim::Response poisoned = wait_response(*sim, 0);
+  EXPECT_EQ(poisoned.pkt.errstat(), 7U);  // DINV, not CMC-failed
+  const auto& m = sim->metrics();
+  EXPECT_EQ(m.find_counter("cmc.hmc_lock.failures")->value(), 0U);
+  EXPECT_EQ(m.find_counter("cube0.ecc.poison_returned")->value(), 1U);
+
+  // The slot is not quarantined: a clean-address lock still executes.
+  spec::RqstParams clean = lock;
+  clean.addr = 0x4000;
+  clean.tag = 1;
+  ASSERT_TRUE(sim->send(clean, 0).ok());
+  const sim::Response ok = wait_response(*sim, 0);
+  EXPECT_EQ(ok.pkt.errstat(), 0U);
+  ASSERT_FALSE(ok.pkt.payload().empty());
+  EXPECT_EQ(ok.pkt.payload()[0], 1ULL);  // lock acquired
+}
+
+TEST(DramFault, PostedWriteToStuckCellDoesNotSpinTheScrubber) {
+  // A posted write re-dirties a permanent stuck-at cell. The patrol
+  // scrubber must visit it exactly once and give up — not re-arm every
+  // interval — or the active scheduler would never quiesce again.
+  std::unique_ptr<sim::Simulator> sim;
+  ASSERT_TRUE(sim::Simulator::create(dram_fault_config(/*scrub=*/64),
+                                     sim).ok());
+  mem::FaultInjector& fault = sim->device(0).fault();
+  const std::uint64_t bit = 1ULL << 7;
+  fault.inject_stuck(0x300, bit, bit);
+
+  spec::RqstParams wr;
+  wr.rqst = spec::Rqst::P_WR16;
+  wr.addr = 0x300;
+  const std::array<std::uint64_t, 2> data{0, 0};
+  wr.payload = data;
+  ASSERT_TRUE(sim->send(wr, 0).ok());
+
+  // Quiesce: the write retires, the scrubber drains its dirty set (the
+  // injected cell plus the seeded one), and the simulation goes idle
+  // long before the guard.
+  const std::uint64_t end = sim->clock_until_idle(100000);
+  EXPECT_LT(end, 100000U);
+  EXPECT_EQ(fault.pending_scrub_work(), 0U);
+  const auto& m = sim->metrics();
+  EXPECT_GE(m.find_counter("cube0.ecc.scrub_stuck")->value(), 2U);
+  // The stuck bit still reads back as an error the store cannot fix...
+  EXPECT_EQ(fault.read_error_bits(0, 0x300, 0, sim->cycle()), bit);
+  // ...but was never reported as a poisoned response (writes don't read).
+  EXPECT_EQ(m.find_counter("cube0.ecc.poison_returned")->value(), 0U);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 // through a bare Session and demands byte-identical statistics JSON.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -316,6 +318,79 @@ TEST(CosimServerTest, RecvTruncatesIntoSmallBuffer) {
   hmc_cosim_disconnect(c);
   st.join();
   ASSERT_TRUE(st.serve_status.ok()) << st.serve_status.to_string();
+}
+
+// ---- client-liveness tests ------------------------------------------------
+
+/// Handshake exactly as the C client library would, then hand back the
+/// raw socket so the test can "crash" the client (close without BYE).
+int raw_attach(const std::string& path, std::uint32_t slot) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  std::strncpy(sa.sun_path, path.c_str(), sizeof(sa.sun_path) - 1);
+  for (int tries = 0; tries < 500; ++tries) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) ==
+        0) {
+      hmc_cosim_hello_t hello{HMC_COSIM_MAGIC, HMC_COSIM_VERSION, slot, 0};
+      hmc_cosim_welcome_t welcome{};
+      if (::write(fd, &hello, sizeof(hello)) ==
+              static_cast<ssize_t>(sizeof(hello)) &&
+          ::read(fd, &welcome, sizeof(welcome)) ==
+              static_cast<ssize_t>(sizeof(welcome))) {
+        return fd;
+      }
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ::close(fd);
+  return -1;
+}
+
+TEST(CosimServerTest, AcceptTimesOutWhenNoClientConnects) {
+  auto mem = make_backend();
+  CosimOptions opts;
+  opts.socket_path = unique_socket("noshow");
+  opts.expected_clients = 1;
+  opts.client_timeout_ms = 100;
+  ServerThread st(*mem, opts);
+  ASSERT_TRUE(st.bind_status.ok()) << st.bind_status.to_string();
+  st.join();  // Without the timeout this would hang forever.
+  EXPECT_FALSE(st.serve_status.ok());
+  EXPECT_NE(st.serve_status.to_string().find("timed out"), std::string::npos)
+      << st.serve_status.to_string();
+}
+
+TEST(CosimServerTest, DeadClientIsEvictedAndSurvivorCompletes) {
+  auto mem = make_backend();
+  CosimOptions opts;
+  opts.socket_path = unique_socket("dead");
+  opts.expected_clients = 2;
+  opts.quantum = 32;
+  opts.client_timeout_ms = 250;
+  ServerThread st(*mem, opts);
+  ASSERT_TRUE(st.bind_status.ok()) << st.bind_status.to_string();
+
+  // Slot 1 attaches and then its process "crashes": the socket dies with
+  // no BYE and a barrier outstanding forever.
+  const int doomed = raw_attach(opts.socket_path, 1);
+  ASSERT_GE(doomed, 0);
+  ::close(doomed);
+
+  // Slot 0 keeps working. Its first barrier stalls until the server's
+  // no-progress deadline fires, probes slot 1's socket, and evicts it;
+  // every later barrier needs only the survivor.
+  const std::uint32_t got = run_client_workload(opts.socket_path, 0, 16);
+  st.join();
+  EXPECT_EQ(got, 32u);
+  EXPECT_FALSE(st.serve_status.ok());
+  const std::string err = st.serve_status.to_string();
+  EXPECT_NE(err.find("evicted"), std::string::npos) << err;
+  EXPECT_NE(err.find('1'), std::string::npos) << err;
 }
 
 TEST(CosimServerTest, StatsMatchDirectSessionByteForByte) {

@@ -185,6 +185,40 @@ TEST_F(CApiTest, StatGetByPath) {
   EXPECT_EQ(hmcsim_stat_get(sim_, nullptr, &value), HMC_ERROR);
   EXPECT_EQ(hmcsim_stat_get(sim_, "host.latency", nullptr), HMC_ERROR);
   EXPECT_EQ(hmcsim_stat_get(nullptr, "host.latency", &value), HMC_ERROR);
+
+  // Without fault injection the ecc namespace does not exist (the gated
+  // registration keeps stats output identical to pre-fault builds).
+  EXPECT_EQ(hmcsim_stat_get(sim_, "cube0.ecc.injected", &value), HMC_ERROR);
+}
+
+TEST_F(CApiTest, InitFaultsExposesEccStats) {
+  hmc_sim_t *faulty = hmcsim_init_faults(1, 4, 4, 64, 64, 128,
+                                         /*ppm=*/1000000, /*seed=*/0xECC,
+                                         /*scrub=*/256, /*stuck=*/0);
+  ASSERT_NE(faulty, nullptr);
+  // ~100% injection: every word read deposits a flip; the first read of a
+  // clean word carries exactly one bad bit and is corrected by SEC-DED.
+  ASSERT_EQ(hmcsim_send(faulty, 0, HMC_RD16, 0, 0x1000, 1, nullptr, 0),
+            HMC_OK);
+  for (int i = 0; i < 100; ++i) {
+    hmcsim_clock(faulty);
+    uint8_t cmd = 0;
+    if (hmcsim_recv(faulty, 0, &cmd, nullptr, nullptr, nullptr, nullptr) ==
+        HMC_OK) {
+      break;
+    }
+  }
+  uint64_t injected = 0, corrected = 0;
+  EXPECT_EQ(hmcsim_stat_get(faulty, "cube0.ecc.injected", &injected),
+            HMC_OK);
+  EXPECT_EQ(hmcsim_stat_get(faulty, "cube0.ecc.corrected", &corrected),
+            HMC_OK);
+  EXPECT_EQ(injected, 2ULL);   // RD16 = two 64-bit words
+  EXPECT_EQ(corrected, 2ULL);  // one flip per word: both corrected
+  // Out-of-range knobs are rejected like any other invalid configuration.
+  EXPECT_EQ(hmcsim_init_faults(1, 4, 4, 64, 64, 128, 2000000, 0, 0, 0),
+            nullptr);
+  hmcsim_free(faulty);
 }
 
 #ifdef HMCSIM_PLUGIN_DIR

@@ -1,0 +1,66 @@
+# cli_fault_injection.cmake — deterministic DRAM fault run via the CLI.
+#
+# Drives the synthetic load generator with a fixed fault seed, a heavy
+# transient rate, stuck-at cells and the patrol scrubber, three times:
+#   1. active-set scheduling        -> cli_fault_active.json
+#   2. active-set again (same seed) -> cli_fault_repeat.json  (reproducibility)
+#   3. --exhaustive-clock           -> cli_fault_golden.json  (equivalence)
+# All three stats documents must be byte-identical — the fault schedule is
+# a pure function of the seed and the request stream, and the scrubber
+# must not perturb the active-set fast-forward — and the ECC machinery
+# must actually have fired (a zero-injection run would validate nothing).
+# CI copies cli_fault_active.json next to the benchmark artifacts as
+# BENCH_fault_injection.json. Invoked as:
+#   cmake -DCLI=<hmcsim_cli> -DOUT_DIR=<dir> -P cli_fault_injection.cmake
+if(NOT DEFINED CLI OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<exe> -DOUT_DIR=<dir> -P ${CMAKE_SCRIPT_MODE_FILE}")
+endif()
+
+set(fault_args synthetic --pattern uniform --count 2048 --rate 0.5
+    --seed 777 --dram-fault-ppm 100000 --dram-fault-seed 0xFA117
+    --scrub-interval 64 --stuck-faults 32)
+
+function(run_faulty json_path extra_flags)
+  execute_process(
+    COMMAND "${CLI}" ${fault_args} ${extra_flags}
+            --stats-json "${json_path}"
+    OUTPUT_VARIABLE run_stdout
+    ERROR_VARIABLE run_stderr
+    RESULT_VARIABLE run_rc)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "hmcsim_cli exited with ${run_rc}\n${run_stdout}\n${run_stderr}")
+  endif()
+  if(NOT EXISTS "${json_path}")
+    message(FATAL_ERROR "--stats-json wrote no file at ${json_path}")
+  endif()
+endfunction()
+
+set(active_json "${OUT_DIR}/cli_fault_active.json")
+set(repeat_json "${OUT_DIR}/cli_fault_repeat.json")
+set(golden_json "${OUT_DIR}/cli_fault_golden.json")
+run_faulty("${active_json}" "")
+run_faulty("${repeat_json}" "")
+run_faulty("${golden_json}" "--exhaustive-clock")
+
+file(READ "${active_json}" active)
+file(READ "${repeat_json}" repeat)
+file(READ "${golden_json}" golden)
+if(NOT active STREQUAL repeat)
+  message(FATAL_ERROR "same seed, different stats: DRAM fault injection is not deterministic")
+endif()
+if(NOT active STREQUAL golden)
+  message(FATAL_ERROR "active-set and exhaustive schedulers diverge under DRAM faults")
+endif()
+
+# The run must have exercised the ECC path end to end: transient flips
+# injected and corrected, and the patrol scrubber visiting work (at
+# minimum the 32 seeded stuck-at cells).
+if(NOT active MATCHES "\"injected\": [1-9]")
+  message(FATAL_ERROR "no transient faults injected; rate too low?\n${active}")
+endif()
+if(NOT active MATCHES "\"corrected\": [1-9]")
+  message(FATAL_ERROR "no single-bit corrections recorded:\n${active}")
+endif()
+if(NOT active MATCHES "\"scrub_stuck\": [1-9]")
+  message(FATAL_ERROR "patrol scrubber never visited the stuck-at cells:\n${active}")
+endif()

@@ -246,6 +246,37 @@ TEST(GoldenEquivalence, ErrorInjectionMixedTraffic) {
   });
 }
 
+TEST(GoldenEquivalence, DramFaultInjection) {
+  // DRAM fault injection plus the patrol scrubber: injection draws are
+  // keyed by (cube, vault, word, cycle) and the scrub walk registers with
+  // next_event_cycle, so the active scheduler must reproduce the golden
+  // walk's ECC record — corrections, poisons, scrub repairs — exactly,
+  // including across quiet tails where scrub ticks are the only work.
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.dram_fault_ppm = 200000;
+  cfg.dram_fault_seed = 0xFA117;
+  cfg.scrub_interval = 32;
+  cfg.stuck_faults = 64;
+  expect_equivalent(cfg, [](Simulator& sim, Observed& obs) {
+    std::uint16_t tag = 0;
+    for (int round = 0; round < 4; ++round) {
+      for (std::uint32_t i = 0; i < 12; ++i) {
+        // Revisit the same lines so latent flips accumulate into
+        // uncorrectable words, with writes repairing a subset.
+        const std::uint64_t addr = (i % 6) * 64;
+        if (i % 4 == 0) {
+          send_retrying(sim, obs, write64(addr, tag), tag % 4);
+        } else {
+          send_retrying(sim, obs, read64(addr, tag), tag % 4);
+        }
+        ++tag;
+      }
+      pump(sim, obs, 70);  // Quiet tail: scrub ticks are the only work.
+    }
+    pump(sim, obs, 120);
+  });
+}
+
 TEST(GoldenEquivalence, BankConflicts) {
   Config cfg = Config::hmc_4link_4gb();
   cfg.model_bank_conflicts = true;
@@ -421,6 +452,40 @@ TEST(ParallelEquivalence, ErrorInjection) {
       pump(sim, obs, 200);
     }
   });
+}
+
+TEST(ParallelEquivalence, DramFaultInjection) {
+  // The fault arm of the parallel golden matrix: per-cube injectors are
+  // owner-partitioned and the scrub interleave point matches the
+  // sequential walk, so the ECC record must survive sharding byte for
+  // byte — in both clocking modes.
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.num_devs = 4;
+  cfg.topology = Topology::Chain;
+  cfg.dram_fault_ppm = 200000;
+  cfg.dram_fault_seed = 0xFA117;
+  cfg.scrub_interval = 32;
+  cfg.stuck_faults = 64;
+  const Driver driver = [](Simulator& sim, Observed& obs) {
+    std::uint16_t tag = 0;
+    for (int round = 0; round < 2; ++round) {
+      for (std::uint8_t cub = 0; cub < 4; ++cub) {
+        for (std::uint32_t i = 0; i < 4; ++i) {
+          const std::uint64_t addr = (i % 2) * 64;  // revisit lines
+          if (i % 4 == 0) {
+            send_retrying(sim, obs, write64(addr, tag, cub), tag % 4);
+          } else {
+            send_retrying(sim, obs, read64(addr, tag, cub), tag % 4);
+          }
+          ++tag;
+        }
+      }
+      pump(sim, obs, 150);
+    }
+    pump(sim, obs, 200);
+  };
+  expect_parallel_equivalent(cfg, driver, /*exhaustive=*/false);
+  expect_parallel_equivalent(cfg, driver, /*exhaustive=*/true);
 }
 
 TEST(ParallelEquivalence, StatsCallbacksFireAtExactCycles) {

@@ -62,6 +62,12 @@ struct CliOptions {
   std::uint64_t error_seed = 0;
   bool error_seed_set = false;
   std::uint32_t retry_latency = 0;
+  std::uint32_t dram_fault_ppm = 0;
+  std::uint64_t dram_fault_seed = 0;
+  bool dram_fault_seed_set = false;
+  std::uint32_t scrub_interval = 0;
+  bool scrub_interval_set = false;
+  std::uint32_t stuck_faults = 0;
   std::uint32_t cmc_fail_threshold = 0;
   bool cmc_fail_threshold_set = false;
   std::uint32_t cmc_mem_budget = 0;
@@ -91,7 +97,8 @@ int usage() {
       "  serve <socket-path>         co-simulation server: client\n"
       "                              processes drive the cube over shm\n"
       "                              rings (--clients N --quantum N\n"
-      "                              --ring-slots N --max-cycles N;\n"
+      "                              --ring-slots N --max-cycles N\n"
+      "                              --client-timeout-ms N;\n"
       "                              see docs/COSIM.md)\n"
       "options: --links 4|8  --backend <name>  --plugins <dir>  --power\n"
       "         --seed <n>           (workload RNG seed, Config::workload_seed)\n"
@@ -111,6 +118,15 @@ int usage() {
       "                               per FLIT; exercises the retry path)\n"
       "         --error-seed <n>     (seed for the deterministic injector)\n"
       "         --retry-latency <n>  (cycles a link spends replaying)\n"
+      "         --dram-fault-ppm <n> (inject DRAM bit flips, parts/million\n"
+      "                               per 64-bit word read; SEC-DED ECC\n"
+      "                               corrects single-bit errors, multi-bit\n"
+      "                               errors poison the response)\n"
+      "         --dram-fault-seed <n> (seed for the DRAM fault injector)\n"
+      "         --scrub-interval <n> (cycles between patrol-scrub passes\n"
+      "                               repairing latent faults; 0 disables)\n"
+      "         --stuck-faults <n>   (permanent stuck-at cells per cube,\n"
+      "                               placed by the fault seed; max 4096)\n"
       "         --cmc-fail-threshold <n>  (consecutive CMC failures before\n"
       "                               a slot is quarantined; 0 disables)\n"
       "         --cmc-mem-budget <n> (64-bit words one CMC call may move\n"
@@ -241,6 +257,24 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
       if (!flag_u32(arg, next(), opts.retry_latency)) {
         return false;
       }
+    } else if (arg == "--dram-fault-ppm") {
+      if (!flag_u32(arg, next(), opts.dram_fault_ppm, 0, 1000000)) {
+        return false;
+      }
+    } else if (arg == "--dram-fault-seed") {
+      if (!flag_u64(arg, next(), opts.dram_fault_seed)) {
+        return false;
+      }
+      opts.dram_fault_seed_set = true;
+    } else if (arg == "--scrub-interval") {
+      if (!flag_u32(arg, next(), opts.scrub_interval)) {
+        return false;
+      }
+      opts.scrub_interval_set = true;
+    } else if (arg == "--stuck-faults") {
+      if (!flag_u32(arg, next(), opts.stuck_faults, 0, 4096)) {
+        return false;
+      }
     } else if (arg == "--cmc-fail-threshold") {
       if (!flag_u32(arg, next(), opts.cmc_fail_threshold)) {
         return false;
@@ -283,6 +317,14 @@ sim::Config make_cfg(const CliOptions& opts) {
   if (opts.retry_latency != 0) {
     cfg.link_retry_latency = opts.retry_latency;
   }
+  cfg.dram_fault_ppm = opts.dram_fault_ppm;
+  if (opts.dram_fault_seed_set) {
+    cfg.dram_fault_seed = opts.dram_fault_seed;
+  }
+  if (opts.scrub_interval_set) {
+    cfg.scrub_interval = opts.scrub_interval;
+  }
+  cfg.stuck_faults = opts.stuck_faults;
   if (opts.cmc_fail_threshold_set) {
     cfg.cmc_fail_threshold = opts.cmc_fail_threshold;
   }
@@ -422,6 +464,11 @@ int cmd_serve(const CliOptions& opts) {
       }
     } else if (key == "max-cycles") {
       if (!flag_u64("--max-cycles", value.c_str(), sopts.max_cycles)) {
+        return 2;
+      }
+    } else if (key == "client-timeout-ms") {
+      if (!flag_u32("--client-timeout-ms", value.c_str(),
+                    sopts.client_timeout_ms)) {
         return 2;
       }
     } else {

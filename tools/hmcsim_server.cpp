@@ -40,6 +40,8 @@ int usage() {
       "  --quantum <n>        cycles per clock barrier (default 64)\n"
       "  --ring-slots <n>     messages per SPSC ring (default 1024)\n"
       "  --max-cycles <n>     abort guard, 0 = unbounded (default 0)\n"
+      "  --client-timeout-ms <n>  evict dead clients / give up after n ms\n"
+      "                       without progress, 0 = wait forever (default 0)\n"
       "  --backend <name>     memory backend (default hmc)\n"
       "  --links 4|8          host links (default 4)\n"
       "  --devs <n>           cubes in the chain, 1..8 (default 1)\n"
@@ -106,6 +108,11 @@ bool parse_args(int argc, char** argv, ServerOptions& opts) {
     } else if (arg == "--max-cycles") {
       if (!flag_u64(arg, next(), opts.cosim.max_cycles, 0,
                     std::numeric_limits<std::uint64_t>::max())) {
+        return false;
+      }
+    } else if (arg == "--client-timeout-ms") {
+      if (!flag_u32(arg, next(), opts.cosim.client_timeout_ms, 0,
+                    std::numeric_limits<std::uint32_t>::max())) {
         return false;
       }
     } else if (arg == "--backend") {
