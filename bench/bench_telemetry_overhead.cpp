@@ -1,0 +1,85 @@
+// bench_telemetry_overhead.cpp — cost of live telemetry on the hot path.
+//
+// Saturated round-trip traffic (every link busy every cycle) under three
+// telemetry settings:
+//
+//   off      no sampler, no profiler — the pay-for-what-you-use
+//            baseline; the ISSUE budget is < 1% below this arm for a
+//            build where telemetry merely exists
+//   sampler  a 64-window Sampler snapshotting the full default column
+//            set every 256 cycles through the periodic-hook machinery
+//            (the --sample-every 256 configuration)
+//   prof     sampler plus the engine self-profiler (the --prof
+//            configuration; adds two steady_clock reads per span)
+//
+// Rates are retired packets per second via items_processed. CI exports
+// the report as BENCH_telemetry_overhead.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "src/metrics/sampler.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sim/stats_report.hpp"
+
+using namespace hmcsim;
+
+namespace {
+
+enum class Mode { Off, Sampler, Prof };
+
+void BM_SaturatedTraffic(benchmark::State& state, Mode mode) {
+  std::unique_ptr<sim::Simulator> sim;
+  if (!sim::Simulator::create(sim::Config::hmc_4link_4gb(), sim).ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  std::unique_ptr<metrics::Sampler> sampler;
+  if (mode != Mode::Off) {
+    metrics::SamplerOptions sopts;
+    sopts.every = 256;
+    sopts.capacity = 64;
+    sampler = std::make_unique<metrics::Sampler>(sim->metrics(), sopts);
+    sim::register_default_samples(*sampler, *sim);
+    metrics::Sampler* raw = sampler.get();
+    sim->add_periodic_hook(sopts.every, [raw](sim::Simulator& s) {
+      raw->sample(s.cycle());
+    });
+  }
+  if (mode == Mode::Prof) {
+    if (!sim->enable_profiling().ok()) {
+      state.SkipWithError("enable_profiling failed");
+      return;
+    }
+  }
+
+  spec::RqstParams rd;
+  rd.rqst = spec::Rqst::RD64;
+  std::uint16_t tag = 0;
+  sim::Response rsp;
+  std::int64_t retired = 0;
+  for (auto _ : state) {
+    for (std::uint32_t link = 0; link < 4; ++link) {
+      rd.tag = tag++ & spec::kMaxTag;
+      rd.addr = (static_cast<std::uint64_t>(rd.tag) * 64) % (1 << 20);
+      (void)sim->send(rd, link);
+    }
+    sim->clock();
+    for (std::uint32_t link = 0; link < 4; ++link) {
+      while (sim->recv(link, rsp).ok()) {
+        benchmark::DoNotOptimize(rsp);
+        ++retired;
+      }
+    }
+  }
+  state.SetItemsProcessed(retired);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SaturatedTraffic, off, Mode::Off);
+BENCHMARK_CAPTURE(BM_SaturatedTraffic, sampler, Mode::Sampler);
+BENCHMARK_CAPTURE(BM_SaturatedTraffic, prof, Mode::Prof);
+
+BENCHMARK_MAIN();

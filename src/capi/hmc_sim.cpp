@@ -10,6 +10,9 @@
 
 #include <vector>
 
+#include "metrics/exposition.hpp"
+#include "metrics/sampler.hpp"
+#include "sim/prof.hpp"
 #include "sim/session.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats_report.hpp"
@@ -29,6 +32,11 @@ struct hmc_sim_t {
    * destroyed in reverse declaration order. */
   std::unique_ptr<std::ofstream> chrome_file;
   std::unique_ptr<hmcsim::trace::ChromeSink> chrome;
+  /* Created by hmcsim_sampler_init; fed through a periodic hook owned by
+   * the simulator (declared after `sim` so the hook's captured pointer
+   * outlives every firing). */
+  std::unique_ptr<hmcsim::metrics::Sampler> sampler;
+  uint64_t sampler_hook = 0;
 };
 
 namespace {
@@ -81,6 +89,17 @@ int fill_response(const hmcsim::sim::Response& rsp, uint8_t* rsp_cmd,
     *latency = rsp.latency;
   }
   return rc;
+}
+
+/* The shared buffer contract of the string-returning entry points: copy
+ * at most buf_len-1 bytes plus a NUL, return the full document size. */
+uint64_t fill_buffer(const std::string& doc, char* buf, uint64_t buf_len) {
+  if (buf != nullptr && buf_len > 0) {
+    const uint64_t n = std::min<uint64_t>(doc.size(), buf_len - 1);
+    std::memcpy(buf, doc.data(), n);
+    buf[n] = '\0';
+  }
+  return doc.size();
 }
 
 }  // namespace
@@ -423,14 +442,8 @@ uint64_t hmcsim_stats_json(hmc_sim_t *sim, char *buf, uint64_t buf_len) {
   if (sim == nullptr) {
     return 0;
   }
-  const std::string json = hmcsim::sim::format_stats_json(*sim->sim);
-  if (buf != nullptr && buf_len > 0) {
-    const uint64_t n =
-        std::min<uint64_t>(json.size(), buf_len - 1);
-    std::memcpy(buf, json.data(), n);
-    buf[n] = '\0';
-  }
-  return json.size();
+  return fill_buffer(hmcsim::sim::format_stats_json(*sim->sim), buf,
+                     buf_len);
 }
 
 int hmcsim_stat_get(hmc_sim_t *sim, const char *path, uint64_t *value) {
@@ -451,6 +464,98 @@ int hmcsim_stat_get(hmc_sim_t *sim, const char *path, uint64_t *value) {
     return HMC_OK;
   }
   return HMC_ERROR;
+}
+
+uint64_t hmcsim_stat_list(hmc_sim_t *sim, char *buf, uint64_t buf_len) {
+  if (sim == nullptr) {
+    return 0;
+  }
+  std::string out;
+  sim->sim->metrics().for_each(
+      [&out](std::string_view path, hmcsim::metrics::StatKind kind,
+             const hmcsim::metrics::Counter*,
+             const hmcsim::metrics::Gauge*,
+             const hmcsim::metrics::Histogram*) {
+        out += path;
+        switch (kind) {
+          case hmcsim::metrics::StatKind::Counter:
+            out += ",counter\n";
+            break;
+          case hmcsim::metrics::StatKind::Gauge:
+            out += ",gauge\n";
+            break;
+          case hmcsim::metrics::StatKind::Histogram:
+            out += ",histogram\n";
+            break;
+        }
+      });
+  return fill_buffer(out, buf, buf_len);
+}
+
+int hmcsim_prof_enable(hmc_sim_t *sim) {
+  if (sim == nullptr) {
+    return HMC_ERROR;
+  }
+  return status_to_rc(sim->sim->enable_profiling());
+}
+
+int hmcsim_sampler_init(hmc_sim_t *sim, uint64_t every, uint64_t capacity,
+                        const char *paths_csv) {
+  if (sim == nullptr || every == 0 || capacity == 0) {
+    return HMC_ERROR;
+  }
+  sim->sim->remove_periodic_hook(sim->sampler_hook);
+  sim->sampler_hook = 0;
+  hmcsim::metrics::SamplerOptions opts;
+  opts.every = every;
+  opts.capacity = static_cast<std::size_t>(capacity);
+  if (paths_csv != nullptr) {
+    const std::string_view csv = paths_csv;
+    for (std::size_t pos = 0; pos < csv.size();) {
+      std::size_t comma = csv.find(',', pos);
+      if (comma == std::string_view::npos) {
+        comma = csv.size();
+      }
+      if (comma > pos) {
+        opts.paths.emplace_back(csv.substr(pos, comma - pos));
+      }
+      pos = comma + 1;
+    }
+  }
+  sim->sampler = std::make_unique<hmcsim::metrics::Sampler>(
+      sim->sim->metrics(), std::move(opts));
+  hmcsim::sim::register_default_samples(*sim->sampler, *sim->sim);
+  hmcsim::metrics::Sampler *sampler = sim->sampler.get();
+  sim->sampler_hook = sim->sim->add_periodic_hook(
+      every, [sampler](hmcsim::sim::Simulator &s) {
+        sampler->sample(s.cycle());
+      });
+  return HMC_OK;
+}
+
+uint64_t hmcsim_sampler_collect(hmc_sim_t *sim, int csv, char *buf,
+                                uint64_t buf_len) {
+  if (sim == nullptr || !sim->sampler) {
+    return 0;
+  }
+  return fill_buffer(csv != 0 ? sim->sampler->to_csv()
+                              : sim->sampler->to_json(),
+                     buf, buf_len);
+}
+
+uint64_t hmcsim_telemetry_snapshot(hmc_sim_t *sim, char *buf,
+                                   uint64_t buf_len) {
+  if (sim == nullptr) {
+    return 0;
+  }
+  hmcsim::metrics::TelemetryInfo info;
+  info.cycle = sim->sim->cycle();
+  if (const hmcsim::sim::Profiler *prof = sim->sim->profiler()) {
+    info.cycles_per_sec = prof->cycles_per_sec();
+  }
+  return fill_buffer(
+      hmcsim::metrics::snapshot_json(sim->sim->metrics(), info), buf,
+      buf_len);
 }
 
 } /* extern "C" */

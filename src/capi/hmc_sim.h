@@ -228,6 +228,42 @@ uint64_t hmcsim_stats_json(hmc_sim_t *sim, char *buf, uint64_t buf_len);
  * is unknown. */
 int hmcsim_stat_get(hmc_sim_t *sim, const char *path, uint64_t *value);
 
+/* Enumerate every registered statistic as newline-separated "path,kind"
+ * lines (kind is "counter", "gauge" or "histogram"), in sorted path
+ * order — the discovery side of hmcsim_stat_get. Same buffer contract as
+ * hmcsim_stats_json: writes at most buf_len-1 bytes plus a NUL and
+ * returns the size of the complete listing (0 on NULL sim). */
+uint64_t hmcsim_stat_list(hmc_sim_t *sim, char *buf, uint64_t buf_len);
+
+/* Register the gated sim.prof.* self-profiling statistics (per-worker
+ * execute/wait wall time, coordinator overhead, host cycles/sec) and
+ * start measuring. Until this is called no sim.prof.* stats exist, so
+ * default statistics stay byte-identical run to run. Idempotent. */
+int hmcsim_prof_enable(hmc_sim_t *sim);
+
+/* Start periodic time-series sampling: every `every` cycles the sampler
+ * snapshots the selected statistics into a ring of `capacity` windows
+ * (older windows are evicted). `paths_csv` is a comma-separated list of
+ * path prefixes to sample; NULL or "" samples every deterministic
+ * statistic. Replaces any previous sampler. Sampling happens at exact
+ * cycle boundaries, so the captured series is byte-identical for any
+ * thread count. HMC_ERROR on NULL sim or zero every/capacity. */
+int hmcsim_sampler_init(hmc_sim_t *sim, uint64_t every, uint64_t capacity,
+                        const char *paths_csv);
+
+/* Export the sampled series (docs/TELEMETRY.md schema): JSON when `csv`
+ * is 0, long-format CSV otherwise. Same buffer contract as
+ * hmcsim_stats_json; returns 0 when no sampler was initialised. */
+uint64_t hmcsim_sampler_collect(hmc_sim_t *sim, int csv, char *buf,
+                                uint64_t buf_len);
+
+/* One compact telemetry snapshot (the "json" payload of the runtime
+ * exposition socket): cycle, host cycles/sec when profiling is enabled,
+ * per-cube traffic and per-worker utilisation. Same buffer contract as
+ * hmcsim_stats_json. */
+uint64_t hmcsim_telemetry_snapshot(hmc_sim_t *sim, char *buf,
+                                   uint64_t buf_len);
+
 #ifdef __cplusplus
 } /* extern "C" */
 #endif

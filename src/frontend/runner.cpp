@@ -66,12 +66,33 @@ Status run(backend::MemoryBackend& mem, Frontend& fe) {
   return run(mem, fe, unused);
 }
 
+RunIo::~RunIo() {
+  if (sim_ == nullptr) {
+    return;
+  }
+  // Detach in reverse of attach so a RunIo can die before the simulator:
+  // dangling sink pointers in the tracer were previously only safe
+  // because every caller happened to destroy the two together.
+  sim_->remove_periodic_hook(sampler_hook_);
+  if (latency_attached_) {
+    sim_->tracer().detach(&latency_);
+  }
+  if (chrome_sink_) {
+    sim_->tracer().detach(chrome_sink_.get());
+    sim_->journeys().detach(chrome_sink_.get());
+  }
+  if (text_sink_) {
+    sim_->tracer().detach(text_sink_.get());
+  }
+}
+
 Status RunIo::attach(backend::MemoryBackend& mem, const IoOptions& opts) {
   opts_ = opts;
   sim::Simulator* sim = mem.simulator();
   if (sim == nullptr) {
     return Status::Ok();
   }
+  sim_ = sim;
   if (!opts_.trace_file.empty()) {
     text_stream_ = std::make_unique<std::ofstream>(opts_.trace_file);
     if (!text_stream_->is_open()) {
@@ -100,7 +121,39 @@ Status RunIo::attach(backend::MemoryBackend& mem, const IoOptions& opts) {
     // Config::stage_stats already enabled the Journey level; the latency
     // sink additionally needs the per-retirement Latency events.
     sim->tracer().attach(&latency_);
+    latency_attached_ = true;
     sim->tracer().set_level(sim->tracer().level() | trace::Level::Latency);
+  }
+  if (opts_.prof) {
+    if (Status s = sim->enable_profiling(); !s.ok()) {
+      return s;
+    }
+    if (chrome_sink_) {
+      // Surface the wall-clock counter track next to the journeys.
+      sim->tracer().set_level(sim->tracer().level() | trace::Level::Prof);
+    }
+  }
+  if (opts_.sample_every != 0) {
+    metrics::SamplerOptions sopts;
+    sopts.every = opts_.sample_every;
+    sopts.capacity = opts_.sample_capacity;
+    for (std::size_t pos = 0; pos < opts_.sample_paths.size();) {
+      std::size_t comma = opts_.sample_paths.find(',', pos);
+      if (comma == std::string::npos) {
+        comma = opts_.sample_paths.size();
+      }
+      if (comma > pos) {
+        sopts.paths.push_back(opts_.sample_paths.substr(pos, comma - pos));
+      }
+      pos = comma + 1;
+    }
+    sampler_ = std::make_unique<metrics::Sampler>(sim->metrics(),
+                                                  std::move(sopts));
+    sim::register_default_samples(*sampler_, *sim);
+    metrics::Sampler* sampler = sampler_.get();
+    sampler_hook_ = sim->add_periodic_hook(
+        opts_.sample_every,
+        [sampler](sim::Simulator& s) { sampler->sample(s.cycle()); });
   }
   if (opts_.stats_every != 0) {
     auto last = std::make_shared<metrics::StatRegistry::Snapshot>(
@@ -169,7 +222,40 @@ Status RunIo::write_stats_json(backend::MemoryBackend& mem) const {
   if (!out.is_open()) {
     return Status::InvalidArg("cannot open stats file " + opts_.stats_json);
   }
-  out << sim::format_stats_json(*sim);
+  std::string extra;
+  if (opts_.stage_stats) {
+    // Exact (sample-based) percentiles from the latency sink, as opposed
+    // to the log2-bucket approximations inside "stats". Gated behind
+    // --stage-stats so the default document stays byte-identical.
+    constexpr std::array<double, 3> kQs{0.5, 0.95, 0.99};
+    const auto ps = latency_.percentiles(kQs);
+    extra = "\"latency_percentiles\": {\"p50\": " + std::to_string(ps[0]) +
+            ", \"p95\": " + std::to_string(ps[1]) +
+            ", \"p99\": " + std::to_string(ps[2]) + "}";
+  }
+  out << sim::format_stats_json(*sim, extra);
+  return Status::Ok();
+}
+
+Status RunIo::write_sample(backend::MemoryBackend& mem) const {
+  if (opts_.sample_out.empty()) {
+    return Status::Ok();
+  }
+  if (!sampler_) {
+    return Status::InvalidArg("--sample-out needs --sample-every");
+  }
+  sim::Simulator* sim = mem.simulator();
+  if (sim == nullptr) {
+    return Status::Unsupported(
+        "--sample-out requires a simulator-backed backend");
+  }
+  std::ofstream out(opts_.sample_out);
+  if (!out.is_open()) {
+    return Status::InvalidArg("cannot open sample file " + opts_.sample_out);
+  }
+  const bool csv = opts_.sample_out.size() >= 4 &&
+                   opts_.sample_out.ends_with(".csv");
+  out << (csv ? sampler_->to_csv() : sampler_->to_json());
   return Status::Ok();
 }
 

@@ -16,6 +16,7 @@
 #include "backend/backend.hpp"
 #include "common/status.hpp"
 #include "frontend/frontend.hpp"
+#include "metrics/sampler.hpp"
 #include "trace/chrome_sink.hpp"
 #include "trace/trace.hpp"
 
@@ -55,7 +56,9 @@ struct RunResult {
 // ---- observability wiring -------------------------------------------------
 
 /// Everything a run may export, in one options block (the CLI's
-/// --trace-file/--trace-chrome/--stage-stats/--stats-json/--stats-every).
+/// --trace-file/--trace-chrome/--stage-stats/--stats-json/--stats-every,
+/// plus the telemetry flags --sample-every/--sample-out/--sample-paths
+/// and --prof).
 struct IoOptions {
   std::string trace_file;        ///< Text event trace path; "" = off.
   std::uint32_t trace_level = 0; ///< Event mask; 0 = Level::All.
@@ -63,13 +66,27 @@ struct IoOptions {
   bool stage_stats = false;      ///< Per-stage attribution report.
   std::string stats_json;        ///< Full registry JSON path; "" = off.
   std::uint64_t stats_every = 0; ///< Periodic delta print interval; 0 = off.
+  std::uint64_t sample_every = 0;///< Sampler interval in cycles; 0 = off.
+  std::string sample_out;        ///< Sampler export path (.csv ⇒ CSV,
+                                 ///< anything else ⇒ JSON).
+  std::string sample_paths;      ///< Comma-separated path prefixes to
+                                 ///< sample; "" = all deterministic stats.
+  std::size_t sample_capacity = 256;  ///< Sampler ring windows.
+  bool prof = false;             ///< Enable sim.prof.* self-profiling.
 };
 
 /// Owns the sinks for one run. Attach before run() (so cycle-zero sends
 /// from setup() are captured); keep alive until after the final export —
 /// the ChromeSink's destructor writes the closing bracket of its JSON.
+/// The destructor detaches everything it attached, so a RunIo may safely
+/// die before the simulator it observed.
 class RunIo {
  public:
+  RunIo() = default;
+  ~RunIo();
+  RunIo(const RunIo&) = delete;
+  RunIo& operator=(const RunIo&) = delete;
+
   /// Wire the requested sinks into the backend's simulator. No-op (Ok)
   /// for backends without one — there is nothing to observe.
   [[nodiscard]] Status attach(backend::MemoryBackend& mem,
@@ -79,16 +96,31 @@ class RunIo {
   /// latency tail percentiles. No-op unless stage_stats was set.
   void print_stage_report(backend::MemoryBackend& mem) const;
 
-  /// Write the full registry JSON when stats_json was set.
+  /// Write the full registry JSON when stats_json was set. With
+  /// stage_stats also set, the document gains a "latency_percentiles"
+  /// member carrying the exact (sample-based) end-to-end p50/p95/p99 —
+  /// the default document stays byte-identical.
   [[nodiscard]] Status write_stats_json(backend::MemoryBackend& mem) const;
+
+  /// Write the sampled time-series when sample_out was set.
+  [[nodiscard]] Status write_sample(backend::MemoryBackend& mem) const;
+
+  /// The live sampler, or nullptr when sampling is off.
+  [[nodiscard]] metrics::Sampler* sampler() noexcept {
+    return sampler_.get();
+  }
 
  private:
   IoOptions opts_;
+  sim::Simulator* sim_ = nullptr;  ///< Set by attach; used for detach.
   std::unique_ptr<std::ofstream> text_stream_;
   std::unique_ptr<trace::TextSink> text_sink_;
   std::unique_ptr<std::ofstream> chrome_stream_;
   std::unique_ptr<trace::ChromeSink> chrome_sink_;
   trace::LatencySink latency_;  ///< --stage-stats percentile source.
+  std::unique_ptr<metrics::Sampler> sampler_;
+  std::uint64_t sampler_hook_ = 0;  ///< Periodic-hook handle (0 = none).
+  bool latency_attached_ = false;
 };
 
 }  // namespace hmcsim::frontend

@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/simulator.hpp"
+
 namespace hmcsim::ipc {
 
 namespace {
@@ -194,7 +196,53 @@ Status CosimServer::bind() {
   session_ = std::make_unique<sim::Session>(*mem_);
   session_->set_on_complete(
       [this](sim::BatchTicket t, const sim::Response& r) { deliver(t, r); });
+
+  if (!opts_.telemetry_path.empty()) {
+    if (Status s = telemetry_.bind(opts_.telemetry_path); !s.ok()) {
+      return s;
+    }
+    telemetry_.set_renderer([this](std::string_view request) {
+      const metrics::TelemetryInfo info = telemetry_info();
+      sim::Simulator* sim = mem_->simulator();
+      const metrics::StatRegistry& reg =
+          sim != nullptr ? sim->metrics() : empty_registry_;
+      return request == "metrics" ? metrics::to_prometheus(reg, info)
+                                  : metrics::snapshot_json(reg, info);
+    });
+  }
   return Status::Ok();
+}
+
+metrics::TelemetryInfo CosimServer::telemetry_info() const {
+  metrics::TelemetryInfo info;
+  info.cycle = mem_->cycle();
+  info.server = true;
+  for (const auto& cp : clients_) {
+    if (cp->live) {
+      ++info.clients_live;
+    }
+  }
+  info.clients_evicted = static_cast<std::uint32_t>(evicted_.size());
+  info.quanta = quanta_;
+  info.requests = requests_;
+  info.responses = responses_;
+  const auto now_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  if (meter_t0_ns_ != 0 && now_ns > meter_t0_ns_ &&
+      info.cycle > meter_cycle0_) {
+    info.cycles_per_sec =
+        static_cast<double>(info.cycle - meter_cycle0_) * 1e9 /
+        static_cast<double>(now_ns - meter_t0_ns_);
+  }
+  return info;
+}
+
+void CosimServer::poll_telemetry() {
+  if (telemetry_.bound()) {
+    telemetry_.poll();
+  }
 }
 
 Status CosimServer::accept_clients() {
@@ -221,6 +269,8 @@ Status CosimServer::accept_clients() {
     if (ready < 0 && errno != EINTR) {
       return Status::Internal("poll: " + std::string(std::strerror(errno)));
     }
+    // Scrapes are answerable while waiting for the fleet to attach.
+    poll_telemetry();
     if (ready <= 0) {
       continue;
     }
@@ -412,6 +462,9 @@ Status CosimServer::run_barriers() {
       if (stop_.load(std::memory_order_relaxed)) {
         return Status::InvalidState("stop requested at the barrier");
       }
+      // The simulation is between quanta here, so a scrape observes a
+      // consistent registry without locking the hot path.
+      poll_telemetry();
       if (progress) {
         deadline = Clock::now() + timeout;  // Liveness clock: any message.
       } else if (bounded && Clock::now() >= deadline) {
@@ -471,6 +524,7 @@ Status CosimServer::run_barriers() {
     }
     session_->advance(cycles);
     ++quanta_;
+    poll_telemetry();
 
     hmc_cosim_msg_t ack{};
     ack.type = HMC_COSIM_MSG_CLOCK_ACK;
@@ -493,6 +547,11 @@ Status CosimServer::serve() {
   if (listen_fd_ < 0) {
     return Status::InvalidState("serve() before bind()");
   }
+  meter_cycle0_ = mem_->cycle();
+  meter_t0_ns_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
   if (Status s = accept_clients(); !s.ok()) {
     return s;
   }

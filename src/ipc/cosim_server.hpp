@@ -26,6 +26,8 @@
 #include "backend/backend.hpp"
 #include "common/status.hpp"
 #include "ipc/cosim_proto.h"
+#include "ipc/telemetry.hpp"
+#include "metrics/exposition.hpp"
 #include "sim/session.hpp"
 
 namespace hmcsim::ipc {
@@ -44,6 +46,12 @@ struct CosimOptions {
   /// with a clean Status error instead of spinning forever. 0 (the
   /// default) waits indefinitely — the pre-timeout behaviour.
   std::uint32_t client_timeout_ms = 0;
+  /// Unix-domain telemetry socket path (empty = no exposition). Served
+  /// from the barrier loop: scrapes see consistent quantum-boundary
+  /// snapshots and add zero cost to the simulation itself. Answers
+  /// "metrics\n" (Prometheus text) and "json\n" (compact snapshot);
+  /// `hmcsim_cli top <path>` renders the latter live.
+  std::string telemetry_path;
 };
 
 class CosimServer {
@@ -80,6 +88,10 @@ class CosimServer {
 
   [[nodiscard]] Status accept_clients();
   [[nodiscard]] Status run_barriers();
+  /// Answer any pending telemetry scrapes (no-op when not configured).
+  void poll_telemetry();
+  /// Build the renderer state shared by both exposition formats.
+  [[nodiscard]] metrics::TelemetryInfo telemetry_info() const;
   /// Drain one client's c2s ring into its pending queue; true when at
   /// least one message was consumed (progress, for the liveness clock).
   bool poll_client(Client& c);
@@ -106,6 +118,14 @@ class CosimServer {
   std::uint64_t requests_ = 0;
   std::uint64_t responses_ = 0;
   std::vector<std::uint32_t> evicted_;  ///< Slots dropped as dead mid-run.
+
+  // ---- telemetry ----------------------------------------------------------
+  TelemetrySocket telemetry_;
+  /// Fallback registry for non-HMC backends with no stats of their own.
+  metrics::StatRegistry empty_registry_;
+  /// Throughput meter baseline, stamped when serve() starts.
+  std::uint64_t meter_cycle0_ = 0;
+  std::uint64_t meter_t0_ns_ = 0;
 };
 
 }  // namespace hmcsim::ipc

@@ -1,0 +1,136 @@
+#include "ipc/telemetry.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hmcsim::ipc {
+
+namespace {
+
+/// Bounded wait for a scraper's request line: long enough for any local
+/// client that writes immediately after connect, short enough that a
+/// stalled one cannot pause the simulation loop noticeably.
+constexpr int kRequestTimeoutMs = 200;
+
+bool write_full(int fd, const char* p, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TelemetrySocket::~TelemetrySocket() { close(); }
+
+Status TelemetrySocket::bind(std::string path) {
+  close();
+  if (path.empty()) {
+    return Status::InvalidArg("telemetry socket needs a path");
+  }
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArg("telemetry path longer than sockaddr_un allows");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    return Status::Internal("socket: " + std::string(std::strerror(errno)));
+  }
+  ::unlink(path.c_str());  // stale socket from a crashed run
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return Status::Internal("bind " + path + ": " +
+                            std::string(std::strerror(errno)));
+  }
+  if (::listen(fd, 8) != 0) {
+    ::close(fd);
+    return Status::Internal("listen: " + std::string(std::strerror(errno)));
+  }
+  listen_fd_ = fd;
+  path_ = std::move(path);
+  return Status::Ok();
+}
+
+void TelemetrySocket::close() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+void TelemetrySocket::poll() {
+  if (listen_fd_ < 0) {
+    return;
+  }
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN (nothing waiting), or a transient error: try later.
+    }
+    serve_one(fd);
+    ::close(fd);
+  }
+}
+
+void TelemetrySocket::serve_one(int fd) {
+  // Read the request line ("metrics\n" / "json\n"), bounded in both time
+  // and size; poll() gates each read so a silent peer cannot block us.
+  char buf[64];
+  std::size_t len = 0;
+  while (len < sizeof(buf) - 1) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, kRequestTimeoutMs) <= 0) {
+      return;  // Stalled or errored scraper: drop it.
+    }
+    const ssize_t n = ::read(fd, buf + len, sizeof(buf) - 1 - len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    len += static_cast<std::size_t>(n);
+    if (std::memchr(buf, '\n', len) != nullptr) {
+      break;
+    }
+  }
+  buf[len] = '\0';
+  std::string_view request(buf, len);
+  if (const std::size_t nl = request.find('\n');
+      nl != std::string_view::npos) {
+    request = request.substr(0, nl);
+  }
+  while (!request.empty() &&
+         (request.back() == '\r' || request.back() == ' ')) {
+    request.remove_suffix(1);
+  }
+  if (!render_) {
+    return;
+  }
+  const std::string payload = render_(request);
+  write_full(fd, payload.data(), payload.size());
+}
+
+}  // namespace hmcsim::ipc

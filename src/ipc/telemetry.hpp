@@ -1,0 +1,58 @@
+// telemetry.hpp — runtime exposition endpoint for a live server session.
+//
+// A TelemetrySocket is a Unix-domain listener served synchronously from
+// whatever loop owns the simulation (the cosim server polls it at its
+// quantum barriers). A scrape is one short-lived connection:
+//
+//   client connects, writes one request line ("metrics\n" for Prometheus
+//   text exposition, "json\n" for the compact snapshot), the server
+//   writes the full payload and closes.
+//
+// Serving from the barrier loop is deliberate: the renderer reads the
+// stat registry only at points where no worker is mutating it, so no
+// locking is added to the hot simulation paths and the scraped values
+// are always a consistent quantum-boundary snapshot. The cost is that a
+// scrape can only be answered between quanta — fine for a progress view.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace hmcsim::ipc {
+
+class TelemetrySocket {
+ public:
+  /// Maps a request keyword ("metrics", "json") to the response payload.
+  using Renderer = std::function<std::string(std::string_view request)>;
+
+  TelemetrySocket() = default;
+  ~TelemetrySocket();
+  TelemetrySocket(const TelemetrySocket&) = delete;
+  TelemetrySocket& operator=(const TelemetrySocket&) = delete;
+
+  /// Create the listener at `path` (stale sockets are unlinked first).
+  [[nodiscard]] Status bind(std::string path);
+  void set_renderer(Renderer r) { render_ = std::move(r); }
+  [[nodiscard]] bool bound() const noexcept { return listen_fd_ >= 0; }
+
+  /// Accept and answer every waiting scrape; returns immediately when
+  /// none is pending. Call from the owning loop's idle points. A client
+  /// that connects but stalls its request line is dropped after a short
+  /// bounded wait so the simulation loop cannot be held hostage.
+  void poll();
+
+  /// Close the listener and unlink the socket path (idempotent).
+  void close();
+
+ private:
+  void serve_one(int fd);
+
+  std::string path_;
+  int listen_fd_ = -1;
+  Renderer render_;
+};
+
+}  // namespace hmcsim::ipc

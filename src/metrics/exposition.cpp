@@ -1,0 +1,166 @@
+#include "metrics/exposition.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hmcsim::metrics {
+
+namespace {
+
+std::string fmt_double(double v) {
+  if (std::floor(v) == v && std::fabs(v) < 9.007199254740992e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string prom_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const StatRegistry& reg,
+                          const TelemetryInfo& info) {
+  std::string out;
+  out.reserve(reg.size() * 64 + 512);
+  out += "# TYPE hmcsim_cycle counter\n";
+  out += "hmcsim_cycle " + std::to_string(info.cycle) + "\n";
+  out += "# TYPE hmcsim_cycles_per_sec gauge\n";
+  out += "hmcsim_cycles_per_sec " + fmt_double(info.cycles_per_sec) + "\n";
+  if (info.server) {
+    out += "# TYPE hmcsim_clients_live gauge\n";
+    out += "hmcsim_clients_live " + std::to_string(info.clients_live) +
+           "\n";
+    out += "# TYPE hmcsim_clients_evicted counter\n";
+    out += "hmcsim_clients_evicted " +
+           std::to_string(info.clients_evicted) + "\n";
+    out += "# TYPE hmcsim_quanta counter\n";
+    out += "hmcsim_quanta " + std::to_string(info.quanta) + "\n";
+    out += "# TYPE hmcsim_requests counter\n";
+    out += "hmcsim_requests " + std::to_string(info.requests) + "\n";
+    out += "# TYPE hmcsim_responses counter\n";
+    out += "hmcsim_responses " + std::to_string(info.responses) + "\n";
+  }
+  out += "# TYPE hmcsim_counter counter\n";
+  out += "# TYPE hmcsim_gauge gauge\n";
+  out += "# TYPE hmcsim_histogram summary\n";
+  reg.for_each([&out](std::string_view path, StatKind kind,
+                      const Counter* ctr, const Gauge* gauge,
+                      const Histogram* hist) {
+    const std::string label = "{path=\"" + prom_escape(path) + "\"}";
+    switch (kind) {
+      case StatKind::Counter:
+        out += "hmcsim_counter" + label + " " +
+               std::to_string(ctr->value()) + "\n";
+        break;
+      case StatKind::Gauge:
+        out += "hmcsim_gauge" + label + " " + fmt_double(gauge->value()) +
+               "\n";
+        break;
+      case StatKind::Histogram: {
+        const std::string base = "{path=\"" + prom_escape(path) + "\"";
+        out += "hmcsim_histogram_count" + base + "} " +
+               std::to_string(hist->count()) + "\n";
+        out += "hmcsim_histogram_sum" + base + "} " +
+               std::to_string(hist->sum()) + "\n";
+        out += "hmcsim_histogram" + base + ",quantile=\"0.5\"} " +
+               std::to_string(hist->percentile(50.0)) + "\n";
+        out += "hmcsim_histogram" + base + ",quantile=\"0.95\"} " +
+               std::to_string(hist->percentile(95.0)) + "\n";
+        out += "hmcsim_histogram" + base + ",quantile=\"0.99\"} " +
+               std::to_string(hist->percentile(99.0)) + "\n";
+        break;
+      }
+    }
+  });
+  return out;
+}
+
+std::string snapshot_json(const StatRegistry& reg,
+                          const TelemetryInfo& info) {
+  std::string out = "{\"cycle\": " + std::to_string(info.cycle) +
+                    ", \"cycles_per_sec\": " +
+                    fmt_double(info.cycles_per_sec);
+  if (info.server) {
+    out += ", \"clients_live\": " + std::to_string(info.clients_live);
+    out +=
+        ", \"clients_evicted\": " + std::to_string(info.clients_evicted);
+    out += ", \"quanta\": " + std::to_string(info.quanta);
+    out += ", \"requests\": " + std::to_string(info.requests);
+    out += ", \"responses\": " + std::to_string(info.responses);
+  }
+  out += ", \"cubes\": [";
+  // Probe cube0.., stopping at the first missing device: the registry
+  // always carries cube{d}.xbar.rqsts_routed for a configured cube.
+  for (std::uint32_t d = 0;; ++d) {
+    const std::string cube = "cube" + std::to_string(d);
+    if (reg.find_counter(cube + ".xbar.rqsts_routed") == nullptr) {
+      break;
+    }
+    if (d != 0) {
+      out += ", ";
+    }
+    out += "{\"dev\": " + std::to_string(d);
+    out += ", \"rqst_packets\": " +
+           std::to_string(reg.sum(cube + ".link", "rqst_packets"));
+    out += ", \"rsp_packets\": " +
+           std::to_string(reg.sum(cube + ".link", "rsp_packets"));
+    out += ", \"send_stalls\": " +
+           std::to_string(reg.sum(cube + ".link", "send_stalls"));
+    out += ", \"vault_rqsts\": " +
+           std::to_string(reg.sum(cube + ".quad", "rqsts_processed"));
+    double buffered = 0.0;
+    for (std::uint32_t l = 0;; ++l) {
+      const Gauge* g = reg.find_gauge(cube + ".link" + std::to_string(l) +
+                                      ".retry_buffered_flits");
+      if (g == nullptr) {
+        break;
+      }
+      buffered += g->value();
+    }
+    out += ", \"retry_buffered_flits\": " + fmt_double(buffered);
+    out += "}";
+  }
+  out += "], \"workers\": [";
+  // Present only when self-profiling registered its gated lanes.
+  for (std::uint32_t w = 0;; ++w) {
+    const std::string base = "sim.prof.worker" + std::to_string(w);
+    const Counter* exec = reg.find_counter(base + ".exec_ns");
+    if (exec == nullptr) {
+      break;
+    }
+    if (w != 0) {
+      out += ", ";
+    }
+    out += "{\"worker\": " + std::to_string(w);
+    out += ", \"exec_ns\": " + std::to_string(exec->value());
+    out += ", \"wait_ns\": " +
+           std::to_string(reg.counter_value(base + ".wait_ns"));
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace hmcsim::metrics

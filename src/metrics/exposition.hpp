@@ -1,0 +1,46 @@
+// exposition.hpp — runtime telemetry rendering.
+//
+// Two renderers over a StatRegistry plus a small host-context struct:
+//
+//   to_prometheus()  Prometheus text exposition format, one
+//                    hmcsim_counter/hmcsim_gauge/hmcsim_histogram_*
+//                    sample per registered statistic with the registry
+//                    path as a label, plus top-level run/server gauges.
+//   snapshot_json()  a compact flat JSON snapshot (per-cube packet and
+//                    stall totals, per-worker prof split when profiling
+//                    is on) consumed by `hmcsim_cli top` and
+//                    hmcsim_telemetry_snapshot().
+//
+// Both are pure reads: no registry mutation, no allocation beyond the
+// output string. They layer on anything that holds a registry — the
+// cosim server's telemetry socket, the C API, tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "metrics/stat_registry.hpp"
+
+namespace hmcsim::metrics {
+
+/// Host-side context that lives outside the registry.
+struct TelemetryInfo {
+  std::uint64_t cycle = 0;
+  /// Simulated cycles per wall second (0 = unknown/not measured).
+  double cycles_per_sec = 0.0;
+  /// Server-session fields; rendered only when `server` is set.
+  bool server = false;
+  std::uint32_t clients_live = 0;
+  std::uint32_t clients_evicted = 0;
+  std::uint64_t quanta = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+};
+
+[[nodiscard]] std::string to_prometheus(const StatRegistry& reg,
+                                        const TelemetryInfo& info);
+
+[[nodiscard]] std::string snapshot_json(const StatRegistry& reg,
+                                        const TelemetryInfo& info);
+
+}  // namespace hmcsim::metrics

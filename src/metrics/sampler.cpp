@@ -1,0 +1,221 @@
+#include "metrics/sampler.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hmcsim::metrics {
+
+namespace {
+
+/// Deterministic number rendering: integral values (the common case —
+/// counter totals and deltas) print without a decimal point, everything
+/// else as %.6g. Pure function of the double, so identical samples
+/// render identically on every platform we target.
+std::string fmt_num(double v) {
+  if (std::floor(v) == v && std::fabs(v) < 9.007199254740992e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+Sampler::Sampler(const StatRegistry& reg, SamplerOptions opts)
+    : reg_(reg), opts_(std::move(opts)) {
+  if (opts_.capacity == 0) {
+    opts_.capacity = 1;
+  }
+}
+
+const char* Sampler::col_kind_name(ColKind k) noexcept {
+  switch (k) {
+    case ColKind::Counter:
+      return "counter";
+    case ColKind::Gauge:
+      return "gauge";
+    case ColKind::Histogram:
+      return "histogram";
+    case ColKind::Rate:
+      return "rate";
+  }
+  return "?";
+}
+
+void Sampler::add_derived(DerivedSpec spec) {
+  if (frozen_) {
+    return;
+  }
+  Column c;
+  c.path = spec.name;
+  c.kind = ColKind::Rate;
+  c.derived = std::move(spec);
+  cols_.push_back(std::move(c));
+}
+
+void Sampler::freeze_columns() {
+  frozen_ = true;
+  reg_.for_each([this](std::string_view path, StatKind kind,
+                       const Counter* ctr, const Gauge* gauge,
+                       const Histogram* hist) {
+    bool selected;
+    if (opts_.paths.empty()) {
+      // Wall-clock self-profiling values are host-dependent; keeping
+      // them out of the default column set keeps the series
+      // deterministic. An explicit filter can still opt in.
+      selected = !path.starts_with("sim.prof.");
+    } else {
+      selected = false;
+      for (const std::string& prefix : opts_.paths) {
+        if (path.starts_with(prefix)) {
+          selected = true;
+          break;
+        }
+      }
+    }
+    if (!selected) {
+      return;
+    }
+    Column c;
+    c.path = std::string(path);
+    switch (kind) {
+      case StatKind::Counter:
+        c.kind = ColKind::Counter;
+        c.counter = ctr;
+        break;
+      case StatKind::Gauge:
+        c.kind = ColKind::Gauge;
+        c.gauge = gauge;
+        break;
+      case StatKind::Histogram:
+        c.kind = ColKind::Histogram;
+        c.histogram = hist;
+        break;
+    }
+    cols_.push_back(std::move(c));
+  });
+  prev_raw_.assign(cols_.size(), 0.0);
+}
+
+double Sampler::read_raw(const Column& c) const {
+  switch (c.kind) {
+    case ColKind::Counter:
+      return static_cast<double>(c.counter->value());
+    case ColKind::Gauge:
+      return c.gauge->value();
+    case ColKind::Histogram:
+      return static_cast<double>(c.histogram->count());
+    case ColKind::Rate: {
+      std::uint64_t total = 0;
+      for (const auto& [prefix, leaf] : c.derived.terms) {
+        total += reg_.sum(prefix, leaf);
+      }
+      return static_cast<double>(total);
+    }
+  }
+  return 0.0;
+}
+
+void Sampler::sample(std::uint64_t cycle) {
+  if (!frozen_) {
+    freeze_columns();
+  }
+  Window w;
+  w.cycle = cycle;
+  w.dcycles = cycle - prev_cycle_;
+  w.values.resize(cols_.size());
+  w.deltas.resize(cols_.size());
+  for (std::size_t i = 0; i < cols_.size(); ++i) {
+    const Column& c = cols_[i];
+    const double raw = read_raw(c);
+    const double delta = raw - prev_raw_[i];
+    w.deltas[i] = delta;
+    if (c.kind == ColKind::Rate) {
+      const double denom =
+          c.derived.scale * static_cast<double>(w.dcycles);
+      w.values[i] = denom > 0.0 ? delta / denom : 0.0;
+    } else {
+      w.values[i] = raw;
+    }
+    prev_raw_[i] = raw;
+  }
+  prev_cycle_ = cycle;
+  ++taken_;
+  if (ring_.size() < opts_.capacity) {
+    ring_.push_back(std::move(w));
+  } else {
+    ring_[head_] = std::move(w);
+    head_ = (head_ + 1) % ring_.size();
+  }
+}
+
+const Sampler::Window& Sampler::at(std::size_t i) const {
+  return ring_.size() < opts_.capacity
+             ? ring_[i]
+             : ring_[(head_ + i) % ring_.size()];
+}
+
+std::string Sampler::to_json() const {
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"every\": " + std::to_string(opts_.every) + ",\n";
+  out += "  \"capacity\": " + std::to_string(opts_.capacity) + ",\n";
+  out += "  \"windows_taken\": " + std::to_string(taken_) + ",\n";
+  out += "  \"columns\": [";
+  for (std::size_t i = 0; i < cols_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"path\": \"" + json_escape(cols_[i].path) +
+           "\", \"kind\": \"" + col_kind_name(cols_[i].kind) + "\"}";
+  }
+  out += "\n  ],\n";
+  out += "  \"windows\": [";
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Window& w = at(i);
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"cycle\": " + std::to_string(w.cycle) +
+           ", \"dcycles\": " + std::to_string(w.dcycles) +
+           ", \"values\": [";
+    for (std::size_t j = 0; j < w.values.size(); ++j) {
+      if (j != 0) {
+        out += ", ";
+      }
+      out += fmt_num(w.values[j]);
+    }
+    out += "], \"deltas\": [";
+    for (std::size_t j = 0; j < w.deltas.size(); ++j) {
+      if (j != 0) {
+        out += ", ";
+      }
+      out += fmt_num(w.deltas[j]);
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string Sampler::to_csv() const {
+  std::string out = "cycle,dcycles,path,kind,value,delta\n";
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Window& w = at(i);
+    for (std::size_t j = 0; j < cols_.size(); ++j) {
+      out += std::to_string(w.cycle);
+      out += ',';
+      out += std::to_string(w.dcycles);
+      out += ',';
+      out += cols_[j].path;
+      out += ',';
+      out += col_kind_name(cols_[j].kind);
+      out += ',';
+      out += fmt_num(w.values[j]);
+      out += ',';
+      out += fmt_num(w.deltas[j]);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace hmcsim::metrics

@@ -1,0 +1,117 @@
+// sampler.hpp — deterministic time-series sampling of the stat registry.
+//
+// A Sampler turns the registry's cumulative totals into a bounded
+// time-series: every sample() call (driven from an exact-cycle periodic
+// hook, see Simulator::add_periodic_hook) snapshots the selected paths
+// into a fixed-capacity ring of windows, each holding the cumulative
+// value, the per-window delta, and — for derived series — a rate
+// normalised per cycle.
+//
+// Determinism: sample() only *reads* the registry at cycles that are
+// already exact across clocking modes, so the exported series is byte
+// identical for any Config::threads value and for active vs. exhaustive
+// clocking (tests/sim/golden_equivalence_test.cpp enforces this). The
+// wall-clock sim.prof.* paths are excluded unless explicitly requested
+// by a path filter, precisely to keep the default export deterministic.
+//
+// The column set is resolved once, at the first sample(): statistics
+// registered later (gated paths such as ecc.* or lazily-created stage
+// histograms) do not join an already-running series — the columns of a
+// time-series cannot change mid-flight.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/stat_registry.hpp"
+
+namespace hmcsim::metrics {
+
+struct SamplerOptions {
+  /// Cycles between samples (informational here; the periodic hook that
+  /// drives sample() owns the actual cadence).
+  std::uint64_t every = 1024;
+  /// Ring capacity in windows; the oldest window is evicted when full.
+  std::size_t capacity = 256;
+  /// Path prefix filters; a statistic is sampled when its path starts
+  /// with any entry. Empty selects everything except sim.prof.*.
+  std::vector<std::string> paths;
+};
+
+class Sampler {
+ public:
+  Sampler(const StatRegistry& reg, SamplerOptions opts);
+
+  /// A derived series: the per-window delta of a sum of counters (every
+  /// path matching prefix+leaf, StatRegistry::sum semantics), reported
+  /// as a rate normalised to `scale` units per cycle. With scale == 1
+  /// the value is plain events-per-cycle; a utilisation series passes
+  /// its capacity per cycle divided by 100 to read in percent.
+  struct DerivedSpec {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> terms;
+    double scale = 1.0;
+  };
+  /// Register a derived series. Must precede the first sample(); later
+  /// calls are ignored (the column set is already frozen).
+  void add_derived(DerivedSpec spec);
+
+  /// Take one sample at `cycle`. The first call freezes the column set.
+  void sample(std::uint64_t cycle);
+
+  /// Windows currently held (<= capacity).
+  [[nodiscard]] std::size_t windows() const noexcept {
+    return ring_.size();
+  }
+  /// Total samples taken, including evicted ones.
+  [[nodiscard]] std::uint64_t windows_taken() const noexcept {
+    return taken_;
+  }
+
+  /// Columnar JSON export (schema in docs/TELEMETRY.md): header with the
+  /// frozen column list, then one object per retained window, oldest
+  /// first, with parallel `values` and `deltas` arrays.
+  [[nodiscard]] std::string to_json() const;
+  /// Long-format CSV: `cycle,dcycles,path,kind,value,delta`, one row per
+  /// column per retained window, oldest first.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  enum class ColKind : std::uint8_t { Counter, Gauge, Histogram, Rate };
+  static const char* col_kind_name(ColKind k) noexcept;
+
+  struct Column {
+    std::string path;
+    ColKind kind = ColKind::Counter;
+    // Exactly one source is set, matching `kind`.
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+    DerivedSpec derived;  // kind == Rate only
+  };
+
+  struct Window {
+    std::uint64_t cycle = 0;
+    std::uint64_t dcycles = 0;
+    std::vector<double> values;
+    std::vector<double> deltas;
+  };
+
+  void freeze_columns();
+  [[nodiscard]] double read_raw(const Column& c) const;
+  [[nodiscard]] const Window& at(std::size_t i) const;
+
+  const StatRegistry& reg_;
+  SamplerOptions opts_;
+  std::vector<Column> cols_;
+  bool frozen_ = false;
+  std::vector<double> prev_raw_;
+  std::uint64_t prev_cycle_ = 0;
+  std::vector<Window> ring_;  // chronological, head_ = oldest index
+  std::size_t head_ = 0;
+  std::uint64_t taken_ = 0;
+};
+
+}  // namespace hmcsim::metrics

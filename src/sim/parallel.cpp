@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/prof.hpp"
 #include "sim/simulator.hpp"
 
 namespace hmcsim::sim {
@@ -67,9 +68,14 @@ ParallelEngine::~ParallelEngine() {
 }
 
 void ParallelEngine::wait_for(const std::atomic<std::uint64_t>& epoch,
-                              std::uint64_t target) {
+                              std::uint64_t target,
+                              std::uint64_t* wait_ns) {
+  if (epoch.load(std::memory_order_acquire) >= target) {
+    return;
+  }
+  const std::uint64_t t0 = wait_ns != nullptr ? Profiler::now_ns() : 0;
   std::uint32_t spins = 0;
-  while (epoch.load(std::memory_order_acquire) < target) {
+  do {
     // Short spin first (the wavefront neighbour is typically one stage
     // away), then yield so oversubscribed hosts keep making progress.
     if (++spins < 64) {
@@ -77,6 +83,9 @@ void ParallelEngine::wait_for(const std::atomic<std::uint64_t>& epoch,
     } else {
       std::this_thread::yield();
     }
+  } while (epoch.load(std::memory_order_acquire) < target);
+  if (wait_ns != nullptr) {
+    *wait_ns += Profiler::now_ns() - t0;
   }
 }
 
@@ -105,6 +114,19 @@ void ParallelEngine::run_shard(std::uint32_t w) {
   const bool exhaustive = sim_.cfg_.exhaustive_clock;
   trace::Tracer& tracer = sim_.tracer_;
 
+  // Profiling taps: `wns` is null unless enabled, so the steady state
+  // costs one pointer test per barrier. Wait time accumulates locally and
+  // is folded into this worker's lane once at shard end; the host reads
+  // the lanes only after the span join.
+  Profiler* prof = sim_.prof_.get();
+  std::uint64_t shard_t0 = 0;
+  std::uint64_t local_wait = 0;
+  std::uint64_t* wns = nullptr;
+  if (prof != nullptr && w < prof->workers()) {
+    shard_t0 = Profiler::now_ns();
+    wns = &local_wait;
+  }
+
   for (std::uint64_t t = span_from_; t <= span_stop_; ++t) {
     // Stage A, ascending device order. A(d) drains d's chain_rsp_ into
     // prev(d)'s — so it must follow prev's A this cycle (the sequential
@@ -116,10 +138,10 @@ void ParallelEngine::run_shard(std::uint32_t w) {
     // of waits guarantees the latter, the epoch the former.
     for (std::uint32_t d = sh.first; d < sh.last; ++d) {
       if (a_pusher_[d] != kNoDevice) {
-        wait_for(epochs_[a_pusher_[d]].a, t - 1);
+        wait_for(epochs_[a_pusher_[d]].a, t - 1, wns);
       }
       if (d > 0) {
-        wait_for(epochs_[d - 1].a, t);
+        wait_for(epochs_[d - 1].a, t, wns);
       }
       trace::Tracer::set_capture_order(0, d);
       dev::Device& dev = *sim_.devices_[d];
@@ -135,9 +157,9 @@ void ParallelEngine::run_shard(std::uint32_t w) {
     for (std::uint32_t d = sh.first; d < sh.last; ++d) {
       if (serialize_b_) {
         if (d > 0) {
-          wait_for(epochs_[d - 1].b, t);
+          wait_for(epochs_[d - 1].b, t, wns);
         } else if (n > 1) {
-          wait_for(epochs_[n - 1].b, t - 1);
+          wait_for(epochs_[n - 1].b, t - 1, wns);
         }
         sim_.cmc_exec_cycle_ = t;
       }
@@ -163,10 +185,10 @@ void ParallelEngine::run_shard(std::uint32_t w) {
     // directly, not on their index neighbour).
     for (std::uint32_t d = sh.last; d-- > sh.first;) {
       if (d + 1 < n) {
-        wait_for(epochs_[d + 1].c, t);
+        wait_for(epochs_[d + 1].c, t, wns);
       }
       if (c_pusher_[d] != kNoDevice) {
-        wait_for(epochs_[c_pusher_[d]].c, t - 1);
+        wait_for(epochs_[c_pusher_[d]].c, t - 1, wns);
       }
       trace::Tracer::set_capture_order(2, n - 1 - d);
       dev::Device& dev = *sim_.devices_[d];
@@ -180,6 +202,13 @@ void ParallelEngine::run_shard(std::uint32_t w) {
       dev.regs().poke(dev::Reg::CmcActive, cmc_active_);
       epochs_[d].c.store(t, std::memory_order_release);
     }
+  }
+
+  if (wns != nullptr) {
+    Profiler::Lane& lane = prof->lane(w);
+    const std::uint64_t total = Profiler::now_ns() - shard_t0;
+    lane.wait_ns += local_wait;
+    lane.exec_ns += total > local_wait ? total - local_wait : 0;
   }
 }
 

@@ -70,8 +70,10 @@ class ParallelEngine {
   void run_shard(std::uint32_t w);
   /// Block until `epoch` reaches at least `target` (spin, then yield: the
   /// waits inside a span are short and bounded by the wavefront skew).
+  /// With `wait_ns` non-null (profiling), time actually spent blocked is
+  /// accumulated into it; the already-satisfied fast path reads no clock.
   static void wait_for(const std::atomic<std::uint64_t>& epoch,
-                       std::uint64_t target);
+                       std::uint64_t target, std::uint64_t* wait_ns);
 
   Simulator& sim_;
   std::uint32_t num_workers_;

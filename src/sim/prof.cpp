@@ -1,0 +1,86 @@
+#include "sim/prof.hpp"
+
+#include <chrono>
+#include <string>
+
+namespace hmcsim::sim {
+
+std::uint64_t Profiler::now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Profiler::Profiler(metrics::StatRegistry& reg, std::uint32_t workers)
+    : reg_(reg) {
+  spans_ = &reg_.counter("sim.prof.spans", "profiled clock spans");
+  span_ns_ = &reg_.counter("sim.prof.span_ns",
+                           "host wall nanoseconds inside clock spans");
+  coord_ns_ = &reg_.counter(
+      "sim.prof.coord_ns",
+      "span wall time beyond worker 0 busy time (coordination overhead)");
+  cycles_ctr_ =
+      &reg_.counter("sim.prof.cycles", "simulated cycles profiled");
+  cps_ = &reg_.gauge("sim.prof.cycles_per_sec",
+                     "host throughput, simulated cycles per wall second");
+  ensure_workers(workers == 0 ? 1 : workers);
+}
+
+void Profiler::register_lane(std::uint32_t w) {
+  const std::string base = "sim.prof.worker" + std::to_string(w);
+  exec_.push_back(&reg_.counter(
+      base + ".exec_ns", "wall nanoseconds executing shard stages"));
+  wait_.push_back(&reg_.counter(
+      base + ".wait_ns", "wall nanoseconds in wavefront barrier waits"));
+}
+
+void Profiler::ensure_workers(std::uint32_t workers) {
+  while (lanes_.size() < workers) {
+    register_lane(static_cast<std::uint32_t>(lanes_.size()));
+    lanes_.emplace_back();
+  }
+}
+
+void Profiler::begin_span() noexcept { t0_ = now_ns(); }
+
+void Profiler::end_span(std::uint64_t cycles, bool sequential) {
+  const std::uint64_t dt = now_ns() - t0_;
+  spans_->inc();
+  span_ns_->inc(dt);
+  cycles_ctr_->inc(cycles);
+  total_ns_ += dt;
+  total_cycles_ += cycles;
+  if (sequential) {
+    // No pool: the whole span is worker 0 doing the stage walk inline.
+    lanes_[0].exec_ns = 0;
+    lanes_[0].wait_ns = 0;
+    exec_[0]->inc(dt);
+  } else {
+    std::uint64_t lane0_busy = 0;
+    for (std::size_t w = 0; w < lanes_.size(); ++w) {
+      Lane& l = lanes_[w];
+      if (w == 0) {
+        lane0_busy = l.exec_ns + l.wait_ns;
+      }
+      exec_[w]->inc(l.exec_ns);
+      wait_[w]->inc(l.wait_ns);
+      l.exec_ns = 0;
+      l.wait_ns = 0;
+    }
+    // Worker 0 is the span coordinator: whatever the span cost beyond its
+    // own busy time is handshake/teardown overhead.
+    coord_ns_->inc(dt > lane0_busy ? dt - lane0_busy : 0);
+  }
+  cps_->set(cycles_per_sec());
+}
+
+double Profiler::cycles_per_sec() const noexcept {
+  if (total_ns_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_cycles_) * 1e9 /
+         static_cast<double>(total_ns_);
+}
+
+}  // namespace hmcsim::sim

@@ -1,0 +1,88 @@
+// prof.hpp — wall-clock self-profiling of the simulation host.
+//
+// Answers "where does the wall time of a run actually go?": per worker,
+// how much of each parallel span was spent executing shard stages versus
+// spinning in the wavefront barriers, how much the span cost beyond the
+// workers' busy time (coordinator overhead), and how many simulated
+// cycles per wall second the host sustains.
+//
+// Everything is gated: until Simulator::enable_profiling() runs, no
+// sim.prof.* path exists in the registry and the clock paths take a
+// single null-pointer branch — default stats exports stay byte-identical
+// and the disabled overhead is unmeasurable (see
+// bench/bench_telemetry_overhead.cpp).
+//
+// Thread-safety contract: each worker accumulates into its own
+// cache-line-aligned lane during a span (no sharing); the host flushes
+// the lanes into the registry counters from end_span(), which runs
+// strictly after the span join, so no lane is ever written and read
+// concurrently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/stat_registry.hpp"
+
+namespace hmcsim::sim {
+
+class Profiler {
+ public:
+  /// Registers the gated sim.prof.* stats for `workers` lanes (>= 1).
+  Profiler(metrics::StatRegistry& reg, std::uint32_t workers);
+
+  /// Monotonic host nanoseconds (std::chrono::steady_clock).
+  [[nodiscard]] static std::uint64_t now_ns() noexcept;
+
+  /// Per-worker scratch, written only by its owner worker during a span.
+  /// Alignment keeps neighbouring lanes off each other's cache line.
+  struct alignas(64) Lane {
+    std::uint64_t exec_ns = 0;  ///< Shard-stage execution time.
+    std::uint64_t wait_ns = 0;  ///< Time inside wavefront barrier waits.
+  };
+  [[nodiscard]] Lane& lane(std::uint32_t w) noexcept { return lanes_[w]; }
+  [[nodiscard]] std::uint32_t workers() const noexcept {
+    return static_cast<std::uint32_t>(lanes_.size());
+  }
+  /// Grow the lane set (and its counters) after a set_threads() resize.
+  /// Host-side only, never during a span.
+  void ensure_workers(std::uint32_t workers);
+
+  /// Stamp the span start. Host thread, immediately before the span runs.
+  void begin_span() noexcept;
+
+  /// Close the span opened by begin_span(): account `cycles` simulated
+  /// cycles and the elapsed wall time, flush every worker lane into the
+  /// registry counters, and refresh the cycles-per-second gauge. With
+  /// `sequential` set (no worker pool) the whole span is attributed to
+  /// worker 0's execute time and coordinator overhead stays zero.
+  void end_span(std::uint64_t cycles, bool sequential);
+
+  /// Wall nanoseconds accumulated over all profiled spans.
+  [[nodiscard]] std::uint64_t wall_ns() const noexcept { return total_ns_; }
+  /// Simulated cycles accumulated over all profiled spans (quiescence
+  /// fast-forward jumps are excluded: they cost no span wall time).
+  [[nodiscard]] std::uint64_t cycles() const noexcept {
+    return total_cycles_;
+  }
+  /// Host throughput over all profiled spans, cycles per wall second.
+  [[nodiscard]] double cycles_per_sec() const noexcept;
+
+ private:
+  metrics::StatRegistry& reg_;
+  std::vector<Lane> lanes_;
+  std::vector<metrics::Counter*> exec_;  // sim.prof.worker{w}.exec_ns
+  std::vector<metrics::Counter*> wait_;  // sim.prof.worker{w}.wait_ns
+  metrics::Counter* spans_;
+  metrics::Counter* span_ns_;
+  metrics::Counter* coord_ns_;
+  metrics::Counter* cycles_ctr_;
+  metrics::Gauge* cps_;
+  std::uint64_t t0_ = 0;
+  std::uint64_t total_ns_ = 0;
+  std::uint64_t total_cycles_ = 0;
+
+  void register_lane(std::uint32_t w);
+};
+
+}  // namespace hmcsim::sim

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "sim/parallel.hpp"
+#include "sim/prof.hpp"
 
 namespace hmcsim::sim {
 
@@ -215,13 +216,18 @@ void Simulator::close_journey(std::uint32_t idx, std::uint32_t link) {
 
 void Simulator::clock() {
   if (engine_) {
-    // One-cycle span on the worker pool; the stats callback fires here on
-    // the host thread, exactly as the sequential walk fires it.
-    engine_->run_span(cycle_ + 1);
-    if (stats_every_ != 0 && cycle_ % stats_every_ == 0 && stats_cb_) {
-      stats_cb_(*this);
+    // One-cycle span on the worker pool; periodic hooks fire here on the
+    // host thread, exactly as the sequential walk fires them.
+    if (prof_) {
+      prof_->begin_span();
     }
+    engine_->run_span(cycle_ + 1);
+    prof_span_end(1);
+    fire_hooks();
     return;
+  }
+  if (clock_observed_ && prof_) {
+    prof_->begin_span();
   }
   ++cycle_;
   cmc_exec_cycle_ = cycle_;
@@ -278,8 +284,9 @@ void Simulator::clock() {
 
   latch_registers();
 
-  if (stats_every_ != 0 && cycle_ % stats_every_ == 0 && stats_cb_) {
-    stats_cb_(*this);
+  if (clock_observed_) {
+    prof_span_end(1);
+    fire_hooks();
   }
 }
 
@@ -347,16 +354,17 @@ std::uint64_t Simulator::clock_until_parallel(std::uint64_t target) {
       fast_forward_to(stop);
       continue;
     }
-    // Run a span of lock-step cycles, trimmed so periodic stats callbacks
-    // fire between spans at their exact cycles.
+    // Run a span of lock-step cycles, trimmed so periodic hooks fire
+    // between spans at their exact cycles.
     std::uint64_t stop = std::min(target, cycle_ + kSpanChunk);
-    if (stats_every_ != 0 && stats_cb_) {
-      stop = std::min(stop, (cycle_ / stats_every_ + 1) * stats_every_);
+    stop = std::min(stop, next_hook_cycle(cycle_));
+    const std::uint64_t before = cycle_;
+    if (prof_) {
+      prof_->begin_span();
     }
     engine_->run_span(stop);
-    if (stats_every_ != 0 && stats_cb_ && cycle_ % stats_every_ == 0) {
-      stats_cb_(*this);
-    }
+    prof_span_end(cycle_ - before);
+    fire_hooks();
   }
   return cycle_ - start;
 }
@@ -377,20 +385,14 @@ std::uint64_t Simulator::clock_until_idle(std::uint64_t max_cycles) {
 
 void Simulator::fast_forward_to(std::uint64_t target) {
   while (cycle_ < target) {
-    std::uint64_t stop = target;
-    if (stats_every_ != 0 && stats_cb_) {
-      // Land exactly on the next callback cycle so periodic reporting is
-      // indistinguishable from stepped clocking.
-      const std::uint64_t next_cb =
-          (cycle_ / stats_every_ + 1) * stats_every_;
-      stop = std::min(stop, next_cb);
-    }
+    // Land exactly on the next hook cycle so periodic reporting is
+    // indistinguishable from stepped clocking.
+    const std::uint64_t stop = std::min(target, next_hook_cycle(cycle_));
     fast_forwarded_ += stop - cycle_;
     cycle_ = stop;
     latch_registers();
-    if (stats_every_ != 0 && stats_cb_ && cycle_ % stats_every_ == 0) {
-      stats_cb_(*this);
-      // The callback may have injected traffic; if so the quiescence
+    if (fire_hooks()) {
+      // A callback may have injected traffic; if so the quiescence
       // assumption no longer holds and the caller must re-plan.
       for (const auto& device : devices_) {
         if (device->has_queued_work()) {
@@ -398,6 +400,70 @@ void Simulator::fast_forward_to(std::uint64_t target) {
         }
       }
     }
+  }
+}
+
+std::uint64_t Simulator::next_hook_cycle(std::uint64_t from) const {
+  std::uint64_t best = kNoEvent;
+  for (const PeriodicHook& h : hooks_) {
+    best = std::min(best, (from / h.every + 1) * h.every);
+  }
+  return best;
+}
+
+bool Simulator::fire_hooks_slow() {
+  bool fired = false;
+  // Index-based walk: a callback may add or remove hooks.
+  for (std::size_t i = 0; i < hooks_.size(); ++i) {
+    if (cycle_ % hooks_[i].every == 0 && hooks_[i].cb) {
+      fired = true;
+      hooks_[i].cb(*this);
+    }
+  }
+  return fired;
+}
+
+std::uint64_t Simulator::add_periodic_hook(
+    std::uint64_t every, std::function<void(Simulator&)> cb) {
+  if (every == 0 || !cb) {
+    return 0;
+  }
+  const std::uint64_t id = next_hook_id_++;
+  hooks_.push_back({.id = id, .every = every, .cb = std::move(cb)});
+  clock_observed_ = true;
+  return id;
+}
+
+void Simulator::remove_periodic_hook(std::uint64_t id) {
+  if (id == 0) {
+    return;
+  }
+  std::erase_if(hooks_, [id](const PeriodicHook& h) { return h.id == id; });
+  clock_observed_ = prof_ != nullptr || !hooks_.empty();
+}
+
+Status Simulator::enable_profiling() {
+  if (prof_) {
+    return Status::Ok();
+  }
+  prof_ = std::make_unique<Profiler>(registry_, effective_threads());
+  clock_observed_ = true;
+  return Status::Ok();
+}
+
+void Simulator::prof_span_end_slow(std::uint64_t cycles) {
+  prof_->end_span(cycles, engine_ == nullptr);
+  // One wall-clock point per 64 sim cycles keeps the Perfetto counter
+  // track readable on long runs.
+  if ((cycle_ - prof_emit_cycle_ >= 64 || prof_emit_cycle_ == 0) &&
+      tracer_.enabled(trace::Level::Prof)) {
+    prof_emit_cycle_ = cycle_;
+    tracer_.emit({.cycle = cycle_,
+                  .kind = trace::Level::Prof,
+                  .op = "prof_span",
+                  .addr = prof_->wall_ns(),
+                  .value = static_cast<std::uint64_t>(
+                      prof_->cycles_per_sec())});
   }
 }
 
@@ -418,6 +484,10 @@ Status Simulator::set_threads(std::uint32_t threads) {
         *this,
         std::min(threads, static_cast<std::uint32_t>(devices_.size())));
   }
+  if (prof_) {
+    // The pool may have grown past the lanes registered at enable time.
+    prof_->ensure_workers(effective_threads());
+  }
   return Status::Ok();
 }
 
@@ -427,8 +497,9 @@ std::uint32_t Simulator::effective_threads() const noexcept {
 
 void Simulator::set_stats_interval(std::uint64_t every,
                                    std::function<void(Simulator&)> cb) {
-  stats_every_ = every;
-  stats_cb_ = std::move(cb);
+  // Replace-on-set: the legacy single-callback API owns one hook slot.
+  remove_periodic_hook(stats_hook_id_);
+  stats_hook_id_ = add_periodic_hook(every, std::move(cb));
 }
 
 void Simulator::sync_cmc_counters() {

@@ -34,6 +34,7 @@
 namespace hmcsim::sim {
 
 class ParallelEngine;
+class Profiler;
 
 /// A received response plus its measured end-to-end latency.
 struct Response {
@@ -189,6 +190,30 @@ class Simulator {
   void set_stats_interval(std::uint64_t every,
                           std::function<void(Simulator&)> cb);
 
+  /// Register an additional periodic callback with the same exact-cycle
+  /// contract as set_stats_interval: `cb` fires whenever cycle() is a
+  /// multiple of `every`, after the cycle's stages, on the host thread —
+  /// including across parallel spans and quiescence fast-forward, which
+  /// both land exactly on callback cycles. Multiple hooks compose (the
+  /// metrics::Sampler rides here next to the --stats-every delta print);
+  /// they fire in registration order. Returns a handle for
+  /// remove_periodic_hook, 0 when `every` is 0 or `cb` empty.
+  std::uint64_t add_periodic_hook(std::uint64_t every,
+                                  std::function<void(Simulator&)> cb);
+  /// Unregister a hook returned by add_periodic_hook (0 is a no-op).
+  void remove_periodic_hook(std::uint64_t id);
+
+  // ---- self-profiling -------------------------------------------------------
+  /// Start wall-clock self-profiling: every subsequent clocked span is
+  /// timed and the gated `sim.prof.*` statistics appear in the registry
+  /// (per-worker execute vs. barrier-wait nanoseconds, coordinator
+  /// overhead, host-side cycles/sec — see docs/TELEMETRY.md). Until this
+  /// is called no prof path is registered, so default stats exports stay
+  /// byte-identical. Idempotent.
+  [[nodiscard]] Status enable_profiling();
+  /// The active profiler, or nullptr when profiling was never enabled.
+  [[nodiscard]] Profiler* profiler() noexcept { return prof_.get(); }
+
   /// Drop all in-flight packets and device statistics; memory contents,
   /// CMC registrations, host-side stats and the cycle counter survive.
   void reset_pipeline();
@@ -267,8 +292,34 @@ class Simulator {
   /// host.stage.* histograms, indexed by trace::Stage; null until
   /// ensure_stage_histograms() runs.
   std::array<metrics::Histogram*, trace::kStageCount> stage_hists_{};
-  std::uint64_t stats_every_ = 0;
-  std::function<void(Simulator&)> stats_cb_;
+  /// Periodic exact-cycle callbacks (stats print, metrics::Sampler, …).
+  /// Fired in registration order; see fire_hooks()/next_hook_cycle().
+  struct PeriodicHook {
+    std::uint64_t id = 0;
+    std::uint64_t every = 0;
+    std::function<void(Simulator&)> cb;
+  };
+  std::vector<PeriodicHook> hooks_;
+  std::uint64_t next_hook_id_ = 1;
+  /// True iff the clock epilogue has any work: profiling enabled or at
+  /// least one periodic hook registered. One load+branch per idle cycle
+  /// instead of three (maintained by add/remove_periodic_hook and
+  /// enable_profiling).
+  bool clock_observed_ = false;
+  /// Hook installed by set_stats_interval (0 = none) so the legacy
+  /// single-callback API keeps replace-on-set semantics.
+  std::uint64_t stats_hook_id_ = 0;
+
+  /// Earliest cycle strictly after `from` at which any hook fires;
+  /// kNoEvent when no hooks are registered.
+  [[nodiscard]] std::uint64_t next_hook_cycle(std::uint64_t from) const;
+  /// Fire every hook whose period divides cycle_ (registration order).
+  /// Returns true when at least one fired. The empty check is inline so
+  /// the hookless idle clock pays one load+branch, not a call.
+  bool fire_hooks() {
+    return hooks_.empty() ? false : fire_hooks_slow();
+  }
+  bool fire_hooks_slow();
   /// Cycle currently executing vault stage B — the cycle stamp for
   /// CMC plugin trace/fault annotations, which outrun cycle_ while a
   /// parallel span is in flight. Kept equal to cycle_ by the sequential
@@ -276,6 +327,23 @@ class Simulator {
   std::uint64_t cmc_exec_cycle_ = 0;
   /// Present iff cfg_.threads > 1 and the chain has more than one cube.
   std::unique_ptr<ParallelEngine> engine_;
+  /// Present iff enable_profiling() was called; workers probe it each
+  /// span, the host flushes it into the gated sim.prof.* stats.
+  std::unique_ptr<Profiler> prof_;
+  /// Last cycle a Level::Prof wall-clock trace event was emitted
+  /// (throttles the ChromeSink counter track to one point per 64 cycles).
+  std::uint64_t prof_emit_cycle_ = 0;
+
+  /// End the profiled span (if profiling): flush worker lanes into the
+  /// sim.prof.* counters and emit the wall-clock counter-track trace
+  /// event. `cycles` = sim cycles covered by the span. The null check
+  /// is inline so the unprofiled clock pays one load+branch, not a call.
+  void prof_span_end(std::uint64_t cycles) {
+    if (prof_) {
+      prof_span_end_slow(cycles);
+    }
+  }
+  void prof_span_end_slow(std::uint64_t cycles);
 };
 
 }  // namespace hmcsim::sim

@@ -135,15 +135,45 @@ std::string format_stats_csv(const Simulator& sim) {
   return oss.str();
 }
 
-std::string format_stats_json(const Simulator& sim) {
+std::string format_stats_json(const Simulator& sim,
+                              std::string_view extra_member) {
   std::string out = "{\n";
   out += "  \"schema_version\": 1,\n";
   out += "  \"cycle\": " + std::to_string(sim.cycle()) + ",\n";
   out += "  \"config\": \"" + metrics::json_escape(sim.config().describe()) +
          "\",\n";
+  if (!extra_member.empty()) {
+    out += "  ";
+    out += extra_member;
+    out += ",\n";
+  }
   out += "  \"stats\": " + sim.metrics().to_json(2) + "\n";
   out += "}\n";
   return out;
+}
+
+void register_default_samples(metrics::Sampler& sampler,
+                              const Simulator& sim) {
+  const Config& cfg = sim.config();
+  for (std::uint32_t d = 0; d < sim.num_devices(); ++d) {
+    const std::string links = "cube" + std::to_string(d) + ".link";
+    sampler.add_derived(
+        {.name = "cube" + std::to_string(d) + ".pkts_per_cycle",
+         .terms = {{links, "rqst_packets"}, {links, "rsp_packets"}},
+         .scale = 1.0});
+    const std::uint64_t budget =
+        static_cast<std::uint64_t>(cfg.xbar_rqst_bw_flits) +
+        cfg.xbar_rsp_bw_flits;
+    if (budget > 0) {
+      // FLITs moved per cycle against the aggregate per-cube bandwidth
+      // gate, scaled to read in percent.
+      sampler.add_derived(
+          {.name = "cube" + std::to_string(d) + ".link_util_pct",
+           .terms = {{links, "rqst_flits"}, {links, "rsp_flits"}},
+           .scale = static_cast<double>(cfg.num_links) *
+                    static_cast<double>(budget) / 100.0});
+    }
+  }
 }
 
 }  // namespace hmcsim::sim

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
+#include "metrics/sampler.hpp"
 #include "sim/simulator.hpp"
 
 namespace hmcsim::sim {
@@ -25,8 +27,22 @@ namespace hmcsim::sim {
 
 /// JSON document wrapping the full registry:
 ///   {"schema_version": 1, "cycle": N, "config": "...", "stats": {...}}
-/// Validated against the schema in docs/METRICS.md.
-[[nodiscard]] std::string format_stats_json(const Simulator& sim);
+/// Validated against the schema in docs/METRICS.md. `extra_member`, when
+/// non-empty, is spliced in verbatim as one additional top-level member
+/// (a complete `"key": value` fragment, no indentation or trailing
+/// comma); the default empty value keeps the document byte-identical to
+/// the pre-existing format, which golden tests rely on.
+[[nodiscard]] std::string format_stats_json(const Simulator& sim,
+                                            std::string_view extra_member =
+                                                {});
+
+/// Register the standard derived time-series on a sampler for `sim`:
+/// per-cube packets-per-cycle (host-link request+response packets) and,
+/// when the crossbar bandwidth gate is finite, per-cube link utilisation
+/// in percent of the aggregate FLIT budget. Call before the first
+/// sample.
+void register_default_samples(metrics::Sampler& sampler,
+                              const Simulator& sim);
 
 /// Vault access histogram for one device, read from the metrics registry:
 /// count of requests processed per vault, in vault order (32 entries).

@@ -23,6 +23,12 @@ void ChromeSink::begin_record(const char* ph, std::uint32_t pid,
   os_ << (first_ ? "\n" : ",\n");
   first_ = false;
   ++events_written_;
+  // Periodic flush so a run killed mid-stream still leaves every
+  // complete record on disk (the destructor then closes the array, so
+  // the partial trace loads in Perfetto).
+  if (events_written_ % 512 == 0) {
+    os_.flush();
+  }
   os_ << "{\"ph\":\"" << ph << "\",\"pid\":" << pid << ",\"tid\":" << tid
       << ",\"ts\":" << ts;
 }
@@ -109,7 +115,7 @@ void ChromeSink::on_journey(const Journey& j) {
       << ",\"posted\":" << (j.posted ? "true" : "false")
       << ",\"error\":" << (j.error ? "true" : "false");
   if (!j.note.empty()) {
-    os_ << ",\"note\":\"" << j.note << "\"";
+    os_ << ",\"note\":\"" << metrics::json_escape(j.note) << "\"";
   }
   for (std::size_t i = 0; i < kStageCount; ++i) {
     os_ << ",\"" << to_string(static_cast<Stage>(i)) << "\":" << d[i];
@@ -119,6 +125,19 @@ void ChromeSink::on_journey(const Journey& j) {
 
 void ChromeSink::on_event(const Event& ev) {
   if (finished_) {
+    return;
+  }
+  if (ev.kind == Level::Prof) {
+    // Host wall-clock counter track: sim-time on the x axis, wall time
+    // and throughput as counter series, so Perfetto shows where host
+    // time went next to what the cube was doing. addr carries cumulative
+    // profiled wall nanoseconds, value the cycles/sec estimate.
+    begin_record("C", 0, 0, ev.cycle);
+    os_ << ",\"name\":\"host_wall_ms\",\"args\":{\"wall_ms\":"
+        << ev.addr / 1000000 << "}}";
+    begin_record("C", 0, 0, ev.cycle);
+    os_ << ",\"name\":\"host_cycles_per_sec\",\"args\":{\"value\":"
+        << ev.value << "}}";
     return;
   }
   const bool retry = ev.kind == Level::Retry;

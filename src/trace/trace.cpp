@@ -33,6 +33,8 @@ std::string_view to_string(Level level) noexcept {
       return "JOURNEY";
     case Level::Ecc:
       return "ECC";
+    case Level::Prof:
+      return "PROF";
     case Level::All:
       return "ALL";
   }

@@ -34,6 +34,9 @@ enum class Level : std::uint32_t {
                            ///< (latency attribution; see journey.hpp).
   Ecc = 1U << 11,          ///< DRAM fault corrections / poisoned reads /
                            ///< patrol-scrub repairs (see docs/FAULTS.md).
+  Prof = 1U << 12,         ///< Host wall-clock self-profiling points
+                           ///< (ChromeSink counter track; values are
+                           ///< host-dependent, never deterministic).
   All = 0xFFFFFFFFU,
 };
 

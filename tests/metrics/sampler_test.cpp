@@ -1,0 +1,167 @@
+// sampler_test.cpp — the time-series sampler over a bare registry.
+//
+// The sampler only ever *reads* the registry, so these tests drive it
+// directly: registry mutations between sample() calls stand in for
+// simulated cycles. Integration with the periodic-hook machinery (exact
+// cycles, thread-count invariance) is covered by
+// tests/sim/golden_equivalence_test.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/metrics/sampler.hpp"
+#include "src/metrics/stat_registry.hpp"
+
+namespace hmcsim::metrics {
+namespace {
+
+TEST(Sampler, CapturesValuesAndDeltas) {
+  StatRegistry reg;
+  Counter& pkts = reg.counter("link0.packets");
+  Gauge& depth = reg.gauge("link0.depth");
+
+  Sampler s(reg, {.every = 10, .capacity = 8, .paths = {}});
+  pkts.inc(5);
+  depth.set(3.0);
+  s.sample(10);
+  pkts.inc(7);
+  depth.set(1.0);
+  s.sample(20);
+
+  ASSERT_EQ(s.windows(), 2U);
+  const std::string json = s.to_json();
+  // Window 1: cumulative value plus the per-window delta.
+  EXPECT_NE(json.find("\"cycle\": 20"), std::string::npos);
+  EXPECT_NE(json.find("\"dcycles\": 10"), std::string::npos);
+  const std::string csv = s.to_csv();
+  EXPECT_NE(csv.find("10,10,link0.packets,counter,5,5"), std::string::npos);
+  EXPECT_NE(csv.find("20,10,link0.packets,counter,12,7"),
+            std::string::npos);
+  // Gauges report the level and the signed change.
+  EXPECT_NE(csv.find("10,10,link0.depth,gauge,3,3"), std::string::npos);
+  EXPECT_NE(csv.find("20,10,link0.depth,gauge,1,-2"), std::string::npos);
+}
+
+TEST(Sampler, RingEvictsOldestWindow) {
+  StatRegistry reg;
+  Counter& c = reg.counter("a.count");
+  Sampler s(reg, {.every = 1, .capacity = 3, .paths = {}});
+  for (std::uint64_t cycle = 1; cycle <= 5; ++cycle) {
+    c.inc();
+    s.sample(cycle);
+  }
+  EXPECT_EQ(s.windows(), 3U);
+  EXPECT_EQ(s.windows_taken(), 5U);
+  const std::string json = s.to_json();
+  // Only the last three windows survive, oldest first.
+  EXPECT_EQ(json.find("\"cycle\": 1,"), std::string::npos);
+  EXPECT_EQ(json.find("\"cycle\": 2,"), std::string::npos);
+  const std::size_t w3 = json.find("\"cycle\": 3");
+  const std::size_t w4 = json.find("\"cycle\": 4");
+  const std::size_t w5 = json.find("\"cycle\": 5");
+  ASSERT_NE(w3, std::string::npos);
+  ASSERT_NE(w4, std::string::npos);
+  ASSERT_NE(w5, std::string::npos);
+  EXPECT_LT(w3, w4);
+  EXPECT_LT(w4, w5);
+}
+
+TEST(Sampler, PrefixFilterSelectsColumns) {
+  StatRegistry reg;
+  reg.counter("cube0.link0.packets").inc(1);
+  reg.counter("cube0.vault0.rqsts").inc(2);
+  reg.counter("cube1.link0.packets").inc(3);
+
+  Sampler s(reg, {.every = 1, .capacity = 4, .paths = {"cube0.link"}});
+  s.sample(1);
+  const std::string csv = s.to_csv();
+  EXPECT_NE(csv.find("cube0.link0.packets"), std::string::npos);
+  EXPECT_EQ(csv.find("cube0.vault0"), std::string::npos);
+  EXPECT_EQ(csv.find("cube1"), std::string::npos);
+}
+
+TEST(Sampler, ProfPathsExcludedByDefaultButSelectable) {
+  StatRegistry reg;
+  reg.counter("cube0.link0.packets");
+  reg.counter("sim.prof.spans").inc(9);
+
+  Sampler all(reg, {.every = 1, .capacity = 2, .paths = {}});
+  all.sample(1);
+  // Wall-clock profiling stats would make the default export
+  // non-deterministic, so they never join an unfiltered series.
+  EXPECT_EQ(all.to_csv().find("sim.prof"), std::string::npos);
+
+  Sampler prof(reg, {.every = 1, .capacity = 2, .paths = {"sim.prof"}});
+  prof.sample(1);
+  EXPECT_NE(prof.to_csv().find("sim.prof.spans,counter,9,9"),
+            std::string::npos);
+}
+
+TEST(Sampler, DerivedRateNormalisesPerCycle) {
+  StatRegistry reg;
+  Counter& rqst = reg.counter("cube0.link0.rqst_packets");
+  Counter& rsp = reg.counter("cube0.link0.rsp_packets");
+
+  Sampler s(reg, {.every = 10, .capacity = 4, .paths = {"none-match"}});
+  s.add_derived({.name = "cube0.pkts_per_cycle",
+                 .terms = {{"cube0.link", "rqst_packets"},
+                           {"cube0.link", "rsp_packets"}},
+                 .scale = 1.0});
+  rqst.inc(12);
+  rsp.inc(8);
+  s.sample(10);  // (12 + 8) / 10 cycles = 2 per cycle.
+  rqst.inc(3);
+  rsp.inc(2);
+  s.sample(20);  // 5 / 10 = 0.5 per cycle.
+
+  const std::string csv = s.to_csv();
+  EXPECT_NE(csv.find("10,10,cube0.pkts_per_cycle,rate,2,20"),
+            std::string::npos);
+  EXPECT_NE(csv.find("20,10,cube0.pkts_per_cycle,rate,0.5,5"),
+            std::string::npos);
+}
+
+TEST(Sampler, ColumnsFreezeAtFirstSample) {
+  StatRegistry reg;
+  reg.counter("early.count").inc(1);
+  Sampler s(reg, {.every = 1, .capacity = 4, .paths = {}});
+  s.sample(1);
+  // Registered after the freeze: never joins the series, and neither
+  // does a late derived registration.
+  reg.counter("late.count").inc(5);
+  s.add_derived({.name = "late.rate",
+                 .terms = {{"late", "count"}},
+                 .scale = 1.0});
+  s.sample(2);
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("early.count"), std::string::npos);
+  EXPECT_EQ(json.find("late.count"), std::string::npos);
+  EXPECT_EQ(json.find("late.rate"), std::string::npos);
+}
+
+TEST(Sampler, HistogramColumnsTrackCount) {
+  StatRegistry reg;
+  Histogram& h = reg.histogram("host.latency");
+  Sampler s(reg, {.every = 1, .capacity = 2, .paths = {}});
+  h.record(10);
+  h.record(20);
+  s.sample(1);
+  h.record(30);
+  s.sample(2);
+  const std::string csv = s.to_csv();
+  EXPECT_NE(csv.find("1,1,host.latency,histogram,2,2"), std::string::npos);
+  EXPECT_NE(csv.find("2,1,host.latency,histogram,3,1"), std::string::npos);
+}
+
+TEST(Sampler, EmptyExportsAreWellFormed) {
+  StatRegistry reg;
+  Sampler s(reg, {.every = 4, .capacity = 2, .paths = {}});
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("\"windows\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"windows_taken\": 0"), std::string::npos);
+  EXPECT_NE(s.to_csv().find("cycle,dcycles,path,kind,value,delta"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmcsim::metrics

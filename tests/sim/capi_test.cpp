@@ -221,6 +221,114 @@ TEST_F(CApiTest, InitFaultsExposesEccStats) {
   hmcsim_free(faulty);
 }
 
+TEST_F(CApiTest, StatListEnumeratesRegistry) {
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_RD16, 0, 0, 1, nullptr, 0), HMC_OK);
+  ASSERT_EQ(wait_recv(0), HMC_OK);
+
+  const uint64_t needed = hmcsim_stat_list(sim_, nullptr, 0);
+  ASSERT_GT(needed, 0ULL);
+  std::string buf(needed + 1, '\0');
+  EXPECT_EQ(hmcsim_stat_list(sim_, buf.data(), buf.size()), needed);
+  const std::string list(buf.c_str());
+  EXPECT_EQ(list.size(), needed);
+  EXPECT_NE(list.find("cube0.link0.rqst_packets,counter\n"),
+            std::string::npos);
+  EXPECT_NE(list.find("host.latency,histogram\n"), std::string::npos);
+  // Profiling stats only exist once profiling is switched on.
+  EXPECT_EQ(list.find("sim.prof."), std::string::npos);
+
+  // Short buffers truncate but stay NUL-terminated (snprintf contract).
+  char small[8];
+  EXPECT_EQ(hmcsim_stat_list(sim_, small, sizeof small), needed);
+  EXPECT_EQ(small[sizeof small - 1], '\0');
+  EXPECT_EQ(std::string(small), list.substr(0, sizeof small - 1));
+
+  EXPECT_EQ(hmcsim_stat_list(nullptr, nullptr, 0), 0ULL);
+}
+
+TEST_F(CApiTest, ProfEnableRegistersGatedStats) {
+  uint64_t value = 0;
+  EXPECT_EQ(hmcsim_stat_get(sim_, "sim.prof.spans", &value), HMC_ERROR);
+
+  ASSERT_EQ(hmcsim_prof_enable(sim_), HMC_OK);
+  // Idempotent: enabling twice is not an error.
+  ASSERT_EQ(hmcsim_prof_enable(sim_), HMC_OK);
+
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_RD16, 0, 0, 1, nullptr, 0), HMC_OK);
+  ASSERT_EQ(wait_recv(0), HMC_OK);
+  ASSERT_EQ(hmcsim_stat_get(sim_, "sim.prof.spans", &value), HMC_OK);
+  EXPECT_GT(value, 0ULL);
+
+  const uint64_t needed = hmcsim_stat_list(sim_, nullptr, 0);
+  std::string buf(needed + 1, '\0');
+  hmcsim_stat_list(sim_, buf.data(), buf.size());
+  EXPECT_NE(std::string(buf.c_str()).find("sim.prof.spans,counter\n"),
+            std::string::npos);
+
+  EXPECT_EQ(hmcsim_prof_enable(nullptr), HMC_ERROR);
+}
+
+TEST_F(CApiTest, SamplerInitAndCollect) {
+  // No sampler yet: collect reports an empty document.
+  EXPECT_EQ(hmcsim_sampler_collect(sim_, 0, nullptr, 0), 0ULL);
+
+  ASSERT_EQ(hmcsim_sampler_init(sim_, /*every=*/8, /*capacity=*/16,
+                                "cube0.link0"),
+            HMC_OK);
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_RD16, 0, 0, 1, nullptr, 0), HMC_OK);
+  ASSERT_EQ(wait_recv(0), HMC_OK);
+  for (int i = 0; i < 16; ++i) {
+    hmcsim_clock(sim_);
+  }
+
+  const uint64_t json_len = hmcsim_sampler_collect(sim_, 0, nullptr, 0);
+  ASSERT_GT(json_len, 0ULL);
+  std::string json(json_len + 1, '\0');
+  EXPECT_EQ(hmcsim_sampler_collect(sim_, 0, json.data(), json.size()),
+            json_len);
+  EXPECT_NE(std::string(json.c_str()).find("\"windows\": ["),
+            std::string::npos);
+  EXPECT_NE(std::string(json.c_str()).find("cube0.link0.rqst_packets"),
+            std::string::npos);
+
+  const uint64_t csv_len = hmcsim_sampler_collect(sim_, 1, nullptr, 0);
+  ASSERT_GT(csv_len, 0ULL);
+  std::string csv(csv_len + 1, '\0');
+  EXPECT_EQ(hmcsim_sampler_collect(sim_, 1, csv.data(), csv.size()),
+            csv_len);
+  EXPECT_NE(std::string(csv.c_str()).find("cycle,dcycles,path,kind"),
+            std::string::npos);
+
+  // Re-init replaces the sampler: the fresh one starts empty.
+  ASSERT_EQ(hmcsim_sampler_init(sim_, 4, 8, nullptr), HMC_OK);
+  std::string fresh(hmcsim_sampler_collect(sim_, 0, nullptr, 0) + 1, '\0');
+  hmcsim_sampler_collect(sim_, 0, fresh.data(), fresh.size());
+  EXPECT_NE(std::string(fresh.c_str()).find("\"windows_taken\": 0"),
+            std::string::npos);
+
+  EXPECT_EQ(hmcsim_sampler_init(sim_, 0, 16, nullptr), HMC_ERROR);
+  EXPECT_EQ(hmcsim_sampler_init(sim_, 8, 0, nullptr), HMC_ERROR);
+  EXPECT_EQ(hmcsim_sampler_init(nullptr, 8, 16, nullptr), HMC_ERROR);
+  EXPECT_EQ(hmcsim_sampler_collect(nullptr, 0, nullptr, 0), 0ULL);
+}
+
+TEST_F(CApiTest, TelemetrySnapshotReportsCubes) {
+  ASSERT_EQ(hmcsim_send(sim_, 0, HMC_RD16, 0, 0, 1, nullptr, 0), HMC_OK);
+  ASSERT_EQ(wait_recv(0), HMC_OK);
+
+  const uint64_t needed = hmcsim_telemetry_snapshot(sim_, nullptr, 0);
+  ASSERT_GT(needed, 0ULL);
+  std::string buf(needed + 1, '\0');
+  EXPECT_EQ(hmcsim_telemetry_snapshot(sim_, buf.data(), buf.size()),
+            needed);
+  const std::string json(buf.c_str());
+  EXPECT_NE(json.find("\"cycle\": "), std::string::npos);
+  EXPECT_NE(json.find("\"cubes\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"dev\": 0"), std::string::npos);
+
+  EXPECT_EQ(hmcsim_telemetry_snapshot(nullptr, nullptr, 0), 0ULL);
+}
+
 #ifdef HMCSIM_PLUGIN_DIR
 TEST_F(CApiTest, LoadCmcAndExecute) {
   const std::string path = std::string(HMCSIM_PLUGIN_DIR) + "/hmc_lock.so";

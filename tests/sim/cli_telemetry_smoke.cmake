@@ -1,0 +1,96 @@
+# cli_telemetry_smoke.cmake — sampler files and the live exposition path.
+#
+# Two halves. First, batch sampling: the synthetic frontend with
+# --sample-every must write a well-formed series, and the series must be
+# byte-identical across worker-thread counts (the whole point of hooking
+# sampling to exact cycle boundaries). Second, live exposition: `cli
+# serve --telemetry` answers `cli top` scrapes while waiting for its
+# cosim client, in both the rendered-JSON and raw-Prometheus modes.
+# Invoked as:
+#   cmake -DCLI=<hmcsim_cli> -DCLIENT=<cosim_client> -DOUT_DIR=<dir>
+#         -P cli_telemetry_smoke.cmake
+if(NOT DEFINED CLI OR NOT DEFINED CLIENT OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<exe> -DCLIENT=<exe> -DOUT_DIR=<dir> -P ${CMAKE_SCRIPT_MODE_FILE}")
+endif()
+
+function(run_cli out_var)
+  execute_process(COMMAND ${CLI} ${ARGN}
+    OUTPUT_VARIABLE run_stdout ERROR_VARIABLE run_stderr
+    RESULT_VARIABLE run_rc)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "hmcsim_cli ${ARGN} exited with ${run_rc}\n${run_stdout}\n${run_stderr}")
+  endif()
+  set(${out_var} "${run_stdout}" PARENT_SCOPE)
+endfunction()
+
+# --- Batch sampling: file shapes and thread invariance. ----------------
+set(csv_t1 "${OUT_DIR}/telemetry_t1.csv")
+set(csv_t4 "${OUT_DIR}/telemetry_t4.csv")
+set(series_json "${OUT_DIR}/telemetry_series.json")
+
+run_cli(ignored synthetic --count 2000 --devs 2 --threads 1
+        --sample-every 50 --sample-out "${csv_t1}")
+run_cli(ignored synthetic --count 2000 --devs 2 --threads 4
+        --sample-every 50 --sample-out "${csv_t4}")
+file(READ "${csv_t1}" t1)
+file(READ "${csv_t4}" t4)
+if(NOT t1 STREQUAL t4)
+  message(FATAL_ERROR "sampled series differ across thread counts: sampling is not anchored to cycle boundaries")
+endif()
+if(NOT t1 MATCHES "cycle,dcycles,path,kind,value,delta")
+  message(FATAL_ERROR "sample CSV lacks its header:\n${t1}")
+endif()
+if(NOT t1 MATCHES "rqst_packets,counter")
+  message(FATAL_ERROR "sample CSV never sampled a link counter:\n${t1}")
+endif()
+
+# JSON flavour, with the profiler on: prof stats must stay out of the
+# default series even though they now exist in the registry.
+run_cli(ignored synthetic --count 500 --prof
+        --sample-every 50 --sample-out "${series_json}")
+file(READ "${series_json}" series)
+if(NOT series MATCHES "\"windows\": \\[")
+  message(FATAL_ERROR "sample JSON lacks a windows array:\n${series}")
+endif()
+if(series MATCHES "sim\\.prof")
+  message(FATAL_ERROR "wall-clock prof stats leaked into the default series:\n${series}")
+endif()
+
+# --- Live exposition: serve --telemetry answers `top` scrapes. ---------
+set(sock "${OUT_DIR}/telemetry_serve.sock")
+set(tsock "${OUT_DIR}/telemetry_scrape.sock")
+set(top_json "${OUT_DIR}/telemetry_top.txt")
+set(top_prom "${OUT_DIR}/telemetry_top.prom")
+execute_process(
+  COMMAND bash -c "\
+'${CLI}' serve '${sock}' --clients 1 --quantum 32 \
+    --telemetry '${tsock}' & srv=$!; \
+for i in $(seq 1 100); do \
+  if '${CLI}' top '${tsock}' --count 1 > '${top_json}' 2>/dev/null; \
+    then break; fi; \
+  sleep 0.1; \
+done; \
+'${CLI}' top '${tsock}' --count 1 --format prom > '${top_prom}'; rct=$?; \
+'${CLIENT}' '${sock}' 0 128 16; rcc=$?; \
+wait $srv; rcs=$?; \
+exit $((rct | rcc | rcs))"
+  OUTPUT_VARIABLE serve_stdout
+  ERROR_VARIABLE serve_stderr
+  RESULT_VARIABLE serve_rc)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "serve/top/client run exited with ${serve_rc}\n${serve_stdout}\n${serve_stderr}")
+endif()
+file(READ "${top_json}" top_out)
+if(NOT top_out MATCHES "hmcsim top" OR NOT top_out MATCHES "cycle")
+  message(FATAL_ERROR "top rendered no header from the live server:\n${top_out}")
+endif()
+if(NOT top_out MATCHES "clients")
+  message(FATAL_ERROR "top rendered no server block:\n${top_out}")
+endif()
+file(READ "${top_prom}" prom_out)
+if(NOT prom_out MATCHES "# TYPE hmcsim_cycle counter")
+  message(FATAL_ERROR "prom scrape is not Prometheus text format:\n${prom_out}")
+endif()
+if(NOT prom_out MATCHES "hmcsim_clients_live")
+  message(FATAL_ERROR "prom scrape lacks the server block:\n${prom_out}")
+endif()

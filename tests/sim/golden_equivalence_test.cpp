@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/metrics/sampler.hpp"
 #include "src/sim/session.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/sim/stats_report.hpp"
@@ -650,6 +651,150 @@ TEST(GoldenEquivalence, ClockUntilMatchesSteppedClock) {
   EXPECT_EQ(stepped.trace_text, jumped.trace_text);
   EXPECT_EQ(stepped.responses, jumped.responses);
   EXPECT_FALSE(stepped.responses.empty());
+}
+
+// ---- telemetry determinism ------------------------------------------------
+//
+// The sampler and the self-profiler ride the same periodic-hook
+// machinery as the stats callback, and the acceptance bar is the same
+// one every other observer meets: attaching them must not perturb the
+// simulation, and the sampled series itself must be byte-identical for
+// any thread count and for active vs. exhaustive clocking.
+
+struct TelemetryObserved {
+  Observed base;
+  std::string series;  ///< Sampler JSON export.
+};
+
+/// run_scenario plus a sampler on a 13-cycle hook (deliberately coprime
+/// with the span chunking) and, optionally, self-profiling.
+TelemetryObserved run_telemetry_scenario(Config cfg, bool exhaustive,
+                                         bool prof, const Driver& driver) {
+  cfg.exhaustive_clock = exhaustive;
+  std::unique_ptr<Simulator> sim;
+  EXPECT_TRUE(Simulator::create(cfg, sim).ok());
+  TelemetryObserved out;
+  std::ostringstream trace_os;
+  trace::TextSink sink(trace_os);
+  sim->tracer().set_level(trace::Level::All);
+  sim->tracer().attach(&sink);
+  if (prof) {
+    EXPECT_TRUE(sim->enable_profiling().ok());
+  }
+  metrics::Sampler sampler(sim->metrics(),
+                           {.every = 13, .capacity = 64, .paths = {}});
+  register_default_samples(sampler, *sim);
+  const std::uint64_t hook = sim->add_periodic_hook(
+      13, [&sampler](Simulator& s) { sampler.sample(s.cycle()); });
+  driver(*sim, out.base);
+  sim->remove_periodic_hook(hook);
+  out.base.stats_json = format_stats_json(*sim);
+  out.base.trace_text = trace_os.str();
+  out.series = sampler.to_json();
+  return out;
+}
+
+/// Drop PROF lines from a trace: the profiler's wall-clock emissions are
+/// legitimately host-dependent; everything else must still match.
+std::string strip_prof_lines(const std::string& text) {
+  std::string out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("PROF") == std::string::npos) {
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+/// Traffic with quiet stretches crossed by clock_until, so sampling hits
+/// both stepped spans and hook-bounded fast-forwards.
+Driver telemetry_driver() {
+  return [](Simulator& sim, Observed& obs) {
+    std::uint16_t tag = 0;
+    for (int round = 0; round < 3; ++round) {
+      for (std::uint32_t i = 0; i < 12; ++i) {
+        const std::uint64_t addr = (i * 64 + round * 4096) % (1 << 20);
+        if (i % 3 == 0) {
+          send_retrying(sim, obs, write64(addr, tag), tag % 4);
+        } else {
+          send_retrying(sim, obs, read64(addr, tag), tag % 4);
+        }
+        ++tag;
+      }
+      pump(sim, obs, 30);
+      (void)sim.clock_until(sim.cycle() + 60);
+      drain_responses(sim, obs);
+    }
+  };
+}
+
+TEST(TelemetryEquivalence, SamplerDoesNotPerturbSimulation) {
+  const Config cfg = Config::hmc_4link_4gb();
+  const Driver driver = telemetry_driver();
+  const Observed golden = run_scenario(cfg, false, driver);
+  const TelemetryObserved sampled =
+      run_telemetry_scenario(cfg, false, /*prof=*/false, driver);
+  EXPECT_EQ(golden.stats_json, sampled.base.stats_json);
+  EXPECT_EQ(golden.trace_text, sampled.base.trace_text);
+  EXPECT_EQ(golden.responses, sampled.base.responses);
+  EXPECT_FALSE(golden.responses.empty());
+  EXPECT_GT(sampled.series.find("\"windows\""), 0U);
+}
+
+TEST(TelemetryEquivalence, ProfilerDoesNotPerturbSimulation) {
+  // The profiler is pure observation: with it enabled, responses, the
+  // sampled series (which excludes sim.prof.*) and the non-PROF trace
+  // stream must match the unprofiled run byte for byte. stats_json is
+  // deliberately not compared — the gated sim.prof.* values are
+  // wall-clock and belong only to the profiled run.
+  const Config cfg = Config::hmc_4link_4gb();
+  const Driver driver = telemetry_driver();
+  const TelemetryObserved plain =
+      run_telemetry_scenario(cfg, false, /*prof=*/false, driver);
+  const TelemetryObserved profiled =
+      run_telemetry_scenario(cfg, false, /*prof=*/true, driver);
+  EXPECT_EQ(plain.base.responses, profiled.base.responses);
+  EXPECT_EQ(plain.series, profiled.series);
+  EXPECT_EQ(plain.base.trace_text,
+            strip_prof_lines(profiled.base.trace_text));
+}
+
+TEST(TelemetryEquivalence, SeriesIdenticalAcrossThreadCounts) {
+  // Profiling on for extra adversity: its wall-clock counters mutate
+  // during the run, and the series must still be exact because the
+  // default column set excludes them.
+  Config cfg = Config::hmc_4link_4gb();
+  cfg.num_devs = 4;
+  cfg.topology = Topology::Chain;
+  cfg.threads = 1;
+  const Driver driver = telemetry_driver();
+  const TelemetryObserved golden =
+      run_telemetry_scenario(cfg, false, /*prof=*/true, driver);
+  ASSERT_FALSE(golden.base.responses.empty());
+  EXPECT_GT(golden.series.find("\"cycle\""), 0U);
+  for (const std::uint32_t threads : {2U, 4U, 8U}) {
+    Config pcfg = cfg;
+    pcfg.threads = threads;
+    const TelemetryObserved par =
+        run_telemetry_scenario(pcfg, false, /*prof=*/true, driver);
+    EXPECT_EQ(golden.series, par.series) << "threads=" << threads;
+    EXPECT_EQ(golden.base.responses, par.base.responses)
+        << "threads=" << threads;
+  }
+}
+
+TEST(TelemetryEquivalence, SeriesIdenticalActiveVsExhaustive) {
+  const Config cfg = Config::hmc_4link_4gb();
+  const Driver driver = telemetry_driver();
+  const TelemetryObserved active =
+      run_telemetry_scenario(cfg, false, /*prof=*/false, driver);
+  const TelemetryObserved exhaustive =
+      run_telemetry_scenario(cfg, true, /*prof=*/false, driver);
+  EXPECT_EQ(active.series, exhaustive.series);
+  EXPECT_EQ(active.base.stats_json, exhaustive.base.stats_json);
 }
 
 // ---- batched session equivalence ----------------------------------------

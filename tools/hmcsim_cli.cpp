@@ -23,11 +23,18 @@
 //
 // Unrecognised `--key value` pairs are handed to the frontend factory as
 // options; a key the frontend does not consume is an error.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "plugins/builtin.h"
@@ -55,6 +62,11 @@ struct CliOptions {
   bool stage_stats = false;
   std::string stats_json;
   std::uint64_t stats_every = 0;
+  std::uint64_t sample_every = 0;
+  std::string sample_out;
+  std::string sample_paths;
+  std::uint64_t sample_capacity = 256;
+  bool prof = false;
   bool exhaustive_clock = false;
   std::uint32_t threads = 1;
   std::uint32_t devs = 1;
@@ -98,8 +110,13 @@ int usage() {
       "                              processes drive the cube over shm\n"
       "                              rings (--clients N --quantum N\n"
       "                              --ring-slots N --max-cycles N\n"
-      "                              --client-timeout-ms N;\n"
+      "                              --client-timeout-ms N\n"
+      "                              --telemetry <socket-path>;\n"
       "                              see docs/COSIM.md)\n"
+      "  top <telemetry-socket>      refreshing terminal view of a live\n"
+      "                              serve session (--interval-ms N\n"
+      "                              --count N --format json|prom;\n"
+      "                              see docs/TELEMETRY.md)\n"
       "options: --links 4|8  --backend <name>  --plugins <dir>  --power\n"
       "         --seed <n>           (workload RNG seed, Config::workload_seed)\n"
       "         --trace-file <path>  --trace-level <mask>\n"
@@ -108,6 +125,19 @@ int usage() {
       "         --stage-stats        (per-stage latency attribution\n"
       "                               histograms + end-of-run report)\n"
       "         --stats-json <path>  --stats-every <cycles>\n"
+      "         --sample-every <cycles>  (periodic time-series sampling of\n"
+      "                               the stat registry; see\n"
+      "                               docs/TELEMETRY.md)\n"
+      "         --sample-out <path>  (time-series export; .csv suffix\n"
+      "                               selects CSV, anything else JSON)\n"
+      "         --sample-paths <p,q> (comma-separated stat-path prefixes\n"
+      "                               to sample; default: every\n"
+      "                               deterministic stat)\n"
+      "         --sample-capacity <n> (ring-buffer windows kept, default\n"
+      "                               256; older windows are evicted)\n"
+      "         --prof               (host self-profiling: sim.prof.*\n"
+      "                               wall-time counters + a Chrome-trace\n"
+      "                               counter track when --trace-chrome)\n"
       "         --exhaustive-clock   (disable active-set scheduling and\n"
       "                               quiescence fast-forward)\n"
       "         --devs <n>           (cubes in the chain, 1..8)\n"
@@ -234,6 +264,28 @@ bool parse_options(int argc, char** argv, CliOptions& opts) {
       if (!flag_u64(arg, next(), opts.stats_every)) {
         return false;
       }
+    } else if (arg == "--sample-every") {
+      if (!flag_u64(arg, next(), opts.sample_every)) {
+        return false;
+      }
+    } else if (arg == "--sample-out") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.sample_out = v;
+    } else if (arg == "--sample-paths") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.sample_paths = v;
+    } else if (arg == "--sample-capacity") {
+      if (!flag_u64(arg, next(), opts.sample_capacity, 1)) {
+        return false;
+      }
+    } else if (arg == "--prof") {
+      opts.prof = true;
     } else if (arg == "--exhaustive-clock") {
       opts.exhaustive_clock = true;
     } else if (arg == "--devs") {
@@ -337,6 +389,24 @@ sim::Config make_cfg(const CliOptions& opts) {
   return cfg;
 }
 
+/// The observability flags shared by every subcommand that runs a
+/// simulation, translated into the RunIo options block.
+frontend::IoOptions make_io_opts(const CliOptions& opts) {
+  frontend::IoOptions io;
+  io.trace_file = opts.trace_file;
+  io.trace_level = opts.trace_level;
+  io.trace_chrome = opts.trace_chrome;
+  io.stage_stats = opts.stage_stats;
+  io.stats_json = opts.stats_json;
+  io.stats_every = opts.stats_every;
+  io.sample_every = opts.sample_every;
+  io.sample_out = opts.sample_out;
+  io.sample_paths = opts.sample_paths;
+  io.sample_capacity = static_cast<std::size_t>(opts.sample_capacity);
+  io.prof = opts.prof;
+  return io;
+}
+
 /// The CMC provisioning hook handed to frontends: maps operation names to
 /// the statically-linked builtin implementations. Frontends request
 /// exactly what their workload needs, so the metric namespace (and with
@@ -438,6 +508,19 @@ int cmd_list_backends() {
   return 0;
 }
 
+/// The serving CosimServer, published for the signal handlers so Ctrl-C
+/// and SIGTERM shut the server down cleanly (stats written, sinks
+/// flushed, sockets unlinked) instead of tearing the process down
+/// mid-write.
+ipc::CosimServer* g_serve_server = nullptr;
+
+extern "C" void serve_signal_handler(int) {
+  if (g_serve_server != nullptr) {
+    // request_stop only stores an atomic flag — async-signal-safe.
+    g_serve_server->request_stop();
+  }
+}
+
 /// `serve`: host the co-simulation server until every client detaches.
 /// Server-specific knobs arrive as forwarded --key value options.
 int cmd_serve(const CliOptions& opts) {
@@ -471,6 +554,8 @@ int cmd_serve(const CliOptions& opts) {
                     sopts.client_timeout_ms)) {
         return 2;
       }
+    } else if (key == "telemetry") {
+      sopts.telemetry_path = value;
     } else {
       std::fprintf(stderr, "serve: unknown option '--%s'\n", key.c_str());
       return 2;
@@ -484,14 +569,8 @@ int cmd_serve(const CliOptions& opts) {
     std::fprintf(stderr, "create: %s\n", s.to_string().c_str());
     return 1;
   }
-  frontend::IoOptions io_opts;
-  io_opts.trace_file = opts.trace_file;
-  io_opts.trace_level = opts.trace_level;
-  io_opts.trace_chrome = opts.trace_chrome;
-  io_opts.stage_stats = opts.stage_stats;
-  io_opts.stats_json = opts.stats_json;
   frontend::RunIo io;
-  if (Status s = io.attach(*mem, io_opts); !s.ok()) {
+  if (Status s = io.attach(*mem, make_io_opts(opts)); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.message().c_str());
     return 1;
   }
@@ -501,11 +580,18 @@ int cmd_serve(const CliOptions& opts) {
     std::fprintf(stderr, "bind: %s\n", s.to_string().c_str());
     return 1;
   }
+  g_serve_server = &server;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
   std::fprintf(stderr, "serve: listening on %s (%u clients, quantum %llu)\n",
                sopts.socket_path.c_str(), sopts.expected_clients,
                static_cast<unsigned long long>(sopts.quantum));
-  if (Status s = server.serve(); !s.ok()) {
-    std::fprintf(stderr, "serve: %s\n", s.to_string().c_str());
+  const Status serve_status = server.serve();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serve_server = nullptr;
+  if (!serve_status.ok()) {
+    std::fprintf(stderr, "serve: %s\n", serve_status.to_string().c_str());
     return 1;
   }
   std::printf("serve: %llu quanta, %llu requests, %llu responses, "
@@ -518,6 +604,203 @@ int cmd_serve(const CliOptions& opts) {
   if (Status s = io.write_stats_json(*mem); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.message().c_str());
     return 1;
+  }
+  if (Status s = io.write_sample(*mem); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// One telemetry scrape: connect to the Unix socket, send the request
+/// keyword, read the full payload (the server writes and closes).
+bool scrape(const std::string& path, const char* request,
+            std::string& out) {
+  out.clear();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string line = std::string(request) + "\n";
+  if (::write(fd, line.data(), line.size()) !=
+      static_cast<ssize_t>(line.size())) {
+    ::close(fd);
+    return false;
+  }
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      break;
+    }
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return !out.empty();
+}
+
+/// Pull the number following `"key": ` at or after `pos` (advancing
+/// `pos` past it). The snapshot JSON is machine-generated with exactly
+/// this spacing, so a scan is reliable without a JSON parser.
+bool scan_num(const std::string& doc, const std::string& key,
+              std::size_t& pos, double& out) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = doc.find(needle, pos);
+  if (at == std::string::npos) {
+    return false;
+  }
+  pos = at + needle.size();
+  out = std::strtod(doc.c_str() + pos, nullptr);
+  return true;
+}
+
+/// `top`: refreshing terminal view over a live telemetry socket.
+int cmd_top(const CliOptions& opts) {
+  if (opts.positional.size() != 1) {
+    std::fprintf(stderr, "top needs exactly one telemetry socket path\n");
+    return 2;
+  }
+  const std::string& path = opts.positional[0];
+  std::uint64_t interval_ms = 500;
+  std::uint64_t count = 0;  // 0 = refresh until the socket goes away.
+  bool prom = false;
+  for (const auto& [key, value] : opts.frontend_opts) {
+    if (key == "interval-ms") {
+      if (!flag_u64("--interval-ms", value.c_str(), interval_ms, 1)) {
+        return 2;
+      }
+    } else if (key == "count") {
+      if (!flag_u64("--count", value.c_str(), count)) {
+        return 2;
+      }
+    } else if (key == "format") {
+      if (value == "prom") {
+        prom = true;
+      } else if (value != "json") {
+        std::fprintf(stderr, "top: --format takes json or prom\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "top: unknown option '--%s'\n", key.c_str());
+      return 2;
+    }
+  }
+
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  // Previous frame, for host-side rates: packets are cumulative in the
+  // snapshot, so per-second figures need two scrapes and a wall clock.
+  std::vector<double> prev_pkts;
+  auto prev_t = std::chrono::steady_clock::now();
+  std::string doc;
+  for (std::uint64_t frame = 0; count == 0 || frame < count; ++frame) {
+    if (frame != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    if (!scrape(path, prom ? "metrics" : "json", doc)) {
+      if (frame == 0) {
+        std::fprintf(stderr, "top: cannot scrape %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("top: %s closed\n", path.c_str());
+      return 0;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const double dt =
+        std::chrono::duration<double>(now - prev_t).count();
+    prev_t = now;
+    if (tty && (count != 1)) {
+      std::fputs("\x1b[H\x1b[2J", stdout);  // Home + clear.
+    }
+    if (prom) {
+      std::fputs(doc.c_str(), stdout);
+      std::fflush(stdout);
+      continue;
+    }
+
+    std::size_t pos = 0;
+    double cycle = 0.0;
+    double cps = 0.0;
+    if (!scan_num(doc, "cycle", pos, cycle) ||
+        !scan_num(doc, "cycles_per_sec", pos, cps)) {
+      std::fprintf(stderr, "top: malformed snapshot from %s\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("hmcsim top — %s\n", path.c_str());
+    std::printf("cycle %-14.0f %.3g cycles/sec\n", cycle, cps);
+    double live = 0.0;
+    double evicted = 0.0;
+    double quanta = 0.0;
+    double rqsts = 0.0;
+    double rsps = 0.0;
+    if (scan_num(doc, "clients_live", pos, live)) {
+      scan_num(doc, "clients_evicted", pos, evicted);
+      scan_num(doc, "quanta", pos, quanta);
+      scan_num(doc, "requests", pos, rqsts);
+      scan_num(doc, "responses", pos, rsps);
+      std::printf("clients %.0f live / %.0f evicted   quanta %.0f   "
+                  "rqsts %.0f   rsps %.0f\n",
+                  live, evicted, quanta, rqsts, rsps);
+    }
+    std::printf("%-6s %12s %12s %10s %12s %10s %10s\n", "cube",
+                "rqst_pkts", "rsp_pkts", "stalls", "vault_rqsts",
+                "retry_buf", "pkts/sec");
+    std::vector<double> pkts;
+    for (std::size_t cpos = doc.find("\"cubes\"");
+         cpos != std::string::npos;) {
+      double dev = 0.0;
+      if (!scan_num(doc, "dev", cpos, dev)) {
+        break;
+      }
+      double rqst = 0.0;
+      double rsp = 0.0;
+      double stalls = 0.0;
+      double vrqsts = 0.0;
+      double buf = 0.0;
+      scan_num(doc, "rqst_packets", cpos, rqst);
+      scan_num(doc, "rsp_packets", cpos, rsp);
+      scan_num(doc, "send_stalls", cpos, stalls);
+      scan_num(doc, "vault_rqsts", cpos, vrqsts);
+      scan_num(doc, "retry_buffered_flits", cpos, buf);
+      const std::size_t d = pkts.size();
+      pkts.push_back(rqst + rsp);
+      char rate[32] = "-";
+      if (d < prev_pkts.size() && dt > 0.0) {
+        std::snprintf(rate, sizeof(rate), "%.0f",
+                      (pkts[d] - prev_pkts[d]) / dt);
+      }
+      std::printf("%-6.0f %12.0f %12.0f %10.0f %12.0f %10.0f %10s\n", dev,
+                  rqst, rsp, stalls, vrqsts, buf, rate);
+    }
+    prev_pkts = std::move(pkts);
+    for (std::size_t wpos = doc.find("\"workers\"");
+         wpos != std::string::npos;) {
+      double w = 0.0;
+      if (!scan_num(doc, "worker", wpos, w)) {
+        break;
+      }
+      double exec_ns = 0.0;
+      double wait_ns = 0.0;
+      scan_num(doc, "exec_ns", wpos, exec_ns);
+      scan_num(doc, "wait_ns", wpos, wait_ns);
+      const double busy = exec_ns + wait_ns;
+      std::printf("worker %.0f: %5.1f%% exec / %5.1f%% wait\n", w,
+                  busy > 0.0 ? 100.0 * exec_ns / busy : 0.0,
+                  busy > 0.0 ? 100.0 * wait_ns / busy : 0.0);
+    }
+    std::fflush(stdout);
   }
   return 0;
 }
@@ -564,15 +847,8 @@ int cmd_run(const std::string& name, const CliOptions& opts) {
     return 1;
   }
 
-  frontend::IoOptions io_opts;
-  io_opts.trace_file = opts.trace_file;
-  io_opts.trace_level = opts.trace_level;
-  io_opts.trace_chrome = opts.trace_chrome;
-  io_opts.stage_stats = opts.stage_stats;
-  io_opts.stats_json = opts.stats_json;
-  io_opts.stats_every = opts.stats_every;
   frontend::RunIo io;
-  if (Status s = io.attach(*mem, io_opts); !s.ok()) {
+  if (Status s = io.attach(*mem, make_io_opts(opts)); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.message().c_str());
     return 1;
   }
@@ -603,6 +879,10 @@ int cmd_run(const std::string& name, const CliOptions& opts) {
                           .c_str());
   }
   if (Status s = io.write_stats_json(*mem); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  if (Status s = io.write_sample(*mem); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.message().c_str());
     return 1;
   }
@@ -647,6 +927,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "serve") {
     return cmd_serve(opts);
+  }
+  if (cmd == "top") {
+    return cmd_top(opts);
   }
   if (frontend::FrontendRegistry::instance().contains(cmd)) {
     return cmd_run(cmd, opts);

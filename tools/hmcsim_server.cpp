@@ -10,6 +10,7 @@
 // is first run to quiescence so the statistics settle). With the same
 // configuration and the same per-client workloads, two runs write
 // byte-identical statistics JSON.
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -30,7 +31,20 @@ struct ServerOptions {
   std::uint32_t links = 4;
   std::uint32_t devs = 1;
   std::uint32_t threads = 1;
+  bool prof = false;
 };
+
+/// The serving CosimServer, published for the signal handlers: SIGINT /
+/// SIGTERM request a clean stop so statistics still get written and the
+/// sockets unlinked. request_stop only stores an atomic flag, so it is
+/// async-signal-safe.
+ipc::CosimServer* g_server = nullptr;
+
+extern "C" void stop_signal_handler(int) {
+  if (g_server != nullptr) {
+    g_server->request_stop();
+  }
+}
 
 int usage() {
   std::fputs(
@@ -46,7 +60,10 @@ int usage() {
       "  --links 4|8          host links (default 4)\n"
       "  --devs <n>           cubes in the chain, 1..8 (default 1)\n"
       "  --threads <n>        clock worker threads, 1..64 (default 1)\n"
-      "  --stats-json <path>  write the statistics registry on exit\n",
+      "  --stats-json <path>  write the statistics registry on exit\n"
+      "  --telemetry <path>   Unix socket answering Prometheus/JSON\n"
+      "                       scrapes between quanta (docs/TELEMETRY.md)\n"
+      "  --prof               register sim.prof.* self-profiling stats\n",
       stderr);
   return 2;
 }
@@ -143,6 +160,14 @@ bool parse_args(int argc, char** argv, ServerOptions& opts) {
         return false;
       }
       opts.stats_json = v;
+    } else if (arg == "--telemetry") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opts.cosim.telemetry_path = v;
+    } else if (arg == "--prof") {
+      opts.prof = true;
     } else {
       std::fprintf(stderr, "hmcsim_server: unknown option '%s'\n",
                    std::string(arg).c_str());
@@ -175,6 +200,7 @@ int main(int argc, char** argv) {
 
   frontend::IoOptions io_opts;
   io_opts.stats_json = opts.stats_json;
+  io_opts.prof = opts.prof;
   frontend::RunIo io;
   if (Status s = io.attach(*mem, io_opts); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.message().c_str());
@@ -186,12 +212,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bind: %s\n", s.to_string().c_str());
     return 1;
   }
+  g_server = &server;
+  std::signal(SIGINT, stop_signal_handler);
+  std::signal(SIGTERM, stop_signal_handler);
   std::fprintf(stderr,
                "hmcsim_server: listening on %s (%u clients, quantum %llu)\n",
                opts.cosim.socket_path.c_str(), opts.cosim.expected_clients,
                static_cast<unsigned long long>(opts.cosim.quantum));
-  if (Status s = server.serve(); !s.ok()) {
-    std::fprintf(stderr, "serve: %s\n", s.to_string().c_str());
+  const Status serve_status = server.serve();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_server = nullptr;
+  if (!serve_status.ok()) {
+    std::fprintf(stderr, "serve: %s\n", serve_status.to_string().c_str());
     return 1;
   }
   std::fprintf(stderr,
